@@ -1,0 +1,173 @@
+//! Execution devices and the simulated-accelerator performance model.
+//!
+//! The paper evaluates on an Azure NC6 v2 (6-core Xeon E5-2690 v4 + NVIDIA
+//! P100) and scales across K80/P100/V100 generations (§6.1.1, Figure 6).
+//! This environment has no GPU, so accelerators are **simulated**: compiled
+//! graphs execute on the host CPU for correctness, while latency is
+//! derived from a roofline model — per kernel,
+//! `launch_overhead + max(flops / peak_flops, bytes / bandwidth)` — plus
+//! PCIe transfer time for graph inputs and outputs. Device memory is
+//! modeled from tensor residency so that OOM behaviour (e.g. TorchScript
+//! failing on the K80 at 1M-record batches, §6.1.1) reproduces.
+
+/// Physical characteristics of a (simulated) accelerator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DeviceSpec {
+    /// Marketing name ("K80", "P100", "V100").
+    pub name: &'static str,
+    /// Peak fp32 throughput in GFLOP/s.
+    pub peak_gflops: f64,
+    /// Device memory bandwidth in GB/s.
+    pub mem_bandwidth_gbs: f64,
+    /// Fixed cost of launching one kernel, in microseconds.
+    pub launch_overhead_us: f64,
+    /// Effective host↔device transfer bandwidth in GB/s.
+    pub pcie_gbs: f64,
+    /// Device memory capacity in bytes.
+    pub mem_bytes: u64,
+    /// Release year (Figure 6 orders devices by generation).
+    pub year: u32,
+    /// Hourly price (USD) of the Azure VM carrying this device, used by
+    /// the Figure 7 cost experiment.
+    pub hourly_usd: f64,
+}
+
+/// NVIDIA K80 (2014) — one GK210 die, as Azure NC6 exposes it.
+pub const K80: DeviceSpec = DeviceSpec {
+    name: "K80",
+    peak_gflops: 4113.0,
+    mem_bandwidth_gbs: 240.0,
+    launch_overhead_us: 10.0,
+    pcie_gbs: 8.0,
+    mem_bytes: 12 * (1 << 30),
+    year: 2014,
+    hourly_usd: 0.90,
+};
+
+/// NVIDIA P100 (2016), the paper's primary GPU (Azure NC6 v2).
+pub const P100: DeviceSpec = DeviceSpec {
+    name: "P100",
+    peak_gflops: 9300.0,
+    mem_bandwidth_gbs: 732.0,
+    launch_overhead_us: 7.0,
+    pcie_gbs: 12.0,
+    mem_bytes: 16 * (1 << 30),
+    year: 2016,
+    hourly_usd: 2.07,
+};
+
+/// NVIDIA V100 (2017), Azure NC6 v3.
+pub const V100: DeviceSpec = DeviceSpec {
+    name: "V100",
+    peak_gflops: 14900.0,
+    mem_bandwidth_gbs: 900.0,
+    launch_overhead_us: 5.0,
+    pcie_gbs: 12.0,
+    mem_bytes: 16 * (1 << 30),
+    year: 2017,
+    hourly_usd: 3.06,
+};
+
+/// Hourly price (USD) of the CPU-only comparison VM (Azure E8 v3) used by
+/// the Figure 7 cost experiment.
+pub const CPU_VM_HOURLY_USD: f64 = 0.504;
+
+/// Where a compiled graph executes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Device {
+    /// The host CPU, measured for real. `threads == 0` means "all cores";
+    /// the paper uses 6 cores for batch experiments and 1 core for
+    /// request/response.
+    Cpu {
+        /// Worker thread count (0 = default Rayon pool).
+        threads: usize,
+    },
+    /// A simulated accelerator: results computed on the host, latency and
+    /// memory modeled from the spec.
+    Sim(DeviceSpec),
+}
+
+impl Device {
+    /// All-core CPU device.
+    pub fn cpu() -> Device {
+        Device::Cpu { threads: 0 }
+    }
+
+    /// Single-core CPU device (request/response setting).
+    pub fn cpu1() -> Device {
+        Device::Cpu { threads: 1 }
+    }
+
+    /// True for simulated accelerators.
+    pub fn is_simulated(&self) -> bool {
+        matches!(self, Device::Sim(_))
+    }
+
+    /// Display label for bench tables.
+    pub fn label(&self) -> String {
+        match self {
+            Device::Cpu { threads: 0 } => "CPU".to_string(),
+            Device::Cpu { threads } => format!("CPU({threads})"),
+            Device::Sim(s) => format!("{} (sim)", s.name),
+        }
+    }
+}
+
+impl DeviceSpec {
+    /// Roofline execution time for one kernel, in seconds.
+    pub fn kernel_time(&self, flops: f64, bytes: f64) -> f64 {
+        let compute = flops / (self.peak_gflops * 1e9);
+        let memory = bytes / (self.mem_bandwidth_gbs * 1e9);
+        self.launch_overhead_us * 1e-6 + compute.max(memory)
+    }
+
+    /// Host↔device transfer time for `bytes`, in seconds.
+    pub fn transfer_time(&self, bytes: f64) -> f64 {
+        // A fixed ~20µs latency per transfer batch models driver overhead.
+        20e-6 + bytes / (self.pcie_gbs * 1e9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generations_get_faster() {
+        // A mid-size GEMM: newer devices must be strictly faster.
+        let flops = 2.0 * 10_000.0 * 500.0 * 100.0;
+        let bytes = 4.0 * (10_000.0 * 500.0 + 500.0 * 100.0 + 10_000.0 * 100.0);
+        let tk = K80.kernel_time(flops, bytes);
+        let tp = P100.kernel_time(flops, bytes);
+        let tv = V100.kernel_time(flops, bytes);
+        assert!(tk > tp && tp > tv, "{tk} {tp} {tv}");
+    }
+
+    #[test]
+    fn small_kernels_are_launch_bound() {
+        let t = V100.kernel_time(100.0, 400.0);
+        assert!((t - V100.launch_overhead_us * 1e-6).abs() / t < 0.01);
+    }
+
+    #[test]
+    fn large_kernels_are_roofline_bound() {
+        // 1 GB of traffic on the V100 ≈ 1/900 s, far above launch cost.
+        let t = V100.kernel_time(0.0, 1e9);
+        assert!(t > 1e-3);
+    }
+
+    #[test]
+    fn transfer_scales_with_bytes() {
+        let t1 = P100.transfer_time(1e6);
+        let t2 = P100.transfer_time(1e9);
+        assert!(t2 > t1 * 100.0);
+    }
+
+    #[test]
+    fn device_labels() {
+        assert_eq!(Device::cpu().label(), "CPU");
+        assert_eq!(Device::cpu1().label(), "CPU(1)");
+        assert_eq!(Device::Sim(P100).label(), "P100 (sim)");
+        assert!(Device::Sim(K80).is_simulated());
+    }
+}

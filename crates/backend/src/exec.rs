@@ -1,0 +1,462 @@
+//! Graph executors: the Eager, Script, and Compiled backends.
+
+use std::time::{Duration, Instant};
+
+use hb_tensor::{alloc, DynTensor};
+
+use crate::device::{Device, DeviceSpec};
+use crate::graph::Graph;
+use crate::op::Op;
+use crate::optimize::{optimize, OptStats};
+use crate::Backend;
+
+/// Failure modes of compiled-graph execution.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExecError {
+    /// The (simulated) accelerator ran out of device memory — mirrors the
+    /// paper's K80 OOM at 1M-record batches under TorchScript.
+    DeviceOom {
+        /// Peak modeled residency the run required.
+        needed: u64,
+        /// Device capacity.
+        capacity: u64,
+    },
+    /// Wrong number of graph inputs supplied.
+    InputCount {
+        /// Inputs the graph declares.
+        expected: usize,
+        /// Inputs supplied.
+        got: usize,
+    },
+    /// An input had the wrong dtype.
+    InputDType {
+        /// Input slot index.
+        slot: usize,
+    },
+}
+
+impl std::fmt::Display for ExecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExecError::DeviceOom { needed, capacity } => {
+                write!(f, "device OOM: needed {needed} bytes, capacity {capacity}")
+            }
+            ExecError::InputCount { expected, got } => {
+                write!(f, "expected {expected} inputs, got {got}")
+            }
+            ExecError::InputDType { slot } => write!(f, "wrong dtype for input {slot}"),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+/// Measurements from one execution.
+#[derive(Debug, Clone, Default)]
+pub struct RunStats {
+    /// Measured wall-clock time of the host execution.
+    pub wall: Duration,
+    /// Modeled latency when running on a simulated device.
+    pub simulated: Option<Duration>,
+    /// Non-metadata kernels launched.
+    pub kernel_launches: usize,
+    /// Total modeled FLOPs.
+    pub flops: f64,
+    /// Total modeled bytes of memory traffic.
+    pub bytes: f64,
+    /// Measured peak host tensor bytes during the run.
+    pub peak_tensor_bytes: usize,
+    /// Modeled peak device-memory residency (parameters + live
+    /// intermediates), for simulated devices.
+    pub sim_peak_bytes: u64,
+}
+
+impl RunStats {
+    /// The latency this run "took" on its device: modeled time for
+    /// simulated accelerators, measured wall time for the CPU.
+    pub fn device_time(&self) -> Duration {
+        self.simulated.unwrap_or(self.wall)
+    }
+}
+
+/// A graph lowered to a backend and bound to a device, ready to run.
+pub struct Executable {
+    graph: Graph,
+    backend: Backend,
+    device: Device,
+    /// Per-node count of consumers, for early buffer release (Script and
+    /// Compiled backends only).
+    refcounts: Option<Vec<u32>>,
+    opt_stats: Option<OptStats>,
+    compile_time: Duration,
+    pool: Option<rayon::ThreadPool>,
+}
+
+impl Executable {
+    /// Lowers `graph` to `backend` on `device`.
+    ///
+    /// This is the paper's *conversion* step (Table 10): Eager does almost
+    /// nothing, Script plans buffer lifetimes, Compiled additionally runs
+    /// the whole optimization pipeline.
+    pub fn new(graph: Graph, backend: Backend, device: Device) -> Executable {
+        let start = Instant::now();
+        graph.validate();
+        let (graph, refcounts, opt_stats) = match backend {
+            Backend::Eager => (graph, None, None),
+            Backend::Script => {
+                let rc = compute_refcounts(&graph);
+                (graph, Some(rc), None)
+            }
+            Backend::Compiled => {
+                let (g, stats) = optimize(&graph);
+                let rc = compute_refcounts(&g);
+                (g, Some(rc), Some(stats))
+            }
+        };
+        let pool = match device {
+            Device::Cpu { threads } if threads > 0 => Some(
+                rayon::ThreadPoolBuilder::new()
+                    .num_threads(threads)
+                    .build()
+                    .expect("failed to build thread pool"),
+            ),
+            _ => None,
+        };
+        Executable {
+            graph,
+            backend,
+            device,
+            refcounts,
+            opt_stats,
+            compile_time: start.elapsed(),
+            pool,
+        }
+    }
+
+    /// Lowers `graph` like the Compiled backend but with selected
+    /// optimization passes — the ablation entry point.
+    pub fn with_toggles(
+        graph: Graph,
+        toggles: crate::optimize::PassToggles,
+        device: Device,
+    ) -> Executable {
+        let start = Instant::now();
+        graph.validate();
+        let (g, stats) = crate::optimize::optimize_with(&graph, toggles);
+        let rc = compute_refcounts(&g);
+        let pool = match device {
+            Device::Cpu { threads } if threads > 0 => Some(
+                rayon::ThreadPoolBuilder::new()
+                    .num_threads(threads)
+                    .build()
+                    .expect("failed to build thread pool"),
+            ),
+            _ => None,
+        };
+        Executable {
+            graph: g,
+            backend: Backend::Compiled,
+            device,
+            refcounts: Some(rc),
+            opt_stats: Some(stats),
+            compile_time: start.elapsed(),
+            pool,
+        }
+    }
+
+    /// The backend this executable was lowered to.
+    pub fn backend(&self) -> Backend {
+        self.backend
+    }
+
+    /// The device this executable is bound to.
+    pub fn device(&self) -> Device {
+        self.device
+    }
+
+    /// The (possibly optimized) graph.
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// Time spent lowering the graph (the paper's conversion time,
+    /// Table 10).
+    pub fn compile_time(&self) -> Duration {
+        self.compile_time
+    }
+
+    /// Optimizer counters (Compiled backend only).
+    pub fn opt_stats(&self) -> Option<OptStats> {
+        self.opt_stats
+    }
+
+    /// Runs the graph, returning the output tensors.
+    pub fn run(&self, inputs: &[DynTensor]) -> Result<Vec<DynTensor>, ExecError> {
+        self.run_with_stats(inputs).map(|(o, _)| o)
+    }
+
+    /// Runs the graph, also returning execution measurements.
+    pub fn run_with_stats(
+        &self,
+        inputs: &[DynTensor],
+    ) -> Result<(Vec<DynTensor>, RunStats), ExecError> {
+        if inputs.len() != self.graph.input_dtypes.len() {
+            return Err(ExecError::InputCount {
+                expected: self.graph.input_dtypes.len(),
+                got: inputs.len(),
+            });
+        }
+        for (slot, (t, dt)) in inputs.iter().zip(self.graph.input_dtypes.iter()).enumerate() {
+            if t.dtype() != *dt {
+                return Err(ExecError::InputDType { slot });
+            }
+        }
+        match &self.pool {
+            Some(pool) => pool.install(|| self.execute(inputs)),
+            None => self.execute(inputs),
+        }
+    }
+
+    /// Times every node individually (diagnostic; ignores early frees).
+    pub fn profile(&self, inputs: &[DynTensor]) -> Vec<(String, Duration)> {
+        let mut vals: Vec<Option<DynTensor>> = vec![None; self.graph.nodes.len()];
+        let mut out = Vec::new();
+        for (id, node) in self.graph.nodes.iter().enumerate() {
+            let t = Instant::now();
+            let v = match &node.op {
+                Op::Input(slot) => inputs[*slot].clone(),
+                op => {
+                    let ins: Vec<&DynTensor> =
+                        node.inputs.iter().map(|&i| vals[i].as_ref().unwrap()).collect();
+                    op.eval(&ins)
+                }
+            };
+            let label = format!("{:?}", node.op);
+            out.push((label.chars().take(60).collect(), t.elapsed()));
+            vals[id] = Some(v);
+        }
+        out
+    }
+
+    fn execute(&self, inputs: &[DynTensor]) -> Result<(Vec<DynTensor>, RunStats), ExecError> {
+        let spec: Option<&DeviceSpec> = match &self.device {
+            Device::Sim(s) => Some(s),
+            Device::Cpu { .. } => None,
+        };
+        let free_early = self.refcounts.is_some();
+        let start = Instant::now();
+        alloc::reset_peak();
+        let host_before = alloc::current_bytes();
+
+        let n = self.graph.nodes.len();
+        let mut vals: Vec<Option<DynTensor>> = vec![None; n];
+        let mut rc: Vec<u32> = match &self.refcounts {
+            Some(rc) => rc.clone(),
+            // Eager recomputes consumer counts every run — part of its
+            // per-run interpretation overhead.
+            None => compute_refcounts(&self.graph),
+        };
+        // Outputs must survive to the end regardless of consumer count.
+        for &o in &self.graph.outputs {
+            rc[o] = u32::MAX;
+        }
+
+        let mut stats = RunStats::default();
+        let mut sim_time = 0.0f64;
+        // Modeled device residency: parameters stay resident; inputs are
+        // transferred up front.
+        let mut sim_live: u64 = self.graph.const_bytes() as u64;
+        let mut sim_peak: u64 = sim_live;
+        if let Some(s) = spec {
+            let in_bytes: f64 = inputs.iter().map(|t| t.nbytes() as f64).sum();
+            sim_time += s.transfer_time(in_bytes);
+            sim_live += in_bytes as u64;
+            sim_peak = sim_peak.max(sim_live);
+        }
+
+        for id in 0..n {
+            let node = &self.graph.nodes[id];
+            let out = match &node.op {
+                Op::Input(slot) => inputs[*slot].clone(),
+                op => {
+                    let ins: Vec<&DynTensor> = node
+                        .inputs
+                        .iter()
+                        .map(|&i| vals[i].as_ref().expect("executor: operand freed too early"))
+                        .collect();
+                    let out = op.eval(&ins);
+                    let cost = op.cost(&ins, &out);
+                    if !cost.metadata_only {
+                        stats.kernel_launches += 1;
+                        stats.flops += cost.flops;
+                        stats.bytes += cost.bytes;
+                        if let Some(s) = spec {
+                            sim_time += s.kernel_time(cost.flops, cost.bytes);
+                        }
+                    }
+                    if spec.is_some() && !matches!(op, Op::Const(_)) {
+                        sim_live += out.nbytes() as u64;
+                        sim_peak = sim_peak.max(sim_live);
+                    }
+                    out
+                }
+            };
+            vals[id] = Some(out);
+            // Release operands whose last consumer this was.
+            if free_early {
+                for &i in &self.graph.nodes[id].inputs {
+                    if rc[i] != u32::MAX {
+                        rc[i] -= 1;
+                        if rc[i] == 0 {
+                            // Parameters (consts) stay resident on device;
+                            // only intermediates release modeled memory.
+                            let is_const = matches!(self.graph.nodes[i].op, Op::Const(_));
+                            if let (Some(_), Some(v), false) = (spec, vals[i].as_ref(), is_const) {
+                                sim_live = sim_live.saturating_sub(v.nbytes() as u64);
+                            }
+                            vals[i] = None;
+                        }
+                    }
+                }
+            }
+        }
+
+        if let Some(s) = spec {
+            let out_bytes: f64 =
+                self.graph.outputs.iter().map(|&o| vals[o].as_ref().unwrap().nbytes() as f64).sum();
+            sim_time += s.transfer_time(out_bytes);
+            stats.simulated = Some(Duration::from_secs_f64(sim_time));
+            stats.sim_peak_bytes = sim_peak;
+            if sim_peak > s.mem_bytes {
+                return Err(ExecError::DeviceOom { needed: sim_peak, capacity: s.mem_bytes });
+            }
+        }
+
+        let outputs: Vec<DynTensor> =
+            self.graph.outputs.iter().map(|&o| vals[o].clone().unwrap()).collect();
+        stats.wall = start.elapsed();
+        stats.peak_tensor_bytes = alloc::peak_bytes().saturating_sub(host_before);
+        Ok((outputs, stats))
+    }
+}
+
+/// Counts how many nodes consume each node's value.
+fn compute_refcounts(graph: &Graph) -> Vec<u32> {
+    let mut rc = vec![0u32; graph.nodes.len()];
+    for node in &graph.nodes {
+        for &i in &node.inputs {
+            rc[i] += 1;
+        }
+    }
+    rc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::{K80, P100};
+    use crate::graph::GraphBuilder;
+    use hb_tensor::{DType, Tensor};
+
+    /// y = relu(x @ w + b), a tiny linear layer.
+    fn linear_graph() -> Graph {
+        let mut b = GraphBuilder::new();
+        let x = b.input(DType::F32);
+        let w = b.constant(Tensor::from_vec(vec![1.0f32, -1.0, 0.5, 2.0], &[2, 2]));
+        let bias = b.constant(Tensor::from_vec(vec![0.1f32, -0.2], &[2]));
+        let mm = b.matmul(x, w);
+        let s = b.add(mm, bias);
+        let y = b.push(Op::Relu, vec![s]);
+        b.output(y);
+        b.build()
+    }
+
+    fn sample_input() -> DynTensor {
+        DynTensor::F32(Tensor::from_vec(vec![1.0, 2.0, -1.0, 0.0], &[2, 2]))
+    }
+
+    #[test]
+    fn all_backends_agree() {
+        let mut outs = Vec::new();
+        for backend in Backend::ALL {
+            let exe = Executable::new(linear_graph(), backend, Device::cpu());
+            let out = exe.run(&[sample_input()]).unwrap();
+            outs.push(out[0].as_f32().to_vec());
+        }
+        assert_eq!(outs[0], outs[1]);
+        assert_eq!(outs[1], outs[2]);
+    }
+
+    #[test]
+    fn compiled_fuses_add_relu() {
+        let eager = Executable::new(linear_graph(), Backend::Eager, Device::cpu());
+        let compiled = Executable::new(linear_graph(), Backend::Compiled, Device::cpu());
+        let (_, es) = eager.run_with_stats(&[sample_input()]).unwrap();
+        let (_, cs) = compiled.run_with_stats(&[sample_input()]).unwrap();
+        assert!(cs.kernel_launches < es.kernel_launches, "{} !< {}", cs.kernel_launches, es.kernel_launches);
+    }
+
+    #[test]
+    fn input_validation_errors() {
+        let exe = Executable::new(linear_graph(), Backend::Script, Device::cpu());
+        assert!(matches!(exe.run(&[]), Err(ExecError::InputCount { expected: 1, got: 0 })));
+        let wrong = DynTensor::I64(Tensor::from_vec(vec![1i64], &[1]));
+        assert!(matches!(exe.run(&[wrong]), Err(ExecError::InputDType { slot: 0 })));
+    }
+
+    #[test]
+    fn simulated_device_reports_latency() {
+        let exe = Executable::new(linear_graph(), Backend::Compiled, Device::Sim(P100));
+        let (out, stats) = exe.run_with_stats(&[sample_input()]).unwrap();
+        assert_eq!(out[0].shape(), &[2, 2]);
+        let sim = stats.simulated.expect("simulated time present");
+        assert!(sim > Duration::ZERO);
+        assert!(stats.sim_peak_bytes > 0);
+    }
+
+    #[test]
+    fn simulated_oom_on_tiny_device() {
+        let tiny = DeviceSpec { mem_bytes: 48, ..K80 };
+        let exe = Executable::new(linear_graph(), Backend::Script, Device::Sim(tiny));
+        match exe.run(&[sample_input()]) {
+            Err(ExecError::DeviceOom { .. }) => {}
+            other => panic!("expected OOM, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn eager_holds_more_memory_than_script() {
+        // A chain of adds: Script frees intermediates, Eager keeps all.
+        let build = || {
+            let mut b = GraphBuilder::new();
+            let x = b.input(DType::F32);
+            let mut cur = x;
+            for _ in 0..16 {
+                cur = b.add_scalar(cur, 1.0);
+            }
+            b.output(cur);
+            b.build()
+        };
+        let big = DynTensor::F32(Tensor::<f32>::zeros(&[64, 1024]));
+        let eager = Executable::new(build(), Backend::Eager, Device::Sim(P100));
+        let script = Executable::new(build(), Backend::Script, Device::Sim(P100));
+        let (_, es) = eager.run_with_stats(&[big.clone()]).unwrap();
+        let (_, ss) = script.run_with_stats(&[big]).unwrap();
+        assert!(es.sim_peak_bytes > ss.sim_peak_bytes);
+    }
+
+    #[test]
+    fn single_thread_pool_runs() {
+        let exe = Executable::new(linear_graph(), Backend::Script, Device::cpu1());
+        let out = exe.run(&[sample_input()]).unwrap();
+        assert_eq!(out[0].shape(), &[2, 2]);
+    }
+
+    #[test]
+    fn compile_time_recorded_and_compiled_slowest() {
+        let e = Executable::new(linear_graph(), Backend::Eager, Device::cpu());
+        let c = Executable::new(linear_graph(), Backend::Compiled, Device::cpu());
+        // Compiled runs optimization passes, so conversion must do work.
+        assert!(c.compile_time() >= e.compile_time() || c.opt_stats().is_some());
+    }
+}

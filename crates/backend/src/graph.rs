@@ -1,0 +1,415 @@
+//! The tensor DAG: nodes, builder API, and static dtype inference.
+
+use hb_tensor::{DType, DynTensor};
+
+use crate::op::Op;
+
+/// Identifier of a node within a [`Graph`] (its position in `nodes`).
+pub type NodeId = usize;
+
+/// One operator application in the DAG.
+#[derive(Clone, Debug, serde::Serialize, serde::Deserialize)]
+pub struct Node {
+    /// The operator.
+    pub op: Op,
+    /// Producing nodes of each operand, in operator order.
+    pub inputs: Vec<NodeId>,
+}
+
+/// A tensor computation DAG in topological order (every node's inputs
+/// precede it).
+#[derive(Clone, Debug, Default, serde::Serialize, serde::Deserialize)]
+pub struct Graph {
+    /// Nodes in topological order.
+    pub nodes: Vec<Node>,
+    /// Nodes whose values the graph returns, in output order.
+    pub outputs: Vec<NodeId>,
+    /// Dtype of each graph input slot.
+    pub input_dtypes: Vec<DType>,
+}
+
+impl Graph {
+    /// Number of operator nodes (excluding nothing; inputs and constants
+    /// count as nodes).
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True if the graph has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Number of kernel launches a naive per-node execution performs
+    /// (metadata-only ops excluded). Used by conversion-time accounting
+    /// and the simulated-device launch overhead model.
+    pub fn kernel_count(&self) -> usize {
+        self.nodes
+            .iter()
+            .filter(|n| {
+                !matches!(
+                    n.op,
+                    Op::Input(_)
+                        | Op::Const(_)
+                        | Op::Reshape { .. }
+                        | Op::Unsqueeze(_)
+                        | Op::Squeeze(_)
+                        | Op::Transpose(..)
+                        | Op::Slice { .. }
+                )
+            })
+            .count()
+    }
+
+    /// Checks structural invariants: topological input order, arity, and
+    /// output validity.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a description of the first violation found.
+    pub fn validate(&self) {
+        for (id, node) in self.nodes.iter().enumerate() {
+            for &inp in &node.inputs {
+                assert!(inp < id, "node {id} reads from later node {inp}");
+            }
+            if let Some(arity) = node.op.arity() {
+                assert_eq!(
+                    node.inputs.len(),
+                    arity,
+                    "node {id} ({:?}) expects {arity} inputs, has {}",
+                    node.op,
+                    node.inputs.len()
+                );
+            }
+            if let Op::Input(slot) = node.op {
+                assert!(slot < self.input_dtypes.len(), "input slot {slot} unregistered");
+            }
+        }
+        for &o in &self.outputs {
+            assert!(o < self.nodes.len(), "output {o} out of range");
+        }
+    }
+
+    /// Infers the static output dtype of every node.
+    pub fn infer_dtypes(&self) -> Vec<DType> {
+        let mut out: Vec<DType> = Vec::with_capacity(self.nodes.len());
+        for node in &self.nodes {
+            let dt = match &node.op {
+                Op::Input(slot) => self.input_dtypes[*slot],
+                Op::Const(v) => v.dtype(),
+                Op::MatMul
+                | Op::Mean { .. }
+                | Op::LogSumExp { .. }
+                | Op::Softmax { .. }
+                | Op::Relu
+                | Op::Sigmoid
+                | Op::Tanh
+                | Op::Exp
+                | Op::Ln
+                | Op::Sqrt
+                | Op::Abs
+                | Op::Neg
+                | Op::Clamp { .. }
+                | Op::PowScalar(_)
+                | Op::Sqdist => DType::F32,
+                Op::Lt
+                | Op::Le
+                | Op::Gt
+                | Op::Ge
+                | Op::EqOp
+                | Op::NeOp
+                | Op::And
+                | Op::Or
+                | Op::Xor
+                | Op::Not
+                | Op::IsNan => DType::Bool,
+                Op::ArgMax { .. } => DType::I64,
+                Op::Cast(dt) => *dt,
+                Op::Where => out[node.inputs[1]],
+                Op::Fused(k) => k.out_dtype,
+                // Remaining ops preserve their first input's dtype.
+                _ => out[node.inputs[0]],
+            };
+            out.push(dt);
+        }
+        out
+    }
+
+    /// Serializes the graph to a self-contained JSON artifact — the
+    /// reproduction's analog of Hummingbird exporting compiled models in
+    /// portable formats (TorchScript/ONNX/TVM in the paper §3.2).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("graphs are always serializable")
+    }
+
+    /// Parses a graph exported by [`Graph::to_json`], validating it.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying JSON error for malformed artifacts.
+    pub fn from_json(json: &str) -> Result<Graph, serde_json::Error> {
+        let g: Graph = serde_json::from_str(json)?;
+        g.validate();
+        Ok(g)
+    }
+
+    /// Total bytes of constant (model-parameter) tensors embedded in the
+    /// graph — the compiled model's parameter footprint.
+    pub fn const_bytes(&self) -> usize {
+        self.nodes
+            .iter()
+            .map(|n| match &n.op {
+                Op::Const(v) => v.nbytes(),
+                _ => 0,
+            })
+            .sum()
+    }
+}
+
+/// Incremental [`Graph`] constructor used by the operator converters.
+///
+/// Every method appends one node and returns its id, so the resulting node
+/// list is topologically ordered by construction.
+#[derive(Default)]
+pub struct GraphBuilder {
+    graph: Graph,
+}
+
+impl GraphBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a graph input of the given dtype and returns its node.
+    pub fn input(&mut self, dtype: DType) -> NodeId {
+        let slot = self.graph.input_dtypes.len();
+        self.graph.input_dtypes.push(dtype);
+        self.push(Op::Input(slot), vec![])
+    }
+
+    /// Embeds a constant tensor.
+    pub fn constant(&mut self, v: impl Into<DynTensor>) -> NodeId {
+        self.push(Op::Const(v.into()), vec![])
+    }
+
+    /// Appends an arbitrary node.
+    pub fn push(&mut self, op: Op, inputs: Vec<NodeId>) -> NodeId {
+        for &i in &inputs {
+            assert!(i < self.graph.nodes.len(), "input {i} does not exist yet");
+        }
+        self.graph.nodes.push(Node { op, inputs });
+        self.graph.nodes.len() - 1
+    }
+
+    /// Marks `id` as a graph output.
+    pub fn output(&mut self, id: NodeId) {
+        self.graph.outputs.push(id);
+    }
+
+    /// Finishes construction, validating the graph.
+    pub fn build(self) -> Graph {
+        self.graph.validate();
+        self.graph
+    }
+
+    /// Batched matrix multiplication.
+    pub fn matmul(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        self.push(Op::MatMul, vec![a, b])
+    }
+
+    /// Element-wise sum.
+    pub fn add(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        self.push(Op::Add, vec![a, b])
+    }
+
+    /// Element-wise difference.
+    pub fn sub(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        self.push(Op::Sub, vec![a, b])
+    }
+
+    /// Element-wise product.
+    pub fn mul(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        self.push(Op::Mul, vec![a, b])
+    }
+
+    /// Element-wise quotient.
+    pub fn div(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        self.push(Op::Div, vec![a, b])
+    }
+
+    /// Scalar addition.
+    pub fn add_scalar(&mut self, a: NodeId, s: f64) -> NodeId {
+        self.push(Op::AddScalar(s), vec![a])
+    }
+
+    /// Scalar multiplication.
+    pub fn mul_scalar(&mut self, a: NodeId, s: f64) -> NodeId {
+        self.push(Op::MulScalar(s), vec![a])
+    }
+
+    /// `a < b` mask.
+    pub fn lt(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        self.push(Op::Lt, vec![a, b])
+    }
+
+    /// `a <= b` mask.
+    pub fn le(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        self.push(Op::Le, vec![a, b])
+    }
+
+    /// `a >= b` mask.
+    pub fn ge(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        self.push(Op::Ge, vec![a, b])
+    }
+
+    /// `a == b` mask.
+    pub fn eq(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        self.push(Op::EqOp, vec![a, b])
+    }
+
+    /// `where(cond, a, b)`.
+    pub fn where_(&mut self, cond: NodeId, a: NodeId, b: NodeId) -> NodeId {
+        self.push(Op::Where, vec![cond, a, b])
+    }
+
+    /// `torch.gather` along `axis`.
+    pub fn gather(&mut self, axis: usize, data: NodeId, index: NodeId) -> NodeId {
+        self.push(Op::Gather { axis }, vec![data, index])
+    }
+
+    /// Compile-time column/row selection.
+    pub fn index_select(&mut self, axis: usize, data: NodeId, indices: Vec<usize>) -> NodeId {
+        self.push(Op::IndexSelect { axis, indices: indices.into() }, vec![data])
+    }
+
+    /// Concatenation along `axis`.
+    pub fn concat(&mut self, axis: usize, inputs: Vec<NodeId>) -> NodeId {
+        self.push(Op::Concat { axis }, inputs)
+    }
+
+    /// Reshape with `0`/`-1` placeholders.
+    pub fn reshape(&mut self, a: NodeId, dims: Vec<i64>) -> NodeId {
+        self.push(Op::Reshape { dims }, vec![a])
+    }
+
+    /// Inserts a size-1 axis.
+    pub fn unsqueeze(&mut self, a: NodeId, axis: usize) -> NodeId {
+        self.push(Op::Unsqueeze(axis), vec![a])
+    }
+
+    /// Removes a size-1 axis.
+    pub fn squeeze(&mut self, a: NodeId, axis: usize) -> NodeId {
+        self.push(Op::Squeeze(axis), vec![a])
+    }
+
+    /// Swaps two axes.
+    pub fn transpose(&mut self, a: NodeId, d0: usize, d1: usize) -> NodeId {
+        self.push(Op::Transpose(d0, d1), vec![a])
+    }
+
+    /// Sum along `axis`.
+    pub fn sum(&mut self, a: NodeId, axis: usize, keepdim: bool) -> NodeId {
+        self.push(Op::Sum { axis, keepdim }, vec![a])
+    }
+
+    /// Mean along `axis`.
+    pub fn mean(&mut self, a: NodeId, axis: usize, keepdim: bool) -> NodeId {
+        self.push(Op::Mean { axis, keepdim }, vec![a])
+    }
+
+    /// ArgMax along `axis`.
+    pub fn argmax(&mut self, a: NodeId, axis: usize, keepdim: bool) -> NodeId {
+        self.push(Op::ArgMax { axis, keepdim }, vec![a])
+    }
+
+    /// Softmax along `axis`.
+    pub fn softmax(&mut self, a: NodeId, axis: usize) -> NodeId {
+        self.push(Op::Softmax { axis }, vec![a])
+    }
+
+    /// Logistic sigmoid.
+    pub fn sigmoid(&mut self, a: NodeId) -> NodeId {
+        self.push(Op::Sigmoid, vec![a])
+    }
+
+    /// Dtype conversion.
+    pub fn cast(&mut self, a: NodeId, to: DType) -> NodeId {
+        self.push(Op::Cast(to), vec![a])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hb_tensor::Tensor;
+
+    #[test]
+    fn builder_produces_topological_graph() {
+        let mut b = GraphBuilder::new();
+        let x = b.input(DType::F32);
+        let w = b.constant(Tensor::from_vec(vec![1.0f32, 2.0], &[1, 2]));
+        let y = b.matmul(x, w);
+        b.output(y);
+        let g = b.build();
+        assert_eq!(g.len(), 3);
+        assert_eq!(g.outputs, vec![2]);
+        assert_eq!(g.input_dtypes, vec![DType::F32]);
+    }
+
+    #[test]
+    fn dtype_inference_tracks_masks_and_indices() {
+        let mut b = GraphBuilder::new();
+        let x = b.input(DType::F32);
+        let c = b.constant(Tensor::from_vec(vec![0.5f32], &[1]));
+        let m = b.lt(x, c);
+        let f = b.cast(m, DType::F32);
+        let am = b.argmax(f, 0, false);
+        b.output(am);
+        let g = b.build();
+        let dt = g.infer_dtypes();
+        assert_eq!(dt[m], DType::Bool);
+        assert_eq!(dt[f], DType::F32);
+        assert_eq!(dt[am], DType::I64);
+    }
+
+    #[test]
+    fn kernel_count_excludes_metadata() {
+        let mut b = GraphBuilder::new();
+        let x = b.input(DType::F32);
+        let r = b.reshape(x, vec![-1, 1]);
+        let s = b.add_scalar(r, 1.0);
+        b.output(s);
+        let g = b.build();
+        assert_eq!(g.kernel_count(), 1);
+    }
+
+    #[test]
+    fn const_bytes_counts_parameters() {
+        let mut b = GraphBuilder::new();
+        let c = b.constant(Tensor::<f32>::zeros(&[10]));
+        b.output(c);
+        assert_eq!(b.build().const_bytes(), 40);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not exist yet")]
+    fn forward_reference_panics() {
+        let mut b = GraphBuilder::new();
+        let _ = b.push(Op::Relu, vec![5]);
+    }
+
+    #[test]
+    fn where_dtype_follows_branches() {
+        let mut b = GraphBuilder::new();
+        let x = b.input(DType::F32);
+        let c = b.constant(Tensor::from_vec(vec![0.0f32], &[1]));
+        let m = b.lt(x, c);
+        let i1 = b.constant(Tensor::from_vec(vec![1i64], &[1]));
+        let i2 = b.constant(Tensor::from_vec(vec![2i64], &[1]));
+        let w = b.where_(m, i1, i2);
+        b.output(w);
+        let g = b.build();
+        assert_eq!(g.infer_dtypes()[w], DType::I64);
+    }
+}

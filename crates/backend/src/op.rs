@@ -1,0 +1,604 @@
+//! Graph operators and their evaluation kernels.
+//!
+//! The operator set matches paper Table 2: `matmul, add, mul, div, lt, le,
+//! eq, gt, ge, &, |, xor, gather, index_select, cat, reshape, cast, abs,
+//! pow, exp, argmax, max, sum, relu, tanh, sigmoid, logsumexp, isnan,
+//! where`, plus the shape plumbing (`unsqueeze`, `transpose`, `slice`) that
+//! the converters need and a fused `sqdist` following §4.2's
+//! quadratic-expansion trick.
+
+use std::sync::Arc;
+
+use hb_tensor::{DType, DynTensor, Tensor};
+
+use crate::fuse::FusedKernel;
+
+/// A single tensor operation in a [`crate::Graph`].
+#[derive(Clone, Debug, serde::Serialize, serde::Deserialize)]
+pub enum Op {
+    /// Reads graph input slot `n`.
+    Input(usize),
+    /// A compile-time constant (model parameters).
+    Const(DynTensor),
+    /// Batched matrix multiplication with batch-dim broadcasting.
+    MatMul,
+    /// Element-wise sum with broadcasting.
+    Add,
+    /// Element-wise difference with broadcasting.
+    Sub,
+    /// Element-wise product with broadcasting.
+    Mul,
+    /// Element-wise quotient with broadcasting.
+    Div,
+    /// Element-wise minimum with broadcasting.
+    Minimum,
+    /// Element-wise maximum with broadcasting.
+    Maximum,
+    /// Adds a scalar to every element (f32 or i64 tensors).
+    AddScalar(f64),
+    /// Multiplies every element by a scalar (f32 or i64 tensors).
+    MulScalar(f64),
+    /// Raises every element to a scalar power (f32 tensors).
+    PowScalar(f64),
+    /// `a < b` → bool mask.
+    Lt,
+    /// `a <= b` → bool mask.
+    Le,
+    /// `a > b` → bool mask.
+    Gt,
+    /// `a >= b` → bool mask.
+    Ge,
+    /// `a == b` → bool mask.
+    EqOp,
+    /// `a != b` → bool mask.
+    NeOp,
+    /// Logical AND of bool masks.
+    And,
+    /// Logical OR of bool masks.
+    Or,
+    /// Logical XOR of bool masks.
+    Xor,
+    /// Logical NOT of a bool mask.
+    Not,
+    /// `where(cond, a, b)` with broadcasting.
+    Where,
+    /// `torch.gather` along `axis` (inputs: data, i64 index).
+    Gather {
+        /// Gather axis.
+        axis: usize,
+    },
+    /// Batched row lookup: data `[B, N, W]`, i64 index `[B, n]` →
+    /// `[B, n, W]` (the TreeTraversal leaf-payload composite).
+    GatherRows,
+    /// Selects fixed positions along `axis` (compile-time indices).
+    IndexSelect {
+        /// Selection axis.
+        axis: usize,
+        /// Positions to keep, in output order.
+        indices: Arc<Vec<usize>>,
+    },
+    /// Concatenates all inputs along `axis`.
+    Concat {
+        /// Concatenation axis.
+        axis: usize,
+    },
+    /// Reshape; `-1` infers one dimension, `0` copies the input dimension.
+    Reshape {
+        /// Target dims with ONNX-style `0`/`-1` placeholders.
+        dims: Vec<i64>,
+    },
+    /// Inserts a size-1 axis.
+    Unsqueeze(usize),
+    /// Removes a size-1 axis.
+    Squeeze(usize),
+    /// Swaps two axes.
+    Transpose(usize, usize),
+    /// Keeps `start..end` along `axis`.
+    Slice {
+        /// Sliced axis.
+        axis: usize,
+        /// First kept index.
+        start: usize,
+        /// One past the last kept index.
+        end: usize,
+    },
+    /// Sum reduction along `axis`.
+    Sum {
+        /// Reduced axis.
+        axis: usize,
+        /// Keep the reduced axis as size 1.
+        keepdim: bool,
+    },
+    /// Mean reduction along `axis`.
+    Mean {
+        /// Reduced axis.
+        axis: usize,
+        /// Keep the reduced axis as size 1.
+        keepdim: bool,
+    },
+    /// Max reduction along `axis`.
+    ReduceMax {
+        /// Reduced axis.
+        axis: usize,
+        /// Keep the reduced axis as size 1.
+        keepdim: bool,
+    },
+    /// Index of the max along `axis` (→ i64).
+    ArgMax {
+        /// Reduced axis.
+        axis: usize,
+        /// Keep the reduced axis as size 1.
+        keepdim: bool,
+    },
+    /// Stabilized `log(Σexp)` along `axis`.
+    LogSumExp {
+        /// Reduced axis.
+        axis: usize,
+        /// Keep the reduced axis as size 1.
+        keepdim: bool,
+    },
+    /// Softmax along `axis`.
+    Softmax {
+        /// Normalized axis.
+        axis: usize,
+    },
+    /// `max(x, 0)`.
+    Relu,
+    /// Logistic sigmoid.
+    Sigmoid,
+    /// Hyperbolic tangent.
+    Tanh,
+    /// Natural exponential.
+    Exp,
+    /// Natural logarithm.
+    Ln,
+    /// Square root.
+    Sqrt,
+    /// Absolute value.
+    Abs,
+    /// Negation.
+    Neg,
+    /// NaN test → bool mask.
+    IsNan,
+    /// Clamp into `[lo, hi]`.
+    Clamp {
+        /// Lower bound.
+        lo: f32,
+        /// Upper bound.
+        hi: f32,
+    },
+    /// Dtype conversion.
+    Cast(DType),
+    /// Squared Euclidean distance matrix `[n,d]×[m,d] → [n,m]` via the
+    /// quadratic expansion of §4.2 (no `n×m×d` intermediate).
+    Sqdist,
+    /// A fused element-wise kernel produced by the Compiled backend's
+    /// fusion pass; never constructed by converters directly.
+    Fused(Arc<FusedKernel>),
+}
+
+/// FLOP and byte-traffic estimate for one operator execution, consumed by
+/// the simulated-device roofline model.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct OpCost {
+    /// Floating-point (or comparable) operations performed.
+    pub flops: f64,
+    /// Bytes moved through memory (reads + writes).
+    pub bytes: f64,
+    /// True for zero-cost metadata ops that launch no kernel.
+    pub metadata_only: bool,
+}
+
+fn bin_f32(a: &DynTensor, b: &DynTensor, f: impl Fn(&Tensor<f32>, &Tensor<f32>) -> Tensor<f32>, g: impl Fn(&Tensor<i64>, &Tensor<i64>) -> Tensor<i64>) -> DynTensor {
+    match (a, b) {
+        (DynTensor::F32(x), DynTensor::F32(y)) => DynTensor::F32(f(x, y)),
+        (DynTensor::I64(x), DynTensor::I64(y)) => DynTensor::I64(g(x, y)),
+        _ => panic!("binary op dtype mismatch: {:?} vs {:?}", a.dtype(), b.dtype()),
+    }
+}
+
+fn cmp_op(
+    a: &DynTensor,
+    b: &DynTensor,
+    f: impl Fn(&Tensor<f32>, &Tensor<f32>) -> Tensor<bool>,
+    g: impl Fn(&Tensor<i64>, &Tensor<i64>) -> Tensor<bool>,
+) -> DynTensor {
+    match (a, b) {
+        (DynTensor::F32(x), DynTensor::F32(y)) => DynTensor::Bool(f(x, y)),
+        (DynTensor::I64(x), DynTensor::I64(y)) => DynTensor::Bool(g(x, y)),
+        _ => panic!("comparison dtype mismatch: {:?} vs {:?}", a.dtype(), b.dtype()),
+    }
+}
+
+impl Op {
+    /// Number of inputs this op consumes (`None` = variadic).
+    pub fn arity(&self) -> Option<usize> {
+        Some(match self {
+            Op::Input(_) | Op::Const(_) => 0,
+            Op::MatMul
+            | Op::Add
+            | Op::Sub
+            | Op::Mul
+            | Op::Div
+            | Op::Minimum
+            | Op::Maximum
+            | Op::Lt
+            | Op::Le
+            | Op::Gt
+            | Op::Ge
+            | Op::EqOp
+            | Op::NeOp
+            | Op::And
+            | Op::Or
+            | Op::Xor
+            | Op::Gather { .. }
+            | Op::GatherRows
+            | Op::Sqdist => 2,
+            Op::Where => 3,
+            Op::Concat { .. } => return None,
+            Op::Fused(k) => k.n_inputs,
+            _ => 1,
+        })
+    }
+
+    /// Evaluates the operator over already-computed inputs.
+    ///
+    /// # Panics
+    ///
+    /// Panics on dtype or shape mismatches — compiled graphs are validated
+    /// by construction and by the output-validation test suite.
+    pub fn eval(&self, inputs: &[&DynTensor]) -> DynTensor {
+        match self {
+            Op::Input(_) => panic!("Input nodes are resolved by the executor"),
+            Op::Const(v) => v.clone(),
+            Op::MatMul => DynTensor::F32(inputs[0].as_f32().matmul(inputs[1].as_f32())),
+            Op::Add => bin_f32(inputs[0], inputs[1], |a, b| a.add(b), |a, b| a.add(b)),
+            Op::Sub => bin_f32(inputs[0], inputs[1], |a, b| a.sub(b), |a, b| a.sub(b)),
+            Op::Mul => bin_f32(inputs[0], inputs[1], |a, b| a.mul(b), |a, b| a.mul(b)),
+            Op::Div => bin_f32(inputs[0], inputs[1], |a, b| a.div(b), |a, b| a.div(b)),
+            Op::Minimum => {
+                bin_f32(inputs[0], inputs[1], |a, b| a.minimum(b), |a, b| a.minimum(b))
+            }
+            Op::Maximum => {
+                bin_f32(inputs[0], inputs[1], |a, b| a.maximum(b), |a, b| a.maximum(b))
+            }
+            Op::AddScalar(s) => match inputs[0] {
+                DynTensor::F32(t) => DynTensor::F32(t.add_scalar(*s as f32)),
+                DynTensor::I64(t) => DynTensor::I64(t.add_scalar(*s as i64)),
+                other => panic!("add_scalar on {:?}", other.dtype()),
+            },
+            Op::MulScalar(s) => match inputs[0] {
+                DynTensor::F32(t) => DynTensor::F32(t.mul_scalar(*s as f32)),
+                DynTensor::I64(t) => DynTensor::I64(t.mul_scalar(*s as i64)),
+                other => panic!("mul_scalar on {:?}", other.dtype()),
+            },
+            Op::PowScalar(e) => DynTensor::F32(inputs[0].as_f32().pow_scalar(*e as f32)),
+            Op::Lt => cmp_op(inputs[0], inputs[1], |a, b| a.lt(b), |a, b| a.lt(b)),
+            Op::Le => cmp_op(inputs[0], inputs[1], |a, b| a.le(b), |a, b| a.le(b)),
+            Op::Gt => cmp_op(inputs[0], inputs[1], |a, b| a.gt(b), |a, b| a.gt(b)),
+            Op::Ge => cmp_op(inputs[0], inputs[1], |a, b| a.ge(b), |a, b| a.ge(b)),
+            Op::EqOp => cmp_op(inputs[0], inputs[1], |a, b| a.eq_t(b), |a, b| a.eq_t(b)),
+            Op::NeOp => cmp_op(inputs[0], inputs[1], |a, b| a.ne_t(b), |a, b| a.ne_t(b)),
+            Op::And => DynTensor::Bool(inputs[0].as_bool().and(inputs[1].as_bool())),
+            Op::Or => DynTensor::Bool(inputs[0].as_bool().or(inputs[1].as_bool())),
+            Op::Xor => DynTensor::Bool(inputs[0].as_bool().xor(inputs[1].as_bool())),
+            Op::Not => DynTensor::Bool(inputs[0].as_bool().not()),
+            Op::Where => {
+                let cond = inputs[0].as_bool();
+                match (inputs[1], inputs[2]) {
+                    (DynTensor::F32(a), DynTensor::F32(b)) => {
+                        DynTensor::F32(cond.where_select(a, b))
+                    }
+                    (DynTensor::I64(a), DynTensor::I64(b)) => {
+                        DynTensor::I64(cond.where_select(a, b))
+                    }
+                    _ => panic!("where branches must share a dtype"),
+                }
+            }
+            Op::Gather { axis } => {
+                let idx = inputs[1].as_i64();
+                match inputs[0] {
+                    DynTensor::F32(t) => DynTensor::F32(t.gather(*axis, idx)),
+                    DynTensor::I64(t) => DynTensor::I64(t.gather(*axis, idx)),
+                    other => panic!("gather on {:?}", other.dtype()),
+                }
+            }
+            Op::GatherRows => {
+                let idx = inputs[1].as_i64();
+                match inputs[0] {
+                    DynTensor::F32(t) => DynTensor::F32(t.gather_rows(idx)),
+                    DynTensor::I64(t) => DynTensor::I64(t.gather_rows(idx)),
+                    other => panic!("gather_rows on {:?}", other.dtype()),
+                }
+            }
+            Op::IndexSelect { axis, indices } => match inputs[0] {
+                DynTensor::F32(t) => DynTensor::F32(t.index_select(*axis, indices)),
+                DynTensor::I64(t) => DynTensor::I64(t.index_select(*axis, indices)),
+                other => panic!("index_select on {:?}", other.dtype()),
+            },
+            Op::Concat { axis } => match inputs[0] {
+                DynTensor::F32(_) => {
+                    let ts: Vec<&Tensor<f32>> = inputs.iter().map(|t| t.as_f32()).collect();
+                    DynTensor::F32(Tensor::concat(&ts, *axis))
+                }
+                DynTensor::I64(_) => {
+                    let ts: Vec<&Tensor<i64>> = inputs.iter().map(|t| t.as_i64()).collect();
+                    DynTensor::I64(Tensor::concat(&ts, *axis))
+                }
+                other => panic!("concat on {:?}", other.dtype()),
+            },
+            Op::Reshape { dims } => {
+                let shape = resolve_reshape(inputs[0].shape(), dims);
+                inputs[0].reshape(&shape)
+            }
+            Op::Unsqueeze(axis) => match inputs[0] {
+                DynTensor::F32(t) => DynTensor::F32(t.unsqueeze(*axis)),
+                DynTensor::I64(t) => DynTensor::I64(t.unsqueeze(*axis)),
+                DynTensor::U8(t) => DynTensor::U8(t.unsqueeze(*axis)),
+                DynTensor::Bool(t) => DynTensor::Bool(t.unsqueeze(*axis)),
+            },
+            Op::Squeeze(axis) => match inputs[0] {
+                DynTensor::F32(t) => DynTensor::F32(t.squeeze(*axis)),
+                DynTensor::I64(t) => DynTensor::I64(t.squeeze(*axis)),
+                DynTensor::U8(t) => DynTensor::U8(t.squeeze(*axis)),
+                DynTensor::Bool(t) => DynTensor::Bool(t.squeeze(*axis)),
+            },
+            Op::Transpose(a, b) => match inputs[0] {
+                DynTensor::F32(t) => DynTensor::F32(t.transpose(*a, *b)),
+                DynTensor::I64(t) => DynTensor::I64(t.transpose(*a, *b)),
+                DynTensor::U8(t) => DynTensor::U8(t.transpose(*a, *b)),
+                DynTensor::Bool(t) => DynTensor::Bool(t.transpose(*a, *b)),
+            },
+            Op::Slice { axis, start, end } => match inputs[0] {
+                DynTensor::F32(t) => DynTensor::F32(t.slice(*axis, *start, *end)),
+                DynTensor::I64(t) => DynTensor::I64(t.slice(*axis, *start, *end)),
+                DynTensor::U8(t) => DynTensor::U8(t.slice(*axis, *start, *end)),
+                DynTensor::Bool(t) => DynTensor::Bool(t.slice(*axis, *start, *end)),
+            },
+            Op::Sum { axis, keepdim } => match inputs[0] {
+                DynTensor::F32(t) => DynTensor::F32(t.sum_axis(*axis, *keepdim)),
+                DynTensor::I64(t) => DynTensor::I64(t.sum_axis(*axis, *keepdim)),
+                other => panic!("sum on {:?}", other.dtype()),
+            },
+            Op::Mean { axis, keepdim } => {
+                DynTensor::F32(inputs[0].as_f32().mean_axis(*axis, *keepdim))
+            }
+            Op::ReduceMax { axis, keepdim } => match inputs[0] {
+                DynTensor::F32(t) => DynTensor::F32(t.max_axis(*axis, *keepdim)),
+                DynTensor::I64(t) => DynTensor::I64(t.max_axis(*axis, *keepdim)),
+                other => panic!("max on {:?}", other.dtype()),
+            },
+            Op::ArgMax { axis, keepdim } => match inputs[0] {
+                DynTensor::F32(t) => DynTensor::I64(t.argmax_axis(*axis, *keepdim)),
+                DynTensor::I64(t) => DynTensor::I64(t.argmax_axis(*axis, *keepdim)),
+                other => panic!("argmax on {:?}", other.dtype()),
+            },
+            Op::LogSumExp { axis, keepdim } => {
+                DynTensor::F32(inputs[0].as_f32().logsumexp_axis(*axis, *keepdim))
+            }
+            Op::Softmax { axis } => DynTensor::F32(inputs[0].as_f32().softmax_axis(*axis)),
+            Op::Relu => DynTensor::F32(inputs[0].as_f32().relu()),
+            Op::Sigmoid => DynTensor::F32(inputs[0].as_f32().sigmoid()),
+            Op::Tanh => DynTensor::F32(inputs[0].as_f32().tanh_t()),
+            Op::Exp => DynTensor::F32(inputs[0].as_f32().exp_t()),
+            Op::Ln => DynTensor::F32(inputs[0].as_f32().ln_t()),
+            Op::Sqrt => DynTensor::F32(inputs[0].as_f32().sqrt_t()),
+            Op::Abs => DynTensor::F32(inputs[0].as_f32().abs_t()),
+            Op::Neg => DynTensor::F32(inputs[0].as_f32().neg()),
+            Op::IsNan => DynTensor::Bool(inputs[0].as_f32().isnan()),
+            Op::Clamp { lo, hi } => DynTensor::F32(inputs[0].as_f32().clamp(*lo, *hi)),
+            Op::Cast(dt) => inputs[0].cast(*dt),
+            Op::Sqdist => DynTensor::F32(inputs[0].as_f32().sqdist(inputs[1].as_f32())),
+            Op::Fused(k) => k.eval(inputs),
+        }
+    }
+
+    /// Estimates the roofline cost of one execution with the given inputs
+    /// and output.
+    pub fn cost(&self, inputs: &[&DynTensor], output: &DynTensor) -> OpCost {
+        let in_bytes: f64 = inputs.iter().map(|t| t.nbytes() as f64).sum();
+        let out_bytes = output.nbytes() as f64;
+        let out_n = output.numel() as f64;
+        match self {
+            Op::Input(_) | Op::Const(_) => OpCost { metadata_only: true, ..OpCost::default() },
+            Op::Reshape { .. }
+            | Op::Unsqueeze(_)
+            | Op::Squeeze(_)
+            | Op::Transpose(..)
+            | Op::Slice { .. } => OpCost { metadata_only: true, ..OpCost::default() },
+            Op::MatMul => {
+                let a = inputs[0].shape();
+                let b = inputs[1].shape();
+                let m = a[a.len() - 2] as f64;
+                let k = a[a.len() - 1] as f64;
+                let n = b[b.len() - 1] as f64;
+                let batch = out_n / (m * n).max(1.0);
+                OpCost {
+                    flops: 2.0 * m * k * n * batch.max(1.0),
+                    bytes: in_bytes + out_bytes,
+                    metadata_only: false,
+                }
+            }
+            Op::Sqdist => {
+                let n = inputs[0].shape()[0] as f64;
+                let m = inputs[1].shape()[0] as f64;
+                let d = inputs[0].shape()[1] as f64;
+                OpCost {
+                    flops: 2.0 * n * m * d + 3.0 * n * m,
+                    bytes: in_bytes + out_bytes,
+                    metadata_only: false,
+                }
+            }
+            // Transcendentals cost several FLOPs per element.
+            Op::Exp | Op::Ln | Op::Sqrt | Op::Tanh | Op::Sigmoid | Op::PowScalar(_) => OpCost {
+                flops: 10.0 * out_n,
+                bytes: in_bytes + out_bytes,
+                metadata_only: false,
+            },
+            Op::Softmax { .. } | Op::LogSumExp { .. } => OpCost {
+                flops: 12.0 * inputs[0].numel() as f64,
+                bytes: 2.0 * in_bytes + out_bytes,
+                metadata_only: false,
+            },
+            // Random-access gathers are bandwidth-hostile: charge the
+            // output twice to model uncoalesced reads.
+            Op::Gather { .. } | Op::GatherRows | Op::IndexSelect { .. } => OpCost {
+                flops: out_n,
+                bytes: 2.0 * out_bytes + inputs.last().map(|t| t.nbytes() as f64).unwrap_or(0.0),
+                metadata_only: false,
+            },
+            Op::Fused(k) => OpCost {
+                flops: k.program_len() as f64 * out_n,
+                bytes: in_bytes + out_bytes,
+                metadata_only: false,
+            },
+            _ => OpCost { flops: out_n, bytes: in_bytes + out_bytes, metadata_only: false },
+        }
+    }
+
+    /// Stable key used for common-subexpression elimination; `None` for
+    /// ops that must never merge (inputs, constants, fused kernels).
+    pub fn cse_key(&self) -> Option<String> {
+        match self {
+            Op::Input(_) | Op::Const(_) | Op::Fused(_) => None,
+            other => Some(format!("{other:?}")),
+        }
+    }
+}
+
+/// Resolves ONNX-style reshape dims (`0` copies, `-1` infers) against the
+/// input shape.
+pub fn resolve_reshape(input: &[usize], dims: &[i64]) -> Vec<usize> {
+    let total: usize = input.iter().product();
+    let mut out = Vec::with_capacity(dims.len());
+    let mut infer = None;
+    let mut known = 1usize;
+    for (i, &d) in dims.iter().enumerate() {
+        match d {
+            -1 => {
+                assert!(infer.is_none(), "reshape: multiple -1 dims");
+                infer = Some(i);
+                out.push(0);
+            }
+            0 => {
+                let v = input.get(i).copied().unwrap_or_else(|| {
+                    panic!("reshape: dim {i} copies a missing input dim")
+                });
+                known *= v;
+                out.push(v);
+            }
+            d if d > 0 => {
+                known *= d as usize;
+                out.push(d as usize);
+            }
+            _ => panic!("reshape: invalid dim {d}"),
+        }
+    }
+    if let Some(i) = infer {
+        assert!(known > 0 && total % known == 0, "reshape: cannot infer dim");
+        out[i] = total / known;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn f(v: &[f32], s: &[usize]) -> DynTensor {
+        DynTensor::F32(Tensor::from_vec(v.to_vec(), s))
+    }
+
+    #[test]
+    fn eval_add_and_matmul() {
+        let a = f(&[1.0, 2.0, 3.0, 4.0], &[2, 2]);
+        let b = f(&[1.0, 0.0, 0.0, 1.0], &[2, 2]);
+        assert_eq!(Op::Add.eval(&[&a, &b]).as_f32().to_vec(), vec![2.0, 2.0, 3.0, 5.0]);
+        assert_eq!(Op::MatMul.eval(&[&a, &b]).as_f32().to_vec(), vec![1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn eval_i64_arithmetic_for_ptt() {
+        let a = DynTensor::I64(Tensor::from_vec(vec![1i64, 2, 3], &[3]));
+        let doubled = Op::MulScalar(2.0).eval(&[&a]);
+        let bumped = Op::AddScalar(1.0).eval(&[&doubled]);
+        assert_eq!(bumped.as_i64().to_vec(), vec![3, 5, 7]);
+    }
+
+    #[test]
+    fn eval_comparison_and_where() {
+        let a = f(&[1.0, 5.0], &[2]);
+        let b = f(&[3.0, 3.0], &[2]);
+        let m = Op::Lt.eval(&[&a, &b]);
+        assert_eq!(m.as_bool().to_vec(), vec![true, false]);
+        let x = DynTensor::I64(Tensor::from_vec(vec![10i64, 10], &[2]));
+        let y = DynTensor::I64(Tensor::from_vec(vec![20i64, 20], &[2]));
+        assert_eq!(Op::Where.eval(&[&m, &x, &y]).as_i64().to_vec(), vec![10, 20]);
+    }
+
+    #[test]
+    fn resolve_reshape_placeholders() {
+        assert_eq!(resolve_reshape(&[6, 4], &[0, 2, 2]), vec![6, 2, 2]);
+        assert_eq!(resolve_reshape(&[6, 4], &[-1, 8]), vec![3, 8]);
+        assert_eq!(resolve_reshape(&[2, 3], &[6]), vec![6]);
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple -1")]
+    fn resolve_reshape_two_wildcards_panics() {
+        resolve_reshape(&[4], &[-1, -1]);
+    }
+
+    #[test]
+    fn cost_matmul_counts_flops() {
+        let a = f(&[0.0; 6], &[2, 3]);
+        let b = f(&[0.0; 12], &[3, 4]);
+        let out = Op::MatMul.eval(&[&a, &b]);
+        let c = Op::MatMul.cost(&[&a, &b], &out);
+        assert_eq!(c.flops, 2.0 * 2.0 * 3.0 * 4.0);
+        assert!(!c.metadata_only);
+    }
+
+    #[test]
+    fn cost_reshape_is_metadata() {
+        let a = f(&[0.0; 6], &[2, 3]);
+        let out = Op::Reshape { dims: vec![6] }.eval(&[&a]);
+        assert!(Op::Reshape { dims: vec![6] }.cost(&[&a], &out).metadata_only);
+    }
+
+    #[test]
+    fn cse_keys_distinguish_params() {
+        assert_ne!(
+            Op::Sum { axis: 0, keepdim: false }.cse_key(),
+            Op::Sum { axis: 1, keepdim: false }.cse_key()
+        );
+        assert!(Op::Const(f(&[1.0], &[1])).cse_key().is_none());
+    }
+
+    #[test]
+    fn eval_reductions() {
+        let a = f(&[1.0, 2.0, 3.0, 4.0], &[2, 2]);
+        assert_eq!(
+            Op::Sum { axis: 1, keepdim: false }.eval(&[&a]).as_f32().to_vec(),
+            vec![3.0, 7.0]
+        );
+        assert_eq!(
+            Op::ArgMax { axis: 1, keepdim: false }.eval(&[&a]).as_i64().to_vec(),
+            vec![1, 1]
+        );
+        assert_eq!(
+            Op::Mean { axis: 0, keepdim: false }.eval(&[&a]).as_f32().to_vec(),
+            vec![2.0, 3.0]
+        );
+    }
+
+    #[test]
+    fn eval_concat_variadic() {
+        let a = f(&[1.0], &[1, 1]);
+        let b = f(&[2.0], &[1, 1]);
+        let c = f(&[3.0], &[1, 1]);
+        let out = Op::Concat { axis: 1 }.eval(&[&a, &b, &c]);
+        assert_eq!(out.shape(), &[1, 3]);
+        assert_eq!(out.as_f32().to_vec(), vec![1.0, 2.0, 3.0]);
+    }
+}

@@ -1,0 +1,280 @@
+//! Graph-level optimization passes for the Compiled backend: constant
+//! folding, common-subexpression elimination, dead-code elimination, and
+//! the fusion driver.
+//!
+//! These are the "runtime-specific optimizations" the paper delegates to
+//! the DNN runtime (§5, citing TVM); the Hummingbird-specific
+//! runtime-*independent* optimizations (feature-selection push-down and
+//! injection) live in `hb-core`.
+
+use std::collections::HashMap;
+
+use hb_tensor::DynTensor;
+
+use crate::fuse::fuse_elementwise;
+use crate::graph::{Graph, Node, NodeId};
+use crate::op::Op;
+
+/// Counters describing what the optimizer did to a graph.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct OptStats {
+    /// Nodes evaluated at compile time and replaced by constants.
+    pub folded: usize,
+    /// Nodes merged by common-subexpression elimination.
+    pub cse_merged: usize,
+    /// Fused element-wise kernels created.
+    pub fused_kernels: usize,
+    /// Node count before optimization.
+    pub nodes_before: usize,
+    /// Node count after optimization.
+    pub nodes_after: usize,
+}
+
+/// Upper bound on the element count of a folded constant; folding a huge
+/// intermediate would trade compile-time memory for nothing.
+const FOLD_LIMIT: usize = 1 << 22;
+
+/// Evaluates nodes whose inputs are all constants, replacing them with
+/// `Const` nodes. Returns the rewritten graph and the fold count.
+pub fn fold_constants(graph: &Graph) -> (Graph, usize) {
+    let mut out = graph.clone();
+    let mut folded = 0usize;
+    // Cache of constant values per node (only for Const nodes).
+    let mut consts: Vec<Option<DynTensor>> = out
+        .nodes
+        .iter()
+        .map(|n| match &n.op {
+            Op::Const(v) => Some(v.clone()),
+            _ => None,
+        })
+        .collect();
+    for id in 0..out.nodes.len() {
+        let node = &out.nodes[id];
+        if matches!(node.op, Op::Input(_) | Op::Const(_) | Op::Fused(_)) {
+            continue;
+        }
+        if node.inputs.is_empty() || !node.inputs.iter().all(|&i| consts[i].is_some()) {
+            continue;
+        }
+        let ins: Vec<&DynTensor> = node.inputs.iter().map(|&i| consts[i].as_ref().unwrap()).collect();
+        // Size guard: do not materialize giant folded tensors.
+        if ins.iter().map(|t| t.numel()).sum::<usize>() > FOLD_LIMIT {
+            continue;
+        }
+        let v = node.op.eval(&ins);
+        if v.numel() > FOLD_LIMIT {
+            continue;
+        }
+        consts[id] = Some(v.clone());
+        out.nodes[id] = Node { op: Op::Const(v), inputs: vec![] };
+        folded += 1;
+    }
+    (out, folded)
+}
+
+/// Merges structurally identical nodes (same op parameters, same inputs).
+/// Returns the rewritten graph and the merge count.
+pub fn cse(graph: &Graph) -> (Graph, usize) {
+    let mut remap: Vec<NodeId> = (0..graph.nodes.len()).collect();
+    let mut seen: HashMap<(String, Vec<NodeId>), NodeId> = HashMap::new();
+    let mut out = graph.clone();
+    let mut merged = 0usize;
+    for id in 0..out.nodes.len() {
+        // Rewrite inputs through the remap first.
+        let inputs: Vec<NodeId> = out.nodes[id].inputs.iter().map(|&i| remap[i]).collect();
+        out.nodes[id].inputs = inputs.clone();
+        if let Some(key) = out.nodes[id].op.cse_key() {
+            match seen.entry((key, inputs)) {
+                std::collections::hash_map::Entry::Occupied(e) => {
+                    remap[id] = *e.get();
+                    merged += 1;
+                }
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    e.insert(id);
+                }
+            }
+        }
+    }
+    for o in out.outputs.iter_mut() {
+        *o = remap[*o];
+    }
+    (out, merged)
+}
+
+/// Removes nodes unreachable from the outputs, compacting ids.
+pub fn dce(graph: &Graph) -> Graph {
+    let n = graph.nodes.len();
+    let mut live = vec![false; n];
+    let mut stack: Vec<NodeId> = graph.outputs.clone();
+    while let Some(id) = stack.pop() {
+        if live[id] {
+            continue;
+        }
+        live[id] = true;
+        stack.extend_from_slice(&graph.nodes[id].inputs);
+    }
+    let mut remap = vec![usize::MAX; n];
+    let mut nodes = Vec::with_capacity(n);
+    for id in 0..n {
+        if live[id] {
+            let mut node = graph.nodes[id].clone();
+            node.inputs = node.inputs.iter().map(|&i| remap[i]).collect();
+            remap[id] = nodes.len();
+            nodes.push(node);
+        }
+    }
+    Graph {
+        nodes,
+        outputs: graph.outputs.iter().map(|&o| remap[o]).collect(),
+        input_dtypes: graph.input_dtypes.clone(),
+    }
+}
+
+/// Which Compiled-backend passes run; used by the ablation benchmarks to
+/// attribute the backend's gains to individual optimizations.
+#[derive(Debug, Clone, Copy)]
+pub struct PassToggles {
+    /// Constant folding.
+    pub fold: bool,
+    /// Common-subexpression elimination.
+    pub cse: bool,
+    /// Element-wise kernel fusion.
+    pub fuse: bool,
+}
+
+impl Default for PassToggles {
+    fn default() -> Self {
+        PassToggles { fold: true, cse: true, fuse: true }
+    }
+}
+
+/// Full Compiled-backend pipeline: fold → CSE → fuse → DCE.
+pub fn optimize(graph: &Graph) -> (Graph, OptStats) {
+    optimize_with(graph, PassToggles::default())
+}
+
+/// Compiled-backend pipeline with selectable passes (DCE always runs —
+/// it only removes dead nodes and costs nothing at run time).
+pub fn optimize_with(graph: &Graph, toggles: PassToggles) -> (Graph, OptStats) {
+    let nodes_before = graph.nodes.len();
+    let (g, folded) =
+        if toggles.fold { fold_constants(graph) } else { (graph.clone(), 0) };
+    let (g, cse_merged) = if toggles.cse { cse(&g) } else { (g, 0) };
+    let g = dce(&g);
+    let (g, fused_kernels) =
+        if toggles.fuse { fuse_elementwise(&g) } else { (g, 0) };
+    let g = dce(&g);
+    g.validate();
+    let stats = OptStats {
+        folded,
+        cse_merged,
+        fused_kernels,
+        nodes_before,
+        nodes_after: g.nodes.len(),
+    };
+    (g, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::GraphBuilder;
+    use hb_tensor::{DType, Tensor};
+
+    fn run(g: &Graph, inputs: &[DynTensor]) -> Vec<DynTensor> {
+        let mut vals: Vec<Option<DynTensor>> = vec![None; g.nodes.len()];
+        for (id, node) in g.nodes.iter().enumerate() {
+            let v = match &node.op {
+                Op::Input(slot) => inputs[*slot].clone(),
+                op => {
+                    let ins: Vec<&DynTensor> =
+                        node.inputs.iter().map(|&i| vals[i].as_ref().unwrap()).collect();
+                    op.eval(&ins)
+                }
+            };
+            vals[id] = Some(v);
+        }
+        g.outputs.iter().map(|&o| vals[o].clone().unwrap()).collect()
+    }
+
+    #[test]
+    fn fold_evaluates_const_subgraphs() {
+        let mut b = GraphBuilder::new();
+        let c1 = b.constant(Tensor::from_vec(vec![1.0f32, 2.0], &[2]));
+        let c2 = b.constant(Tensor::from_vec(vec![3.0f32, 4.0], &[2]));
+        let s = b.add(c1, c2);
+        let x = b.input(DType::F32);
+        let y = b.add(x, s);
+        b.output(y);
+        let g = b.build();
+        let (folded, n) = fold_constants(&g);
+        assert_eq!(n, 1);
+        assert!(matches!(folded.nodes[s].op, Op::Const(_)));
+        let out = run(&folded, &[DynTensor::F32(Tensor::from_vec(vec![0.0, 0.0], &[2]))]);
+        assert_eq!(out[0].as_f32().to_vec(), vec![4.0, 6.0]);
+    }
+
+    #[test]
+    fn cse_merges_identical_subtrees() {
+        let mut b = GraphBuilder::new();
+        let x = b.input(DType::F32);
+        let a1 = b.add_scalar(x, 1.0);
+        let a2 = b.add_scalar(x, 1.0);
+        let y = b.add(a1, a2);
+        b.output(y);
+        let g = b.build();
+        let (merged, n) = cse(&g);
+        assert_eq!(n, 1);
+        assert_eq!(merged.nodes[y].inputs, vec![a1, a1]);
+    }
+
+    #[test]
+    fn dce_drops_unreachable() {
+        let mut b = GraphBuilder::new();
+        let x = b.input(DType::F32);
+        let _dead = b.add_scalar(x, 99.0);
+        let y = b.mul_scalar(x, 2.0);
+        b.output(y);
+        let g = b.build();
+        let pruned = dce(&g);
+        assert_eq!(pruned.nodes.len(), 2);
+        let out = run(&pruned, &[DynTensor::F32(Tensor::from_vec(vec![3.0], &[1]))]);
+        assert_eq!(out[0].as_f32().to_vec(), vec![6.0]);
+    }
+
+    #[test]
+    fn optimize_preserves_semantics() {
+        let mut b = GraphBuilder::new();
+        let x = b.input(DType::F32);
+        let c1 = b.constant(Tensor::scalar(2.0f32));
+        let c2 = b.constant(Tensor::scalar(3.0f32));
+        let cc = b.add(c1, c2); // foldable
+        let m = b.mul(x, cc);
+        let r = b.push(Op::Relu, vec![m]);
+        let dup = b.mul(x, cc); // CSE with m? inputs differ post-fold; same const -> merged
+        let s = b.add(r, dup);
+        b.output(s);
+        let g = b.build();
+        let (opt, stats) = optimize(&g);
+        assert!(stats.nodes_after <= stats.nodes_before);
+        let input = DynTensor::F32(Tensor::from_vec(vec![-1.0, 2.0], &[2]));
+        let want = run(&g, &[input.clone()]);
+        let got = run(&opt, &[input]);
+        assert_eq!(want[0].as_f32().to_vec(), got[0].as_f32().to_vec());
+    }
+
+    #[test]
+    fn optimize_reduces_kernel_count() {
+        let mut b = GraphBuilder::new();
+        let x = b.input(DType::F32);
+        let t1 = b.add_scalar(x, 1.0);
+        let t2 = b.mul_scalar(t1, 2.0);
+        let t3 = b.push(Op::Relu, vec![t2]);
+        let t4 = b.push(Op::Sigmoid, vec![t3]);
+        b.output(t4);
+        let g = b.build();
+        let (opt, stats) = optimize(&g);
+        assert_eq!(stats.fused_kernels, 1);
+        assert!(opt.kernel_count() < g.kernel_count());
+    }
+}

@@ -1,0 +1,151 @@
+//! Property-based tests of the graph runtime: random element-wise graphs
+//! must produce identical outputs across the Eager, Script, and Compiled
+//! backends (the optimization pipeline may rewrite structure, never
+//! semantics), and the simulated-device model must behave monotonically.
+
+use proptest::prelude::*;
+
+use hb_backend::device::{K80, P100, V100};
+use hb_backend::{Backend, Device, Executable, GraphBuilder, Op};
+use hb_tensor::{DType, DynTensor, Tensor};
+
+/// One random element-wise op layered onto the graph.
+#[derive(Debug, Clone)]
+enum Step {
+    AddConst(f32),
+    MulConst(f32),
+    Relu,
+    Sigmoid,
+    Abs,
+    AddPrev,
+    LtThenSelect(f32),
+}
+
+fn step_strategy() -> impl Strategy<Value = Step> {
+    prop_oneof![
+        (-2.0f32..2.0).prop_map(Step::AddConst),
+        (-2.0f32..2.0).prop_map(Step::MulConst),
+        Just(Step::Relu),
+        Just(Step::Sigmoid),
+        Just(Step::Abs),
+        Just(Step::AddPrev),
+        (-1.0f32..1.0).prop_map(Step::LtThenSelect),
+    ]
+}
+
+/// Builds a random chain graph; `AddPrev` creates fan-out (multi-consumer
+/// nodes) and `LtThenSelect` creates bool dataflow + `where`.
+fn build(steps: &[Step]) -> hb_backend::Graph {
+    let mut b = GraphBuilder::new();
+    let x = b.input(DType::F32);
+    let mut prev = x;
+    let mut cur = x;
+    for s in steps {
+        let next = match s {
+            Step::AddConst(c) => b.add_scalar(cur, *c as f64),
+            Step::MulConst(c) => b.mul_scalar(cur, *c as f64),
+            Step::Relu => b.push(Op::Relu, vec![cur]),
+            Step::Sigmoid => b.push(Op::Sigmoid, vec![cur]),
+            Step::Abs => b.push(Op::Abs, vec![cur]),
+            Step::AddPrev => b.add(cur, prev),
+            Step::LtThenSelect(t) => {
+                let thr = b.constant(Tensor::scalar(*t));
+                let m = b.lt(cur, thr);
+                b.where_(m, prev, cur)
+            }
+        };
+        prev = cur;
+        cur = next;
+    }
+    b.output(cur);
+    b.build()
+}
+
+fn input_of(n: usize, seed: u64) -> DynTensor {
+    let mut state = seed | 1;
+    DynTensor::F32(Tensor::from_fn(&[n, 3], |_| {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        ((state >> 40) as f32 / (1u64 << 24) as f32) * 4.0 - 2.0
+    }))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn backends_agree_on_random_graphs(
+        steps in prop::collection::vec(step_strategy(), 1..12),
+        n in 1usize..40,
+        seed in any::<u64>(),
+    ) {
+        let x = input_of(n, seed);
+        let mut outputs = Vec::new();
+        for backend in Backend::ALL {
+            let exe = Executable::new(build(&steps), backend, Device::cpu());
+            let out = exe.run(std::slice::from_ref(&x)).unwrap();
+            outputs.push(out[0].as_f32().to_vec());
+        }
+        for w in outputs.windows(2) {
+            for (a, b) in w[0].iter().zip(w[1].iter()) {
+                prop_assert!(
+                    (a - b).abs() <= 1e-5 * (1.0 + a.abs()),
+                    "backend outputs diverge: {a} vs {b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn optimization_never_increases_kernels(
+        steps in prop::collection::vec(step_strategy(), 1..12),
+    ) {
+        let g = build(&steps);
+        let eager = Executable::new(g.clone(), Backend::Eager, Device::cpu());
+        let compiled = Executable::new(g, Backend::Compiled, Device::cpu());
+        prop_assert!(compiled.graph().kernel_count() <= eager.graph().kernel_count());
+    }
+
+    #[test]
+    fn simulated_devices_order_by_generation(
+        steps in prop::collection::vec(step_strategy(), 1..8),
+        seed in any::<u64>(),
+    ) {
+        let x = input_of(4096, seed);
+        let mut times = Vec::new();
+        for dev in [K80, P100, V100] {
+            let exe = Executable::new(build(&steps), Backend::Script, Device::Sim(dev));
+            let (_, stats) = exe.run_with_stats(std::slice::from_ref(&x)).unwrap();
+            times.push(stats.simulated.unwrap());
+        }
+        prop_assert!(times[0] >= times[1], "K80 faster than P100");
+        prop_assert!(times[1] >= times[2], "P100 faster than V100");
+    }
+
+    #[test]
+    fn simulated_latency_monotone_in_batch(
+        steps in prop::collection::vec(step_strategy(), 1..8),
+        seed in any::<u64>(),
+    ) {
+        let small = input_of(64, seed);
+        let big = input_of(64 * 64, seed);
+        let exe = Executable::new(build(&steps), Backend::Compiled, Device::Sim(P100));
+        let (_, s1) = exe.run_with_stats(std::slice::from_ref(&small)).unwrap();
+        let (_, s2) = exe.run_with_stats(std::slice::from_ref(&big)).unwrap();
+        prop_assert!(s2.simulated.unwrap() >= s1.simulated.unwrap());
+    }
+
+    #[test]
+    fn device_results_identical_to_cpu(
+        steps in prop::collection::vec(step_strategy(), 1..10),
+        seed in any::<u64>(),
+    ) {
+        let x = input_of(32, seed);
+        let cpu = Executable::new(build(&steps), Backend::Compiled, Device::cpu());
+        let gpu = Executable::new(build(&steps), Backend::Compiled, Device::Sim(V100));
+        let a = cpu.run(std::slice::from_ref(&x)).unwrap();
+        let b = gpu.run(std::slice::from_ref(&x)).unwrap();
+        prop_assert_eq!(a[0].as_f32().to_vec(), b[0].as_f32().to_vec());
+    }
+}

@@ -1,0 +1,45 @@
+//! Criterion micro-benchmarks for single operators (paper Tables 11–12):
+//! imperative scikit-learn-style scoring vs the compiled tensor path.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use hb_core::{compile, CompileOptions};
+use hb_data::iris_like;
+use hb_ml::linear::LinearConfig;
+use hb_pipeline::{fit_pipeline, OpSpec};
+
+fn bench_operators(c: &mut Criterion) {
+    let ds = iris_like(6_000, 11);
+    let specs: Vec<(&str, OpSpec)> = vec![
+        (
+            "LogisticRegression",
+            OpSpec::LogisticRegression(LinearConfig { epochs: 30, ..Default::default() }),
+        ),
+        ("BernoulliNB", OpSpec::BernoulliNb { alpha: 1.0, binarize: 0.0 }),
+        ("Binarizer", OpSpec::Binarizer { threshold: 0.0 }),
+        ("MinMaxScaler", OpSpec::MinMaxScaler),
+        ("Normalizer", OpSpec::Normalizer { norm: hb_ml::featurize::Norm::L2 }),
+        (
+            "PolynomialFeatures",
+            OpSpec::PolynomialFeatures { include_bias: true, interaction_only: false },
+        ),
+        ("StandardScaler", OpSpec::StandardScaler),
+        ("DecisionTreeClassifier", OpSpec::DecisionTreeClassifier { max_depth: 8 }),
+    ];
+    let mut group = c.benchmark_group("table11_operators");
+    group.sample_size(10);
+    for (name, spec) in specs {
+        let pipe = fit_pipeline(std::slice::from_ref(&spec), &ds.x_train, &ds.y_train);
+        group.bench_with_input(BenchmarkId::new("sklearn", name), &pipe, |b, p| {
+            b.iter(|| p.predict_proba(&ds.x_test))
+        });
+        let model = compile(&pipe, &CompileOptions::default()).unwrap();
+        group.bench_with_input(BenchmarkId::new("hb-compiled", name), &model, |b, m| {
+            b.iter(|| m.predict_proba(&ds.x_test).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_operators);
+criterion_main!(benches);

@@ -1,0 +1,74 @@
+//! Criterion benchmarks for the runtime-independent optimizations (paper
+//! Figures 9–10): feature-selection push-down and injection on a
+//! Nomao-like categorical pipeline.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use hb_core::{compile, CompileOptions};
+use hb_data::nomao_categorical;
+use hb_ml::featurize::ImputeStrategy;
+use hb_ml::linear::{LinearConfig, Penalty};
+use hb_pipeline::{fit_pipeline, OpSpec};
+
+fn bench_pushdown(c: &mut Criterion) {
+    let ds = nomao_categorical(3_000, 21);
+    let mut group = c.benchmark_group("fig9_pushdown");
+    group.sample_size(10);
+    for pct in [10usize, 50, 100] {
+        let specs = vec![
+            OpSpec::SimpleImputer { strategy: ImputeStrategy::Mean },
+            OpSpec::OneHotEncoder,
+            OpSpec::StandardScaler,
+            OpSpec::SelectPercentile { percentile: pct },
+            OpSpec::LogisticRegression(LinearConfig { epochs: 20, ..Default::default() }),
+        ];
+        let pipe = fit_pipeline(&specs, &ds.x_train, &ds.y_train);
+        for (label, optimize) in [("plain", false), ("pushdown", true)] {
+            let model = compile(
+                &pipe,
+                &CompileOptions { optimize_pipeline: optimize, ..Default::default() },
+            )
+            .unwrap();
+            group.bench_with_input(
+                BenchmarkId::new(label, format!("pct{pct}")),
+                &model,
+                |b, m| b.iter(|| m.predict_proba(&ds.x_test).unwrap()),
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_injection(c: &mut Criterion) {
+    let ds = nomao_categorical(3_000, 22);
+    let mut group = c.benchmark_group("fig10_injection");
+    group.sample_size(10);
+    for alpha in [0.03f32, 0.005] {
+        let specs = vec![
+            OpSpec::SimpleImputer { strategy: ImputeStrategy::Mean },
+            OpSpec::StandardScaler,
+            OpSpec::LogisticRegression(LinearConfig {
+                penalty: Penalty::L1(alpha),
+                epochs: 60,
+                ..Default::default()
+            }),
+        ];
+        let pipe = fit_pipeline(&specs, &ds.x_train, &ds.y_train);
+        for (label, optimize) in [("plain", false), ("injected", true)] {
+            let model = compile(
+                &pipe,
+                &CompileOptions { optimize_pipeline: optimize, ..Default::default() },
+            )
+            .unwrap();
+            group.bench_with_input(
+                BenchmarkId::new(label, format!("l1_{alpha}")),
+                &model,
+                |b, m| b.iter(|| m.predict_proba(&ds.x_test).unwrap()),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pushdown, bench_injection);
+criterion_main!(benches);

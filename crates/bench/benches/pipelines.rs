@@ -1,0 +1,30 @@
+//! Criterion benchmarks for end-to-end pipelines (paper Figure 12
+//! sample): scikit-learn-style imperative scoring vs the compiled tensor
+//! path on representative OpenML-CC18-like tasks.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use hb_core::{compile, CompileOptions};
+use hb_data::openml_cc18_like;
+use hb_pipeline::fit_pipeline;
+
+fn bench_pipelines(c: &mut Criterion) {
+    let tasks = openml_cc18_like(4, 2_000, 64, 33);
+    let mut group = c.benchmark_group("fig12_pipelines");
+    group.sample_size(10);
+    for (i, task) in tasks.iter().enumerate() {
+        let ds = &task.dataset;
+        let pipe = fit_pipeline(&task.specs, &ds.x_train, &ds.y_train);
+        group.bench_with_input(BenchmarkId::new("sklearn", i), &pipe, |b, p| {
+            b.iter(|| p.predict_proba(&ds.x_test))
+        });
+        let model = compile(&pipe, &CompileOptions::default()).unwrap();
+        group.bench_with_input(BenchmarkId::new("hb-compiled", i), &model, |b, m| {
+            b.iter(|| m.predict_proba(&ds.x_test).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pipelines);
+criterion_main!(benches);

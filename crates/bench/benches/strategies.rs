@@ -1,0 +1,43 @@
+//! Criterion benchmarks for the tree-compilation strategies (paper
+//! Figure 8): GEMM vs TreeTraversal vs PerfectTreeTraversal across tree
+//! depth and batch size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use hb_backend::{Backend, Device};
+use hb_bench::measure::{hb_scorer, train_algo, Algo};
+use hb_core::TreeStrategy;
+use hb_data::strategy_dataset;
+
+fn bench_strategies(c: &mut Criterion) {
+    let ds = strategy_dataset(5);
+    let mut group = c.benchmark_group("fig8_strategies");
+    group.sample_size(10);
+    for depth in [3usize, 7, 12] {
+        let e = train_algo(&ds, Algo::RandomForest, 20, depth);
+        for batch in [1usize, 1000] {
+            let x = ds.x_test.slice(0, 0, batch.min(ds.n_test())).to_contiguous();
+            for strat in [
+                TreeStrategy::Gemm,
+                TreeStrategy::TreeTraversal,
+                TreeStrategy::PerfectTreeTraversal,
+            ] {
+                if strat == TreeStrategy::PerfectTreeTraversal
+                    && e.max_depth() > hb_core::strategies::traversal::PTT_MAX_DEPTH
+                {
+                    continue;
+                }
+                let s = hb_scorer(&e, Backend::Compiled, Device::cpu1(), strat, batch);
+                group.bench_with_input(
+                    BenchmarkId::new(format!("d{depth}_b{batch}"), strat.label()),
+                    &s,
+                    |b, s| b.iter(|| s.score(&x)),
+                );
+            }
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_strategies);
+criterion_main!(benches);

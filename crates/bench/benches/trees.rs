@@ -1,0 +1,70 @@
+//! Criterion micro-benchmarks for tree-ensemble scoring (paper Tables
+//! 7–8): baselines vs the compiled tensor backends at batch and
+//! single-record granularity.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use hb_backend::{Backend, Device};
+use hb_bench::measure::{hb_scorer, onnx_scorer, sklearn_scorer, train_algo, Algo};
+use hb_core::TreeStrategy;
+use hb_data::{tree_bench_dataset, TREE_BENCH_SPECS};
+
+fn bench_batch(c: &mut Criterion) {
+    let ds = tree_bench_dataset(&TREE_BENCH_SPECS[0], 4_000, 7); // fraud-like
+    let mut group = c.benchmark_group("table7_batch_fraud");
+    group.sample_size(10);
+    for algo in Algo::ALL {
+        let e = train_algo(&ds, algo, 10, 6);
+        let batch = ds.n_test();
+        let scorers = vec![
+            sklearn_scorer(&e),
+            onnx_scorer(&e),
+            hb_scorer(&e, Backend::Script, Device::cpu(), TreeStrategy::Auto, batch),
+            hb_scorer(&e, Backend::Compiled, Device::cpu(), TreeStrategy::Auto, batch),
+        ];
+        for s in scorers {
+            group.bench_with_input(
+                BenchmarkId::new(s.name.clone(), algo.label()),
+                &s,
+                |b, s| b.iter(|| s.score(&ds.x_test)),
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_request_response(c: &mut Criterion) {
+    let ds = tree_bench_dataset(&TREE_BENCH_SPECS[0], 2_000, 7);
+    let e = train_algo(&ds, Algo::XgBoost, 10, 6);
+    let one = ds.x_test.slice(0, 0, 1).to_contiguous();
+    let mut group = c.benchmark_group("table8_request_response");
+    group.sample_size(20);
+    let scorers = vec![
+        sklearn_scorer(&e),
+        onnx_scorer(&e),
+        hb_scorer(&e, Backend::Compiled, Device::cpu1(), TreeStrategy::Auto, 1),
+    ];
+    for s in scorers {
+        group.bench_function(s.name.clone(), |b| b.iter(|| s.score(&one)));
+    }
+    group.finish();
+}
+
+fn bench_conversion(c: &mut Criterion) {
+    // Table 10: conversion time per backend.
+    let ds = tree_bench_dataset(&TREE_BENCH_SPECS[0], 2_000, 7);
+    let e = train_algo(&ds, Algo::RandomForest, 20, 6);
+    let mut group = c.benchmark_group("table10_conversion");
+    group.sample_size(20);
+    for backend in [Backend::Eager, Backend::Script, Backend::Compiled] {
+        group.bench_function(format!("{backend:?}"), |b| {
+            b.iter(|| {
+                hb_bench::measure::hb_model(&e, backend, Device::cpu(), 10_000)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_batch, bench_request_response, bench_conversion);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Diagnostic per-op profiler for a compiled model (developer tool).
+//!
+//! ```text
+//! cargo run --release -p hb-bench --bin profile
+//! ```
+
+use hb_backend::{Backend, Device, Executable};
+use hb_backend::optimize::PassToggles;
+use hb_core::{compile, CompileOptions, TreeStrategy};
+use hb_pipeline::{fit_pipeline, OpSpec};
+
+fn main() {
+    let ds = hb_data::iris_like(40_000, 42);
+    let specs = vec![
+        OpSpec::StandardScaler,
+        OpSpec::MinMaxScaler,
+        OpSpec::GbdtClassifier(hb_ml::gbdt::GbdtConfig {
+            n_rounds: 20,
+            max_depth: 3,
+            ..Default::default()
+        }),
+    ];
+    let pipe = fit_pipeline(&specs, &ds.x_train, &ds.y_train);
+    let raw = compile(
+        &pipe,
+        &CompileOptions {
+            backend: Backend::Eager,
+            tree_strategy: TreeStrategy::Gemm,
+            optimize_pipeline: false,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    let graph = raw.executable().graph().clone();
+    let x = hb_tensor::DynTensor::F32(ds.x_test.clone());
+    for (label, toggles) in [
+        ("none", PassToggles { fold: false, cse: false, fuse: false }),
+        ("all", PassToggles::default()),
+    ] {
+        let exe = Executable::with_toggles(graph.clone(), toggles, Device::cpu());
+        exe.run(std::slice::from_ref(&x)).unwrap(); // warm-up
+        println!("--- {label} ---");
+        for (op, d) in exe.profile(std::slice::from_ref(&x)) {
+            if d.as_micros() > 200 {
+                println!("{:>10.2?}  {op}", d);
+            }
+        }
+    }
+}

@@ -1,0 +1,5 @@
+//! Shared helpers for the bench harness (see `src/bin/tables.rs` and the
+//! Criterion benches). The substantive code lives in the binary and bench
+//! targets; this library hosts reusable measurement utilities.
+
+pub mod measure;

@@ -1,0 +1,292 @@
+//! Measurement utilities shared by the `tables` harness and the
+//! Criterion benches: the paper's timing protocol (5 runs, truncated
+//! mean, §6 "Experimental Setup"), model training helpers, and scorer
+//! adapters that return *device seconds* (measured wall time on CPU,
+//! modeled latency on simulated GPUs).
+
+use std::time::Instant;
+
+use hb_backend::{Backend, Device};
+use hb_core::fil::FilForest;
+use hb_core::{compile, CompileOptions, CompiledModel, TreeStrategy};
+use hb_data::Dataset;
+use hb_ml::baselines::{OnnxLikeForest, SklearnLikeForest};
+use hb_ml::ensemble::TreeEnsemble;
+use hb_ml::forest::{ForestConfig, RandomForestClassifier, RandomForestRegressor};
+use hb_ml::gbdt::{GbdtConfig, GradientBoostingClassifier, GradientBoostingRegressor};
+use hb_ml::Task;
+use hb_pipeline::Pipeline;
+use hb_tensor::Tensor;
+
+/// Runs `f` `reps` times and returns the truncated mean of the measured
+/// seconds (drop min and max, average the rest — the paper's protocol).
+pub fn truncated_mean_secs(reps: usize, mut f: impl FnMut() -> f64) -> f64 {
+    let mut times: Vec<f64> = (0..reps.max(1)).map(|_| f()).collect();
+    times.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    if times.len() > 2 {
+        times = times[1..times.len() - 1].to_vec();
+    }
+    times.iter().sum::<f64>() / times.len() as f64
+}
+
+/// Times one invocation of `f` in seconds.
+pub fn wall<R>(f: impl FnOnce() -> R) -> (R, f64) {
+    let t = Instant::now();
+    let r = f();
+    (r, t.elapsed().as_secs_f64())
+}
+
+/// Human-readable seconds (matches the paper's mixed s/ms formatting).
+pub fn fmt_secs(s: f64) -> String {
+    if s >= 100.0 {
+        format!("{s:.0}")
+    } else if s >= 1.0 {
+        format!("{s:.2}")
+    } else if s >= 1e-3 {
+        format!("{:.2}ms", s * 1e3)
+    } else {
+        format!("{:.1}us", s * 1e6)
+    }
+}
+
+/// The three training algorithms of §6.1.1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Algo {
+    /// scikit-learn-style random forest.
+    RandomForest,
+    /// LightGBM-like leaf-wise boosting.
+    LightGbm,
+    /// XGBoost-like depth-wise boosting.
+    XgBoost,
+}
+
+impl Algo {
+    /// All three, in paper row order.
+    pub const ALL: [Algo; 3] = [Algo::RandomForest, Algo::LightGbm, Algo::XgBoost];
+
+    /// Row label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Algo::RandomForest => "RandomForest",
+            Algo::LightGbm => "LightGBM-like",
+            Algo::XgBoost => "XGBoost-like",
+        }
+    }
+}
+
+/// Trains one of the three §6.1.1 model types on a dataset.
+///
+/// `n_trees` plays the paper's "500 trees" role (scaled down by the
+/// harness) and `max_depth` its "max depth 8".
+pub fn train_algo(ds: &Dataset, algo: Algo, n_trees: usize, max_depth: usize) -> TreeEnsemble {
+    match (algo, ds.task) {
+        (Algo::RandomForest, Task::Regression) => RandomForestRegressor::new(ForestConfig {
+            n_trees,
+            max_depth,
+            ..Default::default()
+        })
+        .fit(&ds.x_train, ds.y_train.values())
+        .ensemble,
+        (Algo::RandomForest, _) => RandomForestClassifier::new(ForestConfig {
+            n_trees,
+            max_depth,
+            ..Default::default()
+        })
+        .fit(&ds.x_train, ds.y_train.classes())
+        .ensemble,
+        (Algo::LightGbm, Task::Regression) => GradientBoostingRegressor::new(GbdtConfig {
+            n_rounds: n_trees,
+            max_depth: max_depth + 4,
+            ..GbdtConfig::lightgbm_like()
+        })
+        .fit(&ds.x_train, ds.y_train.values())
+        .ensemble,
+        (Algo::LightGbm, _) => GradientBoostingClassifier::new(GbdtConfig {
+            n_rounds: n_trees,
+            max_depth: max_depth + 4,
+            ..GbdtConfig::lightgbm_like()
+        })
+        .fit(&ds.x_train, ds.y_train.classes())
+        .ensemble,
+        (Algo::XgBoost, Task::Regression) => GradientBoostingRegressor::new(GbdtConfig {
+            n_rounds: n_trees,
+            max_depth,
+            ..GbdtConfig::xgboost_like()
+        })
+        .fit(&ds.x_train, ds.y_train.values())
+        .ensemble,
+        (Algo::XgBoost, _) => GradientBoostingClassifier::new(GbdtConfig {
+            n_rounds: n_trees,
+            max_depth,
+            ..GbdtConfig::xgboost_like()
+        })
+        .fit(&ds.x_train, ds.y_train.classes())
+        .ensemble,
+    }
+}
+
+/// A named scoring system returning `(output, device_seconds)` per batch.
+pub struct Scorer {
+    /// Column label.
+    pub name: String,
+    score: Box<dyn Fn(&Tensor<f32>) -> (Tensor<f32>, f64) + Sync>,
+}
+
+impl Scorer {
+    /// Scores one batch.
+    pub fn score(&self, x: &Tensor<f32>) -> (Tensor<f32>, f64) {
+        (self.score)(x)
+    }
+
+    /// Total device seconds to score `x` in `batch`-sized chunks.
+    pub fn score_in_batches(&self, x: &Tensor<f32>, batch: usize) -> f64 {
+        let n = x.shape()[0];
+        let mut total = 0.0;
+        let mut i = 0;
+        while i < n {
+            let end = (i + batch).min(n);
+            let chunk = x.slice(0, i, end).to_contiguous();
+            total += self.score(&chunk).1;
+            i = end;
+        }
+        total
+    }
+}
+
+/// scikit-learn baseline scorer (row-parallel recursive traversal).
+pub fn sklearn_scorer(e: &TreeEnsemble) -> Scorer {
+    let f = SklearnLikeForest::new(e).with_dispatch_overhead();
+    Scorer { name: "Sklearn".into(), score: Box::new(move |x| wall(|| f.predict_batch(x))) }
+}
+
+/// scikit-learn baseline restricted to one core (request/response runs).
+pub fn sklearn_scorer_1core(e: &TreeEnsemble) -> Scorer {
+    let f = SklearnLikeForest::new(e).with_dispatch_overhead();
+    let pool = rayon::ThreadPoolBuilder::new().num_threads(1).build().unwrap();
+    Scorer {
+        name: "Sklearn".into(),
+        score: Box::new(move |x| pool.install(|| wall(|| f.predict_batch(x)))),
+    }
+}
+
+/// ONNX-ML baseline scorer (single-core flat iterative traversal).
+pub fn onnx_scorer(e: &TreeEnsemble) -> Scorer {
+    let f = OnnxLikeForest::new(e).with_dispatch_overhead();
+    Scorer { name: "ONNX-ML".into(), score: Box::new(move |x| wall(|| f.predict_batch(x))) }
+}
+
+/// Hummingbird scorer for a backend/device/strategy combination.
+///
+/// On CPU the reported seconds are measured wall time; on simulated
+/// devices they are the modeled device latency.
+pub fn hb_scorer(
+    e: &TreeEnsemble,
+    backend: Backend,
+    device: Device,
+    strategy: TreeStrategy,
+    expected_batch: usize,
+) -> Scorer {
+    let pipe = Pipeline::from_op(e.clone());
+    let opts = CompileOptions {
+        backend,
+        device,
+        tree_strategy: strategy,
+        expected_batch,
+        // Benchmarks measure the raw model; the pipeline rewrites are
+        // benchmarked separately (Figures 9-10).
+        optimize_pipeline: false,
+        ..Default::default()
+    };
+    let model = compile(&pipe, &opts).expect("tree ensembles always compile");
+    let sim = device.is_simulated();
+    let name = match device {
+        Device::Cpu { .. } => backend.label().to_string(),
+        Device::Sim(s) => format!("{}@{}", backend.label(), s.name),
+    };
+    Scorer {
+        name,
+        score: Box::new(move |x| {
+            let t = Instant::now();
+            let (out, stats) = model.predict_with_stats(x).expect("scoring failed");
+            let secs = if sim {
+                stats.simulated.expect("sim device reports latency").as_secs_f64()
+            } else {
+                t.elapsed().as_secs_f64()
+            };
+            (out, secs)
+        }),
+    }
+}
+
+/// Compiles a Hummingbird model for non-scoring measurements
+/// (conversion time, memory).
+pub fn hb_model(
+    e: &TreeEnsemble,
+    backend: Backend,
+    device: Device,
+    expected_batch: usize,
+) -> CompiledModel {
+    let pipe = Pipeline::from_op(e.clone());
+    let opts = CompileOptions {
+        backend,
+        device,
+        expected_batch,
+        optimize_pipeline: false,
+        ..Default::default()
+    };
+    compile(&pipe, &opts).expect("tree ensembles always compile")
+}
+
+/// FIL-like scorer (simulated GPU only).
+pub fn fil_scorer(e: &TreeEnsemble, spec: hb_backend::DeviceSpec) -> Scorer {
+    let fil = FilForest::new(e);
+    Scorer {
+        name: format!("FIL@{}", spec.name),
+        score: Box::new(move |x| {
+            let (out, stats) = fil.predict_simulated(x, &spec);
+            let secs = stats.simulated.unwrap().as_secs_f64();
+            (out, secs)
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn truncated_mean_drops_extremes() {
+        let mut vals = [10.0, 1.0, 2.0, 3.0, 100.0].into_iter();
+        let m = truncated_mean_secs(5, move || vals.next().unwrap());
+        assert!((m - 5.0).abs() < 1e-9, "{m}");
+    }
+
+    #[test]
+    fn fmt_secs_ranges() {
+        assert_eq!(fmt_secs(123.4), "123");
+        assert_eq!(fmt_secs(1.5), "1.50");
+        assert_eq!(fmt_secs(0.0025), "2.50ms");
+        assert_eq!(fmt_secs(2.5e-5), "25.0us");
+    }
+
+    #[test]
+    fn scorers_agree_on_small_forest() {
+        let ds = hb_data::synthetic_classification(300, 6, 2, 3);
+        let e = train_algo(&ds, Algo::RandomForest, 5, 4);
+        let (a, _) = sklearn_scorer(&e).score(&ds.x_test);
+        let (b, _) = onnx_scorer(&e).score(&ds.x_test);
+        let (c, _) = hb_scorer(&e, Backend::Compiled, Device::cpu(), TreeStrategy::Auto, 100)
+            .score(&ds.x_test);
+        assert_eq!(a.to_vec(), b.to_vec());
+        assert!(hb_ml::metrics::allclose(&c, &a, 1e-4, 1e-4));
+    }
+
+    #[test]
+    fn batched_scoring_covers_all_rows() {
+        let ds = hb_data::synthetic_classification(100, 4, 2, 1);
+        let e = train_algo(&ds, Algo::XgBoost, 3, 3);
+        let s = sklearn_scorer(&e);
+        let t = s.score_in_batches(&ds.x_test, 7);
+        assert!(t > 0.0);
+    }
+}

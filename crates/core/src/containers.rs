@@ -1,0 +1,341 @@
+//! Pipeline parsing: operator containers and extractor functions.
+//!
+//! Mirrors the paper's §3.2 Pipeline Parser: each fitted operator is
+//! wrapped in an [`OperatorContainer`] carrying its signature, and a
+//! per-signature *extractor function* pulls the trained parameters into a
+//! normalized [`Params`] value that the Tensor DAG Compiler consumes.
+//! Normalization buys reuse: all four scalers extract to the same
+//! [`AffineParams`], so one conversion function serves them all.
+
+use hb_ml::ensemble::TreeEnsemble;
+use hb_ml::featurize::{BinEncode, Norm};
+use hb_ml::linear::LinearLink;
+use hb_ml::svm::Kernel;
+use hb_pipeline::FittedOp;
+use hb_tensor::Tensor;
+
+use crate::TreeStrategy;
+
+/// Parameters of an affine per-column transform `y = (x − offset) · scale`.
+#[derive(Debug, Clone)]
+pub struct AffineParams {
+    /// Per-column subtrahend.
+    pub offset: Vec<f32>,
+    /// Per-column multiplier.
+    pub scale: Vec<f32>,
+}
+
+/// Normalized fitted parameters of every supported operator.
+#[derive(Debug, Clone)]
+pub enum Params {
+    /// Column-wise affine transform (all scalers).
+    Affine(AffineParams),
+    /// Threshold indicator.
+    Binarize {
+        /// Threshold.
+        threshold: f32,
+    },
+    /// Row normalization.
+    Normalize {
+        /// Norm kind.
+        norm: Norm,
+    },
+    /// NaN replacement.
+    Impute {
+        /// Per-column fill values.
+        statistics: Vec<f32>,
+    },
+    /// NaN indicator features.
+    MissingInd,
+    /// Quantile discretization.
+    KBins {
+        /// Interior bin edges per column.
+        edges: Vec<Vec<f32>>,
+        /// Output encoding.
+        encode: BinEncode,
+    },
+    /// Degree-2 polynomial expansion.
+    Poly {
+        /// Emit the bias column.
+        include_bias: bool,
+        /// Keep only cross terms.
+        interaction_only: bool,
+    },
+    /// One-hot encoding over numeric categories.
+    OneHot {
+        /// Sorted category values per column.
+        categories: Vec<Vec<f32>>,
+    },
+    /// Column selection.
+    Select {
+        /// Kept columns, ascending.
+        indices: Vec<usize>,
+    },
+    /// RBF kernel PCA projection.
+    KernelProject {
+        /// Training sample `[m, d]`.
+        x_fit: Tensor<f32>,
+        /// Scaled eigenvectors `[m, k]`.
+        alphas: Tensor<f32>,
+        /// Training-kernel column means `[m]`.
+        k_fit_rows: Vec<f32>,
+        /// Training-kernel grand mean.
+        k_fit_all: f32,
+        /// RBF bandwidth.
+        gamma: f32,
+    },
+    /// Linear projection (PCA / TruncatedSVD).
+    Project {
+        /// Optional centering means.
+        mean: Option<Vec<f32>>,
+        /// Components `[k, d]`.
+        components: Tensor<f32>,
+    },
+    /// Linear model (logistic / SGD / linear SVM).
+    Linear {
+        /// Weights `[k, d]`.
+        weights: Tensor<f32>,
+        /// Bias `[k]`.
+        bias: Vec<f32>,
+        /// Output link.
+        link: LinearLink,
+    },
+    /// Kernel SVM.
+    Svm {
+        /// Support vectors `[m, d]`.
+        sv: Tensor<f32>,
+        /// Dual coefficients `[m]`.
+        dual: Vec<f32>,
+        /// Intercept.
+        intercept: f32,
+        /// Kernel.
+        kernel: Kernel,
+    },
+    /// Gaussian NB in two-GEMM form:
+    /// `ll = x²·Aᵀ + x·Bᵀ + bias` (paper §4.2 "avoid large
+    /// intermediates").
+    GaussNb {
+        /// Quadratic coefficients `[C, d]` (`−1/(2σ²)`).
+        a: Tensor<f32>,
+        /// Linear coefficients `[C, d]` (`μ/σ²`).
+        b: Tensor<f32>,
+        /// Per-class constants.
+        bias: Vec<f32>,
+    },
+    /// Bernoulli NB in GEMM form.
+    BernNb {
+        /// `log p − log(1−p)` `[C, d]`.
+        delta: Tensor<f32>,
+        /// `Σ log(1−p) + prior` `[C]`.
+        bias: Vec<f32>,
+        /// Input binarization threshold.
+        binarize: f32,
+    },
+    /// Multinomial NB in GEMM form.
+    MultiNb {
+        /// `log p(f|c)` `[C, d]`.
+        w: Tensor<f32>,
+        /// Log priors `[C]`.
+        bias: Vec<f32>,
+    },
+    /// One-hidden-layer MLP.
+    Mlp {
+        /// Input→hidden weights `[h, d]`.
+        w1: Tensor<f32>,
+        /// Hidden bias `[h]`.
+        b1: Vec<f32>,
+        /// Hidden→output weights `[C, h]`.
+        w2: Tensor<f32>,
+        /// Output bias `[C]`.
+        b2: Vec<f32>,
+    },
+    /// Tree ensemble (decision tree / forest / boosting).
+    Trees(TreeEnsemble),
+}
+
+/// A parsed pipeline operator: signature, extracted parameters, and the
+/// tree strategy the optimizer annotated (trees only).
+#[derive(Debug, Clone)]
+pub struct OperatorContainer {
+    /// Operator signature.
+    pub signature: &'static str,
+    /// Extracted parameters.
+    pub params: Params,
+    /// Chosen tree-compilation strategy (annotated by the optimizer).
+    pub strategy: Option<TreeStrategy>,
+}
+
+/// Extractor function: pulls normalized parameters out of a fitted
+/// operator (paper §3.2).
+pub fn extract(op: &FittedOp) -> Params {
+    match op {
+        FittedOp::StandardScaler(s) => Params::Affine(AffineParams {
+            offset: s.mean.clone(),
+            scale: s.scale.iter().map(|v| 1.0 / v).collect(),
+        }),
+        FittedOp::MinMaxScaler(s) => Params::Affine(AffineParams {
+            offset: s.data_min.clone(),
+            scale: s.inv_range.clone(),
+        }),
+        FittedOp::MaxAbsScaler(s) => Params::Affine(AffineParams {
+            offset: vec![0.0; s.inv_scale.len()],
+            scale: s.inv_scale.clone(),
+        }),
+        FittedOp::RobustScaler(s) => Params::Affine(AffineParams {
+            offset: s.center.clone(),
+            scale: s.inv_scale.clone(),
+        }),
+        FittedOp::Binarizer(b) => Params::Binarize { threshold: b.threshold },
+        FittedOp::Normalizer(n) => Params::Normalize { norm: n.norm },
+        FittedOp::SimpleImputer(i) => Params::Impute { statistics: i.statistics.clone() },
+        FittedOp::MissingIndicator(_) => Params::MissingInd,
+        FittedOp::KBinsDiscretizer(k) => {
+            Params::KBins { edges: k.edges.clone(), encode: k.encode }
+        }
+        FittedOp::PolynomialFeatures(p) => Params::Poly {
+            include_bias: p.include_bias,
+            interaction_only: p.interaction_only,
+        },
+        FittedOp::OneHotEncoder(o) => Params::OneHot { categories: o.categories.clone() },
+        FittedOp::FeatureSelector(s) => Params::Select { indices: s.selected.clone() },
+        FittedOp::Pca(p) => Params::Project {
+            mean: Some(p.mean.clone()),
+            components: p.components.clone(),
+        },
+        FittedOp::TruncatedSvd(t) => {
+            Params::Project { mean: None, components: t.components.clone() }
+        }
+        FittedOp::KernelPca(kp) => Params::KernelProject {
+            x_fit: kp.x_fit.clone(),
+            alphas: kp.alphas.clone(),
+            k_fit_rows: kp.k_fit_rows.clone(),
+            k_fit_all: kp.k_fit_all,
+            gamma: kp.gamma,
+        },
+        FittedOp::Linear(l) => Params::Linear {
+            weights: l.weights.clone(),
+            bias: l.bias.clone(),
+            link: l.link,
+        },
+        FittedOp::Svc(s) => Params::Svm {
+            sv: s.support_vectors.clone(),
+            dual: s.dual_coef.clone(),
+            intercept: s.intercept,
+            kernel: s.kernel,
+        },
+        FittedOp::GaussianNb(g) => {
+            let (c, d) = (g.theta.shape()[0], g.theta.shape()[1]);
+            let theta = g.theta.to_vec();
+            let var = g.var.to_vec();
+            let mut a = vec![0.0f32; c * d];
+            let mut b = vec![0.0f32; c * d];
+            let mut bias = g.class_log_prior.clone();
+            for cls in 0..c {
+                for f in 0..d {
+                    let v = var[cls * d + f];
+                    let mu = theta[cls * d + f];
+                    a[cls * d + f] = -0.5 / v;
+                    b[cls * d + f] = mu / v;
+                    bias[cls] += -0.5 * (2.0 * std::f32::consts::PI * v).ln()
+                        - mu * mu / (2.0 * v);
+                }
+            }
+            Params::GaussNb {
+                a: Tensor::from_vec(a, &[c, d]),
+                b: Tensor::from_vec(b, &[c, d]),
+                bias,
+            }
+        }
+        FittedOp::BernoulliNb(nb) => {
+            let delta = nb.feature_log_prob.sub(&nb.neg_log_prob);
+            let base = nb.neg_log_prob.sum_axis(1, false);
+            let bias: Vec<f32> = base
+                .to_vec()
+                .iter()
+                .zip(nb.class_log_prior.iter())
+                .map(|(b, p)| b + p)
+                .collect();
+            Params::BernNb { delta, bias, binarize: nb.binarize }
+        }
+        FittedOp::MultinomialNb(nb) => Params::MultiNb {
+            w: nb.feature_log_prob.clone(),
+            bias: nb.class_log_prior.clone(),
+        },
+        FittedOp::Mlp(m) => Params::Mlp {
+            w1: m.w1.clone(),
+            b1: m.b1.clone(),
+            w2: m.w2.clone(),
+            b2: m.b2.clone(),
+        },
+        FittedOp::TreeEnsemble(e) => Params::Trees(e.clone()),
+    }
+}
+
+/// Parses a pipeline into containers (no strategy annotation yet).
+pub fn parse(pipeline: &hb_pipeline::Pipeline) -> Vec<OperatorContainer> {
+    pipeline
+        .ops
+        .iter()
+        .map(|op| OperatorContainer {
+            signature: op.signature(),
+            params: extract(op),
+            strategy: None,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hb_ml::featurize::StandardScaler;
+
+    #[test]
+    fn scalers_normalize_to_affine() {
+        let x = Tensor::from_vec(vec![0.0, 2.0, 4.0, 6.0], &[4, 1]);
+        let s = StandardScaler::fit(&x);
+        let p = extract(&FittedOp::StandardScaler(s.clone()));
+        match p {
+            Params::Affine(a) => {
+                assert_eq!(a.offset, s.mean);
+                assert!((a.scale[0] - 1.0 / s.scale[0]).abs() < 1e-6);
+            }
+            other => panic!("unexpected params {other:?}"),
+        }
+    }
+
+    #[test]
+    fn gaussian_nb_expansion_matches_reference() {
+        // The two-GEMM form must reproduce joint_log_likelihood exactly.
+        let x = Tensor::from_fn(&[30, 3], |i| ((i[0] * 5 + i[1] * 3) % 7) as f32 * 0.5);
+        let y: Vec<i64> = (0..30).map(|i| (i % 2) as i64).collect();
+        let nb = hb_ml::naive_bayes::GaussianNb::fit(&x, &y);
+        let want = nb.joint_log_likelihood(&x);
+        let p = extract(&FittedOp::GaussianNb(nb));
+        let Params::GaussNb { a, b, bias } = p else { panic!("wrong params") };
+        let x2 = x.mul(&x);
+        let bias_t = Tensor::from_vec(bias.clone(), &[1, bias.len()]);
+        let got = x2
+            .matmul(&a.transpose(0, 1))
+            .add(&x.matmul(&b.transpose(0, 1)))
+            .add(&bias_t);
+        for (g, w) in got.iter().zip(want.iter()) {
+            assert!((g - w).abs() < 1e-3, "{g} vs {w}");
+        }
+    }
+
+    #[test]
+    fn parse_preserves_order_and_signatures() {
+        let x = Tensor::from_fn(&[20, 2], |i| (i[0] + i[1]) as f32);
+        let y = hb_pipeline::Targets::Classes((0..20).map(|i| (i % 2) as i64).collect());
+        let pipe = hb_pipeline::fit_pipeline(
+            &[hb_pipeline::OpSpec::StandardScaler, hb_pipeline::OpSpec::GaussianNb],
+            &x,
+            &y,
+        );
+        let containers = parse(&pipe);
+        assert_eq!(containers.len(), 2);
+        assert_eq!(containers[0].signature, "StandardScaler");
+        assert_eq!(containers[1].signature, "GaussianNB");
+        assert!(containers.iter().all(|c| c.strategy.is_none()));
+    }
+}

@@ -1,0 +1,418 @@
+//! Conversion-to-tensors functions (paper §3.2 Tensor DAG Compiler).
+//!
+//! One conversion function per operator signature, emitting graph nodes
+//! from the extracted [`Params`]. The §4.2 techniques appear here:
+//! broadcast one-hot encoding, batched-GEMM polynomial features with a
+//! final reordering gather, the quadratic-expansion RBF kernel, and the
+//! two-GEMM Gaussian NB that avoids the `n×d×C` intermediate.
+
+use hb_backend::{GraphBuilder, NodeId, Op};
+use hb_ml::featurize::{BinEncode, Norm};
+use hb_ml::linear::LinearLink;
+use hb_ml::svm::Kernel;
+use hb_tensor::{DType, Tensor};
+
+use crate::containers::{OperatorContainer, Params};
+use crate::strategies::compile_trees;
+use crate::{CompileError, CompileOptions, TreeStrategy};
+
+/// Converts one container, returning the node holding its output.
+pub fn convert(
+    container: &OperatorContainer,
+    b: &mut GraphBuilder,
+    x: NodeId,
+    width_in: Option<usize>,
+    opts: &CompileOptions,
+) -> Result<NodeId, CompileError> {
+    match &container.params {
+        Params::Affine(p) => {
+            let d = p.offset.len();
+            let off = b.constant(Tensor::from_vec(p.offset.clone(), &[1, d]));
+            let sc = b.constant(Tensor::from_vec(p.scale.clone(), &[1, d]));
+            let centered = b.sub(x, off);
+            Ok(b.mul(centered, sc))
+        }
+        Params::Binarize { threshold } => {
+            let t = b.constant(Tensor::scalar(*threshold));
+            let m = b.push(Op::Gt, vec![x, t]);
+            Ok(b.cast(m, DType::F32))
+        }
+        Params::Normalize { norm } => {
+            let denom = match norm {
+                Norm::L2 => {
+                    let sq = b.mul(x, x);
+                    let s = b.sum(sq, 1, true);
+                    b.push(Op::Sqrt, vec![s])
+                }
+                Norm::L1 => {
+                    let a = b.push(Op::Abs, vec![x]);
+                    b.sum(a, 1, true)
+                }
+                Norm::Max => {
+                    let a = b.push(Op::Abs, vec![x]);
+                    b.push(Op::ReduceMax { axis: 1, keepdim: true }, vec![a])
+                }
+            };
+            // Zero rows divide by 1 instead of producing NaN, matching
+            // the imperative reference.
+            let zero = b.constant(Tensor::scalar(0.0f32));
+            let one = b.constant(Tensor::scalar(1.0f32));
+            let is_zero = b.eq(denom, zero);
+            let safe = b.where_(is_zero, one, denom);
+            Ok(b.div(x, safe))
+        }
+        Params::Impute { statistics } => {
+            let d = statistics.len();
+            let fill = b.constant(Tensor::from_vec(statistics.clone(), &[1, d]));
+            let mask = b.push(Op::IsNan, vec![x]);
+            Ok(b.where_(mask, fill, x))
+        }
+        Params::MissingInd => {
+            let mask = b.push(Op::IsNan, vec![x]);
+            Ok(b.cast(mask, DType::F32))
+        }
+        Params::KBins { edges, encode } => convert_kbins(b, x, edges, *encode),
+        Params::Poly { include_bias, interaction_only } => {
+            convert_poly(b, x, *include_bias, *interaction_only, width_in)
+        }
+        Params::OneHot { categories } => {
+            // Broadcast one-hot (§4.2): per column, Eq against the
+            // reshaped vocabulary.
+            let mut parts = Vec::with_capacity(categories.len());
+            for (f, cats) in categories.iter().enumerate() {
+                if cats.is_empty() {
+                    continue;
+                }
+                let col = b.index_select(1, x, vec![f]); // [n, 1]
+                let vocab = b.constant(Tensor::from_vec(cats.clone(), &[1, cats.len()]));
+                let eq = b.eq(col, vocab); // [n, m_f]
+                parts.push(b.cast(eq, DType::F32));
+            }
+            if parts.is_empty() {
+                return Err(CompileError::UnsupportedOperator(
+                    "one-hot encoder with an empty vocabulary".into(),
+                ));
+            }
+            Ok(if parts.len() == 1 { parts[0] } else { b.concat(1, parts) })
+        }
+        Params::KernelProject { x_fit, alphas, k_fit_rows, k_fit_all, gamma } => {
+            // RBF kernel row via the quadratic-expansion trick, then
+            // double-centering against the fitted statistics and a GEMM
+            // onto the scaled eigenvectors.
+            let xf = b.constant(x_fit.clone());
+            let d2 = b.push(Op::Sqdist, vec![x, xf]);
+            let scaled = b.mul_scalar(d2, -(*gamma as f64));
+            let km = b.push(Op::Exp, vec![scaled]); // [n, m]
+            let fit_means =
+                b.constant(Tensor::from_vec(k_fit_rows.clone(), &[1, k_fit_rows.len()]));
+            let row_means = b.mean(km, 1, true); // [n, 1]
+            let c1 = b.sub(km, fit_means);
+            let c2 = b.sub(c1, row_means);
+            let centered = b.add_scalar(c2, *k_fit_all as f64);
+            let a = b.constant(alphas.clone());
+            Ok(b.matmul(centered, a))
+        }
+        Params::Select { indices } => Ok(b.index_select(1, x, indices.clone())),
+        Params::Project { mean, components } => {
+            let centered = match mean {
+                Some(m) => {
+                    let mc = b.constant(Tensor::from_vec(m.clone(), &[1, m.len()]));
+                    b.sub(x, mc)
+                }
+                None => x,
+            };
+            let comp_t = b.constant(components.transpose(0, 1).to_contiguous());
+            Ok(b.matmul(centered, comp_t))
+        }
+        Params::Linear { weights, bias, link } => {
+            let w_t = b.constant(weights.transpose(0, 1).to_contiguous());
+            let bias_c = b.constant(Tensor::from_vec(bias.clone(), &[1, bias.len()]));
+            let mm = b.matmul(x, w_t);
+            let z = b.add(mm, bias_c);
+            Ok(emit_link(b, z, *link))
+        }
+        Params::Svm { sv, dual, intercept, kernel } => {
+            let k = match kernel {
+                Kernel::Linear => {
+                    let sv_t = b.constant(sv.transpose(0, 1).to_contiguous());
+                    b.matmul(x, sv_t)
+                }
+                Kernel::Rbf { gamma } => {
+                    // Quadratic-expansion distance matrix (§4.2), then
+                    // exp(−γ·d²).
+                    let sv_c = b.constant(sv.clone());
+                    let d2 = b.push(Op::Sqdist, vec![x, sv_c]);
+                    let scaled = b.mul_scalar(d2, -(*gamma as f64));
+                    b.push(Op::Exp, vec![scaled])
+                }
+            };
+            let dual_c = b.constant(Tensor::from_vec(dual.clone(), &[dual.len(), 1]));
+            let z = b.matmul(k, dual_c);
+            Ok(b.add_scalar(z, *intercept as f64)) // [n, 1] decision values
+        }
+        Params::GaussNb { a, b: lin, bias } => {
+            let x2 = b.mul(x, x);
+            let a_t = b.constant(a.transpose(0, 1).to_contiguous());
+            let l_t = b.constant(lin.transpose(0, 1).to_contiguous());
+            let bias_c = b.constant(Tensor::from_vec(bias.clone(), &[1, bias.len()]));
+            let quad = b.matmul(x2, a_t);
+            let linear = b.matmul(x, l_t);
+            let s = b.add(quad, linear);
+            let ll = b.add(s, bias_c);
+            Ok(b.softmax(ll, 1))
+        }
+        Params::BernNb { delta, bias, binarize } => {
+            let thr = b.constant(Tensor::scalar(*binarize));
+            let m = b.push(Op::Gt, vec![x, thr]);
+            let bx = b.cast(m, DType::F32);
+            let d_t = b.constant(delta.transpose(0, 1).to_contiguous());
+            let bias_c = b.constant(Tensor::from_vec(bias.clone(), &[1, bias.len()]));
+            let mm = b.matmul(bx, d_t);
+            let ll = b.add(mm, bias_c);
+            Ok(b.softmax(ll, 1))
+        }
+        Params::MultiNb { w, bias } => {
+            let w_t = b.constant(w.transpose(0, 1).to_contiguous());
+            let bias_c = b.constant(Tensor::from_vec(bias.clone(), &[1, bias.len()]));
+            let mm = b.matmul(x, w_t);
+            let ll = b.add(mm, bias_c);
+            Ok(b.softmax(ll, 1))
+        }
+        Params::Mlp { w1, b1, w2, b2 } => {
+            let w1_t = b.constant(w1.transpose(0, 1).to_contiguous());
+            let b1_c = b.constant(Tensor::from_vec(b1.clone(), &[1, b1.len()]));
+            let w2_t = b.constant(w2.transpose(0, 1).to_contiguous());
+            let b2_c = b.constant(Tensor::from_vec(b2.clone(), &[1, b2.len()]));
+            let h0 = b.matmul(x, w1_t);
+            let h1 = b.add(h0, b1_c);
+            let h = b.push(Op::Relu, vec![h1]);
+            let o0 = b.matmul(h, w2_t);
+            let o1 = b.add(o0, b2_c);
+            Ok(b.softmax(o1, 1))
+        }
+        Params::Trees(e) => {
+            let strategy = container.strategy.unwrap_or(TreeStrategy::Auto);
+            compile_trees(e, strategy, b, x, opts)
+        }
+    }
+}
+
+/// Emits the output link of a linear model, matching the imperative
+/// `LinearModel::predict_proba` exactly.
+fn emit_link(b: &mut GraphBuilder, z: NodeId, link: LinearLink) -> NodeId {
+    match link {
+        LinearLink::Margin => z,
+        LinearLink::Softmax => b.softmax(z, 1),
+        LinearLink::Sigmoid => {
+            let p = b.sigmoid(z);
+            let neg = b.mul_scalar(p, -1.0);
+            let q = b.add_scalar(neg, 1.0);
+            b.concat(1, vec![q, p])
+        }
+    }
+}
+
+/// KBins: `bin = Σ_k (x ≥ edge_k)` over edges padded to the widest
+/// column with +∞ (padding never counts).
+fn convert_kbins(
+    b: &mut GraphBuilder,
+    x: NodeId,
+    edges: &[Vec<f32>],
+    encode: BinEncode,
+) -> Result<NodeId, CompileError> {
+    let d = edges.len();
+    let kmax = edges.iter().map(Vec::len).max().unwrap_or(0).max(1);
+    let mut padded = vec![f32::INFINITY; d * kmax];
+    for (f, e) in edges.iter().enumerate() {
+        padded[f * kmax..f * kmax + e.len()].copy_from_slice(e);
+    }
+    let edges_c = b.constant(Tensor::from_vec(padded, &[1, d, kmax]));
+    let xu = b.unsqueeze(x, 2); // [n, d, 1]
+    let ge = b.ge(xu, edges_c); // [n, d, kmax]
+    let gef = b.cast(ge, DType::F32);
+    let ordinal = b.sum(gef, 2, false); // [n, d]
+    match encode {
+        BinEncode::Ordinal => Ok(ordinal),
+        BinEncode::OneHot => {
+            let mut parts = Vec::with_capacity(d);
+            for (f, e) in edges.iter().enumerate() {
+                let width = e.len() + 1;
+                let col = b.index_select(1, ordinal, vec![f]); // [n, 1]
+                let ids = b.constant(Tensor::from_vec(
+                    (0..width).map(|v| v as f32).collect(),
+                    &[1, width],
+                ));
+                let eq = b.eq(col, ids);
+                parts.push(b.cast(eq, DType::F32));
+            }
+            Ok(if parts.len() == 1 { parts[0] } else { b.concat(1, parts) })
+        }
+    }
+}
+
+/// Polynomial features via the §4.2 "minimize operator invocations"
+/// batched GEMM: `X' [n,d,1] × X'' [n,1,d] → [n,d,d]`, reshape to
+/// `[n, d²]`, then one gather to select scikit-learn's term order.
+fn convert_poly(
+    b: &mut GraphBuilder,
+    x: NodeId,
+    include_bias: bool,
+    interaction_only: bool,
+    width_in: Option<usize>,
+) -> Result<NodeId, CompileError> {
+    let d = width_in.ok_or(CompileError::UnknownInputWidth)?;
+    let xu = b.unsqueeze(x, 2); // [n, d, 1]
+    let xv = b.unsqueeze(x, 1); // [n, 1, d]
+    let outer = b.matmul(xu, xv); // [n, d, d]
+    let flat = b.reshape(outer, vec![0, (d * d) as i64]); // [n, d²]
+    let mut cols = Vec::new();
+    for i in 0..d {
+        let j0 = if interaction_only { i + 1 } else { i };
+        for j in j0..d {
+            cols.push(i * d + j);
+        }
+    }
+    let pairs = b.index_select(1, flat, cols);
+    let mut parts = Vec::new();
+    if include_bias {
+        // Ones column derived from the input so its batch size tracks n.
+        let c0 = b.index_select(1, x, vec![0]);
+        let z = b.mul_scalar(c0, 0.0);
+        parts.push(b.add_scalar(z, 1.0));
+    }
+    parts.push(x);
+    parts.push(pairs);
+    Ok(b.concat(1, parts))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::containers::{extract, AffineParams, OperatorContainer};
+    use hb_backend::{Backend, Device, Executable};
+    use hb_ml::featurize::{KBinsDiscretizer, OneHotEncoder, PolynomialFeatures};
+    use hb_pipeline::FittedOp;
+
+    /// Runs a single converted operator over `x`.
+    fn run_converter(params: Params, x: &Tensor<f32>, width: Option<usize>) -> Tensor<f32> {
+        let container = OperatorContainer { signature: "test", params, strategy: None };
+        let mut b = GraphBuilder::new();
+        let input = b.input(DType::F32);
+        let out =
+            convert(&container, &mut b, input, width, &CompileOptions::default()).unwrap();
+        b.output(out);
+        let exe = Executable::new(b.build(), Backend::Script, Device::cpu());
+        let result = exe.run(&[hb_tensor::DynTensor::F32(x.clone())]).unwrap();
+        result.into_iter().next().unwrap().as_f32().clone()
+    }
+
+    #[test]
+    fn affine_converter_is_offset_then_scale() {
+        let x = Tensor::from_vec(vec![1.0, 10.0, 2.0, 20.0], &[2, 2]);
+        let p = Params::Affine(AffineParams { offset: vec![1.0, 10.0], scale: vec![2.0, 0.5] });
+        let got = run_converter(p, &x, Some(2));
+        assert_eq!(got.to_vec(), vec![0.0, 0.0, 2.0, 5.0]);
+    }
+
+    #[test]
+    fn normalizer_converter_guards_zero_rows() {
+        let x = Tensor::from_vec(vec![3.0, 4.0, 0.0, 0.0], &[2, 2]);
+        for norm in [Norm::L1, Norm::L2, Norm::Max] {
+            let got = run_converter(Params::Normalize { norm }, &x, Some(2));
+            assert!(got.iter().all(|v| !v.is_nan()), "{norm:?} produced NaN");
+            assert_eq!(got.get(&[1, 0]), 0.0);
+        }
+    }
+
+    #[test]
+    fn kbins_converter_matches_imperative_both_encodings() {
+        let x = Tensor::from_fn(&[40, 2], |i| (i[0] * (i[1] + 1)) as f32 * 0.7);
+        for encode in [BinEncode::Ordinal, BinEncode::OneHot] {
+            let kb = KBinsDiscretizer::fit(&x, 4, encode);
+            let want = kb.transform(&x);
+            let got = run_converter(
+                Params::KBins { edges: kb.edges.clone(), encode },
+                &x,
+                Some(2),
+            );
+            assert_eq!(got.to_vec(), want.to_vec(), "{encode:?} diverged");
+        }
+    }
+
+    #[test]
+    fn poly_converter_matches_sklearn_term_order() {
+        let x = Tensor::from_vec(vec![2.0, 3.0, -1.0, 0.5], &[2, 2]);
+        for (bias, inter) in [(true, false), (false, false), (false, true), (true, true)] {
+            let p = PolynomialFeatures { include_bias: bias, interaction_only: inter };
+            let want = p.transform(&x);
+            let got = run_converter(
+                Params::Poly { include_bias: bias, interaction_only: inter },
+                &x,
+                Some(2),
+            );
+            assert_eq!(got.to_vec(), want.to_vec(), "bias={bias} inter={inter}");
+        }
+    }
+
+    #[test]
+    fn poly_converter_without_width_errors() {
+        let container = OperatorContainer {
+            signature: "PolynomialFeatures",
+            params: Params::Poly { include_bias: false, interaction_only: false },
+            strategy: None,
+        };
+        let mut b = GraphBuilder::new();
+        let input = b.input(DType::F32);
+        let err = convert(&container, &mut b, input, None, &CompileOptions::default());
+        assert!(matches!(err, Err(CompileError::UnknownInputWidth)));
+    }
+
+    #[test]
+    fn onehot_converter_skips_empty_vocab_columns() {
+        let x = Tensor::from_vec(vec![1.0, 5.0, 2.0, 5.0], &[2, 2]);
+        let got = run_converter(
+            Params::OneHot { categories: vec![vec![1.0, 2.0], vec![]] },
+            &x,
+            Some(2),
+        );
+        // Only the first column contributes output width.
+        assert_eq!(got.shape(), &[2, 2]);
+        assert_eq!(got.to_vec(), vec![1.0, 0.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn onehot_converter_matches_imperative() {
+        let x = Tensor::from_fn(&[30, 3], |i| ((i[0] * (i[1] + 2)) % 5) as f32);
+        let enc = OneHotEncoder::fit(&x);
+        let want = enc.transform(&x);
+        let got =
+            run_converter(Params::OneHot { categories: enc.categories.clone() }, &x, Some(3));
+        assert_eq!(got.to_vec(), want.to_vec());
+    }
+
+    #[test]
+    fn gaussian_nb_converter_matches_model() {
+        let x = Tensor::from_fn(&[50, 4], |i| ((i[0] * 3 + i[1] * 5) % 11) as f32 * 0.4);
+        let y: Vec<i64> = (0..50).map(|i| (i % 3) as i64).collect();
+        let nb = hb_ml::naive_bayes::GaussianNb::fit(&x, &y);
+        let want = nb.predict_proba(&x);
+        let params = extract(&FittedOp::GaussianNb(nb));
+        let got = run_converter(params, &x, Some(4));
+        assert!(
+            hb_ml::metrics::allclose(&got, &want, 1e-3, 1e-3),
+            "GaussianNB two-GEMM form diverged"
+        );
+    }
+
+    #[test]
+    fn svc_converter_matches_decision_function() {
+        let x = Tensor::from_fn(&[40, 2], |i| ((i[0] * 7 + i[1]) % 9) as f32 * 0.5 - 2.0);
+        let y: Vec<i64> = (0..40).map(|i| (i % 2) as i64).collect();
+        let svc = hb_ml::svm::Svc::default().fit(&x, &y);
+        let want = svc.decision(&x);
+        let params = extract(&FittedOp::Svc(svc));
+        let got = run_converter(params, &x, Some(2));
+        let gotf = got.reshape(&[40]);
+        assert!(hb_ml::metrics::allclose(&gotf, &want, 1e-3, 1e-3));
+    }
+}

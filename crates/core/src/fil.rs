@@ -1,0 +1,194 @@
+//! A RAPIDS-FIL-like forest-inference baseline (paper §6.1.1 GPU
+//! comparisons).
+//!
+//! FIL is a custom CUDA implementation of the PerfectTreeTraversal idea:
+//! the whole ensemble evaluates in a handful of fused kernels with
+//! tree-dimension parallelism. Here the results are computed on the host
+//! (flat-array iterative traversal parallelized over records) and the
+//! device latency is modeled with the same roofline used for compiled
+//! graphs, with constants calibrated in DESIGN.md to reproduce FIL's
+//! *relative* position: slower than the compiled backends at small
+//! batches (fixed setup overhead), ~comparable at 10K, and ahead at very
+//! large batches (fewer launches, better locality).
+
+use std::time::{Duration, Instant};
+
+use rayon::prelude::*;
+
+use hb_backend::device::DeviceSpec;
+use hb_backend::RunStats;
+use hb_ml::ensemble::{Aggregation, TreeEnsemble};
+use hb_tensor::Tensor;
+
+/// Fixed per-call setup cost (memory pool, kernel planning) of the
+/// FIL-like engine, in seconds.
+const FIL_SETUP_S: f64 = 1.2e-3;
+
+/// Modeled bytes touched per node visit (uncoalesced 32-byte transactions
+/// on a 16-byte node record, with partial caching).
+const BYTES_PER_NODE_VISIT: f64 = 48.0;
+
+/// Kernels the engine launches per batch (tree blocks + reduction).
+const FIL_KERNELS: f64 = 12.0;
+
+/// A forest prepared for FIL-like inference.
+pub struct FilForest {
+    tree_offset: Vec<usize>,
+    left: Vec<i32>,
+    right: Vec<i32>,
+    feature: Vec<u32>,
+    threshold: Vec<f32>,
+    values: Vec<f32>,
+    value_width: usize,
+    agg: Aggregation,
+    n_outputs: usize,
+    avg_depth: f64,
+}
+
+impl FilForest {
+    /// Flattens a fitted ensemble into the FIL node layout.
+    pub fn new(ensemble: &TreeEnsemble) -> FilForest {
+        let mut tree_offset = Vec::with_capacity(ensemble.trees.len());
+        let (mut left, mut right, mut feature, mut threshold, mut values) =
+            (Vec::new(), Vec::new(), Vec::new(), Vec::new(), Vec::new());
+        let value_width = ensemble.trees.first().map_or(1, |t| t.value_width);
+        for t in &ensemble.trees {
+            tree_offset.push(left.len());
+            left.extend_from_slice(&t.left);
+            right.extend_from_slice(&t.right);
+            feature.extend_from_slice(&t.feature);
+            threshold.extend_from_slice(&t.threshold);
+            values.extend_from_slice(&t.values);
+        }
+        let avg_depth = ensemble
+            .trees
+            .iter()
+            .map(|t| t.depth() as f64)
+            .sum::<f64>()
+            / ensemble.trees.len().max(1) as f64;
+        FilForest {
+            tree_offset,
+            left,
+            right,
+            feature,
+            threshold,
+            values,
+            value_width,
+            agg: ensemble.agg.clone(),
+            n_outputs: ensemble.n_outputs(),
+            avg_depth,
+        }
+    }
+
+    /// Scores a batch with record-parallel traversal; `[n, outputs]`.
+    pub fn predict_batch(&self, x: &Tensor<f32>) -> Tensor<f32> {
+        let (n, d) = (x.shape()[0], x.shape()[1]);
+        let xs = x.to_contiguous();
+        let xv = xs.as_slice();
+        let k = self.n_outputs;
+        let mut out = vec![0.0f32; n * k];
+        out.par_chunks_mut(k).enumerate().for_each(|(r, orow)| {
+            let row = &xv[r * d..(r + 1) * d];
+            let mut acc = vec![0.0f32; self.agg.acc_len(self.value_width)];
+            for (ti, &off) in self.tree_offset.iter().enumerate() {
+                let mut i = off;
+                while self.left[i] >= 0 {
+                    i = if row[self.feature[i] as usize] < self.threshold[i] {
+                        off + self.left[i] as usize
+                    } else {
+                        off + self.right[i] as usize
+                    };
+                }
+                let v = &self.values[i * self.value_width..(i + 1) * self.value_width];
+                self.agg.accumulate(&mut acc, ti, v);
+            }
+            self.agg.finish(&acc, self.tree_offset.len(), orow);
+        });
+        Tensor::from_vec(out, &[n, k])
+    }
+
+    /// Scores a batch and reports modeled device latency on `spec`.
+    pub fn predict_simulated(&self, x: &Tensor<f32>, spec: &DeviceSpec) -> (Tensor<f32>, RunStats) {
+        let start = Instant::now();
+        let out = self.predict_batch(x);
+        let wall = start.elapsed();
+        let n = x.shape()[0] as f64;
+        let t = self.tree_offset.len() as f64;
+        let visits = n * t * self.avg_depth.max(1.0);
+        let flops = visits * 4.0;
+        let bytes = visits * BYTES_PER_NODE_VISIT;
+        let mut sim = FIL_SETUP_S + FIL_KERNELS * spec.launch_overhead_us * 1e-6;
+        sim += (flops / (spec.peak_gflops * 1e9)).max(bytes / (spec.mem_bandwidth_gbs * 1e9));
+        sim += spec.transfer_time(x.numel() as f64 * 4.0);
+        sim += spec.transfer_time(out.numel() as f64 * 4.0);
+        let stats = RunStats {
+            wall,
+            simulated: Some(Duration::from_secs_f64(sim)),
+            kernel_launches: FIL_KERNELS as usize,
+            flops,
+            bytes,
+            ..RunStats::default()
+        };
+        (out, stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hb_backend::device::{P100, V100};
+    use hb_ml::forest::{ForestConfig, RandomForestClassifier};
+
+    fn forest() -> (TreeEnsemble, Tensor<f32>) {
+        let n = 200;
+        let x = Tensor::from_fn(&[n, 5], |i| ((i[0] * 7 + i[1] * 3) % 17) as f32 * 0.3);
+        let y: Vec<i64> = (0..n).map(|i| (i % 2) as i64).collect();
+        let f = RandomForestClassifier::new(ForestConfig {
+            n_trees: 9,
+            max_depth: 4,
+            ..Default::default()
+        })
+        .fit(&x, &y);
+        (f.ensemble, x)
+    }
+
+    #[test]
+    fn fil_matches_reference_scorer() {
+        let (e, x) = forest();
+        let fil = FilForest::new(&e);
+        let got = fil.predict_batch(&x);
+        let want = e.predict_proba(&x);
+        assert_eq!(got.to_vec(), want.to_vec());
+    }
+
+    #[test]
+    fn simulated_latency_scales_with_batch() {
+        let (e, x) = forest();
+        let fil = FilForest::new(&e);
+        let (_, small) = fil.predict_simulated(&x.slice(0, 0, 10).to_contiguous(), &P100);
+        // A much larger batch must take longer but far less than
+        // proportionally (fixed overhead amortizes).
+        let big = {
+            let reps: Vec<&Tensor<f32>> = std::iter::repeat(&x).take(50).collect();
+            Tensor::concat(&reps, 0)
+        };
+        let (_, large) = fil.predict_simulated(&big, &P100);
+        let ts = small.simulated.unwrap().as_secs_f64();
+        let tl = large.simulated.unwrap().as_secs_f64();
+        assert!(tl > ts);
+        assert!(tl < ts * 1000.0, "fixed overhead should amortize: {ts} vs {tl}");
+    }
+
+    #[test]
+    fn newer_devices_are_faster_at_scale() {
+        let (e, x) = forest();
+        let fil = FilForest::new(&e);
+        let big = {
+            let reps: Vec<&Tensor<f32>> = std::iter::repeat(&x).take(200).collect();
+            Tensor::concat(&reps, 0)
+        };
+        let (_, p) = fil.predict_simulated(&big, &P100);
+        let (_, v) = fil.predict_simulated(&big, &V100);
+        assert!(v.simulated.unwrap() <= p.simulated.unwrap());
+    }
+}

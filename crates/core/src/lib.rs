@@ -1,0 +1,615 @@
+//! The Hummingbird compiler: traditional-ML pipelines → tensor DAGs.
+//!
+//! This crate implements the paper's core contribution (Figure 2):
+//!
+//! 1. **Pipeline Parser** ([`containers`]) — wraps each fitted operator
+//!    in a container keyed by its signature and runs the per-signature
+//!    extractor function;
+//! 2. **Optimizer** ([`optimizer`], [`strategies::heuristic_strategy`]) —
+//!    annotates tree containers with a compilation strategy (§5.1
+//!    heuristics) and applies the runtime-independent rewrites of §5.2
+//!    (feature-selection push-down and injection);
+//! 3. **Tensor DAG Compiler** ([`convert`], [`strategies`]) — emits a
+//!    small set of tensor operators per container and lowers the result
+//!    to an `hb-backend` executable (Eager/Script/Compiled on CPU or a
+//!    simulated GPU).
+//!
+//! ```
+//! use hb_core::{compile, CompileOptions};
+//! use hb_pipeline::{fit_pipeline, OpSpec, Targets};
+//! use hb_tensor::Tensor;
+//!
+//! let x = Tensor::from_fn(&[80, 4], |i| ((i[0] * 7 + i[1]) % 13) as f32);
+//! let y = Targets::Classes((0..80).map(|i| (i % 2) as i64).collect());
+//! let pipe = fit_pipeline(&[OpSpec::StandardScaler, OpSpec::GaussianNb], &x, &y);
+//! let model = compile(&pipe, &CompileOptions::default()).unwrap();
+//! let proba = model.predict_proba(&x).unwrap();
+//! assert_eq!(proba.shape(), &[80, 2]);
+//! ```
+
+pub mod containers;
+pub mod convert;
+pub mod fil;
+pub mod optimizer;
+pub mod sparse;
+pub mod strategies;
+pub mod strings;
+
+use std::time::Duration;
+
+use hb_backend::{Backend, Device, ExecError, Executable, GraphBuilder, RunStats};
+use hb_ml::linear::LinearLink;
+use hb_pipeline::Pipeline;
+use hb_tensor::{DType, DynTensor, Tensor};
+
+use containers::{parse, OperatorContainer, Params};
+
+/// Tree-ensemble compilation strategy (paper §4.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TreeStrategy {
+    /// Choose via the §5.1 heuristics.
+    Auto,
+    /// Strategy 1: three batched GEMMs (Algorithm 1).
+    Gemm,
+    /// Strategy 2: gather/where traversal (Algorithm 2).
+    TreeTraversal,
+    /// Strategy 3: perfect-tree traversal (Algorithm 3).
+    PerfectTreeTraversal,
+}
+
+impl TreeStrategy {
+    /// Display label used in bench tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            TreeStrategy::Auto => "Auto",
+            TreeStrategy::Gemm => "GEMM",
+            TreeStrategy::TreeTraversal => "TT",
+            TreeStrategy::PerfectTreeTraversal => "PTT",
+        }
+    }
+}
+
+/// Compilation settings.
+#[derive(Debug, Clone)]
+pub struct CompileOptions {
+    /// Target execution backend.
+    pub backend: Backend,
+    /// Target device (CPU or simulated accelerator).
+    pub device: Device,
+    /// Tree strategy (`Auto` applies the paper's heuristics).
+    pub tree_strategy: TreeStrategy,
+    /// Expected scoring batch size — the "runtime statistic" the §5.1
+    /// heuristics consult.
+    pub expected_batch: usize,
+    /// Apply the §5.2 runtime-independent pipeline rewrites.
+    pub optimize_pipeline: bool,
+    /// Input feature width; inferred from the first operator when
+    /// possible.
+    pub input_width: Option<usize>,
+}
+
+impl Default for CompileOptions {
+    fn default() -> Self {
+        CompileOptions {
+            backend: Backend::Compiled,
+            device: Device::cpu(),
+            tree_strategy: TreeStrategy::Auto,
+            expected_batch: 1000,
+            optimize_pipeline: true,
+            input_width: None,
+        }
+    }
+}
+
+/// Compilation failure modes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CompileError {
+    /// The pipeline has no operators.
+    EmptyPipeline,
+    /// An operator cannot be compiled.
+    UnsupportedOperator(String),
+    /// PerfectTreeTraversal was requested for trees whose completed
+    /// depth would blow up memory (§5.1).
+    PttTooDeep {
+        /// Ensemble depth.
+        depth: usize,
+        /// Maximum supported depth.
+        max: usize,
+    },
+    /// The input feature width could not be inferred and an operator
+    /// (e.g. `PolynomialFeatures` as the first step) needs it.
+    UnknownInputWidth,
+}
+
+impl std::fmt::Display for CompileError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CompileError::EmptyPipeline => write!(f, "cannot compile an empty pipeline"),
+            CompileError::UnsupportedOperator(s) => write!(f, "unsupported operator: {s}"),
+            CompileError::PttTooDeep { depth, max } => {
+                write!(f, "PerfectTreeTraversal needs depth {depth} > max {max}")
+            }
+            CompileError::UnknownInputWidth => {
+                write!(f, "input width unknown; set CompileOptions::input_width")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+/// What the compiled graph's output means, deciding how `predict`
+/// post-processes it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum OutputKind {
+    /// `[n, C]` class probabilities → argmax.
+    Proba,
+    /// `[n, 1]` margins → sign (or argmax for multiclass margins).
+    Margin,
+    /// `[n, 1]` regression values → identity.
+    Value,
+    /// Featurizer-only pipeline → transformed matrix.
+    Matrix,
+}
+
+/// Per-operator compilation report (signature + chosen tree strategy).
+#[derive(Debug, Clone)]
+pub struct OpReport {
+    /// Operator signature.
+    pub signature: String,
+    /// Tree strategy, for tree containers.
+    pub strategy: Option<TreeStrategy>,
+}
+
+/// A pipeline compiled to tensor computations, ready to score.
+pub struct CompiledModel {
+    exe: Executable,
+    output: OutputKind,
+    /// Per-operator compilation report.
+    pub report: Vec<OpReport>,
+}
+
+impl CompiledModel {
+    /// Scores a batch, returning the raw graph output (probabilities,
+    /// margins, values, or a transformed matrix).
+    pub fn predict_proba(&self, x: &Tensor<f32>) -> Result<Tensor<f32>, ExecError> {
+        let out = self.exe.run(&[DynTensor::F32(x.clone())])?;
+        Ok(out.into_iter().next().expect("graph has one output").as_f32().clone())
+    }
+
+    /// Scores a batch and returns execution statistics.
+    pub fn predict_with_stats(
+        &self,
+        x: &Tensor<f32>,
+    ) -> Result<(Tensor<f32>, RunStats), ExecError> {
+        let (out, stats) = self.exe.run_with_stats(&[DynTensor::F32(x.clone())])?;
+        Ok((out.into_iter().next().expect("graph has one output").as_f32().clone(), stats))
+    }
+
+    /// Hard predictions: argmax class, margin sign, or raw values.
+    pub fn predict(&self, x: &Tensor<f32>) -> Result<Tensor<f32>, ExecError> {
+        let out = self.predict_proba(x)?;
+        Ok(match self.output {
+            OutputKind::Proba if out.ndim() == 2 && out.shape()[1] > 1 => {
+                out.argmax_axis(1, false).map(|v| v as f32)
+            }
+            OutputKind::Margin if out.ndim() == 2 && out.shape()[1] == 1 => {
+                let flat = out.map(|v| f32::from(v > 0.0));
+                flat.reshape(&[flat.shape()[0]])
+            }
+            OutputKind::Margin => out.argmax_axis(1, false).map(|v| v as f32),
+            OutputKind::Value if out.ndim() == 2 && out.shape()[1] == 1 => {
+                let n = out.shape()[0];
+                out.reshape(&[n])
+            }
+            _ => out,
+        })
+    }
+
+    /// Conversion time of the lowering step (paper Table 10).
+    pub fn compile_time(&self) -> Duration {
+        self.exe.compile_time()
+    }
+
+    /// The underlying executable (graph inspection, stats).
+    pub fn executable(&self) -> &Executable {
+        &self.exe
+    }
+}
+
+/// Infers the input width an operator's parameters imply, if any.
+fn params_width_in(p: &Params) -> Option<usize> {
+    match p {
+        Params::Affine(a) => Some(a.offset.len()),
+        Params::Impute { statistics } => Some(statistics.len()),
+        Params::KBins { edges, .. } => Some(edges.len()),
+        Params::OneHot { categories } => Some(categories.len()),
+        Params::Project { components, .. } => Some(components.shape()[1]),
+        Params::KernelProject { x_fit, .. } => Some(x_fit.shape()[1]),
+        Params::Linear { weights, .. } => Some(weights.shape()[1]),
+        Params::Svm { sv, .. } => Some(sv.shape()[1]),
+        Params::GaussNb { a, .. } => Some(a.shape()[1]),
+        Params::BernNb { delta, .. } => Some(delta.shape()[1]),
+        Params::MultiNb { w, .. } => Some(w.shape()[1]),
+        Params::Mlp { w1, .. } => Some(w1.shape()[1]),
+        Params::Trees(e) => Some(e.n_features),
+        _ => None,
+    }
+}
+
+/// Output width an operator produces given its input width.
+fn params_width_out(p: &Params, width_in: Option<usize>) -> Option<usize> {
+    match p {
+        Params::Affine(a) => Some(a.offset.len()),
+        Params::Impute { statistics } => Some(statistics.len()),
+        Params::Binarize { .. } | Params::Normalize { .. } | Params::MissingInd => width_in,
+        Params::KBins { edges, encode } => Some(match encode {
+            hb_ml::featurize::BinEncode::Ordinal => edges.len(),
+            hb_ml::featurize::BinEncode::OneHot => edges.iter().map(|e| e.len() + 1).sum(),
+        }),
+        Params::Poly { include_bias, interaction_only } => width_in.map(|d| {
+            let pairs = if *interaction_only { d * (d - 1) / 2 } else { d * (d + 1) / 2 };
+            usize::from(*include_bias) + d + pairs
+        }),
+        Params::OneHot { categories } => Some(categories.iter().map(|c| c.len()).sum()),
+        Params::Select { indices } => Some(indices.len()),
+        Params::Project { components, .. } => Some(components.shape()[0]),
+        Params::KernelProject { alphas, .. } => Some(alphas.shape()[1]),
+        // Model outputs are terminal; width tracking stops.
+        _ => None,
+    }
+}
+
+/// Classifies the pipeline's terminal output for `predict`.
+fn output_kind(containers: &[OperatorContainer]) -> OutputKind {
+    match containers.last().map(|c| &c.params) {
+        Some(Params::Linear { link: LinearLink::Margin, .. }) | Some(Params::Svm { .. }) => {
+            OutputKind::Margin
+        }
+        Some(Params::Trees(e)) if e.n_classes <= 1 => OutputKind::Value,
+        Some(Params::Trees(_))
+        | Some(Params::Linear { .. })
+        | Some(Params::GaussNb { .. })
+        | Some(Params::BernNb { .. })
+        | Some(Params::MultiNb { .. })
+        | Some(Params::Mlp { .. }) => OutputKind::Proba,
+        _ => OutputKind::Matrix,
+    }
+}
+
+/// A user-supplied conversion function overriding the built-in converter
+/// for one operator signature.
+///
+/// Receives the fitted operator, the graph builder, the node carrying the
+/// operator's input, and the inferred input width; returns the output
+/// node.
+pub type ConvertFn = std::sync::Arc<
+    dyn Fn(
+            &hb_pipeline::FittedOp,
+            &mut GraphBuilder,
+            hb_backend::NodeId,
+            Option<usize>,
+        ) -> Result<hb_backend::NodeId, CompileError>
+        + Send
+        + Sync,
+>;
+
+/// Extensible converter registry (the paper's §3.2 "HB parser is
+/// extensible, allowing users to easily add new extractor functions"):
+/// user conversion functions registered by operator signature take
+/// precedence over the built-ins.
+#[derive(Default, Clone)]
+pub struct ConverterRegistry {
+    overrides: std::collections::HashMap<&'static str, ConvertFn>,
+}
+
+impl ConverterRegistry {
+    /// Creates an empty registry (built-ins only).
+    pub fn new() -> ConverterRegistry {
+        ConverterRegistry::default()
+    }
+
+    /// Registers (or replaces) a conversion function for `signature`.
+    pub fn register(&mut self, signature: &'static str, f: ConvertFn) {
+        self.overrides.insert(signature, f);
+    }
+
+    /// Looks up an override.
+    pub fn get(&self, signature: &str) -> Option<&ConvertFn> {
+        self.overrides.get(signature)
+    }
+}
+
+/// Compiles a fitted pipeline into tensor computations.
+///
+/// # Errors
+///
+/// Returns a [`CompileError`] for empty pipelines, unsupported operator
+/// configurations, or strategy/memory violations.
+pub fn compile(pipeline: &Pipeline, opts: &CompileOptions) -> Result<CompiledModel, CompileError> {
+    compile_with_registry(pipeline, opts, &ConverterRegistry::default())
+}
+
+/// [`compile`] with user converter overrides.
+///
+/// # Errors
+///
+/// Same failure modes as [`compile`], plus whatever the user converters
+/// return.
+pub fn compile_with_registry(
+    pipeline: &Pipeline,
+    opts: &CompileOptions,
+    registry: &ConverterRegistry,
+) -> Result<CompiledModel, CompileError> {
+    if pipeline.is_empty() {
+        return Err(CompileError::EmptyPipeline);
+    }
+    // Runtime-independent optimizations (§5.2).
+    let optimized;
+    let pipeline = if opts.optimize_pipeline {
+        optimized = optimizer::optimize_pipeline(pipeline);
+        &optimized
+    } else {
+        pipeline
+    };
+
+    // Parse + annotate (Figure 2 phases 1–2).
+    let mut containers = parse(pipeline);
+    for c in &mut containers {
+        if let Params::Trees(e) = &c.params {
+            let s = match opts.tree_strategy {
+                TreeStrategy::Auto => strategies::heuristic_strategy(e, opts),
+                s => s,
+            };
+            c.strategy = Some(s);
+        }
+    }
+
+    // Tensor DAG compilation (Figure 2 phase 3) with width tracking.
+    let mut b = GraphBuilder::new();
+    let x = b.input(DType::F32);
+    let mut width = opts
+        .input_width
+        .or(pipeline.input_width)
+        .or_else(|| containers.first().and_then(|c| params_width_in(&c.params)));
+    let mut cur = x;
+    let mut report = Vec::with_capacity(containers.len());
+    for (c, op) in containers.iter().zip(pipeline.ops.iter()) {
+        if let Some(custom) = registry.get(c.signature) {
+            cur = custom(op, &mut b, cur, width)?;
+            // Custom converters may change the width arbitrarily.
+            width = None;
+        } else {
+            cur = convert::convert(c, &mut b, cur, width, opts)?;
+            width = params_width_out(&c.params, width);
+        }
+        report.push(OpReport { signature: c.signature.to_string(), strategy: c.strategy });
+    }
+    b.output(cur);
+    let graph = b.build();
+    let output = output_kind(&containers);
+    let exe = Executable::new(graph, opts.backend, opts.device);
+    Ok(CompiledModel { exe, output, report })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hb_ml::metrics::allclose;
+    use hb_pipeline::{fit_pipeline, OpSpec, Targets};
+
+    fn data(n: usize, d: usize) -> (Tensor<f32>, Targets) {
+        let x = Tensor::from_fn(&[n, d], |i| {
+            let c = (i[0] % 2) as f32;
+            c * 2.5 + ((i[0] * 13 + i[1] * 7) % 11) as f32 * 0.2
+        });
+        let y = Targets::Classes((0..n).map(|i| (i % 2) as i64).collect());
+        (x, y)
+    }
+
+    /// Compiled output must match the imperative reference within the
+    /// paper's validation tolerance for every backend.
+    fn assert_matches_reference(pipe: &hb_pipeline::Pipeline, x: &Tensor<f32>) {
+        let want = pipe.predict_proba(x);
+        for backend in Backend::ALL {
+            let opts = CompileOptions { backend, ..CompileOptions::default() };
+            let model = compile(pipe, &opts).unwrap();
+            let got = model.predict_proba(x).unwrap();
+            assert!(allclose(&got, &want, 1e-4, 1e-4), "{backend:?} diverges from reference");
+        }
+    }
+
+    #[test]
+    fn scaler_plus_logreg_compiles_and_matches() {
+        let (x, y) = data(100, 5);
+        let pipe = fit_pipeline(
+            &[OpSpec::StandardScaler, OpSpec::LogisticRegression(Default::default())],
+            &x,
+            &y,
+        );
+        assert_matches_reference(&pipe, &x);
+    }
+
+    #[test]
+    fn forest_all_strategies_match_reference() {
+        let (x, y) = data(150, 6);
+        let pipe = fit_pipeline(
+            &[OpSpec::RandomForestClassifier(hb_ml::forest::ForestConfig {
+                n_trees: 7,
+                max_depth: 4,
+                ..Default::default()
+            })],
+            &x,
+            &y,
+        );
+        let want = pipe.predict_proba(&x);
+        for strategy in [
+            TreeStrategy::Gemm,
+            TreeStrategy::TreeTraversal,
+            TreeStrategy::PerfectTreeTraversal,
+        ] {
+            let opts = CompileOptions { tree_strategy: strategy, ..Default::default() };
+            let model = compile(&pipe, &opts).unwrap();
+            let got = model.predict_proba(&x).unwrap();
+            assert!(
+                allclose(&got, &want, 1e-4, 1e-4),
+                "{} diverges from reference",
+                strategy.label()
+            );
+            // The injection pass may prepend a feature selector; the
+            // tree container is the one carrying the strategy.
+            let tree_strategy =
+                model.report.iter().find_map(|r| r.strategy).expect("tree op in report");
+            assert_eq!(tree_strategy, strategy);
+        }
+    }
+
+    #[test]
+    fn gbdt_sigmoid_link_matches() {
+        let (x, y) = data(200, 4);
+        let pipe = fit_pipeline(
+            &[OpSpec::GbdtClassifier(hb_ml::gbdt::GbdtConfig {
+                n_rounds: 10,
+                max_depth: 3,
+                ..Default::default()
+            })],
+            &x,
+            &y,
+        );
+        assert_matches_reference(&pipe, &x);
+    }
+
+    #[test]
+    fn predict_applies_argmax() {
+        let (x, y) = data(80, 4);
+        let pipe = fit_pipeline(&[OpSpec::GaussianNb], &x, &y);
+        let model = compile(&pipe, &CompileOptions::default()).unwrap();
+        let pred = model.predict(&x).unwrap();
+        let want = pipe.predict(&x);
+        assert_eq!(pred.to_vec(), want.to_vec());
+    }
+
+    #[test]
+    fn empty_pipeline_errors() {
+        let pipe = Pipeline::default();
+        match compile(&pipe, &Default::default()) {
+            Err(CompileError::EmptyPipeline) => {}
+            Err(other) => panic!("unexpected error {other:?}"),
+            Ok(_) => panic!("empty pipeline compiled"),
+        }
+    }
+
+    #[test]
+    fn ptt_too_deep_errors() {
+        // A forest allowed to grow very deep must reject PTT.
+        let n = 600;
+        let x = Tensor::from_fn(&[n, 1], |i| i[0] as f32 + ((i[0] * 37) % 101) as f32 * 0.01);
+        let y = Targets::Classes((0..n).map(|i| ((i / 3) % 2) as i64).collect());
+        let pipe = fit_pipeline(
+            &[OpSpec::RandomForestClassifier(hb_ml::forest::ForestConfig {
+                n_trees: 1,
+                max_depth: 30,
+                bootstrap: false,
+                max_features: 1,
+                n_bins: 255,
+                ..Default::default()
+            })],
+            &x,
+            &y,
+        );
+        let depth = match &pipe.ops[0] {
+            hb_pipeline::FittedOp::TreeEnsemble(e) => e.max_depth(),
+            _ => unreachable!(),
+        };
+        let opts = CompileOptions {
+            tree_strategy: TreeStrategy::PerfectTreeTraversal,
+            ..Default::default()
+        };
+        let res = compile(&pipe, &opts);
+        if depth > strategies::traversal::PTT_MAX_DEPTH {
+            assert!(matches!(res, Err(CompileError::PttTooDeep { .. })));
+        } else {
+            // The tree did not grow deep enough to trigger the guard;
+            // compilation must still succeed.
+            assert!(res.is_ok());
+        }
+    }
+
+    #[test]
+    fn heuristics_follow_paper_rules() {
+        use hb_ml::ensemble::{Aggregation, TreeEnsemble};
+        use hb_ml::tree::Tree;
+        // Build a chain tree of the requested depth.
+        let deep = |d: usize| {
+            let mut t = Tree::leaf(vec![1.0]);
+            for _ in 0..d {
+                let off = 1i32;
+                let mut left = vec![off];
+                left.extend(t.left.iter().map(|&v| if v < 0 { v } else { v + off }));
+                left.push(-1);
+                let mut right = vec![(t.n_nodes() + 1) as i32];
+                right.extend(t.right.iter().map(|&v| if v < 0 { v } else { v + off }));
+                right.push(-1);
+                let mut feature = vec![0];
+                feature.extend_from_slice(&t.feature);
+                feature.push(0);
+                let mut threshold = vec![0.5];
+                threshold.extend_from_slice(&t.threshold);
+                threshold.push(0.0);
+                let mut values = vec![0.0];
+                values.extend_from_slice(&t.values);
+                values.push(2.0);
+                t = Tree { left, right, feature, threshold, values, value_width: 1 };
+            }
+            TreeEnsemble {
+                trees: vec![t],
+                n_features: 1,
+                n_classes: 1,
+                agg: Aggregation::AverageValue,
+            }
+        };
+        let cpu = CompileOptions::default();
+        assert_eq!(strategies::heuristic_strategy(&deep(2), &cpu), TreeStrategy::Gemm);
+        assert_eq!(
+            strategies::heuristic_strategy(&deep(7), &cpu),
+            TreeStrategy::PerfectTreeTraversal
+        );
+        assert_eq!(strategies::heuristic_strategy(&deep(12), &cpu), TreeStrategy::TreeTraversal);
+        // Small expected batches flip medium trees to GEMM.
+        let small = CompileOptions { expected_batch: 1, ..Default::default() };
+        assert_eq!(strategies::heuristic_strategy(&deep(7), &small), TreeStrategy::Gemm);
+        // GPU prefers GEMM up to depth 10.
+        let gpu = CompileOptions {
+            device: Device::Sim(hb_backend::device::P100),
+            ..Default::default()
+        };
+        assert_eq!(strategies::heuristic_strategy(&deep(9), &gpu), TreeStrategy::Gemm);
+        assert_eq!(strategies::heuristic_strategy(&deep(12), &gpu), TreeStrategy::TreeTraversal);
+    }
+
+    #[test]
+    fn featurizer_chain_matches_reference() {
+        let (x, y) = data(90, 6);
+        let pipe = fit_pipeline(
+            &[
+                OpSpec::MinMaxScaler,
+                OpSpec::PolynomialFeatures { include_bias: true, interaction_only: false },
+                OpSpec::SelectKBest { k: 5 },
+            ],
+            &x,
+            &y,
+        );
+        assert_matches_reference(&pipe, &x);
+    }
+
+    #[test]
+    fn svc_decision_matches() {
+        let (x, y) = data(80, 3);
+        let pipe = fit_pipeline(&[OpSpec::Svc(Default::default())], &x, &y);
+        assert_matches_reference(&pipe, &x);
+        // Margin predict = thresholded decision.
+        let model = compile(&pipe, &Default::default()).unwrap();
+        let pred = model.predict(&x).unwrap();
+        assert!(pred.iter().all(|v| v == 0.0 || v == 1.0));
+    }
+}

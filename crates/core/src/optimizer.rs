@@ -1,0 +1,351 @@
+//! Runtime-independent optimizations (paper §5.2): feature-selection
+//! push-down and feature-selection injection.
+//!
+//! Both rewrites operate on the fitted [`Pipeline`] before tensor
+//! compilation. Push-down moves a selector earlier so that discarded
+//! features are never computed: through 1-to-1 operators (scalers,
+//! imputers, binarizers) the selector commutes with a parameter
+//! restriction; 1-to-m operators (one-hot) *absorb* the selection by
+//! pruning their vocabularies. "Blocking" operators like normalizers
+//! (whose row norm reads every feature) stop the push-down, matching the
+//! paper. Injection synthesizes a selector from model sparsity —
+//! zero L1 weights or unused tree features — and then pushes it down.
+
+use std::collections::HashMap;
+
+use hb_ml::featurize::{
+    MaxAbsScaler, MinMaxScaler, OneHotEncoder, RobustScaler, SimpleImputer, StandardScaler,
+};
+use hb_ml::select::FeatureSelector;
+use hb_pipeline::{FittedOp, Pipeline};
+
+/// Applies injection then push-down; returns the rewritten pipeline.
+pub fn optimize_pipeline(p: &Pipeline) -> Pipeline {
+    let injected = inject_feature_selection(p);
+    push_down_feature_selection(&injected)
+}
+
+fn restrict(v: &[f32], keep: &[usize]) -> Vec<f32> {
+    keep.iter().map(|&i| v[i]).collect()
+}
+
+/// Moves every [`FittedOp::FeatureSelector`] as early as possible.
+pub fn push_down_feature_selection(p: &Pipeline) -> Pipeline {
+    let mut ops = p.ops.clone();
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for i in 1..ops.len() {
+            let FittedOp::FeatureSelector(sel) = &ops[i] else { continue };
+            let sel = sel.clone();
+            match &ops[i - 1] {
+                // 1-to-1 operators: swap, restricting parameters.
+                FittedOp::StandardScaler(s) => {
+                    let new = StandardScaler {
+                        mean: restrict(&s.mean, &sel.selected),
+                        scale: restrict(&s.scale, &sel.selected),
+                    };
+                    ops[i] = FittedOp::StandardScaler(new);
+                    ops[i - 1] = FittedOp::FeatureSelector(sel);
+                    changed = true;
+                }
+                FittedOp::MinMaxScaler(s) => {
+                    let new = MinMaxScaler {
+                        data_min: restrict(&s.data_min, &sel.selected),
+                        inv_range: restrict(&s.inv_range, &sel.selected),
+                    };
+                    ops[i] = FittedOp::MinMaxScaler(new);
+                    ops[i - 1] = FittedOp::FeatureSelector(sel);
+                    changed = true;
+                }
+                FittedOp::MaxAbsScaler(s) => {
+                    let new =
+                        MaxAbsScaler { inv_scale: restrict(&s.inv_scale, &sel.selected) };
+                    ops[i] = FittedOp::MaxAbsScaler(new);
+                    ops[i - 1] = FittedOp::FeatureSelector(sel);
+                    changed = true;
+                }
+                FittedOp::RobustScaler(s) => {
+                    let new = RobustScaler {
+                        center: restrict(&s.center, &sel.selected),
+                        inv_scale: restrict(&s.inv_scale, &sel.selected),
+                    };
+                    ops[i] = FittedOp::RobustScaler(new);
+                    ops[i - 1] = FittedOp::FeatureSelector(sel);
+                    changed = true;
+                }
+                FittedOp::SimpleImputer(s) => {
+                    let new =
+                        SimpleImputer { statistics: restrict(&s.statistics, &sel.selected) };
+                    ops[i] = FittedOp::SimpleImputer(new);
+                    ops[i - 1] = FittedOp::FeatureSelector(sel);
+                    changed = true;
+                }
+                // Stateless 1-to-1: plain swap.
+                FittedOp::Binarizer(_) => {
+                    ops.swap(i - 1, i);
+                    changed = true;
+                }
+                // Merge adjacent selectors: compose index maps.
+                FittedOp::FeatureSelector(prev) => {
+                    let composed: Vec<usize> =
+                        sel.selected.iter().map(|&j| prev.selected[j]).collect();
+                    let n_in = prev.n_features_in;
+                    ops[i - 1] =
+                        FittedOp::FeatureSelector(FeatureSelector::from_indices(composed, n_in));
+                    ops.remove(i);
+                    changed = true;
+                }
+                // 1-to-m: absorb into the one-hot vocabulary (§5.2's
+                // "remove such features from the vocabulary").
+                FittedOp::OneHotEncoder(enc) => {
+                    let widths: Vec<usize> = enc.categories.iter().map(Vec::len).collect();
+                    let mut keep: Vec<Vec<usize>> = vec![Vec::new(); widths.len()];
+                    for &out_idx in &sel.selected {
+                        let mut off = 0usize;
+                        for (col, &w) in widths.iter().enumerate() {
+                            if out_idx < off + w {
+                                keep[col].push(out_idx - off);
+                                break;
+                            }
+                            off += w;
+                        }
+                    }
+                    let mut pruned = enc.prune(&keep);
+                    // Drop input columns whose vocabulary emptied out.
+                    let live_cols: Vec<usize> =
+                        (0..keep.len()).filter(|&c| !keep[c].is_empty()).collect();
+                    if live_cols.len() < keep.len() {
+                        pruned = OneHotEncoder {
+                            categories: live_cols
+                                .iter()
+                                .map(|&c| pruned.categories[c].clone())
+                                .collect(),
+                        };
+                        ops[i] = FittedOp::OneHotEncoder(pruned);
+                        ops[i - 1] = FittedOp::FeatureSelector(FeatureSelector::from_indices(
+                            live_cols,
+                            keep.len(),
+                        ));
+                    } else {
+                        ops[i - 1] = FittedOp::OneHotEncoder(pruned);
+                        ops.remove(i);
+                    }
+                    changed = true;
+                }
+                // Blocking or unhandled operators stop the push-down.
+                _ => {}
+            }
+            if changed {
+                break;
+            }
+        }
+    }
+    Pipeline { ops, input_width: p.input_width }
+}
+
+/// Synthesizes a feature selector from model sparsity and pushes it down
+/// (§5.2 Feature Selection Injection).
+pub fn inject_feature_selection(p: &Pipeline) -> Pipeline {
+    let mut ops = p.ops.clone();
+    let Some(last) = ops.last() else { return Pipeline { ops, input_width: p.input_width } };
+    match last {
+        FittedOp::Linear(model) => {
+            let d = model.weights.shape()[1];
+            let used = model.nonzero_features();
+            if !used.is_empty() && used.len() < d {
+                let restricted = model.restrict_features(&used);
+                let sel = FeatureSelector::from_indices(used, d);
+                let n = ops.len();
+                ops[n - 1] = FittedOp::Linear(restricted);
+                ops.insert(n - 1, FittedOp::FeatureSelector(sel));
+            }
+        }
+        FittedOp::TreeEnsemble(e) => {
+            let used = e.used_features();
+            if !used.is_empty() && used.len() < e.n_features {
+                let remap: HashMap<usize, usize> =
+                    used.iter().enumerate().map(|(new, &old)| (old, new)).collect();
+                let mut pruned = e.clone();
+                for t in &mut pruned.trees {
+                    t.remap_features(&remap);
+                }
+                let sel = FeatureSelector::from_indices(used, e.n_features);
+                pruned.n_features = sel.selected.len();
+                let n = ops.len();
+                ops[n - 1] = FittedOp::TreeEnsemble(pruned);
+                ops.insert(n - 1, FittedOp::FeatureSelector(sel));
+            }
+        }
+        _ => {}
+    }
+    Pipeline { ops, input_width: p.input_width }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hb_ml::featurize::ImputeStrategy;
+    use hb_ml::linear::{LinearConfig, Penalty};
+    use hb_ml::metrics::allclose;
+    use hb_pipeline::{fit_pipeline, OpSpec, Targets};
+    use hb_tensor::Tensor;
+
+    fn data(n: usize, d: usize) -> (Tensor<f32>, Targets) {
+        let x = Tensor::from_fn(&[n, d], |i| {
+            if i[1] < 3 {
+                ((i[0] % 2) as f32) * 2.0 + (i[1] as f32) * 0.3
+            } else {
+                ((i[0] * (i[1] + 7)) % 13) as f32 * 0.1
+            }
+        });
+        let y = Targets::Classes((0..n).map(|i| (i % 2) as i64).collect());
+        (x, y)
+    }
+
+    #[test]
+    fn pushdown_moves_selector_before_scaler() {
+        let (x, y) = data(100, 8);
+        let pipe = fit_pipeline(
+            &[
+                OpSpec::StandardScaler,
+                OpSpec::SelectKBest { k: 3 },
+                OpSpec::LogisticRegression(LinearConfig::default()),
+            ],
+            &x,
+            &y,
+        );
+        let opt = push_down_feature_selection(&pipe);
+        let sigs: Vec<&str> = opt.ops.iter().map(|o| o.signature()).collect();
+        assert_eq!(sigs, vec!["FeatureSelector", "StandardScaler", "LinearModel"]);
+        // Outputs must be preserved.
+        let a = pipe.predict_proba(&x);
+        let b = opt.predict_proba(&x);
+        assert!(allclose(&a, &b, 1e-5, 1e-5));
+    }
+
+    #[test]
+    fn pushdown_through_imputer_and_scaler_chain() {
+        let (x, y) = data(80, 10);
+        let pipe = fit_pipeline(
+            &[
+                OpSpec::SimpleImputer { strategy: ImputeStrategy::Mean },
+                OpSpec::MinMaxScaler,
+                OpSpec::SelectKBest { k: 4 },
+            ],
+            &x,
+            &y,
+        );
+        let opt = push_down_feature_selection(&pipe);
+        assert_eq!(opt.ops[0].signature(), "FeatureSelector");
+        let a = pipe.predict_proba(&x);
+        let b = opt.predict_proba(&x);
+        assert!(allclose(&a, &b, 1e-5, 1e-5));
+    }
+
+    #[test]
+    fn pushdown_absorbed_by_onehot() {
+        // Categorical data with small vocabularies.
+        let n = 120;
+        let x = Tensor::from_fn(&[n, 3], |i| ((i[0] * (i[1] + 2)) % 4) as f32);
+        let y = Targets::Classes((0..n).map(|i| (i % 2) as i64).collect());
+        let pipe = fit_pipeline(&[OpSpec::OneHotEncoder, OpSpec::SelectKBest { k: 5 }], &x, &y);
+        let before = pipe.predict_proba(&x);
+        let opt = push_down_feature_selection(&pipe);
+        // The selector is absorbed: either gone entirely or only a
+        // column selector remains in front.
+        let n_sel = opt
+            .ops
+            .iter()
+            .filter(|o| o.signature() == "FeatureSelector")
+            .count();
+        assert!(opt.ops.last().unwrap().signature() == "OneHotEncoder");
+        assert!(n_sel <= 1);
+        let after = opt.predict_proba(&x);
+        assert!(allclose(&before, &after, 1e-6, 1e-6));
+    }
+
+    #[test]
+    fn normalizer_blocks_pushdown() {
+        let (x, y) = data(60, 6);
+        let pipe = fit_pipeline(
+            &[
+                OpSpec::Normalizer { norm: hb_ml::featurize::Norm::L2 },
+                OpSpec::SelectKBest { k: 3 },
+            ],
+            &x,
+            &y,
+        );
+        let opt = push_down_feature_selection(&pipe);
+        let sigs: Vec<&str> = opt.ops.iter().map(|o| o.signature()).collect();
+        // Selector cannot cross the blocking normalizer (§5.2).
+        assert_eq!(sigs, vec!["Normalizer", "FeatureSelector"]);
+    }
+
+    #[test]
+    fn injection_from_l1_sparsity() {
+        let (x, y) = data(200, 12);
+        let pipe = fit_pipeline(
+            &[
+                OpSpec::StandardScaler,
+                OpSpec::LogisticRegression(LinearConfig {
+                    penalty: Penalty::L1(0.03),
+                    epochs: 300,
+                    ..Default::default()
+                }),
+            ],
+            &x,
+            &y,
+        );
+        let before = pipe.predict_proba(&x);
+        let opt = optimize_pipeline(&pipe);
+        // A selector should have been injected and pushed to the front.
+        assert_eq!(opt.ops[0].signature(), "FeatureSelector");
+        let after = opt.predict_proba(&x);
+        assert!(allclose(&before, &after, 1e-5, 1e-5));
+    }
+
+    #[test]
+    fn injection_from_tree_feature_usage() {
+        let (x, y) = data(150, 20);
+        let pipe = fit_pipeline(
+            &[OpSpec::DecisionTreeClassifier { max_depth: 3 }],
+            &x,
+            &y,
+        );
+        let before = pipe.predict_proba(&x);
+        let opt = inject_feature_selection(&pipe);
+        // A depth-3 tree uses at most 7 features out of 20.
+        assert_eq!(opt.ops.len(), 2);
+        assert_eq!(opt.ops[0].signature(), "FeatureSelector");
+        let after = opt.predict_proba(&x);
+        assert!(allclose(&before, &after, 1e-6, 1e-6));
+    }
+
+    #[test]
+    fn adjacent_selectors_compose() {
+        let (x, y) = data(60, 10);
+        let pipe = fit_pipeline(
+            &[OpSpec::SelectKBest { k: 6 }, OpSpec::SelectKBest { k: 2 }],
+            &x,
+            &y,
+        );
+        let before = pipe.predict_proba(&x);
+        let opt = push_down_feature_selection(&pipe);
+        assert_eq!(opt.ops.len(), 1);
+        let after = opt.predict_proba(&x);
+        assert!(allclose(&before, &after, 1e-6, 1e-6));
+    }
+
+    #[test]
+    fn dense_model_injects_nothing() {
+        let (x, y) = data(100, 4);
+        let pipe = fit_pipeline(
+            &[OpSpec::LogisticRegression(LinearConfig::default())],
+            &x,
+            &y,
+        );
+        let opt = inject_feature_selection(&pipe);
+        assert_eq!(opt.ops.len(), 1, "no selector expected for dense weights");
+    }
+}

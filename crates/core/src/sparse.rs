@@ -1,0 +1,209 @@
+//! Sparse fast path for one-hot → linear pipelines (paper §6.3).
+//!
+//! Wide one-hot features are the paper's canonical sparse case: a dense
+//! indicator matrix of width Σ|vocab| with exactly one nonzero per
+//! categorical column. This module detects the `OneHotEncoder → (affine
+//! scaler)? → LinearModel` pattern and serves it through a CSR SpMM,
+//! skipping both the dense indicator materialization and the dense GEMM
+//! — the remedy the paper sketches for its Figure 12 sparse slowdowns.
+
+use hb_ml::featurize::OneHotEncoder;
+use hb_ml::linear::{LinearLink, LinearModel};
+use hb_pipeline::{FittedOp, Pipeline};
+use hb_tensor::sparse::CsrMatrix;
+use hb_tensor::Tensor;
+
+/// A one-hot → linear pipeline lowered to the sparse path.
+pub struct SparseOneHotLinear {
+    categories: Vec<Vec<f32>>,
+    /// Effective weights over the one-hot space `[width, k]`, with any
+    /// intermediate affine scaler folded in.
+    weights: Tensor<f32>,
+    /// Effective bias `[k]` (scaler offsets folded in).
+    bias: Vec<f32>,
+    link: LinearLink,
+}
+
+impl SparseOneHotLinear {
+    /// Attempts to lower `pipeline`; returns `None` when the pattern does
+    /// not apply (`OneHotEncoder`, optional `StandardScaler`, then a
+    /// linear model).
+    pub fn try_lower(pipeline: &Pipeline) -> Option<SparseOneHotLinear> {
+        let mut ops = pipeline.ops.iter();
+        let FittedOp::OneHotEncoder(enc) = ops.next()? else { return None };
+        let mut next = ops.next()?;
+        // Optional standard scaler between encoder and model: fold
+        // `(h − μ)/σ · W = h · (W/σ) − (μ/σ)·W` into weights and bias.
+        let scaler = if let FittedOp::StandardScaler(s) = next {
+            next = ops.next()?;
+            Some(s.clone())
+        } else {
+            None
+        };
+        let FittedOp::Linear(model) = next else { return None };
+        if ops.next().is_some() {
+            return None;
+        }
+        Some(Self::fold(enc, scaler.as_ref(), model))
+    }
+
+    fn fold(
+        enc: &OneHotEncoder,
+        scaler: Option<&hb_ml::featurize::StandardScaler>,
+        model: &LinearModel,
+    ) -> SparseOneHotLinear {
+        let width = enc.out_width();
+        let k = model.weights.shape()[0];
+        assert_eq!(model.weights.shape()[1], width, "model width != one-hot width");
+        // weights_eff[f][c] = W[c][f] / σ_f ; bias_eff[c] = b[c] − Σ_f μ_f/σ_f · W[c][f]
+        let w = model.weights.to_vec();
+        let mut weights = vec![0.0f32; width * k];
+        let mut bias = model.bias.clone();
+        for f in 0..width {
+            let (mu, inv_sigma) = match scaler {
+                Some(s) => (s.mean[f], 1.0 / s.scale[f]),
+                None => (0.0, 1.0),
+            };
+            for c in 0..k {
+                let wcf = w[c * width + f];
+                weights[f * k + c] = wcf * inv_sigma;
+                bias[c] -= mu * inv_sigma * wcf;
+            }
+        }
+        SparseOneHotLinear {
+            categories: enc.categories.clone(),
+            weights: Tensor::from_vec(weights, &[width, k]),
+            bias,
+            link: model.link,
+        }
+    }
+
+    /// Encodes raw categorical rows directly into CSR form: one nonzero
+    /// per matched column, no dense indicator matrix.
+    pub fn encode_csr(&self, x: &Tensor<f32>) -> CsrMatrix {
+        let (n, d) = (x.shape()[0], x.shape()[1]);
+        assert_eq!(d, self.categories.len(), "column count mismatch");
+        let xc = x.to_contiguous();
+        let xv = xc.as_slice();
+        let width: usize = self.categories.iter().map(Vec::len).sum();
+        let mut indptr = Vec::with_capacity(n + 1);
+        let mut indices = Vec::with_capacity(n * d);
+        indptr.push(0);
+        for r in 0..n {
+            let mut off = 0usize;
+            for (f, cats) in self.categories.iter().enumerate() {
+                let v = xv[r * d + f];
+                if let Ok(i) = cats.binary_search_by(|c| c.partial_cmp(&v).unwrap()) {
+                    indices.push((off + i) as u32);
+                }
+                off += cats.len();
+            }
+            indptr.push(indices.len());
+        }
+        // Indicator features: every stored entry is exactly 1.
+        let ones = vec![1.0f32; indices.len()];
+        CsrMatrix::new(n, width, indptr, indices, ones)
+    }
+
+    /// Scores raw categorical rows, matching the dense pipeline's
+    /// `predict_proba` output exactly.
+    pub fn predict_proba(&self, x: &Tensor<f32>) -> Tensor<f32> {
+        let csr = self.encode_csr(x);
+        let z = csr.matmul_dense(&self.weights); // [n, k]
+        let b = Tensor::from_vec(self.bias.clone(), &[1, self.bias.len()]);
+        let z = z.add(&b);
+        match self.link {
+            LinearLink::Margin => z,
+            LinearLink::Softmax => z.softmax_axis(1),
+            LinearLink::Sigmoid => {
+                let p = z.sigmoid();
+                let q = p.map(|v| 1.0 - v);
+                Tensor::concat(&[&q, &p], 1)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hb_ml::linear::LinearConfig;
+    use hb_ml::metrics::allclose;
+    use hb_pipeline::{fit_pipeline, OpSpec, Targets};
+
+    fn categorical_data(n: usize, d: usize, vocab: usize) -> (Tensor<f32>, Targets) {
+        let x = Tensor::from_fn(&[n, d], |i| {
+            ((i[0].wrapping_mul(31).wrapping_add(i[1] * 7)) % vocab) as f32
+        });
+        let y = Targets::Classes((0..n).map(|i| (i % 2) as i64).collect());
+        (x, y)
+    }
+
+    #[test]
+    fn sparse_path_matches_dense_pipeline() {
+        let (x, y) = categorical_data(200, 8, 6);
+        let pipe = fit_pipeline(
+            &[
+                OpSpec::OneHotEncoder,
+                OpSpec::LogisticRegression(LinearConfig { epochs: 40, ..Default::default() }),
+            ],
+            &x,
+            &y,
+        );
+        let sparse = SparseOneHotLinear::try_lower(&pipe).expect("pattern applies");
+        let want = pipe.predict_proba(&x);
+        let got = sparse.predict_proba(&x);
+        assert!(allclose(&got, &want, 1e-4, 1e-4), "sparse path diverged");
+    }
+
+    #[test]
+    fn sparse_path_folds_standard_scaler() {
+        let (x, y) = categorical_data(150, 5, 4);
+        let pipe = fit_pipeline(
+            &[
+                OpSpec::OneHotEncoder,
+                OpSpec::StandardScaler,
+                OpSpec::LogisticRegression(LinearConfig { epochs: 40, ..Default::default() }),
+            ],
+            &x,
+            &y,
+        );
+        let sparse = SparseOneHotLinear::try_lower(&pipe).expect("pattern applies");
+        let want = pipe.predict_proba(&x);
+        let got = sparse.predict_proba(&x);
+        assert!(allclose(&got, &want, 1e-3, 1e-3), "scaler folding diverged");
+    }
+
+    #[test]
+    fn non_matching_pipelines_are_declined() {
+        let (x, y) = categorical_data(50, 3, 3);
+        let only_encoder = fit_pipeline(&[OpSpec::OneHotEncoder], &x, &y);
+        assert!(SparseOneHotLinear::try_lower(&only_encoder).is_none());
+        let no_encoder = fit_pipeline(
+            &[OpSpec::LogisticRegression(LinearConfig { epochs: 5, ..Default::default() })],
+            &x,
+            &y,
+        );
+        assert!(SparseOneHotLinear::try_lower(&no_encoder).is_none());
+    }
+
+    #[test]
+    fn csr_encoding_has_one_nnz_per_known_category() {
+        let (x, y) = categorical_data(40, 6, 5);
+        let pipe = fit_pipeline(
+            &[
+                OpSpec::OneHotEncoder,
+                OpSpec::LogisticRegression(LinearConfig { epochs: 5, ..Default::default() }),
+            ],
+            &x,
+            &y,
+        );
+        let sparse = SparseOneHotLinear::try_lower(&pipe).unwrap();
+        let csr = sparse.encode_csr(&x);
+        // Every training value is a known category: d nonzeros per row.
+        assert_eq!(csr.nnz(), 40 * 6);
+        // Unknown categories contribute nothing.
+        let unseen = Tensor::full(&[2, 6], 99.0f32);
+        assert_eq!(sparse.encode_csr(&unseen).nnz(), 0);
+    }
+}

@@ -1,0 +1,187 @@
+//! The GEMM tree-compilation strategy (paper §4.1 Strategy 1,
+//! Algorithm 1).
+//!
+//! Tree evaluation becomes three batched GEMMs interleaved with `<` and
+//! `==`: the five tensors A–E of paper Table 3 capture, per tree, the
+//! feature→internal-node incidence, thresholds, internal-node→leaf path
+//! encoding, left-edge path counts, and leaf→class mapping. Ensembles
+//! stack the per-tree tensors into `[T, ·, ·]` batches padded to the
+//! largest tree (§4.1 "we pick the maximum number of leaf nodes and
+//! internal nodes for any tree ... and pad").
+
+use hb_backend::{GraphBuilder, NodeId};
+use hb_ml::ensemble::TreeEnsemble;
+use hb_ml::tree::Tree;
+use hb_tensor::{DType, Tensor};
+
+/// Per-tree GEMM tensors before batching.
+struct TreeTensors {
+    /// `A[f][i] = 1` iff internal node `i` evaluates feature `f`.
+    a: Vec<f32>,
+    /// Threshold per internal node.
+    b: Vec<f32>,
+    /// `C[i][l]` ∈ {1 left, −1 right, 0 not-ancestor}.
+    c: Vec<f32>,
+    /// Left-edge count on the root→leaf path.
+    d: Vec<f32>,
+    /// Leaf payloads `[L, W]`.
+    e: Vec<f32>,
+    n_internal: usize,
+    n_leaves: usize,
+}
+
+/// Enumerates leaves with their ancestor paths
+/// (`(leaf_node, [(internal_position, went_left)])`).
+fn leaf_paths(tree: &Tree) -> (Vec<usize>, Vec<(usize, Vec<(usize, bool)>)>) {
+    let internals: Vec<usize> = (0..tree.n_nodes()).filter(|&i| !tree.is_leaf(i)).collect();
+    let pos_of: std::collections::HashMap<usize, usize> =
+        internals.iter().enumerate().map(|(p, &n)| (n, p)).collect();
+    let mut leaves = Vec::new();
+    let mut stack = vec![(0usize, Vec::new())];
+    while let Some((node, path)) = stack.pop() {
+        if tree.is_leaf(node) {
+            leaves.push((node, path));
+        } else {
+            let p = pos_of[&node];
+            let mut left = path.clone();
+            left.push((p, true));
+            let mut right = path;
+            right.push((p, false));
+            // Push right first so leaves pop out in left-to-right order.
+            stack.push((tree.right[node] as usize, right));
+            stack.push((tree.left[node] as usize, left));
+        }
+    }
+    (internals, leaves)
+}
+
+fn tree_tensors(tree: &Tree, n_features: usize, imax: usize, lmax: usize) -> TreeTensors {
+    let (internals, leaves) = leaf_paths(tree);
+    let w = tree.value_width;
+    let mut a = vec![0.0f32; n_features * imax];
+    let mut b = vec![0.0f32; imax];
+    let mut c = vec![0.0f32; imax * lmax];
+    // Padded leaf slots must never win the `==` comparison: their column
+    // of C is all zeros (path sum 0), so any D value > 0 excludes them.
+    // D = −1 is unreachable for real paths too, covering depth-0 trees.
+    let mut d = vec![-1.0f32; lmax];
+    let mut e = vec![0.0f32; lmax * w];
+    for (pos, &node) in internals.iter().enumerate() {
+        a[tree.feature[node] as usize * imax + pos] = 1.0;
+        b[pos] = tree.threshold[node];
+    }
+    for (li, (leaf, path)) in leaves.iter().enumerate() {
+        let mut left_count = 0.0f32;
+        for &(ipos, went_left) in path {
+            c[ipos * lmax + li] = if went_left { 1.0 } else { -1.0 };
+            if went_left {
+                left_count += 1.0;
+            }
+        }
+        d[li] = left_count;
+        e[li * w..(li + 1) * w].copy_from_slice(tree.value(*leaf));
+    }
+    TreeTensors { a, b, c, d, e, n_internal: internals.len(), n_leaves: leaves.len() }
+}
+
+/// Emits Algorithm 1 over the whole ensemble; returns stacked per-tree
+/// outputs `[T, n, W]`.
+pub fn compile(ensemble: &TreeEnsemble, gb: &mut GraphBuilder, x: NodeId) -> NodeId {
+    let t = ensemble.trees.len();
+    let f = ensemble.n_features;
+    let w = ensemble.trees[0].value_width;
+    let imax = ensemble
+        .trees
+        .iter()
+        .map(|tr| tr.n_nodes() - tr.n_leaves())
+        .max()
+        .unwrap_or(0)
+        .max(1);
+    let lmax = ensemble.trees.iter().map(Tree::n_leaves).max().unwrap_or(1);
+
+    let mut a = Vec::with_capacity(t * f * imax);
+    let mut b = Vec::with_capacity(t * imax);
+    let mut c = Vec::with_capacity(t * imax * lmax);
+    let mut d = Vec::with_capacity(t * lmax);
+    let mut e = Vec::with_capacity(t * lmax * w);
+    for tree in &ensemble.trees {
+        let tt = tree_tensors(tree, f, imax, lmax);
+        debug_assert!(tt.n_internal <= imax && tt.n_leaves <= lmax);
+        a.extend_from_slice(&tt.a);
+        b.extend_from_slice(&tt.b);
+        c.extend_from_slice(&tt.c);
+        d.extend_from_slice(&tt.d);
+        e.extend_from_slice(&tt.e);
+    }
+
+    let a_c = gb.constant(Tensor::from_vec(a, &[t, f, imax]));
+    let b_c = gb.constant(Tensor::from_vec(b, &[t, 1, imax]));
+    let c_c = gb.constant(Tensor::from_vec(c, &[t, imax, lmax]));
+    let d_c = gb.constant(Tensor::from_vec(d, &[t, 1, lmax]));
+    let e_c = gb.constant(Tensor::from_vec(e, &[t, lmax, w]));
+
+    // T ← GEMM(X, A); T ← T < B
+    let t1 = gb.matmul(x, a_c); // [T, n, Imax]
+    let lt = gb.lt(t1, b_c);
+    let t2 = gb.cast(lt, DType::F32);
+    // T ← GEMM(T, C); T ← T == D
+    let t3 = gb.matmul(t2, c_c); // [T, n, Lmax]
+    let eq = gb.eq(t3, d_c);
+    let t4 = gb.cast(eq, DType::F32);
+    // T ← GEMM(T, E)
+    gb.matmul(t4, e_c) // [T, n, W]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn leaf_paths_enumerates_left_to_right() {
+        // Root splits on f0; left child is a leaf; right child splits on f1.
+        let t = Tree {
+            left: vec![1, -1, 3, -1, -1],
+            right: vec![2, -1, 4, -1, -1],
+            feature: vec![0, 0, 1, 0, 0],
+            threshold: vec![0.5, 0.0, 1.5, 0.0, 0.0],
+            values: vec![0.0, 10.0, 0.0, 20.0, 30.0],
+            value_width: 1,
+        };
+        let (internals, leaves) = leaf_paths(&t);
+        assert_eq!(internals, vec![0, 2]);
+        let leaf_nodes: Vec<usize> = leaves.iter().map(|(n, _)| *n).collect();
+        assert_eq!(leaf_nodes, vec![1, 3, 4]);
+        // Leaf 3's path: left at node 2? No — node 3 is the left child of
+        // node 2, reached by going right at the root.
+        assert_eq!(leaves[1].1, vec![(0, false), (1, true)]);
+    }
+
+    #[test]
+    fn tensors_encode_paths() {
+        let t = Tree {
+            left: vec![1, -1, -1],
+            right: vec![2, -1, -1],
+            feature: vec![3, 0, 0],
+            threshold: vec![0.7, 0.0, 0.0],
+            values: vec![0.0, 1.0, 2.0],
+            value_width: 1,
+        };
+        let tt = tree_tensors(&t, 5, 1, 2);
+        // A: feature 3 evaluates internal node 0.
+        assert_eq!(tt.a[3], 1.0);
+        assert_eq!(tt.b, vec![0.7]);
+        // C: left leaf +1, right leaf −1; D: 1 left edge then 0.
+        assert_eq!(tt.c, vec![1.0, -1.0]);
+        assert_eq!(tt.d, vec![1.0, 0.0]);
+        assert_eq!(tt.e, vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn padded_slots_cannot_be_selected() {
+        let t = Tree::leaf(vec![7.0]);
+        let tt = tree_tensors(&t, 2, 3, 4);
+        // Real leaf at position 0 with D = 0; padding leaves D = −1.
+        assert_eq!(tt.d, vec![0.0, -1.0, -1.0, -1.0]);
+        assert_eq!(tt.e[0], 7.0);
+    }
+}

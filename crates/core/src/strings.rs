@@ -1,0 +1,154 @@
+//! String-feature compilation (paper §4.2 "Fixed Length Restriction on
+//! String Features").
+//!
+//! Strings are packed into fixed-width byte tensors (`u8`, width = max
+//! vocabulary string length) at the boundary; inside the graph, one-hot
+//! encoding becomes a broadcast byte-equality against the packed
+//! vocabulary followed by an all-bytes-match reduction:
+//!
+//! ```text
+//! X  : [n, W]  packed input strings
+//! V  : [m, W]  packed vocabulary
+//! Eq : [n, m, W] = (X[n,1,W] == V[1,m,W])     (broadcast equality)
+//! hot: [n, m]    = (Σ_W Eq) == W              (full-string match)
+//! ```
+
+use hb_backend::{Backend, Device, ExecError, Executable, GraphBuilder};
+use hb_ml::featurize::{pack_strings, StringOneHotEncoder};
+use hb_tensor::{DType, DynTensor, Tensor};
+
+/// A string one-hot encoder compiled to tensor computations over packed
+/// byte inputs.
+pub struct CompiledStringEncoder {
+    exe: Executable,
+    n_columns: usize,
+    width: usize,
+}
+
+impl CompiledStringEncoder {
+    /// Compiles the fitted encoder for the given backend/device.
+    pub fn compile(
+        enc: &StringOneHotEncoder,
+        backend: Backend,
+        device: Device,
+    ) -> CompiledStringEncoder {
+        let width = enc.width.max(1);
+        let mut b = GraphBuilder::new();
+        // One u8 input per string column: `[n, width]` packed bytes.
+        let mut parts = Vec::with_capacity(enc.vocab.len());
+        for vocab in enc.vocab.iter() {
+            let x = b.input(DType::U8);
+            if vocab.is_empty() {
+                continue;
+            }
+            // Bytes compare as f32 (exact for u8 values).
+            let xf = b.cast(x, DType::F32);
+            let xu = b.unsqueeze(xf, 1); // [n, 1, W]
+            let packed = pack_strings(vocab, width);
+            let vt = Tensor::from_vec(packed, &[vocab.len(), width]);
+            let vc = b.constant(DynTensor::U8(vt).cast(DType::F32).as_f32().clone());
+            let vu = b.unsqueeze(vc, 0); // [1, m, W]
+            let eq = b.eq(xu, vu); // [n, m, W]
+            let eqf = b.cast(eq, DType::F32);
+            let matches = b.sum(eqf, 2, false); // [n, m]
+            let w_c = b.constant(Tensor::scalar(width as f32));
+            let hot = b.eq(matches, w_c);
+            parts.push(b.cast(hot, DType::F32));
+        }
+        let out = match parts.len() {
+            0 => panic!("string encoder with an empty vocabulary"),
+            1 => parts[0],
+            _ => b.concat(1, parts),
+        };
+        b.output(out);
+        let exe = Executable::new(b.build(), backend, device);
+        CompiledStringEncoder { exe, n_columns: enc.vocab.len(), width }
+    }
+
+    /// Encodes column-major string data by packing each column to bytes
+    /// and running the compiled graph.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the column count differs from the fitted encoder.
+    pub fn transform(&self, columns: &[Vec<String>]) -> Result<Tensor<f32>, ExecError> {
+        assert_eq!(columns.len(), self.n_columns, "column count mismatch");
+        let n = columns.first().map_or(0, |c| c.len());
+        let inputs: Vec<DynTensor> = columns
+            .iter()
+            .map(|col| {
+                DynTensor::U8(Tensor::from_vec(pack_strings(col, self.width), &[n, self.width]))
+            })
+            .collect();
+        let out = self.exe.run(&inputs)?;
+        Ok(out.into_iter().next().expect("one output").as_f32().clone())
+    }
+
+    /// Fixed byte width strings are packed to.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn columns() -> Vec<Vec<String>> {
+        vec![
+            vec!["red", "green", "blue", "red", "green"]
+                .into_iter()
+                .map(String::from)
+                .collect(),
+            vec!["cat", "dog", "cat", "bird", "dog"].into_iter().map(String::from).collect(),
+        ]
+    }
+
+    #[test]
+    fn compiled_matches_imperative_encoder() {
+        let cols = columns();
+        let enc = StringOneHotEncoder::fit(&cols);
+        let want = enc.transform(&cols);
+        for backend in Backend::ALL {
+            let compiled = CompiledStringEncoder::compile(&enc, backend, Device::cpu());
+            let got = compiled.transform(&cols).unwrap();
+            assert_eq!(got.shape(), want.shape());
+            assert_eq!(got.to_vec(), want.to_vec(), "{backend:?} diverged");
+        }
+    }
+
+    #[test]
+    fn unseen_strings_encode_to_zero() {
+        let cols = columns();
+        let enc = StringOneHotEncoder::fit(&cols);
+        let compiled = CompiledStringEncoder::compile(&enc, Backend::Compiled, Device::cpu());
+        let unseen = vec![vec!["purple".to_string()], vec!["fish".to_string()]];
+        let got = compiled.transform(&unseen).unwrap();
+        assert!(got.iter().all(|v| v == 0.0));
+    }
+
+    #[test]
+    fn prefix_strings_do_not_collide() {
+        // "cat" vs "cats": zero-padding must not make a prefix match.
+        let cols = vec![vec!["cat".to_string(), "cats".to_string()]];
+        let enc = StringOneHotEncoder::fit(&cols);
+        let compiled = CompiledStringEncoder::compile(&enc, Backend::Compiled, Device::cpu());
+        let got = compiled.transform(&cols).unwrap();
+        // Row 0 matches vocab "cat" only; row 1 matches "cats" only.
+        assert_eq!(got.to_vec(), vec![1.0, 0.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn long_strings_truncate_consistently_with_imperative() {
+        let cols = vec![vec![
+            "short".to_string(),
+            "a-very-long-categorical-value".to_string(),
+            "short".to_string(),
+        ]];
+        let enc = StringOneHotEncoder::fit(&cols);
+        let compiled = CompiledStringEncoder::compile(&enc, Backend::Compiled, Device::cpu());
+        let got = compiled.transform(&cols).unwrap();
+        let want = enc.transform(&cols);
+        assert_eq!(got.to_vec(), want.to_vec());
+    }
+}

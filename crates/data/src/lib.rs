@@ -1,0 +1,514 @@
+//! Synthetic dataset generators standing in for the paper's benchmarks.
+//!
+//! The paper evaluates on six gradient-boosting benchmark datasets
+//! (Fraud, Epsilon, Year, Covtype, Higgs, Airline — NVIDIA gbm-bench),
+//! Iris with 20 features, Nomao with 119 features, and the OpenML-CC18
+//! suite. Those are external downloads; this crate generates seeded
+//! synthetic datasets with the **same schema** (task type, feature count,
+//! class count, class skew) and configurable row counts, as documented in
+//! DESIGN.md's substitution table.
+
+use rand::prelude::*;
+use rand_distr::{Distribution, Normal};
+
+use hb_pipeline::{OpSpec, Targets};
+use hb_tensor::Tensor;
+
+use hb_ml::featurize::ImputeStrategy;
+use hb_ml::linear::LinearConfig;
+use hb_ml::Task;
+
+/// A train/test dataset with schema metadata.
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    /// Dataset name (paper dataset it stands in for).
+    pub name: String,
+    /// Training features `[n_train, d]`.
+    pub x_train: Tensor<f32>,
+    /// Test features `[n_test, d]`.
+    pub x_test: Tensor<f32>,
+    /// Training targets.
+    pub y_train: Targets,
+    /// Test targets.
+    pub y_test: Targets,
+    /// Prediction task.
+    pub task: Task,
+}
+
+impl Dataset {
+    /// Feature dimensionality.
+    pub fn n_features(&self) -> usize {
+        self.x_train.shape()[1]
+    }
+
+    /// Training row count.
+    pub fn n_train(&self) -> usize {
+        self.x_train.shape()[0]
+    }
+
+    /// Test row count.
+    pub fn n_test(&self) -> usize {
+        self.x_test.shape()[0]
+    }
+}
+
+/// Simple multiclass generator used by examples and doc tests:
+/// class-dependent cluster centers plus Gaussian noise.
+pub fn synthetic_classification(n: usize, d: usize, c: usize, seed: u64) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let normal = Normal::new(0.0f32, 1.0).unwrap();
+    // Random class centers.
+    let centers: Vec<f32> = (0..c * d).map(|_| rng.gen_range(-3.0..3.0)).collect();
+    let mut xs = Vec::with_capacity(n * d);
+    let mut ys = Vec::with_capacity(n);
+    for i in 0..n {
+        let cls = i % c;
+        for f in 0..d {
+            xs.push(centers[cls * d + f] + normal.sample(&mut rng));
+        }
+        ys.push(cls as i64);
+    }
+    split(
+        "synthetic".into(),
+        Tensor::from_vec(xs, &[n, d]),
+        Targets::Classes(ys),
+        if c == 2 { Task::Binary } else { Task::Multiclass(c) },
+        seed,
+    )
+}
+
+/// Generates a classification matrix with `informative` linearly
+/// predictive features, interaction structure, noise features, and an
+/// optional positive-class rate (binary only).
+#[allow(clippy::too_many_arguments)]
+fn gen_classification(
+    name: &str,
+    n: usize,
+    d: usize,
+    c: usize,
+    informative: usize,
+    pos_rate: Option<f32>,
+    seed: u64,
+) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let normal = Normal::new(0.0f32, 1.0).unwrap();
+    let informative = informative.min(d);
+    // Per-class weight vectors over the informative block.
+    let w: Vec<f32> = (0..c * informative).map(|_| rng.gen_range(-1.5..1.5)).collect();
+    let mut xs = vec![0.0f32; n * d];
+    let mut scores = vec![0.0f32; n * c];
+    for r in 0..n {
+        for f in 0..d {
+            xs[r * d + f] = normal.sample(&mut rng);
+        }
+        // Mild interaction term makes trees beat linear models, like the
+        // gbm-bench tasks.
+        let inter = xs[r * d] * xs[r * d + 1.min(d - 1)];
+        for cls in 0..c {
+            let mut s = 0.4 * inter * if cls % 2 == 0 { 1.0 } else { -1.0 };
+            for f in 0..informative {
+                s += w[cls * informative + f] * xs[r * d + f];
+            }
+            scores[r * c + cls] = s + 0.3 * normal.sample(&mut rng);
+        }
+    }
+    let ys: Vec<i64> = if c == 2 {
+        // Threshold at the quantile giving the requested positive rate.
+        let margins: Vec<f32> = (0..n).map(|r| scores[r * 2 + 1] - scores[r * 2]).collect();
+        let mut sorted = margins.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let q = 1.0 - pos_rate.unwrap_or(0.5).clamp(0.001, 0.999);
+        let thr = sorted[((n - 1) as f32 * q) as usize];
+        margins.iter().map(|&m| i64::from(m > thr)).collect()
+    } else {
+        (0..n)
+            .map(|r| {
+                let row = &scores[r * c..(r + 1) * c];
+                row.iter()
+                    .enumerate()
+                    .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+                    .map(|(i, _)| i as i64)
+                    .unwrap()
+            })
+            .collect()
+    };
+    split(
+        name.into(),
+        Tensor::from_vec(xs, &[n, d]),
+        Targets::Classes(ys),
+        if c == 2 { Task::Binary } else { Task::Multiclass(c) },
+        seed,
+    )
+}
+
+/// Generates a regression dataset with linear + periodic structure.
+fn gen_regression(name: &str, n: usize, d: usize, seed: u64) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let normal = Normal::new(0.0f32, 1.0).unwrap();
+    let w: Vec<f32> = (0..d).map(|_| rng.gen_range(-1.0..1.0)).collect();
+    let mut xs = vec![0.0f32; n * d];
+    let mut ys = Vec::with_capacity(n);
+    for r in 0..n {
+        let mut s = 0.0f32;
+        for f in 0..d {
+            let v = normal.sample(&mut rng);
+            xs[r * d + f] = v;
+            s += w[f] * v;
+        }
+        ys.push(s + (xs[r * d] * 2.0).sin() + 0.2 * normal.sample(&mut rng));
+    }
+    split(
+        name.into(),
+        Tensor::from_vec(xs, &[n, d]),
+        Targets::Values(ys),
+        Task::Regression,
+        seed,
+    )
+}
+
+/// 80/20 train/test split (the paper's protocol).
+fn split(name: String, x: Tensor<f32>, y: Targets, task: Task, _seed: u64) -> Dataset {
+    let n = x.shape()[0];
+    let n_train = (n * 4) / 5;
+    let x_train = x.slice(0, 0, n_train).to_contiguous();
+    let x_test = x.slice(0, n_train, n).to_contiguous();
+    let (y_train, y_test) = match y {
+        Targets::Classes(c) => (
+            Targets::Classes(c[..n_train].to_vec()),
+            Targets::Classes(c[n_train..].to_vec()),
+        ),
+        Targets::Values(v) => {
+            (Targets::Values(v[..n_train].to_vec()), Targets::Values(v[n_train..].to_vec()))
+        }
+    };
+    Dataset { name, x_train, x_test, y_train, y_test, task }
+}
+
+/// Schema descriptor of one gbm-bench stand-in.
+#[derive(Debug, Clone, Copy)]
+pub struct TreeBenchSpec {
+    /// Dataset name.
+    pub name: &'static str,
+    /// Paper row count (before scaling).
+    pub paper_rows: usize,
+    /// Feature count (kept faithful to the paper).
+    pub features: usize,
+    /// Classes (1 = regression).
+    pub classes: usize,
+    /// Positive-class rate for imbalanced binary tasks.
+    pub pos_rate: f32,
+}
+
+/// The six gbm-bench datasets of §6.1.1, in paper order.
+pub const TREE_BENCH_SPECS: [TreeBenchSpec; 6] = [
+    // Kaggle credit-card fraud: 285K × 28, heavily imbalanced binary.
+    TreeBenchSpec { name: "fraud", paper_rows: 285_000, features: 28, classes: 2, pos_rate: 0.02 },
+    // Epsilon: 400K × 2000 binary (feature count kept; scale rows!).
+    TreeBenchSpec { name: "epsilon", paper_rows: 400_000, features: 2000, classes: 2, pos_rate: 0.5 },
+    // YearPredictionMSD: 515K × 90 regression.
+    TreeBenchSpec { name: "year", paper_rows: 515_000, features: 90, classes: 1, pos_rate: 0.5 },
+    // Covertype: 581K × 54, 7-class.
+    TreeBenchSpec { name: "covtype", paper_rows: 581_000, features: 54, classes: 7, pos_rate: 0.5 },
+    // HIGGS: 11M × 28 binary.
+    TreeBenchSpec { name: "higgs", paper_rows: 11_000_000, features: 28, classes: 2, pos_rate: 0.5 },
+    // Airline: 115M × 13 binary.
+    TreeBenchSpec { name: "airline", paper_rows: 115_000_000, features: 13, classes: 2, pos_rate: 0.2 },
+];
+
+/// Generates one gbm-bench stand-in with `rows` total records.
+pub fn tree_bench_dataset(spec: &TreeBenchSpec, rows: usize, seed: u64) -> Dataset {
+    if spec.classes == 1 {
+        gen_regression(spec.name, rows, spec.features, seed)
+    } else {
+        gen_classification(
+            spec.name,
+            rows,
+            spec.features,
+            spec.classes,
+            (spec.features / 2).max(2),
+            Some(spec.pos_rate),
+            seed,
+        )
+    }
+}
+
+/// Iris-like operator benchmark dataset (paper §6.1.2: Iris padded to 20
+/// features).
+pub fn iris_like(rows: usize, seed: u64) -> Dataset {
+    gen_classification("iris20", rows, 20, 3, 8, None, seed)
+}
+
+/// Nomao-like dataset (119 features, binary, with missing values and
+/// low-cardinality categorical columns) for the §6.2.2 optimization
+/// experiments.
+pub fn nomao_like(rows: usize, seed: u64) -> Dataset {
+    let mut ds = gen_classification("nomao", rows, 119, 2, 40, Some(0.5), seed);
+    // Make the first 20 columns categorical-ish (integer codes 0..6) and
+    // inject ~3% NaNs into the next 20 so imputation has work to do.
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x9e3779b97f4a7c15);
+    for xt in [&mut ds.x_train, &mut ds.x_test] {
+        let (n, d) = (xt.shape()[0], xt.shape()[1]);
+        let mut v = xt.to_vec();
+        for r in 0..n {
+            for f in 0..20 {
+                v[r * d + f] = (v[r * d + f].abs() * 2.0).floor().min(6.0);
+            }
+            for f in 20..40 {
+                if rng.gen_bool(0.03) {
+                    v[r * d + f] = f32::NAN;
+                }
+            }
+        }
+        *xt = Tensor::from_vec(v, &[n, d]);
+    }
+    ds
+}
+
+/// Fully-categorical Nomao variant for the §5.2 optimization experiments
+/// (Figures 9–10): every column holds small integer codes (0–9) so a
+/// one-hot encoder is meaningful, ~2% of cells are NaN so imputation has
+/// work, and labels remain predictable from the informative block.
+pub fn nomao_categorical(rows: usize, seed: u64) -> Dataset {
+    let mut ds = gen_classification("nomao-cat", rows, 119, 2, 40, Some(0.5), seed);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x1234_5678_9abc_def0);
+    for xt in [&mut ds.x_train, &mut ds.x_test] {
+        let (n, d) = (xt.shape()[0], xt.shape()[1]);
+        let mut v = xt.to_vec();
+        for item in v.iter_mut() {
+            // Quantize the Gaussian feature into a 0..9 code, preserving
+            // the label signal through monotonicity.
+            *item = ((*item + 3.0).clamp(0.0, 4.5) * 2.0).floor();
+            if rng.gen_bool(0.02) {
+                *item = f32::NAN;
+            }
+        }
+        *xt = Tensor::from_vec(v, &[n, d]);
+    }
+    ds
+}
+
+/// One task of the OpenML-CC18-like suite: a dataset plus the pipeline
+/// spec fitted on it.
+#[derive(Debug, Clone)]
+pub struct SuiteTask {
+    /// The generated dataset.
+    pub dataset: Dataset,
+    /// The pipeline to fit (featurizers + final classifier).
+    pub specs: Vec<OpSpec>,
+}
+
+/// Generates an OpenML-CC18-like suite of `n_tasks` seeded random tasks.
+///
+/// Size statistics follow the paper's §6.3 description: 100–19264 rows
+/// (log-uniform), 4–3072 columns (log-uniform, median ≈ 30), and
+/// pipelines averaging ≈ 3.3 operators drawn from the supported set.
+pub fn openml_cc18_like(n_tasks: usize, max_rows: usize, max_cols: usize, seed: u64) -> Vec<SuiteTask> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut tasks = Vec::with_capacity(n_tasks);
+    for t in 0..n_tasks {
+        let n = log_uniform(&mut rng, 100, max_rows.clamp(100, 19_264));
+        let d = log_uniform(&mut rng, 4, max_cols.clamp(4, 3072));
+        let c = *[2usize, 2, 2, 3, 5, 10].choose(&mut rng).unwrap();
+        let dataset = gen_classification(
+            &format!("cc18-{t}"),
+            n,
+            d,
+            c,
+            (d / 2).max(2),
+            None,
+            seed ^ (t as u64).wrapping_mul(0x5851f42d4c957f2d),
+        );
+        let specs = random_pipeline_spec(&mut rng, n, d);
+        tasks.push(SuiteTask { dataset, specs });
+    }
+    tasks
+}
+
+fn log_uniform(rng: &mut StdRng, lo: usize, hi: usize) -> usize {
+    let (l, h) = ((lo as f64).ln(), (hi as f64).ln());
+    (rng.gen_range(l..=h).exp() as usize).clamp(lo, hi)
+}
+
+/// Samples a scikit-learn-style pipeline: 0–2 preprocessing steps, an
+/// optional feature selector, and a final classifier (≈ 3.3 ops average,
+/// like the paper's suite).
+fn random_pipeline_spec(rng: &mut StdRng, n: usize, d: usize) -> Vec<OpSpec> {
+    let mut specs = Vec::new();
+    // Imputation occasionally leads the pipeline.
+    if rng.gen_bool(0.3) {
+        specs.push(OpSpec::SimpleImputer { strategy: ImputeStrategy::Mean });
+    }
+    // A scaler most of the time.
+    if rng.gen_bool(0.8) {
+        specs.push(match rng.gen_range(0..4) {
+            0 => OpSpec::StandardScaler,
+            1 => OpSpec::MinMaxScaler,
+            2 => OpSpec::MaxAbsScaler,
+            _ => OpSpec::RobustScaler,
+        });
+    }
+    // Sometimes a selector or projection.
+    if d >= 8 && rng.gen_bool(0.35) {
+        specs.push(match rng.gen_range(0..3) {
+            0 => OpSpec::SelectKBest { k: (d / 2).max(2) },
+            1 => OpSpec::VarianceThreshold { threshold: 1e-4 },
+            _ => OpSpec::Pca { k: (d / 2).clamp(2, 32) },
+        });
+    }
+    // Final model. Small fast trainers keep the suite generation quick.
+    let epochs = if n > 5000 { 30 } else { 80 };
+    let lin = LinearConfig { epochs, ..LinearConfig::default() };
+    specs.push(match rng.gen_range(0..5) {
+        0 => OpSpec::LogisticRegression(lin),
+        1 => OpSpec::GaussianNb,
+        2 => OpSpec::DecisionTreeClassifier { max_depth: 6 },
+        3 => OpSpec::RandomForestClassifier(hb_ml::forest::ForestConfig {
+            n_trees: 16,
+            max_depth: 6,
+            ..hb_ml::forest::ForestConfig::default()
+        }),
+        _ => OpSpec::BernoulliNb { alpha: 1.0, binarize: 0.0 },
+    });
+    specs
+}
+
+/// Synthetic tree-strategy dataset of §6.2.1: 5000 rows × 200 random
+/// features.
+pub fn strategy_dataset(seed: u64) -> Dataset {
+    gen_classification("strategy", 5000, 200, 2, 100, None, seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_is_80_20() {
+        let ds = synthetic_classification(100, 5, 2, 1);
+        assert_eq!(ds.n_train(), 80);
+        assert_eq!(ds.n_test(), 20);
+        assert_eq!(ds.n_features(), 5);
+    }
+
+    #[test]
+    fn fraud_like_is_imbalanced() {
+        let spec = &TREE_BENCH_SPECS[0];
+        let ds = tree_bench_dataset(spec, 5000, 7);
+        let pos: i64 = ds.y_train.classes().iter().sum();
+        let rate = pos as f64 / ds.n_train() as f64;
+        assert!(rate > 0.005 && rate < 0.06, "positive rate {rate}");
+    }
+
+    #[test]
+    fn covtype_like_is_seven_class() {
+        let spec = &TREE_BENCH_SPECS[3];
+        let ds = tree_bench_dataset(spec, 2000, 3);
+        assert_eq!(ds.task, Task::Multiclass(7));
+        let max = *ds.y_train.classes().iter().max().unwrap();
+        assert_eq!(max, 6);
+        assert_eq!(ds.n_features(), 54);
+    }
+
+    #[test]
+    fn year_like_is_regression() {
+        let spec = &TREE_BENCH_SPECS[2];
+        let ds = tree_bench_dataset(spec, 1000, 5);
+        assert_eq!(ds.task, Task::Regression);
+        assert_eq!(ds.n_features(), 90);
+        assert_eq!(ds.y_train.values().len(), 800);
+    }
+
+    #[test]
+    fn generators_are_deterministic() {
+        let a = tree_bench_dataset(&TREE_BENCH_SPECS[0], 500, 42);
+        let b = tree_bench_dataset(&TREE_BENCH_SPECS[0], 500, 42);
+        assert_eq!(a.x_train.to_vec(), b.x_train.to_vec());
+        assert_eq!(a.y_train.classes(), b.y_train.classes());
+    }
+
+    #[test]
+    fn datasets_are_learnable() {
+        // A small forest must beat chance comfortably on each stand-in.
+        use hb_ml::forest::{ForestConfig, RandomForestClassifier};
+        let ds = tree_bench_dataset(&TREE_BENCH_SPECS[4], 2000, 9); // higgs
+        let f = RandomForestClassifier::new(ForestConfig {
+            n_trees: 20,
+            max_depth: 6,
+            ..ForestConfig::default()
+        })
+        .fit(&ds.x_train, ds.y_train.classes());
+        let acc = hb_ml::metrics::accuracy(&f.predict(&ds.x_test), ds.y_test.classes());
+        assert!(acc > 0.65, "test accuracy {acc}");
+    }
+
+    #[test]
+    fn nomao_like_has_nans_and_categories() {
+        let ds = nomao_like(1000, 4);
+        assert_eq!(ds.n_features(), 119);
+        let v = ds.x_train.to_vec();
+        let d = 119;
+        let nans = v.iter().filter(|x| x.is_nan()).count();
+        assert!(nans > 0, "expected injected NaNs");
+        // Categorical block holds small integer codes.
+        for r in 0..10 {
+            for f in 0..20 {
+                let x = v[r * d + f];
+                assert!(x >= 0.0 && x <= 6.0 && x.fract() == 0.0, "non-categorical {x}");
+            }
+        }
+    }
+
+    #[test]
+    fn nomao_categorical_is_integer_coded_with_nans() {
+        let ds = nomao_categorical(800, 6);
+        assert_eq!(ds.n_features(), 119);
+        let v = ds.x_train.to_vec();
+        let mut nans = 0usize;
+        for &x in &v {
+            if x.is_nan() {
+                nans += 1;
+            } else {
+                assert!(x >= 0.0 && x <= 9.0 && x.fract() == 0.0, "non-code value {x}");
+            }
+        }
+        let rate = nans as f64 / v.len() as f64;
+        assert!(rate > 0.005 && rate < 0.05, "NaN rate {rate}");
+    }
+
+    #[test]
+    fn nomao_categorical_labels_are_learnable() {
+        use hb_ml::featurize::{ImputeStrategy, SimpleImputer, StandardScaler};
+        use hb_ml::linear::LogisticRegression;
+        let ds = nomao_categorical(1500, 2);
+        let imp = SimpleImputer::fit(&ds.x_train, ImputeStrategy::Mean);
+        let xt = imp.transform(&ds.x_train);
+        // Codes range 0–9; scale before the gradient-descent trainer.
+        let xt = StandardScaler::fit(&xt).transform(&xt);
+        let m = LogisticRegression::default().fit(&xt, ds.y_train.classes());
+        let acc = hb_ml::metrics::accuracy(&m.predict(&xt), ds.y_train.classes());
+        assert!(acc > 0.75, "train accuracy {acc}");
+    }
+
+    #[test]
+    fn suite_tasks_within_paper_bounds() {
+        let tasks = openml_cc18_like(20, 2000, 128, 13);
+        assert_eq!(tasks.len(), 20);
+        for t in &tasks {
+            let n = t.dataset.n_train() + t.dataset.n_test();
+            assert!((100..=2000).contains(&n));
+            assert!((4..=128).contains(&t.dataset.n_features()));
+            assert!(!t.specs.is_empty() && t.specs.len() <= 5);
+        }
+        // Average close to the paper's 3.3 operators (loosely).
+        let avg: f64 =
+            tasks.iter().map(|t| t.specs.len() as f64).sum::<f64>() / tasks.len() as f64;
+        assert!(avg > 1.5 && avg < 4.5, "avg ops {avg}");
+    }
+
+    #[test]
+    fn strategy_dataset_shape() {
+        let ds = strategy_dataset(1);
+        assert_eq!(ds.n_train() + ds.n_test(), 5000);
+        assert_eq!(ds.n_features(), 200);
+    }
+}

@@ -1,0 +1,341 @@
+//! Imperative baseline scorers standing in for scikit-learn and ONNX-ML.
+//!
+//! The paper benchmarks Hummingbird against the frameworks' own native
+//! scorers. Those comparators are reproduced here with the performance
+//! profiles §6.1.1 reports:
+//!
+//! * [`SklearnLikeForest`] — each tree is a heap of boxed nodes traversed
+//!   recursively; batches parallelize across rows. Like scikit-learn it
+//!   has healthy batch throughput but high per-call overhead, so it loses
+//!   badly at batch size 1 (Table 8).
+//! * [`OnnxLikeForest`] — all trees flattened into contiguous
+//!   structure-of-arrays buffers walked iteratively on a single core,
+//!   like ONNX Runtime's ONNX-ML kernels circa v1.0: best-in-class at
+//!   batch size 1, flat scaling as the batch grows (Figure 4a).
+
+use rayon::prelude::*;
+
+use hb_tensor::Tensor;
+
+use crate::ensemble::{Aggregation, TreeEnsemble};
+use crate::tree::Tree;
+
+/// Emulated per-call dispatch overhead of the scikit-learn stack, in
+/// microseconds (Python validation + estimator dispatch).
+///
+/// The paper's scikit-learn latencies — e.g. 1688 s to score the Fraud
+/// test set one record at a time (Table 8) — are dominated by Python-side
+/// per-call overhead, not tree traversal. A pure-Rust reimplementation
+/// has none of that overhead, which would silently flip the paper's
+/// request/response ordering. When enabled (bench harness only; off by
+/// default so unit tests measure pure kernels), each `predict_batch`
+/// call spins for `SKLEARN_CALL_OVERHEAD_US +
+/// SKLEARN_PER_TREE_OVERHEAD_US × n_trees` before scoring. Constants are
+/// calibrated in DESIGN.md against the paper's per-call latencies.
+pub const SKLEARN_CALL_OVERHEAD_US: f64 = 150.0;
+/// Per-tree component of the emulated scikit-learn dispatch overhead.
+pub const SKLEARN_PER_TREE_OVERHEAD_US: f64 = 8.0;
+/// Emulated per-call overhead of the ONNX Runtime C++ session (input
+/// validation + session dispatch) — small, which is exactly why ONNX-ML
+/// wins the paper's request/response experiments.
+pub const ONNX_CALL_OVERHEAD_US: f64 = 15.0;
+/// Emulated per-operator dispatch overhead of a scikit-learn `Pipeline`
+/// `predict` call (Python attribute lookups, input validation, array
+/// wrapping per step). Applied by the bench harness to end-to-end
+/// pipeline baselines (Figures 9 and 12).
+pub const SKLEARN_PER_OP_OVERHEAD_US: f64 = 80.0;
+
+/// Spins for the emulated scikit-learn pipeline dispatch overhead of a
+/// `n_ops`-operator pipeline call. Bench-harness use only.
+pub fn emulate_sklearn_pipeline_dispatch(n_ops: usize) {
+    spin_us(SKLEARN_CALL_OVERHEAD_US + SKLEARN_PER_OP_OVERHEAD_US * n_ops as f64);
+}
+
+/// Busy-waits for `us` microseconds (sleep granularity is too coarse).
+fn spin_us(us: f64) {
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs_f64(us * 1e-6);
+    while std::time::Instant::now() < deadline {
+        std::hint::spin_loop();
+    }
+}
+
+/// One node of a pointer-linked tree.
+enum BoxNode {
+    /// Terminal node carrying the leaf payload.
+    Leaf(Vec<f32>),
+    /// Internal `x[feature] < threshold` decision.
+    Split {
+        feature: usize,
+        threshold: f32,
+        left: Box<BoxNode>,
+        right: Box<BoxNode>,
+    },
+}
+
+impl BoxNode {
+    fn from_tree(t: &Tree, i: usize) -> BoxNode {
+        if t.is_leaf(i) {
+            BoxNode::Leaf(t.value(i).to_vec())
+        } else {
+            BoxNode::Split {
+                feature: t.feature[i] as usize,
+                threshold: t.threshold[i],
+                left: Box::new(BoxNode::from_tree(t, t.left[i] as usize)),
+                right: Box::new(BoxNode::from_tree(t, t.right[i] as usize)),
+            }
+        }
+    }
+
+    fn score<'a>(&'a self, row: &[f32]) -> &'a [f32] {
+        match self {
+            BoxNode::Leaf(v) => v,
+            BoxNode::Split { feature, threshold, left, right } => {
+                if row[*feature] < *threshold {
+                    left.score(row)
+                } else {
+                    right.score(row)
+                }
+            }
+        }
+    }
+}
+
+/// scikit-learn-profile ensemble scorer (recursive, row-parallel).
+pub struct SklearnLikeForest {
+    trees: Vec<BoxNode>,
+    agg: Aggregation,
+    n_outputs: usize,
+    value_width: usize,
+    emulate_dispatch: bool,
+}
+
+impl SklearnLikeForest {
+    /// Builds the pointer-linked representation from a fitted ensemble.
+    pub fn new(ensemble: &TreeEnsemble) -> SklearnLikeForest {
+        SklearnLikeForest {
+            trees: ensemble.trees.iter().map(|t| BoxNode::from_tree(t, 0)).collect(),
+            agg: ensemble.agg.clone(),
+            n_outputs: ensemble.n_outputs(),
+            value_width: ensemble.trees.first().map_or(1, |t| t.value_width),
+            emulate_dispatch: false,
+        }
+    }
+
+    /// Enables the documented per-call dispatch-overhead emulation
+    /// ([`SKLEARN_CALL_OVERHEAD_US`]); used by the bench harness.
+    pub fn with_dispatch_overhead(mut self) -> SklearnLikeForest {
+        self.emulate_dispatch = true;
+        self
+    }
+
+    /// Scores a batch, returning `[n, n_outputs]` (probabilities for
+    /// classification, values for regression).
+    pub fn predict_batch(&self, x: &Tensor<f32>) -> Tensor<f32> {
+        if self.emulate_dispatch {
+            spin_us(SKLEARN_CALL_OVERHEAD_US + SKLEARN_PER_TREE_OVERHEAD_US * self.trees.len() as f64);
+        }
+        let (n, d) = (x.shape()[0], x.shape()[1]);
+        let xs = x.to_contiguous();
+        let xv = xs.as_slice();
+        let k = self.n_outputs;
+        let mut out = vec![0.0f32; n * k];
+        out.par_chunks_mut(k).enumerate().for_each(|(r, orow)| {
+            // Mirror scikit-learn's per-call temporary buffers.
+            let mut acc = vec![0.0f32; self.agg.acc_len(self.value_width)];
+            let row = &xv[r * d..(r + 1) * d];
+            for (ti, t) in self.trees.iter().enumerate() {
+                self.agg.accumulate(&mut acc, ti, t.score(row));
+            }
+            self.agg.finish(&acc, self.trees.len(), orow);
+        });
+        Tensor::from_vec(out, &[n, k])
+    }
+}
+
+/// ONNX-ML-profile ensemble scorer (flat arrays, iterative, single core).
+pub struct OnnxLikeForest {
+    /// Per-tree node offset into the flat arrays.
+    tree_offset: Vec<usize>,
+    left: Vec<i32>,
+    right: Vec<i32>,
+    feature: Vec<u32>,
+    threshold: Vec<f32>,
+    values: Vec<f32>,
+    value_width: usize,
+    agg: Aggregation,
+    n_outputs: usize,
+    emulate_dispatch: bool,
+}
+
+impl OnnxLikeForest {
+    /// Flattens a fitted ensemble into contiguous buffers.
+    pub fn new(ensemble: &TreeEnsemble) -> OnnxLikeForest {
+        let mut tree_offset = Vec::with_capacity(ensemble.trees.len());
+        let (mut left, mut right, mut feature, mut threshold, mut values) =
+            (Vec::new(), Vec::new(), Vec::new(), Vec::new(), Vec::new());
+        let value_width = ensemble.trees.first().map_or(1, |t| t.value_width);
+        for t in &ensemble.trees {
+            tree_offset.push(left.len());
+            left.extend_from_slice(&t.left);
+            right.extend_from_slice(&t.right);
+            feature.extend_from_slice(&t.feature);
+            threshold.extend_from_slice(&t.threshold);
+            values.extend_from_slice(&t.values);
+        }
+        OnnxLikeForest {
+            tree_offset,
+            left,
+            right,
+            feature,
+            threshold,
+            values,
+            value_width,
+            agg: ensemble.agg.clone(),
+            n_outputs: ensemble.n_outputs(),
+            emulate_dispatch: false,
+        }
+    }
+
+    /// Enables the documented per-call session-overhead emulation
+    /// ([`ONNX_CALL_OVERHEAD_US`]); used by the bench harness.
+    pub fn with_dispatch_overhead(mut self) -> OnnxLikeForest {
+        self.emulate_dispatch = true;
+        self
+    }
+
+    /// Scores a batch serially (the single-record-optimized profile).
+    pub fn predict_batch(&self, x: &Tensor<f32>) -> Tensor<f32> {
+        if self.emulate_dispatch {
+            spin_us(ONNX_CALL_OVERHEAD_US);
+        }
+        let (n, d) = (x.shape()[0], x.shape()[1]);
+        let xs = x.to_contiguous();
+        let xv = xs.as_slice();
+        let k = self.n_outputs;
+        let mut out = vec![0.0f32; n * k];
+        let mut acc = vec![0.0f32; self.agg.acc_len(self.value_width)];
+        for r in 0..n {
+            let row = &xv[r * d..(r + 1) * d];
+            acc.iter_mut().for_each(|a| *a = 0.0);
+            for (ti, &off) in self.tree_offset.iter().enumerate() {
+                let mut i = off;
+                while self.left[i] >= 0 {
+                    i = if row[self.feature[i] as usize] < self.threshold[i] {
+                        off + self.left[i] as usize
+                    } else {
+                        off + self.right[i] as usize
+                    };
+                }
+                let v = &self.values[i * self.value_width..(i + 1) * self.value_width];
+                self.agg.accumulate(&mut acc, ti, v);
+            }
+            self.agg.finish(&acc, self.tree_offset.len(), &mut out[r * k..(r + 1) * k]);
+        }
+        Tensor::from_vec(out, &[n, k])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ensemble::Link;
+
+    /// Hand-built two-tree binary RF ensemble.
+    fn toy_rf() -> TreeEnsemble {
+        // Tree A: x0 < 0.5 → [1,0] else [0,1]
+        let a = Tree {
+            left: vec![1, -1, -1],
+            right: vec![2, -1, -1],
+            feature: vec![0, 0, 0],
+            threshold: vec![0.5, 0.0, 0.0],
+            values: vec![0.0, 0.0, 1.0, 0.0, 0.0, 1.0],
+            value_width: 2,
+        };
+        // Tree B: x1 < 1.0 → [0.8,0.2] else [0.2,0.8]
+        let b = Tree {
+            left: vec![1, -1, -1],
+            right: vec![2, -1, -1],
+            feature: vec![1, 0, 0],
+            threshold: vec![1.0, 0.0, 0.0],
+            values: vec![0.0, 0.0, 0.8, 0.2, 0.2, 0.8],
+            value_width: 2,
+        };
+        TreeEnsemble {
+            trees: vec![a, b],
+            n_features: 2,
+            n_classes: 2,
+            agg: Aggregation::AverageProba,
+        }
+    }
+
+    fn toy_x() -> Tensor<f32> {
+        Tensor::from_vec(vec![0.0, 0.0, 1.0, 2.0, 0.0, 2.0, 1.0, 0.0], &[4, 2])
+    }
+
+    #[test]
+    fn both_baselines_agree_with_reference() {
+        let e = toy_rf();
+        let x = toy_x();
+        let want = e.predict_proba(&x);
+        let sk = SklearnLikeForest::new(&e).predict_batch(&x);
+        let ox = OnnxLikeForest::new(&e).predict_batch(&x);
+        assert_eq!(want.to_vec(), sk.to_vec());
+        assert_eq!(want.to_vec(), ox.to_vec());
+    }
+
+    #[test]
+    fn rf_probabilities_average() {
+        let e = toy_rf();
+        let x = Tensor::from_vec(vec![0.0, 0.0], &[1, 2]);
+        let p = OnnxLikeForest::new(&e).predict_batch(&x);
+        // Tree A → [1,0], tree B → [0.8,0.2]; mean = [0.9, 0.1].
+        assert!((p.get(&[0, 0]) - 0.9).abs() < 1e-6);
+        assert!((p.get(&[0, 1]) - 0.1).abs() < 1e-6);
+    }
+
+    #[test]
+    fn gbdt_link_applies_sigmoid() {
+        // One regression tree, x0 < 0 → -2 else +2, base 0, sigmoid link.
+        let t = Tree {
+            left: vec![1, -1, -1],
+            right: vec![2, -1, -1],
+            feature: vec![0, 0, 0],
+            threshold: vec![0.0, 0.0, 0.0],
+            values: vec![0.0, -2.0, 2.0],
+            value_width: 1,
+        };
+        let e = TreeEnsemble {
+            trees: vec![t],
+            n_features: 1,
+            n_classes: 2,
+            agg: Aggregation::SumWithLink { base: vec![0.0], link: Link::Sigmoid, n_groups: 1 },
+        };
+        let x = Tensor::from_vec(vec![-1.0, 1.0], &[2, 1]);
+        let p = SklearnLikeForest::new(&e).predict_batch(&x);
+        let sig = |v: f32| 1.0 / (1.0 + (-v).exp());
+        assert!((p.get(&[0, 1]) - sig(-2.0)).abs() < 1e-6);
+        assert!((p.get(&[1, 1]) - sig(2.0)).abs() < 1e-6);
+        assert!((p.get(&[0, 0]) + p.get(&[0, 1]) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn regression_identity_link() {
+        let t = Tree {
+            left: vec![-1],
+            right: vec![-1],
+            feature: vec![0],
+            threshold: vec![0.0],
+            values: vec![3.5],
+            value_width: 1,
+        };
+        let e = TreeEnsemble {
+            trees: vec![t.clone(), t],
+            n_features: 1,
+            n_classes: 1,
+            agg: Aggregation::AverageValue,
+        };
+        let x = Tensor::from_vec(vec![0.0], &[1, 1]);
+        let p = OnnxLikeForest::new(&e).predict_batch(&x);
+        assert!((p.get(&[0, 0]) - 3.5).abs() < 1e-6);
+    }
+}

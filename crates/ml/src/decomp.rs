@@ -1,0 +1,370 @@
+//! Linear dimensionality reduction: `PCA` and `TruncatedSVD`.
+//!
+//! Both fit an orthogonal component matrix; scoring is a single GEMM
+//! (after mean-centering for PCA), which is why the paper lists them among
+//! the straightforwardly-compilable algebraic operators. The
+//! eigendecomposition uses a cyclic Jacobi sweep on the covariance matrix
+//! — adequate for the feature counts in the paper's operator benchmarks.
+
+use hb_tensor::Tensor;
+
+/// Symmetric eigendecomposition by cyclic Jacobi rotations.
+///
+/// Returns `(eigenvalues, eigenvectors)` with eigenvectors in rows,
+/// sorted by descending eigenvalue.
+pub fn jacobi_eigh(a: &Tensor<f32>, sweeps: usize) -> (Vec<f32>, Tensor<f32>) {
+    let d = a.shape()[0];
+    assert_eq!(a.shape(), &[d, d], "jacobi_eigh expects a square matrix");
+    let mut m: Vec<f64> = a.iter().map(|v| v as f64).collect();
+    let mut v = vec![0.0f64; d * d];
+    for i in 0..d {
+        v[i * d + i] = 1.0;
+    }
+    for _ in 0..sweeps {
+        let mut off = 0.0f64;
+        for p in 0..d {
+            for q in (p + 1)..d {
+                off += m[p * d + q] * m[p * d + q];
+            }
+        }
+        if off < 1e-20 {
+            break;
+        }
+        for p in 0..d {
+            for q in (p + 1)..d {
+                let apq = m[p * d + q];
+                if apq.abs() < 1e-18 {
+                    continue;
+                }
+                let app = m[p * d + p];
+                let aqq = m[q * d + q];
+                let theta = 0.5 * (aqq - app) / apq;
+                let t = theta.signum() / (theta.abs() + (theta * theta + 1.0).sqrt());
+                let c = 1.0 / (t * t + 1.0).sqrt();
+                let s = t * c;
+                // Rotate rows/columns p and q.
+                for k in 0..d {
+                    let mkp = m[k * d + p];
+                    let mkq = m[k * d + q];
+                    m[k * d + p] = c * mkp - s * mkq;
+                    m[k * d + q] = s * mkp + c * mkq;
+                }
+                for k in 0..d {
+                    let mpk = m[p * d + k];
+                    let mqk = m[q * d + k];
+                    m[p * d + k] = c * mpk - s * mqk;
+                    m[q * d + k] = s * mpk + c * mqk;
+                }
+                for k in 0..d {
+                    let vkp = v[k * d + p];
+                    let vkq = v[k * d + q];
+                    v[k * d + p] = c * vkp - s * vkq;
+                    v[k * d + q] = s * vkp + c * vkq;
+                }
+            }
+        }
+    }
+    // Extract and sort by descending eigenvalue.
+    let mut pairs: Vec<(f64, usize)> = (0..d).map(|i| (m[i * d + i], i)).collect();
+    pairs.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap());
+    let eigvals: Vec<f32> = pairs.iter().map(|&(e, _)| e as f32).collect();
+    let mut vecs = vec![0.0f32; d * d];
+    for (row, &(_, col)) in pairs.iter().enumerate() {
+        for k in 0..d {
+            vecs[row * d + k] = v[k * d + col] as f32;
+        }
+    }
+    (eigvals, Tensor::from_vec(vecs, &[d, d]))
+}
+
+/// Fitted `PCA`: mean-centering followed by projection onto the top
+/// components.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct Pca {
+    /// Per-feature training means.
+    pub mean: Vec<f32>,
+    /// Principal components `[k, d]` (rows).
+    pub components: Tensor<f32>,
+    /// Explained variance per component.
+    pub explained_variance: Vec<f32>,
+}
+
+impl Pca {
+    /// Fits `k` components on `x [n, d]`.
+    pub fn fit(x: &Tensor<f32>, k: usize) -> Pca {
+        let (n, d) = (x.shape()[0], x.shape()[1]);
+        let k = k.min(d);
+        let xs = x.to_contiguous();
+        let xv = xs.as_slice();
+        let mut mean = vec![0.0f64; d];
+        for r in 0..n {
+            for f in 0..d {
+                mean[f] += xv[r * d + f] as f64;
+            }
+        }
+        mean.iter_mut().for_each(|m| *m /= n.max(1) as f64);
+        // Covariance (d × d).
+        let mut cov = vec![0.0f64; d * d];
+        for r in 0..n {
+            for i in 0..d {
+                let vi = xv[r * d + i] as f64 - mean[i];
+                for j in i..d {
+                    cov[i * d + j] += vi * (xv[r * d + j] as f64 - mean[j]);
+                }
+            }
+        }
+        let denom = (n.saturating_sub(1)).max(1) as f64;
+        for i in 0..d {
+            for j in i..d {
+                cov[i * d + j] /= denom;
+                cov[j * d + i] = cov[i * d + j];
+            }
+        }
+        let cov_t = Tensor::from_vec(cov.iter().map(|&v| v as f32).collect(), &[d, d]);
+        let (eigvals, eigvecs) = jacobi_eigh(&cov_t, 30);
+        Pca {
+            mean: mean.iter().map(|&m| m as f32).collect(),
+            components: eigvecs.slice(0, 0, k).to_contiguous(),
+            explained_variance: eigvals[..k].to_vec(),
+        }
+    }
+
+    /// Projects `x` into component space `[n, k]`.
+    pub fn transform(&self, x: &Tensor<f32>) -> Tensor<f32> {
+        let m = Tensor::from_vec(self.mean.clone(), &[1, self.mean.len()]);
+        x.sub(&m).matmul(&self.components.transpose(0, 1))
+    }
+}
+
+/// Fitted `TruncatedSVD`: projection without centering.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct TruncatedSvd {
+    /// Right singular vectors `[k, d]`.
+    pub components: Tensor<f32>,
+}
+
+impl TruncatedSvd {
+    /// Fits `k` components via eigendecomposition of `XᵀX`.
+    pub fn fit(x: &Tensor<f32>, k: usize) -> TruncatedSvd {
+        let d = x.shape()[1];
+        let k = k.min(d);
+        let gram = x.transpose(0, 1).to_contiguous().matmul(x);
+        let (_, eigvecs) = jacobi_eigh(&gram, 30);
+        TruncatedSvd { components: eigvecs.slice(0, 0, k).to_contiguous() }
+    }
+
+    /// Projects `x` into component space `[n, k]`.
+    pub fn transform(&self, x: &Tensor<f32>) -> Tensor<f32> {
+        x.matmul(&self.components.transpose(0, 1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jacobi_diagonalizes_symmetric_matrix() {
+        let a = Tensor::from_vec(vec![2.0, 1.0, 1.0, 2.0], &[2, 2]);
+        let (vals, vecs) = jacobi_eigh(&a, 20);
+        assert!((vals[0] - 3.0).abs() < 1e-4);
+        assert!((vals[1] - 1.0).abs() < 1e-4);
+        // Eigenvector rows are unit length and orthogonal.
+        let v = vecs.to_vec();
+        let n0 = (v[0] * v[0] + v[1] * v[1]).sqrt();
+        let dot = v[0] * v[2] + v[1] * v[3];
+        assert!((n0 - 1.0).abs() < 1e-4);
+        assert!(dot.abs() < 1e-4);
+    }
+
+    #[test]
+    fn pca_finds_dominant_direction() {
+        // Data varies mostly along (1, 1) / sqrt(2).
+        let n = 200;
+        let x = Tensor::from_fn(&[n, 2], |i| {
+            let t = i[0] as f32 / n as f32 * 10.0 - 5.0;
+            let noise = ((i[0] * 7 + i[1] * 13) % 11) as f32 * 0.01;
+            if i[1] == 0 {
+                t + noise
+            } else {
+                t - noise
+            }
+        });
+        let pca = Pca::fit(&x, 1);
+        let c = pca.components.to_vec();
+        let ratio = (c[0] / c[1]).abs();
+        assert!((ratio - 1.0).abs() < 0.1, "components {c:?}");
+        assert!(pca.explained_variance[0] > 1.0);
+    }
+
+    #[test]
+    fn pca_transform_centers_data() {
+        let x = Tensor::from_fn(&[50, 3], |i| (i[0] as f32) * (i[1] + 1) as f32 * 0.1);
+        let pca = Pca::fit(&x, 2);
+        let t = pca.transform(&x);
+        assert_eq!(t.shape(), &[50, 2]);
+        // Projected data is mean-zero.
+        for c in 0..2 {
+            let mean: f32 = (0..50).map(|r| t.get(&[r, c])).sum::<f32>() / 50.0;
+            assert!(mean.abs() < 1e-3, "component {c} mean {mean}");
+        }
+    }
+
+    #[test]
+    fn truncated_svd_projects_without_centering() {
+        let x = Tensor::from_fn(&[30, 4], |i| 1.0 + (i[0] * (i[1] + 1)) as f32 * 0.05);
+        let svd = TruncatedSvd::fit(&x, 2);
+        let t = svd.transform(&x);
+        assert_eq!(t.shape(), &[30, 2]);
+        // First component captures the dominant (positive) direction, so
+        // projections should be far from zero on average.
+        let mean: f32 = (0..30).map(|r| t.get(&[r, 0])).sum::<f32>() / 30.0;
+        assert!(mean.abs() > 0.5);
+    }
+
+    #[test]
+    fn pca_reconstruction_error_small_for_full_rank() {
+        let x = Tensor::from_fn(&[40, 3], |i| ((i[0] * 3 + i[1] * 5) % 17) as f32 * 0.3);
+        let pca = Pca::fit(&x, 3);
+        let t = pca.transform(&x);
+        // Reconstruct: t @ components + mean.
+        let recon = t
+            .matmul(&pca.components)
+            .add(&Tensor::from_vec(pca.mean.clone(), &[1, 3]));
+        let err: f32 =
+            recon.to_vec().iter().zip(x.to_vec().iter()).map(|(a, b)| (a - b).abs()).fold(0.0, f32::max);
+        assert!(err < 1e-3, "max reconstruction error {err}");
+    }
+}
+
+/// Fitted `KernelPCA` with an RBF kernel.
+///
+/// Scoring computes the kernel row against the stored training sample via
+/// the §4.2 quadratic-expansion distance trick, double-centers it with
+/// the fitted statistics, and projects onto the leading eigenvectors —
+/// all GEMM/element-wise operators, like the other Table 1 algebraic
+/// featurizers.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct KernelPca {
+    /// Training sample the kernel is evaluated against `[m, d]`.
+    pub x_fit: Tensor<f32>,
+    /// Scaled eigenvectors `[m, k]` (`v / sqrt(λ)`).
+    pub alphas: Tensor<f32>,
+    /// Column means of the training kernel matrix `[m]`.
+    pub k_fit_rows: Vec<f32>,
+    /// Grand mean of the training kernel matrix.
+    pub k_fit_all: f32,
+    /// RBF bandwidth.
+    pub gamma: f32,
+}
+
+impl KernelPca {
+    /// Fits `k` components with bandwidth `gamma` (`<= 0` = `1/d`).
+    ///
+    /// Training cost is `O(m²)` in the fit-sample size; callers
+    /// sub-sample large datasets first (scikit-learn users do the same).
+    pub fn fit(x: &Tensor<f32>, k: usize, gamma: f32) -> KernelPca {
+        let (m, d) = (x.shape()[0], x.shape()[1]);
+        let gamma = if gamma > 0.0 { gamma } else { 1.0 / d as f32 };
+        let k = k.min(m);
+        // Kernel matrix and its double-centering statistics.
+        let km = x.sqdist(x).mul_scalar(-gamma).exp_t();
+        let row_means = km.mean_axis(0, false).to_vec(); // [m]
+        let grand = row_means.iter().sum::<f32>() / m as f32;
+        let mut centered = km.to_vec();
+        for i in 0..m {
+            for j in 0..m {
+                centered[i * m + j] += grand - row_means[i] - row_means[j];
+            }
+        }
+        let (eigvals, eigvecs) = jacobi_eigh(&Tensor::from_vec(centered, &[m, m]), 30);
+        // alphas[:, c] = v_c / sqrt(λ_c); degenerate eigenvalues are
+        // dropped to zero columns.
+        let mut alphas = vec![0.0f32; m * k];
+        let ev = eigvecs.to_vec();
+        for c in 0..k {
+            let lam = eigvals[c].max(0.0);
+            if lam > 1e-8 {
+                let inv = 1.0 / lam.sqrt();
+                for i in 0..m {
+                    alphas[i * k + c] = ev[c * m + i] * inv;
+                }
+            }
+        }
+        KernelPca {
+            x_fit: x.to_contiguous(),
+            alphas: Tensor::from_vec(alphas, &[m, k]),
+            k_fit_rows: row_means,
+            k_fit_all: grand,
+            gamma,
+        }
+    }
+
+    /// Projects `x` into kernel component space `[n, k]`.
+    pub fn transform(&self, x: &Tensor<f32>) -> Tensor<f32> {
+        let km = x.sqdist(&self.x_fit).mul_scalar(-self.gamma).exp_t(); // [n, m]
+        // Double-center against the training statistics:
+        // K'ij = Kij − mean_j(K_fit) − mean_i(K_row) + grand.
+        let fit_means =
+            Tensor::from_vec(self.k_fit_rows.clone(), &[1, self.k_fit_rows.len()]);
+        let row_means = km.mean_axis(1, true); // [n, 1]
+        let centered = km.sub(&fit_means).sub(&row_means).add_scalar(self.k_fit_all);
+        centered.matmul(&self.alphas)
+    }
+}
+
+#[cfg(test)]
+mod kernel_pca_tests {
+    use super::*;
+
+    fn rings(n: usize) -> Tensor<f32> {
+        Tensor::from_fn(&[n, 2], |i| {
+            let angle = i[0] as f32 * 0.61;
+            let r = if i[0] % 2 == 0 { 0.5 } else { 2.0 };
+            if i[1] == 0 {
+                r * angle.cos()
+            } else {
+                r * angle.sin()
+            }
+        })
+    }
+
+    #[test]
+    fn kernel_pca_separates_rings_linearly() {
+        // Concentric rings are not linearly separable; the first RBF
+        // kernel component should separate inner from outer.
+        let x = rings(80);
+        let kp = KernelPca::fit(&x, 2, 0.5);
+        let t = kp.transform(&x);
+        assert_eq!(t.shape(), &[80, 2]);
+        let inner: Vec<f32> = (0..80).step_by(2).map(|r| t.get(&[r, 0])).collect();
+        let outer: Vec<f32> = (1..80).step_by(2).map(|r| t.get(&[r, 0])).collect();
+        let mi = inner.iter().sum::<f32>() / inner.len() as f32;
+        let mo = outer.iter().sum::<f32>() / outer.len() as f32;
+        // Means of the first component differ strongly between rings.
+        let spread = inner
+            .iter()
+            .map(|v| (v - mi).abs())
+            .chain(outer.iter().map(|v| (v - mo).abs()))
+            .fold(0.0f32, f32::max);
+        assert!((mi - mo).abs() > spread * 0.8, "component 1 does not separate rings");
+    }
+
+    #[test]
+    fn kernel_pca_training_projection_is_centered() {
+        let x = rings(40);
+        let kp = KernelPca::fit(&x, 3, 0.5);
+        let t = kp.transform(&x);
+        for c in 0..3 {
+            let mean: f32 = (0..40).map(|r| t.get(&[r, c])).sum::<f32>() / 40.0;
+            assert!(mean.abs() < 1e-3, "component {c} mean {mean}");
+        }
+    }
+
+    #[test]
+    fn default_gamma_is_one_over_d() {
+        let x = rings(20);
+        let kp = KernelPca::fit(&x, 2, 0.0);
+        assert!((kp.gamma - 0.5).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,276 @@
+//! The unified fitted tree-ensemble representation consumed by the
+//! baselines and by the Hummingbird tree-compilation strategies.
+
+use hb_tensor::Tensor;
+
+use crate::tree::Tree;
+
+/// Output link applied after summing boosted tree scores.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum Link {
+    /// Raw score (regression).
+    Identity,
+    /// Binary classification: score → `[1-p, p]`.
+    Sigmoid,
+    /// Multiclass classification: per-class scores → softmax.
+    Softmax,
+}
+
+/// How per-tree leaf payloads combine into a model output.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub enum Aggregation {
+    /// Random-forest classification: leaves are class distributions,
+    /// averaged over trees (the paper's `ReduceMean` over the batched
+    /// tree dimension).
+    AverageProba,
+    /// Random-forest / plain regression: scalar leaves, averaged.
+    AverageValue,
+    /// Gradient boosting: scalar leaves summed per class group. Tree `t`
+    /// contributes to group `t % n_groups` (round-major layout); the
+    /// summed scores plus `base` pass through `link`.
+    SumWithLink {
+        /// Initial score per group.
+        base: Vec<f32>,
+        /// Output link function.
+        link: Link,
+        /// Number of class groups (1 for binary/regression).
+        n_groups: usize,
+    },
+}
+
+impl Aggregation {
+    /// Length of the per-row accumulator the scorers need.
+    pub fn acc_len(&self, value_width: usize) -> usize {
+        match self {
+            Aggregation::AverageProba => value_width,
+            Aggregation::AverageValue => 1,
+            Aggregation::SumWithLink { n_groups, .. } => *n_groups,
+        }
+    }
+
+    /// Adds one tree's leaf payload into the accumulator.
+    #[inline]
+    pub fn accumulate(&self, acc: &mut [f32], tree_idx: usize, leaf: &[f32]) {
+        match self {
+            Aggregation::AverageProba => {
+                for (a, &v) in acc.iter_mut().zip(leaf.iter()) {
+                    *a += v;
+                }
+            }
+            Aggregation::AverageValue => acc[0] += leaf[0],
+            Aggregation::SumWithLink { n_groups, .. } => {
+                acc[tree_idx % n_groups] += leaf[0];
+            }
+        }
+    }
+
+    /// Converts an accumulator into the final per-row output.
+    pub fn finish(&self, acc: &[f32], n_trees: usize, out: &mut [f32]) {
+        match self {
+            Aggregation::AverageProba => {
+                let inv = 1.0 / n_trees.max(1) as f32;
+                for (o, &a) in out.iter_mut().zip(acc.iter()) {
+                    *o = a * inv;
+                }
+            }
+            Aggregation::AverageValue => out[0] = acc[0] / n_trees.max(1) as f32,
+            Aggregation::SumWithLink { base, link, n_groups } => {
+                let z: Vec<f32> =
+                    (0..*n_groups).map(|g| acc[g] + base.get(g).copied().unwrap_or(0.0)).collect();
+                match link {
+                    Link::Identity => out[0] = z[0],
+                    Link::Sigmoid => {
+                        let p = 1.0 / (1.0 + (-z[0]).exp());
+                        out[0] = 1.0 - p;
+                        out[1] = p;
+                    }
+                    Link::Softmax => {
+                        let m = z.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+                        let mut s = 0.0f32;
+                        for (o, &v) in out.iter_mut().zip(z.iter()) {
+                            *o = (v - m).exp();
+                            s += *o;
+                        }
+                        out.iter_mut().for_each(|o| *o /= s);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Width of the per-row model output (class count, or 1 for
+    /// regression).
+    pub fn n_outputs(&self, value_width: usize) -> usize {
+        match self {
+            Aggregation::AverageProba => value_width,
+            Aggregation::AverageValue => 1,
+            Aggregation::SumWithLink { link, n_groups, .. } => match link {
+                Link::Identity => 1,
+                Link::Sigmoid => 2,
+                Link::Softmax => *n_groups,
+            },
+        }
+    }
+}
+
+/// A fitted tree ensemble: trees plus aggregation semantics.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct TreeEnsemble {
+    /// The member trees. For grouped boosting, tree `t` belongs to class
+    /// group `t % n_groups`.
+    pub trees: Vec<Tree>,
+    /// Feature dimensionality the trees index into.
+    pub n_features: usize,
+    /// Classes predicted (1 for regression).
+    pub n_classes: usize,
+    /// Aggregation semantics.
+    pub agg: Aggregation,
+}
+
+impl TreeEnsemble {
+    /// Width of the per-row output (`n_classes` for classification, 1 for
+    /// regression).
+    pub fn n_outputs(&self) -> usize {
+        let vw = self.trees.first().map_or(1, |t| t.value_width);
+        self.agg.n_outputs(vw)
+    }
+
+    /// Maximum depth over member trees.
+    pub fn max_depth(&self) -> usize {
+        self.trees.iter().map(|t| t.depth()).max().unwrap_or(0)
+    }
+
+    /// Maximum node count over member trees.
+    pub fn max_nodes(&self) -> usize {
+        self.trees.iter().map(|t| t.n_nodes()).max().unwrap_or(0)
+    }
+
+    /// Reference imperative scorer: probabilities/values, `[n, outputs]`.
+    ///
+    /// This is the semantic ground truth the compiled strategies and both
+    /// baselines are validated against (the paper's output-validation
+    /// experiment, §6.1.1).
+    pub fn predict_proba(&self, x: &Tensor<f32>) -> Tensor<f32> {
+        let (n, d) = (x.shape()[0], x.shape()[1]);
+        let xs = x.to_contiguous();
+        let xv = xs.as_slice();
+        let k = self.n_outputs();
+        let vw = self.trees.first().map_or(1, |t| t.value_width);
+        let mut out = vec![0.0f32; n * k];
+        let mut acc = vec![0.0f32; self.agg.acc_len(vw)];
+        for r in 0..n {
+            acc.iter_mut().for_each(|a| *a = 0.0);
+            let row = &xv[r * d..(r + 1) * d];
+            for (ti, t) in self.trees.iter().enumerate() {
+                self.agg.accumulate(&mut acc, ti, t.predict_row(row));
+            }
+            self.agg.finish(&acc, self.trees.len(), &mut out[r * k..(r + 1) * k]);
+        }
+        Tensor::from_vec(out, &[n, k])
+    }
+
+    /// Hard predictions: argmax class (classification) or value
+    /// (regression), as f32.
+    pub fn predict(&self, x: &Tensor<f32>) -> Tensor<f32> {
+        let proba = self.predict_proba(x);
+        if self.n_classes <= 1 {
+            return proba.reshape(&[proba.shape()[0]]);
+        }
+        proba.argmax_axis(1, false).map(|v| v as f32)
+    }
+
+    /// Union of features used by any tree (for §5.2 injection).
+    pub fn used_features(&self) -> Vec<usize> {
+        let mut f: Vec<usize> = self.trees.iter().flat_map(|t| t.used_features()).collect();
+        f.sort_unstable();
+        f.dedup();
+        f
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stump(feature: u32, threshold: f32, lv: Vec<f32>, rv: Vec<f32>) -> Tree {
+        let vw = lv.len();
+        let mut values = vec![0.0; vw];
+        values.extend(lv);
+        values.extend(rv);
+        Tree {
+            left: vec![1, -1, -1],
+            right: vec![2, -1, -1],
+            feature: vec![feature, 0, 0],
+            threshold: vec![threshold, 0.0, 0.0],
+            values,
+            value_width: vw,
+        }
+    }
+
+    #[test]
+    fn softmax_grouping_assigns_trees_round_major() {
+        // 2 rounds × 3 classes = 6 trees; class c trees are indices c, c+3.
+        let mut trees = Vec::new();
+        for round in 0..2 {
+            for class in 0..3 {
+                // Each tree outputs class+round regardless of input.
+                trees.push(Tree::leaf(vec![(class + round) as f32]));
+            }
+        }
+        let e = TreeEnsemble {
+            trees,
+            n_features: 1,
+            n_classes: 3,
+            agg: Aggregation::SumWithLink {
+                base: vec![0.0; 3],
+                link: Link::Softmax,
+                n_groups: 3,
+            },
+        };
+        let x = Tensor::from_vec(vec![0.0], &[1, 1]);
+        let p = e.predict_proba(&x);
+        // Group scores: class0 = 0+1, class1 = 1+2, class2 = 2+3.
+        // Softmax is increasing in the score.
+        assert!(p.get(&[0, 2]) > p.get(&[0, 1]));
+        assert!(p.get(&[0, 1]) > p.get(&[0, 0]));
+        let s: f32 = p.to_vec().iter().sum();
+        assert!((s - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn predict_argmax_matches_proba() {
+        let e = TreeEnsemble {
+            trees: vec![stump(0, 0.5, vec![0.9, 0.1], vec![0.2, 0.8])],
+            n_features: 1,
+            n_classes: 2,
+            agg: Aggregation::AverageProba,
+        };
+        let x = Tensor::from_vec(vec![0.0, 1.0], &[2, 1]);
+        let y = e.predict(&x);
+        assert_eq!(y.to_vec(), vec![0.0, 1.0]);
+    }
+
+    #[test]
+    fn regression_predict_returns_values() {
+        let e = TreeEnsemble {
+            trees: vec![stump(0, 0.0, vec![-1.0], vec![4.0])],
+            n_features: 1,
+            n_classes: 1,
+            agg: Aggregation::AverageValue,
+        };
+        let x = Tensor::from_vec(vec![-1.0, 1.0], &[2, 1]);
+        assert_eq!(e.predict(&x).to_vec(), vec![-1.0, 4.0]);
+    }
+
+    #[test]
+    fn max_depth_and_nodes() {
+        let e = TreeEnsemble {
+            trees: vec![Tree::leaf(vec![1.0]), stump(0, 0.0, vec![0.0], vec![1.0])],
+            n_features: 1,
+            n_classes: 1,
+            agg: Aggregation::AverageValue,
+        };
+        assert_eq!(e.max_depth(), 1);
+        assert_eq!(e.max_nodes(), 3);
+    }
+}

@@ -1,0 +1,799 @@
+//! Featurizers of paper Table 1: scalers, binarizer, normalizer,
+//! imputers, discretizer, polynomial features, one-hot and label
+//! encoders, and a feature hasher.
+//!
+//! Every featurizer has a `fit` constructor and an imperative `transform`
+//! that serves as the scikit-learn baseline; the Hummingbird converters
+//! in `hb-core` compile the same fitted state into tensor operators.
+
+use hb_tensor::Tensor;
+
+/// Norm used by [`Normalizer`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum Norm {
+    /// Divide rows by their L1 norm.
+    L1,
+    /// Divide rows by their L2 norm.
+    L2,
+    /// Divide rows by their max-abs element.
+    Max,
+}
+
+/// Column statistics helper: per-column values of `x [n, d]`.
+fn columns(x: &Tensor<f32>) -> (usize, usize, Vec<f32>) {
+    let (n, d) = (x.shape()[0], x.shape()[1]);
+    let xs = x.to_contiguous();
+    (n, d, xs.as_slice().to_vec())
+}
+
+/// `StandardScaler`: `(x − mean) / std`.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct StandardScaler {
+    /// Per-column means.
+    pub mean: Vec<f32>,
+    /// Per-column standard deviations (zeroes replaced by 1).
+    pub scale: Vec<f32>,
+}
+
+impl StandardScaler {
+    /// Fits per-column mean and standard deviation.
+    pub fn fit(x: &Tensor<f32>) -> StandardScaler {
+        let (n, d, xv) = columns(x);
+        let mut mean = vec![0.0f64; d];
+        for r in 0..n {
+            for f in 0..d {
+                mean[f] += xv[r * d + f] as f64;
+            }
+        }
+        mean.iter_mut().for_each(|m| *m /= n.max(1) as f64);
+        let mut var = vec![0.0f64; d];
+        for r in 0..n {
+            for f in 0..d {
+                let diff = xv[r * d + f] as f64 - mean[f];
+                var[f] += diff * diff;
+            }
+        }
+        let scale: Vec<f32> = var
+            .iter()
+            .map(|v| {
+                let s = (v / n.max(1) as f64).sqrt() as f32;
+                if s == 0.0 {
+                    1.0
+                } else {
+                    s
+                }
+            })
+            .collect();
+        StandardScaler { mean: mean.iter().map(|&m| m as f32).collect(), scale }
+    }
+
+    /// Applies the scaling.
+    pub fn transform(&self, x: &Tensor<f32>) -> Tensor<f32> {
+        let m = Tensor::from_vec(self.mean.clone(), &[1, self.mean.len()]);
+        let s = Tensor::from_vec(self.scale.clone(), &[1, self.scale.len()]);
+        x.sub(&m).div(&s)
+    }
+}
+
+/// `MinMaxScaler`: `(x − min) / (max − min)`.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct MinMaxScaler {
+    /// Per-column minima.
+    pub data_min: Vec<f32>,
+    /// Per-column `1 / (max − min)` (degenerate ranges map to 1).
+    pub inv_range: Vec<f32>,
+}
+
+impl MinMaxScaler {
+    /// Fits per-column min/max.
+    pub fn fit(x: &Tensor<f32>) -> MinMaxScaler {
+        let (n, d, xv) = columns(x);
+        let mut lo = vec![f32::INFINITY; d];
+        let mut hi = vec![f32::NEG_INFINITY; d];
+        for r in 0..n {
+            for f in 0..d {
+                lo[f] = lo[f].min(xv[r * d + f]);
+                hi[f] = hi[f].max(xv[r * d + f]);
+            }
+        }
+        let inv_range = lo
+            .iter()
+            .zip(hi.iter())
+            .map(|(&l, &h)| if h > l { 1.0 / (h - l) } else { 1.0 })
+            .collect();
+        MinMaxScaler { data_min: lo, inv_range }
+    }
+
+    /// Applies the scaling.
+    pub fn transform(&self, x: &Tensor<f32>) -> Tensor<f32> {
+        let m = Tensor::from_vec(self.data_min.clone(), &[1, self.data_min.len()]);
+        let s = Tensor::from_vec(self.inv_range.clone(), &[1, self.inv_range.len()]);
+        x.sub(&m).mul(&s)
+    }
+}
+
+/// `MaxAbsScaler`: `x / max|x|`.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct MaxAbsScaler {
+    /// Per-column `1 / max|x|`.
+    pub inv_scale: Vec<f32>,
+}
+
+impl MaxAbsScaler {
+    /// Fits per-column max absolute value.
+    pub fn fit(x: &Tensor<f32>) -> MaxAbsScaler {
+        let (n, d, xv) = columns(x);
+        let mut m = vec![0.0f32; d];
+        for r in 0..n {
+            for f in 0..d {
+                m[f] = m[f].max(xv[r * d + f].abs());
+            }
+        }
+        MaxAbsScaler {
+            inv_scale: m.iter().map(|&v| if v > 0.0 { 1.0 / v } else { 1.0 }).collect(),
+        }
+    }
+
+    /// Applies the scaling.
+    pub fn transform(&self, x: &Tensor<f32>) -> Tensor<f32> {
+        let s = Tensor::from_vec(self.inv_scale.clone(), &[1, self.inv_scale.len()]);
+        x.mul(&s)
+    }
+}
+
+/// `RobustScaler`: `(x − median) / IQR`.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct RobustScaler {
+    /// Per-column medians.
+    pub center: Vec<f32>,
+    /// Per-column `1 / IQR` (degenerate IQRs map to 1).
+    pub inv_scale: Vec<f32>,
+}
+
+impl RobustScaler {
+    /// Fits per-column median and inter-quartile range.
+    pub fn fit(x: &Tensor<f32>) -> RobustScaler {
+        let (n, d, xv) = columns(x);
+        let mut center = vec![0.0f32; d];
+        let mut inv_scale = vec![1.0f32; d];
+        let mut col = vec![0.0f32; n];
+        for f in 0..d {
+            for r in 0..n {
+                col[r] = xv[r * d + f];
+            }
+            col.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            center[f] = col[n / 2];
+            let iqr = col[(3 * n) / 4] - col[n / 4];
+            if iqr > 0.0 {
+                inv_scale[f] = 1.0 / iqr;
+            }
+        }
+        RobustScaler { center, inv_scale }
+    }
+
+    /// Applies the scaling.
+    pub fn transform(&self, x: &Tensor<f32>) -> Tensor<f32> {
+        let c = Tensor::from_vec(self.center.clone(), &[1, self.center.len()]);
+        let s = Tensor::from_vec(self.inv_scale.clone(), &[1, self.inv_scale.len()]);
+        x.sub(&c).mul(&s)
+    }
+}
+
+/// `Binarizer`: indicator of `x > threshold`.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct Binarizer {
+    /// Threshold.
+    pub threshold: f32,
+}
+
+impl Binarizer {
+    /// Applies the thresholding.
+    pub fn transform(&self, x: &Tensor<f32>) -> Tensor<f32> {
+        let t = self.threshold;
+        x.map(move |v| f32::from(v > t))
+    }
+}
+
+/// `Normalizer`: row-wise norm scaling (stateless).
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct Normalizer {
+    /// Which norm to divide by.
+    pub norm: Norm,
+}
+
+impl Normalizer {
+    /// Applies row normalization.
+    pub fn transform(&self, x: &Tensor<f32>) -> Tensor<f32> {
+        let denom = match self.norm {
+            Norm::L1 => x.abs_t().sum_axis(1, true),
+            Norm::L2 => x.mul(x).sum_axis(1, true).sqrt_t(),
+            Norm::Max => x.abs_t().max_axis(1, true),
+        };
+        let safe = denom.map(|v| if v == 0.0 { 1.0 } else { v });
+        x.div(&safe)
+    }
+}
+
+/// Fill strategy of [`SimpleImputer`].
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub enum ImputeStrategy {
+    /// Column mean of non-missing values.
+    Mean,
+    /// Column median of non-missing values.
+    Median,
+    /// A fixed constant.
+    Constant(f32),
+}
+
+/// `SimpleImputer`: replaces NaNs with fitted statistics.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct SimpleImputer {
+    /// Per-column fill values.
+    pub statistics: Vec<f32>,
+}
+
+impl SimpleImputer {
+    /// Fits fill values over non-NaN entries.
+    pub fn fit(x: &Tensor<f32>, strategy: ImputeStrategy) -> SimpleImputer {
+        let (n, d, xv) = columns(x);
+        let mut statistics = vec![0.0f32; d];
+        let mut col: Vec<f32> = Vec::with_capacity(n);
+        for f in 0..d {
+            col.clear();
+            col.extend((0..n).map(|r| xv[r * d + f]).filter(|v| !v.is_nan()));
+            statistics[f] = match strategy {
+                ImputeStrategy::Constant(c) => c,
+                ImputeStrategy::Mean => {
+                    if col.is_empty() {
+                        0.0
+                    } else {
+                        col.iter().sum::<f32>() / col.len() as f32
+                    }
+                }
+                ImputeStrategy::Median => {
+                    if col.is_empty() {
+                        0.0
+                    } else {
+                        col.sort_by(|a, b| a.partial_cmp(b).unwrap());
+                        col[col.len() / 2]
+                    }
+                }
+            };
+        }
+        SimpleImputer { statistics }
+    }
+
+    /// Replaces NaNs with the fitted statistics.
+    pub fn transform(&self, x: &Tensor<f32>) -> Tensor<f32> {
+        let fill = Tensor::from_vec(self.statistics.clone(), &[1, self.statistics.len()]);
+        x.isnan().where_select(&fill.expand(x.shape()), x)
+    }
+}
+
+/// `MissingIndicator`: per-cell NaN mask as 0/1 features.
+#[derive(Debug, Clone, Default, serde::Serialize, serde::Deserialize)]
+pub struct MissingIndicator;
+
+impl MissingIndicator {
+    /// Produces the indicator matrix.
+    pub fn transform(&self, x: &Tensor<f32>) -> Tensor<f32> {
+        x.map(|v| f32::from(v.is_nan()))
+    }
+}
+
+/// Output encoding of [`KBinsDiscretizer`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum BinEncode {
+    /// Bin index as a float feature.
+    Ordinal,
+    /// One-hot over bins, concatenated per column.
+    OneHot,
+}
+
+/// `KBinsDiscretizer`: quantile binning of continuous columns.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct KBinsDiscretizer {
+    /// Ascending interior bin edges per column.
+    pub edges: Vec<Vec<f32>>,
+    /// Output encoding.
+    pub encode: BinEncode,
+}
+
+impl KBinsDiscretizer {
+    /// Fits `n_bins` quantile bins per column.
+    pub fn fit(x: &Tensor<f32>, n_bins: usize, encode: BinEncode) -> KBinsDiscretizer {
+        let (n, d, xv) = columns(x);
+        let mut edges = Vec::with_capacity(d);
+        let mut col = vec![0.0f32; n];
+        for f in 0..d {
+            for r in 0..n {
+                col[r] = xv[r * d + f];
+            }
+            col.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            let mut e = Vec::new();
+            for q in 1..n_bins {
+                let v = col[q * (n - 1) / n_bins];
+                if e.last().map_or(true, |&last| v > last) {
+                    e.push(v);
+                }
+            }
+            edges.push(e);
+        }
+        KBinsDiscretizer { edges, encode }
+    }
+
+    /// Bin index of `v` in column `f`.
+    fn bin(&self, f: usize, v: f32) -> usize {
+        self.edges[f].partition_point(|&e| e <= v)
+    }
+
+    /// Discretizes the matrix.
+    pub fn transform(&self, x: &Tensor<f32>) -> Tensor<f32> {
+        let (n, d, xv) = columns(x);
+        match self.encode {
+            BinEncode::Ordinal => {
+                let mut out = vec![0.0f32; n * d];
+                for r in 0..n {
+                    for f in 0..d {
+                        out[r * d + f] = self.bin(f, xv[r * d + f]) as f32;
+                    }
+                }
+                Tensor::from_vec(out, &[n, d])
+            }
+            BinEncode::OneHot => {
+                let widths: Vec<usize> = self.edges.iter().map(|e| e.len() + 1).collect();
+                let total: usize = widths.iter().sum();
+                let mut out = vec![0.0f32; n * total];
+                for r in 0..n {
+                    let mut off = 0;
+                    for f in 0..d {
+                        out[r * total + off + self.bin(f, xv[r * d + f])] = 1.0;
+                        off += widths[f];
+                    }
+                }
+                Tensor::from_vec(out, &[n, total])
+            }
+        }
+    }
+}
+
+/// `PolynomialFeatures` of degree 2 in scikit-learn's ordering:
+/// `[1?, x_1..x_d, x_1², x_1x_2, …, x_d²]`.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct PolynomialFeatures {
+    /// Include the constant-1 bias column.
+    pub include_bias: bool,
+    /// Drop pure squares, keeping only cross terms.
+    pub interaction_only: bool,
+}
+
+impl PolynomialFeatures {
+    /// Output width for input dimensionality `d`.
+    pub fn out_width(&self, d: usize) -> usize {
+        let pairs = if self.interaction_only { d * (d - 1) / 2 } else { d * (d + 1) / 2 };
+        usize::from(self.include_bias) + d + pairs
+    }
+
+    /// Expands the feature matrix.
+    pub fn transform(&self, x: &Tensor<f32>) -> Tensor<f32> {
+        let (n, d, xv) = columns(x);
+        let w = self.out_width(d);
+        let mut out = vec![0.0f32; n * w];
+        for r in 0..n {
+            let row = &xv[r * d..(r + 1) * d];
+            let mut o = r * w;
+            if self.include_bias {
+                out[o] = 1.0;
+                o += 1;
+            }
+            out[o..o + d].copy_from_slice(row);
+            o += d;
+            for i in 0..d {
+                let j0 = if self.interaction_only { i + 1 } else { i };
+                for j in j0..d {
+                    out[o] = row[i] * row[j];
+                    o += 1;
+                }
+            }
+        }
+        Tensor::from_vec(out, &[n, w])
+    }
+}
+
+/// `OneHotEncoder` over numeric categorical columns: categories are the
+/// sorted unique training values per column; unknown values encode to all
+/// zeros (`handle_unknown="ignore"`).
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct OneHotEncoder {
+    /// Sorted category values per column.
+    pub categories: Vec<Vec<f32>>,
+}
+
+impl OneHotEncoder {
+    /// Fits category vocabularies.
+    pub fn fit(x: &Tensor<f32>) -> OneHotEncoder {
+        let (n, d, xv) = columns(x);
+        let mut categories = Vec::with_capacity(d);
+        for f in 0..d {
+            let mut vals: Vec<f32> = (0..n).map(|r| xv[r * d + f]).collect();
+            vals.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            vals.dedup();
+            categories.push(vals);
+        }
+        OneHotEncoder { categories }
+    }
+
+    /// Total one-hot width.
+    pub fn out_width(&self) -> usize {
+        self.categories.iter().map(|c| c.len()).sum()
+    }
+
+    /// Encodes the matrix.
+    pub fn transform(&self, x: &Tensor<f32>) -> Tensor<f32> {
+        let (n, d, xv) = columns(x);
+        assert_eq!(d, self.categories.len(), "column count mismatch");
+        let w = self.out_width();
+        let mut out = vec![0.0f32; n * w];
+        for r in 0..n {
+            let mut off = 0;
+            for f in 0..d {
+                let cats = &self.categories[f];
+                let v = xv[r * d + f];
+                if let Ok(i) = cats.binary_search_by(|c| c.partial_cmp(&v).unwrap()) {
+                    out[r * w + off + i] = 1.0;
+                }
+                off += cats.len();
+            }
+        }
+        Tensor::from_vec(out, &[n, w])
+    }
+
+    /// Drops categories per column, keeping `keep[f]` (ascending indices
+    /// into `categories[f]`) — the §5.2 vocabulary-pruning absorption of
+    /// feature selection into a 1-to-m operator.
+    pub fn prune(&self, keep: &[Vec<usize>]) -> OneHotEncoder {
+        assert_eq!(keep.len(), self.categories.len(), "column count mismatch");
+        OneHotEncoder {
+            categories: self
+                .categories
+                .iter()
+                .zip(keep.iter())
+                .map(|(cats, k)| k.iter().map(|&i| cats[i]).collect())
+                .collect(),
+        }
+    }
+}
+
+/// `LabelEncoder`: maps values to their index in the sorted vocabulary.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct LabelEncoder {
+    /// Sorted distinct training values.
+    pub classes: Vec<f32>,
+}
+
+impl LabelEncoder {
+    /// Fits the vocabulary.
+    pub fn fit(y: &[f32]) -> LabelEncoder {
+        let mut classes = y.to_vec();
+        classes.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        classes.dedup();
+        LabelEncoder { classes }
+    }
+
+    /// Encodes values; unknown values map to -1.
+    pub fn transform(&self, y: &[f32]) -> Vec<i64> {
+        y.iter()
+            .map(|v| {
+                self.classes
+                    .binary_search_by(|c| c.partial_cmp(v).unwrap())
+                    .map(|i| i as i64)
+                    .unwrap_or(-1)
+            })
+            .collect()
+    }
+}
+
+/// Fixed-length byte packing of strings (paper §4.2): strings truncate or
+/// zero-pad to `width` bytes.
+pub fn pack_strings(values: &[String], width: usize) -> Vec<u8> {
+    let mut out = vec![0u8; values.len() * width];
+    for (i, s) in values.iter().enumerate() {
+        let b = s.as_bytes();
+        let k = b.len().min(width);
+        out[i * width..i * width + k].copy_from_slice(&b[..k]);
+    }
+    out
+}
+
+/// One-hot encoder over string columns using fixed-length byte-packed
+/// vocabularies, reproducing the paper's string-feature technique.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct StringOneHotEncoder {
+    /// Sorted vocabulary per column.
+    pub vocab: Vec<Vec<String>>,
+    /// Fixed byte width (max string length in the vocabulary).
+    pub width: usize,
+}
+
+impl StringOneHotEncoder {
+    /// Fits vocabularies over column-major string data.
+    pub fn fit(columns: &[Vec<String>]) -> StringOneHotEncoder {
+        let mut vocab = Vec::with_capacity(columns.len());
+        let mut width = 1usize;
+        for col in columns {
+            let mut v = col.clone();
+            v.sort();
+            v.dedup();
+            for s in &v {
+                width = width.max(s.len());
+            }
+            vocab.push(v);
+        }
+        StringOneHotEncoder { vocab, width }
+    }
+
+    /// Total one-hot width.
+    pub fn out_width(&self) -> usize {
+        self.vocab.iter().map(|v| v.len()).sum()
+    }
+
+    /// Encodes column-major string data into `[n, out_width]`.
+    pub fn transform(&self, columns: &[Vec<String>]) -> Tensor<f32> {
+        assert_eq!(columns.len(), self.vocab.len(), "column count mismatch");
+        let n = columns.first().map_or(0, |c| c.len());
+        let w = self.out_width();
+        let mut out = vec![0.0f32; n * w];
+        for r in 0..n {
+            let mut off = 0;
+            for (f, col) in columns.iter().enumerate() {
+                if let Ok(i) = self.vocab[f].binary_search(&col[r]) {
+                    out[r * w + off + i] = 1.0;
+                }
+                off += self.vocab[f].len();
+            }
+        }
+        Tensor::from_vec(out, &[n, w])
+    }
+
+    /// Byte-packed vocabulary of column `f` (`[len, width]` u8 rows),
+    /// consumed by the tensor converter.
+    pub fn packed_vocab(&self, f: usize) -> Vec<u8> {
+        pack_strings(&self.vocab[f], self.width)
+    }
+}
+
+/// `FeatureHasher`: signed hashing of string tokens into `n_features`
+/// buckets (FNV-1a based).
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct FeatureHasher {
+    /// Output dimensionality.
+    pub n_features: usize,
+}
+
+/// FNV-1a hash of a byte string.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf29ce484222325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+impl FeatureHasher {
+    /// Hashes row-major token lists into a fixed-width matrix.
+    pub fn transform(&self, rows: &[Vec<String>]) -> Tensor<f32> {
+        let n = rows.len();
+        let k = self.n_features;
+        let mut out = vec![0.0f32; n * k];
+        for (r, tokens) in rows.iter().enumerate() {
+            for t in tokens {
+                let h = fnv1a(t.as_bytes());
+                let idx = (h % k as u64) as usize;
+                let sign = if (h >> 63) & 1 == 1 { -1.0 } else { 1.0 };
+                out[r * k + idx] += sign;
+            }
+        }
+        Tensor::from_vec(out, &[n, k])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Tensor<f32> {
+        Tensor::from_vec(vec![1.0, 10.0, 2.0, 20.0, 3.0, 30.0, 4.0, 40.0], &[4, 2])
+    }
+
+    #[test]
+    fn standard_scaler_zero_mean_unit_var() {
+        let s = StandardScaler::fit(&sample());
+        let t = s.transform(&sample());
+        for f in 0..2 {
+            let col: Vec<f32> = (0..4).map(|r| t.get(&[r, f])).collect();
+            let mean: f32 = col.iter().sum::<f32>() / 4.0;
+            let var: f32 = col.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / 4.0;
+            assert!(mean.abs() < 1e-6);
+            assert!((var - 1.0).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn standard_scaler_constant_column_safe() {
+        let x = Tensor::from_vec(vec![5.0; 6], &[6, 1]);
+        let s = StandardScaler::fit(&x);
+        let t = s.transform(&x);
+        assert!(t.iter().all(|v| v == 0.0));
+    }
+
+    #[test]
+    fn minmax_scaler_unit_interval() {
+        let s = MinMaxScaler::fit(&sample());
+        let t = s.transform(&sample());
+        assert_eq!(t.get(&[0, 0]), 0.0);
+        assert_eq!(t.get(&[3, 0]), 1.0);
+        assert!((t.get(&[1, 1]) - 1.0 / 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn maxabs_scaler() {
+        let x = Tensor::from_vec(vec![-2.0, 4.0, 1.0, -8.0], &[2, 2]);
+        let s = MaxAbsScaler::fit(&x);
+        let t = s.transform(&x);
+        assert_eq!(t.to_vec(), vec![-1.0, 0.5, 0.5, -1.0]);
+    }
+
+    #[test]
+    fn robust_scaler_centers_on_median() {
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 100.0], &[5, 1]);
+        let s = RobustScaler::fit(&x);
+        let t = s.transform(&x);
+        // Median 3 maps to 0 regardless of the outlier.
+        assert_eq!(t.get(&[2, 0]), 0.0);
+    }
+
+    #[test]
+    fn binarizer_thresholds() {
+        let b = Binarizer { threshold: 2.5 };
+        let t = b.transform(&sample());
+        assert_eq!(t.get(&[0, 0]), 0.0);
+        assert_eq!(t.get(&[3, 0]), 1.0);
+        assert_eq!(t.get(&[0, 1]), 1.0);
+    }
+
+    #[test]
+    fn normalizer_l2_rows() {
+        let x = Tensor::from_vec(vec![3.0, 4.0, 0.0, 0.0], &[2, 2]);
+        let t = Normalizer { norm: Norm::L2 }.transform(&x);
+        assert!((t.get(&[0, 0]) - 0.6).abs() < 1e-6);
+        assert!((t.get(&[0, 1]) - 0.8).abs() < 1e-6);
+        // Zero rows stay zero instead of NaN.
+        assert_eq!(t.get(&[1, 0]), 0.0);
+    }
+
+    #[test]
+    fn normalizer_l1_and_max() {
+        let x = Tensor::from_vec(vec![1.0, -3.0], &[1, 2]);
+        let l1 = Normalizer { norm: Norm::L1 }.transform(&x);
+        assert!((l1.get(&[0, 1]) + 0.75).abs() < 1e-6);
+        let mx = Normalizer { norm: Norm::Max }.transform(&x);
+        assert!((mx.get(&[0, 0]) - 1.0 / 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn imputer_mean_fills_nans() {
+        let x = Tensor::from_vec(vec![1.0, f32::NAN, 3.0, f32::NAN], &[4, 1]);
+        let imp = SimpleImputer::fit(&x, ImputeStrategy::Mean);
+        assert_eq!(imp.statistics, vec![2.0]);
+        let t = imp.transform(&x);
+        assert_eq!(t.to_vec(), vec![1.0, 2.0, 3.0, 2.0]);
+    }
+
+    #[test]
+    fn imputer_median_and_constant() {
+        let x = Tensor::from_vec(vec![1.0, 2.0, 9.0, f32::NAN], &[4, 1]);
+        let med = SimpleImputer::fit(&x, ImputeStrategy::Median);
+        assert_eq!(med.statistics, vec![2.0]);
+        let c = SimpleImputer::fit(&x, ImputeStrategy::Constant(-5.0));
+        assert_eq!(c.transform(&x).get(&[3, 0]), -5.0);
+    }
+
+    #[test]
+    fn missing_indicator_masks() {
+        let x = Tensor::from_vec(vec![1.0, f32::NAN], &[1, 2]);
+        let t = MissingIndicator.transform(&x);
+        assert_eq!(t.to_vec(), vec![0.0, 1.0]);
+    }
+
+    #[test]
+    fn kbins_ordinal_monotone() {
+        let x = Tensor::from_fn(&[100, 1], |i| i[0] as f32);
+        let kb = KBinsDiscretizer::fit(&x, 4, BinEncode::Ordinal);
+        let t = kb.transform(&x);
+        assert_eq!(t.get(&[0, 0]), 0.0);
+        assert_eq!(t.get(&[99, 0]), 3.0);
+        // Non-decreasing along the sorted input.
+        for r in 1..100 {
+            assert!(t.get(&[r, 0]) >= t.get(&[r - 1, 0]));
+        }
+    }
+
+    #[test]
+    fn kbins_onehot_one_per_column() {
+        let x = Tensor::from_fn(&[50, 2], |i| (i[0] * (i[1] + 1)) as f32);
+        let kb = KBinsDiscretizer::fit(&x, 3, BinEncode::OneHot);
+        let t = kb.transform(&x);
+        for r in 0..50 {
+            let s: f32 = (0..t.shape()[1]).map(|c| t.get(&[r, c])).sum();
+            assert_eq!(s, 2.0, "each column contributes exactly one hot bit");
+        }
+    }
+
+    #[test]
+    fn polynomial_degree2_ordering() {
+        let x = Tensor::from_vec(vec![2.0, 3.0], &[1, 2]);
+        let p = PolynomialFeatures { include_bias: true, interaction_only: false };
+        let t = p.transform(&x);
+        assert_eq!(t.to_vec(), vec![1.0, 2.0, 3.0, 4.0, 6.0, 9.0]);
+        let p2 = PolynomialFeatures { include_bias: false, interaction_only: true };
+        assert_eq!(p2.transform(&x).to_vec(), vec![2.0, 3.0, 6.0]);
+    }
+
+    #[test]
+    fn onehot_roundtrip_and_unknowns() {
+        let x = Tensor::from_vec(vec![1.0, 5.0, 2.0, 5.0, 1.0, 7.0], &[3, 2]);
+        let enc = OneHotEncoder::fit(&x);
+        assert_eq!(enc.categories, vec![vec![1.0, 2.0], vec![5.0, 7.0]]);
+        let t = enc.transform(&x);
+        assert_eq!(t.shape(), &[3, 4]);
+        assert_eq!(t.to_vec()[..4], [1.0, 0.0, 1.0, 0.0]);
+        // Unknown category encodes to zeros.
+        let u = enc.transform(&Tensor::from_vec(vec![9.0, 9.0], &[1, 2]));
+        assert_eq!(u.to_vec(), vec![0.0, 0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn onehot_prune_drops_categories() {
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0], &[3, 1]);
+        let enc = OneHotEncoder::fit(&x);
+        let pruned = enc.prune(&[vec![0, 2]]);
+        assert_eq!(pruned.categories, vec![vec![1.0, 3.0]]);
+        let t = pruned.transform(&x);
+        assert_eq!(t.shape(), &[3, 2]);
+        assert_eq!(t.to_vec(), vec![1.0, 0.0, 0.0, 0.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn label_encoder_maps_sorted() {
+        let enc = LabelEncoder::fit(&[30.0, 10.0, 20.0, 10.0]);
+        assert_eq!(enc.classes, vec![10.0, 20.0, 30.0]);
+        assert_eq!(enc.transform(&[20.0, 10.0, 99.0]), vec![1, 0, -1]);
+    }
+
+    #[test]
+    fn string_onehot_fixed_width() {
+        let cols = vec![vec!["red".into(), "green".into(), "red".into()]];
+        let enc = StringOneHotEncoder::fit(&cols);
+        assert_eq!(enc.width, 5); // "green"
+        let t = enc.transform(&cols);
+        assert_eq!(t.shape(), &[3, 2]);
+        assert_eq!(t.to_vec(), vec![0.0, 1.0, 1.0, 0.0, 0.0, 1.0]);
+        let packed = enc.packed_vocab(0);
+        assert_eq!(packed.len(), 2 * 5);
+        assert_eq!(&packed[0..5], b"green");
+        assert_eq!(&packed[5..8], b"red");
+    }
+
+    #[test]
+    fn feature_hasher_deterministic_and_signed() {
+        let h = FeatureHasher { n_features: 8 };
+        let rows = vec![vec!["a".to_string(), "b".to_string()], vec!["a".to_string()]];
+        let t1 = h.transform(&rows);
+        let t2 = h.transform(&rows);
+        assert_eq!(t1.to_vec(), t2.to_vec());
+        // Sum of absolute values equals token count per row.
+        let s0: f32 = (0..8).map(|c| t1.get(&[0, c]).abs()).sum();
+        assert_eq!(s0, 2.0);
+    }
+}

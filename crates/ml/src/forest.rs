@@ -1,0 +1,332 @@
+//! Random forests (scikit-learn `RandomForestClassifier`/`Regressor`
+//! stand-ins).
+//!
+//! Trees are trained on bootstrap samples with per-split feature
+//! subsampling, producing the mixed balanced/unbalanced structures the
+//! paper observes for scikit-learn forests (§6.1.1).
+
+use rand::prelude::*;
+use rayon::prelude::*;
+
+use hb_tensor::Tensor;
+
+use crate::ensemble::{Aggregation, TreeEnsemble};
+use crate::tree::{
+    train_classification_tree, train_regression_tree, Binner, GradPair, Growth, TreeConfig,
+};
+
+/// Forest training hyper-parameters.
+#[derive(Debug, Clone)]
+pub struct ForestConfig {
+    /// Number of trees.
+    pub n_trees: usize,
+    /// Maximum depth per tree.
+    pub max_depth: usize,
+    /// Minimum records per leaf.
+    pub min_samples_leaf: usize,
+    /// Features sampled per split (0 = √d, the scikit-learn default).
+    pub max_features: usize,
+    /// Histogram bins per feature.
+    pub n_bins: usize,
+    /// Draw bootstrap samples per tree.
+    pub bootstrap: bool,
+    /// ExtraTrees-style extremely randomized splits (one random
+    /// threshold per candidate feature).
+    pub extra_trees: bool,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for ForestConfig {
+    fn default() -> Self {
+        ForestConfig {
+            n_trees: 100,
+            max_depth: 8,
+            min_samples_leaf: 1,
+            max_features: 0,
+            n_bins: 64,
+            bootstrap: true,
+            extra_trees: false,
+            seed: 0,
+        }
+    }
+}
+
+impl ForestConfig {
+    fn tree_config(&self, n_features: usize) -> TreeConfig {
+        let max_features = if self.max_features == 0 {
+            ((n_features as f64).sqrt().ceil() as usize).max(1)
+        } else {
+            self.max_features
+        };
+        TreeConfig {
+            max_depth: self.max_depth,
+            min_samples_leaf: self.min_samples_leaf,
+            max_features,
+            n_bins: self.n_bins,
+            growth: Growth::DepthWise,
+            lambda: 0.0,
+            random_splits: self.extra_trees,
+            ..TreeConfig::default()
+        }
+    }
+
+    fn bootstrap_rows(&self, n: usize, rng: &mut StdRng) -> Vec<u32> {
+        if self.bootstrap {
+            (0..n).map(|_| rng.gen_range(0..n) as u32).collect()
+        } else {
+            (0..n as u32).collect()
+        }
+    }
+}
+
+/// A fitted random-forest classifier.
+#[derive(Debug, Clone)]
+pub struct RandomForestClassifier {
+    /// The fitted ensemble (average of per-tree class distributions).
+    pub ensemble: TreeEnsemble,
+    config: ForestConfig,
+}
+
+impl RandomForestClassifier {
+    /// Creates an untrained forest with the given configuration.
+    pub fn new(config: ForestConfig) -> RandomForestClassifier {
+        RandomForestClassifier {
+            ensemble: TreeEnsemble {
+                trees: vec![],
+                n_features: 0,
+                n_classes: 0,
+                agg: Aggregation::AverageProba,
+            },
+            config,
+        }
+    }
+
+    /// Trains on `x` (`[n, d]`) and integer labels `y` (`0..C`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` and `y` disagree on length or `y` is empty.
+    pub fn fit(mut self, x: &Tensor<f32>, y: &[i64]) -> RandomForestClassifier {
+        let (n, d) = (x.shape()[0], x.shape()[1]);
+        assert_eq!(n, y.len(), "x/y length mismatch");
+        assert!(n > 0, "empty training set");
+        let n_classes = (*y.iter().max().unwrap() as usize) + 1;
+        let binner = Binner::fit(x, self.config.n_bins);
+        let binned = binner.bin_matrix(x);
+        let cfg = self.config.tree_config(d);
+        let seed = self.config.seed;
+        let trees: Vec<_> = (0..self.config.n_trees)
+            .into_par_iter()
+            .map(|t| {
+                let mut rng = StdRng::seed_from_u64(seed.wrapping_add(t as u64 * 7919));
+                let rows = self.config.bootstrap_rows(n, &mut rng);
+                train_classification_tree(
+                    &binned,
+                    n,
+                    d,
+                    &binner,
+                    y,
+                    n_classes,
+                    &cfg,
+                    &mut rng,
+                    Some(&rows),
+                )
+            })
+            .collect();
+        self.ensemble =
+            TreeEnsemble { trees, n_features: d, n_classes, agg: Aggregation::AverageProba };
+        self
+    }
+
+    /// Class probabilities `[n, C]` via the reference imperative scorer.
+    pub fn predict_proba(&self, x: &Tensor<f32>) -> Tensor<f32> {
+        self.ensemble.predict_proba(x)
+    }
+
+    /// Hard class predictions.
+    pub fn predict(&self, x: &Tensor<f32>) -> Tensor<f32> {
+        self.ensemble.predict(x)
+    }
+}
+
+/// A fitted random-forest regressor.
+#[derive(Debug, Clone)]
+pub struct RandomForestRegressor {
+    /// The fitted ensemble (average of per-tree scalar leaves).
+    pub ensemble: TreeEnsemble,
+    config: ForestConfig,
+}
+
+impl RandomForestRegressor {
+    /// Creates an untrained forest with the given configuration.
+    pub fn new(config: ForestConfig) -> RandomForestRegressor {
+        RandomForestRegressor {
+            ensemble: TreeEnsemble {
+                trees: vec![],
+                n_features: 0,
+                n_classes: 1,
+                agg: Aggregation::AverageValue,
+            },
+            config,
+        }
+    }
+
+    /// Trains on `x` (`[n, d]`) and real-valued targets `y`.
+    pub fn fit(mut self, x: &Tensor<f32>, y: &[f32]) -> RandomForestRegressor {
+        let (n, d) = (x.shape()[0], x.shape()[1]);
+        assert_eq!(n, y.len(), "x/y length mismatch");
+        let binner = Binner::fit(x, self.config.n_bins);
+        let binned = binner.bin_matrix(x);
+        let cfg = self.config.tree_config(d);
+        let targets = GradPair { grad: y.to_vec(), hess: vec![1.0; n] };
+        let seed = self.config.seed;
+        let trees: Vec<_> = (0..self.config.n_trees)
+            .into_par_iter()
+            .map(|t| {
+                let mut rng = StdRng::seed_from_u64(seed.wrapping_add(t as u64 * 6271));
+                let rows = self.config.bootstrap_rows(n, &mut rng);
+                train_regression_tree(
+                    &binned,
+                    n,
+                    d,
+                    &binner,
+                    &targets,
+                    &cfg,
+                    1.0,
+                    &mut rng,
+                    Some(&rows),
+                )
+            })
+            .collect();
+        self.ensemble =
+            TreeEnsemble { trees, n_features: d, n_classes: 1, agg: Aggregation::AverageValue };
+        self
+    }
+
+    /// Predicted values `[n]`.
+    pub fn predict(&self, x: &Tensor<f32>) -> Tensor<f32> {
+        self.ensemble.predict(x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::accuracy;
+
+    fn blobs(n: usize, seed: u64) -> (Tensor<f32>, Vec<i64>) {
+        // Two well-separated Gaussian-ish blobs in 4 dims.
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut xs = Vec::with_capacity(n * 4);
+        let mut ys = Vec::with_capacity(n);
+        for i in 0..n {
+            let c = (i % 2) as i64;
+            for _ in 0..4 {
+                let base = if c == 0 { -1.0 } else { 1.0 };
+                xs.push(base + rng.gen_range(-0.8..0.8));
+            }
+            ys.push(c);
+        }
+        (Tensor::from_vec(xs, &[n, 4]), ys)
+    }
+
+    #[test]
+    fn forest_separates_blobs() {
+        let (x, y) = blobs(300, 11);
+        let f = RandomForestClassifier::new(ForestConfig {
+            n_trees: 20,
+            max_depth: 5,
+            ..ForestConfig::default()
+        })
+        .fit(&x, &y);
+        let pred = f.predict(&x);
+        assert!(accuracy(&pred, &y) > 0.95);
+    }
+
+    #[test]
+    fn proba_rows_sum_to_one() {
+        let (x, y) = blobs(100, 3);
+        let f = RandomForestClassifier::new(ForestConfig {
+            n_trees: 5,
+            max_depth: 3,
+            ..ForestConfig::default()
+        })
+        .fit(&x, &y);
+        let p = f.predict_proba(&x);
+        for r in 0..x.shape()[0] {
+            let s = p.get(&[r, 0]) + p.get(&[r, 1]);
+            assert!((s - 1.0).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn forest_is_deterministic_given_seed() {
+        let (x, y) = blobs(100, 5);
+        let mk = || {
+            RandomForestClassifier::new(ForestConfig {
+                n_trees: 4,
+                max_depth: 4,
+                seed: 42,
+                ..ForestConfig::default()
+            })
+            .fit(&x, &y)
+        };
+        assert_eq!(mk().ensemble, mk().ensemble);
+    }
+
+    #[test]
+    fn regressor_fits_linear_target() {
+        let n = 400;
+        let x = Tensor::from_fn(&[n, 2], |i| ((i[0] * 7 + i[1] * 3) % 50) as f32 / 50.0);
+        let xs = x.to_contiguous();
+        let xv = xs.as_slice();
+        let y: Vec<f32> = (0..n).map(|r| 2.0 * xv[r * 2] - xv[r * 2 + 1]).collect();
+        let f = RandomForestRegressor::new(ForestConfig {
+            n_trees: 30,
+            max_depth: 6,
+            bootstrap: true,
+            ..ForestConfig::default()
+        })
+        .fit(&x, &y);
+        let pred = f.predict(&x);
+        let mse: f32 = pred
+            .to_vec()
+            .iter()
+            .zip(y.iter())
+            .map(|(p, t)| (p - t) * (p - t))
+            .sum::<f32>()
+            / n as f32;
+        assert!(mse < 0.05, "mse {mse}");
+    }
+
+    #[test]
+    fn extra_trees_variant_learns_and_differs() {
+        let (x, y) = blobs(300, 13);
+        let base = ForestConfig { n_trees: 15, max_depth: 5, ..ForestConfig::default() };
+        let plain = RandomForestClassifier::new(base.clone()).fit(&x, &y);
+        let extra = RandomForestClassifier::new(ForestConfig { extra_trees: true, ..base })
+            .fit(&x, &y);
+        assert!(accuracy(&extra.predict(&x), &y) > 0.9);
+        // Random thresholds must actually change the fitted trees.
+        assert_ne!(plain.ensemble, extra.ensemble);
+    }
+
+    #[test]
+    fn multiclass_forest() {
+        let n = 300;
+        let x = Tensor::from_fn(&[n, 1], |i| (i[0] % 3) as f32 + 0.001 * i[0] as f32);
+        let y: Vec<i64> = (0..n).map(|i| (i % 3) as i64).collect();
+        let f = RandomForestClassifier::new(ForestConfig {
+            n_trees: 10,
+            max_depth: 4,
+            bootstrap: false,
+            max_features: 1,
+            ..ForestConfig::default()
+        })
+        .fit(&x, &y);
+        assert_eq!(f.ensemble.n_classes, 3);
+        let pred = f.predict(&x);
+        assert!(accuracy(&pred, &y) > 0.9);
+    }
+}

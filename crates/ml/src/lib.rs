@@ -1,0 +1,59 @@
+//! Traditional-ML substrate for the Hummingbird reproduction.
+//!
+//! The paper compiles *trained* scikit-learn / XGBoost / LightGBM models;
+//! this crate supplies those models from scratch: training algorithms,
+//! fitted-parameter structures, and **imperative reference scorers** that
+//! play the role of the paper's baselines:
+//!
+//! * [`baselines::SklearnLikeForest`] — per-row recursive pointer-chasing
+//!   traversal parallelized over rows (the scikit-learn baseline profile:
+//!   good batch throughput, poor single-record latency);
+//! * [`baselines::OnnxLikeForest`] — flattened node arrays with an
+//!   iterative single-core loop (the ONNX-ML baseline profile: best
+//!   single-record latency, flat batch scaling).
+//!
+//! Model families: decision trees ([`tree`]), random forests ([`forest`]),
+//! gradient boosting with depth-wise ("XGBoost-like") and leaf-wise
+//! ("LightGBM-like") growth ([`gbdt`]), linear models ([`linear`]), kernel
+//! SVMs ([`svm`]), naive Bayes ([`naive_bayes`]), an MLP ([`mlp`]), and
+//! the featurizers of paper Table 1 ([`featurize`], [`select`],
+//! [`decomp`]).
+
+pub mod baselines;
+pub mod decomp;
+pub mod ensemble;
+pub mod featurize;
+pub mod forest;
+pub mod gbdt;
+pub mod isolation;
+pub mod linear;
+pub mod metrics;
+pub mod mlp;
+pub mod naive_bayes;
+pub mod select;
+pub mod svm;
+pub mod tree;
+
+pub use tree::{Growth, Tree, TreeConfig};
+
+/// Prediction task of a model or dataset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Task {
+    /// Binary classification (labels 0/1).
+    Binary,
+    /// Multiclass classification with the given class count.
+    Multiclass(usize),
+    /// Scalar regression.
+    Regression,
+}
+
+impl Task {
+    /// Number of classes (1 for regression).
+    pub fn n_classes(&self) -> usize {
+        match self {
+            Task::Binary => 2,
+            Task::Multiclass(c) => *c,
+            Task::Regression => 1,
+        }
+    }
+}

@@ -1,0 +1,438 @@
+//! Linear models: logistic regression (L1/L2), linear SVM, and an
+//! SGD-trained classifier, mirroring scikit-learn's
+//! `LogisticRegression`, `LinearSVC`, and `SGDClassifier`.
+//!
+//! The fitted form of every model here is `(weights [k, d], bias [k],
+//! link)` — exactly the parameters Hummingbird's extractor functions pull
+//! out and compile into a `GEMM → link` tensor graph. L1-regularized
+//! logistic regression additionally matters for the paper's §5.2
+//! *feature-selection injection*: zero-weight columns are prunable.
+
+use hb_tensor::Tensor;
+
+/// Regularization penalty.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Penalty {
+    /// No regularization.
+    None,
+    /// Ridge penalty with strength `alpha`.
+    L2(f32),
+    /// Lasso penalty with strength `alpha` (drives weights to exact
+    /// zero via proximal soft-thresholding).
+    L1(f32),
+}
+
+/// Output link of a fitted linear model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum LinearLink {
+    /// Binary logistic: `[1-p, p]` via sigmoid.
+    Sigmoid,
+    /// Multiclass softmax.
+    Softmax,
+    /// Raw margins (SVM decision function).
+    Margin,
+}
+
+/// Gradient-descent settings shared by the linear trainers.
+#[derive(Debug, Clone)]
+pub struct LinearConfig {
+    /// Full-batch epochs.
+    pub epochs: usize,
+    /// Learning rate.
+    pub lr: f32,
+    /// Penalty.
+    pub penalty: Penalty,
+    /// RNG-free: training is deterministic.
+    pub seed: u64,
+}
+
+impl Default for LinearConfig {
+    fn default() -> Self {
+        LinearConfig { epochs: 200, lr: 0.5, penalty: Penalty::L2(1e-4), seed: 0 }
+    }
+}
+
+/// A fitted linear classifier: weights, bias, and link.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct LinearModel {
+    /// Weight matrix `[k, d]`; `k = 1` for binary models.
+    pub weights: Tensor<f32>,
+    /// Bias per output.
+    pub bias: Vec<f32>,
+    /// Output link.
+    pub link: LinearLink,
+    /// Number of classes.
+    pub n_classes: usize,
+}
+
+impl LinearModel {
+    /// Raw decision scores `[n, k]`.
+    pub fn decision(&self, x: &Tensor<f32>) -> Tensor<f32> {
+        let b = Tensor::from_vec(self.bias.clone(), &[1, self.bias.len()]);
+        x.matmul(&self.weights.transpose(0, 1)).add(&b)
+    }
+
+    /// Class probabilities `[n, C]` (margins pass through a pseudo-1/0
+    /// encoding for `Margin` models).
+    pub fn predict_proba(&self, x: &Tensor<f32>) -> Tensor<f32> {
+        let z = self.decision(x);
+        match self.link {
+            LinearLink::Sigmoid => {
+                let p = z.sigmoid();
+                let one_minus = p.map(|v| 1.0 - v);
+                Tensor::concat(&[&one_minus, &p], 1)
+            }
+            LinearLink::Softmax => z.softmax_axis(1),
+            LinearLink::Margin => z,
+        }
+    }
+
+    /// Hard class predictions `[n]`.
+    pub fn predict(&self, x: &Tensor<f32>) -> Tensor<f32> {
+        let z = self.decision(x);
+        if z.shape()[1] == 1 {
+            z.map(|v| f32::from(v > 0.0))
+        } else {
+            z.argmax_axis(1, false).map(|v| v as f32)
+        }
+    }
+
+    /// Indices of features with a non-zero weight in any output — the
+    /// survivor set for feature-selection injection (§5.2).
+    pub fn nonzero_features(&self) -> Vec<usize> {
+        let (k, d) = (self.weights.shape()[0], self.weights.shape()[1]);
+        (0..d)
+            .filter(|&f| (0..k).any(|c| self.weights.get(&[c, f]).abs() > 1e-12))
+            .collect()
+    }
+
+    /// Drops all columns except `keep` (ascending), returning a model over
+    /// the reduced feature space.
+    pub fn restrict_features(&self, keep: &[usize]) -> LinearModel {
+        LinearModel {
+            weights: self.weights.index_select(1, keep),
+            bias: self.bias.clone(),
+            link: self.link,
+            n_classes: self.n_classes,
+            }
+    }
+}
+
+/// Applies a proximal step for the penalty.
+fn apply_penalty(w: &mut [f32], penalty: Penalty, lr: f32) {
+    match penalty {
+        Penalty::None => {}
+        Penalty::L2(a) => w.iter_mut().for_each(|v| *v *= 1.0 - lr * a),
+        Penalty::L1(a) => {
+            let t = lr * a;
+            w.iter_mut().for_each(|v| *v = v.signum() * (v.abs() - t).max(0.0));
+        }
+    }
+}
+
+/// Shared full-batch gradient-descent loop over the softmax/logistic loss.
+fn fit_logistic(x: &Tensor<f32>, y: &[i64], n_classes: usize, cfg: &LinearConfig) -> LinearModel {
+    let (n, d) = (x.shape()[0], x.shape()[1]);
+    assert_eq!(n, y.len(), "x/y length mismatch");
+    let k = if n_classes == 2 { 1 } else { n_classes };
+    let mut w = vec![0.0f32; k * d];
+    let mut b = vec![0.0f32; k];
+    let xs = x.to_contiguous();
+    let xv = xs.as_slice();
+    let inv_n = 1.0 / n as f32;
+    let mut z = vec![0.0f32; k];
+    for _ in 0..cfg.epochs {
+        let mut gw = vec![0.0f32; k * d];
+        let mut gb = vec![0.0f32; k];
+        for r in 0..n {
+            let row = &xv[r * d..(r + 1) * d];
+            for c in 0..k {
+                z[c] = b[c] + row.iter().zip(&w[c * d..(c + 1) * d]).map(|(a, b)| a * b).sum::<f32>();
+            }
+            if k == 1 {
+                let p = 1.0 / (1.0 + (-z[0]).exp());
+                let err = p - y[r] as f32;
+                gb[0] += err;
+                for (g, &v) in gw.iter_mut().zip(row.iter()) {
+                    *g += err * v;
+                }
+            } else {
+                let m = z.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+                let mut s = 0.0f32;
+                for c in 0..k {
+                    z[c] = (z[c] - m).exp();
+                    s += z[c];
+                }
+                for c in 0..k {
+                    let err = z[c] / s - f32::from(y[r] as usize == c);
+                    gb[c] += err;
+                    for (g, &v) in gw[c * d..(c + 1) * d].iter_mut().zip(row.iter()) {
+                        *g += err * v;
+                    }
+                }
+            }
+        }
+        for (wv, gv) in w.iter_mut().zip(gw.iter()) {
+            *wv -= cfg.lr * gv * inv_n;
+        }
+        for (bv, gv) in b.iter_mut().zip(gb.iter()) {
+            *bv -= cfg.lr * gv * inv_n;
+        }
+        apply_penalty(&mut w, cfg.penalty, cfg.lr);
+    }
+    LinearModel {
+        weights: Tensor::from_vec(w, &[k, d]),
+        bias: b,
+        link: if k == 1 { LinearLink::Sigmoid } else { LinearLink::Softmax },
+        n_classes,
+    }
+}
+
+/// scikit-learn `LogisticRegression` stand-in.
+#[derive(Debug, Clone, Default)]
+pub struct LogisticRegression {
+    /// Training settings.
+    pub config: LinearConfig,
+}
+
+impl LogisticRegression {
+    /// Creates a trainer with the given settings.
+    pub fn new(config: LinearConfig) -> Self {
+        LogisticRegression { config }
+    }
+
+    /// Trains on labels `0..C`.
+    pub fn fit(&self, x: &Tensor<f32>, y: &[i64]) -> LinearModel {
+        let n_classes = (*y.iter().max().expect("empty labels") as usize) + 1;
+        fit_logistic(x, y, n_classes.max(2), &self.config)
+    }
+}
+
+/// scikit-learn `SGDClassifier` stand-in: logistic loss trained with
+/// per-sample stochastic steps and an inverse-scaling learning rate.
+#[derive(Debug, Clone, Default)]
+pub struct SgdClassifier {
+    /// Training settings (`epochs` = passes over the data).
+    pub config: LinearConfig,
+}
+
+impl SgdClassifier {
+    /// Creates a trainer with the given settings.
+    pub fn new(config: LinearConfig) -> Self {
+        SgdClassifier { config }
+    }
+
+    /// Trains a binary or multiclass model with SGD.
+    pub fn fit(&self, x: &Tensor<f32>, y: &[i64]) -> LinearModel {
+        let (n, d) = (x.shape()[0], x.shape()[1]);
+        let n_classes = (*y.iter().max().expect("empty labels") as usize + 1).max(2);
+        let k = if n_classes == 2 { 1 } else { n_classes };
+        let mut w = vec![0.0f32; k * d];
+        let mut b = vec![0.0f32; k];
+        let xs = x.to_contiguous();
+        let xv = xs.as_slice();
+        let mut t = 1.0f32;
+        let mut z = vec![0.0f32; k];
+        for _ in 0..self.config.epochs.max(1) {
+            for r in 0..n {
+                let lr = self.config.lr / t.sqrt();
+                t += 1.0;
+                let row = &xv[r * d..(r + 1) * d];
+                for c in 0..k {
+                    z[c] = b[c]
+                        + row.iter().zip(&w[c * d..(c + 1) * d]).map(|(a, b)| a * b).sum::<f32>();
+                }
+                if k == 1 {
+                    let p = 1.0 / (1.0 + (-z[0]).exp());
+                    let err = p - y[r] as f32;
+                    b[0] -= lr * err;
+                    for (wv, &v) in w.iter_mut().zip(row.iter()) {
+                        *wv -= lr * err * v;
+                    }
+                } else {
+                    let m = z.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+                    let s: f32 = z.iter().map(|v| (v - m).exp()).sum();
+                    for c in 0..k {
+                        let err = ((z[c] - m).exp()) / s - f32::from(y[r] as usize == c);
+                        b[c] -= lr * err;
+                        for (wv, &v) in w[c * d..(c + 1) * d].iter_mut().zip(row.iter()) {
+                            *wv -= lr * err * v;
+                        }
+                    }
+                }
+                apply_penalty(&mut w, self.config.penalty, self.config.lr * 1e-3);
+            }
+        }
+        LinearModel {
+            weights: Tensor::from_vec(w, &[k, d]),
+            bias: b,
+            link: if k == 1 { LinearLink::Sigmoid } else { LinearLink::Softmax },
+            n_classes,
+        }
+    }
+}
+
+/// scikit-learn `LinearSVC` stand-in: L2-regularized hinge loss via
+/// subgradient descent (one-vs-rest for multiclass).
+#[derive(Debug, Clone)]
+pub struct LinearSvc {
+    /// Training settings.
+    pub config: LinearConfig,
+}
+
+impl Default for LinearSvc {
+    fn default() -> Self {
+        LinearSvc { config: LinearConfig { lr: 0.5, epochs: 500, ..LinearConfig::default() } }
+    }
+}
+
+impl LinearSvc {
+    /// Creates a trainer with the given settings.
+    pub fn new(config: LinearConfig) -> Self {
+        LinearSvc { config }
+    }
+
+    /// Trains a margin classifier on labels `0..C`.
+    pub fn fit(&self, x: &Tensor<f32>, y: &[i64]) -> LinearModel {
+        let (n, d) = (x.shape()[0], x.shape()[1]);
+        let n_classes = (*y.iter().max().expect("empty labels") as usize + 1).max(2);
+        let k = if n_classes == 2 { 1 } else { n_classes };
+        let mut w = vec![0.0f32; k * d];
+        let mut b = vec![0.0f32; k];
+        let xs = x.to_contiguous();
+        let xv = xs.as_slice();
+        let inv_n = 1.0 / n as f32;
+        for _ in 0..self.config.epochs {
+            let mut gw = vec![0.0f32; k * d];
+            let mut gb = vec![0.0f32; k];
+            for r in 0..n {
+                let row = &xv[r * d..(r + 1) * d];
+                for c in 0..k {
+                    // One-vs-rest target in {-1, +1}.
+                    let t = if k == 1 {
+                        if y[r] == 1 { 1.0 } else { -1.0 }
+                    } else if y[r] as usize == c {
+                        1.0
+                    } else {
+                        -1.0
+                    };
+                    let z: f32 = b[c]
+                        + row.iter().zip(&w[c * d..(c + 1) * d]).map(|(a, b)| a * b).sum::<f32>();
+                    if t * z < 1.0 {
+                        gb[c] -= t;
+                        for (g, &v) in gw[c * d..(c + 1) * d].iter_mut().zip(row.iter()) {
+                            *g -= t * v;
+                        }
+                    }
+                }
+            }
+            for (wv, gv) in w.iter_mut().zip(gw.iter()) {
+                *wv -= self.config.lr * gv * inv_n;
+            }
+            for (bv, gv) in b.iter_mut().zip(gb.iter()) {
+                *bv -= self.config.lr * gv * inv_n;
+            }
+            apply_penalty(&mut w, self.config.penalty, self.config.lr);
+        }
+        LinearModel {
+            weights: Tensor::from_vec(w, &[k, d]),
+            bias: b,
+            link: LinearLink::Margin,
+            n_classes,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::accuracy;
+
+    fn linearly_separable(n: usize) -> (Tensor<f32>, Vec<i64>) {
+        // y = 1 iff x0 + x1 > 1.
+        let x = Tensor::from_fn(&[n, 2], |i| {
+            let v = ((i[0] * 31 + i[1] * 17) % 100) as f32 / 100.0;
+            v * 2.0 - 0.5
+        });
+        let xs = x.to_contiguous();
+        let xv = xs.as_slice().to_vec();
+        let y: Vec<i64> = (0..n).map(|r| i64::from(xv[r * 2] + xv[r * 2 + 1] > 1.0)).collect();
+        (x, y)
+    }
+
+    #[test]
+    fn logistic_regression_separates() {
+        let (x, y) = linearly_separable(200);
+        let m = LogisticRegression::default().fit(&x, &y);
+        assert!(accuracy(&m.predict(&x), &y) > 0.97);
+        // Probabilities normalize.
+        let p = m.predict_proba(&x);
+        assert!((p.get(&[0, 0]) + p.get(&[0, 1]) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn l1_penalty_zeroes_irrelevant_features() {
+        // Feature 2 is pure noise; L1 should null it.
+        let n = 300;
+        let x = Tensor::from_fn(&[n, 3], |i| match i[1] {
+            0 => (i[0] % 10) as f32 / 10.0,
+            1 => ((i[0] * 7) % 10) as f32 / 10.0,
+            _ => ((i[0] * 131) % 97) as f32 / 97.0,
+        });
+        let xs = x.to_contiguous();
+        let xv = xs.as_slice().to_vec();
+        let y: Vec<i64> =
+            (0..n).map(|r| i64::from(xv[r * 3] + xv[r * 3 + 1] > 1.0)).collect();
+        let m = LogisticRegression::new(LinearConfig {
+            penalty: Penalty::L1(0.02),
+            epochs: 400,
+            ..LinearConfig::default()
+        })
+        .fit(&x, &y);
+        let nz = m.nonzero_features();
+        assert!(!nz.contains(&2), "noise feature survived: weights {:?}", m.weights.to_vec());
+        assert!(nz.contains(&0) && nz.contains(&1));
+    }
+
+    #[test]
+    fn restrict_features_matches_manual_selection() {
+        let (x, y) = linearly_separable(100);
+        let m = LogisticRegression::default().fit(&x, &y);
+        let r = m.restrict_features(&[1]);
+        assert_eq!(r.weights.shape(), &[1, 1]);
+        assert_eq!(r.weights.get(&[0, 0]), m.weights.get(&[0, 1]));
+    }
+
+    #[test]
+    fn multiclass_softmax() {
+        let n = 300;
+        let x = Tensor::from_fn(&[n, 2], |i| {
+            let c = (i[0] % 3) as f32;
+            if i[1] == 0 {
+                c * 3.0
+            } else {
+                -c + ((i[0] / 3) % 5) as f32 * 0.01
+            }
+        });
+        let y: Vec<i64> = (0..n).map(|i| (i % 3) as i64).collect();
+        let m = LogisticRegression::default().fit(&x, &y);
+        assert_eq!(m.weights.shape(), &[3, 2]);
+        assert!(accuracy(&m.predict(&x), &y) > 0.95);
+    }
+
+    #[test]
+    fn sgd_classifier_learns() {
+        let (x, y) = linearly_separable(200);
+        let m = SgdClassifier::new(LinearConfig { epochs: 20, lr: 0.5, ..Default::default() })
+            .fit(&x, &y);
+        assert!(accuracy(&m.predict(&x), &y) > 0.95);
+    }
+
+    #[test]
+    fn linear_svc_margins() {
+        let (x, y) = linearly_separable(200);
+        let m = LinearSvc::default().fit(&x, &y);
+        assert_eq!(m.link, LinearLink::Margin);
+        assert!(accuracy(&m.predict(&x), &y) > 0.95);
+    }
+}

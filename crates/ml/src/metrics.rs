@@ -1,0 +1,89 @@
+//! Small evaluation metrics used by tests and the bench harness.
+
+use hb_tensor::Tensor;
+
+/// Fraction of predictions (f32-encoded class ids) equal to the labels.
+pub fn accuracy(pred: &Tensor<f32>, y: &[i64]) -> f64 {
+    let p = pred.to_vec();
+    assert_eq!(p.len(), y.len(), "prediction/label length mismatch");
+    let correct = p.iter().zip(y.iter()).filter(|(p, y)| **p as i64 == **y).count();
+    correct as f64 / y.len().max(1) as f64
+}
+
+/// Mean squared error between predictions and targets.
+pub fn mse(pred: &Tensor<f32>, y: &[f32]) -> f64 {
+    let p = pred.to_vec();
+    assert_eq!(p.len(), y.len(), "prediction/label length mismatch");
+    p.iter().zip(y.iter()).map(|(a, b)| ((a - b) as f64).powi(2)).sum::<f64>()
+        / y.len().max(1) as f64
+}
+
+/// Largest absolute element-wise difference between two equally-shaped
+/// tensors (the paper's output-validation metric, §6.1.1).
+pub fn max_abs_diff(a: &Tensor<f32>, b: &Tensor<f32>) -> f32 {
+    assert_eq!(a.shape(), b.shape(), "shape mismatch");
+    a.iter().zip(b.iter()).map(|(x, y)| (x - y).abs()).fold(0.0, f32::max)
+}
+
+/// Fraction of rows whose argmax class differs between two `[n, C]`
+/// probability tensors — the paper's "% of records differing" measure.
+pub fn label_mismatch_rate(a: &Tensor<f32>, b: &Tensor<f32>) -> f64 {
+    assert_eq!(a.shape(), b.shape(), "shape mismatch");
+    let la = a.argmax_axis(1, false).to_vec();
+    let lb = b.argmax_axis(1, false).to_vec();
+    let diff = la.iter().zip(lb.iter()).filter(|(x, y)| x != y).count();
+    diff as f64 / la.len().max(1) as f64
+}
+
+/// True when every element pair satisfies
+/// `|a - b| <= atol + rtol * |b|` — mirrors
+/// `numpy.testing.assert_allclose`, which the paper uses with
+/// `rtol = atol = 1e-5`.
+pub fn allclose(a: &Tensor<f32>, b: &Tensor<f32>, rtol: f32, atol: f32) -> bool {
+    if a.shape() != b.shape() {
+        return false;
+    }
+    a.iter().zip(b.iter()).all(|(x, y)| {
+        (x.is_nan() && y.is_nan()) || (x - y).abs() <= atol + rtol * y.abs()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accuracy_counts_matches() {
+        let p = Tensor::from_vec(vec![0.0, 1.0, 1.0, 0.0], &[4]);
+        assert_eq!(accuracy(&p, &[0, 1, 0, 0]), 0.75);
+    }
+
+    #[test]
+    fn mse_is_mean_of_squares() {
+        let p = Tensor::from_vec(vec![1.0, 3.0], &[2]);
+        assert_eq!(mse(&p, &[0.0, 0.0]), 5.0);
+    }
+
+    #[test]
+    fn allclose_tolerances() {
+        let a = Tensor::from_vec(vec![1.0, 2.0], &[2]);
+        let b = Tensor::from_vec(vec![1.0 + 5e-6, 2.0], &[2]);
+        assert!(allclose(&a, &b, 1e-5, 1e-5));
+        let c = Tensor::from_vec(vec![1.1, 2.0], &[2]);
+        assert!(!allclose(&a, &c, 1e-5, 1e-5));
+    }
+
+    #[test]
+    fn mismatch_rate_on_argmax() {
+        let a = Tensor::from_vec(vec![0.9, 0.1, 0.2, 0.8], &[2, 2]);
+        let b = Tensor::from_vec(vec![0.6, 0.4, 0.7, 0.3], &[2, 2]);
+        assert_eq!(label_mismatch_rate(&a, &b), 0.5);
+    }
+
+    #[test]
+    fn max_abs_diff_finds_worst() {
+        let a = Tensor::from_vec(vec![1.0, 5.0], &[2]);
+        let b = Tensor::from_vec(vec![1.5, 4.0], &[2]);
+        assert_eq!(max_abs_diff(&a, &b), 1.0);
+    }
+}

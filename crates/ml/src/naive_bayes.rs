@@ -1,0 +1,326 @@
+//! Naive Bayes classifiers: Gaussian, Bernoulli, and Multinomial.
+//!
+//! All three reduce at scoring time to affine forms over the input (or a
+//! binarized/identity transform of it), which is what makes them cheap to
+//! compile: the Hummingbird converter turns each into at most three GEMMs
+//! plus a softmax — see the Gaussian expansion in DESIGN.md mirroring the
+//! paper's "avoid large intermediates" technique (§4.2).
+
+use hb_tensor::Tensor;
+
+/// Fitted Gaussian naive Bayes.
+///
+/// Scoring uses the expansion
+/// `log p(x|c) = Σ_d [−½log(2πσ²) − (x−μ)²/(2σ²)]`, rewritten as
+/// `x² · A_c + x · B_c + const_c` so it evaluates with two GEMMs instead
+/// of an `n×d×C` broadcast intermediate.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct GaussianNb {
+    /// Class means `[C, d]`.
+    pub theta: Tensor<f32>,
+    /// Class variances `[C, d]` (smoothed).
+    pub var: Tensor<f32>,
+    /// Log class priors `[C]`.
+    pub class_log_prior: Vec<f32>,
+}
+
+impl GaussianNb {
+    /// Fits means/variances per class with variance smoothing.
+    pub fn fit(x: &Tensor<f32>, y: &[i64]) -> GaussianNb {
+        let (n, d) = (x.shape()[0], x.shape()[1]);
+        assert_eq!(n, y.len(), "x/y length mismatch");
+        let c = (*y.iter().max().expect("empty labels") as usize) + 1;
+        let xs = x.to_contiguous();
+        let xv = xs.as_slice();
+        let mut mean = vec![0.0f64; c * d];
+        let mut count = vec![0.0f64; c];
+        for r in 0..n {
+            let cls = y[r] as usize;
+            count[cls] += 1.0;
+            for f in 0..d {
+                mean[cls * d + f] += xv[r * d + f] as f64;
+            }
+        }
+        for cls in 0..c {
+            for f in 0..d {
+                mean[cls * d + f] /= count[cls].max(1.0);
+            }
+        }
+        let mut var = vec![0.0f64; c * d];
+        for r in 0..n {
+            let cls = y[r] as usize;
+            for f in 0..d {
+                let diff = xv[r * d + f] as f64 - mean[cls * d + f];
+                var[cls * d + f] += diff * diff;
+            }
+        }
+        // scikit-learn smooths with 1e-9 × the largest feature variance.
+        let mut max_var = 0.0f64;
+        for cls in 0..c {
+            for f in 0..d {
+                var[cls * d + f] /= count[cls].max(1.0);
+                max_var = max_var.max(var[cls * d + f]);
+            }
+        }
+        let eps = (1e-9 * max_var).max(1e-12);
+        var.iter_mut().for_each(|v| *v += eps);
+        let class_log_prior: Vec<f32> =
+            count.iter().map(|&k| ((k.max(1e-12)) / n as f64).ln() as f32).collect();
+        GaussianNb {
+            theta: Tensor::from_vec(mean.iter().map(|&v| v as f32).collect(), &[c, d]),
+            var: Tensor::from_vec(var.iter().map(|&v| v as f32).collect(), &[c, d]),
+            class_log_prior,
+        }
+    }
+
+    /// Joint log-likelihood `[n, C]` (imperative reference).
+    pub fn joint_log_likelihood(&self, x: &Tensor<f32>) -> Tensor<f32> {
+        let (n, d) = (x.shape()[0], x.shape()[1]);
+        let c = self.class_log_prior.len();
+        let xs = x.to_contiguous();
+        let xv = xs.as_slice();
+        let th = self.theta.to_contiguous();
+        let thv = th.as_slice();
+        let va = self.var.to_contiguous();
+        let vav = va.as_slice();
+        let mut out = vec![0.0f32; n * c];
+        for r in 0..n {
+            for cls in 0..c {
+                let mut ll = self.class_log_prior[cls];
+                for f in 0..d {
+                    let v = vav[cls * d + f];
+                    let diff = xv[r * d + f] - thv[cls * d + f];
+                    ll += -0.5 * (2.0 * std::f32::consts::PI * v).ln() - diff * diff / (2.0 * v);
+                }
+                out[r * c + cls] = ll;
+            }
+        }
+        Tensor::from_vec(out, &[n, c])
+    }
+
+    /// Class probabilities `[n, C]`.
+    pub fn predict_proba(&self, x: &Tensor<f32>) -> Tensor<f32> {
+        self.joint_log_likelihood(x).softmax_axis(1)
+    }
+
+    /// Hard predictions `[n]`.
+    pub fn predict(&self, x: &Tensor<f32>) -> Tensor<f32> {
+        self.joint_log_likelihood(x).argmax_axis(1, false).map(|v| v as f32)
+    }
+}
+
+/// Fitted Bernoulli naive Bayes (features binarized at `binarize`).
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct BernoulliNb {
+    /// `log p(f=1|c)` `[C, d]`.
+    pub feature_log_prob: Tensor<f32>,
+    /// `log(1 − p(f=1|c))` `[C, d]`.
+    pub neg_log_prob: Tensor<f32>,
+    /// Log class priors `[C]`.
+    pub class_log_prior: Vec<f32>,
+    /// Binarization threshold applied to inputs.
+    pub binarize: f32,
+}
+
+impl BernoulliNb {
+    /// Fits with Laplace smoothing `alpha`.
+    pub fn fit(x: &Tensor<f32>, y: &[i64], alpha: f32, binarize: f32) -> BernoulliNb {
+        let (n, d) = (x.shape()[0], x.shape()[1]);
+        let c = (*y.iter().max().expect("empty labels") as usize) + 1;
+        let xs = x.to_contiguous();
+        let xv = xs.as_slice();
+        let mut ones = vec![0.0f64; c * d];
+        let mut count = vec![0.0f64; c];
+        for r in 0..n {
+            let cls = y[r] as usize;
+            count[cls] += 1.0;
+            for f in 0..d {
+                if xv[r * d + f] > binarize {
+                    ones[cls * d + f] += 1.0;
+                }
+            }
+        }
+        let mut logp = vec![0.0f32; c * d];
+        let mut logq = vec![0.0f32; c * d];
+        for cls in 0..c {
+            for f in 0..d {
+                let p = (ones[cls * d + f] + alpha as f64) / (count[cls] + 2.0 * alpha as f64);
+                logp[cls * d + f] = (p.ln()) as f32;
+                logq[cls * d + f] = ((1.0 - p).ln()) as f32;
+            }
+        }
+        let class_log_prior: Vec<f32> =
+            count.iter().map(|&k| ((k.max(1e-12)) / n as f64).ln() as f32).collect();
+        BernoulliNb {
+            feature_log_prob: Tensor::from_vec(logp, &[c, d]),
+            neg_log_prob: Tensor::from_vec(logq, &[c, d]),
+            class_log_prior,
+            binarize,
+        }
+    }
+
+    /// Joint log-likelihood `[n, C]`.
+    pub fn joint_log_likelihood(&self, x: &Tensor<f32>) -> Tensor<f32> {
+        // b · (logp − logq)ᵀ + Σ logq + prior, with b the binarized input.
+        let b = x.map(|v| f32::from(v > self.binarize));
+        let delta = self.feature_log_prob.sub(&self.neg_log_prob);
+        let base = self.neg_log_prob.sum_axis(1, false); // [C]
+        let prior = Tensor::from_vec(self.class_log_prior.clone(), &[self.class_log_prior.len()]);
+        let bias = base.add(&prior).reshape(&[1, self.class_log_prior.len()]);
+        b.matmul(&delta.transpose(0, 1)).add(&bias)
+    }
+
+    /// Class probabilities `[n, C]`.
+    pub fn predict_proba(&self, x: &Tensor<f32>) -> Tensor<f32> {
+        self.joint_log_likelihood(x).softmax_axis(1)
+    }
+
+    /// Hard predictions `[n]`.
+    pub fn predict(&self, x: &Tensor<f32>) -> Tensor<f32> {
+        self.joint_log_likelihood(x).argmax_axis(1, false).map(|v| v as f32)
+    }
+}
+
+/// Fitted multinomial naive Bayes (count features).
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct MultinomialNb {
+    /// `log p(f|c)` `[C, d]`.
+    pub feature_log_prob: Tensor<f32>,
+    /// Log class priors `[C]`.
+    pub class_log_prior: Vec<f32>,
+}
+
+impl MultinomialNb {
+    /// Fits with Laplace smoothing `alpha`.
+    pub fn fit(x: &Tensor<f32>, y: &[i64], alpha: f32) -> MultinomialNb {
+        let (n, d) = (x.shape()[0], x.shape()[1]);
+        let c = (*y.iter().max().expect("empty labels") as usize) + 1;
+        let xs = x.to_contiguous();
+        let xv = xs.as_slice();
+        let mut counts = vec![0.0f64; c * d];
+        let mut class_n = vec![0.0f64; c];
+        for r in 0..n {
+            let cls = y[r] as usize;
+            class_n[cls] += 1.0;
+            for f in 0..d {
+                counts[cls * d + f] += xv[r * d + f].max(0.0) as f64;
+            }
+        }
+        let mut logp = vec![0.0f32; c * d];
+        for cls in 0..c {
+            let total: f64 =
+                counts[cls * d..(cls + 1) * d].iter().sum::<f64>() + alpha as f64 * d as f64;
+            for f in 0..d {
+                logp[cls * d + f] =
+                    (((counts[cls * d + f] + alpha as f64) / total).ln()) as f32;
+            }
+        }
+        let n_total = n as f64;
+        let class_log_prior: Vec<f32> =
+            class_n.iter().map(|&k| ((k.max(1e-12)) / n_total).ln() as f32).collect();
+        MultinomialNb { feature_log_prob: Tensor::from_vec(logp, &[c, d]), class_log_prior }
+    }
+
+    /// Joint log-likelihood `[n, C]` — a single GEMM plus prior.
+    pub fn joint_log_likelihood(&self, x: &Tensor<f32>) -> Tensor<f32> {
+        let prior =
+            Tensor::from_vec(self.class_log_prior.clone(), &[1, self.class_log_prior.len()]);
+        x.matmul(&self.feature_log_prob.transpose(0, 1)).add(&prior)
+    }
+
+    /// Class probabilities `[n, C]`.
+    pub fn predict_proba(&self, x: &Tensor<f32>) -> Tensor<f32> {
+        self.joint_log_likelihood(x).softmax_axis(1)
+    }
+
+    /// Hard predictions `[n]`.
+    pub fn predict(&self, x: &Tensor<f32>) -> Tensor<f32> {
+        self.joint_log_likelihood(x).argmax_axis(1, false).map(|v| v as f32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::accuracy;
+
+    fn gaussian_blobs(n: usize) -> (Tensor<f32>, Vec<i64>) {
+        let x = Tensor::from_fn(&[n, 3], |i| {
+            let c = (i[0] % 2) as f32;
+            c * 4.0 + ((i[0] * 13 + i[1] * 7) % 10) as f32 * 0.1
+        });
+        let y: Vec<i64> = (0..n).map(|i| (i % 2) as i64).collect();
+        (x, y)
+    }
+
+    #[test]
+    fn gaussian_nb_separates_blobs() {
+        let (x, y) = gaussian_blobs(200);
+        let m = GaussianNb::fit(&x, &y);
+        assert!(accuracy(&m.predict(&x), &y) > 0.98);
+        let p = m.predict_proba(&x);
+        assert!((p.get(&[0, 0]) + p.get(&[0, 1]) - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn gaussian_nb_priors_sum_to_one_in_prob_space() {
+        let (x, y) = gaussian_blobs(100);
+        let m = GaussianNb::fit(&x, &y);
+        let total: f32 = m.class_log_prior.iter().map(|v| v.exp()).sum();
+        assert!((total - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn bernoulli_nb_on_binary_features() {
+        // Class 1 rows have feature 0 set; class 0 rows feature 1.
+        let n = 100;
+        let x = Tensor::from_fn(&[n, 2], |i| {
+            if i[0] % 2 == (1 - i[1]) % 2 {
+                1.0
+            } else {
+                0.0
+            }
+        });
+        let y: Vec<i64> = (0..n).map(|i| (i % 2) as i64).collect();
+        let m = BernoulliNb::fit(&x, &y, 1.0, 0.5);
+        assert!(accuracy(&m.predict(&x), &y) > 0.98);
+    }
+
+    #[test]
+    fn multinomial_nb_on_count_features() {
+        let n = 100;
+        // Class c emits high counts in feature c.
+        let x = Tensor::from_fn(&[n, 3], |i| {
+            let c = i[0] % 3;
+            if i[1] == c {
+                10.0 + (i[0] % 5) as f32
+            } else {
+                1.0
+            }
+        });
+        let y: Vec<i64> = (0..n).map(|i| (i % 3) as i64).collect();
+        let m = MultinomialNb::fit(&x, &y, 1.0);
+        assert!(accuracy(&m.predict(&x), &y) > 0.98);
+    }
+
+    #[test]
+    fn bernoulli_ll_matches_naive_loop() {
+        let x = Tensor::from_vec(vec![1.0, 0.0, 0.0, 1.0], &[2, 2]);
+        let y = vec![0i64, 1];
+        let m = BernoulliNb::fit(&x, &y, 1.0, 0.5);
+        let ll = m.joint_log_likelihood(&x);
+        // Naive per-element recomputation.
+        let lp = m.feature_log_prob.to_vec();
+        let lq = m.neg_log_prob.to_vec();
+        for r in 0..2 {
+            for c in 0..2 {
+                let mut want = m.class_log_prior[c];
+                for f in 0..2 {
+                    let b = x.get(&[r, f]) > 0.5;
+                    want += if b { lp[c * 2 + f] } else { lq[c * 2 + f] };
+                }
+                assert!((ll.get(&[r, c]) - want).abs() < 1e-5);
+            }
+        }
+    }
+}

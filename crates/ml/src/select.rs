@@ -1,0 +1,186 @@
+//! Feature selectors: `SelectKBest`, `SelectPercentile`, and
+//! `VarianceThreshold`.
+//!
+//! Selectors are central to the paper's §5.2 optimizations: at scoring
+//! time a selector is just an `index_select`, and it can be *pushed down*
+//! through upstream featurizers to avoid computing discarded features at
+//! all.
+
+use hb_tensor::Tensor;
+
+/// ANOVA F-scores of each feature against integer class labels
+/// (scikit-learn's `f_classif`).
+pub fn f_classif(x: &Tensor<f32>, y: &[i64]) -> Vec<f64> {
+    let (n, d) = (x.shape()[0], x.shape()[1]);
+    assert_eq!(n, y.len(), "x/y length mismatch");
+    let c = (*y.iter().max().unwrap_or(&0) as usize) + 1;
+    let xs = x.to_contiguous();
+    let xv = xs.as_slice();
+    let mut counts = vec![0.0f64; c];
+    for &cls in y {
+        counts[cls as usize] += 1.0;
+    }
+    let mut scores = vec![0.0f64; d];
+    for f in 0..d {
+        let mut class_sum = vec![0.0f64; c];
+        let mut total = 0.0f64;
+        let mut total_sq = 0.0f64;
+        for r in 0..n {
+            let v = xv[r * d + f] as f64;
+            class_sum[y[r] as usize] += v;
+            total += v;
+            total_sq += v * v;
+        }
+        let grand_mean = total / n as f64;
+        let mut ss_between = 0.0f64;
+        for cls in 0..c {
+            if counts[cls] > 0.0 {
+                let m = class_sum[cls] / counts[cls];
+                ss_between += counts[cls] * (m - grand_mean) * (m - grand_mean);
+            }
+        }
+        let ss_total = total_sq - n as f64 * grand_mean * grand_mean;
+        let ss_within = (ss_total - ss_between).max(0.0);
+        let df_between = (c - 1).max(1) as f64;
+        let df_within = (n.saturating_sub(c)).max(1) as f64;
+        let msb = ss_between / df_between;
+        let msw = ss_within / df_within;
+        scores[f] = if msw > 0.0 { msb / msw } else if msb > 0.0 { f64::INFINITY } else { 0.0 };
+    }
+    scores
+}
+
+/// A fitted feature selector: the surviving column indices, ascending.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct FeatureSelector {
+    /// Columns kept, in ascending input order.
+    pub selected: Vec<usize>,
+    /// Input dimensionality at fit time.
+    pub n_features_in: usize,
+}
+
+impl FeatureSelector {
+    /// Keeps the `k` columns with the highest scores (`SelectKBest`).
+    pub fn k_best(x: &Tensor<f32>, y: &[i64], k: usize) -> FeatureSelector {
+        let scores = f_classif(x, y);
+        Self::from_scores(&scores, k.min(scores.len()))
+    }
+
+    /// Keeps the top `percentile`% of columns (`SelectPercentile`).
+    pub fn percentile(x: &Tensor<f32>, y: &[i64], percentile: usize) -> FeatureSelector {
+        let scores = f_classif(x, y);
+        let k = ((scores.len() * percentile.clamp(1, 100)) / 100).max(1);
+        Self::from_scores(&scores, k)
+    }
+
+    /// Keeps columns whose variance exceeds `threshold`
+    /// (`VarianceThreshold`).
+    pub fn variance_threshold(x: &Tensor<f32>, threshold: f64) -> FeatureSelector {
+        let (n, d) = (x.shape()[0], x.shape()[1]);
+        let xs = x.to_contiguous();
+        let xv = xs.as_slice();
+        let mut selected = Vec::new();
+        for f in 0..d {
+            let mut sum = 0.0f64;
+            let mut sq = 0.0f64;
+            for r in 0..n {
+                let v = xv[r * d + f] as f64;
+                sum += v;
+                sq += v * v;
+            }
+            let mean = sum / n as f64;
+            let var = sq / n as f64 - mean * mean;
+            if var > threshold {
+                selected.push(f);
+            }
+        }
+        FeatureSelector { selected, n_features_in: d }
+    }
+
+    /// Builds a selector keeping given columns directly (used when the
+    /// optimizer *injects* a selector, §5.2).
+    pub fn from_indices(selected: Vec<usize>, n_features_in: usize) -> FeatureSelector {
+        FeatureSelector { selected, n_features_in }
+    }
+
+    fn from_scores(scores: &[f64], k: usize) -> FeatureSelector {
+        let mut order: Vec<usize> = (0..scores.len()).collect();
+        order.sort_by(|&a, &b| scores[b].partial_cmp(&scores[a]).unwrap());
+        let mut selected: Vec<usize> = order.into_iter().take(k).collect();
+        selected.sort_unstable();
+        FeatureSelector { selected, n_features_in: scores.len() }
+    }
+
+    /// Applies the selection.
+    pub fn transform(&self, x: &Tensor<f32>) -> Tensor<f32> {
+        x.index_select(1, &self.selected)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Feature 0 predicts the label; feature 1 is constant; feature 2 is
+    /// label-independent noise.
+    fn data() -> (Tensor<f32>, Vec<i64>) {
+        let n = 100;
+        let x = Tensor::from_fn(&[n, 3], |i| match i[1] {
+            0 => (i[0] % 2) as f32 * 5.0 + (i[0] % 7) as f32 * 0.01,
+            1 => 3.0,
+            _ => ((i[0] * 37) % 11) as f32,
+        });
+        let y: Vec<i64> = (0..n).map(|i| (i % 2) as i64).collect();
+        (x, y)
+    }
+
+    #[test]
+    fn f_classif_ranks_informative_feature_first() {
+        let (x, y) = data();
+        let s = f_classif(&x, &y);
+        assert!(s[0] > s[2], "scores {s:?}");
+        assert!(s[0] > s[1]);
+    }
+
+    #[test]
+    fn k_best_keeps_top_k_sorted() {
+        let (x, y) = data();
+        let sel = FeatureSelector::k_best(&x, &y, 1);
+        assert_eq!(sel.selected, vec![0]);
+        let sel2 = FeatureSelector::k_best(&x, &y, 2);
+        assert_eq!(sel2.selected.len(), 2);
+        assert!(sel2.selected.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn percentile_scales_with_width() {
+        let (x, y) = data();
+        let sel = FeatureSelector::percentile(&x, &y, 34);
+        assert_eq!(sel.selected.len(), 1);
+        let sel_all = FeatureSelector::percentile(&x, &y, 100);
+        assert_eq!(sel_all.selected.len(), 3);
+    }
+
+    #[test]
+    fn variance_threshold_drops_constants() {
+        let (x, _) = data();
+        let sel = FeatureSelector::variance_threshold(&x, 1e-6);
+        assert!(!sel.selected.contains(&1), "constant column kept: {:?}", sel.selected);
+    }
+
+    #[test]
+    fn transform_selects_columns() {
+        let (x, y) = data();
+        let sel = FeatureSelector::k_best(&x, &y, 1);
+        let t = sel.transform(&x);
+        assert_eq!(t.shape(), &[100, 1]);
+        assert_eq!(t.get(&[0, 0]), x.get(&[0, 0]));
+    }
+
+    #[test]
+    fn k_larger_than_d_keeps_all() {
+        let (x, y) = data();
+        let sel = FeatureSelector::k_best(&x, &y, 10);
+        assert_eq!(sel.selected, vec![0, 1, 2]);
+    }
+}

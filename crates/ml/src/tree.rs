@@ -1,0 +1,716 @@
+//! Decision trees: the flat-array [`Tree`] representation and a
+//! histogram-based CART trainer.
+//!
+//! Trees are stored structure-of-arrays style so that the Hummingbird
+//! extractor functions (paper §3.2) and the ONNX-like baseline can read
+//! them directly. The trainer supports:
+//!
+//! * **depth-wise growth** — every node at depth *d* splits before any at
+//!   *d+1*, producing the balanced trees XGBoost generates;
+//! * **leaf-wise growth** — always split the leaf with the highest gain,
+//!   producing the "skinny tall" trees the paper attributes to LightGBM
+//!   (§6.1.1).
+//!
+//! Split finding uses 8-bit feature binning with gradient/hessian
+//! histograms, the same technique as LightGBM's histogram algorithm.
+
+use rand::prelude::*;
+
+use hb_tensor::Tensor;
+
+/// How new nodes are chosen during growth.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Growth {
+    /// Split all frontier nodes level by level (XGBoost-style, balanced).
+    DepthWise,
+    /// Split the highest-gain leaf first (LightGBM-style, deep/narrow).
+    LeafWise,
+}
+
+/// Training hyper-parameters shared by trees, forests, and boosters.
+#[derive(Debug, Clone)]
+pub struct TreeConfig {
+    /// Maximum tree depth (root is depth 0).
+    pub max_depth: usize,
+    /// Minimum records per leaf.
+    pub min_samples_leaf: usize,
+    /// Minimum gain for a split to happen.
+    pub min_gain: f64,
+    /// Maximum number of leaves (primarily for leaf-wise growth).
+    pub max_leaves: usize,
+    /// Growth policy.
+    pub growth: Growth,
+    /// Features sampled per split (`0` = all features).
+    pub max_features: usize,
+    /// Histogram bins per feature (≤ 255).
+    pub n_bins: usize,
+    /// L2 regularization added to leaf hessians.
+    pub lambda: f64,
+    /// Evaluate one random bin per candidate feature instead of scanning
+    /// all bins (ExtraTrees-style extremely randomized splits).
+    pub random_splits: bool,
+}
+
+impl Default for TreeConfig {
+    fn default() -> Self {
+        TreeConfig {
+            max_depth: 6,
+            min_samples_leaf: 1,
+            min_gain: 1e-7,
+            max_leaves: usize::MAX,
+            growth: Growth::DepthWise,
+            max_features: 0,
+            n_bins: 64,
+            lambda: 1.0,
+            random_splits: false,
+        }
+    }
+}
+
+/// A fitted binary decision tree in structure-of-arrays form.
+///
+/// Node 0 is the root. For internal nodes, records with
+/// `x[feature] < threshold` go to `left`, others to `right` (the paper's
+/// §4.1 convention that all decision nodes perform `<` comparisons).
+/// Leaves have `left == -1` and carry a `values` payload: a class
+/// distribution for classification trees or a single score for
+/// regression/boosting trees.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Tree {
+    /// Left child index, or -1 for leaves.
+    pub left: Vec<i32>,
+    /// Right child index, or -1 for leaves.
+    pub right: Vec<i32>,
+    /// Feature evaluated at each internal node (0 for leaves).
+    pub feature: Vec<u32>,
+    /// Threshold compared at each internal node (0.0 for leaves).
+    pub threshold: Vec<f32>,
+    /// Per-node payload of `value_width` floats (meaningful at leaves).
+    pub values: Vec<f32>,
+    /// Number of floats per node in `values`.
+    pub value_width: usize,
+}
+
+impl Tree {
+    /// Creates a single-leaf tree with the given payload.
+    pub fn leaf(value: Vec<f32>) -> Tree {
+        Tree {
+            left: vec![-1],
+            right: vec![-1],
+            feature: vec![0],
+            threshold: vec![0.0],
+            value_width: value.len(),
+            values: value,
+        }
+    }
+
+    /// Number of nodes.
+    pub fn n_nodes(&self) -> usize {
+        self.left.len()
+    }
+
+    /// Number of leaves.
+    pub fn n_leaves(&self) -> usize {
+        self.left.iter().filter(|&&l| l < 0).count()
+    }
+
+    /// True if node `i` is a leaf.
+    pub fn is_leaf(&self, i: usize) -> bool {
+        self.left[i] < 0
+    }
+
+    /// Depth of the tree (0 for a single leaf).
+    pub fn depth(&self) -> usize {
+        fn rec(t: &Tree, i: usize) -> usize {
+            if t.is_leaf(i) {
+                0
+            } else {
+                1 + rec(t, t.left[i] as usize).max(rec(t, t.right[i] as usize))
+            }
+        }
+        rec(self, 0)
+    }
+
+    /// Payload slice of node `i`.
+    pub fn value(&self, i: usize) -> &[f32] {
+        &self.values[i * self.value_width..(i + 1) * self.value_width]
+    }
+
+    /// Scores one row, returning the reached leaf's payload.
+    pub fn predict_row(&self, row: &[f32]) -> &[f32] {
+        let mut i = 0usize;
+        while !self.is_leaf(i) {
+            i = if row[self.feature[i] as usize] < self.threshold[i] {
+                self.left[i] as usize
+            } else {
+                self.right[i] as usize
+            };
+        }
+        self.value(i)
+    }
+
+    /// Sorted list of distinct features used by internal nodes (for the
+    /// paper's §5.2 feature-selection injection).
+    pub fn used_features(&self) -> Vec<usize> {
+        let mut f: Vec<usize> = (0..self.n_nodes())
+            .filter(|&i| !self.is_leaf(i))
+            .map(|i| self.feature[i] as usize)
+            .collect();
+        f.sort_unstable();
+        f.dedup();
+        f
+    }
+
+    /// Rewrites feature indices through `remap` (old → new), for
+    /// feature-selection push-down.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an internal node uses a feature not present in `remap`.
+    pub fn remap_features(&mut self, remap: &std::collections::HashMap<usize, usize>) {
+        for i in 0..self.n_nodes() {
+            if !self.is_leaf(i) {
+                let old = self.feature[i] as usize;
+                self.feature[i] = *remap
+                    .get(&old)
+                    .unwrap_or_else(|| panic!("feature {old} missing from remap")) as u32;
+            }
+        }
+    }
+}
+
+/// Quantile feature binner shared by all histogram-trained trees.
+#[derive(Debug, Clone)]
+pub struct Binner {
+    /// Ascending bin upper edges per feature; a value `v` falls in the
+    /// first bin whose edge is `> v`.
+    pub edges: Vec<Vec<f32>>,
+}
+
+impl Binner {
+    /// Builds quantile bins from `x` (shape `[n, d]`).
+    pub fn fit(x: &Tensor<f32>, n_bins: usize) -> Binner {
+        let (n, d) = (x.shape()[0], x.shape()[1]);
+        let xs = x.to_contiguous();
+        let xv = xs.as_slice();
+        let mut edges = Vec::with_capacity(d);
+        for f in 0..d {
+            let mut col: Vec<f32> = (0..n).map(|r| xv[r * d + f]).filter(|v| !v.is_nan()).collect();
+            col.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            col.dedup();
+            let mut e = Vec::new();
+            if col.len() > 1 {
+                let k = n_bins.min(col.len());
+                for q in 1..k {
+                    let idx = q * (col.len() - 1) / k;
+                    // Midpoint between adjacent distinct values keeps the
+                    // `<` comparison faithful to the training data.
+                    let edge = (col[idx] + col[(idx + 1).min(col.len() - 1)]) / 2.0;
+                    if e.last().map_or(true, |&last| edge > last) {
+                        e.push(edge);
+                    }
+                }
+            }
+            edges.push(e);
+        }
+        Binner { edges }
+    }
+
+    /// Bin index of value `v` for feature `f`.
+    pub fn bin(&self, f: usize, v: f32) -> u8 {
+        let e = &self.edges[f];
+        // NaN sorts into bin 0 (missing values are out of scope for tree
+        // compilation, matching the paper's stated limitation).
+        if v.is_nan() {
+            return 0;
+        }
+        e.partition_point(|&edge| edge <= v) as u8
+    }
+
+    /// Bins a whole matrix into row-major `u8` codes.
+    pub fn bin_matrix(&self, x: &Tensor<f32>) -> Vec<u8> {
+        let (n, d) = (x.shape()[0], x.shape()[1]);
+        let xs = x.to_contiguous();
+        let xv = xs.as_slice();
+        let mut out = vec![0u8; n * d];
+        for r in 0..n {
+            for f in 0..d {
+                out[r * d + f] = self.bin(f, xv[r * d + f]);
+            }
+        }
+        out
+    }
+
+    /// The threshold value separating bins `b` and `b+1` of feature `f`.
+    pub fn threshold(&self, f: usize, b: u8) -> f32 {
+        self.edges[f][b as usize]
+    }
+
+    /// Number of usable bins for feature `f`.
+    pub fn n_bins(&self, f: usize) -> usize {
+        self.edges[f].len() + 1
+    }
+}
+
+/// Per-node training state during growth.
+struct Frontier {
+    node: usize,
+    depth: usize,
+    /// Row indices belonging to this node.
+    rows: Vec<u32>,
+    gain: f64,
+    /// Best split found (feature, bin).
+    split: Option<(usize, u8)>,
+}
+
+/// Targets for gradient-based tree growth: one (gradient, hessian) pair
+/// per row. Plain regression uses `g = y, h = 1` so leaves become means.
+pub struct GradPair {
+    /// Per-row gradients.
+    pub grad: Vec<f32>,
+    /// Per-row hessians.
+    pub hess: Vec<f32>,
+}
+
+/// Trains one regression tree on gradient pairs over pre-binned features.
+///
+/// Returns leaf values of `sign * Σg / (Σh + λ)`; boosters pass
+/// `sign = -1` (Newton step), plain regression passes `sign = +1` with
+/// `g = y, h = 1` (leaf = mean).
+pub fn train_regression_tree(
+    binned: &[u8],
+    n_rows: usize,
+    n_features: usize,
+    binner: &Binner,
+    targets: &GradPair,
+    cfg: &TreeConfig,
+    sign: f32,
+    rng: &mut StdRng,
+    row_subset: Option<&[u32]>,
+) -> Tree {
+    let leaf_value = |rows: &[u32]| -> Vec<f32> {
+        let mut g = 0.0f64;
+        let mut h = 0.0f64;
+        for &r in rows {
+            g += targets.grad[r as usize] as f64;
+            h += targets.hess[r as usize] as f64;
+        }
+        vec![sign * (g / (h + cfg.lambda)) as f32]
+    };
+    let score = |rows: &[u32]| -> f64 {
+        let mut g = 0.0f64;
+        let mut h = 0.0f64;
+        for &r in rows {
+            g += targets.grad[r as usize] as f64;
+            h += targets.hess[r as usize] as f64;
+        }
+        g * g / (h + cfg.lambda)
+    };
+    grow_tree(
+        binned, n_rows, n_features, binner, cfg, rng, row_subset, &score, &leaf_value,
+        &|rows, f, forced| {
+            // Histogram of (Σg, Σh) per bin for feature `f`.
+            let nb = binner.n_bins(f);
+            let mut hg = vec![0.0f64; nb];
+            let mut hh = vec![0.0f64; nb];
+            for &r in rows {
+                let b = binned[r as usize * n_features + f] as usize;
+                hg[b] += targets.grad[r as usize] as f64;
+                hh[b] += targets.hess[r as usize] as f64;
+            }
+            let tg: f64 = hg.iter().sum();
+            let th: f64 = hh.iter().sum();
+            let parent = tg * tg / (th + cfg.lambda);
+            let mut best: Option<(u8, f64)> = None;
+            let mut lg = 0.0f64;
+            let mut lh = 0.0f64;
+            for b in 0..nb.saturating_sub(1) {
+                lg += hg[b];
+                lh += hh[b];
+                if forced.is_some_and(|fb| fb as usize != b) {
+                    continue;
+                }
+                let rg = tg - lg;
+                let rh = th - lh;
+                if lh == 0.0 || rh == 0.0 {
+                    continue;
+                }
+                let gain = lg * lg / (lh + cfg.lambda) + rg * rg / (rh + cfg.lambda) - parent;
+                if best.map_or(true, |(_, g)| gain > g) {
+                    best = Some((b as u8, gain));
+                }
+            }
+            best
+        },
+    )
+}
+
+/// Trains one classification tree with Gini impurity; leaves hold class
+/// probability distributions.
+pub fn train_classification_tree(
+    binned: &[u8],
+    n_rows: usize,
+    n_features: usize,
+    binner: &Binner,
+    labels: &[i64],
+    n_classes: usize,
+    cfg: &TreeConfig,
+    rng: &mut StdRng,
+    row_subset: Option<&[u32]>,
+) -> Tree {
+    let leaf_value = |rows: &[u32]| -> Vec<f32> {
+        let mut counts = vec![0.0f32; n_classes];
+        for &r in rows {
+            counts[labels[r as usize] as usize] += 1.0;
+        }
+        let total = rows.len().max(1) as f32;
+        counts.iter_mut().for_each(|c| *c /= total);
+        counts
+    };
+    // Negative weighted Gini: higher is better, so split gain is positive.
+    let node_score = |counts: &[f64], total: f64| -> f64 {
+        if total == 0.0 {
+            return 0.0;
+        }
+        let sq: f64 = counts.iter().map(|c| c * c).sum();
+        sq / total
+    };
+    let score = |rows: &[u32]| -> f64 {
+        let mut counts = vec![0.0f64; n_classes];
+        for &r in rows {
+            counts[labels[r as usize] as usize] += 1.0;
+        }
+        node_score(&counts, rows.len() as f64)
+    };
+    grow_tree(
+        binned, n_rows, n_features, binner, cfg, rng, row_subset, &score, &leaf_value,
+        &|rows, f, forced| {
+            let nb = binner.n_bins(f);
+            let mut hist = vec![0.0f64; nb * n_classes];
+            let mut bin_count = vec![0.0f64; nb];
+            for &r in rows {
+                let b = binned[r as usize * n_features + f] as usize;
+                hist[b * n_classes + labels[r as usize] as usize] += 1.0;
+                bin_count[b] += 1.0;
+            }
+            let total = rows.len() as f64;
+            let mut tot_counts = vec![0.0f64; n_classes];
+            for b in 0..nb {
+                for c in 0..n_classes {
+                    tot_counts[c] += hist[b * n_classes + c];
+                }
+            }
+            let parent = node_score(&tot_counts, total);
+            let mut best: Option<(u8, f64)> = None;
+            let mut lcounts = vec![0.0f64; n_classes];
+            let mut ln = 0.0f64;
+            for b in 0..nb.saturating_sub(1) {
+                for c in 0..n_classes {
+                    lcounts[c] += hist[b * n_classes + c];
+                }
+                ln += bin_count[b];
+                if forced.is_some_and(|fb| fb as usize != b) {
+                    continue;
+                }
+                let rn = total - ln;
+                if ln == 0.0 || rn == 0.0 {
+                    continue;
+                }
+                let rcounts: Vec<f64> =
+                    tot_counts.iter().zip(lcounts.iter()).map(|(t, l)| t - l).collect();
+                let gain = node_score(&lcounts, ln) + node_score(&rcounts, rn) - parent;
+                if best.map_or(true, |(_, g)| gain > g) {
+                    best = Some((b as u8, gain));
+                }
+            }
+            best
+        },
+    )
+}
+
+/// Shared growth loop parameterized by split finding and leaf payloads.
+#[allow(clippy::too_many_arguments)]
+fn grow_tree(
+    binned: &[u8],
+    n_rows: usize,
+    n_features: usize,
+    binner: &Binner,
+    cfg: &TreeConfig,
+    rng: &mut StdRng,
+    row_subset: Option<&[u32]>,
+    _score: &dyn Fn(&[u32]) -> f64,
+    leaf_value: &dyn Fn(&[u32]) -> Vec<f32>,
+    find_split: &dyn Fn(&[u32], usize, Option<u8>) -> Option<(u8, f64)>,
+) -> Tree {
+    let all_rows: Vec<u32> = match row_subset {
+        Some(rs) => rs.to_vec(),
+        None => (0..n_rows as u32).collect(),
+    };
+    let root_value = leaf_value(&all_rows);
+    let value_width = root_value.len();
+    let mut tree = Tree {
+        left: vec![-1],
+        right: vec![-1],
+        feature: vec![0],
+        threshold: vec![0.0],
+        values: root_value,
+        value_width,
+    };
+
+    // Evaluate the best split for a node's rows over (sampled) features.
+    let eval = |rows: &[u32], rng: &mut StdRng| -> (f64, Option<(usize, u8)>) {
+        if rows.len() < 2 * cfg.min_samples_leaf {
+            return (0.0, None);
+        }
+        let features: Vec<usize> = if cfg.max_features > 0 && cfg.max_features < n_features {
+            rand::seq::index::sample(rng, n_features, cfg.max_features).into_vec()
+        } else {
+            (0..n_features).collect()
+        };
+        let mut best_gain = 0.0f64;
+        let mut best = None;
+        for f in features {
+            // ExtraTrees: evaluate a single random bin per feature.
+            let forced = if cfg.random_splits {
+                let nb = binner.n_bins(f);
+                if nb < 2 {
+                    continue;
+                }
+                Some(rng.gen_range(0..nb - 1) as u8)
+            } else {
+                None
+            };
+            if let Some((bin, gain)) = find_split(rows, f, forced) {
+                if gain > best_gain {
+                    best_gain = gain;
+                    best = Some((f, bin));
+                }
+            }
+        }
+        (best_gain, best)
+    };
+
+    let (g, s) = eval(&all_rows, rng);
+    let mut frontier = vec![Frontier { node: 0, depth: 0, rows: all_rows, gain: g, split: s }];
+    let mut n_leaves = 1usize;
+
+    while !frontier.is_empty() && n_leaves < cfg.max_leaves {
+        // Pick the next node to split.
+        let pick = match cfg.growth {
+            Growth::DepthWise => 0,
+            Growth::LeafWise => {
+                let mut best_i = 0;
+                for (i, f) in frontier.iter().enumerate() {
+                    if f.gain > frontier[best_i].gain {
+                        best_i = i;
+                    }
+                }
+                best_i
+            }
+        };
+        let cand = frontier.swap_remove(pick);
+        let Some((feat, bin)) = cand.split else { continue };
+        if cand.gain < cfg.min_gain || cand.depth >= cfg.max_depth {
+            continue;
+        }
+        // Partition rows on the chosen split.
+        let mut lrows = Vec::new();
+        let mut rrows = Vec::new();
+        for &r in &cand.rows {
+            if binned[r as usize * n_features + feat] <= bin {
+                lrows.push(r);
+            } else {
+                rrows.push(r);
+            }
+        }
+        if lrows.len() < cfg.min_samples_leaf || rrows.len() < cfg.min_samples_leaf {
+            continue;
+        }
+        // Materialize the two children.
+        let li = tree.n_nodes();
+        let ri = li + 1;
+        for (rows_child, _) in [(&lrows, li), (&rrows, ri)] {
+            tree.left.push(-1);
+            tree.right.push(-1);
+            tree.feature.push(0);
+            tree.threshold.push(0.0);
+            tree.values.extend_from_slice(&leaf_value(rows_child));
+        }
+        tree.left[cand.node] = li as i32;
+        tree.right[cand.node] = ri as i32;
+        tree.feature[cand.node] = feat as u32;
+        tree.threshold[cand.node] = binner.threshold(feat, bin);
+        n_leaves += 1;
+
+        for (node, rows) in [(li, lrows), (ri, rrows)] {
+            let (g, s) = eval(&rows, rng);
+            if s.is_some() {
+                frontier.push(Frontier { node, depth: cand.depth + 1, rows, gain: g, split: s });
+            }
+        }
+    }
+    tree
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn xor_data() -> (Tensor<f32>, Vec<i64>) {
+        // Two-feature AND dataset: needs depth-2 splits but, unlike pure
+        // XOR, has non-zero marginal gain for the greedy CART criterion.
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for i in 0..40 {
+            let a = f32::from(i % 2 == 0);
+            let b = f32::from((i / 2) % 2 == 0);
+            xs.push(a + (i as f32) * 1e-4);
+            xs.push(b + (i as f32) * 1e-4);
+            ys.push(((a != 0.0) && (b != 0.0)) as i64);
+        }
+        (Tensor::from_vec(xs, &[40, 2]), ys)
+    }
+
+    fn fit_cls(cfg: TreeConfig) -> (Tree, Tensor<f32>, Vec<i64>) {
+        let (x, y) = xor_data();
+        let binner = Binner::fit(&x, cfg.n_bins);
+        let binned = binner.bin_matrix(&x);
+        let mut rng = StdRng::seed_from_u64(7);
+        let t = train_classification_tree(&binned, 40, 2, &binner, &y, 2, &cfg, &mut rng, None);
+        (t, x, y)
+    }
+
+    #[test]
+    fn classification_tree_learns_xor() {
+        let (t, x, y) = fit_cls(TreeConfig { max_depth: 3, ..TreeConfig::default() });
+        let xs = x.to_contiguous();
+        let xv = xs.as_slice();
+        let mut correct = 0;
+        for r in 0..40 {
+            let p = t.predict_row(&xv[r * 2..(r + 1) * 2]);
+            let pred = if p[1] > p[0] { 1 } else { 0 };
+            correct += i32::from(pred == y[r] as i32);
+        }
+        assert!(correct >= 38, "only {correct}/40 correct; depth={}", t.depth());
+    }
+
+    #[test]
+    fn depth_limit_respected() {
+        let (t, _, _) = fit_cls(TreeConfig { max_depth: 1, ..TreeConfig::default() });
+        assert!(t.depth() <= 1);
+    }
+
+    #[test]
+    fn leaf_payloads_are_distributions() {
+        let (t, _, _) = fit_cls(TreeConfig::default());
+        for i in 0..t.n_nodes() {
+            if t.is_leaf(i) {
+                let v = t.value(i);
+                let s: f32 = v.iter().sum();
+                assert!((s - 1.0).abs() < 1e-5, "leaf {i} sums to {s}");
+            }
+        }
+    }
+
+    #[test]
+    fn regression_tree_fits_step_function() {
+        let n = 100;
+        let x = Tensor::from_fn(&[n, 1], |i| i[0] as f32);
+        let y: Vec<f32> = (0..n).map(|i| if i < 50 { 1.0 } else { 5.0 }).collect();
+        let binner = Binner::fit(&x, 64);
+        let binned = binner.bin_matrix(&x);
+        let targets = GradPair { grad: y.clone(), hess: vec![1.0; n] };
+        let cfg = TreeConfig { max_depth: 2, lambda: 0.0, ..TreeConfig::default() };
+        let mut rng = StdRng::seed_from_u64(1);
+        let t = train_regression_tree(&binned, n, 1, &binner, &targets, &cfg, 1.0, &mut rng, None);
+        let xs = x.to_contiguous();
+        let xv = xs.as_slice();
+        for r in 0..n {
+            let p = t.predict_row(&xv[r..r + 1])[0];
+            let want = if r < 50 { 1.0 } else { 5.0 };
+            assert!((p - want).abs() < 0.6, "row {r}: {p} vs {want}");
+        }
+    }
+
+    #[test]
+    fn leafwise_growth_is_deeper_than_depthwise_at_leaf_parity() {
+        // With a leaf budget, leaf-wise growth should reach greater depth.
+        let n = 400;
+        let x = Tensor::from_fn(&[n, 1], |i| (i[0] as f32) / n as f32);
+        let y: Vec<f32> = (0..n).map(|i| ((i as f32) * 0.07).sin()).collect();
+        let binner = Binner::fit(&x, 128);
+        let binned = binner.bin_matrix(&x);
+        let targets = GradPair { grad: y, hess: vec![1.0; n] };
+        let mut rng = StdRng::seed_from_u64(2);
+        let mk = |growth| TreeConfig {
+            max_depth: 12,
+            max_leaves: 16,
+            growth,
+            lambda: 0.0,
+            ..TreeConfig::default()
+        };
+        let dw = train_regression_tree(
+            &binned, n, 1, &binner, &targets, &mk(Growth::DepthWise), 1.0, &mut rng, None,
+        );
+        let lw = train_regression_tree(
+            &binned, n, 1, &binner, &targets, &mk(Growth::LeafWise), 1.0, &mut rng, None,
+        );
+        assert!(lw.n_leaves() <= 16 && dw.n_leaves() <= 16);
+        assert!(lw.depth() >= dw.depth(), "leafwise {} < depthwise {}", lw.depth(), dw.depth());
+    }
+
+    #[test]
+    fn binner_respects_lt_semantics() {
+        let x = Tensor::from_vec(vec![1.0f32, 2.0, 3.0, 4.0], &[4, 1]);
+        let b = Binner::fit(&x, 4);
+        // Every training value must land strictly on one side of each edge.
+        for edge in &b.edges[0] {
+            for v in [1.0f32, 2.0, 3.0, 4.0] {
+                assert_ne!(v, *edge, "edge collides with data value");
+            }
+        }
+    }
+
+    #[test]
+    fn used_features_and_remap() {
+        let (mut t, _, _) = fit_cls(TreeConfig { max_depth: 3, ..TreeConfig::default() });
+        let used = t.used_features();
+        assert!(!used.is_empty());
+        let remap: std::collections::HashMap<usize, usize> =
+            used.iter().enumerate().map(|(new, &old)| (old, new)).collect();
+        t.remap_features(&remap);
+        let after = t.used_features();
+        assert!(after.iter().all(|&f| f < used.len()));
+    }
+
+    #[test]
+    fn single_leaf_tree() {
+        let t = Tree::leaf(vec![0.25, 0.75]);
+        assert_eq!(t.n_nodes(), 1);
+        assert_eq!(t.n_leaves(), 1);
+        assert_eq!(t.depth(), 0);
+        assert_eq!(t.predict_row(&[123.0]), &[0.25, 0.75]);
+    }
+
+    #[test]
+    fn constant_labels_give_single_leaf() {
+        let x = Tensor::from_fn(&[20, 3], |i| (i[0] * 3 + i[1]) as f32);
+        let y = vec![1i64; 20];
+        let binner = Binner::fit(&x, 16);
+        let binned = binner.bin_matrix(&x);
+        let mut rng = StdRng::seed_from_u64(3);
+        let t = train_classification_tree(
+            &binned,
+            20,
+            3,
+            &binner,
+            &y,
+            2,
+            &TreeConfig::default(),
+            &mut rng,
+            None,
+        );
+        assert_eq!(t.n_leaves(), 1, "pure node should not split");
+        assert_eq!(t.predict_row(&[0.0, 0.0, 0.0]), &[0.0, 1.0]);
+    }
+}

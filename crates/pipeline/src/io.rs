@@ -1,0 +1,137 @@
+//! Pipeline artifacts: save/load fitted pipelines as single JSON files.
+//!
+//! "Packaging a trained pipeline into a single artifact is common
+//! practice" (paper §2.1) — this module makes the fitted [`Pipeline`]
+//! that artifact: one self-contained file holding every operator's
+//! parameters, loadable in a fresh process and compilable by `hb-core`
+//! without retraining.
+
+use std::io::{Read, Write};
+use std::path::Path;
+
+use crate::Pipeline;
+
+/// Artifact I/O failures.
+#[derive(Debug)]
+pub enum ArtifactError {
+    /// Filesystem failure.
+    Io(std::io::Error),
+    /// Malformed artifact contents.
+    Format(serde_json::Error),
+}
+
+impl std::fmt::Display for ArtifactError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ArtifactError::Io(e) => write!(f, "artifact I/O error: {e}"),
+            ArtifactError::Format(e) => write!(f, "artifact format error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ArtifactError {}
+
+impl From<std::io::Error> for ArtifactError {
+    fn from(e: std::io::Error) -> Self {
+        ArtifactError::Io(e)
+    }
+}
+
+impl From<serde_json::Error> for ArtifactError {
+    fn from(e: serde_json::Error) -> Self {
+        ArtifactError::Format(e)
+    }
+}
+
+/// Serializes a fitted pipeline into a JSON string.
+pub fn to_json(pipeline: &Pipeline) -> Result<String, ArtifactError> {
+    Ok(serde_json::to_string(pipeline)?)
+}
+
+/// Parses a fitted pipeline from its JSON form.
+pub fn from_json(json: &str) -> Result<Pipeline, ArtifactError> {
+    Ok(serde_json::from_str(json)?)
+}
+
+/// Writes the pipeline artifact to `path`.
+pub fn save(pipeline: &Pipeline, path: impl AsRef<Path>) -> Result<(), ArtifactError> {
+    let mut f = std::fs::File::create(path)?;
+    f.write_all(to_json(pipeline)?.as_bytes())?;
+    Ok(())
+}
+
+/// Loads a pipeline artifact from `path`.
+pub fn load(path: impl AsRef<Path>) -> Result<Pipeline, ArtifactError> {
+    let mut s = String::new();
+    std::fs::File::open(path)?.read_to_string(&mut s)?;
+    from_json(&s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{fit_pipeline, OpSpec, Targets};
+    use hb_ml::forest::ForestConfig;
+    use hb_ml::linear::LinearConfig;
+    use hb_tensor::Tensor;
+
+    fn sample_pipeline() -> (Pipeline, Tensor<f32>) {
+        let x = Tensor::from_fn(&[60, 4], |i| ((i[0] * 5 + i[1] * 3) % 9) as f32 * 0.4);
+        let y = Targets::Classes((0..60).map(|i| (i % 2) as i64).collect());
+        let pipe = fit_pipeline(
+            &[
+                OpSpec::StandardScaler,
+                OpSpec::SelectKBest { k: 3 },
+                OpSpec::LogisticRegression(LinearConfig { epochs: 20, ..Default::default() }),
+            ],
+            &x,
+            &y,
+        );
+        (pipe, x)
+    }
+
+    #[test]
+    fn json_roundtrip_preserves_predictions() {
+        let (pipe, x) = sample_pipeline();
+        let json = to_json(&pipe).unwrap();
+        let restored = from_json(&json).unwrap();
+        assert_eq!(restored.len(), pipe.len());
+        assert_eq!(restored.input_width, pipe.input_width);
+        assert_eq!(restored.predict_proba(&x).to_vec(), pipe.predict_proba(&x).to_vec());
+    }
+
+    #[test]
+    fn forest_artifact_roundtrips() {
+        let x = Tensor::from_fn(&[80, 3], |i| ((i[0] * 7 + i[1]) % 11) as f32);
+        let y = Targets::Classes((0..80).map(|i| (i % 2) as i64).collect());
+        let pipe = fit_pipeline(
+            &[OpSpec::RandomForestClassifier(ForestConfig {
+                n_trees: 4,
+                max_depth: 3,
+                ..Default::default()
+            })],
+            &x,
+            &y,
+        );
+        let restored = from_json(&to_json(&pipe).unwrap()).unwrap();
+        assert_eq!(restored.predict_proba(&x).to_vec(), pipe.predict_proba(&x).to_vec());
+    }
+
+    #[test]
+    fn save_and_load_file() {
+        let (pipe, x) = sample_pipeline();
+        let dir = std::env::temp_dir().join("hb_pipeline_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("model.json");
+        save(&pipe, &path).unwrap();
+        let restored = load(&path).unwrap();
+        assert_eq!(restored.predict_proba(&x).to_vec(), pipe.predict_proba(&x).to_vec());
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn malformed_artifact_is_an_error() {
+        assert!(matches!(from_json("not json"), Err(ArtifactError::Format(_))));
+        assert!(matches!(load("/nonexistent/path/model.json"), Err(ArtifactError::Io(_))));
+    }
+}

@@ -1,0 +1,636 @@
+//! Predictive pipelines: chains of fitted traditional-ML operators.
+//!
+//! A pipeline mirrors the paper's §2.1 definition — a DAG of featurizers
+//! followed by a model — restricted to the linear chains that real
+//! scikit-learn pipelines overwhelmingly are (the paper's OpenML-CC18
+//! suite averages 3.3 operators per pipeline).
+//!
+//! Each fitted operator is a [`FittedOp`] variant; the variant *is* the
+//! paper's "operator signature", which the Hummingbird parser uses to
+//! dispatch extractor and conversion functions. [`Pipeline::predict`]
+//! provides the imperative reference scoring path (the scikit-learn
+//! baseline for end-to-end experiments).
+
+pub mod io;
+
+use hb_tensor::Tensor;
+
+use hb_ml::decomp::{KernelPca, Pca, TruncatedSvd};
+use hb_ml::ensemble::TreeEnsemble;
+use hb_ml::featurize::{
+    BinEncode, Binarizer, ImputeStrategy, KBinsDiscretizer, MaxAbsScaler, MinMaxScaler,
+    MissingIndicator, Norm, Normalizer, OneHotEncoder, PolynomialFeatures, RobustScaler,
+    SimpleImputer, StandardScaler,
+};
+use hb_ml::forest::{ForestConfig, RandomForestClassifier, RandomForestRegressor};
+use hb_ml::gbdt::{GbdtConfig, GradientBoostingClassifier, GradientBoostingRegressor};
+use hb_ml::linear::{LinearConfig, LinearModel, LinearSvc, LogisticRegression, SgdClassifier};
+use hb_ml::mlp::{MlpClassifier, MlpConfig, MlpModel};
+use hb_ml::naive_bayes::{BernoulliNb, GaussianNb, MultinomialNb};
+use hb_ml::select::FeatureSelector;
+use hb_ml::svm::{NuSvc, Svc, SvcConfig, SvcModel};
+
+/// A fitted pipeline operator; the enum variant is the operator
+/// signature.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub enum FittedOp {
+    /// Standardizing scaler.
+    StandardScaler(StandardScaler),
+    /// Min-max scaler.
+    MinMaxScaler(MinMaxScaler),
+    /// Max-abs scaler.
+    MaxAbsScaler(MaxAbsScaler),
+    /// Median/IQR scaler.
+    RobustScaler(RobustScaler),
+    /// Thresholding binarizer.
+    Binarizer(Binarizer),
+    /// Row normalizer.
+    Normalizer(Normalizer),
+    /// NaN imputer.
+    SimpleImputer(SimpleImputer),
+    /// NaN indicator features.
+    MissingIndicator(MissingIndicator),
+    /// Quantile discretizer.
+    KBinsDiscretizer(KBinsDiscretizer),
+    /// Degree-2 polynomial expansion.
+    PolynomialFeatures(PolynomialFeatures),
+    /// One-hot over numeric categories.
+    OneHotEncoder(OneHotEncoder),
+    /// SelectKBest / SelectPercentile / VarianceThreshold.
+    FeatureSelector(FeatureSelector),
+    /// Principal component analysis.
+    Pca(Pca),
+    /// Truncated SVD.
+    TruncatedSvd(TruncatedSvd),
+    /// RBF kernel PCA.
+    KernelPca(KernelPca),
+    /// Logistic regression / SGD / LinearSVC (weights + link).
+    Linear(LinearModel),
+    /// Kernel SVM.
+    Svc(SvcModel),
+    /// Gaussian naive Bayes.
+    GaussianNb(GaussianNb),
+    /// Bernoulli naive Bayes.
+    BernoulliNb(BernoulliNb),
+    /// Multinomial naive Bayes.
+    MultinomialNb(MultinomialNb),
+    /// Multilayer perceptron.
+    Mlp(MlpModel),
+    /// Decision tree / random forest / gradient boosting.
+    TreeEnsemble(TreeEnsemble),
+}
+
+impl FittedOp {
+    /// The operator signature string (used in logs and registry keys).
+    pub fn signature(&self) -> &'static str {
+        match self {
+            FittedOp::StandardScaler(_) => "StandardScaler",
+            FittedOp::MinMaxScaler(_) => "MinMaxScaler",
+            FittedOp::MaxAbsScaler(_) => "MaxAbsScaler",
+            FittedOp::RobustScaler(_) => "RobustScaler",
+            FittedOp::Binarizer(_) => "Binarizer",
+            FittedOp::Normalizer(_) => "Normalizer",
+            FittedOp::SimpleImputer(_) => "SimpleImputer",
+            FittedOp::MissingIndicator(_) => "MissingIndicator",
+            FittedOp::KBinsDiscretizer(_) => "KBinsDiscretizer",
+            FittedOp::PolynomialFeatures(_) => "PolynomialFeatures",
+            FittedOp::OneHotEncoder(_) => "OneHotEncoder",
+            FittedOp::FeatureSelector(_) => "FeatureSelector",
+            FittedOp::Pca(_) => "PCA",
+            FittedOp::TruncatedSvd(_) => "TruncatedSVD",
+            FittedOp::KernelPca(_) => "KernelPCA",
+            FittedOp::Linear(_) => "LinearModel",
+            FittedOp::Svc(_) => "SVC",
+            FittedOp::GaussianNb(_) => "GaussianNB",
+            FittedOp::BernoulliNb(_) => "BernoulliNB",
+            FittedOp::MultinomialNb(_) => "MultinomialNB",
+            FittedOp::Mlp(_) => "MLPClassifier",
+            FittedOp::TreeEnsemble(_) => "TreeEnsemble",
+        }
+    }
+
+    /// True for terminal predictors (as opposed to featurizers).
+    pub fn is_model(&self) -> bool {
+        matches!(
+            self,
+            FittedOp::Linear(_)
+                | FittedOp::Svc(_)
+                | FittedOp::GaussianNb(_)
+                | FittedOp::BernoulliNb(_)
+                | FittedOp::MultinomialNb(_)
+                | FittedOp::Mlp(_)
+                | FittedOp::TreeEnsemble(_)
+        )
+    }
+
+    /// Imperative scoring: featurizers transform, models emit
+    /// probabilities/values.
+    pub fn apply(&self, x: &Tensor<f32>) -> Tensor<f32> {
+        match self {
+            FittedOp::StandardScaler(o) => o.transform(x),
+            FittedOp::MinMaxScaler(o) => o.transform(x),
+            FittedOp::MaxAbsScaler(o) => o.transform(x),
+            FittedOp::RobustScaler(o) => o.transform(x),
+            FittedOp::Binarizer(o) => o.transform(x),
+            FittedOp::Normalizer(o) => o.transform(x),
+            FittedOp::SimpleImputer(o) => o.transform(x),
+            FittedOp::MissingIndicator(o) => o.transform(x),
+            FittedOp::KBinsDiscretizer(o) => o.transform(x),
+            FittedOp::PolynomialFeatures(o) => o.transform(x),
+            FittedOp::OneHotEncoder(o) => o.transform(x),
+            FittedOp::FeatureSelector(o) => o.transform(x),
+            FittedOp::Pca(o) => o.transform(x),
+            FittedOp::TruncatedSvd(o) => o.transform(x),
+            FittedOp::KernelPca(o) => o.transform(x),
+            FittedOp::Linear(o) => o.predict_proba(x),
+            FittedOp::Svc(o) => o.decision(x).reshape(&[x.shape()[0], 1]),
+            FittedOp::GaussianNb(o) => o.predict_proba(x),
+            FittedOp::BernoulliNb(o) => o.predict_proba(x),
+            FittedOp::MultinomialNb(o) => o.predict_proba(x),
+            FittedOp::Mlp(o) => o.predict_proba(x),
+            FittedOp::TreeEnsemble(o) => o.predict_proba(x),
+        }
+    }
+}
+
+/// A fitted predictive pipeline: zero or more featurizers, optionally
+/// terminated by a model.
+#[derive(Debug, Clone, Default, serde::Serialize, serde::Deserialize)]
+pub struct Pipeline {
+    /// Operators in execution order.
+    pub ops: Vec<FittedOp>,
+    /// Input feature width recorded at fit time (used by compilers when
+    /// the first operator's parameters do not imply it).
+    pub input_width: Option<usize>,
+}
+
+impl Pipeline {
+    /// Wraps a single fitted operator.
+    pub fn from_op(op: impl Into<FittedOp>) -> Pipeline {
+        Pipeline { ops: vec![op.into()], input_width: None }
+    }
+
+    /// Appends a fitted operator.
+    pub fn push(&mut self, op: impl Into<FittedOp>) {
+        self.ops.push(op.into());
+    }
+
+    /// Scores the pipeline imperatively (the scikit-learn baseline path):
+    /// probabilities `[n, C]` for classifiers, values for regressors, the
+    /// transformed matrix for featurizer-only pipelines.
+    pub fn predict_proba(&self, x: &Tensor<f32>) -> Tensor<f32> {
+        let mut cur = x.clone();
+        for op in &self.ops {
+            cur = op.apply(&cur);
+        }
+        cur
+    }
+
+    /// Hard predictions: argmax for multi-output model pipelines, raw
+    /// output otherwise.
+    pub fn predict(&self, x: &Tensor<f32>) -> Tensor<f32> {
+        let out = self.predict_proba(x);
+        if out.ndim() == 2 && out.shape()[1] > 1 && self.ends_with_model() {
+            out.argmax_axis(1, false).map(|v| v as f32)
+        } else {
+            out
+        }
+    }
+
+    /// True if the last operator is a model.
+    pub fn ends_with_model(&self) -> bool {
+        self.ops.last().is_some_and(|o| o.is_model())
+    }
+
+    /// Operator count.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// True when the pipeline has no operators.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+}
+
+macro_rules! impl_from {
+    ($($ty:ty => $variant:ident),* $(,)?) => {
+        $(impl From<$ty> for FittedOp {
+            fn from(v: $ty) -> FittedOp {
+                FittedOp::$variant(v)
+            }
+        })*
+    };
+}
+
+impl_from!(
+    StandardScaler => StandardScaler,
+    MinMaxScaler => MinMaxScaler,
+    MaxAbsScaler => MaxAbsScaler,
+    RobustScaler => RobustScaler,
+    Binarizer => Binarizer,
+    Normalizer => Normalizer,
+    SimpleImputer => SimpleImputer,
+    MissingIndicator => MissingIndicator,
+    KBinsDiscretizer => KBinsDiscretizer,
+    PolynomialFeatures => PolynomialFeatures,
+    OneHotEncoder => OneHotEncoder,
+    FeatureSelector => FeatureSelector,
+    Pca => Pca,
+    TruncatedSvd => TruncatedSvd,
+    KernelPca => KernelPca,
+    LinearModel => Linear,
+    SvcModel => Svc,
+    GaussianNb => GaussianNb,
+    BernoulliNb => BernoulliNb,
+    MultinomialNb => MultinomialNb,
+    MlpModel => Mlp,
+    TreeEnsemble => TreeEnsemble,
+);
+
+impl From<RandomForestClassifier> for FittedOp {
+    fn from(v: RandomForestClassifier) -> FittedOp {
+        FittedOp::TreeEnsemble(v.ensemble)
+    }
+}
+impl From<RandomForestRegressor> for FittedOp {
+    fn from(v: RandomForestRegressor) -> FittedOp {
+        FittedOp::TreeEnsemble(v.ensemble)
+    }
+}
+impl From<GradientBoostingClassifier> for FittedOp {
+    fn from(v: GradientBoostingClassifier) -> FittedOp {
+        FittedOp::TreeEnsemble(v.ensemble)
+    }
+}
+impl From<GradientBoostingRegressor> for FittedOp {
+    fn from(v: GradientBoostingRegressor) -> FittedOp {
+        FittedOp::TreeEnsemble(v.ensemble)
+    }
+}
+
+/// Training targets for pipeline fitting.
+#[derive(Debug, Clone)]
+pub enum Targets {
+    /// Integer class labels.
+    Classes(Vec<i64>),
+    /// Real-valued regression targets.
+    Values(Vec<f32>),
+}
+
+impl Targets {
+    /// Class labels.
+    ///
+    /// # Panics
+    ///
+    /// Panics for regression targets.
+    pub fn classes(&self) -> &[i64] {
+        match self {
+            Targets::Classes(c) => c,
+            Targets::Values(_) => panic!("expected class labels, got regression targets"),
+        }
+    }
+
+    /// Regression values.
+    ///
+    /// # Panics
+    ///
+    /// Panics for class targets.
+    pub fn values(&self) -> &[f32] {
+        match self {
+            Targets::Values(v) => v,
+            Targets::Classes(_) => panic!("expected regression targets, got class labels"),
+        }
+    }
+}
+
+/// Unfitted operator specification; `fit` produces the [`FittedOp`].
+///
+/// This plays the role of the scikit-learn estimator before `fit()` and
+/// lets random pipelines (the OpenML-CC18-like suite) be described
+/// declaratively.
+#[derive(Debug, Clone)]
+pub enum OpSpec {
+    /// Standardizing scaler.
+    StandardScaler,
+    /// Min-max scaler.
+    MinMaxScaler,
+    /// Max-abs scaler.
+    MaxAbsScaler,
+    /// Median/IQR scaler.
+    RobustScaler,
+    /// Thresholding binarizer.
+    Binarizer {
+        /// Threshold.
+        threshold: f32,
+    },
+    /// Row normalizer.
+    Normalizer {
+        /// Norm kind.
+        norm: Norm,
+    },
+    /// NaN imputer.
+    SimpleImputer {
+        /// Fill strategy.
+        strategy: ImputeStrategy,
+    },
+    /// NaN indicator.
+    MissingIndicator,
+    /// Quantile discretizer.
+    KBinsDiscretizer {
+        /// Number of bins.
+        n_bins: usize,
+        /// Output encoding.
+        encode: BinEncode,
+    },
+    /// Degree-2 polynomial expansion.
+    PolynomialFeatures {
+        /// Include the bias column.
+        include_bias: bool,
+        /// Keep only cross terms.
+        interaction_only: bool,
+    },
+    /// One-hot over numeric categories.
+    OneHotEncoder,
+    /// Top-k ANOVA selector.
+    SelectKBest {
+        /// Columns kept.
+        k: usize,
+    },
+    /// Top-percentile ANOVA selector.
+    SelectPercentile {
+        /// Percentile kept (1–100).
+        percentile: usize,
+    },
+    /// Variance filter.
+    VarianceThreshold {
+        /// Minimum variance.
+        threshold: f64,
+    },
+    /// PCA projection.
+    Pca {
+        /// Components kept.
+        k: usize,
+    },
+    /// Truncated SVD projection.
+    TruncatedSvd {
+        /// Components kept.
+        k: usize,
+    },
+    /// RBF kernel PCA (fit on at most `fit_rows` sub-sampled rows).
+    KernelPca {
+        /// Components kept.
+        k: usize,
+        /// RBF bandwidth (`<= 0` = `1/d`).
+        gamma: f32,
+        /// Sub-sample cap for the O(m²) fit.
+        fit_rows: usize,
+    },
+    /// Logistic regression.
+    LogisticRegression(LinearConfig),
+    /// SGD-trained logistic classifier.
+    SgdClassifier(LinearConfig),
+    /// Linear SVM.
+    LinearSvc(LinearConfig),
+    /// Kernel SVM.
+    Svc(SvcConfig),
+    /// ν-SVM.
+    NuSvc {
+        /// ν parameter.
+        nu: f32,
+        /// Base settings.
+        config: SvcConfig,
+    },
+    /// Gaussian naive Bayes.
+    GaussianNb,
+    /// Bernoulli naive Bayes.
+    BernoulliNb {
+        /// Laplace smoothing.
+        alpha: f32,
+        /// Binarization threshold.
+        binarize: f32,
+    },
+    /// Multinomial naive Bayes.
+    MultinomialNb {
+        /// Laplace smoothing.
+        alpha: f32,
+    },
+    /// Multilayer perceptron.
+    Mlp(MlpConfig),
+    /// Single decision tree classifier (forest of one, no bootstrap).
+    DecisionTreeClassifier {
+        /// Maximum depth.
+        max_depth: usize,
+    },
+    /// Random forest classifier.
+    RandomForestClassifier(ForestConfig),
+    /// Random forest regressor.
+    RandomForestRegressor(ForestConfig),
+    /// Gradient-boosting classifier.
+    GbdtClassifier(GbdtConfig),
+    /// Gradient-boosting regressor.
+    GbdtRegressor(GbdtConfig),
+}
+
+impl OpSpec {
+    /// Fits the operator on the (already featurized) matrix and targets.
+    pub fn fit(&self, x: &Tensor<f32>, y: &Targets) -> FittedOp {
+        match self {
+            OpSpec::StandardScaler => StandardScaler::fit(x).into(),
+            OpSpec::MinMaxScaler => MinMaxScaler::fit(x).into(),
+            OpSpec::MaxAbsScaler => MaxAbsScaler::fit(x).into(),
+            OpSpec::RobustScaler => RobustScaler::fit(x).into(),
+            OpSpec::Binarizer { threshold } => Binarizer { threshold: *threshold }.into(),
+            OpSpec::Normalizer { norm } => Normalizer { norm: *norm }.into(),
+            OpSpec::SimpleImputer { strategy } => SimpleImputer::fit(x, *strategy).into(),
+            OpSpec::MissingIndicator => MissingIndicator.into(),
+            OpSpec::KBinsDiscretizer { n_bins, encode } => {
+                KBinsDiscretizer::fit(x, *n_bins, *encode).into()
+            }
+            OpSpec::PolynomialFeatures { include_bias, interaction_only } => {
+                PolynomialFeatures {
+                    include_bias: *include_bias,
+                    interaction_only: *interaction_only,
+                }
+                .into()
+            }
+            OpSpec::OneHotEncoder => OneHotEncoder::fit(x).into(),
+            OpSpec::SelectKBest { k } => FeatureSelector::k_best(x, y.classes(), *k).into(),
+            OpSpec::SelectPercentile { percentile } => {
+                FeatureSelector::percentile(x, y.classes(), *percentile).into()
+            }
+            OpSpec::VarianceThreshold { threshold } => {
+                FeatureSelector::variance_threshold(x, *threshold).into()
+            }
+            OpSpec::Pca { k } => Pca::fit(x, *k).into(),
+            OpSpec::TruncatedSvd { k } => TruncatedSvd::fit(x, *k).into(),
+            OpSpec::KernelPca { k, gamma, fit_rows } => {
+                let m = x.shape()[0].min(*fit_rows).max(2);
+                KernelPca::fit(&x.slice(0, 0, m).to_contiguous(), *k, *gamma).into()
+            }
+            OpSpec::LogisticRegression(cfg) => {
+                LogisticRegression::new(cfg.clone()).fit(x, y.classes()).into()
+            }
+            OpSpec::SgdClassifier(cfg) => {
+                SgdClassifier::new(cfg.clone()).fit(x, y.classes()).into()
+            }
+            OpSpec::LinearSvc(cfg) => LinearSvc::new(cfg.clone()).fit(x, y.classes()).into(),
+            OpSpec::Svc(cfg) => Svc::new(cfg.clone()).fit(x, y.classes()).into(),
+            OpSpec::NuSvc { nu, config } => {
+                NuSvc { nu: *nu, config: config.clone() }.fit(x, y.classes()).into()
+            }
+            OpSpec::GaussianNb => GaussianNb::fit(x, y.classes()).into(),
+            OpSpec::BernoulliNb { alpha, binarize } => {
+                BernoulliNb::fit(x, y.classes(), *alpha, *binarize).into()
+            }
+            OpSpec::MultinomialNb { alpha } => MultinomialNb::fit(x, y.classes(), *alpha).into(),
+            OpSpec::Mlp(cfg) => MlpClassifier::new(cfg.clone()).fit(x, y.classes()).into(),
+            OpSpec::DecisionTreeClassifier { max_depth } => RandomForestClassifier::new(
+                ForestConfig {
+                    n_trees: 1,
+                    max_depth: *max_depth,
+                    bootstrap: false,
+                    max_features: usize::MAX,
+                    ..ForestConfig::default()
+                },
+            )
+            .fit(x, y.classes())
+            .into(),
+            OpSpec::RandomForestClassifier(cfg) => {
+                RandomForestClassifier::new(cfg.clone()).fit(x, y.classes()).into()
+            }
+            OpSpec::RandomForestRegressor(cfg) => {
+                RandomForestRegressor::new(cfg.clone()).fit(x, y.values()).into()
+            }
+            OpSpec::GbdtClassifier(cfg) => {
+                GradientBoostingClassifier::new(cfg.clone()).fit(x, y.classes()).into()
+            }
+            OpSpec::GbdtRegressor(cfg) => {
+                GradientBoostingRegressor::new(cfg.clone()).fit(x, y.values()).into()
+            }
+        }
+    }
+}
+
+/// Fits a chain of [`OpSpec`]s, threading the transformed matrix through
+/// successive featurizers (scikit-learn `Pipeline.fit` semantics).
+pub fn fit_pipeline(specs: &[OpSpec], x: &Tensor<f32>, y: &Targets) -> Pipeline {
+    let mut cur = x.clone();
+    let mut pipe = Pipeline { input_width: Some(x.shape()[1]), ..Pipeline::default() };
+    for spec in specs {
+        let op = spec.fit(&cur, y);
+        if !op.is_model() {
+            cur = op.apply(&cur);
+        }
+        pipe.push(op);
+    }
+    pipe
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn data() -> (Tensor<f32>, Targets) {
+        let n = 120;
+        let x = Tensor::from_fn(&[n, 4], |i| {
+            let c = (i[0] % 2) as f32;
+            c * 3.0 + ((i[0] * 11 + i[1] * 5) % 7) as f32 * 0.1
+        });
+        let y: Vec<i64> = (0..n).map(|i| (i % 2) as i64).collect();
+        (x, Targets::Classes(y))
+    }
+
+    #[test]
+    fn fit_pipeline_threads_transforms() {
+        let (x, y) = data();
+        let pipe = fit_pipeline(
+            &[
+                OpSpec::StandardScaler,
+                OpSpec::SelectKBest { k: 2 },
+                OpSpec::LogisticRegression(LinearConfig::default()),
+            ],
+            &x,
+            &y,
+        );
+        assert_eq!(pipe.len(), 3);
+        assert!(pipe.ends_with_model());
+        let pred = pipe.predict(&x);
+        let acc = hb_ml::metrics::accuracy(&pred, y.classes());
+        assert!(acc > 0.95, "accuracy {acc}");
+    }
+
+    #[test]
+    fn featurizer_only_pipeline_outputs_matrix() {
+        let (x, y) = data();
+        let pipe = fit_pipeline(&[OpSpec::MinMaxScaler, OpSpec::SelectKBest { k: 3 }], &x, &y);
+        assert!(!pipe.ends_with_model());
+        let out = pipe.predict_proba(&x);
+        assert_eq!(out.shape(), &[120, 3]);
+    }
+
+    #[test]
+    fn signatures_are_stable() {
+        let (x, y) = data();
+        let pipe = fit_pipeline(&[OpSpec::StandardScaler, OpSpec::GaussianNb], &x, &y);
+        let sigs: Vec<&str> = pipe.ops.iter().map(|o| o.signature()).collect();
+        assert_eq!(sigs, vec!["StandardScaler", "GaussianNB"]);
+    }
+
+    #[test]
+    fn forest_pipeline_predicts_classes() {
+        let (x, y) = data();
+        let pipe = fit_pipeline(
+            &[OpSpec::RandomForestClassifier(ForestConfig {
+                n_trees: 5,
+                max_depth: 3,
+                ..ForestConfig::default()
+            })],
+            &x,
+            &y,
+        );
+        let pred = pipe.predict(&x);
+        assert!(hb_ml::metrics::accuracy(&pred, y.classes()) > 0.95);
+    }
+
+    #[test]
+    fn decision_tree_spec_is_single_tree() {
+        let (x, y) = data();
+        let op = OpSpec::DecisionTreeClassifier { max_depth: 3 }.fit(&x, &y);
+        match &op {
+            FittedOp::TreeEnsemble(e) => assert_eq!(e.trees.len(), 1),
+            other => panic!("unexpected op {}", other.signature()),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "expected class labels")]
+    fn wrong_target_kind_panics() {
+        let (x, _) = data();
+        let y = Targets::Values(vec![0.0; 120]);
+        let _ = OpSpec::GaussianNb.fit(&x, &y);
+    }
+
+    #[test]
+    fn imputer_pipeline_handles_nans_end_to_end() {
+        let n = 60;
+        let x = Tensor::from_fn(&[n, 2], |i| {
+            if i[0] % 7 == 0 && i[1] == 0 {
+                f32::NAN
+            } else {
+                (i[0] % 2) as f32 * 2.0 + i[1] as f32 * 0.1
+            }
+        });
+        let y = Targets::Classes((0..n).map(|i| (i % 2) as i64).collect());
+        let pipe = fit_pipeline(
+            &[
+                OpSpec::SimpleImputer { strategy: ImputeStrategy::Mean },
+                OpSpec::LogisticRegression(LinearConfig::default()),
+            ],
+            &x,
+            &y,
+        );
+        let proba = pipe.predict_proba(&x);
+        assert!(proba.iter().all(|v| !v.is_nan()), "NaNs leaked through imputer");
+    }
+}

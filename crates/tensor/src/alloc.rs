@@ -1,0 +1,93 @@
+//! Tensor allocation tracking.
+//!
+//! The paper's Table 9 reports peak memory consumption per framework. The
+//! original artifact measured it with `memory_profiler`; here every tensor
+//! storage registers its byte size on creation and deregisters on drop, so
+//! the bench harness can read current and peak tensor memory directly.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+static CURRENT_BYTES: AtomicUsize = AtomicUsize::new(0);
+static PEAK_BYTES: AtomicUsize = AtomicUsize::new(0);
+
+/// Records an allocation of `bytes` and updates the peak watermark.
+pub(crate) fn record_alloc(bytes: usize) {
+    let cur = CURRENT_BYTES.fetch_add(bytes, Ordering::Relaxed) + bytes;
+    // Lock-free peak update; losing a race only under-reports by the width
+    // of the race window, which is acceptable for a watermark.
+    let mut peak = PEAK_BYTES.load(Ordering::Relaxed);
+    while cur > peak {
+        match PEAK_BYTES.compare_exchange_weak(peak, cur, Ordering::Relaxed, Ordering::Relaxed) {
+            Ok(_) => break,
+            Err(p) => peak = p,
+        }
+    }
+}
+
+/// Records the release of `bytes` of tensor storage.
+pub(crate) fn record_dealloc(bytes: usize) {
+    CURRENT_BYTES.fetch_sub(bytes, Ordering::Relaxed);
+}
+
+/// Returns the number of bytes currently held by live tensor storages.
+pub fn current_bytes() -> usize {
+    CURRENT_BYTES.load(Ordering::Relaxed)
+}
+
+/// Returns the high-water mark of tensor bytes since the last
+/// [`reset_peak`].
+pub fn peak_bytes() -> usize {
+    PEAK_BYTES.load(Ordering::Relaxed)
+}
+
+/// Resets the peak watermark to the current live byte count.
+pub fn reset_peak() {
+    PEAK_BYTES.store(CURRENT_BYTES.load(Ordering::Relaxed), Ordering::Relaxed);
+}
+
+/// Runs `f` and returns `(result, peak_bytes_during_f)`.
+///
+/// The measurement is process-global: concurrent tensor work in other
+/// threads is attributed to `f`. The bench harness runs measured sections
+/// one at a time.
+pub fn measure_peak<R>(f: impl FnOnce() -> R) -> (R, usize) {
+    reset_peak();
+    let before = current_bytes();
+    let out = f();
+    (out, peak_bytes().saturating_sub(before))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Tensor;
+
+    #[test]
+    fn alloc_tracking_counts_storage() {
+        let before = current_bytes();
+        let t = Tensor::<f32>::zeros(&[1024]);
+        assert!(current_bytes() >= before + 4096);
+        drop(t);
+        assert_eq!(current_bytes(), before);
+    }
+
+    #[test]
+    fn measure_peak_reports_transient_usage() {
+        let ((), peak) = measure_peak(|| {
+            let a = Tensor::<f32>::zeros(&[1 << 12]);
+            let b = Tensor::<f32>::zeros(&[1 << 12]);
+            drop((a, b));
+        });
+        assert!(peak >= 2 * 4 * (1 << 12), "peak {peak} too small");
+    }
+
+    #[test]
+    fn views_do_not_allocate() {
+        let t = Tensor::<f32>::zeros(&[64, 64]);
+        let before = current_bytes();
+        let v = t.reshape(&[4096]);
+        let w = v.slice(0, 0, 128);
+        assert_eq!(current_bytes(), before);
+        drop((v, w));
+    }
+}

@@ -1,0 +1,182 @@
+//! Element types supported by the tensor library.
+//!
+//! The compiled graphs only ever need four dtypes: `f32` for feature values
+//! and model parameters, `i64` for indices and integer-coded categories,
+//! `u8` for byte-packed fixed-length strings (paper §4.2), and `bool` for
+//! comparison masks.
+
+use std::fmt::Debug;
+use std::ops::{Add, Div, Mul, Neg, Sub};
+
+/// Runtime tag identifying the element type of a [`crate::DynTensor`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum DType {
+    /// 32-bit IEEE float.
+    F32,
+    /// 64-bit signed integer.
+    I64,
+    /// 8-bit unsigned integer (packed string bytes).
+    U8,
+    /// Boolean mask.
+    Bool,
+}
+
+impl DType {
+    /// Size of one element in bytes.
+    pub fn size_of(self) -> usize {
+        match self {
+            DType::F32 => 4,
+            DType::I64 => 8,
+            DType::U8 => 1,
+            DType::Bool => 1,
+        }
+    }
+}
+
+/// Marker trait for types storable in a [`crate::Tensor`].
+pub trait Element: Copy + Send + Sync + Debug + Default + PartialEq + 'static {
+    /// The runtime dtype tag for this element type.
+    const DTYPE: DType;
+}
+
+impl Element for f32 {
+    const DTYPE: DType = DType::F32;
+}
+impl Element for i64 {
+    const DTYPE: DType = DType::I64;
+}
+impl Element for u8 {
+    const DTYPE: DType = DType::U8;
+}
+impl Element for bool {
+    const DTYPE: DType = DType::Bool;
+}
+
+/// Numeric elements supporting arithmetic and ordering.
+pub trait Num:
+    Element
+    + PartialOrd
+    + Add<Output = Self>
+    + Sub<Output = Self>
+    + Mul<Output = Self>
+    + Div<Output = Self>
+{
+    /// Additive identity.
+    const ZERO: Self;
+    /// Multiplicative identity.
+    const ONE: Self;
+    /// Smallest representable value (used as the identity for `max`).
+    const MIN_VALUE: Self;
+    /// Conversion from usize, saturating.
+    fn from_usize(v: usize) -> Self;
+    /// Conversion to f64 for mean/variance accumulation.
+    fn to_f64(self) -> f64;
+}
+
+impl Num for f32 {
+    const ZERO: Self = 0.0;
+    const ONE: Self = 1.0;
+    const MIN_VALUE: Self = f32::NEG_INFINITY;
+    fn from_usize(v: usize) -> Self {
+        v as f32
+    }
+    fn to_f64(self) -> f64 {
+        self as f64
+    }
+}
+
+impl Num for i64 {
+    const ZERO: Self = 0;
+    const ONE: Self = 1;
+    const MIN_VALUE: Self = i64::MIN;
+    fn from_usize(v: usize) -> Self {
+        v as i64
+    }
+    fn to_f64(self) -> f64 {
+        self as f64
+    }
+}
+
+impl Num for u8 {
+    const ZERO: Self = 0;
+    const ONE: Self = 1;
+    const MIN_VALUE: Self = 0;
+    fn from_usize(v: usize) -> Self {
+        v.min(u8::MAX as usize) as u8
+    }
+    fn to_f64(self) -> f64 {
+        self as f64
+    }
+}
+
+/// Floating-point elements supporting transcendental functions.
+pub trait Float: Num + Neg<Output = Self> {
+    /// Natural exponential.
+    fn exp_(self) -> Self;
+    /// Natural logarithm.
+    fn ln_(self) -> Self;
+    /// Square root.
+    fn sqrt_(self) -> Self;
+    /// Hyperbolic tangent.
+    fn tanh_(self) -> Self;
+    /// Absolute value.
+    fn abs_(self) -> Self;
+    /// Power with arbitrary exponent.
+    fn powf_(self, e: Self) -> Self;
+    /// True if NaN.
+    fn is_nan_(self) -> bool;
+    /// Quiet NaN constant.
+    const NAN: Self;
+}
+
+impl Float for f32 {
+    fn exp_(self) -> Self {
+        self.exp()
+    }
+    fn ln_(self) -> Self {
+        self.ln()
+    }
+    fn sqrt_(self) -> Self {
+        self.sqrt()
+    }
+    fn tanh_(self) -> Self {
+        self.tanh()
+    }
+    fn abs_(self) -> Self {
+        self.abs()
+    }
+    fn powf_(self, e: Self) -> Self {
+        self.powf(e)
+    }
+    fn is_nan_(self) -> bool {
+        self.is_nan()
+    }
+    const NAN: Self = f32::NAN;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dtype_sizes() {
+        assert_eq!(DType::F32.size_of(), 4);
+        assert_eq!(DType::I64.size_of(), 8);
+        assert_eq!(DType::U8.size_of(), 1);
+        assert_eq!(DType::Bool.size_of(), 1);
+    }
+
+    #[test]
+    fn element_tags_match() {
+        assert_eq!(<f32 as Element>::DTYPE, DType::F32);
+        assert_eq!(<i64 as Element>::DTYPE, DType::I64);
+        assert_eq!(<bool as Element>::DTYPE, DType::Bool);
+    }
+
+    #[test]
+    fn num_identities() {
+        assert_eq!(f32::ZERO + f32::ONE, 1.0);
+        assert_eq!(i64::from_usize(7), 7);
+        assert!(f32::MIN_VALUE < -1e30);
+    }
+}

@@ -1,0 +1,208 @@
+//! Dynamically-typed tensor wrapper used by the graph runtime.
+//!
+//! Compiled graphs mix float features, integer indices, packed string
+//! bytes, and boolean masks; [`DynTensor`] lets graph nodes pass values
+//! without static dtype knowledge while keeping the typed [`Tensor`] API
+//! for kernels.
+
+use crate::dtype::DType;
+use crate::tensor::Tensor;
+
+/// A tensor of any supported dtype.
+#[derive(Clone, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
+pub enum DynTensor {
+    /// 32-bit float tensor.
+    F32(Tensor<f32>),
+    /// 64-bit integer tensor.
+    I64(Tensor<i64>),
+    /// Byte tensor (packed fixed-length strings).
+    U8(Tensor<u8>),
+    /// Boolean mask tensor.
+    Bool(Tensor<bool>),
+}
+
+impl DynTensor {
+    /// The runtime dtype tag.
+    pub fn dtype(&self) -> DType {
+        match self {
+            DynTensor::F32(_) => DType::F32,
+            DynTensor::I64(_) => DType::I64,
+            DynTensor::U8(_) => DType::U8,
+            DynTensor::Bool(_) => DType::Bool,
+        }
+    }
+
+    /// The tensor shape.
+    pub fn shape(&self) -> &[usize] {
+        match self {
+            DynTensor::F32(t) => t.shape(),
+            DynTensor::I64(t) => t.shape(),
+            DynTensor::U8(t) => t.shape(),
+            DynTensor::Bool(t) => t.shape(),
+        }
+    }
+
+    /// Total element count.
+    pub fn numel(&self) -> usize {
+        self.shape().iter().product()
+    }
+
+    /// Bytes of storage the logical contents occupy.
+    pub fn nbytes(&self) -> usize {
+        self.numel() * self.dtype().size_of()
+    }
+
+    /// Borrows the f32 tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dtype is not `F32`.
+    pub fn as_f32(&self) -> &Tensor<f32> {
+        match self {
+            DynTensor::F32(t) => t,
+            other => panic!("expected F32 tensor, got {:?}", other.dtype()),
+        }
+    }
+
+    /// Borrows the i64 tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dtype is not `I64`.
+    pub fn as_i64(&self) -> &Tensor<i64> {
+        match self {
+            DynTensor::I64(t) => t,
+            other => panic!("expected I64 tensor, got {:?}", other.dtype()),
+        }
+    }
+
+    /// Borrows the bool tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dtype is not `Bool`.
+    pub fn as_bool(&self) -> &Tensor<bool> {
+        match self {
+            DynTensor::Bool(t) => t,
+            other => panic!("expected Bool tensor, got {:?}", other.dtype()),
+        }
+    }
+
+    /// Borrows the u8 tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dtype is not `U8`.
+    pub fn as_u8(&self) -> &Tensor<u8> {
+        match self {
+            DynTensor::U8(t) => t,
+            other => panic!("expected U8 tensor, got {:?}", other.dtype()),
+        }
+    }
+
+    /// Converts to the requested dtype (paper Table 2 `cast`).
+    ///
+    /// Bool casts to 0/1; floats truncate toward zero when cast to
+    /// integers; integer→bool is `!= 0`.
+    pub fn cast(&self, to: DType) -> DynTensor {
+        if self.dtype() == to {
+            return self.clone();
+        }
+        match (self, to) {
+            (DynTensor::F32(t), DType::I64) => DynTensor::I64(t.map(|v| v as i64)),
+            (DynTensor::F32(t), DType::Bool) => DynTensor::Bool(t.map(|v| v != 0.0)),
+            (DynTensor::F32(t), DType::U8) => DynTensor::U8(t.map(|v| v as u8)),
+            (DynTensor::I64(t), DType::F32) => DynTensor::F32(t.map(|v| v as f32)),
+            (DynTensor::I64(t), DType::Bool) => DynTensor::Bool(t.map(|v| v != 0)),
+            (DynTensor::I64(t), DType::U8) => DynTensor::U8(t.map(|v| v as u8)),
+            (DynTensor::U8(t), DType::F32) => DynTensor::F32(t.map(|v| v as f32)),
+            (DynTensor::U8(t), DType::I64) => DynTensor::I64(t.map(|v| v as i64)),
+            (DynTensor::U8(t), DType::Bool) => DynTensor::Bool(t.map(|v| v != 0)),
+            (DynTensor::Bool(t), DType::F32) => {
+                DynTensor::F32(t.map(|v| if v { 1.0 } else { 0.0 }))
+            }
+            (DynTensor::Bool(t), DType::I64) => DynTensor::I64(t.map(|v| v as i64)),
+            (DynTensor::Bool(t), DType::U8) => DynTensor::U8(t.map(|v| v as u8)),
+            _ => unreachable!("same-dtype cast handled above"),
+        }
+    }
+
+    /// Reshapes preserving element count.
+    pub fn reshape(&self, shape: &[usize]) -> DynTensor {
+        match self {
+            DynTensor::F32(t) => DynTensor::F32(t.reshape(shape)),
+            DynTensor::I64(t) => DynTensor::I64(t.reshape(shape)),
+            DynTensor::U8(t) => DynTensor::U8(t.reshape(shape)),
+            DynTensor::Bool(t) => DynTensor::Bool(t.reshape(shape)),
+        }
+    }
+}
+
+impl From<Tensor<f32>> for DynTensor {
+    fn from(t: Tensor<f32>) -> Self {
+        DynTensor::F32(t)
+    }
+}
+impl From<Tensor<i64>> for DynTensor {
+    fn from(t: Tensor<i64>) -> Self {
+        DynTensor::I64(t)
+    }
+}
+impl From<Tensor<u8>> for DynTensor {
+    fn from(t: Tensor<u8>) -> Self {
+        DynTensor::U8(t)
+    }
+}
+impl From<Tensor<bool>> for DynTensor {
+    fn from(t: Tensor<bool>) -> Self {
+        DynTensor::Bool(t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dtype_and_shape_dispatch() {
+        let d: DynTensor = Tensor::from_vec(vec![1.0f32, 2.0], &[2]).into();
+        assert_eq!(d.dtype(), DType::F32);
+        assert_eq!(d.shape(), &[2]);
+        assert_eq!(d.nbytes(), 8);
+    }
+
+    #[test]
+    fn cast_f32_i64_roundtrip() {
+        let d: DynTensor = Tensor::from_vec(vec![1.9f32, -2.9, 0.0], &[3]).into();
+        let i = d.cast(DType::I64);
+        assert_eq!(i.as_i64().to_vec(), vec![1, -2, 0]);
+        let f = i.cast(DType::F32);
+        assert_eq!(f.as_f32().to_vec(), vec![1.0, -2.0, 0.0]);
+    }
+
+    #[test]
+    fn cast_bool_to_f32_is_indicator() {
+        let d: DynTensor = Tensor::from_vec(vec![true, false], &[2]).into();
+        assert_eq!(d.cast(DType::F32).as_f32().to_vec(), vec![1.0, 0.0]);
+        assert_eq!(d.cast(DType::I64).as_i64().to_vec(), vec![1, 0]);
+    }
+
+    #[test]
+    fn cast_same_dtype_is_identity() {
+        let d: DynTensor = Tensor::from_vec(vec![1i64, 2], &[2]).into();
+        assert_eq!(d.cast(DType::I64), d);
+    }
+
+    #[test]
+    #[should_panic(expected = "expected F32")]
+    fn wrong_accessor_panics() {
+        let d: DynTensor = Tensor::from_vec(vec![1i64], &[1]).into();
+        let _ = d.as_f32();
+    }
+
+    #[test]
+    fn reshape_dispatches() {
+        let d: DynTensor = Tensor::from_vec(vec![1i64, 2, 3, 4], &[4]).into();
+        assert_eq!(d.reshape(&[2, 2]).shape(), &[2, 2]);
+    }
+}

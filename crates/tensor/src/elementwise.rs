@@ -1,0 +1,426 @@
+//! Element-wise arithmetic, comparisons, and selection with NumPy-style
+//! broadcasting.
+//!
+//! These implement the bulk of the paper's Table 2 operator set: `add`,
+//! `mul`, `div`, `lt`, `le`, `eq`, `gt`, `ge`, `abs`, `pow`, `exp`,
+//! `relu`, `tanh`, `sigmoid`, `isnan`, and `where`.
+
+use rayon::prelude::*;
+
+use crate::dtype::{Element, Float, Num};
+use crate::shape::broadcast_shapes;
+use crate::tensor::Tensor;
+
+/// Minimum element count before kernels parallelize across Rayon workers.
+/// Below this, thread fan-out costs more than it saves.
+pub const PAR_THRESHOLD: usize = 1 << 15;
+
+/// Walks `out` (row-major over `shape`) evaluating `f` on incrementally
+/// maintained per-input offsets — the shared broadcast kernel behind
+/// [`zip_map`] and [`Tensor::where_select`].
+fn broadcast_kernel<U: Element, const N: usize>(
+    shape: &[usize],
+    strides: [&[isize]; N],
+    out: &mut [U],
+    start: usize,
+    f: impl Fn([usize; N]) -> U,
+) {
+    let ndim = shape.len();
+    let ostr = crate::shape::contiguous_strides(shape);
+    let mut pos = vec![0usize; ndim];
+    let mut offs = [0isize; N];
+    let mut rem = start;
+    for d in 0..ndim {
+        if ostr[d] > 0 {
+            pos[d] = rem / ostr[d] as usize;
+            rem %= ostr[d] as usize;
+        }
+        for k in 0..N {
+            offs[k] += pos[d] as isize * strides[k][d];
+        }
+    }
+    for o in out.iter_mut() {
+        *o = f(offs.map(|v| v as usize));
+        for d in (0..ndim).rev() {
+            pos[d] += 1;
+            for k in 0..N {
+                offs[k] += strides[k][d];
+            }
+            if pos[d] < shape[d] {
+                break;
+            }
+            pos[d] = 0;
+            for k in 0..N {
+                offs[k] -= strides[k][d] * shape[d] as isize;
+            }
+        }
+    }
+}
+
+/// Runs [`broadcast_kernel`] over the whole output, parallelizing large
+/// tensors across Rayon workers.
+fn broadcast_run<U: Element, const N: usize>(
+    shape: &[usize],
+    strides: [&[isize]; N],
+    f: impl Fn([usize; N]) -> U + Sync,
+) -> Tensor<U> {
+    let n: usize = shape.iter().product();
+    let mut out = vec![U::default(); n];
+    if n >= PAR_THRESHOLD {
+        let chunk = (n / (rayon::current_num_threads() * 4).max(1)).max(4096);
+        out.par_chunks_mut(chunk)
+            .enumerate()
+            .for_each(|(ci, c)| broadcast_kernel(shape, strides, c, ci * chunk, &f));
+    } else {
+        broadcast_kernel(shape, strides, &mut out, 0, &f);
+    }
+    Tensor::from_vec(out, shape)
+}
+
+/// Applies `f` pairwise over two broadcast-compatible tensors.
+///
+/// # Panics
+///
+/// Panics if the shapes cannot be broadcast together.
+pub fn zip_map<T: Element, V: Element, U: Element>(
+    a: &Tensor<T>,
+    b: &Tensor<V>,
+    f: impl Fn(T, V) -> U + Sync + Send,
+) -> Tensor<U> {
+    let shape = broadcast_shapes(a.shape(), b.shape())
+        .unwrap_or_else(|e| panic!("element-wise op: {e}"));
+    // Fast path: both operands already contiguous with the output shape.
+    if a.shape() == shape.as_slice()
+        && b.shape() == shape.as_slice()
+        && a.is_contiguous()
+        && b.is_contiguous()
+    {
+        let (sa, sb) = (a.as_slice(), b.as_slice());
+        let out: Vec<U> = if sa.len() >= PAR_THRESHOLD {
+            sa.par_iter().zip(sb.par_iter()).map(|(&x, &y)| f(x, y)).collect()
+        } else {
+            sa.iter().zip(sb.iter()).map(|(&x, &y)| f(x, y)).collect()
+        };
+        return Tensor::from_vec(out, &shape);
+    }
+    // Broadcast path: compact each operand in its own (small) shape and
+    // address through broadcast strides.
+    let ca = a.to_contiguous();
+    let cb = b.to_contiguous();
+    let (sa, sb) = (ca.as_slice(), cb.as_slice());
+    let stra = crate::shape::broadcast_strides(
+        ca.shape(),
+        &crate::shape::contiguous_strides(ca.shape()),
+        &shape,
+    );
+    let strb = crate::shape::broadcast_strides(
+        cb.shape(),
+        &crate::shape::contiguous_strides(cb.shape()),
+        &shape,
+    );
+    broadcast_run(&shape, [&stra, &strb], |[oa, ob]| f(sa[oa], sb[ob]))
+}
+
+impl<T: Num> Tensor<T> {
+    /// Element-wise sum with broadcasting.
+    pub fn add(&self, other: &Tensor<T>) -> Tensor<T> {
+        zip_map(self, other, |a, b| a + b)
+    }
+
+    /// Element-wise difference with broadcasting.
+    pub fn sub(&self, other: &Tensor<T>) -> Tensor<T> {
+        zip_map(self, other, |a, b| a - b)
+    }
+
+    /// Element-wise product with broadcasting.
+    pub fn mul(&self, other: &Tensor<T>) -> Tensor<T> {
+        zip_map(self, other, |a, b| a * b)
+    }
+
+    /// Element-wise quotient with broadcasting.
+    pub fn div(&self, other: &Tensor<T>) -> Tensor<T> {
+        zip_map(self, other, |a, b| a / b)
+    }
+
+    /// Element-wise minimum with broadcasting.
+    pub fn minimum(&self, other: &Tensor<T>) -> Tensor<T> {
+        zip_map(self, other, |a, b| if b < a { b } else { a })
+    }
+
+    /// Element-wise maximum with broadcasting.
+    pub fn maximum(&self, other: &Tensor<T>) -> Tensor<T> {
+        zip_map(self, other, |a, b| if b > a { b } else { a })
+    }
+
+    /// Adds a scalar to every element.
+    pub fn add_scalar(&self, v: T) -> Tensor<T> {
+        self.map(move |x| x + v)
+    }
+
+    /// Multiplies every element by a scalar.
+    pub fn mul_scalar(&self, v: T) -> Tensor<T> {
+        self.map(move |x| x * v)
+    }
+
+    /// `self < other`, element-wise with broadcasting.
+    pub fn lt(&self, other: &Tensor<T>) -> Tensor<bool> {
+        zip_map(self, other, |a, b| a < b)
+    }
+
+    /// `self <= other`, element-wise with broadcasting.
+    pub fn le(&self, other: &Tensor<T>) -> Tensor<bool> {
+        zip_map(self, other, |a, b| a <= b)
+    }
+
+    /// `self > other`, element-wise with broadcasting.
+    pub fn gt(&self, other: &Tensor<T>) -> Tensor<bool> {
+        zip_map(self, other, |a, b| a > b)
+    }
+
+    /// `self >= other`, element-wise with broadcasting.
+    pub fn ge(&self, other: &Tensor<T>) -> Tensor<bool> {
+        zip_map(self, other, |a, b| a >= b)
+    }
+
+    /// `self == other`, element-wise with broadcasting.
+    pub fn eq_t(&self, other: &Tensor<T>) -> Tensor<bool> {
+        zip_map(self, other, |a, b| a == b)
+    }
+
+    /// `self != other`, element-wise with broadcasting.
+    pub fn ne_t(&self, other: &Tensor<T>) -> Tensor<bool> {
+        zip_map(self, other, |a, b| a != b)
+    }
+
+    /// Clamps every element into `[lo, hi]`.
+    pub fn clamp(&self, lo: T, hi: T) -> Tensor<T> {
+        self.map(move |x| {
+            if x < lo {
+                lo
+            } else if x > hi {
+                hi
+            } else {
+                x
+            }
+        })
+    }
+}
+
+impl Tensor<bool> {
+    /// Selects `a` where `self` is true and `b` otherwise, with
+    /// broadcasting across all three tensors (the `Where` operator of
+    /// paper Algorithms 2 and 3).
+    pub fn where_select<T: Element>(&self, a: &Tensor<T>, b: &Tensor<T>) -> Tensor<T> {
+        let s1 = broadcast_shapes(self.shape(), a.shape())
+            .unwrap_or_else(|e| panic!("where: {e}"));
+        let shape =
+            broadcast_shapes(&s1, b.shape()).unwrap_or_else(|e| panic!("where: {e}"));
+        let cc = self.to_contiguous();
+        let ca = a.to_contiguous();
+        let cb = b.to_contiguous();
+        let (sc, sa, sb) = (cc.as_slice(), ca.as_slice(), cb.as_slice());
+        let strc = crate::shape::broadcast_strides(
+            cc.shape(),
+            &crate::shape::contiguous_strides(cc.shape()),
+            &shape,
+        );
+        let stra = crate::shape::broadcast_strides(
+            ca.shape(),
+            &crate::shape::contiguous_strides(ca.shape()),
+            &shape,
+        );
+        let strb = crate::shape::broadcast_strides(
+            cb.shape(),
+            &crate::shape::contiguous_strides(cb.shape()),
+            &shape,
+        );
+        broadcast_run(&shape, [&strc, &stra, &strb], |[oc, oa, ob]| {
+            if sc[oc] {
+                sa[oa]
+            } else {
+                sb[ob]
+            }
+        })
+    }
+
+    /// Logical AND with broadcasting.
+    pub fn and(&self, other: &Tensor<bool>) -> Tensor<bool> {
+        zip_map(self, other, |a, b| a && b)
+    }
+
+    /// Logical OR with broadcasting.
+    pub fn or(&self, other: &Tensor<bool>) -> Tensor<bool> {
+        zip_map(self, other, |a, b| a || b)
+    }
+
+    /// Logical XOR with broadcasting (paper Table 2 `bitwise_xor`).
+    pub fn xor(&self, other: &Tensor<bool>) -> Tensor<bool> {
+        zip_map(self, other, |a, b| a ^ b)
+    }
+
+    /// Logical negation.
+    pub fn not(&self) -> Tensor<bool> {
+        self.map(|a| !a)
+    }
+}
+
+impl<T: Float> Tensor<T> {
+    /// Element-wise negation.
+    pub fn neg(&self) -> Tensor<T> {
+        self.map(|x| -x)
+    }
+
+    /// Element-wise absolute value.
+    pub fn abs_t(&self) -> Tensor<T> {
+        self.map(|x| x.abs_())
+    }
+
+    /// Element-wise natural exponential.
+    pub fn exp_t(&self) -> Tensor<T> {
+        self.map(|x| x.exp_())
+    }
+
+    /// Element-wise natural logarithm.
+    pub fn ln_t(&self) -> Tensor<T> {
+        self.map(|x| x.ln_())
+    }
+
+    /// Element-wise square root.
+    pub fn sqrt_t(&self) -> Tensor<T> {
+        self.map(|x| x.sqrt_())
+    }
+
+    /// Element-wise power with a scalar exponent.
+    pub fn pow_scalar(&self, e: T) -> Tensor<T> {
+        self.map(move |x| x.powf_(e))
+    }
+
+    /// Rectified linear unit: `max(x, 0)`.
+    pub fn relu(&self) -> Tensor<T> {
+        self.map(|x| if x < T::ZERO { T::ZERO } else { x })
+    }
+
+    /// Hyperbolic tangent.
+    pub fn tanh_t(&self) -> Tensor<T> {
+        self.map(|x| x.tanh_())
+    }
+
+    /// Logistic sigmoid `1 / (1 + e^-x)`.
+    pub fn sigmoid(&self) -> Tensor<T> {
+        self.map(|x| T::ONE / (T::ONE + (-x).exp_()))
+    }
+
+    /// Element-wise NaN test (paper Table 2 `isnan`).
+    pub fn isnan(&self) -> Tensor<bool> {
+        self.map(|x| x.is_nan_())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(v: &[f32], s: &[usize]) -> Tensor<f32> {
+        Tensor::from_vec(v.to_vec(), s)
+    }
+
+    #[test]
+    fn add_same_shape() {
+        let a = t(&[1.0, 2.0, 3.0], &[3]);
+        let b = t(&[10.0, 20.0, 30.0], &[3]);
+        assert_eq!(a.add(&b).to_vec(), vec![11.0, 22.0, 33.0]);
+    }
+
+    #[test]
+    fn broadcast_row_and_column() {
+        let col = t(&[1.0, 2.0], &[2, 1]);
+        let row = t(&[10.0, 20.0, 30.0], &[1, 3]);
+        let s = col.add(&row);
+        assert_eq!(s.shape(), &[2, 3]);
+        assert_eq!(s.to_vec(), vec![11.0, 21.0, 31.0, 12.0, 22.0, 32.0]);
+    }
+
+    #[test]
+    fn broadcast_scalar_tensor() {
+        let a = t(&[1.0, 2.0], &[2]);
+        let s = Tensor::scalar(5.0f32);
+        assert_eq!(a.mul(&s).to_vec(), vec![5.0, 10.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot broadcast")]
+    fn incompatible_shapes_panic() {
+        let a = t(&[1.0, 2.0], &[2]);
+        let b = t(&[1.0, 2.0, 3.0], &[3]);
+        let _ = a.add(&b);
+    }
+
+    #[test]
+    fn comparisons_produce_masks() {
+        let a = t(&[1.0, 5.0, 3.0], &[3]);
+        let b = t(&[2.0, 2.0, 3.0], &[3]);
+        assert_eq!(a.lt(&b).to_vec(), vec![true, false, false]);
+        assert_eq!(a.ge(&b).to_vec(), vec![false, true, true]);
+        assert_eq!(a.eq_t(&b).to_vec(), vec![false, false, true]);
+    }
+
+    #[test]
+    fn where_select_broadcasts() {
+        let m = Tensor::from_vec(vec![true, false, true], &[3]);
+        let a = t(&[1.0, 1.0, 1.0], &[3]);
+        let b = Tensor::scalar(9.0f32);
+        assert_eq!(m.where_select(&a, &b).to_vec(), vec![1.0, 9.0, 1.0]);
+    }
+
+    #[test]
+    fn float_unary_ops() {
+        let a = t(&[-1.0, 0.0, 2.0], &[3]);
+        assert_eq!(a.relu().to_vec(), vec![0.0, 0.0, 2.0]);
+        assert_eq!(a.abs_t().to_vec(), vec![1.0, 0.0, 2.0]);
+        let s = a.sigmoid().to_vec();
+        assert!((s[1] - 0.5).abs() < 1e-6);
+        assert!(s[0] < 0.5 && s[2] > 0.5);
+    }
+
+    #[test]
+    fn isnan_detects_nans() {
+        let a = t(&[1.0, f32::NAN, 0.0], &[3]);
+        assert_eq!(a.isnan().to_vec(), vec![false, true, false]);
+    }
+
+    #[test]
+    fn bool_logic() {
+        let a = Tensor::from_vec(vec![true, true, false], &[3]);
+        let b = Tensor::from_vec(vec![true, false, false], &[3]);
+        assert_eq!(a.and(&b).to_vec(), vec![true, false, false]);
+        assert_eq!(a.or(&b).to_vec(), vec![true, true, false]);
+        assert_eq!(a.xor(&b).to_vec(), vec![false, true, false]);
+        assert_eq!(a.not().to_vec(), vec![false, false, true]);
+    }
+
+    #[test]
+    fn clamp_bounds() {
+        let a = t(&[-5.0, 0.5, 7.0], &[3]);
+        assert_eq!(a.clamp(0.0, 1.0).to_vec(), vec![0.0, 0.5, 1.0]);
+    }
+
+    #[test]
+    fn parallel_path_matches_serial() {
+        let n = PAR_THRESHOLD + 17;
+        let a = Tensor::from_vec((0..n).map(|v| v as f32).collect(), &[n]);
+        let b = Tensor::from_vec((0..n).map(|v| (v * 2) as f32).collect(), &[n]);
+        let c = a.add(&b);
+        assert_eq!(c.get(&[n - 1]), (n - 1) as f32 * 3.0);
+        assert_eq!(c.get(&[0]), 0.0);
+    }
+
+    #[test]
+    fn ops_on_transposed_views() {
+        let a = Tensor::from_vec((0..6).map(|v| v as f32).collect(), &[2, 3]);
+        let at = a.transpose(0, 1); // shape [3,2], non-contiguous
+        let b = t(&[1.0, 1.0], &[2]);
+        let s = at.add(&b);
+        assert_eq!(s.shape(), &[3, 2]);
+        assert_eq!(s.to_vec(), vec![1.0, 4.0, 2.0, 5.0, 3.0, 6.0]);
+    }
+}

@@ -1,0 +1,79 @@
+//! Dense n-dimensional tensor library for the Hummingbird reproduction.
+//!
+//! This crate provides the small set of tensor operators that the paper's
+//! Tensor DAG Compiler targets (paper Table 2): batched GEMM, element-wise
+//! arithmetic and comparisons, `gather`/`index_select`, `where`, reshapes,
+//! concatenation, reductions (`sum`, `mean`, `max`, `argmax`, `logsumexp`),
+//! and activation functions (`relu`, `tanh`, `sigmoid`).
+//!
+//! Tensors are row-major, reference-counted, and support zero-copy views
+//! (reshape of contiguous data, slicing, broadcasting via stride-0
+//! dimensions). All allocations are tracked by [`alloc`] so that the
+//! paper's peak-memory experiment (Table 9) can be reproduced without an
+//! external profiler.
+//!
+//! # Examples
+//!
+//! ```
+//! use hb_tensor::Tensor;
+//!
+//! let x = Tensor::from_vec(vec![1.0f32, 2.0, 3.0, 4.0], &[2, 2]);
+//! let y = Tensor::from_vec(vec![1.0f32, 0.0, 0.0, 1.0], &[2, 2]);
+//! let z = x.matmul(&y);
+//! assert_eq!(z.to_vec(), vec![1.0, 2.0, 3.0, 4.0]);
+//! ```
+
+pub mod alloc;
+pub mod dtype;
+pub mod dyn_tensor;
+pub mod elementwise;
+pub mod gather;
+pub mod matmul;
+pub mod reduce;
+pub mod shape;
+pub mod sparse;
+pub mod tensor;
+
+pub use dtype::{DType, Element, Float, Num};
+pub use dyn_tensor::DynTensor;
+pub use shape::{broadcast_shapes, Shape};
+pub use tensor::Tensor;
+
+/// Crate-wide error type for shape/dtype mismatches.
+///
+/// Most tensor operations panic on shape mismatch (mirroring the behaviour
+/// of the DNN runtimes the paper targets), but the fallible entry points
+/// used by the graph executor return this error instead so that a
+/// malformed compiled graph surfaces as a recoverable failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TensorError {
+    /// Two shapes could not be broadcast together.
+    BroadcastMismatch(Vec<usize>, Vec<usize>),
+    /// An operation received a tensor of the wrong dtype.
+    DTypeMismatch { expected: DType, got: DType },
+    /// An axis argument was out of range for the tensor rank.
+    AxisOutOfRange { axis: usize, ndim: usize },
+    /// A reshape requested a different number of elements.
+    NumelMismatch { from: usize, to: usize },
+}
+
+impl std::fmt::Display for TensorError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TensorError::BroadcastMismatch(a, b) => {
+                write!(f, "cannot broadcast shapes {a:?} and {b:?}")
+            }
+            TensorError::DTypeMismatch { expected, got } => {
+                write!(f, "dtype mismatch: expected {expected:?}, got {got:?}")
+            }
+            TensorError::AxisOutOfRange { axis, ndim } => {
+                write!(f, "axis {axis} out of range for rank {ndim}")
+            }
+            TensorError::NumelMismatch { from, to } => {
+                write!(f, "cannot reshape {from} elements into {to}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TensorError {}

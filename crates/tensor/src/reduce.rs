@@ -1,0 +1,200 @@
+//! Reductions along an axis: `sum`, `mean`, `max`, `argmax`, `logsumexp`,
+//! and `softmax`.
+//!
+//! Ensemble aggregation (`ReduceMean` over the tree dimension in paper
+//! §4.1), class selection (`argmax`), and the multiclass links all build on
+//! these kernels.
+
+use crate::dtype::{Float, Num};
+use crate::tensor::Tensor;
+
+/// Decomposes `shape` around `axis` into `(outer, len, inner)` extents so a
+/// reduction can be written as three nested loops over contiguous data.
+fn axis_split(shape: &[usize], axis: usize) -> (usize, usize, usize) {
+    assert!(axis < shape.len(), "axis {axis} out of range for {shape:?}");
+    let outer: usize = shape[..axis].iter().product();
+    let len = shape[axis];
+    let inner: usize = shape[axis + 1..].iter().product();
+    (outer, len, inner)
+}
+
+fn reduced_shape(shape: &[usize], axis: usize, keepdim: bool) -> Vec<usize> {
+    let mut s = shape.to_vec();
+    if keepdim {
+        s[axis] = 1;
+    } else {
+        s.remove(axis);
+    }
+    s
+}
+
+impl<T: Num> Tensor<T> {
+    /// Generic fold along `axis` starting from `init`.
+    fn fold_axis<U: Num>(
+        &self,
+        axis: usize,
+        keepdim: bool,
+        init: U,
+        f: impl Fn(U, T) -> U,
+    ) -> Tensor<U> {
+        let t = self.to_contiguous();
+        let (outer, len, inner) = axis_split(t.shape(), axis);
+        let src = t.as_slice();
+        let mut out = vec![init; outer * inner];
+        for o in 0..outer {
+            for l in 0..len {
+                let base = (o * len + l) * inner;
+                let obase = o * inner;
+                for i in 0..inner {
+                    out[obase + i] = f(out[obase + i], src[base + i]);
+                }
+            }
+        }
+        Tensor::from_vec(out, &reduced_shape(t.shape(), axis, keepdim))
+    }
+
+    /// Sum along `axis`.
+    pub fn sum_axis(&self, axis: usize, keepdim: bool) -> Tensor<T> {
+        self.fold_axis(axis, keepdim, T::ZERO, |acc, v| acc + v)
+    }
+
+    /// Maximum along `axis`.
+    pub fn max_axis(&self, axis: usize, keepdim: bool) -> Tensor<T> {
+        self.fold_axis(axis, keepdim, T::MIN_VALUE, |acc, v| if v > acc { v } else { acc })
+    }
+
+    /// Index of the maximum along `axis` (first maximum wins ties,
+    /// matching NumPy/PyTorch).
+    pub fn argmax_axis(&self, axis: usize, keepdim: bool) -> Tensor<i64> {
+        let t = self.to_contiguous();
+        let (outer, len, inner) = axis_split(t.shape(), axis);
+        let src = t.as_slice();
+        let mut best = vec![T::MIN_VALUE; outer * inner];
+        let mut idx = vec![0i64; outer * inner];
+        for o in 0..outer {
+            for l in 0..len {
+                let base = (o * len + l) * inner;
+                let obase = o * inner;
+                for i in 0..inner {
+                    let v = src[base + i];
+                    if l == 0 || v > best[obase + i] {
+                        best[obase + i] = v;
+                        idx[obase + i] = l as i64;
+                    }
+                }
+            }
+        }
+        Tensor::from_vec(idx, &reduced_shape(t.shape(), axis, keepdim))
+    }
+
+    /// Mean along `axis`.
+    pub fn mean_axis(&self, axis: usize, keepdim: bool) -> Tensor<T> {
+        let n = self.shape()[axis].max(1);
+        let s = self.sum_axis(axis, keepdim);
+        let inv = T::ONE / T::from_usize(n);
+        s.map(move |v| v * inv)
+    }
+
+    /// Sum of every element.
+    pub fn sum_all(&self) -> T {
+        self.iter().fold(T::ZERO, |acc, v| acc + v)
+    }
+}
+
+impl<T: Float> Tensor<T> {
+    /// `log(Σ exp(x))` along `axis`, stabilized by the row maximum (paper
+    /// Table 2 `logsumexp`; used by multinomial links).
+    pub fn logsumexp_axis(&self, axis: usize, keepdim: bool) -> Tensor<T> {
+        let m = self.max_axis(axis, true);
+        let shifted = self.sub(&m).exp_t().sum_axis(axis, true).ln_t().add(&m);
+        if keepdim {
+            shifted
+        } else {
+            shifted.squeeze(axis)
+        }
+    }
+
+    /// Softmax along `axis`.
+    pub fn softmax_axis(&self, axis: usize) -> Tensor<T> {
+        let m = self.max_axis(axis, true);
+        let e = self.sub(&m).exp_t();
+        let s = e.sum_axis(axis, true);
+        e.div(&s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(v: &[f32], s: &[usize]) -> Tensor<f32> {
+        Tensor::from_vec(v.to_vec(), s)
+    }
+
+    #[test]
+    fn sum_rows_and_cols() {
+        let a = t(&[1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]);
+        assert_eq!(a.sum_axis(1, false).to_vec(), vec![6.0, 15.0]);
+        assert_eq!(a.sum_axis(0, false).to_vec(), vec![5.0, 7.0, 9.0]);
+        assert_eq!(a.sum_axis(1, true).shape(), &[2, 1]);
+    }
+
+    #[test]
+    fn mean_divides_by_axis_len() {
+        let a = t(&[2.0, 4.0, 6.0, 8.0], &[2, 2]);
+        assert_eq!(a.mean_axis(0, false).to_vec(), vec![4.0, 6.0]);
+        assert_eq!(a.mean_axis(1, false).to_vec(), vec![3.0, 7.0]);
+    }
+
+    #[test]
+    fn max_and_argmax() {
+        let a = t(&[1.0, 9.0, 3.0, 7.0, 2.0, 5.0], &[2, 3]);
+        assert_eq!(a.max_axis(1, false).to_vec(), vec![9.0, 7.0]);
+        assert_eq!(a.argmax_axis(1, false).to_vec(), vec![1, 0]);
+        assert_eq!(a.argmax_axis(0, false).to_vec(), vec![1, 0, 1]);
+    }
+
+    #[test]
+    fn argmax_first_tie_wins() {
+        let a = t(&[5.0, 5.0, 1.0], &[1, 3]);
+        assert_eq!(a.argmax_axis(1, false).to_vec(), vec![0]);
+    }
+
+    #[test]
+    fn middle_axis_reduction() {
+        let a = Tensor::from_fn(&[2, 3, 2], |i| (i[0] * 6 + i[1] * 2 + i[2]) as f32);
+        let s = a.sum_axis(1, false);
+        assert_eq!(s.shape(), &[2, 2]);
+        assert_eq!(s.to_vec(), vec![6.0, 9.0, 24.0, 27.0]);
+    }
+
+    #[test]
+    fn logsumexp_stable_for_large_values() {
+        let a = t(&[1000.0, 1000.0], &[1, 2]);
+        let l = a.logsumexp_axis(1, false).to_vec();
+        assert!((l[0] - (1000.0 + 2.0f32.ln())).abs() < 1e-3);
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let a = t(&[1.0, 2.0, 3.0, 1.0, 1.0, 1.0], &[2, 3]);
+        let s = a.softmax_axis(1);
+        let v = s.to_vec();
+        assert!((v[0] + v[1] + v[2] - 1.0).abs() < 1e-6);
+        assert!((v[3] - 1.0 / 3.0).abs() < 1e-6);
+        assert!(v[2] > v[1] && v[1] > v[0]);
+    }
+
+    #[test]
+    fn sum_all_totals() {
+        let a = t(&[1.0, 2.0, 3.0, 4.0], &[2, 2]);
+        assert_eq!(a.sum_all(), 10.0);
+    }
+
+    #[test]
+    fn reduce_on_view() {
+        let a = Tensor::from_fn(&[3, 4], |i| (i[0] * 4 + i[1]) as f32);
+        let at = a.transpose(0, 1);
+        assert_eq!(at.sum_axis(0, false).to_vec(), a.sum_axis(1, false).to_vec());
+    }
+}

@@ -1,0 +1,170 @@
+//! Shape and stride arithmetic, including NumPy-style broadcasting.
+
+use crate::TensorError;
+
+/// A tensor shape: the extent of each dimension, outermost first.
+pub type Shape = Vec<usize>;
+
+/// Computes row-major (C-order) strides, in elements, for `shape`.
+pub fn contiguous_strides(shape: &[usize]) -> Vec<isize> {
+    let mut strides = vec![0isize; shape.len()];
+    let mut acc = 1isize;
+    for (s, &dim) in strides.iter_mut().zip(shape.iter()).rev() {
+        *s = acc;
+        acc *= dim as isize;
+    }
+    strides
+}
+
+/// Total number of elements in `shape`.
+pub fn numel(shape: &[usize]) -> usize {
+    shape.iter().product()
+}
+
+/// Broadcasts two shapes together following NumPy semantics.
+///
+/// Dimensions are aligned from the right; each pair must be equal or one of
+/// them must be 1.
+pub fn broadcast_shapes(a: &[usize], b: &[usize]) -> Result<Shape, TensorError> {
+    let ndim = a.len().max(b.len());
+    let mut out = vec![0usize; ndim];
+    for i in 0..ndim {
+        let da = if i < ndim - a.len() { 1 } else { a[i - (ndim - a.len())] };
+        let db = if i < ndim - b.len() { 1 } else { b[i - (ndim - b.len())] };
+        out[i] = if da == db {
+            da
+        } else if da == 1 {
+            db
+        } else if db == 1 {
+            da
+        } else {
+            return Err(TensorError::BroadcastMismatch(a.to_vec(), b.to_vec()));
+        };
+    }
+    Ok(out)
+}
+
+/// Strides for viewing a tensor of shape `from` (strides `strides`) as the
+/// broadcast shape `to`: broadcast dimensions get stride 0.
+///
+/// # Panics
+///
+/// Panics if `from` does not broadcast to `to`; callers validate with
+/// [`broadcast_shapes`] first.
+pub fn broadcast_strides(from: &[usize], strides: &[isize], to: &[usize]) -> Vec<isize> {
+    assert!(from.len() <= to.len(), "cannot broadcast to lower rank");
+    let pad = to.len() - from.len();
+    let mut out = vec![0isize; to.len()];
+    for i in 0..from.len() {
+        let (f, t) = (from[i], to[pad + i]);
+        if f == t {
+            out[pad + i] = strides[i];
+        } else {
+            assert_eq!(f, 1, "dimension {i} ({f}) does not broadcast to {t}");
+            out[pad + i] = 0;
+        }
+    }
+    out
+}
+
+/// Iterator over all multi-dimensional indices of `shape` in row-major
+/// order, yielding the flat offset computed from `strides`.
+pub struct StridedIter {
+    shape: Vec<usize>,
+    strides: Vec<isize>,
+    index: Vec<usize>,
+    offset: isize,
+    remaining: usize,
+}
+
+impl StridedIter {
+    /// Creates an iterator over `shape` using `strides`, starting at
+    /// `offset`.
+    pub fn new(shape: &[usize], strides: &[isize], offset: isize) -> Self {
+        StridedIter {
+            shape: shape.to_vec(),
+            strides: strides.to_vec(),
+            index: vec![0; shape.len()],
+            offset,
+            remaining: numel(shape),
+        }
+    }
+}
+
+impl Iterator for StridedIter {
+    type Item = isize;
+
+    fn next(&mut self) -> Option<isize> {
+        if self.remaining == 0 {
+            return None;
+        }
+        let cur = self.offset;
+        self.remaining -= 1;
+        // Advance the odometer from the innermost dimension outward.
+        for d in (0..self.shape.len()).rev() {
+            self.index[d] += 1;
+            self.offset += self.strides[d];
+            if self.index[d] < self.shape[d] {
+                break;
+            }
+            self.offset -= self.strides[d] * self.shape[d] as isize;
+            self.index[d] = 0;
+        }
+        Some(cur)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (self.remaining, Some(self.remaining))
+    }
+}
+
+impl ExactSizeIterator for StridedIter {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn contiguous_strides_row_major() {
+        assert_eq!(contiguous_strides(&[2, 3, 4]), vec![12, 4, 1]);
+        assert_eq!(contiguous_strides(&[]), Vec::<isize>::new());
+        assert_eq!(contiguous_strides(&[5]), vec![1]);
+    }
+
+    #[test]
+    fn broadcast_basic() {
+        assert_eq!(broadcast_shapes(&[2, 3], &[3]).unwrap(), vec![2, 3]);
+        assert_eq!(broadcast_shapes(&[2, 1], &[1, 4]).unwrap(), vec![2, 4]);
+        assert_eq!(broadcast_shapes(&[], &[3]).unwrap(), vec![3]);
+        assert!(broadcast_shapes(&[2, 3], &[4]).is_err());
+    }
+
+    #[test]
+    fn broadcast_strides_zeroes_expanded_dims() {
+        let s = broadcast_strides(&[2, 1], &[1, 1], &[2, 4]);
+        assert_eq!(s, vec![1, 0]);
+        let s = broadcast_strides(&[3], &[1], &[2, 3]);
+        assert_eq!(s, vec![0, 1]);
+    }
+
+    #[test]
+    fn strided_iter_matches_row_major() {
+        let shape = [2usize, 3];
+        let strides = contiguous_strides(&shape);
+        let offsets: Vec<isize> = StridedIter::new(&shape, &strides, 0).collect();
+        assert_eq!(offsets, vec![0, 1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn strided_iter_broadcast_repeats() {
+        // Shape [2,3] viewing a length-3 vector along the last axis.
+        let offsets: Vec<isize> = StridedIter::new(&[2, 3], &[0, 1], 0).collect();
+        assert_eq!(offsets, vec![0, 1, 2, 0, 1, 2]);
+    }
+
+    #[test]
+    fn strided_iter_empty_shape_yields_one() {
+        let offsets: Vec<isize> = StridedIter::new(&[], &[], 5).collect();
+        assert_eq!(offsets, vec![5]);
+    }
+}

@@ -1,0 +1,207 @@
+//! Compressed sparse row (CSR) matrices — the sparse-tensor prototype.
+//!
+//! The paper lists sparse data as Hummingbird's main unsupported case
+//! (§3.3) and attributes most of the Figure 12 slowdowns to pipelines
+//! with "largely sparse operations", noting a prototype TACO integration
+//! as the remedy (§6.3). This module is that prototype's analog: a CSR
+//! matrix with a dense-output SpMM kernel, enough to route
+//! one-hot-encoded features through linear models without materializing
+//! the dense indicator matrix.
+
+use rayon::prelude::*;
+
+use crate::tensor::Tensor;
+
+/// A CSR (row-compressed) sparse f32 matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CsrMatrix {
+    n_rows: usize,
+    n_cols: usize,
+    /// Row pointer: nonzeros of row `r` live at `indptr[r]..indptr[r+1]`.
+    indptr: Vec<usize>,
+    /// Column index per nonzero.
+    indices: Vec<u32>,
+    /// Value per nonzero.
+    data: Vec<f32>,
+}
+
+impl CsrMatrix {
+    /// Builds a CSR matrix from raw parts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the parts are inconsistent (pointer monotonicity,
+    /// lengths, column bounds).
+    pub fn new(
+        n_rows: usize,
+        n_cols: usize,
+        indptr: Vec<usize>,
+        indices: Vec<u32>,
+        data: Vec<f32>,
+    ) -> CsrMatrix {
+        assert_eq!(indptr.len(), n_rows + 1, "indptr must have n_rows + 1 entries");
+        assert_eq!(indices.len(), data.len(), "indices/data length mismatch");
+        assert_eq!(*indptr.last().unwrap_or(&0), indices.len(), "indptr end != nnz");
+        assert!(indptr.windows(2).all(|w| w[0] <= w[1]), "indptr must be non-decreasing");
+        assert!(
+            indices.iter().all(|&c| (c as usize) < n_cols),
+            "column index out of bounds"
+        );
+        CsrMatrix { n_rows, n_cols, indptr, indices, data }
+    }
+
+    /// Converts a dense matrix, keeping entries with `|v| > tol`.
+    pub fn from_dense(t: &Tensor<f32>, tol: f32) -> CsrMatrix {
+        assert_eq!(t.ndim(), 2, "CSR conversion expects a matrix");
+        let (n, d) = (t.shape()[0], t.shape()[1]);
+        let c = t.to_contiguous();
+        let v = c.as_slice();
+        let mut indptr = Vec::with_capacity(n + 1);
+        let mut indices = Vec::new();
+        let mut data = Vec::new();
+        indptr.push(0);
+        for r in 0..n {
+            for f in 0..d {
+                let x = v[r * d + f];
+                if x.abs() > tol {
+                    indices.push(f as u32);
+                    data.push(x);
+                }
+            }
+            indptr.push(indices.len());
+        }
+        CsrMatrix { n_rows: n, n_cols: d, indptr, indices, data }
+    }
+
+    /// Densifies back to a tensor.
+    pub fn to_dense(&self) -> Tensor<f32> {
+        let mut out = vec![0.0f32; self.n_rows * self.n_cols];
+        for r in 0..self.n_rows {
+            for k in self.indptr[r]..self.indptr[r + 1] {
+                out[r * self.n_cols + self.indices[k] as usize] = self.data[k];
+            }
+        }
+        Tensor::from_vec(out, &[self.n_rows, self.n_cols])
+    }
+
+    /// Number of stored nonzeros.
+    pub fn nnz(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Matrix dimensions `(rows, cols)`.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.n_rows, self.n_cols)
+    }
+
+    /// Fraction of entries stored.
+    pub fn density(&self) -> f64 {
+        self.nnz() as f64 / (self.n_rows * self.n_cols).max(1) as f64
+    }
+
+    /// Sparse × dense product: `self [n, k] · rhs [k, m] → [n, m]`,
+    /// row-parallel. This is the kernel that makes wide one-hot features
+    /// cheap: cost is `O(nnz · m)` instead of `O(n · k · m)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an inner-dimension mismatch.
+    pub fn matmul_dense(&self, rhs: &Tensor<f32>) -> Tensor<f32> {
+        assert_eq!(rhs.ndim(), 2, "spmm expects a dense matrix rhs");
+        assert_eq!(rhs.shape()[0], self.n_cols, "spmm inner dims disagree");
+        let m = rhs.shape()[1];
+        let rc = rhs.to_contiguous();
+        let rv = rc.as_slice();
+        let mut out = vec![0.0f32; self.n_rows * m];
+        out.par_chunks_mut(m).enumerate().for_each(|(r, orow)| {
+            for k in self.indptr[r]..self.indptr[r + 1] {
+                let col = self.indices[k] as usize;
+                let v = self.data[k];
+                let brow = &rv[col * m..(col + 1) * m];
+                for (o, &b) in orow.iter_mut().zip(brow.iter()) {
+                    *o += v * b;
+                }
+            }
+        });
+        Tensor::from_vec(out, &[self.n_rows, m])
+    }
+
+    /// Row sums (useful for L1 normalization of indicator rows).
+    pub fn row_sums(&self) -> Vec<f32> {
+        (0..self.n_rows)
+            .map(|r| self.data[self.indptr[r]..self.indptr[r + 1]].iter().sum())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_dense() -> Tensor<f32> {
+        Tensor::from_vec(
+            vec![
+                1.0, 0.0, 0.0, 2.0, //
+                0.0, 0.0, 0.0, 0.0, //
+                0.0, 3.0, 4.0, 0.0,
+            ],
+            &[3, 4],
+        )
+    }
+
+    #[test]
+    fn dense_roundtrip() {
+        let d = sample_dense();
+        let s = CsrMatrix::from_dense(&d, 0.0);
+        assert_eq!(s.nnz(), 4);
+        assert_eq!(s.shape(), (3, 4));
+        assert!((s.density() - 4.0 / 12.0).abs() < 1e-9);
+        assert_eq!(s.to_dense().to_vec(), d.to_vec());
+    }
+
+    #[test]
+    fn spmm_matches_dense_matmul() {
+        let d = sample_dense();
+        let s = CsrMatrix::from_dense(&d, 0.0);
+        let rhs = Tensor::from_fn(&[4, 2], |i| (i[0] * 2 + i[1]) as f32 * 0.5 - 1.0);
+        let got = s.matmul_dense(&rhs);
+        let want = d.matmul(&rhs);
+        assert_eq!(got.to_vec(), want.to_vec());
+    }
+
+    #[test]
+    fn empty_rows_produce_zero_output() {
+        let d = sample_dense();
+        let s = CsrMatrix::from_dense(&d, 0.0);
+        let rhs = Tensor::full(&[4, 3], 1.0f32);
+        let got = s.matmul_dense(&rhs);
+        assert_eq!(got.get(&[1, 0]), 0.0);
+        assert_eq!(got.get(&[1, 2]), 0.0);
+    }
+
+    #[test]
+    fn tolerance_filters_small_values() {
+        let d = Tensor::from_vec(vec![1e-9, 1.0], &[1, 2]);
+        let s = CsrMatrix::from_dense(&d, 1e-6);
+        assert_eq!(s.nnz(), 1);
+    }
+
+    #[test]
+    fn row_sums_per_row() {
+        let s = CsrMatrix::from_dense(&sample_dense(), 0.0);
+        assert_eq!(s.row_sums(), vec![3.0, 0.0, 7.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dims disagree")]
+    fn spmm_dim_mismatch_panics() {
+        let s = CsrMatrix::from_dense(&sample_dense(), 0.0);
+        let _ = s.matmul_dense(&Tensor::<f32>::zeros(&[3, 2]));
+    }
+
+    #[test]
+    #[should_panic(expected = "column index out of bounds")]
+    fn invalid_parts_rejected() {
+        let _ = CsrMatrix::new(1, 2, vec![0, 1], vec![5], vec![1.0]);
+    }
+}

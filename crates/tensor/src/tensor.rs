@@ -1,0 +1,441 @@
+//! The [`Tensor`] type: reference-counted, strided, row-major n-d arrays.
+
+use std::sync::Arc;
+
+use crate::alloc::{record_alloc, record_dealloc};
+use crate::dtype::Element;
+use crate::shape::{
+    broadcast_strides, contiguous_strides, numel, StridedIter, //
+};
+use crate::TensorError;
+
+/// Owning backing buffer for tensor data; registers its size with the
+/// allocation tracker for the lifetime of the buffer.
+pub(crate) struct Storage<T> {
+    data: Vec<T>,
+    bytes: usize,
+}
+
+impl<T> Storage<T> {
+    fn new(data: Vec<T>) -> Self {
+        let bytes = data.capacity() * std::mem::size_of::<T>();
+        record_alloc(bytes);
+        Storage { data, bytes }
+    }
+}
+
+impl<T> Drop for Storage<T> {
+    fn drop(&mut self) {
+        record_dealloc(self.bytes);
+    }
+}
+
+/// A dense n-dimensional array of `T` with row-major logical order.
+///
+/// Cloning is cheap (the backing buffer is shared). Views produced by
+/// [`Tensor::reshape`], [`Tensor::slice`], [`Tensor::expand`], and
+/// [`Tensor::transpose`] share storage with the source tensor.
+#[derive(Clone)]
+pub struct Tensor<T: Element> {
+    storage: Arc<Storage<T>>,
+    offset: usize,
+    shape: Vec<usize>,
+    strides: Vec<isize>,
+}
+
+impl<T: Element> Tensor<T> {
+    /// Creates a tensor owning `data` with the given shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len()` does not equal the product of `shape`.
+    pub fn from_vec(data: Vec<T>, shape: &[usize]) -> Self {
+        assert_eq!(
+            data.len(),
+            numel(shape),
+            "data length {} does not match shape {:?}",
+            data.len(),
+            shape
+        );
+        Tensor {
+            storage: Arc::new(Storage::new(data)),
+            offset: 0,
+            shape: shape.to_vec(),
+            strides: contiguous_strides(shape),
+        }
+    }
+
+    /// Creates a rank-0 tensor holding one value.
+    pub fn scalar(v: T) -> Self {
+        Tensor::from_vec(vec![v], &[])
+    }
+
+    /// Creates a tensor filled with `v`.
+    pub fn full(shape: &[usize], v: T) -> Self {
+        Tensor::from_vec(vec![v; numel(shape)], shape)
+    }
+
+    /// Creates a zero-filled tensor (`T::default()`).
+    pub fn zeros(shape: &[usize]) -> Self {
+        Tensor::full(shape, T::default())
+    }
+
+    /// The shape of the tensor.
+    pub fn shape(&self) -> &[usize] {
+        &self.shape
+    }
+
+    /// The element strides of the tensor.
+    pub fn strides(&self) -> &[isize] {
+        &self.strides
+    }
+
+    /// Number of dimensions.
+    pub fn ndim(&self) -> usize {
+        self.shape.len()
+    }
+
+    /// Total number of elements.
+    pub fn numel(&self) -> usize {
+        numel(&self.shape)
+    }
+
+    /// True if the logical order coincides with the memory order and the
+    /// view covers a dense region.
+    pub fn is_contiguous(&self) -> bool {
+        self.strides == contiguous_strides(&self.shape)
+    }
+
+    /// Borrows the underlying elements of a contiguous tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is not contiguous; call
+    /// [`Tensor::to_contiguous`] first.
+    pub fn as_slice(&self) -> &[T] {
+        assert!(self.is_contiguous(), "as_slice requires a contiguous tensor");
+        &self.storage.data[self.offset..self.offset + self.numel()]
+    }
+
+    /// Copies the logical contents into a fresh `Vec` in row-major order.
+    pub fn to_vec(&self) -> Vec<T> {
+        if self.is_contiguous() {
+            self.as_slice().to_vec()
+        } else {
+            let data = &self.storage.data;
+            StridedIter::new(&self.shape, &self.strides, self.offset as isize)
+                .map(|off| data[off as usize])
+                .collect()
+        }
+    }
+
+    /// Returns a contiguous tensor with the same contents (zero-copy when
+    /// already contiguous).
+    pub fn to_contiguous(&self) -> Tensor<T> {
+        if self.is_contiguous() && self.offset == 0 && self.numel() == self.storage.data.len() {
+            self.clone()
+        } else {
+            Tensor::from_vec(self.to_vec(), &self.shape)
+        }
+    }
+
+    /// Element access by full multi-dimensional index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` has the wrong rank or is out of bounds.
+    pub fn get(&self, idx: &[usize]) -> T {
+        assert_eq!(idx.len(), self.ndim(), "index rank mismatch");
+        let mut off = self.offset as isize;
+        for (d, &i) in idx.iter().enumerate() {
+            assert!(i < self.shape[d], "index {i} out of bounds for dim {d}");
+            off += i as isize * self.strides[d];
+        }
+        self.storage.data[off as usize]
+    }
+
+    /// Iterates elements in logical row-major order without materializing.
+    pub fn iter(&self) -> impl Iterator<Item = T> + '_ {
+        let data = &self.storage.data;
+        StridedIter::new(&self.shape, &self.strides, self.offset as isize)
+            .map(move |off| data[off as usize])
+    }
+
+    /// Reinterprets the tensor with a new shape of equal element count.
+    ///
+    /// Zero-copy when contiguous; otherwise the data is compacted first.
+    /// A single `-1`-like wildcard is not supported; shapes are explicit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the element counts differ.
+    pub fn reshape(&self, shape: &[usize]) -> Tensor<T> {
+        assert_eq!(
+            self.numel(),
+            numel(shape),
+            "cannot reshape {:?} into {:?}",
+            self.shape,
+            shape
+        );
+        let base = if self.is_contiguous() { self.clone() } else { self.to_contiguous() };
+        Tensor {
+            storage: base.storage,
+            offset: base.offset,
+            shape: shape.to_vec(),
+            strides: contiguous_strides(shape),
+        }
+    }
+
+    /// Fallible reshape used by the graph executor.
+    pub fn try_reshape(&self, shape: &[usize]) -> Result<Tensor<T>, TensorError> {
+        if self.numel() != numel(shape) {
+            return Err(TensorError::NumelMismatch { from: self.numel(), to: numel(shape) });
+        }
+        Ok(self.reshape(shape))
+    }
+
+    /// Inserts a size-1 dimension at `axis`.
+    pub fn unsqueeze(&self, axis: usize) -> Tensor<T> {
+        assert!(axis <= self.ndim(), "unsqueeze axis out of range");
+        let mut shape = self.shape.clone();
+        let mut strides = self.strides.clone();
+        shape.insert(axis, 1);
+        // Stride of a size-1 dim never affects addressing; 0 is safe.
+        strides.insert(axis, 0);
+        Tensor { storage: self.storage.clone(), offset: self.offset, shape, strides }
+    }
+
+    /// Removes a size-1 dimension at `axis`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dimension does not have size 1.
+    pub fn squeeze(&self, axis: usize) -> Tensor<T> {
+        assert_eq!(self.shape[axis], 1, "squeeze requires a size-1 dim");
+        let mut shape = self.shape.clone();
+        let mut strides = self.strides.clone();
+        shape.remove(axis);
+        strides.remove(axis);
+        Tensor { storage: self.storage.clone(), offset: self.offset, shape, strides }
+    }
+
+    /// Swaps two dimensions (a zero-copy transposed view).
+    pub fn transpose(&self, a: usize, b: usize) -> Tensor<T> {
+        let mut shape = self.shape.clone();
+        let mut strides = self.strides.clone();
+        shape.swap(a, b);
+        strides.swap(a, b);
+        Tensor { storage: self.storage.clone(), offset: self.offset, shape, strides }
+    }
+
+    /// Broadcast view to `shape`; expanded dimensions get stride 0.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the current shape does not broadcast to `shape`.
+    pub fn expand(&self, shape: &[usize]) -> Tensor<T> {
+        let strides = broadcast_strides(&self.shape, &self.strides, shape);
+        Tensor {
+            storage: self.storage.clone(),
+            offset: self.offset,
+            shape: shape.to_vec(),
+            strides,
+        }
+    }
+
+    /// View of rows `start..end` along `axis` (zero-copy).
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range bounds.
+    pub fn slice(&self, axis: usize, start: usize, end: usize) -> Tensor<T> {
+        assert!(axis < self.ndim(), "slice axis out of range");
+        assert!(start <= end && end <= self.shape[axis], "slice bounds out of range");
+        let mut shape = self.shape.clone();
+        shape[axis] = end - start;
+        let offset = (self.offset as isize + start as isize * self.strides[axis]) as usize;
+        Tensor { storage: self.storage.clone(), offset, shape, strides: self.strides.clone() }
+    }
+
+    /// Applies `f` to every element, producing a new contiguous tensor.
+    pub fn map<U: Element>(&self, f: impl Fn(T) -> U + Sync) -> Tensor<U> {
+        if self.is_contiguous() {
+            let src = self.as_slice();
+            let out: Vec<U> = src.iter().map(|&v| f(v)).collect();
+            Tensor::from_vec(out, &self.shape)
+        } else {
+            let data = &self.storage.data;
+            let out: Vec<U> =
+                StridedIter::new(&self.shape, &self.strides, self.offset as isize)
+                    .map(|off| f(data[off as usize]))
+                    .collect();
+            Tensor::from_vec(out, &self.shape)
+        }
+    }
+
+    /// Builds a tensor element-by-element from a multi-index function.
+    ///
+    /// Intended for test references and parameter construction, not hot
+    /// paths.
+    pub fn from_fn(shape: &[usize], f: impl FnMut(&[usize]) -> T) -> Tensor<T> {
+        let mut f = f;
+        let n = numel(shape);
+        let mut idx = vec![0usize; shape.len()];
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            out.push(f(&idx));
+            for d in (0..shape.len()).rev() {
+                idx[d] += 1;
+                if idx[d] < shape[d] {
+                    break;
+                }
+                idx[d] = 0;
+            }
+        }
+        Tensor::from_vec(out, shape)
+    }
+}
+
+impl Tensor<i64> {
+    /// `[0, 1, ..., n-1]` as an `i64` vector.
+    pub fn arange(n: usize) -> Tensor<i64> {
+        Tensor::from_vec((0..n as i64).collect(), &[n])
+    }
+}
+
+impl<T: Element> std::fmt::Debug for Tensor<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Tensor<{:?}>{:?}", T::DTYPE, self.shape)?;
+        if self.numel() <= 16 {
+            write!(f, " {:?}", self.to_vec())?;
+        }
+        Ok(())
+    }
+}
+
+impl<T: Element> PartialEq for Tensor<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.shape == other.shape && self.iter().eq(other.iter())
+    }
+}
+
+// Serialization: a tensor serializes as `{ shape, data }` in row-major
+// logical order, so views round-trip as compact owned tensors. This is
+// the paper's "package the trained pipeline into a single artifact"
+// (§2.1) made concrete for Rust.
+impl<T: Element + serde::Serialize> serde::Serialize for Tensor<T> {
+    fn serialize<S: serde::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        use serde::ser::SerializeStruct;
+        let mut s = serializer.serialize_struct("Tensor", 2)?;
+        s.serialize_field("shape", &self.shape)?;
+        s.serialize_field("data", &self.to_vec())?;
+        s.end()
+    }
+}
+
+impl<'de, T: Element + serde::Deserialize<'de>> serde::Deserialize<'de> for Tensor<T> {
+    fn deserialize<D: serde::Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        #[derive(serde::Deserialize)]
+        struct Raw<T> {
+            shape: Vec<usize>,
+            data: Vec<T>,
+        }
+        let raw = Raw::<T>::deserialize(deserializer)?;
+        if raw.data.len() != numel(&raw.shape) {
+            return Err(serde::de::Error::custom(format!(
+                "tensor data length {} does not match shape {:?}",
+                raw.data.len(),
+                raw.shape
+            )));
+        }
+        Ok(Tensor::from_vec(raw.data, &raw.shape))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_vec_roundtrip() {
+        let t = Tensor::from_vec(vec![1.0f32, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]);
+        assert_eq!(t.shape(), &[2, 3]);
+        assert_eq!(t.get(&[1, 2]), 6.0);
+        assert_eq!(t.to_vec(), vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match shape")]
+    fn from_vec_wrong_len_panics() {
+        let _ = Tensor::from_vec(vec![1.0f32], &[2, 2]);
+    }
+
+    #[test]
+    fn reshape_is_view_for_contiguous() {
+        let t = Tensor::from_vec((0..6).map(|v| v as f32).collect(), &[2, 3]);
+        let r = t.reshape(&[3, 2]);
+        assert_eq!(r.get(&[2, 1]), 5.0);
+        assert_eq!(r.to_vec(), t.to_vec());
+    }
+
+    #[test]
+    fn transpose_view_reads_columns() {
+        let t = Tensor::from_vec((0..6).map(|v| v as f32).collect(), &[2, 3]);
+        let tt = t.transpose(0, 1);
+        assert_eq!(tt.shape(), &[3, 2]);
+        assert_eq!(tt.to_vec(), vec![0.0, 3.0, 1.0, 4.0, 2.0, 5.0]);
+        assert!(!tt.is_contiguous());
+        assert!(tt.to_contiguous().is_contiguous());
+    }
+
+    #[test]
+    fn expand_broadcasts_without_copy() {
+        let t = Tensor::from_vec(vec![1.0f32, 2.0], &[2, 1]);
+        let e = t.expand(&[2, 3]);
+        assert_eq!(e.to_vec(), vec![1.0, 1.0, 1.0, 2.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    fn slice_views_subrange() {
+        let t = Tensor::from_vec((0..12).map(|v| v as f32).collect(), &[4, 3]);
+        let s = t.slice(0, 1, 3);
+        assert_eq!(s.shape(), &[2, 3]);
+        assert_eq!(s.to_vec(), vec![3.0, 4.0, 5.0, 6.0, 7.0, 8.0]);
+        let c = t.slice(1, 2, 3);
+        assert_eq!(c.to_vec(), vec![2.0, 5.0, 8.0, 11.0]);
+    }
+
+    #[test]
+    fn unsqueeze_squeeze_roundtrip() {
+        let t = Tensor::from_vec(vec![1.0f32, 2.0, 3.0], &[3]);
+        let u = t.unsqueeze(0);
+        assert_eq!(u.shape(), &[1, 3]);
+        assert_eq!(u.squeeze(0).to_vec(), t.to_vec());
+        let u1 = t.unsqueeze(1);
+        assert_eq!(u1.shape(), &[3, 1]);
+    }
+
+    #[test]
+    fn scalar_and_from_fn() {
+        let s = Tensor::scalar(5.0f32);
+        assert_eq!(s.ndim(), 0);
+        assert_eq!(s.numel(), 1);
+        assert_eq!(s.to_vec(), vec![5.0]);
+        let t = Tensor::from_fn(&[2, 2], |i| (i[0] * 10 + i[1]) as i64);
+        assert_eq!(t.to_vec(), vec![0, 1, 10, 11]);
+    }
+
+    #[test]
+    fn arange_counts() {
+        assert_eq!(Tensor::arange(4).to_vec(), vec![0, 1, 2, 3]);
+        assert_eq!(Tensor::arange(0).numel(), 0);
+    }
+
+    #[test]
+    fn map_preserves_shape_across_views() {
+        let t = Tensor::from_vec((0..6).map(|v| v as f32).collect(), &[2, 3]);
+        let m = t.transpose(0, 1).map(|v| v * 2.0);
+        assert_eq!(m.shape(), &[3, 2]);
+        assert_eq!(m.to_vec(), vec![0.0, 6.0, 2.0, 8.0, 4.0, 10.0]);
+    }
+}

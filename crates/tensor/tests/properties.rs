@@ -1,0 +1,202 @@
+//! Property-based tests of the tensor library's algebraic laws:
+//! broadcasting semantics against a naive reference, GEMM against the
+//! triple loop, gather/index-select invariants, and view/layout
+//! round-trips.
+
+use proptest::prelude::*;
+
+use hb_tensor::{broadcast_shapes, Tensor};
+
+/// Strategy: a shape of rank 1–3 with small dims.
+fn shape_strategy() -> impl Strategy<Value = Vec<usize>> {
+    prop::collection::vec(1usize..5, 1..4)
+}
+
+/// Strategy: a pair of broadcast-compatible shapes.
+fn compatible_shapes() -> impl Strategy<Value = (Vec<usize>, Vec<usize>)> {
+    shape_strategy().prop_flat_map(|out| {
+        let a = degrade(out.clone());
+        let b = degrade(out.clone());
+        (a, b)
+    })
+}
+
+/// Randomly shrinks dims of `out` to 1 or drops leading dims, producing a
+/// shape that broadcasts to `out`.
+fn degrade(out: Vec<usize>) -> impl Strategy<Value = Vec<usize>> {
+    let n = out.len();
+    (prop::collection::vec(prop::bool::ANY, n), 0..=n).prop_map(move |(ones, drop)| {
+        let mut s: Vec<usize> = out
+            .iter()
+            .zip(ones.iter())
+            .map(|(&d, &one)| if one { 1 } else { d })
+            .collect();
+        s.drain(..drop);
+        if s.is_empty() {
+            vec![1]
+        } else {
+            s
+        }
+    })
+}
+
+fn tensor_of(shape: &[usize], seed: u64) -> Tensor<f32> {
+    let mut state = seed | 1;
+    Tensor::from_fn(shape, |_| {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        ((state >> 40) as f32 / (1u64 << 24) as f32) * 4.0 - 2.0
+    })
+}
+
+/// Naive broadcast add: index arithmetic straight from the definition.
+fn naive_broadcast_add(a: &Tensor<f32>, b: &Tensor<f32>) -> Tensor<f32> {
+    let out_shape = broadcast_shapes(a.shape(), b.shape()).unwrap();
+    Tensor::from_fn(&out_shape, |idx| {
+        let pick = |t: &Tensor<f32>| {
+            let offset = out_shape.len() - t.ndim();
+            let coord: Vec<usize> = (0..t.ndim())
+                .map(|d| if t.shape()[d] == 1 { 0 } else { idx[d + offset] })
+                .collect();
+            t.get(&coord)
+        };
+        pick(a) + pick(b)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn broadcast_add_matches_naive((sa, sb) in compatible_shapes(), seed in any::<u64>()) {
+        let a = tensor_of(&sa, seed);
+        let b = tensor_of(&sb, seed.wrapping_add(1));
+        let got = a.add(&b);
+        let want = naive_broadcast_add(&a, &b);
+        prop_assert_eq!(got.shape(), want.shape());
+        prop_assert_eq!(got.to_vec(), want.to_vec());
+    }
+
+    #[test]
+    fn add_is_commutative((sa, sb) in compatible_shapes(), seed in any::<u64>()) {
+        let a = tensor_of(&sa, seed);
+        let b = tensor_of(&sb, seed.wrapping_add(2));
+        prop_assert_eq!(a.add(&b).to_vec(), b.add(&a).to_vec());
+    }
+
+    #[test]
+    fn matmul_matches_triple_loop(
+        m in 1usize..6, k in 1usize..6, n in 1usize..6, seed in any::<u64>()
+    ) {
+        let a = tensor_of(&[m, k], seed);
+        let b = tensor_of(&[k, n], seed.wrapping_add(3));
+        let got = a.matmul(&b);
+        for i in 0..m {
+            for j in 0..n {
+                let mut want = 0.0f32;
+                for kk in 0..k {
+                    want += a.get(&[i, kk]) * b.get(&[kk, j]);
+                }
+                prop_assert!((got.get(&[i, j]) - want).abs() <= 1e-4 * (1.0 + want.abs()));
+            }
+        }
+    }
+
+    #[test]
+    fn batched_matmul_equals_per_batch(
+        t in 1usize..4, m in 1usize..4, k in 1usize..4, n in 1usize..4, seed in any::<u64>()
+    ) {
+        let a = tensor_of(&[t, m, k], seed);
+        let b = tensor_of(&[t, k, n], seed.wrapping_add(4));
+        let full = a.matmul(&b);
+        for bi in 0..t {
+            let sa = a.slice(0, bi, bi + 1).reshape(&[m, k]);
+            let sb = b.slice(0, bi, bi + 1).reshape(&[k, n]);
+            let want = sa.matmul(&sb);
+            let got = full.slice(0, bi, bi + 1).reshape(&[m, n]);
+            prop_assert_eq!(got.to_vec(), want.to_vec());
+        }
+    }
+
+    #[test]
+    fn gather_then_constant_index_is_index_select(
+        rows in 1usize..6, cols in 2usize..6, pick in 0usize..6, seed in any::<u64>()
+    ) {
+        let pick = pick % cols;
+        let t = tensor_of(&[rows, cols], seed);
+        let idx = Tensor::from_vec(vec![pick as i64; rows], &[rows, 1]);
+        let g = t.gather(1, &idx);
+        let s = t.index_select(1, &[pick]);
+        prop_assert_eq!(g.to_vec(), s.to_vec());
+    }
+
+    #[test]
+    fn transpose_is_involutive(shape in prop::collection::vec(1usize..5, 2..4), seed in any::<u64>()) {
+        let t = tensor_of(&shape, seed);
+        let back = t.transpose(0, 1).transpose(0, 1);
+        prop_assert_eq!(t.to_vec(), back.to_vec());
+    }
+
+    #[test]
+    fn reshape_roundtrip_preserves_order(shape in shape_strategy(), seed in any::<u64>()) {
+        let t = tensor_of(&shape, seed);
+        let n = t.numel();
+        let flat = t.reshape(&[n]);
+        let back = flat.reshape(&shape);
+        prop_assert_eq!(t.to_vec(), back.to_vec());
+    }
+
+    #[test]
+    fn sum_axis_equals_manual(shape in prop::collection::vec(1usize..5, 1..4), axis_pick in any::<usize>(), seed in any::<u64>()) {
+        let t = tensor_of(&shape, seed);
+        let axis = axis_pick % shape.len();
+        let s = t.sum_axis(axis, true);
+        // Total mass is preserved by axis summation.
+        let total: f32 = t.iter().sum();
+        let reduced: f32 = s.iter().sum();
+        prop_assert!((total - reduced).abs() < 1e-3 * (1.0 + total.abs()));
+    }
+
+    #[test]
+    fn where_select_partitions(shape in shape_strategy(), seed in any::<u64>()) {
+        let a = tensor_of(&shape, seed);
+        let b = tensor_of(&shape, seed.wrapping_add(7));
+        let mask = a.lt(&b);
+        let w = mask.where_select(&a, &b);
+        // Every output element is one of the two candidates (the min).
+        let min = a.minimum(&b);
+        prop_assert_eq!(w.to_vec(), min.to_vec());
+    }
+
+    #[test]
+    fn softmax_rows_normalize(rows in 1usize..6, cols in 1usize..6, seed in any::<u64>()) {
+        let t = tensor_of(&[rows, cols], seed);
+        let s = t.softmax_axis(1);
+        for r in 0..rows {
+            let sum: f32 = (0..cols).map(|c| s.get(&[r, c])).sum();
+            prop_assert!((sum - 1.0).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn gather_rows_matches_loop(
+        b in 1usize..4, nrows in 1usize..5, w in 1usize..4, n in 1usize..5, seed in any::<u64>()
+    ) {
+        let data = tensor_of(&[b, nrows, w], seed);
+        let mut state = seed | 3;
+        let idx = Tensor::from_fn(&[b, n], |_| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            ((state >> 33) % nrows as u64) as i64
+        });
+        let g = data.gather_rows(&idx);
+        for bi in 0..b {
+            for i in 0..n {
+                let r = idx.get(&[bi, i]) as usize;
+                for wi in 0..w {
+                    prop_assert_eq!(g.get(&[bi, i, wi]), data.get(&[bi, r, wi]));
+                }
+            }
+        }
+    }
+}

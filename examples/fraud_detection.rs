@@ -1,0 +1,109 @@
+//! Fraud-detection serving scenario (the paper's §1 motivating workload):
+//! a gradient-boosting model served both in batch (analytics) and
+//! request/response (interactive) settings, across baselines, backends,
+//! and tree-compilation strategies.
+//!
+//! ```text
+//! cargo run --release --example fraud_detection
+//! ```
+
+use std::time::Instant;
+
+use hummingbird::backend::{Backend, Device};
+use hummingbird::compiler::{compile, CompileOptions, TreeStrategy};
+use hummingbird::ml::baselines::{OnnxLikeForest, SklearnLikeForest};
+use hummingbird::ml::gbdt::{GbdtConfig, GradientBoostingClassifier};
+use hummingbird::ml::metrics::accuracy;
+use hummingbird::pipeline::Pipeline;
+use hummingbird::tensor::Tensor;
+
+fn time_ms(f: impl FnOnce()) -> f64 {
+    let t = Instant::now();
+    f();
+    t.elapsed().as_secs_f64() * 1e3
+}
+
+fn main() {
+    // Imbalanced binary task with the Kaggle fraud schema (28 features).
+    let spec = &hummingbird::data::TREE_BENCH_SPECS[0];
+    let ds = hummingbird::data::tree_bench_dataset(spec, 12_000, 99);
+    let pos_rate = ds.y_train.classes().iter().sum::<i64>() as f64 / ds.n_train() as f64;
+    println!("fraud-like dataset: {} rows, positive rate {:.1}%", ds.n_train(), pos_rate * 100.0);
+
+    let model = GradientBoostingClassifier::new(GbdtConfig {
+        n_rounds: 50,
+        max_depth: 6,
+        ..GbdtConfig::xgboost_like()
+    })
+    .fit(&ds.x_train, ds.y_train.classes());
+    let acc = accuracy(&model.predict(&ds.x_test), ds.y_test.classes());
+    println!("booster: {} trees, test accuracy {:.3}\n", model.ensemble.trees.len(), acc);
+
+    let e = &model.ensemble;
+    let sklearn = SklearnLikeForest::new(e);
+    let onnx = OnnxLikeForest::new(e);
+
+    // --- Batch serving: the whole test set at once. ---
+    println!("batch serving ({} records):", ds.n_test());
+    println!("  sklearn-like (parallel):  {:7.2} ms", time_ms(|| {
+        sklearn.predict_batch(&ds.x_test);
+    }));
+    println!("  onnx-like (single core):  {:7.2} ms", time_ms(|| {
+        onnx.predict_batch(&ds.x_test);
+    }));
+    for backend in Backend::ALL {
+        let compiled = compile(
+            &Pipeline::from_op(e.clone()),
+            &CompileOptions { backend, expected_batch: ds.n_test(), ..Default::default() },
+        )
+        .unwrap();
+        let strategy = compiled.report[0].strategy.unwrap();
+        println!(
+            "  {:<24}  {:7.2} ms  (strategy {})",
+            backend.label(),
+            time_ms(|| {
+                compiled.predict_proba(&ds.x_test).unwrap();
+            }),
+            strategy.label()
+        );
+    }
+
+    // --- Request/response: one transaction at a time. ---
+    let n1 = 200;
+    println!("\nrequest/response ({n1} single-record calls):");
+    let one_by_one = |f: &dyn Fn(&Tensor<f32>)| {
+        time_ms(|| {
+            for r in 0..n1 {
+                let row = ds.x_test.slice(0, r, r + 1).to_contiguous();
+                f(&row);
+            }
+        })
+    };
+    println!("  sklearn-like:  {:7.2} ms", one_by_one(&|x| {
+        sklearn.predict_batch(x);
+    }));
+    println!("  onnx-like:     {:7.2} ms", one_by_one(&|x| {
+        onnx.predict_batch(x);
+    }));
+    for strategy in [TreeStrategy::Gemm, TreeStrategy::TreeTraversal] {
+        let compiled = compile(
+            &Pipeline::from_op(e.clone()),
+            &CompileOptions {
+                backend: Backend::Compiled,
+                device: Device::cpu1(),
+                tree_strategy: strategy,
+                expected_batch: 1,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        println!(
+            "  HB-Compiled/{:<5} {:6.2} ms",
+            strategy.label(),
+            one_by_one(&|x| {
+                compiled.predict_proba(x).unwrap();
+            })
+        );
+    }
+    println!("\n(the compiled tensor path serves both settings from one artifact)");
+}

@@ -1,0 +1,97 @@
+//! Hardware-accelerator offload with the simulated-device model: the same
+//! compiled graph bound to the CPU and to modeled K80/P100/V100 GPUs,
+//! plus the FIL-like custom-kernel baseline and a modeled OOM.
+//!
+//! GPU latencies printed here are **simulated** (roofline model over the
+//! compiled graph's kernels — see DESIGN.md); outputs are always computed
+//! on the host and stay bit-identical across devices.
+//!
+//! ```text
+//! cargo run --release --example gpu_simulation
+//! ```
+
+use hummingbird::backend::device::{K80, P100, V100};
+use hummingbird::backend::{Backend, Device, ExecError};
+use hummingbird::compiler::fil::FilForest;
+use hummingbird::compiler::{compile, CompileOptions};
+use hummingbird::ml::gbdt::{GbdtConfig, GradientBoostingClassifier};
+use hummingbird::pipeline::Pipeline;
+
+fn main() {
+    let spec = &hummingbird::data::TREE_BENCH_SPECS[5]; // airline-like
+    let ds = hummingbird::data::tree_bench_dataset(spec, 20_000, 5);
+    let model = GradientBoostingClassifier::new(GbdtConfig {
+        n_rounds: 60,
+        ..GbdtConfig::lightgbm_like()
+    })
+    .fit(&ds.x_train, ds.y_train.classes());
+    let e = model.ensemble.clone();
+    println!(
+        "airline-like booster: {} trees, max depth {}, scoring {} records\n",
+        e.trees.len(),
+        e.max_depth(),
+        ds.n_test()
+    );
+
+    let pipe = Pipeline::from_op(e.clone());
+    // CPU: measured for real.
+    let cpu = compile(
+        &pipe,
+        &CompileOptions { expected_batch: ds.n_test(), ..Default::default() },
+    )
+    .unwrap();
+    let t = std::time::Instant::now();
+    let reference = cpu.predict_proba(&ds.x_test).unwrap();
+    println!("CPU (measured):          {:8.2} ms", t.elapsed().as_secs_f64() * 1e3);
+
+    // Simulated GPU generations (paper Figure 6).
+    for dev in [K80, P100, V100] {
+        let gpu = compile(
+            &pipe,
+            &CompileOptions {
+                backend: Backend::Compiled,
+                device: Device::Sim(dev),
+                expected_batch: ds.n_test(),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let (out, stats) = gpu.predict_with_stats(&ds.x_test).unwrap();
+        assert_eq!(out.to_vec(), reference.to_vec(), "device placement changes results");
+        println!(
+            "{:>4} {} (simulated):  {:8.2} ms  ({} kernels, {:.1} MB modeled residency)",
+            dev.name,
+            dev.year,
+            stats.simulated.unwrap().as_secs_f64() * 1e3,
+            stats.kernel_launches,
+            stats.sim_peak_bytes as f64 / 1e6
+        );
+    }
+
+    // FIL-like custom-kernel baseline.
+    let fil = FilForest::new(&e);
+    let (_, stats) = fil.predict_simulated(&ds.x_test, &P100);
+    println!(
+        "FIL-like @P100 (sim):    {:8.2} ms\n",
+        stats.simulated.unwrap().as_secs_f64() * 1e3
+    );
+
+    // Modeled OOM: a device too small for the working set refuses to run,
+    // like TorchScript on the K80 at 1M-record batches in §6.1.1.
+    let tiny = hummingbird::backend::DeviceSpec { mem_bytes: 200_000, ..K80 };
+    let small = compile(
+        &pipe,
+        &CompileOptions {
+            backend: Backend::Eager,
+            device: Device::Sim(tiny),
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    match small.predict_proba(&ds.x_test) {
+        Err(ExecError::DeviceOom { needed, capacity }) => {
+            println!("tiny device OOM as modeled: needed {needed} bytes > capacity {capacity}");
+        }
+        other => println!("unexpected: {other:?}"),
+    }
+}

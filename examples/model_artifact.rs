@@ -1,0 +1,46 @@
+//! Model artifacts: save a fitted pipeline to a single file, load it in a
+//! "fresh process", compile, and serve — the paper's §2.1 deployment
+//! story ("packaging a trained pipeline into a single artifact is common
+//! practice").
+//!
+//! ```text
+//! cargo run --release --example model_artifact
+//! ```
+
+use hummingbird::compiler::{compile, CompileOptions};
+use hummingbird::ml::featurize::ImputeStrategy;
+use hummingbird::ml::gbdt::GbdtConfig;
+use hummingbird::ml::metrics::allclose;
+use hummingbird::pipeline::{fit_pipeline, io, OpSpec};
+
+fn main() {
+    // Train a realistic pipeline: imputation → scaling → boosting.
+    let ds = hummingbird::data::tree_bench_dataset(&hummingbird::data::TREE_BENCH_SPECS[0], 6_000, 21);
+    let pipe = fit_pipeline(
+        &[
+            OpSpec::SimpleImputer { strategy: ImputeStrategy::Mean },
+            OpSpec::StandardScaler,
+            OpSpec::GbdtClassifier(GbdtConfig { n_rounds: 30, max_depth: 4, ..Default::default() }),
+        ],
+        &ds.x_train,
+        &ds.y_train,
+    );
+    let reference = pipe.predict_proba(&ds.x_test);
+
+    // Save the fitted pipeline as one self-contained artifact.
+    let path = std::env::temp_dir().join("hummingbird_model.json");
+    io::save(&pipe, &path).expect("artifact saves");
+    let bytes = std::fs::metadata(&path).unwrap().len();
+    println!("saved {}-operator pipeline to {} ({bytes} bytes)", pipe.len(), path.display());
+
+    // "New process": load, compile, serve — no training code involved.
+    let loaded = io::load(&path).expect("artifact loads");
+    let model = compile(&loaded, &CompileOptions::default()).expect("artifact compiles");
+    let served = model.predict_proba(&ds.x_test).expect("artifact serves");
+    assert!(allclose(&served, &reference, 1e-5, 1e-5), "artifact round-trip diverged");
+    println!(
+        "round-trip OK: {} test records scored identically after save → load → compile",
+        ds.n_test()
+    );
+    let _ = std::fs::remove_file(path);
+}

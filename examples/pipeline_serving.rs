@@ -1,0 +1,77 @@
+//! End-to-end predictive-pipeline serving with the §5.2
+//! runtime-independent optimizations: a featurization chain (imputation →
+//! one-hot → scaling → feature selection → logistic regression) compiled
+//! with and without feature-selection push-down.
+//!
+//! ```text
+//! cargo run --release --example pipeline_serving
+//! ```
+
+use std::time::Instant;
+
+use hummingbird::compiler::{compile, optimizer, CompileOptions};
+use hummingbird::ml::featurize::ImputeStrategy;
+use hummingbird::ml::linear::LinearConfig;
+use hummingbird::ml::metrics::{accuracy, allclose};
+use hummingbird::pipeline::{fit_pipeline, OpSpec};
+
+fn main() {
+    // Nomao-like categorical data with missing values (119 columns).
+    let ds = hummingbird::data::nomao_categorical(8_000, 3);
+    println!("dataset: {} rows × {} categorical features (with NaNs)", ds.n_train(), ds.n_features());
+
+    let specs = vec![
+        OpSpec::SimpleImputer { strategy: ImputeStrategy::Mean },
+        OpSpec::OneHotEncoder,
+        OpSpec::StandardScaler,
+        OpSpec::SelectPercentile { percentile: 20 },
+        OpSpec::LogisticRegression(LinearConfig { epochs: 60, ..Default::default() }),
+    ];
+    let t = Instant::now();
+    let pipe = fit_pipeline(&specs, &ds.x_train, &ds.y_train);
+    println!("fitted {}-operator pipeline in {:?}", pipe.len(), t.elapsed());
+    let acc = accuracy(&pipe.predict(&ds.x_test), ds.y_test.classes());
+    println!("test accuracy: {acc:.3}\n");
+
+    // Show what the optimizer does to the pipeline structure.
+    let rewritten = optimizer::optimize_pipeline(&pipe);
+    let sigs = |p: &hummingbird::pipeline::Pipeline| {
+        p.ops.iter().map(|o| o.signature()).collect::<Vec<_>>().join(" → ")
+    };
+    println!("original:  {}", sigs(&pipe));
+    println!("optimized: {}\n", sigs(&rewritten));
+
+    // Compile both ways and compare serving latency.
+    let time_scan = |optimize: bool| {
+        let model = compile(
+            &pipe,
+            &CompileOptions {
+                optimize_pipeline: optimize,
+                expected_batch: ds.n_test(),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let out = model.predict_proba(&ds.x_test).unwrap();
+        let t = Instant::now();
+        for _ in 0..5 {
+            model.predict_proba(&ds.x_test).unwrap();
+        }
+        (out, t.elapsed().as_secs_f64() / 5.0 * 1e3)
+    };
+    let t = Instant::now();
+    let reference = pipe.predict_proba(&ds.x_test);
+    let skl_ms = t.elapsed().as_secs_f64() * 1e3;
+    let (plain_out, plain_ms) = time_scan(false);
+    let (pushed_out, pushed_ms) = time_scan(true);
+
+    println!("full-test-scan latency:");
+    println!("  imperative (sklearn-like):     {skl_ms:7.2} ms");
+    println!("  compiled, no push-down:        {plain_ms:7.2} ms");
+    println!("  compiled, selection push-down: {pushed_ms:7.2} ms");
+
+    // Semantics are preserved by both paths.
+    assert!(allclose(&plain_out, &reference, 1e-4, 1e-4));
+    assert!(allclose(&pushed_out, &reference, 1e-4, 1e-4));
+    println!("\noutput validation: all three paths agree (1e-4)");
+}

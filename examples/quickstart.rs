@@ -1,0 +1,59 @@
+//! Quickstart: train a random forest, compile it to tensor computations,
+//! and verify the compiled model agrees with the imperative scorer.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use hummingbird::compiler::{compile, CompileOptions};
+use hummingbird::ml::forest::{ForestConfig, RandomForestClassifier};
+use hummingbird::ml::metrics::{accuracy, allclose};
+use hummingbird::pipeline::Pipeline;
+
+fn main() {
+    // 1. Data: a synthetic binary classification task.
+    let ds = hummingbird::data::synthetic_classification(4_000, 20, 2, 7);
+    println!(
+        "dataset: {} train rows, {} test rows, {} features",
+        ds.n_train(),
+        ds.n_test(),
+        ds.n_features()
+    );
+
+    // 2. Train a scikit-learn-style random forest.
+    let forest = RandomForestClassifier::new(ForestConfig {
+        n_trees: 50,
+        max_depth: 8,
+        ..ForestConfig::default()
+    })
+    .fit(&ds.x_train, ds.y_train.classes());
+    let acc = accuracy(&forest.predict(&ds.x_test), ds.y_test.classes());
+    println!("forest: {} trees, test accuracy {:.3}", forest.ensemble.trees.len(), acc);
+
+    // 3. Compile the fitted model into a tensor DAG (Hummingbird).
+    let pipe = Pipeline::from_op(forest.clone());
+    let model = compile(&pipe, &CompileOptions::default()).expect("compilation succeeds");
+    for op in &model.report {
+        println!(
+            "compiled operator {} (strategy: {})",
+            op.signature,
+            op.strategy.map(|s| s.label()).unwrap_or("-")
+        );
+    }
+
+    // 4. Outputs must match the imperative scorer (the paper's
+    //    output-validation experiment, rtol = atol = 1e-5).
+    let reference = forest.predict_proba(&ds.x_test);
+    let compiled = model.predict_proba(&ds.x_test).expect("scoring succeeds");
+    assert!(allclose(&compiled, &reference, 1e-5, 1e-5), "outputs diverge");
+    println!("output validation: compiled == imperative (1e-5)");
+
+    // 5. Quick timing comparison on the test batch.
+    let t = std::time::Instant::now();
+    let _ = forest.predict_proba(&ds.x_test);
+    let imp = t.elapsed();
+    let t = std::time::Instant::now();
+    let _ = model.predict_proba(&ds.x_test).unwrap();
+    let comp = t.elapsed();
+    println!("imperative: {imp:?}, compiled tensor path: {comp:?}");
+}

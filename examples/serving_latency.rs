@@ -1,0 +1,94 @@
+//! Prediction-serving latency percentiles: the operational view behind
+//! the paper's title. A stream of scoring requests with mixed batch sizes
+//! hits one compiled artifact; we report p50/p95/p99 per system, showing
+//! why a serving team cares about the ONNX-ML-vs-batch-engine trade-off
+//! that Hummingbird collapses into one artifact.
+//!
+//! ```text
+//! cargo run --release --example serving_latency
+//! ```
+
+use std::time::Instant;
+
+use hummingbird::backend::Backend;
+use hummingbird::compiler::{compile, CompileOptions};
+use hummingbird::ml::baselines::{OnnxLikeForest, SklearnLikeForest};
+use hummingbird::ml::gbdt::GbdtConfig;
+use hummingbird::pipeline::{fit_pipeline, OpSpec};
+use hummingbird::tensor::Tensor;
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    sorted[((sorted.len() - 1) as f64 * p) as usize]
+}
+
+fn main() {
+    let ds = hummingbird::data::tree_bench_dataset(&hummingbird::data::TREE_BENCH_SPECS[4], 10_000, 3);
+    let pipe = fit_pipeline(
+        &[OpSpec::GbdtClassifier(GbdtConfig { n_rounds: 40, max_depth: 5, ..Default::default() })],
+        &ds.x_train,
+        &ds.y_train,
+    );
+    let ensemble = match &pipe.ops[0] {
+        hummingbird::pipeline::FittedOp::TreeEnsemble(e) => e.clone(),
+        _ => unreachable!(),
+    };
+    println!(
+        "higgs-like booster: {} trees; simulating a request stream (80% single record, 15% batch 64, 5% batch 1024)\n",
+        ensemble.trees.len()
+    );
+
+    // The request mix: mostly interactive lookups, some analytics bursts.
+    let requests: Vec<usize> = (0..400)
+        .map(|i| match i % 20 {
+            0 => 1024,
+            1..=3 => 64,
+            _ => 1,
+        })
+        .collect();
+
+    let sklearn = SklearnLikeForest::new(&ensemble).with_dispatch_overhead();
+    let onnx = OnnxLikeForest::new(&ensemble).with_dispatch_overhead();
+    let hb = compile(
+        &pipe,
+        &CompileOptions { backend: Backend::Compiled, expected_batch: 64, ..Default::default() },
+    )
+    .unwrap();
+
+    let systems: Vec<(&str, Box<dyn Fn(&Tensor<f32>)>)> = vec![
+        ("sklearn-like", Box::new(move |x| {
+            sklearn.predict_batch(x);
+        })),
+        ("onnx-like", Box::new(move |x| {
+            onnx.predict_batch(x);
+        })),
+        ("HB-Compiled", Box::new(move |x| {
+            hb.predict_proba(x).unwrap();
+        })),
+    ];
+
+    println!("{:>14} {:>10} {:>10} {:>10} {:>12}", "system", "p50", "p95", "p99", "total");
+    for (name, score) in &systems {
+        let mut lat = Vec::with_capacity(requests.len());
+        let mut cursor = 0usize;
+        let t0 = Instant::now();
+        for &batch in &requests {
+            let end = (cursor + batch).min(ds.n_test());
+            let start = if end - cursor < batch { 0 } else { cursor };
+            let x = ds.x_test.slice(0, start, start + batch.min(ds.n_test())).to_contiguous();
+            cursor = end % ds.n_test();
+            let t = Instant::now();
+            score(&x);
+            lat.push(t.elapsed().as_secs_f64() * 1e3);
+        }
+        lat.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        println!(
+            "{:>14} {:>8.2}ms {:>8.2}ms {:>8.2}ms {:>10.1}ms",
+            name,
+            percentile(&lat, 0.5),
+            percentile(&lat, 0.95),
+            percentile(&lat, 0.99),
+            t0.elapsed().as_secs_f64() * 1e3
+        );
+    }
+    println!("\n(one compiled artifact serves the whole mix; baselines specialize for one regime)");
+}

@@ -1,0 +1,79 @@
+//! The three tree-compilation strategies side by side (paper §4.1 and
+//! Figure 8): GEMM, TreeTraversal, and PerfectTreeTraversal over varying
+//! tree depth and batch size, plus the §5.1 heuristic's pick.
+//!
+//! ```text
+//! cargo run --release --example tree_strategies
+//! ```
+
+use std::time::Instant;
+
+use hummingbird::backend::{Backend, Device};
+use hummingbird::compiler::strategies::heuristic_strategy;
+use hummingbird::compiler::{compile, CompileOptions, TreeStrategy};
+use hummingbird::ml::forest::{ForestConfig, RandomForestClassifier};
+use hummingbird::pipeline::Pipeline;
+
+fn main() {
+    let ds = hummingbird::data::strategy_dataset(17);
+    println!("synthetic strategy dataset: {} rows × {} features\n", ds.n_train(), ds.n_features());
+    println!("{:>6} {:>6} {:>10} {:>10} {:>10}   heuristic", "depth", "batch", "GEMM", "TT", "PTT");
+
+    for depth in [3usize, 7, 12] {
+        let forest = RandomForestClassifier::new(ForestConfig {
+            n_trees: 40,
+            max_depth: depth,
+            ..ForestConfig::default()
+        })
+        .fit(&ds.x_train, ds.y_train.classes());
+        let pipe = Pipeline::from_op(forest);
+
+        for batch in [1usize, 1000] {
+            let x = ds.x_test.slice(0, 0, batch.min(ds.n_test())).to_contiguous();
+            let mut cells = Vec::new();
+            for strategy in [
+                TreeStrategy::Gemm,
+                TreeStrategy::TreeTraversal,
+                TreeStrategy::PerfectTreeTraversal,
+            ] {
+                let opts = CompileOptions {
+                    backend: Backend::Compiled,
+                    device: Device::cpu1(),
+                    tree_strategy: strategy,
+                    expected_batch: batch,
+                    optimize_pipeline: false,
+                    ..Default::default()
+                };
+                match compile(&pipe, &opts) {
+                    Ok(model) => {
+                        model.predict_proba(&x).unwrap(); // warm-up
+                        let t = Instant::now();
+                        for _ in 0..3 {
+                            model.predict_proba(&x).unwrap();
+                        }
+                        cells.push(format!("{:.2}ms", t.elapsed().as_secs_f64() / 3.0 * 1e3));
+                    }
+                    Err(e) => cells.push(format!("({e})")),
+                }
+            }
+            // What would the §5.1 heuristics have picked?
+            let ensemble = match &pipe.ops[0] {
+                hummingbird::pipeline::FittedOp::TreeEnsemble(e) => e,
+                _ => unreachable!(),
+            };
+            let opts = CompileOptions { expected_batch: batch, ..Default::default() };
+            let auto = heuristic_strategy(ensemble, &opts);
+            println!(
+                "{:>6} {:>6} {:>10} {:>10} {:>10}   {}",
+                depth,
+                batch,
+                cells[0],
+                cells[1],
+                cells[2],
+                auto.label()
+            );
+        }
+    }
+    println!("\n(GEMM trades exponential redundancy for GEMM-friendly compute: good when");
+    println!(" shallow or tiny batches; traversal strategies win as depth/batch grow.)");
+}

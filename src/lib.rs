@@ -1,0 +1,53 @@
+//! Hummingbird in Rust — a reproduction of *"A Tensor Compiler for Unified
+//! Machine Learning Prediction Serving"* (OSDI 2020).
+//!
+//! This facade crate re-exports the workspace crates so examples, tests,
+//! and downstream users can depend on a single package:
+//!
+//! * [`tensor`] — dense n-d tensors and the paper's Table-2 operator set;
+//! * [`backend`] — tensor DAG IR, the Eager/Script/Compiled executors, and
+//!   device performance models;
+//! * [`ml`] — the traditional-ML substrate (tree ensembles, linear models,
+//!   featurizers) with imperative reference scorers;
+//! * [`pipeline`] — predictive-pipeline DAGs;
+//! * [`data`] — synthetic dataset generators for the paper's benchmarks;
+//! * [`compiler`] — the Hummingbird compiler itself (parser, optimizer,
+//!   tensor DAG compiler).
+//!
+//! # Quickstart
+//!
+//! ```
+//! use hummingbird::prelude::*;
+//!
+//! // Train a small random forest on synthetic data...
+//! let ds = hummingbird::data::synthetic_classification(200, 10, 2, 42);
+//! let forest = RandomForestClassifier::new(ForestConfig {
+//!     n_trees: 8,
+//!     max_depth: 4,
+//!     ..ForestConfig::default()
+//! })
+//! .fit(&ds.x_train, ds.y_train.classes());
+//!
+//! // ...compile it to tensor computations and score a batch.
+//! let pipe = Pipeline::from_op(forest);
+//! let model = compile(&pipe, &CompileOptions::default()).unwrap();
+//! let pred = model.predict(&ds.x_test).unwrap();
+//! assert_eq!(pred.shape()[0], ds.x_test.shape()[0]);
+//! ```
+
+pub use hb_backend as backend;
+pub use hb_core as compiler;
+pub use hb_data as data;
+pub use hb_ml as ml;
+pub use hb_pipeline as pipeline;
+pub use hb_tensor as tensor;
+
+/// Convenience re-exports covering the common compile-and-score flow.
+pub mod prelude {
+    pub use hb_backend::{Backend, Device};
+    pub use hb_core::{compile, CompileOptions, CompiledModel, TreeStrategy};
+    pub use hb_ml::forest::{ForestConfig, RandomForestClassifier, RandomForestRegressor};
+    pub use hb_ml::gbdt::{GbdtConfig, GradientBoostingClassifier, GradientBoostingRegressor};
+    pub use hb_pipeline::Pipeline;
+    pub use hb_tensor::{DynTensor, Tensor};
+}

@@ -1,0 +1,262 @@
+//! End-to-end output validation (the paper's §6.1.1 validation
+//! experiment): every supported pipeline shape, compiled on every
+//! backend, must match the imperative reference within
+//! `rtol = atol = 1e-4`.
+
+use hummingbird::backend::{Backend, Device};
+use hummingbird::compiler::{compile, CompileOptions, TreeStrategy};
+use hummingbird::ml::featurize::{BinEncode, ImputeStrategy, Norm};
+use hummingbird::ml::forest::ForestConfig;
+use hummingbird::ml::gbdt::GbdtConfig;
+use hummingbird::ml::linear::LinearConfig;
+use hummingbird::ml::metrics::allclose;
+use hummingbird::pipeline::{fit_pipeline, OpSpec, Pipeline, Targets};
+use hummingbird::tensor::Tensor;
+
+fn class_data(n: usize, d: usize, c: usize) -> (Tensor<f32>, Targets) {
+    let x = Tensor::from_fn(&[n, d], |i| {
+        let cls = (i[0] % c) as f32;
+        cls * 1.7 + ((i[0] * 13 + i[1] * 7) % 11) as f32 * 0.25 - 1.0
+    });
+    let y = Targets::Classes((0..n).map(|i| (i % c) as i64).collect());
+    (x, y)
+}
+
+/// Compiles on all backends and both CPU/simulated-GPU devices, checking
+/// against the imperative reference.
+fn check(pipe: &Pipeline, x: &Tensor<f32>, label: &str) {
+    let want = pipe.predict_proba(x);
+    for backend in Backend::ALL {
+        for device in [Device::cpu(), Device::Sim(hummingbird::backend::device::P100)] {
+            let opts = CompileOptions { backend, device, ..Default::default() };
+            let model = compile(pipe, &opts)
+                .unwrap_or_else(|e| panic!("{label}: compile failed on {backend:?}: {e}"));
+            let got = model
+                .predict_proba(x)
+                .unwrap_or_else(|e| panic!("{label}: scoring failed on {backend:?}: {e}"));
+            assert!(
+                allclose(&got, &want, 1e-4, 1e-4),
+                "{label}: {backend:?}/{} diverges from reference",
+                device.label()
+            );
+        }
+    }
+}
+
+#[test]
+fn featurizer_pipelines_match_reference() {
+    let (x, y) = class_data(150, 8, 2);
+    let featurizer_stacks: Vec<(&str, Vec<OpSpec>)> = vec![
+        ("scalers", vec![OpSpec::StandardScaler, OpSpec::MinMaxScaler, OpSpec::MaxAbsScaler]),
+        ("robust+binarize", vec![OpSpec::RobustScaler, OpSpec::Binarizer { threshold: 0.1 }]),
+        ("normalizers", vec![OpSpec::Normalizer { norm: Norm::L2 }]),
+        ("normalizer_l1", vec![OpSpec::Normalizer { norm: Norm::L1 }]),
+        ("normalizer_max", vec![OpSpec::Normalizer { norm: Norm::Max }]),
+        (
+            "kbins_ordinal",
+            vec![OpSpec::KBinsDiscretizer { n_bins: 4, encode: BinEncode::Ordinal }],
+        ),
+        (
+            "kbins_onehot",
+            vec![OpSpec::KBinsDiscretizer { n_bins: 3, encode: BinEncode::OneHot }],
+        ),
+        (
+            "poly",
+            vec![OpSpec::PolynomialFeatures { include_bias: true, interaction_only: false }],
+        ),
+        (
+            "poly_interactions",
+            vec![OpSpec::PolynomialFeatures { include_bias: false, interaction_only: true }],
+        ),
+        ("select", vec![OpSpec::StandardScaler, OpSpec::SelectKBest { k: 4 }]),
+        ("variance", vec![OpSpec::VarianceThreshold { threshold: 1e-8 }]),
+        ("pca", vec![OpSpec::Pca { k: 4 }]),
+        ("tsvd", vec![OpSpec::TruncatedSvd { k: 3 }]),
+        (
+            "kernel_pca",
+            vec![OpSpec::KernelPca { k: 3, gamma: 0.5, fit_rows: 60 }],
+        ),
+    ];
+    for (label, specs) in featurizer_stacks {
+        let pipe = fit_pipeline(&specs, &x, &y);
+        check(&pipe, &x, label);
+    }
+}
+
+#[test]
+fn model_pipelines_match_reference() {
+    let (x, y) = class_data(200, 6, 2);
+    let lin = LinearConfig { epochs: 60, ..Default::default() };
+    let models: Vec<(&str, OpSpec)> = vec![
+        ("logreg", OpSpec::LogisticRegression(lin.clone())),
+        ("sgd", OpSpec::SgdClassifier(LinearConfig { epochs: 5, ..lin.clone() })),
+        ("linearsvc", OpSpec::LinearSvc(lin)),
+        ("svc", OpSpec::Svc(Default::default())),
+        ("nusvc", OpSpec::NuSvc { nu: 0.4, config: Default::default() }),
+        ("gnb", OpSpec::GaussianNb),
+        ("bnb", OpSpec::BernoulliNb { alpha: 1.0, binarize: 0.0 }),
+        ("mnb", OpSpec::MultinomialNb { alpha: 1.0 }),
+        ("mlp", OpSpec::Mlp(hummingbird::ml::mlp::MlpConfig { epochs: 8, ..Default::default() })),
+        ("dtree", OpSpec::DecisionTreeClassifier { max_depth: 4 }),
+    ];
+    for (label, spec) in models {
+        // Multinomial NB needs non-negative features.
+        let xm = if label == "mnb" { x.map(|v| v.abs()) } else { x.clone() };
+        let pipe = fit_pipeline(&[OpSpec::StandardScaler, spec], &xm, &y);
+        check(&pipe, &xm, label);
+    }
+}
+
+#[test]
+fn multiclass_pipelines_match_reference() {
+    let (x, y) = class_data(240, 6, 4);
+    for (label, spec) in [
+        ("logreg4", OpSpec::LogisticRegression(LinearConfig { epochs: 60, ..Default::default() })),
+        ("gnb4", OpSpec::GaussianNb),
+        (
+            "rf4",
+            OpSpec::RandomForestClassifier(ForestConfig {
+                n_trees: 6,
+                max_depth: 4,
+                ..Default::default()
+            }),
+        ),
+        (
+            "gbdt4",
+            OpSpec::GbdtClassifier(GbdtConfig { n_rounds: 6, max_depth: 3, ..Default::default() }),
+        ),
+    ] {
+        let pipe = fit_pipeline(std::slice::from_ref(&spec), &x, &y);
+        check(&pipe, &x, label);
+    }
+}
+
+#[test]
+fn regression_pipelines_match_reference() {
+    let n = 200;
+    let x = Tensor::from_fn(&[n, 4], |i| ((i[0] * 7 + i[1] * 3) % 19) as f32 * 0.2);
+    let xs = x.to_contiguous();
+    let xv = xs.as_slice().to_vec();
+    let y = Targets::Values((0..n).map(|r| xv[r * 4] * 2.0 - xv[r * 4 + 1]).collect());
+    for (label, spec) in [
+        (
+            "rf_reg",
+            OpSpec::RandomForestRegressor(ForestConfig {
+                n_trees: 8,
+                max_depth: 5,
+                ..Default::default()
+            }),
+        ),
+        (
+            "gbdt_reg",
+            OpSpec::GbdtRegressor(GbdtConfig { n_rounds: 12, max_depth: 3, ..Default::default() }),
+        ),
+    ] {
+        let pipe = fit_pipeline(std::slice::from_ref(&spec), &x, &y);
+        check(&pipe, &x, label);
+    }
+}
+
+#[test]
+fn imputer_pipeline_with_nans_matches_reference() {
+    let n = 120;
+    let x = Tensor::from_fn(&[n, 5], |i| {
+        if (i[0] * 5 + i[1]) % 11 == 0 {
+            f32::NAN
+        } else {
+            (i[0] % 2) as f32 * 2.0 + i[1] as f32 * 0.1
+        }
+    });
+    let y = Targets::Classes((0..n).map(|i| (i % 2) as i64).collect());
+    for strategy in
+        [ImputeStrategy::Mean, ImputeStrategy::Median, ImputeStrategy::Constant(-1.0)]
+    {
+        let pipe = fit_pipeline(
+            &[
+                OpSpec::SimpleImputer { strategy },
+                OpSpec::StandardScaler,
+                OpSpec::GaussianNb,
+            ],
+            &x,
+            &y,
+        );
+        check(&pipe, &x, "imputer");
+    }
+    // MissingIndicator pipeline (featurizer-only).
+    let pipe = fit_pipeline(&[OpSpec::MissingIndicator], &x, &y);
+    check(&pipe, &x, "missing_indicator");
+}
+
+#[test]
+fn onehot_pipeline_with_unseen_categories() {
+    let n = 90;
+    let x = Tensor::from_fn(&[n, 3], |i| ((i[0] * (i[1] + 2)) % 4) as f32);
+    let y = Targets::Classes((0..n).map(|i| (i % 2) as i64).collect());
+    let pipe = fit_pipeline(
+        &[
+            OpSpec::OneHotEncoder,
+            OpSpec::LogisticRegression(LinearConfig { epochs: 40, ..Default::default() }),
+        ],
+        &x,
+        &y,
+    );
+    check(&pipe, &x, "onehot");
+    // Unseen categories at scoring time encode to all-zero blocks in both
+    // paths.
+    let unseen = Tensor::from_vec(vec![99.0, 99.0, 99.0], &[1, 3]);
+    let want = pipe.predict_proba(&unseen);
+    let model = compile(&pipe, &CompileOptions::default()).unwrap();
+    let got = model.predict_proba(&unseen).unwrap();
+    assert!(allclose(&got, &want, 1e-5, 1e-5));
+}
+
+#[test]
+fn compiled_model_handles_any_batch_size() {
+    // Graphs are compiled once and must score any batch size, including a
+    // single record and sizes unseen at compile time.
+    let (x, y) = class_data(120, 5, 2);
+    let pipe = fit_pipeline(
+        &[OpSpec::RandomForestClassifier(ForestConfig {
+            n_trees: 5,
+            max_depth: 4,
+            ..Default::default()
+        })],
+        &x,
+        &y,
+    );
+    for strategy in
+        [TreeStrategy::Gemm, TreeStrategy::TreeTraversal, TreeStrategy::PerfectTreeTraversal]
+    {
+        let model = compile(
+            &pipe,
+            &CompileOptions { tree_strategy: strategy, ..Default::default() },
+        )
+        .unwrap();
+        for n in [1usize, 2, 7, 64, 120] {
+            let sub = x.slice(0, 0, n).to_contiguous();
+            let want = pipe.predict_proba(&sub);
+            let got = model.predict_proba(&sub).unwrap();
+            assert!(
+                allclose(&got, &want, 1e-4, 1e-4),
+                "{} diverges at batch {n}",
+                strategy.label()
+            );
+        }
+    }
+}
+
+#[test]
+fn single_class_training_data_compiles() {
+    // Degenerate dataset: only one class present. The forest becomes
+    // constant but must still compile and score.
+    let x = Tensor::from_fn(&[40, 3], |i| (i[0] * 3 + i[1]) as f32);
+    let y = Targets::Classes(vec![0i64; 40]);
+    let pipe = fit_pipeline(
+        &[OpSpec::DecisionTreeClassifier { max_depth: 4 }],
+        &x,
+        &y,
+    );
+    let model = compile(&pipe, &CompileOptions::default()).unwrap();
+    let out = model.predict_proba(&x).unwrap();
+    assert!(out.iter().all(|v| (v - out.get(&[0, 0])).abs() < 1e-6 || v == 0.0));
+}

@@ -1,0 +1,161 @@
+//! Extensibility and newer-model integration tests: the converter
+//! registry (paper §3.2 "extensible parser"), IsolationForest through the
+//! standard tree strategies, ExtraTrees, and the compiled string-feature
+//! path of §4.2.
+
+use std::sync::Arc;
+
+use hummingbird::backend::{Backend, Device, Op};
+use hummingbird::compiler::strings::CompiledStringEncoder;
+use hummingbird::compiler::{
+    compile, compile_with_registry, CompileOptions, ConverterRegistry, TreeStrategy,
+};
+use hummingbird::ml::featurize::StringOneHotEncoder;
+use hummingbird::ml::forest::ForestConfig;
+use hummingbird::ml::isolation::{IsolationConfig, IsolationForest};
+use hummingbird::ml::metrics::allclose;
+use hummingbird::pipeline::{fit_pipeline, OpSpec, Pipeline, Targets};
+use hummingbird::tensor::Tensor;
+
+fn data(n: usize, d: usize) -> (Tensor<f32>, Targets) {
+    let x = Tensor::from_fn(&[n, d], |i| ((i[0] * 7 + i[1] * 3) % 13) as f32 * 0.3 - 1.0);
+    let y = Targets::Classes((0..n).map(|i| (i % 2) as i64).collect());
+    (x, y)
+}
+
+#[test]
+fn registry_override_takes_precedence() {
+    let (x, y) = data(60, 4);
+    let pipe = fit_pipeline(
+        &[OpSpec::Binarizer { threshold: 0.0 }, OpSpec::GaussianNb],
+        &x,
+        &y,
+    );
+    // Override the Binarizer with a converter that emits constant 1s —
+    // observable as a different (but valid) model output.
+    let mut reg = ConverterRegistry::new();
+    reg.register(
+        "Binarizer",
+        Arc::new(|_op, b, x, _w| {
+            let zeroed = b.mul_scalar(x, 0.0);
+            Ok(b.add_scalar(zeroed, 1.0))
+        }),
+    );
+    let stock = compile(&pipe, &CompileOptions::default()).unwrap();
+    let custom = compile_with_registry(&pipe, &CompileOptions::default(), &reg).unwrap();
+    let a = stock.predict_proba(&x).unwrap();
+    let b = custom.predict_proba(&x).unwrap();
+    assert_eq!(a.shape(), b.shape());
+    assert_ne!(a.to_vec(), b.to_vec(), "override was ignored");
+    // Sanity: the custom path equals scoring the NB on all-ones input.
+    let ones = Tensor::full(&[x.shape()[0], 4], 1.0f32);
+    let want = match &pipe.ops[1] {
+        hummingbird::pipeline::FittedOp::GaussianNb(nb) => nb.predict_proba(&ones),
+        _ => unreachable!(),
+    };
+    assert!(allclose(&b, &want, 1e-4, 1e-4));
+}
+
+#[test]
+fn registry_can_emit_raw_graph_ops() {
+    let (x, y) = data(40, 3);
+    let pipe = fit_pipeline(&[OpSpec::StandardScaler], &x, &y);
+    let mut reg = ConverterRegistry::new();
+    // Replace the scaler with |x| via a raw op push.
+    reg.register(
+        "StandardScaler",
+        Arc::new(|_op, b, x, _w| Ok(b.push(Op::Abs, vec![x]))),
+    );
+    let model = compile_with_registry(&pipe, &CompileOptions::default(), &reg).unwrap();
+    let got = model.predict_proba(&x).unwrap();
+    assert_eq!(got.to_vec(), x.map(|v| v.abs()).to_vec());
+}
+
+#[test]
+fn isolation_forest_compiles_through_all_strategies() {
+    let n = 200;
+    let x = Tensor::from_fn(&[n, 3], |i| {
+        if i[0] >= n - 3 {
+            40.0
+        } else {
+            ((i[0] * 11 + i[1] * 5) % 17) as f32 * 0.2
+        }
+    });
+    let forest = IsolationForest::fit(
+        &x,
+        IsolationConfig { n_trees: 25, sample_size: 64, ..Default::default() },
+    );
+    let want = forest.path_length(&x);
+    let pipe = Pipeline::from_op(forest.ensemble.clone());
+    for strategy in
+        [TreeStrategy::Gemm, TreeStrategy::TreeTraversal, TreeStrategy::PerfectTreeTraversal]
+    {
+        let opts = CompileOptions {
+            tree_strategy: strategy,
+            optimize_pipeline: false,
+            ..Default::default()
+        };
+        let model = match compile(&pipe, &opts) {
+            Ok(m) => m,
+            // Random isolation trees can exceed the PTT depth cap.
+            Err(hummingbird::compiler::CompileError::PttTooDeep { .. }) => continue,
+            Err(e) => panic!("{} failed: {e}", strategy.label()),
+        };
+        let got = model.predict(&x).unwrap();
+        assert!(
+            allclose(&got, &want, 1e-3, 1e-3),
+            "{} diverges on isolation forest",
+            strategy.label()
+        );
+    }
+    // Outliers still score higher through the anomaly link.
+    let s = forest.score(&x).to_vec();
+    assert!(s[n - 1] > s[0], "outlier {} vs inlier {}", s[n - 1], s[0]);
+}
+
+#[test]
+fn extra_trees_pipeline_compiles_and_matches() {
+    let (x, y) = data(150, 6);
+    let pipe = fit_pipeline(
+        &[OpSpec::RandomForestClassifier(ForestConfig {
+            n_trees: 8,
+            max_depth: 4,
+            extra_trees: true,
+            ..Default::default()
+        })],
+        &x,
+        &y,
+    );
+    let want = pipe.predict_proba(&x);
+    for backend in Backend::ALL {
+        let model =
+            compile(&pipe, &CompileOptions { backend, ..Default::default() }).unwrap();
+        let got = model.predict_proba(&x).unwrap();
+        assert!(allclose(&got, &want, 1e-4, 1e-4), "{backend:?} diverged on extra-trees");
+    }
+}
+
+#[test]
+fn string_encoder_feeds_a_downstream_model() {
+    // End-to-end string path: packed-byte one-hot → logistic regression.
+    let colors: Vec<String> = (0..120)
+        .map(|i| ["red", "green", "blue"][i % 3].to_string())
+        .collect();
+    let labels: Vec<i64> = (0..120).map(|i| i64::from(i % 3 == 0)).collect();
+    let enc = StringOneHotEncoder::fit(std::slice::from_ref(&colors));
+    let onehot = enc.transform(std::slice::from_ref(&colors));
+    let pipe = fit_pipeline(
+        &[OpSpec::LogisticRegression(Default::default())],
+        &onehot,
+        &Targets::Classes(labels.clone()),
+    );
+    // Compiled string encoder replaces the imperative front-end.
+    let compiled_enc =
+        CompiledStringEncoder::compile(&enc, Backend::Compiled, Device::cpu());
+    let encoded = compiled_enc.transform(std::slice::from_ref(&colors)).unwrap();
+    assert_eq!(encoded.to_vec(), onehot.to_vec());
+    let model = compile(&pipe, &CompileOptions::default()).unwrap();
+    let pred = model.predict(&encoded).unwrap();
+    let acc = hummingbird::ml::metrics::accuracy(&pred, &labels);
+    assert!(acc > 0.99, "string pipeline accuracy {acc}");
+}

@@ -1,0 +1,232 @@
+//! Failure-injection tests: degenerate and adversarial inputs must fail
+//! loudly or behave identically to the imperative path — never corrupt
+//! results silently.
+
+use hummingbird::backend::{Backend, Device, DeviceSpec, ExecError};
+use hummingbird::compiler::{compile, CompileOptions, TreeStrategy};
+use hummingbird::ml::forest::ForestConfig;
+use hummingbird::ml::linear::LinearConfig;
+use hummingbird::ml::metrics::allclose;
+use hummingbird::pipeline::{fit_pipeline, OpSpec, Targets};
+use hummingbird::tensor::Tensor;
+
+fn data(n: usize, d: usize) -> (Tensor<f32>, Targets) {
+    let x = Tensor::from_fn(&[n, d], |i| ((i[0] * 7 + i[1] * 3) % 13) as f32 * 0.3);
+    let y = Targets::Classes((0..n).map(|i| (i % 2) as i64).collect());
+    (x, y)
+}
+
+#[test]
+fn nan_inputs_propagate_identically_without_imputer() {
+    // No imputer in the pipeline: NaNs flow through both paths the same
+    // way (the affine scaler keeps them NaN).
+    let (x, y) = data(60, 4);
+    let pipe = fit_pipeline(
+        &[
+            OpSpec::StandardScaler,
+            OpSpec::LogisticRegression(LinearConfig { epochs: 30, ..Default::default() }),
+        ],
+        &x,
+        &y,
+    );
+    let mut poisoned = x.to_vec();
+    poisoned[5] = f32::NAN;
+    let px = Tensor::from_vec(poisoned, x.shape());
+    let want = pipe.predict_proba(&px);
+    let model = compile(&pipe, &CompileOptions::default()).unwrap();
+    let got = model.predict_proba(&px).unwrap();
+    // allclose treats NaN == NaN as equal.
+    assert!(allclose(&got, &want, 1e-4, 1e-4));
+    assert!(want.iter().any(|v| v.is_nan()), "poison must actually reach the output");
+}
+
+#[test]
+fn wrong_input_arity_is_rejected() {
+    let (x, y) = data(40, 3);
+    let pipe = fit_pipeline(&[OpSpec::GaussianNb], &x, &y);
+    let model = compile(&pipe, &CompileOptions::default()).unwrap();
+    let exe = model.executable();
+    assert!(matches!(exe.run(&[]), Err(ExecError::InputCount { .. })));
+    let wrong = hummingbird::tensor::DynTensor::I64(Tensor::from_vec(vec![1i64], &[1]));
+    assert!(matches!(exe.run(&[wrong]), Err(ExecError::InputDType { .. })));
+}
+
+#[test]
+fn simulated_oom_surfaces_as_error_not_corruption() {
+    let (x, y) = data(400, 8);
+    let pipe = fit_pipeline(
+        &[OpSpec::RandomForestClassifier(ForestConfig {
+            n_trees: 20,
+            max_depth: 6,
+            ..Default::default()
+        })],
+        &x,
+        &y,
+    );
+    let tiny = DeviceSpec { mem_bytes: 10_000, ..hummingbird::backend::device::K80 };
+    let model = compile(
+        &pipe,
+        &CompileOptions {
+            backend: Backend::Eager,
+            device: Device::Sim(tiny),
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    match model.predict_proba(&x) {
+        Err(ExecError::DeviceOom { needed, capacity }) => {
+            assert!(needed > capacity);
+        }
+        other => panic!("expected OOM, got {other:?}"),
+    }
+}
+
+#[test]
+fn extreme_feature_values_do_not_crash_strategies() {
+    let (x, y) = data(80, 4);
+    let pipe = fit_pipeline(
+        &[OpSpec::RandomForestClassifier(ForestConfig {
+            n_trees: 4,
+            max_depth: 4,
+            ..Default::default()
+        })],
+        &x,
+        &y,
+    );
+    // Non-finite inputs are out of scope: the GEMM strategy multiplies
+    // features by a 0/1 incidence matrix, and `inf × 0 = NaN` (a real
+    // Hummingbird limitation too). Finite extremes must be exact.
+    let extreme = Tensor::from_vec(
+        vec![
+            f32::MAX, f32::MIN, 0.0, -0.0, //
+            1e38, -1e38, 1e-38, -1e-38,
+        ],
+        &[2, 4],
+    );
+    let want = pipe.predict_proba(&extreme);
+    for strategy in
+        [TreeStrategy::Gemm, TreeStrategy::TreeTraversal, TreeStrategy::PerfectTreeTraversal]
+    {
+        let model = compile(
+            &pipe,
+            &CompileOptions { tree_strategy: strategy, ..Default::default() },
+        )
+        .unwrap();
+        let got = model.predict_proba(&extreme).unwrap();
+        assert!(
+            allclose(&got, &want, 1e-4, 1e-4),
+            "{} diverges on extreme inputs",
+            strategy.label()
+        );
+    }
+}
+
+#[test]
+fn forced_ptt_on_deep_trees_fails_cleanly() {
+    // Build an artificially deep chain tree via a narrow dataset.
+    let n = 400;
+    let x = Tensor::from_fn(&[n, 1], |i| i[0] as f32);
+    let y = Targets::Classes((0..n).map(|i| ((i / 2) % 2) as i64).collect());
+    let pipe = fit_pipeline(
+        &[OpSpec::RandomForestClassifier(ForestConfig {
+            n_trees: 1,
+            max_depth: 40,
+            bootstrap: false,
+            max_features: 1,
+            n_bins: 255,
+            min_samples_leaf: 1,
+            ..Default::default()
+        })],
+        &x,
+        &y,
+    );
+    let depth = match &pipe.ops[0] {
+        hummingbird::pipeline::FittedOp::TreeEnsemble(e) => e.max_depth(),
+        _ => unreachable!(),
+    };
+    let res = compile(
+        &pipe,
+        &CompileOptions {
+            tree_strategy: TreeStrategy::PerfectTreeTraversal,
+            ..Default::default()
+        },
+    );
+    if depth > 14 {
+        assert!(res.is_err(), "deep PTT must be rejected, depth={depth}");
+        // The Auto heuristic handles the same model fine via TT.
+        let auto = compile(&pipe, &CompileOptions::default()).unwrap();
+        let tree_report = auto.report.iter().find(|r| r.strategy.is_some()).unwrap();
+        assert_eq!(tree_report.strategy, Some(TreeStrategy::TreeTraversal));
+    }
+}
+
+#[test]
+fn empty_feature_selection_does_not_panic() {
+    // A selector keeping zero columns is pathological; compilation may
+    // fail, but must not panic.
+    let (x, y) = data(50, 4);
+    let mut pipe = fit_pipeline(&[OpSpec::StandardScaler], &x, &y);
+    pipe.push(hummingbird::ml::select::FeatureSelector::from_indices(vec![], 4));
+    let result = std::panic::catch_unwind(|| compile(&pipe, &CompileOptions::default()));
+    assert!(result.is_ok(), "compile panicked on empty selection");
+}
+
+#[test]
+fn nan_routing_in_trees_is_consistent_across_all_paths() {
+    // The paper defers missing-value support in trees (§4.1); the
+    // de-facto behavior everywhere in this stack is "NaN compares false,
+    // record routes right". Imperative, ONNX-like, and all three
+    // compiled strategies must agree on it.
+    let (x, y) = data(120, 4);
+    let pipe = fit_pipeline(
+        &[OpSpec::RandomForestClassifier(ForestConfig {
+            n_trees: 6,
+            max_depth: 4,
+            ..Default::default()
+        })],
+        &x,
+        &y,
+    );
+    let ensemble = match &pipe.ops[0] {
+        hummingbird::pipeline::FittedOp::TreeEnsemble(e) => e.clone(),
+        _ => unreachable!(),
+    };
+    let mut poisoned = x.slice(0, 0, 10).to_contiguous().to_vec();
+    for (i, v) in poisoned.iter_mut().enumerate() {
+        if i % 3 == 0 {
+            *v = f32::NAN;
+        }
+    }
+    let px = Tensor::from_vec(poisoned, &[10, 4]);
+    let want = ensemble.predict_proba(&px);
+    assert!(want.iter().all(|v| !v.is_nan()), "trees must absorb NaN inputs");
+    let onnx = hummingbird::ml::baselines::OnnxLikeForest::new(&ensemble).predict_batch(&px);
+    assert_eq!(onnx.to_vec(), want.to_vec());
+    for strategy in [TreeStrategy::TreeTraversal, TreeStrategy::PerfectTreeTraversal] {
+        let model = compile(
+            &pipe,
+            &CompileOptions { tree_strategy: strategy, ..Default::default() },
+        )
+        .unwrap();
+        let got = model.predict_proba(&px).unwrap();
+        assert!(
+            allclose(&got, &want, 1e-4, 1e-4),
+            "{} routes NaN differently",
+            strategy.label()
+        );
+    }
+    // The GEMM strategy is the exception: `X @ A` turns one NaN feature
+    // into NaN sums for *every* internal node of that record (NaN × 0 =
+    // NaN), so the whole record routes right at every node instead of
+    // only at nodes reading the NaN feature. It must still produce
+    // finite probabilities — just potentially different ones — which is
+    // why NaN-bearing pipelines need an imputer before a GEMM-compiled
+    // tree.
+    let gemm = compile(
+        &pipe,
+        &CompileOptions { tree_strategy: TreeStrategy::Gemm, ..Default::default() },
+    )
+    .unwrap();
+    let got = gemm.predict_proba(&px).unwrap();
+    assert!(got.iter().all(|v| !v.is_nan()), "GEMM leaked NaN into probabilities");
+}

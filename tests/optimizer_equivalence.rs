@@ -1,0 +1,122 @@
+//! Property-based tests for the §5.2 runtime-independent optimizations:
+//! feature-selection push-down and injection must never change pipeline
+//! outputs, across randomized pipeline shapes.
+
+use proptest::prelude::*;
+
+use hummingbird::compiler::{compile, optimizer, CompileOptions};
+use hummingbird::ml::featurize::ImputeStrategy;
+use hummingbird::ml::linear::{LinearConfig, Penalty};
+use hummingbird::ml::metrics::allclose;
+use hummingbird::pipeline::{fit_pipeline, OpSpec, Targets};
+use hummingbird::tensor::Tensor;
+
+fn data(n: usize, d: usize, seed: u64) -> (Tensor<f32>, Targets) {
+    let x = Tensor::from_fn(&[n, d], |i| {
+        let h = (i[0] as u64)
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(i[1] as u64 * 1442695040888963407)
+            .wrapping_add(seed);
+        ((h >> 33) % 1000) as f32 / 250.0 - 2.0 + (i[0] % 2) as f32
+    });
+    let y = Targets::Classes((0..n).map(|i| (i % 2) as i64).collect());
+    (x, y)
+}
+
+/// Scaler variants the push-down must commute with.
+fn scaler(kind: usize) -> OpSpec {
+    match kind % 4 {
+        0 => OpSpec::StandardScaler,
+        1 => OpSpec::MinMaxScaler,
+        2 => OpSpec::MaxAbsScaler,
+        _ => OpSpec::RobustScaler,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn pushdown_preserves_pipeline_outputs(
+        seed in any::<u64>(),
+        scaler_kind in 0usize..4,
+        with_imputer in any::<bool>(),
+        k in 2usize..6,
+        d in 6usize..12,
+    ) {
+        let (x, y) = data(80, d, seed);
+        let mut specs = Vec::new();
+        if with_imputer {
+            specs.push(OpSpec::SimpleImputer { strategy: ImputeStrategy::Mean });
+        }
+        specs.push(scaler(scaler_kind));
+        specs.push(OpSpec::SelectKBest { k });
+        specs.push(OpSpec::LogisticRegression(LinearConfig { epochs: 20, ..Default::default() }));
+        let pipe = fit_pipeline(&specs, &x, &y);
+        let want = pipe.predict_proba(&x);
+
+        // The rewritten pipeline agrees imperatively...
+        let rewritten = optimizer::push_down_feature_selection(&pipe);
+        let got = rewritten.predict_proba(&x);
+        prop_assert!(allclose(&got, &want, 1e-4, 1e-4), "imperative rewrite diverged");
+        // ...and the selector moved ahead of the featurizers.
+        prop_assert_eq!(rewritten.ops[0].signature(), "FeatureSelector");
+
+        // And the fully compiled optimized model agrees too.
+        let model = compile(&pipe, &CompileOptions::default()).unwrap();
+        let compiled = model.predict_proba(&x).unwrap();
+        prop_assert!(allclose(&compiled, &want, 1e-4, 1e-4), "compiled rewrite diverged");
+    }
+
+    #[test]
+    fn injection_preserves_sparse_linear_outputs(
+        seed in any::<u64>(),
+        alpha in 0.005f32..0.08,
+        d in 6usize..14,
+    ) {
+        let (x, y) = data(100, d, seed);
+        let pipe = fit_pipeline(
+            &[
+                OpSpec::StandardScaler,
+                OpSpec::LogisticRegression(LinearConfig {
+                    penalty: Penalty::L1(alpha),
+                    epochs: 150,
+                    ..Default::default()
+                }),
+            ],
+            &x,
+            &y,
+        );
+        let want = pipe.predict_proba(&x);
+        let rewritten = optimizer::optimize_pipeline(&pipe);
+        let got = rewritten.predict_proba(&x);
+        prop_assert!(allclose(&got, &want, 1e-4, 1e-4));
+        let model = compile(&pipe, &CompileOptions::default()).unwrap();
+        let compiled = model.predict_proba(&x).unwrap();
+        prop_assert!(allclose(&compiled, &want, 1e-4, 1e-4));
+    }
+
+    #[test]
+    fn onehot_absorption_preserves_outputs(
+        seed in any::<u64>(),
+        k in 2usize..8,
+        vocab in 2usize..5,
+    ) {
+        // Categorical matrix with per-column vocabularies of size `vocab`.
+        let n = 90;
+        let d = 4;
+        let x = Tensor::from_fn(&[n, d], |i| {
+            let h = (i[0] as u64).wrapping_mul(0x9e3779b97f4a7c15)
+                .wrapping_add(i[1] as u64).wrapping_add(seed);
+            ((h >> 30) % vocab as u64) as f32
+        });
+        let y = Targets::Classes((0..n).map(|i| (i % 2) as i64).collect());
+        let pipe = fit_pipeline(&[OpSpec::OneHotEncoder, OpSpec::SelectKBest { k }], &x, &y);
+        let want = pipe.predict_proba(&x);
+        let rewritten = optimizer::push_down_feature_selection(&pipe);
+        let got = rewritten.predict_proba(&x);
+        prop_assert!(allclose(&got, &want, 1e-5, 1e-5), "absorption diverged");
+        // The trailing selector is gone: the encoder absorbed it.
+        prop_assert!(rewritten.ops.last().unwrap().signature() != "FeatureSelector");
+    }
+}

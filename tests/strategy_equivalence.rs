@@ -1,0 +1,184 @@
+//! Property-based tests of the core compilation invariant: for *any*
+//! tree ensemble, the GEMM, TreeTraversal, and PerfectTreeTraversal
+//! strategies produce the same predictions as the imperative reference
+//! scorer (paper §4.1 — all three are exact rewritings, not
+//! approximations).
+
+use proptest::prelude::*;
+
+use hummingbird::compiler::{compile, CompileOptions, TreeStrategy};
+use hummingbird::ml::ensemble::{Aggregation, Link, TreeEnsemble};
+use hummingbird::ml::metrics::allclose;
+use hummingbird::ml::tree::Tree;
+use hummingbird::pipeline::Pipeline;
+use hummingbird::tensor::Tensor;
+
+/// Builds a random binary tree of at most `depth` with `value_width`
+/// leaf payloads, from a flat randomness vector.
+fn random_tree(
+    depth: usize,
+    n_features: usize,
+    value_width: usize,
+    rand: &mut impl FnMut() -> f32,
+) -> Tree {
+    fn build(
+        depth: usize,
+        n_features: usize,
+        value_width: usize,
+        rand: &mut impl FnMut() -> f32,
+        tree: &mut Tree,
+    ) -> i32 {
+        let id = tree.left.len();
+        tree.left.push(-1);
+        tree.right.push(-1);
+        tree.feature.push(0);
+        tree.threshold.push(0.0);
+        for _ in 0..value_width {
+            tree.values.push(rand() * 2.0 - 1.0);
+        }
+        // ~60% chance of splitting while depth remains.
+        if depth > 0 && rand() < 0.6 {
+            let f = ((rand() * n_features as f32) as usize).min(n_features - 1);
+            let l = build(depth - 1, n_features, value_width, rand, tree);
+            let r = build(depth - 1, n_features, value_width, rand, tree);
+            tree.left[id] = l;
+            tree.right[id] = r;
+            tree.feature[id] = f as u32;
+            tree.threshold[id] = rand() * 2.0 - 1.0;
+        }
+        id as i32
+    }
+    let mut tree = Tree {
+        left: vec![],
+        right: vec![],
+        feature: vec![],
+        threshold: vec![],
+        values: vec![],
+        value_width,
+    };
+    build(depth, n_features, value_width, rand, &mut tree);
+    tree
+}
+
+fn check_strategies(ensemble: TreeEnsemble, x: Tensor<f32>) {
+    let want = ensemble.predict_proba(&x);
+    let pipe = Pipeline::from_op(ensemble);
+    for strategy in
+        [TreeStrategy::Gemm, TreeStrategy::TreeTraversal, TreeStrategy::PerfectTreeTraversal]
+    {
+        let opts = CompileOptions {
+            tree_strategy: strategy,
+            optimize_pipeline: false,
+            ..Default::default()
+        };
+        let model = compile(&pipe, &opts).expect("strategies compile");
+        let got = model.predict_proba(&x).expect("strategies score");
+        prop_assert_eq_ok(&got, &want, strategy.label()).unwrap();
+    }
+}
+
+fn prop_assert_eq_ok(got: &Tensor<f32>, want: &Tensor<f32>, label: &str) -> Result<(), String> {
+    if allclose(got, want, 1e-4, 1e-4) {
+        Ok(())
+    } else {
+        Err(format!(
+            "{label} diverged: got {:?} want {:?}",
+            got.to_vec().iter().take(8).collect::<Vec<_>>(),
+            want.to_vec().iter().take(8).collect::<Vec<_>>()
+        ))
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn random_forest_proba_strategies_agree(
+        seed in any::<u64>(),
+        n_trees in 1usize..6,
+        depth in 0usize..6,
+        n_features in 1usize..8,
+        n_classes in 2usize..5,
+        n_rows in 1usize..40,
+    ) {
+        let mut state = seed | 1;
+        let mut rand = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 40) as f32 / (1u64 << 24) as f32
+        };
+        let trees: Vec<Tree> = (0..n_trees)
+            .map(|_| random_tree(depth, n_features, n_classes, &mut rand))
+            .collect();
+        let ensemble = TreeEnsemble {
+            trees,
+            n_features,
+            n_classes,
+            agg: Aggregation::AverageProba,
+        };
+        let x = Tensor::from_fn(&[n_rows, n_features], |_| rand() * 2.0 - 1.0);
+        check_strategies(ensemble, x);
+    }
+
+    #[test]
+    fn boosted_ensemble_strategies_agree(
+        seed in any::<u64>(),
+        rounds in 1usize..4,
+        n_groups in 1usize..4,
+        depth in 0usize..5,
+        n_features in 1usize..6,
+        n_rows in 1usize..30,
+    ) {
+        let mut state = seed | 1;
+        let mut rand = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 40) as f32 / (1u64 << 24) as f32
+        };
+        let trees: Vec<Tree> = (0..rounds * n_groups)
+            .map(|_| random_tree(depth, n_features, 1, &mut rand))
+            .collect();
+        let base: Vec<f32> = (0..n_groups).map(|_| rand() - 0.5).collect();
+        let link = match n_groups {
+            1 => if rand() < 0.5 { Link::Identity } else { Link::Sigmoid },
+            _ => Link::Softmax,
+        };
+        let n_classes = match link {
+            Link::Identity => 1,
+            Link::Sigmoid => 2,
+            Link::Softmax => n_groups,
+        };
+        let ensemble = TreeEnsemble {
+            trees,
+            n_features,
+            n_classes,
+            agg: Aggregation::SumWithLink { base, link, n_groups },
+        };
+        let x = Tensor::from_fn(&[n_rows, n_features], |_| rand() * 2.0 - 1.0);
+        check_strategies(ensemble, x);
+    }
+
+    #[test]
+    fn thresholds_at_feature_values_stay_exact(
+        seed in any::<u64>(),
+        n_rows in 1usize..20,
+    ) {
+        // Records landing exactly on a threshold exercise the strict `<`
+        // convention; all strategies must agree with the reference.
+        let mut state = seed | 1;
+        let mut rand = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            ((state >> 40) % 5) as f32 * 0.25
+        };
+        let trees: Vec<Tree> = (0..3).map(|_| random_tree(4, 3, 2, &mut rand)).collect();
+        let ensemble =
+            TreeEnsemble { trees, n_features: 3, n_classes: 2, agg: Aggregation::AverageProba };
+        // Features drawn from the same quantized grid as the thresholds.
+        let x = Tensor::from_fn(&[n_rows, 3], |_| rand());
+        check_strategies(ensemble, x);
+    }
+}

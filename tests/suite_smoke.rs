@@ -1,0 +1,41 @@
+//! OpenML-CC18-like suite smoke test (paper §6.3 infrastructure): every
+//! generated random pipeline must fit, compile on the default backend,
+//! and validate against the imperative reference.
+
+use hummingbird::compiler::{compile, CompileOptions};
+use hummingbird::ml::metrics::allclose;
+use hummingbird::pipeline::fit_pipeline;
+
+#[test]
+fn suite_pipelines_fit_compile_and_validate() {
+    let tasks = hummingbird::data::openml_cc18_like(8, 1_200, 48, 77);
+    assert_eq!(tasks.len(), 8);
+    let mut compiled_ok = 0;
+    for (i, task) in tasks.iter().enumerate() {
+        let ds = &task.dataset;
+        let pipe = fit_pipeline(&task.specs, &ds.x_train, &ds.y_train);
+        let want = pipe.predict_proba(&ds.x_test);
+        match compile(&pipe, &CompileOptions::default()) {
+            Ok(model) => {
+                let got = model.predict_proba(&ds.x_test).unwrap();
+                assert!(
+                    allclose(&got, &want, 1e-3, 1e-3),
+                    "task {i}: compiled output diverges"
+                );
+                compiled_ok += 1;
+            }
+            Err(e) => panic!("task {i} failed to compile: {e}"),
+        }
+    }
+    assert_eq!(compiled_ok, tasks.len(), "every suite pipeline must compile");
+}
+
+#[test]
+fn suite_is_deterministic() {
+    let a = hummingbird::data::openml_cc18_like(3, 800, 32, 5);
+    let b = hummingbird::data::openml_cc18_like(3, 800, 32, 5);
+    for (ta, tb) in a.iter().zip(b.iter()) {
+        assert_eq!(ta.dataset.x_train.to_vec(), tb.dataset.x_train.to_vec());
+        assert_eq!(ta.specs.len(), tb.specs.len());
+    }
+}
