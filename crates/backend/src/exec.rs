@@ -1,10 +1,12 @@
 //! Graph executors: the Eager, Script, and Compiled backends.
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
-use hb_tensor::{alloc, DynTensor};
+use hb_tensor::{alloc, DynTensor, Tensor};
 
 use crate::device::{Device, DeviceSpec};
+use crate::fault::FaultPlan;
 use crate::graph::Graph;
 use crate::op::Op;
 use crate::optimize::{optimize, OptStats};
@@ -33,6 +35,20 @@ pub enum ExecError {
         /// Input slot index.
         slot: usize,
     },
+    /// A kernel failed mid-run — either an injected fault or a panic
+    /// caught at the per-node unwind boundary (e.g. a shape mismatch fed
+    /// by a malformed request).
+    Kernel {
+        /// Node whose kernel failed.
+        node: usize,
+        /// The kernel's panic or fault message.
+        message: String,
+    },
+    /// Lowering to the backend failed (injected compile-pass fault).
+    Lowering {
+        /// Description of the lowering failure.
+        message: String,
+    },
 }
 
 impl std::fmt::Display for ExecError {
@@ -45,11 +61,35 @@ impl std::fmt::Display for ExecError {
                 write!(f, "expected {expected} inputs, got {got}")
             }
             ExecError::InputDType { slot } => write!(f, "wrong dtype for input {slot}"),
+            ExecError::Kernel { node, message } => {
+                write!(f, "kernel failure at node {node}: {message}")
+            }
+            ExecError::Lowering { message } => write!(f, "lowering failed: {message}"),
         }
     }
 }
 
 impl std::error::Error for ExecError {}
+
+impl ExecError {
+    /// True for failures that a retry might clear (kernel-level faults);
+    /// request-shaped errors (`InputCount`/`InputDType`) and capacity
+    /// errors (`DeviceOom`) are deterministic and not worth retrying.
+    pub fn is_transient(&self) -> bool {
+        matches!(self, ExecError::Kernel { .. })
+    }
+}
+
+/// Extracts a human-readable message from a caught panic payload.
+fn panic_message(p: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = p.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = p.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "kernel panicked".to_string()
+    }
+}
 
 /// Measurements from one execution.
 #[derive(Debug, Clone, Default)]
@@ -90,6 +130,8 @@ pub struct Executable {
     opt_stats: Option<OptStats>,
     compile_time: Duration,
     pool: Option<rayon::ThreadPool>,
+    faults: FaultPlan,
+    runs: AtomicU64,
 }
 
 impl Executable {
@@ -99,8 +141,32 @@ impl Executable {
     /// nothing, Script plans buffer lifetimes, Compiled additionally runs
     /// the whole optimization pipeline.
     pub fn new(graph: Graph, backend: Backend, device: Device) -> Executable {
+        match Executable::try_new_with_faults(graph, backend, device, FaultPlan::none()) {
+            Ok(exe) => exe,
+            // Unreachable with no faults; try_new only fails on injection.
+            Err(e) => panic!("fault-free lowering failed: {e}"),
+        }
+    }
+
+    /// Lowers `graph` with a [`FaultPlan`] attached.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExecError::Lowering`] when the plan injects a
+    /// compile-pass failure and `backend` is [`Backend::Compiled`].
+    pub fn try_new_with_faults(
+        graph: Graph,
+        backend: Backend,
+        device: Device,
+        faults: FaultPlan,
+    ) -> Result<Executable, ExecError> {
         let start = Instant::now();
         graph.validate();
+        if faults.compile_fail && backend == Backend::Compiled {
+            return Err(ExecError::Lowering {
+                message: "injected optimization-pass failure".to_string(),
+            });
+        }
         let (graph, refcounts, opt_stats) = match backend {
             Backend::Eager => (graph, None, None),
             Backend::Script => {
@@ -113,6 +179,7 @@ impl Executable {
                 (g, Some(rc), Some(stats))
             }
         };
+        #[allow(clippy::disallowed_methods)] // invariant, message documents it
         let pool = match device {
             Device::Cpu { threads } if threads > 0 => Some(
                 rayon::ThreadPoolBuilder::new()
@@ -122,7 +189,7 @@ impl Executable {
             ),
             _ => None,
         };
-        Executable {
+        Ok(Executable {
             graph,
             backend,
             device,
@@ -130,7 +197,9 @@ impl Executable {
             opt_stats,
             compile_time: start.elapsed(),
             pool,
-        }
+            faults,
+            runs: AtomicU64::new(0),
+        })
     }
 
     /// Lowers `graph` like the Compiled backend but with selected
@@ -144,6 +213,7 @@ impl Executable {
         graph.validate();
         let (g, stats) = crate::optimize::optimize_with(&graph, toggles);
         let rc = compute_refcounts(&g);
+        #[allow(clippy::disallowed_methods)] // invariant, message documents it
         let pool = match device {
             Device::Cpu { threads } if threads > 0 => Some(
                 rayon::ThreadPoolBuilder::new()
@@ -161,6 +231,8 @@ impl Executable {
             opt_stats: Some(stats),
             compile_time: start.elapsed(),
             pool,
+            faults: FaultPlan::none(),
+            runs: AtomicU64::new(0),
         }
     }
 
@@ -206,7 +278,11 @@ impl Executable {
                 got: inputs.len(),
             });
         }
-        for (slot, (t, dt)) in inputs.iter().zip(self.graph.input_dtypes.iter()).enumerate() {
+        for (slot, (t, dt)) in inputs
+            .iter()
+            .zip(self.graph.input_dtypes.iter())
+            .enumerate()
+        {
             if t.dtype() != *dt {
                 return Err(ExecError::InputDType { slot });
             }
@@ -226,8 +302,12 @@ impl Executable {
             let v = match &node.op {
                 Op::Input(slot) => inputs[*slot].clone(),
                 op => {
-                    let ins: Vec<&DynTensor> =
-                        node.inputs.iter().map(|&i| vals[i].as_ref().unwrap()).collect();
+                    #[allow(clippy::disallowed_methods)] // freed-too-early is a planner bug
+                    let ins: Vec<&DynTensor> = node
+                        .inputs
+                        .iter()
+                        .map(|&i| vals[i].as_ref().expect("executor: operand freed too early"))
+                        .collect();
                     op.eval(&ins)
                 }
             };
@@ -239,6 +319,18 @@ impl Executable {
     }
 
     fn execute(&self, inputs: &[DynTensor]) -> Result<(Vec<DynTensor>, RunStats), ExecError> {
+        let run_index = self.runs.fetch_add(1, Ordering::Relaxed);
+        let faults_active = !self.faults.is_none() && self.faults.active_for_run(run_index);
+        if faults_active && self.faults.oom {
+            let capacity = match &self.device {
+                Device::Sim(s) => s.mem_bytes,
+                Device::Cpu { .. } => 0,
+            };
+            return Err(ExecError::DeviceOom {
+                needed: u64::MAX,
+                capacity,
+            });
+        }
         let spec: Option<&DeviceSpec> = match &self.device {
             Device::Sim(s) => Some(s),
             Device::Cpu { .. } => None,
@@ -279,12 +371,28 @@ impl Executable {
             let out = match &node.op {
                 Op::Input(slot) => inputs[*slot].clone(),
                 op => {
+                    #[allow(clippy::disallowed_methods)] // freed-too-early is a planner bug
                     let ins: Vec<&DynTensor> = node
                         .inputs
                         .iter()
                         .map(|&i| vals[i].as_ref().expect("executor: operand freed too early"))
                         .collect();
-                    let out = op.eval(&ins);
+                    // Per-node unwind boundary: kernels validate shapes by
+                    // panicking (trusted-graph fast path), so a malformed
+                    // request that slips past input validation surfaces
+                    // here as a typed error instead of unwinding through
+                    // the serving stack.
+                    let out = match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        op.eval(&ins)
+                    })) {
+                        Ok(v) => v,
+                        Err(p) => {
+                            return Err(ExecError::Kernel {
+                                node: id,
+                                message: panic_message(p),
+                            })
+                        }
+                    };
                     let cost = op.cost(&ins, &out);
                     if !cost.metadata_only {
                         stats.kernel_launches += 1;
@@ -292,6 +400,17 @@ impl Executable {
                         stats.bytes += cost.bytes;
                         if let Some(s) = spec {
                             sim_time += s.kernel_time(cost.flops, cost.bytes);
+                        }
+                        if faults_active {
+                            if let Some(d) = self.faults.slow_kernel {
+                                std::thread::sleep(d);
+                            }
+                            if self.faults.kernel_error {
+                                return Err(ExecError::Kernel {
+                                    node: id,
+                                    message: "injected kernel fault".to_string(),
+                                });
+                            }
                         }
                     }
                     if spec.is_some() && !matches!(op, Op::Const(_)) {
@@ -322,18 +441,49 @@ impl Executable {
         }
 
         if let Some(s) = spec {
-            let out_bytes: f64 =
-                self.graph.outputs.iter().map(|&o| vals[o].as_ref().unwrap().nbytes() as f64).sum();
+            #[allow(clippy::disallowed_methods)] // outputs are pinned by refcounting
+            let out_bytes: f64 = self
+                .graph
+                .outputs
+                .iter()
+                .map(|&o| {
+                    vals[o]
+                        .as_ref()
+                        .expect("executor: output freed before return")
+                        .nbytes() as f64
+                })
+                .sum();
             sim_time += s.transfer_time(out_bytes);
             stats.simulated = Some(Duration::from_secs_f64(sim_time));
             stats.sim_peak_bytes = sim_peak;
             if sim_peak > s.mem_bytes {
-                return Err(ExecError::DeviceOom { needed: sim_peak, capacity: s.mem_bytes });
+                return Err(ExecError::DeviceOom {
+                    needed: sim_peak,
+                    capacity: s.mem_bytes,
+                });
             }
         }
 
-        let outputs: Vec<DynTensor> =
-            self.graph.outputs.iter().map(|&o| vals[o].clone().unwrap()).collect();
+        #[allow(clippy::disallowed_methods)] // outputs are pinned by refcounting
+        let mut outputs: Vec<DynTensor> = self
+            .graph
+            .outputs
+            .iter()
+            .map(|&o| {
+                vals[o]
+                    .clone()
+                    .expect("executor: output freed before return")
+            })
+            .collect();
+        if faults_active && self.faults.nan_poison {
+            // Silent corruption: replace f32 outputs with NaN while still
+            // reporting success. Downstream output validation must catch it.
+            for out in &mut outputs {
+                if let DynTensor::F32(t) = out {
+                    *out = DynTensor::F32(Tensor::from_fn(t.shape(), |_| f32::NAN));
+                }
+            }
+        }
         stats.wall = start.elapsed();
         stats.peak_tensor_bytes = alloc::peak_bytes().saturating_sub(host_before);
         Ok((outputs, stats))
@@ -393,15 +543,29 @@ mod tests {
         let compiled = Executable::new(linear_graph(), Backend::Compiled, Device::cpu());
         let (_, es) = eager.run_with_stats(&[sample_input()]).unwrap();
         let (_, cs) = compiled.run_with_stats(&[sample_input()]).unwrap();
-        assert!(cs.kernel_launches < es.kernel_launches, "{} !< {}", cs.kernel_launches, es.kernel_launches);
+        assert!(
+            cs.kernel_launches < es.kernel_launches,
+            "{} !< {}",
+            cs.kernel_launches,
+            es.kernel_launches
+        );
     }
 
     #[test]
     fn input_validation_errors() {
         let exe = Executable::new(linear_graph(), Backend::Script, Device::cpu());
-        assert!(matches!(exe.run(&[]), Err(ExecError::InputCount { expected: 1, got: 0 })));
+        assert!(matches!(
+            exe.run(&[]),
+            Err(ExecError::InputCount {
+                expected: 1,
+                got: 0
+            })
+        ));
         let wrong = DynTensor::I64(Tensor::from_vec(vec![1i64], &[1]));
-        assert!(matches!(exe.run(&[wrong]), Err(ExecError::InputDType { slot: 0 })));
+        assert!(matches!(
+            exe.run(&[wrong]),
+            Err(ExecError::InputDType { slot: 0 })
+        ));
     }
 
     #[test]
@@ -416,7 +580,10 @@ mod tests {
 
     #[test]
     fn simulated_oom_on_tiny_device() {
-        let tiny = DeviceSpec { mem_bytes: 48, ..K80 };
+        let tiny = DeviceSpec {
+            mem_bytes: 48,
+            ..K80
+        };
         let exe = Executable::new(linear_graph(), Backend::Script, Device::Sim(tiny));
         match exe.run(&[sample_input()]) {
             Err(ExecError::DeviceOom { .. }) => {}

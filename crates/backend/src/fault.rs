@@ -1,0 +1,105 @@
+//! Fault injection for chaos testing the serving stack.
+//!
+//! A [`FaultPlan`] is attached to an [`crate::Executable`] at lowering
+//! time and deterministically triggers the failure modes a production
+//! serving runtime must survive: device OOM, slow kernels (deadline
+//! pressure), kernel errors, compile-pass failures, and NaN poisoning
+//! (silent corruption that the serving layer must *detect*, since the
+//! executor reports success).
+//!
+//! Everything here is simulation — no fault actually exhausts memory or
+//! corrupts unrelated state. The point is that `hb-serve`'s degradation
+//! ladder and the chaos test suite can prove that every fault either
+//! surfaces as a typed error or is masked by a lower rung producing
+//! correct output.
+
+use std::time::Duration;
+
+/// Which executions a fault applies to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FaultScope {
+    /// Fault fires on every run.
+    #[default]
+    Always,
+    /// Fault fires on the first `n` runs, then the executable recovers —
+    /// models transient faults that retry-with-backoff should absorb.
+    FirstRuns(u32),
+}
+
+/// A deterministic fault-injection plan.
+///
+/// The default plan injects nothing. Each field independently enables
+/// one failure mode; the chaos suite exercises every combination.
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    /// Pretend the device ran out of memory: every run fails with
+    /// [`crate::ExecError::DeviceOom`].
+    pub oom: bool,
+    /// Sleep this long per (non-metadata) kernel launch, simulating a
+    /// degraded device or noisy neighbor. Surfaces as deadline misses in
+    /// the serving layer, never as an error here.
+    pub slow_kernel: Option<Duration>,
+    /// Fail the first kernel launch of a run with
+    /// [`crate::ExecError::Kernel`].
+    pub kernel_error: bool,
+    /// Fail lowering to the `Compiled` backend, simulating an
+    /// optimization-pass bug. Eager/Script lowering is unaffected, which
+    /// is exactly what lets the serving ladder degrade around it.
+    pub compile_fail: bool,
+    /// Overwrite every f32 output with NaN *after* a successful run —
+    /// silent corruption. The executor still returns `Ok`; detecting
+    /// this is the serving layer's job.
+    pub nan_poison: bool,
+    /// How long run-time faults (`oom`, `slow_kernel`, `kernel_error`,
+    /// `nan_poison`) persist.
+    pub scope: FaultScope,
+}
+
+impl FaultPlan {
+    /// A plan that injects nothing.
+    pub fn none() -> FaultPlan {
+        FaultPlan::default()
+    }
+
+    /// True if no fault is enabled.
+    pub fn is_none(&self) -> bool {
+        !self.oom
+            && self.slow_kernel.is_none()
+            && !self.kernel_error
+            && !self.compile_fail
+            && !self.nan_poison
+    }
+
+    /// True if run-time faults should fire for the `run_index`-th
+    /// execution (0-based).
+    pub fn active_for_run(&self, run_index: u64) -> bool {
+        match self.scope {
+            FaultScope::Always => true,
+            FaultScope::FirstRuns(n) => run_index < u64::from(n),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_plan_is_inert() {
+        let p = FaultPlan::none();
+        assert!(p.is_none());
+        assert!(p.active_for_run(0));
+    }
+
+    #[test]
+    fn first_runs_scope_expires() {
+        let p = FaultPlan {
+            kernel_error: true,
+            scope: FaultScope::FirstRuns(2),
+            ..FaultPlan::none()
+        };
+        assert!(p.active_for_run(0));
+        assert!(p.active_for_run(1));
+        assert!(!p.active_for_run(2));
+    }
+}

@@ -22,7 +22,7 @@ use crate::graph::{Graph, Node, NodeId};
 use crate::op::Op;
 
 /// One stack-machine instruction of a fused kernel.
-#[derive(Clone, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub enum Instr {
     /// Push external input `k` (as f32).
     Load(usize),
@@ -115,7 +115,7 @@ enum FastPath {
 }
 
 /// A fused element-wise kernel: a bytecode program over broadcast inputs.
-#[derive(Clone, Debug, serde::Serialize)]
+#[derive(Clone, Debug)]
 pub struct FusedKernel {
     /// Number of external tensor inputs.
     pub n_inputs: usize,
@@ -123,25 +123,41 @@ pub struct FusedKernel {
     pub out_dtype: DType,
     program: Vec<Instr>,
     /// Peak operand-stack depth (precomputed for register allocation).
-    #[serde(skip)]
     max_depth: usize,
     /// Short-program specialization.
-    #[serde(skip)]
     fast: FastPath,
 }
 
+impl hb_json::ToJson for FusedKernel {
+    fn to_json(&self) -> hb_json::Json {
+        hb_json::Json::Obj(vec![
+            (
+                "n_inputs".to_string(),
+                hb_json::ToJson::to_json(&self.n_inputs),
+            ),
+            (
+                "out_dtype".to_string(),
+                hb_json::ToJson::to_json(&self.out_dtype),
+            ),
+            (
+                "program".to_string(),
+                hb_json::ToJson::to_json(&self.program),
+            ),
+        ])
+    }
+}
+
 // Deserialization rebuilds the derived fields through the validating
-// constructor.
-impl<'de> serde::Deserialize<'de> for FusedKernel {
-    fn deserialize<D: serde::Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
-        #[derive(serde::Deserialize)]
-        struct Raw {
-            n_inputs: usize,
-            out_dtype: DType,
-            program: Vec<Instr>,
-        }
-        let raw = Raw::deserialize(d)?;
-        Ok(FusedKernel::new(raw.n_inputs, raw.out_dtype, raw.program))
+// constructor, so a hostile artifact cannot smuggle in a program that
+// underflows its stack or loads out-of-range inputs.
+impl hb_json::FromJson for FusedKernel {
+    fn from_json(v: &hb_json::Json) -> Result<Self, hb_json::JsonError> {
+        let pairs = v.expect_obj("FusedKernel")?;
+        let n_inputs = hb_json::field(pairs, "n_inputs", "FusedKernel")?;
+        let out_dtype = hb_json::field(pairs, "out_dtype", "FusedKernel")?;
+        let program = hb_json::field(pairs, "program", "FusedKernel")?;
+        FusedKernel::try_new(n_inputs, out_dtype, program)
+            .map_err(|e| hb_json::JsonError::Schema(format!("FusedKernel: {e}")))
     }
 }
 
@@ -209,13 +225,30 @@ impl FusedKernel {
     ///
     /// # Panics
     ///
-    /// Panics if the program underflows its stack or leaves anything but
-    /// one value on it.
+    /// Panics if the program fails [`FusedKernel::try_new`] verification
+    /// (an internal invariant for compiler-produced programs).
     pub fn new(n_inputs: usize, out_dtype: DType, program: Vec<Instr>) -> Self {
+        match FusedKernel::try_new(n_inputs, out_dtype, program) {
+            Ok(k) => k,
+            Err(e) => panic!("fuser produced an invalid kernel program: {e}"),
+        }
+    }
+
+    /// Verifies and creates a kernel from a possibly-untrusted program:
+    /// the stack must never underflow, every `Load` must address a real
+    /// input slot, and exactly one value must remain at the end.
+    pub fn try_new(n_inputs: usize, out_dtype: DType, program: Vec<Instr>) -> Result<Self, String> {
         // Static verification doubles as depth computation.
         let mut depth = 0usize;
         let mut max_depth = 0usize;
         for ins in &program {
+            if let Instr::Load(k) = ins {
+                if *k >= n_inputs {
+                    return Err(format!(
+                        "program loads input {k} but the kernel has {n_inputs} inputs"
+                    ));
+                }
+            }
             let (pops, pushes) = match ins {
                 Instr::Load(_) | Instr::Imm(_) => (0, 1),
                 Instr::Select => (3, 1),
@@ -236,13 +269,25 @@ impl FusedKernel {
                 | Instr::Xor => (2, 1),
                 _ => (1, 1),
             };
-            assert!(depth >= pops, "fused program underflows its stack");
+            if depth < pops {
+                return Err("program underflows its stack".to_string());
+            }
             depth = depth - pops + pushes;
             max_depth = max_depth.max(depth);
         }
-        assert_eq!(depth, 1, "fused program must leave exactly one value");
+        if depth != 1 {
+            return Err(format!(
+                "program must leave exactly one value, leaves {depth}"
+            ));
+        }
         let fast = detect_fast(&program);
-        FusedKernel { n_inputs, out_dtype, program, max_depth, fast }
+        Ok(FusedKernel {
+            n_inputs,
+            out_dtype,
+            program,
+            max_depth,
+            fast,
+        })
     }
 
     /// Number of instructions (used for cost estimation).
@@ -357,20 +402,26 @@ impl FusedKernel {
     /// Evaluates the kernel over broadcast inputs, producing one tensor in
     /// a single pass (one "kernel launch").
     pub fn eval(&self, inputs: &[&DynTensor]) -> DynTensor {
-        assert_eq!(inputs.len(), self.n_inputs, "fused kernel input count mismatch");
+        assert_eq!(
+            inputs.len(),
+            self.n_inputs,
+            "fused kernel input count mismatch"
+        );
         // Convert every input to a contiguous f32 buffer (bools → 0/1).
         let bufs: Vec<Tensor<f32>> = inputs
             .iter()
             .map(|t| match t {
                 DynTensor::F32(t) => t.to_contiguous(),
-                DynTensor::Bool(t) => t.map(|v| f32::from(v)),
+                DynTensor::Bool(t) => t.map(f32::from),
                 DynTensor::I64(t) => t.map(|v| v as f32),
                 DynTensor::U8(t) => t.map(|v| v as f32),
             })
             .collect();
         let mut shape: Vec<usize> = Vec::new();
         for b in &bufs {
-            shape = broadcast_shapes(&shape, b.shape()).expect("fused kernel broadcast");
+            #[allow(clippy::disallowed_methods)] // fusion only groups broadcast-compatible ops
+            let merged = broadcast_shapes(&shape, b.shape()).expect("fused kernel broadcast");
+            shape = merged;
         }
         let n = numel(&shape);
         let out_strides = contiguous_strides(&shape);
@@ -391,9 +442,11 @@ impl FusedKernel {
         // odometer advances once per output row instead of once per
         // element, and inputs are read straight from their slices.
         if !matches!(self.fast, FastPath::None) && !shape.is_empty() {
-            let inner = *shape.last().unwrap();
+            #[allow(clippy::disallowed_methods)] // invariant, message documents it
+            let inner = *shape.last().expect("fused kernel output has rank >= 1");
             let ok = strides.iter().all(|st| {
-                let s = *st.last().unwrap();
+                #[allow(clippy::disallowed_methods)] // strides mirror the non-empty shape
+                let s = *st.last().expect("fused kernel stride has rank >= 1");
                 s == 0 || s == 1
             });
             if ok && inner > 0 {
@@ -401,8 +454,9 @@ impl FusedKernel {
                 let outer_shape = &shape[..shape.len() - 1];
                 let mut out = vec![0.0f32; n];
                 let row_chunk = (rows / (rayon::current_num_threads() * 4).max(1)).max(64);
-                out.par_chunks_mut(row_chunk * inner).enumerate().for_each(
-                    |(ci, ochunk)| {
+                out.par_chunks_mut(row_chunk * inner)
+                    .enumerate()
+                    .for_each(|(ci, ochunk)| {
                         let row0 = ci * row_chunk;
                         // Per-input row base offsets from the outer index.
                         let mut idx = vec![0usize; outer_shape.len()];
@@ -414,11 +468,19 @@ impl FusedKernel {
                         let mut bases: Vec<isize> = strides
                             .iter()
                             .map(|st| {
-                                idx.iter().zip(st.iter()).map(|(&i, &v)| i as isize * v).sum()
+                                idx.iter()
+                                    .zip(st.iter())
+                                    .map(|(&i, &v)| i as isize * v)
+                                    .sum()
                             })
                             .collect();
-                        let inner_strides: Vec<usize> =
-                            strides.iter().map(|st| *st.last().unwrap() as usize).collect();
+                        #[allow(clippy::disallowed_methods)] // strides mirror the non-empty shape
+                        let inner_strides: Vec<usize> = strides
+                            .iter()
+                            .map(|st| {
+                                *st.last().expect("fused kernel stride has rank >= 1") as usize
+                            })
+                            .collect();
                         for orow in ochunk.chunks_mut(inner) {
                             match self.fast {
                                 FastPath::Bin2(a, b, f) => {
@@ -462,8 +524,7 @@ impl FusedKernel {
                                 idx[d] = 0;
                             }
                         }
-                    },
-                );
+                    });
                 return match self.out_dtype {
                     DType::F32 => DynTensor::F32(Tensor::from_vec(out, &shape)),
                     DType::Bool => DynTensor::Bool(Tensor::from_vec(
@@ -477,96 +538,106 @@ impl FusedKernel {
 
         let chunk = (n / (rayon::current_num_threads() * 4).max(1)).max(4096);
         let mut out = vec![0.0f32; n];
-        out.par_chunks_mut(chunk).enumerate().for_each(|(ci, ochunk)| {
-            let start = ci * chunk;
-            // Unravel the chunk start into a multi-index, then walk an
-            // odometer to keep per-input offsets incremental.
-            let mut idx = vec![0usize; shape.len()];
-            let mut rem = start;
-            for d in 0..shape.len() {
-                if out_strides[d] > 0 {
-                    idx[d] = rem / out_strides[d] as usize;
-                    rem %= out_strides[d] as usize;
-                }
-            }
-            let mut offs: Vec<isize> = strides
-                .iter()
-                .map(|s| idx.iter().zip(s.iter()).map(|(&i, &st)| i as isize * st).sum())
-                .collect();
-            // Inputs whose layout equals the output's read by bulk copy;
-            // only genuinely-broadcast inputs walk the odometer.
-            let generic: Vec<usize> = (0..slices.len())
-                .filter(|&k| strides[k] != out_strides)
-                .collect();
-            // Vector registers: one block of gathered values per input,
-            // plus the operand stack.
-            let mut vals: Vec<Vec<f32>> = vec![vec![0.0; BLOCK]; slices.len()];
-            let mut regs: Vec<Vec<f32>> = vec![vec![0.0; BLOCK]; self.max_depth.max(1)];
-            let mut done = 0usize;
-            while done < ochunk.len() {
-                let len = BLOCK.min(ochunk.len() - done);
-                for (k, s) in slices.iter().enumerate() {
-                    if strides[k] == out_strides {
-                        let flat = start + done;
-                        vals[k][..len].copy_from_slice(&s[flat..flat + len]);
+        out.par_chunks_mut(chunk)
+            .enumerate()
+            .for_each(|(ci, ochunk)| {
+                let start = ci * chunk;
+                // Unravel the chunk start into a multi-index, then walk an
+                // odometer to keep per-input offsets incremental.
+                let mut idx = vec![0usize; shape.len()];
+                let mut rem = start;
+                for d in 0..shape.len() {
+                    if out_strides[d] > 0 {
+                        idx[d] = rem / out_strides[d] as usize;
+                        rem %= out_strides[d] as usize;
                     }
                 }
-                if generic.is_empty() {
-                    // Keep the odometer position coherent for mixed
-                    // blocks later in the chunk.
-                } else {
-                    for j in 0..len {
-                        for &k in &generic {
-                            vals[k][j] = slices[k][offs[k] as usize];
+                let mut offs: Vec<isize> = strides
+                    .iter()
+                    .map(|s| {
+                        idx.iter()
+                            .zip(s.iter())
+                            .map(|(&i, &st)| i as isize * st)
+                            .sum()
+                    })
+                    .collect();
+                // Inputs whose layout equals the output's read by bulk copy;
+                // only genuinely-broadcast inputs walk the odometer.
+                let generic: Vec<usize> = (0..slices.len())
+                    .filter(|&k| strides[k] != out_strides)
+                    .collect();
+                // Vector registers: one block of gathered values per input,
+                // plus the operand stack.
+                let mut vals: Vec<Vec<f32>> = vec![vec![0.0; BLOCK]; slices.len()];
+                let mut regs: Vec<Vec<f32>> = vec![vec![0.0; BLOCK]; self.max_depth.max(1)];
+                let mut done = 0usize;
+                while done < ochunk.len() {
+                    let len = BLOCK.min(ochunk.len() - done);
+                    for (k, s) in slices.iter().enumerate() {
+                        if strides[k] == out_strides {
+                            let flat = start + done;
+                            vals[k][..len].copy_from_slice(&s[flat..flat + len]);
                         }
-                        for d in (0..shape.len()).rev() {
-                            idx[d] += 1;
+                    }
+                    if generic.is_empty() {
+                        // Keep the odometer position coherent for mixed
+                        // blocks later in the chunk.
+                    } else {
+                        // The odometer advances several parallel buffers per
+                        // element; an index loop is the clear form here.
+                        #[allow(clippy::needless_range_loop)]
+                        for j in 0..len {
                             for &k in &generic {
-                                offs[k] += strides[k][d];
+                                vals[k][j] = slices[k][offs[k] as usize];
                             }
-                            if idx[d] < shape[d] {
-                                break;
+                            for d in (0..shape.len()).rev() {
+                                idx[d] += 1;
+                                for &k in &generic {
+                                    offs[k] += strides[k][d];
+                                }
+                                if idx[d] < shape[d] {
+                                    break;
+                                }
+                                for &k in &generic {
+                                    offs[k] -= strides[k][d] * shape[d] as isize;
+                                }
+                                idx[d] = 0;
                             }
-                            for &k in &generic {
-                                offs[k] -= strides[k][d] * shape[d] as isize;
-                            }
-                            idx[d] = 0;
                         }
                     }
+                    let outb = &mut ochunk[done..done + len];
+                    match self.fast {
+                        FastPath::Bin2(a, b, f) => {
+                            for j in 0..len {
+                                outb[j] = f(vals[a][j], vals[b][j]);
+                            }
+                        }
+                        FastPath::BinImm(a, c, f) => {
+                            for j in 0..len {
+                                outb[j] = f(vals[a][j], c);
+                            }
+                        }
+                        FastPath::Un(a, f) => {
+                            for j in 0..len {
+                                outb[j] = f(vals[a][j]);
+                            }
+                        }
+                        FastPath::None => self.eval_block(&vals, &mut regs, len, outb),
+                    }
+                    done += len;
                 }
-                let outb = &mut ochunk[done..done + len];
-                match self.fast {
-                    FastPath::Bin2(a, b, f) => {
-                        for j in 0..len {
-                            outb[j] = f(vals[a][j], vals[b][j]);
-                        }
-                    }
-                    FastPath::BinImm(a, c, f) => {
-                        for j in 0..len {
-                            outb[j] = f(vals[a][j], c);
-                        }
-                    }
-                    FastPath::Un(a, f) => {
-                        for j in 0..len {
-                            outb[j] = f(vals[a][j]);
-                        }
-                    }
-                    FastPath::None => self.eval_block(&vals, &mut regs, len, outb),
-                }
-                done += len;
-            }
-        });
+            });
 
         match self.out_dtype {
             DType::F32 => DynTensor::F32(Tensor::from_vec(out, &shape)),
-            DType::Bool => {
-                DynTensor::Bool(Tensor::from_vec(out.iter().map(|&v| v != 0.0).collect(), &shape))
-            }
+            DType::Bool => DynTensor::Bool(Tensor::from_vec(
+                out.iter().map(|&v| v != 0.0).collect(),
+                &shape,
+            )),
             other => panic!("fused kernel cannot produce {other:?}"),
         }
     }
 }
-
 
 /// Returns the instruction implementing `op` within a fused kernel, or
 /// `None` if the op is not fusible.
@@ -612,8 +683,7 @@ fn fusible_instr(op: &Op) -> Option<Instr> {
 /// True if `node`'s value can live inside a fused kernel: its op has an
 /// instruction and all dataflow is f32/bool.
 fn is_fusible(node: &Node, dtypes: &[DType], node_id: NodeId) -> bool {
-    let ok_dtype =
-        |dt: DType| matches!(dt, DType::F32 | DType::Bool);
+    let ok_dtype = |dt: DType| matches!(dt, DType::F32 | DType::Bool);
     if !ok_dtype(dtypes[node_id]) {
         return false;
     }
@@ -681,8 +751,10 @@ pub fn fuse_elementwise(graph: &Graph) -> (Graph, usize) {
         emit(graph, &cluster, root, root, &mut program, &mut ext_inputs);
         kernels += 1;
         let kernel = FusedKernel::new(ext_inputs.len(), dtypes[root], program);
-        new_graph.nodes[root] =
-            Node { op: Op::Fused(std::sync::Arc::new(kernel)), inputs: ext_inputs };
+        new_graph.nodes[root] = Node {
+            op: Op::Fused(std::sync::Arc::new(kernel)),
+            inputs: ext_inputs,
+        };
     }
     (new_graph, kernels)
 }
@@ -730,9 +802,8 @@ fn emit(
     match &node.op {
         // bool→f32 cast is the identity on the 0/1 kernel representation.
         Op::Cast(DType::F32) => {}
-        op => program.push(
-            fusible_instr(op).unwrap_or_else(|| panic!("unfusible op in cluster: {op:?}")),
-        ),
+        op => program
+            .push(fusible_instr(op).unwrap_or_else(|| panic!("unfusible op in cluster: {op:?}"))),
     }
 }
 
@@ -741,6 +812,44 @@ fn emit(
 fn fusible_or_skip(op: &Op) -> bool {
     matches!(op, Op::Cast(DType::F32)) || fusible_instr(op).is_some()
 }
+
+// JSON artifact impls for the kernel bytecode (replacing the former
+// serde derive).
+hb_json::json_enum!(Instr {
+    Load(usize),
+    Imm(f32),
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Min,
+    Max,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    Eq,
+    Ne,
+    And,
+    Or,
+    Xor,
+    Not,
+    Select,
+    Relu,
+    Sigmoid,
+    Tanh,
+    Exp,
+    Ln,
+    Sqrt,
+    Abs,
+    Neg,
+    IsNan,
+    Clamp(f32, f32),
+    Pow(f32),
+    AddImm(f32),
+    MulImm(f32),
+    Bool01,
+});
 
 #[cfg(test)]
 mod tests {
@@ -753,7 +862,12 @@ mod tests {
         let k = FusedKernel::new(
             2,
             DType::F32,
-            vec![Instr::Load(0), Instr::Load(1), Instr::Add, Instr::MulImm(2.0)],
+            vec![
+                Instr::Load(0),
+                Instr::Load(1),
+                Instr::Add,
+                Instr::MulImm(2.0),
+            ],
         );
         let a = DynTensor::F32(Tensor::from_vec(vec![1.0, 2.0], &[2]));
         let b = DynTensor::F32(Tensor::from_vec(vec![10.0, 20.0], &[2]));
@@ -762,12 +876,19 @@ mod tests {
 
     #[test]
     fn kernel_broadcasts_inputs() {
-        let k = FusedKernel::new(2, DType::F32, vec![Instr::Load(0), Instr::Load(1), Instr::Add]);
+        let k = FusedKernel::new(
+            2,
+            DType::F32,
+            vec![Instr::Load(0), Instr::Load(1), Instr::Add],
+        );
         let a = DynTensor::F32(Tensor::from_vec(vec![1.0, 2.0], &[2, 1]));
         let b = DynTensor::F32(Tensor::from_vec(vec![10.0, 20.0, 30.0], &[1, 3]));
         let out = k.eval(&[&a, &b]);
         assert_eq!(out.shape(), &[2, 3]);
-        assert_eq!(out.as_f32().to_vec(), vec![11.0, 21.0, 31.0, 12.0, 22.0, 32.0]);
+        assert_eq!(
+            out.as_f32().to_vec(),
+            vec![11.0, 21.0, 31.0, 12.0, 22.0, 32.0]
+        );
     }
 
     #[test]
@@ -856,13 +977,19 @@ mod tests {
             let v = match &node.op {
                 Op::Input(slot) => inputs[*slot].clone(),
                 op => {
-                    let ins: Vec<&DynTensor> =
-                        node.inputs.iter().map(|&i| vals[i].as_ref().unwrap()).collect();
+                    let ins: Vec<&DynTensor> = node
+                        .inputs
+                        .iter()
+                        .map(|&i| vals[i].as_ref().unwrap())
+                        .collect();
                     op.eval(&ins)
                 }
             };
             vals[id] = Some(v);
         }
-        g.outputs.iter().map(|&o| vals[o].clone().unwrap()).collect()
+        g.outputs
+            .iter()
+            .map(|&o| vals[o].clone().unwrap())
+            .collect()
     }
 }

@@ -8,7 +8,7 @@ use crate::op::Op;
 pub type NodeId = usize;
 
 /// One operator application in the DAG.
-#[derive(Clone, Debug, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Debug)]
 pub struct Node {
     /// The operator.
     pub op: Op,
@@ -16,9 +16,11 @@ pub struct Node {
     pub inputs: Vec<NodeId>,
 }
 
+hb_json::json_struct!(Node { op, inputs });
+
 /// A tensor computation DAG in topological order (every node's inputs
 /// precede it).
-#[derive(Clone, Debug, Default, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Debug, Default)]
 pub struct Graph {
     /// Nodes in topological order.
     pub nodes: Vec<Node>,
@@ -26,6 +28,112 @@ pub struct Graph {
     pub outputs: Vec<NodeId>,
     /// Dtype of each graph input slot.
     pub input_dtypes: Vec<DType>,
+}
+
+hb_json::json_struct!(Graph {
+    nodes,
+    outputs,
+    input_dtypes
+});
+
+/// Structural defect found while validating a graph, typically one
+/// deserialized from an untrusted artifact.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GraphError {
+    /// The artifact was not valid JSON or did not match the schema.
+    Artifact(String),
+    /// A node reads from a node at an equal or later position — a
+    /// forward reference, cycle, or out-of-range id (topological order
+    /// excludes all three).
+    ForwardReference {
+        /// Offending node.
+        node: NodeId,
+        /// The input id it referenced.
+        input: NodeId,
+    },
+    /// A node has the wrong number of inputs for its operator.
+    Arity {
+        /// Offending node.
+        node: NodeId,
+        /// Inputs the operator requires.
+        expected: usize,
+        /// Inputs the node actually lists.
+        got: usize,
+    },
+    /// An `Input` node references a slot with no registered dtype.
+    UnregisteredInput {
+        /// Offending node.
+        node: NodeId,
+        /// The unregistered slot.
+        slot: usize,
+        /// Number of registered input slots.
+        registered: usize,
+    },
+    /// A graph output references a nonexistent node.
+    OutputOutOfRange {
+        /// The offending output id.
+        output: NodeId,
+        /// Number of nodes in the graph.
+        len: usize,
+    },
+    /// Operand dtypes are inconsistent with what the operator executes on.
+    DTypeMismatch {
+        /// Offending node.
+        node: NodeId,
+        /// Human-readable description of the mismatch.
+        detail: String,
+    },
+    /// A `Reshape` target is malformed (multiple `-1`s, negative dims, or
+    /// an element-count product that overflows).
+    BadReshape {
+        /// Offending node.
+        node: NodeId,
+        /// Human-readable description of the defect.
+        detail: String,
+    },
+}
+
+impl std::fmt::Display for GraphError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GraphError::Artifact(e) => write!(f, "malformed graph artifact: {e}"),
+            GraphError::ForwardReference { node, input } => {
+                write!(f, "node {node} reads from later node {input}")
+            }
+            GraphError::Arity {
+                node,
+                expected,
+                got,
+            } => {
+                write!(f, "node {node} expects {expected} inputs, has {got}")
+            }
+            GraphError::UnregisteredInput {
+                node,
+                slot,
+                registered,
+            } => write!(
+                f,
+                "node {node}: input slot {slot} unregistered ({registered} slots declared)"
+            ),
+            GraphError::OutputOutOfRange { output, len } => {
+                write!(f, "output {output} out of range (graph has {len} nodes)")
+            }
+            GraphError::DTypeMismatch { node, detail } => {
+                write!(f, "node {node}: dtype mismatch: {detail}")
+            }
+            GraphError::BadReshape { node, detail } => {
+                write!(f, "node {node}: bad reshape: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+impl From<hb_json::JsonError> for GraphError {
+    fn from(e: hb_json::JsonError) -> Self {
+        GraphError::Artifact(e.to_string())
+    }
 }
 
 impl Graph {
@@ -66,28 +174,216 @@ impl Graph {
     ///
     /// # Panics
     ///
-    /// Panics with a description of the first violation found.
+    /// Panics with a description of the first violation found. Compiler
+    /// output is validated through this path — a violation is an internal
+    /// invariant failure, not an input error. Untrusted artifacts go
+    /// through [`Graph::try_validate`] instead.
     pub fn validate(&self) {
+        if let Err(e) = self.try_validate() {
+            panic!("{e}");
+        }
+    }
+
+    /// Checks structural invariants, returning the first violation as a
+    /// typed error instead of panicking. Topological order (`input < id`)
+    /// simultaneously excludes forward references, cycles, and
+    /// out-of-range node ids.
+    pub fn try_validate(&self) -> Result<(), GraphError> {
         for (id, node) in self.nodes.iter().enumerate() {
             for &inp in &node.inputs {
-                assert!(inp < id, "node {id} reads from later node {inp}");
+                if inp >= id {
+                    return Err(GraphError::ForwardReference {
+                        node: id,
+                        input: inp,
+                    });
+                }
             }
             if let Some(arity) = node.op.arity() {
-                assert_eq!(
-                    node.inputs.len(),
-                    arity,
-                    "node {id} ({:?}) expects {arity} inputs, has {}",
-                    node.op,
-                    node.inputs.len()
-                );
+                if node.inputs.len() != arity {
+                    return Err(GraphError::Arity {
+                        node: id,
+                        expected: arity,
+                        got: node.inputs.len(),
+                    });
+                }
+            } else if node.inputs.is_empty() {
+                // Variadic ops (Concat) still need at least one operand;
+                // evaluation reads the first input's dtype.
+                return Err(GraphError::Arity {
+                    node: id,
+                    expected: 1,
+                    got: 0,
+                });
             }
             if let Op::Input(slot) = node.op {
-                assert!(slot < self.input_dtypes.len(), "input slot {slot} unregistered");
+                if slot >= self.input_dtypes.len() {
+                    return Err(GraphError::UnregisteredInput {
+                        node: id,
+                        slot,
+                        registered: self.input_dtypes.len(),
+                    });
+                }
+            }
+            if let Op::Reshape { dims } = &node.op {
+                check_reshape_dims(id, dims)?;
             }
         }
         for &o in &self.outputs {
-            assert!(o < self.nodes.len(), "output {o} out of range");
+            if o >= self.nodes.len() {
+                return Err(GraphError::OutputOutOfRange {
+                    output: o,
+                    len: self.nodes.len(),
+                });
+            }
         }
+        Ok(())
+    }
+
+    /// Checks that every node's operand dtypes are ones its operator can
+    /// execute on, so a hostile artifact cannot steer evaluation into a
+    /// dtype panic. Requires [`Graph::try_validate`] to have passed.
+    pub fn check_dtypes(&self) -> Result<Vec<DType>, GraphError> {
+        let mismatch = |node: usize, detail: String| GraphError::DTypeMismatch { node, detail };
+        let mut out: Vec<DType> = Vec::with_capacity(self.nodes.len());
+        for (id, node) in self.nodes.iter().enumerate() {
+            let ins: Vec<DType> = node.inputs.iter().map(|&i| out[i]).collect();
+            let numeric = |dt: DType| matches!(dt, DType::F32 | DType::I64);
+            let dt = match &node.op {
+                Op::Input(slot) => self.input_dtypes[*slot],
+                Op::Const(v) => v.dtype(),
+                Op::Add | Op::Sub | Op::Mul | Op::Div | Op::Minimum | Op::Maximum => {
+                    if ins[0] != ins[1] || !numeric(ins[0]) {
+                        return Err(mismatch(
+                            id,
+                            format!("binary arithmetic on {:?} and {:?}", ins[0], ins[1]),
+                        ));
+                    }
+                    ins[0]
+                }
+                Op::Lt | Op::Le | Op::Gt | Op::Ge | Op::EqOp | Op::NeOp => {
+                    if ins[0] != ins[1] || !numeric(ins[0]) {
+                        return Err(mismatch(
+                            id,
+                            format!("comparison on {:?} and {:?}", ins[0], ins[1]),
+                        ));
+                    }
+                    DType::Bool
+                }
+                Op::And | Op::Or | Op::Xor => {
+                    if ins[0] != DType::Bool || ins[1] != DType::Bool {
+                        return Err(mismatch(
+                            id,
+                            format!("logical op on {:?} and {:?}", ins[0], ins[1]),
+                        ));
+                    }
+                    DType::Bool
+                }
+                Op::Not => {
+                    if ins[0] != DType::Bool {
+                        return Err(mismatch(id, format!("not on {:?}", ins[0])));
+                    }
+                    DType::Bool
+                }
+                Op::IsNan => {
+                    if ins[0] != DType::F32 {
+                        return Err(mismatch(id, format!("isnan on {:?}", ins[0])));
+                    }
+                    DType::Bool
+                }
+                Op::Where => {
+                    if ins[0] != DType::Bool {
+                        return Err(mismatch(id, format!("where condition is {:?}", ins[0])));
+                    }
+                    if ins[1] != ins[2] || !numeric(ins[1]) {
+                        return Err(mismatch(
+                            id,
+                            format!("where branches are {:?} and {:?}", ins[1], ins[2]),
+                        ));
+                    }
+                    ins[1]
+                }
+                Op::MatMul | Op::Sqdist => {
+                    if ins[0] != DType::F32 || ins[1] != DType::F32 {
+                        return Err(mismatch(
+                            id,
+                            format!("f32 binary op on {:?} and {:?}", ins[0], ins[1]),
+                        ));
+                    }
+                    DType::F32
+                }
+                Op::PowScalar(_)
+                | Op::Mean { .. }
+                | Op::LogSumExp { .. }
+                | Op::Softmax { .. }
+                | Op::Relu
+                | Op::Sigmoid
+                | Op::Tanh
+                | Op::Exp
+                | Op::Ln
+                | Op::Sqrt
+                | Op::Abs
+                | Op::Neg
+                | Op::Clamp { .. } => {
+                    if ins[0] != DType::F32 {
+                        return Err(mismatch(id, format!("f32 unary op on {:?}", ins[0])));
+                    }
+                    DType::F32
+                }
+                Op::AddScalar(_) | Op::MulScalar(_) => {
+                    if !numeric(ins[0]) {
+                        return Err(mismatch(id, format!("scalar op on {:?}", ins[0])));
+                    }
+                    ins[0]
+                }
+                Op::Sum { .. } | Op::ReduceMax { .. } => {
+                    if !numeric(ins[0]) {
+                        return Err(mismatch(id, format!("reduction on {:?}", ins[0])));
+                    }
+                    ins[0]
+                }
+                Op::ArgMax { .. } => {
+                    if !numeric(ins[0]) {
+                        return Err(mismatch(id, format!("argmax on {:?}", ins[0])));
+                    }
+                    DType::I64
+                }
+                Op::Gather { .. } | Op::GatherRows => {
+                    if !numeric(ins[0]) || ins[1] != DType::I64 {
+                        return Err(mismatch(
+                            id,
+                            format!("gather of {:?} with {:?} indices", ins[0], ins[1]),
+                        ));
+                    }
+                    ins[0]
+                }
+                Op::IndexSelect { .. } => {
+                    if !numeric(ins[0]) {
+                        return Err(mismatch(id, format!("index_select on {:?}", ins[0])));
+                    }
+                    ins[0]
+                }
+                Op::Concat { .. } => {
+                    if !numeric(ins[0]) || ins.iter().any(|&d| d != ins[0]) {
+                        return Err(mismatch(id, format!("concat over {ins:?}")));
+                    }
+                    ins[0]
+                }
+                Op::Fused(k) => {
+                    if ins.iter().any(|&d| d != DType::F32) {
+                        return Err(mismatch(id, format!("fused kernel over {ins:?}")));
+                    }
+                    k.out_dtype
+                }
+                Op::Cast(dt) => *dt,
+                Op::Reshape { .. }
+                | Op::Unsqueeze(_)
+                | Op::Squeeze(_)
+                | Op::Transpose(..)
+                | Op::Slice { .. } => ins[0],
+            };
+            out.push(dt);
+        }
+        Ok(out)
     }
 
     /// Infers the static output dtype of every node.
@@ -139,17 +435,23 @@ impl Graph {
     /// reproduction's analog of Hummingbird exporting compiled models in
     /// portable formats (TorchScript/ONNX/TVM in the paper §3.2).
     pub fn to_json(&self) -> String {
-        serde_json::to_string(self).expect("graphs are always serializable")
+        hb_json::to_string(self)
     }
 
-    /// Parses a graph exported by [`Graph::to_json`], validating it.
+    /// Parses a graph exported by [`Graph::to_json`], treating it as
+    /// untrusted: structural invariants (topological order — which
+    /// excludes cycles and out-of-range ids — arity, input slots, output
+    /// range, reshape sanity) and static dtype consistency are all
+    /// checked, so a malformed or hostile artifact yields a typed
+    /// [`GraphError`] and can never panic downstream evaluation.
     ///
     /// # Errors
     ///
-    /// Returns the underlying JSON error for malformed artifacts.
-    pub fn from_json(json: &str) -> Result<Graph, serde_json::Error> {
-        let g: Graph = serde_json::from_str(json)?;
-        g.validate();
+    /// Returns [`GraphError`] describing the first defect found.
+    pub fn from_json(json: &str) -> Result<Graph, GraphError> {
+        let g: Graph = hb_json::from_str(json)?;
+        g.try_validate()?;
+        g.check_dtypes()?;
         Ok(g)
     }
 
@@ -164,6 +466,31 @@ impl Graph {
             })
             .sum()
     }
+}
+
+/// Rejects malformed reshape targets before they can reach the
+/// evaluator's shape resolution: more than one `-1`, dims below `-1`, or
+/// an explicit-dim product that overflows (an "absurd shape product" in a
+/// hostile artifact).
+fn check_reshape_dims(node: NodeId, dims: &[i64]) -> Result<(), GraphError> {
+    let bad = |detail: String| GraphError::BadReshape { node, detail };
+    let mut wildcards = 0usize;
+    let mut product: usize = 1;
+    for &d in dims {
+        match d {
+            -1 => wildcards += 1,
+            d if d < -1 => return Err(bad(format!("negative dimension {d}"))),
+            d => {
+                product = product
+                    .checked_mul(d as usize)
+                    .ok_or_else(|| bad("shape product overflows".to_string()))?;
+            }
+        }
+    }
+    if wildcards > 1 {
+        return Err(bad(format!("{wildcards} wildcard (-1) dimensions")));
+    }
+    Ok(())
 }
 
 /// Incremental [`Graph`] constructor used by the operator converters.
@@ -280,7 +607,13 @@ impl GraphBuilder {
 
     /// Compile-time column/row selection.
     pub fn index_select(&mut self, axis: usize, data: NodeId, indices: Vec<usize>) -> NodeId {
-        self.push(Op::IndexSelect { axis, indices: indices.into() }, vec![data])
+        self.push(
+            Op::IndexSelect {
+                axis,
+                indices: indices.into(),
+            },
+            vec![data],
+        )
     }
 
     /// Concatenation along `axis`.
@@ -397,6 +730,86 @@ mod tests {
     fn forward_reference_panics() {
         let mut b = GraphBuilder::new();
         let _ = b.push(Op::Relu, vec![5]);
+    }
+
+    #[test]
+    fn json_roundtrip_preserves_graph() {
+        let mut b = GraphBuilder::new();
+        let x = b.input(DType::F32);
+        let w = b.constant(Tensor::from_vec(vec![1.0f32, 2.0], &[2, 1]));
+        let y = b.matmul(x, w);
+        let s = b.sigmoid(y);
+        b.output(s);
+        let g = b.build();
+        let back = Graph::from_json(&g.to_json()).unwrap();
+        assert_eq!(back.len(), g.len());
+        assert_eq!(back.outputs, g.outputs);
+        assert_eq!(back.infer_dtypes(), g.infer_dtypes());
+    }
+
+    #[test]
+    fn from_json_rejects_forward_reference() {
+        // Node 0 reads node 1: a cycle/forward reference in artifact form.
+        let json = r#"{"nodes":[{"op":"Relu","inputs":[1]},{"op":"Relu","inputs":[0]}],"outputs":[0],"input_dtypes":["F32"]}"#;
+        let err = Graph::from_json(json).unwrap_err();
+        assert!(
+            matches!(err, GraphError::ForwardReference { node: 0, input: 1 }),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn from_json_rejects_out_of_range_output() {
+        let json =
+            r#"{"nodes":[{"op":{"Input":0},"inputs":[]}],"outputs":[7],"input_dtypes":["F32"]}"#;
+        let err = Graph::from_json(json).unwrap_err();
+        assert!(
+            matches!(err, GraphError::OutputOutOfRange { output: 7, len: 1 }),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn from_json_rejects_dtype_mismatch() {
+        // Sigmoid over a Bool mask — eval would panic; validation refuses.
+        let json = r#"{"nodes":[{"op":{"Input":0},"inputs":[]},{"op":"Sigmoid","inputs":[0]}],"outputs":[1],"input_dtypes":["Bool"]}"#;
+        let err = Graph::from_json(json).unwrap_err();
+        assert!(
+            matches!(err, GraphError::DTypeMismatch { node: 1, .. }),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn from_json_rejects_absurd_reshape() {
+        let json = format!(
+            r#"{{"nodes":[{{"op":{{"Input":0}},"inputs":[]}},{{"op":{{"Reshape":{{"dims":[{big},{big}]}}}},"inputs":[0]}}],"outputs":[1],"input_dtypes":["F32"]}}"#,
+            big = i64::MAX
+        );
+        let err = Graph::from_json(&json).unwrap_err();
+        assert!(
+            matches!(err, GraphError::BadReshape { node: 1, .. }),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn from_json_rejects_unknown_op_and_syntax_errors() {
+        for bad in [
+            "{",
+            r#"{"nodes":[{"op":"Teleport","inputs":[]}],"outputs":[0],"input_dtypes":[]}"#,
+            r#"{"nodes":7,"outputs":[],"input_dtypes":[]}"#,
+        ] {
+            let err = Graph::from_json(bad).unwrap_err();
+            assert!(matches!(err, GraphError::Artifact(_)), "{bad}: {err}");
+        }
+    }
+
+    #[test]
+    fn from_json_rejects_empty_concat() {
+        let json = r#"{"nodes":[{"op":{"Concat":{"axis":0}},"inputs":[]}],"outputs":[0],"input_dtypes":[]}"#;
+        let err = Graph::from_json(json).unwrap_err();
+        assert!(matches!(err, GraphError::Arity { node: 0, .. }), "{err}");
     }
 
     #[test]

@@ -20,6 +20,7 @@
 
 pub mod device;
 pub mod exec;
+pub mod fault;
 pub mod fuse;
 pub mod graph;
 pub mod op;
@@ -27,7 +28,8 @@ pub mod optimize;
 
 pub use device::{Device, DeviceSpec};
 pub use exec::{ExecError, Executable, RunStats};
-pub use graph::{Graph, GraphBuilder, NodeId};
+pub use fault::{FaultPlan, FaultScope};
+pub use graph::{Graph, GraphBuilder, GraphError, NodeId};
 pub use op::Op;
 
 /// Which execution backend a graph is lowered to.

@@ -14,7 +14,7 @@ use hb_tensor::{DType, DynTensor, Tensor};
 use crate::fuse::FusedKernel;
 
 /// A single tensor operation in a [`crate::Graph`].
-#[derive(Clone, Debug, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Debug)]
 pub enum Op {
     /// Reads graph input slot `n`.
     Input(usize),
@@ -189,11 +189,20 @@ pub struct OpCost {
     pub metadata_only: bool,
 }
 
-fn bin_f32(a: &DynTensor, b: &DynTensor, f: impl Fn(&Tensor<f32>, &Tensor<f32>) -> Tensor<f32>, g: impl Fn(&Tensor<i64>, &Tensor<i64>) -> Tensor<i64>) -> DynTensor {
+fn bin_f32(
+    a: &DynTensor,
+    b: &DynTensor,
+    f: impl Fn(&Tensor<f32>, &Tensor<f32>) -> Tensor<f32>,
+    g: impl Fn(&Tensor<i64>, &Tensor<i64>) -> Tensor<i64>,
+) -> DynTensor {
     match (a, b) {
         (DynTensor::F32(x), DynTensor::F32(y)) => DynTensor::F32(f(x, y)),
         (DynTensor::I64(x), DynTensor::I64(y)) => DynTensor::I64(g(x, y)),
-        _ => panic!("binary op dtype mismatch: {:?} vs {:?}", a.dtype(), b.dtype()),
+        _ => panic!(
+            "binary op dtype mismatch: {:?} vs {:?}",
+            a.dtype(),
+            b.dtype()
+        ),
     }
 }
 
@@ -206,7 +215,11 @@ fn cmp_op(
     match (a, b) {
         (DynTensor::F32(x), DynTensor::F32(y)) => DynTensor::Bool(f(x, y)),
         (DynTensor::I64(x), DynTensor::I64(y)) => DynTensor::Bool(g(x, y)),
-        _ => panic!("comparison dtype mismatch: {:?} vs {:?}", a.dtype(), b.dtype()),
+        _ => panic!(
+            "comparison dtype mismatch: {:?} vs {:?}",
+            a.dtype(),
+            b.dtype()
+        ),
     }
 }
 
@@ -256,12 +269,18 @@ impl Op {
             Op::Sub => bin_f32(inputs[0], inputs[1], |a, b| a.sub(b), |a, b| a.sub(b)),
             Op::Mul => bin_f32(inputs[0], inputs[1], |a, b| a.mul(b), |a, b| a.mul(b)),
             Op::Div => bin_f32(inputs[0], inputs[1], |a, b| a.div(b), |a, b| a.div(b)),
-            Op::Minimum => {
-                bin_f32(inputs[0], inputs[1], |a, b| a.minimum(b), |a, b| a.minimum(b))
-            }
-            Op::Maximum => {
-                bin_f32(inputs[0], inputs[1], |a, b| a.maximum(b), |a, b| a.maximum(b))
-            }
+            Op::Minimum => bin_f32(
+                inputs[0],
+                inputs[1],
+                |a, b| a.minimum(b),
+                |a, b| a.minimum(b),
+            ),
+            Op::Maximum => bin_f32(
+                inputs[0],
+                inputs[1],
+                |a, b| a.maximum(b),
+                |a, b| a.maximum(b),
+            ),
             Op::AddScalar(s) => match inputs[0] {
                 DynTensor::F32(t) => DynTensor::F32(t.add_scalar(*s as f32)),
                 DynTensor::I64(t) => DynTensor::I64(t.add_scalar(*s as i64)),
@@ -400,12 +419,18 @@ impl Op {
         let out_bytes = output.nbytes() as f64;
         let out_n = output.numel() as f64;
         match self {
-            Op::Input(_) | Op::Const(_) => OpCost { metadata_only: true, ..OpCost::default() },
+            Op::Input(_) | Op::Const(_) => OpCost {
+                metadata_only: true,
+                ..OpCost::default()
+            },
             Op::Reshape { .. }
             | Op::Unsqueeze(_)
             | Op::Squeeze(_)
             | Op::Transpose(..)
-            | Op::Slice { .. } => OpCost { metadata_only: true, ..OpCost::default() },
+            | Op::Slice { .. } => OpCost {
+                metadata_only: true,
+                ..OpCost::default()
+            },
             Op::MatMul => {
                 let a = inputs[0].shape();
                 let b = inputs[1].shape();
@@ -452,7 +477,11 @@ impl Op {
                 bytes: in_bytes + out_bytes,
                 metadata_only: false,
             },
-            _ => OpCost { flops: out_n, bytes: in_bytes + out_bytes, metadata_only: false },
+            _ => OpCost {
+                flops: out_n,
+                bytes: in_bytes + out_bytes,
+                metadata_only: false,
+            },
         }
     }
 
@@ -481,9 +510,10 @@ pub fn resolve_reshape(input: &[usize], dims: &[i64]) -> Vec<usize> {
                 out.push(0);
             }
             0 => {
-                let v = input.get(i).copied().unwrap_or_else(|| {
-                    panic!("reshape: dim {i} copies a missing input dim")
-                });
+                let v = input
+                    .get(i)
+                    .copied()
+                    .unwrap_or_else(|| panic!("reshape: dim {i} copies a missing input dim"));
                 known *= v;
                 out.push(v);
             }
@@ -495,11 +525,71 @@ pub fn resolve_reshape(input: &[usize], dims: &[i64]) -> Vec<usize> {
         }
     }
     if let Some(i) = infer {
-        assert!(known > 0 && total % known == 0, "reshape: cannot infer dim");
+        assert!(
+            known > 0 && total.is_multiple_of(known),
+            "reshape: cannot infer dim"
+        );
         out[i] = total / known;
     }
     out
 }
+
+// JSON artifact impls (replacing the former serde derive). The variant
+// list must stay in sync with `Op`; a missing variant is caught by the
+// `unreachable!` in the generated `to_json`.
+hb_json::json_enum!(Op {
+    Input(usize),
+    Const(DynTensor),
+    MatMul,
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Minimum,
+    Maximum,
+    AddScalar(f64),
+    MulScalar(f64),
+    PowScalar(f64),
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    EqOp,
+    NeOp,
+    And,
+    Or,
+    Xor,
+    Not,
+    Where,
+    Gather { axis },
+    GatherRows,
+    IndexSelect { axis, indices },
+    Concat { axis },
+    Reshape { dims },
+    Unsqueeze(usize),
+    Squeeze(usize),
+    Transpose(usize, usize),
+    Slice { axis, start, end },
+    Sum { axis, keepdim },
+    Mean { axis, keepdim },
+    ReduceMax { axis, keepdim },
+    ArgMax { axis, keepdim },
+    LogSumExp { axis, keepdim },
+    Softmax { axis },
+    Relu,
+    Sigmoid,
+    Tanh,
+    Exp,
+    Ln,
+    Sqrt,
+    Abs,
+    Neg,
+    IsNan,
+    Clamp { lo, hi },
+    Cast(DType),
+    Sqdist,
+    Fused(std::sync::Arc<FusedKernel>),
+});
 
 #[cfg(test)]
 mod tests {
@@ -513,8 +603,14 @@ mod tests {
     fn eval_add_and_matmul() {
         let a = f(&[1.0, 2.0, 3.0, 4.0], &[2, 2]);
         let b = f(&[1.0, 0.0, 0.0, 1.0], &[2, 2]);
-        assert_eq!(Op::Add.eval(&[&a, &b]).as_f32().to_vec(), vec![2.0, 2.0, 3.0, 5.0]);
-        assert_eq!(Op::MatMul.eval(&[&a, &b]).as_f32().to_vec(), vec![1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(
+            Op::Add.eval(&[&a, &b]).as_f32().to_vec(),
+            vec![2.0, 2.0, 3.0, 5.0]
+        );
+        assert_eq!(
+            Op::MatMul.eval(&[&a, &b]).as_f32().to_vec(),
+            vec![1.0, 2.0, 3.0, 4.0]
+        );
     }
 
     #[test]
@@ -533,7 +629,10 @@ mod tests {
         assert_eq!(m.as_bool().to_vec(), vec![true, false]);
         let x = DynTensor::I64(Tensor::from_vec(vec![10i64, 10], &[2]));
         let y = DynTensor::I64(Tensor::from_vec(vec![20i64, 20], &[2]));
-        assert_eq!(Op::Where.eval(&[&m, &x, &y]).as_i64().to_vec(), vec![10, 20]);
+        assert_eq!(
+            Op::Where.eval(&[&m, &x, &y]).as_i64().to_vec(),
+            vec![10, 20]
+        );
     }
 
     #[test]
@@ -563,14 +662,26 @@ mod tests {
     fn cost_reshape_is_metadata() {
         let a = f(&[0.0; 6], &[2, 3]);
         let out = Op::Reshape { dims: vec![6] }.eval(&[&a]);
-        assert!(Op::Reshape { dims: vec![6] }.cost(&[&a], &out).metadata_only);
+        assert!(
+            Op::Reshape { dims: vec![6] }
+                .cost(&[&a], &out)
+                .metadata_only
+        );
     }
 
     #[test]
     fn cse_keys_distinguish_params() {
         assert_ne!(
-            Op::Sum { axis: 0, keepdim: false }.cse_key(),
-            Op::Sum { axis: 1, keepdim: false }.cse_key()
+            Op::Sum {
+                axis: 0,
+                keepdim: false
+            }
+            .cse_key(),
+            Op::Sum {
+                axis: 1,
+                keepdim: false
+            }
+            .cse_key()
         );
         assert!(Op::Const(f(&[1.0], &[1])).cse_key().is_none());
     }
@@ -579,15 +690,33 @@ mod tests {
     fn eval_reductions() {
         let a = f(&[1.0, 2.0, 3.0, 4.0], &[2, 2]);
         assert_eq!(
-            Op::Sum { axis: 1, keepdim: false }.eval(&[&a]).as_f32().to_vec(),
+            Op::Sum {
+                axis: 1,
+                keepdim: false
+            }
+            .eval(&[&a])
+            .as_f32()
+            .to_vec(),
             vec![3.0, 7.0]
         );
         assert_eq!(
-            Op::ArgMax { axis: 1, keepdim: false }.eval(&[&a]).as_i64().to_vec(),
+            Op::ArgMax {
+                axis: 1,
+                keepdim: false
+            }
+            .eval(&[&a])
+            .as_i64()
+            .to_vec(),
             vec![1, 1]
         );
         assert_eq!(
-            Op::Mean { axis: 0, keepdim: false }.eval(&[&a]).as_f32().to_vec(),
+            Op::Mean {
+                axis: 0,
+                keepdim: false
+            }
+            .eval(&[&a])
+            .as_f32()
+            .to_vec(),
             vec![2.0, 3.0]
         );
     }

@@ -56,7 +56,12 @@ pub fn fold_constants(graph: &Graph) -> (Graph, usize) {
         if node.inputs.is_empty() || !node.inputs.iter().all(|&i| consts[i].is_some()) {
             continue;
         }
-        let ins: Vec<&DynTensor> = node.inputs.iter().map(|&i| consts[i].as_ref().unwrap()).collect();
+        #[allow(clippy::disallowed_methods)] // all_const guarantees the operand is present
+        let ins: Vec<&DynTensor> = node
+            .inputs
+            .iter()
+            .map(|&i| consts[i].as_ref().expect("const-fold operand"))
+            .collect();
         // Size guard: do not materialize giant folded tensors.
         if ins.iter().map(|t| t.numel()).sum::<usize>() > FOLD_LIMIT {
             continue;
@@ -66,7 +71,10 @@ pub fn fold_constants(graph: &Graph) -> (Graph, usize) {
             continue;
         }
         consts[id] = Some(v.clone());
-        out.nodes[id] = Node { op: Op::Const(v), inputs: vec![] };
+        out.nodes[id] = Node {
+            op: Op::Const(v),
+            inputs: vec![],
+        };
         folded += 1;
     }
     (out, folded)
@@ -144,7 +152,11 @@ pub struct PassToggles {
 
 impl Default for PassToggles {
     fn default() -> Self {
-        PassToggles { fold: true, cse: true, fuse: true }
+        PassToggles {
+            fold: true,
+            cse: true,
+            fuse: true,
+        }
     }
 }
 
@@ -157,12 +169,18 @@ pub fn optimize(graph: &Graph) -> (Graph, OptStats) {
 /// it only removes dead nodes and costs nothing at run time).
 pub fn optimize_with(graph: &Graph, toggles: PassToggles) -> (Graph, OptStats) {
     let nodes_before = graph.nodes.len();
-    let (g, folded) =
-        if toggles.fold { fold_constants(graph) } else { (graph.clone(), 0) };
+    let (g, folded) = if toggles.fold {
+        fold_constants(graph)
+    } else {
+        (graph.clone(), 0)
+    };
     let (g, cse_merged) = if toggles.cse { cse(&g) } else { (g, 0) };
     let g = dce(&g);
-    let (g, fused_kernels) =
-        if toggles.fuse { fuse_elementwise(&g) } else { (g, 0) };
+    let (g, fused_kernels) = if toggles.fuse {
+        fuse_elementwise(&g)
+    } else {
+        (g, 0)
+    };
     let g = dce(&g);
     g.validate();
     let stats = OptStats {
@@ -187,14 +205,20 @@ mod tests {
             let v = match &node.op {
                 Op::Input(slot) => inputs[*slot].clone(),
                 op => {
-                    let ins: Vec<&DynTensor> =
-                        node.inputs.iter().map(|&i| vals[i].as_ref().unwrap()).collect();
+                    let ins: Vec<&DynTensor> = node
+                        .inputs
+                        .iter()
+                        .map(|&i| vals[i].as_ref().unwrap())
+                        .collect();
                     op.eval(&ins)
                 }
             };
             vals[id] = Some(v);
         }
-        g.outputs.iter().map(|&o| vals[o].clone().unwrap()).collect()
+        g.outputs
+            .iter()
+            .map(|&o| vals[o].clone().unwrap())
+            .collect()
     }
 
     #[test]
@@ -210,7 +234,10 @@ mod tests {
         let (folded, n) = fold_constants(&g);
         assert_eq!(n, 1);
         assert!(matches!(folded.nodes[s].op, Op::Const(_)));
-        let out = run(&folded, &[DynTensor::F32(Tensor::from_vec(vec![0.0, 0.0], &[2]))]);
+        let out = run(
+            &folded,
+            &[DynTensor::F32(Tensor::from_vec(vec![0.0, 0.0], &[2]))],
+        );
         assert_eq!(out[0].as_f32().to_vec(), vec![4.0, 6.0]);
     }
 
@@ -238,7 +265,10 @@ mod tests {
         let g = b.build();
         let pruned = dce(&g);
         assert_eq!(pruned.nodes.len(), 2);
-        let out = run(&pruned, &[DynTensor::F32(Tensor::from_vec(vec![3.0], &[1]))]);
+        let out = run(
+            &pruned,
+            &[DynTensor::F32(Tensor::from_vec(vec![3.0], &[1]))],
+        );
         assert_eq!(out[0].as_f32().to_vec(), vec![6.0]);
     }
 

@@ -13,18 +13,38 @@ fn bench_operators(c: &mut Criterion) {
     let specs: Vec<(&str, OpSpec)> = vec![
         (
             "LogisticRegression",
-            OpSpec::LogisticRegression(LinearConfig { epochs: 30, ..Default::default() }),
+            OpSpec::LogisticRegression(LinearConfig {
+                epochs: 30,
+                ..Default::default()
+            }),
         ),
-        ("BernoulliNB", OpSpec::BernoulliNb { alpha: 1.0, binarize: 0.0 }),
+        (
+            "BernoulliNB",
+            OpSpec::BernoulliNb {
+                alpha: 1.0,
+                binarize: 0.0,
+            },
+        ),
         ("Binarizer", OpSpec::Binarizer { threshold: 0.0 }),
         ("MinMaxScaler", OpSpec::MinMaxScaler),
-        ("Normalizer", OpSpec::Normalizer { norm: hb_ml::featurize::Norm::L2 }),
+        (
+            "Normalizer",
+            OpSpec::Normalizer {
+                norm: hb_ml::featurize::Norm::L2,
+            },
+        ),
         (
             "PolynomialFeatures",
-            OpSpec::PolynomialFeatures { include_bias: true, interaction_only: false },
+            OpSpec::PolynomialFeatures {
+                include_bias: true,
+                interaction_only: false,
+            },
         ),
         ("StandardScaler", OpSpec::StandardScaler),
-        ("DecisionTreeClassifier", OpSpec::DecisionTreeClassifier { max_depth: 8 }),
+        (
+            "DecisionTreeClassifier",
+            OpSpec::DecisionTreeClassifier { max_depth: 8 },
+        ),
     ];
     let mut group = c.benchmark_group("table11_operators");
     group.sample_size(10);

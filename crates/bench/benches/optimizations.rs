@@ -16,17 +16,25 @@ fn bench_pushdown(c: &mut Criterion) {
     group.sample_size(10);
     for pct in [10usize, 50, 100] {
         let specs = vec![
-            OpSpec::SimpleImputer { strategy: ImputeStrategy::Mean },
+            OpSpec::SimpleImputer {
+                strategy: ImputeStrategy::Mean,
+            },
             OpSpec::OneHotEncoder,
             OpSpec::StandardScaler,
             OpSpec::SelectPercentile { percentile: pct },
-            OpSpec::LogisticRegression(LinearConfig { epochs: 20, ..Default::default() }),
+            OpSpec::LogisticRegression(LinearConfig {
+                epochs: 20,
+                ..Default::default()
+            }),
         ];
         let pipe = fit_pipeline(&specs, &ds.x_train, &ds.y_train);
         for (label, optimize) in [("plain", false), ("pushdown", true)] {
             let model = compile(
                 &pipe,
-                &CompileOptions { optimize_pipeline: optimize, ..Default::default() },
+                &CompileOptions {
+                    optimize_pipeline: optimize,
+                    ..Default::default()
+                },
             )
             .unwrap();
             group.bench_with_input(
@@ -45,7 +53,9 @@ fn bench_injection(c: &mut Criterion) {
     group.sample_size(10);
     for alpha in [0.03f32, 0.005] {
         let specs = vec![
-            OpSpec::SimpleImputer { strategy: ImputeStrategy::Mean },
+            OpSpec::SimpleImputer {
+                strategy: ImputeStrategy::Mean,
+            },
             OpSpec::StandardScaler,
             OpSpec::LogisticRegression(LinearConfig {
                 penalty: Penalty::L1(alpha),
@@ -57,7 +67,10 @@ fn bench_injection(c: &mut Criterion) {
         for (label, optimize) in [("plain", false), ("injected", true)] {
             let model = compile(
                 &pipe,
-                &CompileOptions { optimize_pipeline: optimize, ..Default::default() },
+                &CompileOptions {
+                    optimize_pipeline: optimize,
+                    ..Default::default()
+                },
             )
             .unwrap();
             group.bench_with_input(

@@ -16,7 +16,10 @@ fn bench_strategies(c: &mut Criterion) {
     for depth in [3usize, 7, 12] {
         let e = train_algo(&ds, Algo::RandomForest, 20, depth);
         for batch in [1usize, 1000] {
-            let x = ds.x_test.slice(0, 0, batch.min(ds.n_test())).to_contiguous();
+            let x = ds
+                .x_test
+                .slice(0, 0, batch.min(ds.n_test()))
+                .to_contiguous();
             for strat in [
                 TreeStrategy::Gemm,
                 TreeStrategy::TreeTraversal,

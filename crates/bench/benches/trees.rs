@@ -19,8 +19,20 @@ fn bench_batch(c: &mut Criterion) {
         let scorers = vec![
             sklearn_scorer(&e),
             onnx_scorer(&e),
-            hb_scorer(&e, Backend::Script, Device::cpu(), TreeStrategy::Auto, batch),
-            hb_scorer(&e, Backend::Compiled, Device::cpu(), TreeStrategy::Auto, batch),
+            hb_scorer(
+                &e,
+                Backend::Script,
+                Device::cpu(),
+                TreeStrategy::Auto,
+                batch,
+            ),
+            hb_scorer(
+                &e,
+                Backend::Compiled,
+                Device::cpu(),
+                TreeStrategy::Auto,
+                batch,
+            ),
         ];
         for s in scorers {
             group.bench_with_input(
@@ -58,13 +70,16 @@ fn bench_conversion(c: &mut Criterion) {
     group.sample_size(20);
     for backend in [Backend::Eager, Backend::Script, Backend::Compiled] {
         group.bench_function(format!("{backend:?}"), |b| {
-            b.iter(|| {
-                hb_bench::measure::hb_model(&e, backend, Device::cpu(), 10_000)
-            })
+            b.iter(|| hb_bench::measure::hb_model(&e, backend, Device::cpu(), 10_000))
         });
     }
     group.finish();
 }
 
-criterion_group!(benches, bench_batch, bench_request_response, bench_conversion);
+criterion_group!(
+    benches,
+    bench_batch,
+    bench_request_response,
+    bench_conversion
+);
 criterion_main!(benches);

@@ -4,8 +4,8 @@
 //! cargo run --release -p hb-bench --bin profile
 //! ```
 
-use hb_backend::{Backend, Device, Executable};
 use hb_backend::optimize::PassToggles;
+use hb_backend::{Backend, Device, Executable};
 use hb_core::{compile, CompileOptions, TreeStrategy};
 use hb_pipeline::{fit_pipeline, OpSpec};
 
@@ -34,7 +34,14 @@ fn main() {
     let graph = raw.executable().graph().clone();
     let x = hb_tensor::DynTensor::F32(ds.x_test.clone());
     for (label, toggles) in [
-        ("none", PassToggles { fold: false, cse: false, fuse: false }),
+        (
+            "none",
+            PassToggles {
+                fold: false,
+                cse: false,
+                fuse: false,
+            },
+        ),
         ("all", PassToggles::default()),
     ] {
         let exe = Executable::with_toggles(graph.clone(), toggles, Device::cpu());

@@ -47,7 +47,13 @@ struct Config {
 
 impl Default for Config {
     fn default() -> Self {
-        Config { scale: 1.0, trees: 20, depth: 6, seed: 42, reps: 3 }
+        Config {
+            scale: 1.0,
+            trees: 20,
+            depth: 6,
+            seed: 42,
+            reps: 3,
+        }
     }
 }
 
@@ -75,14 +81,18 @@ struct Zoo {
 
 impl Zoo {
     fn new(cfg: Config) -> Zoo {
-        Zoo { cfg, datasets: HashMap::new(), models: HashMap::new() }
+        Zoo {
+            cfg,
+            datasets: HashMap::new(),
+            models: HashMap::new(),
+        }
     }
 
     fn dataset(&mut self, spec: &TreeBenchSpec) -> &Dataset {
         let cfg = &self.cfg;
-        self.datasets.entry(spec.name).or_insert_with(|| {
-            tree_bench_dataset(spec, dataset_rows(spec, cfg.scale), cfg.seed)
-        })
+        self.datasets
+            .entry(spec.name)
+            .or_insert_with(|| tree_bench_dataset(spec, dataset_rows(spec, cfg.scale), cfg.seed))
     }
 
     fn model(&mut self, spec: &TreeBenchSpec, algo: Algo) -> TreeEnsemble {
@@ -91,8 +101,14 @@ impl Zoo {
             let (trees, depth) = (self.cfg.trees, self.cfg.depth);
             let ds = self.dataset(spec).clone();
             let (m, secs) = wall(|| train_algo(&ds, algo, trees, depth));
-            eprintln!("  [train] {} / {}: {} trees, depth {} ({:.1}s)",
-                spec.name, algo.label(), m.trees.len(), m.max_depth(), secs);
+            eprintln!(
+                "  [train] {} / {}: {} trees, depth {} ({:.1}s)",
+                spec.name,
+                algo.label(),
+                m.trees.len(),
+                m.max_depth(),
+                secs
+            );
             self.models.insert(key, m);
         }
         self.models[&key].clone()
@@ -140,21 +156,24 @@ impl Table {
                 .join("  ")
         };
         println!("{}", fmt_row(&self.header));
-        println!("{}", "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+        println!(
+            "{}",
+            "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len())
+        );
         for r in &self.rows {
             println!("{}", fmt_row(r));
         }
         // JSON mirror for EXPERIMENTS.md provenance.
         let _ = std::fs::create_dir_all("bench_results");
-        let json = serde_json::json!({
-            "id": self.id,
-            "title": self.title,
-            "header": self.header,
-            "rows": self.rows,
-        });
+        let json = hb_json::Json::Obj(vec![
+            ("id".to_string(), hb_json::ToJson::to_json(&self.id)),
+            ("title".to_string(), hb_json::ToJson::to_json(&self.title)),
+            ("header".to_string(), hb_json::ToJson::to_json(&self.header)),
+            ("rows".to_string(), hb_json::ToJson::to_json(&self.rows)),
+        ]);
         let _ = std::fs::write(
             format!("bench_results/{}.json", self.id),
-            serde_json::to_string_pretty(&json).unwrap(),
+            hb_json::to_string_pretty(&json),
         );
     }
 }
@@ -172,15 +191,37 @@ fn batch_scorers(e: &TreeEnsemble, batch: usize) -> (Vec<Scorer>, Vec<Option<Sco
         onnx_scorer(e),
         hb_scorer(e, Backend::Eager, Device::cpu(), TreeStrategy::Auto, batch),
         hb_scorer(e, Backend::Script, Device::cpu(), TreeStrategy::Auto, batch),
-        hb_scorer(e, Backend::Compiled, Device::cpu(), TreeStrategy::Auto, batch),
+        hb_scorer(
+            e,
+            Backend::Compiled,
+            Device::cpu(),
+            TreeStrategy::Auto,
+            batch,
+        ),
     ];
     // RAPIDS FIL 0.9 supported neither random forests nor multiclass
     // tasks (paper Table 7 "not supported"); mirror that.
     let fil_supported = e.n_classes == 1 || (e.n_classes == 2 && !is_forest(e));
     let gpu = vec![
-        if fil_supported { Some(fil_scorer(e, P100)) } else { None },
-        Some(hb_scorer(e, Backend::Script, Device::Sim(P100), TreeStrategy::Auto, batch)),
-        Some(hb_scorer(e, Backend::Compiled, Device::Sim(P100), TreeStrategy::Auto, batch)),
+        if fil_supported {
+            Some(fil_scorer(e, P100))
+        } else {
+            None
+        },
+        Some(hb_scorer(
+            e,
+            Backend::Script,
+            Device::Sim(P100),
+            TreeStrategy::Auto,
+            batch,
+        )),
+        Some(hb_scorer(
+            e,
+            Backend::Compiled,
+            Device::Sim(P100),
+            TreeStrategy::Auto,
+            batch,
+        )),
     ];
     (cpu, gpu)
 }
@@ -198,8 +239,16 @@ fn table7(zoo: &mut Zoo) {
         "table7",
         "Batch inference (10K-record batches; GPU columns simulated)",
         &[
-            "Algorithm", "Dataset", "Sklearn", "ONNX-ML", "HB-Eager", "HB-Script",
-            "HB-Compiled", "FIL@P100", "Script@P100", "Compiled@P100",
+            "Algorithm",
+            "Dataset",
+            "Sklearn",
+            "ONNX-ML",
+            "HB-Eager",
+            "HB-Script",
+            "HB-Compiled",
+            "FIL@P100",
+            "Script@P100",
+            "Compiled@P100",
         ],
     );
     for algo in Algo::ALL {
@@ -230,7 +279,15 @@ fn table8(zoo: &mut Zoo) {
     let mut t = Table::new(
         "table8",
         "Request/response: one record at a time, single core",
-        &["Algorithm", "Dataset", "Sklearn", "ONNX-ML", "HB-Eager", "HB-Script", "HB-Compiled"],
+        &[
+            "Algorithm",
+            "Dataset",
+            "Sklearn",
+            "ONNX-ML",
+            "HB-Eager",
+            "HB-Script",
+            "HB-Compiled",
+        ],
     );
     for algo in Algo::ALL {
         for spec in TREE_BENCH_SPECS.iter().filter(|s| s.name != "airline") {
@@ -305,7 +362,14 @@ fn table10(zoo: &mut Zoo) {
     let mut t = Table::new(
         "table10",
         "Conversion times (one model -> target backend)",
-        &["Algorithm", "Dataset", "ONNX-ML", "HB-Eager", "HB-Script", "HB-Compiled"],
+        &[
+            "Algorithm",
+            "Dataset",
+            "ONNX-ML",
+            "HB-Eager",
+            "HB-Script",
+            "HB-Compiled",
+        ],
     );
     for algo in Algo::ALL {
         for spec in &TREE_BENCH_SPECS {
@@ -314,11 +378,16 @@ fn table10(zoo: &mut Zoo) {
             let onnx = truncated_mean_secs(zoo.cfg.reps, || {
                 wall(|| hb_ml::baselines::OnnxLikeForest::new(&e)).1
             });
-            let mut cells =
-                vec![algo.label().to_string(), spec.name.to_string(), fmt_secs(onnx)];
+            let mut cells = vec![
+                algo.label().to_string(),
+                spec.name.to_string(),
+                fmt_secs(onnx),
+            ];
             for backend in Backend::ALL {
                 let secs = truncated_mean_secs(zoo.cfg.reps, || {
-                    hb_model(&e, backend, Device::cpu(), 10_000).compile_time().as_secs_f64()
+                    hb_model(&e, backend, Device::cpu(), 10_000)
+                        .compile_time()
+                        .as_secs_f64()
                 });
                 cells.push(fmt_secs(secs));
             }
@@ -334,14 +403,26 @@ fn validate(zoo: &mut Zoo) {
     let mut t = Table::new(
         "validate",
         "Output validation vs imperative reference (rtol=atol=1e-5)",
-        &["Algorithm", "Dataset", "allclose", "max |diff|", "label mismatch %"],
+        &[
+            "Algorithm",
+            "Dataset",
+            "allclose",
+            "max |diff|",
+            "label mismatch %",
+        ],
     );
     for algo in Algo::ALL {
         for spec in &TREE_BENCH_SPECS {
             let e = zoo.model(spec, algo);
             let ds = zoo.dataset(spec).clone();
             let want = e.predict_proba(&ds.x_test);
-            let s = hb_scorer(&e, Backend::Compiled, Device::cpu(), TreeStrategy::Auto, 10_000);
+            let s = hb_scorer(
+                &e,
+                Backend::Compiled,
+                Device::cpu(),
+                TreeStrategy::Auto,
+                10_000,
+            );
             let (got, _) = s.score(&ds.x_test);
             let ok = allclose(&got, &want, 1e-5, 1e-5);
             let mad = max_abs_diff(&got, &want);
@@ -364,27 +445,65 @@ fn validate(zoo: &mut Zoo) {
 
 /// The 13 operators of §6.1.2 (Tables 11–12).
 fn operator_specs(n_train: usize) -> Vec<(&'static str, OpSpec)> {
-    let lin = LinearConfig { epochs: 60, ..Default::default() };
+    let lin = LinearConfig {
+        epochs: 60,
+        ..Default::default()
+    };
     let svc_rows = n_train.min(800);
     let _ = svc_rows;
     vec![
-        ("LogisticRegression", OpSpec::LogisticRegression(lin.clone())),
-        ("SGDClassifier", OpSpec::SgdClassifier(LinearConfig { epochs: 5, ..lin.clone() })),
+        (
+            "LogisticRegression",
+            OpSpec::LogisticRegression(lin.clone()),
+        ),
+        (
+            "SGDClassifier",
+            OpSpec::SgdClassifier(LinearConfig {
+                epochs: 5,
+                ..lin.clone()
+            }),
+        ),
         ("LinearSVC", OpSpec::LinearSvc(lin)),
-        ("NuSVC", OpSpec::NuSvc { nu: 0.5, config: Default::default() }),
+        (
+            "NuSVC",
+            OpSpec::NuSvc {
+                nu: 0.5,
+                config: Default::default(),
+            },
+        ),
         ("SVC", OpSpec::Svc(Default::default())),
-        ("BernoulliNB", OpSpec::BernoulliNb { alpha: 1.0, binarize: 0.0 }),
+        (
+            "BernoulliNB",
+            OpSpec::BernoulliNb {
+                alpha: 1.0,
+                binarize: 0.0,
+            },
+        ),
         (
             "MLPClassifier",
-            OpSpec::Mlp(hb_ml::mlp::MlpConfig { epochs: 10, ..Default::default() }),
+            OpSpec::Mlp(hb_ml::mlp::MlpConfig {
+                epochs: 10,
+                ..Default::default()
+            }),
         ),
-        ("DecisionTreeClassifier", OpSpec::DecisionTreeClassifier { max_depth: 8 }),
+        (
+            "DecisionTreeClassifier",
+            OpSpec::DecisionTreeClassifier { max_depth: 8 },
+        ),
         ("Binarizer", OpSpec::Binarizer { threshold: 0.0 }),
         ("MinMaxScaler", OpSpec::MinMaxScaler),
-        ("Normalizer", OpSpec::Normalizer { norm: hb_ml::featurize::Norm::L2 }),
+        (
+            "Normalizer",
+            OpSpec::Normalizer {
+                norm: hb_ml::featurize::Norm::L2,
+            },
+        ),
         (
             "PolynomialFeatures",
-            OpSpec::PolynomialFeatures { include_bias: true, interaction_only: false },
+            OpSpec::PolynomialFeatures {
+                include_bias: true,
+                interaction_only: false,
+            },
         ),
         ("StandardScaler", OpSpec::StandardScaler),
     ]
@@ -394,7 +513,11 @@ fn operator_specs(n_train: usize) -> Vec<(&'static str, OpSpec)> {
 fn fit_operator(name: &str, spec: &OpSpec, ds: &Dataset) -> Pipeline {
     // Kernel SVMs train O(n²); fit them on a subsample like the paper's
     // Iris-sized data, then score the full matrix.
-    let cap = if matches!(name, "NuSVC" | "SVC") { 600 } else { usize::MAX };
+    let cap = if matches!(name, "NuSVC" | "SVC") {
+        600
+    } else {
+        usize::MAX
+    };
     let n = ds.n_train().min(cap);
     let x = ds.x_train.slice(0, 0, n).to_contiguous();
     let y = match &ds.y_train {
@@ -412,15 +535,20 @@ fn fit_operator(name: &str, spec: &OpSpec, ds: &Dataset) -> Pipeline {
 }
 
 /// Operator scorers: imperative single-core baseline + HB backends.
-fn operator_scorers(pipe: &Pipeline, batch: usize) -> Vec<(String, Box<dyn Fn(&Tensor<f32>) -> f64>)> {
+fn operator_scorers(
+    pipe: &Pipeline,
+    batch: usize,
+) -> Vec<(String, Box<dyn Fn(&Tensor<f32>) -> f64>)> {
     let skl = {
         let p = pipe.clone();
-        let pool = rayon::ThreadPoolBuilder::new().num_threads(1).build().unwrap();
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(1)
+            .build()
+            .unwrap();
         Box::new(move |x: &Tensor<f32>| pool.install(|| wall(|| p.predict_proba(x)).1))
             as Box<dyn Fn(&Tensor<f32>) -> f64>
     };
-    let mut out: Vec<(String, Box<dyn Fn(&Tensor<f32>) -> f64>)> =
-        vec![("Sklearn".into(), skl)];
+    let mut out: Vec<(String, Box<dyn Fn(&Tensor<f32>) -> f64>)> = vec![("Sklearn".into(), skl)];
     for (label, backend, device) in [
         ("HB-Script", Backend::Script, Device::cpu1()),
         ("HB-Compiled", Backend::Compiled, Device::cpu1()),
@@ -458,8 +586,18 @@ fn table11(cfg: &Config) {
     let ds = iris_like(rows, cfg.seed);
     let mut t = Table::new(
         "table11",
-        &format!("Operators, batch inference over {} records (1 CPU core + sim GPU)", ds.n_test()),
-        &["Operator", "Sklearn", "HB-Script", "HB-Compiled", "Script@P100", "Compiled@P100"],
+        &format!(
+            "Operators, batch inference over {} records (1 CPU core + sim GPU)",
+            ds.n_test()
+        ),
+        &[
+            "Operator",
+            "Sklearn",
+            "HB-Script",
+            "HB-Compiled",
+            "Script@P100",
+            "Compiled@P100",
+        ],
     );
     for (name, spec) in operator_specs(ds.n_train()) {
         let pipe = fit_operator(name, &spec, &ds);
@@ -517,8 +655,14 @@ fn fig4(zoo: &mut Zoo) {
         "fig4",
         &format!("Total time to score {n} records vs batch size (higgs, LightGBM-like)"),
         &[
-            "Batch", "Sklearn", "ONNX-ML", "HB-Script", "HB-Compiled", "Script@P100(sim)",
-            "Compiled@P100(sim)", "FIL@P100(sim)",
+            "Batch",
+            "Sklearn",
+            "ONNX-ML",
+            "HB-Script",
+            "HB-Compiled",
+            "Script@P100(sim)",
+            "Compiled@P100(sim)",
+            "FIL@P100(sim)",
         ],
     );
     for batch in [1usize, 10, 100, 1_000, 10_000] {
@@ -526,10 +670,34 @@ fn fig4(zoo: &mut Zoo) {
         let scorers = vec![
             sklearn_scorer(&e),
             onnx_scorer(&e),
-            hb_scorer(&e, Backend::Script, Device::cpu(), TreeStrategy::Auto, batch),
-            hb_scorer(&e, Backend::Compiled, Device::cpu(), TreeStrategy::Auto, batch),
-            hb_scorer(&e, Backend::Script, Device::Sim(P100), TreeStrategy::Auto, batch),
-            hb_scorer(&e, Backend::Compiled, Device::Sim(P100), TreeStrategy::Auto, batch),
+            hb_scorer(
+                &e,
+                Backend::Script,
+                Device::cpu(),
+                TreeStrategy::Auto,
+                batch,
+            ),
+            hb_scorer(
+                &e,
+                Backend::Compiled,
+                Device::cpu(),
+                TreeStrategy::Auto,
+                batch,
+            ),
+            hb_scorer(
+                &e,
+                Backend::Script,
+                Device::Sim(P100),
+                TreeStrategy::Auto,
+                batch,
+            ),
+            hb_scorer(
+                &e,
+                Backend::Compiled,
+                Device::Sim(P100),
+                TreeStrategy::Auto,
+                batch,
+            ),
             fil_scorer(&e, P100),
         ];
         // Cap the record count for tiny batches so the sweep stays fast,
@@ -577,7 +745,13 @@ fn fig7(zoo: &mut Zoo) {
     let mut t = Table::new(
         "fig7",
         "Cost (USD) per 100K predictions, random forest, batch 1K",
-        &["Dataset", "CPU(E8v3)+Sklearn", "K80+Compiled", "P100+Compiled", "V100+Compiled"],
+        &[
+            "Dataset",
+            "CPU(E8v3)+Sklearn",
+            "K80+Compiled",
+            "P100+Compiled",
+            "V100+Compiled",
+        ],
     );
     for spec in &TREE_BENCH_SPECS {
         let e = zoo.model(spec, Algo::RandomForest);
@@ -587,10 +761,22 @@ fn fig7(zoo: &mut Zoo) {
         let per_100k = |secs: f64, hourly: f64| (secs / n) * 100_000.0 * hourly / 3600.0;
         let mut cells = vec![spec.name.to_string()];
         let skl = sklearn_scorer(&e);
-        cells.push(format!("{:.2e}", per_100k(timed(&skl, &ds.x_test, batch, 1), CPU_VM_HOURLY_USD)));
+        cells.push(format!(
+            "{:.2e}",
+            per_100k(timed(&skl, &ds.x_test, batch, 1), CPU_VM_HOURLY_USD)
+        ));
         for dev in [K80, P100, V100] {
-            let s = hb_scorer(&e, Backend::Compiled, Device::Sim(dev), TreeStrategy::Auto, batch);
-            cells.push(format!("{:.2e}", per_100k(timed(&s, &ds.x_test, batch, 1), dev.hourly_usd)));
+            let s = hb_scorer(
+                &e,
+                Backend::Compiled,
+                Device::Sim(dev),
+                TreeStrategy::Auto,
+                batch,
+            );
+            cells.push(format!(
+                "{:.2e}",
+                per_100k(timed(&s, &ds.x_test, batch, 1), dev.hourly_usd)
+            ));
         }
         t.row(cells);
     }
@@ -611,8 +797,15 @@ fn fig8(cfg: &Config) {
         eprintln!("  [fig8] depth {depth}: actual max depth {}", e.max_depth());
         for batch in [1usize, 1_000] {
             // Score a fixed 1000-record slice so rows are comparable.
-            let nscore = if batch == 1 { 200 } else { 1_000.min(ds.n_test()) };
-            let sub = ds.x_test.slice(0, 0, nscore.min(ds.n_test())).to_contiguous();
+            let nscore = if batch == 1 {
+                200
+            } else {
+                1_000.min(ds.n_test())
+            };
+            let sub = ds
+                .x_test
+                .slice(0, 0, nscore.min(ds.n_test()))
+                .to_contiguous();
             let mut cells = vec![depth.to_string(), batch.to_string()];
             let skl = sklearn_scorer_1core(&e);
             cells.push(fmt_secs(timed(&skl, &sub, batch, 1)));
@@ -645,15 +838,25 @@ fn fig9(cfg: &Config) {
     let mut t = Table::new(
         "fig9",
         "Feature-selection push-down (Nomao-like pipeline, seconds per full test scan)",
-        &["SelectPercentile", "Sklearn", "HB (no pushdown)", "HB (pushdown)"],
+        &[
+            "SelectPercentile",
+            "Sklearn",
+            "HB (no pushdown)",
+            "HB (pushdown)",
+        ],
     );
     for pct in [10usize, 25, 50, 75, 100] {
         let specs = vec![
-            OpSpec::SimpleImputer { strategy: ImputeStrategy::Mean },
+            OpSpec::SimpleImputer {
+                strategy: ImputeStrategy::Mean,
+            },
             OpSpec::OneHotEncoder,
             OpSpec::StandardScaler,
             OpSpec::SelectPercentile { percentile: pct },
-            OpSpec::LogisticRegression(LinearConfig { epochs: 40, ..Default::default() }),
+            OpSpec::LogisticRegression(LinearConfig {
+                epochs: 40,
+                ..Default::default()
+            }),
         ];
         let pipe = fit_pipeline(&specs, &ds.x_train, &ds.y_train);
         let n_ops = pipe.len();
@@ -695,15 +898,30 @@ fn fig10(cfg: &Config) {
     let mut t = Table::new(
         "fig10",
         "Feature-selection injection (L1 logistic regression, seconds per full test scan)",
-        &["L1 strength", "nonzero feats", "HB (no injection)", "HB (injection)"],
+        &[
+            "L1 strength",
+            "nonzero feats",
+            "HB (no injection)",
+            "HB (injection)",
+        ],
     );
     for alpha in [0.05f32, 0.02, 0.008, 0.002, 0.0] {
-        let penalty = if alpha > 0.0 { Penalty::L1(alpha) } else { Penalty::L2(1e-4) };
+        let penalty = if alpha > 0.0 {
+            Penalty::L1(alpha)
+        } else {
+            Penalty::L2(1e-4)
+        };
         let specs = vec![
-            OpSpec::SimpleImputer { strategy: ImputeStrategy::Mean },
+            OpSpec::SimpleImputer {
+                strategy: ImputeStrategy::Mean,
+            },
             OpSpec::OneHotEncoder,
             OpSpec::StandardScaler,
-            OpSpec::LogisticRegression(LinearConfig { penalty, epochs: 80, ..Default::default() }),
+            OpSpec::LogisticRegression(LinearConfig {
+                penalty,
+                epochs: 80,
+                ..Default::default()
+            }),
         ];
         let pipe = fit_pipeline(&specs, &ds.x_train, &ds.y_train);
         let nz = match pipe.ops.last().unwrap() {
@@ -772,13 +990,49 @@ fn ablation(cfg: &Config) {
     let mut t = Table::new(
         "ablation",
         "Compiled-backend pass ablation (GEMM-strategy booster + scaler chain)",
-        &["Passes", "kernels", "folded", "cse", "fused", "CPU time/scan", "P100(sim)"],
+        &[
+            "Passes",
+            "kernels",
+            "folded",
+            "cse",
+            "fused",
+            "CPU time/scan",
+            "P100(sim)",
+        ],
     );
     let variants: Vec<(&str, PassToggles)> = vec![
-        ("none", PassToggles { fold: false, cse: false, fuse: false }),
-        ("fold", PassToggles { fold: true, cse: false, fuse: false }),
-        ("fold+cse", PassToggles { fold: true, cse: true, fuse: false }),
-        ("fuse only", PassToggles { fold: false, cse: false, fuse: true }),
+        (
+            "none",
+            PassToggles {
+                fold: false,
+                cse: false,
+                fuse: false,
+            },
+        ),
+        (
+            "fold",
+            PassToggles {
+                fold: true,
+                cse: false,
+                fuse: false,
+            },
+        ),
+        (
+            "fold+cse",
+            PassToggles {
+                fold: true,
+                cse: true,
+                fuse: false,
+            },
+        ),
+        (
+            "fuse only",
+            PassToggles {
+                fold: false,
+                cse: false,
+                fuse: true,
+            },
+        ),
         ("all", PassToggles::default()),
     ];
     for (label, toggles) in variants {
@@ -812,7 +1066,14 @@ fn sparse(cfg: &Config) {
     let mut t = Table::new(
         "sparse",
         "Sparse one-hot fast path (CSR SpMM) vs dense compiled graph",
-        &["columns", "vocab", "one-hot width", "Sklearn", "HB dense", "HB sparse"],
+        &[
+            "columns",
+            "vocab",
+            "one-hot width",
+            "Sklearn",
+            "HB dense",
+            "HB sparse",
+        ],
     );
     for (d, vocab) in [(20usize, 8usize), (40, 20), (60, 40)] {
         let x = Tensor::from_fn(&[rows, d], |i| {
@@ -820,12 +1081,18 @@ fn sparse(cfg: &Config) {
         });
         let y = Targets::Classes((0..rows).map(|i| (i % 2) as i64).collect());
         let split = rows * 4 / 5;
-        let (xtr, xte) = (x.slice(0, 0, split).to_contiguous(), x.slice(0, split, rows).to_contiguous());
+        let (xtr, xte) = (
+            x.slice(0, 0, split).to_contiguous(),
+            x.slice(0, split, rows).to_contiguous(),
+        );
         let ytr = Targets::Classes(y.classes()[..split].to_vec());
         let pipe = fit_pipeline(
             &[
                 OpSpec::OneHotEncoder,
-                OpSpec::LogisticRegression(LinearConfig { epochs: 20, ..Default::default() }),
+                OpSpec::LogisticRegression(LinearConfig {
+                    epochs: 20,
+                    ..Default::default()
+                }),
             ],
             &xtr,
             &ytr,
@@ -837,12 +1104,14 @@ fn sparse(cfg: &Config) {
         let skl = truncated_mean_secs(cfg.reps, || wall(|| pipe.predict_proba(&xte)).1);
         let dense = compile(
             &pipe,
-            &CompileOptions { expected_batch: xte.shape()[0], ..Default::default() },
+            &CompileOptions {
+                expected_batch: xte.shape()[0],
+                ..Default::default()
+            },
         )
         .unwrap();
-        let dense_s = truncated_mean_secs(cfg.reps, || {
-            wall(|| dense.predict_proba(&xte).unwrap()).1
-        });
+        let dense_s =
+            truncated_mean_secs(cfg.reps, || wall(|| dense.predict_proba(&xte).unwrap()).1);
         let sp = SparseOneHotLinear::try_lower(&pipe).expect("pattern applies");
         // Validate before timing.
         assert!(hb_ml::metrics::allclose(
@@ -851,8 +1120,7 @@ fn sparse(cfg: &Config) {
             1e-4,
             1e-4
         ));
-        let sparse_s =
-            truncated_mean_secs(cfg.reps, || wall(|| sp.predict_proba(&xte)).1);
+        let sparse_s = truncated_mean_secs(cfg.reps, || wall(|| sp.predict_proba(&xte)).1);
         t.row(vec![
             d.to_string(),
             vocab.to_string(),
@@ -894,7 +1162,10 @@ fn fig12(cfg: &Config) {
             Some(truncated_mean_secs(2, || {
                 let t = Instant::now();
                 let (_, stats) = model.predict_with_stats(&ds.x_test).expect("scoring");
-                stats.simulated.map(|d| d.as_secs_f64()).unwrap_or(t.elapsed().as_secs_f64())
+                stats
+                    .simulated
+                    .map(|d| d.as_secs_f64())
+                    .unwrap_or(t.elapsed().as_secs_f64())
             }))
         };
         match run(Device::cpu()) {

@@ -80,48 +80,60 @@ impl Algo {
 /// harness) and `max_depth` its "max depth 8".
 pub fn train_algo(ds: &Dataset, algo: Algo, n_trees: usize, max_depth: usize) -> TreeEnsemble {
     match (algo, ds.task) {
-        (Algo::RandomForest, Task::Regression) => RandomForestRegressor::new(ForestConfig {
-            n_trees,
-            max_depth,
-            ..Default::default()
-        })
-        .fit(&ds.x_train, ds.y_train.values())
-        .ensemble,
-        (Algo::RandomForest, _) => RandomForestClassifier::new(ForestConfig {
-            n_trees,
-            max_depth,
-            ..Default::default()
-        })
-        .fit(&ds.x_train, ds.y_train.classes())
-        .ensemble,
-        (Algo::LightGbm, Task::Regression) => GradientBoostingRegressor::new(GbdtConfig {
-            n_rounds: n_trees,
-            max_depth: max_depth + 4,
-            ..GbdtConfig::lightgbm_like()
-        })
-        .fit(&ds.x_train, ds.y_train.values())
-        .ensemble,
-        (Algo::LightGbm, _) => GradientBoostingClassifier::new(GbdtConfig {
-            n_rounds: n_trees,
-            max_depth: max_depth + 4,
-            ..GbdtConfig::lightgbm_like()
-        })
-        .fit(&ds.x_train, ds.y_train.classes())
-        .ensemble,
-        (Algo::XgBoost, Task::Regression) => GradientBoostingRegressor::new(GbdtConfig {
-            n_rounds: n_trees,
-            max_depth,
-            ..GbdtConfig::xgboost_like()
-        })
-        .fit(&ds.x_train, ds.y_train.values())
-        .ensemble,
-        (Algo::XgBoost, _) => GradientBoostingClassifier::new(GbdtConfig {
-            n_rounds: n_trees,
-            max_depth,
-            ..GbdtConfig::xgboost_like()
-        })
-        .fit(&ds.x_train, ds.y_train.classes())
-        .ensemble,
+        (Algo::RandomForest, Task::Regression) => {
+            RandomForestRegressor::new(ForestConfig {
+                n_trees,
+                max_depth,
+                ..Default::default()
+            })
+            .fit(&ds.x_train, ds.y_train.values())
+            .ensemble
+        }
+        (Algo::RandomForest, _) => {
+            RandomForestClassifier::new(ForestConfig {
+                n_trees,
+                max_depth,
+                ..Default::default()
+            })
+            .fit(&ds.x_train, ds.y_train.classes())
+            .ensemble
+        }
+        (Algo::LightGbm, Task::Regression) => {
+            GradientBoostingRegressor::new(GbdtConfig {
+                n_rounds: n_trees,
+                max_depth: max_depth + 4,
+                ..GbdtConfig::lightgbm_like()
+            })
+            .fit(&ds.x_train, ds.y_train.values())
+            .ensemble
+        }
+        (Algo::LightGbm, _) => {
+            GradientBoostingClassifier::new(GbdtConfig {
+                n_rounds: n_trees,
+                max_depth: max_depth + 4,
+                ..GbdtConfig::lightgbm_like()
+            })
+            .fit(&ds.x_train, ds.y_train.classes())
+            .ensemble
+        }
+        (Algo::XgBoost, Task::Regression) => {
+            GradientBoostingRegressor::new(GbdtConfig {
+                n_rounds: n_trees,
+                max_depth,
+                ..GbdtConfig::xgboost_like()
+            })
+            .fit(&ds.x_train, ds.y_train.values())
+            .ensemble
+        }
+        (Algo::XgBoost, _) => {
+            GradientBoostingClassifier::new(GbdtConfig {
+                n_rounds: n_trees,
+                max_depth,
+                ..GbdtConfig::xgboost_like()
+            })
+            .fit(&ds.x_train, ds.y_train.classes())
+            .ensemble
+        }
     }
 }
 
@@ -156,13 +168,19 @@ impl Scorer {
 /// scikit-learn baseline scorer (row-parallel recursive traversal).
 pub fn sklearn_scorer(e: &TreeEnsemble) -> Scorer {
     let f = SklearnLikeForest::new(e).with_dispatch_overhead();
-    Scorer { name: "Sklearn".into(), score: Box::new(move |x| wall(|| f.predict_batch(x))) }
+    Scorer {
+        name: "Sklearn".into(),
+        score: Box::new(move |x| wall(|| f.predict_batch(x))),
+    }
 }
 
 /// scikit-learn baseline restricted to one core (request/response runs).
 pub fn sklearn_scorer_1core(e: &TreeEnsemble) -> Scorer {
     let f = SklearnLikeForest::new(e).with_dispatch_overhead();
-    let pool = rayon::ThreadPoolBuilder::new().num_threads(1).build().unwrap();
+    let pool = rayon::ThreadPoolBuilder::new()
+        .num_threads(1)
+        .build()
+        .unwrap();
     Scorer {
         name: "Sklearn".into(),
         score: Box::new(move |x| pool.install(|| wall(|| f.predict_batch(x)))),
@@ -172,7 +190,10 @@ pub fn sklearn_scorer_1core(e: &TreeEnsemble) -> Scorer {
 /// ONNX-ML baseline scorer (single-core flat iterative traversal).
 pub fn onnx_scorer(e: &TreeEnsemble) -> Scorer {
     let f = OnnxLikeForest::new(e).with_dispatch_overhead();
-    Scorer { name: "ONNX-ML".into(), score: Box::new(move |x| wall(|| f.predict_batch(x))) }
+    Scorer {
+        name: "ONNX-ML".into(),
+        score: Box::new(move |x| wall(|| f.predict_batch(x))),
+    }
 }
 
 /// Hummingbird scorer for a backend/device/strategy combination.
@@ -209,7 +230,10 @@ pub fn hb_scorer(
             let t = Instant::now();
             let (out, stats) = model.predict_with_stats(x).expect("scoring failed");
             let secs = if sim {
-                stats.simulated.expect("sim device reports latency").as_secs_f64()
+                stats
+                    .simulated
+                    .expect("sim device reports latency")
+                    .as_secs_f64()
             } else {
                 t.elapsed().as_secs_f64()
             };
@@ -275,8 +299,14 @@ mod tests {
         let e = train_algo(&ds, Algo::RandomForest, 5, 4);
         let (a, _) = sklearn_scorer(&e).score(&ds.x_test);
         let (b, _) = onnx_scorer(&e).score(&ds.x_test);
-        let (c, _) = hb_scorer(&e, Backend::Compiled, Device::cpu(), TreeStrategy::Auto, 100)
-            .score(&ds.x_test);
+        let (c, _) = hb_scorer(
+            &e,
+            Backend::Compiled,
+            Device::cpu(),
+            TreeStrategy::Auto,
+            100,
+        )
+        .score(&ds.x_test);
         assert_eq!(a.to_vec(), b.to_vec());
         assert!(hb_ml::metrics::allclose(&c, &a, 1e-4, 1e-4));
     }

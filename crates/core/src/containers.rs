@@ -185,26 +185,36 @@ pub fn extract(op: &FittedOp) -> Params {
             offset: s.center.clone(),
             scale: s.inv_scale.clone(),
         }),
-        FittedOp::Binarizer(b) => Params::Binarize { threshold: b.threshold },
+        FittedOp::Binarizer(b) => Params::Binarize {
+            threshold: b.threshold,
+        },
         FittedOp::Normalizer(n) => Params::Normalize { norm: n.norm },
-        FittedOp::SimpleImputer(i) => Params::Impute { statistics: i.statistics.clone() },
+        FittedOp::SimpleImputer(i) => Params::Impute {
+            statistics: i.statistics.clone(),
+        },
         FittedOp::MissingIndicator(_) => Params::MissingInd,
-        FittedOp::KBinsDiscretizer(k) => {
-            Params::KBins { edges: k.edges.clone(), encode: k.encode }
-        }
+        FittedOp::KBinsDiscretizer(k) => Params::KBins {
+            edges: k.edges.clone(),
+            encode: k.encode,
+        },
         FittedOp::PolynomialFeatures(p) => Params::Poly {
             include_bias: p.include_bias,
             interaction_only: p.interaction_only,
         },
-        FittedOp::OneHotEncoder(o) => Params::OneHot { categories: o.categories.clone() },
-        FittedOp::FeatureSelector(s) => Params::Select { indices: s.selected.clone() },
+        FittedOp::OneHotEncoder(o) => Params::OneHot {
+            categories: o.categories.clone(),
+        },
+        FittedOp::FeatureSelector(s) => Params::Select {
+            indices: s.selected.clone(),
+        },
         FittedOp::Pca(p) => Params::Project {
             mean: Some(p.mean.clone()),
             components: p.components.clone(),
         },
-        FittedOp::TruncatedSvd(t) => {
-            Params::Project { mean: None, components: t.components.clone() }
-        }
+        FittedOp::TruncatedSvd(t) => Params::Project {
+            mean: None,
+            components: t.components.clone(),
+        },
         FittedOp::KernelPca(kp) => Params::KernelProject {
             x_fit: kp.x_fit.clone(),
             alphas: kp.alphas.clone(),
@@ -236,8 +246,7 @@ pub fn extract(op: &FittedOp) -> Params {
                     let mu = theta[cls * d + f];
                     a[cls * d + f] = -0.5 / v;
                     b[cls * d + f] = mu / v;
-                    bias[cls] += -0.5 * (2.0 * std::f32::consts::PI * v).ln()
-                        - mu * mu / (2.0 * v);
+                    bias[cls] += -0.5 * (2.0 * std::f32::consts::PI * v).ln() - mu * mu / (2.0 * v);
                 }
             }
             Params::GaussNb {
@@ -255,7 +264,11 @@ pub fn extract(op: &FittedOp) -> Params {
                 .zip(nb.class_log_prior.iter())
                 .map(|(b, p)| b + p)
                 .collect();
-            Params::BernNb { delta, bias, binarize: nb.binarize }
+            Params::BernNb {
+                delta,
+                bias,
+                binarize: nb.binarize,
+            }
         }
         FittedOp::MultinomialNb(nb) => Params::MultiNb {
             w: nb.feature_log_prob.clone(),
@@ -311,7 +324,9 @@ mod tests {
         let nb = hb_ml::naive_bayes::GaussianNb::fit(&x, &y);
         let want = nb.joint_log_likelihood(&x);
         let p = extract(&FittedOp::GaussianNb(nb));
-        let Params::GaussNb { a, b, bias } = p else { panic!("wrong params") };
+        let Params::GaussNb { a, b, bias } = p else {
+            panic!("wrong params")
+        };
         let x2 = x.mul(&x);
         let bias_t = Tensor::from_vec(bias.clone(), &[1, bias.len()]);
         let got = x2
@@ -328,7 +343,10 @@ mod tests {
         let x = Tensor::from_fn(&[20, 2], |i| (i[0] + i[1]) as f32);
         let y = hb_pipeline::Targets::Classes((0..20).map(|i| (i % 2) as i64).collect());
         let pipe = hb_pipeline::fit_pipeline(
-            &[hb_pipeline::OpSpec::StandardScaler, hb_pipeline::OpSpec::GaussianNb],
+            &[
+                hb_pipeline::OpSpec::StandardScaler,
+                hb_pipeline::OpSpec::GaussianNb,
+            ],
             &x,
             &y,
         );

@@ -50,7 +50,13 @@ pub fn convert(
                 }
                 Norm::Max => {
                     let a = b.push(Op::Abs, vec![x]);
-                    b.push(Op::ReduceMax { axis: 1, keepdim: true }, vec![a])
+                    b.push(
+                        Op::ReduceMax {
+                            axis: 1,
+                            keepdim: true,
+                        },
+                        vec![a],
+                    )
                 }
             };
             // Zero rows divide by 1 instead of producing NaN, matching
@@ -72,9 +78,10 @@ pub fn convert(
             Ok(b.cast(mask, DType::F32))
         }
         Params::KBins { edges, encode } => convert_kbins(b, x, edges, *encode),
-        Params::Poly { include_bias, interaction_only } => {
-            convert_poly(b, x, *include_bias, *interaction_only, width_in)
-        }
+        Params::Poly {
+            include_bias,
+            interaction_only,
+        } => convert_poly(b, x, *include_bias, *interaction_only, width_in),
         Params::OneHot { categories } => {
             // Broadcast one-hot (§4.2): per column, Eq against the
             // reshaped vocabulary.
@@ -93,9 +100,19 @@ pub fn convert(
                     "one-hot encoder with an empty vocabulary".into(),
                 ));
             }
-            Ok(if parts.len() == 1 { parts[0] } else { b.concat(1, parts) })
+            Ok(if parts.len() == 1 {
+                parts[0]
+            } else {
+                b.concat(1, parts)
+            })
         }
-        Params::KernelProject { x_fit, alphas, k_fit_rows, k_fit_all, gamma } => {
+        Params::KernelProject {
+            x_fit,
+            alphas,
+            k_fit_rows,
+            k_fit_all,
+            gamma,
+        } => {
             // RBF kernel row via the quadratic-expansion trick, then
             // double-centering against the fitted statistics and a GEMM
             // onto the scaled eigenvectors.
@@ -124,14 +141,23 @@ pub fn convert(
             let comp_t = b.constant(components.transpose(0, 1).to_contiguous());
             Ok(b.matmul(centered, comp_t))
         }
-        Params::Linear { weights, bias, link } => {
+        Params::Linear {
+            weights,
+            bias,
+            link,
+        } => {
             let w_t = b.constant(weights.transpose(0, 1).to_contiguous());
             let bias_c = b.constant(Tensor::from_vec(bias.clone(), &[1, bias.len()]));
             let mm = b.matmul(x, w_t);
             let z = b.add(mm, bias_c);
             Ok(emit_link(b, z, *link))
         }
-        Params::Svm { sv, dual, intercept, kernel } => {
+        Params::Svm {
+            sv,
+            dual,
+            intercept,
+            kernel,
+        } => {
             let k = match kernel {
                 Kernel::Linear => {
                     let sv_t = b.constant(sv.transpose(0, 1).to_contiguous());
@@ -161,7 +187,11 @@ pub fn convert(
             let ll = b.add(s, bias_c);
             Ok(b.softmax(ll, 1))
         }
-        Params::BernNb { delta, bias, binarize } => {
+        Params::BernNb {
+            delta,
+            bias,
+            binarize,
+        } => {
             let thr = b.constant(Tensor::scalar(*binarize));
             let m = b.push(Op::Gt, vec![x, thr]);
             let bx = b.cast(m, DType::F32);
@@ -245,7 +275,11 @@ fn convert_kbins(
                 let eq = b.eq(col, ids);
                 parts.push(b.cast(eq, DType::F32));
             }
-            Ok(if parts.len() == 1 { parts[0] } else { b.concat(1, parts) })
+            Ok(if parts.len() == 1 {
+                parts[0]
+            } else {
+                b.concat(1, parts)
+            })
         }
     }
 }
@@ -295,11 +329,14 @@ mod tests {
 
     /// Runs a single converted operator over `x`.
     fn run_converter(params: Params, x: &Tensor<f32>, width: Option<usize>) -> Tensor<f32> {
-        let container = OperatorContainer { signature: "test", params, strategy: None };
+        let container = OperatorContainer {
+            signature: "test",
+            params,
+            strategy: None,
+        };
         let mut b = GraphBuilder::new();
         let input = b.input(DType::F32);
-        let out =
-            convert(&container, &mut b, input, width, &CompileOptions::default()).unwrap();
+        let out = convert(&container, &mut b, input, width, &CompileOptions::default()).unwrap();
         b.output(out);
         let exe = Executable::new(b.build(), Backend::Script, Device::cpu());
         let result = exe.run(&[hb_tensor::DynTensor::F32(x.clone())]).unwrap();
@@ -309,7 +346,10 @@ mod tests {
     #[test]
     fn affine_converter_is_offset_then_scale() {
         let x = Tensor::from_vec(vec![1.0, 10.0, 2.0, 20.0], &[2, 2]);
-        let p = Params::Affine(AffineParams { offset: vec![1.0, 10.0], scale: vec![2.0, 0.5] });
+        let p = Params::Affine(AffineParams {
+            offset: vec![1.0, 10.0],
+            scale: vec![2.0, 0.5],
+        });
         let got = run_converter(p, &x, Some(2));
         assert_eq!(got.to_vec(), vec![0.0, 0.0, 2.0, 5.0]);
     }
@@ -331,7 +371,10 @@ mod tests {
             let kb = KBinsDiscretizer::fit(&x, 4, encode);
             let want = kb.transform(&x);
             let got = run_converter(
-                Params::KBins { edges: kb.edges.clone(), encode },
+                Params::KBins {
+                    edges: kb.edges.clone(),
+                    encode,
+                },
                 &x,
                 Some(2),
             );
@@ -343,10 +386,16 @@ mod tests {
     fn poly_converter_matches_sklearn_term_order() {
         let x = Tensor::from_vec(vec![2.0, 3.0, -1.0, 0.5], &[2, 2]);
         for (bias, inter) in [(true, false), (false, false), (false, true), (true, true)] {
-            let p = PolynomialFeatures { include_bias: bias, interaction_only: inter };
+            let p = PolynomialFeatures {
+                include_bias: bias,
+                interaction_only: inter,
+            };
             let want = p.transform(&x);
             let got = run_converter(
-                Params::Poly { include_bias: bias, interaction_only: inter },
+                Params::Poly {
+                    include_bias: bias,
+                    interaction_only: inter,
+                },
                 &x,
                 Some(2),
             );
@@ -358,7 +407,10 @@ mod tests {
     fn poly_converter_without_width_errors() {
         let container = OperatorContainer {
             signature: "PolynomialFeatures",
-            params: Params::Poly { include_bias: false, interaction_only: false },
+            params: Params::Poly {
+                include_bias: false,
+                interaction_only: false,
+            },
             strategy: None,
         };
         let mut b = GraphBuilder::new();
@@ -371,7 +423,9 @@ mod tests {
     fn onehot_converter_skips_empty_vocab_columns() {
         let x = Tensor::from_vec(vec![1.0, 5.0, 2.0, 5.0], &[2, 2]);
         let got = run_converter(
-            Params::OneHot { categories: vec![vec![1.0, 2.0], vec![]] },
+            Params::OneHot {
+                categories: vec![vec![1.0, 2.0], vec![]],
+            },
             &x,
             Some(2),
         );
@@ -385,8 +439,13 @@ mod tests {
         let x = Tensor::from_fn(&[30, 3], |i| ((i[0] * (i[1] + 2)) % 5) as f32);
         let enc = OneHotEncoder::fit(&x);
         let want = enc.transform(&x);
-        let got =
-            run_converter(Params::OneHot { categories: enc.categories.clone() }, &x, Some(3));
+        let got = run_converter(
+            Params::OneHot {
+                categories: enc.categories.clone(),
+            },
+            &x,
+            Some(3),
+        );
         assert_eq!(got.to_vec(), want.to_vec());
     }
 

@@ -60,11 +60,7 @@ impl FilForest {
             threshold.extend_from_slice(&t.threshold);
             values.extend_from_slice(&t.values);
         }
-        let avg_depth = ensemble
-            .trees
-            .iter()
-            .map(|t| t.depth() as f64)
-            .sum::<f64>()
+        let avg_depth = ensemble.trees.iter().map(|t| t.depth() as f64).sum::<f64>()
             / ensemble.trees.len().max(1) as f64;
         FilForest {
             tree_offset,
@@ -176,7 +172,10 @@ mod tests {
         let ts = small.simulated.unwrap().as_secs_f64();
         let tl = large.simulated.unwrap().as_secs_f64();
         assert!(tl > ts);
-        assert!(tl < ts * 1000.0, "fixed overhead should amortize: {ts} vs {tl}");
+        assert!(
+            tl < ts * 1000.0,
+            "fixed overhead should amortize: {ts} vs {tl}"
+        );
     }
 
     #[test]

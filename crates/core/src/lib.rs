@@ -37,12 +37,89 @@ pub mod strings;
 
 use std::time::Duration;
 
-use hb_backend::{Backend, Device, ExecError, Executable, GraphBuilder, RunStats};
+use hb_backend::{Backend, Device, ExecError, Executable, FaultPlan, GraphBuilder, RunStats};
 use hb_ml::linear::LinearLink;
 use hb_pipeline::Pipeline;
-use hb_tensor::{DType, DynTensor, Tensor};
+use hb_tensor::{DType, DynTensor, Tensor, TensorError};
 
 use containers::{parse, OperatorContainer, Params};
+
+/// Unified error taxonomy for the whole compile-and-serve stack.
+///
+/// Every layer keeps its own precise error type ([`CompileError`],
+/// [`ExecError`], [`TensorError`], [`hb_backend::GraphError`]); `HbError`
+/// is the sum type callers at the top (scoring APIs, the serving runtime)
+/// receive, so one `match` covers every failure mode and malformed
+/// requests can never surface as a panic.
+#[derive(Debug, Clone, PartialEq)]
+pub enum HbError {
+    /// Pipeline → tensor-DAG compilation failed.
+    Compile(CompileError),
+    /// Graph execution failed (OOM, bad inputs, kernel fault).
+    Exec(ExecError),
+    /// A tensor-level shape/dtype/index violation.
+    Tensor(TensorError),
+    /// A graph artifact failed validation.
+    Graph(hb_backend::GraphError),
+    /// The request itself is malformed (wrong rank or feature width).
+    BadRequest(String),
+}
+
+impl std::fmt::Display for HbError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HbError::Compile(e) => write!(f, "compile error: {e}"),
+            HbError::Exec(e) => write!(f, "execution error: {e}"),
+            HbError::Tensor(e) => write!(f, "tensor error: {e}"),
+            HbError::Graph(e) => write!(f, "graph error: {e}"),
+            HbError::BadRequest(msg) => write!(f, "bad request: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for HbError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            HbError::Compile(e) => Some(e),
+            HbError::Exec(e) => Some(e),
+            HbError::Tensor(e) => Some(e),
+            HbError::Graph(e) => Some(e),
+            HbError::BadRequest(_) => None,
+        }
+    }
+}
+
+impl From<CompileError> for HbError {
+    fn from(e: CompileError) -> Self {
+        HbError::Compile(e)
+    }
+}
+
+impl From<ExecError> for HbError {
+    fn from(e: ExecError) -> Self {
+        HbError::Exec(e)
+    }
+}
+
+impl From<TensorError> for HbError {
+    fn from(e: TensorError) -> Self {
+        HbError::Tensor(e)
+    }
+}
+
+impl From<hb_backend::GraphError> for HbError {
+    fn from(e: hb_backend::GraphError) -> Self {
+        HbError::Graph(e)
+    }
+}
+
+impl HbError {
+    /// True for failures a retry might clear; request-shaped and
+    /// compile-time errors are deterministic.
+    pub fn is_transient(&self) -> bool {
+        matches!(self, HbError::Exec(e) if e.is_transient())
+    }
+}
 
 /// Tree-ensemble compilation strategy (paper §4.1).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -86,6 +163,9 @@ pub struct CompileOptions {
     /// Input feature width; inferred from the first operator when
     /// possible.
     pub input_width: Option<usize>,
+    /// Simulated faults to inject into lowering and execution (chaos
+    /// testing; [`FaultPlan::none`] leaves the runtime untouched).
+    pub faults: FaultPlan,
 }
 
 impl Default for CompileOptions {
@@ -97,6 +177,7 @@ impl Default for CompileOptions {
             expected_batch: 1000,
             optimize_pipeline: true,
             input_width: None,
+            faults: FaultPlan::none(),
         }
     }
 }
@@ -119,6 +200,10 @@ pub enum CompileError {
     /// The input feature width could not be inferred and an operator
     /// (e.g. `PolynomialFeatures` as the first step) needs it.
     UnknownInputWidth,
+    /// Backend lowering failed (e.g. an injected optimization-pass
+    /// fault); the pipeline may still compile at a less aggressive
+    /// backend.
+    Lowering(String),
 }
 
 impl std::fmt::Display for CompileError {
@@ -132,6 +217,7 @@ impl std::fmt::Display for CompileError {
             CompileError::UnknownInputWidth => {
                 write!(f, "input width unknown; set CompileOptions::input_width")
             }
+            CompileError::Lowering(msg) => write!(f, "backend lowering failed: {msg}"),
         }
     }
 }
@@ -165,29 +251,67 @@ pub struct OpReport {
 pub struct CompiledModel {
     exe: Executable,
     output: OutputKind,
+    input_width: Option<usize>,
     /// Per-operator compilation report.
     pub report: Vec<OpReport>,
 }
 
 impl CompiledModel {
+    /// Rejects malformed scoring requests before they reach a kernel.
+    fn validate_request(&self, x: &Tensor<f32>) -> Result<(), HbError> {
+        if x.ndim() != 2 {
+            return Err(HbError::BadRequest(format!(
+                "expected a [batch, features] matrix, got rank {}",
+                x.ndim()
+            )));
+        }
+        if let Some(w) = self.input_width {
+            if x.shape()[1] != w {
+                return Err(HbError::BadRequest(format!(
+                    "feature width mismatch: model expects {w} features, request has {}",
+                    x.shape()[1]
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// The feature width the model was compiled for, when known.
+    pub fn input_width(&self) -> Option<usize> {
+        self.input_width
+    }
+
     /// Scores a batch, returning the raw graph output (probabilities,
     /// margins, values, or a transformed matrix).
-    pub fn predict_proba(&self, x: &Tensor<f32>) -> Result<Tensor<f32>, ExecError> {
+    pub fn predict_proba(&self, x: &Tensor<f32>) -> Result<Tensor<f32>, HbError> {
+        self.validate_request(x)?;
         let out = self.exe.run(&[DynTensor::F32(x.clone())])?;
-        Ok(out.into_iter().next().expect("graph has one output").as_f32().clone())
+        #[allow(clippy::disallowed_methods)] // invariant, message documents it
+        Ok(out
+            .into_iter()
+            .next()
+            .expect("graph has one output")
+            .as_f32()
+            .clone())
     }
 
     /// Scores a batch and returns execution statistics.
-    pub fn predict_with_stats(
-        &self,
-        x: &Tensor<f32>,
-    ) -> Result<(Tensor<f32>, RunStats), ExecError> {
+    pub fn predict_with_stats(&self, x: &Tensor<f32>) -> Result<(Tensor<f32>, RunStats), HbError> {
+        self.validate_request(x)?;
         let (out, stats) = self.exe.run_with_stats(&[DynTensor::F32(x.clone())])?;
-        Ok((out.into_iter().next().expect("graph has one output").as_f32().clone(), stats))
+        #[allow(clippy::disallowed_methods)] // invariant, message documents it
+        Ok((
+            out.into_iter()
+                .next()
+                .expect("graph has one output")
+                .as_f32()
+                .clone(),
+            stats,
+        ))
     }
 
     /// Hard predictions: argmax class, margin sign, or raw values.
-    pub fn predict(&self, x: &Tensor<f32>) -> Result<Tensor<f32>, ExecError> {
+    pub fn predict(&self, x: &Tensor<f32>) -> Result<Tensor<f32>, HbError> {
         let out = self.predict_proba(x)?;
         Ok(match self.output {
             OutputKind::Proba if out.ndim() == 2 && out.shape()[1] > 1 => {
@@ -247,8 +371,15 @@ fn params_width_out(p: &Params, width_in: Option<usize>) -> Option<usize> {
             hb_ml::featurize::BinEncode::Ordinal => edges.len(),
             hb_ml::featurize::BinEncode::OneHot => edges.iter().map(|e| e.len() + 1).sum(),
         }),
-        Params::Poly { include_bias, interaction_only } => width_in.map(|d| {
-            let pairs = if *interaction_only { d * (d - 1) / 2 } else { d * (d + 1) / 2 };
+        Params::Poly {
+            include_bias,
+            interaction_only,
+        } => width_in.map(|d| {
+            let pairs = if *interaction_only {
+                d * (d - 1) / 2
+            } else {
+                d * (d + 1) / 2
+            };
             usize::from(*include_bias) + d + pairs
         }),
         Params::OneHot { categories } => Some(categories.iter().map(|c| c.len()).sum()),
@@ -263,9 +394,11 @@ fn params_width_out(p: &Params, width_in: Option<usize>) -> Option<usize> {
 /// Classifies the pipeline's terminal output for `predict`.
 fn output_kind(containers: &[OperatorContainer]) -> OutputKind {
     match containers.last().map(|c| &c.params) {
-        Some(Params::Linear { link: LinearLink::Margin, .. }) | Some(Params::Svm { .. }) => {
-            OutputKind::Margin
-        }
+        Some(Params::Linear {
+            link: LinearLink::Margin,
+            ..
+        })
+        | Some(Params::Svm { .. }) => OutputKind::Margin,
         Some(Params::Trees(e)) if e.n_classes <= 1 => OutputKind::Value,
         Some(Params::Trees(_))
         | Some(Params::Linear { .. })
@@ -372,6 +505,7 @@ pub fn compile_with_registry(
         .input_width
         .or(pipeline.input_width)
         .or_else(|| containers.first().and_then(|c| params_width_in(&c.params)));
+    let input_width = width;
     let mut cur = x;
     let mut report = Vec::with_capacity(containers.len());
     for (c, op) in containers.iter().zip(pipeline.ops.iter()) {
@@ -383,13 +517,23 @@ pub fn compile_with_registry(
             cur = convert::convert(c, &mut b, cur, width, opts)?;
             width = params_width_out(&c.params, width);
         }
-        report.push(OpReport { signature: c.signature.to_string(), strategy: c.strategy });
+        report.push(OpReport {
+            signature: c.signature.to_string(),
+            strategy: c.strategy,
+        });
     }
     b.output(cur);
     let graph = b.build();
     let output = output_kind(&containers);
-    let exe = Executable::new(graph, opts.backend, opts.device);
-    Ok(CompiledModel { exe, output, report })
+    let exe =
+        Executable::try_new_with_faults(graph, opts.backend, opts.device, opts.faults.clone())
+            .map_err(|e| CompileError::Lowering(e.to_string()))?;
+    Ok(CompiledModel {
+        exe,
+        output,
+        input_width,
+        report,
+    })
 }
 
 #[cfg(test)]
@@ -412,10 +556,16 @@ mod tests {
     fn assert_matches_reference(pipe: &hb_pipeline::Pipeline, x: &Tensor<f32>) {
         let want = pipe.predict_proba(x);
         for backend in Backend::ALL {
-            let opts = CompileOptions { backend, ..CompileOptions::default() };
+            let opts = CompileOptions {
+                backend,
+                ..CompileOptions::default()
+            };
             let model = compile(pipe, &opts).unwrap();
             let got = model.predict_proba(x).unwrap();
-            assert!(allclose(&got, &want, 1e-4, 1e-4), "{backend:?} diverges from reference");
+            assert!(
+                allclose(&got, &want, 1e-4, 1e-4),
+                "{backend:?} diverges from reference"
+            );
         }
     }
 
@@ -423,7 +573,10 @@ mod tests {
     fn scaler_plus_logreg_compiles_and_matches() {
         let (x, y) = data(100, 5);
         let pipe = fit_pipeline(
-            &[OpSpec::StandardScaler, OpSpec::LogisticRegression(Default::default())],
+            &[
+                OpSpec::StandardScaler,
+                OpSpec::LogisticRegression(Default::default()),
+            ],
             &x,
             &y,
         );
@@ -434,11 +587,13 @@ mod tests {
     fn forest_all_strategies_match_reference() {
         let (x, y) = data(150, 6);
         let pipe = fit_pipeline(
-            &[OpSpec::RandomForestClassifier(hb_ml::forest::ForestConfig {
-                n_trees: 7,
-                max_depth: 4,
-                ..Default::default()
-            })],
+            &[OpSpec::RandomForestClassifier(
+                hb_ml::forest::ForestConfig {
+                    n_trees: 7,
+                    max_depth: 4,
+                    ..Default::default()
+                },
+            )],
             &x,
             &y,
         );
@@ -448,7 +603,10 @@ mod tests {
             TreeStrategy::TreeTraversal,
             TreeStrategy::PerfectTreeTraversal,
         ] {
-            let opts = CompileOptions { tree_strategy: strategy, ..Default::default() };
+            let opts = CompileOptions {
+                tree_strategy: strategy,
+                ..Default::default()
+            };
             let model = compile(&pipe, &opts).unwrap();
             let got = model.predict_proba(&x).unwrap();
             assert!(
@@ -458,8 +616,11 @@ mod tests {
             );
             // The injection pass may prepend a feature selector; the
             // tree container is the one carrying the strategy.
-            let tree_strategy =
-                model.report.iter().find_map(|r| r.strategy).expect("tree op in report");
+            let tree_strategy = model
+                .report
+                .iter()
+                .find_map(|r| r.strategy)
+                .expect("tree op in report");
             assert_eq!(tree_strategy, strategy);
         }
     }
@@ -506,14 +667,16 @@ mod tests {
         let x = Tensor::from_fn(&[n, 1], |i| i[0] as f32 + ((i[0] * 37) % 101) as f32 * 0.01);
         let y = Targets::Classes((0..n).map(|i| ((i / 3) % 2) as i64).collect());
         let pipe = fit_pipeline(
-            &[OpSpec::RandomForestClassifier(hb_ml::forest::ForestConfig {
-                n_trees: 1,
-                max_depth: 30,
-                bootstrap: false,
-                max_features: 1,
-                n_bins: 255,
-                ..Default::default()
-            })],
+            &[OpSpec::RandomForestClassifier(
+                hb_ml::forest::ForestConfig {
+                    n_trees: 1,
+                    max_depth: 30,
+                    bootstrap: false,
+                    max_features: 1,
+                    n_bins: 255,
+                    ..Default::default()
+                },
+            )],
             &x,
             &y,
         );
@@ -559,7 +722,14 @@ mod tests {
                 let mut values = vec![0.0];
                 values.extend_from_slice(&t.values);
                 values.push(2.0);
-                t = Tree { left, right, feature, threshold, values, value_width: 1 };
+                t = Tree {
+                    left,
+                    right,
+                    feature,
+                    threshold,
+                    values,
+                    value_width: 1,
+                };
             }
             TreeEnsemble {
                 trees: vec![t],
@@ -569,22 +739,40 @@ mod tests {
             }
         };
         let cpu = CompileOptions::default();
-        assert_eq!(strategies::heuristic_strategy(&deep(2), &cpu), TreeStrategy::Gemm);
+        assert_eq!(
+            strategies::heuristic_strategy(&deep(2), &cpu),
+            TreeStrategy::Gemm
+        );
         assert_eq!(
             strategies::heuristic_strategy(&deep(7), &cpu),
             TreeStrategy::PerfectTreeTraversal
         );
-        assert_eq!(strategies::heuristic_strategy(&deep(12), &cpu), TreeStrategy::TreeTraversal);
+        assert_eq!(
+            strategies::heuristic_strategy(&deep(12), &cpu),
+            TreeStrategy::TreeTraversal
+        );
         // Small expected batches flip medium trees to GEMM.
-        let small = CompileOptions { expected_batch: 1, ..Default::default() };
-        assert_eq!(strategies::heuristic_strategy(&deep(7), &small), TreeStrategy::Gemm);
+        let small = CompileOptions {
+            expected_batch: 1,
+            ..Default::default()
+        };
+        assert_eq!(
+            strategies::heuristic_strategy(&deep(7), &small),
+            TreeStrategy::Gemm
+        );
         // GPU prefers GEMM up to depth 10.
         let gpu = CompileOptions {
             device: Device::Sim(hb_backend::device::P100),
             ..Default::default()
         };
-        assert_eq!(strategies::heuristic_strategy(&deep(9), &gpu), TreeStrategy::Gemm);
-        assert_eq!(strategies::heuristic_strategy(&deep(12), &gpu), TreeStrategy::TreeTraversal);
+        assert_eq!(
+            strategies::heuristic_strategy(&deep(9), &gpu),
+            TreeStrategy::Gemm
+        );
+        assert_eq!(
+            strategies::heuristic_strategy(&deep(12), &gpu),
+            TreeStrategy::TreeTraversal
+        );
     }
 
     #[test]
@@ -593,7 +781,10 @@ mod tests {
         let pipe = fit_pipeline(
             &[
                 OpSpec::MinMaxScaler,
-                OpSpec::PolynomialFeatures { include_bias: true, interaction_only: false },
+                OpSpec::PolynomialFeatures {
+                    include_bias: true,
+                    interaction_only: false,
+                },
                 OpSpec::SelectKBest { k: 5 },
             ],
             &x,

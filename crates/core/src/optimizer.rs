@@ -36,7 +36,9 @@ pub fn push_down_feature_selection(p: &Pipeline) -> Pipeline {
     while changed {
         changed = false;
         for i in 1..ops.len() {
-            let FittedOp::FeatureSelector(sel) = &ops[i] else { continue };
+            let FittedOp::FeatureSelector(sel) = &ops[i] else {
+                continue;
+            };
             let sel = sel.clone();
             match &ops[i - 1] {
                 // 1-to-1 operators: swap, restricting parameters.
@@ -59,8 +61,9 @@ pub fn push_down_feature_selection(p: &Pipeline) -> Pipeline {
                     changed = true;
                 }
                 FittedOp::MaxAbsScaler(s) => {
-                    let new =
-                        MaxAbsScaler { inv_scale: restrict(&s.inv_scale, &sel.selected) };
+                    let new = MaxAbsScaler {
+                        inv_scale: restrict(&s.inv_scale, &sel.selected),
+                    };
                     ops[i] = FittedOp::MaxAbsScaler(new);
                     ops[i - 1] = FittedOp::FeatureSelector(sel);
                     changed = true;
@@ -75,8 +78,9 @@ pub fn push_down_feature_selection(p: &Pipeline) -> Pipeline {
                     changed = true;
                 }
                 FittedOp::SimpleImputer(s) => {
-                    let new =
-                        SimpleImputer { statistics: restrict(&s.statistics, &sel.selected) };
+                    let new = SimpleImputer {
+                        statistics: restrict(&s.statistics, &sel.selected),
+                    };
                     ops[i] = FittedOp::SimpleImputer(new);
                     ops[i - 1] = FittedOp::FeatureSelector(sel);
                     changed = true;
@@ -141,14 +145,22 @@ pub fn push_down_feature_selection(p: &Pipeline) -> Pipeline {
             }
         }
     }
-    Pipeline { ops, input_width: p.input_width }
+    Pipeline {
+        ops,
+        input_width: p.input_width,
+    }
 }
 
 /// Synthesizes a feature selector from model sparsity and pushes it down
 /// (§5.2 Feature Selection Injection).
 pub fn inject_feature_selection(p: &Pipeline) -> Pipeline {
     let mut ops = p.ops.clone();
-    let Some(last) = ops.last() else { return Pipeline { ops, input_width: p.input_width } };
+    let Some(last) = ops.last() else {
+        return Pipeline {
+            ops,
+            input_width: p.input_width,
+        };
+    };
     match last {
         FittedOp::Linear(model) => {
             let d = model.weights.shape()[1];
@@ -164,8 +176,11 @@ pub fn inject_feature_selection(p: &Pipeline) -> Pipeline {
         FittedOp::TreeEnsemble(e) => {
             let used = e.used_features();
             if !used.is_empty() && used.len() < e.n_features {
-                let remap: HashMap<usize, usize> =
-                    used.iter().enumerate().map(|(new, &old)| (old, new)).collect();
+                let remap: HashMap<usize, usize> = used
+                    .iter()
+                    .enumerate()
+                    .map(|(new, &old)| (old, new))
+                    .collect();
                 let mut pruned = e.clone();
                 for t in &mut pruned.trees {
                     t.remap_features(&remap);
@@ -179,7 +194,10 @@ pub fn inject_feature_selection(p: &Pipeline) -> Pipeline {
         }
         _ => {}
     }
-    Pipeline { ops, input_width: p.input_width }
+    Pipeline {
+        ops,
+        input_width: p.input_width,
+    }
 }
 
 #[cfg(test)]
@@ -217,7 +235,10 @@ mod tests {
         );
         let opt = push_down_feature_selection(&pipe);
         let sigs: Vec<&str> = opt.ops.iter().map(|o| o.signature()).collect();
-        assert_eq!(sigs, vec!["FeatureSelector", "StandardScaler", "LinearModel"]);
+        assert_eq!(
+            sigs,
+            vec!["FeatureSelector", "StandardScaler", "LinearModel"]
+        );
         // Outputs must be preserved.
         let a = pipe.predict_proba(&x);
         let b = opt.predict_proba(&x);
@@ -229,7 +250,9 @@ mod tests {
         let (x, y) = data(80, 10);
         let pipe = fit_pipeline(
             &[
-                OpSpec::SimpleImputer { strategy: ImputeStrategy::Mean },
+                OpSpec::SimpleImputer {
+                    strategy: ImputeStrategy::Mean,
+                },
                 OpSpec::MinMaxScaler,
                 OpSpec::SelectKBest { k: 4 },
             ],
@@ -249,7 +272,11 @@ mod tests {
         let n = 120;
         let x = Tensor::from_fn(&[n, 3], |i| ((i[0] * (i[1] + 2)) % 4) as f32);
         let y = Targets::Classes((0..n).map(|i| (i % 2) as i64).collect());
-        let pipe = fit_pipeline(&[OpSpec::OneHotEncoder, OpSpec::SelectKBest { k: 5 }], &x, &y);
+        let pipe = fit_pipeline(
+            &[OpSpec::OneHotEncoder, OpSpec::SelectKBest { k: 5 }],
+            &x,
+            &y,
+        );
         let before = pipe.predict_proba(&x);
         let opt = push_down_feature_selection(&pipe);
         // The selector is absorbed: either gone entirely or only a
@@ -270,7 +297,9 @@ mod tests {
         let (x, y) = data(60, 6);
         let pipe = fit_pipeline(
             &[
-                OpSpec::Normalizer { norm: hb_ml::featurize::Norm::L2 },
+                OpSpec::Normalizer {
+                    norm: hb_ml::featurize::Norm::L2,
+                },
                 OpSpec::SelectKBest { k: 3 },
             ],
             &x,
@@ -308,11 +337,7 @@ mod tests {
     #[test]
     fn injection_from_tree_feature_usage() {
         let (x, y) = data(150, 20);
-        let pipe = fit_pipeline(
-            &[OpSpec::DecisionTreeClassifier { max_depth: 3 }],
-            &x,
-            &y,
-        );
+        let pipe = fit_pipeline(&[OpSpec::DecisionTreeClassifier { max_depth: 3 }], &x, &y);
         let before = pipe.predict_proba(&x);
         let opt = inject_feature_selection(&pipe);
         // A depth-3 tree uses at most 7 features out of 20.

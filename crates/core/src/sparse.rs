@@ -30,7 +30,9 @@ impl SparseOneHotLinear {
     /// linear model).
     pub fn try_lower(pipeline: &Pipeline) -> Option<SparseOneHotLinear> {
         let mut ops = pipeline.ops.iter();
-        let FittedOp::OneHotEncoder(enc) = ops.next()? else { return None };
+        let FittedOp::OneHotEncoder(enc) = ops.next()? else {
+            return None;
+        };
         let mut next = ops.next()?;
         // Optional standard scaler between encoder and model: fold
         // `(h − μ)/σ · W = h · (W/σ) − (μ/σ)·W` into weights and bias.
@@ -40,7 +42,9 @@ impl SparseOneHotLinear {
         } else {
             None
         };
-        let FittedOp::Linear(model) = next else { return None };
+        let FittedOp::Linear(model) = next else {
+            return None;
+        };
         if ops.next().is_some() {
             return None;
         }
@@ -54,7 +58,11 @@ impl SparseOneHotLinear {
     ) -> SparseOneHotLinear {
         let width = enc.out_width();
         let k = model.weights.shape()[0];
-        assert_eq!(model.weights.shape()[1], width, "model width != one-hot width");
+        assert_eq!(
+            model.weights.shape()[1],
+            width,
+            "model width != one-hot width"
+        );
         // weights_eff[f][c] = W[c][f] / σ_f ; bias_eff[c] = b[c] − Σ_f μ_f/σ_f · W[c][f]
         let w = model.weights.to_vec();
         let mut weights = vec![0.0f32; width * k];
@@ -93,7 +101,7 @@ impl SparseOneHotLinear {
             let mut off = 0usize;
             for (f, cats) in self.categories.iter().enumerate() {
                 let v = xv[r * d + f];
-                if let Ok(i) = cats.binary_search_by(|c| c.partial_cmp(&v).unwrap()) {
+                if let Ok(i) = cats.binary_search_by(|c| c.total_cmp(&v)) {
                     indices.push((off + i) as u32);
                 }
                 off += cats.len();
@@ -145,7 +153,10 @@ mod tests {
         let pipe = fit_pipeline(
             &[
                 OpSpec::OneHotEncoder,
-                OpSpec::LogisticRegression(LinearConfig { epochs: 40, ..Default::default() }),
+                OpSpec::LogisticRegression(LinearConfig {
+                    epochs: 40,
+                    ..Default::default()
+                }),
             ],
             &x,
             &y,
@@ -163,7 +174,10 @@ mod tests {
             &[
                 OpSpec::OneHotEncoder,
                 OpSpec::StandardScaler,
-                OpSpec::LogisticRegression(LinearConfig { epochs: 40, ..Default::default() }),
+                OpSpec::LogisticRegression(LinearConfig {
+                    epochs: 40,
+                    ..Default::default()
+                }),
             ],
             &x,
             &y,
@@ -180,7 +194,10 @@ mod tests {
         let only_encoder = fit_pipeline(&[OpSpec::OneHotEncoder], &x, &y);
         assert!(SparseOneHotLinear::try_lower(&only_encoder).is_none());
         let no_encoder = fit_pipeline(
-            &[OpSpec::LogisticRegression(LinearConfig { epochs: 5, ..Default::default() })],
+            &[OpSpec::LogisticRegression(LinearConfig {
+                epochs: 5,
+                ..Default::default()
+            })],
             &x,
             &y,
         );
@@ -193,7 +210,10 @@ mod tests {
         let pipe = fit_pipeline(
             &[
                 OpSpec::OneHotEncoder,
-                OpSpec::LogisticRegression(LinearConfig { epochs: 5, ..Default::default() }),
+                OpSpec::LogisticRegression(LinearConfig {
+                    epochs: 5,
+                    ..Default::default()
+                }),
             ],
             &x,
             &y,

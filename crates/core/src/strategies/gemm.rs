@@ -30,9 +30,11 @@ struct TreeTensors {
     n_leaves: usize,
 }
 
-/// Enumerates leaves with their ancestor paths
-/// (`(leaf_node, [(internal_position, went_left)])`).
-fn leaf_paths(tree: &Tree) -> (Vec<usize>, Vec<(usize, Vec<(usize, bool)>)>) {
+/// A leaf's ancestor path: `(internal_position, went_left)` pairs.
+type AncestorPath = Vec<(usize, bool)>;
+
+/// Enumerates leaves with their ancestor paths.
+fn leaf_paths(tree: &Tree) -> (Vec<usize>, Vec<(usize, AncestorPath)>) {
     let internals: Vec<usize> = (0..tree.n_nodes()).filter(|&i| !tree.is_leaf(i)).collect();
     let pos_of: std::collections::HashMap<usize, usize> =
         internals.iter().enumerate().map(|(p, &n)| (n, p)).collect();
@@ -81,7 +83,15 @@ fn tree_tensors(tree: &Tree, n_features: usize, imax: usize, lmax: usize) -> Tre
         d[li] = left_count;
         e[li * w..(li + 1) * w].copy_from_slice(tree.value(*leaf));
     }
-    TreeTensors { a, b, c, d, e, n_internal: internals.len(), n_leaves: leaves.len() }
+    TreeTensors {
+        a,
+        b,
+        c,
+        d,
+        e,
+        n_internal: internals.len(),
+        n_leaves: leaves.len(),
+    }
 }
 
 /// Emits Algorithm 1 over the whole ensemble; returns stacked per-tree

@@ -42,7 +42,9 @@ pub fn compile_trees(
     opts: &CompileOptions,
 ) -> Result<NodeId, CompileError> {
     if ensemble.trees.is_empty() {
-        return Err(CompileError::UnsupportedOperator("empty tree ensemble".into()));
+        return Err(CompileError::UnsupportedOperator(
+            "empty tree ensemble".into(),
+        ));
     }
     let strategy = match strategy {
         TreeStrategy::Auto => heuristic_strategy(ensemble, opts),
@@ -65,7 +67,11 @@ fn aggregate(ensemble: &TreeEnsemble, b: &mut GraphBuilder, stacked: NodeId) -> 
         Aggregation::AverageProba | Aggregation::AverageValue => {
             b.mean(stacked, 0, false) // [n, W]
         }
-        Aggregation::SumWithLink { base, link, n_groups } => {
+        Aggregation::SumWithLink {
+            base,
+            link,
+            n_groups,
+        } => {
             let t = ensemble.trees.len();
             let g = *n_groups;
             debug_assert_eq!(t % g, 0, "tree count must be a multiple of group count");
@@ -93,11 +99,7 @@ fn aggregate(ensemble: &TreeEnsemble, b: &mut GraphBuilder, stacked: NodeId) -> 
 
 /// Builds an i64 `[T, n]` zero tensor whose `n` tracks the batch size of
 /// `x` at run time (graphs are compiled once, scored at any batch size).
-pub(crate) fn batch_zeros_i64(
-    b: &mut GraphBuilder,
-    x: NodeId,
-    n_trees: usize,
-) -> NodeId {
+pub(crate) fn batch_zeros_i64(b: &mut GraphBuilder, x: NodeId, n_trees: usize) -> NodeId {
     // Row zeros [1, n]: take column 0 of x, zero it, transpose, cast.
     let col0 = b.index_select(1, x, vec![0]);
     let zeroed = b.mul_scalar(col0, 0.0);
@@ -111,11 +113,7 @@ pub(crate) fn batch_zeros_i64(
 /// Emits the "gather feature values by per-tree feature index" composite:
 /// given `x [n, F]` and per-record feature indices `t_f [T, n]`, returns
 /// the selected values `[T, n]`.
-pub(crate) fn gather_feature_values(
-    b: &mut GraphBuilder,
-    x: NodeId,
-    t_f: NodeId,
-) -> NodeId {
+pub(crate) fn gather_feature_values(b: &mut GraphBuilder, x: NodeId, t_f: NodeId) -> NodeId {
     let idx = b.transpose(t_f, 0, 1); // [n, T]
     let vals = b.gather(1, x, idx); // [n, T]
     b.transpose(vals, 0, 1) // [T, n]
@@ -123,10 +121,6 @@ pub(crate) fn gather_feature_values(
 
 /// Emits the final leaf-payload lookup + keeps a uniform `[T, n, W]`
 /// shape: `values [T, N, W]` gathered by `t_i [T, n]`.
-pub(crate) fn gather_leaf_values(
-    b: &mut GraphBuilder,
-    values: NodeId,
-    t_i: NodeId,
-) -> NodeId {
+pub(crate) fn gather_leaf_values(b: &mut GraphBuilder, values: NodeId, t_i: NodeId) -> NodeId {
     b.push(Op::GatherRows, vec![values, t_i])
 }

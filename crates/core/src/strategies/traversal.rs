@@ -51,14 +51,14 @@ pub fn compile_tt(ensemble: &TreeEnsemble, gb: &mut GraphBuilder, x: NodeId) -> 
                     n_r.push(tree.right[i] as i64);
                     n_f.push(tree.feature[i] as i64);
                     n_t.push(tree.threshold[i]);
-                    n_c.extend(std::iter::repeat(0.0).take(w));
+                    n_c.extend(std::iter::repeat_n(0.0, w));
                 }
             } else {
                 n_l.push(i as i64);
                 n_r.push(i as i64);
                 n_f.push(0);
                 n_t.push(0.0);
-                n_c.extend(std::iter::repeat(0.0).take(w));
+                n_c.extend(std::iter::repeat_n(0.0, w));
             }
         }
     }
@@ -109,7 +109,15 @@ fn perfect_completion(tree: &Tree, d: usize, w: usize) -> PerfectTree {
     };
     // Walk the completed tree; `node` is the original node (sticky once a
     // leaf is reached early), `(level, k)` the perfect-tree coordinates.
-    fn fill(tree: &Tree, node: usize, level: usize, k: usize, d: usize, w: usize, pt: &mut PerfectTree) {
+    fn fill(
+        tree: &Tree,
+        node: usize,
+        level: usize,
+        k: usize,
+        d: usize,
+        w: usize,
+        pt: &mut PerfectTree,
+    ) {
         if level == d {
             let leaf_value = tree.value(node);
             pt.leaves[k * w..(k + 1) * w].copy_from_slice(leaf_value);
@@ -126,7 +134,15 @@ fn perfect_completion(tree: &Tree, d: usize, w: usize) -> PerfectTree {
             pt.feat[slot] = tree.feature[node] as i64;
             pt.thr[slot] = tree.threshold[node];
             fill(tree, tree.left[node] as usize, level + 1, 2 * k, d, w, pt);
-            fill(tree, tree.right[node] as usize, level + 1, 2 * k + 1, d, w, pt);
+            fill(
+                tree,
+                tree.right[node] as usize,
+                level + 1,
+                2 * k + 1,
+                d,
+                w,
+                pt,
+            );
         }
     }
     fill(tree, 0, 0, 0, d, w, &mut pt);
@@ -147,7 +163,10 @@ pub fn compile_ptt(
 ) -> Result<NodeId, CompileError> {
     let d = ensemble.max_depth();
     if d > PTT_MAX_DEPTH {
-        return Err(CompileError::PttTooDeep { depth: d, max: PTT_MAX_DEPTH });
+        return Err(CompileError::PttTooDeep {
+            depth: d,
+            max: PTT_MAX_DEPTH,
+        });
     }
     let t = ensemble.trees.len();
     let w = ensemble.trees[0].value_width;

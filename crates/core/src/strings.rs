@@ -62,7 +62,11 @@ impl CompiledStringEncoder {
         };
         b.output(out);
         let exe = Executable::new(b.build(), backend, device);
-        CompiledStringEncoder { exe, n_columns: enc.vocab.len(), width }
+        CompiledStringEncoder {
+            exe,
+            n_columns: enc.vocab.len(),
+            width,
+        }
     }
 
     /// Encodes column-major string data by packing each column to bytes
@@ -77,10 +81,14 @@ impl CompiledStringEncoder {
         let inputs: Vec<DynTensor> = columns
             .iter()
             .map(|col| {
-                DynTensor::U8(Tensor::from_vec(pack_strings(col, self.width), &[n, self.width]))
+                DynTensor::U8(Tensor::from_vec(
+                    pack_strings(col, self.width),
+                    &[n, self.width],
+                ))
             })
             .collect();
         let out = self.exe.run(&inputs)?;
+        #[allow(clippy::disallowed_methods)] // invariant, message documents it
         Ok(out.into_iter().next().expect("one output").as_f32().clone())
     }
 
@@ -100,7 +108,10 @@ mod tests {
                 .into_iter()
                 .map(String::from)
                 .collect(),
-            vec!["cat", "dog", "cat", "bird", "dog"].into_iter().map(String::from).collect(),
+            vec!["cat", "dog", "cat", "bird", "dog"]
+                .into_iter()
+                .map(String::from)
+                .collect(),
         ]
     }
 

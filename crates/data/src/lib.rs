@@ -56,7 +56,8 @@ impl Dataset {
 /// class-dependent cluster centers plus Gaussian noise.
 pub fn synthetic_classification(n: usize, d: usize, c: usize, seed: u64) -> Dataset {
     let mut rng = StdRng::seed_from_u64(seed);
-    let normal = Normal::new(0.0f32, 1.0).unwrap();
+    #[allow(clippy::disallowed_methods)] // invariant, message documents it
+    let normal = Normal::new(0.0f32, 1.0).expect("unit normal is valid");
     // Random class centers.
     let centers: Vec<f32> = (0..c * d).map(|_| rng.gen_range(-3.0..3.0)).collect();
     let mut xs = Vec::with_capacity(n * d);
@@ -72,7 +73,11 @@ pub fn synthetic_classification(n: usize, d: usize, c: usize, seed: u64) -> Data
         "synthetic".into(),
         Tensor::from_vec(xs, &[n, d]),
         Targets::Classes(ys),
-        if c == 2 { Task::Binary } else { Task::Multiclass(c) },
+        if c == 2 {
+            Task::Binary
+        } else {
+            Task::Multiclass(c)
+        },
         seed,
     )
 }
@@ -91,10 +96,13 @@ fn gen_classification(
     seed: u64,
 ) -> Dataset {
     let mut rng = StdRng::seed_from_u64(seed);
-    let normal = Normal::new(0.0f32, 1.0).unwrap();
+    #[allow(clippy::disallowed_methods)] // invariant, message documents it
+    let normal = Normal::new(0.0f32, 1.0).expect("unit normal is valid");
     let informative = informative.min(d);
     // Per-class weight vectors over the informative block.
-    let w: Vec<f32> = (0..c * informative).map(|_| rng.gen_range(-1.5..1.5)).collect();
+    let w: Vec<f32> = (0..c * informative)
+        .map(|_| rng.gen_range(-1.5..1.5))
+        .collect();
     let mut xs = vec![0.0f32; n * d];
     let mut scores = vec![0.0f32; n * c];
     for r in 0..n {
@@ -116,7 +124,7 @@ fn gen_classification(
         // Threshold at the quantile giving the requested positive rate.
         let margins: Vec<f32> = (0..n).map(|r| scores[r * 2 + 1] - scores[r * 2]).collect();
         let mut sorted = margins.clone();
-        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        sorted.sort_by(|a, b| a.total_cmp(b));
         let q = 1.0 - pos_rate.unwrap_or(0.5).clamp(0.001, 0.999);
         let thr = sorted[((n - 1) as f32 * q) as usize];
         margins.iter().map(|&m| i64::from(m > thr)).collect()
@@ -124,11 +132,14 @@ fn gen_classification(
         (0..n)
             .map(|r| {
                 let row = &scores[r * c..(r + 1) * c];
-                row.iter()
+                #[allow(clippy::disallowed_methods)] // c >= 1, so the row is non-empty
+                let best = row
+                    .iter()
                     .enumerate()
-                    .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+                    .max_by(|a, b| a.1.total_cmp(b.1))
                     .map(|(i, _)| i as i64)
-                    .unwrap()
+                    .expect("class scores are non-empty");
+                best
             })
             .collect()
     };
@@ -136,7 +147,11 @@ fn gen_classification(
         name.into(),
         Tensor::from_vec(xs, &[n, d]),
         Targets::Classes(ys),
-        if c == 2 { Task::Binary } else { Task::Multiclass(c) },
+        if c == 2 {
+            Task::Binary
+        } else {
+            Task::Multiclass(c)
+        },
         seed,
     )
 }
@@ -144,7 +159,8 @@ fn gen_classification(
 /// Generates a regression dataset with linear + periodic structure.
 fn gen_regression(name: &str, n: usize, d: usize, seed: u64) -> Dataset {
     let mut rng = StdRng::seed_from_u64(seed);
-    let normal = Normal::new(0.0f32, 1.0).unwrap();
+    #[allow(clippy::disallowed_methods)] // invariant, message documents it
+    let normal = Normal::new(0.0f32, 1.0).expect("unit normal is valid");
     let w: Vec<f32> = (0..d).map(|_| rng.gen_range(-1.0..1.0)).collect();
     let mut xs = vec![0.0f32; n * d];
     let mut ys = Vec::with_capacity(n);
@@ -177,11 +193,19 @@ fn split(name: String, x: Tensor<f32>, y: Targets, task: Task, _seed: u64) -> Da
             Targets::Classes(c[..n_train].to_vec()),
             Targets::Classes(c[n_train..].to_vec()),
         ),
-        Targets::Values(v) => {
-            (Targets::Values(v[..n_train].to_vec()), Targets::Values(v[n_train..].to_vec()))
-        }
+        Targets::Values(v) => (
+            Targets::Values(v[..n_train].to_vec()),
+            Targets::Values(v[n_train..].to_vec()),
+        ),
     };
-    Dataset { name, x_train, x_test, y_train, y_test, task }
+    Dataset {
+        name,
+        x_train,
+        x_test,
+        y_train,
+        y_test,
+        task,
+    }
 }
 
 /// Schema descriptor of one gbm-bench stand-in.
@@ -202,17 +226,53 @@ pub struct TreeBenchSpec {
 /// The six gbm-bench datasets of §6.1.1, in paper order.
 pub const TREE_BENCH_SPECS: [TreeBenchSpec; 6] = [
     // Kaggle credit-card fraud: 285K × 28, heavily imbalanced binary.
-    TreeBenchSpec { name: "fraud", paper_rows: 285_000, features: 28, classes: 2, pos_rate: 0.02 },
+    TreeBenchSpec {
+        name: "fraud",
+        paper_rows: 285_000,
+        features: 28,
+        classes: 2,
+        pos_rate: 0.02,
+    },
     // Epsilon: 400K × 2000 binary (feature count kept; scale rows!).
-    TreeBenchSpec { name: "epsilon", paper_rows: 400_000, features: 2000, classes: 2, pos_rate: 0.5 },
+    TreeBenchSpec {
+        name: "epsilon",
+        paper_rows: 400_000,
+        features: 2000,
+        classes: 2,
+        pos_rate: 0.5,
+    },
     // YearPredictionMSD: 515K × 90 regression.
-    TreeBenchSpec { name: "year", paper_rows: 515_000, features: 90, classes: 1, pos_rate: 0.5 },
+    TreeBenchSpec {
+        name: "year",
+        paper_rows: 515_000,
+        features: 90,
+        classes: 1,
+        pos_rate: 0.5,
+    },
     // Covertype: 581K × 54, 7-class.
-    TreeBenchSpec { name: "covtype", paper_rows: 581_000, features: 54, classes: 7, pos_rate: 0.5 },
+    TreeBenchSpec {
+        name: "covtype",
+        paper_rows: 581_000,
+        features: 54,
+        classes: 7,
+        pos_rate: 0.5,
+    },
     // HIGGS: 11M × 28 binary.
-    TreeBenchSpec { name: "higgs", paper_rows: 11_000_000, features: 28, classes: 2, pos_rate: 0.5 },
+    TreeBenchSpec {
+        name: "higgs",
+        paper_rows: 11_000_000,
+        features: 28,
+        classes: 2,
+        pos_rate: 0.5,
+    },
     // Airline: 115M × 13 binary.
-    TreeBenchSpec { name: "airline", paper_rows: 115_000_000, features: 13, classes: 2, pos_rate: 0.2 },
+    TreeBenchSpec {
+        name: "airline",
+        paper_rows: 115_000_000,
+        features: 13,
+        classes: 2,
+        pos_rate: 0.2,
+    },
 ];
 
 /// Generates one gbm-bench stand-in with `rows` total records.
@@ -302,13 +362,21 @@ pub struct SuiteTask {
 /// Size statistics follow the paper's §6.3 description: 100–19264 rows
 /// (log-uniform), 4–3072 columns (log-uniform, median ≈ 30), and
 /// pipelines averaging ≈ 3.3 operators drawn from the supported set.
-pub fn openml_cc18_like(n_tasks: usize, max_rows: usize, max_cols: usize, seed: u64) -> Vec<SuiteTask> {
+pub fn openml_cc18_like(
+    n_tasks: usize,
+    max_rows: usize,
+    max_cols: usize,
+    seed: u64,
+) -> Vec<SuiteTask> {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut tasks = Vec::with_capacity(n_tasks);
     for t in 0..n_tasks {
         let n = log_uniform(&mut rng, 100, max_rows.clamp(100, 19_264));
         let d = log_uniform(&mut rng, 4, max_cols.clamp(4, 3072));
-        let c = *[2usize, 2, 2, 3, 5, 10].choose(&mut rng).unwrap();
+        #[allow(clippy::disallowed_methods)] // invariant, message documents it
+        let c = *[2usize, 2, 2, 3, 5, 10]
+            .choose(&mut rng)
+            .expect("choice list is non-empty");
         let dataset = gen_classification(
             &format!("cc18-{t}"),
             n,
@@ -336,7 +404,9 @@ fn random_pipeline_spec(rng: &mut StdRng, n: usize, d: usize) -> Vec<OpSpec> {
     let mut specs = Vec::new();
     // Imputation occasionally leads the pipeline.
     if rng.gen_bool(0.3) {
-        specs.push(OpSpec::SimpleImputer { strategy: ImputeStrategy::Mean });
+        specs.push(OpSpec::SimpleImputer {
+            strategy: ImputeStrategy::Mean,
+        });
     }
     // A scaler most of the time.
     if rng.gen_bool(0.8) {
@@ -352,12 +422,17 @@ fn random_pipeline_spec(rng: &mut StdRng, n: usize, d: usize) -> Vec<OpSpec> {
         specs.push(match rng.gen_range(0..3) {
             0 => OpSpec::SelectKBest { k: (d / 2).max(2) },
             1 => OpSpec::VarianceThreshold { threshold: 1e-4 },
-            _ => OpSpec::Pca { k: (d / 2).clamp(2, 32) },
+            _ => OpSpec::Pca {
+                k: (d / 2).clamp(2, 32),
+            },
         });
     }
     // Final model. Small fast trainers keep the suite generation quick.
     let epochs = if n > 5000 { 30 } else { 80 };
-    let lin = LinearConfig { epochs, ..LinearConfig::default() };
+    let lin = LinearConfig {
+        epochs,
+        ..LinearConfig::default()
+    };
     specs.push(match rng.gen_range(0..5) {
         0 => OpSpec::LogisticRegression(lin),
         1 => OpSpec::GaussianNb,
@@ -367,7 +442,10 @@ fn random_pipeline_spec(rng: &mut StdRng, n: usize, d: usize) -> Vec<OpSpec> {
             max_depth: 6,
             ..hb_ml::forest::ForestConfig::default()
         }),
-        _ => OpSpec::BernoulliNb { alpha: 1.0, binarize: 0.0 },
+        _ => OpSpec::BernoulliNb {
+            alpha: 1.0,
+            binarize: 0.0,
+        },
     });
     specs
 }
@@ -453,7 +531,10 @@ mod tests {
         for r in 0..10 {
             for f in 0..20 {
                 let x = v[r * d + f];
-                assert!(x >= 0.0 && x <= 6.0 && x.fract() == 0.0, "non-categorical {x}");
+                assert!(
+                    x >= 0.0 && x <= 6.0 && x.fract() == 0.0,
+                    "non-categorical {x}"
+                );
             }
         }
     }
@@ -468,7 +549,10 @@ mod tests {
             if x.is_nan() {
                 nans += 1;
             } else {
-                assert!(x >= 0.0 && x <= 9.0 && x.fract() == 0.0, "non-code value {x}");
+                assert!(
+                    x >= 0.0 && x <= 9.0 && x.fract() == 0.0,
+                    "non-code value {x}"
+                );
             }
         }
         let rate = nans as f64 / v.len() as f64;
@@ -500,8 +584,7 @@ mod tests {
             assert!(!t.specs.is_empty() && t.specs.len() <= 5);
         }
         // Average close to the paper's 3.3 operators (loosely).
-        let avg: f64 =
-            tasks.iter().map(|t| t.specs.len() as f64).sum::<f64>() / tasks.len() as f64;
+        let avg: f64 = tasks.iter().map(|t| t.specs.len() as f64).sum::<f64>() / tasks.len() as f64;
         assert!(avg > 1.5 && avg < 4.5, "avg ops {avg}");
     }
 

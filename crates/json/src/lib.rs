@@ -1,0 +1,574 @@
+//! Dependency-free JSON for model artifacts.
+//!
+//! Serving loads untrusted artifacts (pipelines, exported graphs), so the
+//! parser here is written defensively: recursion depth is capped, numbers
+//! are validated, escapes are checked, and every decoding step returns a
+//! typed [`JsonError`] — nothing panics on hostile input.
+//!
+//! The serialized format matches what `serde_json` produced for the same
+//! types before this crate replaced it:
+//!
+//! * structs → objects keyed by field name;
+//! * unit enum variants → `"Name"`;
+//! * newtype variants → `{"Name": value}`;
+//! * tuple variants → `{"Name": [a, b]}`;
+//! * struct variants → `{"Name": {field: value}}`.
+//!
+//! Non-finite floats (which JSON cannot represent as numbers) round-trip
+//! as the strings `"NaN"`, `"inf"`, and `"-inf"`.
+//!
+//! The [`json_struct!`] and [`json_enum!`] macros generate the
+//! [`ToJson`]/[`FromJson`] impl pairs that `#[derive(Serialize,
+//! Deserialize)]` used to provide.
+
+mod parse;
+mod write;
+
+pub use parse::{from_str, parse, ParseLimits};
+pub use write::{to_string, to_string_pretty};
+
+use std::fmt;
+use std::sync::Arc;
+
+/// A parsed JSON value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number.
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object; insertion-ordered key/value pairs.
+    Obj(Vec<(String, Json)>),
+}
+
+/// Error raised while parsing or decoding JSON.
+#[derive(Clone, Debug, PartialEq)]
+pub enum JsonError {
+    /// Malformed JSON text.
+    Parse {
+        /// Byte offset of the error.
+        offset: usize,
+        /// What went wrong.
+        msg: String,
+    },
+    /// Structurally valid JSON that does not match the expected schema.
+    Schema(String),
+    /// A defensive limit was exceeded (nesting depth, element count).
+    Limit(String),
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JsonError::Parse { offset, msg } => {
+                write!(f, "JSON parse error at byte {offset}: {msg}")
+            }
+            JsonError::Schema(msg) => write!(f, "JSON schema error: {msg}"),
+            JsonError::Limit(msg) => write!(f, "JSON limit exceeded: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+impl Json {
+    /// Looks up a key in an object.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// A short description of the value's type for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Json::Null => "null",
+            Json::Bool(_) => "bool",
+            Json::Num(_) => "number",
+            Json::Str(_) => "string",
+            Json::Arr(_) => "array",
+            Json::Obj(_) => "object",
+        }
+    }
+
+    /// Borrows the object pairs or reports what was found instead.
+    pub fn expect_obj(&self, what: &str) -> Result<&[(String, Json)], JsonError> {
+        match self {
+            Json::Obj(pairs) => Ok(pairs),
+            other => Err(JsonError::Schema(format!(
+                "expected object for {what}, found {}",
+                other.kind()
+            ))),
+        }
+    }
+
+    /// Borrows the array elements or reports what was found instead.
+    pub fn expect_arr(&self, what: &str) -> Result<&[Json], JsonError> {
+        match self {
+            Json::Arr(items) => Ok(items),
+            other => Err(JsonError::Schema(format!(
+                "expected array for {what}, found {}",
+                other.kind()
+            ))),
+        }
+    }
+
+    /// If the value is a single-key object `{variant: payload}` with the
+    /// given key, returns the payload (enum variant dispatch).
+    pub fn variant_payload(&self, name: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(pairs) if pairs.len() == 1 && pairs[0].0 == name => Some(&pairs[0].1),
+            _ => None,
+        }
+    }
+}
+
+/// Serialization into the [`Json`] value model.
+pub trait ToJson {
+    /// Converts `self` to a JSON value.
+    fn to_json(&self) -> Json;
+}
+
+/// Fallible decoding from the [`Json`] value model.
+pub trait FromJson: Sized {
+    /// Decodes a value, reporting schema mismatches as [`JsonError`].
+    fn from_json(v: &Json) -> Result<Self, JsonError>;
+}
+
+/// Decodes a named struct field (missing key → typed error).
+pub fn field<T: FromJson>(pairs: &[(String, Json)], name: &str, ty: &str) -> Result<T, JsonError> {
+    let v = pairs
+        .iter()
+        .find(|(k, _)| k == name)
+        .map(|(_, v)| v)
+        .ok_or_else(|| JsonError::Schema(format!("{ty}: missing field `{name}`")))?;
+    T::from_json(v).map_err(|e| JsonError::Schema(format!("{ty}.{name}: {e}")))
+}
+
+// ---------------------------------------------------------------------------
+// Primitive impls
+// ---------------------------------------------------------------------------
+
+impl ToJson for bool {
+    fn to_json(&self) -> Json {
+        Json::Bool(*self)
+    }
+}
+
+impl FromJson for bool {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        match v {
+            Json::Bool(b) => Ok(*b),
+            other => Err(JsonError::Schema(format!(
+                "expected bool, found {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl ToJson for String {
+    fn to_json(&self) -> Json {
+        Json::Str(self.clone())
+    }
+}
+
+impl FromJson for String {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        match v {
+            Json::Str(s) => Ok(s.clone()),
+            other => Err(JsonError::Schema(format!(
+                "expected string, found {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl ToJson for str {
+    fn to_json(&self) -> Json {
+        Json::Str(self.to_string())
+    }
+}
+
+macro_rules! int_json {
+    ($($t:ty),+) => {
+        $(
+            impl ToJson for $t {
+                fn to_json(&self) -> Json {
+                    Json::Num(*self as f64)
+                }
+            }
+            impl FromJson for $t {
+                fn from_json(v: &Json) -> Result<Self, JsonError> {
+                    let n = match v {
+                        Json::Num(n) => *n,
+                        other => {
+                            return Err(JsonError::Schema(format!(
+                                "expected integer, found {}",
+                                other.kind()
+                            )))
+                        }
+                    };
+                    if n.fract() != 0.0 || !n.is_finite() {
+                        return Err(JsonError::Schema(format!(
+                            "expected integer, found non-integral number {n}"
+                        )));
+                    }
+                    if n < <$t>::MIN as f64 || n > <$t>::MAX as f64 {
+                        return Err(JsonError::Schema(format!(
+                            "integer {n} out of range for {}",
+                            stringify!($t)
+                        )));
+                    }
+                    Ok(n as $t)
+                }
+            }
+        )+
+    };
+}
+int_json!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! float_json {
+    ($($t:ty),+) => {
+        $(
+            impl ToJson for $t {
+                fn to_json(&self) -> Json {
+                    let v = *self as f64;
+                    if v.is_finite() {
+                        Json::Num(v)
+                    } else if v.is_nan() {
+                        Json::Str("NaN".to_string())
+                    } else if v > 0.0 {
+                        Json::Str("inf".to_string())
+                    } else {
+                        Json::Str("-inf".to_string())
+                    }
+                }
+            }
+            impl FromJson for $t {
+                fn from_json(v: &Json) -> Result<Self, JsonError> {
+                    match v {
+                        Json::Num(n) => Ok(*n as $t),
+                        Json::Str(s) => match s.as_str() {
+                            "NaN" => Ok(<$t>::NAN),
+                            "inf" => Ok(<$t>::INFINITY),
+                            "-inf" => Ok(<$t>::NEG_INFINITY),
+                            _ => Err(JsonError::Schema(format!(
+                                "expected number, found string {s:?}"
+                            ))),
+                        },
+                        other => Err(JsonError::Schema(format!(
+                            "expected number, found {}",
+                            other.kind()
+                        ))),
+                    }
+                }
+            }
+        )+
+    };
+}
+float_json!(f32, f64);
+
+impl<T: ToJson> ToJson for Vec<T> {
+    fn to_json(&self) -> Json {
+        Json::Arr(self.iter().map(ToJson::to_json).collect())
+    }
+}
+
+impl<T: FromJson> FromJson for Vec<T> {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        v.expect_arr("Vec")?.iter().map(T::from_json).collect()
+    }
+}
+
+impl<T: ToJson> ToJson for Option<T> {
+    fn to_json(&self) -> Json {
+        match self {
+            Some(x) => x.to_json(),
+            None => Json::Null,
+        }
+    }
+}
+
+impl<T: FromJson> FromJson for Option<T> {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        match v {
+            Json::Null => Ok(None),
+            other => Ok(Some(T::from_json(other)?)),
+        }
+    }
+}
+
+impl<T: ToJson> ToJson for Arc<T> {
+    fn to_json(&self) -> Json {
+        (**self).to_json()
+    }
+}
+
+impl<T: FromJson> FromJson for Arc<T> {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        Ok(Arc::new(T::from_json(v)?))
+    }
+}
+
+impl<T: ToJson> ToJson for &T {
+    fn to_json(&self) -> Json {
+        (**self).to_json()
+    }
+}
+
+impl ToJson for Json {
+    fn to_json(&self) -> Json {
+        self.clone()
+    }
+}
+
+impl FromJson for Json {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        Ok(v.clone())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Derive-style macros
+// ---------------------------------------------------------------------------
+
+/// Implements [`ToJson`]/[`FromJson`] for a plain struct by listing its
+/// fields: `json_struct!(Point { x, y });`.
+#[macro_export]
+macro_rules! json_struct {
+    ($ty:ident { $($f:ident),* $(,)? }) => {
+        impl $crate::ToJson for $ty {
+            fn to_json(&self) -> $crate::Json {
+                $crate::Json::Obj(vec![
+                    $( (stringify!($f).to_string(), $crate::ToJson::to_json(&self.$f)), )*
+                ])
+            }
+        }
+        impl $crate::FromJson for $ty {
+            fn from_json(v: &$crate::Json) -> Result<Self, $crate::JsonError> {
+                let pairs = v.expect_obj(stringify!($ty))?;
+                #[allow(clippy::redundant_field_names)]
+                Ok($ty {
+                    $( $f: $crate::field(pairs, stringify!($f), stringify!($ty))?, )*
+                })
+            }
+        }
+    };
+}
+
+/// Implements [`ToJson`]/[`FromJson`] for an enum using serde's
+/// externally-tagged representation. Unit, newtype, two-field tuple, and
+/// struct variants are supported:
+///
+/// ```ignore
+/// json_enum!(Op {
+///     MatMul,
+///     Input(usize),
+///     Transpose(usize, usize),
+///     Gather { axis },
+/// });
+/// ```
+#[macro_export]
+macro_rules! json_enum {
+    ($ty:ident { $( $v:ident $( ( $($fty:ty),+ ) )? $( { $($f:ident),+ } )? ),+ $(,)? }) => {
+        impl $crate::ToJson for $ty {
+            fn to_json(&self) -> $crate::Json {
+                $( $crate::json_variant!(@ser self, $ty, $v $( ( $($fty),+ ) )? $( { $($f),+ } )? ); )+
+                unreachable!("json_enum!: variant list must cover all variants of {}", stringify!($ty))
+            }
+        }
+        impl $crate::FromJson for $ty {
+            fn from_json(v: &$crate::Json) -> Result<Self, $crate::JsonError> {
+                $( $crate::json_variant!(@de v, $ty, $v $( ( $($fty),+ ) )? $( { $($f),+ } )? ); )+
+                Err($crate::JsonError::Schema(format!(
+                    "unknown {} variant: {}",
+                    stringify!($ty),
+                    match v {
+                        $crate::Json::Str(s) => s.clone(),
+                        $crate::Json::Obj(pairs) if pairs.len() == 1 => pairs[0].0.clone(),
+                        other => other.kind().to_string(),
+                    }
+                )))
+            }
+        }
+    };
+}
+
+/// Internal helper for [`json_enum!`]: one variant's ser/de arm.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_variant {
+    // Unit variant: "Name"
+    (@ser $self:ident, $ty:ident, $v:ident) => {
+        if let $ty::$v = $self {
+            return $crate::Json::Str(stringify!($v).to_string());
+        }
+    };
+    (@de $val:ident, $ty:ident, $v:ident) => {
+        if let $crate::Json::Str(s) = $val {
+            if s == stringify!($v) {
+                return Ok($ty::$v);
+            }
+        }
+    };
+    // Newtype variant: {"Name": payload}
+    (@ser $self:ident, $ty:ident, $v:ident ( $fty:ty )) => {
+        if let $ty::$v(a) = $self {
+            return $crate::Json::Obj(vec![(
+                stringify!($v).to_string(),
+                $crate::ToJson::to_json(a),
+            )]);
+        }
+    };
+    (@de $val:ident, $ty:ident, $v:ident ( $fty:ty )) => {
+        if let Some(payload) = $val.variant_payload(stringify!($v)) {
+            return Ok($ty::$v(<$fty as $crate::FromJson>::from_json(payload).map_err(
+                |e| $crate::JsonError::Schema(format!("{}::{}: {e}", stringify!($ty), stringify!($v))),
+            )?));
+        }
+    };
+    // Two-field tuple variant: {"Name": [a, b]}
+    (@ser $self:ident, $ty:ident, $v:ident ( $fty0:ty, $fty1:ty )) => {
+        if let $ty::$v(a, b) = $self {
+            return $crate::Json::Obj(vec![(
+                stringify!($v).to_string(),
+                $crate::Json::Arr(vec![$crate::ToJson::to_json(a), $crate::ToJson::to_json(b)]),
+            )]);
+        }
+    };
+    (@de $val:ident, $ty:ident, $v:ident ( $fty0:ty, $fty1:ty )) => {
+        if let Some(payload) = $val.variant_payload(stringify!($v)) {
+            let items = payload.expect_arr(stringify!($v))?;
+            if items.len() != 2 {
+                return Err($crate::JsonError::Schema(format!(
+                    "{}::{} expects 2 elements, found {}",
+                    stringify!($ty),
+                    stringify!($v),
+                    items.len()
+                )));
+            }
+            return Ok($ty::$v(
+                <$fty0 as $crate::FromJson>::from_json(&items[0])?,
+                <$fty1 as $crate::FromJson>::from_json(&items[1])?,
+            ));
+        }
+    };
+    // Struct variant: {"Name": {field: value}}
+    (@ser $self:ident, $ty:ident, $v:ident { $($f:ident),+ }) => {
+        if let $ty::$v { $($f),+ } = $self {
+            return $crate::Json::Obj(vec![(
+                stringify!($v).to_string(),
+                $crate::Json::Obj(vec![
+                    $( (stringify!($f).to_string(), $crate::ToJson::to_json($f)), )+
+                ]),
+            )]);
+        }
+    };
+    (@de $val:ident, $ty:ident, $v:ident { $($f:ident),+ }) => {
+        if let Some(payload) = $val.variant_payload(stringify!($v)) {
+            let pairs = payload.expect_obj(stringify!($v))?;
+            return Ok($ty::$v {
+                $( $f: $crate::field(pairs, stringify!($f), stringify!($v))?, )+
+            });
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, PartialEq)]
+    struct Point {
+        x: f32,
+        y: Vec<i64>,
+    }
+    json_struct!(Point { x, y });
+
+    #[derive(Debug, PartialEq)]
+    enum Shape {
+        Empty,
+        Circle(f32),
+        Rect(f32, f32),
+        Poly { sides: usize, regular: bool },
+    }
+    json_enum!(Shape {
+        Empty,
+        Circle(f32),
+        Rect(f32, f32),
+        Poly { sides, regular },
+    });
+
+    fn roundtrip<T: ToJson + FromJson + PartialEq + std::fmt::Debug>(v: T) {
+        let s = to_string(&v);
+        let back: T = from_str(&s).unwrap();
+        assert_eq!(back, v, "roundtrip through {s}");
+    }
+
+    #[test]
+    fn struct_roundtrip() {
+        roundtrip(Point {
+            x: 1.5,
+            y: vec![-3, 9],
+        });
+    }
+
+    #[test]
+    fn enum_roundtrips() {
+        roundtrip(Shape::Empty);
+        roundtrip(Shape::Circle(2.5));
+        roundtrip(Shape::Rect(1.0, 4.0));
+        roundtrip(Shape::Poly {
+            sides: 6,
+            regular: true,
+        });
+    }
+
+    #[test]
+    fn externally_tagged_format() {
+        assert_eq!(to_string(&Shape::Empty), "\"Empty\"");
+        assert_eq!(to_string(&Shape::Circle(2.5)), "{\"Circle\":2.5}");
+        assert_eq!(to_string(&Shape::Rect(1.0, 2.0)), "{\"Rect\":[1,2]}");
+    }
+
+    #[test]
+    fn unknown_variant_is_typed_error() {
+        let err = from_str::<Shape>("\"Blob\"").unwrap_err();
+        assert!(matches!(err, JsonError::Schema(_)), "{err}");
+        assert!(err.to_string().contains("unknown Shape variant"));
+    }
+
+    #[test]
+    fn missing_field_is_typed_error() {
+        let err = from_str::<Point>("{\"x\": 1.0}").unwrap_err();
+        assert!(err.to_string().contains("missing field `y`"), "{err}");
+    }
+
+    #[test]
+    fn non_finite_floats_roundtrip() {
+        let v = vec![f32::NAN, f32::INFINITY, f32::NEG_INFINITY, 1.0];
+        let s = to_string(&v);
+        let back: Vec<f32> = from_str(&s).unwrap();
+        assert!(back[0].is_nan());
+        assert_eq!(back[1], f32::INFINITY);
+        assert_eq!(back[2], f32::NEG_INFINITY);
+        assert_eq!(back[3], 1.0);
+    }
+
+    #[test]
+    fn integer_bounds_checked() {
+        assert!(from_str::<u8>("256").is_err());
+        assert!(from_str::<u8>("-1").is_err());
+        assert!(from_str::<usize>("1.5").is_err());
+        assert_eq!(from_str::<u8>("255").unwrap(), 255);
+    }
+}

@@ -1,0 +1,401 @@
+//! Defensive recursive-descent JSON parser.
+//!
+//! Artifacts arrive from disk or over the wire, so the parser enforces
+//! hard limits (nesting depth, total node count) and reports every
+//! malformation as a typed [`JsonError`] with a byte offset — hostile
+//! input can never panic or exhaust the stack.
+
+use crate::{Json, JsonError};
+
+/// Defensive parser limits.
+#[derive(Clone, Copy, Debug)]
+pub struct ParseLimits {
+    /// Maximum nesting depth of arrays/objects.
+    pub max_depth: usize,
+    /// Maximum total number of values in the document.
+    pub max_nodes: usize,
+}
+
+impl Default for ParseLimits {
+    fn default() -> Self {
+        ParseLimits {
+            max_depth: 128,
+            max_nodes: 50_000_000,
+        }
+    }
+}
+
+/// Parses a complete JSON document with default limits.
+pub fn parse(input: &str) -> Result<Json, JsonError> {
+    parse_with_limits(input, ParseLimits::default())
+}
+
+/// Parses a complete JSON document with explicit limits.
+pub fn parse_with_limits(input: &str, limits: ParseLimits) -> Result<Json, JsonError> {
+    let mut p = Parser {
+        bytes: input.as_bytes(),
+        pos: 0,
+        nodes: 0,
+        limits,
+    };
+    p.skip_ws();
+    let v = p.value(0)?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing characters after JSON value"));
+    }
+    Ok(v)
+}
+
+/// Parses and decodes in one step.
+pub fn from_str<T: crate::FromJson>(input: &str) -> Result<T, JsonError> {
+    T::from_json(&parse(input)?)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    nodes: usize,
+    limits: ParseLimits,
+}
+
+impl Parser<'_> {
+    fn err(&self, msg: impl Into<String>) -> JsonError {
+        JsonError::Parse {
+            offset: self.pos,
+            msg: msg.into(),
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), JsonError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(format!(
+                "expected `{}`, found {}",
+                b as char,
+                self.describe_here()
+            )))
+        }
+    }
+
+    fn describe_here(&self) -> String {
+        match self.peek() {
+            Some(b) if b.is_ascii_graphic() => format!("`{}`", b as char),
+            Some(b) => format!("byte {b:#04x}"),
+            None => "end of input".to_string(),
+        }
+    }
+
+    fn count_node(&mut self) -> Result<(), JsonError> {
+        self.nodes += 1;
+        if self.nodes > self.limits.max_nodes {
+            return Err(JsonError::Limit(format!(
+                "document exceeds {} values",
+                self.limits.max_nodes
+            )));
+        }
+        Ok(())
+    }
+
+    fn value(&mut self, depth: usize) -> Result<Json, JsonError> {
+        if depth > self.limits.max_depth {
+            return Err(JsonError::Limit(format!(
+                "nesting deeper than {} levels",
+                self.limits.max_depth
+            )));
+        }
+        self.count_node()?;
+        match self.peek() {
+            Some(b'{') => self.object(depth),
+            Some(b'[') => self.array(depth),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            _ => Err(self.err(format!("expected a value, found {}", self.describe_here()))),
+        }
+    }
+
+    fn literal(&mut self, lit: &str, v: Json) -> Result<Json, JsonError> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(v)
+        } else {
+            Err(self.err(format!("invalid literal (expected `{lit}`)")))
+        }
+    }
+
+    fn object(&mut self, depth: usize) -> Result<Json, JsonError> {
+        self.expect(b'{')?;
+        let mut pairs = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(pairs));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let val = self.value(depth + 1)?;
+            pairs.push((key, val));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(pairs));
+                }
+                _ => {
+                    return Err(self.err(format!(
+                        "expected `,` or `}}` in object, found {}",
+                        self.describe_here()
+                    )))
+                }
+            }
+        }
+    }
+
+    fn array(&mut self, depth: usize) -> Result<Json, JsonError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value(depth + 1)?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => {
+                    return Err(self.err(format!(
+                        "expected `,` or `]` in array, found {}",
+                        self.describe_here()
+                    )))
+                }
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, JsonError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            self.pos += 1;
+                            let cp = self.hex4()?;
+                            // Surrogate pairs: a high surrogate must be
+                            // followed by an escaped low surrogate.
+                            let ch = if (0xD800..0xDC00).contains(&cp) {
+                                if self.bytes[self.pos..].starts_with(b"\\u") {
+                                    self.pos += 2;
+                                    let lo = self.hex4()?;
+                                    if !(0xDC00..0xE000).contains(&lo) {
+                                        return Err(self.err("invalid low surrogate"));
+                                    }
+                                    let c = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+                                    char::from_u32(c)
+                                } else {
+                                    return Err(self.err("unpaired high surrogate"));
+                                }
+                            } else if (0xDC00..0xE000).contains(&cp) {
+                                return Err(self.err("unpaired low surrogate"));
+                            } else {
+                                char::from_u32(cp)
+                            };
+                            match ch {
+                                Some(c) => out.push(c),
+                                None => return Err(self.err("invalid unicode escape")),
+                            }
+                            continue;
+                        }
+                        _ => return Err(self.err("invalid escape sequence")),
+                    }
+                    self.pos += 1;
+                }
+                Some(b) if b < 0x20 => {
+                    return Err(self.err("unescaped control character in string"))
+                }
+                Some(_) => {
+                    // Consume one UTF-8 character (input is a &str, so
+                    // boundaries are valid; find the char at this offset).
+                    let rest = &self.bytes[self.pos..];
+                    let s = std::str::from_utf8(rest)
+                        .map_err(|_| self.err("invalid UTF-8 in string"))?;
+                    let c = s
+                        .chars()
+                        .next()
+                        .ok_or_else(|| self.err("unterminated string"))?;
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, JsonError> {
+        if self.pos + 4 > self.bytes.len() {
+            return Err(self.err("truncated unicode escape"));
+        }
+        let hex = std::str::from_utf8(&self.bytes[self.pos..self.pos + 4])
+            .map_err(|_| self.err("invalid unicode escape"))?;
+        let cp = u32::from_str_radix(hex, 16).map_err(|_| self.err("invalid unicode escape"))?;
+        self.pos += 4;
+        Ok(cp)
+    }
+
+    fn number(&mut self) -> Result<Json, JsonError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        // Integer part.
+        match self.peek() {
+            Some(b'0') => self.pos += 1,
+            Some(b'1'..=b'9') => {
+                while matches!(self.peek(), Some(b'0'..=b'9')) {
+                    self.pos += 1;
+                }
+            }
+            _ => return Err(self.err("invalid number")),
+        }
+        // Fraction.
+        if self.peek() == Some(b'.') {
+            self.pos += 1;
+            if !matches!(self.peek(), Some(b'0'..=b'9')) {
+                return Err(self.err("digit expected after decimal point"));
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        // Exponent.
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            if !matches!(self.peek(), Some(b'0'..=b'9')) {
+                return Err(self.err("digit expected in exponent"));
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.err("invalid number"))?;
+        let n: f64 = text.parse().map_err(|_| self.err("invalid number"))?;
+        Ok(Json::Num(n))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_basic_document() {
+        let v =
+            parse(r#"{"a": [1, 2.5, -3e2], "b": {"c": null, "d": [true, false, "x\n\u0041"]}}"#)
+                .unwrap();
+        assert_eq!(v.get("a").unwrap().expect_arr("a").unwrap().len(), 3);
+        assert_eq!(
+            v.get("b")
+                .unwrap()
+                .get("d")
+                .unwrap()
+                .expect_arr("d")
+                .unwrap()[2],
+            Json::Str("x\nA".to_string())
+        );
+    }
+
+    #[test]
+    fn depth_bomb_is_rejected_not_stack_overflow() {
+        let bomb = "[".repeat(100_000) + &"]".repeat(100_000);
+        let err = parse(&bomb).unwrap_err();
+        assert!(matches!(err, JsonError::Limit(_)), "{err}");
+    }
+
+    #[test]
+    fn malformed_inputs_are_typed_errors() {
+        for bad in [
+            "",
+            "{",
+            "[1,]",
+            "{\"a\": }",
+            "{\"a\" 1}",
+            "tru",
+            "01",
+            "1.",
+            "1e",
+            "\"abc",
+            "\"\\q\"",
+            "\"\\uD800\"",
+            "[1] extra",
+            "nan",
+        ] {
+            let r = parse(bad);
+            assert!(r.is_err(), "accepted malformed input {bad:?}");
+        }
+    }
+
+    #[test]
+    fn node_limit_enforced() {
+        let many = format!("[{}]", vec!["0"; 100].join(","));
+        let err = parse_with_limits(
+            &many,
+            ParseLimits {
+                max_depth: 10,
+                max_nodes: 50,
+            },
+        )
+        .unwrap_err();
+        assert!(matches!(err, JsonError::Limit(_)), "{err}");
+    }
+
+    #[test]
+    fn surrogate_pair_decodes() {
+        let v = parse("\"\\uD83D\\uDE00\"").unwrap();
+        assert_eq!(v, Json::Str("😀".to_string()));
+    }
+}

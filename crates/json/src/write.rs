@@ -1,0 +1,151 @@
+//! JSON serialization (compact and pretty).
+
+use crate::{Json, ToJson};
+
+/// Serializes a value compactly.
+pub fn to_string<T: ToJson + ?Sized>(v: &T) -> String {
+    let mut out = String::new();
+    write_value(&v.to_json(), &mut out, None, 0);
+    out
+}
+
+/// Serializes a value with two-space indentation.
+pub fn to_string_pretty<T: ToJson + ?Sized>(v: &T) -> String {
+    let mut out = String::new();
+    write_value(&v.to_json(), &mut out, Some(2), 0);
+    out
+}
+
+fn write_value(v: &Json, out: &mut String, indent: Option<usize>, level: usize) {
+    match v {
+        Json::Null => out.push_str("null"),
+        Json::Bool(true) => out.push_str("true"),
+        Json::Bool(false) => out.push_str("false"),
+        Json::Num(n) => write_number(*n, out),
+        Json::Str(s) => write_string(s, out),
+        Json::Arr(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, level + 1);
+                write_value(item, out, indent, level + 1);
+            }
+            if !items.is_empty() {
+                newline_indent(out, indent, level);
+            }
+            out.push(']');
+        }
+        Json::Obj(pairs) => {
+            out.push('{');
+            for (i, (k, item)) in pairs.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, level + 1);
+                write_string(k, out);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_value(item, out, indent, level + 1);
+            }
+            if !pairs.is_empty() {
+                newline_indent(out, indent, level);
+            }
+            out.push('}');
+        }
+    }
+}
+
+fn newline_indent(out: &mut String, indent: Option<usize>, level: usize) {
+    if let Some(width) = indent {
+        out.push('\n');
+        for _ in 0..width * level {
+            out.push(' ');
+        }
+    }
+}
+
+/// Numbers print like serde_json: integral floats keep a trailing `.0`
+/// so the value re-parses as the same token kind.
+fn write_number(n: f64, out: &mut String) {
+    debug_assert!(n.is_finite(), "non-finite numbers serialize as strings");
+    if n == n.trunc() && n.abs() < 1e15 {
+        // Integral: print without exponent. Distinguish the integer case
+        // (from usize/i64 fields) from float fields at the type level is
+        // impossible here, so integral values print as integers — both
+        // i64 and f32 FromJson accept that form.
+        out.push_str(&format!("{}", n as i64));
+    } else {
+        let s = format!("{n}");
+        out.push_str(&s);
+        if !s.contains(['.', 'e', 'E']) {
+            out.push_str(".0");
+        }
+    }
+}
+
+fn write_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{8}' => out.push_str("\\b"),
+            '\u{c}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse;
+
+    #[test]
+    fn compact_output_reparses() {
+        let v = Json::Obj(vec![
+            (
+                "a".to_string(),
+                Json::Arr(vec![Json::Num(1.0), Json::Num(2.5)]),
+            ),
+            ("b".to_string(), Json::Str("x\"y\n".to_string())),
+            ("c".to_string(), Json::Null),
+        ]);
+        let s = to_string(&v);
+        assert_eq!(parse(&s).unwrap(), v);
+    }
+
+    #[test]
+    fn pretty_output_reparses() {
+        let v = Json::Obj(vec![(
+            "nested".to_string(),
+            Json::Obj(vec![("k".to_string(), Json::Bool(true))]),
+        )]);
+        let s = to_string_pretty(&v);
+        assert!(s.contains('\n'));
+        assert_eq!(parse(&s).unwrap(), v);
+    }
+
+    #[test]
+    fn large_and_small_numbers_roundtrip() {
+        for n in [0.0, -0.0, 1e-30, 3.25e20, -17.0, f64::MAX, 0.1] {
+            let s = to_string(&Json::Num(n));
+            let back = parse(&s).unwrap();
+            match back {
+                Json::Num(m) => assert_eq!(m, n, "via {s}"),
+                other => panic!("expected number, got {other:?}"),
+            }
+        }
+    }
+}

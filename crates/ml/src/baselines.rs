@@ -89,7 +89,12 @@ impl BoxNode {
     fn score<'a>(&'a self, row: &[f32]) -> &'a [f32] {
         match self {
             BoxNode::Leaf(v) => v,
-            BoxNode::Split { feature, threshold, left, right } => {
+            BoxNode::Split {
+                feature,
+                threshold,
+                left,
+                right,
+            } => {
                 if row[*feature] < *threshold {
                     left.score(row)
                 } else {
@@ -113,7 +118,11 @@ impl SklearnLikeForest {
     /// Builds the pointer-linked representation from a fitted ensemble.
     pub fn new(ensemble: &TreeEnsemble) -> SklearnLikeForest {
         SklearnLikeForest {
-            trees: ensemble.trees.iter().map(|t| BoxNode::from_tree(t, 0)).collect(),
+            trees: ensemble
+                .trees
+                .iter()
+                .map(|t| BoxNode::from_tree(t, 0))
+                .collect(),
             agg: ensemble.agg.clone(),
             n_outputs: ensemble.n_outputs(),
             value_width: ensemble.trees.first().map_or(1, |t| t.value_width),
@@ -132,7 +141,9 @@ impl SklearnLikeForest {
     /// classification, values for regression).
     pub fn predict_batch(&self, x: &Tensor<f32>) -> Tensor<f32> {
         if self.emulate_dispatch {
-            spin_us(SKLEARN_CALL_OVERHEAD_US + SKLEARN_PER_TREE_OVERHEAD_US * self.trees.len() as f64);
+            spin_us(
+                SKLEARN_CALL_OVERHEAD_US + SKLEARN_PER_TREE_OVERHEAD_US * self.trees.len() as f64,
+            );
         }
         let (n, d) = (x.shape()[0], x.shape()[1]);
         let xs = x.to_contiguous();
@@ -229,7 +240,8 @@ impl OnnxLikeForest {
                 let v = &self.values[i * self.value_width..(i + 1) * self.value_width];
                 self.agg.accumulate(&mut acc, ti, v);
             }
-            self.agg.finish(&acc, self.tree_offset.len(), &mut out[r * k..(r + 1) * k]);
+            self.agg
+                .finish(&acc, self.tree_offset.len(), &mut out[r * k..(r + 1) * k]);
         }
         Tensor::from_vec(out, &[n, k])
     }
@@ -308,7 +320,11 @@ mod tests {
             trees: vec![t],
             n_features: 1,
             n_classes: 2,
-            agg: Aggregation::SumWithLink { base: vec![0.0], link: Link::Sigmoid, n_groups: 1 },
+            agg: Aggregation::SumWithLink {
+                base: vec![0.0],
+                link: Link::Sigmoid,
+                n_groups: 1,
+            },
         };
         let x = Tensor::from_vec(vec![-1.0, 1.0], &[2, 1]);
         let p = SklearnLikeForest::new(&e).predict_batch(&x);

@@ -66,7 +66,7 @@ pub fn jacobi_eigh(a: &Tensor<f32>, sweeps: usize) -> (Vec<f32>, Tensor<f32>) {
     }
     // Extract and sort by descending eigenvalue.
     let mut pairs: Vec<(f64, usize)> = (0..d).map(|i| (m[i * d + i], i)).collect();
-    pairs.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap());
+    pairs.sort_by(|a, b| b.0.total_cmp(&a.0));
     let eigvals: Vec<f32> = pairs.iter().map(|&(e, _)| e as f32).collect();
     let mut vecs = vec![0.0f32; d * d];
     for (row, &(_, col)) in pairs.iter().enumerate() {
@@ -79,7 +79,7 @@ pub fn jacobi_eigh(a: &Tensor<f32>, sweeps: usize) -> (Vec<f32>, Tensor<f32>) {
 
 /// Fitted `PCA`: mean-centering followed by projection onto the top
 /// components.
-#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Pca {
     /// Per-feature training means.
     pub mean: Vec<f32>,
@@ -137,7 +137,7 @@ impl Pca {
 }
 
 /// Fitted `TruncatedSVD`: projection without centering.
-#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone)]
 pub struct TruncatedSvd {
     /// Right singular vectors `[k, d]`.
     pub components: Tensor<f32>,
@@ -150,7 +150,9 @@ impl TruncatedSvd {
         let k = k.min(d);
         let gram = x.transpose(0, 1).to_contiguous().matmul(x);
         let (_, eigvecs) = jacobi_eigh(&gram, 30);
-        TruncatedSvd { components: eigvecs.slice(0, 0, k).to_contiguous() }
+        TruncatedSvd {
+            components: eigvecs.slice(0, 0, k).to_contiguous(),
+        }
     }
 
     /// Projects `x` into component space `[n, k]`.
@@ -158,6 +160,21 @@ impl TruncatedSvd {
         x.matmul(&self.components.transpose(0, 1))
     }
 }
+
+// JSON artifact impls (replacing the former serde derives).
+hb_json::json_struct!(Pca {
+    mean,
+    components,
+    explained_variance
+});
+hb_json::json_struct!(TruncatedSvd { components });
+hb_json::json_struct!(KernelPca {
+    x_fit,
+    alphas,
+    k_fit_rows,
+    k_fit_all,
+    gamma
+});
 
 #[cfg(test)]
 mod tests {
@@ -231,8 +248,12 @@ mod tests {
         let recon = t
             .matmul(&pca.components)
             .add(&Tensor::from_vec(pca.mean.clone(), &[1, 3]));
-        let err: f32 =
-            recon.to_vec().iter().zip(x.to_vec().iter()).map(|(a, b)| (a - b).abs()).fold(0.0, f32::max);
+        let err: f32 = recon
+            .to_vec()
+            .iter()
+            .zip(x.to_vec().iter())
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f32::max);
         assert!(err < 1e-3, "max reconstruction error {err}");
     }
 }
@@ -244,7 +265,7 @@ mod tests {
 /// the fitted statistics, and projects onto the leading eigenvectors —
 /// all GEMM/element-wise operators, like the other Table 1 algebraic
 /// featurizers.
-#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone)]
 pub struct KernelPca {
     /// Training sample the kernel is evaluated against `[m, d]`.
     pub x_fit: Tensor<f32>,
@@ -303,12 +324,14 @@ impl KernelPca {
     /// Projects `x` into kernel component space `[n, k]`.
     pub fn transform(&self, x: &Tensor<f32>) -> Tensor<f32> {
         let km = x.sqdist(&self.x_fit).mul_scalar(-self.gamma).exp_t(); // [n, m]
-        // Double-center against the training statistics:
-        // K'ij = Kij − mean_j(K_fit) − mean_i(K_row) + grand.
-        let fit_means =
-            Tensor::from_vec(self.k_fit_rows.clone(), &[1, self.k_fit_rows.len()]);
+                                                                        // Double-center against the training statistics:
+                                                                        // K'ij = Kij − mean_j(K_fit) − mean_i(K_row) + grand.
+        let fit_means = Tensor::from_vec(self.k_fit_rows.clone(), &[1, self.k_fit_rows.len()]);
         let row_means = km.mean_axis(1, true); // [n, 1]
-        let centered = km.sub(&fit_means).sub(&row_means).add_scalar(self.k_fit_all);
+        let centered = km
+            .sub(&fit_means)
+            .sub(&row_means)
+            .add_scalar(self.k_fit_all);
         centered.matmul(&self.alphas)
     }
 }
@@ -347,7 +370,10 @@ mod kernel_pca_tests {
             .map(|v| (v - mi).abs())
             .chain(outer.iter().map(|v| (v - mo).abs()))
             .fold(0.0f32, f32::max);
-        assert!((mi - mo).abs() > spread * 0.8, "component 1 does not separate rings");
+        assert!(
+            (mi - mo).abs() > spread * 0.8,
+            "component 1 does not separate rings"
+        );
     }
 
     #[test]

@@ -6,7 +6,7 @@ use hb_tensor::Tensor;
 use crate::tree::Tree;
 
 /// Output link applied after summing boosted tree scores.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Link {
     /// Raw score (regression).
     Identity,
@@ -17,7 +17,7 @@ pub enum Link {
 }
 
 /// How per-tree leaf payloads combine into a model output.
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum Aggregation {
     /// Random-forest classification: leaves are class distributions,
     /// averaged over trees (the paper's `ReduceMean` over the batched
@@ -74,9 +74,14 @@ impl Aggregation {
                 }
             }
             Aggregation::AverageValue => out[0] = acc[0] / n_trees.max(1) as f32,
-            Aggregation::SumWithLink { base, link, n_groups } => {
-                let z: Vec<f32> =
-                    (0..*n_groups).map(|g| acc[g] + base.get(g).copied().unwrap_or(0.0)).collect();
+            Aggregation::SumWithLink {
+                base,
+                link,
+                n_groups,
+            } => {
+                let z: Vec<f32> = (0..*n_groups)
+                    .map(|g| acc[g] + base.get(g).copied().unwrap_or(0.0))
+                    .collect();
                 match link {
                     Link::Identity => out[0] = z[0],
                     Link::Sigmoid => {
@@ -114,7 +119,7 @@ impl Aggregation {
 }
 
 /// A fitted tree ensemble: trees plus aggregation semantics.
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TreeEnsemble {
     /// The member trees. For grouped boosting, tree `t` belongs to class
     /// group `t % n_groups`.
@@ -164,7 +169,8 @@ impl TreeEnsemble {
             for (ti, t) in self.trees.iter().enumerate() {
                 self.agg.accumulate(&mut acc, ti, t.predict_row(row));
             }
-            self.agg.finish(&acc, self.trees.len(), &mut out[r * k..(r + 1) * k]);
+            self.agg
+                .finish(&acc, self.trees.len(), &mut out[r * k..(r + 1) * k]);
         }
         Tensor::from_vec(out, &[n, k])
     }
@@ -187,6 +193,24 @@ impl TreeEnsemble {
         f
     }
 }
+
+// JSON artifact impls (replacing the former serde derives).
+hb_json::json_enum!(Link {
+    Identity,
+    Sigmoid,
+    Softmax
+});
+hb_json::json_enum!(Aggregation {
+    AverageProba,
+    AverageValue,
+    SumWithLink { base, link, n_groups },
+});
+hb_json::json_struct!(TreeEnsemble {
+    trees,
+    n_features,
+    n_classes,
+    agg
+});
 
 #[cfg(test)]
 mod tests {

@@ -9,7 +9,7 @@
 use hb_tensor::Tensor;
 
 /// Norm used by [`Normalizer`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Norm {
     /// Divide rows by their L1 norm.
     L1,
@@ -27,7 +27,7 @@ fn columns(x: &Tensor<f32>) -> (usize, usize, Vec<f32>) {
 }
 
 /// `StandardScaler`: `(x − mean) / std`.
-#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone)]
 pub struct StandardScaler {
     /// Per-column means.
     pub mean: Vec<f32>,
@@ -64,7 +64,10 @@ impl StandardScaler {
                 }
             })
             .collect();
-        StandardScaler { mean: mean.iter().map(|&m| m as f32).collect(), scale }
+        StandardScaler {
+            mean: mean.iter().map(|&m| m as f32).collect(),
+            scale,
+        }
     }
 
     /// Applies the scaling.
@@ -76,7 +79,7 @@ impl StandardScaler {
 }
 
 /// `MinMaxScaler`: `(x − min) / (max − min)`.
-#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone)]
 pub struct MinMaxScaler {
     /// Per-column minima.
     pub data_min: Vec<f32>,
@@ -101,7 +104,10 @@ impl MinMaxScaler {
             .zip(hi.iter())
             .map(|(&l, &h)| if h > l { 1.0 / (h - l) } else { 1.0 })
             .collect();
-        MinMaxScaler { data_min: lo, inv_range }
+        MinMaxScaler {
+            data_min: lo,
+            inv_range,
+        }
     }
 
     /// Applies the scaling.
@@ -113,7 +119,7 @@ impl MinMaxScaler {
 }
 
 /// `MaxAbsScaler`: `x / max|x|`.
-#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone)]
 pub struct MaxAbsScaler {
     /// Per-column `1 / max|x|`.
     pub inv_scale: Vec<f32>,
@@ -130,7 +136,10 @@ impl MaxAbsScaler {
             }
         }
         MaxAbsScaler {
-            inv_scale: m.iter().map(|&v| if v > 0.0 { 1.0 / v } else { 1.0 }).collect(),
+            inv_scale: m
+                .iter()
+                .map(|&v| if v > 0.0 { 1.0 / v } else { 1.0 })
+                .collect(),
         }
     }
 
@@ -142,7 +151,7 @@ impl MaxAbsScaler {
 }
 
 /// `RobustScaler`: `(x − median) / IQR`.
-#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone)]
 pub struct RobustScaler {
     /// Per-column medians.
     pub center: Vec<f32>,
@@ -161,7 +170,7 @@ impl RobustScaler {
             for r in 0..n {
                 col[r] = xv[r * d + f];
             }
-            col.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            col.sort_by(|a, b| a.total_cmp(b));
             center[f] = col[n / 2];
             let iqr = col[(3 * n) / 4] - col[n / 4];
             if iqr > 0.0 {
@@ -180,7 +189,7 @@ impl RobustScaler {
 }
 
 /// `Binarizer`: indicator of `x > threshold`.
-#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Binarizer {
     /// Threshold.
     pub threshold: f32,
@@ -195,7 +204,7 @@ impl Binarizer {
 }
 
 /// `Normalizer`: row-wise norm scaling (stateless).
-#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Normalizer {
     /// Which norm to divide by.
     pub norm: Norm,
@@ -215,7 +224,7 @@ impl Normalizer {
 }
 
 /// Fill strategy of [`SimpleImputer`].
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum ImputeStrategy {
     /// Column mean of non-missing values.
     Mean,
@@ -226,7 +235,7 @@ pub enum ImputeStrategy {
 }
 
 /// `SimpleImputer`: replaces NaNs with fitted statistics.
-#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone)]
 pub struct SimpleImputer {
     /// Per-column fill values.
     pub statistics: Vec<f32>,
@@ -254,7 +263,7 @@ impl SimpleImputer {
                     if col.is_empty() {
                         0.0
                     } else {
-                        col.sort_by(|a, b| a.partial_cmp(b).unwrap());
+                        col.sort_by(|a, b| a.total_cmp(b));
                         col[col.len() / 2]
                     }
                 }
@@ -271,7 +280,7 @@ impl SimpleImputer {
 }
 
 /// `MissingIndicator`: per-cell NaN mask as 0/1 features.
-#[derive(Debug, Clone, Default, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct MissingIndicator;
 
 impl MissingIndicator {
@@ -282,7 +291,7 @@ impl MissingIndicator {
 }
 
 /// Output encoding of [`KBinsDiscretizer`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum BinEncode {
     /// Bin index as a float feature.
     Ordinal,
@@ -291,7 +300,7 @@ pub enum BinEncode {
 }
 
 /// `KBinsDiscretizer`: quantile binning of continuous columns.
-#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone)]
 pub struct KBinsDiscretizer {
     /// Ascending interior bin edges per column.
     pub edges: Vec<Vec<f32>>,
@@ -309,11 +318,11 @@ impl KBinsDiscretizer {
             for r in 0..n {
                 col[r] = xv[r * d + f];
             }
-            col.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            col.sort_by(|a, b| a.total_cmp(b));
             let mut e = Vec::new();
             for q in 1..n_bins {
                 let v = col[q * (n - 1) / n_bins];
-                if e.last().map_or(true, |&last| v > last) {
+                if e.last().is_none_or(|&last| v > last) {
                     e.push(v);
                 }
             }
@@ -359,7 +368,7 @@ impl KBinsDiscretizer {
 
 /// `PolynomialFeatures` of degree 2 in scikit-learn's ordering:
 /// `[1?, x_1..x_d, x_1², x_1x_2, …, x_d²]`.
-#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone)]
 pub struct PolynomialFeatures {
     /// Include the constant-1 bias column.
     pub include_bias: bool,
@@ -370,7 +379,11 @@ pub struct PolynomialFeatures {
 impl PolynomialFeatures {
     /// Output width for input dimensionality `d`.
     pub fn out_width(&self, d: usize) -> usize {
-        let pairs = if self.interaction_only { d * (d - 1) / 2 } else { d * (d + 1) / 2 };
+        let pairs = if self.interaction_only {
+            d * (d - 1) / 2
+        } else {
+            d * (d + 1) / 2
+        };
         usize::from(self.include_bias) + d + pairs
     }
 
@@ -403,7 +416,7 @@ impl PolynomialFeatures {
 /// `OneHotEncoder` over numeric categorical columns: categories are the
 /// sorted unique training values per column; unknown values encode to all
 /// zeros (`handle_unknown="ignore"`).
-#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone)]
 pub struct OneHotEncoder {
     /// Sorted category values per column.
     pub categories: Vec<Vec<f32>>,
@@ -416,7 +429,7 @@ impl OneHotEncoder {
         let mut categories = Vec::with_capacity(d);
         for f in 0..d {
             let mut vals: Vec<f32> = (0..n).map(|r| xv[r * d + f]).collect();
-            vals.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            vals.sort_by(|a, b| a.total_cmp(b));
             vals.dedup();
             categories.push(vals);
         }
@@ -439,7 +452,7 @@ impl OneHotEncoder {
             for f in 0..d {
                 let cats = &self.categories[f];
                 let v = xv[r * d + f];
-                if let Ok(i) = cats.binary_search_by(|c| c.partial_cmp(&v).unwrap()) {
+                if let Ok(i) = cats.binary_search_by(|c| c.total_cmp(&v)) {
                     out[r * w + off + i] = 1.0;
                 }
                 off += cats.len();
@@ -465,7 +478,7 @@ impl OneHotEncoder {
 }
 
 /// `LabelEncoder`: maps values to their index in the sorted vocabulary.
-#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone)]
 pub struct LabelEncoder {
     /// Sorted distinct training values.
     pub classes: Vec<f32>,
@@ -475,7 +488,7 @@ impl LabelEncoder {
     /// Fits the vocabulary.
     pub fn fit(y: &[f32]) -> LabelEncoder {
         let mut classes = y.to_vec();
-        classes.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        classes.sort_by(|a, b| a.total_cmp(b));
         classes.dedup();
         LabelEncoder { classes }
     }
@@ -485,7 +498,7 @@ impl LabelEncoder {
         y.iter()
             .map(|v| {
                 self.classes
-                    .binary_search_by(|c| c.partial_cmp(v).unwrap())
+                    .binary_search_by(|c| c.total_cmp(v))
                     .map(|i| i as i64)
                     .unwrap_or(-1)
             })
@@ -507,7 +520,7 @@ pub fn pack_strings(values: &[String], width: usize) -> Vec<u8> {
 
 /// One-hot encoder over string columns using fixed-length byte-packed
 /// vocabularies, reproducing the paper's string-feature technique.
-#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone)]
 pub struct StringOneHotEncoder {
     /// Sorted vocabulary per column.
     pub vocab: Vec<Vec<String>>,
@@ -564,7 +577,7 @@ impl StringOneHotEncoder {
 
 /// `FeatureHasher`: signed hashing of string tokens into `n_features`
 /// buckets (FNV-1a based).
-#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone)]
 pub struct FeatureHasher {
     /// Output dimensionality.
     pub n_features: usize,
@@ -597,6 +610,31 @@ impl FeatureHasher {
         Tensor::from_vec(out, &[n, k])
     }
 }
+
+// JSON artifact impls (replacing the former serde derives).
+hb_json::json_enum!(Norm { L1, L2, Max });
+hb_json::json_struct!(StandardScaler { mean, scale });
+hb_json::json_struct!(MinMaxScaler {
+    data_min,
+    inv_range
+});
+hb_json::json_struct!(MaxAbsScaler { inv_scale });
+hb_json::json_struct!(RobustScaler { center, inv_scale });
+hb_json::json_struct!(Binarizer { threshold });
+hb_json::json_struct!(Normalizer { norm });
+hb_json::json_enum!(ImputeStrategy { Mean, Median, Constant(f32) });
+hb_json::json_struct!(SimpleImputer { statistics });
+hb_json::json_struct!(MissingIndicator {});
+hb_json::json_enum!(BinEncode { Ordinal, OneHot });
+hb_json::json_struct!(KBinsDiscretizer { edges, encode });
+hb_json::json_struct!(PolynomialFeatures {
+    include_bias,
+    interaction_only
+});
+hb_json::json_struct!(OneHotEncoder { categories });
+hb_json::json_struct!(LabelEncoder { classes });
+hb_json::json_struct!(StringOneHotEncoder { vocab, width });
+hb_json::json_struct!(FeatureHasher { n_features });
 
 #[cfg(test)]
 mod tests {
@@ -733,10 +771,16 @@ mod tests {
     #[test]
     fn polynomial_degree2_ordering() {
         let x = Tensor::from_vec(vec![2.0, 3.0], &[1, 2]);
-        let p = PolynomialFeatures { include_bias: true, interaction_only: false };
+        let p = PolynomialFeatures {
+            include_bias: true,
+            interaction_only: false,
+        };
         let t = p.transform(&x);
         assert_eq!(t.to_vec(), vec![1.0, 2.0, 3.0, 4.0, 6.0, 9.0]);
-        let p2 = PolynomialFeatures { include_bias: false, interaction_only: true };
+        let p2 = PolynomialFeatures {
+            include_bias: false,
+            interaction_only: true,
+        };
         assert_eq!(p2.transform(&x).to_vec(), vec![2.0, 3.0, 6.0]);
     }
 
@@ -788,7 +832,10 @@ mod tests {
     #[test]
     fn feature_hasher_deterministic_and_signed() {
         let h = FeatureHasher { n_features: 8 };
-        let rows = vec![vec!["a".to_string(), "b".to_string()], vec!["a".to_string()]];
+        let rows = vec![
+            vec!["a".to_string(), "b".to_string()],
+            vec!["a".to_string()],
+        ];
         let t1 = h.transform(&rows);
         let t2 = h.transform(&rows);
         assert_eq!(t1.to_vec(), t2.to_vec());

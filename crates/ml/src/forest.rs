@@ -111,7 +111,8 @@ impl RandomForestClassifier {
         let (n, d) = (x.shape()[0], x.shape()[1]);
         assert_eq!(n, y.len(), "x/y length mismatch");
         assert!(n > 0, "empty training set");
-        let n_classes = (*y.iter().max().unwrap() as usize) + 1;
+        #[allow(clippy::disallowed_methods)] // invariant, message documents it
+        let n_classes = (*y.iter().max().expect("empty labels") as usize) + 1;
         let binner = Binner::fit(x, self.config.n_bins);
         let binned = binner.bin_matrix(x);
         let cfg = self.config.tree_config(d);
@@ -134,8 +135,12 @@ impl RandomForestClassifier {
                 )
             })
             .collect();
-        self.ensemble =
-            TreeEnsemble { trees, n_features: d, n_classes, agg: Aggregation::AverageProba };
+        self.ensemble = TreeEnsemble {
+            trees,
+            n_features: d,
+            n_classes,
+            agg: Aggregation::AverageProba,
+        };
         self
     }
 
@@ -179,7 +184,10 @@ impl RandomForestRegressor {
         let binner = Binner::fit(x, self.config.n_bins);
         let binned = binner.bin_matrix(x);
         let cfg = self.config.tree_config(d);
-        let targets = GradPair { grad: y.to_vec(), hess: vec![1.0; n] };
+        let targets = GradPair {
+            grad: y.to_vec(),
+            hess: vec![1.0; n],
+        };
         let seed = self.config.seed;
         let trees: Vec<_> = (0..self.config.n_trees)
             .into_par_iter()
@@ -199,8 +207,12 @@ impl RandomForestRegressor {
                 )
             })
             .collect();
-        self.ensemble =
-            TreeEnsemble { trees, n_features: d, n_classes: 1, agg: Aggregation::AverageValue };
+        self.ensemble = TreeEnsemble {
+            trees,
+            n_features: d,
+            n_classes: 1,
+            agg: Aggregation::AverageValue,
+        };
         self
     }
 
@@ -303,10 +315,17 @@ mod tests {
     #[test]
     fn extra_trees_variant_learns_and_differs() {
         let (x, y) = blobs(300, 13);
-        let base = ForestConfig { n_trees: 15, max_depth: 5, ..ForestConfig::default() };
+        let base = ForestConfig {
+            n_trees: 15,
+            max_depth: 5,
+            ..ForestConfig::default()
+        };
         let plain = RandomForestClassifier::new(base.clone()).fit(&x, &y);
-        let extra = RandomForestClassifier::new(ForestConfig { extra_trees: true, ..base })
-            .fit(&x, &y);
+        let extra = RandomForestClassifier::new(ForestConfig {
+            extra_trees: true,
+            ..base
+        })
+        .fit(&x, &y);
         assert!(accuracy(&extra.predict(&x), &y) > 0.9);
         // Random thresholds must actually change the fitted trees.
         assert_ne!(plain.ensemble, extra.ensemble);

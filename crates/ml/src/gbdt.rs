@@ -53,12 +53,21 @@ impl Default for GbdtConfig {
 impl GbdtConfig {
     /// Depth-wise preset mirroring XGBoost defaults.
     pub fn xgboost_like() -> GbdtConfig {
-        GbdtConfig { growth: Growth::DepthWise, max_leaves: usize::MAX, ..GbdtConfig::default() }
+        GbdtConfig {
+            growth: Growth::DepthWise,
+            max_leaves: usize::MAX,
+            ..GbdtConfig::default()
+        }
     }
 
     /// Leaf-wise preset mirroring LightGBM defaults.
     pub fn lightgbm_like() -> GbdtConfig {
-        GbdtConfig { growth: Growth::LeafWise, max_depth: 16, max_leaves: 31, ..GbdtConfig::default() }
+        GbdtConfig {
+            growth: Growth::LeafWise,
+            max_depth: 16,
+            max_leaves: 31,
+            ..GbdtConfig::default()
+        }
     }
 
     fn tree_config(&self) -> TreeConfig {
@@ -92,7 +101,11 @@ impl GradientBoostingClassifier {
                 trees: vec![],
                 n_features: 0,
                 n_classes: 0,
-                agg: Aggregation::SumWithLink { base: vec![], link: Link::Sigmoid, n_groups: 1 },
+                agg: Aggregation::SumWithLink {
+                    base: vec![],
+                    link: Link::Sigmoid,
+                    n_groups: 1,
+                },
             },
             config,
         }
@@ -102,6 +115,7 @@ impl GradientBoostingClassifier {
     pub fn fit(mut self, x: &Tensor<f32>, y: &[i64]) -> GradientBoostingClassifier {
         let (n, d) = (x.shape()[0], x.shape()[1]);
         assert_eq!(n, y.len(), "x/y length mismatch");
+        #[allow(clippy::disallowed_methods)] // invariant, message documents it
         let n_classes = (*y.iter().max().expect("empty labels") as usize) + 1;
         let binner = Binner::fit(x, self.config.n_bins);
         let binned = binner.bin_matrix(x);
@@ -179,8 +193,7 @@ impl GradientBoostingClassifier {
                     );
                     tree.values.iter_mut().for_each(|v| *v *= lr);
                     for r in 0..n {
-                        score[r * n_classes + c] +=
-                            tree.predict_row(&xv[r * d..(r + 1) * d])[0];
+                        score[r * n_classes + c] += tree.predict_row(&xv[r * d..(r + 1) * d])[0];
                     }
                     trees.push(tree);
                 }
@@ -252,7 +265,10 @@ impl GradientBoostingRegressor {
         let mut trees = Vec::with_capacity(self.config.n_rounds);
         for _ in 0..self.config.n_rounds {
             let grad: Vec<f32> = (0..n).map(|r| score[r] - y[r]).collect();
-            let targets = GradPair { grad, hess: vec![1.0; n] };
+            let targets = GradPair {
+                grad,
+                hess: vec![1.0; n],
+            };
             let mut tree =
                 train_regression_tree(&binned, n, d, &binner, &targets, &cfg, -1.0, &mut rng, None);
             tree.values.iter_mut().for_each(|v| *v *= lr);
@@ -265,7 +281,11 @@ impl GradientBoostingRegressor {
             trees,
             n_features: d,
             n_classes: 1,
-            agg: Aggregation::SumWithLink { base: vec![base], link: Link::Identity, n_groups: 1 },
+            agg: Aggregation::SumWithLink {
+                base: vec![base],
+                link: Link::Identity,
+                n_groups: 1,
+            },
         };
         self
     }
@@ -349,7 +369,11 @@ mod tests {
             })
             .fit(&x, &y);
             let p = m.predict(&x).to_vec();
-            p.iter().zip(y.iter()).map(|(a, b)| (a - b) * (a - b)).sum::<f32>() / n as f32
+            p.iter()
+                .zip(y.iter())
+                .map(|(a, b)| (a - b) * (a - b))
+                .sum::<f32>()
+                / n as f32
         };
         let short = mse(5);
         let long = mse(60);

@@ -40,12 +40,16 @@ pub struct IsolationConfig {
 
 impl Default for IsolationConfig {
     fn default() -> Self {
-        IsolationConfig { n_trees: 100, sample_size: 256, seed: 0 }
+        IsolationConfig {
+            n_trees: 100,
+            sample_size: 256,
+            seed: 0,
+        }
     }
 }
 
 /// A fitted isolation forest.
-#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone)]
 pub struct IsolationForest {
     /// The path-length ensemble (compile-ready).
     pub ensemble: TreeEnsemble,
@@ -57,7 +61,7 @@ pub struct IsolationForest {
 fn grow(
     x: &[f32],
     d: usize,
-    rows: &mut Vec<u32>,
+    rows: &mut [u32],
     depth: usize,
     max_depth: usize,
     rng: &mut StdRng,
@@ -82,7 +86,7 @@ fn grow(
             lo = lo.min(v);
             hi = hi.max(v);
         }
-        if !(hi > lo) {
+        if hi <= lo || !(hi - lo).is_finite() {
             continue;
         }
         let thr = rng.gen_range(lo..hi);
@@ -116,8 +120,10 @@ impl IsolationForest {
         let mut rng = StdRng::seed_from_u64(config.seed);
         let mut trees = Vec::with_capacity(config.n_trees);
         for _ in 0..config.n_trees {
-            let mut rows: Vec<u32> =
-                rand::seq::index::sample(&mut rng, n, psi).iter().map(|v| v as u32).collect();
+            let mut rows: Vec<u32> = rand::seq::index::sample(&mut rng, n, psi)
+                .iter()
+                .map(|v| v as u32)
+                .collect();
             let mut tree = Tree {
                 left: vec![],
                 right: vec![],
@@ -149,9 +155,13 @@ impl IsolationForest {
     /// anomalous.
     pub fn score(&self, x: &Tensor<f32>) -> Tensor<f32> {
         let c = self.c_norm.max(1e-6);
-        self.path_length(x).map(move |h| (-(h / c) * std::f32::consts::LN_2).exp())
+        self.path_length(x)
+            .map(move |h| (-(h / c) * std::f32::consts::LN_2).exp())
     }
 }
+
+// JSON artifact impls (replacing the former serde derives).
+hb_json::json_struct!(IsolationForest { ensemble, c_norm });
 
 #[cfg(test)]
 mod tests {
@@ -174,7 +184,13 @@ mod tests {
     #[test]
     fn outliers_score_higher() {
         let (x, n) = data_with_outliers();
-        let f = IsolationForest::fit(&x, IsolationConfig { n_trees: 50, ..Default::default() });
+        let f = IsolationForest::fit(
+            &x,
+            IsolationConfig {
+                n_trees: 50,
+                ..Default::default()
+            },
+        );
         let s = f.score(&x).to_vec();
         let inlier_mean: f32 = s[..n - 5].iter().sum::<f32>() / (n - 5) as f32;
         let outlier_mean: f32 = s[n - 5..].iter().sum::<f32>() / 5.0;
@@ -187,7 +203,13 @@ mod tests {
     #[test]
     fn scores_are_probability_like() {
         let (x, _) = data_with_outliers();
-        let f = IsolationForest::fit(&x, IsolationConfig { n_trees: 20, ..Default::default() });
+        let f = IsolationForest::fit(
+            &x,
+            IsolationConfig {
+                n_trees: 20,
+                ..Default::default()
+            },
+        );
         assert!(f.score(&x).iter().all(|v| v > 0.0 && v < 1.0));
     }
 
@@ -204,7 +226,11 @@ mod tests {
     #[test]
     fn deterministic_given_seed() {
         let (x, _) = data_with_outliers();
-        let cfg = IsolationConfig { n_trees: 5, seed: 9, ..Default::default() };
+        let cfg = IsolationConfig {
+            n_trees: 5,
+            seed: 9,
+            ..Default::default()
+        };
         let a = IsolationForest::fit(&x, cfg.clone());
         let b = IsolationForest::fit(&x, cfg);
         assert_eq!(a.ensemble, b.ensemble);
@@ -213,7 +239,13 @@ mod tests {
     #[test]
     fn ensemble_is_standard_average_value() {
         let (x, _) = data_with_outliers();
-        let f = IsolationForest::fit(&x, IsolationConfig { n_trees: 8, ..Default::default() });
+        let f = IsolationForest::fit(
+            &x,
+            IsolationConfig {
+                n_trees: 8,
+                ..Default::default()
+            },
+        );
         assert_eq!(f.ensemble.agg, Aggregation::AverageValue);
         assert_eq!(f.ensemble.n_outputs(), 1);
         // Path lengths are positive and bounded by depth + c.

@@ -23,7 +23,7 @@ pub enum Penalty {
 }
 
 /// Output link of a fitted linear model.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum LinearLink {
     /// Binary logistic: `[1-p, p]` via sigmoid.
     Sigmoid,
@@ -48,12 +48,17 @@ pub struct LinearConfig {
 
 impl Default for LinearConfig {
     fn default() -> Self {
-        LinearConfig { epochs: 200, lr: 0.5, penalty: Penalty::L2(1e-4), seed: 0 }
+        LinearConfig {
+            epochs: 200,
+            lr: 0.5,
+            penalty: Penalty::L2(1e-4),
+            seed: 0,
+        }
     }
 }
 
 /// A fitted linear classifier: weights, bias, and link.
-#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone)]
 pub struct LinearModel {
     /// Weight matrix `[k, d]`; `k = 1` for binary models.
     pub weights: Tensor<f32>,
@@ -114,7 +119,7 @@ impl LinearModel {
             bias: self.bias.clone(),
             link: self.link,
             n_classes: self.n_classes,
-            }
+        }
     }
 }
 
@@ -125,7 +130,8 @@ fn apply_penalty(w: &mut [f32], penalty: Penalty, lr: f32) {
         Penalty::L2(a) => w.iter_mut().for_each(|v| *v *= 1.0 - lr * a),
         Penalty::L1(a) => {
             let t = lr * a;
-            w.iter_mut().for_each(|v| *v = v.signum() * (v.abs() - t).max(0.0));
+            w.iter_mut()
+                .for_each(|v| *v = v.signum() * (v.abs() - t).max(0.0));
         }
     }
 }
@@ -147,7 +153,12 @@ fn fit_logistic(x: &Tensor<f32>, y: &[i64], n_classes: usize, cfg: &LinearConfig
         for r in 0..n {
             let row = &xv[r * d..(r + 1) * d];
             for c in 0..k {
-                z[c] = b[c] + row.iter().zip(&w[c * d..(c + 1) * d]).map(|(a, b)| a * b).sum::<f32>();
+                z[c] = b[c]
+                    + row
+                        .iter()
+                        .zip(&w[c * d..(c + 1) * d])
+                        .map(|(a, b)| a * b)
+                        .sum::<f32>();
             }
             if k == 1 {
                 let p = 1.0 / (1.0 + (-z[0]).exp());
@@ -159,9 +170,9 @@ fn fit_logistic(x: &Tensor<f32>, y: &[i64], n_classes: usize, cfg: &LinearConfig
             } else {
                 let m = z.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
                 let mut s = 0.0f32;
-                for c in 0..k {
-                    z[c] = (z[c] - m).exp();
-                    s += z[c];
+                for zc in z.iter_mut().take(k) {
+                    *zc = (*zc - m).exp();
+                    s += *zc;
                 }
                 for c in 0..k {
                     let err = z[c] / s - f32::from(y[r] as usize == c);
@@ -183,7 +194,11 @@ fn fit_logistic(x: &Tensor<f32>, y: &[i64], n_classes: usize, cfg: &LinearConfig
     LinearModel {
         weights: Tensor::from_vec(w, &[k, d]),
         bias: b,
-        link: if k == 1 { LinearLink::Sigmoid } else { LinearLink::Softmax },
+        link: if k == 1 {
+            LinearLink::Sigmoid
+        } else {
+            LinearLink::Softmax
+        },
         n_classes,
     }
 }
@@ -203,6 +218,7 @@ impl LogisticRegression {
 
     /// Trains on labels `0..C`.
     pub fn fit(&self, x: &Tensor<f32>, y: &[i64]) -> LinearModel {
+        #[allow(clippy::disallowed_methods)] // invariant, message documents it
         let n_classes = (*y.iter().max().expect("empty labels") as usize) + 1;
         fit_logistic(x, y, n_classes.max(2), &self.config)
     }
@@ -225,6 +241,7 @@ impl SgdClassifier {
     /// Trains a binary or multiclass model with SGD.
     pub fn fit(&self, x: &Tensor<f32>, y: &[i64]) -> LinearModel {
         let (n, d) = (x.shape()[0], x.shape()[1]);
+        #[allow(clippy::disallowed_methods)] // invariant, message documents it
         let n_classes = (*y.iter().max().expect("empty labels") as usize + 1).max(2);
         let k = if n_classes == 2 { 1 } else { n_classes };
         let mut w = vec![0.0f32; k * d];
@@ -240,7 +257,11 @@ impl SgdClassifier {
                 let row = &xv[r * d..(r + 1) * d];
                 for c in 0..k {
                     z[c] = b[c]
-                        + row.iter().zip(&w[c * d..(c + 1) * d]).map(|(a, b)| a * b).sum::<f32>();
+                        + row
+                            .iter()
+                            .zip(&w[c * d..(c + 1) * d])
+                            .map(|(a, b)| a * b)
+                            .sum::<f32>();
                 }
                 if k == 1 {
                     let p = 1.0 / (1.0 + (-z[0]).exp());
@@ -266,7 +287,11 @@ impl SgdClassifier {
         LinearModel {
             weights: Tensor::from_vec(w, &[k, d]),
             bias: b,
-            link: if k == 1 { LinearLink::Sigmoid } else { LinearLink::Softmax },
+            link: if k == 1 {
+                LinearLink::Sigmoid
+            } else {
+                LinearLink::Softmax
+            },
             n_classes,
         }
     }
@@ -282,7 +307,13 @@ pub struct LinearSvc {
 
 impl Default for LinearSvc {
     fn default() -> Self {
-        LinearSvc { config: LinearConfig { lr: 0.5, epochs: 500, ..LinearConfig::default() } }
+        LinearSvc {
+            config: LinearConfig {
+                lr: 0.5,
+                epochs: 500,
+                ..LinearConfig::default()
+            },
+        }
     }
 }
 
@@ -295,6 +326,7 @@ impl LinearSvc {
     /// Trains a margin classifier on labels `0..C`.
     pub fn fit(&self, x: &Tensor<f32>, y: &[i64]) -> LinearModel {
         let (n, d) = (x.shape()[0], x.shape()[1]);
+        #[allow(clippy::disallowed_methods)] // invariant, message documents it
         let n_classes = (*y.iter().max().expect("empty labels") as usize + 1).max(2);
         let k = if n_classes == 2 { 1 } else { n_classes };
         let mut w = vec![0.0f32; k * d];
@@ -310,14 +342,22 @@ impl LinearSvc {
                 for c in 0..k {
                     // One-vs-rest target in {-1, +1}.
                     let t = if k == 1 {
-                        if y[r] == 1 { 1.0 } else { -1.0 }
+                        if y[r] == 1 {
+                            1.0
+                        } else {
+                            -1.0
+                        }
                     } else if y[r] as usize == c {
                         1.0
                     } else {
                         -1.0
                     };
                     let z: f32 = b[c]
-                        + row.iter().zip(&w[c * d..(c + 1) * d]).map(|(a, b)| a * b).sum::<f32>();
+                        + row
+                            .iter()
+                            .zip(&w[c * d..(c + 1) * d])
+                            .map(|(a, b)| a * b)
+                            .sum::<f32>();
                     if t * z < 1.0 {
                         gb[c] -= t;
                         for (g, &v) in gw[c * d..(c + 1) * d].iter_mut().zip(row.iter()) {
@@ -343,6 +383,19 @@ impl LinearSvc {
     }
 }
 
+// JSON artifact impls (replacing the former serde derives).
+hb_json::json_enum!(LinearLink {
+    Sigmoid,
+    Softmax,
+    Margin
+});
+hb_json::json_struct!(LinearModel {
+    weights,
+    bias,
+    link,
+    n_classes
+});
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -356,7 +409,9 @@ mod tests {
         });
         let xs = x.to_contiguous();
         let xv = xs.as_slice().to_vec();
-        let y: Vec<i64> = (0..n).map(|r| i64::from(xv[r * 2] + xv[r * 2 + 1] > 1.0)).collect();
+        let y: Vec<i64> = (0..n)
+            .map(|r| i64::from(xv[r * 2] + xv[r * 2 + 1] > 1.0))
+            .collect();
         (x, y)
     }
 
@@ -381,8 +436,9 @@ mod tests {
         });
         let xs = x.to_contiguous();
         let xv = xs.as_slice().to_vec();
-        let y: Vec<i64> =
-            (0..n).map(|r| i64::from(xv[r * 3] + xv[r * 3 + 1] > 1.0)).collect();
+        let y: Vec<i64> = (0..n)
+            .map(|r| i64::from(xv[r * 3] + xv[r * 3 + 1] > 1.0))
+            .collect();
         let m = LogisticRegression::new(LinearConfig {
             penalty: Penalty::L1(0.02),
             epochs: 400,
@@ -390,7 +446,11 @@ mod tests {
         })
         .fit(&x, &y);
         let nz = m.nonzero_features();
-        assert!(!nz.contains(&2), "noise feature survived: weights {:?}", m.weights.to_vec());
+        assert!(
+            !nz.contains(&2),
+            "noise feature survived: weights {:?}",
+            m.weights.to_vec()
+        );
         assert!(nz.contains(&0) && nz.contains(&1));
     }
 
@@ -423,8 +483,12 @@ mod tests {
     #[test]
     fn sgd_classifier_learns() {
         let (x, y) = linearly_separable(200);
-        let m = SgdClassifier::new(LinearConfig { epochs: 20, lr: 0.5, ..Default::default() })
-            .fit(&x, &y);
+        let m = SgdClassifier::new(LinearConfig {
+            epochs: 20,
+            lr: 0.5,
+            ..Default::default()
+        })
+        .fit(&x, &y);
         assert!(accuracy(&m.predict(&x), &y) > 0.95);
     }
 

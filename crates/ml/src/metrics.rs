@@ -6,7 +6,11 @@ use hb_tensor::Tensor;
 pub fn accuracy(pred: &Tensor<f32>, y: &[i64]) -> f64 {
     let p = pred.to_vec();
     assert_eq!(p.len(), y.len(), "prediction/label length mismatch");
-    let correct = p.iter().zip(y.iter()).filter(|(p, y)| **p as i64 == **y).count();
+    let correct = p
+        .iter()
+        .zip(y.iter())
+        .filter(|(p, y)| **p as i64 == **y)
+        .count();
     correct as f64 / y.len().max(1) as f64
 }
 
@@ -14,7 +18,10 @@ pub fn accuracy(pred: &Tensor<f32>, y: &[i64]) -> f64 {
 pub fn mse(pred: &Tensor<f32>, y: &[f32]) -> f64 {
     let p = pred.to_vec();
     assert_eq!(p.len(), y.len(), "prediction/label length mismatch");
-    p.iter().zip(y.iter()).map(|(a, b)| ((a - b) as f64).powi(2)).sum::<f64>()
+    p.iter()
+        .zip(y.iter())
+        .map(|(a, b)| ((a - b) as f64).powi(2))
+        .sum::<f64>()
         / y.len().max(1) as f64
 }
 
@@ -22,7 +29,10 @@ pub fn mse(pred: &Tensor<f32>, y: &[f32]) -> f64 {
 /// tensors (the paper's output-validation metric, §6.1.1).
 pub fn max_abs_diff(a: &Tensor<f32>, b: &Tensor<f32>) -> f32 {
     assert_eq!(a.shape(), b.shape(), "shape mismatch");
-    a.iter().zip(b.iter()).map(|(x, y)| (x - y).abs()).fold(0.0, f32::max)
+    a.iter()
+        .zip(b.iter())
+        .map(|(x, y)| (x - y).abs())
+        .fold(0.0, f32::max)
 }
 
 /// Fraction of rows whose argmax class differs between two `[n, C]`
@@ -43,9 +53,9 @@ pub fn allclose(a: &Tensor<f32>, b: &Tensor<f32>, rtol: f32, atol: f32) -> bool 
     if a.shape() != b.shape() {
         return false;
     }
-    a.iter().zip(b.iter()).all(|(x, y)| {
-        (x.is_nan() && y.is_nan()) || (x - y).abs() <= atol + rtol * y.abs()
-    })
+    a.iter()
+        .zip(b.iter())
+        .all(|(x, y)| (x.is_nan() && y.is_nan()) || (x - y).abs() <= atol + rtol * y.abs())
 }
 
 #[cfg(test)]

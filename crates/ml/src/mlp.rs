@@ -29,12 +29,19 @@ pub struct MlpConfig {
 
 impl Default for MlpConfig {
     fn default() -> Self {
-        MlpConfig { hidden: 32, epochs: 60, batch_size: 32, lr: 0.05, momentum: 0.9, seed: 0 }
+        MlpConfig {
+            hidden: 32,
+            epochs: 60,
+            batch_size: 32,
+            lr: 0.05,
+            momentum: 0.9,
+            seed: 0,
+        }
     }
 }
 
 /// A fitted MLP classifier.
-#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone)]
 pub struct MlpModel {
     /// Input→hidden weights `[h, d]`.
     pub w1: Tensor<f32>,
@@ -59,7 +66,9 @@ impl MlpModel {
 
     /// Hard predictions `[n]`.
     pub fn predict(&self, x: &Tensor<f32>) -> Tensor<f32> {
-        self.predict_proba(x).argmax_axis(1, false).map(|v| v as f32)
+        self.predict_proba(x)
+            .argmax_axis(1, false)
+            .map(|v| v as f32)
     }
 }
 
@@ -80,6 +89,7 @@ impl MlpClassifier {
     pub fn fit(&self, x: &Tensor<f32>, y: &[i64]) -> MlpModel {
         let (n, d) = (x.shape()[0], x.shape()[1]);
         assert_eq!(n, y.len(), "x/y length mismatch");
+        #[allow(clippy::disallowed_methods)] // invariant, message documents it
         let c = ((*y.iter().max().expect("empty labels") as usize) + 1).max(2);
         let h = self.config.hidden;
         let mut rng = StdRng::seed_from_u64(self.config.seed);
@@ -87,8 +97,10 @@ impl MlpClassifier {
         let mut w2 = vec![0.0f32; c * h];
         let scale1 = (2.0 / d as f32).sqrt();
         let scale2 = (2.0 / h as f32).sqrt();
-        w1.iter_mut().for_each(|v| *v = rng.gen_range(-scale1..scale1));
-        w2.iter_mut().for_each(|v| *v = rng.gen_range(-scale2..scale2));
+        w1.iter_mut()
+            .for_each(|v| *v = rng.gen_range(-scale1..scale1));
+        w2.iter_mut()
+            .for_each(|v| *v = rng.gen_range(-scale2..scale2));
         let mut b1 = vec![0.0f32; h];
         let mut b2 = vec![0.0f32; c];
         let (mut vw1, mut vb1) = (vec![0.0f32; h * d], vec![0.0f32; h]);
@@ -128,9 +140,9 @@ impl MlpClassifier {
                         m = m.max(probs[k]);
                     }
                     let mut s = 0.0f32;
-                    for k in 0..c {
-                        probs[k] = (probs[k] - m).exp();
-                        s += probs[k];
+                    for p in probs.iter_mut().take(c) {
+                        *p = (*p - m).exp();
+                        s += *p;
                     }
                     probs.iter_mut().for_each(|p| *p /= s);
                     // Backward.
@@ -158,10 +170,7 @@ impl MlpClassifier {
                 // Momentum update.
                 let lr = self.config.lr / chunk.len() as f32;
                 let mo = self.config.momentum;
-                for (set, grad, vel) in [
-                    (&mut w1, &gw1, &mut vw1),
-                    (&mut w2, &gw2, &mut vw2),
-                ] {
+                for (set, grad, vel) in [(&mut w1, &gw1, &mut vw1), (&mut w2, &gw2, &mut vw2)] {
                     for i in 0..set.len() {
                         vel[i] = mo * vel[i] - lr * grad[i];
                         set[i] += vel[i];
@@ -185,6 +194,15 @@ impl MlpClassifier {
     }
 }
 
+// JSON artifact impls (replacing the former serde derives).
+hb_json::json_struct!(MlpModel {
+    w1,
+    b1,
+    w2,
+    b2,
+    n_classes
+});
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -202,10 +220,15 @@ mod tests {
                 b + 0.01 * (i[0] % 5) as f32
             }
         });
-        let y: Vec<i64> =
-            (0..n).map(|i| (((i % 2) ^ ((i / 2) % 2)) != 0) as i64).collect();
-        let m = MlpClassifier::new(MlpConfig { epochs: 150, hidden: 16, ..Default::default() })
-            .fit(&x, &y);
+        let y: Vec<i64> = (0..n)
+            .map(|i| (((i % 2) ^ ((i / 2) % 2)) != 0) as i64)
+            .collect();
+        let m = MlpClassifier::new(MlpConfig {
+            epochs: 150,
+            hidden: 16,
+            ..Default::default()
+        })
+        .fit(&x, &y);
         let acc = accuracy(&m.predict(&x), &y);
         assert!(acc > 0.95, "accuracy {acc}");
     }
@@ -214,7 +237,11 @@ mod tests {
     fn proba_normalizes() {
         let x = Tensor::from_fn(&[50, 3], |i| (i[0] * 3 + i[1]) as f32 * 0.01);
         let y: Vec<i64> = (0..50).map(|i| (i % 3) as i64).collect();
-        let m = MlpClassifier::new(MlpConfig { epochs: 5, ..Default::default() }).fit(&x, &y);
+        let m = MlpClassifier::new(MlpConfig {
+            epochs: 5,
+            ..Default::default()
+        })
+        .fit(&x, &y);
         let p = m.predict_proba(&x);
         assert_eq!(p.shape(), &[50, 3]);
         let s = p.get(&[0, 0]) + p.get(&[0, 1]) + p.get(&[0, 2]);
@@ -225,7 +252,11 @@ mod tests {
     fn deterministic_given_seed() {
         let x = Tensor::from_fn(&[40, 2], |i| (i[0] + i[1]) as f32 * 0.1);
         let y: Vec<i64> = (0..40).map(|i| (i % 2) as i64).collect();
-        let cfg = MlpConfig { epochs: 3, seed: 5, ..Default::default() };
+        let cfg = MlpConfig {
+            epochs: 3,
+            seed: 5,
+            ..Default::default()
+        };
         let a = MlpClassifier::new(cfg.clone()).fit(&x, &y);
         let b = MlpClassifier::new(cfg).fit(&x, &y);
         assert_eq!(a.w1.to_vec(), b.w1.to_vec());

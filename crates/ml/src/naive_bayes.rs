@@ -14,7 +14,7 @@ use hb_tensor::Tensor;
 /// `log p(x|c) = Σ_d [−½log(2πσ²) − (x−μ)²/(2σ²)]`, rewritten as
 /// `x² · A_c + x · B_c + const_c` so it evaluates with two GEMMs instead
 /// of an `n×d×C` broadcast intermediate.
-#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone)]
 pub struct GaussianNb {
     /// Class means `[C, d]`.
     pub theta: Tensor<f32>,
@@ -29,6 +29,7 @@ impl GaussianNb {
     pub fn fit(x: &Tensor<f32>, y: &[i64]) -> GaussianNb {
         let (n, d) = (x.shape()[0], x.shape()[1]);
         assert_eq!(n, y.len(), "x/y length mismatch");
+        #[allow(clippy::disallowed_methods)] // invariant, message documents it
         let c = (*y.iter().max().expect("empty labels") as usize) + 1;
         let xs = x.to_contiguous();
         let xv = xs.as_slice();
@@ -64,8 +65,10 @@ impl GaussianNb {
         }
         let eps = (1e-9 * max_var).max(1e-12);
         var.iter_mut().for_each(|v| *v += eps);
-        let class_log_prior: Vec<f32> =
-            count.iter().map(|&k| ((k.max(1e-12)) / n as f64).ln() as f32).collect();
+        let class_log_prior: Vec<f32> = count
+            .iter()
+            .map(|&k| ((k.max(1e-12)) / n as f64).ln() as f32)
+            .collect();
         GaussianNb {
             theta: Tensor::from_vec(mean.iter().map(|&v| v as f32).collect(), &[c, d]),
             var: Tensor::from_vec(var.iter().map(|&v| v as f32).collect(), &[c, d]),
@@ -105,12 +108,14 @@ impl GaussianNb {
 
     /// Hard predictions `[n]`.
     pub fn predict(&self, x: &Tensor<f32>) -> Tensor<f32> {
-        self.joint_log_likelihood(x).argmax_axis(1, false).map(|v| v as f32)
+        self.joint_log_likelihood(x)
+            .argmax_axis(1, false)
+            .map(|v| v as f32)
     }
 }
 
 /// Fitted Bernoulli naive Bayes (features binarized at `binarize`).
-#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone)]
 pub struct BernoulliNb {
     /// `log p(f=1|c)` `[C, d]`.
     pub feature_log_prob: Tensor<f32>,
@@ -126,6 +131,7 @@ impl BernoulliNb {
     /// Fits with Laplace smoothing `alpha`.
     pub fn fit(x: &Tensor<f32>, y: &[i64], alpha: f32, binarize: f32) -> BernoulliNb {
         let (n, d) = (x.shape()[0], x.shape()[1]);
+        #[allow(clippy::disallowed_methods)] // invariant, message documents it
         let c = (*y.iter().max().expect("empty labels") as usize) + 1;
         let xs = x.to_contiguous();
         let xv = xs.as_slice();
@@ -149,8 +155,10 @@ impl BernoulliNb {
                 logq[cls * d + f] = ((1.0 - p).ln()) as f32;
             }
         }
-        let class_log_prior: Vec<f32> =
-            count.iter().map(|&k| ((k.max(1e-12)) / n as f64).ln() as f32).collect();
+        let class_log_prior: Vec<f32> = count
+            .iter()
+            .map(|&k| ((k.max(1e-12)) / n as f64).ln() as f32)
+            .collect();
         BernoulliNb {
             feature_log_prob: Tensor::from_vec(logp, &[c, d]),
             neg_log_prob: Tensor::from_vec(logq, &[c, d]),
@@ -177,12 +185,14 @@ impl BernoulliNb {
 
     /// Hard predictions `[n]`.
     pub fn predict(&self, x: &Tensor<f32>) -> Tensor<f32> {
-        self.joint_log_likelihood(x).argmax_axis(1, false).map(|v| v as f32)
+        self.joint_log_likelihood(x)
+            .argmax_axis(1, false)
+            .map(|v| v as f32)
     }
 }
 
 /// Fitted multinomial naive Bayes (count features).
-#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone)]
 pub struct MultinomialNb {
     /// `log p(f|c)` `[C, d]`.
     pub feature_log_prob: Tensor<f32>,
@@ -194,6 +204,7 @@ impl MultinomialNb {
     /// Fits with Laplace smoothing `alpha`.
     pub fn fit(x: &Tensor<f32>, y: &[i64], alpha: f32) -> MultinomialNb {
         let (n, d) = (x.shape()[0], x.shape()[1]);
+        #[allow(clippy::disallowed_methods)] // invariant, message documents it
         let c = (*y.iter().max().expect("empty labels") as usize) + 1;
         let xs = x.to_contiguous();
         let xv = xs.as_slice();
@@ -211,20 +222,26 @@ impl MultinomialNb {
             let total: f64 =
                 counts[cls * d..(cls + 1) * d].iter().sum::<f64>() + alpha as f64 * d as f64;
             for f in 0..d {
-                logp[cls * d + f] =
-                    (((counts[cls * d + f] + alpha as f64) / total).ln()) as f32;
+                logp[cls * d + f] = (((counts[cls * d + f] + alpha as f64) / total).ln()) as f32;
             }
         }
         let n_total = n as f64;
-        let class_log_prior: Vec<f32> =
-            class_n.iter().map(|&k| ((k.max(1e-12)) / n_total).ln() as f32).collect();
-        MultinomialNb { feature_log_prob: Tensor::from_vec(logp, &[c, d]), class_log_prior }
+        let class_log_prior: Vec<f32> = class_n
+            .iter()
+            .map(|&k| ((k.max(1e-12)) / n_total).ln() as f32)
+            .collect();
+        MultinomialNb {
+            feature_log_prob: Tensor::from_vec(logp, &[c, d]),
+            class_log_prior,
+        }
     }
 
     /// Joint log-likelihood `[n, C]` — a single GEMM plus prior.
     pub fn joint_log_likelihood(&self, x: &Tensor<f32>) -> Tensor<f32> {
-        let prior =
-            Tensor::from_vec(self.class_log_prior.clone(), &[1, self.class_log_prior.len()]);
+        let prior = Tensor::from_vec(
+            self.class_log_prior.clone(),
+            &[1, self.class_log_prior.len()],
+        );
         x.matmul(&self.feature_log_prob.transpose(0, 1)).add(&prior)
     }
 
@@ -235,9 +252,28 @@ impl MultinomialNb {
 
     /// Hard predictions `[n]`.
     pub fn predict(&self, x: &Tensor<f32>) -> Tensor<f32> {
-        self.joint_log_likelihood(x).argmax_axis(1, false).map(|v| v as f32)
+        self.joint_log_likelihood(x)
+            .argmax_axis(1, false)
+            .map(|v| v as f32)
     }
 }
+
+// JSON artifact impls (replacing the former serde derives).
+hb_json::json_struct!(GaussianNb {
+    theta,
+    var,
+    class_log_prior
+});
+hb_json::json_struct!(BernoulliNb {
+    feature_log_prob,
+    neg_log_prob,
+    class_log_prior,
+    binarize
+});
+hb_json::json_struct!(MultinomialNb {
+    feature_log_prob,
+    class_log_prior
+});
 
 #[cfg(test)]
 mod tests {
@@ -274,13 +310,16 @@ mod tests {
     fn bernoulli_nb_on_binary_features() {
         // Class 1 rows have feature 0 set; class 0 rows feature 1.
         let n = 100;
-        let x = Tensor::from_fn(&[n, 2], |i| {
-            if i[0] % 2 == (1 - i[1]) % 2 {
-                1.0
-            } else {
-                0.0
-            }
-        });
+        let x = Tensor::from_fn(
+            &[n, 2],
+            |i| {
+                if i[0] % 2 == (1 - i[1]) % 2 {
+                    1.0
+                } else {
+                    0.0
+                }
+            },
+        );
         let y: Vec<i64> = (0..n).map(|i| (i % 2) as i64).collect();
         let m = BernoulliNb::fit(&x, &y, 1.0, 0.5);
         assert!(accuracy(&m.predict(&x), &y) > 0.98);

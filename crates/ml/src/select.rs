@@ -45,13 +45,19 @@ pub fn f_classif(x: &Tensor<f32>, y: &[i64]) -> Vec<f64> {
         let df_within = (n.saturating_sub(c)).max(1) as f64;
         let msb = ss_between / df_between;
         let msw = ss_within / df_within;
-        scores[f] = if msw > 0.0 { msb / msw } else if msb > 0.0 { f64::INFINITY } else { 0.0 };
+        scores[f] = if msw > 0.0 {
+            msb / msw
+        } else if msb > 0.0 {
+            f64::INFINITY
+        } else {
+            0.0
+        };
     }
     scores
 }
 
 /// A fitted feature selector: the surviving column indices, ascending.
-#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct FeatureSelector {
     /// Columns kept, in ascending input order.
     pub selected: Vec<usize>,
@@ -94,21 +100,30 @@ impl FeatureSelector {
                 selected.push(f);
             }
         }
-        FeatureSelector { selected, n_features_in: d }
+        FeatureSelector {
+            selected,
+            n_features_in: d,
+        }
     }
 
     /// Builds a selector keeping given columns directly (used when the
     /// optimizer *injects* a selector, §5.2).
     pub fn from_indices(selected: Vec<usize>, n_features_in: usize) -> FeatureSelector {
-        FeatureSelector { selected, n_features_in }
+        FeatureSelector {
+            selected,
+            n_features_in,
+        }
     }
 
     fn from_scores(scores: &[f64], k: usize) -> FeatureSelector {
         let mut order: Vec<usize> = (0..scores.len()).collect();
-        order.sort_by(|&a, &b| scores[b].partial_cmp(&scores[a]).unwrap());
+        order.sort_by(|&a, &b| scores[b].total_cmp(&scores[a]));
         let mut selected: Vec<usize> = order.into_iter().take(k).collect();
         selected.sort_unstable();
-        FeatureSelector { selected, n_features_in: scores.len() }
+        FeatureSelector {
+            selected,
+            n_features_in: scores.len(),
+        }
     }
 
     /// Applies the selection.
@@ -116,6 +131,12 @@ impl FeatureSelector {
         x.index_select(1, &self.selected)
     }
 }
+
+// JSON artifact impls (replacing the former serde derives).
+hb_json::json_struct!(FeatureSelector {
+    selected,
+    n_features_in
+});
 
 #[cfg(test)]
 mod tests {
@@ -165,7 +186,11 @@ mod tests {
     fn variance_threshold_drops_constants() {
         let (x, _) = data();
         let sel = FeatureSelector::variance_threshold(&x, 1e-6);
-        assert!(!sel.selected.contains(&1), "constant column kept: {:?}", sel.selected);
+        assert!(
+            !sel.selected.contains(&1),
+            "constant column kept: {:?}",
+            sel.selected
+        );
     }
 
     #[test]

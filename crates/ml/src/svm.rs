@@ -10,7 +10,7 @@
 use hb_tensor::Tensor;
 
 /// Kernel of an SVC model.
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum Kernel {
     /// Radial basis function with bandwidth `gamma`.
     Rbf {
@@ -52,7 +52,7 @@ impl Default for SvcConfig {
 }
 
 /// A fitted binary kernel SVM.
-#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone)]
 pub struct SvcModel {
     /// Support vectors `[m, d]`.
     pub support_vectors: Tensor<f32>,
@@ -69,7 +69,9 @@ impl SvcModel {
     pub fn decision(&self, x: &Tensor<f32>) -> Tensor<f32> {
         let k = self.kernel_matrix(x);
         let a = Tensor::from_vec(self.dual_coef.clone(), &[self.dual_coef.len(), 1]);
-        k.matmul(&a).add_scalar(self.intercept).reshape(&[x.shape()[0]])
+        k.matmul(&a)
+            .add_scalar(self.intercept)
+            .reshape(&[x.shape()[0]])
     }
 
     /// Hard 0/1 predictions `[n]`.
@@ -82,9 +84,7 @@ impl SvcModel {
     pub fn kernel_matrix(&self, x: &Tensor<f32>) -> Tensor<f32> {
         match self.kernel {
             Kernel::Linear => x.matmul(&self.support_vectors.transpose(0, 1)),
-            Kernel::Rbf { gamma } => {
-                x.sqdist(&self.support_vectors).mul_scalar(-gamma).exp_t()
-            }
+            Kernel::Rbf { gamma } => x.sqdist(&self.support_vectors).mul_scalar(-gamma).exp_t(),
         }
     }
 }
@@ -110,9 +110,14 @@ impl Svc {
     pub fn fit(&self, x: &Tensor<f32>, y: &[i64]) -> SvcModel {
         let (n, d) = (x.shape()[0], x.shape()[1]);
         assert_eq!(n, y.len(), "x/y length mismatch");
-        assert!(y.iter().all(|&v| v == 0 || v == 1), "SVC expects binary 0/1 labels");
+        assert!(
+            y.iter().all(|&v| v == 0 || v == 1),
+            "SVC expects binary 0/1 labels"
+        );
         let kernel = match self.config.kernel {
-            Kernel::Rbf { gamma } if gamma <= 0.0 => Kernel::Rbf { gamma: 1.0 / d as f32 },
+            Kernel::Rbf { gamma } if gamma <= 0.0 => Kernel::Rbf {
+                gamma: 1.0 / d as f32,
+            },
             k => k,
         };
         let ys: Vec<f32> = y.iter().map(|&v| if v == 1 { 1.0 } else { -1.0 }).collect();
@@ -153,7 +158,11 @@ impl Svc {
             s
         };
 
-        let mut rng_state = self.config.seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+        let mut rng_state = self
+            .config
+            .seed
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1);
         let mut next_rand = move || {
             rng_state ^= rng_state << 13;
             rng_state ^= rng_state >> 7;
@@ -196,10 +205,12 @@ impl Svc {
                     let ai = ai_old + ys[i] * ys[j] * (aj_old - aj);
                     alpha[i] = ai;
                     alpha[j] = aj;
-                    let b1 = b - ei
+                    let b1 = b
+                        - ei
                         - ys[i] * (ai - ai_old) * k[i * n + i]
                         - ys[j] * (aj - aj_old) * k[i * n + j];
-                    let b2 = b - ej
+                    let b2 = b
+                        - ej
                         - ys[i] * (ai - ai_old) * k[i * n + j]
                         - ys[j] * (aj - aj_old) * k[j * n + j];
                     b = if ai > 0.0 && ai < c {
@@ -225,7 +236,7 @@ impl Svc {
         }
         // Degenerate case (no SVs): fall back to the prior.
         if sv_idx.is_empty() {
-            sv.extend(std::iter::repeat(0.0).take(d));
+            sv.extend(std::iter::repeat_n(0.0, d));
             dual.push(0.0);
         }
         SvcModel {
@@ -253,7 +264,10 @@ pub struct NuSvc {
 
 impl Default for NuSvc {
     fn default() -> Self {
-        NuSvc { nu: 0.5, config: SvcConfig::default() }
+        NuSvc {
+            nu: 0.5,
+            config: SvcConfig::default(),
+        }
     }
 }
 
@@ -262,9 +276,22 @@ impl NuSvc {
     pub fn fit(&self, x: &Tensor<f32>, y: &[i64]) -> SvcModel {
         let n = x.shape()[0].max(1);
         let c = 1.0 / (self.nu.clamp(1e-3, 1.0) * n as f32) * n as f32;
-        Svc::new(SvcConfig { c, ..self.config.clone() }).fit(x, y)
+        Svc::new(SvcConfig {
+            c,
+            ..self.config.clone()
+        })
+        .fit(x, y)
     }
 }
+
+// JSON artifact impls (replacing the former serde derives).
+hb_json::json_enum!(Kernel { Rbf { gamma }, Linear });
+hb_json::json_struct!(SvcModel {
+    support_vectors,
+    dual_coef,
+    intercept,
+    kernel
+});
 
 #[cfg(test)]
 mod tests {
@@ -289,7 +316,11 @@ mod tests {
     #[test]
     fn rbf_svc_separates_rings() {
         let (x, y) = rings(120);
-        let m = Svc::new(SvcConfig { c: 5.0, ..SvcConfig::default() }).fit(&x, &y);
+        let m = Svc::new(SvcConfig {
+            c: 5.0,
+            ..SvcConfig::default()
+        })
+        .fit(&x, &y);
         let acc = accuracy(&m.predict(&x), &y);
         assert!(acc > 0.95, "accuracy {acc}, {} SVs", m.dual_coef.len());
     }
@@ -297,12 +328,20 @@ mod tests {
     #[test]
     fn linear_kernel_on_separable_data() {
         let n = 80;
-        let x = Tensor::from_fn(&[n, 2], |i| (i[0] as f32 / n as f32) * 4.0 - 2.0 + i[1] as f32);
+        let x = Tensor::from_fn(&[n, 2], |i| {
+            (i[0] as f32 / n as f32) * 4.0 - 2.0 + i[1] as f32
+        });
         let xs = x.to_contiguous();
         let xv = xs.as_slice().to_vec();
-        let y: Vec<i64> = (0..n).map(|r| i64::from(xv[r * 2] + xv[r * 2 + 1] > 0.0)).collect();
-        let m = Svc::new(SvcConfig { kernel: Kernel::Linear, c: 1.0, ..Default::default() })
-            .fit(&x, &y);
+        let y: Vec<i64> = (0..n)
+            .map(|r| i64::from(xv[r * 2] + xv[r * 2 + 1] > 0.0))
+            .collect();
+        let m = Svc::new(SvcConfig {
+            kernel: Kernel::Linear,
+            c: 1.0,
+            ..Default::default()
+        })
+        .fit(&x, &y);
         assert!(accuracy(&m.predict(&x), &y) > 0.9);
     }
 
@@ -319,7 +358,11 @@ mod tests {
     #[test]
     fn nusvc_trains_and_separates() {
         let (x, y) = rings(100);
-        let m = NuSvc { nu: 0.3, ..NuSvc::default() }.fit(&x, &y);
+        let m = NuSvc {
+            nu: 0.3,
+            ..NuSvc::default()
+        }
+        .fit(&x, &y);
         assert!(accuracy(&m.predict(&x), &y) > 0.9);
     }
 

@@ -75,7 +75,7 @@ impl Default for TreeConfig {
 /// Leaves have `left == -1` and carry a `values` payload: a class
 /// distribution for classification trees or a single score for
 /// regression/boosting trees.
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Tree {
     /// Left child index, or -1 for leaves.
     pub left: Vec<i32>,
@@ -173,7 +173,8 @@ impl Tree {
                 let old = self.feature[i] as usize;
                 self.feature[i] = *remap
                     .get(&old)
-                    .unwrap_or_else(|| panic!("feature {old} missing from remap")) as u32;
+                    .unwrap_or_else(|| panic!("feature {old} missing from remap"))
+                    as u32;
             }
         }
     }
@@ -195,8 +196,11 @@ impl Binner {
         let xv = xs.as_slice();
         let mut edges = Vec::with_capacity(d);
         for f in 0..d {
-            let mut col: Vec<f32> = (0..n).map(|r| xv[r * d + f]).filter(|v| !v.is_nan()).collect();
-            col.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            let mut col: Vec<f32> = (0..n)
+                .map(|r| xv[r * d + f])
+                .filter(|v| !v.is_nan())
+                .collect();
+            col.sort_by(|a, b| a.total_cmp(b));
             col.dedup();
             let mut e = Vec::new();
             if col.len() > 1 {
@@ -206,7 +210,7 @@ impl Binner {
                     // Midpoint between adjacent distinct values keeps the
                     // `<` comparison faithful to the training data.
                     let edge = (col[idx] + col[(idx + 1).min(col.len() - 1)]) / 2.0;
-                    if e.last().map_or(true, |&last| edge > last) {
+                    if e.last().is_none_or(|&last| edge > last) {
                         e.push(edge);
                     }
                 }
@@ -277,6 +281,7 @@ pub struct GradPair {
 /// Returns leaf values of `sign * Σg / (Σh + λ)`; boosters pass
 /// `sign = -1` (Newton step), plain regression passes `sign = +1` with
 /// `g = y, h = 1` (leaf = mean).
+#[allow(clippy::too_many_arguments)]
 pub fn train_regression_tree(
     binned: &[u8],
     n_rows: usize,
@@ -307,7 +312,15 @@ pub fn train_regression_tree(
         g * g / (h + cfg.lambda)
     };
     grow_tree(
-        binned, n_rows, n_features, binner, cfg, rng, row_subset, &score, &leaf_value,
+        binned,
+        n_rows,
+        n_features,
+        binner,
+        cfg,
+        rng,
+        row_subset,
+        &score,
+        &leaf_value,
         &|rows, f, forced| {
             // Histogram of (Σg, Σh) per bin for feature `f`.
             let nb = binner.n_bins(f);
@@ -336,7 +349,7 @@ pub fn train_regression_tree(
                     continue;
                 }
                 let gain = lg * lg / (lh + cfg.lambda) + rg * rg / (rh + cfg.lambda) - parent;
-                if best.map_or(true, |(_, g)| gain > g) {
+                if best.is_none_or(|(_, g)| gain > g) {
                     best = Some((b as u8, gain));
                 }
             }
@@ -347,6 +360,7 @@ pub fn train_regression_tree(
 
 /// Trains one classification tree with Gini impurity; leaves hold class
 /// probability distributions.
+#[allow(clippy::too_many_arguments)]
 pub fn train_classification_tree(
     binned: &[u8],
     n_rows: usize,
@@ -383,7 +397,15 @@ pub fn train_classification_tree(
         node_score(&counts, rows.len() as f64)
     };
     grow_tree(
-        binned, n_rows, n_features, binner, cfg, rng, row_subset, &score, &leaf_value,
+        binned,
+        n_rows,
+        n_features,
+        binner,
+        cfg,
+        rng,
+        row_subset,
+        &score,
+        &leaf_value,
         &|rows, f, forced| {
             let nb = binner.n_bins(f);
             let mut hist = vec![0.0f64; nb * n_classes];
@@ -416,10 +438,13 @@ pub fn train_classification_tree(
                 if ln == 0.0 || rn == 0.0 {
                     continue;
                 }
-                let rcounts: Vec<f64> =
-                    tot_counts.iter().zip(lcounts.iter()).map(|(t, l)| t - l).collect();
+                let rcounts: Vec<f64> = tot_counts
+                    .iter()
+                    .zip(lcounts.iter())
+                    .map(|(t, l)| t - l)
+                    .collect();
                 let gain = node_score(&lcounts, ln) + node_score(&rcounts, rn) - parent;
-                if best.map_or(true, |(_, g)| gain > g) {
+                if best.is_none_or(|(_, g)| gain > g) {
                     best = Some((b as u8, gain));
                 }
             }
@@ -427,6 +452,9 @@ pub fn train_classification_tree(
         },
     )
 }
+
+/// Split finder: `(rows, feature, forced bin)` → best `(bin, gain)`.
+type SplitFinder<'a> = dyn Fn(&[u32], usize, Option<u8>) -> Option<(u8, f64)> + 'a;
 
 /// Shared growth loop parameterized by split finding and leaf payloads.
 #[allow(clippy::too_many_arguments)]
@@ -440,7 +468,7 @@ fn grow_tree(
     row_subset: Option<&[u32]>,
     _score: &dyn Fn(&[u32]) -> f64,
     leaf_value: &dyn Fn(&[u32]) -> Vec<f32>,
-    find_split: &dyn Fn(&[u32], usize, Option<u8>) -> Option<(u8, f64)>,
+    find_split: &SplitFinder,
 ) -> Tree {
     let all_rows: Vec<u32> = match row_subset {
         Some(rs) => rs.to_vec(),
@@ -491,7 +519,13 @@ fn grow_tree(
     };
 
     let (g, s) = eval(&all_rows, rng);
-    let mut frontier = vec![Frontier { node: 0, depth: 0, rows: all_rows, gain: g, split: s }];
+    let mut frontier = vec![Frontier {
+        node: 0,
+        depth: 0,
+        rows: all_rows,
+        gain: g,
+        split: s,
+    }];
     let mut n_leaves = 1usize;
 
     while !frontier.is_empty() && n_leaves < cfg.max_leaves {
@@ -509,7 +543,9 @@ fn grow_tree(
             }
         };
         let cand = frontier.swap_remove(pick);
-        let Some((feat, bin)) = cand.split else { continue };
+        let Some((feat, bin)) = cand.split else {
+            continue;
+        };
         if cand.gain < cfg.min_gain || cand.depth >= cfg.max_depth {
             continue;
         }
@@ -545,12 +581,28 @@ fn grow_tree(
         for (node, rows) in [(li, lrows), (ri, rrows)] {
             let (g, s) = eval(&rows, rng);
             if s.is_some() {
-                frontier.push(Frontier { node, depth: cand.depth + 1, rows, gain: g, split: s });
+                frontier.push(Frontier {
+                    node,
+                    depth: cand.depth + 1,
+                    rows,
+                    gain: g,
+                    split: s,
+                });
             }
         }
     }
     tree
 }
+
+// JSON artifact impls (replacing the former serde derive).
+hb_json::json_struct!(Tree {
+    left,
+    right,
+    feature,
+    threshold,
+    values,
+    value_width
+});
 
 #[cfg(test)]
 mod tests {
@@ -582,7 +634,10 @@ mod tests {
 
     #[test]
     fn classification_tree_learns_xor() {
-        let (t, x, y) = fit_cls(TreeConfig { max_depth: 3, ..TreeConfig::default() });
+        let (t, x, y) = fit_cls(TreeConfig {
+            max_depth: 3,
+            ..TreeConfig::default()
+        });
         let xs = x.to_contiguous();
         let xv = xs.as_slice();
         let mut correct = 0;
@@ -591,12 +646,19 @@ mod tests {
             let pred = if p[1] > p[0] { 1 } else { 0 };
             correct += i32::from(pred == y[r] as i32);
         }
-        assert!(correct >= 38, "only {correct}/40 correct; depth={}", t.depth());
+        assert!(
+            correct >= 38,
+            "only {correct}/40 correct; depth={}",
+            t.depth()
+        );
     }
 
     #[test]
     fn depth_limit_respected() {
-        let (t, _, _) = fit_cls(TreeConfig { max_depth: 1, ..TreeConfig::default() });
+        let (t, _, _) = fit_cls(TreeConfig {
+            max_depth: 1,
+            ..TreeConfig::default()
+        });
         assert!(t.depth() <= 1);
     }
 
@@ -619,8 +681,15 @@ mod tests {
         let y: Vec<f32> = (0..n).map(|i| if i < 50 { 1.0 } else { 5.0 }).collect();
         let binner = Binner::fit(&x, 64);
         let binned = binner.bin_matrix(&x);
-        let targets = GradPair { grad: y.clone(), hess: vec![1.0; n] };
-        let cfg = TreeConfig { max_depth: 2, lambda: 0.0, ..TreeConfig::default() };
+        let targets = GradPair {
+            grad: y.clone(),
+            hess: vec![1.0; n],
+        };
+        let cfg = TreeConfig {
+            max_depth: 2,
+            lambda: 0.0,
+            ..TreeConfig::default()
+        };
         let mut rng = StdRng::seed_from_u64(1);
         let t = train_regression_tree(&binned, n, 1, &binner, &targets, &cfg, 1.0, &mut rng, None);
         let xs = x.to_contiguous();
@@ -640,7 +709,10 @@ mod tests {
         let y: Vec<f32> = (0..n).map(|i| ((i as f32) * 0.07).sin()).collect();
         let binner = Binner::fit(&x, 128);
         let binned = binner.bin_matrix(&x);
-        let targets = GradPair { grad: y, hess: vec![1.0; n] };
+        let targets = GradPair {
+            grad: y,
+            hess: vec![1.0; n],
+        };
         let mut rng = StdRng::seed_from_u64(2);
         let mk = |growth| TreeConfig {
             max_depth: 12,
@@ -650,13 +722,34 @@ mod tests {
             ..TreeConfig::default()
         };
         let dw = train_regression_tree(
-            &binned, n, 1, &binner, &targets, &mk(Growth::DepthWise), 1.0, &mut rng, None,
+            &binned,
+            n,
+            1,
+            &binner,
+            &targets,
+            &mk(Growth::DepthWise),
+            1.0,
+            &mut rng,
+            None,
         );
         let lw = train_regression_tree(
-            &binned, n, 1, &binner, &targets, &mk(Growth::LeafWise), 1.0, &mut rng, None,
+            &binned,
+            n,
+            1,
+            &binner,
+            &targets,
+            &mk(Growth::LeafWise),
+            1.0,
+            &mut rng,
+            None,
         );
         assert!(lw.n_leaves() <= 16 && dw.n_leaves() <= 16);
-        assert!(lw.depth() >= dw.depth(), "leafwise {} < depthwise {}", lw.depth(), dw.depth());
+        assert!(
+            lw.depth() >= dw.depth(),
+            "leafwise {} < depthwise {}",
+            lw.depth(),
+            dw.depth()
+        );
     }
 
     #[test]
@@ -673,11 +766,17 @@ mod tests {
 
     #[test]
     fn used_features_and_remap() {
-        let (mut t, _, _) = fit_cls(TreeConfig { max_depth: 3, ..TreeConfig::default() });
+        let (mut t, _, _) = fit_cls(TreeConfig {
+            max_depth: 3,
+            ..TreeConfig::default()
+        });
         let used = t.used_features();
         assert!(!used.is_empty());
-        let remap: std::collections::HashMap<usize, usize> =
-            used.iter().enumerate().map(|(new, &old)| (old, new)).collect();
+        let remap: std::collections::HashMap<usize, usize> = used
+            .iter()
+            .enumerate()
+            .map(|(new, &old)| (old, new))
+            .collect();
         t.remap_features(&remap);
         let after = t.used_features();
         assert!(after.iter().all(|&f| f < used.len()));

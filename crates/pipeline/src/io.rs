@@ -17,7 +17,7 @@ pub enum ArtifactError {
     /// Filesystem failure.
     Io(std::io::Error),
     /// Malformed artifact contents.
-    Format(serde_json::Error),
+    Format(hb_json::JsonError),
 }
 
 impl std::fmt::Display for ArtifactError {
@@ -37,20 +37,20 @@ impl From<std::io::Error> for ArtifactError {
     }
 }
 
-impl From<serde_json::Error> for ArtifactError {
-    fn from(e: serde_json::Error) -> Self {
+impl From<hb_json::JsonError> for ArtifactError {
+    fn from(e: hb_json::JsonError) -> Self {
         ArtifactError::Format(e)
     }
 }
 
 /// Serializes a fitted pipeline into a JSON string.
 pub fn to_json(pipeline: &Pipeline) -> Result<String, ArtifactError> {
-    Ok(serde_json::to_string(pipeline)?)
+    Ok(hb_json::to_string(pipeline))
 }
 
 /// Parses a fitted pipeline from its JSON form.
 pub fn from_json(json: &str) -> Result<Pipeline, ArtifactError> {
-    Ok(serde_json::from_str(json)?)
+    Ok(hb_json::from_str(json)?)
 }
 
 /// Writes the pipeline artifact to `path`.
@@ -82,7 +82,10 @@ mod tests {
             &[
                 OpSpec::StandardScaler,
                 OpSpec::SelectKBest { k: 3 },
-                OpSpec::LogisticRegression(LinearConfig { epochs: 20, ..Default::default() }),
+                OpSpec::LogisticRegression(LinearConfig {
+                    epochs: 20,
+                    ..Default::default()
+                }),
             ],
             &x,
             &y,
@@ -97,7 +100,10 @@ mod tests {
         let restored = from_json(&json).unwrap();
         assert_eq!(restored.len(), pipe.len());
         assert_eq!(restored.input_width, pipe.input_width);
-        assert_eq!(restored.predict_proba(&x).to_vec(), pipe.predict_proba(&x).to_vec());
+        assert_eq!(
+            restored.predict_proba(&x).to_vec(),
+            pipe.predict_proba(&x).to_vec()
+        );
     }
 
     #[test]
@@ -114,7 +120,10 @@ mod tests {
             &y,
         );
         let restored = from_json(&to_json(&pipe).unwrap()).unwrap();
-        assert_eq!(restored.predict_proba(&x).to_vec(), pipe.predict_proba(&x).to_vec());
+        assert_eq!(
+            restored.predict_proba(&x).to_vec(),
+            pipe.predict_proba(&x).to_vec()
+        );
     }
 
     #[test]
@@ -125,13 +134,22 @@ mod tests {
         let path = dir.join("model.json");
         save(&pipe, &path).unwrap();
         let restored = load(&path).unwrap();
-        assert_eq!(restored.predict_proba(&x).to_vec(), pipe.predict_proba(&x).to_vec());
+        assert_eq!(
+            restored.predict_proba(&x).to_vec(),
+            pipe.predict_proba(&x).to_vec()
+        );
         let _ = std::fs::remove_file(path);
     }
 
     #[test]
     fn malformed_artifact_is_an_error() {
-        assert!(matches!(from_json("not json"), Err(ArtifactError::Format(_))));
-        assert!(matches!(load("/nonexistent/path/model.json"), Err(ArtifactError::Io(_))));
+        assert!(matches!(
+            from_json("not json"),
+            Err(ArtifactError::Format(_))
+        ));
+        assert!(matches!(
+            load("/nonexistent/path/model.json"),
+            Err(ArtifactError::Io(_))
+        ));
     }
 }

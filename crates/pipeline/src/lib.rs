@@ -32,7 +32,7 @@ use hb_ml::svm::{NuSvc, Svc, SvcConfig, SvcModel};
 
 /// A fitted pipeline operator; the enum variant is the operator
 /// signature.
-#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone)]
 pub enum FittedOp {
     /// Standardizing scaler.
     StandardScaler(StandardScaler),
@@ -155,7 +155,7 @@ impl FittedOp {
 
 /// A fitted predictive pipeline: zero or more featurizers, optionally
 /// terminated by a model.
-#[derive(Debug, Clone, Default, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct Pipeline {
     /// Operators in execution order.
     pub ops: Vec<FittedOp>,
@@ -167,7 +167,10 @@ pub struct Pipeline {
 impl Pipeline {
     /// Wraps a single fitted operator.
     pub fn from_op(op: impl Into<FittedOp>) -> Pipeline {
-        Pipeline { ops: vec![op.into()], input_width: None }
+        Pipeline {
+            ops: vec![op.into()],
+            input_width: None,
+        }
     }
 
     /// Appends a fitted operator.
@@ -440,20 +443,24 @@ impl OpSpec {
             OpSpec::MinMaxScaler => MinMaxScaler::fit(x).into(),
             OpSpec::MaxAbsScaler => MaxAbsScaler::fit(x).into(),
             OpSpec::RobustScaler => RobustScaler::fit(x).into(),
-            OpSpec::Binarizer { threshold } => Binarizer { threshold: *threshold }.into(),
+            OpSpec::Binarizer { threshold } => Binarizer {
+                threshold: *threshold,
+            }
+            .into(),
             OpSpec::Normalizer { norm } => Normalizer { norm: *norm }.into(),
             OpSpec::SimpleImputer { strategy } => SimpleImputer::fit(x, *strategy).into(),
             OpSpec::MissingIndicator => MissingIndicator.into(),
             OpSpec::KBinsDiscretizer { n_bins, encode } => {
                 KBinsDiscretizer::fit(x, *n_bins, *encode).into()
             }
-            OpSpec::PolynomialFeatures { include_bias, interaction_only } => {
-                PolynomialFeatures {
-                    include_bias: *include_bias,
-                    interaction_only: *interaction_only,
-                }
-                .into()
+            OpSpec::PolynomialFeatures {
+                include_bias,
+                interaction_only,
+            } => PolynomialFeatures {
+                include_bias: *include_bias,
+                interaction_only: *interaction_only,
             }
+            .into(),
             OpSpec::OneHotEncoder => OneHotEncoder::fit(x).into(),
             OpSpec::SelectKBest { k } => FeatureSelector::k_best(x, y.classes(), *k).into(),
             OpSpec::SelectPercentile { percentile } => {
@@ -468,46 +475,49 @@ impl OpSpec {
                 let m = x.shape()[0].min(*fit_rows).max(2);
                 KernelPca::fit(&x.slice(0, 0, m).to_contiguous(), *k, *gamma).into()
             }
-            OpSpec::LogisticRegression(cfg) => {
-                LogisticRegression::new(cfg.clone()).fit(x, y.classes()).into()
-            }
+            OpSpec::LogisticRegression(cfg) => LogisticRegression::new(cfg.clone())
+                .fit(x, y.classes())
+                .into(),
             OpSpec::SgdClassifier(cfg) => {
                 SgdClassifier::new(cfg.clone()).fit(x, y.classes()).into()
             }
             OpSpec::LinearSvc(cfg) => LinearSvc::new(cfg.clone()).fit(x, y.classes()).into(),
             OpSpec::Svc(cfg) => Svc::new(cfg.clone()).fit(x, y.classes()).into(),
-            OpSpec::NuSvc { nu, config } => {
-                NuSvc { nu: *nu, config: config.clone() }.fit(x, y.classes()).into()
+            OpSpec::NuSvc { nu, config } => NuSvc {
+                nu: *nu,
+                config: config.clone(),
             }
+            .fit(x, y.classes())
+            .into(),
             OpSpec::GaussianNb => GaussianNb::fit(x, y.classes()).into(),
             OpSpec::BernoulliNb { alpha, binarize } => {
                 BernoulliNb::fit(x, y.classes(), *alpha, *binarize).into()
             }
             OpSpec::MultinomialNb { alpha } => MultinomialNb::fit(x, y.classes(), *alpha).into(),
             OpSpec::Mlp(cfg) => MlpClassifier::new(cfg.clone()).fit(x, y.classes()).into(),
-            OpSpec::DecisionTreeClassifier { max_depth } => RandomForestClassifier::new(
-                ForestConfig {
+            OpSpec::DecisionTreeClassifier { max_depth } => {
+                RandomForestClassifier::new(ForestConfig {
                     n_trees: 1,
                     max_depth: *max_depth,
                     bootstrap: false,
                     max_features: usize::MAX,
                     ..ForestConfig::default()
-                },
-            )
-            .fit(x, y.classes())
-            .into(),
-            OpSpec::RandomForestClassifier(cfg) => {
-                RandomForestClassifier::new(cfg.clone()).fit(x, y.classes()).into()
+                })
+                .fit(x, y.classes())
+                .into()
             }
-            OpSpec::RandomForestRegressor(cfg) => {
-                RandomForestRegressor::new(cfg.clone()).fit(x, y.values()).into()
-            }
-            OpSpec::GbdtClassifier(cfg) => {
-                GradientBoostingClassifier::new(cfg.clone()).fit(x, y.classes()).into()
-            }
-            OpSpec::GbdtRegressor(cfg) => {
-                GradientBoostingRegressor::new(cfg.clone()).fit(x, y.values()).into()
-            }
+            OpSpec::RandomForestClassifier(cfg) => RandomForestClassifier::new(cfg.clone())
+                .fit(x, y.classes())
+                .into(),
+            OpSpec::RandomForestRegressor(cfg) => RandomForestRegressor::new(cfg.clone())
+                .fit(x, y.values())
+                .into(),
+            OpSpec::GbdtClassifier(cfg) => GradientBoostingClassifier::new(cfg.clone())
+                .fit(x, y.classes())
+                .into(),
+            OpSpec::GbdtRegressor(cfg) => GradientBoostingRegressor::new(cfg.clone())
+                .fit(x, y.values())
+                .into(),
         }
     }
 }
@@ -516,7 +526,10 @@ impl OpSpec {
 /// successive featurizers (scikit-learn `Pipeline.fit` semantics).
 pub fn fit_pipeline(specs: &[OpSpec], x: &Tensor<f32>, y: &Targets) -> Pipeline {
     let mut cur = x.clone();
-    let mut pipe = Pipeline { input_width: Some(x.shape()[1]), ..Pipeline::default() };
+    let mut pipe = Pipeline {
+        input_width: Some(x.shape()[1]),
+        ..Pipeline::default()
+    };
     for spec in specs {
         let op = spec.fit(&cur, y);
         if !op.is_model() {
@@ -526,6 +539,33 @@ pub fn fit_pipeline(specs: &[OpSpec], x: &Tensor<f32>, y: &Targets) -> Pipeline 
     }
     pipe
 }
+
+// JSON artifact impls (replacing the former serde derives).
+hb_json::json_enum!(FittedOp {
+    StandardScaler(StandardScaler),
+    MinMaxScaler(MinMaxScaler),
+    MaxAbsScaler(MaxAbsScaler),
+    RobustScaler(RobustScaler),
+    Binarizer(Binarizer),
+    Normalizer(Normalizer),
+    SimpleImputer(SimpleImputer),
+    MissingIndicator(MissingIndicator),
+    KBinsDiscretizer(KBinsDiscretizer),
+    PolynomialFeatures(PolynomialFeatures),
+    OneHotEncoder(OneHotEncoder),
+    FeatureSelector(FeatureSelector),
+    Pca(Pca),
+    TruncatedSvd(TruncatedSvd),
+    KernelPca(KernelPca),
+    Linear(LinearModel),
+    Svc(SvcModel),
+    GaussianNb(GaussianNb),
+    BernoulliNb(BernoulliNb),
+    MultinomialNb(MultinomialNb),
+    Mlp(MlpModel),
+    TreeEnsemble(TreeEnsemble),
+});
+hb_json::json_struct!(Pipeline { ops, input_width });
 
 #[cfg(test)]
 mod tests {
@@ -563,7 +603,11 @@ mod tests {
     #[test]
     fn featurizer_only_pipeline_outputs_matrix() {
         let (x, y) = data();
-        let pipe = fit_pipeline(&[OpSpec::MinMaxScaler, OpSpec::SelectKBest { k: 3 }], &x, &y);
+        let pipe = fit_pipeline(
+            &[OpSpec::MinMaxScaler, OpSpec::SelectKBest { k: 3 }],
+            &x,
+            &y,
+        );
         assert!(!pipe.ends_with_model());
         let out = pipe.predict_proba(&x);
         assert_eq!(out.shape(), &[120, 3]);
@@ -624,13 +668,18 @@ mod tests {
         let y = Targets::Classes((0..n).map(|i| (i % 2) as i64).collect());
         let pipe = fit_pipeline(
             &[
-                OpSpec::SimpleImputer { strategy: ImputeStrategy::Mean },
+                OpSpec::SimpleImputer {
+                    strategy: ImputeStrategy::Mean,
+                },
                 OpSpec::LogisticRegression(LinearConfig::default()),
             ],
             &x,
             &y,
         );
         let proba = pipe.predict_proba(&x);
-        assert!(proba.iter().all(|v| !v.is_nan()), "NaNs leaked through imputer");
+        assert!(
+            proba.iter().all(|v| !v.is_nan()),
+            "NaNs leaked through imputer"
+        );
     }
 }

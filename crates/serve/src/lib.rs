@@ -1,0 +1,540 @@
+//! `hb-serve`: a fault-tolerant serving runtime for compiled pipelines.
+//!
+//! Prediction serving (the paper's target workload, §2) runs inside a
+//! latency SLO with hostile inputs and flaky infrastructure. This crate
+//! wraps the Hummingbird compiler stack in the defenses a production
+//! scorer needs:
+//!
+//! * **Degradation ladder** — the pipeline is compiled at every backend
+//!   it supports, best-first: `Compiled` → `Script` → `Eager`, with the
+//!   imperative [`Pipeline`] scorer as the always-available
+//!   [`Rung::Reference`] floor. A request that fails on one rung falls
+//!   to the next; all rungs produce outputs within validation tolerance
+//!   of each other, so degradation trades latency, never correctness.
+//! * **Deadline enforcement** — each request carries an optional
+//!   deadline; blown deadlines return [`ServeError::DeadlineExceeded`]
+//!   instead of a stale result.
+//! * **Admission control** — a bounded in-flight budget rejects excess
+//!   load with a typed [`ServeError::Overloaded`] rather than queueing
+//!   without bound.
+//! * **Retry with backoff** — transient faults (kernel-level failures)
+//!   are retried on the same rung with doubling backoff before the
+//!   request degrades.
+//! * **Corruption detection** — a rung that returns non-finite outputs
+//!   for finite inputs (e.g. an injected NaN-poisoning fault) is treated
+//!   as failed, not trusted.
+//!
+//! Fault injection for chaos testing comes from
+//! [`hb_backend::FaultPlan`] via [`ServeConfig::faults`].
+//!
+//! # Examples
+//!
+//! ```
+//! use hb_serve::{ServeConfig, ServingModel};
+//! use hb_pipeline::{fit_pipeline, OpSpec, Targets};
+//! use hb_tensor::Tensor;
+//!
+//! let x = Tensor::from_fn(&[40, 3], |i| (i[0] * 3 + i[1]) as f32 * 0.1);
+//! let y = Targets::Classes((0..40).map(|i| (i % 2) as i64).collect());
+//! let pipe = fit_pipeline(&[OpSpec::StandardScaler, OpSpec::GaussianNb], &x, &y);
+//! let server = ServingModel::new(&pipe, ServeConfig::default()).unwrap();
+//! let proba = server.predict(&x).unwrap();
+//! assert_eq!(proba.shape(), &[40, 2]);
+//! ```
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use hb_backend::Backend;
+pub use hb_backend::{FaultPlan, FaultScope};
+use hb_core::{compile, CompileOptions, CompiledModel, HbError};
+use hb_pipeline::Pipeline;
+use hb_tensor::Tensor;
+
+/// One level of the degradation ladder, best-first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Rung {
+    /// Fully optimized backend ("TVM").
+    Compiled,
+    /// Pre-planned topological program ("TorchScript").
+    Script,
+    /// Op-at-a-time interpretation ("PyTorch").
+    Eager,
+    /// The imperative reference scorer — always available, slowest.
+    Reference,
+}
+
+impl Rung {
+    /// All rungs, best (fastest) first.
+    pub const LADDER: [Rung; 4] = [Rung::Compiled, Rung::Script, Rung::Eager, Rung::Reference];
+
+    /// The backend this rung compiles at; `None` for the reference rung.
+    pub fn backend(self) -> Option<Backend> {
+        match self {
+            Rung::Compiled => Some(Backend::Compiled),
+            Rung::Script => Some(Backend::Script),
+            Rung::Eager => Some(Backend::Eager),
+            Rung::Reference => None,
+        }
+    }
+
+    /// Position in [`Rung::LADDER`] (index into [`ServingStats::served`]).
+    pub fn index(self) -> usize {
+        match self {
+            Rung::Compiled => 0,
+            Rung::Script => 1,
+            Rung::Eager => 2,
+            Rung::Reference => 3,
+        }
+    }
+
+    /// Human-readable label for stats and logs.
+    pub fn label(self) -> &'static str {
+        match self {
+            Rung::Compiled => "compiled",
+            Rung::Script => "script",
+            Rung::Eager => "eager",
+            Rung::Reference => "reference",
+        }
+    }
+}
+
+/// Serving-time configuration.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Per-request latency budget; `None` disables deadline checks.
+    pub deadline: Option<Duration>,
+    /// Maximum concurrently admitted requests before
+    /// [`ServeError::Overloaded`].
+    pub queue_capacity: usize,
+    /// Retries per rung for transient faults before degrading.
+    pub max_retries: u32,
+    /// Initial backoff between retries; doubles per attempt.
+    pub backoff: Duration,
+    /// Faults to inject into the compiled rungs (chaos testing).
+    pub faults: FaultPlan,
+    /// Compile options shared by every rung (the backend field is
+    /// overridden per rung).
+    pub compile: CompileOptions,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            deadline: None,
+            queue_capacity: 64,
+            max_retries: 2,
+            backoff: Duration::from_millis(1),
+            faults: FaultPlan::none(),
+            compile: CompileOptions::default(),
+        }
+    }
+}
+
+/// Typed serving failures. Every path out of [`ServingModel::predict`]
+/// is either a correct tensor or one of these — never a panic.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServeError {
+    /// Admission control rejected the request.
+    Overloaded {
+        /// Requests in flight at rejection time.
+        in_flight: usize,
+        /// The configured capacity.
+        capacity: usize,
+    },
+    /// The latency budget was exhausted.
+    DeadlineExceeded {
+        /// Time spent before giving up.
+        elapsed: Duration,
+        /// The configured budget.
+        deadline: Duration,
+    },
+    /// The request itself is malformed (wrong rank / feature width).
+    BadRequest(String),
+    /// Every rung — including the imperative reference — failed.
+    /// Carries each rung's failure reason, best rung first.
+    AllRungsFailed(Vec<(Rung, String)>),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Overloaded {
+                in_flight,
+                capacity,
+            } => {
+                write!(
+                    f,
+                    "overloaded: {in_flight} requests in flight, capacity {capacity}"
+                )
+            }
+            ServeError::DeadlineExceeded { elapsed, deadline } => {
+                write!(
+                    f,
+                    "deadline exceeded: {elapsed:?} elapsed, budget {deadline:?}"
+                )
+            }
+            ServeError::BadRequest(msg) => write!(f, "bad request: {msg}"),
+            ServeError::AllRungsFailed(reasons) => {
+                write!(f, "all rungs failed:")?;
+                for (rung, why) in reasons {
+                    write!(f, " [{}: {}]", rung.label(), why)?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// Aggregate serving statistics (lock-protected snapshot).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ServingStats {
+    /// Requests answered successfully, per rung (ladder order).
+    pub served: [u64; 4],
+    /// Requests rejected by admission control.
+    pub rejected_overload: u64,
+    /// Requests that blew their deadline.
+    pub deadline_misses: u64,
+    /// Requests rejected as malformed.
+    pub bad_requests: u64,
+    /// Requests where every rung failed.
+    pub all_rungs_failed: u64,
+    /// Same-rung retry attempts across all requests.
+    pub retries: u64,
+    /// Requests served by a rung below the best available one.
+    pub degraded: u64,
+}
+
+impl ServingStats {
+    /// Successful answers from rung `r`.
+    pub fn served_by(&self, r: Rung) -> u64 {
+        self.served[r.index()]
+    }
+
+    /// Total successful answers.
+    pub fn total_served(&self) -> u64 {
+        self.served.iter().sum()
+    }
+}
+
+/// Successful response with serving metadata.
+#[derive(Debug, Clone)]
+pub struct Served {
+    /// The scored output (same contract as
+    /// [`CompiledModel::predict_proba`]).
+    pub output: Tensor<f32>,
+    /// The rung that produced the answer.
+    pub rung: Rung,
+    /// Same-rung retries spent on this request.
+    pub retries: u32,
+    /// Wall-clock latency of the request.
+    pub elapsed: Duration,
+}
+
+/// Decrements the in-flight counter when the request leaves the server,
+/// on every path including panics.
+struct AdmissionGuard<'a>(&'a AtomicUsize);
+
+impl Drop for AdmissionGuard<'_> {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+/// A pipeline hardened for serving: compiled at every backend that
+/// accepts it, fronted by admission control, deadlines, retries, and
+/// the degradation ladder.
+pub struct ServingModel {
+    pipeline: Pipeline,
+    /// Successfully compiled rungs, best-first. May be empty (then every
+    /// request is served by the reference scorer).
+    rungs: Vec<(Rung, CompiledModel)>,
+    config: ServeConfig,
+    input_width: Option<usize>,
+    in_flight: AtomicUsize,
+    stats: Mutex<ServingStats>,
+}
+
+impl ServingModel {
+    /// Compiles `pipeline` at every backend, skipping rungs whose
+    /// compilation fails (their failure is recoverable by construction —
+    /// the reference scorer remains).
+    ///
+    /// # Errors
+    ///
+    /// Only structurally hopeless pipelines fail here: an empty pipeline
+    /// cannot be served even imperatively.
+    pub fn new(pipeline: &Pipeline, config: ServeConfig) -> Result<ServingModel, HbError> {
+        if pipeline.is_empty() {
+            return Err(HbError::BadRequest(
+                "cannot serve an empty pipeline".to_string(),
+            ));
+        }
+        let mut rungs = Vec::new();
+        let mut width = None;
+        for rung in Rung::LADDER {
+            let Some(backend) = rung.backend() else {
+                continue;
+            };
+            let opts = CompileOptions {
+                backend,
+                faults: config.faults.clone(),
+                ..config.compile.clone()
+            };
+            // A rung that fails to compile (e.g. an injected
+            // optimization-pass fault) is simply left off the ladder.
+            let attempt = catch_unwind(AssertUnwindSafe(|| compile(pipeline, &opts)));
+            if let Ok(Ok(model)) = attempt {
+                width = width.or(model.input_width());
+                rungs.push((rung, model));
+            }
+        }
+        Ok(ServingModel {
+            pipeline: pipeline.clone(),
+            rungs,
+            input_width: width.or(pipeline.input_width),
+            in_flight: AtomicUsize::new(0),
+            stats: Mutex::new(ServingStats::default()),
+            config,
+        })
+    }
+
+    /// The rungs that compiled successfully, best-first (the reference
+    /// rung is implicit and always present).
+    pub fn available_rungs(&self) -> Vec<Rung> {
+        let mut r: Vec<Rung> = self.rungs.iter().map(|(rung, _)| *rung).collect();
+        r.push(Rung::Reference);
+        r
+    }
+
+    /// Snapshot of the aggregate serving statistics.
+    pub fn stats(&self) -> ServingStats {
+        // Stats survive a panicked holder: the counters are plain
+        // integers, always valid.
+        self.stats.lock().unwrap_or_else(|p| p.into_inner()).clone()
+    }
+
+    /// Scores a batch, applying the full protection stack. Equivalent to
+    /// [`ServingModel::predict_detailed`] without the metadata.
+    pub fn predict(&self, x: &Tensor<f32>) -> Result<Tensor<f32>, ServeError> {
+        self.predict_detailed(x).map(|s| s.output)
+    }
+
+    /// Scores a batch and reports which rung served it, retry count, and
+    /// latency.
+    pub fn predict_detailed(&self, x: &Tensor<f32>) -> Result<Served, ServeError> {
+        let start = Instant::now();
+
+        // Admission control: bounded in-flight budget.
+        let admitted = self.in_flight.fetch_add(1, Ordering::SeqCst) + 1;
+        let _guard = AdmissionGuard(&self.in_flight);
+        if admitted > self.config.queue_capacity {
+            self.record(|s| s.rejected_overload += 1);
+            return Err(ServeError::Overloaded {
+                in_flight: admitted,
+                capacity: self.config.queue_capacity,
+            });
+        }
+
+        // Request validation before any kernel runs.
+        if let Err(msg) = self.validate(x) {
+            self.record(|s| s.bad_requests += 1);
+            return Err(ServeError::BadRequest(msg));
+        }
+
+        // Corruption detection only applies when the input is clean:
+        // a request carrying NaN/Inf legitimately produces non-finite
+        // outputs on some pipelines.
+        let input_finite = x.iter().all(|v| v.is_finite());
+
+        let mut retries_spent = 0u32;
+        let mut failures: Vec<(Rung, String)> = Vec::new();
+        let best = self
+            .rungs
+            .first()
+            .map(|(r, _)| *r)
+            .unwrap_or(Rung::Reference);
+
+        for (rung, model) in self
+            .rungs
+            .iter()
+            .map(|(r, m)| (*r, Some(m)))
+            .chain([(Rung::Reference, None)])
+        {
+            let mut backoff = self.config.backoff;
+            let mut attempt = 0u32;
+            loop {
+                self.check_deadline(start)?;
+                match self.run_rung(model, x) {
+                    Ok(out) => {
+                        if input_finite && out.iter().any(|v| !v.is_finite()) {
+                            failures.push((rung, "non-finite output for finite input".into()));
+                            break;
+                        }
+                        self.check_deadline(start)?;
+                        self.record(|s| {
+                            s.served[rung.index()] += 1;
+                            s.retries += u64::from(retries_spent);
+                            if rung != best {
+                                s.degraded += 1;
+                            }
+                        });
+                        return Ok(Served {
+                            output: out,
+                            rung,
+                            retries: retries_spent,
+                            elapsed: start.elapsed(),
+                        });
+                    }
+                    Err((transient, why)) => {
+                        if transient && attempt < self.config.max_retries {
+                            attempt += 1;
+                            retries_spent += 1;
+                            std::thread::sleep(backoff);
+                            backoff *= 2;
+                            continue;
+                        }
+                        failures.push((rung, why));
+                        break;
+                    }
+                }
+            }
+        }
+
+        self.record(|s| s.all_rungs_failed += 1);
+        Err(ServeError::AllRungsFailed(failures))
+    }
+
+    /// Runs one rung; `None` selects the imperative reference scorer.
+    /// Returns `(is_transient, reason)` on failure. Panics inside the
+    /// reference scorer are converted to failures here; compiled rungs
+    /// are already panic-free at the executor boundary.
+    fn run_rung(
+        &self,
+        model: Option<&CompiledModel>,
+        x: &Tensor<f32>,
+    ) -> Result<Tensor<f32>, (bool, String)> {
+        match model {
+            Some(m) => m
+                .predict_proba(x)
+                .map_err(|e| (e.is_transient(), e.to_string())),
+            None => {
+                catch_unwind(AssertUnwindSafe(|| self.pipeline.predict_proba(x))).map_err(|p| {
+                    (
+                        false,
+                        format!("reference scorer panicked: {}", panic_text(p)),
+                    )
+                })
+            }
+        }
+    }
+
+    fn validate(&self, x: &Tensor<f32>) -> Result<(), String> {
+        if x.ndim() != 2 {
+            return Err(format!(
+                "expected a [batch, features] matrix, got rank {}",
+                x.ndim()
+            ));
+        }
+        if let Some(w) = self.input_width {
+            if x.shape()[1] != w {
+                return Err(format!(
+                    "feature width mismatch: model expects {w} features, request has {}",
+                    x.shape()[1]
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    fn check_deadline(&self, start: Instant) -> Result<(), ServeError> {
+        let Some(deadline) = self.config.deadline else {
+            return Ok(());
+        };
+        let elapsed = start.elapsed();
+        if elapsed > deadline {
+            self.record(|s| s.deadline_misses += 1);
+            return Err(ServeError::DeadlineExceeded { elapsed, deadline });
+        }
+        Ok(())
+    }
+
+    fn record(&self, f: impl FnOnce(&mut ServingStats)) {
+        f(&mut self.stats.lock().unwrap_or_else(|p| p.into_inner()));
+    }
+}
+
+fn panic_text(p: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = p.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = p.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "unknown panic".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hb_pipeline::{fit_pipeline, OpSpec, Targets};
+
+    fn fixture() -> (Pipeline, Tensor<f32>) {
+        let x = Tensor::from_fn(&[60, 4], |i| ((i[0] * 7 + i[1] * 3) % 13) as f32 * 0.3);
+        let y = Targets::Classes((0..60).map(|i| (i % 2) as i64).collect());
+        let pipe = fit_pipeline(&[OpSpec::StandardScaler, OpSpec::GaussianNb], &x, &y);
+        (pipe, x)
+    }
+
+    #[test]
+    fn serves_from_best_rung_when_healthy() {
+        let (pipe, x) = fixture();
+        let server = ServingModel::new(&pipe, ServeConfig::default()).unwrap();
+        let served = server.predict_detailed(&x).unwrap();
+        assert_eq!(served.rung, Rung::Compiled);
+        assert_eq!(served.retries, 0);
+        let stats = server.stats();
+        assert_eq!(stats.served_by(Rung::Compiled), 1);
+        assert_eq!(stats.degraded, 0);
+    }
+
+    #[test]
+    fn empty_pipeline_is_rejected_at_construction() {
+        let res = ServingModel::new(&Pipeline::default(), ServeConfig::default());
+        assert!(matches!(res, Err(HbError::BadRequest(_))));
+    }
+
+    #[test]
+    fn bad_width_is_rejected_before_kernels() {
+        let (pipe, _) = fixture();
+        let server = ServingModel::new(&pipe, ServeConfig::default()).unwrap();
+        let narrow = Tensor::from_fn(&[2, 3], |i| i[1] as f32);
+        assert!(matches!(
+            server.predict(&narrow),
+            Err(ServeError::BadRequest(_))
+        ));
+        assert_eq!(server.stats().bad_requests, 1);
+    }
+
+    #[test]
+    fn zero_capacity_rejects_everything() {
+        let (pipe, x) = fixture();
+        let server = ServingModel::new(
+            &pipe,
+            ServeConfig {
+                queue_capacity: 0,
+                ..ServeConfig::default()
+            },
+        )
+        .unwrap();
+        assert!(matches!(
+            server.predict(&x),
+            Err(ServeError::Overloaded { .. })
+        ));
+        assert_eq!(server.stats().rejected_overload, 1);
+    }
+}

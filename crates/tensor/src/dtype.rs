@@ -9,7 +9,7 @@ use std::fmt::Debug;
 use std::ops::{Add, Div, Mul, Neg, Sub};
 
 /// Runtime tag identifying the element type of a [`crate::DynTensor`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum DType {
     /// 32-bit IEEE float.
     F32,
@@ -20,6 +20,8 @@ pub enum DType {
     /// Boolean mask.
     Bool,
 }
+
+hb_json::json_enum!(DType { F32, I64, U8, Bool });
 
 impl DType {
     /// Size of one element in bytes.

@@ -9,7 +9,7 @@ use crate::dtype::DType;
 use crate::tensor::Tensor;
 
 /// A tensor of any supported dtype.
-#[derive(Clone, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub enum DynTensor {
     /// 32-bit float tensor.
     F32(Tensor<f32>),
@@ -20,6 +20,13 @@ pub enum DynTensor {
     /// Boolean mask tensor.
     Bool(Tensor<bool>),
 }
+
+hb_json::json_enum!(DynTensor {
+    F32(Tensor<f32>),
+    I64(Tensor<i64>),
+    U8(Tensor<u8>),
+    Bool(Tensor<bool>),
+});
 
 impl DynTensor {
     /// The runtime dtype tag.

@@ -87,8 +87,8 @@ pub fn zip_map<T: Element, V: Element, U: Element>(
     b: &Tensor<V>,
     f: impl Fn(T, V) -> U + Sync + Send,
 ) -> Tensor<U> {
-    let shape = broadcast_shapes(a.shape(), b.shape())
-        .unwrap_or_else(|e| panic!("element-wise op: {e}"));
+    let shape =
+        broadcast_shapes(a.shape(), b.shape()).unwrap_or_else(|e| panic!("element-wise op: {e}"));
     // Fast path: both operands already contiguous with the output shape.
     if a.shape() == shape.as_slice()
         && b.shape() == shape.as_slice()
@@ -97,7 +97,10 @@ pub fn zip_map<T: Element, V: Element, U: Element>(
     {
         let (sa, sb) = (a.as_slice(), b.as_slice());
         let out: Vec<U> = if sa.len() >= PAR_THRESHOLD {
-            sa.par_iter().zip(sb.par_iter()).map(|(&x, &y)| f(x, y)).collect()
+            sa.par_iter()
+                .zip(sb.par_iter())
+                .map(|(&x, &y)| f(x, y))
+                .collect()
         } else {
             sa.iter().zip(sb.iter()).map(|(&x, &y)| f(x, y)).collect()
         };
@@ -211,10 +214,8 @@ impl Tensor<bool> {
     /// broadcasting across all three tensors (the `Where` operator of
     /// paper Algorithms 2 and 3).
     pub fn where_select<T: Element>(&self, a: &Tensor<T>, b: &Tensor<T>) -> Tensor<T> {
-        let s1 = broadcast_shapes(self.shape(), a.shape())
-            .unwrap_or_else(|e| panic!("where: {e}"));
-        let shape =
-            broadcast_shapes(&s1, b.shape()).unwrap_or_else(|e| panic!("where: {e}"));
+        let s1 = broadcast_shapes(self.shape(), a.shape()).unwrap_or_else(|e| panic!("where: {e}"));
+        let shape = broadcast_shapes(&s1, b.shape()).unwrap_or_else(|e| panic!("where: {e}"));
         let cc = self.to_contiguous();
         let ca = a.to_contiguous();
         let cb = b.to_contiguous();

@@ -6,6 +6,7 @@
 
 use crate::dtype::Element;
 use crate::tensor::Tensor;
+use crate::TensorError;
 
 impl<T: Element> Tensor<T> {
     /// Gathers values along `axis` using `index`, with `torch.gather`
@@ -115,7 +116,10 @@ impl<T: Element> Tensor<T> {
         let mut out = Vec::with_capacity(outer * indices.len() * inner);
         for o in 0..outer {
             for &ix in indices {
-                assert!(ix < len, "index_select: index {ix} out of bounds for axis {axis}");
+                assert!(
+                    ix < len,
+                    "index_select: index {ix} out of bounds for axis {axis}"
+                );
                 let base = (o * len + ix) * inner;
                 out.extend_from_slice(&src[base..base + inner]);
             }
@@ -136,9 +140,9 @@ impl<T: Element> Tensor<T> {
         assert!(axis < first.len(), "concat: axis out of range");
         for t in tensors {
             assert_eq!(t.ndim(), first.len(), "concat: rank mismatch");
-            for d in 0..first.len() {
+            for (d, &dim) in first.iter().enumerate() {
                 if d != axis {
-                    assert_eq!(t.shape()[d], first[d], "concat: dim {d} mismatch");
+                    assert_eq!(t.shape()[d], dim, "concat: dim {d} mismatch");
                 }
             }
         }
@@ -202,6 +206,137 @@ impl<T: Element> Tensor<T> {
         let views: Vec<Tensor<T>> = tensors.iter().map(|t| t.unsqueeze(0)).collect();
         let refs: Vec<&Tensor<T>> = views.iter().collect();
         Tensor::concat(&refs, 0)
+    }
+
+    /// Fallible [`Tensor::gather`]: validates ranks, the axis, off-axis
+    /// dimensions, and every index value up front, reporting violations
+    /// as a typed [`TensorError`] instead of panicking. Use this on
+    /// input-driven paths (untrusted indices).
+    pub fn try_gather(&self, axis: usize, index: &Tensor<i64>) -> Result<Tensor<T>, TensorError> {
+        if self.ndim() != index.ndim() {
+            return Err(TensorError::RankMismatch {
+                expected: self.ndim(),
+                got: index.ndim(),
+            });
+        }
+        if axis >= self.ndim() {
+            return Err(TensorError::AxisOutOfRange {
+                axis,
+                ndim: self.ndim(),
+            });
+        }
+        for d in 0..self.ndim() {
+            if d != axis && index.shape()[d] > self.shape()[d] {
+                return Err(TensorError::ShapeMismatch(format!(
+                    "gather: index dim {d} ({}) exceeds input dim ({})",
+                    index.shape()[d],
+                    self.shape()[d]
+                )));
+            }
+        }
+        let axis_len = self.shape()[axis] as i64;
+        let idx = index.to_contiguous();
+        for &ival in idx.as_slice() {
+            if ival < 0 || ival >= axis_len {
+                return Err(TensorError::IndexOutOfBounds {
+                    index: ival,
+                    len: axis_len as usize,
+                });
+            }
+        }
+        Ok(self.gather(axis, index))
+    }
+
+    /// Fallible [`Tensor::gather_rows`]: shape and index validation with
+    /// typed errors, for untrusted indices.
+    pub fn try_gather_rows(&self, index: &Tensor<i64>) -> Result<Tensor<T>, TensorError> {
+        if self.ndim() != 3 {
+            return Err(TensorError::RankMismatch {
+                expected: 3,
+                got: self.ndim(),
+            });
+        }
+        if index.ndim() != 2 {
+            return Err(TensorError::RankMismatch {
+                expected: 2,
+                got: index.ndim(),
+            });
+        }
+        if index.shape()[0] != self.shape()[0] {
+            return Err(TensorError::ShapeMismatch(format!(
+                "gather_rows: batch {} vs {}",
+                index.shape()[0],
+                self.shape()[0]
+            )));
+        }
+        let nrows = self.shape()[1] as i64;
+        let idx = index.to_contiguous();
+        for &r in idx.as_slice() {
+            if r < 0 || r >= nrows {
+                return Err(TensorError::IndexOutOfBounds {
+                    index: r,
+                    len: nrows as usize,
+                });
+            }
+        }
+        Ok(self.gather_rows(index))
+    }
+
+    /// Fallible [`Tensor::index_select`]: typed errors for a bad axis or
+    /// out-of-bounds positions.
+    pub fn try_index_select(
+        &self,
+        axis: usize,
+        indices: &[usize],
+    ) -> Result<Tensor<T>, TensorError> {
+        if axis >= self.ndim() {
+            return Err(TensorError::AxisOutOfRange {
+                axis,
+                ndim: self.ndim(),
+            });
+        }
+        let len = self.shape()[axis];
+        for &ix in indices {
+            if ix >= len {
+                return Err(TensorError::IndexOutOfBounds {
+                    index: ix as i64,
+                    len,
+                });
+            }
+        }
+        Ok(self.index_select(axis, indices))
+    }
+
+    /// Fallible [`Tensor::concat`]: typed errors for an empty list, a bad
+    /// axis, or off-axis shape disagreements.
+    pub fn try_concat(tensors: &[&Tensor<T>], axis: usize) -> Result<Tensor<T>, TensorError> {
+        let first = match tensors.first() {
+            Some(t) => t.shape(),
+            None => return Err(TensorError::ShapeMismatch("concat of zero tensors".into())),
+        };
+        if axis >= first.len() {
+            return Err(TensorError::AxisOutOfRange {
+                axis,
+                ndim: first.len(),
+            });
+        }
+        for t in tensors {
+            if t.ndim() != first.len() {
+                return Err(TensorError::RankMismatch {
+                    expected: first.len(),
+                    got: t.ndim(),
+                });
+            }
+            for (d, &dim) in first.iter().enumerate() {
+                if d != axis && t.shape()[d] != dim {
+                    return Err(TensorError::ShapeMismatch(format!(
+                        "concat: dim {d} disagrees ({} vs {dim})",
+                        t.shape()[d]
+                    )));
+                }
+            }
+        }
+        Ok(Tensor::concat(tensors, axis))
     }
 }
 
@@ -299,7 +434,10 @@ mod tests {
         let idx = ti(&[2, 0, 1, 1], &[2, 2]);
         let g = data.gather_rows(&idx);
         assert_eq!(g.shape(), &[2, 2, 2]);
-        assert_eq!(g.to_vec(), vec![20.0, 21.0, 0.0, 1.0, 110.0, 111.0, 110.0, 111.0]);
+        assert_eq!(
+            g.to_vec(),
+            vec![20.0, 21.0, 0.0, 1.0, 110.0, 111.0, 110.0, 111.0]
+        );
     }
 
     #[test]

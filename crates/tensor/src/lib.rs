@@ -55,6 +55,12 @@ pub enum TensorError {
     AxisOutOfRange { axis: usize, ndim: usize },
     /// A reshape requested a different number of elements.
     NumelMismatch { from: usize, to: usize },
+    /// Two tensors had incompatible ranks.
+    RankMismatch { expected: usize, got: usize },
+    /// A gather/select index pointed outside the indexed axis.
+    IndexOutOfBounds { index: i64, len: usize },
+    /// Any other shape incompatibility, with a human-readable description.
+    ShapeMismatch(String),
 }
 
 impl std::fmt::Display for TensorError {
@@ -72,6 +78,13 @@ impl std::fmt::Display for TensorError {
             TensorError::NumelMismatch { from, to } => {
                 write!(f, "cannot reshape {from} elements into {to}")
             }
+            TensorError::RankMismatch { expected, got } => {
+                write!(f, "rank mismatch: expected {expected}, got {got}")
+            }
+            TensorError::IndexOutOfBounds { index, len } => {
+                write!(f, "index {index} out of bounds for axis length {len}")
+            }
+            TensorError::ShapeMismatch(msg) => write!(f, "shape mismatch: {msg}"),
         }
     }
 }

@@ -49,6 +49,34 @@ fn gemm_parallel(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: u
 }
 
 impl Tensor<f32> {
+    /// Fallible [`Tensor::matmul`]: validates ranks, inner dimensions, and
+    /// batch broadcastability up front and reports violations as a typed
+    /// [`TensorError`](crate::TensorError) instead of panicking — the
+    /// entry point for input-driven callers (e.g. a serving request whose
+    /// feature width disagrees with the model).
+    pub fn try_matmul(&self, other: &Tensor<f32>) -> Result<Tensor<f32>, crate::TensorError> {
+        if self.ndim() < 2 || other.ndim() < 2 {
+            return Err(crate::TensorError::RankMismatch {
+                expected: 2,
+                got: self.ndim().min(other.ndim()),
+            });
+        }
+        let k = self.shape()[self.ndim() - 1];
+        let k2 = other.shape()[other.ndim() - 2];
+        if k != k2 {
+            return Err(crate::TensorError::ShapeMismatch(format!(
+                "matmul inner dims disagree: {:?} x {:?}",
+                self.shape(),
+                other.shape()
+            )));
+        }
+        broadcast_shapes(
+            &self.shape()[..self.ndim() - 2],
+            &other.shape()[..other.ndim() - 2],
+        )?;
+        Ok(self.matmul(other))
+    }
+
     /// Matrix product with batch broadcasting.
     ///
     /// Shapes follow PyTorch `matmul` semantics for rank ≥ 2 operands:
@@ -60,11 +88,18 @@ impl Tensor<f32> {
     /// Panics if either operand has rank < 2, the inner dimensions
     /// disagree, or the batch dimensions cannot be broadcast.
     pub fn matmul(&self, other: &Tensor<f32>) -> Tensor<f32> {
-        assert!(self.ndim() >= 2 && other.ndim() >= 2, "matmul requires rank >= 2");
+        assert!(
+            self.ndim() >= 2 && other.ndim() >= 2,
+            "matmul requires rank >= 2"
+        );
         let (m, k) = (self.shape()[self.ndim() - 2], self.shape()[self.ndim() - 1]);
-        let (k2, n) = (other.shape()[other.ndim() - 2], other.shape()[other.ndim() - 1]);
+        let (k2, n) = (
+            other.shape()[other.ndim() - 2],
+            other.shape()[other.ndim() - 1],
+        );
         assert_eq!(
-            k, k2,
+            k,
+            k2,
             "matmul inner dims disagree: {:?} x {:?}",
             self.shape(),
             other.shape()
@@ -72,8 +107,8 @@ impl Tensor<f32> {
 
         let batch_a = &self.shape()[..self.ndim() - 2];
         let batch_b = &other.shape()[..other.ndim() - 2];
-        let batch = broadcast_shapes(batch_a, batch_b)
-            .unwrap_or_else(|e| panic!("matmul batch dims: {e}"));
+        let batch =
+            broadcast_shapes(batch_a, batch_b).unwrap_or_else(|e| panic!("matmul batch dims: {e}"));
         let nbatch = numel(&batch);
 
         // Compact each operand in its own shape; broadcast batch dims are
@@ -85,16 +120,8 @@ impl Tensor<f32> {
         let (sa, sb) = (a.as_slice(), b.as_slice());
         let astr_full = crate::shape::contiguous_strides(a.shape());
         let bstr_full = crate::shape::contiguous_strides(b.shape());
-        let a_bstr = crate::shape::broadcast_strides(
-            batch_a,
-            &astr_full[..batch_a.len()],
-            &batch,
-        );
-        let b_bstr = crate::shape::broadcast_strides(
-            batch_b,
-            &bstr_full[..batch_b.len()],
-            &batch,
-        );
+        let a_bstr = crate::shape::broadcast_strides(batch_a, &astr_full[..batch_a.len()], &batch);
+        let b_bstr = crate::shape::broadcast_strides(batch_b, &bstr_full[..batch_b.len()], &batch);
         // Panel offset of batch index `bi` under broadcast strides.
         let offset = |bi: usize, strides: &[isize]| -> usize {
             let mut rem = bi;
@@ -108,14 +135,19 @@ impl Tensor<f32> {
         };
 
         let mut out = vec![0.0f32; nbatch * m * n];
-        if nbatch == 1 {
+        if m == 0 || n == 0 {
+            // Degenerate output (e.g. an empty serving batch): nothing to
+            // compute, and par_chunks_mut rejects a zero chunk size.
+        } else if nbatch == 1 {
             gemm_parallel(sa, sb, &mut out, m, k, n);
         } else {
-            out.par_chunks_mut(m * n).enumerate().for_each(|(bi, ochunk)| {
-                let oa = offset(bi, &a_bstr);
-                let ob = offset(bi, &b_bstr);
-                gemm_panel(&sa[oa..oa + m * k], &sb[ob..ob + k * n], ochunk, m, k, n);
-            });
+            out.par_chunks_mut(m * n)
+                .enumerate()
+                .for_each(|(bi, ochunk)| {
+                    let oa = offset(bi, &a_bstr);
+                    let ob = offset(bi, &b_bstr);
+                    gemm_panel(&sa[oa..oa + m * k], &sb[ob..ob + k * n], ochunk, m, k, n);
+                });
         }
         let mut oshape = batch;
         oshape.extend_from_slice(&[m, n]);
@@ -130,12 +162,19 @@ impl Tensor<f32> {
     pub fn sqdist(&self, other: &Tensor<f32>) -> Tensor<f32> {
         assert_eq!(self.ndim(), 2, "sqdist expects 2-d inputs");
         assert_eq!(other.ndim(), 2, "sqdist expects 2-d inputs");
-        assert_eq!(self.shape()[1], other.shape()[1], "sqdist feature dims disagree");
+        assert_eq!(
+            self.shape()[1],
+            other.shape()[1],
+            "sqdist feature dims disagree"
+        );
         let xx = self.mul(self).sum_axis(1, true); // [n,1]
-        let yy = other.mul(other).sum_axis(1, true).reshape(&[1, other.shape()[0]]);
+        let yy = other
+            .mul(other)
+            .sum_axis(1, true)
+            .reshape(&[1, other.shape()[0]]);
         let xy = self.matmul(&other.transpose(0, 1)); // [n,m]
-        // max(0, ·) guards tiny negative values from floating-point
-        // cancellation so downstream sqrt stays finite.
+                                                      // max(0, ·) guards tiny negative values from floating-point
+                                                      // cancellation so downstream sqrt stays finite.
         xx.add(&yy).sub(&xy.mul_scalar(2.0)).relu()
     }
 }

@@ -60,7 +60,12 @@ impl<T: Num> Tensor<T> {
 
     /// Maximum along `axis`.
     pub fn max_axis(&self, axis: usize, keepdim: bool) -> Tensor<T> {
-        self.fold_axis(axis, keepdim, T::MIN_VALUE, |acc, v| if v > acc { v } else { acc })
+        self.fold_axis(
+            axis,
+            keepdim,
+            T::MIN_VALUE,
+            |acc, v| if v > acc { v } else { acc },
+        )
     }
 
     /// Index of the maximum along `axis` (first maximum wins ties,
@@ -195,6 +200,9 @@ mod tests {
     fn reduce_on_view() {
         let a = Tensor::from_fn(&[3, 4], |i| (i[0] * 4 + i[1]) as f32);
         let at = a.transpose(0, 1);
-        assert_eq!(at.sum_axis(0, false).to_vec(), a.sum_axis(1, false).to_vec());
+        assert_eq!(
+            at.sum_axis(0, false).to_vec(),
+            a.sum_axis(1, false).to_vec()
+        );
     }
 }

@@ -39,15 +39,32 @@ impl CsrMatrix {
         indices: Vec<u32>,
         data: Vec<f32>,
     ) -> CsrMatrix {
-        assert_eq!(indptr.len(), n_rows + 1, "indptr must have n_rows + 1 entries");
+        assert_eq!(
+            indptr.len(),
+            n_rows + 1,
+            "indptr must have n_rows + 1 entries"
+        );
         assert_eq!(indices.len(), data.len(), "indices/data length mismatch");
-        assert_eq!(*indptr.last().unwrap_or(&0), indices.len(), "indptr end != nnz");
-        assert!(indptr.windows(2).all(|w| w[0] <= w[1]), "indptr must be non-decreasing");
+        assert_eq!(
+            *indptr.last().unwrap_or(&0),
+            indices.len(),
+            "indptr end != nnz"
+        );
+        assert!(
+            indptr.windows(2).all(|w| w[0] <= w[1]),
+            "indptr must be non-decreasing"
+        );
         assert!(
             indices.iter().all(|&c| (c as usize) < n_cols),
             "column index out of bounds"
         );
-        CsrMatrix { n_rows, n_cols, indptr, indices, data }
+        CsrMatrix {
+            n_rows,
+            n_cols,
+            indptr,
+            indices,
+            data,
+        }
     }
 
     /// Converts a dense matrix, keeping entries with `|v| > tol`.
@@ -70,7 +87,13 @@ impl CsrMatrix {
             }
             indptr.push(indices.len());
         }
-        CsrMatrix { n_rows: n, n_cols: d, indptr, indices, data }
+        CsrMatrix {
+            n_rows: n,
+            n_cols: d,
+            indptr,
+            indices,
+            data,
+        }
     }
 
     /// Densifies back to a tensor.

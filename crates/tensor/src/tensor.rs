@@ -5,7 +5,10 @@ use std::sync::Arc;
 use crate::alloc::{record_alloc, record_dealloc};
 use crate::dtype::Element;
 use crate::shape::{
-    broadcast_strides, contiguous_strides, numel, StridedIter, //
+    broadcast_strides,
+    contiguous_strides,
+    numel,
+    StridedIter, //
 };
 use crate::TensorError;
 
@@ -113,7 +116,10 @@ impl<T: Element> Tensor<T> {
     /// Panics if the tensor is not contiguous; call
     /// [`Tensor::to_contiguous`] first.
     pub fn as_slice(&self) -> &[T] {
-        assert!(self.is_contiguous(), "as_slice requires a contiguous tensor");
+        assert!(
+            self.is_contiguous(),
+            "as_slice requires a contiguous tensor"
+        );
         &self.storage.data[self.offset..self.offset + self.numel()]
     }
 
@@ -177,7 +183,11 @@ impl<T: Element> Tensor<T> {
             self.shape,
             shape
         );
-        let base = if self.is_contiguous() { self.clone() } else { self.to_contiguous() };
+        let base = if self.is_contiguous() {
+            self.clone()
+        } else {
+            self.to_contiguous()
+        };
         Tensor {
             storage: base.storage,
             offset: base.offset,
@@ -189,7 +199,10 @@ impl<T: Element> Tensor<T> {
     /// Fallible reshape used by the graph executor.
     pub fn try_reshape(&self, shape: &[usize]) -> Result<Tensor<T>, TensorError> {
         if self.numel() != numel(shape) {
-            return Err(TensorError::NumelMismatch { from: self.numel(), to: numel(shape) });
+            return Err(TensorError::NumelMismatch {
+                from: self.numel(),
+                to: numel(shape),
+            });
         }
         Ok(self.reshape(shape))
     }
@@ -202,7 +215,12 @@ impl<T: Element> Tensor<T> {
         shape.insert(axis, 1);
         // Stride of a size-1 dim never affects addressing; 0 is safe.
         strides.insert(axis, 0);
-        Tensor { storage: self.storage.clone(), offset: self.offset, shape, strides }
+        Tensor {
+            storage: self.storage.clone(),
+            offset: self.offset,
+            shape,
+            strides,
+        }
     }
 
     /// Removes a size-1 dimension at `axis`.
@@ -216,7 +234,12 @@ impl<T: Element> Tensor<T> {
         let mut strides = self.strides.clone();
         shape.remove(axis);
         strides.remove(axis);
-        Tensor { storage: self.storage.clone(), offset: self.offset, shape, strides }
+        Tensor {
+            storage: self.storage.clone(),
+            offset: self.offset,
+            shape,
+            strides,
+        }
     }
 
     /// Swaps two dimensions (a zero-copy transposed view).
@@ -225,7 +248,12 @@ impl<T: Element> Tensor<T> {
         let mut strides = self.strides.clone();
         shape.swap(a, b);
         strides.swap(a, b);
-        Tensor { storage: self.storage.clone(), offset: self.offset, shape, strides }
+        Tensor {
+            storage: self.storage.clone(),
+            offset: self.offset,
+            shape,
+            strides,
+        }
     }
 
     /// Broadcast view to `shape`; expanded dimensions get stride 0.
@@ -250,11 +278,19 @@ impl<T: Element> Tensor<T> {
     /// Panics on out-of-range bounds.
     pub fn slice(&self, axis: usize, start: usize, end: usize) -> Tensor<T> {
         assert!(axis < self.ndim(), "slice axis out of range");
-        assert!(start <= end && end <= self.shape[axis], "slice bounds out of range");
+        assert!(
+            start <= end && end <= self.shape[axis],
+            "slice bounds out of range"
+        );
         let mut shape = self.shape.clone();
         shape[axis] = end - start;
         let offset = (self.offset as isize + start as isize * self.strides[axis]) as usize;
-        Tensor { storage: self.storage.clone(), offset, shape, strides: self.strides.clone() }
+        Tensor {
+            storage: self.storage.clone(),
+            offset,
+            shape,
+            strides: self.strides.clone(),
+        }
     }
 
     /// Applies `f` to every element, producing a new contiguous tensor.
@@ -265,10 +301,9 @@ impl<T: Element> Tensor<T> {
             Tensor::from_vec(out, &self.shape)
         } else {
             let data = &self.storage.data;
-            let out: Vec<U> =
-                StridedIter::new(&self.shape, &self.strides, self.offset as isize)
-                    .map(|off| f(data[off as usize]))
-                    .collect();
+            let out: Vec<U> = StridedIter::new(&self.shape, &self.strides, self.offset as isize)
+                .map(|off| f(data[off as usize]))
+                .collect();
             Tensor::from_vec(out, &self.shape)
         }
     }
@@ -323,32 +358,36 @@ impl<T: Element> PartialEq for Tensor<T> {
 // logical order, so views round-trip as compact owned tensors. This is
 // the paper's "package the trained pipeline into a single artifact"
 // (§2.1) made concrete for Rust.
-impl<T: Element + serde::Serialize> serde::Serialize for Tensor<T> {
-    fn serialize<S: serde::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
-        use serde::ser::SerializeStruct;
-        let mut s = serializer.serialize_struct("Tensor", 2)?;
-        s.serialize_field("shape", &self.shape)?;
-        s.serialize_field("data", &self.to_vec())?;
-        s.end()
+impl<T: Element + hb_json::ToJson> hb_json::ToJson for Tensor<T> {
+    fn to_json(&self) -> hb_json::Json {
+        hb_json::Json::Obj(vec![
+            ("shape".to_string(), hb_json::ToJson::to_json(&self.shape)),
+            ("data".to_string(), hb_json::ToJson::to_json(&self.to_vec())),
+        ])
     }
 }
 
-impl<'de, T: Element + serde::Deserialize<'de>> serde::Deserialize<'de> for Tensor<T> {
-    fn deserialize<D: serde::Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
-        #[derive(serde::Deserialize)]
-        struct Raw<T> {
-            shape: Vec<usize>,
-            data: Vec<T>,
-        }
-        let raw = Raw::<T>::deserialize(deserializer)?;
-        if raw.data.len() != numel(&raw.shape) {
-            return Err(serde::de::Error::custom(format!(
+impl<T: Element + hb_json::FromJson> hb_json::FromJson for Tensor<T> {
+    fn from_json(v: &hb_json::Json) -> Result<Self, hb_json::JsonError> {
+        let pairs = v.expect_obj("Tensor")?;
+        let shape: Vec<usize> = hb_json::field(pairs, "shape", "Tensor")?;
+        let data: Vec<T> = hb_json::field(pairs, "data", "Tensor")?;
+        // Hostile artifacts can claim absurd shapes; a checked product
+        // rejects them before any allocation is attempted.
+        let expected = shape
+            .iter()
+            .try_fold(1usize, |acc, &d| acc.checked_mul(d))
+            .ok_or_else(|| {
+                hb_json::JsonError::Schema(format!("tensor shape {shape:?} product overflows"))
+            })?;
+        if data.len() != expected {
+            return Err(hb_json::JsonError::Schema(format!(
                 "tensor data length {} does not match shape {:?}",
-                raw.data.len(),
-                raw.shape
+                data.len(),
+                shape
             )));
         }
-        Ok(Tensor::from_vec(raw.data, &raw.shape))
+        Ok(Tensor::from_vec(data, &shape))
     }
 }
 

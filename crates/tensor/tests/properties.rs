@@ -57,7 +57,13 @@ fn naive_broadcast_add(a: &Tensor<f32>, b: &Tensor<f32>) -> Tensor<f32> {
         let pick = |t: &Tensor<f32>| {
             let offset = out_shape.len() - t.ndim();
             let coord: Vec<usize> = (0..t.ndim())
-                .map(|d| if t.shape()[d] == 1 { 0 } else { idx[d + offset] })
+                .map(|d| {
+                    if t.shape()[d] == 1 {
+                        0
+                    } else {
+                        idx[d + offset]
+                    }
+                })
                 .collect();
             t.get(&coord)
         };

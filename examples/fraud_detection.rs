@@ -28,7 +28,11 @@ fn main() {
     let spec = &hummingbird::data::TREE_BENCH_SPECS[0];
     let ds = hummingbird::data::tree_bench_dataset(spec, 12_000, 99);
     let pos_rate = ds.y_train.classes().iter().sum::<i64>() as f64 / ds.n_train() as f64;
-    println!("fraud-like dataset: {} rows, positive rate {:.1}%", ds.n_train(), pos_rate * 100.0);
+    println!(
+        "fraud-like dataset: {} rows, positive rate {:.1}%",
+        ds.n_train(),
+        pos_rate * 100.0
+    );
 
     let model = GradientBoostingClassifier::new(GbdtConfig {
         n_rounds: 50,
@@ -37,7 +41,11 @@ fn main() {
     })
     .fit(&ds.x_train, ds.y_train.classes());
     let acc = accuracy(&model.predict(&ds.x_test), ds.y_test.classes());
-    println!("booster: {} trees, test accuracy {:.3}\n", model.ensemble.trees.len(), acc);
+    println!(
+        "booster: {} trees, test accuracy {:.3}\n",
+        model.ensemble.trees.len(),
+        acc
+    );
 
     let e = &model.ensemble;
     let sklearn = SklearnLikeForest::new(e);
@@ -45,16 +53,26 @@ fn main() {
 
     // --- Batch serving: the whole test set at once. ---
     println!("batch serving ({} records):", ds.n_test());
-    println!("  sklearn-like (parallel):  {:7.2} ms", time_ms(|| {
-        sklearn.predict_batch(&ds.x_test);
-    }));
-    println!("  onnx-like (single core):  {:7.2} ms", time_ms(|| {
-        onnx.predict_batch(&ds.x_test);
-    }));
+    println!(
+        "  sklearn-like (parallel):  {:7.2} ms",
+        time_ms(|| {
+            sklearn.predict_batch(&ds.x_test);
+        })
+    );
+    println!(
+        "  onnx-like (single core):  {:7.2} ms",
+        time_ms(|| {
+            onnx.predict_batch(&ds.x_test);
+        })
+    );
     for backend in Backend::ALL {
         let compiled = compile(
             &Pipeline::from_op(e.clone()),
-            &CompileOptions { backend, expected_batch: ds.n_test(), ..Default::default() },
+            &CompileOptions {
+                backend,
+                expected_batch: ds.n_test(),
+                ..Default::default()
+            },
         )
         .unwrap();
         let strategy = compiled.report[0].strategy.unwrap();
@@ -79,12 +97,18 @@ fn main() {
             }
         })
     };
-    println!("  sklearn-like:  {:7.2} ms", one_by_one(&|x| {
-        sklearn.predict_batch(x);
-    }));
-    println!("  onnx-like:     {:7.2} ms", one_by_one(&|x| {
-        onnx.predict_batch(x);
-    }));
+    println!(
+        "  sklearn-like:  {:7.2} ms",
+        one_by_one(&|x| {
+            sklearn.predict_batch(x);
+        })
+    );
+    println!(
+        "  onnx-like:     {:7.2} ms",
+        one_by_one(&|x| {
+            onnx.predict_batch(x);
+        })
+    );
     for strategy in [TreeStrategy::Gemm, TreeStrategy::TreeTraversal] {
         let compiled = compile(
             &Pipeline::from_op(e.clone()),

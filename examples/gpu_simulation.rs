@@ -13,7 +13,7 @@
 use hummingbird::backend::device::{K80, P100, V100};
 use hummingbird::backend::{Backend, Device, ExecError};
 use hummingbird::compiler::fil::FilForest;
-use hummingbird::compiler::{compile, CompileOptions};
+use hummingbird::compiler::{compile, CompileOptions, HbError};
 use hummingbird::ml::gbdt::{GbdtConfig, GradientBoostingClassifier};
 use hummingbird::pipeline::Pipeline;
 
@@ -37,12 +37,18 @@ fn main() {
     // CPU: measured for real.
     let cpu = compile(
         &pipe,
-        &CompileOptions { expected_batch: ds.n_test(), ..Default::default() },
+        &CompileOptions {
+            expected_batch: ds.n_test(),
+            ..Default::default()
+        },
     )
     .unwrap();
     let t = std::time::Instant::now();
     let reference = cpu.predict_proba(&ds.x_test).unwrap();
-    println!("CPU (measured):          {:8.2} ms", t.elapsed().as_secs_f64() * 1e3);
+    println!(
+        "CPU (measured):          {:8.2} ms",
+        t.elapsed().as_secs_f64() * 1e3
+    );
 
     // Simulated GPU generations (paper Figure 6).
     for dev in [K80, P100, V100] {
@@ -57,7 +63,11 @@ fn main() {
         )
         .unwrap();
         let (out, stats) = gpu.predict_with_stats(&ds.x_test).unwrap();
-        assert_eq!(out.to_vec(), reference.to_vec(), "device placement changes results");
+        assert_eq!(
+            out.to_vec(),
+            reference.to_vec(),
+            "device placement changes results"
+        );
         println!(
             "{:>4} {} (simulated):  {:8.2} ms  ({} kernels, {:.1} MB modeled residency)",
             dev.name,
@@ -78,7 +88,10 @@ fn main() {
 
     // Modeled OOM: a device too small for the working set refuses to run,
     // like TorchScript on the K80 at 1M-record batches in §6.1.1.
-    let tiny = hummingbird::backend::DeviceSpec { mem_bytes: 200_000, ..K80 };
+    let tiny = hummingbird::backend::DeviceSpec {
+        mem_bytes: 200_000,
+        ..K80
+    };
     let small = compile(
         &pipe,
         &CompileOptions {
@@ -89,7 +102,7 @@ fn main() {
     )
     .unwrap();
     match small.predict_proba(&ds.x_test) {
-        Err(ExecError::DeviceOom { needed, capacity }) => {
+        Err(HbError::Exec(ExecError::DeviceOom { needed, capacity })) => {
             println!("tiny device OOM as modeled: needed {needed} bytes > capacity {capacity}");
         }
         other => println!("unexpected: {other:?}"),

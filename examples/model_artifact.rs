@@ -15,12 +15,19 @@ use hummingbird::pipeline::{fit_pipeline, io, OpSpec};
 
 fn main() {
     // Train a realistic pipeline: imputation → scaling → boosting.
-    let ds = hummingbird::data::tree_bench_dataset(&hummingbird::data::TREE_BENCH_SPECS[0], 6_000, 21);
+    let ds =
+        hummingbird::data::tree_bench_dataset(&hummingbird::data::TREE_BENCH_SPECS[0], 6_000, 21);
     let pipe = fit_pipeline(
         &[
-            OpSpec::SimpleImputer { strategy: ImputeStrategy::Mean },
+            OpSpec::SimpleImputer {
+                strategy: ImputeStrategy::Mean,
+            },
             OpSpec::StandardScaler,
-            OpSpec::GbdtClassifier(GbdtConfig { n_rounds: 30, max_depth: 4, ..Default::default() }),
+            OpSpec::GbdtClassifier(GbdtConfig {
+                n_rounds: 30,
+                max_depth: 4,
+                ..Default::default()
+            }),
         ],
         &ds.x_train,
         &ds.y_train,
@@ -31,13 +38,20 @@ fn main() {
     let path = std::env::temp_dir().join("hummingbird_model.json");
     io::save(&pipe, &path).expect("artifact saves");
     let bytes = std::fs::metadata(&path).unwrap().len();
-    println!("saved {}-operator pipeline to {} ({bytes} bytes)", pipe.len(), path.display());
+    println!(
+        "saved {}-operator pipeline to {} ({bytes} bytes)",
+        pipe.len(),
+        path.display()
+    );
 
     // "New process": load, compile, serve — no training code involved.
     let loaded = io::load(&path).expect("artifact loads");
     let model = compile(&loaded, &CompileOptions::default()).expect("artifact compiles");
     let served = model.predict_proba(&ds.x_test).expect("artifact serves");
-    assert!(allclose(&served, &reference, 1e-5, 1e-5), "artifact round-trip diverged");
+    assert!(
+        allclose(&served, &reference, 1e-5, 1e-5),
+        "artifact round-trip diverged"
+    );
     println!(
         "round-trip OK: {} test records scored identically after save → load → compile",
         ds.n_test()

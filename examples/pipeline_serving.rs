@@ -18,25 +18,42 @@ use hummingbird::pipeline::{fit_pipeline, OpSpec};
 fn main() {
     // Nomao-like categorical data with missing values (119 columns).
     let ds = hummingbird::data::nomao_categorical(8_000, 3);
-    println!("dataset: {} rows × {} categorical features (with NaNs)", ds.n_train(), ds.n_features());
+    println!(
+        "dataset: {} rows × {} categorical features (with NaNs)",
+        ds.n_train(),
+        ds.n_features()
+    );
 
     let specs = vec![
-        OpSpec::SimpleImputer { strategy: ImputeStrategy::Mean },
+        OpSpec::SimpleImputer {
+            strategy: ImputeStrategy::Mean,
+        },
         OpSpec::OneHotEncoder,
         OpSpec::StandardScaler,
         OpSpec::SelectPercentile { percentile: 20 },
-        OpSpec::LogisticRegression(LinearConfig { epochs: 60, ..Default::default() }),
+        OpSpec::LogisticRegression(LinearConfig {
+            epochs: 60,
+            ..Default::default()
+        }),
     ];
     let t = Instant::now();
     let pipe = fit_pipeline(&specs, &ds.x_train, &ds.y_train);
-    println!("fitted {}-operator pipeline in {:?}", pipe.len(), t.elapsed());
+    println!(
+        "fitted {}-operator pipeline in {:?}",
+        pipe.len(),
+        t.elapsed()
+    );
     let acc = accuracy(&pipe.predict(&ds.x_test), ds.y_test.classes());
     println!("test accuracy: {acc:.3}\n");
 
     // Show what the optimizer does to the pipeline structure.
     let rewritten = optimizer::optimize_pipeline(&pipe);
     let sigs = |p: &hummingbird::pipeline::Pipeline| {
-        p.ops.iter().map(|o| o.signature()).collect::<Vec<_>>().join(" → ")
+        p.ops
+            .iter()
+            .map(|o| o.signature())
+            .collect::<Vec<_>>()
+            .join(" → ")
     };
     println!("original:  {}", sigs(&pipe));
     println!("optimized: {}\n", sigs(&rewritten));

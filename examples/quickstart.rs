@@ -28,7 +28,11 @@ fn main() {
     })
     .fit(&ds.x_train, ds.y_train.classes());
     let acc = accuracy(&forest.predict(&ds.x_test), ds.y_test.classes());
-    println!("forest: {} trees, test accuracy {:.3}", forest.ensemble.trees.len(), acc);
+    println!(
+        "forest: {} trees, test accuracy {:.3}",
+        forest.ensemble.trees.len(),
+        acc
+    );
 
     // 3. Compile the fitted model into a tensor DAG (Hummingbird).
     let pipe = Pipeline::from_op(forest.clone());
@@ -45,7 +49,10 @@ fn main() {
     //    output-validation experiment, rtol = atol = 1e-5).
     let reference = forest.predict_proba(&ds.x_test);
     let compiled = model.predict_proba(&ds.x_test).expect("scoring succeeds");
-    assert!(allclose(&compiled, &reference, 1e-5, 1e-5), "outputs diverge");
+    assert!(
+        allclose(&compiled, &reference, 1e-5, 1e-5),
+        "outputs diverge"
+    );
     println!("output validation: compiled == imperative (1e-5)");
 
     // 5. Quick timing comparison on the test batch.

@@ -1,0 +1,128 @@
+//! Fault-tolerant serving: the degradation ladder, deadlines, admission
+//! control, and chaos testing with injected faults.
+//!
+//! Run with: `cargo run --release --example resilient_serving`
+
+use std::time::Duration;
+
+use hummingbird::prelude::*;
+use hummingbird::serve::FaultScope;
+
+fn main() {
+    // Train a small fraud-detection-style pipeline.
+    let ds = hummingbird::data::synthetic_classification(400, 12, 2, 7);
+    let pipe = hummingbird::pipeline::fit_pipeline(
+        &[
+            hummingbird::pipeline::OpSpec::StandardScaler,
+            hummingbird::pipeline::OpSpec::RandomForestClassifier(
+                hummingbird::ml::forest::ForestConfig {
+                    n_trees: 16,
+                    max_depth: 6,
+                    ..Default::default()
+                },
+            ),
+        ],
+        &ds.x_train,
+        &ds.y_train,
+    );
+
+    // 1. Healthy serving: the best rung (Compiled) answers.
+    let server = ServingModel::new(&pipe, ServeConfig::default()).unwrap();
+    let served = server.predict_detailed(&ds.x_test).unwrap();
+    println!(
+        "healthy:      rung={:<9} retries={} latency={:?}",
+        served.rung.label(),
+        served.retries,
+        served.elapsed
+    );
+
+    // 2. The optimizing backend's compile pass is broken: requests
+    //    transparently degrade to the next rung, same answers.
+    let config = ServeConfig {
+        faults: FaultPlan {
+            compile_fail: true,
+            ..FaultPlan::none()
+        },
+        ..ServeConfig::default()
+    };
+    let degraded = ServingModel::new(&pipe, config).unwrap();
+    let d = degraded.predict_detailed(&ds.x_test).unwrap();
+    let max_diff = served
+        .output
+        .iter()
+        .zip(d.output.iter())
+        .map(|(a, b)| (a - b).abs())
+        .fold(0.0f32, f32::max);
+    println!(
+        "compile_fail: rung={:<9} max |Δ| vs healthy = {max_diff:.1e} (ladder keeps answers)",
+        d.rung.label()
+    );
+
+    // 3. Transient kernel faults: absorbed by same-rung retries.
+    let config = ServeConfig {
+        faults: FaultPlan {
+            kernel_error: true,
+            scope: FaultScope::FirstRuns(2),
+            ..FaultPlan::none()
+        },
+        max_retries: 3,
+        ..ServeConfig::default()
+    };
+    let flaky = ServingModel::new(&pipe, config).unwrap();
+    let f = flaky.predict_detailed(&ds.x_test).unwrap();
+    println!(
+        "transient:    rung={:<9} retries={} (fault retried, not degraded)",
+        f.rung.label(),
+        f.retries
+    );
+
+    // 4. Silent NaN corruption: detected, served from the clean
+    //    reference scorer instead.
+    let config = ServeConfig {
+        faults: FaultPlan {
+            nan_poison: true,
+            ..FaultPlan::none()
+        },
+        ..ServeConfig::default()
+    };
+    let poisoned = ServingModel::new(&pipe, config).unwrap();
+    let p = poisoned.predict_detailed(&ds.x_test).unwrap();
+    println!(
+        "nan_poison:   rung={:<9} finite={} (corruption caught, not returned)",
+        p.rung.label(),
+        p.output.iter().all(|v| v.is_finite())
+    );
+
+    // 5. Deadlines: slow kernels yield a typed error, not a late answer.
+    let config = ServeConfig {
+        faults: FaultPlan {
+            slow_kernel: Some(Duration::from_millis(20)),
+            ..FaultPlan::none()
+        },
+        deadline: Some(Duration::from_millis(5)),
+        ..ServeConfig::default()
+    };
+    let slow = ServingModel::new(&pipe, config).unwrap();
+    match slow.predict(&ds.x_test) {
+        Err(ServeError::DeadlineExceeded { elapsed, deadline }) => {
+            println!("slow_kernel:  DeadlineExceeded after {elapsed:?} (budget {deadline:?})")
+        }
+        other => println!("slow_kernel:  unexpected {other:?}"),
+    }
+
+    // 6. Malformed requests are typed errors before any kernel runs.
+    let narrow = Tensor::from_fn(&[2, 5], |i| i[1] as f32);
+    match server.predict(&narrow) {
+        Err(ServeError::BadRequest(msg)) => println!("bad request:  {msg}"),
+        other => println!("bad request:  unexpected {other:?}"),
+    }
+
+    let stats = server.stats();
+    println!(
+        "stats:        served={} degraded={} bad_requests={} deadline_misses={}",
+        stats.total_served(),
+        stats.degraded,
+        stats.bad_requests,
+        stats.deadline_misses
+    );
+}

@@ -22,9 +22,14 @@ fn percentile(sorted: &[f64], p: f64) -> f64 {
 }
 
 fn main() {
-    let ds = hummingbird::data::tree_bench_dataset(&hummingbird::data::TREE_BENCH_SPECS[4], 10_000, 3);
+    let ds =
+        hummingbird::data::tree_bench_dataset(&hummingbird::data::TREE_BENCH_SPECS[4], 10_000, 3);
     let pipe = fit_pipeline(
-        &[OpSpec::GbdtClassifier(GbdtConfig { n_rounds: 40, max_depth: 5, ..Default::default() })],
+        &[OpSpec::GbdtClassifier(GbdtConfig {
+            n_rounds: 40,
+            max_depth: 5,
+            ..Default::default()
+        })],
         &ds.x_train,
         &ds.y_train,
     );
@@ -50,23 +55,39 @@ fn main() {
     let onnx = OnnxLikeForest::new(&ensemble).with_dispatch_overhead();
     let hb = compile(
         &pipe,
-        &CompileOptions { backend: Backend::Compiled, expected_batch: 64, ..Default::default() },
+        &CompileOptions {
+            backend: Backend::Compiled,
+            expected_batch: 64,
+            ..Default::default()
+        },
     )
     .unwrap();
 
     let systems: Vec<(&str, Box<dyn Fn(&Tensor<f32>)>)> = vec![
-        ("sklearn-like", Box::new(move |x| {
-            sklearn.predict_batch(x);
-        })),
-        ("onnx-like", Box::new(move |x| {
-            onnx.predict_batch(x);
-        })),
-        ("HB-Compiled", Box::new(move |x| {
-            hb.predict_proba(x).unwrap();
-        })),
+        (
+            "sklearn-like",
+            Box::new(move |x| {
+                sklearn.predict_batch(x);
+            }),
+        ),
+        (
+            "onnx-like",
+            Box::new(move |x| {
+                onnx.predict_batch(x);
+            }),
+        ),
+        (
+            "HB-Compiled",
+            Box::new(move |x| {
+                hb.predict_proba(x).unwrap();
+            }),
+        ),
     ];
 
-    println!("{:>14} {:>10} {:>10} {:>10} {:>12}", "system", "p50", "p95", "p99", "total");
+    println!(
+        "{:>14} {:>10} {:>10} {:>10} {:>12}",
+        "system", "p50", "p95", "p99", "total"
+    );
     for (name, score) in &systems {
         let mut lat = Vec::with_capacity(requests.len());
         let mut cursor = 0usize;
@@ -74,7 +95,10 @@ fn main() {
         for &batch in &requests {
             let end = (cursor + batch).min(ds.n_test());
             let start = if end - cursor < batch { 0 } else { cursor };
-            let x = ds.x_test.slice(0, start, start + batch.min(ds.n_test())).to_contiguous();
+            let x = ds
+                .x_test
+                .slice(0, start, start + batch.min(ds.n_test()))
+                .to_contiguous();
             cursor = end % ds.n_test();
             let t = Instant::now();
             score(&x);

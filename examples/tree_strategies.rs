@@ -16,8 +16,15 @@ use hummingbird::pipeline::Pipeline;
 
 fn main() {
     let ds = hummingbird::data::strategy_dataset(17);
-    println!("synthetic strategy dataset: {} rows × {} features\n", ds.n_train(), ds.n_features());
-    println!("{:>6} {:>6} {:>10} {:>10} {:>10}   heuristic", "depth", "batch", "GEMM", "TT", "PTT");
+    println!(
+        "synthetic strategy dataset: {} rows × {} features\n",
+        ds.n_train(),
+        ds.n_features()
+    );
+    println!(
+        "{:>6} {:>6} {:>10} {:>10} {:>10}   heuristic",
+        "depth", "batch", "GEMM", "TT", "PTT"
+    );
 
     for depth in [3usize, 7, 12] {
         let forest = RandomForestClassifier::new(ForestConfig {
@@ -29,7 +36,10 @@ fn main() {
         let pipe = Pipeline::from_op(forest);
 
         for batch in [1usize, 1000] {
-            let x = ds.x_test.slice(0, 0, batch.min(ds.n_test())).to_contiguous();
+            let x = ds
+                .x_test
+                .slice(0, 0, batch.min(ds.n_test()))
+                .to_contiguous();
             let mut cells = Vec::new();
             for strategy in [
                 TreeStrategy::Gemm,
@@ -61,7 +71,10 @@ fn main() {
                 hummingbird::pipeline::FittedOp::TreeEnsemble(e) => e,
                 _ => unreachable!(),
             };
-            let opts = CompileOptions { expected_batch: batch, ..Default::default() };
+            let opts = CompileOptions {
+                expected_batch: batch,
+                ..Default::default()
+            };
             let auto = heuristic_strategy(ensemble, &opts);
             println!(
                 "{:>6} {:>6} {:>10} {:>10} {:>10}   {}",

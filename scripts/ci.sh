@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Tier-1 gate: formatting, lints (including the unwrap/expect ban from
+# clippy.toml), and the root test suite. Run from the repo root.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+# Library crates only: tests and benches are exempt from the
+# disallowed-methods ban, and vendor/ stubs carry a crate-level allow.
+echo "==> cargo clippy -D warnings (library crates)"
+cargo clippy --offline --lib --bins \
+    -p hummingbird -p hb-tensor -p hb-backend -p hb-ml -p hb-pipeline \
+    -p hb-data -p hb-core -p hb-json -p hb-serve \
+    -- -D warnings
+
+echo "==> cargo build --release"
+cargo build --release --offline
+
+echo "==> cargo test -q"
+cargo test -q --offline
+
+echo "==> cargo test -q --workspace"
+cargo test -q --offline --workspace
+
+echo "CI green."

@@ -12,7 +12,9 @@
 //! * [`pipeline`] — predictive-pipeline DAGs;
 //! * [`data`] — synthetic dataset generators for the paper's benchmarks;
 //! * [`compiler`] — the Hummingbird compiler itself (parser, optimizer,
-//!   tensor DAG compiler).
+//!   tensor DAG compiler);
+//! * [`serve`] — the fault-tolerant serving runtime (degradation ladder,
+//!   deadlines, admission control, fault injection).
 //!
 //! # Quickstart
 //!
@@ -40,14 +42,16 @@ pub use hb_core as compiler;
 pub use hb_data as data;
 pub use hb_ml as ml;
 pub use hb_pipeline as pipeline;
+pub use hb_serve as serve;
 pub use hb_tensor as tensor;
 
 /// Convenience re-exports covering the common compile-and-score flow.
 pub mod prelude {
-    pub use hb_backend::{Backend, Device};
-    pub use hb_core::{compile, CompileOptions, CompiledModel, TreeStrategy};
+    pub use hb_backend::{Backend, Device, FaultPlan, FaultScope};
+    pub use hb_core::{compile, CompileOptions, CompiledModel, HbError, TreeStrategy};
     pub use hb_ml::forest::{ForestConfig, RandomForestClassifier, RandomForestRegressor};
     pub use hb_ml::gbdt::{GbdtConfig, GradientBoostingClassifier, GradientBoostingRegressor};
     pub use hb_pipeline::Pipeline;
+    pub use hb_serve::{Rung, ServeConfig, ServeError, ServingModel};
     pub use hb_tensor::{DynTensor, Tensor};
 }

@@ -1,0 +1,317 @@
+//! Chaos suite: every injected fault, on every backend, must surface as
+//! a typed error or a degraded-but-correct answer — never a panic,
+//! never silent corruption.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::time::Duration;
+
+use hummingbird::backend::{Backend, FaultPlan, FaultScope};
+use hummingbird::compiler::{compile, CompileOptions};
+use hummingbird::ml::forest::ForestConfig;
+use hummingbird::ml::metrics::allclose;
+use hummingbird::pipeline::{fit_pipeline, OpSpec, Pipeline, Targets};
+use hummingbird::serve::{Rung, ServeConfig, ServeError, ServingModel};
+use hummingbird::tensor::Tensor;
+
+fn fixture() -> (Pipeline, Tensor<f32>) {
+    let x = Tensor::from_fn(&[80, 5], |i| ((i[0] * 7 + i[1] * 3) % 13) as f32 * 0.3);
+    let y = Targets::Classes((0..80).map(|i| (i % 2) as i64).collect());
+    let pipe = fit_pipeline(
+        &[
+            OpSpec::StandardScaler,
+            OpSpec::RandomForestClassifier(ForestConfig {
+                n_trees: 5,
+                max_depth: 4,
+                ..Default::default()
+            }),
+        ],
+        &x,
+        &y,
+    );
+    (pipe, x)
+}
+
+fn all_faults() -> Vec<(&'static str, FaultPlan)> {
+    vec![
+        (
+            "oom",
+            FaultPlan {
+                oom: true,
+                ..FaultPlan::none()
+            },
+        ),
+        (
+            "slow_kernel",
+            FaultPlan {
+                slow_kernel: Some(Duration::from_micros(50)),
+                ..FaultPlan::none()
+            },
+        ),
+        (
+            "kernel_error",
+            FaultPlan {
+                kernel_error: true,
+                ..FaultPlan::none()
+            },
+        ),
+        (
+            "compile_fail",
+            FaultPlan {
+                compile_fail: true,
+                ..FaultPlan::none()
+            },
+        ),
+        (
+            "nan_poison",
+            FaultPlan {
+                nan_poison: true,
+                ..FaultPlan::none()
+            },
+        ),
+    ]
+}
+
+/// The core chaos matrix: each fault on each backend, straight through
+/// the compiler API. Every outcome must be a typed error or an answer
+/// matching the imperative reference — observed under `catch_unwind` so
+/// a panic anywhere fails the test explicitly.
+#[test]
+fn every_fault_on_every_backend_is_typed_or_correct() {
+    let (pipe, x) = fixture();
+    let want = pipe.predict_proba(&x);
+    for (name, faults) in all_faults() {
+        for backend in Backend::ALL {
+            let faults = faults.clone();
+            let pipe2 = pipe.clone();
+            let x2 = x.clone();
+            let want2 = want.clone();
+            let outcome = catch_unwind(AssertUnwindSafe(move || {
+                let opts = CompileOptions {
+                    backend,
+                    faults,
+                    ..Default::default()
+                };
+                match compile(&pipe2, &opts) {
+                    // compile_fail (Compiled backend only) lands here: a
+                    // typed CompileError, which is an acceptable outcome.
+                    Err(_) => {}
+                    Ok(model) => match model.predict_proba(&x2) {
+                        // Typed failure: acceptable.
+                        Err(_) => {}
+                        // Success: must be correct *or* be the one fault
+                        // (nan_poison) that corrupts silently — the raw
+                        // compiler API does not detect it; the serving
+                        // layer test below proves the runtime does.
+                        Ok(out) => {
+                            let correct = allclose(&out, &want2, 1e-5, 1e-5);
+                            let poisoned = out.iter().all(|v| v.is_nan());
+                            assert!(
+                                correct || poisoned,
+                                "{name}/{}: silently wrong output",
+                                backend.label()
+                            );
+                        }
+                    },
+                }
+            }));
+            assert!(outcome.is_ok(), "{name} panicked on {}", backend.label());
+        }
+    }
+}
+
+/// Same matrix through the serving runtime: every request returns a
+/// typed error or an answer within 1e-5 of the reference. The ladder
+/// means most faults still produce a correct answer from a lower rung.
+#[test]
+fn serving_layer_survives_every_fault_with_correct_or_typed_outcome() {
+    let (pipe, x) = fixture();
+    let want = pipe.predict_proba(&x);
+    for (name, faults) in all_faults() {
+        let pipe2 = pipe.clone();
+        let x2 = x.clone();
+        let want2 = want.clone();
+        let outcome = catch_unwind(AssertUnwindSafe(move || {
+            let config = ServeConfig {
+                faults,
+                max_retries: 1,
+                ..ServeConfig::default()
+            };
+            let server = ServingModel::new(&pipe2, config).expect("non-empty pipeline");
+            match server.predict_detailed(&x2) {
+                Ok(served) => {
+                    assert!(
+                        allclose(&served.output, &want2, 1e-5, 1e-5),
+                        "{name}: served output diverges from reference (rung {:?})",
+                        served.rung
+                    );
+                }
+                Err(e) => {
+                    // Typed is fine; but these faults all leave the
+                    // reference rung healthy, so they must degrade, not
+                    // fail outright.
+                    panic!("{name}: expected degraded success, got {e}");
+                }
+            }
+        }));
+        assert!(outcome.is_ok(), "{name} panicked in the serving layer");
+    }
+}
+
+/// Acceptance: with the Compiled backend forced to fail lowering, the
+/// server transparently degrades and reports the serving rung.
+#[test]
+fn degradation_ladder_serves_identical_output_from_lower_rung() {
+    let (pipe, x) = fixture();
+    let healthy = ServingModel::new(&pipe, ServeConfig::default()).unwrap();
+    let baseline = healthy.predict_detailed(&x).unwrap();
+    assert_eq!(baseline.rung, Rung::Compiled);
+
+    let config = ServeConfig {
+        faults: FaultPlan {
+            compile_fail: true,
+            ..FaultPlan::none()
+        },
+        ..ServeConfig::default()
+    };
+    let degraded = ServingModel::new(&pipe, config).unwrap();
+    assert!(
+        !degraded.available_rungs().contains(&Rung::Compiled),
+        "compile_fail must knock out the Compiled rung"
+    );
+    let served = degraded.predict_detailed(&x).unwrap();
+    assert_ne!(served.rung, Rung::Compiled);
+    assert!(
+        allclose(&served.output, &baseline.output, 1e-5, 1e-5),
+        "degraded rung {:?} diverges from the healthy answer",
+        served.rung
+    );
+    let stats = degraded.stats();
+    assert_eq!(
+        stats.served_by(served.rung),
+        1,
+        "serving rung must be recorded"
+    );
+}
+
+/// NaN poisoning is silent at the executor; the serving layer must catch
+/// it and fall through to the clean reference scorer.
+#[test]
+fn nan_poisoning_is_detected_and_served_from_reference() {
+    let (pipe, x) = fixture();
+    let want = pipe.predict_proba(&x);
+    let config = ServeConfig {
+        faults: FaultPlan {
+            nan_poison: true,
+            ..FaultPlan::none()
+        },
+        ..ServeConfig::default()
+    };
+    let server = ServingModel::new(&pipe, config).unwrap();
+    let served = server.predict_detailed(&x).unwrap();
+    assert_eq!(
+        served.rung,
+        Rung::Reference,
+        "all compiled rungs are poisoned"
+    );
+    assert!(allclose(&served.output, &want, 1e-5, 1e-5));
+    assert!(
+        served.output.iter().all(|v| v.is_finite()),
+        "poison leaked through"
+    );
+    assert_eq!(server.stats().degraded, 1);
+}
+
+/// Slow kernels + a tight deadline must yield DeadlineExceeded, not a
+/// late answer.
+#[test]
+fn slow_kernels_blow_the_deadline_with_a_typed_error() {
+    let (pipe, x) = fixture();
+    let config = ServeConfig {
+        faults: FaultPlan {
+            slow_kernel: Some(Duration::from_millis(20)),
+            ..FaultPlan::none()
+        },
+        deadline: Some(Duration::from_millis(5)),
+        ..ServeConfig::default()
+    };
+    let server = ServingModel::new(&pipe, config).unwrap();
+    match server.predict(&x) {
+        Err(ServeError::DeadlineExceeded { elapsed, deadline }) => {
+            assert!(elapsed > deadline);
+        }
+        other => panic!("expected DeadlineExceeded, got {other:?}"),
+    }
+    assert_eq!(server.stats().deadline_misses, 1);
+}
+
+/// Transient faults (FirstRuns scope) are absorbed by same-rung retries
+/// without degrading.
+#[test]
+fn transient_kernel_faults_are_retried_on_the_same_rung() {
+    let (pipe, x) = fixture();
+    let config = ServeConfig {
+        faults: FaultPlan {
+            kernel_error: true,
+            scope: FaultScope::FirstRuns(2),
+            ..FaultPlan::none()
+        },
+        max_retries: 3,
+        ..ServeConfig::default()
+    };
+    let server = ServingModel::new(&pipe, config).unwrap();
+    let served = server.predict_detailed(&x).unwrap();
+    assert_eq!(
+        served.rung,
+        Rung::Compiled,
+        "retries should keep the best rung"
+    );
+    assert!(
+        served.retries >= 1,
+        "the transient fault must cost at least one retry"
+    );
+    let want = pipe.predict_proba(&x);
+    assert!(allclose(&served.output, &want, 1e-5, 1e-5));
+    assert_eq!(server.stats().degraded, 0);
+}
+
+/// Admission control under concurrency: with capacity 1 and slow
+/// kernels, parallel callers see typed Overloaded rejections and the
+/// counter drains afterwards.
+#[test]
+fn overload_rejections_are_typed_and_the_budget_recovers() {
+    let (pipe, x) = fixture();
+    let config = ServeConfig {
+        faults: FaultPlan {
+            slow_kernel: Some(Duration::from_millis(10)),
+            ..FaultPlan::none()
+        },
+        queue_capacity: 1,
+        ..ServeConfig::default()
+    };
+    let server = std::sync::Arc::new(ServingModel::new(&pipe, config).unwrap());
+    let threads: Vec<_> = (0..4)
+        .map(|_| {
+            let server = server.clone();
+            let x = x.clone();
+            std::thread::spawn(move || server.predict(&x).map(|_| ()))
+        })
+        .collect();
+    let results: Vec<_> = threads
+        .into_iter()
+        .map(|t| t.join().expect("no panics"))
+        .collect();
+    let rejected = results
+        .iter()
+        .filter(|r| matches!(r, Err(ServeError::Overloaded { .. })))
+        .count();
+    let ok = results.iter().filter(|r| r.is_ok()).count();
+    assert!(ok >= 1, "at least one request must be admitted");
+    assert_eq!(
+        ok + rejected,
+        results.len(),
+        "every outcome must be success or Overloaded"
+    );
+    assert_eq!(server.stats().rejected_overload as usize, rejected);
+    // The budget drains: a later request is admitted again.
+    assert!(server.predict(&x).is_ok());
+}

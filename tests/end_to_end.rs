@@ -27,8 +27,15 @@ fn class_data(n: usize, d: usize, c: usize) -> (Tensor<f32>, Targets) {
 fn check(pipe: &Pipeline, x: &Tensor<f32>, label: &str) {
     let want = pipe.predict_proba(x);
     for backend in Backend::ALL {
-        for device in [Device::cpu(), Device::Sim(hummingbird::backend::device::P100)] {
-            let opts = CompileOptions { backend, device, ..Default::default() };
+        for device in [
+            Device::cpu(),
+            Device::Sim(hummingbird::backend::device::P100),
+        ] {
+            let opts = CompileOptions {
+                backend,
+                device,
+                ..Default::default()
+            };
             let model = compile(pipe, &opts)
                 .unwrap_or_else(|e| panic!("{label}: compile failed on {backend:?}: {e}"));
             let got = model
@@ -47,34 +54,69 @@ fn check(pipe: &Pipeline, x: &Tensor<f32>, label: &str) {
 fn featurizer_pipelines_match_reference() {
     let (x, y) = class_data(150, 8, 2);
     let featurizer_stacks: Vec<(&str, Vec<OpSpec>)> = vec![
-        ("scalers", vec![OpSpec::StandardScaler, OpSpec::MinMaxScaler, OpSpec::MaxAbsScaler]),
-        ("robust+binarize", vec![OpSpec::RobustScaler, OpSpec::Binarizer { threshold: 0.1 }]),
+        (
+            "scalers",
+            vec![
+                OpSpec::StandardScaler,
+                OpSpec::MinMaxScaler,
+                OpSpec::MaxAbsScaler,
+            ],
+        ),
+        (
+            "robust+binarize",
+            vec![OpSpec::RobustScaler, OpSpec::Binarizer { threshold: 0.1 }],
+        ),
         ("normalizers", vec![OpSpec::Normalizer { norm: Norm::L2 }]),
         ("normalizer_l1", vec![OpSpec::Normalizer { norm: Norm::L1 }]),
-        ("normalizer_max", vec![OpSpec::Normalizer { norm: Norm::Max }]),
+        (
+            "normalizer_max",
+            vec![OpSpec::Normalizer { norm: Norm::Max }],
+        ),
         (
             "kbins_ordinal",
-            vec![OpSpec::KBinsDiscretizer { n_bins: 4, encode: BinEncode::Ordinal }],
+            vec![OpSpec::KBinsDiscretizer {
+                n_bins: 4,
+                encode: BinEncode::Ordinal,
+            }],
         ),
         (
             "kbins_onehot",
-            vec![OpSpec::KBinsDiscretizer { n_bins: 3, encode: BinEncode::OneHot }],
+            vec![OpSpec::KBinsDiscretizer {
+                n_bins: 3,
+                encode: BinEncode::OneHot,
+            }],
         ),
         (
             "poly",
-            vec![OpSpec::PolynomialFeatures { include_bias: true, interaction_only: false }],
+            vec![OpSpec::PolynomialFeatures {
+                include_bias: true,
+                interaction_only: false,
+            }],
         ),
         (
             "poly_interactions",
-            vec![OpSpec::PolynomialFeatures { include_bias: false, interaction_only: true }],
+            vec![OpSpec::PolynomialFeatures {
+                include_bias: false,
+                interaction_only: true,
+            }],
         ),
-        ("select", vec![OpSpec::StandardScaler, OpSpec::SelectKBest { k: 4 }]),
-        ("variance", vec![OpSpec::VarianceThreshold { threshold: 1e-8 }]),
+        (
+            "select",
+            vec![OpSpec::StandardScaler, OpSpec::SelectKBest { k: 4 }],
+        ),
+        (
+            "variance",
+            vec![OpSpec::VarianceThreshold { threshold: 1e-8 }],
+        ),
         ("pca", vec![OpSpec::Pca { k: 4 }]),
         ("tsvd", vec![OpSpec::TruncatedSvd { k: 3 }]),
         (
             "kernel_pca",
-            vec![OpSpec::KernelPca { k: 3, gamma: 0.5, fit_rows: 60 }],
+            vec![OpSpec::KernelPca {
+                k: 3,
+                gamma: 0.5,
+                fit_rows: 60,
+            }],
         ),
     ];
     for (label, specs) in featurizer_stacks {
@@ -86,22 +128,53 @@ fn featurizer_pipelines_match_reference() {
 #[test]
 fn model_pipelines_match_reference() {
     let (x, y) = class_data(200, 6, 2);
-    let lin = LinearConfig { epochs: 60, ..Default::default() };
+    let lin = LinearConfig {
+        epochs: 60,
+        ..Default::default()
+    };
     let models: Vec<(&str, OpSpec)> = vec![
         ("logreg", OpSpec::LogisticRegression(lin.clone())),
-        ("sgd", OpSpec::SgdClassifier(LinearConfig { epochs: 5, ..lin.clone() })),
+        (
+            "sgd",
+            OpSpec::SgdClassifier(LinearConfig {
+                epochs: 5,
+                ..lin.clone()
+            }),
+        ),
         ("linearsvc", OpSpec::LinearSvc(lin)),
         ("svc", OpSpec::Svc(Default::default())),
-        ("nusvc", OpSpec::NuSvc { nu: 0.4, config: Default::default() }),
+        (
+            "nusvc",
+            OpSpec::NuSvc {
+                nu: 0.4,
+                config: Default::default(),
+            },
+        ),
         ("gnb", OpSpec::GaussianNb),
-        ("bnb", OpSpec::BernoulliNb { alpha: 1.0, binarize: 0.0 }),
+        (
+            "bnb",
+            OpSpec::BernoulliNb {
+                alpha: 1.0,
+                binarize: 0.0,
+            },
+        ),
         ("mnb", OpSpec::MultinomialNb { alpha: 1.0 }),
-        ("mlp", OpSpec::Mlp(hummingbird::ml::mlp::MlpConfig { epochs: 8, ..Default::default() })),
+        (
+            "mlp",
+            OpSpec::Mlp(hummingbird::ml::mlp::MlpConfig {
+                epochs: 8,
+                ..Default::default()
+            }),
+        ),
         ("dtree", OpSpec::DecisionTreeClassifier { max_depth: 4 }),
     ];
     for (label, spec) in models {
         // Multinomial NB needs non-negative features.
-        let xm = if label == "mnb" { x.map(|v| v.abs()) } else { x.clone() };
+        let xm = if label == "mnb" {
+            x.map(|v| v.abs())
+        } else {
+            x.clone()
+        };
         let pipe = fit_pipeline(&[OpSpec::StandardScaler, spec], &xm, &y);
         check(&pipe, &xm, label);
     }
@@ -111,7 +184,13 @@ fn model_pipelines_match_reference() {
 fn multiclass_pipelines_match_reference() {
     let (x, y) = class_data(240, 6, 4);
     for (label, spec) in [
-        ("logreg4", OpSpec::LogisticRegression(LinearConfig { epochs: 60, ..Default::default() })),
+        (
+            "logreg4",
+            OpSpec::LogisticRegression(LinearConfig {
+                epochs: 60,
+                ..Default::default()
+            }),
+        ),
         ("gnb4", OpSpec::GaussianNb),
         (
             "rf4",
@@ -123,7 +202,11 @@ fn multiclass_pipelines_match_reference() {
         ),
         (
             "gbdt4",
-            OpSpec::GbdtClassifier(GbdtConfig { n_rounds: 6, max_depth: 3, ..Default::default() }),
+            OpSpec::GbdtClassifier(GbdtConfig {
+                n_rounds: 6,
+                max_depth: 3,
+                ..Default::default()
+            }),
         ),
     ] {
         let pipe = fit_pipeline(std::slice::from_ref(&spec), &x, &y);
@@ -149,7 +232,11 @@ fn regression_pipelines_match_reference() {
         ),
         (
             "gbdt_reg",
-            OpSpec::GbdtRegressor(GbdtConfig { n_rounds: 12, max_depth: 3, ..Default::default() }),
+            OpSpec::GbdtRegressor(GbdtConfig {
+                n_rounds: 12,
+                max_depth: 3,
+                ..Default::default()
+            }),
         ),
     ] {
         let pipe = fit_pipeline(std::slice::from_ref(&spec), &x, &y);
@@ -168,9 +255,11 @@ fn imputer_pipeline_with_nans_matches_reference() {
         }
     });
     let y = Targets::Classes((0..n).map(|i| (i % 2) as i64).collect());
-    for strategy in
-        [ImputeStrategy::Mean, ImputeStrategy::Median, ImputeStrategy::Constant(-1.0)]
-    {
+    for strategy in [
+        ImputeStrategy::Mean,
+        ImputeStrategy::Median,
+        ImputeStrategy::Constant(-1.0),
+    ] {
         let pipe = fit_pipeline(
             &[
                 OpSpec::SimpleImputer { strategy },
@@ -195,7 +284,10 @@ fn onehot_pipeline_with_unseen_categories() {
     let pipe = fit_pipeline(
         &[
             OpSpec::OneHotEncoder,
-            OpSpec::LogisticRegression(LinearConfig { epochs: 40, ..Default::default() }),
+            OpSpec::LogisticRegression(LinearConfig {
+                epochs: 40,
+                ..Default::default()
+            }),
         ],
         &x,
         &y,
@@ -224,12 +316,17 @@ fn compiled_model_handles_any_batch_size() {
         &x,
         &y,
     );
-    for strategy in
-        [TreeStrategy::Gemm, TreeStrategy::TreeTraversal, TreeStrategy::PerfectTreeTraversal]
-    {
+    for strategy in [
+        TreeStrategy::Gemm,
+        TreeStrategy::TreeTraversal,
+        TreeStrategy::PerfectTreeTraversal,
+    ] {
         let model = compile(
             &pipe,
-            &CompileOptions { tree_strategy: strategy, ..Default::default() },
+            &CompileOptions {
+                tree_strategy: strategy,
+                ..Default::default()
+            },
         )
         .unwrap();
         for n in [1usize, 2, 7, 64, 120] {
@@ -251,12 +348,10 @@ fn single_class_training_data_compiles() {
     // constant but must still compile and score.
     let x = Tensor::from_fn(&[40, 3], |i| (i[0] * 3 + i[1]) as f32);
     let y = Targets::Classes(vec![0i64; 40]);
-    let pipe = fit_pipeline(
-        &[OpSpec::DecisionTreeClassifier { max_depth: 4 }],
-        &x,
-        &y,
-    );
+    let pipe = fit_pipeline(&[OpSpec::DecisionTreeClassifier { max_depth: 4 }], &x, &y);
     let model = compile(&pipe, &CompileOptions::default()).unwrap();
     let out = model.predict_proba(&x).unwrap();
-    assert!(out.iter().all(|v| (v - out.get(&[0, 0])).abs() < 1e-6 || v == 0.0));
+    assert!(out
+        .iter()
+        .all(|v| (v - out.get(&[0, 0])).abs() < 1e-6 || v == 0.0));
 }

@@ -83,13 +83,19 @@ fn isolation_forest_compiles_through_all_strategies() {
     });
     let forest = IsolationForest::fit(
         &x,
-        IsolationConfig { n_trees: 25, sample_size: 64, ..Default::default() },
+        IsolationConfig {
+            n_trees: 25,
+            sample_size: 64,
+            ..Default::default()
+        },
     );
     let want = forest.path_length(&x);
     let pipe = Pipeline::from_op(forest.ensemble.clone());
-    for strategy in
-        [TreeStrategy::Gemm, TreeStrategy::TreeTraversal, TreeStrategy::PerfectTreeTraversal]
-    {
+    for strategy in [
+        TreeStrategy::Gemm,
+        TreeStrategy::TreeTraversal,
+        TreeStrategy::PerfectTreeTraversal,
+    ] {
         let opts = CompileOptions {
             tree_strategy: strategy,
             optimize_pipeline: false,
@@ -128,10 +134,19 @@ fn extra_trees_pipeline_compiles_and_matches() {
     );
     let want = pipe.predict_proba(&x);
     for backend in Backend::ALL {
-        let model =
-            compile(&pipe, &CompileOptions { backend, ..Default::default() }).unwrap();
+        let model = compile(
+            &pipe,
+            &CompileOptions {
+                backend,
+                ..Default::default()
+            },
+        )
+        .unwrap();
         let got = model.predict_proba(&x).unwrap();
-        assert!(allclose(&got, &want, 1e-4, 1e-4), "{backend:?} diverged on extra-trees");
+        assert!(
+            allclose(&got, &want, 1e-4, 1e-4),
+            "{backend:?} diverged on extra-trees"
+        );
     }
 }
 
@@ -150,9 +165,10 @@ fn string_encoder_feeds_a_downstream_model() {
         &Targets::Classes(labels.clone()),
     );
     // Compiled string encoder replaces the imperative front-end.
-    let compiled_enc =
-        CompiledStringEncoder::compile(&enc, Backend::Compiled, Device::cpu());
-    let encoded = compiled_enc.transform(std::slice::from_ref(&colors)).unwrap();
+    let compiled_enc = CompiledStringEncoder::compile(&enc, Backend::Compiled, Device::cpu());
+    let encoded = compiled_enc
+        .transform(std::slice::from_ref(&colors))
+        .unwrap();
     assert_eq!(encoded.to_vec(), onehot.to_vec());
     let model = compile(&pipe, &CompileOptions::default()).unwrap();
     let pred = model.predict(&encoded).unwrap();

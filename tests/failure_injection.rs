@@ -3,7 +3,7 @@
 //! results silently.
 
 use hummingbird::backend::{Backend, Device, DeviceSpec, ExecError};
-use hummingbird::compiler::{compile, CompileOptions, TreeStrategy};
+use hummingbird::compiler::{compile, CompileOptions, HbError, TreeStrategy};
 use hummingbird::ml::forest::ForestConfig;
 use hummingbird::ml::linear::LinearConfig;
 use hummingbird::ml::metrics::allclose;
@@ -24,7 +24,10 @@ fn nan_inputs_propagate_identically_without_imputer() {
     let pipe = fit_pipeline(
         &[
             OpSpec::StandardScaler,
-            OpSpec::LogisticRegression(LinearConfig { epochs: 30, ..Default::default() }),
+            OpSpec::LogisticRegression(LinearConfig {
+                epochs: 30,
+                ..Default::default()
+            }),
         ],
         &x,
         &y,
@@ -37,7 +40,10 @@ fn nan_inputs_propagate_identically_without_imputer() {
     let got = model.predict_proba(&px).unwrap();
     // allclose treats NaN == NaN as equal.
     assert!(allclose(&got, &want, 1e-4, 1e-4));
-    assert!(want.iter().any(|v| v.is_nan()), "poison must actually reach the output");
+    assert!(
+        want.iter().any(|v| v.is_nan()),
+        "poison must actually reach the output"
+    );
 }
 
 #[test]
@@ -48,7 +54,10 @@ fn wrong_input_arity_is_rejected() {
     let exe = model.executable();
     assert!(matches!(exe.run(&[]), Err(ExecError::InputCount { .. })));
     let wrong = hummingbird::tensor::DynTensor::I64(Tensor::from_vec(vec![1i64], &[1]));
-    assert!(matches!(exe.run(&[wrong]), Err(ExecError::InputDType { .. })));
+    assert!(matches!(
+        exe.run(&[wrong]),
+        Err(ExecError::InputDType { .. })
+    ));
 }
 
 #[test]
@@ -63,7 +72,10 @@ fn simulated_oom_surfaces_as_error_not_corruption() {
         &x,
         &y,
     );
-    let tiny = DeviceSpec { mem_bytes: 10_000, ..hummingbird::backend::device::K80 };
+    let tiny = DeviceSpec {
+        mem_bytes: 10_000,
+        ..hummingbird::backend::device::K80
+    };
     let model = compile(
         &pipe,
         &CompileOptions {
@@ -74,7 +86,7 @@ fn simulated_oom_surfaces_as_error_not_corruption() {
     )
     .unwrap();
     match model.predict_proba(&x) {
-        Err(ExecError::DeviceOom { needed, capacity }) => {
+        Err(HbError::Exec(ExecError::DeviceOom { needed, capacity })) => {
             assert!(needed > capacity);
         }
         other => panic!("expected OOM, got {other:?}"),
@@ -98,18 +110,29 @@ fn extreme_feature_values_do_not_crash_strategies() {
     // Hummingbird limitation too). Finite extremes must be exact.
     let extreme = Tensor::from_vec(
         vec![
-            f32::MAX, f32::MIN, 0.0, -0.0, //
-            1e38, -1e38, 1e-38, -1e-38,
+            f32::MAX,
+            f32::MIN,
+            0.0,
+            -0.0, //
+            1e38,
+            -1e38,
+            1e-38,
+            -1e-38,
         ],
         &[2, 4],
     );
     let want = pipe.predict_proba(&extreme);
-    for strategy in
-        [TreeStrategy::Gemm, TreeStrategy::TreeTraversal, TreeStrategy::PerfectTreeTraversal]
-    {
+    for strategy in [
+        TreeStrategy::Gemm,
+        TreeStrategy::TreeTraversal,
+        TreeStrategy::PerfectTreeTraversal,
+    ] {
         let model = compile(
             &pipe,
-            &CompileOptions { tree_strategy: strategy, ..Default::default() },
+            &CompileOptions {
+                tree_strategy: strategy,
+                ..Default::default()
+            },
         )
         .unwrap();
         let got = model.predict_proba(&extreme).unwrap();
@@ -166,9 +189,189 @@ fn empty_feature_selection_does_not_panic() {
     // fail, but must not panic.
     let (x, y) = data(50, 4);
     let mut pipe = fit_pipeline(&[OpSpec::StandardScaler], &x, &y);
-    pipe.push(hummingbird::ml::select::FeatureSelector::from_indices(vec![], 4));
+    pipe.push(hummingbird::ml::select::FeatureSelector::from_indices(
+        vec![],
+        4,
+    ));
     let result = std::panic::catch_unwind(|| compile(&pipe, &CompileOptions::default()));
     assert!(result.is_ok(), "compile panicked on empty selection");
+}
+
+#[test]
+fn unseen_categories_at_serve_time_match_reference_on_all_backends() {
+    // OneHotEncoder is fit with handle_unknown="ignore" semantics:
+    // categories never seen in training encode to all-zeros. The
+    // compiled encoding must reproduce that exactly — not panic, not
+    // pick an arbitrary bucket.
+    let n = 60;
+    let x = Tensor::from_fn(&[n, 3], |i| ((i[0] * 5 + i[1]) % 4) as f32);
+    let y = Targets::Classes((0..n).map(|i| (i % 2) as i64).collect());
+    let pipe = fit_pipeline(
+        &[
+            OpSpec::OneHotEncoder,
+            OpSpec::LogisticRegression(LinearConfig {
+                epochs: 20,
+                ..Default::default()
+            }),
+        ],
+        &x,
+        &y,
+    );
+    // 99.0 and -7.5 were never seen during fitting.
+    let unseen = Tensor::from_vec(vec![99.0, 1.0, 2.0, -7.5, 0.0, 99.0], &[2, 3]);
+    let want = pipe.predict_proba(&unseen);
+    for backend in Backend::ALL {
+        let model = compile(
+            &pipe,
+            &CompileOptions {
+                backend,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let got = model.predict_proba(&unseen).unwrap();
+        assert!(
+            allclose(&got, &want, 1e-5, 1e-5),
+            "{} diverges from reference on unseen categories",
+            backend.label()
+        );
+    }
+}
+
+#[test]
+fn empty_batch_is_handled_without_panic_on_all_backends() {
+    let (x, y) = data(50, 4);
+    let pipe = fit_pipeline(
+        &[
+            OpSpec::StandardScaler,
+            OpSpec::LogisticRegression(LinearConfig {
+                epochs: 20,
+                ..Default::default()
+            }),
+        ],
+        &x,
+        &y,
+    );
+    let empty = Tensor::from_vec(Vec::<f32>::new(), &[0, 4]);
+    for backend in Backend::ALL {
+        let model = compile(
+            &pipe,
+            &CompileOptions {
+                backend,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let outcome =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| model.predict_proba(&empty)));
+        let result = outcome.unwrap_or_else(|_| panic!("{} panicked on n=0", backend.label()));
+        // Either a well-formed empty result or a typed error is fine;
+        // silent garbage or a panic is not.
+        if let Ok(out) = result {
+            assert_eq!(
+                out.shape()[0],
+                0,
+                "{} fabricated rows for n=0",
+                backend.label()
+            );
+        }
+    }
+}
+
+#[test]
+fn infinite_inputs_match_reference_on_all_backends() {
+    let (x, y) = data(50, 4);
+    let pipe = fit_pipeline(
+        &[
+            OpSpec::StandardScaler,
+            OpSpec::LogisticRegression(LinearConfig {
+                epochs: 20,
+                ..Default::default()
+            }),
+        ],
+        &x,
+        &y,
+    );
+    let inf = Tensor::from_vec(
+        vec![
+            f32::INFINITY,
+            1.0,
+            2.0,
+            3.0, //
+            0.5,
+            f32::NEG_INFINITY,
+            1.5,
+            2.5,
+        ],
+        &[2, 4],
+    );
+    // The imperative path is the spec: ±Inf flows through the affine
+    // scaler and the link function deterministically. The compiled
+    // graphs must agree bit-for-bit in NaN/Inf placement (allclose
+    // treats NaN == NaN as equal).
+    let want = pipe.predict_proba(&inf);
+    for backend in Backend::ALL {
+        let model = compile(
+            &pipe,
+            &CompileOptions {
+                backend,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let got = model.predict_proba(&inf).unwrap();
+        assert!(
+            allclose(&got, &want, 1e-5, 1e-5),
+            "{} diverges from reference on ±Inf inputs",
+            backend.label()
+        );
+    }
+}
+
+#[test]
+fn mismatched_feature_width_is_a_typed_error_on_all_backends() {
+    let (x, y) = data(50, 4);
+    let pipe = fit_pipeline(
+        &[
+            OpSpec::StandardScaler,
+            OpSpec::LogisticRegression(LinearConfig {
+                epochs: 20,
+                ..Default::default()
+            }),
+        ],
+        &x,
+        &y,
+    );
+    let narrow = Tensor::from_fn(&[3, 3], |i| (i[0] + i[1]) as f32);
+    let high_rank = Tensor::from_fn(&[3, 2, 2], |i| (i[0] + i[1] + i[2]) as f32);
+    for backend in Backend::ALL {
+        let model = compile(
+            &pipe,
+            &CompileOptions {
+                backend,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            (
+                model.predict_proba(&narrow),
+                model.predict_proba(&high_rank),
+            )
+        }));
+        let (w, r) =
+            outcome.unwrap_or_else(|_| panic!("{} panicked on bad width", backend.label()));
+        assert!(
+            matches!(w, Err(HbError::BadRequest(_))),
+            "{}: wrong width must be BadRequest, got {w:?}",
+            backend.label()
+        );
+        assert!(
+            matches!(r, Err(HbError::BadRequest(_))),
+            "{}: wrong rank must be BadRequest, got {r:?}",
+            backend.label()
+        );
+    }
 }
 
 #[test]
@@ -199,13 +402,22 @@ fn nan_routing_in_trees_is_consistent_across_all_paths() {
     }
     let px = Tensor::from_vec(poisoned, &[10, 4]);
     let want = ensemble.predict_proba(&px);
-    assert!(want.iter().all(|v| !v.is_nan()), "trees must absorb NaN inputs");
+    assert!(
+        want.iter().all(|v| !v.is_nan()),
+        "trees must absorb NaN inputs"
+    );
     let onnx = hummingbird::ml::baselines::OnnxLikeForest::new(&ensemble).predict_batch(&px);
     assert_eq!(onnx.to_vec(), want.to_vec());
-    for strategy in [TreeStrategy::TreeTraversal, TreeStrategy::PerfectTreeTraversal] {
+    for strategy in [
+        TreeStrategy::TreeTraversal,
+        TreeStrategy::PerfectTreeTraversal,
+    ] {
         let model = compile(
             &pipe,
-            &CompileOptions { tree_strategy: strategy, ..Default::default() },
+            &CompileOptions {
+                tree_strategy: strategy,
+                ..Default::default()
+            },
         )
         .unwrap();
         let got = model.predict_proba(&px).unwrap();
@@ -224,9 +436,15 @@ fn nan_routing_in_trees_is_consistent_across_all_paths() {
     // tree.
     let gemm = compile(
         &pipe,
-        &CompileOptions { tree_strategy: TreeStrategy::Gemm, ..Default::default() },
+        &CompileOptions {
+            tree_strategy: TreeStrategy::Gemm,
+            ..Default::default()
+        },
     )
     .unwrap();
     let got = gemm.predict_proba(&px).unwrap();
-    assert!(got.iter().all(|v| !v.is_nan()), "GEMM leaked NaN into probabilities");
+    assert!(
+        got.iter().all(|v| !v.is_nan()),
+        "GEMM leaked NaN into probabilities"
+    );
 }

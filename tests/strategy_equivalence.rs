@@ -63,9 +63,11 @@ fn random_tree(
 fn check_strategies(ensemble: TreeEnsemble, x: Tensor<f32>) {
     let want = ensemble.predict_proba(&x);
     let pipe = Pipeline::from_op(ensemble);
-    for strategy in
-        [TreeStrategy::Gemm, TreeStrategy::TreeTraversal, TreeStrategy::PerfectTreeTraversal]
-    {
+    for strategy in [
+        TreeStrategy::Gemm,
+        TreeStrategy::TreeTraversal,
+        TreeStrategy::PerfectTreeTraversal,
+    ] {
         let opts = CompileOptions {
             tree_strategy: strategy,
             optimize_pipeline: false,

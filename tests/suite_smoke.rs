@@ -27,7 +27,11 @@ fn suite_pipelines_fit_compile_and_validate() {
             Err(e) => panic!("task {i} failed to compile: {e}"),
         }
     }
-    assert_eq!(compiled_ok, tasks.len(), "every suite pipeline must compile");
+    assert_eq!(
+        compiled_ok,
+        tasks.len(),
+        "every suite pipeline must compile"
+    );
 }
 
 #[test]

@@ -1,0 +1,156 @@
+//! Minimal offline stand-in for `criterion`.
+//!
+//! Provides just enough API for the workspace's benches to compile and
+//! run under `cargo bench`: [`Criterion`], benchmark groups,
+//! [`BenchmarkId`], `b.iter(..)`, and the `criterion_group!` /
+//! `criterion_main!` macros. Measurement is a fixed number of timed
+//! iterations with the mean printed — no statistics, plots, or reports.
+
+// Vendored stand-in: exempt from the workspace unwrap/expect ban.
+#![allow(clippy::disallowed_methods)]
+
+use std::fmt;
+use std::time::Instant;
+
+/// Re-export point for `std::hint::black_box` under criterion's name.
+pub use std::hint::black_box;
+
+/// Identifier combining a function name and a parameter label.
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// `BenchmarkId::new("fn", param)`.
+    pub fn new(function: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            name: format!("{}/{}", function.into(), parameter),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.name)
+    }
+}
+
+/// Timing handle passed to benchmark closures.
+pub struct Bencher {
+    iters: u64,
+    mean_ns: f64,
+}
+
+impl Bencher {
+    /// Times `f` over a fixed number of iterations.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        // One warm-up, then timed runs.
+        black_box(f());
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.mean_ns = start.elapsed().as_nanos() as f64 / self.iters as f64;
+    }
+}
+
+/// A named group of benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a Criterion,
+    name: String,
+    sample_size: u64,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the iteration count (criterion's statistical sample size is
+    /// reinterpreted as plain iterations here).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n as u64;
+        self
+    }
+
+    /// Measurement-time hint; accepted and ignored.
+    pub fn measurement_time(&mut self, _d: std::time::Duration) -> &mut Self {
+        self
+    }
+
+    fn run(&self, label: impl fmt::Display, f: impl FnOnce(&mut Bencher)) {
+        let mut b = Bencher {
+            iters: self.sample_size.min(self.criterion.max_iters),
+            mean_ns: 0.0,
+        };
+        f(&mut b);
+        println!("{}/{}: {:.1} ns/iter", self.name, label, b.mean_ns);
+    }
+
+    /// Benchmarks `f` under `id`.
+    pub fn bench_function<F: FnOnce(&mut Bencher)>(&mut self, id: impl fmt::Display, f: F) {
+        self.run(id, f);
+    }
+
+    /// Benchmarks `f` with an input value.
+    pub fn bench_with_input<I, F: FnOnce(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        f: F,
+    ) {
+        self.run(id, |b| f(b, input));
+    }
+
+    /// Ends the group.
+    pub fn finish(&mut self) {}
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    max_iters: u64,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { max_iters: 30 }
+    }
+}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 10,
+        }
+    }
+
+    /// Benchmarks a single function outside a group.
+    pub fn bench_function<F: FnOnce(&mut Bencher)>(&mut self, id: impl fmt::Display, f: F) {
+        let mut b = Bencher {
+            iters: 10,
+            mean_ns: 0.0,
+        };
+        f(&mut b);
+        println!("{}: {:.1} ns/iter", id, b.mean_ns);
+    }
+}
+
+/// Declares a benchmark group function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

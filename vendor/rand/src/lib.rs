@@ -1,0 +1,301 @@
+//! Minimal offline stand-in for the `rand` crate.
+//!
+//! The build environment has no network access and no crates-io mirror, so
+//! this in-tree crate provides the (small) slice of the `rand 0.8` API the
+//! workspace actually uses: a seedable deterministic generator, uniform
+//! ranges, booleans, slice shuffling, and index sampling. The generator is
+//! xoshiro256++ seeded via SplitMix64 — statistically solid for synthetic
+//! data generation and property tests, and fully deterministic per seed.
+
+// Vendored stand-in: exempt from the workspace unwrap/expect ban.
+#![allow(clippy::disallowed_methods)]
+
+use std::ops::{Range, RangeInclusive};
+
+/// Core random source: 64-bit output.
+pub trait RngCore {
+    /// Next raw 64-bit value.
+    fn next_u64(&mut self) -> u64;
+
+    /// Next raw 32-bit value.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// Seedable construction (only `seed_from_u64` is provided).
+pub trait SeedableRng: Sized {
+    /// Builds a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// xoshiro256++ state.
+#[derive(Clone, Debug)]
+pub struct StdRng {
+    s: [u64; 4],
+}
+
+impl SeedableRng for StdRng {
+    fn seed_from_u64(seed: u64) -> Self {
+        // SplitMix64 expansion of the seed into the full state.
+        let mut x = seed;
+        let mut next = || {
+            x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = x;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        };
+        StdRng {
+            s: [next(), next(), next(), next()],
+        }
+    }
+}
+
+impl RngCore for StdRng {
+    fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+}
+
+/// A type a uniform sample can be drawn from (ranges of the primitive
+/// numeric types the workspace uses).
+pub trait SampleRange<T> {
+    /// Draws one uniform sample from the range.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+/// Primitives that support uniform range sampling. The `SampleRange`
+/// impls are generic over this trait (like the real crate's), so a
+/// float-literal range like `-0.8..0.8` unifies with the surrounding
+/// expression's type instead of defaulting to `f64`.
+pub trait SampleUniform: PartialOrd + Copy + std::fmt::Debug {
+    /// Uniform sample from `[lo, hi)`.
+    fn sample_half_open<R: RngCore + ?Sized>(lo: Self, hi: Self, rng: &mut R) -> Self;
+    /// Uniform sample from `[lo, hi]`.
+    fn sample_inclusive<R: RngCore + ?Sized>(lo: Self, hi: Self, rng: &mut R) -> Self;
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        assert!(
+            self.start < self.end,
+            "cannot sample empty range {:?}..{:?}",
+            self.start,
+            self.end
+        );
+        T::sample_half_open(self.start, self.end, rng)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "cannot sample empty range {lo:?}..={hi:?}");
+        T::sample_inclusive(lo, hi, rng)
+    }
+}
+
+/// Uniform f64 in `[0, 1)`.
+fn unit_f64<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+    (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+}
+
+macro_rules! float_uniform {
+    ($t:ty) => {
+        impl SampleUniform for $t {
+            fn sample_half_open<R: RngCore + ?Sized>(lo: $t, hi: $t, rng: &mut R) -> $t {
+                lo + (unit_f64(rng) as $t) * (hi - lo)
+            }
+            fn sample_inclusive<R: RngCore + ?Sized>(lo: $t, hi: $t, rng: &mut R) -> $t {
+                lo + (unit_f64(rng) as $t) * (hi - lo)
+            }
+        }
+    };
+}
+float_uniform!(f32);
+float_uniform!(f64);
+
+macro_rules! int_uniform {
+    ($t:ty) => {
+        impl SampleUniform for $t {
+            fn sample_half_open<R: RngCore + ?Sized>(lo: $t, hi: $t, rng: &mut R) -> $t {
+                let span = (hi as i128 - lo as i128) as u128;
+                lo + (rng.next_u64() as u128 % span) as $t
+            }
+            fn sample_inclusive<R: RngCore + ?Sized>(lo: $t, hi: $t, rng: &mut R) -> $t {
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                lo + (rng.next_u64() as u128 % span) as $t
+            }
+        }
+    };
+}
+int_uniform!(usize);
+int_uniform!(u64);
+int_uniform!(u32);
+int_uniform!(i64);
+int_uniform!(i32);
+int_uniform!(u8);
+
+/// Convenience sampling methods, blanket-implemented for any core.
+pub trait Rng: RngCore {
+    /// Uniform sample from `range`.
+    fn gen_range<T, S: SampleRange<T>>(&mut self, range: S) -> T
+    where
+        Self: Sized,
+    {
+        range.sample_single(self)
+    }
+
+    /// Bernoulli draw with success probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        unit_f64(self) < p
+    }
+}
+
+impl<R: RngCore> Rng for R {}
+
+/// Sequence helpers (`shuffle`, index sampling).
+pub mod seq {
+    use super::{Rng, RngCore};
+
+    /// In-place shuffling and element choice for slices.
+    pub trait SliceRandom {
+        /// Element type of the sequence.
+        type Item;
+
+        /// Fisher–Yates shuffle.
+        fn shuffle<R: RngCore>(&mut self, rng: &mut R);
+
+        /// Uniformly random element, `None` if empty.
+        fn choose<R: RngCore>(&self, rng: &mut R) -> Option<&Self::Item>;
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn shuffle<R: RngCore>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = rng.gen_range(0..=i);
+                self.swap(i, j);
+            }
+        }
+
+        fn choose<R: RngCore>(&self, rng: &mut R) -> Option<&T> {
+            if self.is_empty() {
+                None
+            } else {
+                Some(&self[rng.gen_range(0..self.len())])
+            }
+        }
+    }
+
+    /// `rand::seq::index` — sampling distinct indices.
+    pub mod index {
+        use super::super::{Rng, RngCore};
+
+        /// A set of sampled indices.
+        #[derive(Clone, Debug)]
+        pub struct IndexVec(Vec<usize>);
+
+        impl IndexVec {
+            /// Iterates the sampled indices.
+            pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+                self.0.iter().copied()
+            }
+
+            /// Consumes into a plain vector.
+            pub fn into_vec(self) -> Vec<usize> {
+                self.0
+            }
+        }
+
+        /// Samples `amount` distinct indices from `0..length` via a
+        /// partial Fisher–Yates pass.
+        pub fn sample<R: RngCore>(rng: &mut R, length: usize, amount: usize) -> IndexVec {
+            assert!(
+                amount <= length,
+                "cannot sample {amount} indices from 0..{length}"
+            );
+            let mut pool: Vec<usize> = (0..length).collect();
+            for i in 0..amount {
+                let j = rng.gen_range(i..length);
+                pool.swap(i, j);
+            }
+            pool.truncate(amount);
+            IndexVec(pool)
+        }
+    }
+}
+
+/// `rand::rngs` namespace compatibility.
+pub mod rngs {
+    pub use super::StdRng;
+}
+
+/// The common imports.
+pub mod prelude {
+    pub use super::seq::SliceRandom;
+    pub use super::{Rng, RngCore, SampleRange, SeedableRng, StdRng};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let f: f32 = rng.gen_range(-0.1..0.1);
+            assert!((-0.1..0.1).contains(&f));
+            let u: usize = rng.gen_range(3..17);
+            assert!((3..17).contains(&u));
+            let v: usize = rng.gen_range(2..=4);
+            assert!((2..=4).contains(&v));
+        }
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut v: Vec<usize> = (0..50).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn index_sample_distinct() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let idx = super::seq::index::sample(&mut rng, 100, 10).into_vec();
+        assert_eq!(idx.len(), 10);
+        let mut sorted = idx.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 10);
+        assert!(idx.iter().all(|&i| i < 100));
+    }
+}

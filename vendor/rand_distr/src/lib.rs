@@ -1,0 +1,111 @@
+//! Minimal offline stand-in for `rand_distr`: the [`Normal`] distribution
+//! (the only one the workspace uses), sampled with the Box–Muller
+//! transform.
+
+// Vendored stand-in: exempt from the workspace unwrap/expect ban.
+#![allow(clippy::disallowed_methods)]
+
+use rand::RngCore;
+
+/// Types that can be sampled given a random source.
+pub trait Distribution<T> {
+    /// Draws one sample.
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// Error constructing a distribution.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct NormalError;
+
+impl std::fmt::Display for NormalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid normal-distribution parameters")
+    }
+}
+
+impl std::error::Error for NormalError {}
+
+/// Gaussian distribution with the given mean and standard deviation.
+#[derive(Clone, Copy, Debug)]
+pub struct Normal<F> {
+    mean: F,
+    std_dev: F,
+}
+
+/// Uniform f64 in `(0, 1]` (open at zero so `ln` is finite).
+fn unit_open<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+    (((rng.next_u64() >> 11) + 1) as f64) / (1u64 << 53) as f64
+}
+
+/// Float types [`Normal`] can produce. Mirrors `rand_distr::Float` just
+/// enough that `Normal::new(0.0f32, 1.0)` infers a unique `F`.
+pub trait NormalFloat: Copy {
+    /// Lossy conversion from `f64` (the internal sampling precision).
+    fn from_f64(v: f64) -> Self;
+    /// Lossless widening to `f64`.
+    fn to_f64(self) -> f64;
+}
+
+impl NormalFloat for f32 {
+    fn from_f64(v: f64) -> f32 {
+        v as f32
+    }
+    fn to_f64(self) -> f64 {
+        self as f64
+    }
+}
+
+impl NormalFloat for f64 {
+    fn from_f64(v: f64) -> f64 {
+        v
+    }
+    fn to_f64(self) -> f64 {
+        self
+    }
+}
+
+impl<F: NormalFloat> Normal<F> {
+    /// Creates the distribution; `std_dev` must be finite and
+    /// non-negative.
+    pub fn new(mean: F, std_dev: F) -> Result<Self, NormalError> {
+        let (m, s) = (mean.to_f64(), std_dev.to_f64());
+        if s.is_finite() && s >= 0.0 && m.is_finite() {
+            Ok(Normal { mean, std_dev })
+        } else {
+            Err(NormalError)
+        }
+    }
+}
+
+impl<F: NormalFloat> Distribution<F> for Normal<F> {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> F {
+        let u1 = unit_open(rng);
+        let u2 = unit_open(rng);
+        let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+        F::from_f64(self.mean.to_f64() + self.std_dev.to_f64() * z)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::prelude::*;
+
+    #[test]
+    fn moments_are_roughly_right() {
+        let normal = Normal::new(2.0f32, 3.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(11);
+        let n = 20_000;
+        let samples: Vec<f32> = (0..n).map(|_| normal.sample(&mut rng)).collect();
+        let mean = samples.iter().sum::<f32>() / n as f32;
+        let var = samples.iter().map(|s| (s - mean) * (s - mean)).sum::<f32>() / n as f32;
+        assert!((mean - 2.0).abs() < 0.1, "mean {mean}");
+        assert!((var.sqrt() - 3.0).abs() < 0.1, "std {}", var.sqrt());
+    }
+
+    #[test]
+    fn rejects_bad_params() {
+        assert!(Normal::new(0.0f32, -1.0).is_err());
+        assert!(Normal::new(f32::NAN, 1.0).is_err());
+    }
+}

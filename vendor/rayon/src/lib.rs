@@ -1,0 +1,252 @@
+//! Minimal offline stand-in for `rayon`.
+//!
+//! The build environment has no crates-io access, so this crate implements
+//! the subset of the rayon API the workspace uses, backed by
+//! `std::thread::scope`:
+//!
+//! * `slice.par_chunks_mut(n).enumerate().for_each(f)` — the hot kernel
+//!   pattern (matmul, element-wise, gather, fused kernels) — runs on a
+//!   work-stealing-ish pool of scoped threads pulling chunks from a shared
+//!   queue;
+//! * `par_iter()` / `into_par_iter()` — degrade to ordinary sequential
+//!   iterators (their call sites are either cold or fall-back paths);
+//! * [`ThreadPool`] / [`ThreadPoolBuilder`] — `install` scopes a
+//!   thread-count override so `num_threads(1)` pools genuinely pin work to
+//!   one thread (the benchmark harness relies on this).
+//!
+//! Panics inside parallel closures propagate to the caller via
+//! `std::thread::scope`'s join, preserving `catch_unwind` semantics in
+//! tests.
+
+// Vendored stand-in: exempt from the workspace unwrap/expect ban.
+#![allow(clippy::disallowed_methods)]
+
+use std::cell::Cell;
+
+thread_local! {
+    /// Thread-count override installed by [`ThreadPool::install`];
+    /// 0 means "no override".
+    static POOL_WIDTH: Cell<usize> = const { Cell::new(0) };
+}
+
+/// Number of threads parallel operations will use on this thread.
+pub fn current_num_threads() -> usize {
+    let forced = POOL_WIDTH.with(Cell::get);
+    if forced > 0 {
+        forced
+    } else {
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+    }
+}
+
+/// Error building a thread pool (never produced by this stand-in).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "failed to build thread pool")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// A logical pool: a thread-count cap that [`ThreadPool::install`] scopes
+/// around closures.
+#[derive(Debug)]
+pub struct ThreadPool {
+    n: usize,
+}
+
+impl ThreadPool {
+    /// Runs `f` with this pool's thread count in effect.
+    pub fn install<R, F: FnOnce() -> R>(&self, f: F) -> R {
+        let prev = POOL_WIDTH.with(|w| w.replace(self.n));
+        struct Reset(usize);
+        impl Drop for Reset {
+            fn drop(&mut self) {
+                POOL_WIDTH.with(|w| w.set(self.0));
+            }
+        }
+        let _reset = Reset(prev);
+        f()
+    }
+
+    /// The pool's thread count.
+    pub fn current_num_threads(&self) -> usize {
+        self.n
+    }
+}
+
+/// Builder mirroring `rayon::ThreadPoolBuilder`.
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    n: Option<usize>,
+}
+
+impl ThreadPoolBuilder {
+    /// New builder with default thread count.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Caps the pool at `n` threads (0 = default).
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.n = if n == 0 { None } else { Some(n) };
+        self
+    }
+
+    /// Builds the pool.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        let n = self.n.unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1)
+        });
+        Ok(ThreadPool { n })
+    }
+}
+
+/// Runs `f` over every item, distributing items across scoped threads.
+/// Sequential when one thread suffices. Panics in `f` propagate.
+fn run_parallel<I: Send, F: Fn(I) + Send + Sync>(items: Vec<I>, f: F) {
+    let workers = current_num_threads().min(items.len());
+    if workers <= 1 {
+        items.into_iter().for_each(f);
+        return;
+    }
+    let queue = std::sync::Mutex::new(items.into_iter());
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let item = queue.lock().expect("parallel work queue poisoned").next();
+                match item {
+                    Some(item) => f(item),
+                    None => break,
+                }
+            });
+        }
+    });
+}
+
+/// Parallel mutable chunk iterator (only `enumerate().for_each` and plain
+/// `for_each` are supported — the patterns the workspace uses).
+pub struct ParChunksMut<'a, T: Send> {
+    chunks: Vec<&'a mut [T]>,
+}
+
+impl<'a, T: Send> ParChunksMut<'a, T> {
+    /// Pairs each chunk with its index.
+    pub fn enumerate(self) -> ParChunksMutEnumerate<'a, T> {
+        ParChunksMutEnumerate { inner: self }
+    }
+
+    /// Applies `f` to every chunk in parallel.
+    pub fn for_each<F: Fn(&mut [T]) + Send + Sync>(self, f: F) {
+        run_parallel(self.chunks, f);
+    }
+}
+
+/// Enumerated variant of [`ParChunksMut`].
+pub struct ParChunksMutEnumerate<'a, T: Send> {
+    inner: ParChunksMut<'a, T>,
+}
+
+impl<'a, T: Send> ParChunksMutEnumerate<'a, T> {
+    /// Applies `f` to every `(index, chunk)` pair in parallel.
+    pub fn for_each<F: Fn((usize, &mut [T])) + Send + Sync>(self, f: F) {
+        run_parallel(self.inner.chunks.into_iter().enumerate().collect(), f);
+    }
+}
+
+/// Slice extension providing `par_chunks_mut` / `par_iter`.
+pub trait ParallelSlice<T: Send> {
+    /// Splits into chunks of at most `size` for parallel mutation.
+    fn par_chunks_mut(&mut self, size: usize) -> ParChunksMut<'_, T>;
+
+    /// "Parallel" shared iterator — sequential in this stand-in, which
+    /// keeps the std `zip`/`map`/`collect` adapters available unchanged.
+    fn par_iter(&self) -> std::slice::Iter<'_, T>;
+}
+
+impl<T: Send> ParallelSlice<T> for [T] {
+    fn par_chunks_mut(&mut self, size: usize) -> ParChunksMut<'_, T> {
+        assert!(size > 0, "par_chunks_mut: chunk size must be non-zero");
+        ParChunksMut {
+            chunks: self.chunks_mut(size).collect(),
+        }
+    }
+
+    fn par_iter(&self) -> std::slice::Iter<'_, T> {
+        self.iter()
+    }
+}
+
+/// Conversion into a "parallel" iterator — sequential in this stand-in.
+pub trait IntoParallelIterator {
+    /// The underlying iterator type.
+    type Iter: Iterator;
+
+    /// Converts into an iterator usable with std adapters.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl IntoParallelIterator for std::ops::Range<usize> {
+    type Iter = std::ops::Range<usize>;
+    fn into_par_iter(self) -> Self::Iter {
+        self
+    }
+}
+
+impl<T> IntoParallelIterator for Vec<T> {
+    type Iter = std::vec::IntoIter<T>;
+    fn into_par_iter(self) -> Self::Iter {
+        self.into_iter()
+    }
+}
+
+/// The usual glob import.
+pub mod prelude {
+    pub use super::{IntoParallelIterator, ParallelSlice};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn par_chunks_mut_touches_every_chunk() {
+        let mut data = vec![0usize; 1000];
+        data.par_chunks_mut(7).enumerate().for_each(|(i, chunk)| {
+            for v in chunk.iter_mut() {
+                *v = i + 1;
+            }
+        });
+        assert!(data.iter().all(|&v| v > 0));
+        assert_eq!(data[0], 1);
+        assert_eq!(data[999], 1000usize.div_ceil(7));
+    }
+
+    #[test]
+    fn install_pins_thread_count() {
+        let pool = super::ThreadPoolBuilder::new()
+            .num_threads(1)
+            .build()
+            .unwrap();
+        assert_eq!(pool.install(super::current_num_threads), 1);
+        assert!(super::current_num_threads() >= 1);
+    }
+
+    #[test]
+    fn panics_propagate() {
+        let caught = std::panic::catch_unwind(|| {
+            let mut data = vec![0u8; 64];
+            data.par_chunks_mut(4)
+                .enumerate()
+                .for_each(|(i, _)| assert!(i < 3, "boom"));
+        });
+        assert!(caught.is_err());
+    }
+}
