@@ -3,6 +3,7 @@
 use hb_tensor::{DType, DynTensor};
 
 use crate::op::Op;
+use crate::verify::{ShapeFact, SymDim};
 
 /// Identifier of a node within a [`Graph`] (its position in `nodes`).
 pub type NodeId = usize;
@@ -28,17 +29,59 @@ pub struct Graph {
     pub outputs: Vec<NodeId>,
     /// Dtype of each graph input slot.
     pub input_dtypes: Vec<DType>,
+    /// Declared symbolic shape of each graph input slot, parallel to
+    /// `input_dtypes`; [`ShapeFact::Any`] for undeclared slots. The
+    /// static verifier seeds shape propagation from these.
+    pub input_shapes: Vec<ShapeFact>,
 }
 
-hb_json::json_struct!(Graph {
-    nodes,
-    outputs,
-    input_dtypes
-});
+// Hand-written (rather than `json_struct!`) so `input_shapes` stays
+// optional in the artifact: graphs exported before shape declarations
+// existed still parse, defaulting every slot to `ShapeFact::Any`.
+impl hb_json::ToJson for Graph {
+    fn to_json(&self) -> hb_json::Json {
+        hb_json::Json::Obj(vec![
+            ("nodes".to_string(), self.nodes.to_json()),
+            ("outputs".to_string(), self.outputs.to_json()),
+            ("input_dtypes".to_string(), self.input_dtypes.to_json()),
+            ("input_shapes".to_string(), self.input_shapes.to_json()),
+        ])
+    }
+}
+
+impl hb_json::FromJson for Graph {
+    fn from_json(v: &hb_json::Json) -> Result<Self, hb_json::JsonError> {
+        let pairs = v.expect_obj("Graph")?;
+        let nodes: Vec<Node> = hb_json::field(pairs, "nodes", "Graph")?;
+        let outputs: Vec<NodeId> = hb_json::field(pairs, "outputs", "Graph")?;
+        let input_dtypes: Vec<DType> = hb_json::field(pairs, "input_dtypes", "Graph")?;
+        let input_shapes = match v.get("input_shapes") {
+            Some(shapes) => {
+                let shapes: Vec<ShapeFact> = hb_json::FromJson::from_json(shapes)
+                    .map_err(|e| hb_json::JsonError::Schema(format!("Graph.input_shapes: {e}")))?;
+                if shapes.len() != input_dtypes.len() {
+                    return Err(hb_json::JsonError::Schema(format!(
+                        "Graph.input_shapes has {} entries for {} input slots",
+                        shapes.len(),
+                        input_dtypes.len()
+                    )));
+                }
+                shapes
+            }
+            None => vec![ShapeFact::Any; input_dtypes.len()],
+        };
+        Ok(Graph {
+            nodes,
+            outputs,
+            input_dtypes,
+            input_shapes,
+        })
+    }
+}
 
 /// Structural defect found while validating a graph, typically one
 /// deserialized from an untrusted artifact.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum GraphError {
     /// The artifact was not valid JSON or did not match the schema.
     Artifact(String),
@@ -83,13 +126,39 @@ pub enum GraphError {
         /// Human-readable description of the mismatch.
         detail: String,
     },
-    /// A `Reshape` target is malformed (multiple `-1`s, negative dims, or
-    /// an element-count product that overflows).
+    /// A `Reshape` target is malformed (multiple `-1`s, negative dims,
+    /// an element-count product that overflows, or a target that the
+    /// verifier proves cannot match the input's element count).
     BadReshape {
         /// Offending node.
         node: NodeId,
         /// Human-readable description of the defect.
         detail: String,
+    },
+    /// The static verifier proved the node's operand shapes incompatible
+    /// with its operator for some batch size (bad broadcast,
+    /// non-conformable matmul/gather, illegal axis, …).
+    ShapeMismatch {
+        /// Offending node.
+        node: NodeId,
+        /// Operator label (payloads elided).
+        op: String,
+        /// Inferred operand shapes, in operator order.
+        operands: Vec<ShapeFact>,
+        /// Human-readable description of the mismatch.
+        detail: String,
+    },
+    /// A compile-time index (a `Const` gather operand or `IndexSelect`
+    /// position) falls outside the indexed dimension.
+    IndexOutOfRange {
+        /// Offending node.
+        node: NodeId,
+        /// Operator label.
+        op: String,
+        /// The offending index value.
+        index: i64,
+        /// The dimension it must stay below.
+        bound: SymDim,
     },
 }
 
@@ -123,6 +192,29 @@ impl std::fmt::Display for GraphError {
             }
             GraphError::BadReshape { node, detail } => {
                 write!(f, "node {node}: bad reshape: {detail}")
+            }
+            GraphError::ShapeMismatch {
+                node,
+                op,
+                operands,
+                detail,
+            } => {
+                write!(f, "node {node} ({op}): shape mismatch: {detail} (operands:")?;
+                for s in operands {
+                    write!(f, " {s}")?;
+                }
+                write!(f, ")")
+            }
+            GraphError::IndexOutOfRange {
+                node,
+                op,
+                index,
+                bound,
+            } => {
+                write!(
+                    f,
+                    "node {node} ({op}): constant index {index} out of range for dimension {bound}"
+                )
             }
         }
     }
@@ -439,20 +531,41 @@ impl Graph {
     }
 
     /// Parses a graph exported by [`Graph::to_json`], treating it as
-    /// untrusted: structural invariants (topological order — which
-    /// excludes cycles and out-of-range ids — arity, input slots, output
-    /// range, reshape sanity) and static dtype consistency are all
-    /// checked, so a malformed or hostile artifact yields a typed
-    /// [`GraphError`] and can never panic downstream evaluation.
+    /// untrusted: the full static verifier runs — structural invariants
+    /// (topological order — which excludes cycles and out-of-range ids —
+    /// arity, input slots, output range, reshape sanity), static dtype
+    /// consistency, and symbolic shape propagation ([`Graph::verify`]) —
+    /// so a malformed or hostile artifact yields a typed [`GraphError`]
+    /// and can never panic downstream evaluation.
     ///
     /// # Errors
     ///
     /// Returns [`GraphError`] describing the first defect found.
     pub fn from_json(json: &str) -> Result<Graph, GraphError> {
         let g: Graph = hb_json::from_str(json)?;
-        g.try_validate()?;
-        g.check_dtypes()?;
+        g.verify()?;
         Ok(g)
+    }
+
+    /// Parses a graph artifact *without* verifying it — for audit tools
+    /// (`hb-lint`) that want to load a defective graph and report its
+    /// defects themselves. Never hand the result to an executor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::Artifact`] when the JSON does not parse or
+    /// does not match the schema.
+    pub fn from_json_unchecked(json: &str) -> Result<Graph, GraphError> {
+        Ok(hb_json::from_str::<Graph>(json)?)
+    }
+
+    /// The declared shape of input slot `slot` ([`ShapeFact::Any`] when
+    /// undeclared).
+    pub fn input_shape(&self, slot: usize) -> ShapeFact {
+        self.input_shapes
+            .get(slot)
+            .cloned()
+            .unwrap_or(ShapeFact::Any)
     }
 
     /// Total bytes of constant (model-parameter) tensors embedded in the
@@ -508,11 +621,32 @@ impl GraphBuilder {
         Self::default()
     }
 
-    /// Registers a graph input of the given dtype and returns its node.
+    /// Registers a graph input of the given dtype (and unknown shape)
+    /// and returns its node.
     pub fn input(&mut self, dtype: DType) -> NodeId {
+        self.input_with_shape(dtype, ShapeFact::Any)
+    }
+
+    /// Registers a graph input with a declared symbolic shape; the
+    /// static verifier propagates it through the graph.
+    pub fn input_with_shape(&mut self, dtype: DType, shape: ShapeFact) -> NodeId {
         let slot = self.graph.input_dtypes.len();
         self.graph.input_dtypes.push(dtype);
+        self.graph.input_shapes.push(shape);
         self.push(Op::Input(slot), vec![])
+    }
+
+    /// Declares (or replaces) the symbolic shape of an already-registered
+    /// input node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not an `Input` node of this builder.
+    pub fn set_input_shape(&mut self, id: NodeId, shape: ShapeFact) {
+        let Some(Op::Input(slot)) = self.graph.nodes.get(id).map(|n| &n.op) else {
+            panic!("node {id} is not a graph input");
+        };
+        self.graph.input_shapes[*slot] = shape;
     }
 
     /// Embeds a constant tensor.

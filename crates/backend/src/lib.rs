@@ -18,6 +18,10 @@
 //! performance model — results are always computed on the CPU, while
 //! latency and device-memory pressure are derived analytically per kernel.
 
+// Pure-safe-Rust policy: every crate in this workspace is 100% safe
+// Rust; see DESIGN.md ("Unsafe-code policy").
+#![forbid(unsafe_code)]
+
 pub mod device;
 pub mod exec;
 pub mod fault;
@@ -25,12 +29,14 @@ pub mod fuse;
 pub mod graph;
 pub mod op;
 pub mod optimize;
+pub mod verify;
 
 pub use device::{Device, DeviceSpec};
 pub use exec::{ExecError, Executable, RunStats};
 pub use fault::{FaultPlan, FaultScope};
 pub use graph::{Graph, GraphBuilder, GraphError, NodeId};
 pub use op::Op;
+pub use verify::{GraphSignature, ShapeFact, SymDim};
 
 /// Which execution backend a graph is lowered to.
 ///

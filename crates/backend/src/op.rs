@@ -12,6 +12,8 @@ use std::sync::Arc;
 use hb_tensor::{DType, DynTensor, Tensor};
 
 use crate::fuse::FusedKernel;
+use crate::graph::{GraphError, NodeId};
+use crate::verify::{broadcast_dims, broadcast_facts, unify_eq, ShapeFact, SymDim};
 
 /// A single tensor operation in a [`crate::Graph`].
 #[derive(Clone, Debug)]
@@ -493,6 +495,519 @@ impl Op {
             other => Some(format!("{other:?}")),
         }
     }
+
+    /// Short operator label for diagnostics; constants and fused kernels
+    /// elide their payloads.
+    pub fn label(&self) -> String {
+        match self {
+            Op::Const(v) => format!("Const({:?}{:?})", v.dtype(), v.shape()),
+            Op::Fused(k) => format!("Fused({} inputs)", k.n_inputs),
+            other => format!("{other:?}"),
+        }
+    }
+
+    /// Infers the node's symbolic output shape from its operands',
+    /// proving broadcast legality, matmul/gather conformability, reshape
+    /// resolution, and compile-time index ranges along the way.
+    ///
+    /// `ins` and `in_consts` run parallel to the node's operands
+    /// (`in_consts[i]` is the operand's value when it is a `Const`
+    /// node, enabling static index-range checks); `graph_inputs` is the
+    /// graph's declared per-slot input shape. Unknown dims and
+    /// [`ShapeFact::Any`] operands absorb every check, so the verifier
+    /// only reports *provable* defects.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`GraphError::ShapeMismatch`],
+    /// [`GraphError::IndexOutOfRange`], or [`GraphError::BadReshape`]
+    /// naming `node` and the inferred operand shapes.
+    pub fn shape_infer(
+        &self,
+        node: NodeId,
+        ins: &[ShapeFact],
+        in_consts: &[Option<&DynTensor>],
+        graph_inputs: &[ShapeFact],
+    ) -> Result<ShapeFact, GraphError> {
+        let err = |detail: String| GraphError::ShapeMismatch {
+            node,
+            op: self.label(),
+            operands: ins.to_vec(),
+            detail,
+        };
+        match self {
+            Op::Input(slot) => Ok(graph_inputs.get(*slot).cloned().unwrap_or(ShapeFact::Any)),
+            Op::Const(v) => Ok(ShapeFact::fixed(v.shape())),
+
+            // Element-wise binaries broadcast their two operands.
+            Op::Add
+            | Op::Sub
+            | Op::Mul
+            | Op::Div
+            | Op::Minimum
+            | Op::Maximum
+            | Op::Lt
+            | Op::Le
+            | Op::Gt
+            | Op::Ge
+            | Op::EqOp
+            | Op::NeOp
+            | Op::And
+            | Op::Or
+            | Op::Xor => broadcast_facts(&ins[0], &ins[1]).map_err(err),
+
+            Op::Where => {
+                let cond_then = broadcast_facts(&ins[0], &ins[1]).map_err(&err)?;
+                broadcast_facts(&cond_then, &ins[2]).map_err(err)
+            }
+
+            // A fused kernel broadcasts all of its inputs together.
+            Op::Fused(_) => {
+                let mut acc = match ins.first() {
+                    Some(s) => s.clone(),
+                    None => return Ok(ShapeFact::Any),
+                };
+                for s in &ins[1..] {
+                    acc = broadcast_facts(&acc, s).map_err(&err)?;
+                }
+                Ok(acc)
+            }
+
+            Op::MatMul => {
+                let (Some(da), Some(db)) = (ins[0].dims(), ins[1].dims()) else {
+                    return Ok(ShapeFact::Any);
+                };
+                if da.len() < 2 || db.len() < 2 {
+                    return Err(err(format!(
+                        "matmul needs rank >= 2 operands, got rank {} and {}",
+                        da.len(),
+                        db.len()
+                    )));
+                }
+                let (m, k) = (da[da.len() - 2], da[da.len() - 1]);
+                let (k2, n) = (db[db.len() - 2], db[db.len() - 1]);
+                if k.known_eq(k2) == Some(false) {
+                    return Err(err(format!("inner dimensions {k} and {k2} differ")));
+                }
+                let mut out =
+                    broadcast_dims(&da[..da.len() - 2], &db[..db.len() - 2]).map_err(err)?;
+                out.push(m);
+                out.push(n);
+                Ok(ShapeFact::Known(out))
+            }
+
+            Op::Sqdist => {
+                let (Some(da), Some(db)) = (ins[0].dims(), ins[1].dims()) else {
+                    return Ok(ShapeFact::Any);
+                };
+                if da.len() != 2 || db.len() != 2 {
+                    return Err(err(format!(
+                        "sqdist needs rank-2 operands, got rank {} and {}",
+                        da.len(),
+                        db.len()
+                    )));
+                }
+                if da[1].known_eq(db[1]) == Some(false) {
+                    return Err(err(format!(
+                        "feature dimensions {} and {} differ",
+                        da[1], db[1]
+                    )));
+                }
+                Ok(ShapeFact::Known(vec![da[0], db[0]]))
+            }
+
+            Op::Gather { axis } => match (ins[0].dims(), ins[1].dims()) {
+                (Some(d), Some(ix)) => {
+                    if ix.len() != d.len() {
+                        return Err(err(format!(
+                            "gather index rank {} != data rank {}",
+                            ix.len(),
+                            d.len()
+                        )));
+                    }
+                    if *axis >= d.len() {
+                        return Err(err(format!(
+                            "gather axis {axis} out of range for rank {}",
+                            d.len()
+                        )));
+                    }
+                    for i in 0..d.len() {
+                        if i != *axis && ix[i].known_le(d[i]) == Some(false) {
+                            return Err(err(format!(
+                                "index dimension {i} ({}) exceeds data dimension ({})",
+                                ix[i], d[i]
+                            )));
+                        }
+                    }
+                    check_const_indices(node, self, in_consts[1], d[*axis])?;
+                    Ok(ShapeFact::Known(ix.to_vec()))
+                }
+                (Some(d), None) => {
+                    if *axis >= d.len() {
+                        return Err(err(format!(
+                            "gather axis {axis} out of range for rank {}",
+                            d.len()
+                        )));
+                    }
+                    Ok(ShapeFact::Any)
+                }
+                // The output shape is the index shape even when the data
+                // shape is unknown.
+                (None, Some(ix)) => Ok(ShapeFact::Known(ix.to_vec())),
+                (None, None) => Ok(ShapeFact::Any),
+            },
+
+            Op::GatherRows => match (ins[0].dims(), ins[1].dims()) {
+                (Some(d), Some(ix)) => {
+                    if d.len() != 3 {
+                        return Err(err(format!(
+                            "gather_rows data must be rank 3 [B, N, W], got rank {}",
+                            d.len()
+                        )));
+                    }
+                    if ix.len() != 2 {
+                        return Err(err(format!(
+                            "gather_rows index must be rank 2 [B, n], got rank {}",
+                            ix.len()
+                        )));
+                    }
+                    if d[0].known_eq(ix[0]) == Some(false) {
+                        return Err(err(format!(
+                            "batch dimensions {} and {} differ",
+                            d[0], ix[0]
+                        )));
+                    }
+                    check_const_indices(node, self, in_consts[1], d[1])?;
+                    let b = unify_eq(d[0], ix[0]).unwrap_or(SymDim::Unknown);
+                    Ok(ShapeFact::Known(vec![b, ix[1], d[2]]))
+                }
+                (Some(d), None) => {
+                    if d.len() != 3 {
+                        return Err(err(format!(
+                            "gather_rows data must be rank 3 [B, N, W], got rank {}",
+                            d.len()
+                        )));
+                    }
+                    Ok(ShapeFact::Known(vec![d[0], SymDim::Unknown, d[2]]))
+                }
+                (None, Some(ix)) => {
+                    if ix.len() != 2 {
+                        return Err(err(format!(
+                            "gather_rows index must be rank 2 [B, n], got rank {}",
+                            ix.len()
+                        )));
+                    }
+                    Ok(ShapeFact::Known(vec![ix[0], ix[1], SymDim::Unknown]))
+                }
+                (None, None) => Ok(ShapeFact::Any),
+            },
+
+            Op::IndexSelect { axis, indices } => {
+                let Some(d) = ins[0].dims() else {
+                    return Ok(ShapeFact::Any);
+                };
+                if *axis >= d.len() {
+                    return Err(err(format!(
+                        "index_select axis {axis} out of range for rank {}",
+                        d.len()
+                    )));
+                }
+                if let Some(min) = d[*axis].min_value() {
+                    for &ix in indices.iter() {
+                        if ix >= min {
+                            return Err(GraphError::IndexOutOfRange {
+                                node,
+                                op: self.label(),
+                                index: ix as i64,
+                                bound: d[*axis],
+                            });
+                        }
+                    }
+                }
+                let mut out = d.to_vec();
+                out[*axis] = SymDim::fixed(indices.len());
+                Ok(ShapeFact::Known(out))
+            }
+
+            Op::Concat { axis } => {
+                let mut all = Vec::with_capacity(ins.len());
+                for s in ins {
+                    match s.dims() {
+                        Some(d) => all.push(d),
+                        None => return Ok(ShapeFact::Any),
+                    }
+                }
+                let Some(first) = all.first() else {
+                    return Ok(ShapeFact::Any);
+                };
+                let rank = first.len();
+                if *axis >= rank {
+                    return Err(err(format!(
+                        "concat axis {axis} out of range for rank {rank}"
+                    )));
+                }
+                let mut out = first.to_vec();
+                for d in &all[1..] {
+                    if d.len() != rank {
+                        return Err(err(format!("concat rank mismatch: {} vs {rank}", d.len())));
+                    }
+                    for i in 0..rank {
+                        if i == *axis {
+                            continue;
+                        }
+                        out[i] = unify_eq(out[i], d[i]).map_err(|()| {
+                            err(format!("off-axis dimension {i}: {} vs {}", out[i], d[i]))
+                        })?;
+                    }
+                }
+                out[*axis] = all[1..]
+                    .iter()
+                    .fold(first[*axis], |acc, d| add_dims(acc, d[*axis]));
+                Ok(ShapeFact::Known(out))
+            }
+
+            Op::Reshape { dims } => shape_infer_reshape(node, &ins[0], dims),
+
+            Op::Unsqueeze(axis) => {
+                let Some(d) = ins[0].dims() else {
+                    return Ok(ShapeFact::Any);
+                };
+                if *axis > d.len() {
+                    return Err(err(format!(
+                        "unsqueeze axis {axis} out of range for rank {}",
+                        d.len()
+                    )));
+                }
+                let mut out = d.to_vec();
+                out.insert(*axis, SymDim::fixed(1));
+                Ok(ShapeFact::Known(out))
+            }
+
+            Op::Squeeze(axis) => {
+                let Some(d) = ins[0].dims() else {
+                    return Ok(ShapeFact::Any);
+                };
+                if *axis >= d.len() {
+                    return Err(err(format!(
+                        "squeeze axis {axis} out of range for rank {}",
+                        d.len()
+                    )));
+                }
+                match d[*axis] {
+                    SymDim::Unknown => {}
+                    dim if dim.is_one() => {}
+                    dim => {
+                        return Err(err(format!("squeeze of non-1 dimension {dim}")));
+                    }
+                }
+                let mut out = d.to_vec();
+                out.remove(*axis);
+                Ok(ShapeFact::Known(out))
+            }
+
+            Op::Transpose(a, b) => {
+                let Some(d) = ins[0].dims() else {
+                    return Ok(ShapeFact::Any);
+                };
+                if *a >= d.len() || *b >= d.len() {
+                    return Err(err(format!(
+                        "transpose axes ({a}, {b}) out of range for rank {}",
+                        d.len()
+                    )));
+                }
+                let mut out = d.to_vec();
+                out.swap(*a, *b);
+                Ok(ShapeFact::Known(out))
+            }
+
+            Op::Slice { axis, start, end } => {
+                let Some(d) = ins[0].dims() else {
+                    return Ok(ShapeFact::Any);
+                };
+                if *axis >= d.len() {
+                    return Err(err(format!(
+                        "slice axis {axis} out of range for rank {}",
+                        d.len()
+                    )));
+                }
+                if start > end {
+                    return Err(err(format!("slice start {start} past end {end}")));
+                }
+                if let Some(min) = d[*axis].min_value() {
+                    if *end > min {
+                        return Err(err(format!(
+                            "slice end {end} exceeds dimension {}",
+                            d[*axis]
+                        )));
+                    }
+                }
+                let mut out = d.to_vec();
+                out[*axis] = SymDim::fixed(end - start);
+                Ok(ShapeFact::Known(out))
+            }
+
+            Op::Sum { axis, keepdim }
+            | Op::Mean { axis, keepdim }
+            | Op::ReduceMax { axis, keepdim }
+            | Op::ArgMax { axis, keepdim }
+            | Op::LogSumExp { axis, keepdim } => {
+                let Some(d) = ins[0].dims() else {
+                    return Ok(ShapeFact::Any);
+                };
+                if *axis >= d.len() {
+                    return Err(err(format!(
+                        "reduction axis {axis} out of range for rank {}",
+                        d.len()
+                    )));
+                }
+                let mut out = d.to_vec();
+                if *keepdim {
+                    out[*axis] = SymDim::fixed(1);
+                } else {
+                    out.remove(*axis);
+                }
+                Ok(ShapeFact::Known(out))
+            }
+
+            Op::Softmax { axis } => {
+                let Some(d) = ins[0].dims() else {
+                    return Ok(ShapeFact::Any);
+                };
+                if *axis >= d.len() {
+                    return Err(err(format!(
+                        "softmax axis {axis} out of range for rank {}",
+                        d.len()
+                    )));
+                }
+                Ok(ins[0].clone())
+            }
+
+            // Shape-preserving unaries.
+            Op::AddScalar(_)
+            | Op::MulScalar(_)
+            | Op::PowScalar(_)
+            | Op::Not
+            | Op::IsNan
+            | Op::Relu
+            | Op::Sigmoid
+            | Op::Tanh
+            | Op::Exp
+            | Op::Ln
+            | Op::Sqrt
+            | Op::Abs
+            | Op::Neg
+            | Op::Clamp { .. }
+            | Op::Cast(_) => Ok(ins[0].clone()),
+        }
+    }
+}
+
+/// Symbolic sum of two dims for `Concat`: monomials of equal power add
+/// their coefficients; mixed powers have no monomial sum and degrade to
+/// [`SymDim::Unknown`].
+fn add_dims(a: SymDim, b: SymDim) -> SymDim {
+    match (a, b) {
+        (SymDim::Sym { coeff: 0, .. }, d) | (d, SymDim::Sym { coeff: 0, .. }) => d,
+        (SymDim::Sym { coeff: c1, pow: p1 }, SymDim::Sym { coeff: c2, pow: p2 }) if p1 == p2 => c1
+            .checked_add(c2)
+            .map_or(SymDim::Unknown, |c| SymDim::Sym { coeff: c, pow: p1 }),
+        _ => SymDim::Unknown,
+    }
+}
+
+/// Checks a compile-time (`Const`) i64 index operand against the gathered
+/// dimension: every value must satisfy `0 <= v < bound` for all batch
+/// sizes, i.e. `v < bound.min_value()`.
+fn check_const_indices(
+    node: NodeId,
+    op: &Op,
+    idx: Option<&DynTensor>,
+    bound: SymDim,
+) -> Result<(), GraphError> {
+    let Some(DynTensor::I64(t)) = idx else {
+        return Ok(());
+    };
+    let Some(min) = bound.min_value() else {
+        return Ok(());
+    };
+    for v in t.to_vec() {
+        if v < 0 || v as usize >= min {
+            return Err(GraphError::IndexOutOfRange {
+                node,
+                op: op.label(),
+                index: v,
+                bound,
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Symbolic counterpart of [`resolve_reshape`]: resolves `0`/`-1`
+/// placeholders over monomial dims and proves element-count
+/// conservation for every batch size.
+fn shape_infer_reshape(
+    node: NodeId,
+    input: &ShapeFact,
+    dims: &[i64],
+) -> Result<ShapeFact, GraphError> {
+    let bad = |detail: String| GraphError::BadReshape { node, detail };
+    let input_dims = input.dims();
+    // Input element count, when symbolically known.
+    let total = input_dims.and_then(|d| {
+        d.iter()
+            .try_fold(SymDim::fixed(1), |acc, &x| match acc.times(x) {
+                SymDim::Unknown => None,
+                m => Some(m),
+            })
+    });
+    let mut out: Vec<SymDim> = Vec::with_capacity(dims.len());
+    // Product of the non-wildcard target dims, when symbolically known.
+    let mut known = Some(SymDim::fixed(1));
+    let mut wildcard = None;
+    for (i, &d) in dims.iter().enumerate() {
+        let v = match d {
+            -1 => {
+                if wildcard.is_some() {
+                    return Err(bad("multiple -1 dims".to_string()));
+                }
+                wildcard = Some(i);
+                out.push(SymDim::Unknown);
+                continue;
+            }
+            0 => match input_dims {
+                Some(ind) => *ind
+                    .get(i)
+                    .ok_or_else(|| bad(format!("dim {i} copies a missing input dim")))?,
+                None => SymDim::Unknown,
+            },
+            d if d > 0 => SymDim::fixed(d as usize),
+            d => return Err(bad(format!("negative dimension {d}"))),
+        };
+        known = known.and_then(|k| match k.times(v) {
+            SymDim::Unknown => None,
+            m => Some(m),
+        });
+        out.push(v);
+    }
+    match (wildcard, total, known) {
+        (Some(i), Some(total), Some(known)) => {
+            out[i] = total.div_exact(known).ok_or_else(|| {
+                bad(format!(
+                    "cannot infer -1: {total} elements are not divisible by {known}"
+                ))
+            })?;
+        }
+        (None, Some(total), Some(known)) if total != known => {
+            return Err(bad(format!(
+                "element count mismatch: input has {total}, target has {known}"
+            )));
+        }
+        // An unknown factor on either side leaves the wildcard (if any)
+        // unresolved and the count check unprovable.
+        _ => {}
+    }
+    Ok(ShapeFact::Known(out))
 }
 
 /// Resolves ONNX-style reshape dims (`0` copies, `-1` infers) against the

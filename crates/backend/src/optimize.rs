@@ -135,6 +135,7 @@ pub fn dce(graph: &Graph) -> Graph {
         nodes,
         outputs: graph.outputs.iter().map(|&o| remap[o]).collect(),
         input_dtypes: graph.input_dtypes.clone(),
+        input_shapes: graph.input_shapes.clone(),
     }
 }
 
@@ -167,21 +168,47 @@ pub fn optimize(graph: &Graph) -> (Graph, OptStats) {
 
 /// Compiled-backend pipeline with selectable passes (DCE always runs —
 /// it only removes dead nodes and costs nothing at run time).
+///
+/// Every pass is translation-validated: when the incoming graph passes
+/// the static verifier, each rewrite must keep it passing with an
+/// identical inferred output signature. A violation is an optimizer bug
+/// and panics (internal invariant failure), turning a silent miscompile
+/// into a compile-time failure. Graphs that do not verify to begin with
+/// are optimized without validation — the admission gates reject them
+/// elsewhere.
 pub fn optimize_with(graph: &Graph, toggles: PassToggles) -> (Graph, OptStats) {
     let nodes_before = graph.nodes.len();
+    let reference = graph.verify().ok();
+    let check = |pass: &str, g: &Graph| {
+        let Some(want) = reference.as_ref() else {
+            return;
+        };
+        match g.verify() {
+            Ok(got) if got == *want => {}
+            Ok(got) => panic!(
+                "translation validation failed: {pass} changed the output signature from {want} to {got}"
+            ),
+            Err(e) => panic!("translation validation failed: {pass} produced an invalid graph: {e}"),
+        }
+    };
     let (g, folded) = if toggles.fold {
         fold_constants(graph)
     } else {
         (graph.clone(), 0)
     };
+    check("constant folding", &g);
     let (g, cse_merged) = if toggles.cse { cse(&g) } else { (g, 0) };
+    check("cse", &g);
     let g = dce(&g);
+    check("dce", &g);
     let (g, fused_kernels) = if toggles.fuse {
         fuse_elementwise(&g)
     } else {
         (g, 0)
     };
+    check("fusion", &g);
     let g = dce(&g);
+    check("dce", &g);
     g.validate();
     let stats = OptStats {
         folded,

@@ -1,0 +1,473 @@
+//! Static shape verification for the tensor IR.
+//!
+//! The paper's premise (§4) is that predictive pipelines compile into a
+//! *closed* set of tensor operations whose behaviour is decidable before
+//! execution. This module makes that decidability concrete: it propagates
+//! a symbolic shape through every node of a [`Graph`] and proves — without
+//! running a single kernel — that broadcasts conform, matmul/gather
+//! operands line up, reshapes resolve, and compile-time indices stay in
+//! range.
+//!
+//! # The shape lattice
+//!
+//! Each dimension is a [`SymDim`]: either the monomial `coeff · B^pow`
+//! over a single symbolic batch size `B`, or [`SymDim::Unknown`] (top).
+//! A node's shape is a [`ShapeFact`]: a vector of dims when the rank is
+//! known, or [`ShapeFact::Any`] (top) when it is not. `Unknown`/`Any`
+//! absorb every check — the verifier only reports defects it can *prove*,
+//! so partially-annotated graphs (e.g. hand-built test graphs with no
+//! declared input shapes) verify vacuously and there are no false
+//! positives.
+//!
+//! # Batch polymorphism
+//!
+//! Compiled serving graphs must accept any batch size, so the verifier
+//! reasons universally over `B ≥ 1`: a constraint is an error exactly
+//! when some batch size violates it. For monomials this is decidable:
+//!
+//! * `c1·B^p1 = c2·B^p2` for all `B ≥ 1` ⇔ `c1 = c2 ∧ p1 = p2`;
+//! * `c1·B^p1 ≤ c2·B^p2` for all `B ≥ 1` ⇔ `c1 ≤ c2 ∧ p1 ≤ p2`;
+//! * `k < c·B^p` for all `B ≥ 1` ⇔ `k < c` (the value at `B = 1` is the
+//!   minimum, since monomials are non-decreasing in `B`).
+//!
+//! # Where it runs
+//!
+//! 1. [`Graph::from_json`] and the hb-core compile path gate on
+//!    [`Graph::verify`], rejecting hostile or miscompiled artifacts;
+//! 2. the optimizer re-verifies after every rewrite pass and asserts the
+//!    inferred [`GraphSignature`] is unchanged (translation validation —
+//!    see `optimize_with`);
+//! 3. the `hb-lint` auditor reports verification errors alongside
+//!    graph-hygiene warnings.
+
+use std::fmt;
+
+use hb_tensor::{DType, DynTensor};
+
+use crate::graph::{Graph, GraphError};
+use crate::op::Op;
+
+/// One dimension of a symbolic shape: the monomial `coeff · B^pow` over
+/// the symbolic batch size `B`, or an unknown size.
+///
+/// Fixed sizes are the `pow = 0` case; the batch dimension itself is
+/// `coeff = 1, pow = 1`. Products of batch-carrying dims (as produced by
+/// flattening reshapes like PerfectTreeTraversal's `[T, B] → [T·B]`)
+/// raise `pow`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum SymDim {
+    /// `coeff · B^pow` for every batch size `B`.
+    Sym {
+        /// Constant factor.
+        coeff: usize,
+        /// Power of the symbolic batch size.
+        pow: u32,
+    },
+    /// Statically unknown size; absorbs every check.
+    Unknown,
+}
+
+impl SymDim {
+    /// A fixed (batch-independent) dimension.
+    pub fn fixed(n: usize) -> SymDim {
+        SymDim::Sym { coeff: n, pow: 0 }
+    }
+
+    /// The symbolic batch dimension `B`.
+    pub fn batch() -> SymDim {
+        SymDim::Sym { coeff: 1, pow: 1 }
+    }
+
+    /// The fixed size, if this dim does not depend on the batch.
+    pub fn as_fixed(&self) -> Option<usize> {
+        match self {
+            SymDim::Sym { coeff, pow: 0 } => Some(*coeff),
+            _ => None,
+        }
+    }
+
+    /// True exactly for the broadcastable size 1.
+    pub fn is_one(&self) -> bool {
+        matches!(self, SymDim::Sym { coeff: 1, pow: 0 })
+    }
+
+    /// The dimension's value at `B = 1` — its minimum over all batch
+    /// sizes, since monomials are non-decreasing in `B`.
+    pub fn min_value(&self) -> Option<usize> {
+        match self {
+            SymDim::Sym { coeff, .. } => Some(*coeff),
+            SymDim::Unknown => None,
+        }
+    }
+
+    /// Normalizes `0 · B^p` to the fixed dimension `0`.
+    fn norm(coeff: usize, pow: u32) -> SymDim {
+        if coeff == 0 {
+            SymDim::fixed(0)
+        } else {
+            SymDim::Sym { coeff, pow }
+        }
+    }
+
+    /// Symbolic product; overflow degrades to [`SymDim::Unknown`].
+    pub fn times(self, other: SymDim) -> SymDim {
+        match (self, other) {
+            (SymDim::Sym { coeff: c1, pow: p1 }, SymDim::Sym { coeff: c2, pow: p2 }) => c1
+                .checked_mul(c2)
+                .and_then(|c| p1.checked_add(p2).map(|p| SymDim::norm(c, p)))
+                .unwrap_or(SymDim::Unknown),
+            _ => SymDim::Unknown,
+        }
+    }
+
+    /// Exact symbolic quotient: `Some(q)` iff `self = q · other` for
+    /// every batch size.
+    pub fn div_exact(self, other: SymDim) -> Option<SymDim> {
+        match (self, other) {
+            (SymDim::Sym { coeff: c1, pow: p1 }, SymDim::Sym { coeff: c2, pow: p2 }) => {
+                if c2 == 0 || c1 % c2 != 0 || p2 > p1 {
+                    None
+                } else {
+                    Some(SymDim::norm(c1 / c2, p1 - p2))
+                }
+            }
+            _ => None,
+        }
+    }
+
+    /// Whether `self = other` holds for every batch size; `None` when
+    /// either side is unknown.
+    pub fn known_eq(self, other: SymDim) -> Option<bool> {
+        match (self, other) {
+            (SymDim::Sym { .. }, SymDim::Sym { .. }) => Some(self == other),
+            _ => None,
+        }
+    }
+
+    /// Whether `self ≤ other` holds for every batch size; `None` when
+    /// either side is unknown.
+    pub fn known_le(self, other: SymDim) -> Option<bool> {
+        match (self, other) {
+            (SymDim::Sym { coeff: c1, pow: p1 }, SymDim::Sym { coeff: c2, pow: p2 }) => {
+                Some(c1 <= c2 && (p1 <= p2 || c1 == 0))
+            }
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for SymDim {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SymDim::Sym { coeff, pow: 0 } => write!(f, "{coeff}"),
+            SymDim::Sym { coeff: 1, pow: 1 } => write!(f, "B"),
+            SymDim::Sym { coeff, pow: 1 } => write!(f, "{coeff}*B"),
+            SymDim::Sym { coeff: 1, pow } => write!(f, "B^{pow}"),
+            SymDim::Sym { coeff, pow } => write!(f, "{coeff}*B^{pow}"),
+            SymDim::Unknown => write!(f, "?"),
+        }
+    }
+}
+
+hb_json::json_enum!(SymDim { Sym { coeff, pow }, Unknown });
+
+/// What the verifier knows about one node's shape.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ShapeFact {
+    /// The rank is known and each dimension is a [`SymDim`].
+    Known(Vec<SymDim>),
+    /// Nothing is known (not even the rank); absorbs every check.
+    Any,
+}
+
+impl ShapeFact {
+    /// A fully concrete shape.
+    pub fn fixed(dims: &[usize]) -> ShapeFact {
+        ShapeFact::Known(dims.iter().map(|&d| SymDim::fixed(d)).collect())
+    }
+
+    /// The row-major serving shape `[B, d1, d2, …]`: a symbolic batch
+    /// followed by fixed dims.
+    pub fn batched(rest: &[usize]) -> ShapeFact {
+        let mut dims = vec![SymDim::batch()];
+        dims.extend(rest.iter().map(|&d| SymDim::fixed(d)));
+        ShapeFact::Known(dims)
+    }
+
+    /// The dims when the rank is known.
+    pub fn dims(&self) -> Option<&[SymDim]> {
+        match self {
+            ShapeFact::Known(d) => Some(d),
+            ShapeFact::Any => None,
+        }
+    }
+
+    /// The rank when known.
+    pub fn rank(&self) -> Option<usize> {
+        self.dims().map(<[SymDim]>::len)
+    }
+
+    /// The concrete shape, if every dim is fixed.
+    pub fn as_fixed(&self) -> Option<Vec<usize>> {
+        self.dims()?.iter().map(SymDim::as_fixed).collect()
+    }
+}
+
+impl fmt::Display for ShapeFact {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ShapeFact::Known(dims) => {
+                write!(f, "[")?;
+                for (i, d) in dims.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{d}")?;
+                }
+                write!(f, "]")
+            }
+            ShapeFact::Any => write!(f, "[*]"),
+        }
+    }
+}
+
+hb_json::json_enum!(ShapeFact {
+    Known(Vec<SymDim>),
+    Any,
+});
+
+/// The inferred static type of a graph's outputs: dtype and symbolic
+/// shape per output slot. Optimizer passes must preserve this exactly
+/// (the translation-validation contract).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct GraphSignature {
+    /// Per graph output: static dtype and inferred shape.
+    pub outputs: Vec<(DType, ShapeFact)>,
+}
+
+impl fmt::Display for GraphSignature {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, (dt, shape)) in self.outputs.iter().enumerate() {
+            if i > 0 {
+                write!(f, "; ")?;
+            }
+            write!(f, "{dt:?}{shape}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Broadcast of two symbolic dims under the right-aligned equal-or-1
+/// rule. `Err(())` means the pair is provably incompatible for some
+/// batch size.
+pub(crate) fn broadcast_dim(a: SymDim, b: SymDim) -> Result<SymDim, ()> {
+    match (a, b) {
+        (SymDim::Sym { .. }, SymDim::Sym { .. }) => {
+            if a == b {
+                Ok(a)
+            } else if a.is_one() {
+                Ok(b)
+            } else if b.is_one() {
+                Ok(a)
+            } else {
+                Err(())
+            }
+        }
+        // One side unknown: if the other is 1 the result could be
+        // anything; otherwise the unknown side must be 1 or equal, and
+        // the result is the known dim either way.
+        (SymDim::Unknown, d) | (d, SymDim::Unknown) => {
+            if d.is_one() {
+                Ok(SymDim::Unknown)
+            } else {
+                Ok(d)
+            }
+        }
+    }
+}
+
+/// Broadcast of two shape facts; [`ShapeFact::Any`] absorbs.
+pub(crate) fn broadcast_facts(a: &ShapeFact, b: &ShapeFact) -> Result<ShapeFact, String> {
+    let (Some(da), Some(db)) = (a.dims(), b.dims()) else {
+        return Ok(ShapeFact::Any);
+    };
+    broadcast_dims(da, db).map(ShapeFact::Known)
+}
+
+/// Right-aligned broadcast of two dim vectors.
+pub(crate) fn broadcast_dims(da: &[SymDim], db: &[SymDim]) -> Result<Vec<SymDim>, String> {
+    let rank = da.len().max(db.len());
+    let mut out = Vec::with_capacity(rank);
+    for i in 0..rank {
+        let a = i
+            .checked_sub(rank - da.len())
+            .map_or(SymDim::fixed(1), |j| da[j]);
+        let b = i
+            .checked_sub(rank - db.len())
+            .map_or(SymDim::fixed(1), |j| db[j]);
+        out.push(
+            broadcast_dim(a, b)
+                .map_err(|()| format!("dimension {a} does not broadcast against {b}"))?,
+        );
+    }
+    Ok(out)
+}
+
+/// Unifies two dims that a kernel requires to be exactly equal (no
+/// broadcasting): `Unknown` yields the informative side.
+pub(crate) fn unify_eq(a: SymDim, b: SymDim) -> Result<SymDim, ()> {
+    match (a, b) {
+        (SymDim::Sym { .. }, SymDim::Sym { .. }) => {
+            if a == b {
+                Ok(a)
+            } else {
+                Err(())
+            }
+        }
+        (SymDim::Unknown, d) | (d, SymDim::Unknown) => Ok(d),
+    }
+}
+
+impl Graph {
+    /// Propagates symbolic shapes through every node, returning one
+    /// [`ShapeFact`] per node or the first provable defect.
+    ///
+    /// Input slots take their declared shape from `input_shapes`
+    /// (missing/undeclared slots are [`ShapeFact::Any`]); constant-node
+    /// values feed the compile-time index-range checks.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`GraphError::ShapeMismatch`],
+    /// [`GraphError::IndexOutOfRange`], or [`GraphError::BadReshape`]
+    /// found, identifying the offending node and its inferred operand
+    /// shapes. Requires [`Graph::try_validate`] to have passed.
+    pub fn infer_shapes(&self) -> Result<Vec<ShapeFact>, GraphError> {
+        let consts: Vec<Option<&DynTensor>> = self
+            .nodes
+            .iter()
+            .map(|n| match &n.op {
+                Op::Const(v) => Some(v),
+                _ => None,
+            })
+            .collect();
+        let mut out: Vec<ShapeFact> = Vec::with_capacity(self.nodes.len());
+        for (id, node) in self.nodes.iter().enumerate() {
+            let ins: Vec<ShapeFact> = node.inputs.iter().map(|&i| out[i].clone()).collect();
+            let in_consts: Vec<Option<&DynTensor>> =
+                node.inputs.iter().map(|&i| consts[i]).collect();
+            out.push(
+                node.op
+                    .shape_infer(id, &ins, &in_consts, &self.input_shapes)?,
+            );
+        }
+        Ok(out)
+    }
+
+    /// Full static verification: structure, dtypes, and symbolic shapes.
+    /// Returns the graph's inferred output signature on success.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`GraphError`] found by [`Graph::try_validate`],
+    /// [`Graph::check_dtypes`], or [`Graph::infer_shapes`].
+    pub fn verify(&self) -> Result<GraphSignature, GraphError> {
+        self.try_validate()?;
+        let dtypes = self.check_dtypes()?;
+        let shapes = self.infer_shapes()?;
+        Ok(GraphSignature {
+            outputs: self
+                .outputs
+                .iter()
+                .map(|&o| (dtypes[o], shapes[o].clone()))
+                .collect(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fx(n: usize) -> SymDim {
+        SymDim::fixed(n)
+    }
+
+    #[test]
+    fn monomial_algebra() {
+        let b = SymDim::batch();
+        assert_eq!(b.times(fx(3)), SymDim::Sym { coeff: 3, pow: 1 });
+        assert_eq!(b.times(b), SymDim::Sym { coeff: 1, pow: 2 });
+        assert_eq!(fx(6).div_exact(fx(3)), Some(fx(2)));
+        assert_eq!(fx(6).div_exact(fx(4)), None);
+        assert_eq!(b.times(fx(6)).div_exact(fx(3)), Some(b.times(fx(2))));
+        assert_eq!(fx(3).div_exact(b), None, "B does not divide a constant");
+        assert_eq!(fx(0).times(b), fx(0), "zero coefficient normalizes");
+    }
+
+    #[test]
+    fn ordering_is_for_all_batch_sizes() {
+        let b = SymDim::batch();
+        assert_eq!(fx(1).known_le(b), Some(true));
+        assert_eq!(fx(2).known_le(b), Some(false), "fails at B = 1");
+        assert_eq!(b.known_le(b.times(fx(2))), Some(true));
+        assert_eq!(b.times(fx(2)).known_le(b), Some(false));
+        assert_eq!(fx(0).known_le(b), Some(true), "0 <= B for every B");
+        assert_eq!(SymDim::Unknown.known_le(b), None);
+        assert_eq!(b.known_eq(fx(3)), Some(false), "B = 3 fails off B = 3");
+    }
+
+    #[test]
+    fn broadcast_rules() {
+        let b = SymDim::batch();
+        assert_eq!(broadcast_dim(b, b), Ok(b));
+        assert_eq!(broadcast_dim(fx(1), b), Ok(b));
+        assert_eq!(broadcast_dim(b, fx(1)), Ok(b));
+        assert_eq!(broadcast_dim(b, fx(4)), Err(()));
+        assert_eq!(broadcast_dim(fx(0), fx(1)), Ok(fx(0)));
+        assert_eq!(broadcast_dim(fx(0), fx(3)), Err(()));
+        assert_eq!(broadcast_dim(SymDim::Unknown, fx(4)), Ok(fx(4)));
+        assert_eq!(broadcast_dim(SymDim::Unknown, fx(1)), Ok(SymDim::Unknown));
+    }
+
+    #[test]
+    fn broadcast_aligns_right() {
+        let a = [SymDim::batch(), fx(3)];
+        let b = [fx(3)];
+        assert_eq!(
+            broadcast_dims(&a, &b),
+            Ok(vec![SymDim::batch(), fx(3)]),
+            "missing leading dims act as 1"
+        );
+        let bad = [fx(2), fx(3)];
+        let c = [fx(4), fx(1)];
+        assert!(broadcast_dims(&bad, &c).is_err());
+    }
+
+    #[test]
+    fn display_is_compact() {
+        assert_eq!(SymDim::batch().to_string(), "B");
+        assert_eq!(fx(7).to_string(), "7");
+        assert_eq!(SymDim::batch().times(fx(3)).to_string(), "3*B");
+        assert_eq!(SymDim::Unknown.to_string(), "?");
+        assert_eq!(ShapeFact::batched(&[4]).to_string(), "[B, 4]");
+        assert_eq!(ShapeFact::Any.to_string(), "[*]");
+    }
+
+    #[test]
+    fn shape_fact_json_roundtrip() {
+        for fact in [
+            ShapeFact::Any,
+            ShapeFact::fixed(&[2, 3]),
+            ShapeFact::batched(&[5]),
+            ShapeFact::Known(vec![SymDim::Unknown, fx(1)]),
+        ] {
+            let s = hb_json::to_string(&fact);
+            let back: ShapeFact = match hb_json::from_str(&s) {
+                Ok(v) => v,
+                Err(e) => panic!("roundtrip {s}: {e}"),
+            };
+            assert_eq!(back, fact, "{s}");
+        }
+    }
+}

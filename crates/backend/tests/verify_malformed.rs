@@ -1,0 +1,235 @@
+//! Seeded malformed-graph corpus for the static verifier.
+//!
+//! Every graph here is *structurally* valid — it passes the topological
+//! and arity checks in `Graph::try_validate` — but carries a shape or
+//! index defect that would only surface at run time (often only for
+//! certain batch sizes). The verifier must reject each one statically,
+//! naming the offending node.
+
+use std::sync::Arc;
+
+use hb_backend::fuse::{FusedKernel, Instr};
+use hb_backend::{Graph, GraphBuilder, GraphError, Op, ShapeFact, SymDim};
+use hb_tensor::{DType, Tensor};
+
+/// Asserts that `graph` fails verification at `node` with a
+/// shape-mismatch-class error.
+fn assert_shape_error(graph: &Graph, node: usize, what: &str) {
+    match graph.verify() {
+        Err(GraphError::ShapeMismatch { node: n, .. })
+        | Err(GraphError::BadReshape { node: n, .. }) => {
+            assert_eq!(n, node, "{what}: error at wrong node");
+        }
+        Err(e) => panic!("{what}: wrong error class: {e}"),
+        Ok(sig) => panic!("{what}: verifier accepted the graph (signature {sig})"),
+    }
+}
+
+/// Asserts that `graph` fails verification at `node` with an
+/// index-out-of-range error.
+fn assert_index_error(graph: &Graph, node: usize, what: &str) {
+    match graph.verify() {
+        Err(GraphError::IndexOutOfRange { node: n, .. }) => {
+            assert_eq!(n, node, "{what}: error at wrong node");
+        }
+        Err(e) => panic!("{what}: wrong error class: {e}"),
+        Ok(sig) => panic!("{what}: verifier accepted the graph (signature {sig})"),
+    }
+}
+
+#[test]
+fn rejects_concrete_broadcast_mismatch() {
+    let mut b = GraphBuilder::new();
+    let x = b.input_with_shape(DType::F32, ShapeFact::fixed(&[2, 3]));
+    let y = b.input_with_shape(DType::F32, ShapeFact::fixed(&[2, 4]));
+    let s = b.add(x, y);
+    b.output(s);
+    assert_shape_error(&b.build(), s, "[2,3] + [2,4]");
+}
+
+#[test]
+fn rejects_symbolic_broadcast_mismatch() {
+    let mut b = GraphBuilder::new();
+    let x = b.input_with_shape(DType::F32, ShapeFact::batched(&[3]));
+    let c = b.constant(Tensor::from_vec(vec![0.0f32; 4], &[4]));
+    let s = b.add(x, c);
+    b.output(s);
+    assert_shape_error(&b.build(), s, "[B,3] + [4]");
+}
+
+#[test]
+fn rejects_batch_dim_vs_fixed_dim() {
+    // [B,3] + [7,3] agrees only at B = 7; the graph must serve every
+    // batch size, so this is an error.
+    let mut b = GraphBuilder::new();
+    let x = b.input_with_shape(DType::F32, ShapeFact::batched(&[3]));
+    let c = b.constant(Tensor::from_vec(vec![0.0f32; 21], &[7, 3]));
+    let s = b.add(x, c);
+    b.output(s);
+    assert_shape_error(&b.build(), s, "[B,3] + [7,3]");
+}
+
+#[test]
+fn rejects_matmul_inner_mismatch() {
+    let mut b = GraphBuilder::new();
+    let x = b.input_with_shape(DType::F32, ShapeFact::batched(&[4]));
+    let w = b.constant(Tensor::from_vec(vec![0.0f32; 15], &[5, 3]));
+    let m = b.matmul(x, w);
+    b.output(m);
+    assert_shape_error(&b.build(), m, "[B,4] x [5,3]");
+}
+
+#[test]
+fn rejects_matmul_on_vector() {
+    let mut b = GraphBuilder::new();
+    let x = b.input_with_shape(DType::F32, ShapeFact::Known(vec![SymDim::batch()]));
+    let w = b.constant(Tensor::from_vec(vec![0.0f32; 12], &[4, 3]));
+    let m = b.matmul(x, w);
+    b.output(m);
+    assert_shape_error(&b.build(), m, "rank-1 matmul operand");
+}
+
+#[test]
+fn rejects_gather_const_index_out_of_range() {
+    let mut b = GraphBuilder::new();
+    let x = b.input_with_shape(DType::F32, ShapeFact::batched(&[4]));
+    let idx = b.constant(Tensor::from_vec(vec![5i64], &[1, 1]));
+    let g = b.gather(1, x, idx);
+    b.output(g);
+    assert_index_error(&b.build(), g, "gather index 5 into width 4");
+}
+
+#[test]
+fn rejects_gather_negative_const_index() {
+    let mut b = GraphBuilder::new();
+    let x = b.input_with_shape(DType::F32, ShapeFact::batched(&[4]));
+    let idx = b.constant(Tensor::from_vec(vec![-1i64], &[1, 1]));
+    let g = b.gather(1, x, idx);
+    b.output(g);
+    assert_index_error(&b.build(), g, "negative gather index");
+}
+
+#[test]
+fn rejects_index_select_out_of_range() {
+    let mut b = GraphBuilder::new();
+    let x = b.input_with_shape(DType::F32, ShapeFact::batched(&[4]));
+    let s = b.index_select(1, x, vec![0, 9]);
+    b.output(s);
+    assert_index_error(&b.build(), s, "index_select position 9 of width 4");
+}
+
+#[test]
+fn rejects_gather_rows_batch_mismatch() {
+    // data [B, 5, 3] but index [3, 2]: the batch dims can only agree at
+    // B = 3.
+    let mut b = GraphBuilder::new();
+    let data = b.input_with_shape(DType::F32, ShapeFact::batched(&[5, 3]));
+    let idx = b.input_with_shape(DType::I64, ShapeFact::fixed(&[3, 2]));
+    let g = b.push(Op::GatherRows, vec![data, idx]);
+    b.output(g);
+    assert_shape_error(&b.build(), g, "gather_rows batch mismatch");
+}
+
+#[test]
+fn rejects_reshape_element_count_mismatch() {
+    let mut b = GraphBuilder::new();
+    let c = b.constant(Tensor::from_vec(vec![0.0f32; 6], &[2, 3]));
+    let r = b.reshape(c, vec![7]);
+    b.output(r);
+    assert_shape_error(&b.build(), r, "6 elements reshaped to [7]");
+}
+
+#[test]
+fn rejects_symbolic_reshape_non_divisible() {
+    // [B, 6] has 6B elements; [4, -1] needs 6B / 4 which is not an
+    // integral monomial in B.
+    let mut b = GraphBuilder::new();
+    let x = b.input_with_shape(DType::F32, ShapeFact::batched(&[6]));
+    let r = b.reshape(x, vec![4, -1]);
+    b.output(r);
+    assert_shape_error(&b.build(), r, "[B,6] reshaped to [4,-1]");
+}
+
+#[test]
+fn rejects_squeeze_of_non_unit_axis() {
+    let mut b = GraphBuilder::new();
+    let x = b.input_with_shape(DType::F32, ShapeFact::batched(&[3]));
+    let s = b.squeeze(x, 1);
+    b.output(s);
+    assert_shape_error(&b.build(), s, "squeeze of size-3 axis");
+}
+
+#[test]
+fn rejects_transpose_axis_out_of_rank() {
+    let mut b = GraphBuilder::new();
+    let x = b.input_with_shape(DType::F32, ShapeFact::batched(&[3]));
+    let t = b.transpose(x, 0, 2);
+    b.output(t);
+    assert_shape_error(&b.build(), t, "transpose axis 2 of a rank-2 tensor");
+}
+
+#[test]
+fn rejects_concat_off_axis_mismatch() {
+    let mut b = GraphBuilder::new();
+    let x = b.input_with_shape(DType::F32, ShapeFact::batched(&[3]));
+    let y = b.input_with_shape(DType::F32, ShapeFact::batched(&[4]));
+    let c = b.concat(0, vec![x, y]);
+    b.output(c);
+    assert_shape_error(&b.build(), c, "concat on axis 0 with widths 3 vs 4");
+}
+
+#[test]
+fn rejects_slice_past_end_of_axis() {
+    let mut b = GraphBuilder::new();
+    let x = b.input_with_shape(DType::F32, ShapeFact::batched(&[4]));
+    let s = b.push(
+        Op::Slice {
+            axis: 1,
+            start: 2,
+            end: 9,
+        },
+        vec![x],
+    );
+    b.output(s);
+    assert_shape_error(&b.build(), s, "slice 2..9 of width 4");
+}
+
+#[test]
+fn rejects_sqdist_feature_mismatch() {
+    let mut b = GraphBuilder::new();
+    let x = b.input_with_shape(DType::F32, ShapeFact::batched(&[4]));
+    let c = b.constant(Tensor::from_vec(vec![0.0f32; 10], &[2, 5]));
+    let d = b.push(Op::Sqdist, vec![x, c]);
+    b.output(d);
+    assert_shape_error(&b.build(), d, "sqdist features 4 vs 5");
+}
+
+#[test]
+fn rejects_fused_kernel_width_mismatch() {
+    let kernel = FusedKernel::try_new(
+        2,
+        DType::F32,
+        vec![Instr::Load(0), Instr::Load(1), Instr::Add],
+    )
+    .unwrap();
+    let mut b = GraphBuilder::new();
+    let x = b.input_with_shape(DType::F32, ShapeFact::batched(&[2]));
+    let y = b.input_with_shape(DType::F32, ShapeFact::batched(&[3]));
+    let f = b.push(Op::Fused(Arc::new(kernel)), vec![x, y]);
+    b.output(f);
+    assert_shape_error(&b.build(), f, "fused kernel over [B,2] and [B,3]");
+}
+
+#[test]
+fn diagnostics_carry_node_and_operand_shapes() {
+    let mut b = GraphBuilder::new();
+    let x = b.input_with_shape(DType::F32, ShapeFact::batched(&[3]));
+    let c = b.constant(Tensor::from_vec(vec![0.0f32; 4], &[4]));
+    let s = b.add(x, c);
+    b.output(s);
+    let err = b.build().verify().unwrap_err();
+    let msg = err.to_string();
+    assert!(msg.contains(&format!("node {s}")), "missing node id: {msg}");
+    assert!(msg.contains("[B, 3]"), "missing operand shape: {msg}");
+    assert!(msg.contains("[4]"), "missing operand shape: {msg}");
+}

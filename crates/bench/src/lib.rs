@@ -2,4 +2,8 @@
 //! Criterion benches). The substantive code lives in the binary and bench
 //! targets; this library hosts reusable measurement utilities.
 
+// Pure-safe-Rust policy: every crate in this workspace is 100% safe
+// Rust; see DESIGN.md ("Unsafe-code policy").
+#![forbid(unsafe_code)]
+
 pub mod measure;

@@ -27,6 +27,10 @@
 //! assert_eq!(proba.shape(), &[80, 2]);
 //! ```
 
+// Pure-safe-Rust policy: every crate in this workspace is 100% safe
+// Rust; see DESIGN.md ("Unsafe-code policy").
+#![forbid(unsafe_code)]
+
 pub mod containers;
 pub mod convert;
 pub mod fil;
@@ -37,7 +41,10 @@ pub mod strings;
 
 use std::time::Duration;
 
-use hb_backend::{Backend, Device, ExecError, Executable, FaultPlan, GraphBuilder, RunStats};
+use hb_backend::{
+    Backend, Device, ExecError, Executable, FaultPlan, GraphBuilder, GraphError, RunStats,
+    ShapeFact, SymDim,
+};
 use hb_ml::linear::LinearLink;
 use hb_pipeline::Pipeline;
 use hb_tensor::{DType, DynTensor, Tensor, TensorError};
@@ -204,6 +211,11 @@ pub enum CompileError {
     /// fault); the pipeline may still compile at a less aggressive
     /// backend.
     Lowering(String),
+    /// The lowered tensor graph failed the static shape/dtype verifier.
+    /// This is a converter bug (or a malformed custom converter), not a
+    /// property of the backend — no rung of the degradation ladder can
+    /// execute the graph, so admission must refuse the model.
+    Verify(GraphError),
 }
 
 impl std::fmt::Display for CompileError {
@@ -218,6 +230,7 @@ impl std::fmt::Display for CompileError {
                 write!(f, "input width unknown; set CompileOptions::input_width")
             }
             CompileError::Lowering(msg) => write!(f, "backend lowering failed: {msg}"),
+            CompileError::Verify(e) => write!(f, "graph verification failed: {e}"),
         }
     }
 }
@@ -506,6 +519,16 @@ pub fn compile_with_registry(
         .or(pipeline.input_width)
         .or_else(|| containers.first().and_then(|c| params_width_in(&c.params)));
     let input_width = width;
+    // Declare the symbolic input shape [B, width] so the static verifier
+    // can propagate concrete facts; an unknown width degrades gracefully
+    // to [B, ?] and the verifier checks only what it can prove.
+    b.set_input_shape(
+        x,
+        ShapeFact::Known(vec![
+            SymDim::batch(),
+            input_width.map_or(SymDim::Unknown, SymDim::fixed),
+        ]),
+    );
     let mut cur = x;
     let mut report = Vec::with_capacity(containers.len());
     for (c, op) in containers.iter().zip(pipeline.ops.iter()) {
@@ -524,6 +547,9 @@ pub fn compile_with_registry(
     }
     b.output(cur);
     let graph = b.build();
+    // Static verification gate: prove shape/dtype consistency for every
+    // batch size before handing the graph to any backend.
+    graph.verify().map_err(CompileError::Verify)?;
     let output = output_kind(&containers);
     let exe =
         Executable::try_new_with_faults(graph, opts.backend, opts.device, opts.faults.clone())

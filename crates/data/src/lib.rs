@@ -8,6 +8,10 @@
 //! class count, class skew) and configurable row counts, as documented in
 //! DESIGN.md's substitution table.
 
+// Pure-safe-Rust policy: every crate in this workspace is 100% safe
+// Rust; see DESIGN.md ("Unsafe-code policy").
+#![forbid(unsafe_code)]
+
 use rand::prelude::*;
 use rand_distr::{Distribution, Normal};
 

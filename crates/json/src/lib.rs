@@ -21,6 +21,10 @@
 //! [`ToJson`]/[`FromJson`] impl pairs that `#[derive(Serialize,
 //! Deserialize)]` used to provide.
 
+// Pure-safe-Rust policy: every crate in this workspace is 100% safe
+// Rust; see DESIGN.md ("Unsafe-code policy").
+#![forbid(unsafe_code)]
+
 mod parse;
 mod write;
 

@@ -19,6 +19,10 @@
 //! the featurizers of paper Table 1 ([`featurize`], [`select`],
 //! [`decomp`]).
 
+// Pure-safe-Rust policy: every crate in this workspace is 100% safe
+// Rust; see DESIGN.md ("Unsafe-code policy").
+#![forbid(unsafe_code)]
+
 pub mod baselines;
 pub mod decomp;
 pub mod ensemble;

@@ -11,6 +11,10 @@
 //! provides the imperative reference scoring path (the scikit-learn
 //! baseline for end-to-end experiments).
 
+// Pure-safe-Rust policy: every crate in this workspace is 100% safe
+// Rust; see DESIGN.md ("Unsafe-code policy").
+#![forbid(unsafe_code)]
+
 pub mod io;
 
 use hb_tensor::Tensor;

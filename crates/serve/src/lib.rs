@@ -42,6 +42,10 @@
 //! assert_eq!(proba.shape(), &[40, 2]);
 //! ```
 
+// Pure-safe-Rust policy: every crate in this workspace is 100% safe
+// Rust; see DESIGN.md ("Unsafe-code policy").
+#![forbid(unsafe_code)]
+
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
@@ -49,7 +53,9 @@ use std::time::{Duration, Instant};
 
 use hb_backend::Backend;
 pub use hb_backend::{FaultPlan, FaultScope};
-use hb_core::{compile, CompileOptions, CompiledModel, HbError};
+use hb_core::{
+    compile_with_registry, CompileError, CompileOptions, CompiledModel, ConverterRegistry, HbError,
+};
 use hb_pipeline::Pipeline;
 use hb_tensor::Tensor;
 
@@ -266,9 +272,24 @@ impl ServingModel {
     ///
     /// # Errors
     ///
-    /// Only structurally hopeless pipelines fail here: an empty pipeline
-    /// cannot be served even imperatively.
+    /// Only hopeless pipelines fail here: an empty pipeline cannot be
+    /// served even imperatively, and a pipeline whose tensor graph fails
+    /// the static shape/dtype verifier is refused at admission — that is
+    /// a converter bug, not a backend limitation, so no rung of the
+    /// ladder could ever execute it correctly.
     pub fn new(pipeline: &Pipeline, config: ServeConfig) -> Result<ServingModel, HbError> {
+        ServingModel::with_registry(pipeline, config, &ConverterRegistry::new())
+    }
+
+    /// Like [`ServingModel::new`], but compiles through a custom
+    /// [`ConverterRegistry`] so user-registered converters participate in
+    /// every rung. Statically-invalid graphs (verifier rejections) are
+    /// refused up front with [`HbError::Graph`].
+    pub fn with_registry(
+        pipeline: &Pipeline,
+        config: ServeConfig,
+        registry: &ConverterRegistry,
+    ) -> Result<ServingModel, HbError> {
         if pipeline.is_empty() {
             return Err(HbError::BadRequest(
                 "cannot serve an empty pipeline".to_string(),
@@ -286,11 +307,19 @@ impl ServingModel {
                 ..config.compile.clone()
             };
             // A rung that fails to compile (e.g. an injected
-            // optimization-pass fault) is simply left off the ladder.
-            let attempt = catch_unwind(AssertUnwindSafe(|| compile(pipeline, &opts)));
-            if let Ok(Ok(model)) = attempt {
-                width = width.or(model.input_width());
-                rungs.push((rung, model));
+            // optimization-pass fault) is simply left off the ladder —
+            // except for verifier rejections, which are deterministic
+            // graph bugs shared by every rung: admission refuses those.
+            let attempt = catch_unwind(AssertUnwindSafe(|| {
+                compile_with_registry(pipeline, &opts, registry)
+            }));
+            match attempt {
+                Ok(Ok(model)) => {
+                    width = width.or(model.input_width());
+                    rungs.push((rung, model));
+                }
+                Ok(Err(CompileError::Verify(e))) => return Err(HbError::Graph(e)),
+                _ => {}
             }
         }
         Ok(ServingModel {
@@ -518,6 +547,34 @@ mod tests {
             Err(ServeError::BadRequest(_))
         ));
         assert_eq!(server.stats().bad_requests, 1);
+    }
+
+    #[test]
+    fn statically_invalid_graph_is_refused_at_admission() {
+        let (pipe, _) = fixture();
+        // A buggy custom converter for StandardScaler: matmul against a
+        // [5, 7] constant whose inner dimension cannot match the [B, 4]
+        // input. The static verifier must catch this at admission — no
+        // rung could ever execute it.
+        let mut registry = ConverterRegistry::new();
+        registry.register(
+            "StandardScaler",
+            std::sync::Arc::new(|_op, b, x, _width| {
+                let w = b.constant(Tensor::<f32>::from_fn(&[5, 7], |_| 1.0));
+                Ok(b.matmul(x, w))
+            }),
+        );
+        let res = ServingModel::with_registry(&pipe, ServeConfig::default(), &registry);
+        match res {
+            Err(HbError::Graph(e)) => {
+                let msg = e.to_string();
+                assert!(msg.contains("shape mismatch"), "unexpected: {msg}");
+            }
+            other => panic!(
+                "expected admission refusal, got {:?}",
+                other.map(|m| m.available_rungs())
+            ),
+        }
     }
 
     #[test]

@@ -23,6 +23,10 @@
 //! assert_eq!(z.to_vec(), vec![1.0, 2.0, 3.0, 4.0]);
 //! ```
 
+// Pure-safe-Rust policy: every crate in this workspace is 100% safe
+// Rust; see DESIGN.md ("Unsafe-code policy").
+#![forbid(unsafe_code)]
+
 pub mod alloc;
 pub mod dtype;
 pub mod dyn_tensor;

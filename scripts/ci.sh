@@ -24,4 +24,12 @@ cargo test -q --offline
 echo "==> cargo test -q --workspace"
 cargo test -q --offline --workspace
 
+# Static graph audit: export compiled graphs for every tree strategy plus
+# an end-to-end pipeline, then run the hb-lint verifier over them.
+# hb-lint exits non-zero on any error-level diagnostic.
+echo "==> hb-lint over exported graphs"
+rm -rf target/ci-graphs
+./target/release/hb-export target/ci-graphs
+./target/release/hb-lint target/ci-graphs/*.json
+
 echo "CI green."

@@ -1,0 +1,91 @@
+//! `hb-export`: compiles reference pipelines and writes their tensor
+//! graphs as JSON artifacts, one per tree strategy plus an end-to-end
+//! featurizer pipeline. CI feeds the output directory to `hb-lint` so
+//! every compilation strategy stays clean under the static verifier.
+//!
+//! ```text
+//! hb-export <output-dir>
+//! ```
+
+use std::path::Path;
+use std::process::ExitCode;
+
+use hummingbird::backend::Backend;
+use hummingbird::compiler::{compile, CompileOptions, TreeStrategy};
+use hummingbird::ml::forest::ForestConfig;
+use hummingbird::pipeline::{fit_pipeline, OpSpec, Pipeline, Targets};
+use hummingbird::tensor::Tensor;
+
+fn main() -> ExitCode {
+    let Some(dir) = std::env::args().nth(1) else {
+        eprintln!("usage: hb-export <output-dir>");
+        return ExitCode::FAILURE;
+    };
+    if let Err(e) = std::fs::create_dir_all(&dir) {
+        eprintln!("hb-export: cannot create {dir}: {e}");
+        return ExitCode::FAILURE;
+    }
+    match export_all(Path::new(&dir)) {
+        Ok(n) => {
+            println!("hb-export: wrote {n} graph(s) to {dir}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("hb-export: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn export_all(dir: &Path) -> Result<usize, String> {
+    let n = 120;
+    let x = Tensor::from_fn(&[n, 6], |i| ((i[0] * 7 + i[1] * 3) % 13) as f32 * 0.3);
+    let y = Targets::Classes((0..n).map(|i| (i % 3) as i64).collect());
+
+    let forest = OpSpec::RandomForestClassifier(ForestConfig {
+        n_trees: 8,
+        max_depth: 4,
+        ..ForestConfig::default()
+    });
+    let tree_pipe = fit_pipeline(&[OpSpec::StandardScaler, forest.clone()], &x, &y);
+    let e2e_pipe = fit_pipeline(
+        &[
+            OpSpec::StandardScaler,
+            OpSpec::Binarizer { threshold: 0.5 },
+            forest,
+        ],
+        &x,
+        &y,
+    );
+
+    let mut written = 0usize;
+    for (strategy, name) in [
+        (TreeStrategy::Gemm, "forest_gemm"),
+        (TreeStrategy::TreeTraversal, "forest_tree_traversal"),
+        (TreeStrategy::PerfectTreeTraversal, "forest_perfect_tree"),
+    ] {
+        export_one(dir, name, &tree_pipe, strategy)?;
+        written += 1;
+    }
+    export_one(dir, "pipeline_e2e", &e2e_pipe, TreeStrategy::Auto)?;
+    written += 1;
+    Ok(written)
+}
+
+fn export_one(
+    dir: &Path,
+    name: &str,
+    pipe: &Pipeline,
+    strategy: TreeStrategy,
+) -> Result<(), String> {
+    let opts = CompileOptions {
+        backend: Backend::Compiled,
+        tree_strategy: strategy,
+        ..CompileOptions::default()
+    };
+    let model = compile(pipe, &opts).map_err(|e| format!("{name}: compile failed: {e}"))?;
+    let json = model.executable().graph().to_json();
+    let path = dir.join(format!("{name}.json"));
+    std::fs::write(&path, json).map_err(|e| format!("{name}: write failed: {e}"))?;
+    Ok(())
+}

@@ -1,0 +1,196 @@
+//! `hb-lint`: a static auditor for exported tensor-graph JSON artifacts.
+//!
+//! Runs the full static verification stack — structural validation,
+//! dtype checking, and symbolic shape inference with the batch dimension
+//! `B` — over each graph file, then reports warnings an executor would
+//! never surface: dead nodes, unused input slots, constant-foldable
+//! subgraphs, non-finite constants, and the parameter footprint.
+//!
+//! Exit status is non-zero iff any file produced an **error-level**
+//! diagnostic (unreadable, unparsable, or failing verification);
+//! warnings alone keep the exit status at zero so CI can gate on real
+//! defects without chasing style.
+//!
+//! ```text
+//! hb-lint graphs/*.json
+//! ```
+
+use std::process::ExitCode;
+
+use hummingbird::backend::{Graph, Op};
+use hummingbird::tensor::DynTensor;
+
+fn main() -> ExitCode {
+    let paths: Vec<String> = std::env::args().skip(1).collect();
+    if paths.is_empty() {
+        eprintln!("usage: hb-lint <graph.json>...");
+        return ExitCode::FAILURE;
+    }
+    let mut errors = 0usize;
+    for path in &paths {
+        if !lint_file(path) {
+            errors += 1;
+        }
+    }
+    println!(
+        "hb-lint: {} file(s) checked, {} with errors",
+        paths.len(),
+        errors
+    );
+    if errors > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+/// Lints one file; returns `false` on any error-level diagnostic.
+fn lint_file(path: &str) -> bool {
+    let json = match std::fs::read_to_string(path) {
+        Ok(s) => s,
+        Err(e) => {
+            println!("{path}: error: cannot read: {e}");
+            return false;
+        }
+    };
+    // Parse without the admission gate: hb-lint's whole job is to
+    // diagnose invalid graphs, so it must be able to hold one.
+    let graph = match Graph::from_json_unchecked(&json) {
+        Ok(g) => g,
+        Err(e) => {
+            println!("{path}: error: unparsable artifact: {e}");
+            return false;
+        }
+    };
+    let ok = match graph.verify() {
+        Ok(sig) => {
+            println!(
+                "{path}: ok: {} nodes, {} kernels, signature {sig}",
+                graph.len(),
+                graph.kernel_count()
+            );
+            true
+        }
+        Err(e) => {
+            println!("{path}: error: {e}");
+            false
+        }
+    };
+    for w in audit(&graph) {
+        println!("{path}: warning: {w}");
+    }
+    println!("{path}: note: {}", footprint(&graph));
+    ok
+}
+
+/// Warning-level findings on a structurally parsable graph.
+fn audit(graph: &Graph) -> Vec<String> {
+    let mut warnings = Vec::new();
+
+    // Reachability from the outputs (the liveness DCE would compute).
+    let mut live = vec![false; graph.nodes.len()];
+    let mut stack: Vec<usize> = graph
+        .outputs
+        .iter()
+        .copied()
+        .filter(|&o| o < graph.nodes.len())
+        .collect();
+    while let Some(id) = stack.pop() {
+        if live[id] {
+            continue;
+        }
+        live[id] = true;
+        stack.extend(
+            graph.nodes[id]
+                .inputs
+                .iter()
+                .copied()
+                .filter(|&i| i < graph.nodes.len()),
+        );
+    }
+    let dead: Vec<usize> = (0..graph.nodes.len()).filter(|&i| !live[i]).collect();
+    if !dead.is_empty() {
+        warnings.push(format!(
+            "{} dead node(s) unreachable from the outputs: {:?}",
+            dead.len(),
+            &dead[..dead.len().min(8)]
+        ));
+    }
+
+    // Input slots no live node reads.
+    let mut used = vec![false; graph.input_dtypes.len()];
+    for (id, node) in graph.nodes.iter().enumerate() {
+        if let Op::Input(slot) = node.op {
+            if live[id] {
+                if let Some(u) = used.get_mut(slot) {
+                    *u = true;
+                }
+            }
+        }
+    }
+    for (slot, u) in used.iter().enumerate() {
+        if !u {
+            warnings.push(format!("input slot {slot} is never read"));
+        }
+    }
+
+    // Constant-foldable subgraphs: live non-Const nodes whose operands
+    // are all (transitively) constant — the Compiled backend would fold
+    // these away, so their presence means the artifact was exported
+    // unoptimized.
+    let mut is_const = vec![false; graph.nodes.len()];
+    let mut foldable = 0usize;
+    for (id, node) in graph.nodes.iter().enumerate() {
+        match &node.op {
+            Op::Const(_) => is_const[id] = true,
+            Op::Input(_) | Op::Fused(_) => {}
+            _ => {
+                if !node.inputs.is_empty()
+                    && node.inputs.iter().all(|&i| is_const.get(i) == Some(&true))
+                {
+                    is_const[id] = true;
+                    if live[id] {
+                        foldable += 1;
+                    }
+                }
+            }
+        }
+    }
+    if foldable > 0 {
+        warnings.push(format!(
+            "{foldable} node(s) are constant-foldable; export after optimization to shrink the artifact"
+        ));
+    }
+
+    // Constants carrying NaN/Inf: every downstream arithmetic op will
+    // poison its outputs, which serving treats as rung corruption.
+    for (id, node) in graph.nodes.iter().enumerate() {
+        if let Op::Const(DynTensor::F32(t)) = &node.op {
+            let bad = t.iter().filter(|v| !v.is_finite()).count();
+            if bad > 0 {
+                warnings.push(format!(
+                    "node {id}: constant contains {bad} non-finite value(s) (NaN/Inf)"
+                ));
+            }
+        }
+    }
+
+    warnings
+}
+
+/// One-line parameter-footprint summary.
+fn footprint(graph: &Graph) -> String {
+    let consts = graph
+        .nodes
+        .iter()
+        .filter(|n| matches!(n.op, Op::Const(_)))
+        .count();
+    format!(
+        "{} nodes, {} constants ({} parameter bytes), {} kernel launches, {} output(s)",
+        graph.len(),
+        consts,
+        graph.const_bytes(),
+        graph.kernel_count(),
+        graph.outputs.len()
+    )
+}

@@ -37,6 +37,10 @@
 //! assert_eq!(pred.shape()[0], ds.x_test.shape()[0]);
 //! ```
 
+// Pure-safe-Rust policy: every crate in this workspace is 100% safe
+// Rust; see DESIGN.md ("Unsafe-code policy").
+#![forbid(unsafe_code)]
+
 pub use hb_backend as backend;
 pub use hb_core as compiler;
 pub use hb_data as data;

@@ -4,6 +4,8 @@
 
 use proptest::prelude::*;
 
+use hummingbird::backend::optimize::{cse, dce, fold_constants};
+use hummingbird::backend::{fuse::fuse_elementwise, Graph};
 use hummingbird::compiler::{compile, optimizer, CompileOptions};
 use hummingbird::ml::featurize::ImputeStrategy;
 use hummingbird::ml::linear::{LinearConfig, Penalty};
@@ -21,6 +23,29 @@ fn data(n: usize, d: usize, seed: u64) -> (Tensor<f32>, Targets) {
     });
     let y = Targets::Classes((0..n).map(|i| (i % 2) as i64).collect());
     (x, y)
+}
+
+/// Re-runs each Compiled-backend pass on `graph`, asserting the graph
+/// keeps verifying with an unchanged output signature after every
+/// rewrite (translation validation, pass by pass).
+fn assert_passes_preserve_signature(graph: &Graph) {
+    let want = graph
+        .verify()
+        .unwrap_or_else(|e| panic!("compiled graph fails the verifier: {e}"));
+    let mut g = graph.clone();
+    let passes: [(&str, fn(&Graph) -> Graph); 4] = [
+        ("fold", |g| fold_constants(g).0),
+        ("cse", |g| cse(g).0),
+        ("dce", dce),
+        ("fuse", |g| fuse_elementwise(g).0),
+    ];
+    for (pass, run) in passes {
+        g = run(&g);
+        let got = g
+            .verify()
+            .unwrap_or_else(|e| panic!("{pass}: rewritten graph fails the verifier: {e}"));
+        assert_eq!(got, want, "{pass}: output signature changed");
+    }
 }
 
 /// Scaler variants the push-down must commute with.
@@ -64,6 +89,7 @@ proptest! {
 
         // And the fully compiled optimized model agrees too.
         let model = compile(&pipe, &CompileOptions::default()).unwrap();
+        assert_passes_preserve_signature(model.executable().graph());
         let compiled = model.predict_proba(&x).unwrap();
         prop_assert!(allclose(&compiled, &want, 1e-4, 1e-4), "compiled rewrite diverged");
     }
@@ -92,6 +118,7 @@ proptest! {
         let got = rewritten.predict_proba(&x);
         prop_assert!(allclose(&got, &want, 1e-4, 1e-4));
         let model = compile(&pipe, &CompileOptions::default()).unwrap();
+        assert_passes_preserve_signature(model.executable().graph());
         let compiled = model.predict_proba(&x).unwrap();
         prop_assert!(allclose(&compiled, &want, 1e-4, 1e-4));
     }

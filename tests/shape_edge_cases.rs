@@ -1,0 +1,169 @@
+//! Regression tests for latent shape edge cases the static verifier
+//! audit surfaced: zero-row batches, zero-size dimensions flowing
+//! through broadcasts and reductions, and empty `IndexSelect` index
+//! lists. A serving system sees empty batches routinely (e.g. a filter
+//! stage upstream dropped every row) — they must score to an empty
+//! output, not panic.
+
+use hummingbird::backend::{Backend, Device, Executable, GraphBuilder, ShapeFact};
+use hummingbird::compiler::{compile, CompileOptions, TreeStrategy};
+use hummingbird::ml::forest::ForestConfig;
+use hummingbird::pipeline::{fit_pipeline, OpSpec, Pipeline, Targets};
+use hummingbird::tensor::{DType, DynTensor, Tensor};
+
+fn forest_pipeline(n_features: usize) -> Pipeline {
+    let n = 80;
+    let x = Tensor::from_fn(&[n, n_features], |i| {
+        ((i[0] * 7 + i[1] * 3) % 13) as f32 * 0.3
+    });
+    let y = Targets::Classes((0..n).map(|i| (i % 2) as i64).collect());
+    fit_pipeline(
+        &[
+            OpSpec::StandardScaler,
+            OpSpec::RandomForestClassifier(ForestConfig {
+                n_trees: 4,
+                max_depth: 3,
+                ..ForestConfig::default()
+            }),
+        ],
+        &x,
+        &y,
+    )
+}
+
+#[test]
+fn zero_row_batch_scores_to_empty_output_on_all_strategies() {
+    let pipe = forest_pipeline(5);
+    let empty = Tensor::<f32>::from_vec(vec![], &[0, 5]);
+    for strategy in [
+        TreeStrategy::Gemm,
+        TreeStrategy::TreeTraversal,
+        TreeStrategy::PerfectTreeTraversal,
+    ] {
+        for backend in Backend::ALL {
+            let opts = CompileOptions {
+                backend,
+                tree_strategy: strategy,
+                ..CompileOptions::default()
+            };
+            let model = compile(&pipe, &opts).expect("compiles");
+            let proba = model.predict_proba(&empty).unwrap_or_else(|e| {
+                panic!(
+                    "{}/{}: empty batch failed: {e}",
+                    strategy.label(),
+                    backend.label()
+                )
+            });
+            assert_eq!(
+                proba.shape(),
+                &[0, 2],
+                "{}/{}: wrong empty-batch output shape",
+                strategy.label(),
+                backend.label()
+            );
+            let pred = model.predict(&empty).unwrap_or_else(|e| {
+                panic!(
+                    "{}/{}: empty predict failed: {e}",
+                    strategy.label(),
+                    backend.label()
+                )
+            });
+            assert_eq!(pred.shape(), &[0]);
+        }
+    }
+}
+
+#[test]
+fn zero_row_batch_matches_reference_on_featurizer_chain() {
+    let n = 60;
+    let x = Tensor::from_fn(&[n, 4], |i| ((i[0] * 5 + i[1]) % 11) as f32 * 0.2);
+    let y = Targets::Classes((0..n).map(|i| (i % 2) as i64).collect());
+    let pipe = fit_pipeline(
+        &[
+            OpSpec::StandardScaler,
+            OpSpec::Binarizer { threshold: 0.4 },
+            OpSpec::GaussianNb,
+        ],
+        &x,
+        &y,
+    );
+    let model = compile(&pipe, &CompileOptions::default()).expect("compiles");
+    let empty = Tensor::<f32>::from_vec(vec![], &[0, 4]);
+    let proba = model.predict_proba(&empty).expect("empty batch scores");
+    assert_eq!(proba.shape(), &[0, 2]);
+}
+
+#[test]
+fn verifier_accepts_zero_size_dims_and_inference_is_exact() {
+    // A declared zero-width input: every fact downstream carries the 0.
+    let mut b = GraphBuilder::new();
+    let x = b.input_with_shape(DType::F32, ShapeFact::fixed(&[0, 3]));
+    let r = b.push(hummingbird::backend::Op::Relu, vec![x]);
+    let s = b.sum(r, 0, false);
+    b.output(s);
+    let graph = b.build();
+    let facts = graph.infer_shapes().expect("verifies");
+    assert_eq!(facts[s as usize], ShapeFact::fixed(&[3]));
+
+    let exe = Executable::new(graph, Backend::Script, Device::cpu());
+    let input = DynTensor::F32(Tensor::from_vec(vec![], &[0, 3]));
+    let out = exe.run(std::slice::from_ref(&input)).expect("runs");
+    // Summing an empty axis yields zeros, matching the inferred shape.
+    assert_eq!(out[0].as_f32().shape(), &[3]);
+    assert_eq!(out[0].as_f32().to_vec(), vec![0.0; 3]);
+}
+
+#[test]
+fn zero_size_broadcast_follows_numpy_rules() {
+    // [0, 3] + [3] broadcasts to [0, 3]; [0, 3] + [2, 3] is an error the
+    // verifier must catch statically.
+    let mut b = GraphBuilder::new();
+    let x = b.input_with_shape(DType::F32, ShapeFact::fixed(&[0, 3]));
+    let c = b.constant(Tensor::from_vec(vec![1.0f32, 2.0, 3.0], &[3]));
+    let s = b.add(x, c);
+    b.output(s);
+    let graph = b.build();
+    assert_eq!(
+        graph.infer_shapes().expect("verifies")[s as usize],
+        ShapeFact::fixed(&[0, 3])
+    );
+    let exe = Executable::new(graph, Backend::Eager, Device::cpu());
+    let input = DynTensor::F32(Tensor::from_vec(vec![], &[0, 3]));
+    let out = exe.run(std::slice::from_ref(&input)).expect("runs");
+    assert_eq!(out[0].as_f32().shape(), &[0, 3]);
+
+    let mut b = GraphBuilder::new();
+    let x = b.input_with_shape(DType::F32, ShapeFact::fixed(&[0, 3]));
+    let c = b.constant(Tensor::from_fn(&[2, 3], |_| 1.0f32));
+    let s = b.add(x, c);
+    b.output(s);
+    assert!(
+        b.build().verify().is_err(),
+        "[0,3] + [2,3] must be rejected (0 broadcasts with nothing but 0 and 1)"
+    );
+}
+
+#[test]
+fn empty_index_select_yields_zero_width() {
+    let mut b = GraphBuilder::new();
+    let x = b.input_with_shape(DType::F32, ShapeFact::batched(&[4]));
+    let s = b.index_select(1, x, vec![]);
+    b.output(s);
+    let graph = b.build();
+    // Statically: [B, 0].
+    let facts = graph.infer_shapes().expect("verifies");
+    assert_eq!(
+        facts[s as usize].to_string(),
+        "[B, 0]",
+        "empty index list infers zero width"
+    );
+    // Dynamically: [n, 0], on every backend.
+    for backend in Backend::ALL {
+        let exe = Executable::new(graph.clone(), backend, Device::cpu());
+        let input = DynTensor::F32(Tensor::from_fn(&[3, 4], |i| (i[0] + i[1]) as f32));
+        let out = exe
+            .run(std::slice::from_ref(&input))
+            .unwrap_or_else(|e| panic!("{}: empty index_select failed: {e}", backend.label()));
+        assert_eq!(out[0].as_f32().shape(), &[3, 0], "{}", backend.label());
+    }
+}

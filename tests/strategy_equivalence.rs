@@ -6,6 +6,8 @@
 
 use proptest::prelude::*;
 
+use hummingbird::backend::optimize::{cse, dce, fold_constants};
+use hummingbird::backend::{fuse::fuse_elementwise, Graph};
 use hummingbird::compiler::{compile, CompileOptions, TreeStrategy};
 use hummingbird::ml::ensemble::{Aggregation, Link, TreeEnsemble};
 use hummingbird::ml::metrics::allclose;
@@ -74,8 +76,34 @@ fn check_strategies(ensemble: TreeEnsemble, x: Tensor<f32>) {
             ..Default::default()
         };
         let model = compile(&pipe, &opts).expect("strategies compile");
+        // Every strategy's lowered graph must pass the static verifier,
+        // and every optimizer pass must preserve its inferred signature
+        // (translation validation, run here pass-by-pass).
+        assert_passes_preserve_signature(model.executable().graph(), strategy.label());
         let got = model.predict_proba(&x).expect("strategies score");
         prop_assert_eq_ok(&got, &want, strategy.label()).unwrap();
+    }
+}
+
+/// Re-runs each Compiled-backend pass on `graph` and checks that the
+/// statically inferred output signature never changes.
+fn assert_passes_preserve_signature(graph: &Graph, label: &str) {
+    let want = graph
+        .verify()
+        .unwrap_or_else(|e| panic!("{label}: compiled graph fails the verifier: {e}"));
+    let mut g = graph.clone();
+    let passes: [(&str, fn(&Graph) -> Graph); 4] = [
+        ("fold", |g| fold_constants(g).0),
+        ("cse", |g| cse(g).0),
+        ("dce", dce),
+        ("fuse", |g| fuse_elementwise(g).0),
+    ];
+    for (pass, run) in passes {
+        g = run(&g);
+        let got = g
+            .verify()
+            .unwrap_or_else(|e| panic!("{label}/{pass}: rewritten graph fails the verifier: {e}"));
+        assert_eq!(got, want, "{label}/{pass}: output signature changed");
     }
 }
 

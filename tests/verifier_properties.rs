@@ -1,0 +1,373 @@
+//! Property-based validation of the static shape verifier against the
+//! ground truth of eager execution:
+//!
+//! * **Soundness of inference** — on random well-formed graphs with
+//!   concrete declared input shapes, the verifier must accept, and the
+//!   shape it infers for *every node* must exactly equal the shape eager
+//!   evaluation produces.
+//! * **No false negatives** — when a random graph is seeded with a
+//!   defect and the verifier rejects it, eager execution of the same
+//!   graph must also fail; the verifier never rejects a graph the
+//!   runtime would happily execute at its declared shapes.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use proptest::prelude::*;
+
+use hummingbird::backend::{Graph, GraphBuilder, Op, ShapeFact};
+use hummingbird::tensor::{DType, DynTensor, Tensor};
+
+/// One randomly chosen op layered onto the graph. Ops that need shape
+/// preconditions are applied only when the tracked concrete shape allows
+/// them (otherwise the step is skipped), so the base graph is always
+/// well-formed by construction.
+#[derive(Debug, Clone)]
+enum Step {
+    AddConst(f32),
+    Relu,
+    Sigmoid,
+    AddSelf,
+    MatMul(usize),
+    Transpose,
+    Unsqueeze(usize),
+    SqueezeIfUnit,
+    Flatten,
+    SplitRows,
+    Sum { axis: usize, keepdim: bool },
+    Softmax(usize),
+    Slice(usize),
+    IndexSelect(usize),
+    ConcatSelf(usize),
+}
+
+/// A defect appended after the random prefix; each is guaranteed to be
+/// ill-formed at the graph's concrete shapes.
+#[derive(Debug, Clone, Copy)]
+enum Defect {
+    None,
+    ReshapeOffByOne,
+    IndexSelectPastEnd,
+    BroadcastMismatch,
+}
+
+fn step_strategy() -> impl Strategy<Value = Step> {
+    prop_oneof![
+        (-2.0f32..2.0).prop_map(Step::AddConst),
+        Just(Step::Relu),
+        Just(Step::Sigmoid),
+        Just(Step::AddSelf),
+        (1usize..5).prop_map(Step::MatMul),
+        Just(Step::Transpose),
+        (0usize..3).prop_map(Step::Unsqueeze),
+        Just(Step::SqueezeIfUnit),
+        Just(Step::Flatten),
+        Just(Step::SplitRows),
+        ((0usize..3), any::<bool>()).prop_map(|(axis, keepdim)| Step::Sum { axis, keepdim }),
+        (0usize..3).prop_map(Step::Softmax),
+        (0usize..3).prop_map(Step::Slice),
+        (0usize..4).prop_map(Step::IndexSelect),
+        (0usize..3).prop_map(Step::ConcatSelf),
+    ]
+}
+
+fn defect_strategy() -> impl Strategy<Value = Defect> {
+    prop_oneof![
+        Just(Defect::None),
+        Just(Defect::ReshapeOffByOne),
+        Just(Defect::IndexSelectPastEnd),
+        Just(Defect::BroadcastMismatch),
+    ]
+}
+
+/// Deterministic pseudo-random input tensor.
+fn input_of(n: usize, m: usize, seed: u64) -> Tensor<f32> {
+    let mut state = seed | 1;
+    Tensor::from_fn(&[n, m], |_| {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        ((state >> 40) as f32 / (1u64 << 24) as f32) * 4.0 - 2.0
+    })
+}
+
+/// Builds a random well-formed graph, evaluating every node as it goes
+/// so shape preconditions are checked against ground truth (not against
+/// the inference logic under test). Returns the builder, the current
+/// node, and the per-node eager values.
+struct Grown {
+    builder: GraphBuilder,
+    cur: usize,
+    vals: Vec<DynTensor>,
+}
+
+fn grow(steps: &[Step], input: &Tensor<f32>) -> Grown {
+    let mut b = GraphBuilder::new();
+    let x = b.input_with_shape(DType::F32, ShapeFact::fixed(input.shape()));
+    let mut vals: Vec<DynTensor> = vec![DynTensor::F32(input.clone())];
+    let mut cur = x;
+
+    // Pushes `op` over existing nodes and records its eager value.
+    fn apply(vals: &mut Vec<DynTensor>, b: &mut GraphBuilder, op: Op, ins: Vec<usize>) -> usize {
+        let operands: Vec<&DynTensor> = ins.iter().map(|&i| &vals[i]).collect();
+        let v = op.eval(&operands);
+        let id = b.push(op, ins);
+        assert_eq!(id, vals.len(), "generator lost sync with the builder");
+        vals.push(v);
+        id
+    }
+    fn constant(vals: &mut Vec<DynTensor>, b: &mut GraphBuilder, t: Tensor<f32>) -> usize {
+        let id = b.constant(t.clone());
+        assert_eq!(id, vals.len(), "generator lost sync with the builder");
+        vals.push(DynTensor::F32(t));
+        id
+    }
+
+    for s in steps {
+        let shape: Vec<usize> = vals[cur].shape().to_vec();
+        let rank = shape.len();
+        cur = match s {
+            Step::AddConst(c) => apply(&mut vals, &mut b, Op::AddScalar(f64::from(*c)), vec![cur]),
+            Step::Relu => apply(&mut vals, &mut b, Op::Relu, vec![cur]),
+            Step::Sigmoid => apply(&mut vals, &mut b, Op::Sigmoid, vec![cur]),
+            Step::AddSelf => apply(&mut vals, &mut b, Op::Add, vec![cur, cur]),
+            Step::MatMul(k) => {
+                if rank < 2 {
+                    continue;
+                }
+                let inner = shape[rank - 1];
+                let w = constant(
+                    &mut vals,
+                    &mut b,
+                    Tensor::from_fn(&[inner, *k], |i| (i[0] + i[1]) as f32 * 0.1),
+                );
+                apply(&mut vals, &mut b, Op::MatMul, vec![cur, w])
+            }
+            Step::Transpose => {
+                if rank < 2 {
+                    continue;
+                }
+                apply(
+                    &mut vals,
+                    &mut b,
+                    Op::Transpose(rank - 2, rank - 1),
+                    vec![cur],
+                )
+            }
+            Step::Unsqueeze(axis) => {
+                let axis = axis % (rank + 1);
+                apply(&mut vals, &mut b, Op::Unsqueeze(axis), vec![cur])
+            }
+            Step::SqueezeIfUnit => match shape.iter().position(|&d| d == 1) {
+                Some(axis) => apply(&mut vals, &mut b, Op::Squeeze(axis), vec![cur]),
+                None => continue,
+            },
+            Step::Flatten => apply(&mut vals, &mut b, Op::Reshape { dims: vec![-1] }, vec![cur]),
+            Step::SplitRows => {
+                if rank == 0 || shape[0] == 0 {
+                    continue;
+                }
+                let d0 = i64::try_from(shape[0]).unwrap_or(1);
+                apply(
+                    &mut vals,
+                    &mut b,
+                    Op::Reshape { dims: vec![d0, -1] },
+                    vec![cur],
+                )
+            }
+            Step::Sum { axis, keepdim } => {
+                if rank == 0 {
+                    continue;
+                }
+                let axis = axis % rank;
+                apply(
+                    &mut vals,
+                    &mut b,
+                    Op::Sum {
+                        axis,
+                        keepdim: *keepdim,
+                    },
+                    vec![cur],
+                )
+            }
+            Step::Softmax(axis) => {
+                if rank == 0 {
+                    continue;
+                }
+                let axis = axis % rank;
+                if shape[axis] == 0 {
+                    continue;
+                }
+                apply(&mut vals, &mut b, Op::Softmax { axis }, vec![cur])
+            }
+            Step::Slice(axis) => {
+                if rank == 0 {
+                    continue;
+                }
+                let axis = axis % rank;
+                if shape[axis] < 2 {
+                    continue;
+                }
+                apply(
+                    &mut vals,
+                    &mut b,
+                    Op::Slice {
+                        axis,
+                        start: 0,
+                        end: shape[axis] - 1,
+                    },
+                    vec![cur],
+                )
+            }
+            Step::IndexSelect(axis) => {
+                if rank == 0 {
+                    continue;
+                }
+                let axis = axis % rank;
+                if shape[axis] == 0 {
+                    continue;
+                }
+                let indices = vec![0, shape[axis] - 1];
+                apply(
+                    &mut vals,
+                    &mut b,
+                    Op::IndexSelect {
+                        axis,
+                        indices: indices.into(),
+                    },
+                    vec![cur],
+                )
+            }
+            Step::ConcatSelf(axis) => {
+                if rank == 0 {
+                    continue;
+                }
+                let axis = axis % rank;
+                apply(&mut vals, &mut b, Op::Concat { axis }, vec![cur, cur])
+            }
+        };
+    }
+    Grown {
+        builder: b,
+        cur,
+        vals,
+    }
+}
+
+/// Appends `defect` to the grown graph; returns false when the defect
+/// could not be expressed at the current shape (caller treats the graph
+/// as clean).
+fn inject(g: &mut Grown, defect: Defect) -> bool {
+    let shape: Vec<usize> = g.vals[g.cur].shape().to_vec();
+    let total: usize = shape.iter().product();
+    match defect {
+        Defect::None => false,
+        Defect::ReshapeOffByOne => {
+            let bad = i64::try_from(total + 1).unwrap_or(i64::MAX);
+            g.cur = g.builder.push(Op::Reshape { dims: vec![bad] }, vec![g.cur]);
+            true
+        }
+        Defect::IndexSelectPastEnd => {
+            if shape.is_empty() {
+                return false;
+            }
+            g.cur = g.builder.index_select(0, g.cur, vec![shape[0]]);
+            true
+        }
+        Defect::BroadcastMismatch => {
+            let Some(&last) = shape.last() else {
+                return false;
+            };
+            if last < 2 {
+                return false;
+            }
+            let c = g
+                .builder
+                .constant(Tensor::from_fn(&[last + 1], |i| i[0] as f32));
+            g.cur = g.builder.add(g.cur, c);
+            true
+        }
+    }
+}
+
+/// Eagerly evaluates every node; panics exactly where a kernel would.
+fn run_all(graph: &Graph, input: &Tensor<f32>) -> Vec<DynTensor> {
+    let mut vals: Vec<DynTensor> = Vec::with_capacity(graph.nodes.len());
+    for node in &graph.nodes {
+        let v = match &node.op {
+            Op::Input(_) => DynTensor::F32(input.clone()),
+            op => {
+                let ins: Vec<&DynTensor> = node.inputs.iter().map(|&i| &vals[i]).collect();
+                op.eval(&ins)
+            }
+        };
+        vals.push(v);
+    }
+    vals
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    // Well-formed graphs: the verifier accepts, and its per-node
+    // inferred shape exactly equals the eager-execution shape.
+    #[test]
+    fn inferred_shapes_match_eager_execution(
+        steps in prop::collection::vec(step_strategy(), 1..10),
+        n in 1usize..6,
+        m in 1usize..5,
+        seed in any::<u64>(),
+    ) {
+        let input = input_of(n, m, seed);
+        let mut g = grow(&steps, &input);
+        let out = g.cur;
+        g.builder.output(out);
+        let graph = g.builder.build();
+        let sig = graph.verify();
+        prop_assert!(sig.is_ok(), "false positive on a well-formed graph: {}", sig.unwrap_err());
+        let facts = graph.infer_shapes().map_err(|e| TestCaseError::fail(e.to_string()))?;
+        for (id, (fact, val)) in facts.iter().zip(g.vals.iter()).enumerate() {
+            prop_assert_eq!(
+                fact.clone(),
+                ShapeFact::fixed(val.shape()),
+                "node {} inferred {} but eager produced {:?}",
+                id,
+                fact,
+                val.shape()
+            );
+        }
+    }
+
+    // Defective graphs: when the verifier rejects, eager execution of
+    // the same graph must fail too — rejection is never spurious.
+    #[test]
+    fn rejected_graphs_also_fail_at_runtime(
+        steps in prop::collection::vec(step_strategy(), 1..10),
+        defect in defect_strategy(),
+        n in 1usize..6,
+        m in 1usize..5,
+        seed in any::<u64>(),
+    ) {
+        let input = input_of(n, m, seed);
+        let mut g = grow(&steps, &input);
+        let defective = inject(&mut g, defect);
+        let out = g.cur;
+        g.builder.output(out);
+        let graph = g.builder.build();
+        match graph.verify() {
+            Ok(_) => {
+                // Accepted graphs must run clean.
+                let ran = catch_unwind(AssertUnwindSafe(|| run_all(&graph, &input)));
+                prop_assert!(ran.is_ok(), "verifier accepted a graph that fails at runtime");
+            }
+            Err(e) => {
+                // Rejections must be confirmed by the runtime.
+                prop_assert!(defective, "verifier rejected a clean graph: {e}");
+                let ran = catch_unwind(AssertUnwindSafe(|| run_all(&graph, &input)));
+                prop_assert!(
+                    ran.is_err(),
+                    "verifier rejected ({e}) but eager execution succeeded"
+                );
+            }
+        }
+    }
+}
