@@ -1,6 +1,7 @@
 //! Graph executors: the Eager, Script, and Compiled backends.
 
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use hb_tensor::{alloc, DynTensor, Tensor};
@@ -8,9 +9,25 @@ use hb_tensor::{alloc, DynTensor, Tensor};
 use crate::device::{Device, DeviceSpec};
 use crate::fault::FaultPlan;
 use crate::graph::Graph;
-use crate::op::Op;
+use crate::op::{DestMut, Op};
 use crate::optimize::{optimize, OptStats};
+use crate::plan::{infer_batch, MemoryPlan};
 use crate::Backend;
+
+/// Bound on the per-executable plan cache: one warm plan per recently-seen
+/// batch size, evicted least-recently-used (PRETZEL-style per-shape plan
+/// caching, bounded so adversarial batch-size churn cannot grow memory).
+const PLAN_CACHE_CAP: usize = 8;
+
+/// A cached plan plus its live arena buffers.
+struct PlanState {
+    plan: MemoryPlan,
+    slots: Vec<DynTensor>,
+}
+
+/// One plan-cache entry: batch size → shared plan state, or `None` when
+/// that batch defeats planning (negative cache).
+type PlanEntry = (usize, Option<Arc<Mutex<PlanState>>>);
 
 /// Failure modes of compiled-graph execution.
 #[derive(Debug, Clone, PartialEq)]
@@ -109,6 +126,14 @@ pub struct RunStats {
     /// Modeled peak device-memory residency (parameters + live
     /// intermediates), for simulated devices.
     pub sim_peak_bytes: u64,
+    /// Tensor storage allocations performed during the run. A warm planned
+    /// run on the Compiled backend performs zero.
+    pub allocations: usize,
+    /// Bytes of the static arena backing this run (planned runs only).
+    pub arena_bytes: usize,
+    /// True when the run executed a warm memory plan instead of the
+    /// refcount path.
+    pub planned: bool,
 }
 
 impl RunStats {
@@ -132,6 +157,10 @@ pub struct Executable {
     pool: Option<rayon::ThreadPool>,
     faults: FaultPlan,
     runs: AtomicU64,
+    /// LRU cache of memory plans keyed by batch size (Compiled backend
+    /// only). `None` entries negative-cache batches that defeat planning
+    /// so they are not re-attempted every run.
+    plans: Mutex<Vec<PlanEntry>>,
 }
 
 impl Executable {
@@ -199,6 +228,7 @@ impl Executable {
             pool,
             faults,
             runs: AtomicU64::new(0),
+            plans: Mutex::new(Vec::new()),
         })
     }
 
@@ -233,6 +263,7 @@ impl Executable {
             pool,
             faults: FaultPlan::none(),
             runs: AtomicU64::new(0),
+            plans: Mutex::new(Vec::new()),
         }
     }
 
@@ -268,10 +299,52 @@ impl Executable {
     }
 
     /// Runs the graph, also returning execution measurements.
+    ///
+    /// On the Compiled backend, repeat batch sizes are served from a warm
+    /// memory plan (arena-backed, allocation-free kernels); the first
+    /// sighting of a batch size builds and caches the plan while running
+    /// on the refcount path.
     pub fn run_with_stats(
         &self,
         inputs: &[DynTensor],
     ) -> Result<(Vec<DynTensor>, RunStats), ExecError> {
+        self.validate_inputs(inputs)?;
+        match &self.pool {
+            Some(pool) => pool.install(|| self.execute(inputs, true)),
+            None => self.execute(inputs, true),
+        }
+    }
+
+    /// Runs the graph on the refcount path even when a warm plan exists —
+    /// the baseline side of planned-vs-refcount comparisons.
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`Executable::run_with_stats`].
+    pub fn run_refcount_with_stats(
+        &self,
+        inputs: &[DynTensor],
+    ) -> Result<(Vec<DynTensor>, RunStats), ExecError> {
+        self.validate_inputs(inputs)?;
+        match &self.pool {
+            Some(pool) => pool.install(|| self.execute(inputs, false)),
+            None => self.execute(inputs, false),
+        }
+    }
+
+    /// Builds the memory plan this executable's (optimized) graph gets at
+    /// `batch` — introspection for benches, audits, and the plan-
+    /// determinism CI check. Does not touch the plan cache.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::plan::PlanError`] when the graph defeats planning
+    /// at this batch.
+    pub fn plan_for_batch(&self, batch: usize) -> Result<MemoryPlan, crate::plan::PlanError> {
+        MemoryPlan::build(&self.graph, batch)
+    }
+
+    fn validate_inputs(&self, inputs: &[DynTensor]) -> Result<(), ExecError> {
         if inputs.len() != self.graph.input_dtypes.len() {
             return Err(ExecError::InputCount {
                 expected: self.graph.input_dtypes.len(),
@@ -287,10 +360,7 @@ impl Executable {
                 return Err(ExecError::InputDType { slot });
             }
         }
-        match &self.pool {
-            Some(pool) => pool.install(|| self.execute(inputs)),
-            None => self.execute(inputs),
-        }
+        Ok(())
     }
 
     /// Times every node individually (diagnostic; ignores early frees).
@@ -318,7 +388,13 @@ impl Executable {
         out
     }
 
-    fn execute(&self, inputs: &[DynTensor]) -> Result<(Vec<DynTensor>, RunStats), ExecError> {
+    /// Dispatches one run: injected-fault gates, then the planned arena
+    /// path when a warm plan matches, else the refcount path.
+    fn execute(
+        &self,
+        inputs: &[DynTensor],
+        allow_planned: bool,
+    ) -> Result<(Vec<DynTensor>, RunStats), ExecError> {
         let run_index = self.runs.fetch_add(1, Ordering::Relaxed);
         let faults_active = !self.faults.is_none() && self.faults.active_for_run(run_index);
         if faults_active && self.faults.oom {
@@ -331,6 +407,61 @@ impl Executable {
                 capacity,
             });
         }
+        if allow_planned && self.backend == Backend::Compiled {
+            if let Some(state) = self.plan_for(inputs) {
+                // A busy mutex means a concurrent run holds the arena;
+                // fall through to the (lock-free) refcount path instead
+                // of queueing behind it.
+                if let Ok(mut guard) = state.try_lock() {
+                    return self.execute_planned(inputs, &mut guard, faults_active);
+                }
+            }
+        }
+        self.execute_refcount(inputs, faults_active)
+    }
+
+    /// Looks up (or, on first sighting of a batch size, builds) the warm
+    /// plan matching this request. Returns `None` when the request should
+    /// run on the refcount path: unplannable graph, first-seen batch,
+    /// shape mismatch, or lock contention.
+    fn plan_for(&self, inputs: &[DynTensor]) -> Option<Arc<Mutex<PlanState>>> {
+        let batch = infer_batch(&self.graph, inputs)?;
+        let mut cache = self.plans.lock().ok()?;
+        if let Some(pos) = cache.iter().position(|(b, _)| *b == batch) {
+            // LRU: refresh this batch's position.
+            let entry = cache.remove(pos);
+            cache.insert(0, entry);
+            let state = cache[0].1.clone()?;
+            {
+                // Distinct shapes can share a batch key (e.g. B² dims);
+                // the plan stores exact input shapes to disambiguate.
+                let guard = state.try_lock().ok()?;
+                if !guard.plan.matches_inputs(inputs) {
+                    return None;
+                }
+            }
+            return Some(state);
+        }
+        // First sighting: build and cache, but serve this request on the
+        // refcount path — plan building is compile-like work that should
+        // not sit on a request's critical path twice.
+        let built = MemoryPlan::build(&self.graph, batch)
+            .ok()
+            .filter(|p| p.planned_kernels > 0 && p.matches_inputs(inputs));
+        let entry = built.map(|plan| {
+            let slots = plan.allocate_slots();
+            Arc::new(Mutex::new(PlanState { plan, slots }))
+        });
+        cache.insert(0, (batch, entry));
+        cache.truncate(PLAN_CACHE_CAP);
+        None
+    }
+
+    fn execute_refcount(
+        &self,
+        inputs: &[DynTensor],
+        faults_active: bool,
+    ) -> Result<(Vec<DynTensor>, RunStats), ExecError> {
         let spec: Option<&DeviceSpec> = match &self.device {
             Device::Sim(s) => Some(s),
             Device::Cpu { .. } => None,
@@ -339,6 +470,7 @@ impl Executable {
         let start = Instant::now();
         alloc::reset_peak();
         let host_before = alloc::current_bytes();
+        let allocs_before = alloc::alloc_count();
 
         let n = self.graph.nodes.len();
         let mut vals: Vec<Option<DynTensor>> = vec![None; n];
@@ -486,7 +618,506 @@ impl Executable {
         }
         stats.wall = start.elapsed();
         stats.peak_tensor_bytes = alloc::peak_bytes().saturating_sub(host_before);
+        stats.allocations = alloc::alloc_count().saturating_sub(allocs_before);
         Ok((outputs, stats))
+    }
+
+    /// Executes a warm memory plan: kernels write into pre-allocated arena
+    /// slots via [`Op::eval_into`], node values are zero-copy views of
+    /// their slot, and a steady-state run performs no tensor allocations.
+    ///
+    /// Fault injection, the per-node unwind boundary, and the simulated-
+    /// device model behave exactly as on the refcount path.
+    fn execute_planned(
+        &self,
+        inputs: &[DynTensor],
+        state: &mut PlanState,
+        faults_active: bool,
+    ) -> Result<(Vec<DynTensor>, RunStats), ExecError> {
+        use crate::plan::{Inplace, Step};
+        let PlanState { plan, slots } = state;
+        let spec: Option<&DeviceSpec> = match &self.device {
+            Device::Sim(s) => Some(s),
+            Device::Cpu { .. } => None,
+        };
+        let start = Instant::now();
+        alloc::reset_peak();
+        let host_before = alloc::current_bytes();
+        let allocs_before = alloc::alloc_count();
+
+        let n = self.graph.nodes.len();
+        let mut vals: Vec<Option<DynTensor>> = vec![None; n];
+        let mut rc: Vec<u32> = match &self.refcounts {
+            Some(rc) => rc.clone(),
+            None => compute_refcounts(&self.graph),
+        };
+        for &o in &self.graph.outputs {
+            rc[o] = u32::MAX;
+        }
+
+        let mut stats = RunStats {
+            planned: true,
+            arena_bytes: plan.arena_bytes,
+            ..RunStats::default()
+        };
+        let mut sim_time = 0.0f64;
+        let mut sim_live: u64 = self.graph.const_bytes() as u64;
+        let mut sim_peak: u64 = sim_live;
+        if let Some(s) = spec {
+            let in_bytes: f64 = inputs.iter().map(|t| t.nbytes() as f64).sum();
+            sim_time += s.transfer_time(in_bytes);
+            sim_live += in_bytes as u64;
+            sim_peak = sim_peak.max(sim_live);
+        }
+
+        for id in 0..n {
+            let node = &self.graph.nodes[id];
+            let (out, cost) = match &node.op {
+                Op::Input(slot) => (inputs[*slot].clone(), None),
+                op => {
+                    let (out, cost) = match &plan.steps[id] {
+                        Step::Value => {
+                            #[allow(clippy::disallowed_methods)] // freed-too-early is a planner bug
+                            let ins: Vec<&DynTensor> = node
+                                .inputs
+                                .iter()
+                                .map(|&i| {
+                                    vals[i].as_ref().expect("executor: operand freed too early")
+                                })
+                                .collect();
+                            let out =
+                                match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                                    op.eval(&ins)
+                                })) {
+                                    Ok(v) => v,
+                                    Err(p) => {
+                                        return Err(ExecError::Kernel {
+                                            node: id,
+                                            message: panic_message(p),
+                                        })
+                                    }
+                                };
+                            let cost = op.cost(&ins, &out);
+                            (out, Some(cost))
+                        }
+                        Step::Kernel {
+                            slot,
+                            shape,
+                            inplace: Inplace::Map,
+                        } => {
+                            let src = node.inputs[0];
+                            // Drop the dying operand's view to restore slot
+                            // uniqueness; its data lives in the slot itself.
+                            // Release its modeled residency here — the free
+                            // loop below will find it already gone.
+                            if spec.is_some() {
+                                if let Some(v) = vals[src].as_ref() {
+                                    sim_live = sim_live.saturating_sub(v.nbytes() as u64);
+                                }
+                            }
+                            vals[src] = None;
+                            let applied = match &mut slots[*slot] {
+                                DynTensor::F32(t) => match t.as_mut_slice() {
+                                    Some(buf) => {
+                                        if let Err(p) =
+                                            std::panic::catch_unwind(std::panic::AssertUnwindSafe(
+                                                || op.apply_inplace_f32(buf),
+                                            ))
+                                        {
+                                            return Err(ExecError::Kernel {
+                                                node: id,
+                                                message: panic_message(p),
+                                            });
+                                        }
+                                        true
+                                    }
+                                    None => false,
+                                },
+                                _ => false,
+                            };
+                            let out = if applied {
+                                slot_view(&slots[*slot], shape)
+                            } else {
+                                // Self-heal: a stale alias still pins the
+                                // slot, so rebuild the operand from the
+                                // (unmodified) slot data and run the
+                                // allocating kernel instead.
+                                let rebuilt = slot_view(&slots[*slot], shape);
+                                match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                                    op.eval(&[&rebuilt])
+                                })) {
+                                    Ok(v) => v,
+                                    Err(p) => {
+                                        return Err(ExecError::Kernel {
+                                            node: id,
+                                            message: panic_message(p),
+                                        })
+                                    }
+                                }
+                            };
+                            // A unary map's cost is symmetric in operand
+                            // and result, so the result stands in for the
+                            // dropped operand.
+                            let cost = op.cost(&[&out], &out);
+                            (out, Some(cost))
+                        }
+                        Step::Kernel {
+                            slot,
+                            shape,
+                            inplace: Inplace::Fused { operand },
+                        } => {
+                            let numel: usize = shape.iter().product();
+                            let src = node.inputs[*operand];
+                            // Drop the dying operand's view to restore slot
+                            // uniqueness; its data lives in the slot itself.
+                            if spec.is_some() {
+                                if let Some(v) = vals[src].as_ref() {
+                                    sim_live = sim_live.saturating_sub(v.nbytes() as u64);
+                                }
+                            }
+                            vals[src] = None;
+                            #[allow(clippy::disallowed_methods)] // freed-too-early is a planner bug
+                            let ins: Vec<Option<&DynTensor>> = node
+                                .inputs
+                                .iter()
+                                .enumerate()
+                                .map(|(j, &i)| {
+                                    if j == *operand {
+                                        None
+                                    } else {
+                                        Some(
+                                            vals[i]
+                                                .as_ref()
+                                                .expect("executor: operand freed too early"),
+                                        )
+                                    }
+                                })
+                                .collect();
+                            let kern = match op {
+                                Op::Fused(k) => k,
+                                _ => {
+                                    return Err(ExecError::Kernel {
+                                        node: id,
+                                        message: "planner marked a non-fused op Inplace::Fused"
+                                            .to_string(),
+                                    })
+                                }
+                            };
+                            let applied = match &mut slots[*slot] {
+                                DynTensor::F32(t) => match t.as_mut_slice() {
+                                    Some(buf) => {
+                                        if let Err(p) = std::panic::catch_unwind(
+                                            std::panic::AssertUnwindSafe(|| {
+                                                kern.eval_in_place(
+                                                    *operand,
+                                                    &ins,
+                                                    shape,
+                                                    &mut buf[..numel],
+                                                )
+                                            }),
+                                        ) {
+                                            return Err(ExecError::Kernel {
+                                                node: id,
+                                                message: panic_message(p),
+                                            });
+                                        }
+                                        true
+                                    }
+                                    None => false,
+                                },
+                                _ => false,
+                            };
+                            let out = if applied {
+                                slot_view(&slots[*slot], shape)
+                            } else {
+                                // Self-heal: a stale alias still pins the
+                                // slot, so rebuild the operand from the
+                                // (unmodified) slot data and run the
+                                // allocating kernel instead.
+                                let rebuilt = slot_view(&slots[*slot], shape);
+                                let full: Vec<&DynTensor> =
+                                    ins.iter().map(|o| o.unwrap_or(&rebuilt)).collect();
+                                match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                                    op.eval(&full)
+                                })) {
+                                    Ok(v) => v,
+                                    Err(p) => {
+                                        return Err(ExecError::Kernel {
+                                            node: id,
+                                            message: panic_message(p),
+                                        })
+                                    }
+                                }
+                            };
+                            // The destroyed operand had exactly the output
+                            // shape, so the result stands in for it in the
+                            // (shape-only) cost model.
+                            let cost = {
+                                let cost_ins: Vec<&DynTensor> =
+                                    ins.iter().map(|o| o.unwrap_or(&out)).collect();
+                                op.cost(&cost_ins, &out)
+                            };
+                            (out, Some(cost))
+                        }
+                        Step::Kernel {
+                            slot,
+                            shape,
+                            inplace: Inplace::MatMulLhs { scratch },
+                        } => {
+                            // Capture the dying LHS's shape, then drop its
+                            // view so the slot regains Arc uniqueness.
+                            #[allow(clippy::disallowed_methods)] // freed-too-early is a planner bug
+                            let lhs_shape: Vec<usize> = vals[node.inputs[0]]
+                                .as_ref()
+                                .expect("executor: operand freed too early")
+                                .shape()
+                                .to_vec();
+                            if spec.is_some() {
+                                if let Some(v) = vals[node.inputs[0]].as_ref() {
+                                    sim_live = sim_live.saturating_sub(v.nbytes() as u64);
+                                }
+                            }
+                            vals[node.inputs[0]] = None;
+                            #[allow(clippy::disallowed_methods)] // freed-too-early is a planner bug
+                            let rhs_val = vals[node.inputs[1]]
+                                .as_ref()
+                                .expect("executor: operand freed too early");
+                            let rhs = match rhs_val {
+                                DynTensor::F32(t) => t,
+                                _ => {
+                                    return Err(ExecError::Kernel {
+                                        node: id,
+                                        message: "planner marked a non-f32 matmul in-place"
+                                            .to_string(),
+                                    })
+                                }
+                            };
+                            // Two distinct slots (data + panel scratch) need
+                            // simultaneous mutable access.
+                            let (lo, hi) = ((*slot).min(*scratch), (*slot).max(*scratch));
+                            let applied = {
+                                let (left, right) = slots.split_at_mut(hi);
+                                let (data_slot, scratch_slot) = if *slot < *scratch {
+                                    (&mut left[lo], &mut right[0])
+                                } else {
+                                    (&mut right[0], &mut left[lo])
+                                };
+                                match (data_slot, scratch_slot) {
+                                    (DynTensor::F32(d), DynTensor::F32(s)) => {
+                                        match (d.as_mut_slice(), s.as_mut_slice()) {
+                                            (Some(buf), Some(scr)) => {
+                                                if let Err(p) = std::panic::catch_unwind(
+                                                    std::panic::AssertUnwindSafe(|| {
+                                                        hb_tensor::matmul::matmul_in_place(
+                                                            buf, &lhs_shape, rhs, scr,
+                                                        )
+                                                    }),
+                                                ) {
+                                                    return Err(ExecError::Kernel {
+                                                        node: id,
+                                                        message: panic_message(p),
+                                                    });
+                                                }
+                                                true
+                                            }
+                                            _ => false,
+                                        }
+                                    }
+                                    _ => false,
+                                }
+                            };
+                            let out = if applied {
+                                slot_view(&slots[*slot], shape)
+                            } else {
+                                // Self-heal: the LHS data is still intact in
+                                // its slot; rebuild it and run allocating.
+                                let rebuilt = slot_view(&slots[*slot], &lhs_shape);
+                                match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                                    op.eval(&[&rebuilt, rhs_val])
+                                })) {
+                                    Ok(v) => v,
+                                    Err(p) => {
+                                        return Err(ExecError::Kernel {
+                                            node: id,
+                                            message: panic_message(p),
+                                        })
+                                    }
+                                }
+                            };
+                            // Cost reads only shapes, so a shape-correct
+                            // view of the (now overwritten) slot stands in
+                            // for the destroyed LHS.
+                            let cost = {
+                                let lhs_standin = slot_view(&slots[*slot], &lhs_shape);
+                                op.cost(&[&lhs_standin, rhs_val], &out)
+                            };
+                            (out, Some(cost))
+                        }
+                        Step::Kernel {
+                            slot,
+                            shape,
+                            inplace: Inplace::No,
+                        } => {
+                            let numel: usize = shape.iter().product();
+                            // Self-heal: if a previous run's caller still
+                            // holds views into this slot, replace the
+                            // buffer (a counted allocation).
+                            let unique = match &mut slots[*slot] {
+                                DynTensor::F32(t) => t.as_mut_slice().is_some(),
+                                DynTensor::I64(t) => t.as_mut_slice().is_some(),
+                                DynTensor::Bool(t) => t.as_mut_slice().is_some(),
+                                DynTensor::U8(t) => t.as_mut_slice().is_some(),
+                            };
+                            if !unique {
+                                slots[*slot] = plan.slots[*slot].allocate();
+                            }
+                            #[allow(clippy::disallowed_methods)] // freed-too-early is a planner bug
+                            let ins: Vec<&DynTensor> = node
+                                .inputs
+                                .iter()
+                                .map(|&i| {
+                                    vals[i].as_ref().expect("executor: operand freed too early")
+                                })
+                                .collect();
+                            let res = {
+                                #[allow(clippy::disallowed_methods)] // uniqueness ensured above
+                                let dest = match &mut slots[*slot] {
+                                    DynTensor::F32(t) => DestMut::F32(
+                                        &mut t.as_mut_slice().expect("slot is unique")[..numel],
+                                    ),
+                                    DynTensor::I64(t) => DestMut::I64(
+                                        &mut t.as_mut_slice().expect("slot is unique")[..numel],
+                                    ),
+                                    DynTensor::Bool(t) => DestMut::Bool(
+                                        &mut t.as_mut_slice().expect("slot is unique")[..numel],
+                                    ),
+                                    DynTensor::U8(_) => {
+                                        return Err(ExecError::Kernel {
+                                            node: id,
+                                            message: "planner assigned a u8 arena slot".to_string(),
+                                        })
+                                    }
+                                };
+                                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                                    op.eval_into(&ins, dest)
+                                }))
+                            };
+                            if let Err(p) = res {
+                                return Err(ExecError::Kernel {
+                                    node: id,
+                                    message: panic_message(p),
+                                });
+                            }
+                            let out = slot_view(&slots[*slot], shape);
+                            let cost = op.cost(&ins, &out);
+                            (out, Some(cost))
+                        }
+                    };
+                    (out, cost)
+                }
+            };
+            if let Some(cost) = cost {
+                if !cost.metadata_only {
+                    stats.kernel_launches += 1;
+                    stats.flops += cost.flops;
+                    stats.bytes += cost.bytes;
+                    if let Some(s) = spec {
+                        sim_time += s.kernel_time(cost.flops, cost.bytes);
+                    }
+                    if faults_active {
+                        if let Some(d) = self.faults.slow_kernel {
+                            std::thread::sleep(d);
+                        }
+                        if self.faults.kernel_error {
+                            return Err(ExecError::Kernel {
+                                node: id,
+                                message: "injected kernel fault".to_string(),
+                            });
+                        }
+                    }
+                }
+                if spec.is_some() && !matches!(node.op, Op::Const(_)) {
+                    sim_live += out.nbytes() as u64;
+                    sim_peak = sim_peak.max(sim_live);
+                }
+            }
+            vals[id] = Some(out);
+            for &i in &self.graph.nodes[id].inputs {
+                if rc[i] != u32::MAX && rc[i] > 0 {
+                    rc[i] -= 1;
+                    if rc[i] == 0 {
+                        let is_const = matches!(self.graph.nodes[i].op, Op::Const(_));
+                        if let (Some(_), Some(v), false) = (spec, vals[i].as_ref(), is_const) {
+                            sim_live = sim_live.saturating_sub(v.nbytes() as u64);
+                        }
+                        vals[i] = None;
+                    }
+                }
+            }
+        }
+
+        if let Some(s) = spec {
+            #[allow(clippy::disallowed_methods)] // outputs are pinned by refcounting
+            let out_bytes: f64 = self
+                .graph
+                .outputs
+                .iter()
+                .map(|&o| {
+                    vals[o]
+                        .as_ref()
+                        .expect("executor: output freed before return")
+                        .nbytes() as f64
+                })
+                .sum();
+            sim_time += s.transfer_time(out_bytes);
+            stats.simulated = Some(Duration::from_secs_f64(sim_time));
+            stats.sim_peak_bytes = sim_peak;
+            if sim_peak > s.mem_bytes {
+                return Err(ExecError::DeviceOom {
+                    needed: sim_peak,
+                    capacity: s.mem_bytes,
+                });
+            }
+        }
+
+        #[allow(clippy::disallowed_methods)] // outputs are pinned by refcounting
+        let mut outputs: Vec<DynTensor> = self
+            .graph
+            .outputs
+            .iter()
+            .map(|&o| {
+                vals[o]
+                    .clone()
+                    .expect("executor: output freed before return")
+            })
+            .collect();
+        if faults_active && self.faults.nan_poison {
+            for out in &mut outputs {
+                if let DynTensor::F32(t) = out {
+                    *out = DynTensor::F32(Tensor::from_fn(t.shape(), |_| f32::NAN));
+                }
+            }
+        }
+        stats.wall = start.elapsed();
+        // The arena is allocated once at plan time, outside this run's
+        // peak window; report it alongside transient allocations so the
+        // figure stays comparable with refcount runs.
+        stats.peak_tensor_bytes = plan
+            .arena_bytes
+            .saturating_add(alloc::peak_bytes().saturating_sub(host_before));
+        stats.allocations = alloc::alloc_count().saturating_sub(allocs_before);
+        Ok((outputs, stats))
+    }
+}
+
+/// A zero-copy view of an arena slot's leading `shape`-full of elements.
+fn slot_view(slot: &DynTensor, shape: &[usize]) -> DynTensor {
+    let numel: usize = shape.iter().product();
+    match slot {
+        DynTensor::F32(t) => DynTensor::F32(t.slice(0, 0, numel).reshape(shape)),
+        DynTensor::I64(t) => DynTensor::I64(t.slice(0, 0, numel).reshape(shape)),
+        DynTensor::Bool(t) => DynTensor::Bool(t.slice(0, 0, numel).reshape(shape)),
+        DynTensor::U8(t) => DynTensor::U8(t.slice(0, 0, numel).reshape(shape)),
     }
 }
 

@@ -399,15 +399,15 @@ impl FusedKernel {
         out[..len].copy_from_slice(&regs[0][..len]);
     }
 
-    /// Evaluates the kernel over broadcast inputs, producing one tensor in
-    /// a single pass (one "kernel launch").
-    pub fn eval(&self, inputs: &[&DynTensor]) -> DynTensor {
+    /// Converts every input to a contiguous f32 buffer (bools → 0/1) and
+    /// merges the broadcast output shape — shared by [`FusedKernel::eval`]
+    /// and [`FusedKernel::eval_into`].
+    fn prep(&self, inputs: &[&DynTensor]) -> (Vec<Tensor<f32>>, Vec<usize>) {
         assert_eq!(
             inputs.len(),
             self.n_inputs,
             "fused kernel input count mismatch"
         );
-        // Convert every input to a contiguous f32 buffer (bools → 0/1).
         let bufs: Vec<Tensor<f32>> = inputs
             .iter()
             .map(|t| match t {
@@ -423,8 +423,57 @@ impl FusedKernel {
             let merged = broadcast_shapes(&shape, b.shape()).expect("fused kernel broadcast");
             shape = merged;
         }
-        let n = numel(&shape);
-        let out_strides = contiguous_strides(&shape);
+        (bufs, shape)
+    }
+
+    /// Evaluates the kernel over broadcast inputs, producing one tensor in
+    /// a single pass (one "kernel launch").
+    pub fn eval(&self, inputs: &[&DynTensor]) -> DynTensor {
+        let (bufs, shape) = self.prep(inputs);
+        let mut out = vec![0.0f32; numel(&shape)];
+        self.fill(&bufs, &shape, &mut out);
+        match self.out_dtype {
+            DType::F32 => DynTensor::F32(Tensor::from_vec(out, &shape)),
+            DType::Bool => DynTensor::Bool(Tensor::from_vec(
+                out.iter().map(|&v| v != 0.0).collect(),
+                &shape,
+            )),
+            other => panic!("fused kernel cannot produce {other:?}"),
+        }
+    }
+
+    /// Allocation-free twin of [`FusedKernel::eval`] for f32-rooted fused
+    /// clusters: runs the program once and writes the result into `out`.
+    /// Contiguous f32 inputs are consumed zero-copy; bool/i64/u8 inputs
+    /// still convert through a scratch f32 buffer (the planner's
+    /// allocation counter makes such conversions visible).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the kernel's output dtype is not f32 (the planner routes
+    /// bool-rooted clusters through the allocating fallback) or `out` has
+    /// the wrong length.
+    pub fn eval_into(&self, inputs: &[&DynTensor], out: &mut [f32]) {
+        assert_eq!(
+            self.out_dtype,
+            DType::F32,
+            "fused eval_into requires an f32-rooted kernel"
+        );
+        let (bufs, shape) = self.prep(inputs);
+        assert_eq!(
+            out.len(),
+            numel(&shape),
+            "fused eval_into: destination size mismatch"
+        );
+        self.fill(&bufs, &shape, out);
+    }
+
+    /// Runs the fused program over prepared buffers, writing the f32
+    /// result into `out` (fully overwritten); contains both the row-loop
+    /// fast path and the blocked stack-interpreter path.
+    fn fill(&self, bufs: &[Tensor<f32>], shape: &[usize], out: &mut [f32]) {
+        let n = numel(shape);
+        let out_strides = contiguous_strides(shape);
         // Per-input broadcast strides against the output shape.
         let strides: Vec<Vec<isize>> = bufs
             .iter()
@@ -432,7 +481,7 @@ impl FusedKernel {
                 hb_tensor::shape::broadcast_strides(
                     b.shape(),
                     &contiguous_strides(b.shape()),
-                    &shape,
+                    shape,
                 )
             })
             .collect();
@@ -452,7 +501,6 @@ impl FusedKernel {
             if ok && inner > 0 {
                 let rows = n / inner;
                 let outer_shape = &shape[..shape.len() - 1];
-                let mut out = vec![0.0f32; n];
                 let row_chunk = (rows / (rayon::current_num_threads() * 4).max(1)).max(64);
                 out.par_chunks_mut(row_chunk * inner)
                     .enumerate()
@@ -525,19 +573,11 @@ impl FusedKernel {
                             }
                         }
                     });
-                return match self.out_dtype {
-                    DType::F32 => DynTensor::F32(Tensor::from_vec(out, &shape)),
-                    DType::Bool => DynTensor::Bool(Tensor::from_vec(
-                        out.iter().map(|&v| v != 0.0).collect(),
-                        &shape,
-                    )),
-                    other => panic!("fused kernel cannot produce {other:?}"),
-                };
+                return;
             }
         }
 
         let chunk = (n / (rayon::current_num_threads() * 4).max(1)).max(4096);
-        let mut out = vec![0.0f32; n];
         out.par_chunks_mut(chunk)
             .enumerate()
             .for_each(|(ci, ochunk)| {
@@ -606,36 +646,207 @@ impl FusedKernel {
                         }
                     }
                     let outb = &mut ochunk[done..done + len];
-                    match self.fast {
-                        FastPath::Bin2(a, b, f) => {
-                            for j in 0..len {
-                                outb[j] = f(vals[a][j], vals[b][j]);
-                            }
-                        }
-                        FastPath::BinImm(a, c, f) => {
-                            for j in 0..len {
-                                outb[j] = f(vals[a][j], c);
-                            }
-                        }
-                        FastPath::Un(a, f) => {
-                            for j in 0..len {
-                                outb[j] = f(vals[a][j]);
-                            }
-                        }
-                        FastPath::None => self.eval_block(&vals, &mut regs, len, outb),
-                    }
+                    self.compute_block(&vals, &mut regs, len, outb);
                     done += len;
                 }
             });
+    }
 
-        match self.out_dtype {
-            DType::F32 => DynTensor::F32(Tensor::from_vec(out, &shape)),
-            DType::Bool => DynTensor::Bool(Tensor::from_vec(
-                out.iter().map(|&v| v != 0.0).collect(),
-                &shape,
-            )),
-            other => panic!("fused kernel cannot produce {other:?}"),
+    /// Evaluates one block of gathered input values into `outb`, using
+    /// the specialized fast path when one applies and the stack
+    /// interpreter otherwise. Shared by [`FusedKernel::fill`] and
+    /// [`FusedKernel::fill_in_place`] so both produce identical bits.
+    fn compute_block(
+        &self,
+        vals: &[Vec<f32>],
+        regs: &mut [Vec<f32>],
+        len: usize,
+        outb: &mut [f32],
+    ) {
+        match self.fast {
+            FastPath::Bin2(a, b, f) => {
+                for j in 0..len {
+                    outb[j] = f(vals[a][j], vals[b][j]);
+                }
+            }
+            FastPath::BinImm(a, c, f) => {
+                for j in 0..len {
+                    outb[j] = f(vals[a][j], c);
+                }
+            }
+            FastPath::Un(a, f) => {
+                for j in 0..len {
+                    outb[j] = f(vals[a][j]);
+                }
+            }
+            FastPath::None => self.eval_block(vals, regs, len, outb),
         }
+    }
+
+    /// Variant of [`FusedKernel::eval_into`] in which input `operand`
+    /// *aliases the destination*: on entry `buf` holds that operand's
+    /// values (contiguous f32, exactly the output shape), and on exit it
+    /// holds the kernel's result. The remaining inputs arrive in
+    /// `inputs`, with `None` at position `operand`.
+    ///
+    /// This is safe — and bit-identical to the allocating path — because
+    /// a fused elementwise kernel's output element `i` reads only flat
+    /// element `i` of a full-shape operand, and each block copies the
+    /// operand's values out of `buf` into a register before overwriting
+    /// that block. Parallel chunks never read outside their own region.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the kernel is not f32-rooted, the input count is wrong,
+    /// `inputs[operand]` is not `None`, `buf` does not match the output
+    /// size, or a named input fails to broadcast into `shape`.
+    pub fn eval_in_place(
+        &self,
+        operand: usize,
+        inputs: &[Option<&DynTensor>],
+        shape: &[usize],
+        buf: &mut [f32],
+    ) {
+        assert_eq!(
+            self.out_dtype,
+            DType::F32,
+            "fused eval_in_place requires an f32-rooted kernel"
+        );
+        assert_eq!(
+            inputs.len(),
+            self.n_inputs,
+            "fused kernel input count mismatch"
+        );
+        assert!(
+            operand < self.n_inputs && inputs[operand].is_none(),
+            "aliased operand must be passed as None"
+        );
+        assert_eq!(
+            buf.len(),
+            numel(shape),
+            "fused eval_in_place: buffer size mismatch"
+        );
+        let bufs: Vec<Option<Tensor<f32>>> = inputs
+            .iter()
+            .map(|t| {
+                t.map(|t| match t {
+                    DynTensor::F32(t) => t.to_contiguous(),
+                    DynTensor::Bool(t) => t.map(f32::from),
+                    DynTensor::I64(t) => t.map(|v| v as f32),
+                    DynTensor::U8(t) => t.map(|v| v as f32),
+                })
+            })
+            .collect();
+        for b in bufs.iter().flatten() {
+            #[allow(clippy::disallowed_methods)] // fusion only groups broadcast-compatible ops
+            let merged = broadcast_shapes(shape, b.shape()).expect("fused kernel broadcast");
+            assert_eq!(
+                merged, shape,
+                "fused eval_in_place: input would broadcast beyond the aliased operand's shape"
+            );
+        }
+        self.fill_in_place(operand, &bufs, shape, buf);
+    }
+
+    /// Blocked in-place twin of the generic path in [`FusedKernel::fill`]:
+    /// input `operand` is read from (and the result written to) `out`.
+    /// The row-loop fast path is skipped — for elementwise programs both
+    /// paths apply the same scalar function per element, so results stay
+    /// bitwise identical.
+    fn fill_in_place(
+        &self,
+        operand: usize,
+        bufs: &[Option<Tensor<f32>>],
+        shape: &[usize],
+        out: &mut [f32],
+    ) {
+        let n = numel(shape);
+        let out_strides = contiguous_strides(shape);
+        // The aliased operand has the output's exact contiguous layout;
+        // named inputs broadcast against the output shape as usual.
+        let strides: Vec<Vec<isize>> = bufs
+            .iter()
+            .map(|b| match b {
+                Some(b) => hb_tensor::shape::broadcast_strides(
+                    b.shape(),
+                    &contiguous_strides(b.shape()),
+                    shape,
+                ),
+                None => out_strides.clone(),
+            })
+            .collect();
+        let slices: Vec<&[f32]> = bufs
+            .iter()
+            .map(|b| b.as_ref().map_or(&[][..], |b| b.as_slice()))
+            .collect();
+        let chunk = (n / (rayon::current_num_threads() * 4).max(1)).max(4096);
+        out.par_chunks_mut(chunk)
+            .enumerate()
+            .for_each(|(ci, ochunk)| {
+                let start = ci * chunk;
+                let mut idx = vec![0usize; shape.len()];
+                let mut rem = start;
+                for d in 0..shape.len() {
+                    if out_strides[d] > 0 {
+                        idx[d] = rem / out_strides[d] as usize;
+                        rem %= out_strides[d] as usize;
+                    }
+                }
+                let mut offs: Vec<isize> = strides
+                    .iter()
+                    .map(|s| {
+                        idx.iter()
+                            .zip(s.iter())
+                            .map(|(&i, &st)| i as isize * st)
+                            .sum()
+                    })
+                    .collect();
+                // The operand's strides equal the output's, so it is never
+                // walked by the odometer — it is bulk-copied per block from
+                // this chunk's own region before that region is overwritten.
+                let generic: Vec<usize> = (0..slices.len())
+                    .filter(|&k| k != operand && strides[k] != out_strides)
+                    .collect();
+                let mut vals: Vec<Vec<f32>> = vec![vec![0.0; BLOCK]; slices.len()];
+                let mut regs: Vec<Vec<f32>> = vec![vec![0.0; BLOCK]; self.max_depth.max(1)];
+                let mut done = 0usize;
+                while done < ochunk.len() {
+                    let len = BLOCK.min(ochunk.len() - done);
+                    vals[operand][..len].copy_from_slice(&ochunk[done..done + len]);
+                    for (k, s) in slices.iter().enumerate() {
+                        if k != operand && strides[k] == out_strides {
+                            let flat = start + done;
+                            vals[k][..len].copy_from_slice(&s[flat..flat + len]);
+                        }
+                    }
+                    if !generic.is_empty() {
+                        // The odometer advances several parallel buffers per
+                        // element; an index loop is the clear form here.
+                        #[allow(clippy::needless_range_loop)]
+                        for j in 0..len {
+                            for &k in &generic {
+                                vals[k][j] = slices[k][offs[k] as usize];
+                            }
+                            for d in (0..shape.len()).rev() {
+                                idx[d] += 1;
+                                for &k in &generic {
+                                    offs[k] += strides[k][d];
+                                }
+                                if idx[d] < shape[d] {
+                                    break;
+                                }
+                                for &k in &generic {
+                                    offs[k] -= strides[k][d] * shape[d] as isize;
+                                }
+                                idx[d] = 0;
+                            }
+                        }
+                    }
+                    let outb = &mut ochunk[done..done + len];
+                    self.compute_block(&vals, &mut regs, len, outb);
+                    done += len;
+                }
+            });
     }
 }
 
@@ -889,6 +1100,33 @@ mod tests {
             out.as_f32().to_vec(),
             vec![11.0, 21.0, 31.0, 12.0, 22.0, 32.0]
         );
+    }
+
+    #[test]
+    fn eval_in_place_matches_eval() {
+        // where(a < b, a * 2, b): operand 0 aliases the output buffer,
+        // operand 1 broadcasts a row across the batch.
+        let k = FusedKernel::new(
+            2,
+            DType::F32,
+            vec![
+                Instr::Load(0),
+                Instr::Load(1),
+                Instr::Lt,
+                Instr::Load(0),
+                Instr::MulImm(2.0),
+                Instr::Load(1),
+                Instr::Select,
+            ],
+        );
+        let shape = [97usize, 5];
+        let a = Tensor::from_fn(&shape, |i| ((i[0] * 7 + i[1] * 3) % 11) as f32 - 5.0);
+        let b = Tensor::from_fn(&[1, 5], |i| i[1] as f32 - 2.0);
+        let (da, db) = (DynTensor::F32(a.clone()), DynTensor::F32(b));
+        let want = k.eval(&[&da, &db]).as_f32().to_vec();
+        let mut buf = a.to_vec();
+        k.eval_in_place(0, &[None, Some(&db)], &shape, &mut buf);
+        assert_eq!(buf, want);
     }
 
     #[test]

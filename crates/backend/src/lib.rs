@@ -29,6 +29,7 @@ pub mod fuse;
 pub mod graph;
 pub mod op;
 pub mod optimize;
+pub mod plan;
 pub mod verify;
 
 pub use device::{Device, DeviceSpec};
@@ -36,6 +37,7 @@ pub use exec::{ExecError, Executable, RunStats};
 pub use fault::{FaultPlan, FaultScope};
 pub use graph::{Graph, GraphBuilder, GraphError, NodeId};
 pub use op::Op;
+pub use plan::{Inplace, MemoryPlan, PlanError};
 pub use verify::{GraphSignature, ShapeFact, SymDim};
 
 /// Which execution backend a graph is lowered to.

@@ -179,6 +179,22 @@ pub enum Op {
     Fused(Arc<FusedKernel>),
 }
 
+/// A typed mutable destination for [`Op::eval_into`] — a uniquely-owned
+/// window of an arena slot, sized exactly to the output's element count.
+///
+/// `U8` is intentionally absent: no operator in the Table 2 set produces a
+/// u8 output except `Cast`, and u8 casts are rare enough that the planner
+/// simply routes them through the allocating fallback path.
+#[derive(Debug)]
+pub enum DestMut<'a> {
+    /// Destination for an f32-typed output.
+    F32(&'a mut [f32]),
+    /// Destination for an i64-typed output.
+    I64(&'a mut [i64]),
+    /// Destination for a bool-typed output.
+    Bool(&'a mut [bool]),
+}
+
 /// FLOP and byte-traffic estimate for one operator execution, consumed by
 /// the simulated-device roofline model.
 #[derive(Debug, Clone, Copy, Default)]
@@ -411,6 +427,403 @@ impl Op {
             Op::Cast(dt) => inputs[0].cast(*dt),
             Op::Sqdist => DynTensor::F32(inputs[0].as_f32().sqdist(inputs[1].as_f32())),
             Op::Fused(k) => k.eval(inputs),
+        }
+    }
+
+    /// True if [`Op::eval_into`] can realize this op for the given input
+    /// dtypes and planned output dtype.
+    ///
+    /// The memory planner consults this at plan time: supported kernels
+    /// become arena writes; everything else falls back to the allocating
+    /// [`Op::eval`] path (the allocation counter makes such gaps visible).
+    /// This list must stay in sync with the `eval_into` match.
+    pub fn supports_into(&self, in_dtypes: &[DType], out_dtype: DType) -> bool {
+        use DType::{Bool, F32, I64};
+        let all_in = |dt: DType| in_dtypes.iter().all(|&d| d == dt);
+        match self {
+            Op::MatMul | Op::Sqdist => out_dtype == F32 && all_in(F32),
+            Op::Add | Op::Sub | Op::Mul | Op::Div | Op::Minimum | Op::Maximum => {
+                (out_dtype == F32 && all_in(F32)) || (out_dtype == I64 && all_in(I64))
+            }
+            Op::AddScalar(_) | Op::MulScalar(_) => {
+                matches!(out_dtype, F32 | I64) && all_in(out_dtype)
+            }
+            Op::PowScalar(_)
+            | Op::Relu
+            | Op::Sigmoid
+            | Op::Tanh
+            | Op::Exp
+            | Op::Ln
+            | Op::Sqrt
+            | Op::Abs
+            | Op::Neg
+            | Op::Clamp { .. }
+            | Op::Softmax { .. }
+            | Op::LogSumExp { .. }
+            | Op::Mean { .. } => out_dtype == F32 && all_in(F32),
+            Op::Lt | Op::Le | Op::Gt | Op::Ge | Op::EqOp | Op::NeOp => {
+                out_dtype == Bool && (all_in(F32) || all_in(I64))
+            }
+            Op::And | Op::Or | Op::Xor | Op::Not => out_dtype == Bool && all_in(Bool),
+            Op::IsNan => out_dtype == Bool && all_in(F32),
+            Op::Where => {
+                in_dtypes.len() == 3
+                    && in_dtypes[0] == Bool
+                    && in_dtypes[1] == out_dtype
+                    && in_dtypes[2] == out_dtype
+                    && matches!(out_dtype, F32 | I64)
+            }
+            Op::Gather { .. } | Op::GatherRows => {
+                in_dtypes.len() == 2
+                    && in_dtypes[0] == out_dtype
+                    && in_dtypes[1] == I64
+                    && matches!(out_dtype, F32 | I64)
+            }
+            Op::IndexSelect { .. } | Op::Concat { .. } => {
+                matches!(out_dtype, F32 | I64) && all_in(out_dtype)
+            }
+            Op::Sum { .. } | Op::ReduceMax { .. } => {
+                matches!(out_dtype, F32 | I64) && all_in(out_dtype)
+            }
+            Op::ArgMax { .. } => out_dtype == I64 && (all_in(F32) || all_in(I64)),
+            // Same-dtype casts are identity views, planned as aliases.
+            Op::Cast(dt) => {
+                *dt == out_dtype
+                    && matches!(out_dtype, F32 | I64 | Bool)
+                    && in_dtypes.first().is_some_and(|&d| d != out_dtype)
+            }
+            Op::Fused(k) => out_dtype == F32 && k.out_dtype == F32,
+            // Inputs, constants, and metadata ops are planned as values or
+            // views, never as arena kernels.
+            _ => false,
+        }
+    }
+
+    /// True for simple f32 unary maps — the ops eligible for the memory
+    /// planner's in-place rule (output overwrites a dying input's slot).
+    pub fn is_unary_f32_map(&self) -> bool {
+        matches!(
+            self,
+            Op::Relu
+                | Op::Sigmoid
+                | Op::Tanh
+                | Op::Exp
+                | Op::Ln
+                | Op::Sqrt
+                | Op::Abs
+                | Op::Neg
+                | Op::Clamp { .. }
+                | Op::PowScalar(_)
+                | Op::AddScalar(_)
+                | Op::MulScalar(_)
+        )
+    }
+
+    /// Applies a unary f32 map directly over `buf` — the planner's
+    /// in-place execution path. Element functions are shared verbatim with
+    /// [`Op::eval_into`], so results stay bit-identical.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless [`Op::is_unary_f32_map`] holds.
+    pub fn apply_inplace_f32(&self, buf: &mut [f32]) {
+        fn apply(buf: &mut [f32], f: impl Fn(f32) -> f32) {
+            for v in buf.iter_mut() {
+                *v = f(*v);
+            }
+        }
+        match self {
+            Op::Relu => apply(buf, |x| if x < 0.0 { 0.0 } else { x }),
+            Op::Sigmoid => apply(buf, |x| 1.0 / (1.0 + (-x).exp())),
+            Op::Tanh => apply(buf, f32::tanh),
+            Op::Exp => apply(buf, f32::exp),
+            Op::Ln => apply(buf, f32::ln),
+            Op::Sqrt => apply(buf, f32::sqrt),
+            Op::Abs => apply(buf, f32::abs),
+            Op::Neg => apply(buf, |x| -x),
+            Op::Clamp { lo, hi } => {
+                let (lo, hi) = (*lo, *hi);
+                apply(buf, move |x| {
+                    if x < lo {
+                        lo
+                    } else if x > hi {
+                        hi
+                    } else {
+                        x
+                    }
+                })
+            }
+            Op::PowScalar(e) => {
+                let v = *e as f32;
+                apply(buf, move |x| x.powf(v))
+            }
+            Op::AddScalar(s) => {
+                let v = *s as f32;
+                apply(buf, move |x| x + v)
+            }
+            Op::MulScalar(s) => {
+                let v = *s as f32;
+                apply(buf, move |x| x * v)
+            }
+            other => panic!("apply_inplace_f32 on non-unary op {}", other.label()),
+        }
+    }
+
+    /// Evaluates the operator into a caller-provided destination slice —
+    /// the planned executor's allocation-free twin of [`Op::eval`].
+    ///
+    /// The destination is a uniquely-owned window of an arena slot sized
+    /// to the output's element count; it is fully overwritten. Results are
+    /// bit-identical to [`Op::eval`] (both dispatch to the same kernels or
+    /// to `_into` variants replaying the same per-element operations).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the op/dtype combination is unsupported (the planner
+    /// must gate on [`Op::supports_into`]) or on shape mismatches, exactly
+    /// like [`Op::eval`].
+    pub fn eval_into(&self, inputs: &[&DynTensor], out: DestMut<'_>) {
+        use hb_tensor::elementwise::zip_map_into;
+        match (self, out) {
+            (Op::MatMul, DestMut::F32(o)) => inputs[0].as_f32().matmul_into(inputs[1].as_f32(), o),
+            (Op::Add, DestMut::F32(o)) => {
+                zip_map_into(inputs[0].as_f32(), inputs[1].as_f32(), o, |a, b| a + b)
+            }
+            (Op::Add, DestMut::I64(o)) => {
+                zip_map_into(inputs[0].as_i64(), inputs[1].as_i64(), o, |a, b| a + b)
+            }
+            (Op::Sub, DestMut::F32(o)) => {
+                zip_map_into(inputs[0].as_f32(), inputs[1].as_f32(), o, |a, b| a - b)
+            }
+            (Op::Sub, DestMut::I64(o)) => {
+                zip_map_into(inputs[0].as_i64(), inputs[1].as_i64(), o, |a, b| a - b)
+            }
+            (Op::Mul, DestMut::F32(o)) => {
+                zip_map_into(inputs[0].as_f32(), inputs[1].as_f32(), o, |a, b| a * b)
+            }
+            (Op::Mul, DestMut::I64(o)) => {
+                zip_map_into(inputs[0].as_i64(), inputs[1].as_i64(), o, |a, b| a * b)
+            }
+            (Op::Div, DestMut::F32(o)) => {
+                zip_map_into(inputs[0].as_f32(), inputs[1].as_f32(), o, |a, b| a / b)
+            }
+            (Op::Div, DestMut::I64(o)) => {
+                zip_map_into(inputs[0].as_i64(), inputs[1].as_i64(), o, |a, b| a / b)
+            }
+            (Op::Minimum, DestMut::F32(o)) => {
+                zip_map_into(inputs[0].as_f32(), inputs[1].as_f32(), o, |a, b| {
+                    if b < a {
+                        b
+                    } else {
+                        a
+                    }
+                })
+            }
+            (Op::Minimum, DestMut::I64(o)) => {
+                zip_map_into(inputs[0].as_i64(), inputs[1].as_i64(), o, |a, b| {
+                    if b < a {
+                        b
+                    } else {
+                        a
+                    }
+                })
+            }
+            (Op::Maximum, DestMut::F32(o)) => {
+                zip_map_into(inputs[0].as_f32(), inputs[1].as_f32(), o, |a, b| {
+                    if b > a {
+                        b
+                    } else {
+                        a
+                    }
+                })
+            }
+            (Op::Maximum, DestMut::I64(o)) => {
+                zip_map_into(inputs[0].as_i64(), inputs[1].as_i64(), o, |a, b| {
+                    if b > a {
+                        b
+                    } else {
+                        a
+                    }
+                })
+            }
+            (Op::AddScalar(s), DestMut::F32(o)) => {
+                let v = *s as f32;
+                inputs[0].as_f32().map_into(o, move |x| x + v)
+            }
+            (Op::AddScalar(s), DestMut::I64(o)) => {
+                let v = *s as i64;
+                inputs[0].as_i64().map_into(o, move |x| x + v)
+            }
+            (Op::MulScalar(s), DestMut::F32(o)) => {
+                let v = *s as f32;
+                inputs[0].as_f32().map_into(o, move |x| x * v)
+            }
+            (Op::MulScalar(s), DestMut::I64(o)) => {
+                let v = *s as i64;
+                inputs[0].as_i64().map_into(o, move |x| x * v)
+            }
+            (Op::PowScalar(e), DestMut::F32(o)) => {
+                let v = *e as f32;
+                inputs[0].as_f32().map_into(o, move |x| x.powf(v))
+            }
+            (Op::Lt, DestMut::Bool(o)) => match inputs[0] {
+                DynTensor::F32(_) => {
+                    zip_map_into(inputs[0].as_f32(), inputs[1].as_f32(), o, |a, b| a < b)
+                }
+                _ => zip_map_into(inputs[0].as_i64(), inputs[1].as_i64(), o, |a, b| a < b),
+            },
+            (Op::Le, DestMut::Bool(o)) => match inputs[0] {
+                DynTensor::F32(_) => {
+                    zip_map_into(inputs[0].as_f32(), inputs[1].as_f32(), o, |a, b| a <= b)
+                }
+                _ => zip_map_into(inputs[0].as_i64(), inputs[1].as_i64(), o, |a, b| a <= b),
+            },
+            (Op::Gt, DestMut::Bool(o)) => match inputs[0] {
+                DynTensor::F32(_) => {
+                    zip_map_into(inputs[0].as_f32(), inputs[1].as_f32(), o, |a, b| a > b)
+                }
+                _ => zip_map_into(inputs[0].as_i64(), inputs[1].as_i64(), o, |a, b| a > b),
+            },
+            (Op::Ge, DestMut::Bool(o)) => match inputs[0] {
+                DynTensor::F32(_) => {
+                    zip_map_into(inputs[0].as_f32(), inputs[1].as_f32(), o, |a, b| a >= b)
+                }
+                _ => zip_map_into(inputs[0].as_i64(), inputs[1].as_i64(), o, |a, b| a >= b),
+            },
+            (Op::EqOp, DestMut::Bool(o)) => match inputs[0] {
+                DynTensor::F32(_) => {
+                    zip_map_into(inputs[0].as_f32(), inputs[1].as_f32(), o, |a, b| a == b)
+                }
+                _ => zip_map_into(inputs[0].as_i64(), inputs[1].as_i64(), o, |a, b| a == b),
+            },
+            (Op::NeOp, DestMut::Bool(o)) => match inputs[0] {
+                DynTensor::F32(_) => {
+                    zip_map_into(inputs[0].as_f32(), inputs[1].as_f32(), o, |a, b| a != b)
+                }
+                _ => zip_map_into(inputs[0].as_i64(), inputs[1].as_i64(), o, |a, b| a != b),
+            },
+            (Op::And, DestMut::Bool(o)) => {
+                zip_map_into(inputs[0].as_bool(), inputs[1].as_bool(), o, |a, b| a && b)
+            }
+            (Op::Or, DestMut::Bool(o)) => {
+                zip_map_into(inputs[0].as_bool(), inputs[1].as_bool(), o, |a, b| a || b)
+            }
+            (Op::Xor, DestMut::Bool(o)) => {
+                zip_map_into(inputs[0].as_bool(), inputs[1].as_bool(), o, |a, b| a ^ b)
+            }
+            (Op::Not, DestMut::Bool(o)) => inputs[0].as_bool().map_into(o, |a| !a),
+            (Op::IsNan, DestMut::Bool(o)) => inputs[0].as_f32().map_into(o, |x| x.is_nan()),
+            (Op::Where, DestMut::F32(o)) => {
+                inputs[0]
+                    .as_bool()
+                    .where_select_into(inputs[1].as_f32(), inputs[2].as_f32(), o)
+            }
+            (Op::Where, DestMut::I64(o)) => {
+                inputs[0]
+                    .as_bool()
+                    .where_select_into(inputs[1].as_i64(), inputs[2].as_i64(), o)
+            }
+            (Op::Gather { axis }, DestMut::F32(o)) => {
+                inputs[0].as_f32().gather_into(*axis, inputs[1].as_i64(), o)
+            }
+            (Op::Gather { axis }, DestMut::I64(o)) => {
+                inputs[0].as_i64().gather_into(*axis, inputs[1].as_i64(), o)
+            }
+            (Op::GatherRows, DestMut::F32(o)) => {
+                inputs[0].as_f32().gather_rows_into(inputs[1].as_i64(), o)
+            }
+            (Op::GatherRows, DestMut::I64(o)) => {
+                inputs[0].as_i64().gather_rows_into(inputs[1].as_i64(), o)
+            }
+            (Op::IndexSelect { axis, indices }, DestMut::F32(o)) => {
+                inputs[0].as_f32().index_select_into(*axis, indices, o)
+            }
+            (Op::IndexSelect { axis, indices }, DestMut::I64(o)) => {
+                inputs[0].as_i64().index_select_into(*axis, indices, o)
+            }
+            (Op::Concat { axis }, DestMut::F32(o)) => {
+                let ts: Vec<&Tensor<f32>> = inputs.iter().map(|t| t.as_f32()).collect();
+                Tensor::concat_into(&ts, *axis, o)
+            }
+            (Op::Concat { axis }, DestMut::I64(o)) => {
+                let ts: Vec<&Tensor<i64>> = inputs.iter().map(|t| t.as_i64()).collect();
+                Tensor::concat_into(&ts, *axis, o)
+            }
+            (Op::Sum { axis, .. }, DestMut::F32(o)) => inputs[0].as_f32().sum_axis_into(*axis, o),
+            (Op::Sum { axis, .. }, DestMut::I64(o)) => inputs[0].as_i64().sum_axis_into(*axis, o),
+            (Op::Mean { axis, .. }, DestMut::F32(o)) => inputs[0].as_f32().mean_axis_into(*axis, o),
+            (Op::ReduceMax { axis, .. }, DestMut::F32(o)) => {
+                inputs[0].as_f32().max_axis_into(*axis, o)
+            }
+            (Op::ReduceMax { axis, .. }, DestMut::I64(o)) => {
+                inputs[0].as_i64().max_axis_into(*axis, o)
+            }
+            (Op::ArgMax { axis, .. }, DestMut::I64(o)) => match inputs[0] {
+                DynTensor::F32(t) => t.argmax_axis_into(*axis, o),
+                _ => inputs[0].as_i64().argmax_axis_into(*axis, o),
+            },
+            (Op::LogSumExp { axis, .. }, DestMut::F32(o)) => {
+                inputs[0].as_f32().logsumexp_axis_into(*axis, o)
+            }
+            (Op::Softmax { axis }, DestMut::F32(o)) => {
+                inputs[0].as_f32().softmax_axis_into(*axis, o)
+            }
+            // Conversions mirror `DynTensor::cast` exactly.
+            (Op::Cast(_), DestMut::F32(o)) => match inputs[0] {
+                DynTensor::I64(t) => t.map_into(o, |v| v as f32),
+                DynTensor::U8(t) => t.map_into(o, |v| v as f32),
+                DynTensor::Bool(t) => t.map_into(o, |v| if v { 1.0 } else { 0.0 }),
+                DynTensor::F32(_) => panic!("identity cast is planned as a view"),
+            },
+            (Op::Cast(_), DestMut::I64(o)) => match inputs[0] {
+                DynTensor::F32(t) => t.map_into(o, |v| v as i64),
+                DynTensor::U8(t) => t.map_into(o, |v| v as i64),
+                DynTensor::Bool(t) => t.map_into(o, |v| v as i64),
+                DynTensor::I64(_) => panic!("identity cast is planned as a view"),
+            },
+            (Op::Cast(_), DestMut::Bool(o)) => match inputs[0] {
+                DynTensor::F32(t) => t.map_into(o, |v| v != 0.0),
+                DynTensor::I64(t) => t.map_into(o, |v| v != 0),
+                DynTensor::U8(t) => t.map_into(o, |v| v != 0),
+                DynTensor::Bool(_) => panic!("identity cast is planned as a view"),
+            },
+            (Op::Relu, DestMut::F32(o)) => {
+                inputs[0]
+                    .as_f32()
+                    .map_into(o, |x| if x < 0.0 { 0.0 } else { x })
+            }
+            (Op::Sigmoid, DestMut::F32(o)) => {
+                inputs[0].as_f32().map_into(o, |x| 1.0 / (1.0 + (-x).exp()))
+            }
+            (Op::Tanh, DestMut::F32(o)) => inputs[0].as_f32().map_into(o, f32::tanh),
+            (Op::Exp, DestMut::F32(o)) => inputs[0].as_f32().map_into(o, f32::exp),
+            (Op::Ln, DestMut::F32(o)) => inputs[0].as_f32().map_into(o, f32::ln),
+            (Op::Sqrt, DestMut::F32(o)) => inputs[0].as_f32().map_into(o, f32::sqrt),
+            (Op::Abs, DestMut::F32(o)) => inputs[0].as_f32().map_into(o, f32::abs),
+            (Op::Neg, DestMut::F32(o)) => inputs[0].as_f32().map_into(o, |x| -x),
+            (Op::Clamp { lo, hi }, DestMut::F32(o)) => {
+                let (lo, hi) = (*lo, *hi);
+                inputs[0].as_f32().map_into(o, move |x| {
+                    if x < lo {
+                        lo
+                    } else if x > hi {
+                        hi
+                    } else {
+                        x
+                    }
+                })
+            }
+            (Op::Sqdist, DestMut::F32(o)) => {
+                // Composite (matmul + row norms); the into variant reuses
+                // the allocating kernel for the intermediates and writes
+                // only the final subtraction into the arena.
+                inputs[0]
+                    .as_f32()
+                    .sqdist(inputs[1].as_f32())
+                    .map_into(o, |v| v)
+            }
+            (Op::Fused(k), DestMut::F32(o)) => k.eval_into(inputs, o),
+            (op, _) => panic!("eval_into unsupported for {}", op.label()),
         }
     }
 

@@ -1,0 +1,693 @@
+//! Static memory planner: arena-backed execution plans for compiled
+//! graphs.
+//!
+//! Given a verified graph and one concrete batch size `B`, the planner
+//! concretizes every symbolic shape, walks the topological order computing
+//! liveness intervals, and assigns each plannable intermediate a *slot* in
+//! a reusable arena. Two intermediates whose live ranges do not overlap
+//! share a slot, so the steady-state footprint is the maximum concurrent
+//! working set rather than the sum of all intermediates — the same idea
+//! PyTorch's static runtime and ONNX Runtime's arena planner apply to DNN
+//! serving, transplanted here to the paper's tensor-compiled traditional-ML
+//! pipelines.
+//!
+//! Slot assignment is greedy best-fit: a dying buffer's slot returns to a
+//! free list, and a new intermediate takes the smallest free slot of its
+//! dtype that fits. When nothing fits, the largest free slot of that dtype
+//! is grown at plan time (growth happens once, while planning — never
+//! during execution). Three kernel families additionally execute *in
+//! place*, overwriting the slot of an input that dies at that very node
+//! (see [`Inplace`]): simple f32 unary maps, fused elementwise kernels
+//! whose dying operand has exactly the output shape, and matrix
+//! multiplies whose dying LHS shares the output's batch dims — the last
+//! stages row panels through a small scratch slot, which is what lets a
+//! GEMM-lowered tree ensemble's ping-pong chain collapse into a single
+//! large slot instead of two.
+//!
+//! Safe-Rust realization: the workspace forbids `unsafe`, so a slot is an
+//! independently allocated 1-D [`Tensor`] rather than an offset into one
+//! contiguous allocation. Node values are zero-copy views of their slot
+//! (`slice` + `reshape`), and refcount-driven view dropping restores
+//! `Arc` uniqueness before a slot is written again. The planner only
+//! decides *which* slot each node writes; the executor re-checks
+//! uniqueness at run time and self-heals with a fresh (counted)
+//! allocation if a caller still holds views — so reuse is an
+//! optimization, never a soundness obligation.
+
+use hb_tensor::matmul::matmul_in_place_scratch_len;
+use hb_tensor::{DType, DynTensor, Tensor};
+
+use crate::graph::{Graph, GraphError};
+use crate::op::Op;
+use crate::verify::{ShapeFact, SymDim};
+
+/// Why a graph/batch combination could not be planned.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PlanError {
+    /// Shape inference failed (the graph would not verify).
+    Graph(GraphError),
+    /// An input slot's shape stays symbolic even at a concrete batch, so
+    /// actual requests cannot be validated against the plan.
+    SymbolicInput {
+        /// The offending graph input slot.
+        slot: usize,
+    },
+    /// A batch size of zero degenerates every symbolic dimension; such
+    /// requests run on the refcount path.
+    ZeroBatch,
+}
+
+impl std::fmt::Display for PlanError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PlanError::Graph(e) => write!(f, "shape inference failed: {e}"),
+            PlanError::SymbolicInput { slot } => {
+                write!(f, "input {slot} has a symbolic shape at a concrete batch")
+            }
+            PlanError::ZeroBatch => write!(f, "cannot plan a zero batch"),
+        }
+    }
+}
+
+impl std::error::Error for PlanError {}
+
+/// One arena slot: a 1-D buffer of `len` elements of `dtype`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SlotSpec {
+    /// Element type of the buffer.
+    pub dtype: DType,
+    /// Element count (the largest interval ever assigned to this slot).
+    pub len: usize,
+}
+
+impl SlotSpec {
+    /// Bytes this slot occupies.
+    pub fn nbytes(&self) -> usize {
+        self.len * self.dtype.size_of()
+    }
+
+    /// Allocates the slot's backing buffer.
+    pub(crate) fn allocate(&self) -> DynTensor {
+        match self.dtype {
+            DType::F32 => DynTensor::F32(Tensor::zeros(&[self.len])),
+            DType::I64 => DynTensor::I64(Tensor::zeros(&[self.len])),
+            DType::Bool => DynTensor::Bool(Tensor::from_vec(vec![false; self.len], &[self.len])),
+            DType::U8 => DynTensor::U8(Tensor::zeros(&[self.len])),
+        }
+    }
+}
+
+/// How a planned kernel reuses a dying input's slot as its own output
+/// buffer. Every form is bit-identical to the allocating kernel; the
+/// planner only selects one when the operand dies at this very node and
+/// nothing else aliases its slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Inplace {
+    /// Ordinary planned kernel: writes a fresh (best-fit) slot.
+    No,
+    /// Simple unary f32 map mutating its operand's slot directly.
+    Map,
+    /// Fused elementwise kernel overwriting the slot of the dying,
+    /// output-shaped operand at input position `operand`
+    /// ([`crate::fuse::FusedKernel::eval_in_place`]).
+    Fused {
+        /// Input position whose slot doubles as the output buffer.
+        operand: usize,
+    },
+    /// Matrix multiply overwriting its dying LHS's slot row-panel by
+    /// row-panel ([`hb_tensor::matmul::matmul_in_place`]), staging each
+    /// panel through the small `scratch` slot.
+    MatMulLhs {
+        /// Index of the scratch slot (freed again right after this node).
+        scratch: usize,
+    },
+}
+
+/// How the planned executor realizes one node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Step {
+    /// Input clone, constant, metadata view, or allocating fallback — the
+    /// node evaluates exactly as on the refcount path.
+    Value,
+    /// The node's kernel writes into an arena slot via [`Op::eval_into`]
+    /// (or reuses a dying input's slot per [`Inplace`]).
+    Kernel {
+        /// Index into [`MemoryPlan::slots`].
+        slot: usize,
+        /// Concrete output shape at this plan's batch size.
+        shape: Vec<usize>,
+        /// In-place form, if the op overwrites a dying input's slot.
+        inplace: Inplace,
+    },
+}
+
+/// A complete execution plan for one `(graph, batch)` pair.
+///
+/// Plans are deterministic: building twice from the same graph and batch
+/// yields equal plans (`PartialEq` compares every step and slot).
+#[derive(Debug, Clone, PartialEq)]
+pub struct MemoryPlan {
+    /// The batch size this plan was concretized at.
+    pub batch: usize,
+    /// Per-node realization, indexed by node id.
+    pub steps: Vec<Step>,
+    /// The arena layout.
+    pub slots: Vec<SlotSpec>,
+    /// Expected concrete shape per graph input slot (`None` for slots no
+    /// node reads); the executor validates requests against these before
+    /// running the plan.
+    pub input_shapes: Vec<Option<Vec<usize>>>,
+    /// Total arena footprint in bytes (sum of slot sizes after reuse).
+    pub arena_bytes: usize,
+    /// What the same intermediates would occupy without reuse — the sum of
+    /// every planned kernel output. `arena_bytes / naive_bytes` is the
+    /// planner's reuse ratio.
+    pub naive_bytes: usize,
+    /// Kernels that execute allocation-free into the arena.
+    pub planned_kernels: usize,
+    /// Compute kernels that fall back to the allocating [`Op::eval`] path
+    /// (unsupported op/dtype or a non-concretizable shape).
+    pub fallback_kernels: usize,
+}
+
+/// Node classification used during planning.
+#[derive(Clone, Copy, PartialEq)]
+enum Kind {
+    /// Input or constant — cloned, never materialized by the plan.
+    Value,
+    /// Metadata op or identity cast — a zero-copy alias of its input.
+    View,
+    /// Arena-backed kernel.
+    Kernel,
+    /// Compute op the arena cannot host; evaluates allocating.
+    Fallback,
+}
+
+/// Concretizes a symbolic dimension at batch `b`, guarding overflow.
+fn concrete_dim(d: SymDim, b: usize) -> Option<usize> {
+    match d {
+        SymDim::Sym { coeff, pow } => b.checked_pow(pow).and_then(|p| coeff.checked_mul(p)),
+        SymDim::Unknown => None,
+    }
+}
+
+/// Concretizes a shape fact at batch `b`; `None` when any dimension stays
+/// unknown.
+pub fn concretize(fact: &ShapeFact, b: usize) -> Option<Vec<usize>> {
+    fact.dims()?.iter().map(|&d| concrete_dim(d, b)).collect()
+}
+
+/// Infers the batch size a request implies by matching actual input shapes
+/// against the graph's declared symbolic input shapes. Returns `None` when
+/// shapes contradict the declarations or imply inconsistent batches; a
+/// fully fixed graph (no symbolic dims) infers batch 1.
+pub fn infer_batch(graph: &Graph, inputs: &[DynTensor]) -> Option<usize> {
+    let mut batch: Option<usize> = None;
+    for (slot, t) in inputs.iter().enumerate() {
+        let fact = graph.input_shape(slot);
+        let dims = match fact.dims() {
+            Some(d) => d,
+            None => continue,
+        };
+        if dims.len() != t.shape().len() {
+            return None;
+        }
+        for (&sym, &actual) in dims.iter().zip(t.shape().iter()) {
+            match sym {
+                SymDim::Sym { coeff, pow: 0 } if actual != coeff => {
+                    return None;
+                }
+                SymDim::Sym { coeff, pow: 1 } => {
+                    if coeff == 0 || actual % coeff != 0 {
+                        return None;
+                    }
+                    let b = actual / coeff;
+                    if batch.get_or_insert(b) != &b {
+                        return None;
+                    }
+                }
+                // Higher powers and unknowns are validated by the plan's
+                // exact input-shape check instead.
+                _ => {}
+            }
+        }
+    }
+    Some(batch.unwrap_or(1))
+}
+
+impl MemoryPlan {
+    /// Builds the plan for `graph` at concrete batch size `batch`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlanError`] when shape inference fails, the batch is
+    /// zero, or any graph input keeps a symbolic shape at this batch.
+    pub fn build(graph: &Graph, batch: usize) -> Result<MemoryPlan, PlanError> {
+        if batch == 0 {
+            return Err(PlanError::ZeroBatch);
+        }
+        let facts = graph.infer_shapes().map_err(PlanError::Graph)?;
+        let dtypes = graph.infer_dtypes();
+        let n = graph.nodes.len();
+        let conc: Vec<Option<Vec<usize>>> = facts.iter().map(|f| concretize(f, batch)).collect();
+
+        // Requests are validated against exact input shapes, so every
+        // *read* input slot must concretize.
+        let mut input_shapes: Vec<Option<Vec<usize>>> = vec![None; graph.input_dtypes.len()];
+        for (id, node) in graph.nodes.iter().enumerate() {
+            if let Op::Input(slot) = node.op {
+                match conc[id].clone() {
+                    Some(s) => input_shapes[slot] = Some(s),
+                    None => return Err(PlanError::SymbolicInput { slot }),
+                }
+            }
+        }
+
+        // Classify nodes and resolve alias roots: a view's storage is its
+        // root's slot, so liveness is tracked per root.
+        let mut kind = vec![Kind::Value; n];
+        let mut root: Vec<usize> = (0..n).collect();
+        for (id, node) in graph.nodes.iter().enumerate() {
+            kind[id] = match &node.op {
+                Op::Input(_) | Op::Const(_) => Kind::Value,
+                Op::Reshape { .. }
+                | Op::Unsqueeze(_)
+                | Op::Squeeze(_)
+                | Op::Transpose(..)
+                | Op::Slice { .. } => {
+                    root[id] = root[node.inputs[0]];
+                    Kind::View
+                }
+                // An identity cast returns a clone of its input.
+                Op::Cast(dt) if *dt == dtypes[node.inputs[0]] => {
+                    root[id] = root[node.inputs[0]];
+                    Kind::View
+                }
+                op => {
+                    let in_dtypes: Vec<DType> = node.inputs.iter().map(|&i| dtypes[i]).collect();
+                    if conc[id].is_some() && op.supports_into(&in_dtypes, dtypes[id]) {
+                        Kind::Kernel
+                    } else {
+                        Kind::Fallback
+                    }
+                }
+            };
+        }
+
+        // Aggregate consumer counts per alias root; outputs pin their root
+        // for the whole run.
+        let mut uses = vec![0u32; n];
+        for node in &graph.nodes {
+            for &i in &node.inputs {
+                uses[root[i]] += 1;
+            }
+        }
+        let mut pinned = vec![false; n];
+        for &o in &graph.outputs {
+            pinned[root[o]] = true;
+        }
+
+        // Simulate execution order, assigning slots greedily.
+        let mut slots: Vec<SlotSpec> = Vec::new();
+        let mut free: Vec<bool> = Vec::new();
+        let mut slot_of = vec![usize::MAX; n];
+        let mut remaining = uses.clone();
+        let mut steps = Vec::with_capacity(n);
+        let mut naive_bytes = 0usize;
+        let mut planned_kernels = 0usize;
+        let mut fallback_kernels = 0usize;
+
+        /// Best fit: the smallest free slot of this dtype that is large
+        /// enough; when nothing fits, the largest free slot of the dtype
+        /// is grown (growth happens at plan time only), else a new slot
+        /// opens. The returned slot is marked taken.
+        fn take_slot(
+            slots: &mut Vec<SlotSpec>,
+            free: &mut Vec<bool>,
+            dt: DType,
+            numel: usize,
+        ) -> usize {
+            let fit = (0..slots.len())
+                .filter(|&k| free[k] && slots[k].dtype == dt && slots[k].len >= numel)
+                .min_by_key(|&k| slots[k].len);
+            let k = match fit {
+                Some(k) => k,
+                None => {
+                    let grow = (0..slots.len())
+                        .filter(|&k| free[k] && slots[k].dtype == dt)
+                        .max_by_key(|&k| slots[k].len);
+                    match grow {
+                        Some(k) => {
+                            slots[k].len = numel;
+                            k
+                        }
+                        None => {
+                            slots.push(SlotSpec {
+                                dtype: dt,
+                                len: numel,
+                            });
+                            free.push(false);
+                            slots.len() - 1
+                        }
+                    }
+                }
+            };
+            free[k] = false;
+            k
+        }
+
+        /// True when input `i` is an f32 slot-backed kernel output whose
+        /// slot can be handed to the consuming node: not a graph output,
+        /// and this is its very last remaining use (a second use — even
+        /// through a view alias — keeps `remaining > 1`).
+        fn dies_here(
+            i: usize,
+            kind: &[Kind],
+            pinned: &[bool],
+            remaining: &[u32],
+            dtypes: &[DType],
+        ) -> bool {
+            kind[i] == Kind::Kernel && !pinned[i] && remaining[i] == 1 && dtypes[i] == DType::F32
+        }
+
+        for (id, node) in graph.nodes.iter().enumerate() {
+            // A slot handed from a dying input to this node via the
+            // in-place rule must not return to the free list below.
+            let mut transferred = usize::MAX;
+            let step = match kind[id] {
+                Kind::Value | Kind::View => Step::Value,
+                Kind::Fallback => {
+                    fallback_kernels += 1;
+                    Step::Value
+                }
+                Kind::Kernel => {
+                    #[allow(clippy::disallowed_methods)] // Kind::Kernel requires conc
+                    let shape = conc[id].clone().expect("kernel shapes are concrete");
+                    let numel: usize = shape.iter().product();
+                    let dt = dtypes[id];
+                    naive_bytes += numel * dt.size_of();
+                    planned_kernels += 1;
+
+                    // In-place rules: when an input dies at this very node
+                    // (and nothing else aliases its slot), the kernel can
+                    // overwrite that slot instead of claiming a new one.
+                    // Three bit-identical forms exist — unary f32 maps,
+                    // matmul over its dying LHS, and fused elementwise
+                    // kernels over a dying output-shaped operand.
+                    let chosen: Option<(usize, Inplace)> = match &node.op {
+                        op if op.is_unary_f32_map() && dt == DType::F32 => {
+                            let i = node.inputs[0];
+                            let ok = dies_here(i, &kind, &pinned, &remaining, &dtypes)
+                                && slots[slot_of[i]].len == numel;
+                            ok.then(|| (slot_of[i], Inplace::Map))
+                        }
+                        Op::MatMul if dt == DType::F32 => {
+                            let lhs = node.inputs[0];
+                            let nd = shape.len();
+                            // The in-place kernel reuses the LHS buffer row
+                            // by row, which requires LHS batch dims to equal
+                            // the output's (no LHS broadcast).
+                            let ok = dies_here(lhs, &kind, &pinned, &remaining, &dtypes)
+                                && nd >= 2
+                                && conc[lhs].as_deref().is_some_and(|ls| {
+                                    ls.len() == nd && ls[..nd - 2] == shape[..nd - 2]
+                                });
+                            if ok {
+                                #[allow(clippy::disallowed_methods)] // checked just above
+                                let ls = conc[lhs].as_deref().expect("eligible LHS is concrete");
+                                let slot = slot_of[lhs];
+                                // The slot doubles as input and output
+                                // buffer, so it must hold the larger.
+                                slots[slot].len = slots[slot].len.max(numel);
+                                let scratch = take_slot(
+                                    &mut slots,
+                                    &mut free,
+                                    DType::F32,
+                                    matmul_in_place_scratch_len(ls[nd - 2], ls[nd - 1]),
+                                );
+                                // The scratch is only live during this node.
+                                free[scratch] = true;
+                                Some((slot, Inplace::MatMulLhs { scratch }))
+                            } else {
+                                None
+                            }
+                        }
+                        Op::Fused(_) if dt == DType::F32 => {
+                            // First dying operand with exactly the output
+                            // shape (a broadcast operand reads elements
+                            // more than once, so it cannot be overwritten).
+                            node.inputs.iter().enumerate().find_map(|(j, &i)| {
+                                let ok = dies_here(i, &kind, &pinned, &remaining, &dtypes)
+                                    && conc[i].as_deref() == Some(shape.as_slice());
+                                ok.then(|| (slot_of[i], Inplace::Fused { operand: j }))
+                            })
+                        }
+                        _ => None,
+                    };
+
+                    let (k, inplace) = match chosen {
+                        Some((k, form)) => {
+                            transferred = k;
+                            (k, form)
+                        }
+                        None => (take_slot(&mut slots, &mut free, dt, numel), Inplace::No),
+                    };
+                    slot_of[id] = k;
+                    Step::Kernel {
+                        slot: k,
+                        shape,
+                        inplace,
+                    }
+                }
+            };
+            steps.push(step);
+
+            // Retire operands whose last consumer this node was.
+            for &i in &node.inputs {
+                let r = root[i];
+                if remaining[r] > 0 {
+                    remaining[r] -= 1;
+                    if remaining[r] == 0 && !pinned[r] {
+                        let k = slot_of[r];
+                        if k != usize::MAX && k != transferred {
+                            free[k] = true;
+                        }
+                    }
+                }
+            }
+        }
+
+        let arena_bytes = slots.iter().map(SlotSpec::nbytes).sum();
+        Ok(MemoryPlan {
+            batch,
+            steps,
+            slots,
+            input_shapes,
+            arena_bytes,
+            naive_bytes,
+            planned_kernels,
+            fallback_kernels,
+        })
+    }
+
+    /// True when the supplied request tensors match the exact shapes this
+    /// plan was built for.
+    pub fn matches_inputs(&self, inputs: &[DynTensor]) -> bool {
+        if inputs.len() != self.input_shapes.len() {
+            return false;
+        }
+        inputs.iter().zip(self.input_shapes.iter()).all(|(t, s)| {
+            match s {
+                Some(shape) => t.shape() == shape.as_slice(),
+                // An unread input slot constrains nothing.
+                None => true,
+            }
+        })
+    }
+
+    /// Allocates the arena buffers this plan needs.
+    pub(crate) fn allocate_slots(&self) -> Vec<DynTensor> {
+        self.slots.iter().map(SlotSpec::allocate).collect()
+    }
+
+    /// Reuse ratio: planned arena bytes over the naive sum of all planned
+    /// intermediates (1.0 = no reuse, smaller is better). `None` when the
+    /// plan holds no kernels.
+    pub fn reuse_ratio(&self) -> Option<f64> {
+        if self.naive_bytes == 0 {
+            None
+        } else {
+            Some(self.arena_bytes as f64 / self.naive_bytes as f64)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::GraphBuilder;
+    use hb_tensor::DType;
+
+    /// A chain of scalar adds over a batched input: every intermediate has
+    /// the same size, so reuse should collapse them to very few slots.
+    fn chain_graph(len: usize) -> Graph {
+        let mut b = GraphBuilder::new();
+        let x = b.input_with_shape(DType::F32, ShapeFact::batched(&[4]));
+        let mut cur = x;
+        for _ in 0..len {
+            cur = b.add_scalar(cur, 1.0);
+        }
+        b.output(cur);
+        b.build()
+    }
+
+    #[test]
+    fn chain_reuses_slots() {
+        let g = chain_graph(8);
+        let plan = MemoryPlan::build(&g, 16).unwrap();
+        assert_eq!(plan.planned_kernels, 8);
+        assert_eq!(plan.fallback_kernels, 0);
+        // In-place on dying inputs keeps the whole chain in one or two
+        // slots regardless of length.
+        assert!(plan.slots.len() <= 2, "slots: {:?}", plan.slots);
+        assert!(plan.arena_bytes < plan.naive_bytes);
+    }
+
+    #[test]
+    fn matmul_reuses_dying_lhs_slot() {
+        let mut b = GraphBuilder::new();
+        let x = b.input_with_shape(DType::F32, ShapeFact::batched(&[4]));
+        let x1 = b.add_scalar(x, 1.0);
+        let w = b.constant(hb_tensor::Tensor::<f32>::zeros(&[4, 3]));
+        let y = b.matmul(x1, w);
+        b.output(y);
+        let g = b.build();
+        let plan = MemoryPlan::build(&g, 100).unwrap();
+        let lhs_slot = match plan.steps[x1] {
+            Step::Kernel { slot, .. } => slot,
+            _ => panic!("add_scalar not planned"),
+        };
+        match plan.steps[y] {
+            Step::Kernel {
+                slot,
+                inplace: Inplace::MatMulLhs { scratch },
+                ..
+            } => {
+                assert_eq!(slot, lhs_slot, "matmul must overwrite its dying LHS");
+                assert_ne!(scratch, slot);
+                // The panel scratch holds one row block of the LHS.
+                assert_eq!(plan.slots[scratch].len, matmul_in_place_scratch_len(100, 4));
+                // The shared slot covers both the LHS and the output.
+                assert_eq!(plan.slots[slot].len, 100 * 4);
+            }
+            ref other => panic!("matmul not planned in place: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn matmul_keeps_live_lhs_intact() {
+        // The LHS is also a graph output, so it must not be overwritten.
+        let mut b = GraphBuilder::new();
+        let x = b.input_with_shape(DType::F32, ShapeFact::batched(&[4]));
+        let x1 = b.add_scalar(x, 1.0);
+        let w = b.constant(hb_tensor::Tensor::<f32>::zeros(&[4, 3]));
+        let y = b.matmul(x1, w);
+        b.output(x1);
+        b.output(y);
+        let g = b.build();
+        let plan = MemoryPlan::build(&g, 100).unwrap();
+        assert!(matches!(
+            plan.steps[y],
+            Step::Kernel {
+                inplace: Inplace::No,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn fused_kernel_reuses_dying_operand_slot() {
+        use crate::fuse::{FusedKernel, Instr};
+        let mut b = GraphBuilder::new();
+        let x = b.input_with_shape(DType::F32, ShapeFact::batched(&[4]));
+        let x1 = b.add_scalar(x, 1.0);
+        let row = b.constant(hb_tensor::Tensor::<f32>::zeros(&[4]));
+        let k = FusedKernel::new(
+            2,
+            DType::F32,
+            vec![Instr::Load(0), Instr::Load(1), Instr::Add],
+        );
+        let y = b.push(Op::Fused(std::sync::Arc::new(k)), vec![x1, row]);
+        b.output(y);
+        let g = b.build();
+        let plan = MemoryPlan::build(&g, 100).unwrap();
+        let lhs_slot = match plan.steps[x1] {
+            Step::Kernel { slot, .. } => slot,
+            _ => panic!("add_scalar not planned"),
+        };
+        match plan.steps[y] {
+            Step::Kernel {
+                slot,
+                inplace: Inplace::Fused { operand },
+                ..
+            } => {
+                assert_eq!(operand, 0, "the full-shape operand is input 0");
+                assert_eq!(
+                    slot, lhs_slot,
+                    "fused kernel must overwrite its dying operand"
+                );
+            }
+            ref other => panic!("fused kernel not planned in place: {other:?}"),
+        }
+        // The whole graph fits in the one reused slot.
+        assert_eq!(plan.slots.len(), 1, "slots: {:?}", plan.slots);
+    }
+
+    #[test]
+    fn plans_are_deterministic() {
+        let g = chain_graph(8);
+        let a = MemoryPlan::build(&g, 100).unwrap();
+        let b = MemoryPlan::build(&g, 100).unwrap();
+        assert_eq!(a, b);
+        let c = MemoryPlan::build(&g, 200).unwrap();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn zero_batch_rejected() {
+        let g = chain_graph(2);
+        assert_eq!(MemoryPlan::build(&g, 0), Err(PlanError::ZeroBatch));
+    }
+
+    #[test]
+    fn symbolic_input_rejected() {
+        let mut b = GraphBuilder::new();
+        let x = b.input(DType::F32); // no declared shape → Any
+        let y = b.add_scalar(x, 1.0);
+        b.output(y);
+        let g = b.build();
+        assert!(matches!(
+            MemoryPlan::build(&g, 8),
+            Err(PlanError::SymbolicInput { slot: 0 })
+        ));
+    }
+
+    #[test]
+    fn infer_batch_from_inputs() {
+        let g = chain_graph(2);
+        let x = DynTensor::F32(hb_tensor::Tensor::zeros(&[32, 4]));
+        assert_eq!(infer_batch(&g, &[x]), Some(32));
+        let bad = DynTensor::F32(hb_tensor::Tensor::zeros(&[32, 5]));
+        assert_eq!(infer_batch(&g, &[bad]), None);
+    }
+
+    #[test]
+    fn matches_inputs_checks_shapes() {
+        let g = chain_graph(2);
+        let plan = MemoryPlan::build(&g, 32).unwrap();
+        let ok = DynTensor::F32(hb_tensor::Tensor::zeros(&[32, 4]));
+        let wrong = DynTensor::F32(hb_tensor::Tensor::zeros(&[16, 4]));
+        assert!(plan.matches_inputs(&[ok]));
+        assert!(!plan.matches_inputs(&[wrong]));
+    }
+}

@@ -19,8 +19,8 @@ use std::time::Instant;
 use hb_backend::device::{CPU_VM_HOURLY_USD, K80, P100, V100};
 use hb_backend::{Backend, Device};
 use hb_bench::measure::{
-    fil_scorer, fmt_secs, hb_model, hb_scorer, onnx_scorer, sklearn_scorer, sklearn_scorer_1core,
-    train_algo, truncated_mean_secs, wall, Algo, Scorer,
+    fil_scorer, fmt_secs, hb_model, hb_scorer, memplan_profiles, onnx_scorer, sklearn_scorer,
+    sklearn_scorer_1core, train_algo, truncated_mean_secs, wall, Algo, Scorer,
 };
 use hb_core::{compile, CompileOptions, TreeStrategy};
 use hb_data::{
@@ -740,6 +740,72 @@ fn fig6(zoo: &mut Zoo) {
     }
 }
 
+/// Memory-planner study: arena-planned vs refcount execution of the
+/// fig6 airline model on the host CPU, per tree strategy. Reports
+/// latency, peak tensor bytes, steady-state allocation counts, and the
+/// planner's arena footprint / reuse ratio.
+fn memplan(zoo: &mut Zoo) {
+    let spec = &TREE_BENCH_SPECS[5]; // airline-like
+    let e = zoo.model(spec, Algo::LightGbm);
+    let ds = zoo.dataset(spec).clone();
+    let batch = 1_000.min(ds.n_test());
+    let x = ds.x_test.slice(0, 0, batch).to_contiguous();
+    let mut t = Table::new(
+        "memplan",
+        &format!("Memory planner vs refcount, airline, LightGBM-like, batch={batch}"),
+        &[
+            "Strategy",
+            "Planned",
+            "Refcount",
+            "PlanPeakMB",
+            "RefPeakMB",
+            "PeakDrop",
+            "WarmAllocs",
+            "ArenaMB",
+            "Reuse",
+        ],
+    );
+    for strategy in [
+        TreeStrategy::Gemm,
+        TreeStrategy::TreeTraversal,
+        TreeStrategy::PerfectTreeTraversal,
+    ] {
+        let pipe = Pipeline::from_op(e.clone());
+        let opts = CompileOptions {
+            backend: Backend::Compiled,
+            tree_strategy: strategy,
+            expected_batch: batch,
+            optimize_pipeline: false,
+            ..Default::default()
+        };
+        let model = compile(&pipe, &opts).expect("tree ensembles always compile");
+        let (planned, refcount) = memplan_profiles(&model, &x, 3);
+        let peak_drop = if refcount.peak_tensor_bytes > 0 {
+            100.0 * (1.0 - planned.peak_tensor_bytes as f64 / refcount.peak_tensor_bytes as f64)
+        } else {
+            0.0
+        };
+        let reuse = model
+            .executable()
+            .plan_for_batch(batch)
+            .ok()
+            .and_then(|p| p.reuse_ratio());
+        t.row(vec![
+            strategy.label().to_string(),
+            fmt_secs(planned.secs),
+            fmt_secs(refcount.secs),
+            format!("{:.2}", planned.peak_tensor_bytes as f64 / 1e6),
+            format!("{:.2}", refcount.peak_tensor_bytes as f64 / 1e6),
+            format!("{peak_drop:.0}%"),
+            planned.allocations.to_string(),
+            format!("{:.2}", planned.arena_bytes as f64 / 1e6),
+            reuse.map_or("-".to_string(), |r| format!("{r:.2}")),
+        ]);
+        eprintln!("  [memplan] {} done", strategy.label());
+    }
+    t.print_and_save();
+}
+
 /// Figure 7: amortized dollar cost per 100K predictions.
 fn fig7(zoo: &mut Zoo) {
     let mut t = Table::new(
@@ -1253,6 +1319,7 @@ fn main() {
         "table12" => table12(cfg),
         "fig4" => fig4(zoo),
         "fig6" => fig6(zoo),
+        "memplan" => memplan(zoo),
         "fig7" => fig7(zoo),
         "fig8" => fig8(cfg),
         "fig9" => fig9(cfg),
@@ -1263,14 +1330,14 @@ fn main() {
         "validate" => validate(zoo),
         other => {
             eprintln!("unknown experiment '{other}'");
-            eprintln!("available: table7 table8 table9 table10 table11 table12 fig4 fig6 fig7 fig8 fig9 fig10 fig12 ablation sparse validate all");
+            eprintln!("available: table7 table8 table9 table10 table11 table12 fig4 fig6 fig7 fig8 fig9 fig10 fig12 memplan ablation sparse validate all");
             std::process::exit(2);
         }
     };
     if exp == "all" {
         for name in [
             "table7", "table8", "table9", "table10", "validate", "table11", "table12", "fig4",
-            "fig6", "fig7", "fig8", "fig9", "fig10", "fig12", "ablation", "sparse",
+            "fig6", "fig7", "fig8", "fig9", "fig10", "fig12", "memplan", "ablation", "sparse",
         ] {
             eprintln!("\n>>> running {name}");
             run(&mut zoo, &cfg, name);

@@ -261,6 +261,69 @@ pub fn hb_model(
     compile(&pipe, &opts).expect("tree ensembles always compile")
 }
 
+/// One executor's side of a planned-vs-refcount memory comparison:
+/// truncated-mean latency plus the memory counters of the *last* run
+/// (the steady state for planned execution).
+#[derive(Debug, Clone)]
+pub struct MemProfile {
+    /// Truncated-mean seconds per batch.
+    pub secs: f64,
+    /// Peak host tensor bytes of the last run.
+    pub peak_tensor_bytes: usize,
+    /// Tensor storage allocations of the last run.
+    pub allocations: usize,
+    /// Static arena footprint (0 on the refcount path).
+    pub arena_bytes: usize,
+    /// Whether the last run executed a warm memory plan.
+    pub planned: bool,
+}
+
+/// Runs `x` through a compiled model's executable on both the arena-
+/// planned and the refcount executor, returning `(planned, refcount)`
+/// profiles and asserting the two paths stay bit-identical.
+///
+/// The planned side is warmed first so its profile reflects the
+/// steady state (plan cached, zero allocations) rather than the
+/// plan-building first sighting.
+pub fn memplan_profiles(
+    model: &CompiledModel,
+    x: &Tensor<f32>,
+    reps: usize,
+) -> (MemProfile, MemProfile) {
+    let exe = model.executable();
+    let inputs = [hb_tensor::DynTensor::F32(x.clone())];
+    let run =
+        |f: &dyn Fn() -> (Vec<hb_tensor::DynTensor>, hb_backend::RunStats)| -> (MemProfile, Vec<hb_tensor::DynTensor>) {
+            let mut last = f();
+            let secs = truncated_mean_secs(reps, || {
+                let (r, t) = wall(f);
+                last = r;
+                t
+            });
+            let (out, stats) = last;
+            (
+                MemProfile {
+                    secs,
+                    peak_tensor_bytes: stats.peak_tensor_bytes,
+                    allocations: stats.allocations,
+                    arena_bytes: stats.arena_bytes,
+                    planned: stats.planned,
+                },
+                out,
+            )
+        };
+    let (planned, planned_out) = run(&|| exe.run_with_stats(&inputs).expect("planned run"));
+    let (refcount, ref_out) = run(&|| exe.run_refcount_with_stats(&inputs).expect("refcount run"));
+    for (p, r) in planned_out.iter().zip(ref_out.iter()) {
+        assert_eq!(
+            p.as_f32().to_vec(),
+            r.as_f32().to_vec(),
+            "planned and refcount executors diverged"
+        );
+    }
+    (planned, refcount)
+}
+
 /// FIL-like scorer (simulated GPU only).
 pub fn fil_scorer(e: &TreeEnsemble, spec: hb_backend::DeviceSpec) -> Scorer {
     let fil = FilForest::new(e);

@@ -70,6 +70,10 @@ pub enum Params {
     Select {
         /// Kept columns, ascending.
         indices: Vec<usize>,
+        /// Input dimensionality at fit time, so width tracking (and with
+        /// it the declared `[B, width]` input fact the memory planner
+        /// needs) survives a §5.2 selector landing first in the pipeline.
+        n_in: usize,
     },
     /// RBF kernel PCA projection.
     KernelProject {
@@ -206,6 +210,7 @@ pub fn extract(op: &FittedOp) -> Params {
         },
         FittedOp::FeatureSelector(s) => Params::Select {
             indices: s.selected.clone(),
+            n_in: s.n_features_in,
         },
         FittedOp::Pca(p) => Params::Project {
             mean: Some(p.mean.clone()),

@@ -129,7 +129,7 @@ pub fn convert(
             let a = b.constant(alphas.clone());
             Ok(b.matmul(centered, a))
         }
-        Params::Select { indices } => Ok(b.index_select(1, x, indices.clone())),
+        Params::Select { indices, .. } => Ok(b.index_select(1, x, indices.clone())),
         Params::Project { mean, components } => {
             let centered = match mean {
                 Some(m) => {

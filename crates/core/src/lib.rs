@@ -370,6 +370,7 @@ fn params_width_in(p: &Params) -> Option<usize> {
         Params::MultiNb { w, .. } => Some(w.shape()[1]),
         Params::Mlp { w1, .. } => Some(w1.shape()[1]),
         Params::Trees(e) => Some(e.n_features),
+        Params::Select { n_in, .. } => Some(*n_in),
         _ => None,
     }
 }
@@ -396,7 +397,7 @@ fn params_width_out(p: &Params, width_in: Option<usize>) -> Option<usize> {
             usize::from(*include_bias) + d + pairs
         }),
         Params::OneHot { categories } => Some(categories.iter().map(|c| c.len()).sum()),
-        Params::Select { indices } => Some(indices.len()),
+        Params::Select { indices, .. } => Some(indices.len()),
         Params::Project { components, .. } => Some(components.shape()[0]),
         Params::KernelProject { alphas, .. } => Some(alphas.shape()[1]),
         // Model outputs are terminal; width tracking stops.

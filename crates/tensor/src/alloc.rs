@@ -9,9 +9,11 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 
 static CURRENT_BYTES: AtomicUsize = AtomicUsize::new(0);
 static PEAK_BYTES: AtomicUsize = AtomicUsize::new(0);
+static ALLOC_COUNT: AtomicUsize = AtomicUsize::new(0);
 
 /// Records an allocation of `bytes` and updates the peak watermark.
 pub(crate) fn record_alloc(bytes: usize) {
+    ALLOC_COUNT.fetch_add(1, Ordering::Relaxed);
     let cur = CURRENT_BYTES.fetch_add(bytes, Ordering::Relaxed) + bytes;
     // Lock-free peak update; losing a race only under-reports by the width
     // of the race window, which is acceptable for a watermark.
@@ -43,6 +45,15 @@ pub fn peak_bytes() -> usize {
 /// Resets the peak watermark to the current live byte count.
 pub fn reset_peak() {
     PEAK_BYTES.store(CURRENT_BYTES.load(Ordering::Relaxed), Ordering::Relaxed);
+}
+
+/// Cumulative number of tensor storage allocations since process start.
+///
+/// This counter never resets; callers snapshot it before and after a
+/// region to count allocations inside (the memory planner's steady-state
+/// zero-allocation assertion reads it this way).
+pub fn alloc_count() -> usize {
+    ALLOC_COUNT.load(Ordering::Relaxed)
 }
 
 /// Runs `f` and returns `(result, peak_bytes_during_f)`.

@@ -57,6 +57,26 @@ fn broadcast_kernel<U: Element, const N: usize>(
     }
 }
 
+/// Runs [`broadcast_kernel`] into a caller-provided buffer, parallelizing
+/// large outputs across Rayon workers — the allocation-free core shared by
+/// [`broadcast_run`] and the planned executor's `*_into` kernels.
+fn broadcast_run_into<U: Element, const N: usize>(
+    shape: &[usize],
+    strides: [&[isize]; N],
+    out: &mut [U],
+    f: impl Fn([usize; N]) -> U + Sync,
+) {
+    let n = out.len();
+    if n >= PAR_THRESHOLD {
+        let chunk = (n / (rayon::current_num_threads() * 4).max(1)).max(4096);
+        out.par_chunks_mut(chunk)
+            .enumerate()
+            .for_each(|(ci, c)| broadcast_kernel(shape, strides, c, ci * chunk, &f));
+    } else {
+        broadcast_kernel(shape, strides, out, 0, &f);
+    }
+}
+
 /// Runs [`broadcast_kernel`] over the whole output, parallelizing large
 /// tensors across Rayon workers.
 fn broadcast_run<U: Element, const N: usize>(
@@ -66,14 +86,7 @@ fn broadcast_run<U: Element, const N: usize>(
 ) -> Tensor<U> {
     let n: usize = shape.iter().product();
     let mut out = vec![U::default(); n];
-    if n >= PAR_THRESHOLD {
-        let chunk = (n / (rayon::current_num_threads() * 4).max(1)).max(4096);
-        out.par_chunks_mut(chunk)
-            .enumerate()
-            .for_each(|(ci, c)| broadcast_kernel(shape, strides, c, ci * chunk, &f));
-    } else {
-        broadcast_kernel(shape, strides, &mut out, 0, &f);
-    }
+    broadcast_run_into(shape, strides, &mut out, &f);
     Tensor::from_vec(out, shape)
 }
 
@@ -106,22 +119,67 @@ pub fn zip_map<T: Element, V: Element, U: Element>(
         };
         return Tensor::from_vec(out, &shape);
     }
-    // Broadcast path: compact each operand in its own (small) shape and
-    // address through broadcast strides.
-    let ca = a.to_contiguous();
-    let cb = b.to_contiguous();
-    let (sa, sb) = (ca.as_slice(), cb.as_slice());
-    let stra = crate::shape::broadcast_strides(
-        ca.shape(),
-        &crate::shape::contiguous_strides(ca.shape()),
-        &shape,
+    // Broadcast path: address each operand through its own view strides
+    // (no materialization — copies here would defeat the planner's
+    // allocation-free steady state).
+    let (sa, aoff) = a.raw_parts();
+    let (sb, boff) = b.raw_parts();
+    let stra = crate::shape::broadcast_strides(a.shape(), a.strides(), &shape);
+    let strb = crate::shape::broadcast_strides(b.shape(), b.strides(), &shape);
+    broadcast_run(&shape, [&stra, &strb], |[oa, ob]| {
+        f(sa[aoff + oa], sb[boff + ob])
+    })
+}
+
+/// [`zip_map`] writing into a caller-provided destination of the broadcast
+/// output size (row-major). The destination is fully overwritten, so stale
+/// contents are irrelevant — this is how the memory planner's arena
+/// executor reuses buffers across runs without zeroing them.
+///
+/// # Panics
+///
+/// Panics if the shapes cannot be broadcast or `out` has the wrong length.
+pub fn zip_map_into<T: Element, V: Element, U: Element>(
+    a: &Tensor<T>,
+    b: &Tensor<V>,
+    out: &mut [U],
+    f: impl Fn(T, V) -> U + Sync + Send,
+) {
+    let shape =
+        broadcast_shapes(a.shape(), b.shape()).unwrap_or_else(|e| panic!("element-wise op: {e}"));
+    assert_eq!(
+        out.len(),
+        shape.iter().product::<usize>(),
+        "zip_map_into: destination size mismatch"
     );
-    let strb = crate::shape::broadcast_strides(
-        cb.shape(),
-        &crate::shape::contiguous_strides(cb.shape()),
-        &shape,
-    );
-    broadcast_run(&shape, [&stra, &strb], |[oa, ob]| f(sa[oa], sb[ob]))
+    if a.shape() == shape.as_slice()
+        && b.shape() == shape.as_slice()
+        && a.is_contiguous()
+        && b.is_contiguous()
+    {
+        let (sa, sb) = (a.as_slice(), b.as_slice());
+        if sa.len() >= PAR_THRESHOLD {
+            let chunk = (sa.len() / (rayon::current_num_threads() * 4).max(1)).max(4096);
+            out.par_chunks_mut(chunk).enumerate().for_each(|(ci, oc)| {
+                let base = ci * chunk;
+                for (j, o) in oc.iter_mut().enumerate() {
+                    *o = f(sa[base + j], sb[base + j]);
+                }
+            });
+        } else {
+            for (o, (&x, &y)) in out.iter_mut().zip(sa.iter().zip(sb.iter())) {
+                *o = f(x, y);
+            }
+        }
+        return;
+    }
+    let (sa, aoff) = a.raw_parts();
+    let (sb, boff) = b.raw_parts();
+    let stra = crate::shape::broadcast_strides(a.shape(), a.strides(), &shape);
+    let strb = crate::shape::broadcast_strides(b.shape(), b.strides(), &shape);
+    broadcast_run_into(&shape, [&stra, &strb], out, |[oa, ob]| {
+        f(sa[aoff + oa], sb[boff + ob])
+    });
 }
 
 impl<T: Num> Tensor<T> {
@@ -216,32 +274,48 @@ impl Tensor<bool> {
     pub fn where_select<T: Element>(&self, a: &Tensor<T>, b: &Tensor<T>) -> Tensor<T> {
         let s1 = broadcast_shapes(self.shape(), a.shape()).unwrap_or_else(|e| panic!("where: {e}"));
         let shape = broadcast_shapes(&s1, b.shape()).unwrap_or_else(|e| panic!("where: {e}"));
-        let cc = self.to_contiguous();
-        let ca = a.to_contiguous();
-        let cb = b.to_contiguous();
-        let (sc, sa, sb) = (cc.as_slice(), ca.as_slice(), cb.as_slice());
-        let strc = crate::shape::broadcast_strides(
-            cc.shape(),
-            &crate::shape::contiguous_strides(cc.shape()),
-            &shape,
-        );
-        let stra = crate::shape::broadcast_strides(
-            ca.shape(),
-            &crate::shape::contiguous_strides(ca.shape()),
-            &shape,
-        );
-        let strb = crate::shape::broadcast_strides(
-            cb.shape(),
-            &crate::shape::contiguous_strides(cb.shape()),
-            &shape,
-        );
+        let (sc, coff) = self.raw_parts();
+        let (sa, aoff) = a.raw_parts();
+        let (sb, boff) = b.raw_parts();
+        let strc = crate::shape::broadcast_strides(self.shape(), self.strides(), &shape);
+        let stra = crate::shape::broadcast_strides(a.shape(), a.strides(), &shape);
+        let strb = crate::shape::broadcast_strides(b.shape(), b.strides(), &shape);
         broadcast_run(&shape, [&strc, &stra, &strb], |[oc, oa, ob]| {
-            if sc[oc] {
-                sa[oa]
+            if sc[coff + oc] {
+                sa[aoff + oa]
             } else {
-                sb[ob]
+                sb[boff + ob]
             }
         })
+    }
+
+    /// [`Tensor::where_select`] writing into a caller-provided buffer of
+    /// the broadcast output size.
+    ///
+    /// # Panics
+    ///
+    /// Panics on broadcast failure or a wrong-length destination.
+    pub fn where_select_into<T: Element>(&self, a: &Tensor<T>, b: &Tensor<T>, out: &mut [T]) {
+        let s1 = broadcast_shapes(self.shape(), a.shape()).unwrap_or_else(|e| panic!("where: {e}"));
+        let shape = broadcast_shapes(&s1, b.shape()).unwrap_or_else(|e| panic!("where: {e}"));
+        assert_eq!(
+            out.len(),
+            shape.iter().product::<usize>(),
+            "where_select_into: destination size mismatch"
+        );
+        let (sc, coff) = self.raw_parts();
+        let (sa, aoff) = a.raw_parts();
+        let (sb, boff) = b.raw_parts();
+        let strc = crate::shape::broadcast_strides(self.shape(), self.strides(), &shape);
+        let stra = crate::shape::broadcast_strides(a.shape(), a.strides(), &shape);
+        let strb = crate::shape::broadcast_strides(b.shape(), b.strides(), &shape);
+        broadcast_run_into(&shape, [&strc, &stra, &strb], out, |[oc, oa, ob]| {
+            if sc[coff + oc] {
+                sa[aoff + oa]
+            } else {
+                sb[boff + ob]
+            }
+        });
     }
 
     /// Logical AND with broadcasting.

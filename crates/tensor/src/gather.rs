@@ -20,6 +20,29 @@ impl<T: Element> Tensor<T> {
     /// corresponding dimension of `self`, or an index value is out of
     /// bounds.
     pub fn gather(&self, axis: usize, index: &Tensor<i64>) -> Tensor<T> {
+        let mut out = vec![T::default(); index.numel()];
+        self.gather_impl(axis, index, &mut out);
+        Tensor::from_vec(out, index.shape())
+    }
+
+    /// [`Tensor::gather`] writing into a caller-provided buffer of
+    /// `index.numel()` elements; the buffer is fully overwritten.
+    ///
+    /// # Panics
+    ///
+    /// Panics on the same conditions as [`Tensor::gather`], plus a
+    /// wrong-length destination.
+    pub fn gather_into(&self, axis: usize, index: &Tensor<i64>, out: &mut [T]) {
+        assert_eq!(
+            out.len(),
+            index.numel(),
+            "gather_into: destination size mismatch"
+        );
+        self.gather_impl(axis, index, out);
+    }
+
+    /// Shared `gather` body writing into `out`.
+    fn gather_impl(&self, axis: usize, index: &Tensor<i64>, out_buf: &mut [T]) {
         assert_eq!(self.ndim(), index.ndim(), "gather: rank mismatch");
         assert!(axis < self.ndim(), "gather: axis out of range");
         for d in 0..self.ndim() {
@@ -36,21 +59,26 @@ impl<T: Element> Tensor<T> {
         let out_shape = index.shape().to_vec();
         let ndim = out_shape.len();
         let n = index.numel();
-        let src = self.to_contiguous();
-        let sv = src.as_slice();
-        let sstr = crate::shape::contiguous_strides(src.shape());
+        // Both operands are addressed through their own view strides, so
+        // transposed/sliced sources and cursors (the TreeTraversal inner
+        // loop feeds transposed cursor views here every level) gather
+        // without materializing a contiguous copy.
+        let (sv, soff) = self.raw_parts();
+        let sstr = self.strides().to_vec();
         let astr = sstr[axis];
-        let idx = index.to_contiguous();
-        let iv = idx.as_slice();
+        let (iv, ioff) = index.raw_parts();
+        let istr = index.strides().to_vec();
 
         // Tight kernel over one flat output range: an odometer tracks the
-        // source base offset of the non-axis coordinates; the axis
-        // coordinate comes from the index tensor.
+        // source base offset of the non-axis coordinates plus the index
+        // offset of all coordinates; the axis coordinate comes from the
+        // index tensor.
         let fill = |start: usize, out: &mut [T]| {
             let mut pos = vec![0usize; ndim];
             let mut rem = start;
             let ostr = crate::shape::contiguous_strides(&out_shape);
             let mut base = 0isize;
+            let mut iofs = 0isize;
             for d in 0..ndim {
                 if ostr[d] > 0 {
                     pos[d] = rem / ostr[d] as usize;
@@ -59,20 +87,22 @@ impl<T: Element> Tensor<T> {
                 if d != axis {
                     base += pos[d] as isize * sstr[d];
                 }
+                iofs += pos[d] as isize * istr[d];
             }
-            for (k, o) in out.iter_mut().enumerate() {
-                let ival = iv[start + k];
+            for o in out.iter_mut() {
+                let ival = iv[ioff + iofs as usize];
                 assert!(
                     ival >= 0 && ival < axis_len,
                     "gather: index {ival} out of bounds for axis length {axis_len}"
                 );
-                *o = sv[(base + ival as isize * astr) as usize];
+                *o = sv[soff + (base + ival as isize * astr) as usize];
                 // Advance the odometer.
                 for d in (0..ndim).rev() {
                     pos[d] += 1;
                     if d != axis {
                         base += sstr[d];
                     }
+                    iofs += istr[d];
                     if pos[d] < out_shape[d] {
                         break;
                     }
@@ -80,22 +110,22 @@ impl<T: Element> Tensor<T> {
                     if d != axis {
                         base -= sstr[d] * out_shape[d] as isize;
                     }
+                    iofs -= istr[d] * out_shape[d] as isize;
                 }
             }
         };
 
-        let mut out = vec![T::default(); n];
         const PAR_MIN: usize = 1 << 15;
         if n >= PAR_MIN {
             let chunk = (n / (rayon::current_num_threads() * 4).max(1)).max(4096);
             use rayon::prelude::*;
-            out.par_chunks_mut(chunk)
+            out_buf
+                .par_chunks_mut(chunk)
                 .enumerate()
                 .for_each(|(ci, c)| fill(ci * chunk, c));
         } else {
-            fill(0, &mut out);
+            fill(0, out_buf);
         }
-        Tensor::from_vec(out, &out_shape)
     }
 
     /// Selects whole slices along `axis` by position (PyTorch
@@ -107,13 +137,37 @@ impl<T: Element> Tensor<T> {
     /// Panics if any index is out of bounds.
     pub fn index_select(&self, axis: usize, indices: &[usize]) -> Tensor<T> {
         assert!(axis < self.ndim(), "index_select: axis out of range");
+        let (outer, _, inner) = {
+            let s = self.shape();
+            (
+                s[..axis].iter().product::<usize>(),
+                s[axis],
+                s[axis + 1..].iter().product::<usize>(),
+            )
+        };
+        let mut out = vec![T::default(); outer * indices.len() * inner];
+        self.index_select_into(axis, indices, &mut out);
+        let mut oshape = self.shape().to_vec();
+        oshape[axis] = indices.len();
+        Tensor::from_vec(out, &oshape)
+    }
+
+    /// [`Tensor::index_select`] writing into a caller-provided buffer; the
+    /// buffer is fully overwritten.
+    pub fn index_select_into(&self, axis: usize, indices: &[usize], out: &mut [T]) {
+        assert!(axis < self.ndim(), "index_select: axis out of range");
         let t = self.to_contiguous();
         let shape = t.shape();
         let outer: usize = shape[..axis].iter().product();
         let len = shape[axis];
         let inner: usize = shape[axis + 1..].iter().product();
+        assert_eq!(
+            out.len(),
+            outer * indices.len() * inner,
+            "index_select_into: destination size mismatch"
+        );
         let src = t.as_slice();
-        let mut out = Vec::with_capacity(outer * indices.len() * inner);
+        let mut w = 0usize;
         for o in 0..outer {
             for &ix in indices {
                 assert!(
@@ -121,12 +175,10 @@ impl<T: Element> Tensor<T> {
                     "index_select: index {ix} out of bounds for axis {axis}"
                 );
                 let base = (o * len + ix) * inner;
-                out.extend_from_slice(&src[base..base + inner]);
+                out[w..w + inner].copy_from_slice(&src[base..base + inner]);
+                w += inner;
             }
         }
-        let mut oshape = shape.to_vec();
-        oshape[axis] = indices.len();
-        Tensor::from_vec(out, &oshape)
     }
 
     /// Concatenates tensors along `axis`; all other dimensions must agree.
@@ -149,19 +201,38 @@ impl<T: Element> Tensor<T> {
         let outer: usize = first[..axis].iter().product();
         let inner: usize = first[axis + 1..].iter().product();
         let total_axis: usize = tensors.iter().map(|t| t.shape()[axis]).sum();
+        let mut out = vec![T::default(); outer * total_axis * inner];
+        Tensor::concat_into(tensors, axis, &mut out);
+        let mut oshape = first.to_vec();
+        oshape[axis] = total_axis;
+        Tensor::from_vec(out, &oshape)
+    }
+
+    /// [`Tensor::concat`] writing into a caller-provided buffer; the
+    /// buffer is fully overwritten.
+    pub fn concat_into(tensors: &[&Tensor<T>], axis: usize, out: &mut [T]) {
+        assert!(!tensors.is_empty(), "concat of zero tensors");
+        let first = tensors[0].shape().to_vec();
+        assert!(axis < first.len(), "concat: axis out of range");
+        let outer: usize = first[..axis].iter().product();
+        let inner: usize = first[axis + 1..].iter().product();
+        let total_axis: usize = tensors.iter().map(|t| t.shape()[axis]).sum();
+        assert_eq!(
+            out.len(),
+            outer * total_axis * inner,
+            "concat_into: destination size mismatch"
+        );
         let contiguous: Vec<Tensor<T>> = tensors.iter().map(|t| t.to_contiguous()).collect();
-        let mut out = Vec::with_capacity(outer * total_axis * inner);
+        let mut w = 0usize;
         for o in 0..outer {
             for t in &contiguous {
                 let alen = t.shape()[axis];
                 let src = t.as_slice();
                 let base = o * alen * inner;
-                out.extend_from_slice(&src[base..base + alen * inner]);
+                out[w..w + alen * inner].copy_from_slice(&src[base..base + alen * inner]);
+                w += alen * inner;
             }
         }
-        let mut oshape = first.to_vec();
-        oshape[axis] = total_axis;
-        Tensor::from_vec(out, &oshape)
     }
 
     /// Batched row lookup: `self` is `[B, N, W]`, `index` is `[B, n]`;
@@ -178,26 +249,49 @@ impl<T: Element> Tensor<T> {
     pub fn gather_rows(&self, index: &Tensor<i64>) -> Tensor<T> {
         assert_eq!(self.ndim(), 3, "gather_rows expects [B, N, W] data");
         assert_eq!(index.ndim(), 2, "gather_rows expects [B, n] indices");
+        let (b, w) = (self.shape()[0], self.shape()[2]);
+        let n = index.shape()[1];
+        let mut out = vec![T::default(); b * n * w];
+        self.gather_rows_into(index, &mut out);
+        Tensor::from_vec(out, &[b, n, w])
+    }
+
+    /// [`Tensor::gather_rows`] writing into a caller-provided buffer; the
+    /// buffer is fully overwritten.
+    pub fn gather_rows_into(&self, index: &Tensor<i64>, out: &mut [T]) {
+        assert_eq!(self.ndim(), 3, "gather_rows expects [B, N, W] data");
+        assert_eq!(index.ndim(), 2, "gather_rows expects [B, n] indices");
         let (b, nrows, w) = (self.shape()[0], self.shape()[1], self.shape()[2]);
         assert_eq!(index.shape()[0], b, "gather_rows batch mismatch");
         let n = index.shape()[1];
-        let data = self.to_contiguous();
-        let dv = data.as_slice();
-        let idx = index.to_contiguous();
-        let iv = idx.as_slice();
-        let mut out = Vec::with_capacity(b * n * w);
+        assert_eq!(
+            out.len(),
+            b * n * w,
+            "gather_rows_into: destination size mismatch"
+        );
+        // Strided addressing of both operands — no materialization.
+        let (dv, doff) = self.raw_parts();
+        let dstr = self.strides();
+        let (iv, ioff) = index.raw_parts();
+        let istr = index.strides();
         for bi in 0..b {
             for i in 0..n {
-                let r = iv[bi * n + i];
+                let r = iv[(ioff as isize + bi as isize * istr[0] + i as isize * istr[1]) as usize];
                 assert!(
                     r >= 0 && (r as usize) < nrows,
                     "gather_rows: index {r} out of bounds for {nrows} rows"
                 );
-                let base = (bi * nrows + r as usize) * w;
-                out.extend_from_slice(&dv[base..base + w]);
+                let base = (doff as isize + bi as isize * dstr[0] + r as isize * dstr[1]) as usize;
+                let orow = &mut out[(bi * n + i) * w..(bi * n + i) * w + w];
+                if dstr[2] == 1 {
+                    orow.copy_from_slice(&dv[base..base + w]);
+                } else {
+                    for (wi, o) in orow.iter_mut().enumerate() {
+                        *o = dv[base + wi * dstr[2] as usize];
+                    }
+                }
             }
         }
-        Tensor::from_vec(out, &[b, n, w])
     }
 
     /// Stacks tensors of identical shape along a new leading axis.

@@ -11,11 +11,15 @@ use rayon::prelude::*;
 use crate::shape::{broadcast_shapes, numel};
 use crate::tensor::Tensor;
 
-/// Multiplies one `m×k` by one `k×n` panel into `out` (row-major slices).
-fn gemm_panel(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
-    debug_assert_eq!(a.len(), m * k);
-    debug_assert_eq!(b.len(), k * n);
-    debug_assert_eq!(out.len(), m * n);
+/// LHS zero fraction above which the zero-skipping kernel wins: skipping
+/// saves `n` multiply-adds per zero but costs a data-dependent branch per
+/// LHS element, which mispredicts on dense panels.
+const SPARSE_PANEL_NUMERATOR: usize = 1; // zeros > len/4 → sparse kernel
+const SPARSE_PANEL_DENOMINATOR: usize = 4;
+
+/// Zero-skipping panel kernel for sparse LHS panels (the one-hot and
+/// masked matrices the tree strategies produce).
+fn gemm_panel_sparse(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
     for i in 0..m {
         let arow = &a[i * k..(i + 1) * k];
         let orow = &mut out[i * n..(i + 1) * n];
@@ -28,6 +32,39 @@ fn gemm_panel(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usiz
                 *o += av * bv;
             }
         }
+    }
+}
+
+/// Branch-free panel kernel for dense LHS panels (the common case for
+/// feature matrices in the GEMM strategy).
+fn gemm_panel_dense(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+    for i in 0..m {
+        let arow = &a[i * k..(i + 1) * k];
+        let orow = &mut out[i * n..(i + 1) * n];
+        for (kk, &av) in arow.iter().enumerate() {
+            let brow = &b[kk * n..(kk + 1) * n];
+            for (o, &bv) in orow.iter_mut().zip(brow.iter()) {
+                *o += av * bv;
+            }
+        }
+    }
+}
+
+/// Multiplies one `m×k` by one `k×n` panel into `out` (row-major slices).
+///
+/// Probes LHS sparsity once per panel — O(m·k) against the O(m·k·n)
+/// multiply — and dispatches to the zero-skipping or branch-free kernel.
+/// Both kernels produce identical results for finite operands (the skip
+/// only changes `0·b` terms, which differ solely when `b` is NaN/Inf).
+fn gemm_panel(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), k * n);
+    debug_assert_eq!(out.len(), m * n);
+    let zeros = a.iter().filter(|&&v| v == 0.0).count();
+    if zeros * SPARSE_PANEL_DENOMINATOR > a.len() * SPARSE_PANEL_NUMERATOR {
+        gemm_panel_sparse(a, b, out, m, k, n);
+    } else {
+        gemm_panel_dense(a, b, out, m, k, n);
     }
 }
 
@@ -46,6 +83,126 @@ fn gemm_parallel(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: u
             let rows = ochunk.len() / n;
             gemm_panel(&a[row0 * k..(row0 + rows) * k], b, ochunk, rows, k, n);
         });
+}
+
+/// Rows per scratch panel of [`matmul_in_place`]: large enough that the
+/// inner GEMM still parallelizes, small enough that the scratch stays a
+/// fraction of the buffer being reused.
+pub const MATMUL_INPLACE_BLOCK_ROWS: usize = 256;
+
+/// Scratch length (f32 elements) [`matmul_in_place`] needs for an LHS
+/// with `m` rows per panel and inner dimension `k`. Memory planners size
+/// the scratch slot with this before execution.
+pub fn matmul_in_place_scratch_len(m: usize, k: usize) -> usize {
+    MATMUL_INPLACE_BLOCK_ROWS.min(m).max(1) * k
+}
+
+/// Matrix product overwriting its own LHS buffer: `buf` initially holds
+/// the row-major LHS of shape `lhs_shape`, and on return its leading
+/// elements hold `lhs @ rhs` (the returned shape). This is what lets a
+/// static memory planner run a GEMM chain in a *single* arena slot: out
+/// row `r` depends only on in row `r` (plus all of `rhs`), so rows are
+/// processed in an order that never overwrites a row before it is read —
+/// forward when `n <= k`, reverse when `n > k` — with each block of rows
+/// copied into `scratch` just before its output region is written.
+///
+/// Results equal [`Tensor::matmul`] exactly for finite operands (the
+/// panel kernels share accumulation order; only `0·NaN`/`0·Inf` terms
+/// could differ across sparsity dispatch, as with the allocating path).
+///
+/// # Panics
+///
+/// Panics when ranks/inner dims are invalid, the LHS batch dims are not
+/// exactly the broadcast batch dims (an LHS that is itself broadcast
+/// would be read more than once and cannot be overwritten), `buf` is
+/// shorter than `max(lhs, out)` numel, or `scratch` is shorter than
+/// [`matmul_in_place_scratch_len`].
+pub fn matmul_in_place(
+    buf: &mut [f32],
+    lhs_shape: &[usize],
+    rhs: &Tensor<f32>,
+    scratch: &mut [f32],
+) -> Vec<usize> {
+    assert!(
+        lhs_shape.len() >= 2 && rhs.ndim() >= 2,
+        "matmul requires rank >= 2"
+    );
+    let (m, k) = (
+        lhs_shape[lhs_shape.len() - 2],
+        lhs_shape[lhs_shape.len() - 1],
+    );
+    let (k2, n) = (rhs.shape()[rhs.ndim() - 2], rhs.shape()[rhs.ndim() - 1]);
+    assert_eq!(
+        k,
+        k2,
+        "matmul inner dims disagree: {lhs_shape:?} x {:?}",
+        rhs.shape()
+    );
+    let batch_a = &lhs_shape[..lhs_shape.len() - 2];
+    let batch_b = &rhs.shape()[..rhs.ndim() - 2];
+    let batch =
+        broadcast_shapes(batch_a, batch_b).unwrap_or_else(|e| panic!("matmul batch dims: {e}"));
+    assert_eq!(
+        batch, batch_a,
+        "matmul_in_place: LHS batch dims must equal the output batch dims"
+    );
+    let nbatch = numel(&batch);
+    let mut oshape = batch.clone();
+    oshape.extend_from_slice(&[m, n]);
+    assert!(
+        buf.len() >= (nbatch * m * k).max(nbatch * m * n),
+        "matmul_in_place: buffer too small"
+    );
+    if m == 0 || n == 0 || nbatch == 0 {
+        return oshape;
+    }
+    let block = MATMUL_INPLACE_BLOCK_ROWS.min(m).max(1);
+    assert!(
+        scratch.len() >= block * k,
+        "matmul_in_place: scratch too small"
+    );
+
+    let b = rhs.to_contiguous();
+    let sb = b.as_slice();
+    let bstr_full = crate::shape::contiguous_strides(b.shape());
+    let b_bstr = crate::shape::broadcast_strides(batch_b, &bstr_full[..batch_b.len()], &batch);
+    let b_offset = |bi: usize| -> usize {
+        let mut rem = bi;
+        let mut off = 0isize;
+        for (d, &dim) in batch.iter().enumerate().rev() {
+            let pos = rem % dim;
+            rem /= dim;
+            off += pos as isize * b_bstr[d];
+        }
+        off as usize
+    };
+
+    // Output rows grow (n > k): walk backward so a write at row r only
+    // clobbers offsets >= r*n > every unread row r' < r (which ends at
+    // (r'+1)*k <= r*k <= r*n). Output rows shrink or match (n <= k):
+    // walk forward by the mirrored argument.
+    let forward = n <= k;
+    let nblocks = m.div_ceil(block);
+    let mut panel_order: Vec<usize> = (0..nbatch).collect();
+    let mut block_order: Vec<usize> = (0..nblocks).collect();
+    if !forward {
+        panel_order.reverse();
+        block_order.reverse();
+    }
+    for &bi in &panel_order {
+        let ob = b_offset(bi);
+        let bpanel = &sb[ob..ob + k * n];
+        for &blk in &block_order {
+            let r0 = blk * block;
+            let rows = block.min(m - r0);
+            let fr = bi * m + r0; // flat row index across panels
+            scratch[..rows * k].copy_from_slice(&buf[fr * k..(fr + rows) * k]);
+            let out = &mut buf[fr * n..(fr + rows) * n];
+            out.fill(0.0);
+            gemm_parallel(&scratch[..rows * k], bpanel, out, rows, k, n);
+        }
+    }
+    oshape
 }
 
 impl Tensor<f32> {
@@ -88,6 +245,33 @@ impl Tensor<f32> {
     /// Panics if either operand has rank < 2, the inner dimensions
     /// disagree, or the batch dimensions cannot be broadcast.
     pub fn matmul(&self, other: &Tensor<f32>) -> Tensor<f32> {
+        let oshape = self.matmul_out_shape(other);
+        let mut out = vec![0.0f32; numel(&oshape)];
+        self.matmul_impl(other, &mut out);
+        Tensor::from_vec(out, &oshape)
+    }
+
+    /// [`Tensor::matmul`] writing into a caller-provided destination of
+    /// the output's row-major size. The buffer is fully overwritten
+    /// (zeroed, then accumulated), so stale contents are irrelevant.
+    ///
+    /// # Panics
+    ///
+    /// Panics on the same conditions as [`Tensor::matmul`], plus a
+    /// wrong-length destination.
+    pub fn matmul_into(&self, other: &Tensor<f32>, out: &mut [f32]) {
+        let oshape = self.matmul_out_shape(other);
+        assert_eq!(
+            out.len(),
+            numel(&oshape),
+            "matmul_into: destination size mismatch"
+        );
+        out.fill(0.0);
+        self.matmul_impl(other, out);
+    }
+
+    /// Validates operand ranks/dims and returns the broadcast output shape.
+    fn matmul_out_shape(&self, other: &Tensor<f32>) -> Vec<usize> {
         assert!(
             self.ndim() >= 2 && other.ndim() >= 2,
             "matmul requires rank >= 2"
@@ -105,6 +289,19 @@ impl Tensor<f32> {
             other.shape()
         );
 
+        let batch_a = &self.shape()[..self.ndim() - 2];
+        let batch_b = &other.shape()[..other.ndim() - 2];
+        let batch =
+            broadcast_shapes(batch_a, batch_b).unwrap_or_else(|e| panic!("matmul batch dims: {e}"));
+        let mut oshape = batch;
+        oshape.extend_from_slice(&[m, n]);
+        oshape
+    }
+
+    /// Shared GEMM body: accumulates the product into a pre-zeroed `out`.
+    fn matmul_impl(&self, other: &Tensor<f32>, out: &mut [f32]) {
+        let (m, k) = (self.shape()[self.ndim() - 2], self.shape()[self.ndim() - 1]);
+        let n = other.shape()[other.ndim() - 1];
         let batch_a = &self.shape()[..self.ndim() - 2];
         let batch_b = &other.shape()[..other.ndim() - 2];
         let batch =
@@ -134,12 +331,11 @@ impl Tensor<f32> {
             off as usize
         };
 
-        let mut out = vec![0.0f32; nbatch * m * n];
         if m == 0 || n == 0 {
             // Degenerate output (e.g. an empty serving batch): nothing to
             // compute, and par_chunks_mut rejects a zero chunk size.
         } else if nbatch == 1 {
-            gemm_parallel(sa, sb, &mut out, m, k, n);
+            gemm_parallel(sa, sb, out, m, k, n);
         } else {
             out.par_chunks_mut(m * n)
                 .enumerate()
@@ -149,9 +345,6 @@ impl Tensor<f32> {
                     gemm_panel(&sa[oa..oa + m * k], &sb[ob..ob + k * n], ochunk, m, k, n);
                 });
         }
-        let mut oshape = batch;
-        oshape.extend_from_slice(&[m, n]);
-        Tensor::from_vec(out, &oshape)
     }
 
     /// Squared Euclidean distance matrix via the quadratic-expansion trick
@@ -266,6 +459,70 @@ mod tests {
         // Reference against a compacted transpose.
         let want = at.to_contiguous().matmul(&b).to_vec();
         assert_eq!(c.to_vec(), want);
+    }
+
+    /// Runs matmul_in_place against the allocating kernel on one case.
+    fn check_in_place(lhs: &Tensor<f32>, rhs: &Tensor<f32>) {
+        let want = lhs.matmul(rhs);
+        let nd = lhs.ndim();
+        let (m, k) = (lhs.shape()[nd - 2], lhs.shape()[nd - 1]);
+        let mut buf = lhs.to_vec();
+        buf.resize(buf.len().max(want.numel()), 0.0);
+        let mut scratch = vec![0.0f32; matmul_in_place_scratch_len(m, k)];
+        let oshape = matmul_in_place(&mut buf, lhs.shape(), rhs, &mut scratch);
+        assert_eq!(oshape, want.shape());
+        assert_eq!(&buf[..want.numel()], want.to_vec().as_slice());
+    }
+
+    #[test]
+    fn in_place_matches_allocating_2d() {
+        // Shrinking (n < k), growing (n > k), and square outputs.
+        let a = Tensor::from_fn(&[37, 11], |i| ((i[0] * 7 + i[1] * 3) % 13) as f32 - 6.0);
+        for n in [4usize, 11, 23] {
+            let b = Tensor::from_fn(&[11, n], |i| ((i[0] * 5 + i[1]) % 9) as f32 - 4.0);
+            check_in_place(&a, &b);
+        }
+    }
+
+    #[test]
+    fn in_place_matches_allocating_batched() {
+        let a = Tensor::from_fn(&[3, 29, 7], |i| {
+            ((i[0] * 31 + i[1] * 7 + i[2]) % 17) as f32 - 8.0
+        });
+        // Per-batch RHS panels and a batch-shared broadcast RHS.
+        let b = Tensor::from_fn(&[3, 7, 12], |i| {
+            ((i[0] * 11 + i[1] * 3 + i[2]) % 7) as f32 - 3.0
+        });
+        check_in_place(&a, &b);
+        let shared = Tensor::from_fn(&[7, 5], |i| ((i[0] + i[1] * 2) % 5) as f32 - 2.0);
+        check_in_place(&a, &shared);
+    }
+
+    #[test]
+    fn in_place_spans_multiple_blocks() {
+        // More rows than one scratch block, sparse-ish LHS to exercise
+        // both panel kernels.
+        let a = Tensor::from_fn(&[MATMUL_INPLACE_BLOCK_ROWS * 2 + 17, 6], |i| {
+            if (i[0] + i[1]) % 3 == 0 {
+                0.0
+            } else {
+                (i[0] % 7) as f32 - 3.0
+            }
+        });
+        for n in [3usize, 9] {
+            let b = Tensor::from_fn(&[6, n], |i| (i[0] as f32 - i[1] as f32) * 0.5);
+            check_in_place(&a, &b);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "LHS batch dims")]
+    fn in_place_rejects_broadcast_lhs() {
+        let a = Tensor::<f32>::zeros(&[1, 2, 3]);
+        let b = Tensor::<f32>::zeros(&[4, 3, 2]);
+        let mut buf = vec![0.0f32; 16];
+        let mut scratch = vec![0.0f32; 16];
+        matmul_in_place(&mut buf, a.shape(), &b, &mut scratch);
     }
 
     #[test]

@@ -37,10 +37,24 @@ impl<T: Num> Tensor<T> {
         init: U,
         f: impl Fn(U, T) -> U,
     ) -> Tensor<U> {
+        let (outer, _, inner) = axis_split(self.shape(), axis);
+        let mut out = vec![init; outer * inner];
+        self.fold_axis_into(axis, init, f, &mut out);
+        Tensor::from_vec(out, &reduced_shape(self.shape(), axis, keepdim))
+    }
+
+    /// Allocation-free core of [`Tensor::fold_axis`]: folds along `axis`
+    /// into a caller-provided buffer of size `outer * inner`.
+    fn fold_axis_into<U: Num>(&self, axis: usize, init: U, f: impl Fn(U, T) -> U, out: &mut [U]) {
         let t = self.to_contiguous();
         let (outer, len, inner) = axis_split(t.shape(), axis);
+        assert_eq!(
+            out.len(),
+            outer * inner,
+            "reduce into: destination size mismatch"
+        );
         let src = t.as_slice();
-        let mut out = vec![init; outer * inner];
+        out.fill(init);
         for o in 0..outer {
             for l in 0..len {
                 let base = (o * len + l) * inner;
@@ -50,7 +64,63 @@ impl<T: Num> Tensor<T> {
                 }
             }
         }
-        Tensor::from_vec(out, &reduced_shape(t.shape(), axis, keepdim))
+    }
+
+    /// [`Tensor::sum_axis`] writing into a caller-provided buffer (the
+    /// `keepdim` choice only affects the output *shape*, which the caller
+    /// owns, so the `_into` variants do not take it).
+    pub fn sum_axis_into(&self, axis: usize, out: &mut [T]) {
+        self.fold_axis_into(axis, T::ZERO, |acc, v| acc + v, out);
+    }
+
+    /// [`Tensor::max_axis`] writing into a caller-provided buffer.
+    pub fn max_axis_into(&self, axis: usize, out: &mut [T]) {
+        self.fold_axis_into(
+            axis,
+            T::MIN_VALUE,
+            |acc, v| if v > acc { v } else { acc },
+            out,
+        );
+    }
+
+    /// [`Tensor::mean_axis`] writing into a caller-provided buffer.
+    pub fn mean_axis_into(&self, axis: usize, out: &mut [T]) {
+        let n = self.shape()[axis].max(1);
+        self.sum_axis_into(axis, out);
+        let inv = T::ONE / T::from_usize(n);
+        for v in out.iter_mut() {
+            *v = *v * inv;
+        }
+    }
+
+    /// [`Tensor::argmax_axis`] writing into a caller-provided buffer.
+    ///
+    /// Scans each output element's axis run with register accumulators, so
+    /// no scratch tensor is needed; the first-maximum tie rule matches
+    /// [`Tensor::argmax_axis`] exactly.
+    pub fn argmax_axis_into(&self, axis: usize, out: &mut [i64]) {
+        let t = self.to_contiguous();
+        let (outer, len, inner) = axis_split(t.shape(), axis);
+        assert_eq!(
+            out.len(),
+            outer * inner,
+            "argmax into: destination size mismatch"
+        );
+        let src = t.as_slice();
+        for o in 0..outer {
+            for i in 0..inner {
+                let mut best = T::MIN_VALUE;
+                let mut idx = 0i64;
+                for l in 0..len {
+                    let v = src[(o * len + l) * inner + i];
+                    if l == 0 || v > best {
+                        best = v;
+                        idx = l as i64;
+                    }
+                }
+                out[o * inner + i] = idx;
+            }
+        }
     }
 
     /// Sum along `axis`.
@@ -125,6 +195,76 @@ impl<T: Float> Tensor<T> {
         let e = self.sub(&m).exp_t();
         let s = e.sum_axis(axis, true);
         e.div(&s)
+    }
+
+    /// [`Tensor::softmax_axis`] writing into a caller-provided buffer of
+    /// `self.numel()` elements, with no scratch tensors.
+    ///
+    /// The per-element float operations (max fold, `exp(x − m)`, ascending
+    /// sum, divide) replay the composite implementation exactly, so the
+    /// results are bit-identical to [`Tensor::softmax_axis`].
+    pub fn softmax_axis_into(&self, axis: usize, out: &mut [T]) {
+        let t = self.to_contiguous();
+        let (outer, len, inner) = axis_split(t.shape(), axis);
+        assert_eq!(
+            out.len(),
+            outer * len * inner,
+            "softmax into: destination size mismatch"
+        );
+        let src = t.as_slice();
+        for o in 0..outer {
+            for i in 0..inner {
+                let mut m = T::MIN_VALUE;
+                for l in 0..len {
+                    let v = src[(o * len + l) * inner + i];
+                    if v > m {
+                        m = v;
+                    }
+                }
+                let mut s = T::ZERO;
+                for l in 0..len {
+                    let j = (o * len + l) * inner + i;
+                    let e = (src[j] - m).exp_();
+                    out[j] = e;
+                    s = s + e;
+                }
+                for l in 0..len {
+                    let j = (o * len + l) * inner + i;
+                    out[j] = out[j] / s;
+                }
+            }
+        }
+    }
+
+    /// [`Tensor::logsumexp_axis`] writing into a caller-provided buffer of
+    /// `outer * inner` elements, with no scratch tensors; bit-identical to
+    /// the composite (same max fold, shift, ascending sum, `ln`, re-add).
+    pub fn logsumexp_axis_into(&self, axis: usize, out: &mut [T]) {
+        let t = self.to_contiguous();
+        let (outer, len, inner) = axis_split(t.shape(), axis);
+        assert_eq!(
+            out.len(),
+            outer * inner,
+            "logsumexp into: destination size mismatch"
+        );
+        let src = t.as_slice();
+        for o in 0..outer {
+            for i in 0..inner {
+                let mut m = T::MIN_VALUE;
+                for l in 0..len {
+                    let v = src[(o * len + l) * inner + i];
+                    if v > m {
+                        m = v;
+                    }
+                }
+                let mut s = T::ZERO;
+                for l in 0..len {
+                    let v = src[(o * len + l) * inner + i];
+                    s = s + (v - m).exp_();
+                }
+                out[o * inner + i] = s.ln_() + m;
+            }
+        }
     }
 }
 

@@ -109,6 +109,15 @@ impl<T: Element> Tensor<T> {
         self.strides == contiguous_strides(&self.shape)
     }
 
+    /// The full backing storage plus this view's base offset, for strided
+    /// kernels that address elements as `storage[offset + Σ idxᵈ·strideᵈ]`
+    /// without materializing a contiguous copy. Every view in this crate
+    /// has non-negative strides (transpose permutes, expand zeroes, slice
+    /// shifts the offset), so all relative offsets are non-negative.
+    pub(crate) fn raw_parts(&self) -> (&[T], usize) {
+        (&self.storage.data, self.offset)
+    }
+
     /// Borrows the underlying elements of a contiguous tensor.
     ///
     /// # Panics
@@ -121,6 +130,21 @@ impl<T: Element> Tensor<T> {
             "as_slice requires a contiguous tensor"
         );
         &self.storage.data[self.offset..self.offset + self.numel()]
+    }
+
+    /// Mutably borrows the underlying elements when this tensor is the
+    /// *sole* owner of a contiguous, fully-covering storage.
+    ///
+    /// Returns `None` if the storage is shared (any live clone or view),
+    /// the view is offset or non-contiguous, or the view does not span the
+    /// whole buffer. The memory planner's arena executor relies on this to
+    /// reuse slot buffers across runs without unsafe code: a `Some` result
+    /// proves no alias can observe the overwrite.
+    pub fn as_mut_slice(&mut self) -> Option<&mut [T]> {
+        if self.offset != 0 || !self.is_contiguous() || self.numel() != self.storage.data.len() {
+            return None;
+        }
+        Arc::get_mut(&mut self.storage).map(|s| s.data.as_mut_slice())
     }
 
     /// Copies the logical contents into a fresh `Vec` in row-major order.
@@ -136,9 +160,11 @@ impl<T: Element> Tensor<T> {
     }
 
     /// Returns a contiguous tensor with the same contents (zero-copy when
-    /// already contiguous).
+    /// already contiguous, even for offset or partial views — kernels read
+    /// through [`Tensor::as_slice`], which handles both; this keeps views
+    /// of oversized arena slots allocation-free in the planned executor).
     pub fn to_contiguous(&self) -> Tensor<T> {
-        if self.is_contiguous() && self.offset == 0 && self.numel() == self.storage.data.len() {
+        if self.is_contiguous() {
             self.clone()
         } else {
             Tensor::from_vec(self.to_vec(), &self.shape)
@@ -305,6 +331,49 @@ impl<T: Element> Tensor<T> {
                 .map(|off| f(data[off as usize]))
                 .collect();
             Tensor::from_vec(out, &self.shape)
+        }
+    }
+
+    /// [`Tensor::map`] writing into a caller-provided destination slice in
+    /// row-major logical order. The destination is fully overwritten.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out.len()` differs from `self.numel()`.
+    pub fn map_into<U: Element>(&self, out: &mut [U], f: impl Fn(T) -> U + Sync) {
+        assert_eq!(
+            out.len(),
+            self.numel(),
+            "map_into: destination size mismatch"
+        );
+        if self.is_contiguous() {
+            for (o, &v) in out.iter_mut().zip(self.as_slice()) {
+                *o = f(v);
+            }
+        } else {
+            let data = &self.storage.data;
+            let offs = StridedIter::new(&self.shape, &self.strides, self.offset as isize);
+            for (o, off) in out.iter_mut().zip(offs) {
+                *o = f(data[off as usize]);
+            }
+        }
+    }
+
+    /// Applies `f` to every element in place, avoiding any allocation.
+    ///
+    /// Returns `false` (leaving the tensor untouched) when the storage is
+    /// shared or the view is not a full contiguous cover — callers fall
+    /// back to [`Tensor::map`]. The planned executor uses this for the
+    /// in-place slot reuse of dying elementwise operands.
+    pub fn map_inplace(&mut self, f: impl Fn(T) -> T + Sync) -> bool {
+        match self.as_mut_slice() {
+            Some(s) => {
+                for v in s.iter_mut() {
+                    *v = f(*v);
+                }
+                true
+            }
+            None => false,
         }
     }
 

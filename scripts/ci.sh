@@ -24,6 +24,12 @@ cargo test -q --offline
 echo "==> cargo test -q --workspace"
 cargo test -q --offline --workspace
 
+# Memory-planner gate, explicitly: per-batch plan determinism,
+# steady-state zero-allocation compiled inference, and bit identity
+# between the arena-planned and refcount executors.
+echo "==> cargo test -q --test memplan (plan determinism + zero-alloc steady state)"
+cargo test -q --offline --test memplan
+
 # Static graph audit: export compiled graphs for every tree strategy plus
 # an end-to-end pipeline, then run the hb-lint verifier over them.
 # hb-lint exits non-zero on any error-level diagnostic.

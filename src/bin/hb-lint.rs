@@ -4,7 +4,9 @@
 //! dtype checking, and symbolic shape inference with the batch dimension
 //! `B` — over each graph file, then reports warnings an executor would
 //! never surface: dead nodes, unused input slots, constant-foldable
-//! subgraphs, non-finite constants, and the parameter footprint.
+//! subgraphs, non-finite constants, the parameter footprint, and the
+//! static memory planner's arena footprint / reuse ratio at the
+//! reference serving batch (warning when planning is defeated).
 //!
 //! Exit status is non-zero iff any file produced an **error-level**
 //! diagnostic (unreadable, unparsable, or failing verification);
@@ -17,7 +19,7 @@
 
 use std::process::ExitCode;
 
-use hummingbird::backend::{Graph, Op};
+use hummingbird::backend::{Graph, MemoryPlan, Op};
 use hummingbird::tensor::DynTensor;
 
 fn main() -> ExitCode {
@@ -80,7 +82,44 @@ fn lint_file(path: &str) -> bool {
         println!("{path}: warning: {w}");
     }
     println!("{path}: note: {}", footprint(&graph));
+    if ok {
+        match memory_plan_line(&graph) {
+            Ok(line) => println!("{path}: note: {line}"),
+            Err(line) => println!("{path}: warning: {line}"),
+        }
+    }
     ok
+}
+
+/// One-line arena summary from the static memory planner at a reference
+/// batch of 1000 (the paper's serving batch). `Err` carries a
+/// warning-level message when planning is defeated — an unplannable
+/// graph runs every request on the allocating refcount path.
+fn memory_plan_line(graph: &Graph) -> Result<String, String> {
+    const REF_BATCH: usize = 1000;
+    match MemoryPlan::build(graph, REF_BATCH) {
+        Ok(plan) if plan.planned_kernels > 0 => {
+            let reuse = plan
+                .reuse_ratio()
+                .map_or("-".to_string(), |r| format!("{r:.2}"));
+            Ok(format!(
+                "memory plan @batch={REF_BATCH}: {} slot(s), {} arena bytes ({} naive), reuse ratio {}, {} planned / {} fallback kernel(s)",
+                plan.slots.len(),
+                plan.arena_bytes,
+                plan.naive_bytes,
+                reuse,
+                plan.planned_kernels,
+                plan.fallback_kernels
+            ))
+        }
+        Ok(plan) => Err(format!(
+            "memory planning defeated @batch={REF_BATCH}: 0 plannable kernels ({} fallback); every run allocates",
+            plan.fallback_kernels
+        )),
+        Err(e) => Err(format!(
+            "memory planning defeated @batch={REF_BATCH}: {e}; every run allocates"
+        )),
+    }
 }
 
 /// Warning-level findings on a structurally parsable graph.
