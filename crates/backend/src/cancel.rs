@@ -1,0 +1,115 @@
+//! Cooperative cancellation for in-flight graph executions.
+//!
+//! A [`CancelToken`] is a cheap, clonable handle threaded into the
+//! executor loops (both the refcount and the planned arena paths), which
+//! check it between node evaluations. A request that blows its deadline
+//! or whose client walked away therefore stops *mid-graph* — paying at
+//! most one more kernel — instead of running the whole program to
+//! completion and discarding the answer.
+//!
+//! Two triggers flip a token:
+//!
+//! * an explicit [`CancelToken::cancel`] call (supervisor shutdown,
+//!   client disconnect), and
+//! * an optional wall-clock deadline baked in at construction
+//!   ([`CancelToken::with_deadline`]) — the common serving case, where
+//!   no watcher thread is needed: the executor itself observes that the
+//!   budget is gone at its next checkpoint.
+//!
+//! Cancellation is *cooperative*: a single long-running kernel is not
+//! interrupted, only the gaps between kernels are observed. `hb-lint`
+//! warns when a served graph collapses into one fused mega-node and
+//! therefore offers no checkpoints at all.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+#[derive(Debug, Default)]
+struct CancelInner {
+    cancelled: AtomicBool,
+    deadline: Option<Instant>,
+}
+
+/// A shared cancellation flag with an optional built-in deadline.
+///
+/// Cloning shares the flag: cancelling any clone cancels them all.
+/// The default token never cancels.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    inner: Arc<CancelInner>,
+}
+
+impl CancelToken {
+    /// A token that only cancels when [`CancelToken::cancel`] is called.
+    pub fn new() -> CancelToken {
+        CancelToken::default()
+    }
+
+    /// A token that additionally reports cancelled once `deadline` has
+    /// passed, with no watcher thread involved.
+    pub fn with_deadline(deadline: Instant) -> CancelToken {
+        CancelToken {
+            inner: Arc::new(CancelInner {
+                cancelled: AtomicBool::new(false),
+                deadline: Some(deadline),
+            }),
+        }
+    }
+
+    /// A token whose deadline is `budget` from now.
+    pub fn deadline_in(budget: Duration) -> CancelToken {
+        CancelToken::with_deadline(Instant::now() + budget)
+    }
+
+    /// Flips the flag; every holder of a clone observes it at its next
+    /// checkpoint. Idempotent.
+    pub fn cancel(&self) {
+        self.inner.cancelled.store(true, Ordering::Release);
+    }
+
+    /// True once the token is cancelled or its deadline has passed.
+    pub fn is_cancelled(&self) -> bool {
+        if self.inner.cancelled.load(Ordering::Acquire) {
+            return true;
+        }
+        match self.inner.deadline {
+            Some(d) => Instant::now() >= d,
+            None => false,
+        }
+    }
+
+    /// The built-in deadline, if one was set at construction.
+    pub fn deadline(&self) -> Option<Instant> {
+        self.inner.deadline
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_token_never_cancels() {
+        let t = CancelToken::new();
+        assert!(!t.is_cancelled());
+        assert!(t.deadline().is_none());
+    }
+
+    #[test]
+    fn explicit_cancel_is_shared_across_clones() {
+        let t = CancelToken::new();
+        let c = t.clone();
+        c.cancel();
+        assert!(t.is_cancelled());
+        assert!(c.is_cancelled());
+    }
+
+    #[test]
+    fn past_deadline_reports_cancelled() {
+        let t = CancelToken::with_deadline(Instant::now() - Duration::from_millis(1));
+        assert!(t.is_cancelled());
+        let future = CancelToken::deadline_in(Duration::from_secs(3600));
+        assert!(!future.is_cancelled());
+    }
+}

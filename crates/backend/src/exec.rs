@@ -6,6 +6,7 @@ use std::time::{Duration, Instant};
 
 use hb_tensor::{alloc, DynTensor, Tensor};
 
+use crate::cancel::CancelToken;
 use crate::device::{Device, DeviceSpec};
 use crate::fault::FaultPlan;
 use crate::graph::Graph;
@@ -66,6 +67,13 @@ pub enum ExecError {
         /// Description of the lowering failure.
         message: String,
     },
+    /// The run observed its [`CancelToken`] between node evaluations and
+    /// stopped cooperatively (deadline blown or shutdown requested)
+    /// before reaching `node`.
+    Cancelled {
+        /// The node whose evaluation was skipped.
+        node: usize,
+    },
 }
 
 impl std::fmt::Display for ExecError {
@@ -82,6 +90,9 @@ impl std::fmt::Display for ExecError {
                 write!(f, "kernel failure at node {node}: {message}")
             }
             ExecError::Lowering { message } => write!(f, "lowering failed: {message}"),
+            ExecError::Cancelled { node } => {
+                write!(f, "execution cancelled cooperatively before node {node}")
+            }
         }
     }
 }
@@ -90,10 +101,17 @@ impl std::error::Error for ExecError {}
 
 impl ExecError {
     /// True for failures that a retry might clear (kernel-level faults);
-    /// request-shaped errors (`InputCount`/`InputDType`) and capacity
-    /// errors (`DeviceOom`) are deterministic and not worth retrying.
+    /// request-shaped errors (`InputCount`/`InputDType`), capacity
+    /// errors (`DeviceOom`), and cooperative cancellation are
+    /// deterministic (for the lifetime of the request) and not worth
+    /// retrying.
     pub fn is_transient(&self) -> bool {
         matches!(self, ExecError::Kernel { .. })
+    }
+
+    /// True when the run stopped because its [`CancelToken`] fired.
+    pub fn is_cancelled(&self) -> bool {
+        matches!(self, ExecError::Cancelled { .. })
     }
 }
 
@@ -134,6 +152,12 @@ pub struct RunStats {
     /// True when the run executed a warm memory plan instead of the
     /// refcount path.
     pub planned: bool,
+    /// Cumulative count of runs of this executable that were stopped
+    /// mid-graph by cooperative cancellation (deadline/shutdown), as of
+    /// the end of this run. A serving stack under deadline pressure sees
+    /// this grow instead of paying for full-graph executions whose
+    /// answers nobody wants.
+    pub cancelled: u64,
 }
 
 impl RunStats {
@@ -157,6 +181,8 @@ pub struct Executable {
     pool: Option<rayon::ThreadPool>,
     faults: FaultPlan,
     runs: AtomicU64,
+    /// Runs stopped mid-graph by cooperative cancellation.
+    cancelled: AtomicU64,
     /// LRU cache of memory plans keyed by batch size (Compiled backend
     /// only). `None` entries negative-cache batches that defeat planning
     /// so they are not re-attempted every run.
@@ -228,6 +254,7 @@ impl Executable {
             pool,
             faults,
             runs: AtomicU64::new(0),
+            cancelled: AtomicU64::new(0),
             plans: Mutex::new(Vec::new()),
         })
     }
@@ -263,6 +290,7 @@ impl Executable {
             pool,
             faults: FaultPlan::none(),
             runs: AtomicU64::new(0),
+            cancelled: AtomicU64::new(0),
             plans: Mutex::new(Vec::new()),
         }
     }
@@ -308,11 +336,29 @@ impl Executable {
         &self,
         inputs: &[DynTensor],
     ) -> Result<(Vec<DynTensor>, RunStats), ExecError> {
+        self.run_with_stats_cancel(inputs, None)
+    }
+
+    /// Like [`Executable::run_with_stats`], but checks `cancel` between
+    /// node evaluations: a fired token stops the run mid-graph with
+    /// [`ExecError::Cancelled`] instead of executing the remaining
+    /// kernels. Pass `None` to run uninterruptible.
+    pub fn run_with_stats_cancel(
+        &self,
+        inputs: &[DynTensor],
+        cancel: Option<&CancelToken>,
+    ) -> Result<(Vec<DynTensor>, RunStats), ExecError> {
         self.validate_inputs(inputs)?;
         match &self.pool {
-            Some(pool) => pool.install(|| self.execute(inputs, true)),
-            None => self.execute(inputs, true),
+            Some(pool) => pool.install(|| self.execute(inputs, true, cancel)),
+            None => self.execute(inputs, true, cancel),
         }
+    }
+
+    /// Runs of this executable stopped mid-graph by cooperative
+    /// cancellation (mirrored into [`RunStats::cancelled`]).
+    pub fn cancelled_runs(&self) -> u64 {
+        self.cancelled.load(Ordering::Relaxed)
     }
 
     /// Runs the graph on the refcount path even when a warm plan exists —
@@ -327,8 +373,8 @@ impl Executable {
     ) -> Result<(Vec<DynTensor>, RunStats), ExecError> {
         self.validate_inputs(inputs)?;
         match &self.pool {
-            Some(pool) => pool.install(|| self.execute(inputs, false)),
-            None => self.execute(inputs, false),
+            Some(pool) => pool.install(|| self.execute(inputs, false, None)),
+            None => self.execute(inputs, false, None),
         }
     }
 
@@ -394,6 +440,7 @@ impl Executable {
         &self,
         inputs: &[DynTensor],
         allow_planned: bool,
+        cancel: Option<&CancelToken>,
     ) -> Result<(Vec<DynTensor>, RunStats), ExecError> {
         let run_index = self.runs.fetch_add(1, Ordering::Relaxed);
         let faults_active = !self.faults.is_none() && self.faults.active_for_run(run_index);
@@ -413,11 +460,23 @@ impl Executable {
                 // fall through to the (lock-free) refcount path instead
                 // of queueing behind it.
                 if let Ok(mut guard) = state.try_lock() {
-                    return self.execute_planned(inputs, &mut guard, faults_active);
+                    return self.execute_planned(inputs, &mut guard, faults_active, cancel);
                 }
             }
         }
-        self.execute_refcount(inputs, faults_active)
+        self.execute_refcount(inputs, faults_active, cancel)
+    }
+
+    /// Cancellation checkpoint between node evaluations: records the
+    /// cancelled run and returns the typed error when `cancel` fired.
+    fn check_cancel(&self, cancel: Option<&CancelToken>, node: usize) -> Result<(), ExecError> {
+        if let Some(tok) = cancel {
+            if tok.is_cancelled() {
+                self.cancelled.fetch_add(1, Ordering::Relaxed);
+                return Err(ExecError::Cancelled { node });
+            }
+        }
+        Ok(())
     }
 
     /// Looks up (or, on first sighting of a batch size, builds) the warm
@@ -461,6 +520,7 @@ impl Executable {
         &self,
         inputs: &[DynTensor],
         faults_active: bool,
+        cancel: Option<&CancelToken>,
     ) -> Result<(Vec<DynTensor>, RunStats), ExecError> {
         let spec: Option<&DeviceSpec> = match &self.device {
             Device::Sim(s) => Some(s),
@@ -499,6 +559,7 @@ impl Executable {
         }
 
         for id in 0..n {
+            self.check_cancel(cancel, id)?;
             let node = &self.graph.nodes[id];
             let out = match &node.op {
                 Op::Input(slot) => inputs[*slot].clone(),
@@ -619,6 +680,7 @@ impl Executable {
         stats.wall = start.elapsed();
         stats.peak_tensor_bytes = alloc::peak_bytes().saturating_sub(host_before);
         stats.allocations = alloc::alloc_count().saturating_sub(allocs_before);
+        stats.cancelled = self.cancelled.load(Ordering::Relaxed);
         Ok((outputs, stats))
     }
 
@@ -633,6 +695,7 @@ impl Executable {
         inputs: &[DynTensor],
         state: &mut PlanState,
         faults_active: bool,
+        cancel: Option<&CancelToken>,
     ) -> Result<(Vec<DynTensor>, RunStats), ExecError> {
         use crate::plan::{Inplace, Step};
         let PlanState { plan, slots } = state;
@@ -671,6 +734,7 @@ impl Executable {
         }
 
         for id in 0..n {
+            self.check_cancel(cancel, id)?;
             let node = &self.graph.nodes[id];
             let (out, cost) = match &node.op {
                 Op::Input(slot) => (inputs[*slot].clone(), None),
@@ -1106,6 +1170,7 @@ impl Executable {
             .arena_bytes
             .saturating_add(alloc::peak_bytes().saturating_sub(host_before));
         stats.allocations = alloc::alloc_count().saturating_sub(allocs_before);
+        stats.cancelled = self.cancelled.load(Ordering::Relaxed);
         Ok((outputs, stats))
     }
 }
@@ -1248,6 +1313,32 @@ mod tests {
         let exe = Executable::new(linear_graph(), Backend::Script, Device::cpu1());
         let out = exe.run(&[sample_input()]).unwrap();
         assert_eq!(out[0].shape(), &[2, 2]);
+    }
+
+    #[test]
+    fn pre_cancelled_token_stops_before_any_kernel() {
+        let exe = Executable::new(linear_graph(), Backend::Script, Device::cpu());
+        let tok = CancelToken::new();
+        tok.cancel();
+        match exe.run_with_stats_cancel(&[sample_input()], Some(&tok)) {
+            Err(ExecError::Cancelled { node: 0 }) => {}
+            other => panic!("expected Cancelled at node 0, got {other:?}"),
+        }
+        assert_eq!(exe.cancelled_runs(), 1);
+        // A later uncancelled run succeeds and reports the cumulative count.
+        let (_, stats) = exe.run_with_stats_cancel(&[sample_input()], None).unwrap();
+        assert_eq!(stats.cancelled, 1);
+    }
+
+    #[test]
+    fn expired_deadline_token_cancels_mid_graph() {
+        let exe = Executable::new(linear_graph(), Backend::Compiled, Device::cpu());
+        let tok = CancelToken::with_deadline(Instant::now() - Duration::from_millis(1));
+        let res = exe.run_with_stats_cancel(&[sample_input()], Some(&tok));
+        assert!(matches!(res, Err(ExecError::Cancelled { .. })));
+        assert!(exe.cancelled_runs() > 0);
+        assert!(!ExecError::Cancelled { node: 3 }.is_transient());
+        assert!(ExecError::Cancelled { node: 3 }.is_cancelled());
     }
 
     #[test]

@@ -22,6 +22,7 @@
 // Rust; see DESIGN.md ("Unsafe-code policy").
 #![forbid(unsafe_code)]
 
+pub mod cancel;
 pub mod device;
 pub mod exec;
 pub mod fault;
@@ -32,6 +33,7 @@ pub mod optimize;
 pub mod plan;
 pub mod verify;
 
+pub use cancel::CancelToken;
 pub use device::{Device, DeviceSpec};
 pub use exec::{ExecError, Executable, RunStats};
 pub use fault::{FaultPlan, FaultScope};

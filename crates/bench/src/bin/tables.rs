@@ -43,6 +43,10 @@ struct Config {
     depth: usize,
     seed: u64,
     reps: usize,
+    /// Wall-clock budget per `soak` scenario (seconds).
+    soak_secs: f64,
+    /// Concurrent client threads for the `soak` experiment.
+    clients: usize,
 }
 
 impl Default for Config {
@@ -53,6 +57,8 @@ impl Default for Config {
             depth: 6,
             seed: 42,
             reps: 3,
+            soak_secs: 5.0,
+            clients: 8,
         }
     }
 }
@@ -1276,6 +1282,209 @@ fn fig12(cfg: &Config) {
     t.print_and_save();
 }
 
+/// Concurrent serving soak: `--clients` threads hammer a supervised
+/// worker pool for `--soak-secs` per fault scenario. The run *gates* on
+/// the supervisor's invariants — zero worker deaths, strictly monotonic
+/// incident sequence numbers, non-deadlocking drain, and no silently
+/// wrong answer — and reports throughput plus outcome counts in
+/// `bench_results/soak.json`.
+fn soak(cfg: &Config) {
+    use hb_serve::{
+        BreakerConfig, FaultPlan, FaultScope, Rung, ServeConfig, ServeError, ServingModel,
+        Supervisor,
+    };
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    let x = Tensor::from_fn(&[96, 6], |i| ((i[0] * 7 + i[1] * 3) % 17) as f32 * 0.25);
+    let y = Targets::Classes((0..96).map(|i| (i % 2) as i64).collect());
+    let pipe = fit_pipeline(
+        &[
+            OpSpec::StandardScaler,
+            OpSpec::RandomForestClassifier(hb_ml::forest::ForestConfig {
+                n_trees: cfg.trees.min(10),
+                max_depth: cfg.depth.min(5),
+                ..Default::default()
+            }),
+        ],
+        &x,
+        &y,
+    );
+    let want = pipe.predict_proba(&x);
+
+    let scenarios: Vec<(&str, ServeConfig)> = vec![
+        (
+            "clean",
+            ServeConfig {
+                queue_capacity: 512,
+                ..ServeConfig::default()
+            },
+        ),
+        (
+            "kernel_error",
+            ServeConfig {
+                faults: FaultPlan {
+                    kernel_error: true,
+                    scope: FaultScope::FirstRuns(50),
+                    ..FaultPlan::none()
+                },
+                queue_capacity: 512,
+                max_retries: 1,
+                ..ServeConfig::default()
+            },
+        ),
+        (
+            "nan_poison",
+            ServeConfig {
+                faults: FaultPlan {
+                    nan_poison: true,
+                    scope: FaultScope::FirstRuns(100),
+                    ..FaultPlan::none()
+                },
+                queue_capacity: 512,
+                canary_period: 4,
+                watchdog_interval: Duration::from_millis(10),
+                breaker: BreakerConfig {
+                    failure_threshold: 3,
+                    cooldown: Duration::from_millis(10),
+                },
+                ..ServeConfig::default()
+            },
+        ),
+        (
+            "slow+deadline",
+            ServeConfig {
+                faults: FaultPlan {
+                    slow_kernel: Some(Duration::from_millis(2)),
+                    ..FaultPlan::none()
+                },
+                deadline: Some(Duration::from_millis(8)),
+                queue_capacity: 512,
+                watchdog_interval: Duration::from_millis(10),
+                ..ServeConfig::default()
+            },
+        ),
+    ];
+
+    let mut t = Table::new(
+        "soak",
+        &format!(
+            "Concurrent soak: {} clients x {:.1}s per scenario, 4 workers",
+            cfg.clients, cfg.soak_secs
+        ),
+        &[
+            "Scenario",
+            "reqs",
+            "ok",
+            "best-rung",
+            "degraded",
+            "overload",
+            "deadline",
+            "rejected",
+            "req/s",
+            "workers",
+            "incidents",
+        ],
+    );
+
+    for (name, config) in scenarios {
+        let model = ServingModel::new(&pipe, config).expect("soak pipeline must serve");
+        let sup = Arc::new(Supervisor::spawn(model, 4));
+        let ok = Arc::new(AtomicU64::new(0));
+        let best_cnt = Arc::new(AtomicU64::new(0));
+        let degraded = Arc::new(AtomicU64::new(0));
+        let overloaded = Arc::new(AtomicU64::new(0));
+        let deadline_miss = Arc::new(AtomicU64::new(0));
+        let rejected = Arc::new(AtomicU64::new(0));
+        let best = sup.model().best_compiled_rung().unwrap_or(Rung::Reference);
+        let t_end = Instant::now() + Duration::from_secs_f64(cfg.soak_secs);
+        let started = Instant::now();
+        let clients: Vec<_> = (0..cfg.clients.max(1))
+            .map(|_| {
+                let sup = Arc::clone(&sup);
+                let x = x.clone();
+                let want = want.clone();
+                let (ok, best_cnt, degraded, overloaded, deadline_miss, rejected) = (
+                    Arc::clone(&ok),
+                    Arc::clone(&best_cnt),
+                    Arc::clone(&degraded),
+                    Arc::clone(&overloaded),
+                    Arc::clone(&deadline_miss),
+                    Arc::clone(&rejected),
+                );
+                std::thread::spawn(move || {
+                    while Instant::now() < t_end {
+                        match sup.predict_detailed(&x) {
+                            Ok(served) => {
+                                assert!(
+                                    hb_ml::metrics::allclose(&served.output, &want, 1e-5, 1e-5),
+                                    "soak: silently wrong answer from {:?}",
+                                    served.rung
+                                );
+                                ok.fetch_add(1, Ordering::Relaxed);
+                                if served.rung == best {
+                                    best_cnt.fetch_add(1, Ordering::Relaxed);
+                                } else {
+                                    degraded.fetch_add(1, Ordering::Relaxed);
+                                }
+                            }
+                            Err(ServeError::Overloaded { .. }) => {
+                                overloaded.fetch_add(1, Ordering::Relaxed);
+                                std::thread::sleep(Duration::from_micros(200));
+                            }
+                            Err(ServeError::DeadlineExceeded { .. }) => {
+                                deadline_miss.fetch_add(1, Ordering::Relaxed);
+                            }
+                            Err(_) => {
+                                rejected.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                    }
+                })
+            })
+            .collect();
+        for c in clients {
+            c.join().expect("soak client panicked");
+        }
+        let elapsed = started.elapsed().as_secs_f64();
+
+        // Invariant gates — these abort the bench (non-zero exit) when
+        // violated, which is what scripts/ci.sh keys on.
+        let health = sup.health();
+        assert_eq!(health.workers_alive, 4, "soak[{name}]: a worker died");
+        let incidents = sup.incidents();
+        assert!(
+            incidents.windows(2).all(|w| w[0].seq < w[1].seq),
+            "soak[{name}]: incident sequence numbers must be strictly monotonic"
+        );
+        sup.drain(); // a deadlock here hangs the gate — failure by timeout
+        let stats = sup.model().stats();
+        let total = stats.total_served()
+            + stats.rejected_overload
+            + stats.deadline_misses
+            + stats.all_rungs_failed;
+        t.row(vec![
+            name.to_string(),
+            total.to_string(),
+            ok.load(Ordering::Relaxed).to_string(),
+            best_cnt.load(Ordering::Relaxed).to_string(),
+            degraded.load(Ordering::Relaxed).to_string(),
+            overloaded.load(Ordering::Relaxed).to_string(),
+            deadline_miss.load(Ordering::Relaxed).to_string(),
+            rejected.load(Ordering::Relaxed).to_string(),
+            format!(
+                "{:.0}",
+                ok.load(Ordering::Relaxed) as f64 / elapsed.max(1e-9)
+            ),
+            format!("{}/4", health.workers_alive),
+            sup.model().incidents().len().to_string(),
+        ]);
+        eprintln!("  [soak] {name} done");
+    }
+    t.print_and_save();
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut exp = "all".to_string();
@@ -1303,6 +1512,14 @@ fn main() {
                 i += 1;
                 cfg.reps = args[i].parse().expect("--reps takes an integer");
             }
+            "--soak-secs" => {
+                i += 1;
+                cfg.soak_secs = args[i].parse().expect("--soak-secs takes a float");
+            }
+            "--clients" => {
+                i += 1;
+                cfg.clients = args[i].parse().expect("--clients takes an integer");
+            }
             other => exp = other.to_string(),
         }
         i += 1;
@@ -1327,10 +1544,11 @@ fn main() {
         "fig12" => fig12(cfg),
         "ablation" => ablation(cfg),
         "sparse" => sparse(cfg),
+        "soak" => soak(cfg),
         "validate" => validate(zoo),
         other => {
             eprintln!("unknown experiment '{other}'");
-            eprintln!("available: table7 table8 table9 table10 table11 table12 fig4 fig6 fig7 fig8 fig9 fig10 fig12 memplan ablation sparse validate all");
+            eprintln!("available: table7 table8 table9 table10 table11 table12 fig4 fig6 fig7 fig8 fig9 fig10 fig12 memplan ablation sparse soak validate all");
             std::process::exit(2);
         }
     };

@@ -41,6 +41,7 @@ pub mod strings;
 
 use std::time::Duration;
 
+pub use hb_backend::CancelToken;
 use hb_backend::{
     Backend, Device, ExecError, Executable, FaultPlan, GraphBuilder, GraphError, RunStats,
     ShapeFact, SymDim,
@@ -299,6 +300,29 @@ impl CompiledModel {
     pub fn predict_proba(&self, x: &Tensor<f32>) -> Result<Tensor<f32>, HbError> {
         self.validate_request(x)?;
         let out = self.exe.run(&[DynTensor::F32(x.clone())])?;
+        #[allow(clippy::disallowed_methods)] // invariant, message documents it
+        Ok(out
+            .into_iter()
+            .next()
+            .expect("graph has one output")
+            .as_f32()
+            .clone())
+    }
+
+    /// Like [`CompiledModel::predict_proba`], but checks `cancel` between
+    /// node evaluations: a request whose deadline passes (or whose server
+    /// is shutting down) stops mid-graph with
+    /// [`hb_backend::ExecError::Cancelled`] instead of running every
+    /// remaining kernel.
+    pub fn predict_proba_cancel(
+        &self,
+        x: &Tensor<f32>,
+        cancel: &CancelToken,
+    ) -> Result<Tensor<f32>, HbError> {
+        self.validate_request(x)?;
+        let (out, _) = self
+            .exe
+            .run_with_stats_cancel(&[DynTensor::F32(x.clone())], Some(cancel))?;
         #[allow(clippy::disallowed_methods)] // invariant, message documents it
         Ok(out
             .into_iter()

@@ -1,0 +1,370 @@
+//! Per-rung circuit breakers.
+//!
+//! A persistently failing rung should be *skipped*, not re-tried at full
+//! failure latency on every request. Each compiled rung of the
+//! degradation ladder carries a [`CircuitBreaker`] with the classic
+//! three-state machine:
+//!
+//! ```text
+//!            K consecutive failures
+//!   Closed ──────────────────────────▶ Open
+//!     ▲                                 │ cooldown elapsed
+//!     │ probe succeeds                  ▼
+//!     └────────────────────────────  HalfOpen ──▶ Open (probe fails)
+//! ```
+//!
+//! * **Closed** — traffic flows; consecutive failures are counted and
+//!   reset on any success.
+//! * **Open** — the rung is skipped outright (its failure latency is not
+//!   paid) until a cooldown elapses.
+//! * **HalfOpen** — exactly one probe request is admitted at a time; its
+//!   outcome decides between Closed and a fresh Open period.
+//!
+//! Breakers open three ways, recorded as the [`OpenReason`]: request
+//! failures (`Failures`), the watchdog tripping a rung that repeatedly
+//! blows deadlines (`Slow`), and the canary checker quarantining a rung
+//! whose outputs silently diverge from the reference (`Quarantine`).
+//! Quarantined rungs are special: client traffic never probes them —
+//! only the supervisor's background canary probe (which re-validates
+//! outputs against the reference scorer) can close them, because a
+//! silently-corrupt rung *looks* healthy to an ordinary success check.
+
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Tunables for one rung's breaker.
+#[derive(Debug, Clone, Copy)]
+pub struct BreakerConfig {
+    /// Consecutive failures that trip Closed → Open.
+    pub failure_threshold: u32,
+    /// How long an Open breaker rejects before allowing a half-open
+    /// probe.
+    pub cooldown: Duration,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        BreakerConfig {
+            failure_threshold: 3,
+            cooldown: Duration::from_millis(100),
+        }
+    }
+}
+
+/// Why a breaker left the Closed state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OpenReason {
+    /// K consecutive request failures.
+    Failures,
+    /// The watchdog tripped the rung for repeatedly blowing deadlines.
+    Slow,
+    /// The canary checker observed silent output divergence.
+    Quarantine,
+}
+
+impl OpenReason {
+    /// Human-readable label for incidents and health snapshots.
+    pub fn label(self) -> &'static str {
+        match self {
+            OpenReason::Failures => "failures",
+            OpenReason::Slow => "slow",
+            OpenReason::Quarantine => "quarantine",
+        }
+    }
+}
+
+/// Observable breaker state (also the internal representation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Serving traffic; counts consecutive failures toward the trip
+    /// threshold.
+    Closed {
+        /// Failures since the last success.
+        consecutive_failures: u32,
+    },
+    /// Skipping traffic until the cooldown elapses.
+    Open {
+        /// What opened the breaker.
+        reason: OpenReason,
+        /// When the Open period began (cooldown is measured from here).
+        since: Instant,
+    },
+    /// Cooldown elapsed; at most one probe in flight decides the next
+    /// state.
+    HalfOpen {
+        /// True while the single probe slot is taken.
+        probing: bool,
+        /// The reason carried over from the Open period.
+        reason: OpenReason,
+    },
+}
+
+/// What the breaker tells the request path to do with a rung.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Admission {
+    /// Closed: serve normally.
+    Serve,
+    /// HalfOpen and this caller won the probe slot: serve, and report
+    /// the outcome with `was_probe = true`.
+    Probe,
+    /// Open (or HalfOpen with the probe slot taken): skip this rung.
+    Skip,
+}
+
+/// A thread-safe three-state circuit breaker for one rung.
+#[derive(Debug)]
+pub struct CircuitBreaker {
+    config: BreakerConfig,
+    state: Mutex<BreakerState>,
+}
+
+impl CircuitBreaker {
+    /// A new breaker, Closed with zero failures.
+    pub fn new(config: BreakerConfig) -> CircuitBreaker {
+        CircuitBreaker {
+            config,
+            state: Mutex::new(BreakerState::Closed {
+                consecutive_failures: 0,
+            }),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, BreakerState> {
+        // Breaker state is a plain enum, valid on every path; survive a
+        // poisoned lock rather than wedging the ladder.
+        self.state.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    /// Snapshot of the current state.
+    pub fn state(&self) -> BreakerState {
+        *self.lock()
+    }
+
+    /// True while the breaker is open (or half-open) due to canary
+    /// quarantine.
+    pub fn is_quarantined(&self) -> bool {
+        matches!(
+            *self.lock(),
+            BreakerState::Open {
+                reason: OpenReason::Quarantine,
+                ..
+            } | BreakerState::HalfOpen {
+                reason: OpenReason::Quarantine,
+                ..
+            }
+        )
+    }
+
+    /// Request-path admission decision at time `now`.
+    ///
+    /// Quarantined rungs always answer [`Admission::Skip`]: an ordinary
+    /// request cannot validate silent-corruption recovery, so only the
+    /// background canary probe ([`CircuitBreaker::try_begin_probe`])
+    /// re-admits them.
+    pub fn admit(&self, now: Instant) -> Admission {
+        let mut s = self.lock();
+        match *s {
+            BreakerState::Closed { .. } => Admission::Serve,
+            BreakerState::Open { reason, since } => {
+                if reason == OpenReason::Quarantine {
+                    return Admission::Skip;
+                }
+                if now.duration_since(since) >= self.config.cooldown {
+                    *s = BreakerState::HalfOpen {
+                        probing: true,
+                        reason,
+                    };
+                    Admission::Probe
+                } else {
+                    Admission::Skip
+                }
+            }
+            BreakerState::HalfOpen { probing, reason } => {
+                if reason == OpenReason::Quarantine || probing {
+                    Admission::Skip
+                } else {
+                    *s = BreakerState::HalfOpen {
+                        probing: true,
+                        reason,
+                    };
+                    Admission::Probe
+                }
+            }
+        }
+    }
+
+    /// Background-probe admission (canary/watchdog thread): like a
+    /// half-open probe but also eligible for quarantined rungs. Returns
+    /// true when the caller owns the single probe slot.
+    pub fn try_begin_probe(&self, now: Instant) -> bool {
+        let mut s = self.lock();
+        match *s {
+            BreakerState::Open { reason, since }
+                if now.duration_since(since) >= self.config.cooldown =>
+            {
+                *s = BreakerState::HalfOpen {
+                    probing: true,
+                    reason,
+                };
+                true
+            }
+            BreakerState::HalfOpen {
+                probing: false,
+                reason,
+            } => {
+                *s = BreakerState::HalfOpen {
+                    probing: true,
+                    reason,
+                };
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Reports a successful serve. A successful probe closes the
+    /// breaker; a plain success resets the consecutive-failure count.
+    /// Returns true when the breaker transitioned to Closed from a
+    /// non-Closed state (worth an incident entry).
+    pub fn on_success(&self, was_probe: bool) -> bool {
+        let mut s = self.lock();
+        match *s {
+            BreakerState::Closed { .. } => {
+                *s = BreakerState::Closed {
+                    consecutive_failures: 0,
+                };
+                false
+            }
+            BreakerState::HalfOpen { .. } if was_probe => {
+                *s = BreakerState::Closed {
+                    consecutive_failures: 0,
+                };
+                true
+            }
+            // A stale success from a request admitted before the breaker
+            // opened: ignore rather than short-circuit the cooldown.
+            _ => false,
+        }
+    }
+
+    /// Reports a failed serve at time `now`. Returns `Some(reason)` when
+    /// this failure (re-)opened the breaker.
+    pub fn on_failure(&self, was_probe: bool, now: Instant) -> Option<OpenReason> {
+        let mut s = self.lock();
+        match *s {
+            BreakerState::Closed {
+                consecutive_failures,
+            } => {
+                let fails = consecutive_failures.saturating_add(1);
+                if fails >= self.config.failure_threshold {
+                    *s = BreakerState::Open {
+                        reason: OpenReason::Failures,
+                        since: now,
+                    };
+                    Some(OpenReason::Failures)
+                } else {
+                    *s = BreakerState::Closed {
+                        consecutive_failures: fails,
+                    };
+                    None
+                }
+            }
+            BreakerState::HalfOpen { reason, .. } if was_probe => {
+                *s = BreakerState::Open { reason, since: now };
+                Some(reason)
+            }
+            _ => None,
+        }
+    }
+
+    /// Forces the breaker Open (watchdog slow-trip, canary quarantine).
+    /// Returns true when the state actually changed to Open with this
+    /// reason. Quarantine outranks other reasons: a rung both slow and
+    /// corrupt must recover through the canary probe.
+    pub fn trip(&self, reason: OpenReason, now: Instant) -> bool {
+        let mut s = self.lock();
+        match *s {
+            BreakerState::Open {
+                reason: OpenReason::Quarantine,
+                ..
+            } if reason != OpenReason::Quarantine => false,
+            BreakerState::Open { reason: cur, .. } if cur == reason => false,
+            _ => {
+                *s = BreakerState::Open { reason, since: now };
+                true
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(threshold: u32, cooldown_ms: u64) -> BreakerConfig {
+        BreakerConfig {
+            failure_threshold: threshold,
+            cooldown: Duration::from_millis(cooldown_ms),
+        }
+    }
+
+    #[test]
+    fn trips_after_k_consecutive_failures_only() {
+        let b = CircuitBreaker::new(cfg(3, 1000));
+        let now = Instant::now();
+        assert!(b.on_failure(false, now).is_none());
+        assert!(b.on_failure(false, now).is_none());
+        // A success resets the streak.
+        b.on_success(false);
+        assert!(b.on_failure(false, now).is_none());
+        assert!(b.on_failure(false, now).is_none());
+        assert_eq!(b.on_failure(false, now), Some(OpenReason::Failures));
+        assert_eq!(b.admit(now), Admission::Skip);
+    }
+
+    #[test]
+    fn half_open_admits_one_probe_and_probe_outcome_decides() {
+        let b = CircuitBreaker::new(cfg(1, 10));
+        let t0 = Instant::now();
+        assert_eq!(b.on_failure(false, t0), Some(OpenReason::Failures));
+        // Within cooldown: skip.
+        assert_eq!(b.admit(t0), Admission::Skip);
+        let t1 = t0 + Duration::from_millis(11);
+        assert_eq!(b.admit(t1), Admission::Probe);
+        // Second caller while the probe is outstanding: skip.
+        assert_eq!(b.admit(t1), Admission::Skip);
+        // Failed probe reopens with a fresh cooldown.
+        assert_eq!(b.on_failure(true, t1), Some(OpenReason::Failures));
+        assert_eq!(b.admit(t1), Admission::Skip);
+        let t2 = t1 + Duration::from_millis(11);
+        assert_eq!(b.admit(t2), Admission::Probe);
+        assert!(b.on_success(true));
+        assert_eq!(b.admit(t2), Admission::Serve);
+    }
+
+    #[test]
+    fn quarantine_skips_request_traffic_until_background_probe_passes() {
+        let b = CircuitBreaker::new(cfg(3, 5));
+        let t0 = Instant::now();
+        assert!(b.trip(OpenReason::Quarantine, t0));
+        assert!(b.is_quarantined());
+        // Even after the cooldown, request traffic never probes it.
+        let t1 = t0 + Duration::from_millis(6);
+        assert_eq!(b.admit(t1), Admission::Skip);
+        // The background probe can.
+        assert!(b.try_begin_probe(t1));
+        assert!(!b.try_begin_probe(t1), "one probe at a time");
+        assert!(b.on_success(true));
+        assert!(!b.is_quarantined());
+        assert_eq!(b.admit(t1), Admission::Serve);
+    }
+
+    #[test]
+    fn quarantine_outranks_slow_trip() {
+        let b = CircuitBreaker::new(cfg(3, 5));
+        let now = Instant::now();
+        assert!(b.trip(OpenReason::Quarantine, now));
+        assert!(!b.trip(OpenReason::Slow, now));
+        assert!(b.is_quarantined());
+    }
+}

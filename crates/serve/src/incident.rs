@@ -1,0 +1,143 @@
+//! Incident log: a bounded, monotonically-sequenced record of everything
+//! the serving runtime survived.
+//!
+//! Worker panics, breaker transitions, canary divergences, watchdog
+//! trips, and drains all land here with a strictly increasing sequence
+//! number, so operators (and the chaos suite) can reconstruct what
+//! happened under concurrency without a debugger attached. The log is a
+//! ring buffer: old entries are dropped, sequence numbers never reset.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use crate::Rung;
+
+/// What kind of event an [`Incident`] records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IncidentKind {
+    /// A request panicked through every unwind boundary and was caught
+    /// at the worker's top level; the worker survived.
+    WorkerPanic,
+    /// A rung's breaker tripped Closed → Open.
+    BreakerOpened,
+    /// A rung's breaker closed again (successful probe).
+    BreakerClosed,
+    /// The canary checker observed output divergence beyond tolerance.
+    CanaryDivergence,
+    /// A rung was quarantined (breaker forced Open by the canary).
+    Quarantined,
+    /// The watchdog tripped a rung for repeated deadline blows.
+    WatchdogSlowTrip,
+    /// A request was cancelled mid-graph after blowing its deadline.
+    DeadlineCancelled,
+    /// The supervisor drained and shut down.
+    Drained,
+}
+
+impl IncidentKind {
+    /// Short label for logs and JSON.
+    pub fn label(self) -> &'static str {
+        match self {
+            IncidentKind::WorkerPanic => "worker-panic",
+            IncidentKind::BreakerOpened => "breaker-opened",
+            IncidentKind::BreakerClosed => "breaker-closed",
+            IncidentKind::CanaryDivergence => "canary-divergence",
+            IncidentKind::Quarantined => "quarantined",
+            IncidentKind::WatchdogSlowTrip => "watchdog-slow-trip",
+            IncidentKind::DeadlineCancelled => "deadline-cancelled",
+            IncidentKind::Drained => "drained",
+        }
+    }
+}
+
+/// One recorded event.
+#[derive(Debug, Clone)]
+pub struct Incident {
+    /// Strictly increasing sequence number (never resets, survives ring
+    /// eviction).
+    pub seq: u64,
+    /// When the incident occurred, relative to log creation.
+    pub at: Duration,
+    /// The rung involved, if any.
+    pub rung: Option<Rung>,
+    /// Event kind.
+    pub kind: IncidentKind,
+    /// Free-form context (panic message, divergence magnitude, ...).
+    pub detail: String,
+}
+
+/// Bounded ring buffer of [`Incident`]s with a monotonic sequence.
+#[derive(Debug)]
+pub struct IncidentLog {
+    seq: AtomicU64,
+    epoch: Instant,
+    cap: usize,
+    entries: Mutex<VecDeque<Incident>>,
+}
+
+impl IncidentLog {
+    /// A log retaining the most recent `cap` incidents.
+    pub fn new(cap: usize) -> IncidentLog {
+        IncidentLog {
+            seq: AtomicU64::new(0),
+            epoch: Instant::now(),
+            cap: cap.max(1),
+            entries: Mutex::new(VecDeque::new()),
+        }
+    }
+
+    /// Records an incident, returning its sequence number.
+    pub fn record(&self, kind: IncidentKind, rung: Option<Rung>, detail: impl Into<String>) -> u64 {
+        let seq = self.seq.fetch_add(1, Ordering::SeqCst);
+        let incident = Incident {
+            seq,
+            at: self.epoch.elapsed(),
+            rung,
+            kind,
+            detail: detail.into(),
+        };
+        // Incidents are plain data; survive a poisoned lock.
+        let mut entries = self.entries.lock().unwrap_or_else(|p| p.into_inner());
+        entries.push_back(incident);
+        while entries.len() > self.cap {
+            entries.pop_front();
+        }
+        seq
+    }
+
+    /// Total incidents ever recorded (not just retained).
+    pub fn total(&self) -> u64 {
+        self.seq.load(Ordering::SeqCst)
+    }
+
+    /// Snapshot of the retained incidents, oldest first.
+    pub fn snapshot(&self) -> Vec<Incident> {
+        self.entries
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .iter()
+            .cloned()
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequence_is_monotonic_across_ring_eviction() {
+        let log = IncidentLog::new(4);
+        for i in 0..10 {
+            let seq = log.record(IncidentKind::WorkerPanic, None, format!("p{i}"));
+            assert_eq!(seq, i);
+        }
+        assert_eq!(log.total(), 10);
+        let snap = log.snapshot();
+        assert_eq!(snap.len(), 4);
+        let seqs: Vec<u64> = snap.iter().map(|i| i.seq).collect();
+        assert_eq!(seqs, vec![6, 7, 8, 9]);
+    }
+}

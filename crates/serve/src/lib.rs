@@ -1,4 +1,5 @@
-//! `hb-serve`: a fault-tolerant serving runtime for compiled pipelines.
+//! `hb-serve`: a fault-tolerant, concurrent serving runtime for compiled
+//! pipelines.
 //!
 //! Prediction serving (the paper's target workload, §2) runs inside a
 //! latency SLO with hostile inputs and flaky infrastructure. This crate
@@ -11,18 +12,30 @@
 //!   [`Rung::Reference`] floor. A request that fails on one rung falls
 //!   to the next; all rungs produce outputs within validation tolerance
 //!   of each other, so degradation trades latency, never correctness.
-//! * **Deadline enforcement** — each request carries an optional
-//!   deadline; blown deadlines return [`ServeError::DeadlineExceeded`]
-//!   instead of a stale result.
+//! * **Per-rung circuit breakers** — a rung that fails K requests in a
+//!   row is skipped outright (Closed → Open → Half-Open probe) instead
+//!   of paying its failure latency on every request. See [`breaker`].
+//! * **Deadline enforcement with cooperative cancellation** — each
+//!   request carries an optional deadline threaded into the executor as
+//!   a [`CancelToken`]; a blown deadline stops the run *mid-graph*
+//!   ([`ServeError::DeadlineExceeded`]) instead of computing an answer
+//!   nobody wants.
 //! * **Admission control** — a bounded in-flight budget rejects excess
 //!   load with a typed [`ServeError::Overloaded`] rather than queueing
 //!   without bound.
 //! * **Retry with backoff** — transient faults (kernel-level failures)
-//!   are retried on the same rung with doubling backoff before the
-//!   request degrades.
+//!   are retried on the same rung with doubling backoff (clamped to the
+//!   remaining deadline budget) before the request degrades.
 //! * **Corruption detection** — a rung that returns non-finite outputs
 //!   for finite inputs (e.g. an injected NaN-poisoning fault) is treated
-//!   as failed, not trusted.
+//!   as failed, not trusted. The [`Supervisor`]'s background canary
+//!   checker additionally replays sampled requests against the
+//!   reference scorer and *quarantines* rungs whose outputs silently
+//!   diverge.
+//! * **Supervision** — [`Supervisor::spawn`] runs a fixed worker pool
+//!   with per-request panic isolation, a watchdog that trips breakers
+//!   for chronically slow rungs, an incident log with monotonic
+//!   sequence numbers, and graceful [`Supervisor::drain`].
 //!
 //! Fault injection for chaos testing comes from
 //! [`hb_backend::FaultPlan`] via [`ServeConfig::faults`].
@@ -46,18 +59,26 @@
 // Rust; see DESIGN.md ("Unsafe-code policy").
 #![forbid(unsafe_code)]
 
+pub mod breaker;
+pub mod incident;
+pub mod supervisor;
+
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use hb_backend::Backend;
+use hb_backend::{Backend, CancelToken};
 pub use hb_backend::{FaultPlan, FaultScope};
 use hb_core::{
     compile_with_registry, CompileError, CompileOptions, CompiledModel, ConverterRegistry, HbError,
 };
 use hb_pipeline::Pipeline;
 use hb_tensor::Tensor;
+
+pub use breaker::{Admission, BreakerConfig, BreakerState, CircuitBreaker, OpenReason};
+pub use incident::{Incident, IncidentKind, IncidentLog};
+pub use supervisor::{Supervisor, SupervisorHealth};
 
 /// One level of the degradation ladder, best-first.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -117,8 +138,24 @@ pub struct ServeConfig {
     pub queue_capacity: usize,
     /// Retries per rung for transient faults before degrading.
     pub max_retries: u32,
-    /// Initial backoff between retries; doubles per attempt.
+    /// Initial backoff between retries; doubles per attempt, and is
+    /// always clamped to the remaining deadline budget.
     pub backoff: Duration,
+    /// Per-rung circuit-breaker tunables (trip threshold, cooldown).
+    pub breaker: BreakerConfig,
+    /// Canary sampling period: every `canary_period`-th successful
+    /// request is re-validated against the reference scorer in the
+    /// background (supervisor only). `0` disables the canary.
+    pub canary_period: usize,
+    /// Maximum relative error tolerated between a rung's output and the
+    /// reference before the rung is quarantined.
+    pub canary_tolerance: f32,
+    /// How often the supervisor's watchdog wakes to check deadline-blow
+    /// counters and run recovery probes.
+    pub watchdog_interval: Duration,
+    /// Deadline blows per watchdog window that trip a rung's breaker
+    /// with [`OpenReason::Slow`].
+    pub deadline_blow_threshold: u64,
     /// Faults to inject into the compiled rungs (chaos testing).
     pub faults: FaultPlan,
     /// Compile options shared by every rung (the backend field is
@@ -133,6 +170,11 @@ impl Default for ServeConfig {
             queue_capacity: 64,
             max_retries: 2,
             backoff: Duration::from_millis(1),
+            breaker: BreakerConfig::default(),
+            canary_period: 8,
+            canary_tolerance: 1e-4,
+            watchdog_interval: Duration::from_millis(20),
+            deadline_blow_threshold: 3,
             faults: FaultPlan::none(),
             compile: CompileOptions::default(),
         }
@@ -162,6 +204,12 @@ pub enum ServeError {
     /// Every rung — including the imperative reference — failed.
     /// Carries each rung's failure reason, best rung first.
     AllRungsFailed(Vec<(Rung, String)>),
+    /// The supervisor is draining; no new work is accepted.
+    ShuttingDown,
+    /// The request died inside a worker (panic past every unwind
+    /// boundary); the worker survived and the panic was logged as an
+    /// incident.
+    Internal(String),
 }
 
 impl std::fmt::Display for ServeError {
@@ -190,13 +238,15 @@ impl std::fmt::Display for ServeError {
                 }
                 Ok(())
             }
+            ServeError::ShuttingDown => write!(f, "supervisor is shutting down"),
+            ServeError::Internal(msg) => write!(f, "internal serving failure: {msg}"),
         }
     }
 }
 
 impl std::error::Error for ServeError {}
 
-/// Aggregate serving statistics (lock-protected snapshot).
+/// Aggregate serving statistics (atomic-counter snapshot).
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct ServingStats {
     /// Requests answered successfully, per rung (ladder order).
@@ -213,6 +263,11 @@ pub struct ServingStats {
     pub retries: u64,
     /// Requests served by a rung below the best available one.
     pub degraded: u64,
+    /// Requests stopped mid-graph by cooperative cancellation after
+    /// blowing their deadline.
+    pub cancelled: u64,
+    /// Rung visits skipped because the rung's circuit breaker was open.
+    pub breaker_skips: u64,
 }
 
 impl ServingStats {
@@ -224,6 +279,43 @@ impl ServingStats {
     /// Total successful answers.
     pub fn total_served(&self) -> u64 {
         self.served.iter().sum()
+    }
+}
+
+/// Race-free counter cells behind [`ServingStats`]. Plain atomics: safe
+/// to bump from any worker thread without a lock, and a panicking
+/// request can never poison them.
+#[derive(Debug, Default)]
+struct StatCells {
+    served: [AtomicU64; 4],
+    rejected_overload: AtomicU64,
+    deadline_misses: AtomicU64,
+    bad_requests: AtomicU64,
+    all_rungs_failed: AtomicU64,
+    retries: AtomicU64,
+    degraded: AtomicU64,
+    cancelled: AtomicU64,
+    breaker_skips: AtomicU64,
+}
+
+impl StatCells {
+    fn snapshot(&self) -> ServingStats {
+        ServingStats {
+            served: [
+                self.served[0].load(Ordering::Relaxed),
+                self.served[1].load(Ordering::Relaxed),
+                self.served[2].load(Ordering::Relaxed),
+                self.served[3].load(Ordering::Relaxed),
+            ],
+            rejected_overload: self.rejected_overload.load(Ordering::Relaxed),
+            deadline_misses: self.deadline_misses.load(Ordering::Relaxed),
+            bad_requests: self.bad_requests.load(Ordering::Relaxed),
+            all_rungs_failed: self.all_rungs_failed.load(Ordering::Relaxed),
+            retries: self.retries.load(Ordering::Relaxed),
+            degraded: self.degraded.load(Ordering::Relaxed),
+            cancelled: self.cancelled.load(Ordering::Relaxed),
+            breaker_skips: self.breaker_skips.load(Ordering::Relaxed),
+        }
     }
 }
 
@@ -241,6 +333,53 @@ pub struct Served {
     pub elapsed: Duration,
 }
 
+/// Health of one rung, as reported by [`HealthSnapshot`].
+#[derive(Debug, Clone)]
+pub struct RungHealth {
+    /// Which rung.
+    pub rung: Rung,
+    /// True when a compiled model backs this rung (the reference rung is
+    /// imperative and always available).
+    pub compiled: bool,
+    /// Breaker state; `None` for the reference rung, which has no
+    /// breaker.
+    pub breaker: Option<BreakerState>,
+    /// True while the canary checker has this rung quarantined.
+    pub quarantined: bool,
+    /// Requests on this rung stopped mid-graph for blowing their
+    /// deadline.
+    pub deadline_blows: u64,
+    /// Successful answers served from this rung.
+    pub served: u64,
+}
+
+/// Point-in-time health/readiness view of a serving model (and, via
+/// [`Supervisor::health`], its worker pool).
+#[derive(Debug, Clone)]
+pub struct HealthSnapshot {
+    /// Per-rung health, ladder order (compiled rungs plus the reference
+    /// floor).
+    pub rungs: Vec<RungHealth>,
+    /// Aggregate request counters.
+    pub stats: ServingStats,
+    /// Incidents recorded since construction (monotonic; the retained
+    /// window may be smaller).
+    pub incidents_total: u64,
+    /// True when at least one rung is admissible. The reference floor
+    /// makes this always true for a constructed model.
+    pub ready: bool,
+    /// True when the best compiled rung is not currently serving
+    /// (breaker open/half-open or quarantined) — traffic is degraded.
+    pub degraded_mode: bool,
+}
+
+impl HealthSnapshot {
+    /// Health of rung `r`, if present on the ladder.
+    pub fn rung(&self, r: Rung) -> Option<&RungHealth> {
+        self.rungs.iter().find(|h| h.rung == r)
+    }
+}
+
 /// Decrements the in-flight counter when the request leaves the server,
 /// on every path including panics.
 struct AdmissionGuard<'a>(&'a AtomicUsize);
@@ -251,18 +390,41 @@ impl Drop for AdmissionGuard<'_> {
     }
 }
 
+/// Outcome of one rung attempt.
+enum RungOutcome {
+    Ok(Tensor<f32>),
+    /// The executor observed the request's cancel token mid-graph.
+    Cancelled,
+    Failed {
+        transient: bool,
+        why: String,
+    },
+}
+
 /// A pipeline hardened for serving: compiled at every backend that
-/// accepts it, fronted by admission control, deadlines, retries, and
-/// the degradation ladder.
+/// accepts it, fronted by admission control, deadlines with cooperative
+/// cancellation, retries, per-rung circuit breakers, and the
+/// degradation ladder.
+///
+/// `ServingModel` is `Send + Sync`; wrap it in an [`Arc`] (or hand it to
+/// [`Supervisor::spawn`]) to serve from many threads.
 pub struct ServingModel {
     pipeline: Pipeline,
     /// Successfully compiled rungs, best-first. May be empty (then every
     /// request is served by the reference scorer).
     rungs: Vec<(Rung, CompiledModel)>,
+    /// Circuit breakers parallel to `rungs` (the reference floor has
+    /// none — it is never skipped).
+    breakers: Vec<CircuitBreaker>,
     config: ServeConfig,
     input_width: Option<usize>,
     in_flight: AtomicUsize,
-    stats: Mutex<ServingStats>,
+    cells: StatCells,
+    /// Per-rung count of requests cancelled mid-graph after blowing
+    /// their deadline (ladder order). The supervisor's watchdog trips a
+    /// rung's breaker when these accumulate too fast.
+    deadline_blows: [AtomicU64; 4],
+    incidents: Arc<IncidentLog>,
 }
 
 impl ServingModel {
@@ -322,12 +484,19 @@ impl ServingModel {
                 _ => {}
             }
         }
+        let breakers = rungs
+            .iter()
+            .map(|_| CircuitBreaker::new(config.breaker))
+            .collect();
         Ok(ServingModel {
             pipeline: pipeline.clone(),
             rungs,
+            breakers,
             input_width: width.or(pipeline.input_width),
             in_flight: AtomicUsize::new(0),
-            stats: Mutex::new(ServingStats::default()),
+            cells: StatCells::default(),
+            deadline_blows: Default::default(),
+            incidents: Arc::new(IncidentLog::new(1024)),
             config,
         })
     }
@@ -340,11 +509,113 @@ impl ServingModel {
         r
     }
 
+    /// The best compiled rung on the ladder, if any compiled.
+    pub fn best_compiled_rung(&self) -> Option<Rung> {
+        self.rungs.first().map(|(r, _)| *r)
+    }
+
+    /// The serving configuration this model was built with.
+    pub fn config(&self) -> &ServeConfig {
+        &self.config
+    }
+
     /// Snapshot of the aggregate serving statistics.
     pub fn stats(&self) -> ServingStats {
-        // Stats survive a panicked holder: the counters are plain
-        // integers, always valid.
-        self.stats.lock().unwrap_or_else(|p| p.into_inner()).clone()
+        self.cells.snapshot()
+    }
+
+    /// Snapshot of the retained incident log (oldest first).
+    pub fn incidents(&self) -> Vec<Incident> {
+        self.incidents.snapshot()
+    }
+
+    /// The shared incident log (supervisor threads record into the same
+    /// sequence).
+    pub(crate) fn incident_log(&self) -> Arc<IncidentLog> {
+        Arc::clone(&self.incidents)
+    }
+
+    /// The breaker guarding `rung`, if the rung compiled (the reference
+    /// floor has none).
+    pub(crate) fn breaker_for(&self, rung: Rung) -> Option<&CircuitBreaker> {
+        self.rungs
+            .iter()
+            .position(|(r, _)| *r == rung)
+            .map(|i| &self.breakers[i])
+    }
+
+    /// Per-rung deadline-blow counters (ladder order).
+    pub(crate) fn deadline_blow_counts(&self) -> [u64; 4] {
+        [
+            self.deadline_blows[0].load(Ordering::Relaxed),
+            self.deadline_blows[1].load(Ordering::Relaxed),
+            self.deadline_blows[2].load(Ordering::Relaxed),
+            self.deadline_blows[3].load(Ordering::Relaxed),
+        ]
+    }
+
+    /// Records an admission rejection performed on the model's behalf
+    /// (the supervisor's bounded queue).
+    pub(crate) fn record_overload(&self) {
+        self.cells.rejected_overload.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Runs `x` once on `rung` with no retries, breakers, or deadline —
+    /// the canary/probe execution path. Returns the raw output or a
+    /// failure description.
+    pub(crate) fn raw_rung_output(
+        &self,
+        rung: Rung,
+        x: &Tensor<f32>,
+    ) -> Result<Tensor<f32>, String> {
+        match self.rungs.iter().find(|(r, _)| *r == rung) {
+            Some((_, model)) => model.predict_proba(x).map_err(|e| e.to_string()),
+            None => self.reference_output(x),
+        }
+    }
+
+    /// The imperative reference answer for `x`, with panics converted to
+    /// errors.
+    pub(crate) fn reference_output(&self, x: &Tensor<f32>) -> Result<Tensor<f32>, String> {
+        catch_unwind(AssertUnwindSafe(|| self.pipeline.predict_proba(x)))
+            .map_err(|p| format!("reference scorer panicked: {}", panic_text(p)))
+    }
+
+    /// Point-in-time health/readiness snapshot: per-rung breaker states,
+    /// quarantine flags, deadline blows, and aggregate stats.
+    pub fn health(&self) -> HealthSnapshot {
+        let stats = self.stats();
+        let blows = self.deadline_blow_counts();
+        let mut rungs = Vec::with_capacity(self.rungs.len() + 1);
+        for (i, (rung, _)) in self.rungs.iter().enumerate() {
+            rungs.push(RungHealth {
+                rung: *rung,
+                compiled: true,
+                breaker: Some(self.breakers[i].state()),
+                quarantined: self.breakers[i].is_quarantined(),
+                deadline_blows: blows[rung.index()],
+                served: stats.served[rung.index()],
+            });
+        }
+        rungs.push(RungHealth {
+            rung: Rung::Reference,
+            compiled: false,
+            breaker: None,
+            quarantined: false,
+            deadline_blows: blows[Rung::Reference.index()],
+            served: stats.served[Rung::Reference.index()],
+        });
+        let degraded_mode = match self.breakers.first() {
+            Some(b) => !matches!(b.state(), BreakerState::Closed { .. }),
+            None => !self.rungs.is_empty(),
+        };
+        HealthSnapshot {
+            rungs,
+            stats,
+            incidents_total: self.incidents.total(),
+            ready: true,
+            degraded_mode,
+        }
     }
 
     /// Scores a batch, applying the full protection stack. Equivalent to
@@ -362,7 +633,7 @@ impl ServingModel {
         let admitted = self.in_flight.fetch_add(1, Ordering::SeqCst) + 1;
         let _guard = AdmissionGuard(&self.in_flight);
         if admitted > self.config.queue_capacity {
-            self.record(|s| s.rejected_overload += 1);
+            self.cells.rejected_overload.fetch_add(1, Ordering::Relaxed);
             return Err(ServeError::Overloaded {
                 in_flight: admitted,
                 capacity: self.config.queue_capacity,
@@ -371,9 +642,16 @@ impl ServingModel {
 
         // Request validation before any kernel runs.
         if let Err(msg) = self.validate(x) {
-            self.record(|s| s.bad_requests += 1);
+            self.cells.bad_requests.fetch_add(1, Ordering::Relaxed);
             return Err(ServeError::BadRequest(msg));
         }
+
+        // The request's cooperative cancel token: carries the deadline so
+        // the executor itself stops mid-graph when the budget is gone.
+        let cancel = match self.config.deadline {
+            Some(d) => CancelToken::with_deadline(start + d),
+            None => CancelToken::new(),
+        };
 
         // Corruption detection only applies when the input is clean:
         // a request carrying NaN/Inf legitimately produces non-finite
@@ -382,11 +660,7 @@ impl ServingModel {
 
         let mut retries_spent = 0u32;
         let mut failures: Vec<(Rung, String)> = Vec::new();
-        let best = self
-            .rungs
-            .first()
-            .map(|(r, _)| *r)
-            .unwrap_or(Rung::Reference);
+        let best = self.best_compiled_rung().unwrap_or(Rung::Reference);
 
         for (rung, model) in self
             .rungs
@@ -394,24 +668,45 @@ impl ServingModel {
             .map(|(r, m)| (*r, Some(m)))
             .chain([(Rung::Reference, None)])
         {
+            // Circuit breaker: skip a rung that is open; win the single
+            // probe slot when it is half-open.
+            let admission = match self.breaker_for(rung) {
+                Some(b) => b.admit(Instant::now()),
+                None => Admission::Serve,
+            };
+            if admission == Admission::Skip {
+                self.cells.breaker_skips.fetch_add(1, Ordering::Relaxed);
+                failures.push((rung, "skipped: circuit open".to_string()));
+                continue;
+            }
+            let was_probe = admission == Admission::Probe;
+
             let mut backoff = self.config.backoff;
             let mut attempt = 0u32;
             loop {
-                self.check_deadline(start)?;
-                match self.run_rung(model, x) {
-                    Ok(out) => {
+                if let Err(e) = self.check_deadline(start) {
+                    // A probe slot must always be resolved; a rung that
+                    // could not prove health before the deadline stays
+                    // open for another cooldown.
+                    self.rung_failed(rung, was_probe, "deadline expired before attempt");
+                    return Err(e);
+                }
+                match self.run_rung(model, x, &cancel) {
+                    RungOutcome::Ok(out) => {
                         if input_finite && out.iter().any(|v| !v.is_finite()) {
                             failures.push((rung, "non-finite output for finite input".into()));
+                            self.rung_failed(rung, was_probe, "non-finite output for finite input");
                             break;
                         }
+                        self.rung_succeeded(rung, was_probe);
                         self.check_deadline(start)?;
-                        self.record(|s| {
-                            s.served[rung.index()] += 1;
-                            s.retries += u64::from(retries_spent);
-                            if rung != best {
-                                s.degraded += 1;
-                            }
-                        });
+                        self.cells.served[rung.index()].fetch_add(1, Ordering::Relaxed);
+                        self.cells
+                            .retries
+                            .fetch_add(u64::from(retries_spent), Ordering::Relaxed);
+                        if rung != best {
+                            self.cells.degraded.fetch_add(1, Ordering::Relaxed);
+                        }
                         return Ok(Served {
                             output: out,
                             rung,
@@ -419,46 +714,109 @@ impl ServingModel {
                             elapsed: start.elapsed(),
                         });
                     }
-                    Err((transient, why)) => {
+                    RungOutcome::Cancelled => {
+                        // The executor stopped mid-graph: account the
+                        // blown deadline to this rung so the watchdog can
+                        // trip chronically slow rungs.
+                        self.deadline_blows[rung.index()].fetch_add(1, Ordering::Relaxed);
+                        self.cells.cancelled.fetch_add(1, Ordering::Relaxed);
+                        self.cells.deadline_misses.fetch_add(1, Ordering::Relaxed);
+                        self.incidents.record(
+                            IncidentKind::DeadlineCancelled,
+                            Some(rung),
+                            format!("stopped mid-graph after {:?}", start.elapsed()),
+                        );
+                        if was_probe {
+                            self.rung_failed(rung, true, "probe cancelled at deadline");
+                        }
+                        let deadline = self.config.deadline.unwrap_or_default();
+                        return Err(ServeError::DeadlineExceeded {
+                            elapsed: start.elapsed(),
+                            deadline,
+                        });
+                    }
+                    RungOutcome::Failed { transient, why } => {
                         if transient && attempt < self.config.max_retries {
                             attempt += 1;
                             retries_spent += 1;
-                            std::thread::sleep(backoff);
+                            // Clamp the backoff to the remaining deadline
+                            // budget: a request must never sleep past its
+                            // own deadline before even re-attempting.
+                            let sleep = match self.config.deadline {
+                                Some(d) => backoff.min(d.saturating_sub(start.elapsed())),
+                                None => backoff,
+                            };
+                            if !sleep.is_zero() {
+                                std::thread::sleep(sleep);
+                            }
                             backoff *= 2;
                             continue;
                         }
-                        failures.push((rung, why));
+                        failures.push((rung, why.clone()));
+                        self.rung_failed(rung, was_probe, &why);
                         break;
                     }
                 }
             }
         }
 
-        self.record(|s| s.all_rungs_failed += 1);
+        self.cells.all_rungs_failed.fetch_add(1, Ordering::Relaxed);
         Err(ServeError::AllRungsFailed(failures))
     }
 
+    /// Breaker bookkeeping for a successful serve.
+    fn rung_succeeded(&self, rung: Rung, was_probe: bool) {
+        if let Some(b) = self.breaker_for(rung) {
+            if b.on_success(was_probe) {
+                self.incidents.record(
+                    IncidentKind::BreakerClosed,
+                    Some(rung),
+                    "half-open probe passed",
+                );
+            }
+        }
+    }
+
+    /// Breaker bookkeeping for a failed serve (possibly opening it).
+    fn rung_failed(&self, rung: Rung, was_probe: bool, why: &str) {
+        if let Some(b) = self.breaker_for(rung) {
+            if let Some(reason) = b.on_failure(was_probe, Instant::now()) {
+                self.incidents.record(
+                    IncidentKind::BreakerOpened,
+                    Some(rung),
+                    format!("{}: {}", reason.label(), why),
+                );
+            }
+        }
+    }
+
     /// Runs one rung; `None` selects the imperative reference scorer.
-    /// Returns `(is_transient, reason)` on failure. Panics inside the
-    /// reference scorer are converted to failures here; compiled rungs
-    /// are already panic-free at the executor boundary.
+    /// Panics inside the reference scorer are converted to failures
+    /// here; compiled rungs are already panic-free at the executor
+    /// boundary. The compiled rungs observe `cancel` between node
+    /// evaluations.
     fn run_rung(
         &self,
         model: Option<&CompiledModel>,
         x: &Tensor<f32>,
-    ) -> Result<Tensor<f32>, (bool, String)> {
+        cancel: &CancelToken,
+    ) -> RungOutcome {
         match model {
-            Some(m) => m
-                .predict_proba(x)
-                .map_err(|e| (e.is_transient(), e.to_string())),
-            None => {
-                catch_unwind(AssertUnwindSafe(|| self.pipeline.predict_proba(x))).map_err(|p| {
-                    (
-                        false,
-                        format!("reference scorer panicked: {}", panic_text(p)),
-                    )
-                })
-            }
+            Some(m) => match m.predict_proba_cancel(x, cancel) {
+                Ok(out) => RungOutcome::Ok(out),
+                Err(HbError::Exec(e)) if e.is_cancelled() => RungOutcome::Cancelled,
+                Err(e) => RungOutcome::Failed {
+                    transient: e.is_transient(),
+                    why: e.to_string(),
+                },
+            },
+            None => match catch_unwind(AssertUnwindSafe(|| self.pipeline.predict_proba(x))) {
+                Ok(out) => RungOutcome::Ok(out),
+                Err(p) => RungOutcome::Failed {
+                    transient: false,
+                    why: format!("reference scorer panicked: {}", panic_text(p)),
+                },
+            },
         }
     }
 
@@ -486,15 +844,31 @@ impl ServingModel {
         };
         let elapsed = start.elapsed();
         if elapsed > deadline {
-            self.record(|s| s.deadline_misses += 1);
+            self.cells.deadline_misses.fetch_add(1, Ordering::Relaxed);
             return Err(ServeError::DeadlineExceeded { elapsed, deadline });
         }
         Ok(())
     }
+}
 
-    fn record(&self, f: impl FnOnce(&mut ServingStats)) {
-        f(&mut self.stats.lock().unwrap_or_else(|p| p.into_inner()));
+/// Worst relative element-wise divergence between `got` and `want`.
+/// Shape mismatches and one-sided non-finite values count as infinite
+/// divergence (a NaN-poisoned output can never be "close").
+pub(crate) fn divergence(got: &Tensor<f32>, want: &Tensor<f32>) -> f32 {
+    if got.shape() != want.shape() {
+        return f32::INFINITY;
     }
+    let mut worst = 0.0f32;
+    for (g, w) in got.iter().zip(want.iter()) {
+        if !g.is_finite() && !w.is_finite() {
+            continue;
+        }
+        if !g.is_finite() || !w.is_finite() {
+            return f32::INFINITY;
+        }
+        worst = worst.max((g - w).abs() / (w.abs() + 1e-6));
+    }
+    worst
 }
 
 fn panic_text(p: Box<dyn std::any::Any + Send>) -> String {
@@ -593,5 +967,95 @@ mod tests {
             Err(ServeError::Overloaded { .. })
         ));
         assert_eq!(server.stats().rejected_overload, 1);
+    }
+
+    #[test]
+    fn serving_model_and_supervisor_are_send_sync() {
+        // Compile-time assertion: the worker pool shares one
+        // ServingModel across threads, so both must be Send + Sync.
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ServingModel>();
+        assert_send_sync::<Supervisor>();
+        assert_send_sync::<ServingStats>();
+        assert_send_sync::<CircuitBreaker>();
+        assert_send_sync::<IncidentLog>();
+    }
+
+    #[test]
+    fn persistent_failures_open_the_breaker_and_skip_the_rung() {
+        let (pipe, x) = fixture();
+        let server = ServingModel::new(
+            &pipe,
+            ServeConfig {
+                faults: FaultPlan {
+                    kernel_error: true,
+                    ..FaultPlan::none()
+                },
+                max_retries: 0,
+                breaker: BreakerConfig {
+                    failure_threshold: 2,
+                    cooldown: Duration::from_secs(60),
+                },
+                ..ServeConfig::default()
+            },
+        )
+        .unwrap();
+        // Every compiled rung fails each request; after two requests
+        // each breaker is open and later requests skip straight to the
+        // reference without paying the failure latency.
+        for _ in 0..3 {
+            let served = server.predict_detailed(&x).unwrap();
+            assert_eq!(served.rung, Rung::Reference);
+        }
+        let health = server.health();
+        let compiled = health.rung(Rung::Compiled).unwrap();
+        assert!(
+            matches!(compiled.breaker, Some(BreakerState::Open { .. })),
+            "expected open breaker, got {:?}",
+            compiled.breaker
+        );
+        assert!(health.degraded_mode);
+        assert!(server.stats().breaker_skips > 0);
+        assert!(health.incidents_total > 0, "breaker trips are incidents");
+    }
+
+    #[test]
+    fn backoff_never_sleeps_past_the_deadline() {
+        let (pipe, x) = fixture();
+        // Transient failures with a huge backoff and a tight deadline:
+        // the clamped backoff means the request fails fast instead of
+        // sleeping 200ms past its 20ms budget.
+        let server = ServingModel::new(
+            &pipe,
+            ServeConfig {
+                faults: FaultPlan {
+                    kernel_error: true,
+                    ..FaultPlan::none()
+                },
+                max_retries: 3,
+                backoff: Duration::from_millis(200),
+                deadline: Some(Duration::from_millis(20)),
+                ..ServeConfig::default()
+            },
+        )
+        .unwrap();
+        let t = Instant::now();
+        let _ = server.predict(&x);
+        assert!(
+            t.elapsed() < Duration::from_millis(150),
+            "request slept past its deadline: {:?}",
+            t.elapsed()
+        );
+    }
+
+    #[test]
+    fn divergence_flags_nan_and_accepts_close_outputs() {
+        let a = Tensor::from_vec(vec![1.0f32, 2.0], &[2, 1]);
+        let b = Tensor::from_vec(vec![1.0f32 + 1e-7, 2.0], &[2, 1]);
+        assert!(divergence(&a, &b) < 1e-4);
+        let poisoned = Tensor::from_vec(vec![f32::NAN, 2.0], &[2, 1]);
+        assert!(divergence(&poisoned, &a).is_infinite());
+        let wrong_shape = Tensor::from_vec(vec![1.0f32], &[1, 1]);
+        assert!(divergence(&wrong_shape, &a).is_infinite());
     }
 }

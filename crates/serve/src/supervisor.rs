@@ -1,0 +1,551 @@
+//! The serving supervisor: a fixed worker pool with panic isolation,
+//! watchdog, canary divergence checking, and graceful drain.
+//!
+//! [`Supervisor::spawn`] owns N worker threads fed by the bounded
+//! admission queue. Each request runs under `catch_unwind` at the
+//! worker's top level: a panicking request kills the *request* (typed
+//! [`ServeError::Internal`], logged as an incident), never the worker.
+//!
+//! Two background responsibilities run on a dedicated health thread:
+//!
+//! * **Watchdog** — wakes every [`ServeConfig::watchdog_interval`],
+//!   compares per-rung deadline-blow counters against the previous
+//!   window, and trips the breaker of any rung blowing deadlines faster
+//!   than [`ServeConfig::deadline_blow_threshold`] per window
+//!   ([`OpenReason::Slow`]). It also runs recovery probes for
+//!   quarantined rungs (see below).
+//! * **Canary divergence checker** — every
+//!   [`ServeConfig::canary_period`]-th successful response has its
+//!   input replayed, in the background, on every live compiled rung and
+//!   compared against a fresh reference-scorer answer. Relative error
+//!   beyond [`ServeConfig::canary_tolerance`] (or any non-finite
+//!   mismatch) quarantines the rung: its breaker is forced Open with
+//!   [`OpenReason::Quarantine`], which request traffic can never close —
+//!   only a later background probe whose output *again validates
+//!   against the reference* re-admits the rung. This is the only
+//!   defense that catches silent corruption (e.g. NaN poisoning) on a
+//!   rung that reports success, without paying a reference execution on
+//!   the request path.
+//!
+//! The queue-admission check here counts queued *and* running requests
+//! against [`ServeConfig::queue_capacity`]; the request deadline starts
+//! when a worker picks the job up.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use hb_tensor::Tensor;
+
+use crate::breaker::OpenReason;
+use crate::incident::{IncidentKind, IncidentLog};
+use crate::{divergence, Rung, ServeError, Served, ServingModel};
+
+/// Work items flowing through the supervisor's queue.
+enum Work {
+    /// An ordinary scoring request.
+    Predict {
+        x: Tensor<f32>,
+        reply: Sender<Result<Served, ServeError>>,
+    },
+    /// Chaos-testing poison pill: panics inside the worker, proving the
+    /// top-level unwind boundary holds (the chaos suite asserts zero
+    /// worker deaths while injecting these).
+    PanicPill {
+        reply: Sender<Result<Served, ServeError>>,
+    },
+}
+
+/// Messages for the health thread.
+enum HealthMsg {
+    /// A sampled request input to replay through the canary checker.
+    Canary(Tensor<f32>),
+}
+
+/// A fixed-size worker pool serving one [`ServingModel`] with panic
+/// isolation, a watchdog, canary divergence quarantine, and graceful
+/// drain. Cheap to share by reference across client threads (`Send +
+/// Sync`); see `examples/resilient_serving.rs`.
+pub struct Supervisor {
+    model: Arc<ServingModel>,
+    incidents: Arc<IncidentLog>,
+    /// `None` once draining: submissions are refused.
+    job_tx: Mutex<Option<Sender<Work>>>,
+    /// Health-thread sender; dropped on drain so the thread exits.
+    health_tx: Mutex<Option<Sender<HealthMsg>>>,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+    health_thread: Mutex<Option<JoinHandle<()>>>,
+    /// Queued + running requests, bounded by the queue capacity.
+    pending: Arc<AtomicUsize>,
+    n_workers: usize,
+    drained: AtomicBool,
+}
+
+/// Point-in-time view of a supervisor and its model.
+#[derive(Debug, Clone)]
+pub struct SupervisorHealth {
+    /// The underlying model's health (breakers, quarantine, stats).
+    pub model: crate::HealthSnapshot,
+    /// Worker threads the pool was spawned with.
+    pub n_workers: usize,
+    /// Worker threads still alive (the chaos suite asserts this never
+    /// drops below `n_workers` while serving).
+    pub workers_alive: usize,
+    /// Requests currently queued or running.
+    pub queued: usize,
+    /// True once [`Supervisor::drain`] has begun.
+    pub draining: bool,
+}
+
+impl Supervisor {
+    /// Spawns `n_workers` worker threads (at least one) plus the health
+    /// thread around `model`.
+    pub fn spawn(model: ServingModel, n_workers: usize) -> Supervisor {
+        let n_workers = n_workers.max(1);
+        let model = Arc::new(model);
+        let incidents = model.incident_log();
+        let (job_tx, job_rx) = channel::<Work>();
+        let (health_tx, health_rx) = channel::<HealthMsg>();
+        let job_rx = Arc::new(Mutex::new(job_rx));
+        let pending = Arc::new(AtomicUsize::new(0));
+
+        let canary_period = model.config().canary_period;
+        let success_counter = Arc::new(AtomicU64::new(0));
+
+        let mut workers = Vec::with_capacity(n_workers);
+        for _ in 0..n_workers {
+            let model = Arc::clone(&model);
+            let incidents = Arc::clone(&incidents);
+            let rx = Arc::clone(&job_rx);
+            let pending = Arc::clone(&pending);
+            let health_tx = health_tx.clone();
+            let counter = Arc::clone(&success_counter);
+            workers.push(std::thread::spawn(move || {
+                worker_loop(
+                    &model,
+                    &incidents,
+                    &rx,
+                    &pending,
+                    &health_tx,
+                    &counter,
+                    canary_period,
+                );
+            }));
+        }
+
+        let health_thread = {
+            let model = Arc::clone(&model);
+            let incidents = Arc::clone(&incidents);
+            std::thread::spawn(move || health_loop(&model, &incidents, &health_rx))
+        };
+
+        Supervisor {
+            model,
+            incidents,
+            job_tx: Mutex::new(Some(job_tx)),
+            health_tx: Mutex::new(Some(health_tx)),
+            workers: Mutex::new(workers),
+            health_thread: Mutex::new(Some(health_thread)),
+            pending,
+            n_workers,
+            drained: AtomicBool::new(false),
+        }
+    }
+
+    /// The supervised model (for stats, health, and direct calls).
+    pub fn model(&self) -> &ServingModel {
+        &self.model
+    }
+
+    /// Scores a batch through the worker pool, blocking until a worker
+    /// answers. Equivalent to [`Supervisor::predict_detailed`] without
+    /// the metadata.
+    pub fn predict(&self, x: &Tensor<f32>) -> Result<Tensor<f32>, ServeError> {
+        self.predict_detailed(x).map(|s| s.output)
+    }
+
+    /// Scores a batch through the worker pool with serving metadata.
+    ///
+    /// Fails fast with [`ServeError::Overloaded`] when queued + running
+    /// requests exceed the queue capacity, and with
+    /// [`ServeError::ShuttingDown`] once [`Supervisor::drain`] has begun.
+    pub fn predict_detailed(&self, x: &Tensor<f32>) -> Result<Served, ServeError> {
+        self.submit(|reply| Work::Predict {
+            x: x.clone(),
+            reply,
+        })
+    }
+
+    /// Chaos hook: submits a request that panics inside a worker. The
+    /// caller gets [`ServeError::Internal`]; the worker must survive.
+    #[doc(hidden)]
+    pub fn inject_worker_panic(&self) -> Result<Served, ServeError> {
+        self.submit(|reply| Work::PanicPill { reply })
+    }
+
+    fn submit(
+        &self,
+        make: impl FnOnce(Sender<Result<Served, ServeError>>) -> Work,
+    ) -> Result<Served, ServeError> {
+        let tx = {
+            let guard = lock(&self.job_tx);
+            match guard.as_ref() {
+                Some(tx) => tx.clone(),
+                None => return Err(ServeError::ShuttingDown),
+            }
+        };
+        let capacity = self.model.config().queue_capacity;
+        let queued = self.pending.fetch_add(1, Ordering::SeqCst) + 1;
+        if queued > capacity {
+            self.pending.fetch_sub(1, Ordering::SeqCst);
+            self.model.record_overload();
+            return Err(ServeError::Overloaded {
+                in_flight: queued,
+                capacity,
+            });
+        }
+        let (reply_tx, reply_rx) = channel();
+        if tx.send(make(reply_tx)).is_err() {
+            self.pending.fetch_sub(1, Ordering::SeqCst);
+            return Err(ServeError::ShuttingDown);
+        }
+        reply_rx
+            .recv()
+            .unwrap_or_else(|_| Err(ServeError::Internal("worker dropped the reply".into())))
+    }
+
+    /// Health snapshot including pool liveness.
+    pub fn health(&self) -> SupervisorHealth {
+        let workers_alive = lock(&self.workers)
+            .iter()
+            .filter(|h| !h.is_finished())
+            .count();
+        SupervisorHealth {
+            model: self.model.health(),
+            n_workers: self.n_workers,
+            workers_alive,
+            queued: self.pending.load(Ordering::SeqCst),
+            draining: lock(&self.job_tx).is_none(),
+        }
+    }
+
+    /// Snapshot of the incident log (workers, watchdog, canary, and the
+    /// request path all record into the same monotonic sequence).
+    pub fn incidents(&self) -> Vec<crate::Incident> {
+        self.incidents.snapshot()
+    }
+
+    /// Graceful shutdown: refuses new submissions, lets queued requests
+    /// finish, joins every worker and the health thread. Idempotent;
+    /// also invoked by `Drop`.
+    pub fn drain(&self) {
+        // Closing the intake disconnects the job channel once queued
+        // work is consumed, so workers exit after finishing in-flight
+        // requests — never mid-request.
+        drop(lock(&self.job_tx).take());
+        for handle in lock(&self.workers).drain(..) {
+            let _ = handle.join();
+        }
+        // With every worker gone, dropping our health sender disconnects
+        // the health channel and the health thread exits.
+        drop(lock(&self.health_tx).take());
+        if let Some(handle) = lock(&self.health_thread).take() {
+            let _ = handle.join();
+        }
+        if !self.drained.swap(true, Ordering::SeqCst) {
+            self.incidents
+                .record(IncidentKind::Drained, None, "supervisor drained");
+        }
+    }
+}
+
+impl Drop for Supervisor {
+    fn drop(&mut self) {
+        self.drain();
+    }
+}
+
+/// Poison-proof lock: every shared structure here is valid on all paths,
+/// so a panicking thread must not wedge the pool.
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+fn worker_loop(
+    model: &ServingModel,
+    incidents: &IncidentLog,
+    rx: &Mutex<Receiver<Work>>,
+    pending: &AtomicUsize,
+    health_tx: &Sender<HealthMsg>,
+    success_counter: &AtomicU64,
+    canary_period: usize,
+) {
+    loop {
+        // Hold the receiver lock only while dequeuing, never while
+        // scoring — other workers keep draining the queue in parallel.
+        let work = lock(rx).recv();
+        let Ok(work) = work else {
+            return; // intake closed and queue drained
+        };
+        match work {
+            Work::Predict { x, reply } => {
+                let outcome = catch_unwind(AssertUnwindSafe(|| model.predict_detailed(&x)));
+                let result = match outcome {
+                    Ok(r) => r,
+                    Err(p) => {
+                        let msg = crate::panic_text(p);
+                        incidents.record(IncidentKind::WorkerPanic, None, msg.clone());
+                        Err(ServeError::Internal(format!("request panicked: {msg}")))
+                    }
+                };
+                if result.is_ok() && canary_period > 0 {
+                    let n = success_counter.fetch_add(1, Ordering::Relaxed) + 1;
+                    if n.is_multiple_of(canary_period as u64) {
+                        // Best effort: a closed health channel just means
+                        // we are draining.
+                        let _ = health_tx.send(HealthMsg::Canary(x));
+                    }
+                }
+                pending.fetch_sub(1, Ordering::SeqCst);
+                let _ = reply.send(result);
+            }
+            Work::PanicPill { reply } => {
+                let outcome: Result<Result<Served, ServeError>, _> =
+                    catch_unwind(AssertUnwindSafe(|| {
+                        panic!("chaos: injected worker panic");
+                    }));
+                let result = match outcome {
+                    Ok(r) => r,
+                    Err(p) => {
+                        let msg = crate::panic_text(p);
+                        incidents.record(IncidentKind::WorkerPanic, None, msg.clone());
+                        Err(ServeError::Internal(format!("request panicked: {msg}")))
+                    }
+                };
+                pending.fetch_sub(1, Ordering::SeqCst);
+                let _ = reply.send(result);
+            }
+        }
+    }
+}
+
+fn health_loop(model: &ServingModel, incidents: &IncidentLog, rx: &Receiver<HealthMsg>) {
+    let interval = model.config().watchdog_interval;
+    let tolerance = model.config().canary_tolerance;
+    let blow_threshold = model.config().deadline_blow_threshold;
+    let mut last_blows = model.deadline_blow_counts();
+    // The most recent sampled input doubles as the probe payload for
+    // quarantine recovery.
+    let mut stash: Option<Tensor<f32>> = None;
+    // Watchdog ticks run on an absolute schedule so a steady stream of
+    // canary samples cannot starve them.
+    let mut next_tick = Instant::now() + interval;
+    loop {
+        let wait = next_tick.saturating_duration_since(Instant::now());
+        match rx.recv_timeout(wait) {
+            Ok(HealthMsg::Canary(x)) => {
+                // Collapse any backlog to the newest sample: the canary
+                // is statistical, and replaying every queued input would
+                // let a burst of traffic (or a slow rung) wedge this
+                // thread — and with it, drain() — for minutes.
+                let mut newest = x;
+                while let Ok(HealthMsg::Canary(later)) = rx.try_recv() {
+                    newest = later;
+                }
+                run_canary(model, incidents, &newest, tolerance);
+                stash = Some(newest);
+            }
+            Err(RecvTimeoutError::Timeout) => {}
+            Err(RecvTimeoutError::Disconnected) => return,
+        }
+        if Instant::now() >= next_tick {
+            run_watchdog(model, incidents, &mut last_blows, blow_threshold);
+            run_recovery_probes(model, incidents, stash.as_ref(), tolerance);
+            next_tick = Instant::now() + interval;
+        }
+    }
+}
+
+/// Replays `x` on every live compiled rung and compares against a fresh
+/// reference answer; divergence beyond tolerance quarantines the rung.
+fn run_canary(model: &ServingModel, incidents: &IncidentLog, x: &Tensor<f32>, tolerance: f32) {
+    let Ok(want) = model.reference_output(x) else {
+        // No trustworthy baseline; skip this sample.
+        return;
+    };
+    for rung in compiled_rungs(model) {
+        let Some(breaker) = model.breaker_for(rung) else {
+            continue;
+        };
+        // Quarantine recovery goes through the probe path, and a rung
+        // tripped for *slowness* must not be replayed here — its
+        // uncancellable background run would stall this thread (and
+        // with it, drain). Failures-opened rungs are still replayed:
+        // they fail fast, and catching their silent-corruption flavor
+        // (e.g. NaN poisoning behind an inline-detected failure) is the
+        // canary's whole job.
+        let skip = match breaker.state() {
+            crate::BreakerState::Closed { .. } => false,
+            crate::BreakerState::Open { reason, .. }
+            | crate::BreakerState::HalfOpen { reason, .. } => {
+                matches!(reason, OpenReason::Slow | OpenReason::Quarantine)
+            }
+        };
+        if skip {
+            continue;
+        }
+        // Hard failures are the request path's job (retry + breaker);
+        // the canary hunts silent corruption, so only a *successful*
+        // replay with a wrong answer is actionable here.
+        let Ok(got) = model.raw_rung_output(rung, x) else {
+            continue;
+        };
+        let err = divergence(&got, &want);
+        // NaN divergence (non-finite replay output) must also trip.
+        if err.is_nan() || err > tolerance {
+            incidents.record(
+                IncidentKind::CanaryDivergence,
+                Some(rung),
+                format!("relative error {err:e} exceeds tolerance {tolerance:e}"),
+            );
+            if breaker.trip(OpenReason::Quarantine, Instant::now()) {
+                incidents.record(
+                    IncidentKind::Quarantined,
+                    Some(rung),
+                    "rung quarantined pending canary-validated probe",
+                );
+            }
+        }
+    }
+}
+
+/// Trips rungs that blew more than `threshold` deadlines since the last
+/// watchdog window.
+fn run_watchdog(
+    model: &ServingModel,
+    incidents: &IncidentLog,
+    last_blows: &mut [u64; 4],
+    threshold: u64,
+) {
+    let now_blows = model.deadline_blow_counts();
+    for rung in compiled_rungs(model) {
+        let i = rung.index();
+        let delta = now_blows[i].saturating_sub(last_blows[i]);
+        if threshold > 0 && delta >= threshold {
+            if let Some(breaker) = model.breaker_for(rung) {
+                if breaker.trip(OpenReason::Slow, Instant::now()) {
+                    incidents.record(
+                        IncidentKind::WatchdogSlowTrip,
+                        Some(rung),
+                        format!("{delta} deadline blows in one watchdog window"),
+                    );
+                }
+            }
+        }
+        last_blows[i] = now_blows[i];
+    }
+}
+
+/// Runs at most one background probe per quarantined rung, re-validating
+/// its output against the reference before re-admitting it.
+fn run_recovery_probes(
+    model: &ServingModel,
+    incidents: &IncidentLog,
+    stash: Option<&Tensor<f32>>,
+    tolerance: f32,
+) {
+    let Some(x) = stash else {
+        return; // nothing sampled yet, nothing to probe with
+    };
+    for rung in compiled_rungs(model) {
+        let Some(breaker) = model.breaker_for(rung) else {
+            continue;
+        };
+        if !breaker.is_quarantined() {
+            continue;
+        }
+        if !breaker.try_begin_probe(Instant::now()) {
+            continue;
+        }
+        let healthy = match (model.raw_rung_output(rung, x), model.reference_output(x)) {
+            (Ok(got), Ok(want)) => divergence(&got, &want) <= tolerance,
+            _ => false,
+        };
+        if healthy {
+            if breaker.on_success(true) {
+                incidents.record(
+                    IncidentKind::BreakerClosed,
+                    Some(rung),
+                    "canary-validated probe passed; quarantine lifted",
+                );
+            }
+        } else {
+            breaker.on_failure(true, Instant::now());
+        }
+    }
+}
+
+fn compiled_rungs(model: &ServingModel) -> Vec<Rung> {
+    model
+        .available_rungs()
+        .into_iter()
+        .filter(|r| *r != Rung::Reference)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ServeConfig;
+    use hb_pipeline::{fit_pipeline, OpSpec, Targets};
+
+    fn fixture() -> (hb_pipeline::Pipeline, Tensor<f32>) {
+        let x = Tensor::from_fn(&[30, 3], |i| ((i[0] * 5 + i[1]) % 11) as f32 * 0.2);
+        let y = Targets::Classes((0..30).map(|i| (i % 2) as i64).collect());
+        let pipe = fit_pipeline(&[OpSpec::StandardScaler, OpSpec::GaussianNb], &x, &y);
+        (pipe, x)
+    }
+
+    #[test]
+    fn pool_serves_and_drains_cleanly() {
+        let (pipe, x) = fixture();
+        let model = ServingModel::new(&pipe, ServeConfig::default()).unwrap();
+        let sup = Supervisor::spawn(model, 2);
+        let served = sup.predict_detailed(&x).unwrap();
+        assert_eq!(served.output.shape(), &[30, 2]);
+        let health = sup.health();
+        assert_eq!(health.workers_alive, 2);
+        assert!(!health.draining);
+        sup.drain();
+        assert!(matches!(sup.predict(&x), Err(ServeError::ShuttingDown)));
+        assert!(sup.health().draining);
+        // Idempotent.
+        sup.drain();
+        assert_eq!(
+            sup.incidents()
+                .iter()
+                .filter(|i| i.kind == IncidentKind::Drained)
+                .count(),
+            1
+        );
+    }
+
+    #[test]
+    fn worker_panic_kills_the_request_not_the_worker() {
+        let (pipe, x) = fixture();
+        let model = ServingModel::new(&pipe, ServeConfig::default()).unwrap();
+        let sup = Supervisor::spawn(model, 1);
+        let err = sup.inject_worker_panic().unwrap_err();
+        assert!(matches!(err, ServeError::Internal(_)));
+        // The lone worker survived and still serves.
+        assert!(sup.predict(&x).is_ok());
+        assert_eq!(sup.health().workers_alive, 1);
+        assert!(sup
+            .incidents()
+            .iter()
+            .any(|i| i.kind == IncidentKind::WorkerPanic));
+    }
+}

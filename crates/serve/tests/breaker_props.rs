@@ -1,0 +1,230 @@
+//! Property tests for the circuit-breaker state machine.
+//!
+//! Random interleavings of request outcomes, time advances, watchdog /
+//! canary trips, and background probes must never violate the breaker's
+//! safety invariants:
+//!
+//! * an Open breaker never serves before its cooldown elapses;
+//! * at most one probe is outstanding at a time in Half-Open;
+//! * quarantined rungs never admit request traffic — only a background
+//!   probe can close them;
+//! * in Closed, exactly K consecutive failures trip the breaker, and any
+//!   success resets the streak.
+
+use std::time::{Duration, Instant};
+
+use hb_serve::{Admission, BreakerConfig, BreakerState, CircuitBreaker, OpenReason};
+use proptest::prelude::*;
+
+const COOLDOWN_MS: u64 = 10;
+const THRESHOLD: u32 = 3;
+
+#[derive(Debug, Clone, Copy)]
+enum Event {
+    /// Advance simulated time by this many milliseconds.
+    Advance(u64),
+    /// A request arrives; if admitted, it completes with this outcome.
+    Request { success: bool },
+    /// The watchdog trips the rung as slow.
+    TripSlow,
+    /// The canary quarantines the rung.
+    TripQuarantine,
+    /// The background prober attempts a probe completing with this
+    /// outcome.
+    BackgroundProbe { success: bool },
+}
+
+fn event() -> impl Strategy<Value = Event> {
+    prop_oneof![
+        (0u64..25).prop_map(Event::Advance),
+        any::<bool>().prop_map(|success| Event::Request { success }),
+        Just(Event::TripSlow),
+        Just(Event::TripQuarantine),
+        any::<bool>().prop_map(|success| Event::BackgroundProbe { success }),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn breaker_invariants_hold_under_any_interleaving(
+        events in proptest::collection::vec(event(), 1..120)
+    ) {
+        let cfg = BreakerConfig {
+            failure_threshold: THRESHOLD,
+            cooldown: Duration::from_millis(COOLDOWN_MS),
+        };
+        let b = CircuitBreaker::new(cfg);
+        let epoch = Instant::now();
+        let mut now = epoch;
+
+        for ev in events {
+            let before = b.state();
+            match ev {
+                Event::Advance(ms) => {
+                    now += Duration::from_millis(ms);
+                }
+                Event::Request { success } => {
+                    let admission = b.admit(now);
+                    // Safety: an Open breaker inside its cooldown never
+                    // serves, and quarantine never serves request
+                    // traffic at all.
+                    match before {
+                        BreakerState::Open { reason, since } => {
+                            let cooled =
+                                now.duration_since(since) >= cfg.cooldown;
+                            if reason == OpenReason::Quarantine {
+                                prop_assert_eq!(admission, Admission::Skip);
+                            } else if !cooled {
+                                prop_assert_eq!(admission, Admission::Skip);
+                            } else {
+                                prop_assert_eq!(admission, Admission::Probe);
+                            }
+                        }
+                        BreakerState::HalfOpen { probing, reason } => {
+                            if reason == OpenReason::Quarantine || probing {
+                                prop_assert_eq!(admission, Admission::Skip);
+                            } else {
+                                prop_assert_eq!(admission, Admission::Probe);
+                            }
+                        }
+                        BreakerState::Closed { .. } => {
+                            prop_assert_eq!(admission, Admission::Serve);
+                        }
+                    }
+                    match admission {
+                        Admission::Skip => {}
+                        Admission::Serve | Admission::Probe => {
+                            let was_probe = admission == Admission::Probe;
+                            if was_probe {
+                                // One probe at a time: while this probe
+                                // is outstanding nobody else gets in.
+                                prop_assert_eq!(b.admit(now), Admission::Skip);
+                                prop_assert!(!b.try_begin_probe(now));
+                            }
+                            if success {
+                                b.on_success(was_probe);
+                                if was_probe {
+                                    // A successful probe closes the
+                                    // breaker.
+                                    prop_assert!(matches!(
+                                        b.state(),
+                                        BreakerState::Closed { .. }
+                                    ));
+                                }
+                            } else {
+                                b.on_failure(was_probe, now);
+                                if was_probe {
+                                    // A failed probe re-opens with a
+                                    // fresh cooldown: no admission until
+                                    // it elapses again.
+                                    prop_assert!(matches!(
+                                        b.state(),
+                                        BreakerState::Open { .. }
+                                    ));
+                                    prop_assert_eq!(
+                                        b.admit(now),
+                                        Admission::Skip
+                                    );
+                                }
+                            }
+                        }
+                    }
+                }
+                Event::TripSlow => {
+                    b.trip(OpenReason::Slow, now);
+                    // Quarantine is sticky: a slow trip never downgrades
+                    // it.
+                    if matches!(
+                        before,
+                        BreakerState::Open { reason: OpenReason::Quarantine, .. }
+                    ) {
+                        prop_assert!(b.is_quarantined());
+                    }
+                }
+                Event::TripQuarantine => {
+                    b.trip(OpenReason::Quarantine, now);
+                    prop_assert!(b.is_quarantined());
+                    // Request traffic can never touch a quarantined
+                    // rung, cooled down or not.
+                    let later = now + Duration::from_millis(COOLDOWN_MS * 10);
+                    prop_assert_eq!(b.admit(later), Admission::Skip);
+                }
+                Event::BackgroundProbe { success } => {
+                    if b.try_begin_probe(now) {
+                        prop_assert!(!b.try_begin_probe(now), "single probe slot");
+                        prop_assert_eq!(b.admit(now), Admission::Skip);
+                        if success {
+                            b.on_success(true);
+                            prop_assert!(matches!(
+                                b.state(),
+                                BreakerState::Closed { .. }
+                            ));
+                            prop_assert!(!b.is_quarantined());
+                        } else {
+                            b.on_failure(true, now);
+                            prop_assert!(matches!(b.state(), BreakerState::Open { .. }));
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn closed_counts_exactly_k_consecutive_failures(
+        outcomes in proptest::collection::vec(any::<bool>(), 1..200),
+        threshold in 1u32..6,
+    ) {
+        let b = CircuitBreaker::new(BreakerConfig {
+            failure_threshold: threshold,
+            cooldown: Duration::from_secs(3600), // never cools in-test
+        });
+        let now = Instant::now();
+        let mut streak = 0u32;
+        for success in outcomes {
+            if matches!(b.state(), BreakerState::Open { .. }) {
+                break;
+            }
+            if success {
+                b.on_success(false);
+                streak = 0;
+            } else {
+                let tripped = b.on_failure(false, now);
+                streak += 1;
+                if streak >= threshold {
+                    prop_assert_eq!(tripped, Some(OpenReason::Failures));
+                    prop_assert!(matches!(b.state(), BreakerState::Open { .. }));
+                } else {
+                    prop_assert_eq!(tripped, None);
+                    prop_assert!(matches!(b.state(), BreakerState::Closed { .. }));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn open_never_serves_before_cooldown(
+        cooldown_ms in 1u64..50,
+        waits in proptest::collection::vec(0u64..100, 1..30),
+    ) {
+        let b = CircuitBreaker::new(BreakerConfig {
+            failure_threshold: 1,
+            cooldown: Duration::from_millis(cooldown_ms),
+        });
+        let t0 = Instant::now();
+        prop_assert_eq!(b.on_failure(false, t0), Some(OpenReason::Failures));
+        for wait in waits {
+            let t = t0 + Duration::from_millis(wait);
+            let admission = b.admit(t);
+            if wait < cooldown_ms {
+                prop_assert_eq!(admission, Admission::Skip);
+            } else {
+                // First caller past the cooldown wins the probe slot;
+                // close it and stop (the breaker is Closed from here).
+                prop_assert_eq!(admission, Admission::Probe);
+                b.on_success(true);
+                break;
+            }
+        }
+    }
+}

@@ -1,8 +1,10 @@
 //! Fault-tolerant serving: the degradation ladder, deadlines, admission
-//! control, and chaos testing with injected faults.
+//! control, chaos testing with injected faults — and the concurrent
+//! serving supervisor (worker pool, panic isolation, canary quarantine).
 //!
 //! Run with: `cargo run --release --example resilient_serving`
 
+use std::sync::Arc;
 use std::time::Duration;
 
 use hummingbird::prelude::*;
@@ -125,4 +127,82 @@ fn main() {
         stats.bad_requests,
         stats.deadline_misses
     );
+
+    // 7. The supervisor: a fixed worker pool driven from many client
+    //    threads. This model starts NaN-poisoned (a bad deploy); the
+    //    background canary quarantines the corrupt rungs, traffic rides
+    //    the reference floor, and once the fault clears (FirstRuns) a
+    //    canary-validated probe lifts the quarantine — clients never see
+    //    a NaN and never block on a dead worker.
+    let config = ServeConfig {
+        faults: FaultPlan {
+            nan_poison: true,
+            scope: FaultScope::FirstRuns(12),
+            ..FaultPlan::none()
+        },
+        canary_period: 1,
+        watchdog_interval: Duration::from_millis(5),
+        breaker: BreakerConfig {
+            failure_threshold: 3,
+            cooldown: Duration::from_millis(5),
+        },
+        ..ServeConfig::default()
+    };
+    let model = ServingModel::new(&pipe, config).unwrap();
+    let sup = Arc::new(Supervisor::spawn(model, 4));
+
+    // A panicking request is isolated: typed error, worker survives.
+    match sup.inject_worker_panic() {
+        Err(ServeError::Internal(msg)) => println!("panic pill:   typed Internal: {msg}"),
+        other => println!("panic pill:   unexpected {other:?}"),
+    }
+
+    let clients: Vec<_> = (0..4)
+        .map(|c| {
+            let sup = Arc::clone(&sup);
+            let x = ds.x_test.clone();
+            std::thread::spawn(move || {
+                let mut by_rung = std::collections::BTreeMap::new();
+                for _ in 0..60 {
+                    if let Ok(s) = sup.predict_detailed(&x) {
+                        assert!(s.output.iter().all(|v| v.is_finite()), "poison leaked");
+                        *by_rung.entry(s.rung.label()).or_insert(0u32) += 1;
+                    }
+                    std::thread::sleep(Duration::from_millis(2));
+                }
+                (c, by_rung)
+            })
+        })
+        .collect();
+    for t in clients {
+        let (c, by_rung) = t.join().expect("client panicked");
+        println!("client {c}:     served by {by_rung:?}");
+    }
+
+    let health = sup.health();
+    println!(
+        "supervisor:   workers {}/{} alive, ready={}, degraded_mode={}",
+        health.workers_alive, health.n_workers, health.model.ready, health.model.degraded_mode
+    );
+    for rung in &health.model.rungs {
+        println!(
+            "  rung {:<9} quarantined={} deadline_blows={} served={}",
+            rung.rung.label(),
+            rung.quarantined,
+            rung.deadline_blows,
+            rung.served
+        );
+    }
+    println!("incident log  (monotonic seq, ring-buffered):");
+    for inc in sup.incidents().iter().take(10) {
+        println!(
+            "  #{:<3} {:<18} rung={:<9} {}",
+            inc.seq,
+            inc.kind.label(),
+            inc.rung.map_or("-", |r| r.label()),
+            inc.detail
+        );
+    }
+    sup.drain();
+    println!("drained:      {:?}", sup.predict(&ds.x_test).err());
 }

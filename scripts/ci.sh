@@ -38,4 +38,19 @@ rm -rf target/ci-graphs
 ./target/release/hb-export target/ci-graphs
 ./target/release/hb-lint target/ci-graphs/*.json
 
+# Chaos suite, explicitly and with backtraces: every fault injected
+# into the supervised worker pool must surface typed or degraded —
+# worker deaths, lost quarantines, and non-monotonic incident logs all
+# fail here.
+echo "==> cargo test -q --test chaos (supervisor chaos suite)"
+RUST_BACKTRACE=1 cargo test -q --offline --test chaos
+
+# Bounded concurrent soak gate: a short multi-threaded hammer over the
+# supervisor under each fault plan. The soak binary asserts its own
+# invariants (zero worker deaths, monotonic incidents, non-deadlocking
+# drain, no silently wrong answer) and exits non-zero on violation.
+echo "==> serving soak gate (bounded)"
+RUST_BACKTRACE=1 cargo run -q --offline --release -p hb-bench --bin tables -- \
+    soak --soak-secs 1.0 --clients 6
+
 echo "CI green."

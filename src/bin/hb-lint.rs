@@ -201,6 +201,19 @@ fn audit(graph: &Graph) -> Vec<String> {
         ));
     }
 
+    // Cancellation checkpoints: the serving runtime's cooperative
+    // cancellation (deadline enforcement) can only observe its token
+    // *between* kernel launches. A graph lowered to a single fused
+    // mega-kernel gives a blown deadline nowhere to stop — the request
+    // runs to completion no matter how late it is.
+    if graph.kernel_count() <= 1 && graph.len() > 1 {
+        warnings.push(format!(
+            "graph has {} kernel launch(es): no cancellation checkpoints — deadline-exceeded \
+             requests cannot be stopped mid-run when served",
+            graph.kernel_count()
+        ));
+    }
+
     // Constants carrying NaN/Inf: every downstream arithmetic op will
     // poison its outputs, which serving treats as rung corruption.
     for (id, node) in graph.nodes.iter().enumerate() {

@@ -51,11 +51,14 @@ pub use hb_tensor as tensor;
 
 /// Convenience re-exports covering the common compile-and-score flow.
 pub mod prelude {
-    pub use hb_backend::{Backend, Device, FaultPlan, FaultScope};
+    pub use hb_backend::{Backend, CancelToken, Device, FaultPlan, FaultScope};
     pub use hb_core::{compile, CompileOptions, CompiledModel, HbError, TreeStrategy};
     pub use hb_ml::forest::{ForestConfig, RandomForestClassifier, RandomForestRegressor};
     pub use hb_ml::gbdt::{GbdtConfig, GradientBoostingClassifier, GradientBoostingRegressor};
     pub use hb_pipeline::Pipeline;
-    pub use hb_serve::{Rung, ServeConfig, ServeError, ServingModel};
+    pub use hb_serve::{
+        BreakerConfig, BreakerState, HealthSnapshot, Incident, IncidentKind, OpenReason, Rung,
+        ServeConfig, ServeError, Served, ServingModel, Supervisor, SupervisorHealth,
+    };
     pub use hb_tensor::{DynTensor, Tensor};
 }

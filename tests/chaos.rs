@@ -3,14 +3,17 @@
 //! never silent corruption.
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use hummingbird::backend::{Backend, FaultPlan, FaultScope};
 use hummingbird::compiler::{compile, CompileOptions};
 use hummingbird::ml::forest::ForestConfig;
 use hummingbird::ml::metrics::allclose;
 use hummingbird::pipeline::{fit_pipeline, OpSpec, Pipeline, Targets};
-use hummingbird::serve::{Rung, ServeConfig, ServeError, ServingModel};
+use hummingbird::serve::{
+    BreakerConfig, BreakerState, IncidentKind, OpenReason, Rung, ServeConfig, ServeError,
+    ServingModel, Supervisor,
+};
 use hummingbird::tensor::Tensor;
 
 fn fixture() -> (Pipeline, Tensor<f32>) {
@@ -314,4 +317,291 @@ fn overload_rejections_are_typed_and_the_budget_recovers() {
     assert_eq!(server.stats().rejected_overload as usize, rejected);
     // The budget drains: a later request is admitted again.
     assert!(server.predict(&x).is_ok());
+}
+
+/// A blown deadline must stop execution *mid-graph* via cooperative
+/// cancellation, not just be noticed after a full (slow) run completes.
+#[test]
+fn deadline_cancellation_is_observed_mid_graph() {
+    let (pipe, x) = fixture();
+    let config = ServeConfig {
+        faults: FaultPlan {
+            slow_kernel: Some(Duration::from_millis(20)),
+            ..FaultPlan::none()
+        },
+        deadline: Some(Duration::from_millis(5)),
+        ..ServeConfig::default()
+    };
+    let server = ServingModel::new(&pipe, config).unwrap();
+    assert!(matches!(
+        server.predict(&x),
+        Err(ServeError::DeadlineExceeded { .. })
+    ));
+    let stats = server.stats();
+    assert!(
+        stats.cancelled >= 1,
+        "the executor must observe the cancel token between nodes, got {stats:?}"
+    );
+    assert!(server
+        .incidents()
+        .iter()
+        .any(|i| i.kind == IncidentKind::DeadlineCancelled));
+}
+
+/// Multi-threaded soak: 8 client threads hammering a supervised pool
+/// under several fault plans (plus injected worker panics). Every
+/// outcome must be typed, zero workers may die, the drain must not
+/// deadlock, and the incident log's sequence numbers must be strictly
+/// monotonic.
+#[test]
+fn concurrent_soak_under_mixed_faults_kills_no_workers() {
+    let (pipe, x) = fixture();
+    let want = pipe.predict_proba(&x);
+    let plans = vec![
+        ("clean", FaultPlan::none()),
+        (
+            "kernel_error",
+            FaultPlan {
+                kernel_error: true,
+                ..FaultPlan::none()
+            },
+        ),
+        (
+            "nan_poison",
+            FaultPlan {
+                nan_poison: true,
+                ..FaultPlan::none()
+            },
+        ),
+        (
+            "slow+error",
+            FaultPlan {
+                slow_kernel: Some(Duration::from_micros(50)),
+                kernel_error: true,
+                ..FaultPlan::none()
+            },
+        ),
+    ];
+    for (name, faults) in plans {
+        let config = ServeConfig {
+            faults,
+            max_retries: 1,
+            queue_capacity: 256,
+            canary_period: 4,
+            ..ServeConfig::default()
+        };
+        let model = ServingModel::new(&pipe, config).unwrap();
+        let sup = std::sync::Arc::new(Supervisor::spawn(model, 4));
+        let clients: Vec<_> = (0..8)
+            .map(|c| {
+                let sup = std::sync::Arc::clone(&sup);
+                let x = x.clone();
+                let want = want.clone();
+                std::thread::spawn(move || {
+                    for i in 0..12 {
+                        if i == 5 {
+                            // A panicking request must come back typed.
+                            let err = sup.inject_worker_panic().unwrap_err();
+                            assert!(
+                                matches!(err, ServeError::Internal(_)),
+                                "client {c}: panic pill not typed"
+                            );
+                            continue;
+                        }
+                        match sup.predict_detailed(&x) {
+                            Ok(served) => {
+                                assert!(
+                                    allclose(&served.output, &want, 1e-5, 1e-5),
+                                    "client {c}: silently wrong output from {:?}",
+                                    served.rung
+                                );
+                            }
+                            Err(ServeError::Overloaded { .. }) => {}
+                            Err(e) => panic!("client {c}: untyped-ish failure {e}"),
+                        }
+                    }
+                })
+            })
+            .collect();
+        for t in clients {
+            t.join()
+                .unwrap_or_else(|_| panic!("{name}: client thread panicked"));
+        }
+        let health = sup.health();
+        assert_eq!(
+            health.workers_alive, 4,
+            "{name}: worker died despite panic isolation"
+        );
+        let incidents = sup.incidents();
+        assert!(
+            incidents
+                .iter()
+                .any(|i| i.kind == IncidentKind::WorkerPanic),
+            "{name}: injected panics must be logged"
+        );
+        let seqs: Vec<u64> = incidents.iter().map(|i| i.seq).collect();
+        assert!(
+            seqs.windows(2).all(|w| w[0] < w[1]),
+            "{name}: incident sequence not strictly monotonic: {seqs:?}"
+        );
+        // Graceful, non-deadlocking shutdown (a hang here times the
+        // whole test out, which is the failure signal).
+        sup.drain();
+        assert!(matches!(sup.predict(&x), Err(ServeError::ShuttingDown)));
+    }
+}
+
+/// Acceptance: a NaN-poisoned rung is caught by the background canary
+/// within a few sampled requests, quarantined (visible in the health
+/// snapshot), served around via the ladder, and re-admitted by a
+/// canary-validated probe once the fault clears.
+#[test]
+fn canary_quarantines_poisoned_rung_and_probe_recovers_it() {
+    let (pipe, x) = fixture();
+    let config = ServeConfig {
+        faults: FaultPlan {
+            nan_poison: true,
+            // The fault clears after each executable's first 12 runs, so
+            // background probes (which advance the run index) eventually
+            // see a clean rung — modelling a transient corrupting
+            // deploy that gets rolled back.
+            scope: FaultScope::FirstRuns(12),
+            ..FaultPlan::none()
+        },
+        canary_period: 1,
+        canary_tolerance: 1e-4,
+        watchdog_interval: Duration::from_millis(5),
+        breaker: BreakerConfig {
+            failure_threshold: 3,
+            cooldown: Duration::from_millis(5),
+        },
+        ..ServeConfig::default()
+    };
+    let model = ServingModel::new(&pipe, config).unwrap();
+    let sup = Supervisor::spawn(model, 2);
+
+    // Phase 1: drive traffic until the canary quarantines the poisoned
+    // compiled rung. Clients must never see a NaN in the meantime.
+    let start = Instant::now();
+    let mut quarantined = false;
+    while start.elapsed() < Duration::from_secs(10) {
+        if let Ok(served) = sup.predict_detailed(&x) {
+            assert!(
+                served.output.iter().all(|v| v.is_finite()),
+                "poison reached a client via {:?}",
+                served.rung
+            );
+        }
+        let health = sup.model().health();
+        if health.rungs.iter().any(|r| r.quarantined) {
+            quarantined = true;
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    assert!(quarantined, "canary never quarantined the poisoned rung");
+    let incidents = sup.incidents();
+    assert!(incidents
+        .iter()
+        .any(|i| i.kind == IncidentKind::CanaryDivergence));
+    assert!(incidents
+        .iter()
+        .any(|i| i.kind == IncidentKind::Quarantined));
+
+    // Phase 2: once the fault expires, a background probe (validated
+    // against the reference) must lift the quarantine and traffic must
+    // climb back to a compiled rung.
+    let start = Instant::now();
+    let mut recovered = false;
+    while start.elapsed() < Duration::from_secs(10) {
+        if let Ok(served) = sup.predict_detailed(&x) {
+            if served.rung != Rung::Reference {
+                recovered = true;
+                break;
+            }
+        }
+        std::thread::sleep(Duration::from_millis(3));
+    }
+    assert!(
+        recovered,
+        "quarantine was never lifted after the fault cleared"
+    );
+    assert!(
+        sup.incidents()
+            .iter()
+            .any(|i| i.kind == IncidentKind::BreakerClosed),
+        "recovery must be logged as a breaker-close incident"
+    );
+    sup.drain();
+}
+
+/// The watchdog trips rungs that chronically blow the deadline, so later
+/// requests skip them instead of burning their budget on a doomed rung.
+#[test]
+fn watchdog_trips_chronically_slow_rung() {
+    let (pipe, x) = fixture();
+    let config = ServeConfig {
+        faults: FaultPlan {
+            slow_kernel: Some(Duration::from_millis(5)),
+            ..FaultPlan::none()
+        },
+        deadline: Some(Duration::from_millis(2)),
+        watchdog_interval: Duration::from_millis(15),
+        deadline_blow_threshold: 2,
+        breaker: BreakerConfig {
+            failure_threshold: 3,
+            // Long cooldown: once slow-tripped, the rung stays out for
+            // the remainder of the test.
+            cooldown: Duration::from_secs(60),
+        },
+        ..ServeConfig::default()
+    };
+    let model = ServingModel::new(&pipe, config).unwrap();
+    let sup = std::sync::Arc::new(Supervisor::spawn(model, 4));
+
+    // Hammer until the watchdog has tripped every slow compiled rung and
+    // the ladder lands on the (un-faulted, fast) reference scorer.
+    let start = Instant::now();
+    let mut reference_serve = false;
+    while start.elapsed() < Duration::from_secs(10) && !reference_serve {
+        let clients: Vec<_> = (0..4)
+            .map(|_| {
+                let sup = std::sync::Arc::clone(&sup);
+                let x = x.clone();
+                std::thread::spawn(move || sup.predict_detailed(&x).ok().map(|s| s.rung))
+            })
+            .collect();
+        for t in clients {
+            if let Ok(Some(Rung::Reference)) = t.join() {
+                reference_serve = true;
+            }
+        }
+    }
+    assert!(
+        reference_serve,
+        "traffic never settled on the reference rung"
+    );
+    assert!(
+        sup.incidents()
+            .iter()
+            .any(|i| i.kind == IncidentKind::WatchdogSlowTrip),
+        "watchdog never tripped a slow rung"
+    );
+    let health = sup.model().health();
+    let slow_tripped = health.rungs.iter().any(|r| {
+        matches!(
+            r.breaker,
+            Some(BreakerState::Open {
+                reason: OpenReason::Slow,
+                ..
+            })
+        )
+    });
+    assert!(
+        slow_tripped,
+        "expected at least one Slow-opened breaker, got {:?}",
+        health.rungs
+    );
+    assert!(sup.model().stats().cancelled > 0);
+    sup.drain();
 }
