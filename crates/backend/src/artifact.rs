@@ -1,0 +1,102 @@
+//! Self-describing compiled-model artifacts: the lowered graph bundled
+//! with everything the static analyses proved about it.
+//!
+//! A bare [`Graph`] JSON export answers "what does this model compute";
+//! an [`Artifact`] additionally records *what is statically known* about
+//! that computation — the verifier's output signature (dtype + symbolic
+//! shape per output) and the abstract interpreter's per-output
+//! [`ValueFact`]s under the serving admission precondition (finite f32
+//! inputs). Downstream consumers (`hb-lint`, serving admission, external
+//! tooling) can read the proofs without re-running the analyses, and
+//! auditors can recompute them to cross-check a stale or hostile
+//! artifact.
+
+use crate::absint::ValueFact;
+use crate::graph::{Graph, GraphError};
+use crate::verify::GraphSignature;
+
+/// A compiled graph plus its statically derived metadata.
+#[derive(Clone, Debug)]
+pub struct Artifact {
+    /// The lowered (usually optimized) graph.
+    pub graph: Graph,
+    /// Verifier signature: dtype + symbolic shape per output.
+    pub signature: GraphSignature,
+    /// Abstract-interpretation facts per output, derived under finite
+    /// f32 inputs ([`Graph::finite_input_facts`]).
+    pub output_facts: Vec<ValueFact>,
+    /// What the terminal output means to the model layer
+    /// (`"proba"`, `"margin"`, `"value"`, or `"matrix"`; free-form so
+    /// the backend stays agnostic of model-layer taxonomy).
+    pub output_kind: String,
+}
+
+hb_json::json_struct!(Artifact {
+    graph,
+    signature,
+    output_facts,
+    output_kind
+});
+
+impl Artifact {
+    /// Runs the verifier and the abstract interpreter over `graph` and
+    /// bundles the results.
+    ///
+    /// # Errors
+    ///
+    /// Returns the verifier's [`GraphError`] when `graph` is not
+    /// statically sound (an unsound graph has no signature to record).
+    pub fn from_graph(graph: &Graph, output_kind: &str) -> Result<Artifact, GraphError> {
+        let signature = graph.verify()?;
+        let finite = graph.finite_input_facts();
+        let output_facts = graph.output_value_facts(&finite)?;
+        Ok(Artifact {
+            graph: graph.clone(),
+            signature,
+            output_facts,
+            output_kind: output_kind.to_string(),
+        })
+    }
+
+    /// Serializes to a self-contained JSON artifact.
+    pub fn to_json_string(&self) -> String {
+        hb_json::to_string(self)
+    }
+
+    /// Parses an artifact *without* verifying the embedded graph or
+    /// cross-checking the recorded proofs — audit tools recompute both;
+    /// never hand the result to an executor unexamined.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::Artifact`] when the JSON does not parse or
+    /// does not match the schema.
+    pub fn from_json_str(json: &str) -> Result<Artifact, GraphError> {
+        Ok(hb_json::from_str::<Artifact>(json)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::GraphBuilder;
+    use hb_tensor::DType;
+
+    #[test]
+    fn artifact_round_trips_through_json() {
+        let mut b = GraphBuilder::new();
+        let x = b.input(DType::F32);
+        let s = b.push(crate::op::Op::Sigmoid, vec![x]);
+        b.output(s);
+        let g = b.build();
+        let a = Artifact::from_graph(&g, "proba").unwrap_or_else(|e| panic!("artifact: {e}"));
+        assert_eq!(a.output_facts.len(), 1);
+        assert!(a.output_facts[0].lo >= 0.0 && a.output_facts[0].hi <= 1.0);
+        let json = a.to_json_string();
+        let back = Artifact::from_json_str(&json).unwrap_or_else(|e| panic!("reparse: {e}"));
+        assert_eq!(back.signature, a.signature);
+        assert_eq!(back.output_kind, "proba");
+        assert_eq!(back.output_facts[0], a.output_facts[0]);
+        assert_eq!(back.graph.len(), a.graph.len());
+    }
+}

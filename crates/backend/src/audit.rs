@@ -1,0 +1,474 @@
+//! Static memory-plan auditor: independent safety verification of
+//! [`MemoryPlan`]s.
+//!
+//! The planner ([`MemoryPlan::build`]) and this auditor answer the same
+//! question — "may these two values share an arena slot?" — but from
+//! opposite directions. The planner *constructs* an assignment from its
+//! own liveness bookkeeping; the auditor re-derives view aliasing,
+//! last-uses, and output pinning from scratch, then replays the plan's
+//! slot assignments on a timeline and rejects any plan where
+//!
+//! * two simultaneously-live values occupy the same slot,
+//! * an in-place kernel overwrites an operand that is not genuinely
+//!   dead (or is a graph output, or lives in a different slot than the
+//!   plan claims),
+//! * a matmul's staging scratch slot aliases any live value, or
+//! * a step's declared shape/dtype/slot capacity contradicts the
+//!   graph's verified shape facts.
+//!
+//! The auditor deliberately shares no state with the planner (it is
+//! also `absint`-independent): a bookkeeping bug in `plan.rs` cannot
+//! silently excuse itself here. It runs as a debug assertion on every
+//! plan build and behind `hb-lint --audit-plans`.
+
+use std::fmt;
+
+use hb_tensor::DType;
+
+use crate::graph::{Graph, GraphError, NodeId};
+use crate::op::Op;
+use crate::plan::{concretize, Inplace, MemoryPlan, Step};
+
+/// Why a memory plan failed the audit.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PlanAuditError {
+    /// Shape inference failed, so the plan cannot be checked at all.
+    Graph(GraphError),
+    /// The plan's step list does not cover the graph's nodes.
+    StepCount {
+        /// Steps in the plan.
+        steps: usize,
+        /// Nodes in the graph.
+        nodes: usize,
+    },
+    /// A step references a slot index outside the arena.
+    BadSlot {
+        /// Offending node.
+        node: NodeId,
+        /// Claimed slot index.
+        slot: usize,
+    },
+    /// A node writes a slot whose dtype differs from the node's.
+    SlotDtype {
+        /// Offending node.
+        node: NodeId,
+        /// Claimed slot index.
+        slot: usize,
+        /// The node's dtype.
+        node_dtype: DType,
+        /// The slot's dtype.
+        slot_dtype: DType,
+    },
+    /// A node's output does not fit in its slot.
+    SlotTooSmall {
+        /// Offending node.
+        node: NodeId,
+        /// Claimed slot index.
+        slot: usize,
+        /// Elements the node's output needs.
+        need: usize,
+        /// Elements the slot holds.
+        have: usize,
+    },
+    /// A step's declared concrete shape contradicts the verified shape
+    /// fact at this plan's batch.
+    ShapeMismatch {
+        /// Offending node.
+        node: NodeId,
+    },
+    /// An input/constant or pure view node claims an arena slot.
+    NotAKernel {
+        /// Offending node.
+        node: NodeId,
+    },
+    /// Two simultaneously-live values share a slot.
+    LiveOverlap {
+        /// The node whose write collides.
+        node: NodeId,
+        /// The contested slot.
+        slot: usize,
+        /// The earlier, still-live occupant.
+        occupant: NodeId,
+    },
+    /// An in-place kernel's destination operand is not genuinely dead at
+    /// the node (it has later uses or is a graph output).
+    InplaceNotDead {
+        /// Offending node.
+        node: NodeId,
+        /// The operand whose slot is overwritten.
+        operand: NodeId,
+    },
+    /// An in-place kernel claims a different slot than its destination
+    /// operand actually occupies.
+    InplaceSlotMismatch {
+        /// Offending node.
+        node: NodeId,
+        /// The operand whose slot should be reused.
+        operand: NodeId,
+    },
+    /// An in-place kernel whose other operands alias the destination
+    /// buffer.
+    InplaceAliasedOperand {
+        /// Offending node.
+        node: NodeId,
+    },
+    /// An in-place destination whose element count cannot host the
+    /// output.
+    InplaceShape {
+        /// Offending node.
+        node: NodeId,
+    },
+    /// A matmul staging scratch slot aliases a live value (or is
+    /// undersized / wrongly typed).
+    ScratchConflict {
+        /// Offending node.
+        node: NodeId,
+        /// The scratch slot.
+        scratch: usize,
+        /// What went wrong.
+        why: &'static str,
+    },
+    /// The plan's expected input shape disagrees with the graph's
+    /// declared input shape at this batch.
+    InputShape {
+        /// Offending input slot.
+        slot: usize,
+    },
+}
+
+impl fmt::Display for PlanAuditError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlanAuditError::Graph(e) => write!(f, "plan audit: shape inference failed: {e}"),
+            PlanAuditError::StepCount { steps, nodes } => {
+                write!(f, "plan audit: {steps} steps for {nodes} nodes")
+            }
+            PlanAuditError::BadSlot { node, slot } => {
+                write!(f, "plan audit: node {node} references missing slot {slot}")
+            }
+            PlanAuditError::SlotDtype {
+                node,
+                slot,
+                node_dtype,
+                slot_dtype,
+            } => write!(
+                f,
+                "plan audit: node {node} ({node_dtype:?}) writes slot {slot} of dtype {slot_dtype:?}"
+            ),
+            PlanAuditError::SlotTooSmall {
+                node,
+                slot,
+                need,
+                have,
+            } => write!(
+                f,
+                "plan audit: node {node} needs {need} elements but slot {slot} holds {have}"
+            ),
+            PlanAuditError::ShapeMismatch { node } => write!(
+                f,
+                "plan audit: node {node}'s planned shape contradicts its verified shape fact"
+            ),
+            PlanAuditError::NotAKernel { node } => write!(
+                f,
+                "plan audit: node {node} is a value/view node but claims an arena slot"
+            ),
+            PlanAuditError::LiveOverlap {
+                node,
+                slot,
+                occupant,
+            } => write!(
+                f,
+                "plan audit: node {node} writes slot {slot} while node {occupant} is still live in it"
+            ),
+            PlanAuditError::InplaceNotDead { node, operand } => write!(
+                f,
+                "plan audit: node {node} overwrites operand {operand} in place, but the operand is not dead"
+            ),
+            PlanAuditError::InplaceSlotMismatch { node, operand } => write!(
+                f,
+                "plan audit: node {node} claims an in-place write but its slot differs from operand {operand}'s"
+            ),
+            PlanAuditError::InplaceAliasedOperand { node } => write!(
+                f,
+                "plan audit: node {node} writes in place over a buffer another operand still reads"
+            ),
+            PlanAuditError::InplaceShape { node } => write!(
+                f,
+                "plan audit: node {node}'s in-place destination cannot host its output"
+            ),
+            PlanAuditError::ScratchConflict {
+                node,
+                scratch,
+                why,
+            } => write!(
+                f,
+                "plan audit: node {node}'s matmul scratch slot {scratch} is unsafe: {why}"
+            ),
+            PlanAuditError::InputShape { slot } => write!(
+                f,
+                "plan audit: expected input shape for slot {slot} contradicts the graph declaration"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for PlanAuditError {}
+
+/// True when `op` is realized as a zero-copy alias of its input on the
+/// non-kernel path (metadata views and identity casts).
+fn is_view(op: &Op, in_dtype: DType, out_dtype: DType) -> bool {
+    match op {
+        Op::Reshape { .. }
+        | Op::Unsqueeze(_)
+        | Op::Squeeze(_)
+        | Op::Transpose(_, _)
+        | Op::Slice { .. } => true,
+        Op::Cast(_) => in_dtype == out_dtype,
+        _ => false,
+    }
+}
+
+fn numel(shape: &[usize]) -> usize {
+    shape.iter().product()
+}
+
+/// Statically verifies `plan` against `graph`. See the module docs for
+/// the property list.
+///
+/// # Errors
+///
+/// The first violated property, as a [`PlanAuditError`].
+pub fn audit_plan(graph: &Graph, plan: &MemoryPlan) -> Result<(), PlanAuditError> {
+    let shapes = graph.infer_shapes().map_err(PlanAuditError::Graph)?;
+    let dtypes = graph.infer_dtypes();
+    let n = graph.nodes.len();
+    if plan.steps.len() != n {
+        return Err(PlanAuditError::StepCount {
+            steps: plan.steps.len(),
+            nodes: n,
+        });
+    }
+
+    // 1. Alias roots, re-derived from the graph alone: a view chains to
+    //    its first input's root; everything else roots itself.
+    let mut root: Vec<NodeId> = (0..n).collect();
+    for (id, node) in graph.nodes.iter().enumerate() {
+        if let Some(&src) = node.inputs.first() {
+            if is_view(&node.op, dtypes[src], dtypes[id]) {
+                root[id] = root[src];
+            }
+        }
+    }
+
+    // 2. Last uses per root (reading any alias keeps the root's buffer
+    //    live), and output pinning (an output root lives forever).
+    let mut last_use: Vec<Option<NodeId>> = vec![None; n];
+    for (id, node) in graph.nodes.iter().enumerate() {
+        for &src in &node.inputs {
+            let r = root[src];
+            last_use[r] = Some(last_use[r].map_or(id, |u: NodeId| u.max(id)));
+        }
+    }
+    let mut pinned = vec![false; n];
+    for &o in &graph.outputs {
+        pinned[root[o]] = true;
+    }
+    let live_through = |r: NodeId, at: NodeId| pinned[r] || last_use[r].is_some_and(|u| u >= at);
+    let live_after = |r: NodeId, at: NodeId| pinned[r] || last_use[r].is_some_and(|u| u > at);
+
+    // 3. Replay the plan's writes on a timeline.
+    let mut slot_of: Vec<Option<usize>> = vec![None; n];
+    for (id, step) in plan.steps.iter().enumerate() {
+        let Step::Kernel {
+            slot,
+            shape,
+            inplace,
+        } = step
+        else {
+            continue;
+        };
+        let (slot, shape) = (*slot, shape.as_slice());
+        let node = &graph.nodes[id];
+
+        if matches!(node.op, Op::Input(_) | Op::Const(_)) || root[id] != id {
+            return Err(PlanAuditError::NotAKernel { node: id });
+        }
+        let Some(spec) = plan.slots.get(slot) else {
+            return Err(PlanAuditError::BadSlot { node: id, slot });
+        };
+        if spec.dtype != dtypes[id] {
+            return Err(PlanAuditError::SlotDtype {
+                node: id,
+                slot,
+                node_dtype: dtypes[id],
+                slot_dtype: spec.dtype,
+            });
+        }
+        match concretize(&shapes[id], plan.batch) {
+            Some(expect) if expect == shape => {}
+            _ => return Err(PlanAuditError::ShapeMismatch { node: id }),
+        }
+        let need = numel(shape);
+        if spec.len < need {
+            return Err(PlanAuditError::SlotTooSmall {
+                node: id,
+                slot,
+                need,
+                have: spec.len,
+            });
+        }
+
+        match inplace {
+            Inplace::No => {
+                // A fresh write may only claim a slot whose previous
+                // occupant is fully retired *before* this node — an
+                // operand read by this very node still counts as live.
+                for (r, s) in slot_of.iter().enumerate().take(id) {
+                    if *s == Some(slot) && live_through(r, id) {
+                        return Err(PlanAuditError::LiveOverlap {
+                            node: id,
+                            slot,
+                            occupant: r,
+                        });
+                    }
+                }
+            }
+            Inplace::Map | Inplace::Fused { .. } => {
+                let pos = match inplace {
+                    Inplace::Fused { operand } => *operand,
+                    _ => 0,
+                };
+                let Some(&dst) = node.inputs.get(pos) else {
+                    return Err(PlanAuditError::InplaceShape { node: id });
+                };
+                let r = root[dst];
+                if slot_of[r] != Some(slot) {
+                    return Err(PlanAuditError::InplaceSlotMismatch {
+                        node: id,
+                        operand: r,
+                    });
+                }
+                if live_after(r, id) {
+                    return Err(PlanAuditError::InplaceNotDead {
+                        node: id,
+                        operand: r,
+                    });
+                }
+                // The destination must host the output exactly, and no
+                // other operand may read the buffer being overwritten.
+                match concretize(&shapes[dst], plan.batch) {
+                    Some(s) if numel(&s) == need => {}
+                    _ => return Err(PlanAuditError::InplaceShape { node: id }),
+                }
+                for (j, &src) in node.inputs.iter().enumerate() {
+                    if j != pos && slot_of[root[src]] == Some(slot) {
+                        return Err(PlanAuditError::InplaceAliasedOperand { node: id });
+                    }
+                }
+                // Any third value parked in this slot must also be dead.
+                for (r2, s) in slot_of.iter().enumerate().take(id) {
+                    if r2 != r && *s == Some(slot) && live_through(r2, id) {
+                        return Err(PlanAuditError::LiveOverlap {
+                            node: id,
+                            slot,
+                            occupant: r2,
+                        });
+                    }
+                }
+            }
+            Inplace::MatMulLhs { scratch } => {
+                let scratch = *scratch;
+                let Some(&lhs) = node.inputs.first() else {
+                    return Err(PlanAuditError::InplaceShape { node: id });
+                };
+                let r = root[lhs];
+                if slot_of[r] != Some(slot) {
+                    return Err(PlanAuditError::InplaceSlotMismatch {
+                        node: id,
+                        operand: r,
+                    });
+                }
+                if live_after(r, id) {
+                    return Err(PlanAuditError::InplaceNotDead {
+                        node: id,
+                        operand: r,
+                    });
+                }
+                if node.inputs.get(1).is_some_and(|&rhs| root[rhs] == r) {
+                    return Err(PlanAuditError::InplaceAliasedOperand { node: id });
+                }
+                let lhs_shape = concretize(&shapes[lhs], plan.batch)
+                    .ok_or(PlanAuditError::InplaceShape { node: id })?;
+                if lhs_shape.len() < 2 || spec.len < numel(&lhs_shape) {
+                    return Err(PlanAuditError::InplaceShape { node: id });
+                }
+                let (m, k) = (
+                    lhs_shape[lhs_shape.len() - 2],
+                    lhs_shape[lhs_shape.len() - 1],
+                );
+                let Some(sspec) = plan.slots.get(scratch) else {
+                    return Err(PlanAuditError::ScratchConflict {
+                        node: id,
+                        scratch,
+                        why: "missing slot",
+                    });
+                };
+                if sspec.dtype != DType::F32 {
+                    return Err(PlanAuditError::ScratchConflict {
+                        node: id,
+                        scratch,
+                        why: "not f32",
+                    });
+                }
+                if sspec.len < hb_tensor::matmul::matmul_in_place_scratch_len(m, k) {
+                    return Err(PlanAuditError::ScratchConflict {
+                        node: id,
+                        scratch,
+                        why: "undersized",
+                    });
+                }
+                if scratch == slot {
+                    return Err(PlanAuditError::ScratchConflict {
+                        node: id,
+                        scratch,
+                        why: "aliases the destination",
+                    });
+                }
+                for (r2, s) in slot_of.iter().enumerate().take(id) {
+                    if *s == Some(scratch) && live_through(r2, id) {
+                        return Err(PlanAuditError::ScratchConflict {
+                            node: id,
+                            scratch,
+                            why: "aliases a live value",
+                        });
+                    }
+                }
+                // A third value parked in the destination slot must be
+                // dead as well.
+                for (r2, s) in slot_of.iter().enumerate().take(id) {
+                    if r2 != r && *s == Some(slot) && live_through(r2, id) {
+                        return Err(PlanAuditError::LiveOverlap {
+                            node: id,
+                            slot,
+                            occupant: r2,
+                        });
+                    }
+                }
+            }
+        }
+        slot_of[id] = Some(slot);
+    }
+
+    // 4. The plan's request-validation shapes must match the graph's
+    //    declared input shapes at this batch.
+    for (slot, expect) in plan.input_shapes.iter().enumerate() {
+        if let Some(expect) = expect {
+            match concretize(&graph.input_shape(slot), plan.batch) {
+                Some(s) if &s == expect => {}
+                _ => return Err(PlanAuditError::InputShape { slot }),
+            }
+        }
+    }
+
+    Ok(())
+}

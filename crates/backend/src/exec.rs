@@ -321,6 +321,21 @@ impl Executable {
         self.opt_stats
     }
 
+    /// Abstract-interpretation facts for every output, assuming finite
+    /// f32 inputs (the serving admission precondition — see
+    /// [`Graph::finite_input_facts`]). Computed over the lowered graph,
+    /// so Compiled executables report facts for the optimized program
+    /// actually run.
+    ///
+    /// # Errors
+    ///
+    /// Propagates structural errors from shape inference; a graph that
+    /// passed the verifier never fails here.
+    pub fn output_value_facts(&self) -> Result<Vec<crate::ValueFact>, crate::GraphError> {
+        let inputs = self.graph.finite_input_facts();
+        self.graph.output_value_facts(&inputs)
+    }
+
     /// Runs the graph, returning the output tensors.
     pub fn run(&self, inputs: &[DynTensor]) -> Result<Vec<DynTensor>, ExecError> {
         self.run_with_stats(inputs).map(|(o, _)| o)

@@ -221,6 +221,13 @@ fn detect_fast(program: &[Instr]) -> FastPath {
 }
 
 impl FusedKernel {
+    /// The kernel's bytecode program (read-only; programs are validated
+    /// at construction and immutable afterwards). Used by the abstract
+    /// interpreter to derive value facts for fused nodes.
+    pub fn program(&self) -> &[Instr] {
+        &self.program
+    }
+
     /// Creates a kernel from a finished program.
     ///
     /// # Panics

@@ -804,6 +804,16 @@ impl GraphBuilder {
     pub fn cast(&mut self, a: NodeId, to: DType) -> NodeId {
         self.push(Op::Cast(to), vec![a])
     }
+
+    /// Clamp into `[lo, hi]`.
+    pub fn clamp(&mut self, a: NodeId, lo: f32, hi: f32) -> NodeId {
+        self.push(Op::Clamp { lo, hi }, vec![a])
+    }
+
+    /// NaN test → bool mask.
+    pub fn is_nan(&mut self, a: NodeId) -> NodeId {
+        self.push(Op::IsNan, vec![a])
+    }
 }
 
 #[cfg(test)]

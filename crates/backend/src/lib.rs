@@ -22,6 +22,9 @@
 // Rust; see DESIGN.md ("Unsafe-code policy").
 #![forbid(unsafe_code)]
 
+pub mod absint;
+pub mod artifact;
+pub mod audit;
 pub mod cancel;
 pub mod device;
 pub mod exec;
@@ -33,6 +36,9 @@ pub mod optimize;
 pub mod plan;
 pub mod verify;
 
+pub use absint::ValueFact;
+pub use artifact::Artifact;
+pub use audit::{audit_plan, PlanAuditError};
 pub use cancel::CancelToken;
 pub use device::{Device, DeviceSpec};
 pub use exec::{ExecError, Executable, RunStats};

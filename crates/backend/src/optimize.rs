@@ -11,9 +11,11 @@ use std::collections::HashMap;
 
 use hb_tensor::DynTensor;
 
+use crate::absint;
 use crate::fuse::fuse_elementwise;
 use crate::graph::{Graph, Node, NodeId};
 use crate::op::Op;
+use crate::verify::ShapeFact;
 
 /// Counters describing what the optimizer did to a graph.
 #[derive(Debug, Clone, Copy, Default)]
@@ -22,6 +24,9 @@ pub struct OptStats {
     pub folded: usize,
     /// Nodes merged by common-subexpression elimination.
     pub cse_merged: usize,
+    /// Analysis-directed rewrites applied (statically-decided
+    /// clamps/wheres/min-max eliminated, sigmoids pinned).
+    pub value_rewrites: usize,
     /// Fused element-wise kernels created.
     pub fused_kernels: usize,
     /// Node count before optimization.
@@ -139,6 +144,125 @@ pub fn dce(graph: &Graph) -> Graph {
     }
 }
 
+/// Analysis-directed rewrites: uses the abstract interpreter's value
+/// facts (intervals + NaN/Inf taint, computed under dtype-top input
+/// facts so every rewrite holds for *all* possible inputs) to eliminate
+/// ops whose predicate is statically decided:
+///
+/// * `Clamp{lo, hi}` whose operand interval already lies in `[lo, hi]`
+///   — the clamp is the identity on every reachable value (NaN
+///   propagates identically through both sides);
+/// * `Where(cond, a, b)` whose Bool condition is pinned to all-true or
+///   all-false — the taken branch replaces the select (only when its
+///   static shape provably equals the select's, so broadcasts survive);
+/// * `Maximum(a, b)` where `a.lo >= b.hi`: the concrete kernel is
+///   `if b > a { b } else { a }`, which returns `a` on ties and
+///   whenever either operand is NaN, so this replacement is exact with
+///   no NaN side conditions (`Minimum` dually at `a.hi <= b.lo`);
+/// * `Sigmoid` whose operand interval pins the f32 result to exactly
+///   0.0 or 1.0 — strength-reduced to the degenerate `Clamp{c, c}`,
+///   which maps every reachable value to the same constant while
+///   propagating NaN exactly like sigmoid does.
+///
+/// Every rewrite is value-preserving bit-for-bit, and the pass runs
+/// under the same translation-validation check as the structural passes.
+pub fn value_rewrites(graph: &Graph) -> (Graph, usize) {
+    let input_tops = absint::top_input_facts(graph);
+    let (facts, shapes) = match (graph.infer_values(&input_tops), graph.infer_shapes()) {
+        (Ok(f), Ok(s)) => (f, s),
+        _ => return (graph.clone(), 0),
+    };
+    // A branch may replace a select only when both static shapes are
+    // fully known and equal (Unknown dims must not absorb the check).
+    let same_shape = |a: &ShapeFact, b: &ShapeFact| match (a.dims(), b.dims()) {
+        (Some(x), Some(y)) => {
+            x.len() == y.len() && x.iter().zip(y).all(|(p, q)| p.known_eq(*q) == Some(true))
+        }
+        _ => false,
+    };
+    let mut out = graph.clone();
+    let mut remap: Vec<NodeId> = (0..out.nodes.len()).collect();
+    let mut fired = 0usize;
+    for id in 0..out.nodes.len() {
+        let inputs: Vec<NodeId> = out.nodes[id].inputs.iter().map(|&i| remap[i]).collect();
+        out.nodes[id].inputs = inputs.clone();
+        let fact = |k: usize| facts[inputs[k]];
+        let replacement: Option<NodeId> = match &out.nodes[id].op {
+            Op::Clamp { lo, hi } => {
+                // A finite interval inside [lo, hi] also rules out ±inf
+                // values (they would violate the interval invariant), so
+                // no extra taint condition is needed; NaN passes through
+                // both the clamp and its elimination unchanged.
+                let x = fact(0);
+                x.within(f64::from(*lo), f64::from(*hi)).then(|| inputs[0])
+            }
+            Op::Where => {
+                let c = fact(0);
+                if c.lo >= 1.0 && same_shape(&shapes[inputs[1]], &shapes[id]) {
+                    Some(inputs[1])
+                } else if c.hi <= 0.0 && same_shape(&shapes[inputs[2]], &shapes[id]) {
+                    Some(inputs[2])
+                } else {
+                    None
+                }
+            }
+            Op::Maximum => {
+                let (a, b) = (fact(0), fact(1));
+                if a.lo >= b.hi && same_shape(&shapes[inputs[0]], &shapes[id]) {
+                    Some(inputs[0])
+                } else if b.lo > a.hi
+                    && !a.can_nan
+                    && !b.can_nan
+                    && same_shape(&shapes[inputs[1]], &shapes[id])
+                {
+                    // Strict: on ties (and on NaN) the kernel returns a.
+                    Some(inputs[1])
+                } else {
+                    None
+                }
+            }
+            Op::Minimum => {
+                let (a, b) = (fact(0), fact(1));
+                if a.hi <= b.lo && same_shape(&shapes[inputs[0]], &shapes[id]) {
+                    Some(inputs[0])
+                } else if b.hi < a.lo
+                    && !a.can_nan
+                    && !b.can_nan
+                    && same_shape(&shapes[inputs[1]], &shapes[id])
+                {
+                    Some(inputs[1])
+                } else {
+                    None
+                }
+            }
+            Op::Sigmoid => {
+                // f32 sigmoid is exactly 1.0 for x >= 20 and exactly 0.0
+                // for x <= -90 (see absint::a_sigmoid); the degenerate
+                // clamp reproduces that constant — including
+                // sigmoid(±inf) — and propagates NaN identically.
+                let x = fact(0);
+                if x.lo >= 20.0 {
+                    out.nodes[id].op = Op::Clamp { lo: 1.0, hi: 1.0 };
+                    fired += 1;
+                } else if x.hi <= -90.0 {
+                    out.nodes[id].op = Op::Clamp { lo: 0.0, hi: 0.0 };
+                    fired += 1;
+                }
+                None
+            }
+            _ => None,
+        };
+        if let Some(r) = replacement {
+            remap[id] = r;
+            fired += 1;
+        }
+    }
+    for o in out.outputs.iter_mut() {
+        *o = remap[*o];
+    }
+    (out, fired)
+}
+
 /// Which Compiled-backend passes run; used by the ablation benchmarks to
 /// attribute the backend's gains to individual optimizations.
 #[derive(Debug, Clone, Copy)]
@@ -147,6 +271,8 @@ pub struct PassToggles {
     pub fold: bool,
     /// Common-subexpression elimination.
     pub cse: bool,
+    /// Abstract-interpretation-directed value rewrites.
+    pub value_rewrites: bool,
     /// Element-wise kernel fusion.
     pub fuse: bool,
 }
@@ -156,6 +282,7 @@ impl Default for PassToggles {
         PassToggles {
             fold: true,
             cse: true,
+            value_rewrites: true,
             fuse: true,
         }
     }
@@ -197,6 +324,12 @@ pub fn optimize_with(graph: &Graph, toggles: PassToggles) -> (Graph, OptStats) {
         (graph.clone(), 0)
     };
     check("constant folding", &g);
+    let (g, value_rewritten) = if toggles.value_rewrites {
+        value_rewrites(&g)
+    } else {
+        (g, 0)
+    };
+    check("value rewrites", &g);
     let (g, cse_merged) = if toggles.cse { cse(&g) } else { (g, 0) };
     check("cse", &g);
     let g = dce(&g);
@@ -213,6 +346,7 @@ pub fn optimize_with(graph: &Graph, toggles: PassToggles) -> (Graph, OptStats) {
     let stats = OptStats {
         folded,
         cse_merged,
+        value_rewrites: value_rewritten,
         fused_kernels,
         nodes_before,
         nodes_after: g.nodes.len(),
@@ -315,6 +449,133 @@ mod tests {
         let (opt, stats) = optimize(&g);
         assert!(stats.nodes_after <= stats.nodes_before);
         let input = DynTensor::F32(Tensor::from_vec(vec![-1.0, 2.0], &[2]));
+        let want = run(&g, &[input.clone()]);
+        let got = run(&opt, &[input]);
+        assert_eq!(want[0].as_f32().to_vec(), got[0].as_f32().to_vec());
+    }
+
+    #[test]
+    fn value_rewrite_drops_redundant_clamp_after_sigmoid() {
+        let mut b = GraphBuilder::new();
+        let x = b.input(DType::F32);
+        let s = b.push(Op::Sigmoid, vec![x]);
+        let c = b.push(Op::Clamp { lo: 0.0, hi: 1.0 }, vec![s]);
+        b.output(c);
+        let g = b.build();
+        let (opt, fired) = value_rewrites(&g);
+        assert_eq!(fired, 1);
+        assert_eq!(
+            opt.outputs,
+            vec![s],
+            "the clamp must forward to the sigmoid"
+        );
+        let input = DynTensor::F32(Tensor::from_vec(vec![-5.0, 0.0, 7.0, f32::NAN], &[4]));
+        let want = run(&g, &[input.clone()]);
+        let got = run(&dce(&opt), &[input]);
+        assert_eq!(
+            want[0]
+                .as_f32()
+                .iter()
+                .map(f32::to_bits)
+                .collect::<Vec<_>>(),
+            got[0].as_f32().iter().map(f32::to_bits).collect::<Vec<_>>(),
+            "elimination must be bit-identical, NaN included"
+        );
+    }
+
+    #[test]
+    fn value_rewrite_resolves_statically_false_where() {
+        // where(isnan(sigmoid(x)·0 + bool-derived…), fill, v) with v
+        // provably NaN-free: the guard collapses to v.
+        let mut b = GraphBuilder::new();
+        let x = b.input_with_shape(DType::F32, crate::verify::ShapeFact::batched(&[3]));
+        let s = b.push(Op::Sigmoid, vec![x]); // NaN only if x is NaN
+        let nf = b.push(Op::Abs, vec![s]);
+        let cond = b.push(Op::IsNan, vec![nf]);
+        let zero = b.mul_scalar(nf, 0.0);
+        let w = b.where_(cond, zero, nf);
+        b.output(w);
+        let g = b.build();
+        // Under top inputs x may be NaN, so nothing fires…
+        let (_, fired_top) = value_rewrites(&g);
+        assert_eq!(fired_top, 0, "NaN-able input must block the guard drop");
+        // …but behind a comparison (which launders NaN into Bool) the
+        // subgraph is provably NaN-free and the guard drops.
+        let mut b = GraphBuilder::new();
+        let x = b.input_with_shape(DType::F32, crate::verify::ShapeFact::batched(&[3]));
+        let zero_c = b.constant(Tensor::scalar(0.0f32));
+        let m = b.push(Op::Gt, vec![x, zero_c]);
+        let f = b.push(Op::Cast(DType::F32), vec![m]);
+        let cond = b.push(Op::IsNan, vec![f]);
+        let fill = b.mul_scalar(f, 0.0);
+        let w = b.where_(cond, fill, f);
+        b.output(w);
+        let g = b.build();
+        let (opt, fired) = value_rewrites(&g);
+        assert_eq!(fired, 1);
+        assert_eq!(opt.outputs, vec![f]);
+    }
+
+    #[test]
+    fn value_rewrite_decides_maximum_with_constant() {
+        let mut b = GraphBuilder::new();
+        let x = b.input_with_shape(DType::F32, crate::verify::ShapeFact::batched(&[3]));
+        let s = b.push(Op::Sigmoid, vec![x]); // in [0, 1]
+        let floor = b.constant(Tensor::from_vec(vec![2.0f32], &[1]));
+        let m = b.push(Op::Maximum, vec![floor, s]); // always the constant… but shapes differ
+        b.output(m);
+        let g = b.build();
+        let (_, fired) = value_rewrites(&g);
+        // [1]-shaped const vs batched sigmoid: shape guard must block.
+        assert_eq!(fired, 0, "broadcasted maximum must not be replaced");
+
+        let mut b = GraphBuilder::new();
+        let x = b.input_with_shape(DType::F32, crate::verify::ShapeFact::batched(&[3]));
+        let s = b.push(Op::Sigmoid, vec![x]);
+        let shifted = b.add_scalar(s, 5.0); // in [5 - eps, 6 + eps]
+        let m = b.push(Op::Maximum, vec![shifted, s]); // shifted always wins
+        b.output(m);
+        let g = b.build();
+        let (opt, fired) = value_rewrites(&g);
+        assert_eq!(fired, 1);
+        assert_eq!(opt.outputs, vec![shifted]);
+    }
+
+    #[test]
+    fn value_rewrite_pins_saturated_sigmoid() {
+        let mut b = GraphBuilder::new();
+        let x = b.input(DType::F32);
+        let s = b.push(Op::Sigmoid, vec![x]); // [0, 1]
+        let big = b.add_scalar(s, 50.0); // [50 - eps, 51 + eps]
+        let pinned = b.push(Op::Sigmoid, vec![big]);
+        b.output(pinned);
+        let g = b.build();
+        let (opt, fired) = value_rewrites(&g);
+        assert_eq!(fired, 1);
+        assert!(
+            matches!(opt.nodes[pinned].op, Op::Clamp { lo, hi } if lo == 1.0 && hi == 1.0),
+            "saturated sigmoid must strength-reduce to the degenerate clamp"
+        );
+        let input = DynTensor::F32(Tensor::from_vec(vec![-1e9, 0.0, 3.5], &[3]));
+        let want = run(&g, &[input.clone()]);
+        let got = run(&opt, &[input]);
+        assert_eq!(want[0].as_f32().to_vec(), got[0].as_f32().to_vec());
+    }
+
+    #[test]
+    fn value_rewrites_are_translation_validated_in_pipeline() {
+        let mut b = GraphBuilder::new();
+        let x = b.input_with_shape(DType::F32, crate::verify::ShapeFact::batched(&[3]));
+        let s = b.push(Op::Sigmoid, vec![x]);
+        let c = b.push(Op::Clamp { lo: 0.0, hi: 1.0 }, vec![s]);
+        let cond = b.push(Op::IsNan, vec![c]);
+        let fill = b.mul_scalar(c, 0.0);
+        let w = b.where_(cond, fill, c);
+        b.output(w);
+        let g = b.build();
+        let (opt, stats) = optimize(&g);
+        assert!(stats.value_rewrites >= 1);
+        let input = DynTensor::F32(Tensor::from_vec(vec![-2.0, 0.5, 9.0], &[3]));
         let want = run(&g, &[input.clone()]);
         let got = run(&opt, &[input]);
         assert_eq!(want[0].as_f32().to_vec(), got[0].as_f32().to_vec());

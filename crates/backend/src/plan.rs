@@ -478,7 +478,7 @@ impl MemoryPlan {
         }
 
         let arena_bytes = slots.iter().map(SlotSpec::nbytes).sum();
-        Ok(MemoryPlan {
+        let plan = MemoryPlan {
             batch,
             steps,
             slots,
@@ -487,7 +487,16 @@ impl MemoryPlan {
             naive_bytes,
             planned_kernels,
             fallback_kernels,
-        })
+        };
+        // Every plan must pass the independent liveness audit before it
+        // can execute anything (debug builds only; the auditor re-derives
+        // aliasing and last-uses from scratch, so a planner bookkeeping
+        // bug cannot excuse itself).
+        #[cfg(debug_assertions)]
+        if let Err(e) = crate::audit::audit_plan(graph, &plan) {
+            panic!("planner emitted an unsafe plan: {e}");
+        }
+        Ok(plan)
     }
 
     /// True when the supplied request tensors match the exact shapes this

@@ -257,6 +257,38 @@ impl fmt::Display for GraphSignature {
     }
 }
 
+// Hand-written: each output serializes as a `{dtype, shape}` object
+// (hb_json has no tuple impls, and named fields age better anyway).
+impl hb_json::ToJson for GraphSignature {
+    fn to_json(&self) -> hb_json::Json {
+        hb_json::Json::Arr(
+            self.outputs
+                .iter()
+                .map(|(dt, shape)| {
+                    hb_json::Json::Obj(vec![
+                        ("dtype".to_string(), hb_json::ToJson::to_json(dt)),
+                        ("shape".to_string(), hb_json::ToJson::to_json(shape)),
+                    ])
+                })
+                .collect(),
+        )
+    }
+}
+
+impl hb_json::FromJson for GraphSignature {
+    fn from_json(v: &hb_json::Json) -> Result<Self, hb_json::JsonError> {
+        let items = v.expect_arr("GraphSignature")?;
+        let mut outputs = Vec::with_capacity(items.len());
+        for item in items {
+            let pairs = item.expect_obj("GraphSignature output")?;
+            let dt = hb_json::field(pairs, "dtype", "GraphSignature output")?;
+            let shape = hb_json::field(pairs, "shape", "GraphSignature output")?;
+            outputs.push((dt, shape));
+        }
+        Ok(GraphSignature { outputs })
+    }
+}
+
 /// Broadcast of two symbolic dims under the right-aligned equal-or-1
 /// rule. `Err(())` means the pair is provably incompatible for some
 /// batch size.

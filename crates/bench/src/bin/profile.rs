@@ -39,6 +39,7 @@ fn main() {
             PassToggles {
                 fold: false,
                 cse: false,
+                value_rewrites: false,
                 fuse: false,
             },
         ),

@@ -1078,6 +1078,7 @@ fn ablation(cfg: &Config) {
             PassToggles {
                 fold: false,
                 cse: false,
+                value_rewrites: false,
                 fuse: false,
             },
         ),
@@ -1086,6 +1087,7 @@ fn ablation(cfg: &Config) {
             PassToggles {
                 fold: true,
                 cse: false,
+                value_rewrites: false,
                 fuse: false,
             },
         ),
@@ -1094,6 +1096,7 @@ fn ablation(cfg: &Config) {
             PassToggles {
                 fold: true,
                 cse: true,
+                value_rewrites: false,
                 fuse: false,
             },
         ),
@@ -1102,6 +1105,7 @@ fn ablation(cfg: &Config) {
             PassToggles {
                 fold: false,
                 cse: false,
+                value_rewrites: false,
                 fuse: true,
             },
         ),

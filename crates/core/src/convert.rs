@@ -185,7 +185,8 @@ pub fn convert(
             let linear = b.matmul(x, l_t);
             let s = b.add(quad, linear);
             let ll = b.add(s, bias_c);
-            Ok(b.softmax(ll, 1))
+            let p = b.softmax(ll, 1);
+            Ok(sanitize_proba(b, p))
         }
         Params::BernNb {
             delta,
@@ -199,14 +200,16 @@ pub fn convert(
             let bias_c = b.constant(Tensor::from_vec(bias.clone(), &[1, bias.len()]));
             let mm = b.matmul(bx, d_t);
             let ll = b.add(mm, bias_c);
-            Ok(b.softmax(ll, 1))
+            let p = b.softmax(ll, 1);
+            Ok(sanitize_proba(b, p))
         }
         Params::MultiNb { w, bias } => {
             let w_t = b.constant(w.transpose(0, 1).to_contiguous());
             let bias_c = b.constant(Tensor::from_vec(bias.clone(), &[1, bias.len()]));
             let mm = b.matmul(x, w_t);
             let ll = b.add(mm, bias_c);
-            Ok(b.softmax(ll, 1))
+            let p = b.softmax(ll, 1);
+            Ok(sanitize_proba(b, p))
         }
         Params::Mlp { w1, b1, w2, b2 } => {
             let w1_t = b.constant(w1.transpose(0, 1).to_contiguous());
@@ -218,7 +221,8 @@ pub fn convert(
             let h = b.push(Op::Relu, vec![h1]);
             let o0 = b.matmul(h, w2_t);
             let o1 = b.add(o0, b2_c);
-            Ok(b.softmax(o1, 1))
+            let p = b.softmax(o1, 1);
+            Ok(sanitize_proba(b, p))
         }
         Params::Trees(e) => {
             let strategy = container.strategy.unwrap_or(TreeStrategy::Auto);
@@ -232,14 +236,37 @@ pub fn convert(
 fn emit_link(b: &mut GraphBuilder, z: NodeId, link: LinearLink) -> NodeId {
     match link {
         LinearLink::Margin => z,
-        LinearLink::Softmax => b.softmax(z, 1),
+        LinearLink::Softmax => {
+            let p = b.softmax(z, 1);
+            sanitize_proba(b, p)
+        }
         LinearLink::Sigmoid => {
             let p = b.sigmoid(z);
             let neg = b.mul_scalar(p, -1.0);
             let q = b.add_scalar(neg, 1.0);
-            b.concat(1, vec![q, p])
+            let both = b.concat(1, vec![q, p]);
+            sanitize_proba(b, both)
         }
     }
+}
+
+/// Numeric-safety epilogue on probability heads:
+/// `p̂ = where(isnan(p), p, clamp(p, 0, 1))`.
+///
+/// At run time this is the identity on every value a probability head
+/// can actually produce — in-range values pass through the clamp
+/// unchanged and NaN takes the untouched branch — so compiled outputs
+/// stay bit-identical to the imperative reference, including NaN
+/// propagation. Its purpose is static: it hands the abstract
+/// interpreter an explicit `[0, 1]` + NaN-preservation proof obligation
+/// that the analysis-directed rewrites then discharge (the `Where` is
+/// eliminated when the head is provably NaN-free, the `Clamp` when the
+/// head interval is provably inside `[0, 1]`), and whatever survives is
+/// an honest runtime guard that `hb-serve` admission can rely on.
+pub(crate) fn sanitize_proba(b: &mut GraphBuilder, p: NodeId) -> NodeId {
+    let clamped = b.clamp(p, 0.0, 1.0);
+    let nan = b.is_nan(p);
+    b.where_(nan, p, clamped)
 }
 
 /// KBins: `bin = Σ_k (x ≥ edge_k)` over edges padded to the widest

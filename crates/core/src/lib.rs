@@ -43,8 +43,8 @@ use std::time::Duration;
 
 pub use hb_backend::CancelToken;
 use hb_backend::{
-    Backend, Device, ExecError, Executable, FaultPlan, GraphBuilder, GraphError, RunStats,
-    ShapeFact, SymDim,
+    Artifact, Backend, Device, ExecError, Executable, FaultPlan, GraphBuilder, GraphError,
+    RunStats, ShapeFact, SymDim, ValueFact,
 };
 use hb_ml::linear::LinearLink;
 use hb_pipeline::Pipeline;
@@ -365,6 +365,41 @@ impl CompiledModel {
             }
             _ => out,
         })
+    }
+
+    /// What the terminal output means, as a stable label
+    /// (`"proba"`, `"margin"`, `"value"`, or `"matrix"`).
+    pub fn output_kind_label(&self) -> &'static str {
+        match self.output {
+            OutputKind::Proba => "proba",
+            OutputKind::Margin => "margin",
+            OutputKind::Value => "value",
+            OutputKind::Matrix => "matrix",
+        }
+    }
+
+    /// Abstract-interpretation facts for every graph output under the
+    /// serving admission precondition (finite f32 inputs), computed
+    /// over the optimized graph actually executed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates structural errors from shape inference; a compiled
+    /// model's graph already passed the verifier, so this never fails
+    /// in practice.
+    pub fn output_value_facts(&self) -> Result<Vec<ValueFact>, GraphError> {
+        self.exe.output_value_facts()
+    }
+
+    /// Bundles the optimized graph with its statically derived
+    /// signature and value facts for export.
+    ///
+    /// # Errors
+    ///
+    /// Propagates verifier errors (never expected for a compiled
+    /// model).
+    pub fn artifact(&self) -> Result<Artifact, GraphError> {
+        Artifact::from_graph(self.exe.graph(), self.output_kind_label())
     }
 
     /// Conversion time of the lowering step (paper Table 10).

@@ -64,7 +64,23 @@ pub fn compile_trees(
 /// batched tree dimension), grouped sum + link for boosters.
 fn aggregate(ensemble: &TreeEnsemble, b: &mut GraphBuilder, stacked: NodeId) -> NodeId {
     match &ensemble.agg {
-        Aggregation::AverageProba | Aggregation::AverageValue => {
+        Aggregation::AverageProba => {
+            let p = b.mean(stacked, 0, false); // [n, W]
+                                               // The sanitize epilogue is only a runtime identity when the
+                                               // mean provably stays in [0, 1]; trained classifiers store
+                                               // per-class probabilities in their leaves, but synthetic
+                                               // ensembles may carry arbitrary payloads under AverageProba.
+            let proba_leaves = ensemble
+                .trees
+                .iter()
+                .all(|t| t.values.iter().all(|v| (0.0..=1.0).contains(v)));
+            if proba_leaves {
+                crate::convert::sanitize_proba(b, p)
+            } else {
+                p
+            }
+        }
+        Aggregation::AverageValue => {
             b.mean(stacked, 0, false) // [n, W]
         }
         Aggregation::SumWithLink {
@@ -85,12 +101,16 @@ fn aggregate(ensemble: &TreeEnsemble, b: &mut GraphBuilder, stacked: NodeId) -> 
             let z = b.add(tr, base_c);
             match link {
                 Link::Identity => z,
-                Link::Softmax => b.softmax(z, 1),
+                Link::Softmax => {
+                    let p = b.softmax(z, 1);
+                    crate::convert::sanitize_proba(b, p)
+                }
                 Link::Sigmoid => {
                     let p = b.sigmoid(z); // [n, 1]
                     let neg = b.mul_scalar(p, -1.0);
                     let q = b.add_scalar(neg, 1.0);
-                    b.concat(1, vec![q, p])
+                    let both = b.concat(1, vec![q, p]);
+                    crate::convert::sanitize_proba(b, both)
                 }
             }
         }

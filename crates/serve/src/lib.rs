@@ -390,6 +390,11 @@ impl Drop for AdmissionGuard<'_> {
     }
 }
 
+/// Canary period forced on when a rung's outputs can statically be NaN
+/// but the operator disabled canary sampling (matches the
+/// [`ServeConfig`] default).
+const FORCED_CANARY_PERIOD: usize = 8;
+
 /// Outcome of one rung attempt.
 enum RungOutcome {
     Ok(Tensor<f32>),
@@ -417,6 +422,11 @@ pub struct ServingModel {
     /// none — it is never skipped).
     breakers: Vec<CircuitBreaker>,
     config: ServeConfig,
+    /// Per compiled rung: `true` when abstract interpretation proved the
+    /// rung's outputs finite and NaN-free for finite inputs, so the
+    /// runtime non-finite output scan is redundant (never set when fault
+    /// injection is active — injected poison bypasses the proof).
+    scan_exempt: Vec<bool>,
     input_width: Option<usize>,
     in_flight: AtomicUsize,
     cells: StatCells,
@@ -488,10 +498,37 @@ impl ServingModel {
             .iter()
             .map(|_| CircuitBreaker::new(config.breaker))
             .collect();
+        // Static admission proofs: run the abstract interpreter over
+        // each compiled rung's optimized graph under the admission
+        // precondition (finite f32 inputs). A rung proven to produce
+        // only finite, NaN-free outputs skips the per-request
+        // non-finite output scan; a rung that *can* produce NaN gets
+        // canary sampling forced on even when the operator disabled it,
+        // because silent NaN corruption is exactly what the canary
+        // catches.
+        let mut config = config;
+        let mut scan_exempt = Vec::with_capacity(rungs.len());
+        let mut any_can_nan = false;
+        for (_, model) in &rungs {
+            match model.output_value_facts() {
+                Ok(facts) => {
+                    let clean = facts.iter().all(|f| !f.can_nan && !f.can_inf);
+                    // Injected faults poison outputs *after* the graph
+                    // runs, outside what the proof covers.
+                    scan_exempt.push(clean && config.faults.is_none());
+                    any_can_nan |= facts.iter().any(|f| f.can_nan);
+                }
+                Err(_) => scan_exempt.push(false),
+            }
+        }
+        if any_can_nan && config.canary_period == 0 {
+            config.canary_period = FORCED_CANARY_PERIOD;
+        }
         Ok(ServingModel {
             pipeline: pipeline.clone(),
             rungs,
             breakers,
+            scan_exempt,
             input_width: width.or(pipeline.input_width),
             in_flight: AtomicUsize::new(0),
             cells: StatCells::default(),
@@ -512,6 +549,18 @@ impl ServingModel {
     /// The best compiled rung on the ladder, if any compiled.
     pub fn best_compiled_rung(&self) -> Option<Rung> {
         self.rungs.first().map(|(r, _)| *r)
+    }
+
+    /// Whether abstract interpretation proved `rung`'s outputs finite
+    /// and NaN-free for finite inputs, exempting it from the runtime
+    /// non-finite output scan. Always `false` for [`Rung::Reference`]
+    /// (no graph to analyze) and under fault injection.
+    pub fn rung_scan_exempt(&self, rung: Rung) -> bool {
+        self.rungs
+            .iter()
+            .position(|(r, _)| *r == rung)
+            .and_then(|i| self.scan_exempt.get(i).copied())
+            .unwrap_or(false)
     }
 
     /// The serving configuration this model was built with.
@@ -662,11 +711,12 @@ impl ServingModel {
         let mut failures: Vec<(Rung, String)> = Vec::new();
         let best = self.best_compiled_rung().unwrap_or(Rung::Reference);
 
-        for (rung, model) in self
+        for (ladder_pos, (rung, model)) in self
             .rungs
             .iter()
             .map(|(r, m)| (*r, Some(m)))
             .chain([(Rung::Reference, None)])
+            .enumerate()
         {
             // Circuit breaker: skip a rung that is open; win the single
             // probe slot when it is half-open.
@@ -693,7 +743,13 @@ impl ServingModel {
                 }
                 match self.run_rung(model, x, &cancel) {
                     RungOutcome::Ok(out) => {
-                        if input_finite && out.iter().any(|v| !v.is_finite()) {
+                        // Skip the scan only on rungs whose cleanliness
+                        // is statically proven (never the reference
+                        // rung: the imperative scorer has no graph for
+                        // the interpreter to reason about).
+                        let proven_clean =
+                            self.scan_exempt.get(ladder_pos).copied().unwrap_or(false);
+                        if input_finite && !proven_clean && out.iter().any(|v| !v.is_finite()) {
                             failures.push((rung, "non-finite output for finite input".into()));
                             self.rung_failed(rung, was_probe, "non-finite output for finite input");
                             break;
@@ -1046,6 +1102,119 @@ mod tests {
             "request slept past its deadline: {:?}",
             t.elapsed()
         );
+    }
+
+    #[test]
+    fn proven_clean_rungs_skip_the_output_scan() {
+        // A forest head launders NaN through its tree comparisons and
+        // ends in a hard-[0,1] probability, so abstract interpretation
+        // proves every compiled rung finite and NaN-free for finite
+        // inputs — the runtime non-finite scan is statically discharged.
+        let x = Tensor::from_fn(&[60, 4], |i| ((i[0] * 7 + i[1] * 3) % 13) as f32 * 0.3);
+        let y = Targets::Classes((0..60).map(|i| (i % 2) as i64).collect());
+        let pipe = fit_pipeline(
+            &[
+                OpSpec::StandardScaler,
+                OpSpec::RandomForestClassifier(Default::default()),
+            ],
+            &x,
+            &y,
+        );
+        let server = ServingModel::new(&pipe, ServeConfig::default()).unwrap();
+        for rung in [Rung::Compiled, Rung::Script, Rung::Eager] {
+            assert!(
+                server.rung_scan_exempt(rung),
+                "{rung:?}: clean forest rung should be scan-exempt"
+            );
+        }
+        // The reference scorer has no graph to analyze — never exempt.
+        assert!(!server.rung_scan_exempt(Rung::Reference));
+        // Nothing to catch, so the canary stays at its configured rate.
+        assert_eq!(
+            server.config().canary_period,
+            ServeConfig::default().canary_period
+        );
+        let served = server.predict_detailed(&x).unwrap();
+        assert_eq!(served.rung, Rung::Compiled);
+    }
+
+    #[test]
+    fn fault_injection_voids_the_scan_exemption() {
+        // Injected faults poison outputs after the graph runs — outside
+        // what the static proof covers — so the exemption must not
+        // apply and the nan_poison chaos suite keeps its teeth.
+        let (pipe, _) = fixture();
+        let server = ServingModel::new(
+            &pipe,
+            ServeConfig {
+                faults: FaultPlan {
+                    nan_poison: true,
+                    ..FaultPlan::none()
+                },
+                ..ServeConfig::default()
+            },
+        )
+        .unwrap();
+        for rung in server.available_rungs() {
+            assert!(
+                !server.rung_scan_exempt(rung),
+                "{rung:?}: fault injection must void the scan exemption"
+            );
+        }
+    }
+
+    #[test]
+    fn possible_nan_output_forces_canary_sampling_on() {
+        // A multinomial logistic head: for arbitrary finite inputs the
+        // scaler + margin matmul can overflow f32 to ±inf, and softmax
+        // over an inf-tainted margin is NaN-taintable (inf - inf in the
+        // stabilizer). An operator who turned canary sampling off still
+        // gets it forced back on, because silent NaN corruption is what
+        // the canary catches.
+        let x = Tensor::from_fn(&[60, 4], |i| ((i[0] * 5 + i[1]) % 11) as f32 * 0.4 - 2.0);
+        let y = Targets::Classes((0..60).map(|i| (i % 3) as i64).collect());
+        let pipe = fit_pipeline(
+            &[
+                OpSpec::StandardScaler,
+                OpSpec::LogisticRegression(Default::default()),
+            ],
+            &x,
+            &y,
+        );
+        let server = ServingModel::new(
+            &pipe,
+            ServeConfig {
+                canary_period: 0,
+                ..ServeConfig::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(
+            server.config().canary_period,
+            FORCED_CANARY_PERIOD,
+            "can-NaN graph must force canary sampling on"
+        );
+        assert!(
+            !server.rung_scan_exempt(Rung::Compiled),
+            "a can-NaN rung must keep the runtime output scan"
+        );
+        // A provably clean pipeline (forest head, NaN laundered by the
+        // tree comparisons) with the same config keeps the canary off:
+        // forcing is targeted, not unconditional.
+        let clean_pipe = fit_pipeline(
+            &[OpSpec::RandomForestClassifier(Default::default())],
+            &x,
+            &y,
+        );
+        let clean = ServingModel::new(
+            &clean_pipe,
+            ServeConfig {
+                canary_period: 0,
+                ..ServeConfig::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(clean.config().canary_period, 0);
     }
 
     #[test]

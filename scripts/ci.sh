@@ -30,13 +30,25 @@ cargo test -q --offline --workspace
 echo "==> cargo test -q --test memplan (plan determinism + zero-alloc steady state)"
 cargo test -q --offline --test memplan
 
-# Static graph audit: export compiled graphs for every tree strategy plus
-# an end-to-end pipeline, then run the hb-lint verifier over them.
-# hb-lint exits non-zero on any error-level diagnostic.
-echo "==> hb-lint over exported graphs"
+# Abstract-interpretation gate, explicitly: randomized soundness of the
+# interval/taint analysis (every eager intermediate inside its inferred
+# fact, NaN only where taint permits, before and after optimization)
+# plus the memory-plan auditor regression suite.
+echo "==> cargo test -q --test absint_soundness --test plan_audit (value analysis gates)"
+cargo test -q --offline --test absint_soundness
+cargo test -q --offline --test plan_audit
+
+# Static graph audit: export compiled artifacts (graph + signature +
+# value facts) for every tree strategy plus an end-to-end pipeline,
+# then run the hb-lint verifier over them. --deny-analysis promotes any
+# new analysis finding (probability escaping [0,1], dead where-branch,
+# 0-crossing denominator) to an error; --audit-plans replays each
+# artifact's memory plans through the independent auditor. hb-lint
+# exits non-zero on any error-level diagnostic.
+echo "==> hb-lint over exported graphs (--audit-plans --deny-analysis)"
 rm -rf target/ci-graphs
 ./target/release/hb-export target/ci-graphs
-./target/release/hb-lint target/ci-graphs/*.json
+./target/release/hb-lint --audit-plans --deny-analysis target/ci-graphs/*.json
 
 # Chaos suite, explicitly and with backtraces: every fault injected
 # into the supervised worker pool must surface typed or degraded —

@@ -1,7 +1,9 @@
-//! `hb-export`: compiles reference pipelines and writes their tensor
-//! graphs as JSON artifacts, one per tree strategy plus an end-to-end
-//! featurizer pipeline. CI feeds the output directory to `hb-lint` so
-//! every compilation strategy stays clean under the static verifier.
+//! `hb-export`: compiles reference pipelines and writes them as JSON
+//! artifacts — the optimized tensor graph plus its statically derived
+//! metadata (verifier signature and abstract-interpretation value
+//! facts) — one per tree strategy plus an end-to-end featurizer
+//! pipeline. CI feeds the output directory to `hb-lint` so every
+//! compilation strategy stays clean under the static analyses.
 //!
 //! ```text
 //! hb-export <output-dir>
@@ -84,8 +86,14 @@ fn export_one(
         ..CompileOptions::default()
     };
     let model = compile(pipe, &opts).map_err(|e| format!("{name}: compile failed: {e}"))?;
-    let json = model.executable().graph().to_json();
+    // Export the full artifact: the optimized graph plus its verifier
+    // signature and abstract-interpretation output facts, so consumers
+    // can read the static guarantees without re-deriving them.
+    let artifact = model
+        .artifact()
+        .map_err(|e| format!("{name}: artifact failed: {e}"))?;
     let path = dir.join(format!("{name}.json"));
-    std::fs::write(&path, json).map_err(|e| format!("{name}: write failed: {e}"))?;
+    std::fs::write(&path, artifact.to_json_string())
+        .map_err(|e| format!("{name}: write failed: {e}"))?;
     Ok(())
 }

@@ -8,29 +8,64 @@
 //! static memory planner's arena footprint / reuse ratio at the
 //! reference serving batch (warning when planning is defeated).
 //!
+//! On top of the structural audit, the abstract interpreter
+//! (`hb-backend::absint`) runs under the serving admission precondition
+//! (finite f32 inputs) and reports value-level findings: classifier
+//! outputs whose interval is not contained in `[0, 1]`, `Where` nodes
+//! with a statically unreachable branch, and divisions whose denominator
+//! interval contains 0. Findings are deduplicated per node kind.
+//!
+//! Inputs may be bare `Graph` exports or full artifacts (graph +
+//! recorded signature + value facts); for artifacts the recorded
+//! signature is cross-checked against a fresh verifier run.
+//!
+//! Flags:
+//!
+//! * `--audit-plans` — additionally build memory plans at several batch
+//!   sizes and replay each through the independent plan auditor
+//!   (`hb-backend::audit`); a rejected plan is an **error**.
+//! * `--deny-analysis` — escalate abstract-interpretation findings to
+//!   error level (the CI gate: seeded artifacts must stay clean).
+//!
 //! Exit status is non-zero iff any file produced an **error-level**
-//! diagnostic (unreadable, unparsable, or failing verification);
-//! warnings alone keep the exit status at zero so CI can gate on real
-//! defects without chasing style.
+//! diagnostic (unreadable, unparsable, failing verification, a rejected
+//! plan, or — under `--deny-analysis` — any analysis finding); warnings
+//! alone keep the exit status at zero so CI can gate on real defects
+//! without chasing style.
 //!
 //! ```text
-//! hb-lint graphs/*.json
+//! hb-lint [--audit-plans] [--deny-analysis] graphs/*.json
 //! ```
 
 use std::process::ExitCode;
 
-use hummingbird::backend::{Graph, MemoryPlan, Op};
+use hummingbird::backend::{audit_plan, Artifact, Graph, MemoryPlan, Op};
 use hummingbird::tensor::DynTensor;
 
+/// Behavior toggles parsed from the command line.
+#[derive(Clone, Copy, Default)]
+struct Flags {
+    audit_plans: bool,
+    deny_analysis: bool,
+}
+
 fn main() -> ExitCode {
-    let paths: Vec<String> = std::env::args().skip(1).collect();
+    let mut flags = Flags::default();
+    let mut paths = Vec::new();
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--audit-plans" => flags.audit_plans = true,
+            "--deny-analysis" => flags.deny_analysis = true,
+            _ => paths.push(arg),
+        }
+    }
     if paths.is_empty() {
-        eprintln!("usage: hb-lint <graph.json>...");
+        eprintln!("usage: hb-lint [--audit-plans] [--deny-analysis] <graph.json>...");
         return ExitCode::FAILURE;
     }
     let mut errors = 0usize;
     for path in &paths {
-        if !lint_file(path) {
+        if !lint_file(path, flags) {
             errors += 1;
         }
     }
@@ -47,7 +82,7 @@ fn main() -> ExitCode {
 }
 
 /// Lints one file; returns `false` on any error-level diagnostic.
-fn lint_file(path: &str) -> bool {
+fn lint_file(path: &str, flags: Flags) -> bool {
     let json = match std::fs::read_to_string(path) {
         Ok(s) => s,
         Err(e) => {
@@ -55,22 +90,37 @@ fn lint_file(path: &str) -> bool {
             return false;
         }
     };
-    // Parse without the admission gate: hb-lint's whole job is to
-    // diagnose invalid graphs, so it must be able to hold one.
-    let graph = match Graph::from_json_unchecked(&json) {
-        Ok(g) => g,
-        Err(e) => {
-            println!("{path}: error: unparsable artifact: {e}");
-            return false;
-        }
+    // Accept both full artifacts and bare graph exports. Parse without
+    // the admission gate either way: hb-lint's whole job is to diagnose
+    // invalid graphs, so it must be able to hold one.
+    let (graph, recorded) = match Artifact::from_json_str(&json) {
+        Ok(a) => (a.graph.clone(), Some(a)),
+        Err(_) => match Graph::from_json_unchecked(&json) {
+            Ok(g) => (g, None),
+            Err(e) => {
+                println!("{path}: error: unparsable artifact: {e}");
+                return false;
+            }
+        },
     };
-    let ok = match graph.verify() {
+    let output_kind = recorded.as_ref().map(|a| a.output_kind.clone());
+    let mut ok = match graph.verify() {
         Ok(sig) => {
             println!(
                 "{path}: ok: {} nodes, {} kernels, signature {sig}",
                 graph.len(),
                 graph.kernel_count()
             );
+            // A stale artifact carrying a signature its own graph no
+            // longer satisfies is lying to its consumers.
+            if let Some(a) = &recorded {
+                if a.signature != sig {
+                    println!(
+                        "{path}: warning: recorded signature `{}` disagrees with the verifier (`{sig}`)",
+                        a.signature
+                    );
+                }
+            }
             true
         }
         Err(e) => {
@@ -81,14 +131,114 @@ fn lint_file(path: &str) -> bool {
     for w in audit(&graph) {
         println!("{path}: warning: {w}");
     }
+    let findings = analyze(&graph, output_kind.as_deref());
+    let level = if flags.deny_analysis {
+        "error"
+    } else {
+        "warning"
+    };
+    for f in &findings {
+        println!("{path}: {level}: {f}");
+    }
+    if flags.deny_analysis && !findings.is_empty() {
+        ok = false;
+    }
     println!("{path}: note: {}", footprint(&graph));
     if ok {
         match memory_plan_line(&graph) {
             Ok(line) => println!("{path}: note: {line}"),
             Err(line) => println!("{path}: warning: {line}"),
         }
+        if flags.audit_plans && !audit_plans(path, &graph) {
+            ok = false;
+        }
     }
     ok
+}
+
+/// Replays the memory plans for several batch sizes through the
+/// independent auditor. Returns `false` when any plan is rejected.
+fn audit_plans(path: &str, graph: &Graph) -> bool {
+    let mut ok = true;
+    for batch in [1usize, 7, 1000] {
+        // An unplannable batch is a performance finding, not a safety
+        // one; the planner-level warning already covers it.
+        let Ok(plan) = MemoryPlan::build(graph, batch) else {
+            continue;
+        };
+        match audit_plan(graph, &plan) {
+            Ok(()) => println!(
+                "{path}: note: plan audit @batch={batch}: {} step(s), {} slot(s) verified",
+                plan.steps.len(),
+                plan.slots.len()
+            ),
+            Err(e) => {
+                println!("{path}: error: plan audit @batch={batch}: UNSAFE PLAN: {e}");
+                ok = false;
+            }
+        }
+    }
+    ok
+}
+
+/// Value-level findings from the abstract interpreter, deduplicated per
+/// node kind (one line per finding kind with a count and examples).
+fn analyze(graph: &Graph, output_kind: Option<&str>) -> Vec<String> {
+    let mut findings = Vec::new();
+    let input_facts = graph.finite_input_facts();
+    let Ok(facts) = graph.infer_values(&input_facts) else {
+        // Structural problems are already reported by the verifier.
+        return findings;
+    };
+
+    // Classifier outputs must be probabilities: interval ⊆ [0, 1].
+    if output_kind == Some("proba") {
+        for (i, &o) in graph.outputs.iter().enumerate() {
+            let f = facts[o];
+            if !(f.lo >= 0.0 && f.hi <= 1.0) {
+                findings.push(format!(
+                    "classifier output {i} has interval [{}, {}] not contained in [0, 1]",
+                    f.lo, f.hi
+                ));
+            }
+        }
+    }
+
+    // Statically unreachable Where branches and divisions whose
+    // denominator may contain 0, each deduplicated per node kind.
+    let mut dead_where: Vec<usize> = Vec::new();
+    let mut zero_div: Vec<usize> = Vec::new();
+    for (id, node) in graph.nodes.iter().enumerate() {
+        match node.op {
+            Op::Where if node.inputs.len() == 3 => {
+                let c = facts[node.inputs[0]];
+                if (c.lo >= 1.0 || c.hi <= 0.0) && !c.can_nan {
+                    dead_where.push(id);
+                }
+            }
+            Op::Div if node.inputs.len() == 2 && facts[node.inputs[1]].contains_zero() => {
+                zero_div.push(id);
+            }
+            _ => {}
+        }
+    }
+    if !dead_where.is_empty() {
+        findings.push(format!(
+            "{} Where node(s) with a statically unreachable branch (dead code the optimizer \
+             should have removed), e.g. {:?}",
+            dead_where.len(),
+            &dead_where[..dead_where.len().min(3)]
+        ));
+    }
+    if !zero_div.is_empty() {
+        findings.push(format!(
+            "{} Div node(s) whose denominator interval contains 0 (result may be NaN/Inf), \
+             e.g. {:?}",
+            zero_div.len(),
+            &zero_div[..zero_div.len().min(3)]
+        ));
+    }
+    findings
 }
 
 /// One-line arena summary from the static memory planner at a reference

@@ -1,0 +1,389 @@
+//! Property-based soundness of the abstract interpreter
+//! (`hb-backend::absint`) against the ground truth of eager execution:
+//! on random well-formed graphs fed random inputs drawn inside the
+//! declared input interval, **every** eagerly computed intermediate must
+//! satisfy its inferred [`ValueFact`] — every non-NaN element inside
+//! `[lo, hi]`, NaN only where `can_nan` permits, ±Inf only where
+//! `can_inf` permits.
+//!
+//! The step pool deliberately includes the hazardous operations —
+//! division by a value straddling zero, `Ln`/`Sqrt` of possibly
+//! negative operands, overflow-prone `Exp`/`MatMul` chains — so the
+//! NaN/Inf taint lattice is exercised, not just the intervals. A second
+//! property runs the full Compiled optimization pipeline (including
+//! kernel fusion, whose stack-machine transfer function is separate)
+//! and re-checks the optimized graph's facts against its own eager
+//! execution.
+
+use proptest::prelude::*;
+
+use hummingbird::backend::optimize::optimize;
+use hummingbird::backend::{Graph, GraphBuilder, Op, ShapeFact, ValueFact};
+use hummingbird::tensor::{DType, DynTensor, Tensor};
+
+/// Declared element interval for graph inputs; `input_of` draws inside.
+const IN_LO: f64 = -2.0;
+const IN_HI: f64 = 2.0;
+
+/// One randomly chosen op layered onto the graph. Shape preconditions
+/// are checked against the tracked concrete value, so the graph is
+/// well-formed by construction.
+#[derive(Debug, Clone)]
+enum Step {
+    AddConst(f32),
+    MulConst(f32),
+    PowHalf,
+    Square,
+    Relu,
+    Sigmoid,
+    Tanh,
+    Exp,
+    Ln,
+    Sqrt,
+    Abs,
+    Neg,
+    AddSelf,
+    SubSelf,
+    MulSelf,
+    /// `x / x`: denominator interval straddles zero → 0/0 NaN taint.
+    DivSelf,
+    MaxConst(f32),
+    MinConst(f32),
+    Clamp(f32, f32),
+    /// `where(x > 0, x, -x)` — comparison cond + select join.
+    WherePos,
+    /// `cast(isnan(x), F32)` — NaN laundering through a comparison-like
+    /// mask.
+    NanMask,
+    /// Round-trip through I64 (saturating, NaN-laundering casts).
+    I64RoundTrip,
+    MatMul(usize),
+    Sum {
+        axis: usize,
+        keepdim: bool,
+    },
+    Mean {
+        axis: usize,
+        keepdim: bool,
+    },
+    ReduceMax(usize),
+    Softmax(usize),
+    LogSumExp(usize),
+    Transpose,
+    ConcatSelf(usize),
+}
+
+fn step_strategy() -> impl Strategy<Value = Step> {
+    prop_oneof![
+        (-3.0f32..3.0).prop_map(Step::AddConst),
+        (-3.0f32..3.0).prop_map(Step::MulConst),
+        Just(Step::PowHalf),
+        Just(Step::Square),
+        Just(Step::Relu),
+        Just(Step::Sigmoid),
+        Just(Step::Tanh),
+        Just(Step::Exp),
+        Just(Step::Ln),
+        Just(Step::Sqrt),
+        Just(Step::Abs),
+        Just(Step::Neg),
+        Just(Step::AddSelf),
+        Just(Step::SubSelf),
+        Just(Step::MulSelf),
+        Just(Step::DivSelf),
+        (-1.0f32..1.0).prop_map(Step::MaxConst),
+        (-1.0f32..1.0).prop_map(Step::MinConst),
+        (-1.0f32..0.0, 0.0f32..1.0).prop_map(|(lo, hi)| Step::Clamp(lo, hi)),
+        Just(Step::WherePos),
+        Just(Step::NanMask),
+        Just(Step::I64RoundTrip),
+        (1usize..4).prop_map(Step::MatMul),
+        ((0usize..2), any::<bool>()).prop_map(|(axis, keepdim)| Step::Sum { axis, keepdim }),
+        ((0usize..2), any::<bool>()).prop_map(|(axis, keepdim)| Step::Mean { axis, keepdim }),
+        (0usize..2).prop_map(Step::ReduceMax),
+        (0usize..2).prop_map(Step::Softmax),
+        (0usize..2).prop_map(Step::LogSumExp),
+        Just(Step::Transpose),
+        (0usize..2).prop_map(Step::ConcatSelf),
+    ]
+}
+
+/// Deterministic pseudo-random input inside `[IN_LO, IN_HI]`.
+fn input_of(n: usize, m: usize, seed: u64) -> Tensor<f32> {
+    let mut state = seed | 1;
+    Tensor::from_fn(&[n, m], |_| {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        ((state >> 40) as f32 / (1u64 << 24) as f32) * 4.0 - 2.0
+    })
+}
+
+/// Grows a random graph over `input`, keeping the running node in F32
+/// rank-2 form so every step stays applicable.
+fn grow(steps: &[Step], input: &Tensor<f32>) -> (GraphBuilder, usize) {
+    let mut b = GraphBuilder::new();
+    let x = b.input_with_shape(DType::F32, ShapeFact::fixed(input.shape()));
+    // Track the concrete shape only (values come later from eager
+    // execution of the finished graph).
+    let mut shape = input.shape().to_vec();
+    let mut cur = x;
+    for s in steps {
+        let rank = shape.len();
+        cur = match s {
+            Step::AddConst(c) => b.add_scalar(cur, f64::from(*c)),
+            Step::MulConst(c) => b.mul_scalar(cur, f64::from(*c)),
+            Step::PowHalf => b.push(Op::PowScalar(0.5), vec![cur]),
+            Step::Square => b.push(Op::PowScalar(2.0), vec![cur]),
+            Step::Relu => b.push(Op::Relu, vec![cur]),
+            Step::Sigmoid => b.sigmoid(cur),
+            Step::Tanh => b.push(Op::Tanh, vec![cur]),
+            Step::Exp => b.push(Op::Exp, vec![cur]),
+            Step::Ln => b.push(Op::Ln, vec![cur]),
+            Step::Sqrt => b.push(Op::Sqrt, vec![cur]),
+            Step::Abs => b.push(Op::Abs, vec![cur]),
+            Step::Neg => b.push(Op::Neg, vec![cur]),
+            Step::AddSelf => b.add(cur, cur),
+            Step::SubSelf => b.sub(cur, cur),
+            Step::MulSelf => b.mul(cur, cur),
+            Step::DivSelf => b.div(cur, cur),
+            Step::MaxConst(c) => {
+                let k = b.constant(Tensor::scalar(*c));
+                b.push(Op::Maximum, vec![cur, k])
+            }
+            Step::MinConst(c) => {
+                let k = b.constant(Tensor::scalar(*c));
+                b.push(Op::Minimum, vec![cur, k])
+            }
+            Step::Clamp(lo, hi) => b.clamp(cur, *lo, *hi),
+            Step::WherePos => {
+                let zero = b.constant(Tensor::scalar(0.0f32));
+                let cond = b.push(Op::Gt, vec![cur, zero]);
+                let neg = b.push(Op::Neg, vec![cur]);
+                b.where_(cond, cur, neg)
+            }
+            Step::NanMask => {
+                let mask = b.is_nan(cur);
+                b.cast(mask, DType::F32)
+            }
+            Step::I64RoundTrip => {
+                let i = b.cast(cur, DType::I64);
+                b.cast(i, DType::F32)
+            }
+            Step::MatMul(k) => {
+                if rank != 2 {
+                    continue;
+                }
+                let inner = shape[1];
+                let w = b.constant(Tensor::from_fn(&[inner, *k], |i| {
+                    (i[0] * 3 + i[1]) as f32 * 0.3 - 0.5
+                }));
+                shape = vec![shape[0], *k];
+                b.matmul(cur, w)
+            }
+            Step::Sum { axis, keepdim } => {
+                if rank == 0 {
+                    continue;
+                }
+                let axis = axis % rank;
+                if !keepdim {
+                    shape.remove(axis);
+                } else {
+                    shape[axis] = 1;
+                }
+                b.sum(cur, axis, *keepdim)
+            }
+            Step::Mean { axis, keepdim } => {
+                if rank == 0 {
+                    continue;
+                }
+                let axis = axis % rank;
+                if !keepdim {
+                    shape.remove(axis);
+                } else {
+                    shape[axis] = 1;
+                }
+                b.mean(cur, axis, *keepdim)
+            }
+            Step::ReduceMax(axis) => {
+                if rank == 0 {
+                    continue;
+                }
+                let axis = axis % rank;
+                if shape[axis] == 0 {
+                    continue;
+                }
+                shape[axis] = 1;
+                b.push(
+                    Op::ReduceMax {
+                        axis,
+                        keepdim: true,
+                    },
+                    vec![cur],
+                )
+            }
+            Step::Softmax(axis) => {
+                if rank == 0 {
+                    continue;
+                }
+                let axis = axis % rank;
+                if shape[axis] == 0 {
+                    continue;
+                }
+                b.push(Op::Softmax { axis }, vec![cur])
+            }
+            Step::LogSumExp(axis) => {
+                if rank == 0 {
+                    continue;
+                }
+                let axis = axis % rank;
+                if shape[axis] == 0 {
+                    continue;
+                }
+                shape[axis] = 1;
+                b.push(
+                    Op::LogSumExp {
+                        axis,
+                        keepdim: true,
+                    },
+                    vec![cur],
+                )
+            }
+            Step::Transpose => {
+                if rank != 2 {
+                    continue;
+                }
+                shape.swap(0, 1);
+                b.transpose(cur, 0, 1)
+            }
+            Step::ConcatSelf(axis) => {
+                if rank == 0 {
+                    continue;
+                }
+                let axis = axis % rank;
+                shape[axis] *= 2;
+                b.concat(axis, vec![cur, cur])
+            }
+        };
+    }
+    (b, cur)
+}
+
+/// Eagerly evaluates every node; the kernels are the ground truth.
+fn run_all(graph: &Graph, input: &Tensor<f32>) -> Vec<DynTensor> {
+    let mut vals: Vec<DynTensor> = Vec::with_capacity(graph.nodes.len());
+    for node in &graph.nodes {
+        let v = match &node.op {
+            Op::Input(_) => DynTensor::F32(input.clone()),
+            op => {
+                let ins: Vec<&DynTensor> = node.inputs.iter().map(|&i| &vals[i]).collect();
+                op.eval(&ins)
+            }
+        };
+        vals.push(v);
+    }
+    vals
+}
+
+/// Asserts every element of `v` satisfies `fact` (the soundness
+/// contract), reporting the node id and offending element on failure.
+fn assert_fact_holds(
+    v: &DynTensor,
+    fact: ValueFact,
+    node: usize,
+    op: &str,
+) -> Result<(), TestCaseError> {
+    let check = |x: f64, is_nan: bool, is_inf: bool| -> Result<(), TestCaseError> {
+        if is_nan {
+            prop_assert!(
+                fact.can_nan,
+                "node {node} ({op}): eager NaN but fact {fact:?} forbids NaN"
+            );
+            return Ok(());
+        }
+        prop_assert!(
+            fact.lo <= x && x <= fact.hi,
+            "node {node} ({op}): eager value {x} outside fact {fact:?}"
+        );
+        if is_inf {
+            prop_assert!(
+                fact.can_inf,
+                "node {node} ({op}): eager Inf but fact {fact:?} forbids Inf"
+            );
+        }
+        Ok(())
+    };
+    match v {
+        DynTensor::F32(t) => {
+            for x in t.iter() {
+                check(f64::from(x), x.is_nan(), x.is_infinite())?;
+            }
+        }
+        DynTensor::I64(t) => {
+            for x in t.iter() {
+                check(x as f64, false, false)?;
+            }
+        }
+        DynTensor::U8(t) => {
+            for x in t.iter() {
+                check(f64::from(x), false, false)?;
+            }
+        }
+        DynTensor::Bool(t) => {
+            for x in t.iter() {
+                check(f64::from(u8::from(x)), false, false)?;
+            }
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    // Core soundness: every eager intermediate satisfies its fact.
+    #[test]
+    fn eager_execution_stays_inside_inferred_facts(
+        steps in prop::collection::vec(step_strategy(), 1..12),
+        n in 1usize..5,
+        m in 1usize..4,
+        seed in any::<u64>(),
+    ) {
+        let input = input_of(n, m, seed);
+        let (mut b, cur) = grow(&steps, &input);
+        b.output(cur);
+        let graph = b.build();
+        let facts = graph
+            .infer_values(&[ValueFact::finite(IN_LO, IN_HI)])
+            .unwrap_or_else(|e| panic!("value inference failed: {e}"));
+        let vals = run_all(&graph, &input);
+        for (id, v) in vals.iter().enumerate() {
+            assert_fact_holds(v, facts[id], id, &graph.nodes[id].op.label())?;
+        }
+    }
+
+    // The optimized graph (folding, value rewrites, CSE, DCE, fusion)
+    // must also be sound against its own facts — this is what serving
+    // admission actually consumes, and it exercises the FusedKernel
+    // stack-machine transfer function.
+    #[test]
+    fn optimized_graph_facts_remain_sound(
+        steps in prop::collection::vec(step_strategy(), 1..12),
+        n in 1usize..5,
+        m in 1usize..4,
+        seed in any::<u64>(),
+    ) {
+        let input = input_of(n, m, seed);
+        let (mut b, cur) = grow(&steps, &input);
+        b.output(cur);
+        let graph = b.build();
+        let (opt, _) = optimize(&graph);
+        let facts = opt
+            .infer_values(&[ValueFact::finite(IN_LO, IN_HI)])
+            .unwrap_or_else(|e| panic!("value inference failed: {e}"));
+        let vals = run_all(&opt, &input);
+        for (id, v) in vals.iter().enumerate() {
+            assert_fact_holds(v, facts[id], id, &opt.nodes[id].op.label())?;
+        }
+    }
+}

@@ -1,0 +1,238 @@
+//! Memory-plan auditor regression suite: every plan the planner emits
+//! for real compiled models must pass the independent safety audit
+//! ([`hummingbird::backend::audit_plan`]), across all three tree
+//! compilation strategies and a span of batch sizes — and a
+//! deliberately corrupted plan (two simultaneously-live steps aliased
+//! to one slot) must be rejected.
+
+use hummingbird::backend::plan::Step;
+use hummingbird::backend::{audit_plan, MemoryPlan, PlanAuditError};
+use hummingbird::compiler::{compile, CompileOptions, TreeStrategy};
+use hummingbird::ml::ensemble::{Aggregation, TreeEnsemble};
+use hummingbird::ml::tree::Tree;
+use hummingbird::pipeline::{fit_pipeline, OpSpec, Pipeline, Targets};
+use hummingbird::tensor::Tensor;
+
+/// Deterministic xorshift in [0, 1).
+fn make_rand(seed: u64) -> impl FnMut() -> f32 {
+    let mut state = seed | 1;
+    move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        (state >> 40) as f32 / (1u64 << 24) as f32
+    }
+}
+
+/// Builds a random binary tree of at most `depth` with `value_width`
+/// leaf payloads (same builder as the memplan suite).
+fn random_tree(
+    depth: usize,
+    n_features: usize,
+    value_width: usize,
+    rand: &mut impl FnMut() -> f32,
+) -> Tree {
+    fn build(
+        depth: usize,
+        n_features: usize,
+        value_width: usize,
+        rand: &mut impl FnMut() -> f32,
+        tree: &mut Tree,
+    ) -> i32 {
+        let id = tree.left.len();
+        tree.left.push(-1);
+        tree.right.push(-1);
+        tree.feature.push(0);
+        tree.threshold.push(0.0);
+        for _ in 0..value_width {
+            tree.values.push(rand() * 2.0 - 1.0);
+        }
+        if depth > 0 && rand() < 0.7 {
+            let f = ((rand() * n_features as f32) as usize).min(n_features - 1);
+            let l = build(depth - 1, n_features, value_width, rand, tree);
+            let r = build(depth - 1, n_features, value_width, rand, tree);
+            tree.left[id] = l;
+            tree.right[id] = r;
+            tree.feature[id] = f as u32;
+            tree.threshold[id] = rand() * 2.0 - 1.0;
+        }
+        id as i32
+    }
+    let mut tree = Tree {
+        left: vec![],
+        right: vec![],
+        feature: vec![],
+        threshold: vec![],
+        values: vec![],
+        value_width,
+    };
+    build(depth, n_features, value_width, rand, &mut tree);
+    tree
+}
+
+fn forest_pipeline(seed: u64, n_features: usize, n_classes: usize) -> Pipeline {
+    let mut rand = make_rand(seed);
+    let trees: Vec<Tree> = (0..8)
+        .map(|_| random_tree(5, n_features, n_classes, &mut rand))
+        .collect();
+    Pipeline::from_op(TreeEnsemble {
+        trees,
+        n_features,
+        n_classes,
+        agg: Aggregation::AverageProba,
+    })
+}
+
+/// Compiles `pipe` with `strategy` and audits the plan at each batch.
+fn audit_strategy(pipe: &Pipeline, strategy: TreeStrategy, batches: &[usize]) {
+    let opts = CompileOptions {
+        tree_strategy: strategy,
+        optimize_pipeline: false,
+        ..Default::default()
+    };
+    let model = compile(pipe, &opts).expect("compile");
+    let exe = model.executable();
+    let graph = exe.graph();
+    for &b in batches {
+        let plan = MemoryPlan::build(graph, b)
+            .unwrap_or_else(|e| panic!("{}: plan at batch {b} failed: {e}", strategy.label()));
+        audit_plan(graph, &plan).unwrap_or_else(|e| {
+            panic!(
+                "{}: auditor rejected the planner's own plan at batch {b}: {e}",
+                strategy.label()
+            )
+        });
+        assert!(plan.planned_kernels > 0, "{}: empty plan", strategy.label());
+    }
+}
+
+#[test]
+fn auditor_accepts_all_gemm_plans() {
+    let pipe = forest_pipeline(0xa0d1_0001, 10, 3);
+    audit_strategy(&pipe, TreeStrategy::Gemm, &[1, 7, 64, 1000]);
+}
+
+#[test]
+fn auditor_accepts_all_tree_traversal_plans() {
+    let pipe = forest_pipeline(0xa0d1_0002, 10, 3);
+    audit_strategy(&pipe, TreeStrategy::TreeTraversal, &[1, 7, 64, 1000]);
+}
+
+#[test]
+fn auditor_accepts_all_perfect_tree_plans() {
+    let pipe = forest_pipeline(0xa0d1_0003, 10, 3);
+    audit_strategy(&pipe, TreeStrategy::PerfectTreeTraversal, &[1, 7, 64, 1000]);
+}
+
+#[test]
+fn auditor_accepts_optimized_e2e_pipeline_plans() {
+    // Full featurizer pipeline through the optimizer: fused and
+    // value-rewritten graphs must audit clean too.
+    let n = 120;
+    let d = 8;
+    let x = Tensor::from_fn(&[n, d], |i| {
+        let cls = (i[0] % 3) as f32;
+        cls * 1.3 + ((i[0] * 13 + i[1] * 7) % 11) as f32 * 0.25 - 1.0
+    });
+    let y = Targets::Classes((0..n).map(|i| (i % 3) as i64).collect());
+    let pipe = fit_pipeline(
+        &[
+            OpSpec::StandardScaler,
+            OpSpec::RandomForestClassifier(Default::default()),
+        ],
+        &x,
+        &y,
+    );
+    let model = compile(&pipe, &CompileOptions::default()).expect("compile");
+    let exe = model.executable();
+    let graph = exe.graph();
+    for b in [1usize, 7, 333] {
+        let plan = MemoryPlan::build(graph, b).expect("plan");
+        audit_plan(graph, &plan)
+            .unwrap_or_else(|e| panic!("auditor rejected e2e plan at batch {b}: {e}"));
+    }
+}
+
+/// Corrupts a valid plan by aliasing a kernel step onto the slot of an
+/// earlier kernel that is still live (a later node reads it), then
+/// asserts the auditor rejects the plan. This is exactly the class of
+/// planner bug the auditor exists to catch: a liveness bookkeeping slip
+/// that silently reuses a buffer too early.
+///
+/// Real compiled forests chain every kernel in-place through one slot,
+/// leaving no simultaneously-live pair to alias — so this uses a
+/// diamond graph where `exp(x)` stays live across two later kernels.
+#[test]
+fn auditor_rejects_aliased_live_slots() {
+    use hummingbird::backend::{GraphBuilder, Op, ShapeFact};
+    use hummingbird::tensor::DType;
+
+    let mut b = GraphBuilder::new();
+    let x = b.input_with_shape(DType::F32, ShapeFact::batched(&[4]));
+    let e = b.push(Op::Exp, vec![x]);
+    let n = b.push(Op::Neg, vec![x]);
+    let s = b.add(e, n);
+    let t = b.mul(s, e); // `e` stays live across `n` and `s`
+    b.output(t);
+    let graph = b.build();
+
+    let plan = MemoryPlan::build(&graph, 16).expect("plan");
+    audit_plan(&graph, &plan).expect("pristine plan must audit clean");
+
+    // `e` and `n` are simultaneously live at `s`, so the planner must
+    // have put them in different slots; alias `n` onto `e`'s slot.
+    let Step::Kernel { slot: slot_e, .. } = plan.steps[e] else {
+        panic!("exp must be a planned kernel");
+    };
+    let Step::Kernel {
+        slot: slot_n,
+        shape: ref shape_n,
+        ..
+    } = plan.steps[n]
+    else {
+        panic!("neg must be a planned kernel");
+    };
+    assert_ne!(slot_e, slot_n, "planner aliased live values itself");
+
+    let mut bad = plan.clone();
+    bad.steps[n] = Step::Kernel {
+        slot: slot_e,
+        shape: shape_n.clone(),
+        inplace: hummingbird::backend::Inplace::No,
+    };
+    let err = audit_plan(&graph, &bad).expect_err("aliased live slots must be rejected");
+    assert!(
+        matches!(err, PlanAuditError::LiveOverlap { .. }),
+        "expected LiveOverlap for node {n} clobbering live node {e} in slot {slot_e}, got: {err}"
+    );
+}
+
+/// A step whose declared concrete shape disagrees with the verified
+/// shape fact must also be rejected (the executor trusts these shapes
+/// when carving views out of the arena).
+#[test]
+fn auditor_rejects_corrupted_step_shape() {
+    let pipe = forest_pipeline(0xa0d1_0005, 10, 3);
+    let opts = CompileOptions {
+        tree_strategy: TreeStrategy::Gemm,
+        optimize_pipeline: false,
+        ..Default::default()
+    };
+    let model = compile(&pipe, &opts).expect("compile");
+    let exe = model.executable();
+    let graph = exe.graph();
+    let mut plan = MemoryPlan::build(graph, 8).expect("plan");
+    let step = plan
+        .steps
+        .iter_mut()
+        .find_map(|s| match s {
+            Step::Kernel { shape, .. } if !shape.is_empty() => Some(shape),
+            _ => None,
+        })
+        .expect("plan has a kernel step");
+    step[0] += 1;
+    assert!(
+        audit_plan(graph, &plan).is_err(),
+        "step shape contradicting the shape facts must be rejected"
+    );
+}

@@ -1,0 +1,150 @@
+//! Analysis-directed rewrite acceptance: the interval/taint analysis
+//! must actually pay for itself on real compiled pipelines. The
+//! sanitizing epilogue `where(isnan(p), p, clamp(p, 0, 1))` that every
+//! probability head carries is designed to be statically discharged —
+//! Where-elimination on NaN-free forest heads, Clamp-elimination on
+//! hard-[0,1] softmax/sigmoid heads — and the rewritten graphs must be
+//! bit-identical to the unrewritten ones.
+
+use hummingbird::backend::{Device, Executable, Op};
+use hummingbird::compiler::{compile, CompileOptions, TreeStrategy};
+use hummingbird::ml::forest::ForestConfig;
+use hummingbird::ml::linear::LinearConfig;
+use hummingbird::pipeline::{fit_pipeline, OpSpec, Pipeline, Targets};
+use hummingbird::tensor::{DynTensor, Tensor};
+
+fn class_data(n: usize, d: usize, classes: usize) -> (Tensor<f32>, Targets) {
+    let x = Tensor::from_fn(&[n, d], |i| {
+        let cls = (i[0] % classes) as f32;
+        cls * 1.1 + ((i[0] * 13 + i[1] * 7) % 11) as f32 * 0.2 - 1.0
+    });
+    let y = Targets::Classes((0..n).map(|i| (i % classes) as i64).collect());
+    (x, y)
+}
+
+fn forest_pipe() -> (Pipeline, Tensor<f32>) {
+    let (x, y) = class_data(150, 6, 3);
+    let pipe = fit_pipeline(
+        &[
+            OpSpec::StandardScaler,
+            OpSpec::RandomForestClassifier(ForestConfig {
+                n_trees: 6,
+                max_depth: 4,
+                ..ForestConfig::default()
+            }),
+        ],
+        &x,
+        &y,
+    );
+    (pipe, x)
+}
+
+fn logreg_pipe() -> (Pipeline, Tensor<f32>) {
+    let (x, y) = class_data(150, 6, 3);
+    let pipe = fit_pipeline(
+        &[
+            OpSpec::StandardScaler,
+            OpSpec::LogisticRegression(LinearConfig {
+                epochs: 40,
+                ..Default::default()
+            }),
+        ],
+        &x,
+        &y,
+    );
+    (pipe, x)
+}
+
+/// Where-elimination: a forest head's tree comparisons launder NaN, so
+/// the analysis proves the probability NaN-free and the epilogue's
+/// `where(isnan(p), ..)` collapses to its clamp branch.
+#[test]
+fn where_elimination_fires_on_forest_classifier() {
+    let (pipe, _) = forest_pipe();
+    let opts = CompileOptions {
+        tree_strategy: TreeStrategy::Gemm,
+        ..CompileOptions::default()
+    };
+    let model = compile(&pipe, &opts).expect("compile");
+    let exe = model.executable();
+    let stats = exe.opt_stats().expect("compiled backend records stats");
+    assert!(
+        stats.value_rewrites >= 1,
+        "no analysis-directed rewrite fired on the forest head: {stats:?}"
+    );
+    for node in &exe.graph().nodes {
+        assert!(
+            !matches!(node.op, Op::Where | Op::IsNan),
+            "sanitize epilogue survived: {} still in the optimized graph",
+            node.op.label()
+        );
+    }
+}
+
+/// Clamp-elimination: a softmax head is proven inside [0, 1], so the
+/// epilogue's `clamp(p, 0, 1)` is the identity and disappears.
+#[test]
+fn clamp_elimination_fires_on_softmax_head() {
+    let (pipe, _) = logreg_pipe();
+    let model = compile(&pipe, &CompileOptions::default()).expect("compile");
+    let exe = model.executable();
+    let stats = exe.opt_stats().expect("compiled backend records stats");
+    assert!(
+        stats.value_rewrites >= 1,
+        "no analysis-directed rewrite fired on the softmax head: {stats:?}"
+    );
+    for node in &exe.graph().nodes {
+        assert!(
+            !matches!(node.op, Op::Clamp { .. }),
+            "identity clamp survived on a hard-[0,1] softmax head"
+        );
+    }
+}
+
+/// Translation-validation acceptance: the same raw graph lowered with
+/// and without value rewrites must produce bit-identical outputs.
+#[test]
+fn value_rewrites_are_bit_identical() {
+    for (name, (pipe, x)) in [("forest", forest_pipe()), ("logreg", logreg_pipe())] {
+        // The Script backend lowers without optimizing — its graph is
+        // the raw translation both ablation arms start from.
+        let raw = compile(
+            &pipe,
+            &CompileOptions {
+                backend: hummingbird::backend::Backend::Script,
+                ..CompileOptions::default()
+            },
+        )
+        .expect("compile raw");
+        let graph = raw.executable().graph().clone();
+        let off = Executable::with_toggles(
+            graph.clone(),
+            hummingbird::backend::optimize::PassToggles {
+                value_rewrites: false,
+                ..Default::default()
+            },
+            Device::cpu(),
+        );
+        let on = Executable::with_toggles(graph, Default::default(), Device::cpu());
+        let stats = on.opt_stats().expect("stats");
+        assert!(
+            stats.value_rewrites >= 1,
+            "{name}: rewrites did not fire: {stats:?}"
+        );
+        let inputs = [DynTensor::F32(x)];
+        let want = off.run(&inputs).expect("run without rewrites");
+        let got = on.run(&inputs).expect("run with rewrites");
+        assert_eq!(got.len(), want.len());
+        for (g, w) in got.iter().zip(want.iter()) {
+            let (g, w) = (g.as_f32(), w.as_f32());
+            assert_eq!(g.shape(), w.shape(), "{name}: shape diverged");
+            for (a, b) in g.iter().zip(w.iter()) {
+                assert_eq!(
+                    a.to_bits(),
+                    b.to_bits(),
+                    "{name}: rewritten output not bit-identical ({a} vs {b})"
+                );
+            }
+        }
+    }
+}
