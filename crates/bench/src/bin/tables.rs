@@ -1290,12 +1290,21 @@ fn fig12(cfg: &Config) {
 /// worker pool for `--soak-secs` per fault scenario. The run *gates* on
 /// the supervisor's invariants — zero worker deaths, strictly monotonic
 /// incident sequence numbers, non-deadlocking drain, and no silently
-/// wrong answer — and reports throughput plus outcome counts in
+/// wrong answer — and reports throughput, outcome counts, and
+/// queue-wait / end-to-end latency quantiles in
 /// `bench_results/soak.json`.
+///
+/// Two overload scenarios close the run, driving single-record traffic
+/// from 2x-queue-capacity client pools: `overload-1rec` (the
+/// uncoalesced baseline) and `overload-coalesce` (the micro-batching
+/// front door). The coalesced scenario gates on the tentpole claims:
+/// >= 2x the baseline's ok-req/s, end-to-end p99 within the deadline
+/// budget, zero worker panics, no successful answer past its deadline,
+/// and per-record outputs bit-identical to uncoalesced execution.
 fn soak(cfg: &Config) {
     use hb_serve::{
-        BreakerConfig, FaultPlan, FaultScope, Rung, ServeConfig, ServeError, ServingModel,
-        Supervisor,
+        BreakerConfig, CoalesceConfig, FaultPlan, FaultScope, IncidentKind, Rung, ServeConfig,
+        ServeError, ServingModel, Supervisor,
     };
     use std::sync::atomic::{AtomicU64, Ordering};
     use std::sync::Arc;
@@ -1385,8 +1394,12 @@ fn soak(cfg: &Config) {
             "degraded",
             "overload",
             "deadline",
+            "shed",
             "rejected",
+            "batches",
             "req/s",
+            "qw p50/p95/p99",
+            "e2e p50/p95/p99",
             "workers",
             "incidents",
         ],
@@ -1463,6 +1476,7 @@ fn soak(cfg: &Config) {
             "soak[{name}]: incident sequence numbers must be strictly monotonic"
         );
         sup.drain(); // a deadlock here hangs the gate — failure by timeout
+        let lat = sup.latency();
         let stats = sup.model().stats();
         let total = stats.total_served()
             + stats.rejected_overload
@@ -1476,16 +1490,195 @@ fn soak(cfg: &Config) {
             degraded.load(Ordering::Relaxed).to_string(),
             overloaded.load(Ordering::Relaxed).to_string(),
             deadline_miss.load(Ordering::Relaxed).to_string(),
+            stats.shed_expired.to_string(),
             rejected.load(Ordering::Relaxed).to_string(),
+            stats.coalesced_batches.to_string(),
             format!(
                 "{:.0}",
                 ok.load(Ordering::Relaxed) as f64 / elapsed.max(1e-9)
             ),
+            lat.queue_wait.format_p50_p95_p99(),
+            lat.end_to_end.format_p50_p95_p99(),
             format!("{}/4", health.workers_alive),
             sup.model().incidents().len().to_string(),
         ]);
         eprintln!("  [soak] {name} done");
     }
+
+    // --- Overload gate: single-record traffic at 2x queue capacity ---
+    //
+    // A client pool twice the size of the admission queue hammers the
+    // server with one-record requests under a deadline SLO. The
+    // baseline executes each record individually; the coalesced run
+    // must sustain at least 2x its ok-throughput while keeping e2e p99
+    // inside the budget, never answering Ok past a deadline, never
+    // panicking a worker, and returning per-record outputs bit-identical
+    // to uncoalesced compiled execution.
+    let coalesce_cap = 64usize;
+    let overload_clients = 2 * coalesce_cap;
+    let deadline_budget = Duration::from_millis(50);
+    let n_rows = 32usize;
+    let rows: Vec<Tensor<f32>> = (0..n_rows)
+        .map(|s| Tensor::from_fn(&[1, 6], move |i| ((s * 7 + i[1] * 3) % 17) as f32 * 0.25))
+        .collect();
+    // Ground truth from an uncoalesced compiled-rung execution of each
+    // row alone: the bit-identity oracle.
+    let solo = ServingModel::new(&pipe, ServeConfig::default()).expect("solo model must serve");
+    let solo_rows: Vec<(Vec<u32>, Tensor<f32>)> = rows
+        .iter()
+        .map(|r| {
+            let out = solo.predict(r).expect("solo path must serve");
+            (out.iter().map(f32::to_bits).collect(), out)
+        })
+        .collect();
+    let mut ok_rates: Vec<f64> = Vec::new();
+    for (name, coalesce_on) in [("overload-1rec", false), ("overload-coalesce", true)] {
+        let config = ServeConfig {
+            deadline: Some(deadline_budget),
+            queue_capacity: if coalesce_on { 512 } else { coalesce_cap },
+            coalesce: coalesce_on.then(|| CoalesceConfig {
+                queue_capacity: coalesce_cap,
+                ..CoalesceConfig::default()
+            }),
+            ..ServeConfig::default()
+        };
+        let model = ServingModel::new(&pipe, config).expect("overload pipeline must serve");
+        let sup = Arc::new(Supervisor::spawn(model, 4));
+        let ok = Arc::new(AtomicU64::new(0));
+        let best_cnt = Arc::new(AtomicU64::new(0));
+        let degraded = Arc::new(AtomicU64::new(0));
+        let overloaded = Arc::new(AtomicU64::new(0));
+        let deadline_miss = Arc::new(AtomicU64::new(0));
+        let rejected = Arc::new(AtomicU64::new(0));
+        let t_end = Instant::now() + Duration::from_secs_f64(cfg.soak_secs);
+        let started = Instant::now();
+        let clients: Vec<_> = (0..overload_clients)
+            .map(|c| {
+                let sup = Arc::clone(&sup);
+                let row = rows[c % n_rows].clone();
+                let (want_bits, want) = solo_rows[c % n_rows].clone();
+                let (ok, best_cnt, degraded, overloaded, deadline_miss, rejected) = (
+                    Arc::clone(&ok),
+                    Arc::clone(&best_cnt),
+                    Arc::clone(&degraded),
+                    Arc::clone(&overloaded),
+                    Arc::clone(&deadline_miss),
+                    Arc::clone(&rejected),
+                );
+                std::thread::spawn(move || {
+                    while Instant::now() < t_end {
+                        match sup.predict_one(&row) {
+                            Ok(served) => {
+                                assert!(
+                                    served.elapsed <= deadline_budget,
+                                    "soak[{name}]: ok answer exceeded its deadline \
+                                     ({:?} > {deadline_budget:?})",
+                                    served.elapsed
+                                );
+                                if served.rung == Rung::Compiled {
+                                    let got: Vec<u32> =
+                                        served.output.iter().map(f32::to_bits).collect();
+                                    assert!(
+                                        got == want_bits,
+                                        "soak[{name}]: coalesced row not bit-identical to \
+                                         uncoalesced execution"
+                                    );
+                                    best_cnt.fetch_add(1, Ordering::Relaxed);
+                                } else {
+                                    assert!(
+                                        hb_ml::metrics::allclose(&served.output, &want, 1e-5, 1e-5),
+                                        "soak[{name}]: silently wrong answer from {:?}",
+                                        served.rung
+                                    );
+                                    degraded.fetch_add(1, Ordering::Relaxed);
+                                }
+                                ok.fetch_add(1, Ordering::Relaxed);
+                            }
+                            Err(ServeError::Overloaded { .. }) => {
+                                overloaded.fetch_add(1, Ordering::Relaxed);
+                                std::thread::sleep(Duration::from_micros(100));
+                            }
+                            Err(ServeError::DeadlineExceeded { .. })
+                            | Err(ServeError::Expired { .. }) => {
+                                deadline_miss.fetch_add(1, Ordering::Relaxed);
+                            }
+                            Err(_) => {
+                                rejected.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                    }
+                })
+            })
+            .collect();
+        for c in clients {
+            c.join().expect("soak overload client panicked");
+        }
+        let elapsed = started.elapsed().as_secs_f64();
+
+        let health = sup.health();
+        assert_eq!(health.workers_alive, 4, "soak[{name}]: a worker died");
+        let incidents = sup.incidents();
+        assert!(
+            incidents.windows(2).all(|w| w[0].seq < w[1].seq),
+            "soak[{name}]: incident sequence numbers must be strictly monotonic"
+        );
+        assert_eq!(
+            incidents
+                .iter()
+                .filter(|i| i.kind == IncidentKind::WorkerPanic)
+                .count(),
+            0,
+            "soak[{name}]: overload must not panic workers"
+        );
+        sup.drain();
+        let lat = sup.latency();
+        let stats = sup.model().stats();
+        let ok_n = ok.load(Ordering::Relaxed);
+        let rate = ok_n as f64 / elapsed.max(1e-9);
+        if coalesce_on {
+            assert!(
+                stats.coalesced_batches > 0,
+                "soak[{name}]: coalescing never formed a batch"
+            );
+            assert!(
+                lat.end_to_end.quantile(0.99) <= deadline_budget,
+                "soak[{name}]: e2e p99 {:?} blew the {deadline_budget:?} budget",
+                lat.end_to_end.quantile(0.99)
+            );
+        }
+        // Per-record totals from the client side: model-level counters
+        // count batch executions, not member records, under coalescing.
+        let total = ok_n
+            + overloaded.load(Ordering::Relaxed)
+            + deadline_miss.load(Ordering::Relaxed)
+            + rejected.load(Ordering::Relaxed);
+        t.row(vec![
+            name.to_string(),
+            total.to_string(),
+            ok_n.to_string(),
+            best_cnt.load(Ordering::Relaxed).to_string(),
+            degraded.load(Ordering::Relaxed).to_string(),
+            overloaded.load(Ordering::Relaxed).to_string(),
+            deadline_miss.load(Ordering::Relaxed).to_string(),
+            stats.shed_expired.to_string(),
+            rejected.load(Ordering::Relaxed).to_string(),
+            stats.coalesced_batches.to_string(),
+            format!("{rate:.0}"),
+            lat.queue_wait.format_p50_p95_p99(),
+            lat.end_to_end.format_p50_p95_p99(),
+            format!("{}/4", health.workers_alive),
+            sup.model().incidents().len().to_string(),
+        ]);
+        ok_rates.push(rate);
+        eprintln!("  [soak] {name} done ({rate:.0} ok req/s)");
+    }
+    assert!(
+        ok_rates[1] >= 2.0 * ok_rates[0],
+        "soak[overload]: coalescing sustained only {:.0} ok req/s vs the {:.0} single-record \
+         baseline — the >=2x gate failed",
+        ok_rates[1],
+        ok_rates[0]
+    );
     t.print_and_save();
 }
 

@@ -1,0 +1,735 @@
+//! Deadline-aware micro-batch coalescing: the admission front door.
+//!
+//! The paper's whole bet is that prediction serving reduces to tensor
+//! execution, where throughput comes from *batching* — yet real traffic
+//! arrives one record at a time. This module sits between admission and
+//! execution: single-record requests queue here, a coalescer thread
+//! dynamically forms micro-batches, each batch executes **once** through
+//! the planned compiled path, and per-record results (and per-record
+//! errors) scatter back to the callers.
+//!
+//! Design rules, in priority order:
+//!
+//! 1. **Deadline-aware** — a batch never coalesces past the slack of its
+//!    oldest member: the coalescer flushes at
+//!    `min(oldest.enqueued + max_delay, oldest.deadline − exec_EWMA)`,
+//!    so waiting for batch-mates can delay a request but never doom it.
+//! 2. **Bucketed** — batches execute only at sizes from a small
+//!    configured set ([`CoalesceConfig::buckets`]), padded up by
+//!    repeating the first row (padding outputs are discarded). This
+//!    keeps the per-batch-size memory-plan cache bounded *and warm*:
+//!    every execution hits one of a handful of pre-planned shapes.
+//! 3. **Shed doomed work early** — a request whose deadline is already
+//!    unmeetable given its observed queue wait plus the execution-time
+//!    EWMA is answered with a cheap [`ServeError::Expired`] instead of
+//!    paying for an answer nobody can use.
+//! 4. **Scatter isolates failures** — one poisoned row (non-finite
+//!    input, or a row-level non-finite output) must not fail its
+//!    batch-mates: clean rows are answered from the batch, suspect rows
+//!    are re-executed individually, and a whole-batch failure falls back
+//!    to per-record execution so each caller gets its own verdict.
+//! 5. **Brownout before rejection** — under sustained queue pressure the
+//!    batcher enters *brownout*: canary replay is suspended (the health
+//!    thread's background executions compete with request traffic) and
+//!    the coalescing window widens so batches get bigger, raising
+//!    service rate before admission starts rejecting. Sustained calm
+//!    exits brownout. Both transitions are incidents and counted in
+//!    [`crate::ServingStats`].
+//!
+//! Callers interact through [`crate::Supervisor::predict_one`] and can
+//! read [`crate::Supervisor::backpressure`] to adapt their send rate.
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::Sender;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
+
+use hb_tensor::Tensor;
+
+use crate::histogram::ServingLatency;
+use crate::incident::{IncidentKind, IncidentLog};
+use crate::supervisor::Work;
+use crate::{ServeError, Served, ServingModel};
+
+/// Configuration for the micro-batch coalescing front door
+/// ([`crate::ServeConfig::coalesce`]).
+#[derive(Debug, Clone)]
+pub struct CoalesceConfig {
+    /// Allowed execution batch sizes, each one a warm entry in the
+    /// per-batch-size plan cache. Normalized to sorted/deduped/nonzero
+    /// at spawn; a flush takes up to the largest bucket and pads up to
+    /// the smallest bucket that fits.
+    pub buckets: Vec<usize>,
+    /// Age watermark: flush once the oldest pending record has waited
+    /// this long, even if no bucket filled.
+    pub max_delay: Duration,
+    /// Maximum queued (not yet dispatched) records before admission
+    /// rejects with [`ServeError::Overloaded`].
+    pub queue_capacity: usize,
+    /// Smoothing factor for the execution-time EWMA used by shedding
+    /// and the slack watermark (`0 < α ≤ 1`; higher reacts faster).
+    pub ewma_alpha: f64,
+    /// Enter brownout after [`CoalesceConfig::brownout_ticks`]
+    /// consecutive flush decisions with the queue above this fraction
+    /// of capacity.
+    pub brownout_enter_fraction: f64,
+    /// Exit brownout after the same number of consecutive decisions at
+    /// or below this fraction.
+    pub brownout_exit_fraction: f64,
+    /// Consecutive observations required for a brownout transition
+    /// (hysteresis: one burst must not flap the mode).
+    pub brownout_ticks: u32,
+    /// Extra coalescing delay allowed while in brownout (wider window ⇒
+    /// fuller buckets ⇒ higher service rate).
+    pub brownout_extra_delay: Duration,
+}
+
+impl Default for CoalesceConfig {
+    fn default() -> Self {
+        CoalesceConfig {
+            buckets: vec![1, 2, 4, 8, 16, 32],
+            max_delay: Duration::from_micros(500),
+            queue_capacity: 256,
+            ewma_alpha: 0.2,
+            brownout_enter_fraction: 0.75,
+            brownout_exit_fraction: 0.25,
+            brownout_ticks: 4,
+            brownout_extra_delay: Duration::from_millis(2),
+        }
+    }
+}
+
+impl CoalesceConfig {
+    /// The bucket list sorted, deduplicated, and with zeros dropped;
+    /// `[1]` if the configured list was empty or all-zero.
+    pub fn normalized_buckets(&self) -> Vec<usize> {
+        let mut b: Vec<usize> = self.buckets.iter().copied().filter(|&n| n > 0).collect();
+        b.sort_unstable();
+        b.dedup();
+        if b.is_empty() {
+            b.push(1);
+        }
+        b
+    }
+}
+
+/// The execution size for a flush of `pending` records: the smallest
+/// bucket that fits them all, clamped to the largest bucket (`buckets`
+/// must be normalized — sorted, deduped, nonzero).
+pub(crate) fn select_bucket(buckets: &[usize], pending: usize) -> usize {
+    debug_assert!(!buckets.is_empty());
+    for &b in buckets {
+        if b >= pending {
+            return b;
+        }
+    }
+    buckets[buckets.len() - 1]
+}
+
+/// Pure brownout state machine: hysteresis over queue-depth
+/// observations. Kept free of clocks and atomics so the transition
+/// logic is unit-testable exactly as it runs.
+#[derive(Debug)]
+pub struct BrownoutControl {
+    enter_above: usize,
+    exit_at_or_below: usize,
+    ticks: u32,
+    high_streak: u32,
+    low_streak: u32,
+    active: bool,
+}
+
+/// A brownout mode change reported by [`BrownoutControl::observe`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BrownoutTransition {
+    /// Sustained pressure: widen coalescing, suspend canary replay.
+    Entered,
+    /// Sustained calm: restore normal operation.
+    Exited,
+}
+
+impl BrownoutControl {
+    /// A controller for a queue of `capacity` records using the
+    /// thresholds from `config`.
+    pub fn new(capacity: usize, config: &CoalesceConfig) -> BrownoutControl {
+        let frac = |f: f64| ((capacity as f64) * f.clamp(0.0, 1.0)).round() as usize;
+        BrownoutControl {
+            enter_above: frac(config.brownout_enter_fraction).max(1),
+            exit_at_or_below: frac(config.brownout_exit_fraction),
+            ticks: config.brownout_ticks.max(1),
+            high_streak: 0,
+            low_streak: 0,
+            active: false,
+        }
+    }
+
+    /// Whether brownout is currently active.
+    pub fn active(&self) -> bool {
+        self.active
+    }
+
+    /// Feeds one queue-depth observation (taken at a flush decision);
+    /// returns a transition when the streak requirement is met.
+    pub fn observe(&mut self, depth: usize) -> Option<BrownoutTransition> {
+        if depth >= self.enter_above {
+            self.high_streak += 1;
+            self.low_streak = 0;
+        } else if depth <= self.exit_at_or_below {
+            self.low_streak += 1;
+            self.high_streak = 0;
+        } else {
+            self.high_streak = 0;
+            self.low_streak = 0;
+        }
+        if !self.active && self.high_streak >= self.ticks {
+            self.active = true;
+            self.high_streak = 0;
+            return Some(BrownoutTransition::Entered);
+        }
+        if self.active && self.low_streak >= self.ticks {
+            self.active = false;
+            self.low_streak = 0;
+            return Some(BrownoutTransition::Exited);
+        }
+        None
+    }
+}
+
+/// One queued single-record request, from admission to scatter.
+pub(crate) struct BatchMember {
+    /// The `[1, features]` record.
+    pub row: Tensor<f32>,
+    /// When admission accepted the record (histogram epoch).
+    pub enqueued: Instant,
+    /// Absolute deadline, if the serving config has one.
+    pub deadline: Option<Instant>,
+    /// Whether every input value is finite (rows with non-finite input
+    /// legitimately produce non-finite output on some pipelines, so the
+    /// row-level output check must not fire for them).
+    pub input_finite: bool,
+    /// Where the caller is blocked waiting.
+    pub reply: Sender<Result<Served, ServeError>>,
+}
+
+/// Queue state guarded by the batcher mutex. `shutdown` lives inside
+/// the lock so admission and the coalescer's exit decision can never
+/// race: a record is either pushed before the coalescer observes
+/// `shutdown && empty` (and gets flushed) or its submitter sees
+/// `shutdown` and is refused.
+struct Shared {
+    queue: VecDeque<BatchMember>,
+    shutdown: bool,
+}
+
+/// Point-in-time backpressure signal for adaptive clients
+/// ([`crate::Supervisor::backpressure`]).
+#[derive(Debug, Clone)]
+pub struct Backpressure {
+    /// Records queued at the front door right now (gauge).
+    pub queue_depth: usize,
+    /// The coalescing queue capacity.
+    pub queue_capacity: usize,
+    /// True while the brownout mode is active — the server is widening
+    /// batches and has suspended canary replay; back off if you can.
+    pub in_brownout: bool,
+    /// Smoothed batch execution time (the shedding oracle).
+    pub exec_ewma: Duration,
+    /// Rough wait estimate for a record admitted now (queue ahead of it
+    /// in batches, times the EWMA, over the worker count). Advisory.
+    pub estimated_wait: Duration,
+    /// Requests shed with [`ServeError::Expired`] so far.
+    pub shed_expired: u64,
+}
+
+/// The coalescing front door shared by submitters, the coalescer
+/// thread, and the worker pool.
+pub(crate) struct Batcher {
+    shared: Mutex<Shared>,
+    wake: Condvar,
+    /// Normalized bucket list (sorted, deduped, nonzero).
+    buckets: Vec<usize>,
+    config: CoalesceConfig,
+    /// Smoothed batch execution time in µs (shedding + slack oracle).
+    ewma_micros: AtomicU64,
+    /// Set by the coalescer on brownout transitions; read by workers to
+    /// suppress canary sampling and by the flush logic to widen the
+    /// window.
+    brownout: AtomicBool,
+    model: Arc<ServingModel>,
+    latency: Arc<ServingLatency>,
+    n_workers: usize,
+}
+
+impl Batcher {
+    pub(crate) fn new(
+        model: Arc<ServingModel>,
+        latency: Arc<ServingLatency>,
+        config: CoalesceConfig,
+        n_workers: usize,
+    ) -> Batcher {
+        let buckets = config.normalized_buckets();
+        Batcher {
+            shared: Mutex::new(Shared {
+                queue: VecDeque::new(),
+                shutdown: false,
+            }),
+            wake: Condvar::new(),
+            buckets,
+            config,
+            ewma_micros: AtomicU64::new(0),
+            brownout: AtomicBool::new(false),
+            model,
+            latency,
+            n_workers: n_workers.max(1),
+        }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, Shared> {
+        self.shared.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    /// Largest configured bucket (flushes take at most this many).
+    fn largest_bucket(&self) -> usize {
+        self.buckets[self.buckets.len() - 1]
+    }
+
+    pub(crate) fn in_brownout(&self) -> bool {
+        self.brownout.load(Ordering::Relaxed)
+    }
+
+    fn exec_ewma(&self) -> Duration {
+        Duration::from_micros(self.ewma_micros.load(Ordering::Relaxed))
+    }
+
+    fn update_ewma(&self, observed: Duration) {
+        let obs = u64::try_from(observed.as_micros()).unwrap_or(u64::MAX) as f64;
+        let alpha = self.config.ewma_alpha.clamp(0.01, 1.0);
+        // Racy read-modify-write is fine: the EWMA is a smoothing
+        // heuristic, and a lost update under contention only makes it
+        // smoother.
+        let old = self.ewma_micros.load(Ordering::Relaxed) as f64;
+        let new = if old == 0.0 {
+            obs
+        } else {
+            alpha * obs + (1.0 - alpha) * old
+        };
+        self.ewma_micros.store(new as u64, Ordering::Relaxed);
+    }
+
+    /// The coalescing window currently in force (widened in brownout).
+    fn effective_delay(&self) -> Duration {
+        if self.in_brownout() {
+            self.config.max_delay + self.config.brownout_extra_delay
+        } else {
+            self.config.max_delay
+        }
+    }
+
+    pub(crate) fn backpressure(&self) -> Backpressure {
+        let depth = self.lock().queue.len();
+        let ewma = self.exec_ewma();
+        let batches_ahead = depth.div_ceil(self.largest_bucket());
+        let estimated_wait = ewma * (batches_ahead as u32) / (self.n_workers as u32) + ewma;
+        Backpressure {
+            queue_depth: depth,
+            queue_capacity: self.config.queue_capacity,
+            in_brownout: self.in_brownout(),
+            exec_ewma: ewma,
+            estimated_wait,
+            shed_expired: self.model.stats().shed_expired,
+        }
+    }
+
+    /// Admits one single-record request and blocks until its scattered
+    /// reply arrives. Accepts `[features]` or `[1, features]` tensors.
+    pub(crate) fn submit(&self, row: &Tensor<f32>) -> Result<Served, ServeError> {
+        let row = as_record(row)?;
+        self.model.validate_request(&row)?;
+        let now = Instant::now();
+        let budget = self.model.config().deadline;
+        // Early shed: if the smoothed execution time alone exceeds the
+        // whole budget, the deadline is unmeetable before we even queue.
+        if let Some(d) = budget {
+            if self.exec_ewma() > d {
+                self.model.record_shed();
+                return Err(ServeError::Expired {
+                    waited: Duration::ZERO,
+                    deadline: d,
+                });
+            }
+        }
+        let (reply_tx, reply_rx) = std::sync::mpsc::channel();
+        {
+            let mut s = self.lock();
+            if s.shutdown {
+                return Err(ServeError::ShuttingDown);
+            }
+            if s.queue.len() >= self.config.queue_capacity {
+                self.model.record_overload();
+                return Err(ServeError::Overloaded {
+                    in_flight: s.queue.len(),
+                    capacity: self.config.queue_capacity,
+                });
+            }
+            let input_finite = row.iter().all(|v| v.is_finite());
+            s.queue.push_back(BatchMember {
+                row,
+                enqueued: now,
+                deadline: budget.map(|d| now + d),
+                input_finite,
+                reply: reply_tx,
+            });
+            self.model.set_queue_depth(s.queue.len() as u64);
+        }
+        self.wake.notify_one();
+        reply_rx
+            .recv()
+            .unwrap_or_else(|_| Err(ServeError::Internal("batcher dropped the reply".into())))
+    }
+
+    /// Flags shutdown (under the queue lock) and wakes the coalescer so
+    /// it flushes the remaining queue and exits.
+    pub(crate) fn begin_shutdown(&self) {
+        self.lock().shutdown = true;
+        self.wake.notify_all();
+    }
+
+    /// Replies [`ServeError::Expired`] to every queued record whose
+    /// deadline can no longer be met (`now + exec_EWMA > deadline`).
+    /// Cheap early refusal beats expensive late work.
+    fn shed_expired_locked(&self, s: &mut Shared, now: Instant) {
+        let ewma = self.exec_ewma();
+        let budget = self.model.config().deadline.unwrap_or_default();
+        s.queue.retain(|m| {
+            let doomed = m.deadline.is_some_and(|d| now + ewma > d);
+            if doomed {
+                self.model.record_shed();
+                self.latency.end_to_end.record(now - m.enqueued);
+                let _ = m.reply.send(Err(ServeError::Expired {
+                    waited: now - m.enqueued,
+                    deadline: budget,
+                }));
+            }
+            !doomed
+        });
+    }
+
+    /// The coalescer thread body: waits for records, forms micro-batches
+    /// at the flush watermarks, and dispatches them to the worker pool
+    /// through `job_tx`. Exits once shutdown is flagged **and** the
+    /// queue has been flushed, so every queued record gets a definitive
+    /// reply before the supervisor closes worker intake.
+    pub(crate) fn coalescer_loop(&self, job_tx: &Sender<Work>, incidents: &IncidentLog) {
+        let mut brownout = BrownoutControl::new(self.config.queue_capacity, &self.config);
+        loop {
+            let members = {
+                let mut s = self.lock();
+                loop {
+                    let now = Instant::now();
+                    self.shed_expired_locked(&mut s, now);
+                    if s.queue.is_empty() {
+                        if s.shutdown {
+                            self.model.set_queue_depth(0);
+                            return;
+                        }
+                        s = self.wake.wait(s).unwrap_or_else(|p| p.into_inner());
+                        continue;
+                    }
+                    if s.shutdown || s.queue.len() >= self.largest_bucket() {
+                        break;
+                    }
+                    // The oldest member bounds the wait: flush at its age
+                    // watermark or when its remaining slack shrinks to
+                    // the expected execution time — whichever is sooner.
+                    let oldest = &s.queue[0];
+                    let mut flush_at = oldest.enqueued + self.effective_delay();
+                    if let Some(d) = oldest.deadline {
+                        let slack_limit = d.checked_sub(self.exec_ewma()).unwrap_or(now);
+                        flush_at = flush_at.min(slack_limit);
+                    }
+                    if now >= flush_at {
+                        break;
+                    }
+                    let (guard, _) = self
+                        .wake
+                        .wait_timeout(s, flush_at - now)
+                        .unwrap_or_else(|p| p.into_inner());
+                    s = guard;
+                }
+                let take = s.queue.len().min(self.largest_bucket());
+                let members: Vec<BatchMember> = s.queue.drain(..take).collect();
+                let depth_after = s.queue.len();
+                self.model.set_queue_depth(depth_after as u64);
+                // Brownout observes the depth *including* what this flush
+                // is about to dispatch: pressure is offered load, not
+                // what happens to be left after a drain.
+                match brownout.observe(depth_after + take) {
+                    Some(BrownoutTransition::Entered) => {
+                        self.brownout.store(true, Ordering::Relaxed);
+                        self.model.record_brownout_entered();
+                        incidents.record(
+                            IncidentKind::BrownoutEntered,
+                            None,
+                            format!(
+                                "sustained queue pressure at depth {} (capacity {}): widening \
+                                 coalescing, suspending canary replay",
+                                depth_after + take,
+                                self.config.queue_capacity
+                            ),
+                        );
+                    }
+                    Some(BrownoutTransition::Exited) => {
+                        self.brownout.store(false, Ordering::Relaxed);
+                        incidents.record(
+                            IncidentKind::BrownoutExited,
+                            None,
+                            "queue pressure subsided; normal coalescing and canary restored",
+                        );
+                    }
+                    None => {}
+                }
+                members
+            };
+            if members.is_empty() {
+                continue;
+            }
+            if job_tx.send(Work::Batch { members }).is_err() {
+                // Worker intake closed before drain flagged us — refuse
+                // definitively rather than hanging the callers.
+                // (Unreachable in the normal drain order, which stops
+                // the coalescer before closing worker intake.)
+                return;
+            }
+        }
+    }
+
+    /// Executes one coalesced batch on a worker thread and scatters
+    /// per-record results. Failure isolation:
+    ///
+    /// * clean rows answer from the shared execution;
+    /// * a row-level non-finite output for a finite-input member is
+    ///   re-executed individually (batch-mates unaffected);
+    /// * a whole-batch failure (or panic) falls back to per-record
+    ///   execution so each member gets its own verdict;
+    /// * an answer that would arrive past a member's deadline is
+    ///   converted to [`ServeError::DeadlineExceeded`] — a late Ok is
+    ///   not Ok.
+    ///
+    /// Returns the executed batch input when the shared run succeeded,
+    /// for the caller's canary sampling.
+    pub(crate) fn execute(
+        &self,
+        members: Vec<BatchMember>,
+        incidents: &IncidentLog,
+    ) -> Option<Tensor<f32>> {
+        let dispatched = Instant::now();
+        for m in &members {
+            self.latency.queue_wait.record(dispatched - m.enqueued);
+        }
+        self.model.record_coalesced_batch();
+        let exec_size = select_bucket(&self.buckets, members.len());
+        let batch = gather_rows(&members, exec_size);
+        // The batch must stop at the *tightest* member deadline: past
+        // it, at least one caller no longer wants the answer, and the
+        // rest retry individually with their own remaining budgets.
+        let batch_deadline = members.iter().filter_map(|m| m.deadline).min();
+        let t0 = Instant::now();
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            self.model.predict_detailed_until(&batch, batch_deadline)
+        }));
+        // Failures and deadline cancellations count toward the EWMA too:
+        // persistent slowness must raise the shedding oracle even when no
+        // batch ever completes.
+        self.update_ewma(t0.elapsed());
+        match outcome {
+            Ok(Ok(served)) => {
+                for (i, m) in members.into_iter().enumerate() {
+                    let row = served.output.slice(0, i, i + 1).to_contiguous();
+                    let suspect = m.input_finite && row.iter().any(|v| !v.is_finite());
+                    if suspect {
+                        // The shared execution's whole-batch output scan
+                        // is skipped when *any* member carries non-finite
+                        // input; re-run this row alone so the full
+                        // protection stack (scan, degradation) applies.
+                        self.execute_individual(m, incidents);
+                    } else {
+                        self.reply(
+                            m,
+                            Ok(Served {
+                                output: row,
+                                rung: served.rung,
+                                retries: served.retries,
+                                elapsed: Duration::ZERO, // filled by reply()
+                            }),
+                        );
+                    }
+                }
+                Some(batch)
+            }
+            Ok(Err(e)) if members.len() == 1 => {
+                for m in members {
+                    self.reply(m, Err(e.clone()));
+                }
+                None
+            }
+            Ok(Err(_)) => {
+                // One member's poison must not fail its batch-mates:
+                // every member gets its own individual execution and its
+                // own verdict.
+                for m in members {
+                    self.execute_individual(m, incidents);
+                }
+                None
+            }
+            Err(p) => {
+                let msg = crate::panic_text(p);
+                incidents.record(IncidentKind::WorkerPanic, None, msg);
+                for m in members {
+                    self.execute_individual(m, incidents);
+                }
+                None
+            }
+        }
+    }
+
+    /// Per-record fallback execution with the member's remaining budget.
+    fn execute_individual(&self, m: BatchMember, incidents: &IncidentLog) {
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            self.model.predict_detailed_until(&m.row, m.deadline)
+        }));
+        let result = match outcome {
+            Ok(r) => r,
+            Err(p) => {
+                let msg = crate::panic_text(p);
+                incidents.record(IncidentKind::WorkerPanic, None, msg.clone());
+                Err(ServeError::Internal(format!("request panicked: {msg}")))
+            }
+        };
+        self.reply(m, result);
+    }
+
+    /// Records end-to-end latency and answers the caller. An Ok that
+    /// arrives past the member's deadline is demoted to
+    /// [`ServeError::DeadlineExceeded`]: the coalescing layer guarantees
+    /// that no successful response ever exceeds its deadline.
+    fn reply(&self, m: BatchMember, result: Result<Served, ServeError>) {
+        let now = Instant::now();
+        let e2e = now - m.enqueued;
+        self.latency.end_to_end.record(e2e);
+        let result = match result {
+            Ok(mut served) => {
+                if m.deadline.is_some_and(|d| now > d) {
+                    self.model.record_deadline_miss();
+                    Err(ServeError::DeadlineExceeded {
+                        elapsed: e2e,
+                        deadline: self.model.config().deadline.unwrap_or_default(),
+                    })
+                } else {
+                    served.elapsed = e2e;
+                    Ok(served)
+                }
+            }
+            err => err,
+        };
+        let _ = m.reply.send(result);
+    }
+}
+
+/// Normalizes a request to a `[1, features]` record.
+pub(crate) fn as_record(x: &Tensor<f32>) -> Result<Tensor<f32>, ServeError> {
+    match x.ndim() {
+        1 => Ok(x.reshape(&[1, x.numel()])),
+        2 if x.shape()[0] == 1 => Ok(x.clone()),
+        _ => Err(ServeError::BadRequest(format!(
+            "coalescing accepts single-record requests ([features] or [1, features]), got shape {:?}",
+            x.shape()
+        ))),
+    }
+}
+
+/// Concatenates member rows into a `[exec_size, features]` batch,
+/// padding with copies of the first row (padding outputs are discarded
+/// at scatter; repeating a real row keeps the padding representative
+/// and finite whenever the members are).
+fn gather_rows(members: &[BatchMember], exec_size: usize) -> Tensor<f32> {
+    let mut refs: Vec<&Tensor<f32>> = members.iter().map(|m| &m.row).collect();
+    while refs.len() < exec_size {
+        refs.push(&members[0].row);
+    }
+    Tensor::concat(&refs, 0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> CoalesceConfig {
+        CoalesceConfig::default()
+    }
+
+    #[test]
+    fn bucket_selection_pads_up_and_clamps() {
+        let buckets = [1usize, 2, 4, 8];
+        assert_eq!(select_bucket(&buckets, 1), 1);
+        assert_eq!(select_bucket(&buckets, 2), 2);
+        assert_eq!(select_bucket(&buckets, 3), 4);
+        assert_eq!(select_bucket(&buckets, 8), 8);
+        assert_eq!(select_bucket(&buckets, 100), 8);
+    }
+
+    #[test]
+    fn bucket_normalization_sorts_dedups_and_survives_empty() {
+        let c = CoalesceConfig {
+            buckets: vec![8, 2, 2, 0, 4],
+            ..cfg()
+        };
+        assert_eq!(c.normalized_buckets(), vec![2, 4, 8]);
+        let empty = CoalesceConfig {
+            buckets: vec![0],
+            ..cfg()
+        };
+        assert_eq!(empty.normalized_buckets(), vec![1]);
+    }
+
+    #[test]
+    fn brownout_requires_a_sustained_streak_and_hysteresis() {
+        let config = CoalesceConfig {
+            queue_capacity: 100,
+            brownout_enter_fraction: 0.75,
+            brownout_exit_fraction: 0.25,
+            brownout_ticks: 3,
+            ..cfg()
+        };
+        let mut b = BrownoutControl::new(100, &config);
+        // One burst is not sustained pressure.
+        assert_eq!(b.observe(90), None);
+        assert_eq!(b.observe(90), None);
+        assert_eq!(b.observe(10), None); // streak broken
+        assert!(!b.active());
+        // Three consecutive high observations enter brownout.
+        assert_eq!(b.observe(80), None);
+        assert_eq!(b.observe(80), None);
+        assert_eq!(b.observe(80), Some(BrownoutTransition::Entered));
+        assert!(b.active());
+        // Mid-band depths neither enter nor exit.
+        assert_eq!(b.observe(50), None);
+        assert!(b.active());
+        // Three consecutive low observations exit.
+        assert_eq!(b.observe(10), None);
+        assert_eq!(b.observe(10), None);
+        assert_eq!(b.observe(10), Some(BrownoutTransition::Exited));
+        assert!(!b.active());
+    }
+
+    #[test]
+    fn record_normalization_accepts_vectors_and_rejects_batches() {
+        let v = Tensor::from_vec(vec![1.0f32, 2.0, 3.0], &[3]);
+        assert_eq!(as_record(&v).unwrap().shape(), &[1, 3]);
+        let m = Tensor::from_vec(vec![1.0f32, 2.0, 3.0], &[1, 3]);
+        assert_eq!(as_record(&m).unwrap().shape(), &[1, 3]);
+        let batch = Tensor::from_vec(vec![0.0f32; 6], &[2, 3]);
+        assert!(matches!(as_record(&batch), Err(ServeError::BadRequest(_))));
+    }
+}

@@ -1,0 +1,318 @@
+//! Lock-free log-bucketed latency histogram.
+//!
+//! Tail latency is the number production serving cares about, and it
+//! must be observable without perturbing the thing being measured: a
+//! mutex-guarded histogram on the request hot path would serialize the
+//! worker pool it is supposed to profile. [`LatencyHistogram`] is a
+//! fixed array of atomic counters indexed by a logarithmic bucketing of
+//! the sample in microseconds, so recording is one relaxed `fetch_add`
+//! (plus a CAS loop for the running maximum) and never blocks, never
+//! allocates, and can be hammered from every worker thread at once.
+//!
+//! The bucket layout is HdrHistogram-style: values below `2^SUB_BITS`
+//! µs get exact buckets; above that, each power-of-two octave is split
+//! into `2^SUB_BITS` linear sub-buckets, bounding the relative
+//! quantization error at `2^-SUB_BITS` (12.5%) — plenty for p50/p95/p99
+//! reporting while keeping the whole histogram a few KiB.
+//!
+//! Snapshots are plain `u64` count vectors, so merging two snapshots is
+//! element-wise addition — exactly associative and commutative, which
+//! the property suite (`crates/serve/tests/histogram_props.rs`) pins
+//! down: per-thread histograms can be merged in any grouping and the
+//! reported quantiles cannot disagree.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Linear sub-buckets per octave, as a power of two.
+const SUB_BITS: u32 = 3;
+/// Sub-buckets per octave.
+const SUB: u64 = 1 << SUB_BITS;
+/// Octaves above the exact range: covers up to ~2^34 µs (~4.7 hours),
+/// far past any latency a serving deadline would tolerate; larger
+/// samples clamp into the top bucket.
+const OCTAVES: usize = 32;
+/// Total bucket count (exact range + octave sub-buckets).
+const N_BUCKETS: usize = SUB as usize * (OCTAVES + 1);
+
+/// Bucket index for a sample of `v` microseconds.
+fn bucket_index(v: u64) -> usize {
+    if v < SUB {
+        return v as usize;
+    }
+    let exp = 63 - u64::from(v.leading_zeros()); // >= SUB_BITS
+    let shift = exp - u64::from(SUB_BITS);
+    let sub_idx = (v >> shift) & (SUB - 1);
+    let idx = ((exp - u64::from(SUB_BITS) + 1) * SUB + sub_idx) as usize;
+    idx.min(N_BUCKETS - 1)
+}
+
+/// Inclusive upper bound (µs) of bucket `idx` — the value a quantile
+/// query reports, so quantiles never understate latency.
+fn bucket_upper(idx: usize) -> u64 {
+    let idx = idx as u64;
+    if idx < SUB {
+        return idx;
+    }
+    let exp = idx / SUB + u64::from(SUB_BITS) - 1;
+    let shift = exp - u64::from(SUB_BITS);
+    let mantissa = (idx % SUB) | SUB;
+    (mantissa << shift) + ((1u64 << shift) - 1)
+}
+
+/// A lock-free histogram of latency samples with logarithmic buckets.
+///
+/// Recording is wait-free (one relaxed atomic add); reading takes a
+/// point-in-time [`HistogramSnapshot`]. One instance is shared by every
+/// worker thread of a [`crate::Supervisor`].
+#[derive(Debug)]
+pub struct LatencyHistogram {
+    buckets: [AtomicU64; N_BUCKETS],
+    /// Running maximum in µs (CAS loop; exact, unlike the buckets).
+    max_micros: AtomicU64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram::new()
+    }
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> LatencyHistogram {
+        LatencyHistogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            max_micros: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one latency sample. Wait-free; safe from any thread.
+    pub fn record(&self, sample: Duration) {
+        let v = u64::try_from(sample.as_micros()).unwrap_or(u64::MAX);
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        let mut seen = self.max_micros.load(Ordering::Relaxed);
+        while v > seen {
+            match self.max_micros.compare_exchange_weak(
+                seen,
+                v,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(actual) => seen = actual,
+            }
+        }
+    }
+
+    /// Point-in-time copy of the counters.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: self
+                .buckets
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect(),
+            max_micros: self.max_micros.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Immutable counter snapshot of a [`LatencyHistogram`], supporting
+/// quantile queries and associative merging.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    buckets: Vec<u64>,
+    max_micros: u64,
+}
+
+impl Default for HistogramSnapshot {
+    fn default() -> Self {
+        HistogramSnapshot {
+            buckets: vec![0; N_BUCKETS],
+            max_micros: 0,
+        }
+    }
+}
+
+impl HistogramSnapshot {
+    /// Total recorded samples.
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().sum()
+    }
+
+    /// The exact maximum recorded sample (not bucket-quantized).
+    pub fn max(&self) -> Duration {
+        Duration::from_micros(self.max_micros)
+    }
+
+    /// The latency at quantile `q` in `[0, 1]`, reported as the upper
+    /// bound of the bucket holding the `ceil(q·count)`-th sample, so the
+    /// answer never understates the true quantile by more than the
+    /// bucket width (≤ 12.5% relative). Returns zero for an empty
+    /// snapshot. Monotone in `q` by construction.
+    pub fn quantile(&self, q: f64) -> Duration {
+        let total = self.count();
+        if total == 0 {
+            return Duration::ZERO;
+        }
+        let q = q.clamp(0.0, 1.0);
+        // ceil(q * total), computed in integers to dodge f64 rounding.
+        let target = ((q * total as f64).ceil() as u64).clamp(1, total);
+        let mut cum = 0u64;
+        for (idx, &c) in self.buckets.iter().enumerate() {
+            cum += c;
+            if cum >= target {
+                // The top bucket is a clamp; report the exact max there.
+                if idx == self.buckets.len() - 1 {
+                    return Duration::from_micros(self.max_micros.max(bucket_upper(idx)));
+                }
+                return Duration::from_micros(bucket_upper(idx));
+            }
+        }
+        Duration::from_micros(self.max_micros)
+    }
+
+    /// Element-wise sum of two snapshots (e.g. per-thread shards).
+    /// Exactly associative and commutative: merging in any grouping
+    /// yields identical counters, hence identical quantiles.
+    pub fn merge(&self, other: &HistogramSnapshot) -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: self
+                .buckets
+                .iter()
+                .zip(&other.buckets)
+                .map(|(a, b)| a + b)
+                .collect(),
+            max_micros: self.max_micros.max(other.max_micros),
+        }
+    }
+
+    /// `"p50/p95/p99"` rendered compactly for tables (ms with µs
+    /// precision below 1 ms).
+    pub fn format_p50_p95_p99(&self) -> String {
+        let fmt = |d: Duration| {
+            let us = d.as_micros();
+            if us >= 1000 {
+                format!("{:.1}ms", us as f64 / 1000.0)
+            } else {
+                format!("{us}us")
+            }
+        };
+        format!(
+            "{}/{}/{}",
+            fmt(self.quantile(0.50)),
+            fmt(self.quantile(0.95)),
+            fmt(self.quantile(0.99))
+        )
+    }
+}
+
+/// The latency histograms the serving front door maintains: time spent
+/// queued before dispatch, and total admission-to-reply time. Both are
+/// lock-free; one instance is shared by the coalescer, the worker pool,
+/// and every submitter.
+#[derive(Debug, Default)]
+pub struct ServingLatency {
+    /// Queue wait: admission to batch dispatch.
+    pub queue_wait: LatencyHistogram,
+    /// End to end: admission to reply (including shed replies).
+    pub end_to_end: LatencyHistogram,
+}
+
+impl ServingLatency {
+    /// Point-in-time snapshot of both histograms.
+    pub fn report(&self) -> LatencyReport {
+        LatencyReport {
+            queue_wait: self.queue_wait.snapshot(),
+            end_to_end: self.end_to_end.snapshot(),
+        }
+    }
+}
+
+/// Snapshot pair from [`ServingLatency::report`] /
+/// [`crate::Supervisor::latency`].
+#[derive(Debug, Clone, Default)]
+pub struct LatencyReport {
+    /// Queue-wait distribution (admission to batch dispatch).
+    pub queue_wait: HistogramSnapshot,
+    /// End-to-end distribution (admission to reply).
+    pub end_to_end: HistogramSnapshot,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_layout_is_continuous_and_inverse_consistent() {
+        // Every representable µs value lands in a bucket whose bounds
+        // contain it, and indices are non-decreasing in the value.
+        let mut last = 0usize;
+        for v in 0..4096u64 {
+            let idx = bucket_index(v);
+            assert!(idx >= last, "index regressed at {v}");
+            assert!(bucket_upper(idx) >= v, "upper bound below value at {v}");
+            if idx > 0 {
+                assert!(
+                    bucket_upper(idx - 1) < v,
+                    "value {v} fits an earlier bucket"
+                );
+            }
+            last = idx;
+        }
+        // Exact range: identity.
+        for v in 0..SUB {
+            assert_eq!(bucket_index(v), v as usize);
+            assert_eq!(bucket_upper(v as usize), v);
+        }
+        // Clamp: absurd values stay in range.
+        assert_eq!(bucket_index(u64::MAX), N_BUCKETS - 1);
+    }
+
+    #[test]
+    fn quantiles_bound_the_true_values() {
+        let h = LatencyHistogram::new();
+        for us in [100u64, 200, 300, 400, 500, 600, 700, 800, 900, 1000] {
+            h.record(Duration::from_micros(us));
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count(), 10);
+        assert_eq!(s.max(), Duration::from_micros(1000));
+        let p50 = s.quantile(0.5).as_micros() as u64;
+        // p50 over 10 samples is the 5th (500µs); the bucket upper bound
+        // may overstate by at most 12.5%.
+        assert!((500..=563).contains(&p50), "p50 = {p50}");
+        assert!(s.quantile(1.0) >= Duration::from_micros(1000));
+        assert_eq!(s.quantile(0.0), s.quantile(0.1).min(s.quantile(0.0)));
+    }
+
+    #[test]
+    fn empty_histogram_reports_zero() {
+        let s = LatencyHistogram::new().snapshot();
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.quantile(0.99), Duration::ZERO);
+        assert_eq!(s.max(), Duration::ZERO);
+    }
+
+    #[test]
+    fn concurrent_recording_loses_nothing() {
+        let h = std::sync::Arc::new(LatencyHistogram::new());
+        let threads: Vec<_> = (0..4)
+            .map(|t| {
+                let h = std::sync::Arc::clone(&h);
+                std::thread::spawn(move || {
+                    for i in 0..1000u64 {
+                        h.record(Duration::from_micros(t * 1000 + i));
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().expect("recorder panicked");
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count(), 4000);
+        assert_eq!(s.max(), Duration::from_micros(3999));
+    }
+}

@@ -32,6 +32,11 @@ pub enum IncidentKind {
     WatchdogSlowTrip,
     /// A request was cancelled mid-graph after blowing its deadline.
     DeadlineCancelled,
+    /// Sustained queue pressure put the coalescer into brownout mode
+    /// (canary replay suspended, coalescing window widened).
+    BrownoutEntered,
+    /// Queue pressure subsided; the coalescer left brownout mode.
+    BrownoutExited,
     /// The supervisor drained and shut down.
     Drained,
 }
@@ -47,6 +52,8 @@ impl IncidentKind {
             IncidentKind::Quarantined => "quarantined",
             IncidentKind::WatchdogSlowTrip => "watchdog-slow-trip",
             IncidentKind::DeadlineCancelled => "deadline-cancelled",
+            IncidentKind::BrownoutEntered => "brownout-entered",
+            IncidentKind::BrownoutExited => "brownout-exited",
             IncidentKind::Drained => "drained",
         }
     }

@@ -59,7 +59,9 @@
 // Rust; see DESIGN.md ("Unsafe-code policy").
 #![forbid(unsafe_code)]
 
+pub mod batcher;
 pub mod breaker;
+pub mod histogram;
 pub mod incident;
 pub mod supervisor;
 
@@ -76,7 +78,9 @@ use hb_core::{
 use hb_pipeline::Pipeline;
 use hb_tensor::Tensor;
 
+pub use batcher::{Backpressure, BrownoutControl, BrownoutTransition, CoalesceConfig};
 pub use breaker::{Admission, BreakerConfig, BreakerState, CircuitBreaker, OpenReason};
+pub use histogram::{HistogramSnapshot, LatencyHistogram, LatencyReport};
 pub use incident::{Incident, IncidentKind, IncidentLog};
 pub use supervisor::{Supervisor, SupervisorHealth};
 
@@ -161,6 +165,11 @@ pub struct ServeConfig {
     /// Compile options shared by every rung (the backend field is
     /// overridden per rung).
     pub compile: CompileOptions,
+    /// Micro-batch coalescing front door (supervisor only): queue
+    /// single-record requests and execute them in deadline-aware,
+    /// bucketed micro-batches via [`Supervisor::predict_one`]. `None`
+    /// disables coalescing.
+    pub coalesce: Option<CoalesceConfig>,
 }
 
 impl Default for ServeConfig {
@@ -177,6 +186,7 @@ impl Default for ServeConfig {
             deadline_blow_threshold: 3,
             faults: FaultPlan::none(),
             compile: CompileOptions::default(),
+            coalesce: None,
         }
     }
 }
@@ -197,6 +207,18 @@ pub enum ServeError {
         /// Time spent before giving up.
         elapsed: Duration,
         /// The configured budget.
+        deadline: Duration,
+    },
+    /// Overload shedding refused the request early: given the observed
+    /// queue wait and the smoothed execution time, its deadline was
+    /// already unmeetable — a cheap refusal instead of expensive late
+    /// work. Distinct from [`ServeError::DeadlineExceeded`], which is
+    /// charged only after real work was attempted.
+    Expired {
+        /// Time spent queued before shedding (zero when shed at
+        /// admission).
+        waited: Duration,
+        /// The configured budget that could not be met.
         deadline: Duration,
     },
     /// The request itself is malformed (wrong rank / feature width).
@@ -228,6 +250,12 @@ impl std::fmt::Display for ServeError {
                 write!(
                     f,
                     "deadline exceeded: {elapsed:?} elapsed, budget {deadline:?}"
+                )
+            }
+            ServeError::Expired { waited, deadline } => {
+                write!(
+                    f,
+                    "shed: deadline {deadline:?} unmeetable after waiting {waited:?}"
                 )
             }
             ServeError::BadRequest(msg) => write!(f, "bad request: {msg}"),
@@ -268,6 +296,17 @@ pub struct ServingStats {
     pub cancelled: u64,
     /// Rung visits skipped because the rung's circuit breaker was open.
     pub breaker_skips: u64,
+    /// Micro-batches formed by the coalescing front door.
+    pub coalesced_batches: u64,
+    /// Requests shed with [`ServeError::Expired`] because their deadline
+    /// was already unmeetable.
+    pub shed_expired: u64,
+    /// Times the coalescer entered brownout mode under sustained queue
+    /// pressure.
+    pub brownout_entered: u64,
+    /// Records currently queued at the coalescing front door (gauge, not
+    /// a counter: reflects the depth at the last queue transition).
+    pub queue_depth: u64,
 }
 
 impl ServingStats {
@@ -296,6 +335,10 @@ struct StatCells {
     degraded: AtomicU64,
     cancelled: AtomicU64,
     breaker_skips: AtomicU64,
+    coalesced_batches: AtomicU64,
+    shed_expired: AtomicU64,
+    brownout_entered: AtomicU64,
+    queue_depth: AtomicU64,
 }
 
 impl StatCells {
@@ -315,6 +358,10 @@ impl StatCells {
             degraded: self.degraded.load(Ordering::Relaxed),
             cancelled: self.cancelled.load(Ordering::Relaxed),
             breaker_skips: self.breaker_skips.load(Ordering::Relaxed),
+            coalesced_batches: self.coalesced_batches.load(Ordering::Relaxed),
+            shed_expired: self.shed_expired.load(Ordering::Relaxed),
+            brownout_entered: self.brownout_entered.load(Ordering::Relaxed),
+            queue_depth: self.queue_depth.load(Ordering::Relaxed),
         }
     }
 }
@@ -609,6 +656,42 @@ impl ServingModel {
         self.cells.rejected_overload.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Records one request shed with [`ServeError::Expired`].
+    pub(crate) fn record_shed(&self) {
+        self.cells.shed_expired.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one micro-batch formed by the coalescer.
+    pub(crate) fn record_coalesced_batch(&self) {
+        self.cells.coalesced_batches.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one brownout entry.
+    pub(crate) fn record_brownout_entered(&self) {
+        self.cells.brownout_entered.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Updates the coalescing queue-depth gauge.
+    pub(crate) fn set_queue_depth(&self, depth: u64) {
+        self.cells.queue_depth.store(depth, Ordering::Relaxed);
+    }
+
+    /// Records a deadline miss accounted by the coalescing layer (a
+    /// batch answer that arrived past a member's deadline).
+    pub(crate) fn record_deadline_miss(&self) {
+        self.cells.deadline_misses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Validates a request's shape against the model, charging
+    /// `bad_requests` on refusal.
+    pub(crate) fn validate_request(&self, x: &Tensor<f32>) -> Result<(), ServeError> {
+        if let Err(msg) = self.validate(x) {
+            self.cells.bad_requests.fetch_add(1, Ordering::Relaxed);
+            return Err(ServeError::BadRequest(msg));
+        }
+        Ok(())
+    }
+
     /// Runs `x` once on `rung` with no retries, breakers, or deadline —
     /// the canary/probe execution path. Returns the raw output or a
     /// failure description.
@@ -676,6 +759,21 @@ impl ServingModel {
     /// Scores a batch and reports which rung served it, retry count, and
     /// latency.
     pub fn predict_detailed(&self, x: &Tensor<f32>) -> Result<Served, ServeError> {
+        let deadline = self.config.deadline.map(|d| Instant::now() + d);
+        self.predict_detailed_until(x, deadline)
+    }
+
+    /// Like [`ServingModel::predict_detailed`], but against an explicit
+    /// *absolute* deadline (`None` disables deadline checks regardless
+    /// of [`ServeConfig::deadline`]). The coalescing front door uses
+    /// this to execute a micro-batch under the tightest member deadline
+    /// and to give individual fallback executions each member's own
+    /// remaining budget.
+    pub fn predict_detailed_until(
+        &self,
+        x: &Tensor<f32>,
+        deadline: Option<Instant>,
+    ) -> Result<Served, ServeError> {
         let start = Instant::now();
 
         // Admission control: bounded in-flight budget.
@@ -690,15 +788,12 @@ impl ServingModel {
         }
 
         // Request validation before any kernel runs.
-        if let Err(msg) = self.validate(x) {
-            self.cells.bad_requests.fetch_add(1, Ordering::Relaxed);
-            return Err(ServeError::BadRequest(msg));
-        }
+        self.validate_request(x)?;
 
         // The request's cooperative cancel token: carries the deadline so
         // the executor itself stops mid-graph when the budget is gone.
-        let cancel = match self.config.deadline {
-            Some(d) => CancelToken::with_deadline(start + d),
+        let cancel = match deadline {
+            Some(d) => CancelToken::with_deadline(d),
             None => CancelToken::new(),
         };
 
@@ -734,7 +829,7 @@ impl ServingModel {
             let mut backoff = self.config.backoff;
             let mut attempt = 0u32;
             loop {
-                if let Err(e) = self.check_deadline(start) {
+                if let Err(e) = self.check_deadline_at(start, deadline) {
                     // A probe slot must always be resolved; a rung that
                     // could not prove health before the deadline stays
                     // open for another cooldown.
@@ -755,7 +850,7 @@ impl ServingModel {
                             break;
                         }
                         self.rung_succeeded(rung, was_probe);
-                        self.check_deadline(start)?;
+                        self.check_deadline_at(start, deadline)?;
                         self.cells.served[rung.index()].fetch_add(1, Ordering::Relaxed);
                         self.cells
                             .retries
@@ -785,10 +880,9 @@ impl ServingModel {
                         if was_probe {
                             self.rung_failed(rung, true, "probe cancelled at deadline");
                         }
-                        let deadline = self.config.deadline.unwrap_or_default();
                         return Err(ServeError::DeadlineExceeded {
                             elapsed: start.elapsed(),
-                            deadline,
+                            deadline: self.deadline_budget(start, deadline),
                         });
                     }
                     RungOutcome::Failed { transient, why } => {
@@ -798,8 +892,8 @@ impl ServingModel {
                             // Clamp the backoff to the remaining deadline
                             // budget: a request must never sleep past its
                             // own deadline before even re-attempting.
-                            let sleep = match self.config.deadline {
-                                Some(d) => backoff.min(d.saturating_sub(start.elapsed())),
+                            let sleep = match deadline {
+                                Some(d) => backoff.min(d.saturating_duration_since(Instant::now())),
                                 None => backoff,
                             };
                             if !sleep.is_zero() {
@@ -894,16 +988,33 @@ impl ServingModel {
         Ok(())
     }
 
-    fn check_deadline(&self, start: Instant) -> Result<(), ServeError> {
-        let Some(deadline) = self.config.deadline else {
+    fn check_deadline_at(
+        &self,
+        start: Instant,
+        deadline: Option<Instant>,
+    ) -> Result<(), ServeError> {
+        let Some(d) = deadline else {
             return Ok(());
         };
-        let elapsed = start.elapsed();
-        if elapsed > deadline {
+        let now = Instant::now();
+        if now > d {
             self.cells.deadline_misses.fetch_add(1, Ordering::Relaxed);
-            return Err(ServeError::DeadlineExceeded { elapsed, deadline });
+            return Err(ServeError::DeadlineExceeded {
+                elapsed: now - start,
+                deadline: self.deadline_budget(start, deadline),
+            });
         }
         Ok(())
+    }
+
+    /// The budget to report in [`ServeError::DeadlineExceeded`]: the
+    /// configured per-request budget when one exists, otherwise the span
+    /// the explicit absolute deadline allowed this request.
+    fn deadline_budget(&self, start: Instant, deadline: Option<Instant>) -> Duration {
+        self.config
+            .deadline
+            .or_else(|| deadline.map(|d| d.saturating_duration_since(start)))
+            .unwrap_or_default()
     }
 }
 
@@ -927,7 +1038,7 @@ pub(crate) fn divergence(got: &Tensor<f32>, want: &Tensor<f32>) -> f32 {
     worst
 }
 
-fn panic_text(p: Box<dyn std::any::Any + Send>) -> String {
+pub(crate) fn panic_text(p: Box<dyn std::any::Any + Send>) -> String {
     if let Some(s) = p.downcast_ref::<&str>() {
         (*s).to_string()
     } else if let Some(s) = p.downcast_ref::<String>() {

@@ -40,17 +40,25 @@ use std::time::Instant;
 
 use hb_tensor::Tensor;
 
+use crate::batcher::{as_record, Backpressure, BatchMember, Batcher};
 use crate::breaker::OpenReason;
+use crate::histogram::{LatencyReport, ServingLatency};
 use crate::incident::{IncidentKind, IncidentLog};
 use crate::{divergence, Rung, ServeError, Served, ServingModel};
 
 /// Work items flowing through the supervisor's queue.
-enum Work {
+pub(crate) enum Work {
     /// An ordinary scoring request.
     Predict {
         x: Tensor<f32>,
+        /// When admission accepted the request (queue-wait histogram
+        /// epoch).
+        enqueued: Instant,
         reply: Sender<Result<Served, ServeError>>,
     },
+    /// A coalesced micro-batch from the batching front door: executed
+    /// once through the planned path, then scattered per record.
+    Batch { members: Vec<BatchMember> },
     /// Chaos-testing poison pill: panics inside the worker, proving the
     /// top-level unwind boundary holds (the chaos suite asserts zero
     /// worker deaths while injecting these).
@@ -78,6 +86,13 @@ pub struct Supervisor {
     health_tx: Mutex<Option<Sender<HealthMsg>>>,
     workers: Mutex<Vec<JoinHandle<()>>>,
     health_thread: Mutex<Option<JoinHandle<()>>>,
+    /// The coalescing front door, when [`crate::ServeConfig::coalesce`]
+    /// is set.
+    batcher: Option<Arc<Batcher>>,
+    coalescer_thread: Mutex<Option<JoinHandle<()>>>,
+    /// Queue-wait and end-to-end latency histograms, shared with the
+    /// batcher.
+    latency: Arc<ServingLatency>,
     /// Queued + running requests, bounded by the queue capacity.
     pending: Arc<AtomicUsize>,
     n_workers: usize,
@@ -114,6 +129,16 @@ impl Supervisor {
 
         let canary_period = model.config().canary_period;
         let success_counter = Arc::new(AtomicU64::new(0));
+        let latency = Arc::new(ServingLatency::default());
+
+        let batcher = model.config().coalesce.clone().map(|cfg| {
+            Arc::new(Batcher::new(
+                Arc::clone(&model),
+                Arc::clone(&latency),
+                cfg,
+                n_workers,
+            ))
+        });
 
         let mut workers = Vec::with_capacity(n_workers);
         for _ in 0..n_workers {
@@ -123,6 +148,8 @@ impl Supervisor {
             let pending = Arc::clone(&pending);
             let health_tx = health_tx.clone();
             let counter = Arc::clone(&success_counter);
+            let batcher = batcher.clone();
+            let latency = Arc::clone(&latency);
             workers.push(std::thread::spawn(move || {
                 worker_loop(
                     &model,
@@ -132,9 +159,21 @@ impl Supervisor {
                     &health_tx,
                     &counter,
                     canary_period,
+                    batcher.as_deref(),
+                    &latency,
                 );
             }));
         }
+
+        // The coalescer owns its own clone of the job sender; it is the
+        // only producer of `Work::Batch` items and exits once shutdown
+        // is flagged and its queue has been flushed.
+        let coalescer_thread = batcher.as_ref().map(|b| {
+            let b = Arc::clone(b);
+            let incidents = Arc::clone(&incidents);
+            let job_tx = job_tx.clone();
+            std::thread::spawn(move || b.coalescer_loop(&job_tx, &incidents))
+        });
 
         let health_thread = {
             let model = Arc::clone(&model);
@@ -149,6 +188,9 @@ impl Supervisor {
             health_tx: Mutex::new(Some(health_tx)),
             workers: Mutex::new(workers),
             health_thread: Mutex::new(Some(health_thread)),
+            batcher,
+            coalescer_thread: Mutex::new(coalescer_thread),
+            latency,
             pending,
             n_workers,
             drained: AtomicBool::new(false),
@@ -175,8 +217,41 @@ impl Supervisor {
     pub fn predict_detailed(&self, x: &Tensor<f32>) -> Result<Served, ServeError> {
         self.submit(|reply| Work::Predict {
             x: x.clone(),
+            enqueued: Instant::now(),
             reply,
         })
+    }
+
+    /// Scores one record (`[features]` or `[1, features]`) through the
+    /// coalescing front door when [`crate::ServeConfig::coalesce`] is
+    /// set: the request queues, joins a deadline-aware micro-batch, and
+    /// its row is scattered back — with per-record error isolation and
+    /// early [`ServeError::Expired`] shedding when its deadline is
+    /// already unmeetable. Without a coalescing config this is an
+    /// ordinary single-record [`Supervisor::predict_detailed`].
+    pub fn predict_one(&self, x: &Tensor<f32>) -> Result<Served, ServeError> {
+        match &self.batcher {
+            Some(b) => b.submit(x),
+            None => {
+                let row = as_record(x)?;
+                self.predict_detailed(&row)
+            }
+        }
+    }
+
+    /// Point-in-time backpressure signal from the coalescing front door
+    /// (queue depth, brownout flag, execution EWMA, shed count). `None`
+    /// when coalescing is not configured.
+    pub fn backpressure(&self) -> Option<Backpressure> {
+        self.batcher.as_ref().map(|b| b.backpressure())
+    }
+
+    /// Snapshot of the queue-wait and end-to-end latency histograms
+    /// (p50/p95/p99/max via [`crate::HistogramSnapshot::quantile`]).
+    /// Populated by both the coalescing and the direct
+    /// [`Supervisor::predict_detailed`] paths.
+    pub fn latency(&self) -> LatencyReport {
+        self.latency.report()
     }
 
     /// Chaos hook: submits a request that panics inside a worker. The
@@ -198,12 +273,18 @@ impl Supervisor {
             }
         };
         let capacity = self.model.config().queue_capacity;
-        let queued = self.pending.fetch_add(1, Ordering::SeqCst) + 1;
-        if queued > capacity {
-            self.pending.fetch_sub(1, Ordering::SeqCst);
+        // Compare-and-swap admission: a rejected request never touches
+        // the counter, so concurrent rejected bursts cannot transiently
+        // inflate the queue depth seen by `SupervisorHealth::queued`.
+        let admitted = self
+            .pending
+            .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |p| {
+                (p < capacity).then_some(p + 1)
+            });
+        if let Err(full) = admitted {
             self.model.record_overload();
             return Err(ServeError::Overloaded {
-                in_flight: queued,
+                in_flight: full,
                 capacity,
             });
         }
@@ -242,6 +323,17 @@ impl Supervisor {
     /// finish, joins every worker and the health thread. Idempotent;
     /// also invoked by `Drop`.
     pub fn drain(&self) {
+        // The front door closes first: the coalescer refuses new
+        // records, flushes everything already queued as final
+        // micro-batches (every queued request gets a definitive reply),
+        // and exits. This must finish before worker intake closes —
+        // the flush batches still need workers to run them.
+        if let Some(b) = &self.batcher {
+            b.begin_shutdown();
+        }
+        if let Some(handle) = lock(&self.coalescer_thread).take() {
+            let _ = handle.join();
+        }
         // Closing the intake disconnects the job channel once queued
         // work is consumed, so workers exit after finishing in-flight
         // requests — never mid-request.
@@ -274,6 +366,7 @@ fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
     m.lock().unwrap_or_else(|p| p.into_inner())
 }
 
+#[allow(clippy::too_many_arguments)]
 fn worker_loop(
     model: &ServingModel,
     incidents: &IncidentLog,
@@ -282,7 +375,16 @@ fn worker_loop(
     health_tx: &Sender<HealthMsg>,
     success_counter: &AtomicU64,
     canary_period: usize,
+    batcher: Option<&Batcher>,
+    latency: &ServingLatency,
 ) {
+    // In brownout the canary's background replays are suspended: they
+    // compete with request traffic for exactly the cycles the overload
+    // needs.
+    let canary_allowed = |batcher: Option<&Batcher>| match batcher {
+        Some(b) => !b.in_brownout(),
+        None => true,
+    };
     loop {
         // Hold the receiver lock only while dequeuing, never while
         // scoring — other workers keep draining the queue in parallel.
@@ -291,7 +393,8 @@ fn worker_loop(
             return; // intake closed and queue drained
         };
         match work {
-            Work::Predict { x, reply } => {
+            Work::Predict { x, enqueued, reply } => {
+                latency.queue_wait.record(enqueued.elapsed());
                 let outcome = catch_unwind(AssertUnwindSafe(|| model.predict_detailed(&x)));
                 let result = match outcome {
                     Ok(r) => r,
@@ -301,7 +404,7 @@ fn worker_loop(
                         Err(ServeError::Internal(format!("request panicked: {msg}")))
                     }
                 };
-                if result.is_ok() && canary_period > 0 {
+                if result.is_ok() && canary_period > 0 && canary_allowed(batcher) {
                     let n = success_counter.fetch_add(1, Ordering::Relaxed) + 1;
                     if n.is_multiple_of(canary_period as u64) {
                         // Best effort: a closed health channel just means
@@ -309,8 +412,32 @@ fn worker_loop(
                         let _ = health_tx.send(HealthMsg::Canary(x));
                     }
                 }
+                latency.end_to_end.record(enqueued.elapsed());
                 pending.fetch_sub(1, Ordering::SeqCst);
                 let _ = reply.send(result);
+            }
+            Work::Batch { members } => {
+                // The coalescer only produces batches when it exists;
+                // `execute` scatters every member's reply itself and
+                // returns the executed input when the shared run
+                // succeeded (the canary sample).
+                let Some(b) = batcher else {
+                    for m in members {
+                        let _ = m.reply.send(Err(ServeError::Internal(
+                            "batch work without a coalescer".into(),
+                        )));
+                    }
+                    continue;
+                };
+                let executed = b.execute(members, incidents);
+                if let Some(x) = executed {
+                    if canary_period > 0 && canary_allowed(batcher) {
+                        let n = success_counter.fetch_add(1, Ordering::Relaxed) + 1;
+                        if n.is_multiple_of(canary_period as u64) {
+                            let _ = health_tx.send(HealthMsg::Canary(x));
+                        }
+                    }
+                }
             }
             Work::PanicPill { reply } => {
                 let outcome: Result<Result<Served, ServeError>, _> =

@@ -1,0 +1,395 @@
+//! Integration tests for the coalescing front door: admission outcomes
+//! (queue-full vs shed-expired vs drain-while-queued), scatter
+//! correctness with a poisoned batch member, and brownout bookkeeping.
+//!
+//! Every test drives a real [`Supervisor`] worker pool — the batcher is
+//! only reachable through `predict_one`, exactly as production callers
+//! use it.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use hb_pipeline::{fit_pipeline, OpSpec, Pipeline, Targets};
+use hb_serve::{
+    CoalesceConfig, FaultPlan, IncidentKind, Rung, ServeConfig, ServeError, ServingModel,
+    Supervisor,
+};
+use hb_tensor::Tensor;
+
+const WIDTH: usize = 4;
+
+fn fixture() -> (Pipeline, Tensor<f32>) {
+    let x = Tensor::from_fn(&[60, WIDTH], |i| ((i[0] * 7 + i[1] * 3) % 13) as f32 * 0.3);
+    let y = Targets::Classes((0..60).map(|i| (i % 2) as i64).collect());
+    let pipe = fit_pipeline(&[OpSpec::StandardScaler, OpSpec::GaussianNb], &x, &y);
+    (pipe, x)
+}
+
+fn record(seed: usize) -> Tensor<f32> {
+    Tensor::from_fn(&[1, WIDTH], |i| ((seed * 7 + i[1] * 3) % 13) as f32 * 0.3)
+}
+
+fn supervisor(config: ServeConfig, workers: usize) -> Supervisor {
+    let (pipe, _) = fixture();
+    let model = ServingModel::new(&pipe, config).expect("fixture must serve");
+    Supervisor::spawn(model, workers)
+}
+
+#[test]
+fn coalesced_rows_are_bit_identical_to_uncoalesced_execution() {
+    let sup = supervisor(
+        ServeConfig {
+            coalesce: Some(CoalesceConfig::default()),
+            ..ServeConfig::default()
+        },
+        2,
+    );
+    // Reference answers from the uncoalesced compiled path.
+    let (pipe, _) = fixture();
+    let solo = ServingModel::new(&pipe, ServeConfig::default()).expect("fixture must serve");
+    for seed in 0..24 {
+        let row = record(seed);
+        let want = solo.predict(&row).expect("solo path must serve");
+        let got = sup.predict_one(&row).expect("coalesced path must serve");
+        assert_eq!(got.output.shape(), want.shape());
+        let (g, w): (Vec<f32>, Vec<f32>) = (got.output.iter().collect(), want.iter().collect());
+        assert_eq!(
+            g.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            w.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            "coalesced row diverged bit-wise from uncoalesced execution (seed {seed})"
+        );
+        assert_eq!(got.rung, Rung::Compiled);
+    }
+    sup.drain();
+}
+
+#[test]
+fn full_queue_rejects_with_overloaded_not_shed() {
+    // Capacity zero: the very first record finds the queue full. The
+    // refusal must be Overloaded (capacity problem), not Expired
+    // (deadline problem) — callers react differently to the two.
+    let sup = supervisor(
+        ServeConfig {
+            coalesce: Some(CoalesceConfig {
+                queue_capacity: 0,
+                ..CoalesceConfig::default()
+            }),
+            ..ServeConfig::default()
+        },
+        1,
+    );
+    match sup.predict_one(&record(0)) {
+        Err(ServeError::Overloaded { capacity, .. }) => assert_eq!(capacity, 0),
+        other => panic!("expected Overloaded, got {other:?}"),
+    }
+    let stats = sup.model().stats();
+    assert_eq!(stats.rejected_overload, 1);
+    assert_eq!(stats.shed_expired, 0, "queue-full must not count as shed");
+    sup.drain();
+}
+
+#[test]
+fn doomed_requests_are_shed_expired_once_slowness_is_observed() {
+    // A kernel 8x slower than the 25ms budget: the first request blows
+    // its deadline the hard way and primes the execution EWMA; every
+    // later request is then refused up front with Expired — the cheap
+    // early refusal the shedding satellite is about.
+    let sup = supervisor(
+        ServeConfig {
+            deadline: Some(Duration::from_millis(25)),
+            coalesce: Some(CoalesceConfig::default()),
+            faults: FaultPlan {
+                slow_kernel: Some(Duration::from_millis(200)),
+                ..FaultPlan::none()
+            },
+            ..ServeConfig::default()
+        },
+        1,
+    );
+    // Prime: the slow execution is observed (outcome is a deadline
+    // miss or a degraded answer; either way the EWMA now knows).
+    let first = sup.predict_one(&record(0));
+    assert!(
+        !matches!(first, Err(ServeError::Expired { .. })),
+        "nothing observed yet - the first request must not be shed"
+    );
+    let mut shed = 0;
+    for seed in 1..6 {
+        if let Err(ServeError::Expired { waited, deadline }) = sup.predict_one(&record(seed)) {
+            shed += 1;
+            assert_eq!(deadline, Duration::from_millis(25));
+            assert!(
+                waited < Duration::from_millis(25),
+                "shedding must be cheaper than the budget, waited {waited:?}"
+            );
+        }
+    }
+    assert!(shed > 0, "no request was shed despite a hopeless EWMA");
+    assert_eq!(u64::try_from(shed).expect("count fits"), {
+        let s = sup.model().stats();
+        assert!(s.shed_expired >= 1);
+        s.shed_expired
+    });
+    sup.drain();
+}
+
+#[test]
+fn drain_answers_every_queued_request_definitively() {
+    // A window and bucket floor chosen so nothing flushes on its own:
+    // requests sit queued until drain, which must flush them as final
+    // micro-batches — every caller gets a real answer, not a hang or a
+    // dropped channel.
+    let sup = Arc::new(supervisor(
+        ServeConfig {
+            coalesce: Some(CoalesceConfig {
+                buckets: vec![32],
+                max_delay: Duration::from_secs(30),
+                ..CoalesceConfig::default()
+            }),
+            ..ServeConfig::default()
+        },
+        2,
+    ));
+    let answered = Arc::new(AtomicUsize::new(0));
+    let mut clients = Vec::new();
+    for seed in 0..5 {
+        let sup = Arc::clone(&sup);
+        let answered = Arc::clone(&answered);
+        clients.push(std::thread::spawn(move || {
+            let res = sup.predict_one(&record(seed));
+            assert!(res.is_ok(), "queued request must drain to Ok, got {res:?}");
+            answered.fetch_add(1, Ordering::SeqCst);
+        }));
+    }
+    // Let the clients enqueue (none can flush: bucket floor is 32 and
+    // the age watermark is 30s away).
+    let enqueue_deadline = Instant::now() + Duration::from_secs(5);
+    while sup.model().stats().queue_depth < 5 {
+        assert!(
+            Instant::now() < enqueue_deadline,
+            "clients never reached the queue"
+        );
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    let t0 = Instant::now();
+    sup.drain();
+    assert!(
+        t0.elapsed() < Duration::from_secs(10),
+        "drain wedged on queued coalescing work"
+    );
+    for c in clients {
+        c.join().expect("client must not panic");
+    }
+    assert_eq!(answered.load(Ordering::SeqCst), 5);
+    // After drain the front door refuses, typed.
+    assert!(matches!(
+        sup.predict_one(&record(9)),
+        Err(ServeError::ShuttingDown)
+    ));
+    assert_eq!(sup.model().stats().queue_depth, 0);
+    sup.drain(); // idempotent
+}
+
+#[test]
+fn poisoned_member_must_not_fail_its_batch_mates() {
+    // One member carries a NaN feature (a legitimately poisoned input);
+    // its batch-mates are clean. Scatter must answer the clean members
+    // bit-identically to their solo execution, whatever happens to the
+    // poisoned row.
+    let sup = Arc::new(supervisor(
+        ServeConfig {
+            coalesce: Some(CoalesceConfig {
+                // Wide window so all members coalesce into one batch.
+                max_delay: Duration::from_millis(100),
+                ..CoalesceConfig::default()
+            }),
+            ..ServeConfig::default()
+        },
+        1,
+    ));
+    let (pipe, _) = fixture();
+    let solo = ServingModel::new(&pipe, ServeConfig::default()).expect("fixture must serve");
+    let mut clients = Vec::new();
+    for seed in 0..4 {
+        let sup = Arc::clone(&sup);
+        clients.push(std::thread::spawn(move || {
+            let row = if seed == 2 {
+                Tensor::from_fn(&[1, WIDTH], |i| if i[1] == 0 { f32::NAN } else { 1.0 })
+            } else {
+                record(seed)
+            };
+            (seed, sup.predict_one(&row))
+        }));
+    }
+    let mut clean_ok = 0;
+    for c in clients {
+        let (seed, res) = c.join().expect("client must not panic");
+        if seed == 2 {
+            // The poisoned member gets its own verdict; any typed
+            // outcome is acceptable, panicking the batch is not.
+            continue;
+        }
+        let served = res.unwrap_or_else(|e| panic!("clean member {seed} failed: {e}"));
+        let want = solo.predict(&record(seed)).expect("solo path must serve");
+        assert_eq!(
+            served.output.iter().map(f32::to_bits).collect::<Vec<_>>(),
+            want.iter().map(f32::to_bits).collect::<Vec<_>>(),
+            "clean member {seed} diverged because of a batch-mate's poison"
+        );
+        clean_ok += 1;
+    }
+    assert_eq!(clean_ok, 3);
+    sup.drain();
+}
+
+#[test]
+fn whole_batch_poison_degrades_every_member_individually() {
+    // nan_poison corrupts every compiled rung's output after a
+    // "successful" run. The batch-level scan catches it, the shared
+    // execution fails, and each member must still get a correct answer
+    // through its own fallback — degraded, never silently wrong.
+    let sup = supervisor(
+        ServeConfig {
+            coalesce: Some(CoalesceConfig::default()),
+            faults: FaultPlan {
+                nan_poison: true,
+                ..FaultPlan::none()
+            },
+            ..ServeConfig::default()
+        },
+        2,
+    );
+    for seed in 0..6 {
+        let served = sup
+            .predict_one(&record(seed))
+            .expect("degradation must mask the poison");
+        assert!(
+            served.output.iter().all(|v| v.is_finite()),
+            "poisoned output leaked through the scatter path"
+        );
+        assert_eq!(
+            served.rung,
+            Rung::Reference,
+            "poison must force degradation"
+        );
+    }
+    sup.drain();
+}
+
+#[test]
+fn sustained_pressure_enters_brownout_and_calm_exits_it() {
+    // Drive the queue above the enter watermark for several consecutive
+    // flush decisions by keeping the (single) worker saturated with a
+    // slow kernel, then stop and verify the exit transition.
+    let sup = Arc::new(supervisor(
+        ServeConfig {
+            coalesce: Some(CoalesceConfig {
+                queue_capacity: 8,
+                buckets: vec![1],
+                max_delay: Duration::from_micros(50),
+                brownout_enter_fraction: 0.5,
+                brownout_exit_fraction: 0.125,
+                brownout_ticks: 2,
+                ..CoalesceConfig::default()
+            }),
+            faults: FaultPlan {
+                slow_kernel: Some(Duration::from_millis(5)),
+                ..FaultPlan::none()
+            },
+            ..ServeConfig::default()
+        },
+        1,
+    ));
+    let mut clients = Vec::new();
+    for t in 0..6 {
+        let sup = Arc::clone(&sup);
+        clients.push(std::thread::spawn(move || {
+            let stop = Instant::now() + Duration::from_millis(400);
+            while Instant::now() < stop {
+                let _ = sup.predict_one(&record(t));
+            }
+        }));
+    }
+    let saw_brownout = {
+        let wait = Instant::now() + Duration::from_secs(10);
+        loop {
+            if sup.model().stats().brownout_entered > 0 {
+                break true;
+            }
+            if Instant::now() > wait {
+                break false;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+    };
+    for c in clients {
+        c.join().expect("client must not panic");
+    }
+    assert!(
+        saw_brownout,
+        "sustained 6-client pressure on a 1-worker pool never browned out"
+    );
+    let bp = sup.backpressure().expect("coalescing is configured");
+    assert_eq!(bp.queue_capacity, 8);
+    // With traffic gone the coalescer needs a few idle flush decisions
+    // to observe calm; poke it with single requests.
+    let calm_wait = Instant::now() + Duration::from_secs(10);
+    while sup.backpressure().expect("configured").in_brownout {
+        let _ = sup.predict_one(&record(0));
+        assert!(
+            Instant::now() < calm_wait,
+            "brownout never exited after calm"
+        );
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    let incidents = sup.incidents();
+    assert!(incidents
+        .iter()
+        .any(|i| i.kind == IncidentKind::BrownoutEntered));
+    assert!(incidents
+        .iter()
+        .any(|i| i.kind == IncidentKind::BrownoutExited));
+    sup.drain();
+}
+
+#[test]
+fn coalescing_stats_and_backpressure_are_wired() {
+    let sup = supervisor(
+        ServeConfig {
+            coalesce: Some(CoalesceConfig::default()),
+            ..ServeConfig::default()
+        },
+        2,
+    );
+    for seed in 0..8 {
+        sup.predict_one(&record(seed)).expect("must serve");
+    }
+    let stats = sup.model().stats();
+    assert!(stats.coalesced_batches >= 1, "batches were never counted");
+    assert_eq!(stats.queue_depth, 0, "gauge must return to zero when idle");
+    let bp = sup.backpressure().expect("coalescing is configured");
+    assert!(!bp.in_brownout);
+    assert!(bp.exec_ewma > Duration::ZERO, "EWMA never observed a batch");
+    let lat = sup.latency();
+    assert_eq!(lat.end_to_end.count(), 8, "every request must be recorded");
+    assert_eq!(lat.queue_wait.count(), 8);
+    assert!(lat.end_to_end.quantile(0.99) >= lat.end_to_end.quantile(0.50));
+    sup.drain();
+}
+
+#[test]
+fn without_coalescing_predict_one_still_serves_vectors() {
+    let sup = supervisor(ServeConfig::default(), 1);
+    assert!(sup.backpressure().is_none());
+    let flat = Tensor::from_fn(&[WIDTH], |i| i[0] as f32 * 0.2);
+    let served = sup.predict_one(&flat).expect("vector request must serve");
+    assert_eq!(served.output.shape()[0], 1);
+    // Batches are refused on the single-record API either way.
+    let batch = Tensor::from_fn(&[2, WIDTH], |_| 0.5);
+    assert!(matches!(
+        sup.predict_one(&batch),
+        Err(ServeError::BadRequest(_))
+    ));
+    sup.drain();
+}

@@ -1,0 +1,108 @@
+//! Property tests for the lock-free latency histogram.
+//!
+//! The soak tables and the overload gate stand on two properties:
+//!
+//! * **Quantiles are monotone** — for any recorded sample set,
+//!   `q1 <= q2` implies `quantile(q1) <= quantile(q2)`, and every
+//!   quantile is bounded by the true maximum's bucket. A p99 below the
+//!   p95 would make every SLO assertion meaningless.
+//! * **Merging is associative and commutative** — per-thread snapshot
+//!   shards can be combined in any grouping and order and yield
+//!   *identical* counters, hence identical quantiles. Without this, the
+//!   reported tail would depend on the order worker shards happen to be
+//!   collected in.
+//!
+//! Additionally, a merged histogram must equal one histogram that
+//! recorded every sample directly — merging loses nothing.
+
+use std::time::Duration;
+
+use hb_serve::{HistogramSnapshot, LatencyHistogram};
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+/// Latency samples spanning sub-µs to minutes, mixing the bands real
+/// serving traffic covers.
+fn samples() -> impl Strategy<Value = Vec<u64>> {
+    vec(
+        prop_oneof![
+            0u64..1_000,
+            1_000u64..100_000,
+            100_000u64..10_000_000,
+            10_000_000u64..120_000_000,
+        ],
+        0..200,
+    )
+}
+
+fn snapshot_of(micros: &[u64]) -> HistogramSnapshot {
+    let h = LatencyHistogram::new();
+    for &us in micros {
+        h.record(Duration::from_micros(us));
+    }
+    h.snapshot()
+}
+
+proptest! {
+    #[test]
+    fn quantiles_are_monotone_in_q(micros in samples(), qs in vec(0.0f64..=1.0, 2..12)) {
+        let snap = snapshot_of(&micros);
+        let mut sorted_qs = qs;
+        sorted_qs.sort_by(|a, b| a.total_cmp(b));
+        let mut last = Duration::ZERO;
+        for q in sorted_qs {
+            let v = snap.quantile(q);
+            prop_assert!(
+                v >= last,
+                "quantile regressed: q={q} gave {v:?} after {last:?}"
+            );
+            last = v;
+        }
+    }
+
+    #[test]
+    fn quantiles_never_understate_and_p100_covers_the_max(micros in samples()) {
+        let snap = snapshot_of(&micros);
+        if micros.is_empty() {
+            prop_assert_eq!(snap.quantile(0.99), Duration::ZERO);
+            return Ok(());
+        }
+        let true_max = *micros.iter().max().expect("non-empty");
+        // The top quantile must cover the true maximum exactly (the max
+        // is tracked out-of-band, not bucket-quantized).
+        prop_assert!(snap.quantile(1.0).as_micros() as u64 >= true_max);
+        prop_assert_eq!(snap.max(), Duration::from_micros(true_max));
+        // Every quantile's bucket upper bound may overstate by at most
+        // the sub-bucket resolution (12.5%) plus 1µs of rounding.
+        let p99 = snap.quantile(0.99).as_micros() as u64;
+        prop_assert!(p99 <= true_max + true_max / 8 + 1, "p99={p99} max={true_max}");
+    }
+
+    #[test]
+    fn merge_is_associative_and_commutative(
+        a in samples(),
+        b in samples(),
+        c in samples(),
+    ) {
+        let (sa, sb, sc) = (snapshot_of(&a), snapshot_of(&b), snapshot_of(&c));
+        let left = sa.merge(&sb).merge(&sc);
+        let right = sa.merge(&sb.merge(&sc));
+        prop_assert_eq!(&left, &right, "merge grouping changed the counters");
+        prop_assert_eq!(sa.merge(&sb), sb.merge(&sa), "merge order changed the counters");
+        // Identity: merging with an empty snapshot changes nothing.
+        prop_assert_eq!(sa.merge(&HistogramSnapshot::default()), sa);
+    }
+
+    #[test]
+    fn merging_shards_equals_recording_directly(a in samples(), b in samples()) {
+        let merged = snapshot_of(&a).merge(&snapshot_of(&b));
+        let mut all = a;
+        all.extend(b);
+        let direct = snapshot_of(&all);
+        prop_assert_eq!(&merged, &direct);
+        // Same counters means same quantiles at every probe point.
+        for q in [0.0, 0.5, 0.9, 0.95, 0.99, 1.0] {
+            prop_assert_eq!(merged.quantile(q), direct.quantile(q));
+        }
+    }
+}

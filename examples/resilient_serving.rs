@@ -205,4 +205,62 @@ fn main() {
     }
     sup.drain();
     println!("drained:      {:?}", sup.predict(&ds.x_test).err());
+
+    // 8. The coalescing front door: many clients submit single records;
+    //    the batcher gathers them into deadline-aware micro-batches
+    //    (power-of-two buckets), executes each batch once through the
+    //    planned path, and scatters per-record answers back. Requests
+    //    whose deadline is unmeetable given the observed execution EWMA
+    //    are shed early with a typed `Expired` instead of served late.
+    let config = ServeConfig {
+        coalesce: Some(CoalesceConfig::default()),
+        deadline: Some(Duration::from_millis(50)),
+        ..ServeConfig::default()
+    };
+    let model = ServingModel::new(&pipe, config).unwrap();
+    let sup = Arc::new(Supervisor::spawn(model, 4));
+
+    let clients: Vec<_> = (0..8)
+        .map(|c| {
+            let sup = Arc::clone(&sup);
+            std::thread::spawn(move || {
+                let row = Tensor::from_fn(&[1, 12], move |i| ((c * 5 + i[1]) % 13) as f32 * 0.3);
+                let (mut ok, mut shed) = (0u32, 0u32);
+                for _ in 0..200 {
+                    match sup.predict_one(&row) {
+                        Ok(_) => ok += 1,
+                        Err(ServeError::Expired { .. }) => shed += 1,
+                        Err(e) => panic!("unexpected serve error: {e}"),
+                    }
+                }
+                (ok, shed)
+            })
+        })
+        .collect();
+    let (mut ok, mut shed) = (0u32, 0u32);
+    for t in clients {
+        let (o, s) = t.join().expect("client panicked");
+        ok += o;
+        shed += s;
+    }
+
+    // Backpressure is the admission-control view: queue depth against
+    // capacity, the execution-time EWMA the shedding oracle uses, and
+    // whether sustained pressure has pushed the batcher into brownout.
+    if let Some(bp) = sup.backpressure() {
+        println!(
+            "coalescing:   ok={ok} shed={shed} queue={}/{} ewma={:?} brownout={}",
+            bp.queue_depth, bp.queue_capacity, bp.exec_ewma, bp.in_brownout
+        );
+    }
+    let stats = sup.model().stats();
+    let lat = sup.latency();
+    println!(
+        "coalescing:   {} records in {} batches; queue-wait p50/p95/p99 {}; e2e p99 {:?}",
+        ok,
+        stats.coalesced_batches,
+        lat.queue_wait.format_p50_p95_p99(),
+        lat.end_to_end.quantile(0.99)
+    );
+    sup.drain();
 }

@@ -43,12 +43,16 @@ cargo test -q --offline --test plan_audit
 # then run the hb-lint verifier over them. --deny-analysis promotes any
 # new analysis finding (probability escaping [0,1], dead where-branch,
 # 0-crossing denominator) to an error; --audit-plans replays each
-# artifact's memory plans through the independent auditor. hb-lint
-# exits non-zero on any error-level diagnostic.
-echo "==> hb-lint over exported graphs (--audit-plans --deny-analysis)"
+# artifact's memory plans through the independent auditor; --buckets
+# checks every graph can scatter per-record results for the serving
+# front door's coalescing bucket set (a warning, not a gate — such a
+# graph still serves, just uncoalesced). hb-lint exits non-zero on any
+# error-level diagnostic.
+echo "==> hb-lint over exported graphs (--audit-plans --deny-analysis --buckets)"
 rm -rf target/ci-graphs
 ./target/release/hb-export target/ci-graphs
-./target/release/hb-lint --audit-plans --deny-analysis target/ci-graphs/*.json
+./target/release/hb-lint --audit-plans --deny-analysis --buckets 1,2,4,8,16,32 \
+    target/ci-graphs/*.json
 
 # Chaos suite, explicitly and with backtraces: every fault injected
 # into the supervised worker pool must surface typed or degraded —
@@ -61,7 +65,16 @@ RUST_BACKTRACE=1 cargo test -q --offline --test chaos
 # supervisor under each fault plan. The soak binary asserts its own
 # invariants (zero worker deaths, monotonic incidents, non-deadlocking
 # drain, no silently wrong answer) and exits non-zero on violation.
-echo "==> serving soak gate (bounded)"
+#
+# The soak's final two scenarios are the overload gate: 128 clients
+# hammer a queue of 64 (arrival >= 2x capacity) with a 50ms deadline,
+# once uncoalesced and once through the micro-batching front door. The
+# binary asserts the coalesced run forms batches, holds e2e p99 <= the
+# deadline budget, sheds doomed requests early instead of serving them
+# late (no `ok` reply past its deadline, bit-identical outputs to solo
+# execution), keeps all workers alive with zero panics, and sustains
+# >= 2x the uncoalesced ok-throughput.
+echo "==> serving soak gate (bounded, incl. 2x-capacity overload gate)"
 RUST_BACKTRACE=1 cargo run -q --offline --release -p hb-bench --bin tables -- \
     soak --soak-secs 1.0 --clients 6
 

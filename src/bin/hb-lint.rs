@@ -26,6 +26,10 @@
 //!   (`hb-backend::audit`); a rejected plan is an **error**.
 //! * `--deny-analysis` — escalate abstract-interpretation findings to
 //!   error level (the CI gate: seeded artifacts must stay clean).
+//! * `--buckets 1,2,4,8,16,32` — the micro-batch coalescing bucket set
+//!   the serving front door would use (`hb-serve`'s default when
+//!   omitted). Warns when a graph's verified signature cannot scatter
+//!   per-record results, i.e. cannot be served through *any* bucket.
 //!
 //! Exit status is non-zero iff any file produced an **error-level**
 //! diagnostic (unreadable, unparsable, failing verification, a rejected
@@ -34,38 +38,67 @@
 //! without chasing style.
 //!
 //! ```text
-//! hb-lint [--audit-plans] [--deny-analysis] graphs/*.json
+//! hb-lint [--audit-plans] [--deny-analysis] [--buckets N,N,...] graphs/*.json
 //! ```
 
 use std::process::ExitCode;
 
-use hummingbird::backend::{audit_plan, Artifact, Graph, MemoryPlan, Op};
+use hummingbird::backend::{audit_plan, Artifact, Graph, GraphSignature, MemoryPlan, Op, SymDim};
 use hummingbird::tensor::DynTensor;
 
 /// Behavior toggles parsed from the command line.
-#[derive(Clone, Copy, Default)]
+#[derive(Clone)]
 struct Flags {
     audit_plans: bool,
     deny_analysis: bool,
+    /// Coalescing bucket sizes the serving front door is configured
+    /// with; mirrors `hb-serve`'s `CoalesceConfig::default()`.
+    buckets: Vec<usize>,
+}
+
+impl Default for Flags {
+    fn default() -> Self {
+        Flags {
+            audit_plans: false,
+            deny_analysis: false,
+            buckets: vec![1, 2, 4, 8, 16, 32],
+        }
+    }
 }
 
 fn main() -> ExitCode {
     let mut flags = Flags::default();
     let mut paths = Vec::new();
-    for arg in std::env::args().skip(1) {
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
         match arg.as_str() {
             "--audit-plans" => flags.audit_plans = true,
             "--deny-analysis" => flags.deny_analysis = true,
+            "--buckets" => {
+                let Some(list) = args.next() else {
+                    eprintln!("hb-lint: --buckets requires a comma-separated size list");
+                    return ExitCode::FAILURE;
+                };
+                match parse_buckets(&list) {
+                    Ok(b) => flags.buckets = b,
+                    Err(e) => {
+                        eprintln!("hb-lint: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
             _ => paths.push(arg),
         }
     }
     if paths.is_empty() {
-        eprintln!("usage: hb-lint [--audit-plans] [--deny-analysis] <graph.json>...");
+        eprintln!(
+            "usage: hb-lint [--audit-plans] [--deny-analysis] [--buckets N,N,...] <graph.json>..."
+        );
         return ExitCode::FAILURE;
     }
     let mut errors = 0usize;
     for path in &paths {
-        if !lint_file(path, flags) {
+        if !lint_file(path, &flags) {
             errors += 1;
         }
     }
@@ -81,8 +114,29 @@ fn main() -> ExitCode {
     }
 }
 
+/// Parses `--buckets 1,2,4` into sorted, deduplicated, nonzero sizes.
+fn parse_buckets(list: &str) -> Result<Vec<usize>, String> {
+    let mut buckets = Vec::new();
+    for part in list.split(',') {
+        let n: usize = part
+            .trim()
+            .parse()
+            .map_err(|_| format!("invalid bucket size `{part}` in --buckets"))?;
+        if n == 0 {
+            return Err("bucket size 0 is meaningless".to_string());
+        }
+        buckets.push(n);
+    }
+    buckets.sort_unstable();
+    buckets.dedup();
+    if buckets.is_empty() {
+        return Err("--buckets requires at least one size".to_string());
+    }
+    Ok(buckets)
+}
+
 /// Lints one file; returns `false` on any error-level diagnostic.
-fn lint_file(path: &str, flags: Flags) -> bool {
+fn lint_file(path: &str, flags: &Flags) -> bool {
     let json = match std::fs::read_to_string(path) {
         Ok(s) => s,
         Err(e) => {
@@ -120,6 +174,9 @@ fn lint_file(path: &str, flags: Flags) -> bool {
                         a.signature
                     );
                 }
+            }
+            for w in coalesce_warnings(&sig, &flags.buckets) {
+                println!("{path}: warning: {w}");
             }
             true
         }
@@ -179,6 +236,34 @@ fn audit_plans(path: &str, graph: &Graph) -> bool {
         }
     }
     ok
+}
+
+/// Coalescing serveability against the configured bucket set.
+///
+/// The serving front door (`hb-serve`'s batcher) gathers single-record
+/// requests into micro-batches of the configured bucket sizes, executes
+/// once through the planned path, and scatters row `i` of every output
+/// back to member `i`. That scatter is only sound when each output's
+/// leading dimension is *exactly* the symbolic batch `B` — row count
+/// equal to member count at every bucket size. Any other leading dim
+/// (a fixed size, `c*B`, `B^p`, or an unknown shape) breaks the
+/// row-to-member correspondence for every bucket at once, so the graph
+/// can only be served uncoalesced.
+fn coalesce_warnings(sig: &GraphSignature, buckets: &[usize]) -> Vec<String> {
+    let mut warnings = Vec::new();
+    for (i, (_, shape)) in sig.outputs.iter().enumerate() {
+        let lead = shape.dims().and_then(|d| d.first().copied());
+        if lead == Some(SymDim::batch()) {
+            continue;
+        }
+        let lead_text = lead.map_or("?".to_string(), |d| format!("{d}"));
+        warnings.push(format!(
+            "output {i} has shape {shape} with leading dim `{lead_text}`, not the batch dim \
+             `B`: per-record scatter is unsound, so no coalescing bucket in {buckets:?} can \
+             serve this graph (requests fall back to uncoalesced execution)"
+        ));
+    }
+    warnings
 }
 
 /// Value-level findings from the abstract interpreter, deduplicated per

@@ -57,8 +57,9 @@ pub mod prelude {
     pub use hb_ml::gbdt::{GbdtConfig, GradientBoostingClassifier, GradientBoostingRegressor};
     pub use hb_pipeline::Pipeline;
     pub use hb_serve::{
-        BreakerConfig, BreakerState, HealthSnapshot, Incident, IncidentKind, OpenReason, Rung,
-        ServeConfig, ServeError, Served, ServingModel, Supervisor, SupervisorHealth,
+        Backpressure, BreakerConfig, BreakerState, CoalesceConfig, HealthSnapshot, Incident,
+        IncidentKind, LatencyReport, OpenReason, Rung, ServeConfig, ServeError, Served,
+        ServingModel, Supervisor, SupervisorHealth,
     };
     pub use hb_tensor::{DynTensor, Tensor};
 }
