@@ -52,6 +52,7 @@ use hb_tensor::{DType, DynTensor};
 
 use crate::fuse::{FusedKernel, Instr};
 use crate::graph::{Graph, GraphError};
+use crate::lir;
 use crate::op::Op;
 use crate::verify::{ShapeFact, SymDim};
 
@@ -185,6 +186,17 @@ impl ValueFact {
     /// True when the interval is a subset of `[lo, hi]`.
     pub fn within(&self, lo: f64, hi: f64) -> bool {
         self.lo >= lo && self.hi <= hi
+    }
+
+    /// True when this fact is at least as precise as `o`: a narrower
+    /// (or equal) interval and no taint `o` lacks. Used by translation
+    /// validation — an optimized lowering may *refine* the bytecode's
+    /// fact but must never claim values the bytecode analysis excludes.
+    pub fn refines(&self, o: &ValueFact) -> bool {
+        self.lo >= o.lo
+            && self.hi <= o.hi
+            && (!self.can_nan || o.can_nan)
+            && (!self.can_inf || o.can_inf)
     }
 
     /// True when every non-NaN value equals `v` exactly.
@@ -1121,6 +1133,260 @@ pub fn transfer(
     }
 }
 
+/// Sound fact for a scalar immediate: ±Inf and NaN immediates carry
+/// their taint instead of polluting the interval with NaN endpoints.
+fn imm_fact(v: f32) -> ValueFact {
+    let d = f64::from(v);
+    if d.is_nan() {
+        ValueFact {
+            lo: 0.0,
+            hi: 0.0,
+            can_nan: true,
+            can_inf: false,
+        }
+    } else {
+        ValueFact {
+            lo: d,
+            hi: d,
+            can_nan: false,
+            can_inf: d.is_infinite(),
+        }
+    }
+}
+
+/// Abstract transfer for a fused-tier binary operator. Shared by the
+/// bytecode stack walker and the LIR walker so translation validation
+/// compares like with like.
+fn fact_bin(op: lir::BinOp, a: &ValueFact, b: &ValueFact) -> ValueFact {
+    use lir::BinOp as B;
+    match op {
+        B::Add => a_add(a, b, DType::F32),
+        B::Sub => a_sub(a, b, DType::F32),
+        B::Mul => a_mul(a, b, DType::F32),
+        B::Div => a_div(a, b, DType::F32),
+        B::Min => k_min(a, b),
+        B::Max => k_max(a, b),
+        B::Lt => a_cmp(&Op::Lt, a, b),
+        B::Le => a_cmp(&Op::Le, a, b),
+        B::Gt => a_cmp(&Op::Gt, a, b),
+        B::Ge => a_cmp(&Op::Ge, a, b),
+        B::Eq => a_cmp(&Op::EqOp, a, b),
+        B::Ne => a_cmp(&Op::NeOp, a, b),
+        B::And | B::Or | B::Xor => {
+            // Truthiness is v != 0.0 and NaN is truthy, so pinning
+            // requires NaN-free operands.
+            let t = |f: &ValueFact| f.can_nan || !f.contains_zero();
+            let known_t = |f: &ValueFact| !f.contains_zero();
+            let known_f = |f: &ValueFact| f.pinned_to(0.0) && !f.can_nan;
+            let pinned = match op {
+                B::And => {
+                    if known_f(a) || known_f(b) {
+                        Some(0.0)
+                    } else if known_t(a) && known_t(b) && t(a) && t(b) {
+                        Some(1.0)
+                    } else {
+                        None
+                    }
+                }
+                B::Or => {
+                    if known_t(a) || known_t(b) {
+                        Some(1.0)
+                    } else if known_f(a) && known_f(b) {
+                        Some(0.0)
+                    } else {
+                        None
+                    }
+                }
+                _ => None,
+            };
+            match pinned {
+                Some(v) => ValueFact::point(v),
+                None => ValueFact::finite(0.0, 1.0),
+            }
+        }
+    }
+}
+
+/// Abstract transfer for a fused-tier unary operator.
+fn fact_un(op: lir::UnOp, a: &ValueFact) -> ValueFact {
+    use lir::UnOp as U;
+    match op {
+        U::Not => {
+            // Not = (a == 0.0); NaN == 0 is false, so NaN maps to 0.
+            if a.pinned_to(0.0) && !a.can_nan {
+                ValueFact::point(1.0)
+            } else if !a.contains_zero() {
+                ValueFact::point(0.0)
+            } else {
+                ValueFact::finite(0.0, 1.0)
+            }
+        }
+        U::Relu => a_relu_fused(a),
+        U::Sigmoid => a_sigmoid(a),
+        U::Tanh => a_tanh(a),
+        U::Exp => a_exp(a),
+        U::Ln => a_ln(a),
+        U::Sqrt => a_sqrt(a),
+        U::Abs => a_abs(a),
+        U::Neg => a_neg(a),
+        U::IsNan => {
+            if a.can_nan {
+                ValueFact::finite(0.0, 1.0)
+            } else {
+                ValueFact::point(0.0)
+            }
+        }
+        U::Bool01 => a_cast(a, DType::F32, DType::Bool),
+    }
+}
+
+/// Abstract transfer for select: `cond != 0` (NaN truthy) picks `a`.
+fn fact_select(cond: &ValueFact, a: &ValueFact, b: &ValueFact) -> ValueFact {
+    if !cond.contains_zero() {
+        *a
+    } else if cond.pinned_to(0.0) && !cond.can_nan {
+        *b
+    } else {
+        a.join(b)
+    }
+}
+
+/// Abstractly interprets fused bytecode over the value domain,
+/// returning the fact *pushed by each instruction* in program order
+/// (every fused instruction pushes exactly one value). The per-push
+/// resolution is what lets translation validation compare against the
+/// LIR's per-register facts position by position.
+pub(crate) fn transfer_stack(program: &[Instr], loaded: &[ValueFact]) -> Vec<ValueFact> {
+    let top = ValueFact::top(DType::F32);
+    let mut stack: Vec<ValueFact> = Vec::with_capacity(8);
+    let mut pushes: Vec<ValueFact> = Vec::with_capacity(program.len());
+    for instr in program {
+        let f = if let Some(b) = lir::bin_of(instr) {
+            let y = stack.pop().unwrap_or(top);
+            let x = stack.pop().unwrap_or(top);
+            fact_bin(b, &x, &y)
+        } else if let Some(u) = lir::un_of(instr) {
+            let x = stack.pop().unwrap_or(top);
+            fact_un(u, &x)
+        } else {
+            match instr {
+                Instr::Load(i) => loaded.get(*i).copied().unwrap_or(top),
+                Instr::Imm(v) => imm_fact(*v),
+                Instr::Select => {
+                    let b = stack.pop().unwrap_or(top);
+                    let a = stack.pop().unwrap_or(top);
+                    let cond = stack.pop().unwrap_or(top);
+                    fact_select(&cond, &a, &b)
+                }
+                Instr::Clamp(lo, hi) => {
+                    let a = stack.pop().unwrap_or(top);
+                    a_clamp(&a, f64::from(*lo), f64::from(*hi))
+                }
+                Instr::Pow(p) => {
+                    let a = stack.pop().unwrap_or(top);
+                    a_pow(&a, f64::from(*p))
+                }
+                Instr::AddImm(v) => {
+                    let a = stack.pop().unwrap_or(top);
+                    fact_bin(lir::BinOp::Add, &a, &imm_fact(*v))
+                }
+                Instr::MulImm(v) => {
+                    let a = stack.pop().unwrap_or(top);
+                    fact_bin(lir::BinOp::Mul, &a, &imm_fact(*v))
+                }
+                other => unreachable!("instruction not covered by fused transfer: {other:?}"),
+            }
+        };
+        stack.push(f);
+        pushes.push(f);
+    }
+    pushes
+}
+
+/// Abstractly interprets a LIR program over the value domain, returning
+/// one fact per virtual register (indexed by destination register).
+pub fn transfer_lir(p: &lir::LirProgram, loaded: &[ValueFact]) -> Vec<ValueFact> {
+    let top = ValueFact::top(DType::F32);
+    let mut facts: Vec<ValueFact> = vec![top; p.instrs.len()];
+    for ins in &p.instrs {
+        let f = {
+            let g = |v: lir::VReg| facts.get(v as usize).copied().unwrap_or(top);
+            match &ins.op {
+                lir::LirOp::Load(k) => loaded.get(*k).copied().unwrap_or(top),
+                lir::LirOp::Imm(v) => imm_fact(*v),
+                lir::LirOp::Bin(b, x, y) => fact_bin(*b, &g(*x), &g(*y)),
+                lir::LirOp::BinImm(b, x, c) => fact_bin(*b, &g(*x), &imm_fact(*c)),
+                lir::LirOp::ImmBin(b, c, x) => fact_bin(*b, &imm_fact(*c), &g(*x)),
+                lir::LirOp::Un(u, x) => fact_un(*u, &g(*x)),
+                lir::LirOp::Select { cond, a, b } => fact_select(&g(*cond), &g(*a), &g(*b)),
+                lir::LirOp::Clamp(x, lo, hi) => a_clamp(&g(*x), f64::from(*lo), f64::from(*hi)),
+                lir::LirOp::Pow(x, e) => a_pow(&g(*x), f64::from(*e)),
+            }
+        };
+        facts[ins.dst as usize] = f;
+    }
+    facts
+}
+
+/// Bit-exact fact equality (a plain `==` would make two identically-NaN
+/// endpoints compare unequal and fail validation spuriously).
+fn fact_bits_eq(a: &ValueFact, b: &ValueFact) -> bool {
+    a.lo.to_bits() == b.lo.to_bits()
+        && a.hi.to_bits() == b.hi.to_bits()
+        && a.can_nan == b.can_nan
+        && a.can_inf == b.can_inf
+}
+
+/// Translation-validates a bytecode → LIR lowering over the abstract
+/// value domain, under two input regimes (unconstrained f32 and a
+/// finite window): the *raw* lowering's per-register facts must equal
+/// the bytecode's per-push facts position by position (the lowering is
+/// 1:1), and the *optimized* program's output fact must refine the
+/// bytecode's output fact — the optimizer may sharpen what it proves
+/// but can never claim values the bytecode analysis excludes.
+///
+/// # Errors
+///
+/// A description of the first divergence found.
+pub fn validate_fused_lowering(
+    program: &[Instr],
+    raw: &lir::LirProgram,
+    opt: &lir::LirProgram,
+) -> Result<(), String> {
+    let top = ValueFact::top(DType::F32);
+    let regimes: [Vec<ValueFact>; 2] = [
+        vec![top; raw.n_inputs],
+        vec![ValueFact::finite(-1e4, 1e4); raw.n_inputs],
+    ];
+    for (ri, loaded) in regimes.iter().enumerate() {
+        let sf = transfer_stack(program, loaded);
+        let lf = transfer_lir(raw, loaded);
+        if sf.len() != lf.len() {
+            return Err(format!(
+                "regime {ri}: bytecode pushes {} values but the lowering defines {} registers",
+                sf.len(),
+                lf.len()
+            ));
+        }
+        for (i, (s, l)) in sf.iter().zip(lf.iter()).enumerate() {
+            if !fact_bits_eq(s, l) {
+                return Err(format!(
+                    "regime {ri}: value facts diverge at instruction {i}: bytecode {s:?} vs LIR {l:?}"
+                ));
+            }
+        }
+        let stack_out = sf.last().copied().unwrap_or(top);
+        let of = transfer_lir(opt, loaded);
+        let opt_out = of.get(opt.out as usize).copied().unwrap_or(top);
+        if !opt_out.refines(&stack_out) {
+            return Err(format!(
+                "regime {ri}: optimized LIR output fact {opt_out:?} does not refine bytecode fact {stack_out:?}"
+            ));
+        }
+    }
+    Ok(())
+}
+
 /// Abstractly interprets a fused kernel's bytecode over the value
 /// domain: a stack machine over [`ValueFact`]s mirroring the concrete
 /// f32 evaluator (inputs are loaded *as f32*, the result is cast to the
@@ -1134,161 +1400,8 @@ pub fn transfer_fused(k: &FusedKernel, ins: &[ValueFact], in_dtypes: &[DType]) -
             a_cast(f, from, DType::F32)
         })
         .collect();
-    let top = ValueFact::top(DType::F32);
-    let mut stack: Vec<ValueFact> = Vec::with_capacity(8);
-    for instr in k.program() {
-        match instr {
-            Instr::Load(i) => stack.push(loaded.get(*i).copied().unwrap_or(top)),
-            Instr::Imm(v) => stack.push(ValueFact::point(f64::from(*v))),
-            Instr::Add | Instr::Sub | Instr::Mul | Instr::Div | Instr::Min | Instr::Max => {
-                let b = stack.pop().unwrap_or(top);
-                let a = stack.pop().unwrap_or(top);
-                let r = match instr {
-                    Instr::Add => a_add(&a, &b, DType::F32),
-                    Instr::Sub => a_sub(&a, &b, DType::F32),
-                    Instr::Mul => a_mul(&a, &b, DType::F32),
-                    Instr::Div => a_div(&a, &b, DType::F32),
-                    Instr::Min => k_min(&a, &b),
-                    _ => k_max(&a, &b),
-                };
-                stack.push(r);
-            }
-            Instr::Lt | Instr::Le | Instr::Gt | Instr::Ge | Instr::Eq | Instr::Ne => {
-                let b = stack.pop().unwrap_or(top);
-                let a = stack.pop().unwrap_or(top);
-                let op = match instr {
-                    Instr::Lt => Op::Lt,
-                    Instr::Le => Op::Le,
-                    Instr::Gt => Op::Gt,
-                    Instr::Ge => Op::Ge,
-                    Instr::Eq => Op::EqOp,
-                    _ => Op::NeOp,
-                };
-                stack.push(a_cmp(&op, &a, &b));
-            }
-            Instr::And | Instr::Or | Instr::Xor => {
-                let b = stack.pop().unwrap_or(top);
-                let a = stack.pop().unwrap_or(top);
-                // Truthiness is v != 0.0 and NaN is truthy, so pinning
-                // requires NaN-free operands.
-                let t = |f: &ValueFact| f.can_nan || !f.contains_zero();
-                let known_t = |f: &ValueFact| !f.contains_zero();
-                let known_f = |f: &ValueFact| f.pinned_to(0.0) && !f.can_nan;
-                let pinned = match instr {
-                    Instr::And => {
-                        if known_f(&a) || known_f(&b) {
-                            Some(0.0)
-                        } else if known_t(&a) && known_t(&b) && t(&a) && t(&b) {
-                            Some(1.0)
-                        } else {
-                            None
-                        }
-                    }
-                    Instr::Or => {
-                        if known_t(&a) || known_t(&b) {
-                            Some(1.0)
-                        } else if known_f(&a) && known_f(&b) {
-                            Some(0.0)
-                        } else {
-                            None
-                        }
-                    }
-                    _ => None,
-                };
-                stack.push(match pinned {
-                    Some(v) => ValueFact::point(v),
-                    None => ValueFact::finite(0.0, 1.0),
-                });
-            }
-            Instr::Not => {
-                let a = stack.pop().unwrap_or(top);
-                // Not = (a == 0.0); NaN == 0 is false, so NaN maps to 0.
-                let r = if a.pinned_to(0.0) && !a.can_nan {
-                    ValueFact::point(1.0)
-                } else if !a.contains_zero() {
-                    ValueFact::point(0.0)
-                } else {
-                    ValueFact::finite(0.0, 1.0)
-                };
-                stack.push(r);
-            }
-            Instr::Select => {
-                let b = stack.pop().unwrap_or(top);
-                let a = stack.pop().unwrap_or(top);
-                let cond = stack.pop().unwrap_or(top);
-                // cond != 0 (NaN truthy) picks a.
-                let r = if !cond.contains_zero() {
-                    a
-                } else if cond.pinned_to(0.0) && !cond.can_nan {
-                    b
-                } else {
-                    a.join(&b)
-                };
-                stack.push(r);
-            }
-            Instr::Relu => {
-                let a = stack.pop().unwrap_or(top);
-                stack.push(a_relu_fused(&a));
-            }
-            Instr::Sigmoid => {
-                let a = stack.pop().unwrap_or(top);
-                stack.push(a_sigmoid(&a));
-            }
-            Instr::Tanh => {
-                let a = stack.pop().unwrap_or(top);
-                stack.push(a_tanh(&a));
-            }
-            Instr::Exp => {
-                let a = stack.pop().unwrap_or(top);
-                stack.push(a_exp(&a));
-            }
-            Instr::Ln => {
-                let a = stack.pop().unwrap_or(top);
-                stack.push(a_ln(&a));
-            }
-            Instr::Sqrt => {
-                let a = stack.pop().unwrap_or(top);
-                stack.push(a_sqrt(&a));
-            }
-            Instr::Abs => {
-                let a = stack.pop().unwrap_or(top);
-                stack.push(a_abs(&a));
-            }
-            Instr::Neg => {
-                let a = stack.pop().unwrap_or(top);
-                stack.push(a_neg(&a));
-            }
-            Instr::IsNan => {
-                let a = stack.pop().unwrap_or(top);
-                stack.push(if a.can_nan {
-                    ValueFact::finite(0.0, 1.0)
-                } else {
-                    ValueFact::point(0.0)
-                });
-            }
-            Instr::Clamp(lo, hi) => {
-                let a = stack.pop().unwrap_or(top);
-                stack.push(a_clamp(&a, f64::from(*lo), f64::from(*hi)));
-            }
-            Instr::Pow(p) => {
-                let a = stack.pop().unwrap_or(top);
-                stack.push(a_pow(&a, f64::from(*p)));
-            }
-            Instr::AddImm(v) => {
-                let a = stack.pop().unwrap_or(top);
-                stack.push(a_add(&a, &ValueFact::point(f64::from(*v)), DType::F32));
-            }
-            Instr::MulImm(v) => {
-                let a = stack.pop().unwrap_or(top);
-                stack.push(a_mul(&a, &ValueFact::point(f64::from(*v)), DType::F32));
-            }
-            Instr::Bool01 => {
-                let a = stack.pop().unwrap_or(top);
-                stack.push(a_cast(&a, DType::F32, DType::Bool));
-            }
-        }
-    }
-    let result = stack.pop().unwrap_or(top);
+    let facts = transfer_stack(k.program(), &loaded);
+    let result = facts.last().copied().unwrap_or(ValueFact::top(DType::F32));
     a_cast(&result, DType::F32, k.out_dtype)
 }
 

@@ -13,7 +13,47 @@
 
 use crate::absint::ValueFact;
 use crate::graph::{Graph, GraphError};
+use crate::op::Op;
 use crate::verify::GraphSignature;
+
+/// Per-fused-kernel LIR verification certificate.
+///
+/// Every executable fused kernel carries a register LIR that was
+/// verified (def-before-use, single assignment, types), optimized,
+/// re-verified, translation-validated against the stack bytecode, and
+/// register-allocated under an independently replayed allocation check
+/// — all at construction, so a kernel that exists has passed. The
+/// certificate records the *shape* of that proof (program sizes,
+/// register pressure, what the optimizer removed, the recognized
+/// whole-kernel form) so auditors can cross-check a stale or hostile
+/// artifact against a fresh derivation without re-reading the kernel.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LirCert {
+    /// Graph node carrying the fused kernel.
+    pub node: usize,
+    /// Stack-bytecode instruction count (the lowering source).
+    pub stack_len: usize,
+    /// Optimized LIR instruction count (what the register VM runs).
+    pub lir_len: usize,
+    /// Physical registers the allocator assigned.
+    pub n_regs: usize,
+    /// Peak simultaneously-live virtual registers.
+    pub max_live: usize,
+    /// Instructions the LIR optimizer removed (folded + CSE'd + dead).
+    pub eliminated: usize,
+    /// Whole-kernel peephole form label (`"vm"` when none matched).
+    pub form: String,
+}
+
+hb_json::json_struct!(LirCert {
+    node,
+    stack_len,
+    lir_len,
+    n_regs,
+    max_live,
+    eliminated,
+    form
+});
 
 /// A compiled graph plus its statically derived metadata.
 #[derive(Clone, Debug)]
@@ -29,14 +69,42 @@ pub struct Artifact {
     /// (`"proba"`, `"margin"`, `"value"`, or `"matrix"`; free-form so
     /// the backend stays agnostic of model-layer taxonomy).
     pub output_kind: String,
+    /// One LIR verification certificate per fused kernel, in node order.
+    pub lir_certs: Vec<LirCert>,
 }
 
-hb_json::json_struct!(Artifact {
-    graph,
-    signature,
-    output_facts,
-    output_kind
-});
+// Hand-written (rather than `json_struct!`) so `lir_certs` stays
+// optional: artifacts exported before the register LIR existed still
+// parse, defaulting to no certificates (hb-lint then derives them
+// fresh from the embedded kernels).
+impl hb_json::ToJson for Artifact {
+    fn to_json(&self) -> hb_json::Json {
+        hb_json::Json::Obj(vec![
+            ("graph".to_string(), hb_json::ToJson::to_json(&self.graph)),
+            ("signature".to_string(), self.signature.to_json()),
+            ("output_facts".to_string(), self.output_facts.to_json()),
+            ("output_kind".to_string(), self.output_kind.to_json()),
+            ("lir_certs".to_string(), self.lir_certs.to_json()),
+        ])
+    }
+}
+
+impl hb_json::FromJson for Artifact {
+    fn from_json(v: &hb_json::Json) -> Result<Self, hb_json::JsonError> {
+        let pairs = v.expect_obj("Artifact")?;
+        Ok(Artifact {
+            graph: hb_json::field(pairs, "graph", "Artifact")?,
+            signature: hb_json::field(pairs, "signature", "Artifact")?,
+            output_facts: hb_json::field(pairs, "output_facts", "Artifact")?,
+            output_kind: hb_json::field(pairs, "output_kind", "Artifact")?,
+            lir_certs: match v.get("lir_certs") {
+                Some(certs) => hb_json::FromJson::from_json(certs)
+                    .map_err(|e| hb_json::JsonError::Schema(format!("Artifact.lir_certs: {e}")))?,
+                None => Vec::new(),
+            },
+        })
+    }
+}
 
 impl Artifact {
     /// Runs the verifier and the abstract interpreter over `graph` and
@@ -55,7 +123,30 @@ impl Artifact {
             signature,
             output_facts,
             output_kind: output_kind.to_string(),
+            lir_certs: Artifact::lir_certs_of(graph),
         })
+    }
+
+    /// Derives the LIR verification certificates for every fused kernel
+    /// in `graph`, in node order — used at export time and by auditors
+    /// recomputing the certificates to cross-check a recorded set.
+    pub fn lir_certs_of(graph: &Graph) -> Vec<LirCert> {
+        let mut certs = Vec::new();
+        for (node, n) in graph.nodes.iter().enumerate() {
+            if let Op::Fused(k) = &n.op {
+                let exec = k.lir_exec();
+                certs.push(LirCert {
+                    node,
+                    stack_len: k.program_len(),
+                    lir_len: k.lir().instrs.len(),
+                    n_regs: exec.n_regs,
+                    max_live: exec.max_live,
+                    eliminated: k.lir_opt_stats().eliminated(),
+                    form: k.lir_form().label().to_string(),
+                });
+            }
+        }
+        certs
     }
 
     /// Serializes to a self-contained JSON artifact.
@@ -98,5 +189,47 @@ mod tests {
         assert_eq!(back.output_kind, "proba");
         assert_eq!(back.output_facts[0], a.output_facts[0]);
         assert_eq!(back.graph.len(), a.graph.len());
+    }
+
+    #[test]
+    fn artifact_records_lir_certs_for_fused_kernels() {
+        let mut b = GraphBuilder::new();
+        let x = b.input(DType::F32);
+        let s = b.add_scalar(x, 1.0);
+        let r = b.push(crate::op::Op::Relu, vec![s]);
+        let y = b.push(crate::op::Op::Sigmoid, vec![r]);
+        b.output(y);
+        let (g, _) = crate::optimize::optimize(&b.build());
+        let a = Artifact::from_graph(&g, "proba").unwrap_or_else(|e| panic!("artifact: {e}"));
+        assert!(
+            !a.lir_certs.is_empty(),
+            "optimized add+relu+sigmoid chain should carry a fused kernel"
+        );
+        for c in &a.lir_certs {
+            assert!(c.stack_len > 0 && c.lir_len > 0 && c.n_regs > 0);
+        }
+        // Round trip preserves the certificates bit-for-bit, and a fresh
+        // derivation from the reparsed graph agrees with the recording.
+        let back =
+            Artifact::from_json_str(&a.to_json_string()).unwrap_or_else(|e| panic!("reparse: {e}"));
+        assert_eq!(back.lir_certs, a.lir_certs);
+        assert_eq!(Artifact::lir_certs_of(&back.graph), a.lir_certs);
+    }
+
+    #[test]
+    fn artifact_without_lir_certs_parses_with_empty_set() {
+        let mut b = GraphBuilder::new();
+        let x = b.input(DType::F32);
+        let s = b.push(crate::op::Op::Sigmoid, vec![x]);
+        b.output(s);
+        let g = b.build();
+        let a = Artifact::from_graph(&g, "proba").unwrap_or_else(|e| panic!("artifact: {e}"));
+        // Simulate a pre-LIR artifact by dropping the field from the JSON.
+        let json = a.to_json_string();
+        let stripped = json.replacen(",\"lir_certs\":[]", "", 1);
+        assert_ne!(stripped, json, "expected to strip the lir_certs field");
+        let back =
+            Artifact::from_json_str(&stripped).unwrap_or_else(|e| panic!("stale reparse: {e}"));
+        assert!(back.lir_certs.is_empty());
     }
 }

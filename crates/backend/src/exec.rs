@@ -393,6 +393,44 @@ impl Executable {
         }
     }
 
+    /// Returns a twin executable whose fused kernels run on the legacy
+    /// stack interpreter instead of the verified register LIR — the
+    /// baseline side of LIR-dispatch comparisons. Outputs stay
+    /// bit-identical (both dispatchers implement the same bytecode
+    /// semantics); only the inner-loop execution strategy differs. The
+    /// twin starts with a cold plan cache and fresh run counters.
+    pub fn with_fused_stack_dispatch(&self) -> Executable {
+        let mut graph = self.graph.clone();
+        for node in &mut graph.nodes {
+            if let Op::Fused(k) = &node.op {
+                node.op = Op::Fused(std::sync::Arc::new(k.with_stack_dispatch()));
+            }
+        }
+        #[allow(clippy::disallowed_methods)] // invariant, message documents it
+        let pool = match self.device {
+            Device::Cpu { threads } if threads > 0 => Some(
+                rayon::ThreadPoolBuilder::new()
+                    .num_threads(threads)
+                    .build()
+                    .expect("failed to build thread pool"),
+            ),
+            _ => None,
+        };
+        Executable {
+            graph,
+            backend: self.backend,
+            device: self.device,
+            refcounts: self.refcounts.clone(),
+            opt_stats: self.opt_stats,
+            compile_time: self.compile_time,
+            pool,
+            faults: self.faults.clone(),
+            runs: AtomicU64::new(0),
+            cancelled: AtomicU64::new(0),
+            plans: Mutex::new(Vec::new()),
+        }
+    }
+
     /// Builds the memory plan this executable's (optimized) graph gets at
     /// `batch` — introspection for benches, audits, and the plan-
     /// determinism CI check. Does not touch the plan cache.

@@ -19,6 +19,8 @@ use hb_tensor::shape::{broadcast_shapes, contiguous_strides, numel};
 use hb_tensor::{DType, DynTensor, Tensor};
 
 use crate::graph::{Graph, Node, NodeId};
+use crate::lir;
+use crate::lir::vm::LirForm;
 use crate::op::Op;
 
 /// One stack-machine instruction of a fused kernel.
@@ -97,24 +99,9 @@ pub enum Instr {
 /// which is what makes fusion a win over separate vectorized passes.
 const BLOCK: usize = 64;
 
-/// Specialized evaluators for the most common short programs, skipping
-/// the register machine entirely.
-#[derive(Clone, Copy, Debug, Default)]
-enum FastPath {
-    /// Default: no specialization.
-    #[default]
-    /// No specialization; run the register interpreter.
-    None,
-    /// `[Load a, Load b, binop]`.
-    Bin2(usize, usize, fn(f32, f32) -> f32),
-    /// `[Load a, Imm c, binop]`.
-    BinImm(usize, f32, fn(f32, f32) -> f32),
-    /// `[Load a, unop]` (including parameterized unaries folded into a
-    /// closure-free form via the immediate field).
-    Un(usize, fn(f32) -> f32),
-}
-
-/// A fused element-wise kernel: a bytecode program over broadcast inputs.
+/// A fused element-wise kernel: a bytecode program over broadcast
+/// inputs, carried alongside its verified register-LIR lowering
+/// (`hb-backend::lir`), which is the form that actually executes.
 #[derive(Clone, Debug)]
 pub struct FusedKernel {
     /// Number of external tensor inputs.
@@ -122,10 +109,22 @@ pub struct FusedKernel {
     /// Dtype of the kernel output.
     pub out_dtype: DType,
     program: Vec<Instr>,
-    /// Peak operand-stack depth (precomputed for register allocation).
+    /// Peak operand-stack depth (precomputed for the stack-dispatch
+    /// reference interpreter).
     max_depth: usize,
-    /// Short-program specialization.
-    fast: FastPath,
+    /// Optimized LIR lowering; verified + translation-validated against
+    /// `program` at construction.
+    lir: lir::LirProgram,
+    /// Validated register allocation for `lir`.
+    exec: lir::opt::LirExec,
+    /// Whole-kernel peephole form recognized on the optimized LIR
+    /// (replaces the former ad-hoc `FastPath` matcher).
+    form: LirForm,
+    /// What the LIR optimizer eliminated (for lint/bench reporting).
+    opt_stats: lir::opt::LirOptStats,
+    /// When set, dispatch through the legacy stack interpreter instead
+    /// of the register VM — the differential-testing and bench baseline.
+    use_stack: bool,
 }
 
 impl hb_json::ToJson for FusedKernel {
@@ -161,65 +160,6 @@ impl hb_json::FromJson for FusedKernel {
     }
 }
 
-/// Vectorizable function for a binary instruction, if it has one.
-fn bin_fn(ins: &Instr) -> Option<fn(f32, f32) -> f32> {
-    Some(match ins {
-        Instr::Add => |a, b| a + b,
-        Instr::Sub => |a, b| a - b,
-        Instr::Mul => |a, b| a * b,
-        Instr::Div => |a, b| a / b,
-        Instr::Min => f32::min,
-        Instr::Max => f32::max,
-        Instr::Lt => |a, b| f32::from(a < b),
-        Instr::Le => |a, b| f32::from(a <= b),
-        Instr::Gt => |a, b| f32::from(a > b),
-        Instr::Ge => |a, b| f32::from(a >= b),
-        Instr::Eq => |a, b| f32::from(a == b),
-        Instr::Ne => |a, b| f32::from(a != b),
-        Instr::And => |a, b| f32::from(a != 0.0 && b != 0.0),
-        Instr::Or => |a, b| f32::from(a != 0.0 || b != 0.0),
-        Instr::Xor => |a, b| f32::from((a != 0.0) ^ (b != 0.0)),
-        _ => return None,
-    })
-}
-
-/// Vectorizable function for a fixed unary instruction, if it has one.
-fn un_fn(ins: &Instr) -> Option<fn(f32) -> f32> {
-    Some(match ins {
-        Instr::Not => |a| f32::from(a == 0.0),
-        Instr::Relu => |a| a.max(0.0),
-        Instr::Sigmoid => |a| 1.0 / (1.0 + (-a).exp()),
-        Instr::Tanh => f32::tanh,
-        Instr::Exp => f32::exp,
-        Instr::Ln => f32::ln,
-        Instr::Sqrt => f32::sqrt,
-        Instr::Abs => f32::abs,
-        Instr::Neg => |a| -a,
-        Instr::IsNan => |a| f32::from(a.is_nan()),
-        Instr::Bool01 => |a| f32::from(a != 0.0),
-        _ => None?,
-    })
-}
-
-/// Detects the short-program specializations.
-fn detect_fast(program: &[Instr]) -> FastPath {
-    match program {
-        [Instr::Load(a), Instr::Load(b), op] => match bin_fn(op) {
-            Some(f) => FastPath::Bin2(*a, *b, f),
-            None => FastPath::None,
-        },
-        [Instr::Load(a), Instr::Imm(c), op] => match bin_fn(op) {
-            Some(f) => FastPath::BinImm(*a, *c, f),
-            None => FastPath::None,
-        },
-        [Instr::Load(a), op] => match un_fn(op) {
-            Some(f) => FastPath::Un(*a, f),
-            None => FastPath::None,
-        },
-        _ => FastPath::None,
-    }
-}
-
 impl FusedKernel {
     /// The kernel's bytecode program (read-only; programs are validated
     /// at construction and immutable afterwards). Used by the abstract
@@ -243,7 +183,12 @@ impl FusedKernel {
 
     /// Verifies and creates a kernel from a possibly-untrusted program:
     /// the stack must never underflow, every `Load` must address a real
-    /// input slot, and exactly one value must remain at the end.
+    /// input slot, and exactly one value must remain at the end. The
+    /// program is then lowered to register LIR, which must pass its own
+    /// verification gate ([`lir::LirProgram::verify`]) before and after
+    /// optimization, be translation-validated against the bytecode over
+    /// the abstract value domain, and carry a validated register
+    /// allocation — only then is the kernel executable.
     pub fn try_new(n_inputs: usize, out_dtype: DType, program: Vec<Instr>) -> Result<Self, String> {
         // Static verification doubles as depth computation.
         let mut depth = 0usize;
@@ -287,14 +232,73 @@ impl FusedKernel {
                 "program must leave exactly one value, leaves {depth}"
             ));
         }
-        let fast = detect_fast(&program);
+        // The LIR gate: lower, verify, optimize, re-verify, translation-
+        // validate against the bytecode, allocate registers, validate
+        // the allocation.
+        let raw = lir::LirProgram::lower(&program, n_inputs, out_dtype)
+            .map_err(|e| format!("LIR lowering failed: {e}"))?;
+        raw.verify()
+            .map_err(|e| format!("LIR verification failed: {e}"))?;
+        let (opt, opt_stats) = lir::opt::optimize(&raw);
+        opt.verify()
+            .map_err(|e| format!("optimized LIR verification failed: {e}"))?;
+        crate::absint::validate_fused_lowering(&program, &raw, &opt)
+            .map_err(|e| format!("LIR translation validation failed: {e}"))?;
+        let exec =
+            lir::opt::allocate(&opt).map_err(|e| format!("LIR register allocation failed: {e}"))?;
+        lir::opt::verify_alloc(&opt, &exec)
+            .map_err(|e| format!("LIR register allocation rejected: {e}"))?;
+        let form = lir::vm::detect_form(&opt, &exec);
         Ok(FusedKernel {
             n_inputs,
             out_dtype,
             program,
             max_depth,
-            fast,
+            lir: opt,
+            exec,
+            form,
+            opt_stats,
+            use_stack: false,
         })
+    }
+
+    /// The kernel's verified, optimized LIR program.
+    pub fn lir(&self) -> &lir::LirProgram {
+        &self.lir
+    }
+
+    /// The kernel's validated register allocation.
+    pub fn lir_exec(&self) -> &lir::opt::LirExec {
+        &self.exec
+    }
+
+    /// What the LIR optimizer eliminated.
+    pub fn lir_opt_stats(&self) -> lir::opt::LirOptStats {
+        self.opt_stats
+    }
+
+    /// The recognized whole-kernel peephole form.
+    pub fn lir_form(&self) -> LirForm {
+        self.form
+    }
+
+    /// A clone of this kernel that dispatches through the legacy stack
+    /// interpreter instead of the register VM: the reference dispatcher
+    /// for differential tests and the bench baseline column.
+    pub fn with_stack_dispatch(&self) -> FusedKernel {
+        let mut k = self.clone();
+        k.use_stack = true;
+        k
+    }
+
+    /// True when this kernel dispatches through the stack interpreter.
+    pub fn uses_stack_dispatch(&self) -> bool {
+        self.use_stack
+    }
+
+    /// Scratch register-file size covering both dispatchers.
+    fn scratch_regs(&self) -> usize {
+        self.max_depth.max(self.exec.n_regs).max(1)
     }
 
     /// Number of instructions (used for cost estimation).
@@ -494,10 +498,10 @@ impl FusedKernel {
             .collect();
         let slices: Vec<&[f32]> = bufs.iter().map(|b| b.as_slice()).collect();
 
-        // Row-loop fast path for the specialized short programs: the
+        // Row-loop fast path for peephole-recognized kernels: the
         // odometer advances once per output row instead of once per
         // element, and inputs are read straight from their slices.
-        if !matches!(self.fast, FastPath::None) && !shape.is_empty() {
+        if !self.use_stack && !self.form.is_none() && !shape.is_empty() {
             #[allow(clippy::disallowed_methods)] // invariant, message documents it
             let inner = *shape.last().expect("fused kernel output has rank >= 1");
             let ok = strides.iter().all(|st| {
@@ -537,8 +541,8 @@ impl FusedKernel {
                             })
                             .collect();
                         for orow in ochunk.chunks_mut(inner) {
-                            match self.fast {
-                                FastPath::Bin2(a, b, f) => {
+                            match self.form {
+                                LirForm::Bin2 { a, b, f } => {
                                     let (sa, sb) = (slices[a], slices[b]);
                                     let (ba, bb) = (bases[a] as usize, bases[b] as usize);
                                     let (ia, ib) = (inner_strides[a], inner_strides[b]);
@@ -546,7 +550,7 @@ impl FusedKernel {
                                         *o = f(sa[ba + j * ia], sb[bb + j * ib]);
                                     }
                                 }
-                                FastPath::BinImm(a, c, f) => {
+                                LirForm::BinImm { a, c, f } => {
                                     let sa = slices[a];
                                     let ba = bases[a] as usize;
                                     let ia = inner_strides[a];
@@ -554,7 +558,15 @@ impl FusedKernel {
                                         *o = f(sa[ba + j * ia], c);
                                     }
                                 }
-                                FastPath::Un(a, f) => {
+                                LirForm::ImmBin { c, a, f } => {
+                                    let sa = slices[a];
+                                    let ba = bases[a] as usize;
+                                    let ia = inner_strides[a];
+                                    for (j, o) in orow.iter_mut().enumerate() {
+                                        *o = f(c, sa[ba + j * ia]);
+                                    }
+                                }
+                                LirForm::Un { a, f } => {
                                     let sa = slices[a];
                                     let ba = bases[a] as usize;
                                     let ia = inner_strides[a];
@@ -562,7 +574,32 @@ impl FusedKernel {
                                         *o = f(sa[ba + j * ia]);
                                     }
                                 }
-                                FastPath::None => unreachable!("guarded above"),
+                                LirForm::Clamp { a, lo, hi } => {
+                                    let sa = slices[a];
+                                    let ba = bases[a] as usize;
+                                    let ia = inner_strides[a];
+                                    for (j, o) in orow.iter_mut().enumerate() {
+                                        *o = sa[ba + j * ia].clamp(lo, hi);
+                                    }
+                                }
+                                LirForm::Pow { a, e } => {
+                                    let sa = slices[a];
+                                    let ba = bases[a] as usize;
+                                    let ia = inner_strides[a];
+                                    for (j, o) in orow.iter_mut().enumerate() {
+                                        *o = sa[ba + j * ia].powf(e);
+                                    }
+                                }
+                                LirForm::Copy { a } => {
+                                    let sa = slices[a];
+                                    let ba = bases[a] as usize;
+                                    let ia = inner_strides[a];
+                                    for (j, o) in orow.iter_mut().enumerate() {
+                                        *o = sa[ba + j * ia];
+                                    }
+                                }
+                                LirForm::Fill { c } => orow.fill(c),
+                                LirForm::None => unreachable!("guarded above"),
                             }
                             // Advance the outer odometer one row.
                             for d in (0..outer_shape.len()).rev() {
@@ -614,9 +651,9 @@ impl FusedKernel {
                     .filter(|&k| strides[k] != out_strides)
                     .collect();
                 // Vector registers: one block of gathered values per input,
-                // plus the operand stack.
+                // plus the physical register file.
                 let mut vals: Vec<Vec<f32>> = vec![vec![0.0; BLOCK]; slices.len()];
-                let mut regs: Vec<Vec<f32>> = vec![vec![0.0; BLOCK]; self.max_depth.max(1)];
+                let mut regs: Vec<Vec<f32>> = vec![vec![0.0; BLOCK]; self.scratch_regs()];
                 let mut done = 0usize;
                 while done < ochunk.len() {
                     let len = BLOCK.min(ochunk.len() - done);
@@ -660,9 +697,11 @@ impl FusedKernel {
     }
 
     /// Evaluates one block of gathered input values into `outb`, using
-    /// the specialized fast path when one applies and the stack
-    /// interpreter otherwise. Shared by [`FusedKernel::fill`] and
-    /// [`FusedKernel::fill_in_place`] so both produce identical bits.
+    /// the recognized peephole form when one applies and the register
+    /// VM otherwise (or the legacy stack interpreter under
+    /// [`FusedKernel::with_stack_dispatch`]). Shared by
+    /// [`FusedKernel::fill`] and [`FusedKernel::fill_in_place`] so both
+    /// produce identical bits.
     fn compute_block(
         &self,
         vals: &[Vec<f32>],
@@ -670,23 +709,152 @@ impl FusedKernel {
         len: usize,
         outb: &mut [f32],
     ) {
-        match self.fast {
-            FastPath::Bin2(a, b, f) => {
+        if self.use_stack {
+            self.eval_block(vals, regs, len, outb);
+            return;
+        }
+        match self.form {
+            LirForm::Bin2 { a, b, f } => {
                 for j in 0..len {
                     outb[j] = f(vals[a][j], vals[b][j]);
                 }
             }
-            FastPath::BinImm(a, c, f) => {
+            LirForm::BinImm { a, c, f } => {
                 for j in 0..len {
                     outb[j] = f(vals[a][j], c);
                 }
             }
-            FastPath::Un(a, f) => {
+            LirForm::ImmBin { c, a, f } => {
+                for j in 0..len {
+                    outb[j] = f(c, vals[a][j]);
+                }
+            }
+            LirForm::Un { a, f } => {
                 for j in 0..len {
                     outb[j] = f(vals[a][j]);
                 }
             }
-            FastPath::None => self.eval_block(vals, regs, len, outb),
+            LirForm::Clamp { a, lo, hi } => {
+                for j in 0..len {
+                    outb[j] = vals[a][j].clamp(lo, hi);
+                }
+            }
+            LirForm::Pow { a, e } => {
+                for j in 0..len {
+                    outb[j] = vals[a][j].powf(e);
+                }
+            }
+            LirForm::Copy { a } => outb[..len].copy_from_slice(&vals[a][..len]),
+            LirForm::Fill { c } => outb[..len].fill(c),
+            LirForm::None => lir::vm::run_block(&self.lir, &self.exec, vals, regs, len, outb),
+        }
+    }
+
+    /// Applies the recognized peephole form to one output row whose
+    /// input `operand` aliases the row itself: `orow` holds the
+    /// operand's values on entry and the kernel's result on exit. Each
+    /// element is read before it is overwritten, so the transform is
+    /// exactly the allocating row loop's, bit for bit. Arms where the
+    /// form does not touch `operand` (possible after DCE drops a load)
+    /// simply overwrite the row.
+    fn in_place_row(
+        &self,
+        operand: usize,
+        slices: &[&[f32]],
+        bases: &[isize],
+        inner_strides: &[usize],
+        orow: &mut [f32],
+    ) {
+        match self.form {
+            LirForm::Bin2 { a, b, f } if a == operand && b == operand => {
+                for o in orow.iter_mut() {
+                    *o = f(*o, *o);
+                }
+            }
+            LirForm::Bin2 { a, b, f } if a == operand => {
+                let (sb, bb, ib) = (slices[b], bases[b] as usize, inner_strides[b]);
+                for (j, o) in orow.iter_mut().enumerate() {
+                    *o = f(*o, sb[bb + j * ib]);
+                }
+            }
+            LirForm::Bin2 { a, b, f } if b == operand => {
+                let (sa, ba, ia) = (slices[a], bases[a] as usize, inner_strides[a]);
+                for (j, o) in orow.iter_mut().enumerate() {
+                    *o = f(sa[ba + j * ia], *o);
+                }
+            }
+            LirForm::Bin2 { a, b, f } => {
+                let (sa, sb) = (slices[a], slices[b]);
+                let (ba, bb) = (bases[a] as usize, bases[b] as usize);
+                let (ia, ib) = (inner_strides[a], inner_strides[b]);
+                for (j, o) in orow.iter_mut().enumerate() {
+                    *o = f(sa[ba + j * ia], sb[bb + j * ib]);
+                }
+            }
+            LirForm::BinImm { a, c, f } if a == operand => {
+                for o in orow.iter_mut() {
+                    *o = f(*o, c);
+                }
+            }
+            LirForm::BinImm { a, c, f } => {
+                let (sa, ba, ia) = (slices[a], bases[a] as usize, inner_strides[a]);
+                for (j, o) in orow.iter_mut().enumerate() {
+                    *o = f(sa[ba + j * ia], c);
+                }
+            }
+            LirForm::ImmBin { c, a, f } if a == operand => {
+                for o in orow.iter_mut() {
+                    *o = f(c, *o);
+                }
+            }
+            LirForm::ImmBin { c, a, f } => {
+                let (sa, ba, ia) = (slices[a], bases[a] as usize, inner_strides[a]);
+                for (j, o) in orow.iter_mut().enumerate() {
+                    *o = f(c, sa[ba + j * ia]);
+                }
+            }
+            LirForm::Un { a, f } if a == operand => {
+                for o in orow.iter_mut() {
+                    *o = f(*o);
+                }
+            }
+            LirForm::Un { a, f } => {
+                let (sa, ba, ia) = (slices[a], bases[a] as usize, inner_strides[a]);
+                for (j, o) in orow.iter_mut().enumerate() {
+                    *o = f(sa[ba + j * ia]);
+                }
+            }
+            LirForm::Clamp { a, lo, hi } if a == operand => {
+                for o in orow.iter_mut() {
+                    *o = o.clamp(lo, hi);
+                }
+            }
+            LirForm::Clamp { a, lo, hi } => {
+                let (sa, ba, ia) = (slices[a], bases[a] as usize, inner_strides[a]);
+                for (j, o) in orow.iter_mut().enumerate() {
+                    *o = sa[ba + j * ia].clamp(lo, hi);
+                }
+            }
+            LirForm::Pow { a, e } if a == operand => {
+                for o in orow.iter_mut() {
+                    *o = o.powf(e);
+                }
+            }
+            LirForm::Pow { a, e } => {
+                let (sa, ba, ia) = (slices[a], bases[a] as usize, inner_strides[a]);
+                for (j, o) in orow.iter_mut().enumerate() {
+                    *o = sa[ba + j * ia].powf(e);
+                }
+            }
+            LirForm::Copy { a } if a == operand => {} // row already holds the operand
+            LirForm::Copy { a } => {
+                let (sa, ba, ia) = (slices[a], bases[a] as usize, inner_strides[a]);
+                for (j, o) in orow.iter_mut().enumerate() {
+                    *o = sa[ba + j * ia];
+                }
+            }
+            LirForm::Fill { c } => orow.fill(c),
+            LirForm::None => unreachable!("guarded by the caller"),
         }
     }
 
@@ -755,11 +923,14 @@ impl FusedKernel {
         self.fill_in_place(operand, &bufs, shape, buf);
     }
 
-    /// Blocked in-place twin of the generic path in [`FusedKernel::fill`]:
-    /// input `operand` is read from (and the result written to) `out`.
-    /// The row-loop fast path is skipped — for elementwise programs both
-    /// paths apply the same scalar function per element, so results stay
-    /// bitwise identical.
+    /// Blocked in-place twin of [`FusedKernel::fill`]: input `operand`
+    /// is read from (and the result written to) `out`. Peephole-formed
+    /// kernels take a row-loop fast path that reads the aliased operand
+    /// element-by-element from the output row *before* overwriting it
+    /// (each output element depends only on the same flat element of a
+    /// full-shape operand); everything else runs the blocked register
+    /// VM. Both paths apply the same scalar functions per element, so
+    /// results stay bitwise identical to the allocating path.
     fn fill_in_place(
         &self,
         operand: usize,
@@ -786,6 +957,69 @@ impl FusedKernel {
             .iter()
             .map(|b| b.as_ref().map_or(&[][..], |b| b.as_slice()))
             .collect();
+
+        // Row-loop fast path, mirroring `fill`'s: chunk by whole rows
+        // so the aliased operand reads stay inside each chunk's region.
+        if !self.use_stack && !self.form.is_none() && !shape.is_empty() {
+            #[allow(clippy::disallowed_methods)] // invariant, message documents it
+            let inner = *shape.last().expect("fused kernel output has rank >= 1");
+            let ok = strides.iter().all(|st| {
+                #[allow(clippy::disallowed_methods)] // strides mirror the non-empty shape
+                let s = *st.last().expect("fused kernel stride has rank >= 1");
+                s == 0 || s == 1
+            });
+            if ok && inner > 0 {
+                let rows = n / inner;
+                let outer_shape = &shape[..shape.len() - 1];
+                let row_chunk = (rows / (rayon::current_num_threads() * 4).max(1)).max(64);
+                out.par_chunks_mut(row_chunk * inner)
+                    .enumerate()
+                    .for_each(|(ci, ochunk)| {
+                        let row0 = ci * row_chunk;
+                        let mut idx = vec![0usize; outer_shape.len()];
+                        let mut rem = row0;
+                        for d in (0..outer_shape.len()).rev() {
+                            idx[d] = rem % outer_shape[d];
+                            rem /= outer_shape[d];
+                        }
+                        let mut bases: Vec<isize> = strides
+                            .iter()
+                            .map(|st| {
+                                idx.iter()
+                                    .zip(st.iter())
+                                    .map(|(&i, &v)| i as isize * v)
+                                    .sum()
+                            })
+                            .collect();
+                        #[allow(clippy::disallowed_methods)] // strides mirror the non-empty shape
+                        let inner_strides: Vec<usize> = strides
+                            .iter()
+                            .map(|st| {
+                                *st.last().expect("fused kernel stride has rank >= 1") as usize
+                            })
+                            .collect();
+                        for orow in ochunk.chunks_mut(inner) {
+                            self.in_place_row(operand, &slices, &bases, &inner_strides, orow);
+                            // Advance the outer odometer one row.
+                            for d in (0..outer_shape.len()).rev() {
+                                idx[d] += 1;
+                                for (base, st) in bases.iter_mut().zip(strides.iter()) {
+                                    *base += st[d];
+                                }
+                                if idx[d] < outer_shape[d] {
+                                    break;
+                                }
+                                for (base, st) in bases.iter_mut().zip(strides.iter()) {
+                                    *base -= st[d] * outer_shape[d] as isize;
+                                }
+                                idx[d] = 0;
+                            }
+                        }
+                    });
+                return;
+            }
+        }
+
         let chunk = (n / (rayon::current_num_threads() * 4).max(1)).max(4096);
         out.par_chunks_mut(chunk)
             .enumerate()
@@ -815,7 +1049,7 @@ impl FusedKernel {
                     .filter(|&k| k != operand && strides[k] != out_strides)
                     .collect();
                 let mut vals: Vec<Vec<f32>> = vec![vec![0.0; BLOCK]; slices.len()];
-                let mut regs: Vec<Vec<f32>> = vec![vec![0.0; BLOCK]; self.max_depth.max(1)];
+                let mut regs: Vec<Vec<f32>> = vec![vec![0.0; BLOCK]; self.scratch_regs()];
                 let mut done = 0usize;
                 while done < ochunk.len() {
                     let len = BLOCK.min(ochunk.len() - done);

@@ -31,19 +31,21 @@ pub mod exec;
 pub mod fault;
 pub mod fuse;
 pub mod graph;
+pub mod lir;
 pub mod op;
 pub mod optimize;
 pub mod plan;
 pub mod verify;
 
 pub use absint::ValueFact;
-pub use artifact::Artifact;
+pub use artifact::{Artifact, LirCert};
 pub use audit::{audit_plan, PlanAuditError};
 pub use cancel::CancelToken;
 pub use device::{Device, DeviceSpec};
 pub use exec::{ExecError, Executable, RunStats};
 pub use fault::{FaultPlan, FaultScope};
 pub use graph::{Graph, GraphBuilder, GraphError, NodeId};
+pub use lir::{LirError, LirProgram};
 pub use op::Op;
 pub use plan::{Inplace, MemoryPlan, PlanError};
 pub use verify::{GraphSignature, ShapeFact, SymDim};

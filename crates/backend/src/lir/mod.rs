@@ -1,0 +1,759 @@
+//! Verified register LIR for fused element-wise kernels.
+//!
+//! The fused-kernel tier (`fuse.rs`) compiles element-wise clusters into
+//! a stack bytecode. Stack dispatch is compact but pays for itself at
+//! run time: every `Load` copies a whole block, every instruction moves
+//! the stack pointer, and values shared between sub-expressions are
+//! re-pushed once per use. This module lowers that bytecode into a
+//! *typed, register-based linear IR* — three-address instructions over
+//! single-assignment virtual registers — and makes the lowered form the
+//! executable one (`vm.rs` interprets it over the same `BLOCK`-wide
+//! vectorized buffers the stack machine used).
+//!
+//! In the spirit of the repo's `verify.rs` compile gate and the absint
+//! translation-validation tradition, no LIR program is executable until
+//! it has passed [`LirProgram::verify`]: def-before-use over virtual
+//! registers, single assignment, operand/destination range checks, a
+//! declared-vs-inferred type check per instruction, and a live output
+//! register. A second gate ([`opt::verify_alloc`]) independently
+//! validates the register allocation the VM will index with: every
+//! physical register in range, destinations never aliasing operands
+//! (the VM moves the destination buffer out while reading operands),
+//! and no live value clobbered before its last use.
+//!
+//! The pipeline, run once at kernel-construction time:
+//!
+//! ```text
+//! stack bytecode ──lower──► LIR (SSA) ──verify──► optimize (const-prop
+//!   + local CSE + DCE) ──re-verify──► allocate registers ──validate──►
+//!   executable { LirProgram, LirExec, peephole LirForm }
+//! ```
+//!
+//! Lowering is translation-validated against the bytecode two ways (see
+//! `absint::validate_fused_lowering`): abstract value facts transferred
+//! instruction-by-instruction must agree with the stack walker's facts,
+//! and the randomized differential suite (`tests/lir.rs`) executes both
+//! dispatchers bit-identically over the whole op vocabulary.
+
+pub mod opt;
+pub mod vm;
+
+use hb_tensor::DType;
+
+use crate::fuse::Instr;
+
+/// A virtual register: the value produced by one LIR instruction.
+/// Canonical programs number them densely in instruction order.
+pub type VReg = u32;
+
+/// Hard capacity of the physical register file the VM allocates
+/// (`BLOCK`-wide f32 buffers). Programs needing more fail allocation
+/// with [`LirError::RegisterPressure`]; real fused kernels use a
+/// handful.
+pub const REG_FILE: usize = 64;
+
+/// Soft register-pressure budget: `hb-lint` warns when a kernel's
+/// allocated register file exceeds this (the working set stops fitting
+/// comfortably in L1 alongside the gathered input blocks).
+pub const REG_BUDGET: usize = 16;
+
+/// Binary operators (three-address form of the stack machine's binary
+/// instructions).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    /// `a + b`.
+    Add,
+    /// `a - b`.
+    Sub,
+    /// `a * b`.
+    Mul,
+    /// `a / b`.
+    Div,
+    /// IEEE `minNum` (NaN-laundering: `min(NaN, x) == x`).
+    Min,
+    /// IEEE `maxNum` (NaN-laundering: `max(NaN, x) == x`).
+    Max,
+    /// `a < b` as 0.0/1.0.
+    Lt,
+    /// `a <= b` as 0.0/1.0.
+    Le,
+    /// `a > b` as 0.0/1.0.
+    Gt,
+    /// `a >= b` as 0.0/1.0.
+    Ge,
+    /// `a == b` as 0.0/1.0.
+    Eq,
+    /// `a != b` as 0.0/1.0.
+    Ne,
+    /// Truthiness AND (`a != 0 && b != 0`; NaN is truthy).
+    And,
+    /// Truthiness OR.
+    Or,
+    /// Truthiness XOR.
+    Xor,
+}
+
+impl BinOp {
+    /// True for operators whose result is always exactly 0.0 or 1.0.
+    pub fn is_predicate(self) -> bool {
+        matches!(
+            self,
+            BinOp::Lt
+                | BinOp::Le
+                | BinOp::Gt
+                | BinOp::Ge
+                | BinOp::Eq
+                | BinOp::Ne
+                | BinOp::And
+                | BinOp::Or
+                | BinOp::Xor
+        )
+    }
+}
+
+/// Unary operators.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum UnOp {
+    /// `a == 0.0` as 0.0/1.0 (NaN maps to 0).
+    Not,
+    /// `max(a, 0.0)` (NaN propagates — tensor-Relu semantics differ).
+    Relu,
+    /// Logistic sigmoid.
+    Sigmoid,
+    /// Hyperbolic tangent.
+    Tanh,
+    /// Natural exponential.
+    Exp,
+    /// Natural logarithm.
+    Ln,
+    /// Square root.
+    Sqrt,
+    /// Absolute value.
+    Abs,
+    /// Negation.
+    Neg,
+    /// NaN test as 0.0/1.0.
+    IsNan,
+    /// Normalize to exactly 0.0/1.0 (`a != 0.0`).
+    Bool01,
+}
+
+impl UnOp {
+    /// True for operators whose result is always exactly 0.0 or 1.0.
+    pub fn is_predicate(self) -> bool {
+        matches!(self, UnOp::Not | UnOp::IsNan | UnOp::Bool01)
+    }
+}
+
+/// Static type of a virtual register's value.
+///
+/// `Bool` is the refinement "every element is exactly 0.0 or 1.0" (the
+/// kernel's boolean encoding); it is usable anywhere an `F32` is. The
+/// verifier checks each instruction's *declared* type against the type
+/// inference below, so a corrupted program cannot claim a boolean it
+/// never established.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RegTy {
+    /// Arbitrary f32 (including NaN/±Inf).
+    F32,
+    /// Exactly 0.0 or 1.0.
+    Bool,
+}
+
+impl std::fmt::Display for RegTy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RegTy::F32 => write!(f, "f32"),
+            RegTy::Bool => write!(f, "bool01"),
+        }
+    }
+}
+
+/// One three-address operation. Immediate-operand forms ([`LirOp::BinImm`],
+/// [`LirOp::ImmBin`]) exist so constant propagation never has to reorder
+/// operands — f32 NaN payloads are not commutative in practice, and the
+/// whole tier is held to bit-identity with the stack interpreter.
+#[derive(Clone, Debug, PartialEq)]
+pub enum LirOp {
+    /// Read external input `k` (as f32; the block gather already
+    /// converted bool/i64/u8 inputs).
+    Load(usize),
+    /// A scalar immediate.
+    Imm(f32),
+    /// `dst = op(a, b)`.
+    Bin(BinOp, VReg, VReg),
+    /// `dst = op(a, imm)` — right-immediate form.
+    BinImm(BinOp, VReg, f32),
+    /// `dst = op(imm, a)` — left-immediate form.
+    ImmBin(BinOp, f32, VReg),
+    /// `dst = op(a)`.
+    Un(UnOp, VReg),
+    /// `dst = cond != 0.0 ? a : b` (NaN condition is truthy).
+    Select {
+        /// Condition register.
+        cond: VReg,
+        /// Taken when the condition is truthy.
+        a: VReg,
+        /// Taken when the condition is exactly 0.0.
+        b: VReg,
+    },
+    /// `dst = a.clamp(lo, hi)`.
+    Clamp(VReg, f32, f32),
+    /// `dst = a.powf(e)`.
+    Pow(VReg, f32),
+}
+
+impl LirOp {
+    /// The virtual registers this operation reads, in operand order.
+    pub fn operands(&self) -> Vec<VReg> {
+        match self {
+            LirOp::Load(_) | LirOp::Imm(_) => Vec::new(),
+            LirOp::Bin(_, a, b) => vec![*a, *b],
+            LirOp::BinImm(_, a, _) | LirOp::ImmBin(_, _, a) => vec![*a],
+            LirOp::Un(_, a) | LirOp::Clamp(a, _, _) | LirOp::Pow(a, _) => vec![*a],
+            LirOp::Select { cond, a, b } => vec![*cond, *a, *b],
+        }
+    }
+}
+
+/// One LIR instruction: `dst: ty = op`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct LirInstr {
+    /// Destination virtual register (canonically the instruction index).
+    pub dst: VReg,
+    /// Declared result type; [`LirProgram::verify`] checks it against
+    /// the inferred type.
+    pub ty: RegTy,
+    /// The operation.
+    pub op: LirOp,
+}
+
+/// A lowered fused-kernel program over virtual registers.
+#[derive(Clone, Debug, PartialEq)]
+pub struct LirProgram {
+    /// Number of external tensor inputs.
+    pub n_inputs: usize,
+    /// Dtype of the kernel output (the f32 result is converted exactly
+    /// like the stack machine's).
+    pub out_dtype: DType,
+    /// Virtual register holding the kernel result.
+    pub out: VReg,
+    /// Instructions in execution (topological) order.
+    pub instrs: Vec<LirInstr>,
+}
+
+/// Typed verification / lowering failures. Every variant names the
+/// instruction it fired at, so seeded-corruption tests can assert the
+/// exact defect class detected.
+#[derive(Clone, Debug, PartialEq)]
+pub enum LirError {
+    /// The stack bytecode being lowered underflowed (it would have been
+    /// rejected by `FusedKernel::try_new` first; defense in depth).
+    StackUnderflow {
+        /// Bytecode index of the underflowing instruction.
+        at: usize,
+    },
+    /// Lowering finished with other than one value on the stack.
+    NotSingleValue {
+        /// Values left on the virtual stack.
+        left: usize,
+    },
+    /// An operand register is read before any instruction defines it.
+    UseBeforeDef {
+        /// Offending instruction index.
+        instr: usize,
+        /// The undefined register.
+        vreg: VReg,
+    },
+    /// An operand register index is outside the program's register
+    /// space entirely.
+    OperandOutOfRange {
+        /// Offending instruction index.
+        instr: usize,
+        /// The out-of-range register.
+        vreg: VReg,
+    },
+    /// A virtual register is assigned twice (SSA violation).
+    Reassigned {
+        /// Offending instruction index.
+        instr: usize,
+        /// The doubly-assigned register.
+        vreg: VReg,
+    },
+    /// A destination register index is outside the program's register
+    /// space.
+    DstOutOfRange {
+        /// Offending instruction index.
+        instr: usize,
+        /// The out-of-range register.
+        vreg: VReg,
+    },
+    /// An instruction's declared type disagrees with type inference —
+    /// a type-confused operand or forged boolean refinement.
+    TypeConfused {
+        /// Offending instruction index.
+        instr: usize,
+        /// The type the instruction declares.
+        declared: RegTy,
+        /// The type inference derives.
+        inferred: RegTy,
+    },
+    /// A `Load` addresses an input slot the kernel does not have.
+    InputOutOfRange {
+        /// Offending instruction index.
+        instr: usize,
+        /// The loaded slot.
+        slot: usize,
+        /// Inputs the kernel declares.
+        n_inputs: usize,
+    },
+    /// The output register is never defined (dead output register).
+    DeadOutput {
+        /// The undefined output register.
+        out: VReg,
+        /// Registers the program defines.
+        defined: usize,
+    },
+    /// Register allocation needs more physical registers than the file
+    /// holds.
+    RegisterPressure {
+        /// Registers the program's liveness demands.
+        needed: usize,
+        /// The register-file capacity ([`REG_FILE`]).
+        limit: usize,
+    },
+    /// The allocation's location table does not cover the program.
+    AllocLenMismatch {
+        /// Locations in the allocation.
+        locs: usize,
+        /// Instructions in the program.
+        instrs: usize,
+    },
+    /// An instruction's location kind is wrong (e.g. a `Load` not
+    /// mapped to its input slot, or a compute result without a
+    /// physical register).
+    LocKindMismatch {
+        /// Offending instruction index.
+        instr: usize,
+    },
+    /// A physical register index is outside the allocated file.
+    PhysRegOutOfRange {
+        /// Offending instruction index.
+        instr: usize,
+        /// The out-of-range physical register.
+        reg: usize,
+        /// Allocated register-file size.
+        n_regs: usize,
+    },
+    /// A destination physical register aliases one of its own operand
+    /// registers (the VM moves the destination buffer out while
+    /// reading operands, so aliasing would read freed storage).
+    AliasedDest {
+        /// Offending instruction index.
+        instr: usize,
+        /// The aliased physical register.
+        reg: usize,
+    },
+    /// A physical register is overwritten while an earlier value
+    /// stored in it is still live.
+    Clobbered {
+        /// Instruction that reads the clobbered value.
+        instr: usize,
+        /// The virtual register whose value was lost.
+        vreg: VReg,
+        /// The physical register it lived in.
+        reg: usize,
+    },
+    /// An immediate's prefill entry is missing or carries different
+    /// bits than the instruction's immediate.
+    PrefillMismatch {
+        /// Offending instruction index.
+        instr: usize,
+    },
+}
+
+impl std::fmt::Display for LirError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LirError::StackUnderflow { at } => {
+                write!(f, "stack bytecode underflows at instruction {at}")
+            }
+            LirError::NotSingleValue { left } => {
+                write!(f, "lowering left {left} values on the stack, expected 1")
+            }
+            LirError::UseBeforeDef { instr, vreg } => {
+                write!(f, "instr {instr}: register r{vreg} used before definition")
+            }
+            LirError::OperandOutOfRange { instr, vreg } => {
+                write!(f, "instr {instr}: operand register r{vreg} out of range")
+            }
+            LirError::Reassigned { instr, vreg } => {
+                write!(f, "instr {instr}: register r{vreg} assigned twice")
+            }
+            LirError::DstOutOfRange { instr, vreg } => {
+                write!(f, "instr {instr}: destination register r{vreg} out of range")
+            }
+            LirError::TypeConfused {
+                instr,
+                declared,
+                inferred,
+            } => write!(
+                f,
+                "instr {instr}: type-confused operand: declares {declared}, inference says {inferred}"
+            ),
+            LirError::InputOutOfRange {
+                instr,
+                slot,
+                n_inputs,
+            } => write!(
+                f,
+                "instr {instr}: loads input {slot} but the kernel has {n_inputs} inputs"
+            ),
+            LirError::DeadOutput { out, defined } => write!(
+                f,
+                "output register r{out} is dead: only {defined} registers are defined"
+            ),
+            LirError::RegisterPressure { needed, limit } => write!(
+                f,
+                "register pressure {needed} exceeds the register file ({limit})"
+            ),
+            LirError::AllocLenMismatch { locs, instrs } => write!(
+                f,
+                "allocation covers {locs} registers but the program has {instrs}"
+            ),
+            LirError::LocKindMismatch { instr } => {
+                write!(f, "instr {instr}: allocated location kind mismatches the op")
+            }
+            LirError::PhysRegOutOfRange { instr, reg, n_regs } => write!(
+                f,
+                "instr {instr}: physical register {reg} out of range (file holds {n_regs})"
+            ),
+            LirError::AliasedDest { instr, reg } => write!(
+                f,
+                "instr {instr}: destination aliases operand register {reg}"
+            ),
+            LirError::Clobbered { instr, vreg, reg } => write!(
+                f,
+                "instr {instr}: value r{vreg} in physical register {reg} was clobbered before its last use"
+            ),
+            LirError::PrefillMismatch { instr } => {
+                write!(f, "instr {instr}: immediate prefill missing or bit-mismatched")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LirError {}
+
+/// Maps a stack binary instruction to its [`BinOp`], if it is one.
+pub(crate) fn bin_of(ins: &Instr) -> Option<BinOp> {
+    Some(match ins {
+        Instr::Add => BinOp::Add,
+        Instr::Sub => BinOp::Sub,
+        Instr::Mul => BinOp::Mul,
+        Instr::Div => BinOp::Div,
+        Instr::Min => BinOp::Min,
+        Instr::Max => BinOp::Max,
+        Instr::Lt => BinOp::Lt,
+        Instr::Le => BinOp::Le,
+        Instr::Gt => BinOp::Gt,
+        Instr::Ge => BinOp::Ge,
+        Instr::Eq => BinOp::Eq,
+        Instr::Ne => BinOp::Ne,
+        Instr::And => BinOp::And,
+        Instr::Or => BinOp::Or,
+        Instr::Xor => BinOp::Xor,
+        _ => return None,
+    })
+}
+
+/// Maps a stack unary instruction to its [`UnOp`], if it is one.
+pub(crate) fn un_of(ins: &Instr) -> Option<UnOp> {
+    Some(match ins {
+        Instr::Not => UnOp::Not,
+        Instr::Relu => UnOp::Relu,
+        Instr::Sigmoid => UnOp::Sigmoid,
+        Instr::Tanh => UnOp::Tanh,
+        Instr::Exp => UnOp::Exp,
+        Instr::Ln => UnOp::Ln,
+        Instr::Sqrt => UnOp::Sqrt,
+        Instr::Abs => UnOp::Abs,
+        Instr::Neg => UnOp::Neg,
+        Instr::IsNan => UnOp::IsNan,
+        Instr::Bool01 => UnOp::Bool01,
+        _ => return None,
+    })
+}
+
+impl LirProgram {
+    /// Lowers a (stack-validated) bytecode program into canonical SSA
+    /// LIR: instruction `i` defines virtual register `i`, in the exact
+    /// order the stack machine would compute the values. One vreg per
+    /// bytecode instruction, so translation validation can compare
+    /// value facts position-by-position.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LirError::StackUnderflow`] / [`LirError::NotSingleValue`]
+    /// for malformed bytecode (already rejected upstream by
+    /// `FusedKernel::try_new`).
+    pub fn lower(program: &[Instr], n_inputs: usize, out_dtype: DType) -> Result<Self, LirError> {
+        let mut instrs: Vec<LirInstr> = Vec::with_capacity(program.len());
+        let mut stack: Vec<VReg> = Vec::with_capacity(8);
+        for (at, ins) in program.iter().enumerate() {
+            let pop = |stack: &mut Vec<VReg>| stack.pop().ok_or(LirError::StackUnderflow { at });
+            let op = if let Some(b) = bin_of(ins) {
+                let rhs = pop(&mut stack)?;
+                let lhs = pop(&mut stack)?;
+                LirOp::Bin(b, lhs, rhs)
+            } else if let Some(u) = un_of(ins) {
+                LirOp::Un(u, pop(&mut stack)?)
+            } else {
+                match ins {
+                    Instr::Load(k) => LirOp::Load(*k),
+                    Instr::Imm(v) => LirOp::Imm(*v),
+                    Instr::Select => {
+                        let b = pop(&mut stack)?;
+                        let a = pop(&mut stack)?;
+                        let cond = pop(&mut stack)?;
+                        LirOp::Select { cond, a, b }
+                    }
+                    Instr::Clamp(lo, hi) => LirOp::Clamp(pop(&mut stack)?, *lo, *hi),
+                    Instr::Pow(e) => LirOp::Pow(pop(&mut stack)?, *e),
+                    Instr::AddImm(c) => LirOp::BinImm(BinOp::Add, pop(&mut stack)?, *c),
+                    Instr::MulImm(c) => LirOp::BinImm(BinOp::Mul, pop(&mut stack)?, *c),
+                    other => unreachable!("stack instruction not covered by lowering: {other:?}"),
+                }
+            };
+            let dst = instrs.len() as VReg;
+            let ty = infer_ty(&op, |v| instrs.get(v as usize).map_or(RegTy::F32, |i| i.ty));
+            instrs.push(LirInstr { dst, ty, op });
+            stack.push(dst);
+        }
+        if stack.len() != 1 {
+            return Err(LirError::NotSingleValue { left: stack.len() });
+        }
+        Ok(LirProgram {
+            n_inputs,
+            out_dtype,
+            out: stack[0],
+            instrs,
+        })
+    }
+
+    /// The static verification gate: a program must pass before it is
+    /// ever executable. Checks, per instruction: destination in range
+    /// and assigned exactly once (single assignment), every operand
+    /// defined by an *earlier* instruction (def-before-use), `Load`
+    /// slots inside the kernel's input count, and the declared type
+    /// equal to the inferred type. Finally the output register must be
+    /// defined (no dead output).
+    ///
+    /// # Errors
+    ///
+    /// The first defect found, as a typed [`LirError`].
+    pub fn verify(&self) -> Result<(), LirError> {
+        let n = self.instrs.len();
+        let mut ty_of: Vec<Option<RegTy>> = vec![None; n];
+        for (i, ins) in self.instrs.iter().enumerate() {
+            let d = ins.dst as usize;
+            if d >= n {
+                return Err(LirError::DstOutOfRange {
+                    instr: i,
+                    vreg: ins.dst,
+                });
+            }
+            if ty_of[d].is_some() {
+                return Err(LirError::Reassigned {
+                    instr: i,
+                    vreg: ins.dst,
+                });
+            }
+            for v in ins.op.operands() {
+                let vi = v as usize;
+                if vi >= n {
+                    return Err(LirError::OperandOutOfRange { instr: i, vreg: v });
+                }
+                if ty_of[vi].is_none() {
+                    return Err(LirError::UseBeforeDef { instr: i, vreg: v });
+                }
+            }
+            if let LirOp::Load(slot) = ins.op {
+                if slot >= self.n_inputs {
+                    return Err(LirError::InputOutOfRange {
+                        instr: i,
+                        slot,
+                        n_inputs: self.n_inputs,
+                    });
+                }
+            }
+            let inferred = infer_ty(&ins.op, |v| {
+                ty_of
+                    .get(v as usize)
+                    .copied()
+                    .flatten()
+                    .unwrap_or(RegTy::F32)
+            });
+            if ins.ty != inferred {
+                return Err(LirError::TypeConfused {
+                    instr: i,
+                    declared: ins.ty,
+                    inferred,
+                });
+            }
+            ty_of[d] = Some(ins.ty);
+        }
+        let o = self.out as usize;
+        if o >= n || ty_of[o].is_none() {
+            return Err(LirError::DeadOutput {
+                out: self.out,
+                defined: ty_of.iter().filter(|t| t.is_some()).count(),
+            });
+        }
+        Ok(())
+    }
+
+    /// The declared type of virtual register `v` (`F32` when out of
+    /// range; callers verify first).
+    pub fn ty(&self, v: VReg) -> RegTy {
+        // Canonical programs index registers by instruction; fall back
+        // to a scan for non-canonical (hand-built test) programs.
+        match self.instrs.get(v as usize) {
+            Some(i) if i.dst == v => i.ty,
+            _ => self
+                .instrs
+                .iter()
+                .find(|i| i.dst == v)
+                .map_or(RegTy::F32, |i| i.ty),
+        }
+    }
+}
+
+/// Infers an operation's result type from its operand types.
+fn infer_ty(op: &LirOp, ty_of: impl Fn(VReg) -> RegTy) -> RegTy {
+    match op {
+        LirOp::Load(_) => RegTy::F32,
+        LirOp::Imm(v) => {
+            if *v == 0.0 || *v == 1.0 {
+                RegTy::Bool
+            } else {
+                RegTy::F32
+            }
+        }
+        LirOp::Bin(b, _, _) | LirOp::BinImm(b, _, _) | LirOp::ImmBin(b, _, _) => {
+            if b.is_predicate() {
+                RegTy::Bool
+            } else {
+                RegTy::F32
+            }
+        }
+        LirOp::Un(u, _) => {
+            if u.is_predicate() {
+                RegTy::Bool
+            } else {
+                RegTy::F32
+            }
+        }
+        LirOp::Select { a, b, .. } => {
+            if ty_of(*a) == RegTy::Bool && ty_of(*b) == RegTy::Bool {
+                RegTy::Bool
+            } else {
+                RegTy::F32
+            }
+        }
+        LirOp::Clamp(_, _, _) | LirOp::Pow(_, _) => RegTy::F32,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn simple_program() -> LirProgram {
+        // (in0 + in1) * 2
+        LirProgram::lower(
+            &[
+                Instr::Load(0),
+                Instr::Load(1),
+                Instr::Add,
+                Instr::MulImm(2.0),
+            ],
+            2,
+            DType::F32,
+        )
+        .unwrap_or_else(|e| panic!("lowering failed: {e}"))
+    }
+
+    #[test]
+    fn lowering_is_canonical_ssa() {
+        let p = simple_program();
+        assert_eq!(p.instrs.len(), 4);
+        for (i, ins) in p.instrs.iter().enumerate() {
+            assert_eq!(ins.dst as usize, i);
+        }
+        assert_eq!(p.out, 3);
+        assert_eq!(p.instrs[2].op, LirOp::Bin(BinOp::Add, 0, 1));
+        assert_eq!(p.instrs[3].op, LirOp::BinImm(BinOp::Mul, 2, 2.0));
+        p.verify().unwrap_or_else(|e| panic!("verify: {e}"));
+    }
+
+    #[test]
+    fn select_lowering_keeps_operand_order() {
+        // where(in0 < in1, in0, in1)
+        let p = LirProgram::lower(
+            &[
+                Instr::Load(0),
+                Instr::Load(1),
+                Instr::Lt,
+                Instr::Load(0),
+                Instr::Load(1),
+                Instr::Select,
+            ],
+            2,
+            DType::F32,
+        )
+        .unwrap_or_else(|e| panic!("lowering failed: {e}"));
+        assert_eq!(
+            p.instrs[5].op,
+            LirOp::Select {
+                cond: 2,
+                a: 3,
+                b: 4
+            }
+        );
+        assert_eq!(p.instrs[2].ty, RegTy::Bool);
+        p.verify().unwrap_or_else(|e| panic!("verify: {e}"));
+    }
+
+    #[test]
+    fn verify_rejects_use_before_def() {
+        let mut p = simple_program();
+        // Make the Add read a register defined later.
+        p.instrs[2].op = LirOp::Bin(BinOp::Add, 0, 3);
+        assert_eq!(
+            p.verify(),
+            Err(LirError::UseBeforeDef { instr: 2, vreg: 3 })
+        );
+    }
+
+    #[test]
+    fn verify_rejects_type_confusion() {
+        let mut p = simple_program();
+        p.instrs[2].ty = RegTy::Bool; // Add does not produce a boolean.
+        assert_eq!(
+            p.verify(),
+            Err(LirError::TypeConfused {
+                instr: 2,
+                declared: RegTy::Bool,
+                inferred: RegTy::F32
+            })
+        );
+    }
+
+    #[test]
+    fn verify_rejects_dead_output() {
+        let mut p = simple_program();
+        p.out = 17;
+        assert!(matches!(p.verify(), Err(LirError::DeadOutput { .. })));
+    }
+}

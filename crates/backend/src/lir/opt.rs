@@ -1,0 +1,705 @@
+//! Static analyses and transforms over verified LIR programs:
+//! constant propagation + local CSE, liveness with dead-instruction
+//! elimination, liveness-driven linear-scan register allocation into a
+//! fixed physical register file, and an independent allocation
+//! validator ([`verify_alloc`]) that replays the allocation against the
+//! program's liveness the same way `audit_plan` replays memory plans.
+//!
+//! Every rewrite here is held to *bit-identity* with the stack
+//! interpreter, which rules out the usual algebraic menu:
+//!
+//! - No operand reordering (commutative canonicalization): NaN payloads
+//!   and `-0.0` are not symmetric in practice.
+//! - No identity folds (`x + 0.0` is not `x` when `x == -0.0`).
+//! - Constant folding evaluates with the *same* scalar functions the VM
+//!   and the stack interpreter use ([`super::vm::bin_scalar`],
+//!   [`super::vm::un_scalar`]), on the same hardware, so folded bits
+//!   equal runtime bits.
+//! - CSE keys on exact f32 bit patterns, so two immediates are "equal"
+//!   only when they are the same bits.
+
+use std::collections::HashMap;
+
+use super::vm::{bin_scalar, un_scalar};
+use super::{BinOp, LirError, LirInstr, LirOp, LirProgram, VReg, REG_FILE};
+
+/// Where a virtual register's value lives at run time.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Loc {
+    /// A physical register (an f32 block buffer owned by the VM).
+    Reg(u8),
+    /// Read directly from gathered input block `k` — `Load`s are free:
+    /// they never copy into a register.
+    In(u16),
+}
+
+/// A validated register allocation: the executable half of a kernel.
+#[derive(Clone, Debug, PartialEq)]
+pub struct LirExec {
+    /// Location of each virtual register, indexed by vreg.
+    pub loc: Vec<Loc>,
+    /// Physical registers allocated (block buffers the VM owns).
+    pub n_regs: usize,
+    /// `(reg, value)` immediates splatted once at block start.
+    /// Immediate registers are dedicated — never reused by the
+    /// allocator — so the prefill survives the whole block.
+    pub prefill: Vec<(u8, f32)>,
+    /// Peak simultaneously-live virtual registers (before allocation);
+    /// reported by `hb-lint` as register pressure.
+    pub max_live: usize,
+}
+
+/// What the optimizer did, for lint reporting and bench tables.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct LirOptStats {
+    /// Instructions replaced by folded immediates or forwarded
+    /// `Select` arms.
+    pub folded: usize,
+    /// Instructions deduplicated by local CSE.
+    pub csed: usize,
+    /// Dead instructions eliminated.
+    pub dce: usize,
+}
+
+impl LirOptStats {
+    /// Total instructions removed relative to the raw lowering.
+    pub fn eliminated(&self) -> usize {
+        self.folded + self.csed + self.dce
+    }
+}
+
+/// Per-program liveness: for each vreg, the last instruction index that
+/// reads it (the program output counts as a read at `instrs.len()`).
+#[derive(Clone, Debug)]
+pub struct Liveness {
+    /// Last use per vreg; equals the def index for dead registers.
+    pub last_use: Vec<usize>,
+    /// Peak simultaneously-live registers.
+    pub max_live: usize,
+}
+
+/// Computes liveness over a *verified* canonical program.
+pub fn liveness(p: &LirProgram) -> Liveness {
+    let n = p.instrs.len();
+    let mut last_use = vec![0usize; n];
+    for (i, ins) in p.instrs.iter().enumerate() {
+        last_use[ins.dst as usize] = i; // dead until proven used
+        for v in ins.op.operands() {
+            last_use[v as usize] = i;
+        }
+    }
+    last_use[p.out as usize] = n;
+    // Sweep once: each instruction births one value; values whose last
+    // use is here (including a dead def nothing reads) die after it.
+    let mut deaths = vec![0usize; n + 1];
+    for v in 0..n {
+        deaths[last_use[v]] += 1;
+    }
+    let mut live = 0usize;
+    let mut max_live = 0usize;
+    for &d in deaths.iter().take(n) {
+        live += 1;
+        max_live = max_live.max(live);
+        live -= d.min(live);
+    }
+    Liveness { last_use, max_live }
+}
+
+/// CSE key: ops with immediates key on exact bit patterns.
+#[derive(Clone, PartialEq, Eq, Hash)]
+enum Key {
+    Load(usize),
+    Imm(u32),
+    Bin(BinOp, VReg, VReg),
+    BinImm(BinOp, VReg, u32),
+    ImmBin(BinOp, u32, VReg),
+    Un(super::UnOp, VReg),
+    Select(VReg, VReg, VReg),
+    Clamp(VReg, u32, u32),
+    Pow(VReg, u32),
+}
+
+fn key_of(op: &LirOp) -> Key {
+    match op {
+        LirOp::Load(k) => Key::Load(*k),
+        LirOp::Imm(v) => Key::Imm(v.to_bits()),
+        LirOp::Bin(b, x, y) => Key::Bin(*b, *x, *y),
+        LirOp::BinImm(b, x, c) => Key::BinImm(*b, *x, c.to_bits()),
+        LirOp::ImmBin(b, c, x) => Key::ImmBin(*b, c.to_bits(), *x),
+        LirOp::Un(u, x) => Key::Un(*u, *x),
+        LirOp::Select { cond, a, b } => Key::Select(*cond, *a, *b),
+        LirOp::Clamp(x, lo, hi) => Key::Clamp(*x, lo.to_bits(), hi.to_bits()),
+        LirOp::Pow(x, e) => Key::Pow(*x, e.to_bits()),
+    }
+}
+
+/// Evaluates an operation whose operands are all known constants, using
+/// the runtime scalar functions so the fold is bit-identical to what
+/// the VM would have computed.
+fn fold(op: &LirOp, c: impl Fn(VReg) -> Option<f32>) -> Option<f32> {
+    Some(match op {
+        LirOp::Load(_) => return None,
+        LirOp::Imm(v) => *v,
+        LirOp::Bin(b, x, y) => bin_scalar(*b)(c(*x)?, c(*y)?),
+        LirOp::BinImm(b, x, k) => bin_scalar(*b)(c(*x)?, *k),
+        LirOp::ImmBin(b, k, x) => bin_scalar(*b)(*k, c(*x)?),
+        LirOp::Un(u, x) => un_scalar(*u)(c(*x)?),
+        LirOp::Select { .. } => return None, // handled as arm forwarding
+        LirOp::Clamp(x, lo, hi) => c(*x)?.clamp(*lo, *hi),
+        LirOp::Pow(x, e) => c(*x)?.powf(*e),
+    })
+}
+
+/// One forward value-numbering pass (constant propagation, immediate
+/// sinking into `BinImm`/`ImmBin`, `Select` arm forwarding, local CSE)
+/// followed by backward dead-code elimination and renumbering. The
+/// result is a canonical verified-shape program; callers re-run
+/// [`LirProgram::verify`] on it as part of the gate.
+pub fn optimize(p: &LirProgram) -> (LirProgram, LirOptStats) {
+    let n = p.instrs.len();
+    let mut stats = LirOptStats::default();
+    // Value-numbering state over the *new* instruction list.
+    let mut out: Vec<LirInstr> = Vec::with_capacity(n);
+    let mut konst: Vec<Option<f32>> = Vec::with_capacity(n);
+    let mut seen: HashMap<Key, VReg> = HashMap::with_capacity(n);
+    // Old vreg -> new vreg.
+    let mut map: Vec<VReg> = vec![0; n];
+
+    for old in &p.instrs {
+        let m = |v: &VReg| map[*v as usize];
+        // Rewrite operands through the map first.
+        let mapped = match &old.op {
+            LirOp::Load(k) => LirOp::Load(*k),
+            LirOp::Imm(v) => LirOp::Imm(*v),
+            LirOp::Bin(b, x, y) => LirOp::Bin(*b, m(x), m(y)),
+            LirOp::BinImm(b, x, c) => LirOp::BinImm(*b, m(x), *c),
+            LirOp::ImmBin(b, c, x) => LirOp::ImmBin(*b, *c, m(x)),
+            LirOp::Un(u, x) => LirOp::Un(*u, m(x)),
+            LirOp::Select { cond, a, b } => LirOp::Select {
+                cond: m(cond),
+                a: m(a),
+                b: m(b),
+            },
+            LirOp::Clamp(x, lo, hi) => LirOp::Clamp(m(x), *lo, *hi),
+            LirOp::Pow(x, e) => LirOp::Pow(m(x), *e),
+        };
+        let c_of = |v: VReg| konst.get(v as usize).copied().flatten();
+        // A Select whose condition is a known constant forwards one arm
+        // without emitting anything (NaN conditions are truthy, exactly
+        // like the interpreter's `c != 0.0`).
+        if let LirOp::Select { cond, a, b } = &mapped {
+            if let Some(cc) = c_of(*cond) {
+                map[old.dst as usize] = if cc != 0.0 { *a } else { *b };
+                stats.folded += 1;
+                continue;
+            }
+        }
+        // Constant-fold, or sink a constant operand into an immediate
+        // form (keeping operand order — never commuting). A fold whose
+        // result is NaN is deliberately left in place: `imm_fact(NaN)`
+        // carries a placeholder `[0, 0]` interval that need not sit
+        // inside the folded chain's computed fact, so collapsing the
+        // chain would widen the abstract output and flunk translation
+        // validation's refinement check. Keeping the chain keeps the
+        // optimized walk's facts identical to the bytecode walk's.
+        let new_op = if !matches!(mapped, LirOp::Imm(_)) {
+            if let Some(v) = fold(&mapped, c_of).filter(|v| !v.is_nan()) {
+                stats.folded += 1;
+                LirOp::Imm(v)
+            } else if let LirOp::Bin(b, x, y) = mapped {
+                match (c_of(x), c_of(y)) {
+                    (_, Some(cy)) => LirOp::BinImm(b, x, cy),
+                    (Some(cx), _) => LirOp::ImmBin(b, cx, y),
+                    _ => mapped,
+                }
+            } else {
+                mapped
+            }
+        } else {
+            mapped
+        };
+        // Local CSE: bitwise-identical computations collapse.
+        let key = key_of(&new_op);
+        if let Some(&prev) = seen.get(&key) {
+            map[old.dst as usize] = prev;
+            stats.csed += 1;
+            continue;
+        }
+        let dst = out.len() as VReg;
+        let ty = super::infer_ty(&new_op, |v| {
+            out.get(v as usize).map_or(super::RegTy::F32, |i| i.ty)
+        });
+        if let LirOp::Imm(v) = new_op {
+            konst.push(Some(v));
+        } else {
+            konst.push(None);
+        }
+        seen.insert(key, dst);
+        out.push(LirInstr {
+            dst,
+            ty,
+            op: new_op,
+        });
+        map[old.dst as usize] = dst;
+    }
+
+    let new_out = map[p.out as usize];
+    // Backward DCE from the output, then renumber densely.
+    let mut used = vec![false; out.len()];
+    used[new_out as usize] = true;
+    for i in (0..out.len()).rev() {
+        if used[i] {
+            for v in out[i].op.operands() {
+                used[v as usize] = true;
+            }
+        }
+    }
+    stats.dce = used.iter().filter(|u| !**u).count();
+    let mut renum: Vec<VReg> = vec![0; out.len()];
+    let mut kept: Vec<LirInstr> = Vec::with_capacity(out.len() - stats.dce);
+    for (i, ins) in out.into_iter().enumerate() {
+        if !used[i] {
+            continue;
+        }
+        let r = |v: &VReg| renum[*v as usize];
+        let op = match &ins.op {
+            LirOp::Load(k) => LirOp::Load(*k),
+            LirOp::Imm(v) => LirOp::Imm(*v),
+            LirOp::Bin(b, x, y) => LirOp::Bin(*b, r(x), r(y)),
+            LirOp::BinImm(b, x, c) => LirOp::BinImm(*b, r(x), *c),
+            LirOp::ImmBin(b, c, x) => LirOp::ImmBin(*b, *c, r(x)),
+            LirOp::Un(u, x) => LirOp::Un(*u, r(x)),
+            LirOp::Select { cond, a, b } => LirOp::Select {
+                cond: r(cond),
+                a: r(a),
+                b: r(b),
+            },
+            LirOp::Clamp(x, lo, hi) => LirOp::Clamp(r(x), *lo, *hi),
+            LirOp::Pow(x, e) => LirOp::Pow(r(x), *e),
+        };
+        let dst = kept.len() as VReg;
+        renum[i] = dst;
+        kept.push(LirInstr {
+            dst,
+            ty: ins.ty,
+            op,
+        });
+    }
+    (
+        LirProgram {
+            n_inputs: p.n_inputs,
+            out_dtype: p.out_dtype,
+            out: renum[new_out as usize],
+            instrs: kept,
+        },
+        stats,
+    )
+}
+
+/// Liveness-driven linear-scan allocation of a verified canonical
+/// program into the fixed register file.
+///
+/// - `Load` results read directly from the gathered input blocks
+///   ([`Loc::In`]) — no copy, no register.
+/// - `Imm` results get *dedicated* registers, splatted once per block
+///   via [`LirExec::prefill`] and never returned to the free pool.
+/// - Compute destinations are allocated *before* dying operands are
+///   released, so a destination's physical register never aliases an
+///   operand's — the VM relies on this to move the destination buffer
+///   out while reading operand buffers.
+///
+/// # Errors
+///
+/// [`LirError::RegisterPressure`] when more than [`REG_FILE`] physical
+/// registers would be needed.
+pub fn allocate(p: &LirProgram) -> Result<LirExec, LirError> {
+    let lv = liveness(p);
+    let n = p.instrs.len();
+    let mut loc: Vec<Loc> = vec![Loc::Reg(0); n];
+    let mut dedicated = vec![false; n]; // vregs whose register is never freed
+    let mut prefill: Vec<(u8, f32)> = Vec::new();
+    let mut next: usize = 0;
+    let mut free: Vec<u8> = Vec::new();
+
+    // Immediates first: dedicated registers, filled at block start.
+    for ins in &p.instrs {
+        if let LirOp::Imm(v) = ins.op {
+            if next >= REG_FILE {
+                return Err(LirError::RegisterPressure {
+                    needed: next + 1,
+                    limit: REG_FILE,
+                });
+            }
+            let r = next as u8;
+            next += 1;
+            loc[ins.dst as usize] = Loc::Reg(r);
+            dedicated[ins.dst as usize] = true;
+            prefill.push((r, v));
+        }
+    }
+
+    for (i, ins) in p.instrs.iter().enumerate() {
+        let d = ins.dst as usize;
+        match ins.op {
+            LirOp::Load(k) => {
+                loc[d] = Loc::In(k as u16);
+                continue;
+            }
+            LirOp::Imm(_) => continue, // pre-allocated above
+            _ => {}
+        }
+        // Allocate the destination before releasing dying operands:
+        // this is what enforces the no-alias rule.
+        let r = if let Some(r) = free.pop() {
+            r
+        } else {
+            if next >= REG_FILE {
+                return Err(LirError::RegisterPressure {
+                    needed: next + 1,
+                    limit: REG_FILE,
+                });
+            }
+            next += 1;
+            (next - 1) as u8
+        };
+        loc[d] = Loc::Reg(r);
+        // Release operands whose last use is this instruction.
+        let mut ops = ins.op.operands();
+        ops.sort_unstable();
+        ops.dedup();
+        for v in ops {
+            let vi = v as usize;
+            if lv.last_use[vi] == i && !dedicated[vi] {
+                if let Loc::Reg(or) = loc[vi] {
+                    free.push(or);
+                }
+            }
+        }
+        // A destination nothing ever reads (dead code that survived —
+        // only in unoptimized programs) frees immediately.
+        if lv.last_use[d] == i && !dedicated[d] {
+            free.push(r);
+        }
+    }
+
+    Ok(LirExec {
+        loc,
+        n_regs: next,
+        prefill,
+        max_live: lv.max_live,
+    })
+}
+
+/// Independently validates a register allocation against the program,
+/// the same way `audit_plan` replays memory plans: location kinds must
+/// match the ops (`Load` ↔ its input slot, everything else ↔ a physical
+/// register), physical registers must be in range, destinations must
+/// not alias their operands, immediates must have bit-exact prefill
+/// entries, and a sequential clobber simulation proves no value is
+/// overwritten in its register before its last use.
+///
+/// # Errors
+///
+/// The first defect found, as a typed [`LirError`].
+pub fn verify_alloc(p: &LirProgram, e: &LirExec) -> Result<(), LirError> {
+    let n = p.instrs.len();
+    if e.loc.len() != n {
+        return Err(LirError::AllocLenMismatch {
+            locs: e.loc.len(),
+            instrs: n,
+        });
+    }
+    if e.n_regs > REG_FILE {
+        return Err(LirError::RegisterPressure {
+            needed: e.n_regs,
+            limit: REG_FILE,
+        });
+    }
+    let lv = liveness(p);
+    // owner[r] = vreg whose value currently lives in physical reg r.
+    let mut owner: Vec<Option<VReg>> = vec![None; e.n_regs];
+    for &(r, _) in &e.prefill {
+        if r as usize >= e.n_regs {
+            return Err(LirError::PhysRegOutOfRange {
+                instr: 0,
+                reg: r as usize,
+                n_regs: e.n_regs,
+            });
+        }
+    }
+    // Prefill establishes ownership for immediates before any instr.
+    for (i, ins) in p.instrs.iter().enumerate() {
+        if let LirOp::Imm(v) = ins.op {
+            match e.loc[ins.dst as usize] {
+                Loc::Reg(r) => {
+                    let hit = e
+                        .prefill
+                        .iter()
+                        .any(|&(pr, pv)| pr == r && pv.to_bits() == v.to_bits());
+                    if !hit {
+                        return Err(LirError::PrefillMismatch { instr: i });
+                    }
+                    owner[r as usize] = Some(ins.dst);
+                }
+                Loc::In(_) => return Err(LirError::LocKindMismatch { instr: i }),
+            }
+        }
+    }
+    for (i, ins) in p.instrs.iter().enumerate() {
+        let d = ins.dst as usize;
+        // Check operand locations *before* the destination write lands.
+        let dst_reg = match (&ins.op, e.loc[d]) {
+            (LirOp::Load(k), Loc::In(slot)) => {
+                if slot as usize != *k {
+                    return Err(LirError::LocKindMismatch { instr: i });
+                }
+                None
+            }
+            (LirOp::Load(_), Loc::Reg(_)) => return Err(LirError::LocKindMismatch { instr: i }),
+            (LirOp::Imm(_), Loc::Reg(_)) => None, // ownership set above
+            (_, Loc::In(_)) => return Err(LirError::LocKindMismatch { instr: i }),
+            (_, Loc::Reg(r)) => {
+                if r as usize >= e.n_regs {
+                    return Err(LirError::PhysRegOutOfRange {
+                        instr: i,
+                        reg: r as usize,
+                        n_regs: e.n_regs,
+                    });
+                }
+                Some(r)
+            }
+        };
+        for v in ins.op.operands() {
+            match e.loc[v as usize] {
+                Loc::In(_) => {} // reads the gathered input block, always valid
+                Loc::Reg(r) => {
+                    if r as usize >= e.n_regs {
+                        return Err(LirError::PhysRegOutOfRange {
+                            instr: i,
+                            reg: r as usize,
+                            n_regs: e.n_regs,
+                        });
+                    }
+                    if Some(r) == dst_reg {
+                        return Err(LirError::AliasedDest {
+                            instr: i,
+                            reg: r as usize,
+                        });
+                    }
+                    if owner[r as usize] != Some(v) {
+                        return Err(LirError::Clobbered {
+                            instr: i,
+                            vreg: v,
+                            reg: r as usize,
+                        });
+                    }
+                }
+            }
+        }
+        if let Some(r) = dst_reg {
+            // Overwriting a register whose current value is still live
+            // after this instruction is a clobber.
+            if let Some(prev) = owner[r as usize] {
+                if prev as usize != d && lv.last_use[prev as usize] > i {
+                    return Err(LirError::Clobbered {
+                        instr: i,
+                        vreg: prev,
+                        reg: r as usize,
+                    });
+                }
+            }
+            owner[r as usize] = Some(ins.dst);
+        }
+    }
+    // The output must still own its location at program end.
+    match e.loc[p.out as usize] {
+        Loc::In(slot) => {
+            let is_load = matches!(
+                p.instrs.get(p.out as usize).map(|i| &i.op),
+                Some(LirOp::Load(k)) if *k == slot as usize
+            );
+            if !is_load {
+                return Err(LirError::LocKindMismatch {
+                    instr: p.out as usize,
+                });
+            }
+        }
+        Loc::Reg(r) => {
+            if owner.get(r as usize).copied().flatten() != Some(p.out) {
+                return Err(LirError::Clobbered {
+                    instr: n,
+                    vreg: p.out,
+                    reg: r as usize,
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::{LirProgram, RegTy};
+    use super::*;
+    use crate::fuse::Instr;
+    use hb_tensor::DType;
+
+    fn lower(prog: &[Instr], n_inputs: usize) -> LirProgram {
+        let p =
+            LirProgram::lower(prog, n_inputs, DType::F32).unwrap_or_else(|e| panic!("lower: {e}"));
+        p.verify().unwrap_or_else(|e| panic!("verify: {e}"));
+        p
+    }
+
+    #[test]
+    fn cse_dedups_repeated_loads_and_subexpressions() {
+        // sigmoid(x0 + x1) * (x0 + x1)
+        let p = lower(
+            &[
+                Instr::Load(0),
+                Instr::Load(1),
+                Instr::Add,
+                Instr::Sigmoid,
+                Instr::Load(0),
+                Instr::Load(1),
+                Instr::Add,
+                Instr::Mul,
+            ],
+            2,
+        );
+        let (q, stats) = optimize(&p);
+        q.verify()
+            .unwrap_or_else(|e| panic!("post-opt verify: {e}"));
+        // Load(0), Load(1), and the second Add all CSE away.
+        assert_eq!(stats.csed, 3);
+        assert_eq!(q.instrs.len(), 5);
+    }
+
+    #[test]
+    fn const_folding_collapses_immediate_chains() {
+        // (2 + 3) * x  ==>  ImmBin(Mul, 5, x)... operand order: Imm*Load
+        let p = lower(
+            &[
+                Instr::Imm(2.0),
+                Instr::Imm(3.0),
+                Instr::Add,
+                Instr::Load(0),
+                Instr::Mul,
+            ],
+            1,
+        );
+        let (q, stats) = optimize(&p);
+        q.verify()
+            .unwrap_or_else(|e| panic!("post-opt verify: {e}"));
+        assert!(stats.folded >= 1);
+        assert!(stats.dce >= 1, "folded immediates become dead");
+        // Only the Load and the immediate multiply survive.
+        assert_eq!(q.instrs.len(), 2);
+        assert!(matches!(
+            q.instrs[1].op,
+            super::super::LirOp::ImmBin(BinOp::Mul, c, _) if c == 5.0
+        ));
+    }
+
+    #[test]
+    fn select_with_constant_condition_forwards_an_arm() {
+        // where(1.0, x0, x1) ==> x0
+        let p = lower(
+            &[
+                Instr::Imm(1.0),
+                Instr::Load(0),
+                Instr::Load(1),
+                Instr::Select,
+            ],
+            2,
+        );
+        let (q, stats) = optimize(&p);
+        q.verify()
+            .unwrap_or_else(|e| panic!("post-opt verify: {e}"));
+        assert_eq!(stats.folded, 1);
+        assert_eq!(q.instrs.len(), 1);
+        assert!(matches!(q.instrs[0].op, super::super::LirOp::Load(0)));
+    }
+
+    #[test]
+    fn allocation_validates_and_respects_no_alias() {
+        let p = lower(
+            &[
+                Instr::Load(0),
+                Instr::Load(1),
+                Instr::Add,
+                Instr::Imm(0.5),
+                Instr::Mul,
+                Instr::Relu,
+            ],
+            2,
+        );
+        let (q, _) = optimize(&p);
+        let e = allocate(&q).unwrap_or_else(|e| panic!("allocate: {e}"));
+        verify_alloc(&q, &e).unwrap_or_else(|er| panic!("verify_alloc: {er}"));
+        assert!(e.n_regs <= REG_FILE);
+    }
+
+    #[test]
+    fn verify_alloc_rejects_aliased_destination() {
+        let p = lower(&[Instr::Load(0), Instr::Sigmoid, Instr::Relu], 1);
+        let mut e = allocate(&p).unwrap_or_else(|e| panic!("allocate: {e}"));
+        // Force Relu's destination onto Sigmoid's register while
+        // claiming Sigmoid's value as operand: a self-alias.
+        e.loc[2] = e.loc[1];
+        assert!(matches!(
+            verify_alloc(&p, &e),
+            Err(LirError::AliasedDest { .. })
+        ));
+    }
+
+    #[test]
+    fn verify_alloc_rejects_clobbered_live_value() {
+        // x0+x1 stays live across sigmoid(x0), then both combine.
+        let p = lower(
+            &[
+                Instr::Load(0),
+                Instr::Load(1),
+                Instr::Add,
+                Instr::Load(0),
+                Instr::Sigmoid,
+                Instr::Mul,
+            ],
+            2,
+        );
+        let e = allocate(&p).unwrap_or_else(|e| panic!("allocate: {e}"));
+        verify_alloc(&p, &e).unwrap_or_else(|er| panic!("pristine alloc must pass: {er}"));
+        // Put sigmoid's result in the same register as the still-live
+        // Add result.
+        let mut bad = e.clone();
+        bad.loc[4] = bad.loc[2];
+        let err = verify_alloc(&p, &bad).expect_err("clobber must be rejected");
+        assert!(
+            matches!(
+                err,
+                LirError::Clobbered { .. } | LirError::AliasedDest { .. }
+            ),
+            "got {err}"
+        );
+    }
+
+    #[test]
+    fn bool_types_flow_through_optimizer() {
+        // (x0 < x1) & isnan(x0)
+        let p = lower(
+            &[
+                Instr::Load(0),
+                Instr::Load(1),
+                Instr::Lt,
+                Instr::Load(0),
+                Instr::IsNan,
+                Instr::And,
+            ],
+            2,
+        );
+        let (q, _) = optimize(&p);
+        q.verify()
+            .unwrap_or_else(|e| panic!("post-opt verify: {e}"));
+        assert_eq!(q.ty(q.out), RegTy::Bool);
+    }
+}

@@ -1,0 +1,437 @@
+//! The register VM: executes a verified, allocated LIR program over one
+//! `BLOCK`-wide vector of gathered inputs, plus the peephole form
+//! detector that replaces the old ad-hoc `FastPath` specializations.
+//!
+//! The scalar functions here are the *single source of truth* for the
+//! whole tier: the VM's inner loops, the optimizer's constant folder,
+//! and the peephole row loops all call [`bin_scalar`]/[`un_scalar`], so
+//! every dispatch strategy computes bit-identical results (NaN
+//! payloads, `-0.0`, min/max NaN-laundering included). They mirror the
+//! stack interpreter's tables in `fuse.rs` exactly — the differential
+//! suite in `tests/lir.rs` holds both sides to `to_bits` equality.
+
+use super::opt::{LirExec, Loc};
+use super::{BinOp, LirOp, LirProgram, UnOp};
+
+/// Scalar implementation of a [`BinOp`] (identical to the stack
+/// interpreter's table).
+pub fn bin_scalar(op: BinOp) -> fn(f32, f32) -> f32 {
+    match op {
+        BinOp::Add => |a, b| a + b,
+        BinOp::Sub => |a, b| a - b,
+        BinOp::Mul => |a, b| a * b,
+        BinOp::Div => |a, b| a / b,
+        BinOp::Min => f32::min,
+        BinOp::Max => f32::max,
+        BinOp::Lt => |a, b| f32::from(a < b),
+        BinOp::Le => |a, b| f32::from(a <= b),
+        BinOp::Gt => |a, b| f32::from(a > b),
+        BinOp::Ge => |a, b| f32::from(a >= b),
+        BinOp::Eq => |a, b| f32::from(a == b),
+        BinOp::Ne => |a, b| f32::from(a != b),
+        BinOp::And => |a, b| f32::from(a != 0.0 && b != 0.0),
+        BinOp::Or => |a, b| f32::from(a != 0.0 || b != 0.0),
+        BinOp::Xor => |a, b| f32::from((a != 0.0) ^ (b != 0.0)),
+    }
+}
+
+/// Scalar implementation of a [`UnOp`] (identical to the stack
+/// interpreter's table).
+pub fn un_scalar(op: UnOp) -> fn(f32) -> f32 {
+    match op {
+        UnOp::Not => |a| f32::from(a == 0.0),
+        UnOp::Relu => |a| a.max(0.0),
+        UnOp::Sigmoid => |a| 1.0 / (1.0 + (-a).exp()),
+        UnOp::Tanh => f32::tanh,
+        UnOp::Exp => f32::exp,
+        UnOp::Ln => f32::ln,
+        UnOp::Sqrt => f32::sqrt,
+        UnOp::Abs => f32::abs,
+        UnOp::Neg => |a| -a,
+        UnOp::IsNan => |a| f32::from(a.is_nan()),
+        UnOp::Bool01 => |a| f32::from(a != 0.0),
+    }
+}
+
+/// Resolves an operand's block slice: physical register or gathered
+/// input block. Destination buffers are moved out of `regs` before this
+/// is called, so the immutable borrow here is safe without aliasing.
+fn src<'a>(loc: Loc, vals: &'a [Vec<f32>], regs: &'a [Vec<f32>], len: usize) -> &'a [f32] {
+    match loc {
+        Loc::Reg(r) => &regs[r as usize][..len],
+        Loc::In(k) => &vals[k as usize][..len],
+    }
+}
+
+/// Runs a verified+allocated program over one gathered block.
+///
+/// `vals` are the per-input gathered blocks (as in the stack
+/// interpreter); `regs` is the physical register file (`e.n_regs`
+/// buffers of at least `len`); the f32 result lands in `out[..len]`.
+///
+/// Per instruction the VM does exactly one vectorizable loop — no stack
+/// pointer, no `Load` copies (input operands read `vals` directly), no
+/// per-instruction `match` re-dispatch beyond the single opcode match.
+pub fn run_block(
+    p: &LirProgram,
+    e: &LirExec,
+    vals: &[Vec<f32>],
+    regs: &mut [Vec<f32>],
+    len: usize,
+    out: &mut [f32],
+) {
+    for &(r, v) in &e.prefill {
+        regs[r as usize][..len].fill(v);
+    }
+    for ins in &p.instrs {
+        let d = match e.loc[ins.dst as usize] {
+            Loc::Reg(r) => r as usize,
+            Loc::In(_) => continue, // Loads read their input block lazily
+        };
+        // Move the destination buffer out so operand reads can borrow
+        // the register file immutably; the allocator's no-alias rule
+        // (revalidated by `verify_alloc`) guarantees no operand lives
+        // in register `d`.
+        let mut dbuf = std::mem::take(&mut regs[d]);
+        match &ins.op {
+            LirOp::Load(_) | LirOp::Imm(_) => {} // Imm handled by prefill
+            LirOp::Bin(op, a, b) => {
+                let f = bin_scalar(*op);
+                let sa = src(e.loc[*a as usize], vals, regs, len);
+                let sb = src(e.loc[*b as usize], vals, regs, len);
+                for ((o, &x), &y) in dbuf[..len].iter_mut().zip(sa).zip(sb) {
+                    *o = f(x, y);
+                }
+            }
+            LirOp::BinImm(op, a, c) => {
+                let f = bin_scalar(*op);
+                let sa = src(e.loc[*a as usize], vals, regs, len);
+                for (o, &x) in dbuf[..len].iter_mut().zip(sa) {
+                    *o = f(x, *c);
+                }
+            }
+            LirOp::ImmBin(op, c, a) => {
+                let f = bin_scalar(*op);
+                let sa = src(e.loc[*a as usize], vals, regs, len);
+                for (o, &x) in dbuf[..len].iter_mut().zip(sa) {
+                    *o = f(*c, x);
+                }
+            }
+            LirOp::Un(op, a) => {
+                let f = un_scalar(*op);
+                let sa = src(e.loc[*a as usize], vals, regs, len);
+                for (o, &x) in dbuf[..len].iter_mut().zip(sa) {
+                    *o = f(x);
+                }
+            }
+            LirOp::Select { cond, a, b } => {
+                let sc = src(e.loc[*cond as usize], vals, regs, len);
+                let sa = src(e.loc[*a as usize], vals, regs, len);
+                let sb = src(e.loc[*b as usize], vals, regs, len);
+                for j in 0..len {
+                    dbuf[j] = if sc[j] != 0.0 { sa[j] } else { sb[j] };
+                }
+            }
+            LirOp::Clamp(a, lo, hi) => {
+                let sa = src(e.loc[*a as usize], vals, regs, len);
+                for (o, &x) in dbuf[..len].iter_mut().zip(sa) {
+                    *o = x.clamp(*lo, *hi);
+                }
+            }
+            LirOp::Pow(a, exp) => {
+                let sa = src(e.loc[*a as usize], vals, regs, len);
+                for (o, &x) in dbuf[..len].iter_mut().zip(sa) {
+                    *o = x.powf(*exp);
+                }
+            }
+        }
+        regs[d] = dbuf;
+    }
+    match e.loc[p.out as usize] {
+        Loc::Reg(r) => out[..len].copy_from_slice(&regs[r as usize][..len]),
+        Loc::In(k) => out[..len].copy_from_slice(&vals[k as usize][..len]),
+    }
+}
+
+/// A whole-kernel peephole form: programs that reduce to one scalar map
+/// over direct input reads. These replace the old `FastPath`
+/// specializations, and because they are recognized on the *optimized*
+/// LIR they catch shapes the raw-bytecode matcher missed (e.g.
+/// `Imm; Load; Sub` becomes [`LirForm::ImmBin`] after immediate
+/// sinking, and CSE'd duplicate loads still match).
+///
+/// Both `fill` and `fill_in_place` use these in row loops that read
+/// operands straight from input slices, skipping the block gather
+/// entirely.
+#[derive(Clone, Copy, Debug, Default)]
+pub enum LirForm {
+    /// No whole-kernel form; run [`run_block`].
+    #[default]
+    None,
+    /// Output is input `a` unchanged.
+    Copy {
+        /// Source input slot.
+        a: usize,
+    },
+    /// Output is the constant `c` everywhere.
+    Fill {
+        /// The constant.
+        c: f32,
+    },
+    /// `out[i] = f(in_a[i], in_b[i])`.
+    Bin2 {
+        /// Left input slot.
+        a: usize,
+        /// Right input slot.
+        b: usize,
+        /// Scalar function.
+        f: fn(f32, f32) -> f32,
+    },
+    /// `out[i] = f(in_a[i], c)`.
+    BinImm {
+        /// Input slot.
+        a: usize,
+        /// Right immediate.
+        c: f32,
+        /// Scalar function.
+        f: fn(f32, f32) -> f32,
+    },
+    /// `out[i] = f(c, in_a[i])`.
+    ImmBin {
+        /// Left immediate.
+        c: f32,
+        /// Input slot.
+        a: usize,
+        /// Scalar function.
+        f: fn(f32, f32) -> f32,
+    },
+    /// `out[i] = f(in_a[i])`.
+    Un {
+        /// Input slot.
+        a: usize,
+        /// Scalar function.
+        f: fn(f32) -> f32,
+    },
+    /// `out[i] = in_a[i].clamp(lo, hi)`.
+    Clamp {
+        /// Input slot.
+        a: usize,
+        /// Lower bound.
+        lo: f32,
+        /// Upper bound.
+        hi: f32,
+    },
+    /// `out[i] = in_a[i].powf(e)`.
+    Pow {
+        /// Input slot.
+        a: usize,
+        /// Exponent.
+        e: f32,
+    },
+}
+
+impl LirForm {
+    /// True when no whole-kernel form was recognized.
+    pub fn is_none(&self) -> bool {
+        matches!(self, LirForm::None)
+    }
+
+    /// Short label for lint/bench reporting.
+    pub fn label(&self) -> &'static str {
+        match self {
+            LirForm::None => "vm",
+            LirForm::Copy { .. } => "copy",
+            LirForm::Fill { .. } => "fill",
+            LirForm::Bin2 { .. } => "bin2",
+            LirForm::BinImm { .. } => "bin-imm",
+            LirForm::ImmBin { .. } => "imm-bin",
+            LirForm::Un { .. } => "un",
+            LirForm::Clamp { .. } => "clamp",
+            LirForm::Pow { .. } => "pow",
+        }
+    }
+
+    /// The input slot this form reads per element, if any.
+    pub fn input(&self) -> Option<usize> {
+        match self {
+            LirForm::None | LirForm::Fill { .. } => None,
+            LirForm::Copy { a }
+            | LirForm::BinImm { a, .. }
+            | LirForm::ImmBin { a, .. }
+            | LirForm::Un { a, .. }
+            | LirForm::Clamp { a, .. }
+            | LirForm::Pow { a, .. } => Some(*a),
+            LirForm::Bin2 { a, .. } => Some(*a), // primary; `b` via inputs()
+        }
+    }
+
+    /// All input slots this form reads.
+    pub fn inputs(&self) -> Vec<usize> {
+        match self {
+            LirForm::None | LirForm::Fill { .. } => Vec::new(),
+            LirForm::Copy { a }
+            | LirForm::BinImm { a, .. }
+            | LirForm::ImmBin { a, .. }
+            | LirForm::Un { a, .. }
+            | LirForm::Clamp { a, .. }
+            | LirForm::Pow { a, .. } => vec![*a],
+            LirForm::Bin2 { a, b, .. } => vec![*a, *b],
+        }
+    }
+}
+
+/// Detects a whole-kernel form over an optimized+allocated program: the
+/// output instruction must be the program's only compute (everything
+/// else `Load`s read directly from inputs), with every operand either a
+/// direct input read or — for `Fill` — a single immediate.
+pub fn detect_form(p: &LirProgram, e: &LirExec) -> LirForm {
+    // Input slot of a vreg if it is a direct input read.
+    let slot = |v: super::VReg| match e.loc[v as usize] {
+        Loc::In(k) => Some(k as usize),
+        Loc::Reg(_) => None,
+    };
+    let Some(root) = p.instrs.iter().find(|i| i.dst == p.out) else {
+        return LirForm::None;
+    };
+    // Compute instructions besides the root disqualify the form.
+    let computes = p
+        .instrs
+        .iter()
+        .filter(|i| !matches!(i.op, LirOp::Load(_) | LirOp::Imm(_)))
+        .count();
+    match &root.op {
+        LirOp::Load(k) if computes == 0 => LirForm::Copy { a: *k },
+        LirOp::Imm(c) if computes == 0 => LirForm::Fill { c: *c },
+        _ if computes != 1 => LirForm::None,
+        LirOp::Bin(op, a, b) => match (slot(*a), slot(*b)) {
+            (Some(a), Some(b)) => LirForm::Bin2 {
+                a,
+                b,
+                f: bin_scalar(*op),
+            },
+            _ => LirForm::None,
+        },
+        LirOp::BinImm(op, a, c) => match slot(*a) {
+            Some(a) => LirForm::BinImm {
+                a,
+                c: *c,
+                f: bin_scalar(*op),
+            },
+            None => LirForm::None,
+        },
+        LirOp::ImmBin(op, c, a) => match slot(*a) {
+            Some(a) => LirForm::ImmBin {
+                c: *c,
+                a,
+                f: bin_scalar(*op),
+            },
+            None => LirForm::None,
+        },
+        LirOp::Un(op, a) => match slot(*a) {
+            Some(a) => LirForm::Un {
+                a,
+                f: un_scalar(*op),
+            },
+            None => LirForm::None,
+        },
+        LirOp::Clamp(a, lo, hi) => match slot(*a) {
+            Some(a) => LirForm::Clamp {
+                a,
+                lo: *lo,
+                hi: *hi,
+            },
+            None => LirForm::None,
+        },
+        LirOp::Pow(a, exp) => match slot(*a) {
+            Some(a) => LirForm::Pow { a, e: *exp },
+            None => LirForm::None,
+        },
+        _ => LirForm::None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::opt::{allocate, optimize, verify_alloc};
+    use super::*;
+    use crate::fuse::Instr;
+    use hb_tensor::DType;
+
+    fn build(prog: &[Instr], n_inputs: usize) -> (LirProgram, LirExec) {
+        let p =
+            LirProgram::lower(prog, n_inputs, DType::F32).unwrap_or_else(|e| panic!("lower: {e}"));
+        p.verify().unwrap_or_else(|e| panic!("verify: {e}"));
+        let (q, _) = optimize(&p);
+        q.verify()
+            .unwrap_or_else(|e| panic!("post-opt verify: {e}"));
+        let e = allocate(&q).unwrap_or_else(|e| panic!("allocate: {e}"));
+        verify_alloc(&q, &e).unwrap_or_else(|er| panic!("verify_alloc: {er}"));
+        (q, e)
+    }
+
+    fn run(p: &LirProgram, e: &LirExec, vals: &[Vec<f32>]) -> Vec<f32> {
+        let len = vals.first().map_or(1, Vec::len);
+        let mut regs: Vec<Vec<f32>> = vec![vec![0.0; len]; e.n_regs];
+        let mut out = vec![0.0; len];
+        run_block(p, e, vals, &mut regs, len, &mut out);
+        out
+    }
+
+    #[test]
+    fn vm_matches_hand_computation() {
+        // relu((a + b) * 0.5)
+        let (p, e) = build(
+            &[
+                Instr::Load(0),
+                Instr::Load(1),
+                Instr::Add,
+                Instr::MulImm(0.5),
+                Instr::Relu,
+            ],
+            2,
+        );
+        let vals = vec![vec![1.0, -8.0, 3.0], vec![5.0, 2.0, -3.0]];
+        assert_eq!(run(&p, &e, &vals), vec![3.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn vm_nan_laundering_matches_scalar_minmax() {
+        // max(a, b): f32::max launders NaN from either side.
+        let (p, e) = build(&[Instr::Load(0), Instr::Load(1), Instr::Max], 2);
+        let vals = vec![vec![f32::NAN, 2.0], vec![1.0, f32::NAN]];
+        assert_eq!(run(&p, &e, &vals), vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn detect_form_sees_through_optimizer() {
+        // Imm 10; Load 0; Sub  =>  ImmBin(Sub, 10, x) — the old
+        // FastPath matcher missed this shape entirely.
+        let (p, e) = build(&[Instr::Imm(10.0), Instr::Load(0), Instr::Sub], 1);
+        match detect_form(&p, &e) {
+            LirForm::ImmBin { c, a, f } => {
+                assert_eq!(c, 10.0);
+                assert_eq!(a, 0);
+                assert_eq!(f(10.0, 3.0), 7.0);
+            }
+            other => panic!("expected ImmBin, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn detect_form_copy_and_fill() {
+        let (p, e) = build(
+            &[
+                Instr::Load(0),
+                Instr::Imm(3.5),
+                Instr::Mul,
+                Instr::MulImm(0.0),
+            ],
+            1,
+        );
+        // (x * 3.5) * 0.0 is NOT folded to Fill (NaN/Inf inputs), so it
+        // stays a real program.
+        assert!(!matches!(detect_form(&p, &e), LirForm::Fill { .. }));
+        let (p2, e2) = build(&[Instr::Imm(2.0), Instr::Imm(3.0), Instr::Add], 0);
+        assert!(matches!(detect_form(&p2, &e2), LirForm::Fill { c } if c == 5.0));
+    }
+}

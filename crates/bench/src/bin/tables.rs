@@ -19,8 +19,8 @@ use std::time::Instant;
 use hb_backend::device::{CPU_VM_HOURLY_USD, K80, P100, V100};
 use hb_backend::{Backend, Device};
 use hb_bench::measure::{
-    fil_scorer, fmt_secs, hb_model, hb_scorer, memplan_profiles, onnx_scorer, sklearn_scorer,
-    sklearn_scorer_1core, train_algo, truncated_mean_secs, wall, Algo, Scorer,
+    fil_scorer, fmt_secs, hb_model, hb_scorer, lir_profiles, memplan_profiles, onnx_scorer,
+    sklearn_scorer, sklearn_scorer_1core, train_algo, truncated_mean_secs, wall, Algo, Scorer,
 };
 use hb_core::{compile, CompileOptions, TreeStrategy};
 use hb_data::{
@@ -808,6 +808,72 @@ fn memplan(zoo: &mut Zoo) {
             reuse.map_or("-".to_string(), |r| format!("{r:.2}")),
         ]);
         eprintln!("  [memplan] {} done", strategy.label());
+    }
+    t.print_and_save();
+}
+
+/// Register-LIR dispatch study: fused kernels through the verified
+/// register VM (the default dispatcher) vs the legacy stack interpreter
+/// on the fig6 airline model, per tree strategy, on both the
+/// arena-planned and the refcount executor. All four paths are asserted
+/// bit-identical inside `lir_profiles`; the table adds the kernels'
+/// aggregate LIR statistics (instruction counts, peak live registers,
+/// optimizer eliminations) from the verification certificates.
+fn lir_table(zoo: &mut Zoo) {
+    let spec = &TREE_BENCH_SPECS[5]; // airline-like
+    let e = zoo.model(spec, Algo::LightGbm);
+    let ds = zoo.dataset(spec).clone();
+    let batch = 1_000.min(ds.n_test());
+    let x = ds.x_test.slice(0, 0, batch).to_contiguous();
+    let mut t = Table::new(
+        "lir",
+        &format!("Register-LIR vs stack dispatch, airline, LightGBM-like, batch={batch}"),
+        &[
+            "Strategy",
+            "LIR-Planned",
+            "LIR-Refcount",
+            "Stack-Planned",
+            "Stack-Refcount",
+            "Kernels",
+            "LIRInstrs",
+            "StackInstrs",
+            "MaxLive",
+            "Eliminated",
+        ],
+    );
+    for strategy in [
+        TreeStrategy::Gemm,
+        TreeStrategy::TreeTraversal,
+        TreeStrategy::PerfectTreeTraversal,
+    ] {
+        let pipe = Pipeline::from_op(e.clone());
+        let opts = CompileOptions {
+            backend: Backend::Compiled,
+            tree_strategy: strategy,
+            expected_batch: batch,
+            optimize_pipeline: false,
+            ..Default::default()
+        };
+        let model = compile(&pipe, &opts).expect("tree ensembles always compile");
+        let (lir, stack) = lir_profiles(&model, &x, 3);
+        let certs = hb_backend::Artifact::lir_certs_of(model.executable().graph());
+        let lir_instrs: usize = certs.iter().map(|c| c.lir_len).sum();
+        let stack_instrs: usize = certs.iter().map(|c| c.stack_len).sum();
+        let max_live = certs.iter().map(|c| c.max_live).max().unwrap_or(0);
+        let eliminated: usize = certs.iter().map(|c| c.eliminated).sum();
+        t.row(vec![
+            strategy.label().to_string(),
+            fmt_secs(lir.planned_secs),
+            fmt_secs(lir.refcount_secs),
+            fmt_secs(stack.planned_secs),
+            fmt_secs(stack.refcount_secs),
+            certs.len().to_string(),
+            lir_instrs.to_string(),
+            stack_instrs.to_string(),
+            max_live.to_string(),
+            eliminated.to_string(),
+        ]);
+        eprintln!("  [lir] {} done", strategy.label());
     }
     t.print_and_save();
 }
@@ -1734,6 +1800,7 @@ fn main() {
         "fig4" => fig4(zoo),
         "fig6" => fig6(zoo),
         "memplan" => memplan(zoo),
+        "lir" => lir_table(zoo),
         "fig7" => fig7(zoo),
         "fig8" => fig8(cfg),
         "fig9" => fig9(cfg),
@@ -1745,14 +1812,15 @@ fn main() {
         "validate" => validate(zoo),
         other => {
             eprintln!("unknown experiment '{other}'");
-            eprintln!("available: table7 table8 table9 table10 table11 table12 fig4 fig6 fig7 fig8 fig9 fig10 fig12 memplan ablation sparse soak validate all");
+            eprintln!("available: table7 table8 table9 table10 table11 table12 fig4 fig6 fig7 fig8 fig9 fig10 fig12 memplan lir ablation sparse soak validate all");
             std::process::exit(2);
         }
     };
     if exp == "all" {
         for name in [
             "table7", "table8", "table9", "table10", "validate", "table11", "table12", "fig4",
-            "fig6", "fig7", "fig8", "fig9", "fig10", "fig12", "memplan", "ablation", "sparse",
+            "fig6", "fig7", "fig8", "fig9", "fig10", "fig12", "memplan", "lir", "ablation",
+            "sparse",
         ] {
             eprintln!("\n>>> running {name}");
             run(&mut zoo, &cfg, name);

@@ -324,6 +324,75 @@ pub fn memplan_profiles(
     (planned, refcount)
 }
 
+/// One dispatch strategy's side of a register-LIR vs stack-interpreter
+/// comparison: truncated-mean latency on both executor paths.
+#[derive(Debug, Clone)]
+pub struct LirProfile {
+    /// Truncated-mean seconds per batch through the planned executor.
+    pub planned_secs: f64,
+    /// Truncated-mean seconds per batch on the refcount path.
+    pub refcount_secs: f64,
+    /// Whether the planned runs actually executed a warm memory plan.
+    pub planned: bool,
+}
+
+/// Profiles a compiled model's fused kernels under both dispatchers —
+/// the verified register-LIR VM (the default) and the legacy stack
+/// interpreter ([`hb_backend::Executable::with_fused_stack_dispatch`]) —
+/// on both the arena-planned and the refcount executor, asserting all
+/// four paths stay bit-identical. Returns `(lir, stack)`.
+pub fn lir_profiles(
+    model: &CompiledModel,
+    x: &Tensor<f32>,
+    reps: usize,
+) -> (LirProfile, LirProfile) {
+    let stack_exe = model.executable().with_fused_stack_dispatch();
+    let inputs = [hb_tensor::DynTensor::F32(x.clone())];
+    let profile = |exe: &hb_backend::Executable| {
+        // First sighting of a batch size runs refcount while caching the
+        // plan; warm it so the planned numbers reflect the steady state.
+        let _ = exe.run_with_stats(&inputs).expect("warm run");
+        let mut planned_last = exe.run_with_stats(&inputs).expect("planned run");
+        let planned_secs = truncated_mean_secs(reps, || {
+            let (r, t) = wall(|| exe.run_with_stats(&inputs).expect("planned run"));
+            planned_last = r;
+            t
+        });
+        let mut refcount_last = exe.run_refcount_with_stats(&inputs).expect("refcount run");
+        let refcount_secs = truncated_mean_secs(reps, || {
+            let (r, t) = wall(|| exe.run_refcount_with_stats(&inputs).expect("refcount run"));
+            refcount_last = r;
+            t
+        });
+        (
+            LirProfile {
+                planned_secs,
+                refcount_secs,
+                planned: planned_last.1.planned,
+            },
+            planned_last.0,
+            refcount_last.0,
+        )
+    };
+    let (lir, lir_planned, lir_refcount) = profile(model.executable());
+    let (stack, stack_planned, stack_refcount) = profile(&stack_exe);
+    let reference: Vec<Vec<f32>> = lir_planned.iter().map(|t| t.as_f32().to_vec()).collect();
+    for (name, outs) in [
+        ("lir-refcount", &lir_refcount),
+        ("stack-planned", &stack_planned),
+        ("stack-refcount", &stack_refcount),
+    ] {
+        for (r, o) in reference.iter().zip(outs.iter()) {
+            assert_eq!(
+                r,
+                &o.as_f32().to_vec(),
+                "{name} diverged from lir-planned dispatch"
+            );
+        }
+    }
+    (lir, stack)
+}
+
 /// FIL-like scorer (simulated GPU only).
 pub fn fil_scorer(e: &TreeEnsemble, spec: hb_backend::DeviceSpec) -> Scorer {
     let fil = FilForest::new(e);

@@ -38,6 +38,17 @@ echo "==> cargo test -q --test absint_soundness --test plan_audit (value analysi
 cargo test -q --offline --test absint_soundness
 cargo test -q --offline --test plan_audit
 
+# Register-LIR gate, explicitly: every compiled fused kernel must carry
+# a verifier-passed LIR whose register allocation replays clean, the
+# seeded-corrupt negatives (use-before-def, out-of-range operand,
+# type-confused operand, dead output register, clobbered location
+# table) must be rejected with their exact typed errors, and the
+# randomized differential suite must show the register VM bit-identical
+# to the stack interpreter, NaN payloads and min/max laundering
+# asymmetry included.
+echo "==> cargo test -q --test lir (register-LIR verifier + differential gate)"
+cargo test -q --offline --test lir
+
 # Static graph audit: export compiled artifacts (graph + signature +
 # value facts) for every tree strategy plus an end-to-end pipeline,
 # then run the hb-lint verifier over them. --deny-analysis promotes any

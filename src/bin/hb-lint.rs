@@ -43,6 +43,7 @@
 
 use std::process::ExitCode;
 
+use hummingbird::backend::lir;
 use hummingbird::backend::{audit_plan, Artifact, Graph, GraphSignature, MemoryPlan, Op, SymDim};
 use hummingbird::tensor::DynTensor;
 
@@ -201,6 +202,19 @@ fn lint_file(path: &str, flags: &Flags) -> bool {
         ok = false;
     }
     println!("{path}: note: {}", footprint(&graph));
+    let (lir_notes, lir_warnings, lir_errors) = lir_report(&graph, recorded.as_ref());
+    for n in &lir_notes {
+        println!("{path}: note: {n}");
+    }
+    for w in &lir_warnings {
+        println!("{path}: warning: {w}");
+    }
+    for e in &lir_errors {
+        println!("{path}: error: {e}");
+    }
+    if !lir_errors.is_empty() {
+        ok = false;
+    }
     if ok {
         match memory_plan_line(&graph) {
             Ok(line) => println!("{path}: note: {line}"),
@@ -236,6 +250,78 @@ fn audit_plans(path: &str, graph: &Graph) -> bool {
         }
     }
     ok
+}
+
+/// Register-LIR audit over every fused kernel: offline re-verification
+/// plus per-kernel statistics.
+///
+/// Each fused kernel embeds a register-based linear IR (lowered from its
+/// stack bytecode, optimized, and register-allocated at construction —
+/// see `hb-backend::lir`). The executor trusts the construction-time
+/// proof, so hb-lint replays it offline: the structural verifier
+/// (def-before-use, single assignment, register/type checks) and the
+/// independent allocation replay must both still accept the embedded
+/// program — a failure is an **error** (the artifact carries a kernel
+/// the VM must refuse to run).
+///
+/// Note-level: per-kernel statistics (LIR instruction count vs the stack
+/// source, recognized whole-kernel form, physical registers, peak live
+/// registers, instructions the optimizer eliminated). Warning-level:
+/// register pressure above the [`lir::REG_BUDGET`] soft budget, and a
+/// recorded certificate set that disagrees with a fresh derivation (a
+/// stale artifact lying about its kernels).
+fn lir_report(
+    graph: &Graph,
+    recorded: Option<&Artifact>,
+) -> (Vec<String>, Vec<String>, Vec<String>) {
+    let mut notes = Vec::new();
+    let mut warnings = Vec::new();
+    let mut errors = Vec::new();
+    for (id, node) in graph.nodes.iter().enumerate() {
+        let Op::Fused(k) = &node.op else { continue };
+        if let Err(e) = k.lir().verify() {
+            errors.push(format!(
+                "node {id}: fused-kernel LIR fails offline re-verification: {e}"
+            ));
+            continue;
+        }
+        if let Err(e) = lir::opt::verify_alloc(k.lir(), k.lir_exec()) {
+            errors.push(format!(
+                "node {id}: fused-kernel register allocation fails independent replay: {e}"
+            ));
+            continue;
+        }
+        let exec = k.lir_exec();
+        notes.push(format!(
+            "node {id}: LIR verified: {} instr(s) (from {} stack), form `{}`, {} reg(s), \
+             max-live {}, {} eliminated",
+            k.lir().instrs.len(),
+            k.program_len(),
+            k.lir_form().label(),
+            exec.n_regs,
+            exec.max_live,
+            k.lir_opt_stats().eliminated()
+        ));
+        if exec.n_regs > lir::REG_BUDGET {
+            warnings.push(format!(
+                "node {id}: register pressure {} exceeds the {}-register budget — the kernel \
+                 still runs (hard cap {}), but its working set defeats L1-resident blocking",
+                exec.n_regs,
+                lir::REG_BUDGET,
+                lir::REG_FILE
+            ));
+        }
+    }
+    if let Some(a) = recorded {
+        if !a.lir_certs.is_empty() && a.lir_certs != Artifact::lir_certs_of(graph) {
+            warnings.push(format!(
+                "recorded LIR certificates ({}) disagree with a fresh derivation — stale or \
+                 tampered artifact",
+                a.lir_certs.len()
+            ));
+        }
+    }
+    (notes, warnings, errors)
 }
 
 /// Coalescing serveability against the configured bucket set.

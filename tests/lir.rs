@@ -1,0 +1,432 @@
+//! Register-LIR gate: the verified register VM must be bit-identical
+//! with the stack-bytecode reference interpreter, every fused kernel a
+//! real compilation produces must carry verifier-passed LIR with a
+//! replay-validated register allocation, and seeded corruptions of a
+//! valid LIR program must be rejected with the exact typed
+//! [`LirError`](hummingbird::backend::LirError) variant for the defect
+//! class (mirroring the plan-audit corruption suite).
+
+use hummingbird::backend::fuse::{FusedKernel, Instr};
+use hummingbird::backend::lir::{self, BinOp, LirError, LirOp, LirProgram, RegTy};
+use hummingbird::backend::Op;
+use hummingbird::compiler::{compile, CompileOptions, TreeStrategy};
+use hummingbird::pipeline::{fit_pipeline, OpSpec, Targets};
+use hummingbird::tensor::{DType, DynTensor, Tensor};
+
+/// Deterministic xorshift in [0, 1).
+fn make_rand(seed: u64) -> impl FnMut() -> f32 {
+    let mut state = seed | 1;
+    move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        (state >> 40) as f32 / (1u64 << 24) as f32
+    }
+}
+
+/// Generates a well-formed random stack program over the full fused-op
+/// vocabulary (loads, immediates incl. NaN/±Inf, all binaries, all
+/// unaries, select, clamp, pow, immediate forms), tracking stack depth
+/// so the program always reduces to exactly one value.
+fn random_program(rand: &mut impl FnMut() -> f32, n_inputs: usize) -> Vec<Instr> {
+    let target = 3 + (rand() * 14.0) as usize;
+    let mut prog: Vec<Instr> = Vec::new();
+    let mut depth = 0usize;
+    let push = |prog: &mut Vec<Instr>, rand: &mut dyn FnMut() -> f32| {
+        if rand() < 0.7 {
+            let k = ((rand() * n_inputs as f32) as usize).min(n_inputs - 1);
+            prog.push(Instr::Load(k));
+        } else {
+            let v = match (rand() * 8.0) as usize {
+                0 => 0.0,
+                1 => 1.0,
+                2 => -2.5,
+                3 => f32::NAN,
+                4 => f32::INFINITY,
+                5 => f32::NEG_INFINITY,
+                6 => -0.0,
+                _ => 3.75,
+            };
+            prog.push(Instr::Imm(v));
+        }
+    };
+    let binary = |r: f32| match (r * 15.0) as usize {
+        0 => Instr::Add,
+        1 => Instr::Sub,
+        2 => Instr::Mul,
+        3 => Instr::Div,
+        4 => Instr::Min,
+        5 => Instr::Max,
+        6 => Instr::Lt,
+        7 => Instr::Le,
+        8 => Instr::Gt,
+        9 => Instr::Ge,
+        10 => Instr::Eq,
+        11 => Instr::Ne,
+        12 => Instr::And,
+        13 => Instr::Or,
+        _ => Instr::Xor,
+    };
+    while prog.len() < target || depth != 1 {
+        if depth == 0 {
+            push(&mut prog, rand);
+            depth += 1;
+        } else if prog.len() >= target {
+            // Past the length budget: only reduce until one value is left.
+            if depth == 1 {
+                break;
+            }
+            prog.push(binary(rand()));
+            depth -= 1;
+        } else {
+            let r = rand();
+            if r < 0.35 && depth < 4 {
+                push(&mut prog, rand);
+                depth += 1;
+            } else if r < 0.55 && depth >= 2 {
+                prog.push(binary(rand()));
+                depth -= 1;
+            } else if r < 0.62 && depth >= 3 {
+                prog.push(Instr::Select);
+                depth -= 2;
+            } else if r < 0.70 {
+                prog.push(match (rand() * 4.0) as usize {
+                    0 => Instr::Clamp(-1.5, 2.0),
+                    1 => Instr::Pow(2.0),
+                    2 => Instr::AddImm(0.5),
+                    _ => Instr::MulImm(-1.5),
+                });
+            } else {
+                prog.push(match (rand() * 11.0) as usize {
+                    0 => Instr::Not,
+                    1 => Instr::Relu,
+                    2 => Instr::Sigmoid,
+                    3 => Instr::Tanh,
+                    4 => Instr::Exp,
+                    5 => Instr::Ln,
+                    6 => Instr::Sqrt,
+                    7 => Instr::Abs,
+                    8 => Instr::Neg,
+                    9 => Instr::IsNan,
+                    _ => Instr::Bool01,
+                });
+            }
+        }
+    }
+    prog
+}
+
+/// A random f32 input tensor seeded with the serving edge cases: zeros,
+/// negative zero, NaN, ±Inf, large magnitudes.
+fn random_input(rand: &mut impl FnMut() -> f32, n: usize) -> DynTensor {
+    let data: Vec<f32> = (0..n)
+        .map(|_| {
+            let r = rand();
+            if r < 0.06 {
+                f32::NAN
+            } else if r < 0.09 {
+                f32::INFINITY
+            } else if r < 0.12 {
+                f32::NEG_INFINITY
+            } else if r < 0.17 {
+                -0.0
+            } else if r < 0.22 {
+                0.0
+            } else {
+                (rand() * 2.0 - 1.0) * 1e3
+            }
+        })
+        .collect();
+    DynTensor::F32(Tensor::from_vec(data, &[n]))
+}
+
+/// Executes one kernel through both dispatchers and asserts the outputs
+/// are bit-identical (NaN payloads included).
+fn assert_bit_identical(kernel: &FusedKernel, inputs: &[&DynTensor], label: &str) {
+    let vm_out = kernel.eval(inputs);
+    let stack_out = kernel.with_stack_dispatch().eval(inputs);
+    match (&vm_out, &stack_out) {
+        (DynTensor::F32(a), DynTensor::F32(b)) => {
+            for (i, (x, y)) in a.iter().zip(b.iter()).enumerate() {
+                assert_eq!(
+                    x.to_bits(),
+                    y.to_bits(),
+                    "{label}: register VM and stack interpreter diverged at element {i}: \
+                     {x} vs {y}"
+                );
+            }
+        }
+        (DynTensor::Bool(a), DynTensor::Bool(b)) => {
+            assert_eq!(a.to_vec(), b.to_vec(), "{label}: bool outputs diverged");
+        }
+        other => panic!("{label}: dispatchers returned different dtypes: {other:?}"),
+    }
+}
+
+/// The randomized differential suite: hundreds of random stack programs,
+/// lowered to verified LIR and executed by the register VM, must stay
+/// bit-identical with the stack-dispatch reference over inputs seeded
+/// with NaN, ±Inf, and signed zeros.
+#[test]
+fn random_programs_execute_bit_identically_on_both_dispatchers() {
+    let mut rand = make_rand(0x11c0_0001);
+    let n = 197; // non-multiple of the 64-wide block: exercises the tail
+    for case in 0..300 {
+        let n_inputs = 1 + (rand() * 3.0) as usize;
+        let program = random_program(&mut rand, n_inputs);
+        let kernel =
+            FusedKernel::try_new(n_inputs, DType::F32, program.clone()).unwrap_or_else(|e| {
+                panic!("case {case}: kernel construction failed: {e}\n{program:?}")
+            });
+        let inputs: Vec<DynTensor> = (0..n_inputs).map(|_| random_input(&mut rand, n)).collect();
+        let refs: Vec<&DynTensor> = inputs.iter().collect();
+        assert_bit_identical(&kernel, &refs, &format!("case {case} ({program:?})"));
+    }
+}
+
+/// Bool-dtype outputs go through the same dispatch pair: a predicate
+/// program writing a bool tensor must agree between dispatchers too.
+#[test]
+fn bool_output_kernels_agree_between_dispatchers() {
+    let mut rand = make_rand(0x11c0_0002);
+    let program = vec![Instr::Load(0), Instr::Load(1), Instr::Lt];
+    let kernel = FusedKernel::try_new(2, DType::Bool, program)
+        .unwrap_or_else(|e| panic!("kernel construction failed: {e}"));
+    let a = random_input(&mut rand, 131);
+    let b = random_input(&mut rand, 131);
+    assert_bit_identical(&kernel, &[&a, &b], "bool predicate");
+}
+
+/// The maximum/minimum NaN-laundering asymmetry must survive lowering:
+/// `f32::max(NaN, x) == x` but `f32::max(x, NaN) == x` as well, while
+/// `max(NaN, NaN)` stays NaN — and crucially the *operand order* the
+/// stack machine evaluates in must be preserved by the LIR, or constant
+/// propagation through `Min`/`Max` immediates would flip which operand
+/// launders. Checked element-by-element against the scalar std
+/// semantics on both dispatchers.
+#[test]
+fn minmax_nan_laundering_asymmetry_survives_lowering() {
+    let a_vals = [f32::NAN, 5.0, f32::NAN, -0.0, f32::INFINITY];
+    let b_vals = [5.0, f32::NAN, f32::NAN, 0.0, f32::NEG_INFINITY];
+    let a = DynTensor::F32(Tensor::from_vec(a_vals.to_vec(), &[5]));
+    let b = DynTensor::F32(Tensor::from_vec(b_vals.to_vec(), &[5]));
+    for (name, ins, reference) in [
+        ("max", Instr::Max, f32::max as fn(f32, f32) -> f32),
+        ("min", Instr::Min, f32::min as fn(f32, f32) -> f32),
+    ] {
+        let kernel = FusedKernel::try_new(2, DType::F32, vec![Instr::Load(0), Instr::Load(1), ins])
+            .unwrap_or_else(|e| panic!("{name} kernel failed: {e}"));
+        assert_bit_identical(&kernel, &[&a, &b], name);
+        let out = kernel.eval(&[&a, &b]);
+        let DynTensor::F32(out) = out else {
+            panic!("{name}: expected f32 output")
+        };
+        for i in 0..5 {
+            let want = reference(a_vals[i], b_vals[i]);
+            let got = out.to_vec()[i];
+            assert_eq!(
+                got.to_bits(),
+                want.to_bits(),
+                "{name}: element {i}: VM computed {got}, std scalar computes {want}"
+            );
+        }
+        // The laundering itself: NaN in one operand yields the other.
+        assert!(!out.to_vec()[0].is_nan(), "{name}(NaN, 5.0) must launder");
+        assert!(!out.to_vec()[1].is_nan(), "{name}(5.0, NaN) must launder");
+        assert!(out.to_vec()[2].is_nan(), "{name}(NaN, NaN) must stay NaN");
+    }
+}
+
+/// Constant-immediate `Min`/`Max` forms (the ones constant propagation
+/// rewrites into `BinImm`/`ImmBin`) must keep the immediate on the side
+/// the stack machine had it.
+#[test]
+fn constant_minmax_keeps_operand_order_through_optimization() {
+    let x = DynTensor::F32(Tensor::from_vec(vec![f32::NAN, 2.0, -7.0], &[3]));
+    // max(5.0, x): immediate on the left.
+    let left = FusedKernel::try_new(
+        1,
+        DType::F32,
+        vec![Instr::Imm(5.0), Instr::Load(0), Instr::Max],
+    )
+    .unwrap_or_else(|e| panic!("left kernel: {e}"));
+    // max(x, 5.0): immediate on the right.
+    let right = FusedKernel::try_new(
+        1,
+        DType::F32,
+        vec![Instr::Load(0), Instr::Imm(5.0), Instr::Max],
+    )
+    .unwrap_or_else(|e| panic!("right kernel: {e}"));
+    assert_bit_identical(&left, &[&x], "imm-left max");
+    assert_bit_identical(&right, &[&x], "imm-right max");
+    let DynTensor::F32(l) = left.eval(&[&x]) else {
+        panic!("f32")
+    };
+    let DynTensor::F32(r) = right.eval(&[&x]) else {
+        panic!("f32")
+    };
+    assert_eq!(l.to_vec()[0].to_bits(), f32::max(5.0, f32::NAN).to_bits());
+    assert_eq!(r.to_vec()[0].to_bits(), f32::max(f32::NAN, 5.0).to_bits());
+    assert_eq!(l.to_vec()[1], 5.0);
+    assert_eq!(r.to_vec()[2], 5.0);
+}
+
+/// A valid lowered program for the corruption tests: `(x + y) * 2`.
+fn pristine_program() -> LirProgram {
+    let p = LirProgram::lower(
+        &[
+            Instr::Load(0),
+            Instr::Load(1),
+            Instr::Add,
+            Instr::MulImm(2.0),
+        ],
+        2,
+        DType::F32,
+    )
+    .unwrap_or_else(|e| panic!("lowering failed: {e}"));
+    p.verify()
+        .unwrap_or_else(|e| panic!("pristine program must verify: {e}"));
+    p
+}
+
+/// Seeded corruption: an operand rewritten to read a register only
+/// defined later must be rejected as use-before-def.
+#[test]
+fn verifier_rejects_use_before_def() {
+    let mut p = pristine_program();
+    p.instrs[2].op = LirOp::Bin(BinOp::Add, 0, 3);
+    assert_eq!(
+        p.verify(),
+        Err(LirError::UseBeforeDef { instr: 2, vreg: 3 }),
+        "forward operand reference must be use-before-def"
+    );
+}
+
+/// Seeded corruption: an operand register outside the program's
+/// register space entirely.
+#[test]
+fn verifier_rejects_register_out_of_range() {
+    let mut p = pristine_program();
+    p.instrs[3].op = LirOp::BinImm(BinOp::Mul, 99, 2.0);
+    assert_eq!(
+        p.verify(),
+        Err(LirError::OperandOutOfRange { instr: 3, vreg: 99 }),
+        "register index past the program must be out-of-range"
+    );
+}
+
+/// Seeded corruption: a forged boolean refinement (an Add claiming its
+/// result is exactly 0/1) must be caught by the declared-vs-inferred
+/// type check.
+#[test]
+fn verifier_rejects_type_confused_operand() {
+    let mut p = pristine_program();
+    p.instrs[2].ty = RegTy::Bool;
+    assert_eq!(
+        p.verify(),
+        Err(LirError::TypeConfused {
+            instr: 2,
+            declared: RegTy::Bool,
+            inferred: RegTy::F32
+        }),
+        "a non-predicate claiming bool01 must be type-confused"
+    );
+}
+
+/// Seeded corruption: pointing the program's output at a register no
+/// instruction defines.
+#[test]
+fn verifier_rejects_dead_output_register() {
+    let mut p = pristine_program();
+    p.out = 17;
+    assert!(
+        matches!(p.verify(), Err(LirError::DeadOutput { out: 17, .. })),
+        "an undefined output register must be a dead output"
+    );
+}
+
+/// Seeded corruption one layer down: a validated register allocation
+/// whose destination is redirected onto a live operand's physical
+/// register must fail the independent allocation replay.
+#[test]
+fn alloc_replay_rejects_corrupted_location_table() {
+    let (opt, _) = lir::opt::optimize(&pristine_program());
+    let exec = lir::opt::allocate(&opt).unwrap_or_else(|e| panic!("allocate: {e}"));
+    lir::opt::verify_alloc(&opt, &exec).unwrap_or_else(|e| panic!("pristine alloc: {e}"));
+    let mut bad = exec.clone();
+    // Point every compute result at physical register 0 — some live
+    // value must get clobbered or aliased.
+    for loc in bad.loc.iter_mut() {
+        if let lir::opt::Loc::Reg(r) = loc {
+            *r = 0;
+        }
+    }
+    assert!(
+        lir::opt::verify_alloc(&opt, &bad).is_err(),
+        "an allocation funneling every value through one register must be rejected"
+    );
+}
+
+/// Pipeline-wide gate: every fused kernel in real compiled models — all
+/// three tree strategies plus an optimized end-to-end featurizer
+/// pipeline — carries LIR that re-verifies offline, an allocation that
+/// passes the independent replay, and a register file inside the hard
+/// cap.
+#[test]
+fn every_compiled_fused_kernel_carries_verified_lir() {
+    let n = 120;
+    let d = 8;
+    let x = Tensor::from_fn(&[n, d], |i| {
+        let cls = (i[0] % 3) as f32;
+        cls * 1.3 + ((i[0] * 13 + i[1] * 7) % 11) as f32 * 0.25 - 1.0
+    });
+    let y = Targets::Classes((0..n).map(|i| (i % 3) as i64).collect());
+    let pipe = fit_pipeline(
+        &[
+            OpSpec::StandardScaler,
+            OpSpec::RandomForestClassifier(Default::default()),
+        ],
+        &x,
+        &y,
+    );
+    let mut total_fused = 0usize;
+    for strategy in [
+        TreeStrategy::Gemm,
+        TreeStrategy::TreeTraversal,
+        TreeStrategy::PerfectTreeTraversal,
+        TreeStrategy::Auto,
+    ] {
+        let opts = CompileOptions {
+            tree_strategy: strategy,
+            ..Default::default()
+        };
+        let model = compile(&pipe, &opts).expect("compile");
+        for (id, node) in model.executable().graph().nodes.iter().enumerate() {
+            let Op::Fused(k) = &node.op else { continue };
+            total_fused += 1;
+            k.lir().verify().unwrap_or_else(|e| {
+                panic!(
+                    "{}: node {id}: LIR fails re-verification: {e}",
+                    strategy.label()
+                )
+            });
+            lir::opt::verify_alloc(k.lir(), k.lir_exec()).unwrap_or_else(|e| {
+                panic!(
+                    "{}: node {id}: allocation fails replay: {e}",
+                    strategy.label()
+                )
+            });
+            assert!(
+                k.lir_exec().n_regs <= lir::REG_FILE,
+                "{}: node {id}: register file {} exceeds the {} cap",
+                strategy.label(),
+                k.lir_exec().n_regs,
+                lir::REG_FILE
+            );
+        }
+    }
+    assert!(
+        total_fused > 0,
+        "compiled forests must produce fused kernels for this gate to mean anything"
+    );
+}
