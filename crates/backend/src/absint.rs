@@ -322,11 +322,25 @@ fn mul_hull(a: &ValueFact, b: &ValueFact) -> (f64, f64) {
     (lo, hi)
 }
 
+/// `x + y` on interval endpoints: an `inf + (-inf)` pair makes endpoint
+/// arithmetic ill-defined (the NaN *value* possibility is tracked by
+/// the taint domain), so the indeterminate endpoint degrades to the
+/// conservative bound for its side instead of poisoning the interval
+/// with a NaN endpoint.
+fn add_ep(x: f64, y: f64, conservative: f64) -> f64 {
+    let v = x + y;
+    if v.is_nan() {
+        conservative
+    } else {
+        v
+    }
+}
+
 fn a_add(a: &ValueFact, b: &ValueFact, dt: DType) -> ValueFact {
     let nan_cancel = (a.has_pos_inf() && b.has_neg_inf()) || (a.has_neg_inf() && b.has_pos_inf());
     let f = ValueFact {
-        lo: a.lo + b.lo,
-        hi: a.hi + b.hi,
+        lo: add_ep(a.lo, b.lo, f64::NEG_INFINITY),
+        hi: add_ep(a.hi, b.hi, f64::INFINITY),
         can_nan: a.can_nan || b.can_nan || nan_cancel,
         can_inf: a.can_inf || b.can_inf,
     };
@@ -341,8 +355,8 @@ fn a_add(a: &ValueFact, b: &ValueFact, dt: DType) -> ValueFact {
 fn a_sub(a: &ValueFact, b: &ValueFact, dt: DType) -> ValueFact {
     let nan_cancel = (a.has_pos_inf() && b.has_pos_inf()) || (a.has_neg_inf() && b.has_neg_inf());
     let f = ValueFact {
-        lo: a.lo - b.hi,
-        hi: a.hi - b.lo,
+        lo: add_ep(a.lo, -b.hi, f64::NEG_INFINITY),
+        hi: add_ep(a.hi, -b.lo, f64::INFINITY),
         can_nan: a.can_nan || b.can_nan || nan_cancel,
         can_inf: a.can_inf || b.can_inf,
     };

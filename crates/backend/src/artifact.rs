@@ -43,17 +43,70 @@ pub struct LirCert {
     pub eliminated: usize,
     /// Whole-kernel peephole form label (`"vm"` when none matched).
     pub form: String,
+    /// Resolved execution-strategy label: the peephole form, the
+    /// codegen kernel class, or `"vm"` when the kernel interprets.
+    pub class: String,
+    /// Inner-loop tile geometry the strategy executes with: `"row"`
+    /// for specialized kernels on the row fast path, `"block64"` for
+    /// VM-dispatched kernels over gathered blocks.
+    pub tile: String,
 }
 
-hb_json::json_struct!(LirCert {
-    node,
-    stack_len,
-    lir_len,
-    n_regs,
-    max_live,
-    eliminated,
-    form
-});
+// Hand-written (rather than `json_struct!`) so the stage-2 codegen
+// fields (`class`, `tile`) stay optional: artifacts exported before
+// the codegen tier existed still parse, defaulting both to empty (the
+// lint cross-check then compares the legacy fields only).
+impl hb_json::ToJson for LirCert {
+    fn to_json(&self) -> hb_json::Json {
+        hb_json::Json::Obj(vec![
+            ("node".to_string(), hb_json::ToJson::to_json(&self.node)),
+            (
+                "stack_len".to_string(),
+                hb_json::ToJson::to_json(&self.stack_len),
+            ),
+            (
+                "lir_len".to_string(),
+                hb_json::ToJson::to_json(&self.lir_len),
+            ),
+            ("n_regs".to_string(), hb_json::ToJson::to_json(&self.n_regs)),
+            (
+                "max_live".to_string(),
+                hb_json::ToJson::to_json(&self.max_live),
+            ),
+            (
+                "eliminated".to_string(),
+                hb_json::ToJson::to_json(&self.eliminated),
+            ),
+            ("form".to_string(), self.form.to_json()),
+            ("class".to_string(), self.class.to_json()),
+            ("tile".to_string(), self.tile.to_json()),
+        ])
+    }
+}
+
+impl hb_json::FromJson for LirCert {
+    fn from_json(v: &hb_json::Json) -> Result<Self, hb_json::JsonError> {
+        let pairs = v.expect_obj("LirCert")?;
+        let opt_str = |name: &str| -> Result<String, hb_json::JsonError> {
+            match v.get(name) {
+                Some(s) => hb_json::FromJson::from_json(s)
+                    .map_err(|e| hb_json::JsonError::Schema(format!("LirCert.{name}: {e}"))),
+                None => Ok(String::new()),
+            }
+        };
+        Ok(LirCert {
+            node: hb_json::field(pairs, "node", "LirCert")?,
+            stack_len: hb_json::field(pairs, "stack_len", "LirCert")?,
+            lir_len: hb_json::field(pairs, "lir_len", "LirCert")?,
+            n_regs: hb_json::field(pairs, "n_regs", "LirCert")?,
+            max_live: hb_json::field(pairs, "max_live", "LirCert")?,
+            eliminated: hb_json::field(pairs, "eliminated", "LirCert")?,
+            form: hb_json::field(pairs, "form", "LirCert")?,
+            class: opt_str("class")?,
+            tile: opt_str("tile")?,
+        })
+    }
+}
 
 /// A compiled graph plus its statically derived metadata.
 #[derive(Clone, Debug)]
@@ -135,6 +188,7 @@ impl Artifact {
         for (node, n) in graph.nodes.iter().enumerate() {
             if let Op::Fused(k) = &n.op {
                 let exec = k.lir_exec();
+                let class = k.class_label();
                 certs.push(LirCert {
                     node,
                     stack_len: k.program_len(),
@@ -143,6 +197,8 @@ impl Artifact {
                     max_live: exec.max_live,
                     eliminated: k.lir_opt_stats().eliminated(),
                     form: k.lir_form().label().to_string(),
+                    class: class.to_string(),
+                    tile: if class == "vm" { "block64" } else { "row" }.to_string(),
                 });
             }
         }
@@ -214,6 +270,28 @@ mod tests {
             Artifact::from_json_str(&a.to_json_string()).unwrap_or_else(|e| panic!("reparse: {e}"));
         assert_eq!(back.lir_certs, a.lir_certs);
         assert_eq!(Artifact::lir_certs_of(&back.graph), a.lir_certs);
+    }
+
+    #[test]
+    fn lir_cert_without_codegen_fields_parses_with_defaults() {
+        // Artifacts exported before the codegen tier recorded neither a
+        // kernel class nor a tile geometry; both default to empty.
+        let legacy = "{\"node\":3,\"stack_len\":5,\"lir_len\":4,\"n_regs\":2,\
+                      \"max_live\":2,\"eliminated\":1,\"form\":\"vm\"}";
+        let c: LirCert =
+            hb_json::from_str(legacy).unwrap_or_else(|e| panic!("legacy cert parse: {e}"));
+        assert_eq!(c.node, 3);
+        assert_eq!(c.form, "vm");
+        assert!(c.class.is_empty() && c.tile.is_empty());
+        // A current cert round-trips both fields.
+        let full = LirCert {
+            class: "chain2".to_string(),
+            tile: "row".to_string(),
+            ..c
+        };
+        let back: LirCert = hb_json::from_str(&hb_json::to_string(&full))
+            .unwrap_or_else(|e| panic!("cert reparse: {e}"));
+        assert_eq!(back, full);
     }
 
     #[test]

@@ -400,10 +400,31 @@ impl Executable {
     /// semantics); only the inner-loop execution strategy differs. The
     /// twin starts with a cold plan cache and fresh run counters.
     pub fn with_fused_stack_dispatch(&self) -> Executable {
+        self.with_fused_dispatch(crate::fuse::Dispatch::Stack)
+    }
+
+    /// Returns a twin executable whose fused kernels are pinned to the
+    /// generic register VM — the middle rung of the dispatch ladder
+    /// (codegen → LIR-VM → stack), skipping peephole forms and codegen
+    /// classes. Together with [`Executable::with_fused_stack_dispatch`]
+    /// this lets chaos/fault and differential tests force every rung
+    /// and hold all of them to bit-identical outputs.
+    pub fn with_fused_vm_dispatch(&self) -> Executable {
+        self.with_fused_dispatch(crate::fuse::Dispatch::Vm)
+    }
+
+    /// Clones the executable with every fused kernel pinned to `rung`.
+    /// The twin starts with a cold plan cache and fresh run counters.
+    fn with_fused_dispatch(&self, rung: crate::fuse::Dispatch) -> Executable {
         let mut graph = self.graph.clone();
         for node in &mut graph.nodes {
             if let Op::Fused(k) = &node.op {
-                node.op = Op::Fused(std::sync::Arc::new(k.with_stack_dispatch()));
+                let pinned = match rung {
+                    crate::fuse::Dispatch::Stack => k.with_stack_dispatch(),
+                    crate::fuse::Dispatch::Vm => k.with_vm_dispatch(),
+                    crate::fuse::Dispatch::Auto => (**k).clone(),
+                };
+                node.op = Op::Fused(std::sync::Arc::new(pinned));
             }
         }
         #[allow(clippy::disallowed_methods)] // invariant, message documents it

@@ -20,8 +20,36 @@ use hb_tensor::{DType, DynTensor, Tensor};
 
 use crate::graph::{Graph, Node, NodeId};
 use crate::lir;
+use crate::lir::codegen::KernelClass;
 use crate::lir::vm::LirForm;
 use crate::op::Op;
+
+/// Which rung of the dispatch ladder a kernel executes on. The
+/// production ladder is codegen class → peephole form → register VM;
+/// the lower rungs exist so differential and chaos tests can force any
+/// strategy and hold all of them to bit-identical outputs.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Dispatch {
+    /// Specialized kernel class or peephole form when one matched, the
+    /// register VM otherwise.
+    #[default]
+    Auto,
+    /// Force the generic register VM (skip forms and codegen classes).
+    Vm,
+    /// Force the legacy stack interpreter (the reference semantics).
+    Stack,
+}
+
+impl Dispatch {
+    /// Short label for bench/lint reporting.
+    pub fn label(self) -> &'static str {
+        match self {
+            Dispatch::Auto => "auto",
+            Dispatch::Vm => "vm",
+            Dispatch::Stack => "stack",
+        }
+    }
+}
 
 /// One stack-machine instruction of a fused kernel.
 #[derive(Clone, Debug, PartialEq)]
@@ -120,11 +148,14 @@ pub struct FusedKernel {
     /// Whole-kernel peephole form recognized on the optimized LIR
     /// (replaces the former ad-hoc `FastPath` matcher).
     form: LirForm,
+    /// Monomorphized multi-op kernel class compiled from the optimized
+    /// LIR when no single-op peephole form applies (codegen stage 2).
+    class: KernelClass,
     /// What the LIR optimizer eliminated (for lint/bench reporting).
     opt_stats: lir::opt::LirOptStats,
-    /// When set, dispatch through the legacy stack interpreter instead
-    /// of the register VM — the differential-testing and bench baseline.
-    use_stack: bool,
+    /// Which dispatch rung this kernel executes on; [`Dispatch::Auto`]
+    /// in production, forced lower rungs for differential baselines.
+    dispatch: Dispatch,
 }
 
 impl hb_json::ToJson for FusedKernel {
@@ -249,6 +280,13 @@ impl FusedKernel {
         lir::opt::verify_alloc(&opt, &exec)
             .map_err(|e| format!("LIR register allocation rejected: {e}"))?;
         let form = lir::vm::detect_form(&opt, &exec);
+        // Codegen stage 2: only consulted when no peephole form covers
+        // the program, so the two tiers never compete.
+        let class = if form.is_none() {
+            lir::codegen::detect_class(&opt, &exec)
+        } else {
+            KernelClass::None
+        };
         Ok(FusedKernel {
             n_inputs,
             out_dtype,
@@ -257,8 +295,9 @@ impl FusedKernel {
             lir: opt,
             exec,
             form,
+            class,
             opt_stats,
-            use_stack: false,
+            dispatch: Dispatch::Auto,
         })
     }
 
@@ -282,18 +321,50 @@ impl FusedKernel {
         self.form
     }
 
+    /// The compiled multi-op kernel class ([`KernelClass::None`] when
+    /// a peephole form applies or no class shape covers the program).
+    pub fn kernel_class(&self) -> KernelClass {
+        self.class
+    }
+
+    /// The execution-strategy label the `Auto` rung resolved to: the
+    /// peephole form, the codegen class, or `"vm"` — for certs, lint,
+    /// and the bench tables.
+    pub fn class_label(&self) -> &'static str {
+        if !self.form.is_none() {
+            self.form.label()
+        } else {
+            self.class.label()
+        }
+    }
+
     /// A clone of this kernel that dispatches through the legacy stack
     /// interpreter instead of the register VM: the reference dispatcher
     /// for differential tests and the bench baseline column.
     pub fn with_stack_dispatch(&self) -> FusedKernel {
         let mut k = self.clone();
-        k.use_stack = true;
+        k.dispatch = Dispatch::Stack;
         k
+    }
+
+    /// A clone of this kernel pinned to the generic register VM —
+    /// the middle rung of the ladder, skipping peephole forms and
+    /// codegen classes. Differential tests use it to hold the
+    /// specialized kernels to the VM's exact bits.
+    pub fn with_vm_dispatch(&self) -> FusedKernel {
+        let mut k = self.clone();
+        k.dispatch = Dispatch::Vm;
+        k
+    }
+
+    /// The dispatch rung this kernel is pinned to.
+    pub fn dispatch(&self) -> Dispatch {
+        self.dispatch
     }
 
     /// True when this kernel dispatches through the stack interpreter.
     pub fn uses_stack_dispatch(&self) -> bool {
-        self.use_stack
+        self.dispatch == Dispatch::Stack
     }
 
     /// Scratch register-file size covering both dispatchers.
@@ -371,16 +442,23 @@ impl FusedKernel {
                                 *v = v.powf(*e);
                             }
                         }
+                        // Routed through the shared scalar table (not
+                        // open-coded `+=`/`*=`): the indirect call keeps
+                        // the compiler from commuting the operands, which
+                        // would flip NaN-payload selection on double-NaN
+                        // pairs relative to the register VM.
                         Instr::AddImm(c) => {
+                            let f = lir::vm::bin_scalar(lir::BinOp::Add);
                             let r = &mut regs[top - 1];
                             for v in r[..len].iter_mut() {
-                                *v += c;
+                                *v = f(*v, *c);
                             }
                         }
                         Instr::MulImm(c) => {
+                            let f = lir::vm::bin_scalar(lir::BinOp::Mul);
                             let r = &mut regs[top - 1];
                             for v in r[..len].iter_mut() {
-                                *v *= c;
+                                *v = f(*v, *c);
                             }
                         }
                         _ => {
@@ -498,10 +576,14 @@ impl FusedKernel {
             .collect();
         let slices: Vec<&[f32]> = bufs.iter().map(|b| b.as_slice()).collect();
 
-        // Row-loop fast path for peephole-recognized kernels: the
-        // odometer advances once per output row instead of once per
-        // element, and inputs are read straight from their slices.
-        if !self.use_stack && !self.form.is_none() && !shape.is_empty() {
+        // Row-loop fast path for peephole-formed and codegen-classed
+        // kernels: the odometer advances once per output row instead of
+        // once per element, and inputs are read straight from their
+        // slices (no block gather at all).
+        if self.dispatch == Dispatch::Auto
+            && (!self.form.is_none() || !self.class.is_none())
+            && !shape.is_empty()
+        {
             #[allow(clippy::disallowed_methods)] // invariant, message documents it
             let inner = *shape.last().expect("fused kernel output has rank >= 1");
             let ok = strides.iter().all(|st| {
@@ -599,7 +681,10 @@ impl FusedKernel {
                                     }
                                 }
                                 LirForm::Fill { c } => orow.fill(c),
-                                LirForm::None => unreachable!("guarded above"),
+                                LirForm::None => {
+                                    self.class
+                                        .run_row(None, &slices, &bases, &inner_strides, orow)
+                                }
                             }
                             // Advance the outer odometer one row.
                             for d in (0..outer_shape.len()).rev() {
@@ -709,9 +794,16 @@ impl FusedKernel {
         len: usize,
         outb: &mut [f32],
     ) {
-        if self.use_stack {
-            self.eval_block(vals, regs, len, outb);
-            return;
+        match self.dispatch {
+            Dispatch::Stack => {
+                self.eval_block(vals, regs, len, outb);
+                return;
+            }
+            Dispatch::Vm => {
+                lir::vm::run_block(&self.lir, &self.exec, vals, regs, len, outb);
+                return;
+            }
+            Dispatch::Auto => {}
         }
         match self.form {
             LirForm::Bin2 { a, b, f } => {
@@ -746,6 +838,7 @@ impl FusedKernel {
             }
             LirForm::Copy { a } => outb[..len].copy_from_slice(&vals[a][..len]),
             LirForm::Fill { c } => outb[..len].fill(c),
+            LirForm::None if !self.class.is_none() => self.class.run_block(vals, len, outb),
             LirForm::None => lir::vm::run_block(&self.lir, &self.exec, vals, regs, len, outb),
         }
     }
@@ -854,7 +947,9 @@ impl FusedKernel {
                 }
             }
             LirForm::Fill { c } => orow.fill(c),
-            LirForm::None => unreachable!("guarded by the caller"),
+            LirForm::None => self
+                .class
+                .run_row(Some(operand), slices, bases, inner_strides, orow),
         }
     }
 
@@ -960,7 +1055,10 @@ impl FusedKernel {
 
         // Row-loop fast path, mirroring `fill`'s: chunk by whole rows
         // so the aliased operand reads stay inside each chunk's region.
-        if !self.use_stack && !self.form.is_none() && !shape.is_empty() {
+        if self.dispatch == Dispatch::Auto
+            && (!self.form.is_none() || !self.class.is_none())
+            && !shape.is_empty()
+        {
             #[allow(clippy::disallowed_methods)] // invariant, message documents it
             let inner = *shape.last().expect("fused kernel output has rank >= 1");
             let ok = strides.iter().all(|st| {

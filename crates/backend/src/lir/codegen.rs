@@ -1,0 +1,910 @@
+//! Codegen stage 2: compiles whole verified LIR programs onto
+//! pre-instantiated, monomorphized kernel classes instead of the
+//! generic register VM.
+//!
+//! The peephole [`super::vm::LirForm`] tier only recognizes programs
+//! that reduce to a *single* scalar map. Real fused clusters are small
+//! multi-op programs — `1 - p` lowers to two immediate stages,
+//! `sigmoid(x + b)` to an immediate add feeding a unary, and tree
+//! ensembles produce compare+select clusters — and all of those fell
+//! back to the interpreted VM, which runs one vectorized pass *per
+//! instruction* over block buffers (with a destination-buffer move and
+//! a final result copy).
+//!
+//! This module closes that gap with a pattern compiler: it maps a
+//! verified, optimized, register-allocated program onto a
+//! [`KernelClass`] — a closed set of fused scalar shapes whose inner
+//! loops are written out monomorphically, make exactly one pass over
+//! the data, and keep every intermediate in a register. The register VM
+//! remains the universal fallback, and the legacy stack interpreter the
+//! reference rung, so the dispatch ladder is codegen → LIR-VM → stack.
+//!
+//! Bit-identity discipline: every class computes through the *same*
+//! scalar functions the VM uses ([`bin_scalar`]/[`un_scalar`]), in the
+//! same program order, with intermediates that the VM would also round
+//! to f32 (every LIR value is f32). The differential suite in
+//! `tests/codegen.rs` holds all three rungs to `to_bits` equality over
+//! randomized programs seeded with NaN/±Inf/-0.0.
+
+use super::opt::{LirExec, Loc};
+use super::vm::{bin_scalar, un_scalar};
+use super::{LirInstr, LirOp, LirProgram, UnOp, VReg};
+
+/// One scalar stage applied to a running value: the three-address forms
+/// whose single variable operand is the previous stage's result. The
+/// immediate rides in the stage, so a chain of stages is a fused scalar
+/// pipeline with no intermediate buffers.
+#[derive(Clone, Copy, Debug)]
+pub enum Stage {
+    /// `v = f(v, c)`.
+    BinImm(fn(f32, f32) -> f32, f32),
+    /// `v = f(c, v)`.
+    ImmBin(fn(f32, f32) -> f32, f32),
+    /// `v = f(v)`.
+    Un(fn(f32) -> f32),
+    /// `v = v.clamp(lo, hi)`.
+    Clamp(f32, f32),
+    /// `v = v.powf(e)`.
+    Pow(f32),
+}
+
+impl Stage {
+    /// Applies the stage to one scalar. `#[inline(always)]` so the
+    /// class loops compile to straight-line code — the stage value is
+    /// loop-invariant and the match folds into the instantiated loop.
+    #[inline(always)]
+    fn apply(self, v: f32) -> f32 {
+        match self {
+            Stage::BinImm(f, c) => f(v, c),
+            Stage::ImmBin(f, c) => f(c, v),
+            Stage::Un(f) => f(v),
+            Stage::Clamp(lo, hi) => v.clamp(lo, hi),
+            Stage::Pow(e) => v.powf(e),
+        }
+    }
+
+    /// Recognizes an op as a stage over operand `prev`.
+    fn of(op: &LirOp, prev: VReg) -> Option<Stage> {
+        match op {
+            LirOp::BinImm(b, a, c) if *a == prev => Some(Stage::BinImm(bin_scalar(*b), *c)),
+            LirOp::ImmBin(b, c, a) if *a == prev => Some(Stage::ImmBin(bin_scalar(*b), *c)),
+            LirOp::Un(u, a) if *a == prev => Some(Stage::Un(un_scalar(*u))),
+            LirOp::Clamp(a, lo, hi) if *a == prev => Some(Stage::Clamp(*lo, *hi)),
+            LirOp::Pow(a, e) if *a == prev => Some(Stage::Pow(*e)),
+            _ => None,
+        }
+    }
+}
+
+/// A select operand: a direct input read or a constant (constants feed
+/// `Select` as prefilled registers, so the defining `Imm` is visible).
+#[derive(Clone, Copy, Debug)]
+pub enum Src {
+    /// Input slot.
+    In(usize),
+    /// Immediate value.
+    Imm(f32),
+}
+
+impl Src {
+    #[inline(always)]
+    fn get(self, vals: &[Vec<f32>], j: usize) -> f32 {
+        match self {
+            Src::In(k) => vals[k][j],
+            Src::Imm(c) => c,
+        }
+    }
+}
+
+/// A select condition: a direct input or a single comparison over
+/// direct inputs / immediates.
+#[derive(Clone, Copy, Debug)]
+pub enum Cond {
+    /// Condition read straight from an input slot.
+    In(usize),
+    /// `f(in_x, in_y)`.
+    Bin(fn(f32, f32) -> f32, usize, usize),
+    /// `f(in_x, c)`.
+    BinImm(fn(f32, f32) -> f32, usize, f32),
+    /// `f(c, in_x)`.
+    ImmBin(fn(f32, f32) -> f32, f32, usize),
+}
+
+impl Cond {
+    #[inline(always)]
+    fn eval(self, vals: &[Vec<f32>], j: usize) -> f32 {
+        match self {
+            Cond::In(k) => vals[k][j],
+            Cond::Bin(f, x, y) => f(vals[x][j], vals[y][j]),
+            Cond::BinImm(f, x, c) => f(vals[x][j], c),
+            Cond::ImmBin(f, c, x) => f(c, vals[x][j]),
+        }
+    }
+}
+
+/// A monomorphized kernel class: one fused scalar shape covering a
+/// whole LIR program. Detection runs once at kernel construction on the
+/// verified + optimized + allocated program, so a class that exists has
+/// already passed every LIR gate.
+#[derive(Clone, Copy, Debug, Default)]
+pub enum KernelClass {
+    /// No class matched; run the register VM.
+    #[default]
+    None,
+    /// `out = s2(s1(in_a))` — e.g. `1 - p` (`*(-1)` then `+1`) and
+    /// `sigmoid(x + b)`, the two hot tree-ensemble heads.
+    Chain2 {
+        /// Input slot.
+        a: usize,
+        /// First stage.
+        s1: Stage,
+        /// Second stage.
+        s2: Stage,
+    },
+    /// `out = s3(s2(s1(in_a)))` — e.g. `sigmoid(x * s + b)`.
+    Chain3 {
+        /// Input slot.
+        a: usize,
+        /// First stage.
+        s1: Stage,
+        /// Second stage.
+        s2: Stage,
+        /// Third stage.
+        s3: Stage,
+    },
+    /// `out = s(f(in_a, in_b))` — a binary root feeding one stage,
+    /// e.g. `relu(a - b)` or `(a < b) * c`.
+    Bin2Then {
+        /// Left input slot.
+        a: usize,
+        /// Right input slot.
+        b: usize,
+        /// Binary function.
+        f: fn(f32, f32) -> f32,
+        /// Post-stage.
+        s: Stage,
+    },
+    /// `out = f2(f1(in_a, in_b), c)` (or mirrored when the feeder is
+    /// the root's right operand) — two chained binaries over three
+    /// direct/constant sources, e.g. the forest featurizer's scaling
+    /// kernel `(x - lo) * scale`.
+    Bin3 {
+        /// Left input slot of the feeder binary.
+        a: usize,
+        /// Right input slot of the feeder binary.
+        b: usize,
+        /// Feeder binary function.
+        f1: fn(f32, f32) -> f32,
+        /// The root binary's other operand.
+        c: Src,
+        /// Root binary function.
+        f2: fn(f32, f32) -> f32,
+        /// True when the feeder result is the root binary's left
+        /// operand.
+        feeder_left: bool,
+    },
+    /// [`KernelClass::Bin3`] feeding one stage — e.g. the end-to-end
+    /// featurizer's binarizer head `((x - lo) * scale) > t`.
+    Bin3Then {
+        /// Left input slot of the feeder binary.
+        a: usize,
+        /// Right input slot of the feeder binary.
+        b: usize,
+        /// Feeder binary function.
+        f1: fn(f32, f32) -> f32,
+        /// The mid binary's other operand.
+        c: Src,
+        /// Mid binary function.
+        f2: fn(f32, f32) -> f32,
+        /// True when the feeder result is the mid binary's left
+        /// operand.
+        feeder_left: bool,
+        /// Post-stage.
+        s: Stage,
+    },
+    /// `out = cond != 0 ? t : e` with the condition a direct input or a
+    /// single comparison — the tree-traversal compare+select cluster.
+    Select {
+        /// The condition.
+        cond: Cond,
+        /// Taken when the condition is truthy.
+        t: Src,
+        /// Taken when the condition is exactly 0.0.
+        e: Src,
+    },
+    /// `out = isnan(x) ? x : clamp(x, lo, hi)` — the NaN-preserving
+    /// sanitize head.
+    SanitizeClamp {
+        /// Input slot.
+        a: usize,
+        /// Lower bound.
+        lo: f32,
+        /// Upper bound.
+        hi: f32,
+    },
+}
+
+impl KernelClass {
+    /// True when no class was recognized.
+    pub fn is_none(&self) -> bool {
+        matches!(self, KernelClass::None)
+    }
+
+    /// Short label for cert/lint/bench reporting.
+    pub fn label(&self) -> &'static str {
+        match self {
+            KernelClass::None => "vm",
+            KernelClass::Chain2 { .. } => "chain2",
+            KernelClass::Chain3 { .. } => "chain3",
+            KernelClass::Bin2Then { .. } => "bin2-then",
+            KernelClass::Bin3 { .. } => "bin3",
+            KernelClass::Bin3Then { .. } => "bin3-then",
+            KernelClass::Select {
+                cond: Cond::In(_), ..
+            } => "select",
+            KernelClass::Select { .. } => "cmp-select",
+            KernelClass::SanitizeClamp { .. } => "sanitize-clamp",
+        }
+    }
+
+    /// Runs the class over one gathered block (`vals[k][..len]` per
+    /// input slot), writing `out[..len]`. One pass, no intermediate
+    /// buffers — the monomorphized replacement for `vm::run_block`.
+    pub fn run_block(&self, vals: &[Vec<f32>], len: usize, out: &mut [f32]) {
+        match *self {
+            KernelClass::None => unreachable!("caller dispatches None to the register VM"),
+            KernelClass::Chain2 { a, s1, s2 } => {
+                for (o, &x) in out[..len].iter_mut().zip(&vals[a][..len]) {
+                    *o = s2.apply(s1.apply(x));
+                }
+            }
+            KernelClass::Chain3 { a, s1, s2, s3 } => {
+                for (o, &x) in out[..len].iter_mut().zip(&vals[a][..len]) {
+                    *o = s3.apply(s2.apply(s1.apply(x)));
+                }
+            }
+            KernelClass::Bin2Then { a, b, f, s } => {
+                for (j, o) in out[..len].iter_mut().enumerate() {
+                    *o = s.apply(f(vals[a][j], vals[b][j]));
+                }
+            }
+            KernelClass::Bin3 {
+                a,
+                b,
+                f1,
+                c,
+                f2,
+                feeder_left,
+            } => {
+                for (j, o) in out[..len].iter_mut().enumerate() {
+                    let t = f1(vals[a][j], vals[b][j]);
+                    let cv = c.get(vals, j);
+                    *o = if feeder_left { f2(t, cv) } else { f2(cv, t) };
+                }
+            }
+            KernelClass::Bin3Then {
+                a,
+                b,
+                f1,
+                c,
+                f2,
+                feeder_left,
+                s,
+            } => {
+                for (j, o) in out[..len].iter_mut().enumerate() {
+                    let t = f1(vals[a][j], vals[b][j]);
+                    let cv = c.get(vals, j);
+                    *o = s.apply(if feeder_left { f2(t, cv) } else { f2(cv, t) });
+                }
+            }
+            KernelClass::Select { cond, t, e } => {
+                for (j, o) in out[..len].iter_mut().enumerate() {
+                    *o = if cond.eval(vals, j) != 0.0 {
+                        t.get(vals, j)
+                    } else {
+                        e.get(vals, j)
+                    };
+                }
+            }
+            KernelClass::SanitizeClamp { a, lo, hi } => {
+                for (o, &x) in out[..len].iter_mut().zip(&vals[a][..len]) {
+                    *o = if x.is_nan() { x } else { x.clamp(lo, hi) };
+                }
+            }
+        }
+    }
+
+    /// Runs the class over one output row with strided input reads —
+    /// the row-loop fast path that skips block gathering entirely.
+    ///
+    /// `aliased` names an input slot whose values live in `orow` itself
+    /// (the in-place path): reads of that slot come from the row before
+    /// each element is overwritten, exactly like the peephole forms'
+    /// in-place arms, so in-place results stay bit-identical to the
+    /// allocating path.
+    pub fn run_row(
+        &self,
+        aliased: Option<usize>,
+        slices: &[&[f32]],
+        bases: &[isize],
+        inner_strides: &[usize],
+        orow: &mut [f32],
+    ) {
+        // Reads slot `k` at row position `j`; `cur` is the row's value
+        // at `j` before this element is written.
+        let rd = |k: usize, j: usize, cur: f32| -> f32 {
+            if aliased == Some(k) {
+                cur
+            } else {
+                slices[k][bases[k] as usize + j * inner_strides[k]]
+            }
+        };
+        match *self {
+            KernelClass::None => unreachable!("caller dispatches None to the register VM"),
+            KernelClass::Chain2 { a, s1, s2 } => {
+                for (j, o) in orow.iter_mut().enumerate() {
+                    let x = rd(a, j, *o);
+                    *o = s2.apply(s1.apply(x));
+                }
+            }
+            KernelClass::Chain3 { a, s1, s2, s3 } => {
+                for (j, o) in orow.iter_mut().enumerate() {
+                    let x = rd(a, j, *o);
+                    *o = s3.apply(s2.apply(s1.apply(x)));
+                }
+            }
+            KernelClass::Bin2Then { a, b, f, s } => {
+                for (j, o) in orow.iter_mut().enumerate() {
+                    let (x, y) = (rd(a, j, *o), rd(b, j, *o));
+                    *o = s.apply(f(x, y));
+                }
+            }
+            KernelClass::Bin3 {
+                a,
+                b,
+                f1,
+                c,
+                f2,
+                feeder_left,
+            } => {
+                for (j, o) in orow.iter_mut().enumerate() {
+                    let cur = *o;
+                    let t = f1(rd(a, j, cur), rd(b, j, cur));
+                    let cv = match c {
+                        Src::In(k) => rd(k, j, cur),
+                        Src::Imm(v) => v,
+                    };
+                    *o = if feeder_left { f2(t, cv) } else { f2(cv, t) };
+                }
+            }
+            KernelClass::Bin3Then {
+                a,
+                b,
+                f1,
+                c,
+                f2,
+                feeder_left,
+                s,
+            } => {
+                for (j, o) in orow.iter_mut().enumerate() {
+                    let cur = *o;
+                    let t = f1(rd(a, j, cur), rd(b, j, cur));
+                    let cv = match c {
+                        Src::In(k) => rd(k, j, cur),
+                        Src::Imm(v) => v,
+                    };
+                    *o = s.apply(if feeder_left { f2(t, cv) } else { f2(cv, t) });
+                }
+            }
+            KernelClass::Select { cond, t, e } => {
+                let cnd = |j: usize, cur: f32| -> f32 {
+                    match cond {
+                        Cond::In(k) => rd(k, j, cur),
+                        Cond::Bin(f, x, y) => f(rd(x, j, cur), rd(y, j, cur)),
+                        Cond::BinImm(f, x, c) => f(rd(x, j, cur), c),
+                        Cond::ImmBin(f, c, x) => f(c, rd(x, j, cur)),
+                    }
+                };
+                let arm = |s: Src, j: usize, cur: f32| -> f32 {
+                    match s {
+                        Src::In(k) => rd(k, j, cur),
+                        Src::Imm(c) => c,
+                    }
+                };
+                for (j, o) in orow.iter_mut().enumerate() {
+                    let cur = *o;
+                    *o = if cnd(j, cur) != 0.0 {
+                        arm(t, j, cur)
+                    } else {
+                        arm(e, j, cur)
+                    };
+                }
+            }
+            KernelClass::SanitizeClamp { a, lo, hi } => {
+                for (j, o) in orow.iter_mut().enumerate() {
+                    let x = rd(a, j, *o);
+                    *o = if x.is_nan() { x } else { x.clamp(lo, hi) };
+                }
+            }
+        }
+    }
+}
+
+/// Looks up the instruction defining virtual register `v`.
+fn def(p: &LirProgram, v: VReg) -> Option<&LirInstr> {
+    p.instrs.iter().find(|i| i.dst == v)
+}
+
+/// Input slot of `v` if the allocator placed it as a direct input read.
+fn slot(e: &LirExec, v: VReg) -> Option<usize> {
+    match e.loc[v as usize] {
+        Loc::In(k) => Some(k as usize),
+        Loc::Reg(_) => None,
+    }
+}
+
+/// Resolves `v` as a select operand: direct input or constant.
+fn src_of(p: &LirProgram, e: &LirExec, v: VReg) -> Option<Src> {
+    if let Some(k) = slot(e, v) {
+        return Some(Src::In(k));
+    }
+    match def(p, v).map(|i| &i.op) {
+        Some(LirOp::Imm(c)) => Some(Src::Imm(*c)),
+        _ => None,
+    }
+}
+
+/// Resolves `v` as a select condition: direct input or one comparison
+/// (any binary op — truthiness, not just predicates, matches the VM's
+/// `!= 0.0` test) over direct inputs and immediates.
+fn cond_of(p: &LirProgram, e: &LirExec, v: VReg) -> Option<Cond> {
+    if let Some(k) = slot(e, v) {
+        return Some(Cond::In(k));
+    }
+    match def(p, v).map(|i| &i.op) {
+        Some(LirOp::Bin(b, x, y)) => match (slot(e, *x), slot(e, *y)) {
+            (Some(x), Some(y)) => Some(Cond::Bin(bin_scalar(*b), x, y)),
+            _ => None,
+        },
+        Some(LirOp::BinImm(b, x, c)) => slot(e, *x).map(|x| Cond::BinImm(bin_scalar(*b), x, *c)),
+        Some(LirOp::ImmBin(b, c, x)) => slot(e, *x).map(|x| Cond::ImmBin(bin_scalar(*b), *c, x)),
+        _ => None,
+    }
+}
+
+/// Compiles a verified+allocated program onto a [`KernelClass`], or
+/// [`KernelClass::None`] when no monomorphized shape covers it (the
+/// register VM then runs it). Runs after [`super::vm::detect_form`]:
+/// single-compute programs a peephole form already covers stay with the
+/// form, so this matcher focuses on the multi-op shapes.
+pub fn detect_class(p: &LirProgram, e: &LirExec) -> KernelClass {
+    let Some(root) = def(p, p.out) else {
+        return KernelClass::None;
+    };
+    let computes: Vec<&LirInstr> = p
+        .instrs
+        .iter()
+        .filter(|i| !matches!(i.op, LirOp::Load(_) | LirOp::Imm(_)))
+        .collect();
+
+    // Select with a direct/constant condition and operands: the one
+    // single-compute shape the peephole tier has no form for.
+    if let LirOp::Select { cond, a, b } = &root.op {
+        let cluster_ok = match computes.len() {
+            1 => true,
+            // Allow exactly one feeder: the condition's comparison.
+            2 => computes
+                .iter()
+                .any(|i| i.dst == *cond && !std::ptr::eq(*i, root)),
+            _ => false,
+        };
+        if cluster_ok {
+            if let (Some(cond), Some(t), Some(e2)) =
+                (cond_of(p, e, *cond), src_of(p, e, *a), src_of(p, e, *b))
+            {
+                return KernelClass::Select { cond, t, e: e2 };
+            }
+        }
+        // The NaN-preserving sanitize cluster:
+        // `select(isnan(x), x, clamp(x, lo, hi))`.
+        if computes.len() == 3 {
+            if let (Some(LirOp::Un(UnOp::IsNan, cx)), Some(xa), Some(LirOp::Clamp(ca, lo, hi))) = (
+                def(p, *cond).map(|i| &i.op),
+                slot(e, *a),
+                def(p, *b).map(|i| &i.op),
+            ) {
+                if slot(e, *cx) == Some(xa) && slot(e, *ca) == Some(xa) {
+                    return KernelClass::SanitizeClamp {
+                        a: xa,
+                        lo: *lo,
+                        hi: *hi,
+                    };
+                }
+            }
+        }
+        return KernelClass::None;
+    }
+
+    // Stage chains and binary-rooted stages: walk back from the root
+    // through single-operand stages to the value that starts the chain.
+    match computes.len() {
+        2 => {
+            let feeder = computes.iter().find(|i| !std::ptr::eq(**i, root));
+            let Some(feeder) = feeder else {
+                return KernelClass::None;
+            };
+            // Two chained binaries over three sources: the root is a
+            // full binary (not a stage) whose other operand is a direct
+            // read or constant.
+            if let (LirOp::Bin(b2, x, y), LirOp::Bin(b1, fa, fb)) = (&root.op, &feeder.op) {
+                if let (Some(sa), Some(sb)) = (slot(e, *fa), slot(e, *fb)) {
+                    let fed = if *x == feeder.dst {
+                        Some((*y, true))
+                    } else if *y == feeder.dst {
+                        Some((*x, false))
+                    } else {
+                        None
+                    };
+                    if let Some((other, feeder_left)) = fed {
+                        if let Some(c) = src_of(p, e, other) {
+                            return KernelClass::Bin3 {
+                                a: sa,
+                                b: sb,
+                                f1: bin_scalar(*b1),
+                                c,
+                                f2: bin_scalar(*b2),
+                                feeder_left,
+                            };
+                        }
+                    }
+                }
+            }
+            let Some(s2) = Stage::of(&root.op, feeder.dst) else {
+                return KernelClass::None;
+            };
+            // Chain over one input: feeder is itself a stage over a
+            // direct read.
+            if let Some(&a) = feeder.op.operands().first() {
+                if let (Some(slot_a), Some(s1)) = (slot(e, a), Stage::of(&feeder.op, a)) {
+                    return KernelClass::Chain2 { a: slot_a, s1, s2 };
+                }
+            }
+            // Binary feeder over two direct reads.
+            if let LirOp::Bin(b, x, y) = &feeder.op {
+                if let (Some(x), Some(y)) = (slot(e, *x), slot(e, *y)) {
+                    return KernelClass::Bin2Then {
+                        a: x,
+                        b: y,
+                        f: bin_scalar(*b),
+                        s: s2,
+                    };
+                }
+            }
+            KernelClass::None
+        }
+        3 => {
+            // The root must be a stage over a computed mid value; the
+            // shape below it decides the class.
+            let mid = computes
+                .iter()
+                .find(|i| root.op.operands().contains(&i.dst));
+            let Some(mid) = mid else {
+                return KernelClass::None;
+            };
+            let Some(s_last) = Stage::of(&root.op, mid.dst) else {
+                return KernelClass::None;
+            };
+            let first = computes
+                .iter()
+                .find(|i| mid.op.operands().contains(&i.dst) && !std::ptr::eq(**i, root));
+            let Some(first) = first else {
+                return KernelClass::None;
+            };
+            // Stage over two chained binaries: the binarizer heads,
+            // e.g. `((x - lo) * scale) > t`.
+            if let (LirOp::Bin(b2, x, y), LirOp::Bin(b1, fa, fb)) = (&mid.op, &first.op) {
+                if let (Some(sa), Some(sb)) = (slot(e, *fa), slot(e, *fb)) {
+                    let fed = if *x == first.dst {
+                        Some((*y, true))
+                    } else if *y == first.dst {
+                        Some((*x, false))
+                    } else {
+                        None
+                    };
+                    if let Some((other, feeder_left)) = fed {
+                        if let Some(c) = src_of(p, e, other) {
+                            return KernelClass::Bin3Then {
+                                a: sa,
+                                b: sb,
+                                f1: bin_scalar(*b1),
+                                c,
+                                f2: bin_scalar(*b2),
+                                feeder_left,
+                                s: s_last,
+                            };
+                        }
+                    }
+                }
+            }
+            // Three-stage chain over one input.
+            let Some(s2) = Stage::of(&mid.op, first.dst) else {
+                return KernelClass::None;
+            };
+            let Some(&a) = first.op.operands().first() else {
+                return KernelClass::None;
+            };
+            match (slot(e, a), Stage::of(&first.op, a)) {
+                (Some(slot_a), Some(s1)) => KernelClass::Chain3 {
+                    a: slot_a,
+                    s1,
+                    s2,
+                    s3: s_last,
+                },
+                _ => KernelClass::None,
+            }
+        }
+        _ => KernelClass::None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::opt::{allocate, optimize, verify_alloc};
+    use super::super::vm::{detect_form, run_block};
+    use super::*;
+    use crate::fuse::Instr;
+    use hb_tensor::DType;
+
+    fn build(prog: &[Instr], n_inputs: usize) -> (LirProgram, LirExec) {
+        let p =
+            LirProgram::lower(prog, n_inputs, DType::F32).unwrap_or_else(|e| panic!("lower: {e}"));
+        p.verify().unwrap_or_else(|e| panic!("verify: {e}"));
+        let (q, _) = optimize(&p);
+        q.verify()
+            .unwrap_or_else(|e| panic!("post-opt verify: {e}"));
+        let e = allocate(&q).unwrap_or_else(|e| panic!("allocate: {e}"));
+        verify_alloc(&q, &e).unwrap_or_else(|er| panic!("verify_alloc: {er}"));
+        (q, e)
+    }
+
+    /// Asserts class-vs-VM bit identity over adversarial values.
+    fn assert_class_matches_vm(prog: &[Instr], n_inputs: usize, expect: &str) {
+        let (p, e) = build(prog, n_inputs);
+        let class = detect_class(&p, &e);
+        assert_eq!(class.label(), expect, "class for {prog:?}");
+        if class.is_none() {
+            return;
+        }
+        let specials = [
+            1.0,
+            -1.0,
+            0.0,
+            -0.0,
+            f32::NAN,
+            f32::INFINITY,
+            f32::NEG_INFINITY,
+            0.5,
+        ];
+        let len = specials.len();
+        let vals: Vec<Vec<f32>> = (0..n_inputs)
+            .map(|k| (0..len).map(|j| specials[(j + k) % len]).collect())
+            .collect();
+        let mut regs: Vec<Vec<f32>> = vec![vec![0.0; len]; e.n_regs.max(1)];
+        let mut vm_out = vec![0.0f32; len];
+        run_block(&p, &e, &vals, &mut regs, len, &mut vm_out);
+        let mut class_out = vec![0.0f32; len];
+        class.run_block(&vals, len, &mut class_out);
+        for j in 0..len {
+            assert_eq!(
+                class_out[j].to_bits(),
+                vm_out[j].to_bits(),
+                "class {expect} diverged from VM at {j}: {} vs {}",
+                class_out[j],
+                vm_out[j]
+            );
+        }
+        // Row runner against the block runner (contiguous rows).
+        let slices: Vec<&[f32]> = vals.iter().map(|v| v.as_slice()).collect();
+        let bases = vec![0isize; n_inputs];
+        let strides = vec![1usize; n_inputs];
+        let mut row_out = vec![0.0f32; len];
+        class.run_row(None, &slices, &bases, &strides, &mut row_out);
+        for j in 0..len {
+            assert_eq!(
+                row_out[j].to_bits(),
+                vm_out[j].to_bits(),
+                "row runner at {j}"
+            );
+        }
+    }
+
+    #[test]
+    fn chain2_covers_the_complement_head() {
+        // 1 - p as the fuser emits it: p * -1 + 1.
+        assert_class_matches_vm(
+            &[Instr::Load(0), Instr::MulImm(-1.0), Instr::AddImm(1.0)],
+            1,
+            "chain2",
+        );
+    }
+
+    #[test]
+    fn chain2_covers_the_sigmoid_head() {
+        assert_class_matches_vm(
+            &[
+                Instr::Load(0),
+                Instr::Imm(-1.394_615_9),
+                Instr::Add,
+                Instr::Sigmoid,
+            ],
+            1,
+            "chain2",
+        );
+    }
+
+    #[test]
+    fn chain3_covers_affine_sigmoid() {
+        assert_class_matches_vm(
+            &[
+                Instr::Load(0),
+                Instr::MulImm(0.5),
+                Instr::AddImm(-2.0),
+                Instr::Sigmoid,
+            ],
+            1,
+            "chain3",
+        );
+    }
+
+    #[test]
+    fn bin2_then_covers_relu_of_difference() {
+        assert_class_matches_vm(
+            &[Instr::Load(0), Instr::Load(1), Instr::Sub, Instr::Relu],
+            2,
+            "bin2-then",
+        );
+    }
+
+    #[test]
+    fn bin3_covers_the_feature_scaling_kernel() {
+        // (x0 - x1) * x2 — the forest featurizer's scaling kernel.
+        assert_class_matches_vm(
+            &[
+                Instr::Load(0),
+                Instr::Load(1),
+                Instr::Sub,
+                Instr::Load(2),
+                Instr::Mul,
+            ],
+            3,
+            "bin3",
+        );
+    }
+
+    #[test]
+    fn bin3_covers_the_mirrored_feeder() {
+        // x0 * (x1 - x2) — the feeder binary on the root's right.
+        assert_class_matches_vm(
+            &[
+                Instr::Load(0),
+                Instr::Load(1),
+                Instr::Load(2),
+                Instr::Sub,
+                Instr::Mul,
+            ],
+            3,
+            "bin3",
+        );
+    }
+
+    #[test]
+    fn bin3_then_covers_the_binarizer_head() {
+        // ((x0 - x1) * x2) > 0.5 — the end-to-end featurizer's
+        // binarizer (`Imm; Gt` optimizes to a BinImm stage).
+        assert_class_matches_vm(
+            &[
+                Instr::Load(0),
+                Instr::Load(1),
+                Instr::Sub,
+                Instr::Load(2),
+                Instr::Mul,
+                Instr::Imm(0.5),
+                Instr::Gt,
+            ],
+            3,
+            "bin3-then",
+        );
+    }
+
+    #[test]
+    fn cmp_select_covers_the_tree_cluster() {
+        // select(a < b, x, y)
+        assert_class_matches_vm(
+            &[
+                Instr::Load(0),
+                Instr::Load(1),
+                Instr::Lt,
+                Instr::Load(2),
+                Instr::Load(3),
+                Instr::Select,
+            ],
+            4,
+            "cmp-select",
+        );
+    }
+
+    #[test]
+    fn select_with_direct_cond_and_imm_arm() {
+        assert_class_matches_vm(
+            &[
+                Instr::Load(0),
+                Instr::Load(1),
+                Instr::Imm(0.25),
+                Instr::Select,
+            ],
+            2,
+            "select",
+        );
+    }
+
+    #[test]
+    fn sanitize_clamp_cluster() {
+        // select(isnan(x), x, clamp(x, -1, 1))
+        assert_class_matches_vm(
+            &[
+                Instr::Load(0),
+                Instr::IsNan,
+                Instr::Load(0),
+                Instr::Load(0),
+                Instr::Clamp(-1.0, 1.0),
+                Instr::Select,
+            ],
+            1,
+            "sanitize-clamp",
+        );
+    }
+
+    #[test]
+    fn peephole_formed_programs_are_left_to_forms() {
+        // A single Bin over direct inputs has a LirForm; the class
+        // matcher is only consulted when the form is None, but it must
+        // also not claim shapes it cannot run.
+        let (p, e) = build(&[Instr::Load(0), Instr::Load(1), Instr::Lt], 2);
+        assert!(!detect_form(&p, &e).is_none());
+    }
+
+    #[test]
+    fn deep_programs_fall_back_to_vm() {
+        // Four chained stages: beyond every class; must yield None.
+        let (p, e) = build(
+            &[
+                Instr::Load(0),
+                Instr::MulImm(2.0),
+                Instr::AddImm(1.0),
+                Instr::Relu,
+                Instr::Sigmoid,
+            ],
+            1,
+        );
+        assert!(detect_class(&p, &e).is_none());
+    }
+
+    #[test]
+    fn in_place_row_reads_before_writing() {
+        // Chain2 with the input aliased to the output row.
+        let (p, e) = build(
+            &[Instr::Load(0), Instr::MulImm(-1.0), Instr::AddImm(1.0)],
+            1,
+        );
+        let class = detect_class(&p, &e);
+        let vals = vec![vec![0.25f32, -3.0, f32::NAN, 7.5]];
+        let mut regs: Vec<Vec<f32>> = vec![vec![0.0; 4]; e.n_regs.max(1)];
+        let mut want = vec![0.0f32; 4];
+        run_block(&p, &e, &vals, &mut regs, 4, &mut want);
+        let mut row = vals[0].clone();
+        class.run_row(Some(0), &[&[]], &[0], &[1], &mut row);
+        let got: Vec<u32> = row.iter().map(|v| v.to_bits()).collect();
+        let wantb: Vec<u32> = want.iter().map(|v| v.to_bits()).collect();
+        assert_eq!(got, wantb);
+    }
+}

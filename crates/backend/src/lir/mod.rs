@@ -35,6 +35,7 @@
 //! and the randomized differential suite (`tests/lir.rs`) executes both
 //! dispatchers bit-identically over the whole op vocabulary.
 
+pub mod codegen;
 pub mod opt;
 pub mod vm;
 

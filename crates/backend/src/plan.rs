@@ -436,6 +436,13 @@ impl MemoryPlan {
                             // First dying operand with exactly the output
                             // shape (a broadcast operand reads elements
                             // more than once, so it cannot be overwritten).
+                            // Every fused dispatch rung — specialized
+                            // codegen class, peephole form, register VM,
+                            // and stack interpreter — reads the aliased
+                            // operand's element before writing it, so the
+                            // planner may alias any same-shape operand
+                            // regardless of which rung the kernel resolves
+                            // to at execution time.
                             node.inputs.iter().enumerate().find_map(|(j, &i)| {
                                 let ok = dies_here(i, &kind, &pinned, &remaining, &dtypes)
                                     && conc[i].as_deref() == Some(shape.as_slice());

@@ -818,7 +818,9 @@ fn memplan(zoo: &mut Zoo) {
 /// arena-planned and the refcount executor. All four paths are asserted
 /// bit-identical inside `lir_profiles`; the table adds the kernels'
 /// aggregate LIR statistics (instruction counts, peak live registers,
-/// optimizer eliminations) from the verification certificates.
+/// optimizer eliminations) from the verification certificates, plus the
+/// codegen kernel classes each strategy's kernels resolved to and the
+/// rayon thread count the run executed under.
 fn lir_table(zoo: &mut Zoo) {
     let spec = &TREE_BENCH_SPECS[5]; // airline-like
     let e = zoo.model(spec, Algo::LightGbm);
@@ -835,12 +837,15 @@ fn lir_table(zoo: &mut Zoo) {
             "Stack-Planned",
             "Stack-Refcount",
             "Kernels",
+            "Classes",
+            "Threads",
             "LIRInstrs",
             "StackInstrs",
             "MaxLive",
             "Eliminated",
         ],
     );
+    let threads = rayon::current_num_threads();
     for strategy in [
         TreeStrategy::Gemm,
         TreeStrategy::TreeTraversal,
@@ -861,6 +866,26 @@ fn lir_table(zoo: &mut Zoo) {
         let stack_instrs: usize = certs.iter().map(|c| c.stack_len).sum();
         let max_live = certs.iter().map(|c| c.max_live).max().unwrap_or(0);
         let eliminated: usize = certs.iter().map(|c| c.eliminated).sum();
+        // Which codegen kernel classes this strategy's fused kernels
+        // resolved to, with multiplicity (e.g. `chain2*2+bin2`).
+        let mut class_counts: Vec<(String, usize)> = Vec::new();
+        for c in &certs {
+            match class_counts.iter_mut().find(|(name, _)| *name == c.class) {
+                Some((_, n)) => *n += 1,
+                None => class_counts.push((c.class.clone(), 1)),
+            }
+        }
+        let classes = class_counts
+            .iter()
+            .map(|(name, n)| {
+                if *n > 1 {
+                    format!("{name}*{n}")
+                } else {
+                    name.clone()
+                }
+            })
+            .collect::<Vec<_>>()
+            .join("+");
         t.row(vec![
             strategy.label().to_string(),
             fmt_secs(lir.planned_secs),
@@ -868,6 +893,8 @@ fn lir_table(zoo: &mut Zoo) {
             fmt_secs(stack.planned_secs),
             fmt_secs(stack.refcount_secs),
             certs.len().to_string(),
+            classes,
+            threads.to_string(),
             lir_instrs.to_string(),
             stack_instrs.to_string(),
             max_live.to_string(),

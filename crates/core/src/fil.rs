@@ -31,6 +31,15 @@ const BYTES_PER_NODE_VISIT: f64 = 48.0;
 /// Kernels the engine launches per batch (tree blocks + reduction).
 const FIL_KERNELS: f64 = 12.0;
 
+/// Records per row block of the batched traversal kernel (the rayon
+/// work unit; also bounds the per-block accumulator scratch).
+const ROW_BLOCK: usize = 64;
+
+/// Trees per block: a block's flattened node arrays (`left`/`right`/
+/// `feature`/`threshold` slices) are contiguous, and one block's nodes
+/// stay cache-resident while it streams over a row block.
+const TREE_BLOCK: usize = 8;
+
 /// A forest prepared for FIL-like inference.
 pub struct FilForest {
     tree_offset: Vec<usize>,
@@ -76,14 +85,73 @@ impl FilForest {
         }
     }
 
-    /// Scores a batch with record-parallel traversal; `[n, outputs]`.
+    /// Scores a batch with the batch-of-trees row-block kernel;
+    /// `[n, outputs]`.
+    ///
+    /// The batch is partitioned into row blocks of [`ROW_BLOCK`]
+    /// records (the rayon work unit), and inside a block the loop nest
+    /// is inverted FIL-style: trees are walked in blocks of
+    /// [`TREE_BLOCK`] whose node arrays are contiguous by construction
+    /// (trees are flattened back-to-back), and each tree block streams
+    /// over the block's rows while its nodes stay cache-resident —
+    /// instead of every row re-fetching the whole forest.
+    ///
+    /// Determinism: each row's accumulator chain still visits trees in
+    /// ascending index order, and row blocks are data-independent, so
+    /// outputs are bit-identical to the row-at-a-time traversal at any
+    /// thread count.
     pub fn predict_batch(&self, x: &Tensor<f32>) -> Tensor<f32> {
         let (n, d) = (x.shape()[0], x.shape()[1]);
         let xs = x.to_contiguous();
         let xv = xs.as_slice();
         let k = self.n_outputs;
+        let acc_len = self.agg.acc_len(self.value_width);
+        let n_trees = self.tree_offset.len();
         let mut out = vec![0.0f32; n * k];
-        out.par_chunks_mut(k).enumerate().for_each(|(r, orow)| {
+        out.par_chunks_mut(k * ROW_BLOCK)
+            .enumerate()
+            .for_each(|(bi, ochunk)| {
+                let r0 = bi * ROW_BLOCK;
+                let rows = ochunk.len() / k.max(1);
+                // One accumulator per row in the block, walked in tree
+                // order so every row's reduction chain matches the
+                // row-at-a-time traversal exactly.
+                let mut accs = vec![0.0f32; rows * acc_len];
+                for (tb, offs) in self.tree_offset.chunks(TREE_BLOCK).enumerate() {
+                    for (tj, &off) in offs.iter().enumerate() {
+                        let ti = tb * TREE_BLOCK + tj;
+                        for (rr, acc) in accs.chunks_mut(acc_len).enumerate() {
+                            let row = &xv[(r0 + rr) * d..(r0 + rr + 1) * d];
+                            let mut i = off;
+                            while self.left[i] >= 0 {
+                                i = if row[self.feature[i] as usize] < self.threshold[i] {
+                                    off + self.left[i] as usize
+                                } else {
+                                    off + self.right[i] as usize
+                                };
+                            }
+                            let v = &self.values[i * self.value_width..(i + 1) * self.value_width];
+                            self.agg.accumulate(acc, ti, v);
+                        }
+                    }
+                }
+                for (rr, orow) in ochunk.chunks_mut(k).enumerate() {
+                    self.agg
+                        .finish(&accs[rr * acc_len..(rr + 1) * acc_len], n_trees, orow);
+                }
+            });
+        Tensor::from_vec(out, &[n, k])
+    }
+
+    /// Reference row-at-a-time traversal (one record, all trees):
+    /// the differential baseline for the blocked kernel.
+    pub fn predict_row_at_a_time(&self, x: &Tensor<f32>) -> Tensor<f32> {
+        let (n, d) = (x.shape()[0], x.shape()[1]);
+        let xs = x.to_contiguous();
+        let xv = xs.as_slice();
+        let k = self.n_outputs;
+        let mut out = vec![0.0f32; n * k];
+        for (r, orow) in out.chunks_mut(k).enumerate() {
             let row = &xv[r * d..(r + 1) * d];
             let mut acc = vec![0.0f32; self.agg.acc_len(self.value_width)];
             for (ti, &off) in self.tree_offset.iter().enumerate() {
@@ -99,7 +167,7 @@ impl FilForest {
                 self.agg.accumulate(&mut acc, ti, v);
             }
             self.agg.finish(&acc, self.tree_offset.len(), orow);
-        });
+        }
         Tensor::from_vec(out, &[n, k])
     }
 
@@ -155,6 +223,39 @@ mod tests {
         let got = fil.predict_batch(&x);
         let want = e.predict_proba(&x);
         assert_eq!(got.to_vec(), want.to_vec());
+    }
+
+    #[test]
+    fn blocked_kernel_bit_identical_to_row_at_a_time() {
+        let (e, x) = forest();
+        let fil = FilForest::new(&e);
+        // A batch spanning several row blocks with a ragged tail, and
+        // tree count not a multiple of TREE_BLOCK (9 trees).
+        let big = {
+            let reps: Vec<&Tensor<f32>> = std::iter::repeat(&x).take(2).collect();
+            Tensor::concat(&reps, 0)
+        };
+        let blocked = fil.predict_batch(&big);
+        let reference = fil.predict_row_at_a_time(&big);
+        let got: Vec<u32> = blocked.to_vec().iter().map(|v| v.to_bits()).collect();
+        let want: Vec<u32> = reference.to_vec().iter().map(|v| v.to_bits()).collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn blocked_kernel_bit_identical_across_thread_counts() {
+        let (e, x) = forest();
+        let fil = FilForest::new(&e);
+        let multi = fil.predict_batch(&x);
+        #[allow(clippy::disallowed_methods)] // test-only pool construction
+        let single = rayon::ThreadPoolBuilder::new()
+            .num_threads(1)
+            .build()
+            .expect("single-thread pool")
+            .install(|| fil.predict_batch(&x));
+        let got: Vec<u32> = single.to_vec().iter().map(|v| v.to_bits()).collect();
+        let want: Vec<u32> = multi.to_vec().iter().map(|v| v.to_bits()).collect();
+        assert_eq!(got, want);
     }
 
     #[test]

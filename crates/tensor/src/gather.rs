@@ -69,6 +69,41 @@ impl<T: Element> Tensor<T> {
         let (iv, ioff) = index.raw_parts();
         let istr = index.strides().to_vec();
 
+        const PAR_MIN: usize = 1 << 15;
+
+        // Row-loop fast path for the 2-D axis-1 shape the TreeTraversal
+        // inner loop hits every level (`x.gather(1, cursor)`): one
+        // stride-add per row instead of a per-element odometer.
+        if ndim == 2 && axis == 1 && out_shape[1] > 0 {
+            let cols = out_shape[1];
+            let fill_rows = |r0: usize, out: &mut [T]| {
+                for (rr, orow) in out.chunks_mut(cols).enumerate() {
+                    let base = soff as isize + (r0 + rr) as isize * sstr[0];
+                    let ibase = ioff as isize + (r0 + rr) as isize * istr[0];
+                    for (j, o) in orow.iter_mut().enumerate() {
+                        let ival = iv[(ibase + j as isize * istr[1]) as usize];
+                        assert!(
+                            ival >= 0 && ival < axis_len,
+                            "gather: index {ival} out of bounds for axis length {axis_len}"
+                        );
+                        *o = sv[(base + ival as isize * astr) as usize];
+                    }
+                }
+            };
+            if n >= PAR_MIN {
+                let rows = out_shape[0];
+                let row_chunk = (rows / (rayon::current_num_threads() * 4).max(1)).max(64);
+                use rayon::prelude::*;
+                out_buf
+                    .par_chunks_mut(row_chunk * cols)
+                    .enumerate()
+                    .for_each(|(ci, c)| fill_rows(ci * row_chunk, c));
+            } else {
+                fill_rows(0, out_buf);
+            }
+            return;
+        }
+
         // Tight kernel over one flat output range: an odometer tracks the
         // source base offset of the non-axis coordinates plus the index
         // offset of all coordinates; the axis coordinate comes from the
@@ -115,7 +150,6 @@ impl<T: Element> Tensor<T> {
             }
         };
 
-        const PAR_MIN: usize = 1 << 15;
         if n >= PAR_MIN {
             let chunk = (n / (rayon::current_num_threads() * 4).max(1)).max(4096);
             use rayon::prelude::*;
@@ -269,20 +303,38 @@ impl<T: Element> Tensor<T> {
             b * n * w,
             "gather_rows_into: destination size mismatch"
         );
+        if n * w == 0 {
+            return;
+        }
         // Strided addressing of both operands — no materialization.
         let (dv, doff) = self.raw_parts();
         let dstr = self.strides();
         let (iv, ioff) = index.raw_parts();
         let istr = index.strides();
-        for bi in 0..b {
-            for i in 0..n {
-                let r = iv[(ioff as isize + bi as isize * istr[0] + i as isize * istr[1]) as usize];
+        // One batch's lookups; `w == 1` (the leaf-payload shape the
+        // tree strategies hit) takes a scalar loop with no per-row
+        // slice bookkeeping.
+        let fill_batch = |bi: usize, obatch: &mut [T]| {
+            let dbase = doff as isize + bi as isize * dstr[0];
+            let ibase = ioff as isize + bi as isize * istr[0];
+            let check = |r: i64| {
                 assert!(
                     r >= 0 && (r as usize) < nrows,
                     "gather_rows: index {r} out of bounds for {nrows} rows"
                 );
-                let base = (doff as isize + bi as isize * dstr[0] + r as isize * dstr[1]) as usize;
-                let orow = &mut out[(bi * n + i) * w..(bi * n + i) * w + w];
+            };
+            if w == 1 {
+                for (i, o) in obatch.iter_mut().enumerate() {
+                    let r = iv[(ibase + i as isize * istr[1]) as usize];
+                    check(r);
+                    *o = dv[(dbase + r as isize * dstr[1]) as usize];
+                }
+                return;
+            }
+            for (i, orow) in obatch.chunks_mut(w).enumerate() {
+                let r = iv[(ibase + i as isize * istr[1]) as usize];
+                check(r);
+                let base = (dbase + r as isize * dstr[1]) as usize;
                 if dstr[2] == 1 {
                     orow.copy_from_slice(&dv[base..base + w]);
                 } else {
@@ -290,6 +342,17 @@ impl<T: Element> Tensor<T> {
                         *o = dv[base + wi * dstr[2] as usize];
                     }
                 }
+            }
+        };
+        const PAR_MIN: usize = 1 << 15;
+        if b * n * w >= PAR_MIN && b > 1 {
+            use rayon::prelude::*;
+            out.par_chunks_mut(n * w)
+                .enumerate()
+                .for_each(|(bi, obatch)| fill_batch(bi, obatch));
+        } else {
+            for (bi, obatch) in out.chunks_mut(n * w).enumerate() {
+                fill_batch(bi, obatch);
             }
         }
     }

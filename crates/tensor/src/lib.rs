@@ -37,6 +37,7 @@ pub mod reduce;
 pub mod shape;
 pub mod sparse;
 pub mod tensor;
+pub mod tune;
 
 pub use dtype::{DType, Element, Float, Num};
 pub use dyn_tensor::DynTensor;

@@ -10,12 +10,30 @@ use rayon::prelude::*;
 
 use crate::shape::{broadcast_shapes, numel};
 use crate::tensor::Tensor;
+use crate::tune::{self, TileConfig};
 
 /// LHS zero fraction above which the zero-skipping kernel wins: skipping
 /// saves `n` multiply-adds per zero but costs a data-dependent branch per
 /// LHS element, which mispredicts on dense panels.
 const SPARSE_PANEL_NUMERATOR: usize = 1; // zeros > len/4 → sparse kernel
 const SPARSE_PANEL_DENOMINATOR: usize = 4;
+
+/// Zero fraction above which skipping beats even the register-tiled
+/// kernel. The tiled kernel runs multiply-adds several times faster
+/// than the scalar loop, so moderate sparsity (e.g. the ~50%-zero
+/// comparison matrices of the GEMM tree strategy) is cheaper to push
+/// through it than to branch around; only very sparse panels (the
+/// one-hot leaf-selector matrices) still win by skipping.
+const SPARSE_TILED_NUMERATOR: usize = 3; // zeros > 3·len/4 → sparse kernel
+const SPARSE_TILED_DENOMINATOR: usize = 4;
+
+/// Minimum `m·k·n` for the tiled kernel: below this the packing and
+/// tuning overhead exceeds the multiply itself.
+const TILE_MIN_MADDS: usize = 1 << 14;
+
+/// Minimum panel width for the tiled kernel: register tiles need a few
+/// columns to amortize the broadcast loads.
+const TILE_MIN_N: usize = 4;
 
 /// Zero-skipping panel kernel for sparse LHS panels (the one-hot and
 /// masked matrices the tree strategies produce).
@@ -50,17 +68,318 @@ fn gemm_panel_dense(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n
     }
 }
 
-/// Multiplies one `m×k` by one `k×n` panel into `out` (row-major slices).
+/// Packs the `rows`×`kb` block of `a` starting at `(i0, k0)` into
+/// `MR`-interleaved micro-panels: tile `t` holds rows
+/// `i0 + t·MR ..` laid out as `apack[t·kb·MR + kk·MR + r]`, so the
+/// micro-kernel reads its `MR` broadcast operands from one contiguous
+/// word group per `k` step. Short tiles are zero-padded; padded lanes
+/// are never stored back (see [`micro_edge`]).
+fn pack_a<const MR: usize>(
+    a: &[f32],
+    k: usize,
+    i0: usize,
+    rows: usize,
+    k0: usize,
+    kb: usize,
+    apack: &mut Vec<f32>,
+) {
+    let tiles = rows.div_ceil(MR);
+    apack.clear();
+    apack.resize(tiles * kb * MR, 0.0);
+    for t in 0..tiles {
+        let base = t * kb * MR;
+        let rmax = MR.min(rows - t * MR);
+        for r in 0..rmax {
+            let row = &a[(i0 + t * MR + r) * k + k0..][..kb];
+            for (kk, &v) in row.iter().enumerate() {
+                apack[base + kk * MR + r] = v;
+            }
+        }
+    }
+}
+
+/// Packs the `kb`×`cols` block of `b` starting at `(k0, j0)` into
+/// `NR`-interleaved micro-panels (`bpack[t·kb·NR + kk·NR + c]`), giving
+/// the micro-kernel one contiguous `NR`-wide vector load per `k` step.
+fn pack_b<const NR: usize>(
+    b: &[f32],
+    n: usize,
+    k0: usize,
+    kb: usize,
+    j0: usize,
+    cols: usize,
+    bpack: &mut Vec<f32>,
+) {
+    let tiles = cols.div_ceil(NR);
+    bpack.clear();
+    bpack.resize(tiles * kb * NR, 0.0);
+    for t in 0..tiles {
+        let base = t * kb * NR;
+        let cmax = NR.min(cols - t * NR);
+        for kk in 0..kb {
+            let brow = &b[(k0 + kk) * n + j0 + t * NR..][..cmax];
+            bpack[base + kk * NR..base + kk * NR + cmax].copy_from_slice(brow);
+        }
+    }
+}
+
+/// Full `MR`×`NR` register micro-kernel over one packed depth block.
 ///
-/// Probes LHS sparsity once per panel — O(m·k) against the O(m·k·n)
-/// multiply — and dispatches to the zero-skipping or branch-free kernel.
-/// Both kernels produce identical results for finite operands (the skip
-/// only changes `0·b` terms, which differ solely when `b` is NaN/Inf).
+/// Each accumulator starts from the partial sum already in `out` and
+/// adds its `a·b` terms in ascending-`k` order — exactly the chain the
+/// scalar [`gemm_panel_dense`] builds — so tiled and untiled results
+/// are bit-identical for every tile configuration. On the first depth
+/// block (`load == false`) the partial sum is the pre-zeroed output,
+/// so the load is skipped and the accumulators start at literal `0.0`:
+/// same chain, half the output-array traffic.
+#[inline]
+fn micro_full<const MR: usize, const NR: usize>(
+    ap: &[f32],
+    bp: &[f32],
+    kb: usize,
+    out: &mut [f32],
+    n: usize,
+    load: bool,
+) {
+    let mut acc = [[0.0f32; NR]; MR];
+    if load {
+        for (r, row) in acc.iter_mut().enumerate() {
+            row.copy_from_slice(&out[r * n..r * n + NR]);
+        }
+    }
+    for kk in 0..kb {
+        let bv = &bp[kk * NR..kk * NR + NR];
+        let av = &ap[kk * MR..kk * MR + MR];
+        for (r, row) in acc.iter_mut().enumerate() {
+            let ar = av[r];
+            for (o, &bvv) in row.iter_mut().zip(bv.iter()) {
+                *o += ar * bvv;
+            }
+        }
+    }
+    for (r, row) in acc.iter().enumerate() {
+        out[r * n..r * n + NR].copy_from_slice(row);
+    }
+}
+
+/// Edge micro-kernel for short tiles: the accumulate loop stays the
+/// branch-free `MR`×`NR` shape (padded pack lanes contribute garbage to
+/// lanes that are never read back), while loads and stores are bounded
+/// by the live `rows`×`cols` rectangle.
+#[inline]
+#[allow(clippy::too_many_arguments)] // hot micro-kernel: a params struct would obscure the tile geometry
+fn micro_edge<const MR: usize, const NR: usize>(
+    ap: &[f32],
+    bp: &[f32],
+    kb: usize,
+    out: &mut [f32],
+    n: usize,
+    rows: usize,
+    cols: usize,
+    load: bool,
+) {
+    let mut acc = [[0.0f32; NR]; MR];
+    if load {
+        for (r, row) in acc.iter_mut().enumerate().take(rows) {
+            row[..cols].copy_from_slice(&out[r * n..r * n + cols]);
+        }
+    }
+    for kk in 0..kb {
+        let bv = &bp[kk * NR..kk * NR + NR];
+        let av = &ap[kk * MR..kk * MR + MR];
+        for (r, row) in acc.iter_mut().enumerate() {
+            let ar = av[r];
+            for (o, &bvv) in row.iter_mut().zip(bv.iter()) {
+                *o += ar * bvv;
+            }
+        }
+    }
+    for (r, row) in acc.iter().enumerate().take(rows) {
+        out[r * n..r * n + cols].copy_from_slice(&row[..cols]);
+    }
+}
+
+/// Cache-blocked loop nest around the micro-kernels: `jc`/`k0`/`i0`
+/// step the `nc`/`kc`/`mc` blocks, packing each B and A block once and
+/// sweeping register tiles over the packed panels.
+fn tile_loop<const MR: usize, const NR: usize>(
+    a: &[f32],
+    b: &[f32],
+    out: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    kc_cfg: usize,
+) {
+    let kc = kc_cfg.clamp(1, k);
+    // Packed A targets ~128KB (L2-resident), packed B ~256KB. Blocks
+    // never need to exceed the panel, but must cover at least one
+    // micro-tile (which may itself be wider than a narrow panel).
+    let mc = ((1usize << 15) / kc).min(m).max(MR);
+    let nc = ((1usize << 16) / kc).min(n).max(NR);
+    let mut apack: Vec<f32> = Vec::new();
+    let mut bpack: Vec<f32> = Vec::new();
+    let mut jc = 0;
+    while jc < n {
+        let ncb = nc.min(n - jc);
+        let mut k0 = 0;
+        while k0 < k {
+            let kb = kc.min(k - k0);
+            // First depth block accumulates from the pre-zeroed output
+            // without re-reading it (see `micro_full`).
+            let load = k0 > 0;
+            pack_b::<NR>(b, n, k0, kb, jc, ncb, &mut bpack);
+            let mut i0 = 0;
+            while i0 < m {
+                let mcb = mc.min(m - i0);
+                pack_a::<MR>(a, k, i0, mcb, k0, kb, &mut apack);
+                let itiles = mcb.div_ceil(MR);
+                let jtiles = ncb.div_ceil(NR);
+                for it in 0..itiles {
+                    let rows = MR.min(mcb - it * MR);
+                    let ap = &apack[it * kb * MR..][..kb * MR];
+                    for jt in 0..jtiles {
+                        let cols = NR.min(ncb - jt * NR);
+                        let bp = &bpack[jt * kb * NR..][..kb * NR];
+                        let o = &mut out[(i0 + it * MR) * n + jc + jt * NR..];
+                        if rows == MR && cols == NR {
+                            micro_full::<MR, NR>(ap, bp, kb, o, n, load);
+                        } else {
+                            micro_edge::<MR, NR>(ap, bp, kb, o, n, rows, cols, load);
+                        }
+                    }
+                }
+                i0 += mcb;
+            }
+            k0 += kb;
+        }
+        jc += ncb;
+    }
+}
+
+/// Per-column map of a *selection matrix* RHS: column `j` has at most
+/// one nonzero, at row `row_of[j]` (−1 when all-zero) with value
+/// `val[j]`. The GEMM tree strategy multiplies by such matrices
+/// constantly — the feature-selector `A` is one-hot per column — and
+/// for them the whole `m·k·n` multiply collapses to one gather per
+/// output element. Returns `None` as soon as a second nonzero shows up
+/// in any column, so dense panels pay roughly `2n` reads.
+fn selection_columns(b: &[f32], k: usize, n: usize) -> Option<(Vec<i32>, Vec<f32>)> {
+    let mut row_of = vec![-1i32; n];
+    let mut val = vec![0.0f32; n];
+    for kk in 0..k {
+        let brow = &b[kk * n..(kk + 1) * n];
+        for (j, &v) in brow.iter().enumerate() {
+            if v != 0.0 {
+                if row_of[j] >= 0 {
+                    return None;
+                }
+                row_of[j] = kk as i32;
+                val[j] = v;
+            }
+        }
+    }
+    Some((row_of, val))
+}
+
+/// Selection-matrix kernel: `out[i,j] = a[i, row_of[j]] · val[j]`.
+///
+/// Equivalent to the dense chain minus its `±0.0` terms — the same
+/// degenerate-term caveat as the zero-skipping sparse kernel (results
+/// differ only where a skipped `0·a` term was `NaN`/`±Inf`-tainted or
+/// where dropping a `±0.0` addend flips a `-0.0`). All-zero columns
+/// leave the pre-zeroed output untouched.
+fn gemm_panel_select(
+    a: &[f32],
+    out: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    row_of: &[i32],
+    val: &[f32],
+) {
+    for i in 0..m {
+        let arow = &a[i * k..(i + 1) * k];
+        let orow = &mut out[i * n..(i + 1) * n];
+        for (j, o) in orow.iter_mut().enumerate() {
+            let r = row_of[j];
+            if r >= 0 {
+                // `0.0 +` mirrors the dense chain's zero init, which
+                // canonicalizes a `-0.0` product exactly like `+=` on
+                // the pre-zeroed output would.
+                *o = 0.0 + arow[r as usize] * val[j];
+            }
+        }
+    }
+}
+
+/// Register-tiled, packed-panel GEMM accumulating into a pre-zeroed
+/// `out`.
+///
+/// Monomorphized per `(mr, nr)` micro-tile; every instantiation keeps
+/// one accumulator chain per output element with terms added in
+/// ascending-`k` order, so results are bit-identical to
+/// [`gemm_panel_dense`] — and therefore identical across tile
+/// configurations, which is what frees the autotuner in
+/// [`crate::tune`] to pick purely by measured time.
+pub(crate) fn gemm_panel_tiled(
+    a: &[f32],
+    b: &[f32],
+    out: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    cfg: TileConfig,
+) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), k * n);
+    debug_assert_eq!(out.len(), m * n);
+    if m == 0 || n == 0 || k == 0 {
+        return;
+    }
+    match (cfg.mr, cfg.nr) {
+        (2, 16) => tile_loop::<2, 16>(a, b, out, m, k, n, cfg.kc),
+        (4, 16) => tile_loop::<4, 16>(a, b, out, m, k, n, cfg.kc),
+        (6, 8) => tile_loop::<6, 8>(a, b, out, m, k, n, cfg.kc),
+        (6, 4) => tile_loop::<6, 4>(a, b, out, m, k, n, cfg.kc),
+        // (4, 8) and any unrecognized pinned config.
+        _ => tile_loop::<4, 8>(a, b, out, m, k, n, cfg.kc),
+    }
+}
+
+/// Multiplies one `m×k` by one `k×n` panel into a pre-zeroed `out`
+/// (row-major slices).
+///
+/// Dispatches along the specialized-kernel ladder, cheapest probe
+/// first: a selection-matrix RHS collapses to the gather kernel; a
+/// very sparse LHS takes the zero-skipping kernel; large dense-enough
+/// panels the autotuned register-tiled kernel; the rest the classic
+/// scalar loop. All kernels produce identical results for finite
+/// operands (the gather and zero-skip kernels only drop `0`-factor
+/// terms, which differ solely on NaN/Inf-tainted or `-0.0` sums; the
+/// tiled kernel is bit-identical to the scalar one unconditionally).
 fn gemm_panel(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
     debug_assert_eq!(a.len(), m * k);
     debug_assert_eq!(b.len(), k * n);
     debug_assert_eq!(out.len(), m * n);
+    if m >= 16 && k >= 2 {
+        if let Some((row_of, val)) = selection_columns(b, k, n) {
+            gemm_panel_select(a, out, m, k, n, &row_of, &val);
+            return;
+        }
+    }
     let zeros = a.iter().filter(|&&v| v == 0.0).count();
+    if zeros * SPARSE_TILED_DENOMINATOR > a.len() * SPARSE_TILED_NUMERATOR {
+        gemm_panel_sparse(a, b, out, m, k, n);
+        return;
+    }
+    if m * k * n >= TILE_MIN_MADDS && n >= TILE_MIN_N {
+        let threads = rayon::current_num_threads();
+        if let Some((cfg, _src)) = tune::tile_for(m, k, n, threads) {
+            gemm_panel_tiled(a, b, out, m, k, n, cfg);
+            return;
+        }
+    }
     if zeros * SPARSE_PANEL_DENOMINATOR > a.len() * SPARSE_PANEL_NUMERATOR {
         gemm_panel_sparse(a, b, out, m, k, n);
     } else {
@@ -70,12 +389,16 @@ fn gemm_panel(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usiz
 
 /// Parallel panel multiply: splits the rows of `a` across Rayon workers.
 fn gemm_parallel(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
-    // Threshold tuned so small kernels avoid fork/join overhead.
-    if m * n * k < 1 << 16 || m < 2 {
+    let threads = rayon::current_num_threads();
+    // Threshold tuned so small kernels avoid fork/join overhead. On a
+    // single-thread pool splitting is pure loss: each chunk re-probes,
+    // re-packs, and re-suffers tile edges, which costs the tiled
+    // kernel over 2× on 64-row chunks.
+    if threads <= 1 || m * n * k < 1 << 16 || m < 2 {
         gemm_panel(a, b, out, m, k, n);
         return;
     }
-    let rows_per_chunk = (m / (rayon::current_num_threads() * 4)).max(8);
+    let rows_per_chunk = (m / (threads * 4)).max(8);
     out.par_chunks_mut(rows_per_chunk * n)
         .enumerate()
         .for_each(|(ci, ochunk)| {
@@ -86,9 +409,10 @@ fn gemm_parallel(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: u
 }
 
 /// Rows per scratch panel of [`matmul_in_place`]: large enough that the
-/// inner GEMM still parallelizes, small enough that the scratch stays a
-/// fraction of the buffer being reused.
-pub const MATMUL_INPLACE_BLOCK_ROWS: usize = 256;
+/// inner GEMM still parallelizes and the tiled kernel amortizes its
+/// packing, small enough that the scratch stays a fraction of the
+/// buffer being reused.
+pub const MATMUL_INPLACE_BLOCK_ROWS: usize = 512;
 
 /// Scratch length (f32 elements) [`matmul_in_place`] needs for an LHS
 /// with `m` rows per panel and inner dimension `k`. Memory planners size
@@ -523,6 +847,179 @@ mod tests {
         let mut buf = vec![0.0f32; 16];
         let mut scratch = vec![0.0f32; 16];
         matmul_in_place(&mut buf, a.shape(), &b, &mut scratch);
+    }
+
+    /// Every tile configuration (including degenerate kc and tiles far
+    /// wider than the panel) must reproduce the scalar kernel bit for
+    /// bit — the invariant that lets the autotuner pick by time alone.
+    #[test]
+    fn tiled_kernel_bit_identical_to_scalar_for_every_config() {
+        // Values include negatives, non-powers-of-two, NaN and ±Inf in
+        // the RHS (the LHS stays NaN-free so the scalar reference is
+        // the dense kernel's exact chain).
+        let (m, k, n) = (37, 19, 29);
+        let a: Vec<f32> = (0..m * k)
+            .map(|i| ((i * 7 + 3) % 23) as f32 * 0.37 - 4.0)
+            .collect();
+        let mut b: Vec<f32> = (0..k * n)
+            .map(|i| ((i * 5 + 1) % 17) as f32 * 0.61 - 5.0)
+            .collect();
+        b[3] = f32::NAN;
+        b[41] = f32::INFINITY;
+        b[55] = f32::NEG_INFINITY;
+        b[60] = -0.0;
+        let mut want = vec![0.0f32; m * n];
+        gemm_panel_dense(&a, &b, &mut want, m, k, n);
+        let mut configs: Vec<TileConfig> = tune::TILE_CANDIDATES.to_vec();
+        configs.push(TileConfig {
+            mr: 4,
+            nr: 8,
+            kc: 1,
+        });
+        configs.push(TileConfig {
+            mr: 4,
+            nr: 8,
+            kc: 7,
+        });
+        configs.push(TileConfig {
+            mr: 2,
+            nr: 16,
+            kc: 3,
+        });
+        for cfg in configs {
+            let mut got = vec![0.0f32; m * n];
+            gemm_panel_tiled(&a, &b, &mut got, m, k, n, cfg);
+            for (i, (g, w)) in got.iter().zip(want.iter()).enumerate() {
+                assert_eq!(g.to_bits(), w.to_bits(), "cfg {cfg:?} elem {i}: {g} vs {w}");
+            }
+        }
+    }
+
+    /// Large-panel dispatch (which may route through the tuner and the
+    /// tiled kernel) must agree with the scalar chain bit for bit.
+    #[test]
+    fn panel_dispatch_matches_scalar_chain() {
+        let (m, k, n) = (300, 13, 30);
+        let a = Tensor::from_fn(&[m, k], |i| ((i[0] * 7 + i[1] * 3) % 11) as f32 * 0.3 - 1.4);
+        let b = Tensor::from_fn(&[k, n], |i| ((i[0] * 5 + i[1]) % 9) as f32 * 0.7 - 2.8);
+        let mut want = vec![0.0f32; m * n];
+        gemm_panel_dense(a.as_slice(), b.as_slice(), &mut want, m, k, n);
+        let got = a.matmul(&b);
+        assert_eq!(
+            got.to_vec().iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            want.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+        );
+    }
+
+    /// Manual microbenchmark of the panel kernels; run with
+    /// `cargo test --release -p hb-tensor -- --ignored kernel_bench --nocapture`.
+    #[test]
+    #[ignore]
+    fn kernel_bench() {
+        for &(m, k, n, zfrac) in &[
+            (1000usize, 13usize, 30usize, 0.0f32),
+            (1000, 30, 31, 0.5),
+            (1000, 31, 1, 0.97),
+        ] {
+            let a: Vec<f32> = (0..m * k)
+                .map(|i| {
+                    if ((i * 2654435761) % 1000) as f32 / 1000.0 < zfrac {
+                        0.0
+                    } else {
+                        ((i * 7 + 3) % 23) as f32 * 0.37 - 4.0
+                    }
+                })
+                .collect();
+            let b: Vec<f32> = (0..k * n)
+                .map(|i| ((i * 5) % 17) as f32 * 0.61 - 5.0)
+                .collect();
+            let mut out = vec![0.0f32; m * n];
+            let reps = 20;
+            let mut time = |f: &mut dyn FnMut(&mut [f32])| {
+                let mut best = f64::INFINITY;
+                for _ in 0..reps {
+                    out.fill(0.0);
+                    let t0 = std::time::Instant::now();
+                    f(&mut out);
+                    best = best.min(t0.elapsed().as_secs_f64());
+                }
+                best * 1e6
+            };
+            let td = time(&mut |o| gemm_panel_dense(&a, &b, o, m, k, n));
+            let ts = time(&mut |o| gemm_panel_sparse(&a, &b, o, m, k, n));
+            println!("[{m}x{k}x{n} z={zfrac}] dense {td:.0}us sparse {ts:.0}us");
+            for cfg in tune::TILE_CANDIDATES {
+                let tt = time(&mut |o| gemm_panel_tiled(&a, &b, o, m, k, n, cfg));
+                println!("    tiled {} {tt:.0}us", cfg.label());
+            }
+        }
+    }
+
+    /// Manual microbenchmark of panel sizes; run with
+    /// `cargo test --release -p hb-tensor -- --ignored chunk_bench --nocapture`.
+    #[test]
+    #[ignore]
+    fn chunk_bench() {
+        let (k, n) = (30usize, 31usize);
+        for m in [64usize, 256, 1000] {
+            let a: Vec<f32> = (0..m * k)
+                .map(|i| {
+                    if (i * 2654435761usize) % 2 == 0 {
+                        0.0
+                    } else {
+                        ((i * 7 + 3) % 23) as f32 * 0.37 - 4.0
+                    }
+                })
+                .collect();
+            let b: Vec<f32> = (0..k * n)
+                .map(|i| ((i * 5) % 17) as f32 * 0.61 - 5.0)
+                .collect();
+            let mut out = vec![0.0f32; m * n];
+            let reps = 1000 * 64 / m;
+            let mut best = f64::INFINITY;
+            for _ in 0..reps.min(100) {
+                out.fill(0.0);
+                let t0 = std::time::Instant::now();
+                gemm_panel(&a, &b, &mut out, m, k, n);
+                best = best.min(t0.elapsed().as_secs_f64());
+            }
+            let rate = (m * k * n) as f64 / best / 1e9;
+            println!("m={m}: {:.1}us ({rate:.2} Gmadd/s)", best * 1e6);
+        }
+    }
+
+    /// Manual microbenchmark of the in-place path; run with
+    /// `cargo test --release -p hb-tensor -- --ignored inplace_bench --nocapture`.
+    #[test]
+    #[ignore]
+    fn inplace_bench() {
+        let (t, m, k, n) = (20usize, 1000usize, 30usize, 31usize);
+        let a = Tensor::from_fn(&[t, m, k], |i| {
+            if (i[0] * 31 + i[1] * 7 + i[2]) % 2 == 0 {
+                0.0
+            } else {
+                ((i[1] * 7 + i[2]) % 13) as f32 - 6.0
+            }
+        });
+        let b = Tensor::from_fn(&[t, k, n], |i| ((i[0] + i[1] * 5 + i[2]) % 9) as f32 - 4.0);
+        let mut best_alloc = f64::INFINITY;
+        let mut best_ip = f64::INFINITY;
+        for _ in 0..10 {
+            let t0 = std::time::Instant::now();
+            let _ = a.matmul(&b);
+            best_alloc = best_alloc.min(t0.elapsed().as_secs_f64());
+            let mut buf = a.to_vec();
+            buf.resize(buf.len().max(t * m * n), 0.0);
+            let mut scratch = vec![0.0f32; matmul_in_place_scratch_len(m, k)];
+            let t0 = std::time::Instant::now();
+            let _ = matmul_in_place(&mut buf, a.shape(), &b, &mut scratch);
+            best_ip = best_ip.min(t0.elapsed().as_secs_f64());
+        }
+        println!(
+            "alloc {:.0}us in-place {:.0}us",
+            best_alloc * 1e6,
+            best_ip * 1e6
+        );
     }
 
     #[test]

@@ -1,0 +1,382 @@
+//! Measurement-driven tile autotuner for the blocked GEMM kernel.
+//!
+//! The register-tiled kernel in [`crate::matmul`] is parameterized by a
+//! micro-tile (`mr`×`nr` output accumulators held in registers) and a
+//! `kc` depth block. The best point depends on the panel shape and the
+//! machine, so instead of hard-coding one, the first multiply of each
+//! *shape class* benchmarks a small candidate grid on a synthetic panel
+//! of that class and memoizes the winner, keyed by
+//! `(⌈log2 m⌉, ⌈log2 k⌉, ⌈log2 n⌉, rayon threads)`.
+//!
+//! Tile choice can never change results: every candidate accumulates
+//! each output element along a single chain in ascending-`k` order, so
+//! the tuner is free to pick by time alone (see the determinism notes
+//! on [`crate::matmul::gemm_panel_tiled`]).
+//!
+//! Winners persist in a small on-disk cache so repeated processes skip
+//! the measurement. The cache lives at `$HB_TILE_CACHE` (or
+//! `<tmp>/hb-tile-cache-v1.txt`); IO failures are ignored — the cache
+//! is an optimization, never a correctness dependency. Set
+//! `HB_TILE=off` to disable tiling, or `HB_TILE=mr,nr,kc` to pin a
+//! configuration (both used by the differential test suite).
+
+use std::collections::HashMap;
+use std::io::Write as _;
+use std::sync::{Mutex, OnceLock};
+
+/// One point of the tile grid: `mr`×`nr` register accumulators, depth
+/// blocked by `kc`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TileConfig {
+    /// Micro-tile rows (LHS rows whose partial sums stay in registers).
+    pub mr: usize,
+    /// Micro-tile columns (RHS columns per register tile).
+    pub nr: usize,
+    /// Depth block: packed panels cover `kc` of the inner dimension.
+    pub kc: usize,
+}
+
+impl TileConfig {
+    /// Compact `mr x nr / kc` label for certificates and lint reports.
+    pub fn label(&self) -> String {
+        format!("{}x{}/kc{}", self.mr, self.nr, self.kc)
+    }
+}
+
+/// The candidate grid. Small on purpose: tuning cost is paid on the
+/// first multiply of a shape class, so a handful of points that span
+/// register-pressure/reuse trade-offs beats an exhaustive sweep. Every
+/// `(mr, nr)` pair here must have a monomorphized kernel instantiated
+/// in `matmul::tile_loop_for`.
+pub const TILE_CANDIDATES: [TileConfig; 5] = [
+    TileConfig {
+        mr: 2,
+        nr: 16,
+        kc: 256,
+    },
+    TileConfig {
+        mr: 4,
+        nr: 8,
+        kc: 256,
+    },
+    TileConfig {
+        mr: 4,
+        nr: 16,
+        kc: 256,
+    },
+    TileConfig {
+        mr: 6,
+        nr: 8,
+        kc: 256,
+    },
+    TileConfig {
+        mr: 6,
+        nr: 4,
+        kc: 256,
+    },
+];
+
+/// Fallback when tuning is unavailable (e.g. measurement disabled): a
+/// middle-of-the-grid point that is near-optimal on common panels.
+pub const DEFAULT_TILE: TileConfig = TileConfig {
+    mr: 4,
+    nr: 8,
+    kc: 256,
+};
+
+/// Shape class of a panel: sizes bucketed to ceil-log2 so one tuning
+/// run covers every panel within a 2× band, plus the thread count
+/// (parallel splits shrink the per-worker panel).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ShapeClass {
+    m2: u8,
+    k2: u8,
+    n2: u8,
+    threads: u16,
+}
+
+impl ShapeClass {
+    pub fn of(m: usize, k: usize, n: usize, threads: usize) -> ShapeClass {
+        let lg = |v: usize| (usize::BITS - v.max(1).next_power_of_two().leading_zeros() - 1) as u8;
+        ShapeClass {
+            m2: lg(m),
+            k2: lg(k),
+            n2: lg(n),
+            threads: threads.min(u16::MAX as usize) as u16,
+        }
+    }
+}
+
+/// Caps the triggering panel's dims for the tuning benchmark so one
+/// tuning pass stays around a millisecond per candidate. `k` and `n`
+/// are kept exact whenever possible: edge-tile behavior (partial
+/// register tiles on non-multiple widths) is precisely what separates
+/// the candidates, so benchmarking a rounded shape would mislead.
+fn bench_dims(m: usize, k: usize, n: usize) -> (usize, usize, usize) {
+    (m.clamp(1, 512), k.clamp(1, 1024), n.clamp(1, 512))
+}
+
+/// How the active tile configuration was chosen, for observability.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TileSource {
+    /// Measured fresh in this process.
+    Tuned,
+    /// Loaded from the on-disk cache.
+    Cached,
+    /// Pinned via `HB_TILE=mr,nr,kc`.
+    Pinned,
+    /// Tiling disabled (`HB_TILE=off`); classic i-k-j kernel in use.
+    Disabled,
+}
+
+enum Override {
+    None,
+    Off,
+    Pin(TileConfig),
+}
+
+struct Tuner {
+    table: HashMap<ShapeClass, TileConfig>,
+    /// Classes whose winners were measured (not disk-loaded) this
+    /// process, pending a cache rewrite.
+    dirty: bool,
+    loaded_from_disk: usize,
+}
+
+fn tuner() -> &'static Mutex<Tuner> {
+    static TUNER: OnceLock<Mutex<Tuner>> = OnceLock::new();
+    TUNER.get_or_init(|| {
+        let mut t = Tuner {
+            table: HashMap::new(),
+            dirty: false,
+            loaded_from_disk: 0,
+        };
+        load_cache(&mut t);
+        Mutex::new(t)
+    })
+}
+
+fn override_mode() -> &'static Override {
+    static MODE: OnceLock<Override> = OnceLock::new();
+    MODE.get_or_init(|| match std::env::var("HB_TILE") {
+        Err(_) => Override::None,
+        Ok(v) if v.eq_ignore_ascii_case("off") => Override::Off,
+        Ok(v) => {
+            let parts: Vec<usize> = v.split(',').filter_map(|p| p.trim().parse().ok()).collect();
+            match parts.as_slice() {
+                [mr, nr, kc] if *mr >= 1 && *nr >= 1 && *kc >= 1 => Override::Pin(TileConfig {
+                    mr: (*mr).min(8),
+                    nr: (*nr).min(32),
+                    kc: *kc,
+                }),
+                _ => Override::None,
+            }
+        }
+    })
+}
+
+fn cache_path() -> std::path::PathBuf {
+    match std::env::var_os("HB_TILE_CACHE") {
+        Some(p) => std::path::PathBuf::from(p),
+        None => std::env::temp_dir().join("hb-tile-cache-v1.txt"),
+    }
+}
+
+/// Loads the on-disk cache. Unparseable lines and IO errors are
+/// silently skipped: a corrupt cache only costs a re-measurement.
+fn load_cache(t: &mut Tuner) {
+    let Ok(text) = std::fs::read_to_string(cache_path()) else {
+        return;
+    };
+    for line in text.lines() {
+        let f: Vec<&str> = line.split_whitespace().collect();
+        if f.len() != 8 || f[0] != "v1" {
+            continue;
+        }
+        let p = |s: &str| s.parse::<usize>().ok();
+        if let (Some(m2), Some(k2), Some(n2), Some(th), Some(mr), Some(nr), Some(kc)) = (
+            p(f[1]),
+            p(f[2]),
+            p(f[3]),
+            p(f[4]),
+            p(f[5]),
+            p(f[6]),
+            p(f[7]),
+        ) {
+            let class = ShapeClass {
+                m2: m2.min(63) as u8,
+                k2: k2.min(63) as u8,
+                n2: n2.min(63) as u8,
+                threads: th.min(u16::MAX as usize) as u16,
+            };
+            // Only accept configs the kernel actually instantiates.
+            if TILE_CANDIDATES.iter().any(|c| c.mr == mr && c.nr == nr) {
+                t.table.insert(
+                    class,
+                    TileConfig {
+                        mr,
+                        nr,
+                        kc: kc.max(1),
+                    },
+                );
+                t.loaded_from_disk += 1;
+            }
+        }
+    }
+}
+
+/// Rewrites the whole cache file (it is tiny). Errors are ignored.
+fn store_cache(t: &Tuner) {
+    let path = cache_path();
+    let mut body = String::new();
+    for (c, cfg) in &t.table {
+        body.push_str(&format!(
+            "v1 {} {} {} {} {} {} {}\n",
+            c.m2, c.k2, c.n2, c.threads, cfg.mr, cfg.nr, cfg.kc
+        ));
+    }
+    let tmp = path.with_extension("tmp");
+    let write = std::fs::File::create(&tmp)
+        .and_then(|mut f| f.write_all(body.as_bytes()))
+        .and_then(|_| std::fs::rename(&tmp, &path));
+    drop(write); // best-effort: the in-memory table is authoritative
+}
+
+/// Returns the tile configuration for a panel of `m`×`k`×`n` under
+/// `threads` workers, measuring the candidate grid on first sight of
+/// the shape class. Returns `None` when tiling is disabled.
+pub fn tile_for(m: usize, k: usize, n: usize, threads: usize) -> Option<(TileConfig, TileSource)> {
+    match override_mode() {
+        Override::Off => return None,
+        Override::Pin(cfg) => return Some((*cfg, TileSource::Pinned)),
+        Override::None => {}
+    }
+    let class = ShapeClass::of(m, k, n, threads);
+    let mut t = match tuner().lock() {
+        Ok(g) => g,
+        Err(p) => p.into_inner(),
+    };
+    if let Some(cfg) = t.table.get(&class) {
+        let src = if t.dirty || t.loaded_from_disk == 0 {
+            TileSource::Tuned
+        } else {
+            TileSource::Cached
+        };
+        return Some((*cfg, src));
+    }
+    let cfg = measure_class(class, m, k, n);
+    t.table.insert(class, cfg);
+    t.dirty = true;
+    store_cache(&t);
+    Some((cfg, TileSource::Tuned))
+}
+
+/// Benchmarks every candidate on a synthetic panel shaped like the
+/// (capped) triggering multiply and returns the fastest. Uses the
+/// serial tiled kernel directly so the measurement is independent of
+/// the Rayon pool. Panels in the same shape class tune on whichever
+/// exact shape arrives first; classes span at most a 2× band per dim,
+/// so the winner transfers.
+fn measure_class(class: ShapeClass, m: usize, k: usize, n: usize) -> TileConfig {
+    let (m, k, n) = bench_dims(m, k, n);
+    let a: Vec<f32> = (0..m * k).map(|i| (i % 13) as f32 * 0.25 - 1.0).collect();
+    let b: Vec<f32> = (0..k * n).map(|i| (i % 7) as f32 * 0.5 - 1.5).collect();
+    let mut out = vec![0.0f32; m * n];
+    // Round-robin the candidates and keep each one's *minimum* over
+    // several rounds: minimum-of-reps rejects one-sided noise (VM
+    // steal time, interrupts), and interleaving keeps slow drift from
+    // systematically favoring whichever candidate runs last. The first
+    // round is a warm-up (pages in code and data) and is not recorded.
+    let mut best_of = [f64::INFINITY; TILE_CANDIDATES.len()];
+    for round in 0..4 {
+        for (ci, cand) in TILE_CANDIDATES.iter().enumerate() {
+            out.fill(0.0);
+            let t0 = std::time::Instant::now();
+            crate::matmul::gemm_panel_tiled(&a, &b, &mut out, m, k, n, *cand);
+            let elapsed = t0.elapsed().as_secs_f64();
+            if round > 0 && elapsed < best_of[ci] {
+                best_of[ci] = elapsed;
+            }
+        }
+    }
+    let mut best = DEFAULT_TILE;
+    let mut best_t = f64::INFINITY;
+    for (ci, cand) in TILE_CANDIDATES.iter().enumerate() {
+        if best_of[ci] < best_t {
+            best_t = best_of[ci];
+            best = *cand;
+        }
+    }
+    if std::env::var_os("HB_TILE_DEBUG").is_some() {
+        let times: Vec<String> = TILE_CANDIDATES
+            .iter()
+            .zip(best_of.iter())
+            .map(|(c, t)| format!("{} {:.0}us", c.label(), t * 1e6))
+            .collect();
+        eprintln!(
+            "[tune] class {class:?} bench {m}x{k}x{n}: {} -> {}",
+            times.join(", "),
+            best.label()
+        );
+    }
+    best
+}
+
+/// Snapshot of tuned winners, for lint/bench reporting:
+/// `(class (m2,k2,n2,threads), config)` pairs in unspecified order.
+pub fn tuned_snapshot() -> Vec<((u8, u8, u8, u16), TileConfig)> {
+    let t = match tuner().lock() {
+        Ok(g) => g,
+        Err(p) => p.into_inner(),
+    };
+    t.table
+        .iter()
+        .map(|(c, cfg)| ((c.m2, c.k2, c.n2, c.threads), *cfg))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_class_buckets_log2() {
+        assert_eq!(
+            ShapeClass::of(1000, 13, 30, 1),
+            ShapeClass::of(600, 9, 17, 1)
+        );
+        assert_ne!(
+            ShapeClass::of(1000, 13, 30, 1),
+            ShapeClass::of(1000, 13, 30, 4)
+        );
+        assert_ne!(
+            ShapeClass::of(4096, 13, 30, 1),
+            ShapeClass::of(1000, 13, 30, 1)
+        );
+    }
+
+    #[test]
+    fn bench_dims_capped_and_exact() {
+        assert_eq!(bench_dims(1 << 20, 1 << 20, 1 << 20), (512, 1024, 512));
+        // Exact (edge-tile-preserving) below the caps.
+        assert_eq!(bench_dims(300, 13, 30), (300, 13, 30));
+    }
+
+    #[test]
+    fn tile_for_memoizes() {
+        let a = tile_for(777, 33, 29, 3);
+        let b = tile_for(777, 33, 29, 3);
+        match (a, b) {
+            (Some((ca, _)), Some((cb, _))) => assert_eq!(ca, cb),
+            (None, None) => {} // HB_TILE=off in the environment
+            other => panic!("inconsistent tuner answers: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn candidates_have_positive_dims() {
+        for c in TILE_CANDIDATES {
+            assert!(c.mr >= 1 && c.nr >= 1 && c.kc >= 1);
+        }
+    }
+}

@@ -49,6 +49,16 @@ cargo test -q --offline --test plan_audit
 echo "==> cargo test -q --test lir (register-LIR verifier + differential gate)"
 cargo test -q --offline --test lir
 
+# Codegen-tier gate, explicitly: every specialized kernel class the
+# stage-2 pattern compiler emits (chain2/chain3/bin2-then/select/
+# sanitize-clamp) must stay bit-identical with the generic register VM
+# and the legacy stack interpreter over NaN/±Inf/-0.0-seeded inputs,
+# in-place evaluation must match out-of-place, and real compiled models
+# must produce bit-identical planned outputs on every dispatch rung and
+# at every pinned thread count.
+echo "==> cargo test -q --test codegen (specialized-kernel differential + determinism gate)"
+cargo test -q --offline --test codegen
+
 # Static graph audit: export compiled artifacts (graph + signature +
 # value facts) for every tree strategy plus an end-to-end pipeline,
 # then run the hb-lint verifier over them. --deny-analysis promotes any

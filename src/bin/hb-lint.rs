@@ -292,9 +292,11 @@ fn lir_report(
             continue;
         }
         let exec = k.lir_exec();
+        let class = k.class_label();
+        let tile = if class == "vm" { "block64" } else { "row" };
         notes.push(format!(
-            "node {id}: LIR verified: {} instr(s) (from {} stack), form `{}`, {} reg(s), \
-             max-live {}, {} eliminated",
+            "node {id}: LIR verified: {} instr(s) (from {} stack), form `{}`, class `{class}`, \
+             tile `{tile}`, {} reg(s), max-live {}, {} eliminated",
             k.lir().instrs.len(),
             k.program_len(),
             k.lir_form().label(),
@@ -302,6 +304,23 @@ fn lir_report(
             exec.max_live,
             k.lir_opt_stats().eliminated()
         ));
+        // A multi-op kernel that neither the peephole tier nor the
+        // codegen tier could specialize interprets every block through
+        // the generic register VM — worth flagging on hot paths.
+        let computes = k
+            .lir()
+            .instrs
+            .iter()
+            .filter(|i| !matches!(i.op, lir::LirOp::Load(_) | lir::LirOp::Imm(_)))
+            .count();
+        if class == "vm" && computes >= 2 {
+            warnings.push(format!(
+                "node {id}: {computes}-op fused kernel fell back to the generic register VM — \
+                 no codegen kernel class covers its shape, so every block pays interpreted \
+                 dispatch ({} LIR instr(s))",
+                k.lir().instrs.len()
+            ));
+        }
         if exec.n_regs > lir::REG_BUDGET {
             warnings.push(format!(
                 "node {id}: register pressure {} exceeds the {}-register budget — the kernel \
@@ -313,13 +332,33 @@ fn lir_report(
         }
     }
     if let Some(a) = recorded {
-        if !a.lir_certs.is_empty() && a.lir_certs != Artifact::lir_certs_of(graph) {
-            warnings.push(format!(
-                "recorded LIR certificates ({}) disagree with a fresh derivation — stale or \
-                 tampered artifact",
-                a.lir_certs.len()
-            ));
+        if !a.lir_certs.is_empty() {
+            let mut fresh = Artifact::lir_certs_of(graph);
+            // Artifacts exported before the codegen tier carry certs
+            // without class/tile; compare those on the legacy fields.
+            if a.lir_certs.iter().all(|c| c.class.is_empty()) {
+                for c in &mut fresh {
+                    c.class.clear();
+                    c.tile.clear();
+                }
+            }
+            if a.lir_certs != fresh {
+                warnings.push(format!(
+                    "recorded LIR certificates ({}) disagree with a fresh derivation — stale or \
+                     tampered artifact",
+                    a.lir_certs.len()
+                ));
+            }
         }
+    }
+    // The matmul autotuner's per-shape-class tile choices, when this
+    // process has tuned (or loaded a cache of) any: attribution for
+    // bench deltas that trace to tiling rather than kernel classes.
+    for ((m2, k2, n2, threads), cfg) in hummingbird::tensor::tune::tuned_snapshot() {
+        notes.push(format!(
+            "gemm autotuner: shape class 2^{m2}x2^{k2}x2^{n2} @ {threads} thread(s) -> tile {}",
+            cfg.label()
+        ));
     }
     (notes, warnings, errors)
 }

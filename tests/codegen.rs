@@ -1,0 +1,396 @@
+//! Codegen-tier gate: every specialized kernel class the stage-2
+//! pattern compiler emits must stay bit-identical with the verified
+//! register VM and with the legacy stack interpreter — over inputs
+//! seeded with NaN, ±Inf, and signed zeros — and planned execution of
+//! real compiled models must be bit-identical at any thread count and
+//! on every rung of the dispatch ladder (codegen → LIR VM → stack).
+
+use hummingbird::backend::fuse::{FusedKernel, Instr};
+use hummingbird::backend::{Backend, Device, Op};
+use hummingbird::compiler::{compile, CompileOptions, TreeStrategy};
+use hummingbird::pipeline::{fit_pipeline, OpSpec, Targets};
+use hummingbird::tensor::{DType, DynTensor, Tensor};
+
+/// Deterministic xorshift in [0, 1).
+fn make_rand(seed: u64) -> impl FnMut() -> f32 {
+    let mut state = seed | 1;
+    move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        (state >> 40) as f32 / (1u64 << 24) as f32
+    }
+}
+
+/// A random f32 input tensor seeded with the serving edge cases: zeros,
+/// negative zero, NaN, ±Inf, large magnitudes.
+fn random_input(rand: &mut impl FnMut() -> f32, n: usize) -> DynTensor {
+    let data: Vec<f32> = (0..n)
+        .map(|_| {
+            let r = rand();
+            if r < 0.06 {
+                f32::NAN
+            } else if r < 0.09 {
+                f32::INFINITY
+            } else if r < 0.12 {
+                f32::NEG_INFINITY
+            } else if r < 0.17 {
+                -0.0
+            } else if r < 0.22 {
+                0.0
+            } else {
+                (rand() * 2.0 - 1.0) * 1e3
+            }
+        })
+        .collect();
+    DynTensor::F32(Tensor::from_vec(data, &[n]))
+}
+
+/// Executes one kernel on all three dispatch rungs — the specialized
+/// codegen tier (the default), the generic register VM, and the legacy
+/// stack interpreter — and asserts the outputs are bit-identical,
+/// NaN payloads included.
+fn assert_tri_dispatch_identical(kernel: &FusedKernel, inputs: &[&DynTensor], label: &str) {
+    let auto = kernel.eval(inputs);
+    let vm = kernel.with_vm_dispatch().eval(inputs);
+    let stack = kernel.with_stack_dispatch().eval(inputs);
+    for (rung, out) in [("register VM", &vm), ("stack interpreter", &stack)] {
+        match (&auto, out) {
+            (DynTensor::F32(a), DynTensor::F32(b)) => {
+                for (i, (x, y)) in a.iter().zip(b.iter()).enumerate() {
+                    assert_eq!(
+                        x.to_bits(),
+                        y.to_bits(),
+                        "{label}: codegen dispatch and {rung} diverged at element {i}: {x} vs {y}"
+                    );
+                }
+            }
+            (DynTensor::Bool(a), DynTensor::Bool(b)) => {
+                assert_eq!(a.to_vec(), b.to_vec(), "{label}: {rung} bools diverged");
+            }
+            other => panic!("{label}: {rung} returned a different dtype: {other:?}"),
+        }
+    }
+}
+
+/// The kernel classes the pattern compiler was built for: the actual
+/// fused programs real tree compilations produce, each asserted to
+/// resolve to its expected class and to execute bit-identically on all
+/// three dispatch rungs.
+#[test]
+fn specialized_classes_cover_the_serving_kernels() {
+    let mut rand = make_rand(0xc0de_0001);
+    let cases: Vec<(&str, &str, usize, Vec<Instr>)> = vec![
+        (
+            "complement head (1 - x)",
+            "chain2",
+            1,
+            vec![Instr::Load(0), Instr::MulImm(-1.0), Instr::AddImm(1.0)],
+        ),
+        (
+            "sigmoid head (sigmoid(x + b))",
+            "chain2",
+            1,
+            vec![
+                Instr::Load(0),
+                Instr::Imm(-1.394_615_9),
+                Instr::Add,
+                Instr::Sigmoid,
+            ],
+        ),
+        (
+            "affine sigmoid",
+            "chain3",
+            1,
+            vec![
+                Instr::Load(0),
+                Instr::MulImm(2.0),
+                Instr::AddImm(-1.0),
+                Instr::Sigmoid,
+            ],
+        ),
+        (
+            "relu of a difference",
+            "bin2-then",
+            2,
+            vec![Instr::Load(0), Instr::Load(1), Instr::Sub, Instr::Relu],
+        ),
+        (
+            "comparison select (where(a < b, a, b))",
+            "cmp-select",
+            2,
+            vec![
+                Instr::Load(0),
+                Instr::Load(1),
+                Instr::Lt,
+                Instr::Load(0),
+                Instr::Load(1),
+                Instr::Select,
+            ],
+        ),
+        (
+            "sanitize clamp (NaN-preserving clamp)",
+            "sanitize-clamp",
+            1,
+            vec![
+                Instr::Load(0),
+                Instr::IsNan,
+                Instr::Load(0),
+                Instr::Load(0),
+                Instr::Clamp(-1.5, 2.0),
+                Instr::Select,
+            ],
+        ),
+    ];
+    for (name, want_class, n_inputs, program) in cases {
+        let kernel = FusedKernel::try_new(n_inputs, DType::F32, program)
+            .unwrap_or_else(|e| panic!("{name}: kernel construction failed: {e}"));
+        assert_eq!(
+            kernel.class_label(),
+            want_class,
+            "{name}: resolved to the wrong kernel class"
+        );
+        let inputs: Vec<DynTensor> = (0..n_inputs)
+            .map(|_| random_input(&mut rand, 197))
+            .collect();
+        let refs: Vec<&DynTensor> = inputs.iter().collect();
+        assert_tri_dispatch_identical(&kernel, &refs, name);
+    }
+}
+
+/// Generates a short random compute chain over 1-3 inputs, biased
+/// toward the 2-3 compute shapes the codegen tier specializes so the
+/// suite exercises every class (and the VM fallback for deeper ones).
+fn random_chain(rand: &mut impl FnMut() -> f32, n_inputs: usize) -> Vec<Instr> {
+    let mut prog = vec![Instr::Load(
+        ((rand() * n_inputs as f32) as usize).min(n_inputs - 1),
+    )];
+    let n_stages = 1 + (rand() * 3.0) as usize;
+    for _ in 0..n_stages {
+        let r = rand();
+        if r < 0.35 {
+            prog.push(match (rand() * 6.0) as usize {
+                0 => Instr::AddImm(0.5),
+                1 => Instr::MulImm(-1.5),
+                2 => Instr::AddImm(f32::NAN),
+                3 => Instr::MulImm(0.0),
+                4 => Instr::Clamp(-1.0, 3.0),
+                _ => Instr::Pow(2.0),
+            });
+        } else if r < 0.6 {
+            prog.push(match (rand() * 6.0) as usize {
+                0 => Instr::Relu,
+                1 => Instr::Sigmoid,
+                2 => Instr::Tanh,
+                3 => Instr::Abs,
+                4 => Instr::Neg,
+                _ => Instr::Sqrt,
+            });
+        } else {
+            // A binary against a fresh operand (input or immediate,
+            // on either side).
+            let operand = if rand() < 0.6 {
+                Instr::Load(((rand() * n_inputs as f32) as usize).min(n_inputs - 1))
+            } else {
+                Instr::Imm(match (rand() * 5.0) as usize {
+                    0 => f32::NAN,
+                    1 => f32::INFINITY,
+                    2 => -0.0,
+                    3 => 2.5,
+                    _ => -1.0,
+                })
+            };
+            let op = match (rand() * 8.0) as usize {
+                0 => Instr::Add,
+                1 => Instr::Sub,
+                2 => Instr::Mul,
+                3 => Instr::Div,
+                4 => Instr::Min,
+                5 => Instr::Max,
+                6 => Instr::Lt,
+                _ => Instr::Ge,
+            };
+            if rand() < 0.5 {
+                prog.push(operand);
+                prog.push(op);
+            } else {
+                // Operand on the left: push it, then swap via the
+                // non-commutative op order the stack machine gives us.
+                prog.insert(prog.len() - 1, operand);
+                prog.push(op);
+            }
+        }
+    }
+    prog
+}
+
+/// The randomized differential suite: hundreds of short random chains
+/// (the shapes the pattern compiler targets), each executed on all
+/// three dispatch rungs over inputs seeded with NaN, ±Inf, and signed
+/// zeros. At least a handful must actually land in a specialized class,
+/// or the tier has silently stopped engaging.
+#[test]
+fn random_chains_bit_identical_across_all_three_dispatch_rungs() {
+    let mut rand = make_rand(0xc0de_0002);
+    let n = 197; // non-multiple of the 64-wide block: exercises the tail
+    let mut specialized = 0usize;
+    for case in 0..300 {
+        let n_inputs = 1 + (rand() * 3.0) as usize;
+        let program = random_chain(&mut rand, n_inputs);
+        let kernel =
+            FusedKernel::try_new(n_inputs, DType::F32, program.clone()).unwrap_or_else(|e| {
+                panic!("case {case}: kernel construction failed: {e}\n{program:?}")
+            });
+        if !kernel.kernel_class().is_none() {
+            specialized += 1;
+        }
+        let inputs: Vec<DynTensor> = (0..n_inputs).map(|_| random_input(&mut rand, n)).collect();
+        let refs: Vec<&DynTensor> = inputs.iter().collect();
+        assert_tri_dispatch_identical(&kernel, &refs, &format!("case {case} ({program:?})"));
+    }
+    assert!(
+        specialized >= 30,
+        "only {specialized}/300 random chains hit a specialized class; \
+         the codegen tier has stopped engaging"
+    );
+}
+
+/// In-place evaluation (the planner's `Inplace::Fused` path, where the
+/// output aliases one operand) must match out-of-place evaluation
+/// bit-for-bit when the kernel runs on the specialized row fast path.
+#[test]
+fn in_place_codegen_matches_out_of_place() {
+    let mut rand = make_rand(0xc0de_0003);
+    let shape = [97usize, 5];
+    for (name, program) in [
+        (
+            "chain2 complement",
+            vec![Instr::Load(0), Instr::MulImm(-1.0), Instr::AddImm(1.0)],
+        ),
+        (
+            "bin2-then against a broadcast row",
+            vec![Instr::Load(0), Instr::Load(1), Instr::Sub, Instr::Relu],
+        ),
+    ] {
+        let n_inputs = program.iter().fold(0usize, |m, i| match i {
+            Instr::Load(k) => m.max(k + 1),
+            _ => m,
+        });
+        let kernel = FusedKernel::try_new(n_inputs, DType::F32, program)
+            .unwrap_or_else(|e| panic!("{name}: kernel construction failed: {e}"));
+        assert!(
+            !kernel.kernel_class().is_none(),
+            "{name}: expected a specialized class"
+        );
+        let a = match random_input(&mut rand, shape[0] * shape[1]) {
+            DynTensor::F32(t) => t.reshape(&shape),
+            other => panic!("unexpected dtype: {other:?}"),
+        };
+        let row = Tensor::from_fn(&[1, shape[1]], |i| i[1] as f32 - 2.0);
+        let (da, drow) = (DynTensor::F32(a.clone()), DynTensor::F32(row));
+        let mut operands: Vec<&DynTensor> = vec![&da];
+        if n_inputs > 1 {
+            operands.push(&drow);
+        }
+        let want = kernel.eval(&operands).as_f32().to_vec();
+        let mut buf = a.to_vec();
+        let mut aliased: Vec<Option<&DynTensor>> = vec![None];
+        if n_inputs > 1 {
+            aliased.push(Some(&drow));
+        }
+        kernel.eval_in_place(0, &aliased, &shape, &mut buf);
+        let got: Vec<u32> = buf.iter().map(|v| v.to_bits()).collect();
+        let want_bits: Vec<u32> = want.iter().map(|v| v.to_bits()).collect();
+        assert_eq!(got, want_bits, "{name}: in-place diverged");
+    }
+}
+
+/// End-to-end ladder and determinism gate: real compiled models (all
+/// three tree strategies) must produce bit-identical planned outputs on
+/// every dispatch rung (codegen → forced VM → forced stack) and at
+/// every thread count (1 vs 4 pinned rayon pools). The codegen tier
+/// must actually engage on at least one kernel across the strategies.
+#[test]
+fn compiled_models_bit_identical_across_rungs_and_thread_counts() {
+    let n = 240;
+    let d = 8;
+    let x = Tensor::from_fn(&[n, d], |i| {
+        let cls = (i[0] % 3) as f32;
+        cls * 1.3 + ((i[0] * 13 + i[1] * 7) % 11) as f32 * 0.25 - 1.0
+    });
+    let y = Targets::Classes((0..n).map(|i| (i % 3) as i64).collect());
+    let pipe = fit_pipeline(
+        &[
+            OpSpec::StandardScaler,
+            OpSpec::RandomForestClassifier(Default::default()),
+        ],
+        &x,
+        &y,
+    );
+    let input = [DynTensor::F32(x.clone())];
+    let mut labels: Vec<String> = Vec::new();
+    for strategy in [
+        TreeStrategy::Gemm,
+        TreeStrategy::TreeTraversal,
+        TreeStrategy::PerfectTreeTraversal,
+    ] {
+        let compile_for = |threads: usize| {
+            let opts = CompileOptions {
+                backend: Backend::Compiled,
+                tree_strategy: strategy,
+                device: Device::Cpu { threads },
+                expected_batch: n,
+                ..Default::default()
+            };
+            compile(&pipe, &opts).unwrap_or_else(|e| panic!("{}: {e}", strategy.label()))
+        };
+        let model = compile_for(0);
+        for node in &model.executable().graph().nodes {
+            if let Op::Fused(k) = &node.op {
+                labels.push(format!("{}:{}", strategy.label(), k.class_label()));
+            }
+        }
+        let bits_of = |outs: &[DynTensor]| -> Vec<Vec<u32>> {
+            outs.iter()
+                .map(|t| t.as_f32().iter().map(|v| v.to_bits()).collect())
+                .collect()
+        };
+        let run = |exe: &hummingbird::backend::Executable| -> Vec<Vec<u32>> {
+            // Warm once so the planned path (not the first-sight
+            // refcount run) is what gets compared.
+            let _ = exe.run(&input).unwrap_or_else(|e| panic!("warm: {e}"));
+            bits_of(&exe.run(&input).unwrap_or_else(|e| panic!("run: {e}")))
+        };
+        let reference = run(model.executable());
+        for (rung, exe) in [
+            (
+                "forced register VM",
+                model.executable().with_fused_vm_dispatch(),
+            ),
+            (
+                "forced stack",
+                model.executable().with_fused_stack_dispatch(),
+            ),
+        ] {
+            assert_eq!(
+                reference,
+                run(&exe),
+                "{}: {rung} diverged from codegen dispatch",
+                strategy.label()
+            );
+        }
+        for threads in [1usize, 4] {
+            let pinned = compile_for(threads);
+            assert_eq!(
+                reference,
+                run(pinned.executable()),
+                "{}: {threads}-thread planned run is not bit-identical",
+                strategy.label()
+            );
+        }
+    }
+    assert!(
+        labels.iter().any(|l| !l.ends_with(":vm")),
+        "every fused kernel fell back to the generic VM: {labels:?}"
+    );
+}
