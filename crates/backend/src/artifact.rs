@@ -124,6 +124,18 @@ pub struct Artifact {
     pub output_kind: String,
     /// One LIR verification certificate per fused kernel, in node order.
     pub lir_certs: Vec<LirCert>,
+    /// Content hash of the whole graph (hex FNV-1a over its canonical
+    /// JSON; see [`crate::dedup::graph_content_hash`]). Two artifacts
+    /// with equal hashes compiled to bit-identical graphs — a model
+    /// store shares their sub-plans outright. Empty in artifacts
+    /// exported before dedup existed.
+    pub content_hash: String,
+    /// Content hash per interning-eligible constant tensor (at least
+    /// [`crate::dedup::MIN_INTERN_BYTES`] bytes), in node order — the
+    /// parameter blocks a store's [`crate::dedup::ConstPool`] would
+    /// share. `hb-lint` cross-references these across artifacts to flag
+    /// duplicated parameters that failed to deduplicate.
+    pub const_hashes: Vec<String>,
 }
 
 // Hand-written (rather than `json_struct!`) so `lir_certs` stays
@@ -138,6 +150,8 @@ impl hb_json::ToJson for Artifact {
             ("output_facts".to_string(), self.output_facts.to_json()),
             ("output_kind".to_string(), self.output_kind.to_json()),
             ("lir_certs".to_string(), self.lir_certs.to_json()),
+            ("content_hash".to_string(), self.content_hash.to_json()),
+            ("const_hashes".to_string(), self.const_hashes.to_json()),
         ])
     }
 }
@@ -153,6 +167,21 @@ impl hb_json::FromJson for Artifact {
             lir_certs: match v.get("lir_certs") {
                 Some(certs) => hb_json::FromJson::from_json(certs)
                     .map_err(|e| hb_json::JsonError::Schema(format!("Artifact.lir_certs: {e}")))?,
+                None => Vec::new(),
+            },
+            // Dedup hashes are optional for the same reason as
+            // lir_certs: pre-dedup artifacts still parse, and auditors
+            // recompute both from the graph anyway.
+            content_hash: match v.get("content_hash") {
+                Some(h) => hb_json::FromJson::from_json(h).map_err(|e| {
+                    hb_json::JsonError::Schema(format!("Artifact.content_hash: {e}"))
+                })?,
+                None => String::new(),
+            },
+            const_hashes: match v.get("const_hashes") {
+                Some(h) => hb_json::FromJson::from_json(h).map_err(|e| {
+                    hb_json::JsonError::Schema(format!("Artifact.const_hashes: {e}"))
+                })?,
                 None => Vec::new(),
             },
         })
@@ -177,7 +206,25 @@ impl Artifact {
             output_facts,
             output_kind: output_kind.to_string(),
             lir_certs: Artifact::lir_certs_of(graph),
+            content_hash: format!("{:016x}", crate::dedup::graph_content_hash(graph)),
+            const_hashes: Artifact::const_hashes_of(graph),
         })
+    }
+
+    /// Derives the content hashes of every interning-eligible constant
+    /// in `graph`, in node order — used at export time and by auditors
+    /// cross-checking a recorded set against a fresh derivation.
+    pub fn const_hashes_of(graph: &Graph) -> Vec<String> {
+        graph
+            .nodes
+            .iter()
+            .filter_map(|n| match &n.op {
+                Op::Const(v) if v.nbytes() >= crate::dedup::MIN_INTERN_BYTES => {
+                    Some(format!("{:016x}", crate::dedup::tensor_hash(v)))
+                }
+                _ => None,
+            })
+            .collect()
     }
 
     /// Derives the LIR verification certificates for every fused kernel
@@ -292,6 +339,48 @@ mod tests {
         let back: LirCert = hb_json::from_str(&hb_json::to_string(&full))
             .unwrap_or_else(|e| panic!("cert reparse: {e}"));
         assert_eq!(back, full);
+    }
+
+    #[test]
+    fn artifact_records_and_round_trips_dedup_hashes() {
+        let mut b = GraphBuilder::new();
+        let x = b.input(DType::F32);
+        let c = b.constant(hb_tensor::Tensor::<f32>::from_fn(&[8, 8], |i| i[0] as f32));
+        let tiny = b.constant(hb_tensor::Tensor::<f32>::from_vec(vec![1.0], &[1]));
+        let s = b.push(crate::op::Op::Add, vec![x, c]);
+        let s2 = b.push(crate::op::Op::Add, vec![s, tiny]);
+        b.output(s2);
+        let g = b.build();
+        let a = Artifact::from_graph(&g, "matrix").unwrap_or_else(|e| panic!("artifact: {e}"));
+        assert_eq!(a.content_hash.len(), 16, "hex-encoded 64-bit hash");
+        assert_eq!(
+            a.const_hashes.len(),
+            1,
+            "only interning-eligible constants are hashed"
+        );
+        let back =
+            Artifact::from_json_str(&a.to_json_string()).unwrap_or_else(|e| panic!("reparse: {e}"));
+        assert_eq!(back.content_hash, a.content_hash);
+        assert_eq!(back.const_hashes, a.const_hashes);
+        // A fresh derivation from the reparsed graph agrees.
+        assert_eq!(Artifact::const_hashes_of(&back.graph), a.const_hashes);
+        assert_eq!(
+            format!("{:016x}", crate::dedup::graph_content_hash(&back.graph)),
+            a.content_hash
+        );
+        // Pre-dedup artifacts parse with empty hashes.
+        let json = a.to_json_string();
+        let stripped = json
+            .replacen(&format!(",\"content_hash\":\"{}\"", a.content_hash), "", 1)
+            .replacen(
+                &format!(",\"const_hashes\":[\"{}\"]", a.const_hashes[0]),
+                "",
+                1,
+            );
+        assert_ne!(stripped, json);
+        let legacy =
+            Artifact::from_json_str(&stripped).unwrap_or_else(|e| panic!("legacy parse: {e}"));
+        assert!(legacy.content_hash.is_empty() && legacy.const_hashes.is_empty());
     }
 
     #[test]

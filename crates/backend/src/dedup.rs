@@ -1,0 +1,452 @@
+//! Content-hash deduplication of compiled-graph constants.
+//!
+//! A multi-model store (PRETZEL-style white-box sharing) registers many
+//! pipelines that share featurizers and parameter blocks: the same
+//! scaler means/scales, the same forest thresholds, the same embedding
+//! matrix. Each registration compiles its own graphs, so without
+//! intervention the N-th variant pays the full parameter footprint
+//! again — and again per ladder rung, since the serving layer lowers
+//! every pipeline at several backends.
+//!
+//! [`ConstPool`] is the sharing point: [`intern_graph_consts`] rewrites
+//! every sufficiently large [`Op::Const`] payload in a graph to a
+//! pool-shared tensor with the same bits. Tensors are reference-counted
+//! ([`Tensor`] clones share storage), so two graphs whose constants
+//! intern to the same pool entry physically share one buffer. The pool
+//! keeps per-entry reference counts; evicting a model releases its
+//! hashes and frees entries nothing else holds.
+//!
+//! Hashing is 64-bit FNV-1a over dtype, shape, and raw element bits.
+//! A hash hit is confirmed by full bit-equality before sharing, so a
+//! collision can never alias two different parameter blocks — it only
+//! forfeits the dedup for the colliding tensor.
+
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+use hb_tensor::{DynTensor, Tensor};
+
+use crate::graph::Graph;
+use crate::op::Op;
+
+/// Constants smaller than this many bytes are not worth interning: the
+/// pool bookkeeping would cost more than the duplicate scalar.
+pub const MIN_INTERN_BYTES: usize = 64;
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Incremental 64-bit FNV-1a hasher.
+#[derive(Debug, Clone, Copy)]
+pub struct Fnv64(u64);
+
+impl Default for Fnv64 {
+    fn default() -> Self {
+        Fnv64(FNV_OFFSET)
+    }
+}
+
+impl Fnv64 {
+    /// A fresh hasher at the FNV offset basis.
+    pub fn new() -> Fnv64 {
+        Fnv64::default()
+    }
+
+    /// Absorbs raw bytes.
+    pub fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    /// Absorbs a little-endian u64.
+    pub fn write_u64(&mut self, v: u64) {
+        self.write(&v.to_le_bytes());
+    }
+
+    /// The current hash value.
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+fn hash_elems<T, F: Fn(T) -> u64>(h: &mut Fnv64, t: &Tensor<T>, bits: F)
+where
+    T: Copy + hb_tensor::Element,
+{
+    for v in t.iter() {
+        h.write_u64(bits(v));
+    }
+}
+
+/// Content hash of one constant tensor: dtype tag, shape, then raw
+/// element bits (`f32::to_bits`, so `-0.0` and NaN payloads are
+/// distinguished — sharing is bit-exact, never value-approximate).
+pub fn tensor_hash(t: &DynTensor) -> u64 {
+    let mut h = Fnv64::new();
+    h.write(&[match t {
+        DynTensor::F32(_) => 0u8,
+        DynTensor::I64(_) => 1,
+        DynTensor::U8(_) => 2,
+        DynTensor::Bool(_) => 3,
+    }]);
+    h.write_u64(t.shape().len() as u64);
+    for &d in t.shape() {
+        h.write_u64(d as u64);
+    }
+    match t {
+        DynTensor::F32(t) => hash_elems(&mut h, t, |v| u64::from(v.to_bits())),
+        DynTensor::I64(t) => hash_elems(&mut h, t, |v| v as u64),
+        DynTensor::U8(t) => hash_elems(&mut h, t, u64::from),
+        DynTensor::Bool(t) => hash_elems(&mut h, t, u64::from),
+    }
+    h.finish()
+}
+
+/// Content hash of a whole graph: FNV-1a over its canonical JSON
+/// serialization (node ops, wiring, constants, outputs, declared input
+/// types/shapes). Two pipelines that compiled to bit-identical graphs
+/// hash equal; any structural or parameter difference diverges.
+pub fn graph_content_hash(g: &Graph) -> u64 {
+    let mut h = Fnv64::new();
+    h.write(hb_json::to_string(g).as_bytes());
+    h.finish()
+}
+
+/// What [`intern_graph_consts`] did to one graph.
+#[derive(Debug, Clone, Default)]
+pub struct DedupStats {
+    /// Constant tensors examined.
+    pub tensors: usize,
+    /// Constants replaced with an existing pool entry (dedup hits).
+    pub shared: usize,
+    /// Total constant bytes examined.
+    pub bytes: usize,
+    /// Bytes the graph now shares with earlier pool residents instead
+    /// of owning privately.
+    pub shared_bytes: usize,
+    /// Bytes newly inserted into the pool by this graph (first copy of
+    /// each distinct constant).
+    pub fresh_bytes: usize,
+    /// Pool hashes this graph holds references to, one per interned
+    /// constant (duplicates included — each carries one refcount).
+    pub hashes: Vec<u64>,
+}
+
+impl DedupStats {
+    /// Constant bytes below [`MIN_INTERN_BYTES`] left privately owned.
+    pub fn small_bytes(&self) -> usize {
+        self.bytes - self.shared_bytes - self.fresh_bytes
+    }
+
+    /// Folds another graph's stats into this one (a serving ladder
+    /// interns several lowered graphs per model).
+    pub fn absorb(&mut self, other: DedupStats) {
+        self.tensors += other.tensors;
+        self.shared += other.shared;
+        self.bytes += other.bytes;
+        self.shared_bytes += other.shared_bytes;
+        self.fresh_bytes += other.fresh_bytes;
+        self.hashes.extend(other.hashes);
+    }
+}
+
+struct PoolSlot {
+    value: DynTensor,
+    refs: usize,
+}
+
+/// A reference-counted interning pool for constant tensors, shared
+/// across every model registered in a store. `Send + Sync`; interning
+/// happens at registration time, never on the request path.
+#[derive(Default)]
+pub struct ConstPool {
+    slots: Mutex<HashMap<u64, PoolSlot>>,
+}
+
+impl ConstPool {
+    /// An empty pool.
+    pub fn new() -> ConstPool {
+        ConstPool::default()
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, HashMap<u64, PoolSlot>> {
+        // Pool state is plain data, valid on all paths; survive poison.
+        self.slots.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    /// Interns `t`, returning the pool-shared tensor plus whether the
+    /// pool already held it. The caller now owns one reference to the
+    /// returned hash and must eventually [`ConstPool::release`] it.
+    ///
+    /// Returns `None` (and takes no reference) when a different tensor
+    /// already occupies the hash — an FNV collision. The caller keeps
+    /// its private copy; correctness is unaffected.
+    pub fn intern(&self, t: &DynTensor) -> Option<(u64, DynTensor, bool)> {
+        let hash = tensor_hash(t);
+        let mut slots = self.lock();
+        match slots.get_mut(&hash) {
+            Some(slot) => {
+                if slot.value != *t {
+                    return None; // collision: refuse to alias
+                }
+                slot.refs += 1;
+                Some((hash, slot.value.clone(), true))
+            }
+            None => {
+                slots.insert(
+                    hash,
+                    PoolSlot {
+                        value: t.clone(),
+                        refs: 1,
+                    },
+                );
+                Some((hash, t.clone(), false))
+            }
+        }
+    }
+
+    /// Releases one reference per hash (an evicted model returning its
+    /// [`DedupStats::hashes`]); entries with no remaining holders are
+    /// dropped and their bytes freed.
+    pub fn release(&self, hashes: &[u64]) {
+        let mut slots = self.lock();
+        for h in hashes {
+            if let Some(slot) = slots.get_mut(h) {
+                slot.refs -= 1;
+                if slot.refs == 0 {
+                    slots.remove(h);
+                }
+            }
+        }
+    }
+
+    /// Distinct constants currently resident.
+    pub fn len(&self) -> usize {
+        self.lock().len()
+    }
+
+    /// True when nothing is interned.
+    pub fn is_empty(&self) -> bool {
+        self.lock().is_empty()
+    }
+
+    /// Bytes of constant data the pool keeps alive (each distinct
+    /// constant counted once, regardless of how many models share it).
+    pub fn resident_bytes(&self) -> usize {
+        self.lock().values().map(|s| s.value.nbytes()).sum()
+    }
+}
+
+impl std::fmt::Debug for ConstPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ConstPool")
+            .field("entries", &self.len())
+            .field("resident_bytes", &self.resident_bytes())
+            .finish()
+    }
+}
+
+/// Rewrites every [`Op::Const`] payload of at least [`MIN_INTERN_BYTES`]
+/// bytes to the pool-shared copy. Replacements are bit-identical (the
+/// pool confirms equality before sharing), so execution is unchanged;
+/// only ownership moves: duplicated parameter blocks collapse to one
+/// storage buffer shared by every graph that interned them.
+pub fn intern_graph_consts(g: &mut Graph, pool: &ConstPool) -> DedupStats {
+    let mut stats = DedupStats::default();
+    for node in &mut g.nodes {
+        let Op::Const(v) = &mut node.op else {
+            continue;
+        };
+        let nbytes = v.nbytes();
+        stats.tensors += 1;
+        stats.bytes += nbytes;
+        if nbytes < MIN_INTERN_BYTES {
+            continue;
+        }
+        if let Some((hash, shared, hit)) = pool.intern(v) {
+            *v = shared;
+            stats.hashes.push(hash);
+            if hit {
+                stats.shared += 1;
+                stats.shared_bytes += nbytes;
+            } else {
+                stats.fresh_bytes += nbytes;
+            }
+        }
+    }
+    stats
+}
+
+/// Sums the constant bytes of `g` not already seen through another
+/// graph, using storage identity (shared buffers count once). `seen`
+/// carries pointer keys across calls, so folding many graphs through
+/// one set yields the true resident parameter footprint of the group.
+pub fn unique_const_bytes(g: &Graph, seen: &mut std::collections::HashSet<usize>) -> usize {
+    let mut total = 0usize;
+    for node in &g.nodes {
+        let Op::Const(v) = &node.op else {
+            continue;
+        };
+        match storage_key(v) {
+            Some(key) => {
+                if seen.insert(key) {
+                    total += v.nbytes();
+                }
+            }
+            // Non-contiguous constants (never produced by the
+            // converters) have no stable slice address; count them
+            // conservatively as unshared.
+            None => total += v.nbytes(),
+        }
+    }
+    total
+}
+
+/// Stable identity of a contiguous tensor's backing buffer.
+fn storage_key(t: &DynTensor) -> Option<usize> {
+    fn key<T: hb_tensor::Element>(t: &Tensor<T>) -> Option<usize> {
+        t.is_contiguous().then(|| t.as_slice().as_ptr() as usize)
+    }
+    match t {
+        DynTensor::F32(t) => key(t),
+        DynTensor::I64(t) => key(t),
+        DynTensor::U8(t) => key(t),
+        DynTensor::Bool(t) => key(t),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::GraphBuilder;
+    use hb_tensor::DType;
+    use std::collections::HashSet;
+
+    fn big(v: f32) -> Tensor<f32> {
+        Tensor::from_fn(&[8, 8], |i| v + (i[0] * 8 + i[1]) as f32)
+    }
+
+    fn graph_with_consts(vals: &[f32]) -> Graph {
+        let mut b = GraphBuilder::new();
+        let x = b.input(DType::F32);
+        let mut cur = x;
+        for &v in vals {
+            let c = b.constant(big(v));
+            cur = b.push(Op::Add, vec![cur, c]);
+        }
+        b.output(cur);
+        b.build()
+    }
+
+    #[test]
+    fn identical_consts_share_one_pool_entry() {
+        let pool = ConstPool::new();
+        let mut g1 = graph_with_consts(&[1.0]);
+        let mut g2 = graph_with_consts(&[1.0]);
+        let s1 = intern_graph_consts(&mut g1, &pool);
+        let s2 = intern_graph_consts(&mut g2, &pool);
+        assert_eq!(s1.shared, 0);
+        assert_eq!(s1.fresh_bytes, 256);
+        assert_eq!(s2.shared, 1);
+        assert_eq!(s2.shared_bytes, 256);
+        assert_eq!(pool.len(), 1);
+        // Physical sharing: both graphs' consts resolve to one buffer.
+        let mut seen = HashSet::new();
+        let total = unique_const_bytes(&g1, &mut seen) + unique_const_bytes(&g2, &mut seen);
+        assert_eq!(total, 256);
+    }
+
+    #[test]
+    fn distinct_consts_do_not_alias() {
+        let pool = ConstPool::new();
+        let mut g1 = graph_with_consts(&[1.0]);
+        let mut g2 = graph_with_consts(&[2.0]);
+        intern_graph_consts(&mut g1, &pool);
+        let s2 = intern_graph_consts(&mut g2, &pool);
+        assert_eq!(s2.shared, 0);
+        assert_eq!(pool.len(), 2);
+        assert_eq!(pool.resident_bytes(), 512);
+    }
+
+    #[test]
+    fn release_frees_unreferenced_entries() {
+        let pool = ConstPool::new();
+        let mut g1 = graph_with_consts(&[1.0]);
+        let mut g2 = graph_with_consts(&[1.0]);
+        let s1 = intern_graph_consts(&mut g1, &pool);
+        let s2 = intern_graph_consts(&mut g2, &pool);
+        pool.release(&s1.hashes);
+        assert_eq!(pool.len(), 1, "second holder keeps the entry alive");
+        pool.release(&s2.hashes);
+        assert!(pool.is_empty());
+        assert_eq!(pool.resident_bytes(), 0);
+    }
+
+    #[test]
+    fn tiny_consts_are_left_alone() {
+        let pool = ConstPool::new();
+        let mut b = GraphBuilder::new();
+        let x = b.input(DType::F32);
+        let c = b.constant(Tensor::from_vec(vec![1.0f32, 2.0], &[2])); // 8 bytes
+        let s = b.push(Op::Add, vec![x, c]);
+        b.output(s);
+        let mut g = b.build();
+        let stats = intern_graph_consts(&mut g, &pool);
+        assert_eq!(stats.tensors, 1);
+        assert!(stats.hashes.is_empty());
+        assert_eq!(stats.small_bytes(), 8);
+        assert!(pool.is_empty());
+    }
+
+    #[test]
+    fn hash_distinguishes_dtype_shape_and_bits() {
+        let f = DynTensor::F32(Tensor::from_vec(vec![0.0f32; 4], &[4]));
+        let i = DynTensor::I64(Tensor::from_vec(vec![0i64; 4], &[4]));
+        let f2 = DynTensor::F32(Tensor::from_vec(vec![0.0f32; 4], &[2, 2]));
+        let neg = DynTensor::F32(Tensor::from_vec(vec![-0.0f32, 0.0, 0.0, 0.0], &[4]));
+        let h = tensor_hash(&f);
+        assert_ne!(h, tensor_hash(&i), "dtype must feed the hash");
+        assert_ne!(h, tensor_hash(&f2), "shape must feed the hash");
+        assert_ne!(h, tensor_hash(&neg), "-0.0 must hash apart from 0.0");
+        assert_eq!(h, tensor_hash(&f.clone()), "hashing is deterministic");
+    }
+
+    #[test]
+    fn graph_hash_tracks_structure_and_parameters() {
+        let a = graph_with_consts(&[1.0]);
+        let b = graph_with_consts(&[1.0]);
+        let c = graph_with_consts(&[2.0]);
+        let d = graph_with_consts(&[1.0, 2.0]);
+        assert_eq!(graph_content_hash(&a), graph_content_hash(&b));
+        assert_ne!(graph_content_hash(&a), graph_content_hash(&c));
+        assert_ne!(graph_content_hash(&a), graph_content_hash(&d));
+    }
+
+    #[test]
+    fn interning_preserves_execution_bits() {
+        let pool = ConstPool::new();
+        let mut g = graph_with_consts(&[3.5]);
+        let before = crate::Executable::new(
+            g.clone(),
+            crate::Backend::Eager,
+            crate::Device::Cpu { threads: 0 },
+        );
+        intern_graph_consts(&mut g, &pool);
+        // Intern a second identical graph so the const resolves to the
+        // shared pool copy, then compare outputs bit-for-bit.
+        let mut g2 = graph_with_consts(&[3.5]);
+        intern_graph_consts(&mut g2, &pool);
+        let after =
+            crate::Executable::new(g2, crate::Backend::Eager, crate::Device::Cpu { threads: 0 });
+        let x = DynTensor::F32(Tensor::from_fn(&[8, 8], |i| i[1] as f32));
+        let a = before
+            .run(std::slice::from_ref(&x))
+            .unwrap_or_else(|e| panic!("run: {e}"));
+        let b = after
+            .run(std::slice::from_ref(&x))
+            .unwrap_or_else(|e| panic!("run: {e}"));
+        assert_eq!(a[0].as_f32().to_vec(), b[0].as_f32().to_vec());
+    }
+}

@@ -464,6 +464,33 @@ impl Executable {
         MemoryPlan::build(&self.graph, batch)
     }
 
+    /// Interns this executable's constant tensors into a shared
+    /// [`crate::dedup::ConstPool`], collapsing parameter blocks that
+    /// other registered graphs already hold to one shared buffer.
+    /// Replacements are bit-identical; call at registration time, before
+    /// serving traffic.
+    pub fn intern_constants(&mut self, pool: &crate::dedup::ConstPool) -> crate::dedup::DedupStats {
+        crate::dedup::intern_graph_consts(&mut self.graph, pool)
+    }
+
+    /// Bytes of arena backing currently held by the warm plan cache
+    /// (summed over cached batch sizes) — the per-model plan-cache
+    /// component of a store's memory accounting.
+    pub fn plan_cache_bytes(&self) -> usize {
+        let cache = self.plans.lock().unwrap_or_else(|p| p.into_inner());
+        cache
+            .iter()
+            .filter_map(|(_, state)| state.as_ref())
+            .filter_map(|s| s.try_lock().ok().map(|g| g.plan.arena_bytes))
+            .sum()
+    }
+
+    /// Constant bytes of this executable's graph not already counted in
+    /// `seen` (storage identity; see [`crate::dedup::unique_const_bytes`]).
+    pub fn unique_const_bytes(&self, seen: &mut std::collections::HashSet<usize>) -> usize {
+        crate::dedup::unique_const_bytes(&self.graph, seen)
+    }
+
     fn validate_inputs(&self, inputs: &[DynTensor]) -> Result<(), ExecError> {
         if inputs.len() != self.graph.input_dtypes.len() {
             return Err(ExecError::InputCount {

@@ -24,6 +24,14 @@ pub enum FaultScope {
     /// Fault fires on the first `n` runs, then the executable recovers —
     /// models transient faults that retry-with-backoff should absorb.
     FirstRuns(u32),
+    /// Fault fires on roughly one run in `period`, on a pseudo-random
+    /// schedule derived deterministically from [`FaultPlan::seed`] and
+    /// the run index — intermittent faults that nonetheless reproduce
+    /// exactly under the same seed (`HB_CHAOS_SEED`).
+    Seeded {
+        /// Average runs between firings (`0` or `1` fires every run).
+        period: u32,
+    },
 }
 
 /// A deterministic fault-injection plan.
@@ -53,12 +61,26 @@ pub struct FaultPlan {
     /// How long run-time faults (`oom`, `slow_kernel`, `kernel_error`,
     /// `nan_poison`) persist.
     pub scope: FaultScope,
+    /// Seed for the [`FaultScope::Seeded`] schedule, and the value chaos
+    /// suites print so a failing run reproduces exactly. `0` by default;
+    /// [`FaultPlan::with_env_seed`] lets `HB_CHAOS_SEED` override it.
+    pub seed: u64,
 }
 
 impl FaultPlan {
     /// A plan that injects nothing.
     pub fn none() -> FaultPlan {
         FaultPlan::default()
+    }
+
+    /// Applies the `HB_CHAOS_SEED` environment override to this plan's
+    /// seed, if set — the hook every chaos/soak suite threads through so
+    /// a CI failure reproduces locally with one env var.
+    pub fn with_env_seed(mut self) -> FaultPlan {
+        if let Some(seed) = chaos_seed_override() {
+            self.seed = seed;
+        }
+        self
     }
 
     /// True if no fault is enabled.
@@ -71,13 +93,49 @@ impl FaultPlan {
     }
 
     /// True if run-time faults should fire for the `run_index`-th
-    /// execution (0-based).
+    /// execution (0-based). Deterministic: the same plan (including
+    /// seed) and run index always agree.
     pub fn active_for_run(&self, run_index: u64) -> bool {
         match self.scope {
             FaultScope::Always => true,
             FaultScope::FirstRuns(n) => run_index < u64::from(n),
+            FaultScope::Seeded { period } => {
+                if period <= 1 {
+                    return true;
+                }
+                splitmix64(self.seed ^ run_index.wrapping_mul(0x9e37_79b9_7f4a_7c15))
+                    .is_multiple_of(u64::from(period))
+            }
         }
     }
+}
+
+/// The `HB_CHAOS_SEED` override, when set and parseable (decimal, or
+/// hex with an `0x` prefix).
+pub fn chaos_seed_override() -> Option<u64> {
+    std::env::var("HB_CHAOS_SEED")
+        .ok()
+        .as_deref()
+        .and_then(parse_chaos_seed)
+}
+
+/// Pure parser behind [`chaos_seed_override`], separated so tests need
+/// not mutate process-global environment state.
+fn parse_chaos_seed(s: &str) -> Option<u64> {
+    let s = s.trim();
+    match s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+        Some(hex) => u64::from_str_radix(hex, 16).ok(),
+        None => s.parse().ok(),
+    }
+}
+
+/// SplitMix64 finalizer: a cheap, well-mixed hash from (seed, index) to
+/// a fire/skip decision.
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
 }
 
 #[cfg(test)]
@@ -101,5 +159,47 @@ mod tests {
         assert!(p.active_for_run(0));
         assert!(p.active_for_run(1));
         assert!(!p.active_for_run(2));
+    }
+
+    #[test]
+    fn seeded_scope_is_deterministic_and_seed_sensitive() {
+        let plan = |seed| FaultPlan {
+            kernel_error: true,
+            scope: FaultScope::Seeded { period: 4 },
+            seed,
+            ..FaultPlan::none()
+        };
+        let fires =
+            |seed: u64| -> Vec<bool> { (0..256).map(|i| plan(seed).active_for_run(i)).collect() };
+        assert_eq!(fires(7), fires(7), "same seed → same schedule");
+        assert_ne!(fires(7), fires(8), "different seed → different schedule");
+        let count = fires(7).iter().filter(|&&b| b).count();
+        assert!(
+            (16..=112).contains(&count),
+            "period-4 schedule should fire roughly 1-in-4, got {count}/256"
+        );
+    }
+
+    #[test]
+    fn seeded_scope_degenerate_periods_always_fire() {
+        for period in [0, 1] {
+            let p = FaultPlan {
+                nan_poison: true,
+                scope: FaultScope::Seeded { period },
+                seed: 3,
+                ..FaultPlan::none()
+            };
+            assert!(p.active_for_run(0) && p.active_for_run(99));
+        }
+    }
+
+    #[test]
+    fn chaos_seed_parses_decimal_and_hex() {
+        assert_eq!(parse_chaos_seed("42"), Some(42));
+        assert_eq!(parse_chaos_seed(" 42 "), Some(42));
+        assert_eq!(parse_chaos_seed("0xdeadbeef"), Some(0xdead_beef));
+        assert_eq!(parse_chaos_seed("0XFF"), Some(255));
+        assert_eq!(parse_chaos_seed("nonsense"), None);
+        assert_eq!(parse_chaos_seed(""), None);
     }
 }

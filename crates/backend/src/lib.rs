@@ -26,6 +26,7 @@ pub mod absint;
 pub mod artifact;
 pub mod audit;
 pub mod cancel;
+pub mod dedup;
 pub mod device;
 pub mod exec;
 pub mod fault;
@@ -41,6 +42,7 @@ pub use absint::ValueFact;
 pub use artifact::{Artifact, LirCert};
 pub use audit::{audit_plan, PlanAuditError};
 pub use cancel::CancelToken;
+pub use dedup::{ConstPool, DedupStats};
 pub use device::{Device, DeviceSpec};
 pub use exec::{ExecError, Executable, RunStats};
 pub use fault::{FaultPlan, FaultScope};

@@ -1472,6 +1472,18 @@ fn soak(cfg: &Config) {
             },
         ),
     ];
+    // Reproducible chaos: HB_CHAOS_SEED overrides every scenario's
+    // fault-schedule seed for bit-exact reruns.
+    let scenarios: Vec<(&str, ServeConfig)> = scenarios
+        .into_iter()
+        .map(|(name, mut sc)| {
+            sc.faults = sc.faults.with_env_seed();
+            (name, sc)
+        })
+        .collect();
+    if let Some((_, first)) = scenarios.first() {
+        eprintln!("  [soak] chaos seed = {:#x}", first.faults.seed);
+    }
 
     let mut t = Table::new(
         "soak",
@@ -1775,6 +1787,174 @@ fn soak(cfg: &Config) {
     t.print_and_save();
 }
 
+/// Multi-model store scaling: N replicas behind one `ModelStore` must
+/// grow memory sub-linearly (constant dedup + shared plan arenas), and
+/// hot-swap must auto-promote a clean retrain and auto-roll-back a
+/// divergent one. Gates: `measured(48) <= 0.5 * 48 * measured(1)`, the
+/// clean deploy promotes, and the seeded divergent deploy rolls back.
+fn store_bench(cfg: &Config) {
+    use hb_serve::{FaultPlan, IncidentKind, ModelStore, ServeConfig, ServeError, StoreConfig};
+    use std::time::Duration;
+
+    // Reproducible chaos: the divergent retrain below is seeded, and
+    // HB_CHAOS_SEED overrides the seed for ad-hoc reruns.
+    let faults = FaultPlan {
+        seed: cfg.seed,
+        ..FaultPlan::none()
+    }
+    .with_env_seed();
+    eprintln!("  [store] chaos seed = {:#x}", faults.seed);
+
+    let x = Tensor::from_fn(&[64, 8], |i| ((i[0] * 7 + i[1] * 3) % 17) as f32 * 0.25);
+    let fit = |label_stride: usize| {
+        let y = Targets::Classes((0..64).map(|i| ((i / label_stride) % 2) as i64).collect());
+        fit_pipeline(
+            &[
+                OpSpec::StandardScaler,
+                OpSpec::RandomForestClassifier(hb_ml::forest::ForestConfig {
+                    n_trees: cfg.trees.min(12),
+                    max_depth: cfg.depth.min(5),
+                    ..Default::default()
+                }),
+            ],
+            &x,
+            &y,
+        )
+    };
+    let pipe = fit(1);
+
+    let mut t = Table::new(
+        "store",
+        "Multi-model store: dedup memory growth + hot-swap (§5 robustness)",
+        &[
+            "scenario",
+            "models",
+            "measured KiB",
+            "naive KiB (n x 1)",
+            "ratio",
+            "pool entries",
+            "outcome",
+        ],
+    );
+
+    // Part 1: replica fleets. Identical artifacts (the per-region /
+    // per-tenant replica case) must share their constants through the
+    // store's content-hashed pool.
+    let mut single = 0usize;
+    let mut growth_ok = true;
+    for &n in &[1usize, 4, 16, 48] {
+        let store = ModelStore::new(StoreConfig::default());
+        for m in 0..n {
+            store
+                .register(&format!("replica-{m:02}"), &pipe, ServeConfig::default())
+                .unwrap_or_else(|e| panic!("replica-{m:02}: {e}"));
+        }
+        let measured = store.measured_bytes();
+        if n == 1 {
+            single = measured;
+        }
+        let naive = single * n;
+        let ratio = measured as f64 / naive as f64;
+        // The sub-linear gate from the issue: 48 replicas must cost at
+        // most half of 48 isolated copies.
+        let ok = n == 1 || measured * 2 <= naive;
+        growth_ok &= ok;
+        t.row(vec![
+            "replicas".into(),
+            n.to_string(),
+            format!("{:.0}", measured as f64 / 1024.0),
+            format!("{:.0}", naive as f64 / 1024.0),
+            format!("{ratio:.2}"),
+            store.pool_entries().to_string(),
+            if n == 1 {
+                "baseline".into()
+            } else if ok {
+                "sub-linear".into()
+            } else {
+                "FAIL".into()
+            },
+        ]);
+    }
+
+    // Part 2: hot-swap. A clean retrain promotes behind a canary; a
+    // divergent (shuffled-label) retrain is caught and rolled back with
+    // the prior version serving throughout.
+    let store = ModelStore::new(StoreConfig {
+        canary_fraction: 2,
+        promote_after: 4,
+        max_canary_failures: 2,
+        ..StoreConfig::default()
+    });
+    store
+        .register("ranker", &pipe, ServeConfig::default())
+        .expect("register v1");
+    let drive = |until: &dyn Fn() -> bool| {
+        let t0 = Instant::now();
+        while !until() {
+            if t0.elapsed() > Duration::from_secs(20) {
+                return false;
+            }
+            if let Err(e @ ServeError::Internal(_)) = store.predict("ranker", &x) {
+                panic!("store bench: {e}");
+            }
+        }
+        true
+    };
+
+    store
+        .deploy("ranker", &pipe, ServeConfig::default())
+        .expect("deploy clean v2");
+    let promoted = drive(&|| store.version("ranker") == Some(2));
+    t.row(vec![
+        "hot-swap clean v2".into(),
+        "1".into(),
+        "-".into(),
+        "-".into(),
+        "-".into(),
+        "-".into(),
+        if promoted {
+            "auto-promoted".into()
+        } else {
+            "FAIL (never promoted)".into()
+        },
+    ]);
+
+    let divergent = fit(3);
+    store
+        .deploy("ranker", &divergent, ServeConfig::default())
+        .expect("deploy divergent v3");
+    let rolled_back = drive(&|| !store.deploying("ranker")) && store.version("ranker") == Some(2);
+    let incident_logged = store
+        .incidents()
+        .iter()
+        .any(|i| i.kind == IncidentKind::RolledBack && i.model.as_deref() == Some("ranker@v3"));
+    t.row(vec![
+        "hot-swap divergent v3".into(),
+        "1".into(),
+        "-".into(),
+        "-".into(),
+        "-".into(),
+        "-".into(),
+        if rolled_back && incident_logged {
+            "auto-rolled-back, v2 serving".into()
+        } else {
+            "FAIL (divergence not contained)".into()
+        },
+    ]);
+    t.print_and_save();
+
+    assert!(
+        growth_ok,
+        "store: replica memory growth is not sub-linear — dedup regressed"
+    );
+    assert!(promoted, "store: clean v2 never auto-promoted");
+    assert!(
+        rolled_back && incident_logged,
+        "store: divergent v3 was not rolled back (version {:?})",
+        store.version("ranker")
+    );
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut exp = "all".to_string();
@@ -1836,10 +2016,11 @@ fn main() {
         "ablation" => ablation(cfg),
         "sparse" => sparse(cfg),
         "soak" => soak(cfg),
+        "store" => store_bench(cfg),
         "validate" => validate(zoo),
         other => {
             eprintln!("unknown experiment '{other}'");
-            eprintln!("available: table7 table8 table9 table10 table11 table12 fig4 fig6 fig7 fig8 fig9 fig10 fig12 memplan lir ablation sparse soak validate all");
+            eprintln!("available: table7 table8 table9 table10 table11 table12 fig4 fig6 fig7 fig8 fig9 fig10 fig12 memplan lir ablation sparse soak store validate all");
             std::process::exit(2);
         }
     };
@@ -1847,7 +2028,7 @@ fn main() {
         for name in [
             "table7", "table8", "table9", "table10", "validate", "table11", "table12", "fig4",
             "fig6", "fig7", "fig8", "fig9", "fig10", "fig12", "memplan", "lir", "ablation",
-            "sparse",
+            "sparse", "store",
         ] {
             eprintln!("\n>>> running {name}");
             run(&mut zoo, &cfg, name);

@@ -411,6 +411,21 @@ impl CompiledModel {
     pub fn executable(&self) -> &Executable {
         &self.exe
     }
+
+    /// Interns the compiled graph's constant tensors into a shared
+    /// [`hb_backend::ConstPool`] so identical parameter blocks across
+    /// registered models (and across this model's own ladder rungs)
+    /// collapse to one buffer. Bit-identical; call before serving.
+    pub fn intern_constants(&mut self, pool: &hb_backend::ConstPool) -> hb_backend::DedupStats {
+        self.exe.intern_constants(pool)
+    }
+
+    /// Resident memory attributable to this model beyond constants
+    /// already counted in `seen`: unshared parameter bytes plus warm
+    /// plan-cache arenas (see [`Executable::plan_cache_bytes`]).
+    pub fn memory_footprint(&self, seen: &mut std::collections::HashSet<usize>) -> usize {
+        self.exe.unique_const_bytes(seen) + self.exe.plan_cache_bytes()
+    }
 }
 
 /// Infers the input width an operator's parameters imply, if any.

@@ -39,6 +39,23 @@ pub enum IncidentKind {
     BrownoutExited,
     /// The supervisor drained and shut down.
     Drained,
+    /// A model (version) was registered with the store.
+    Registered,
+    /// A new model version entered its canary phase
+    /// (`ModelStore::deploy`).
+    Deployed,
+    /// A canary version passed its divergence checks and atomically
+    /// replaced the active version.
+    Promoted,
+    /// A canary version failed its divergence checks and was rolled
+    /// back; the previous version kept serving throughout.
+    RolledBack,
+    /// A model was evicted from the store (budget and pool references
+    /// released).
+    Evicted,
+    /// An admission was refused because the model's memory budget was
+    /// exhausted.
+    BudgetRejected,
 }
 
 impl IncidentKind {
@@ -55,6 +72,12 @@ impl IncidentKind {
             IncidentKind::BrownoutEntered => "brownout-entered",
             IncidentKind::BrownoutExited => "brownout-exited",
             IncidentKind::Drained => "drained",
+            IncidentKind::Registered => "registered",
+            IncidentKind::Deployed => "deployed",
+            IncidentKind::Promoted => "promoted",
+            IncidentKind::RolledBack => "rolled-back",
+            IncidentKind::Evicted => "evicted",
+            IncidentKind::BudgetRejected => "budget-rejected",
         }
     }
 }
@@ -69,6 +92,9 @@ pub struct Incident {
     pub at: Duration,
     /// The rung involved, if any.
     pub rung: Option<Rung>,
+    /// The model (id@version tag) involved — `None` in single-model
+    /// operation, where attribution is unambiguous.
+    pub model: Option<String>,
     /// Event kind.
     pub kind: IncidentKind,
     /// Free-form context (panic message, divergence magnitude, ...).
@@ -81,6 +107,9 @@ pub struct IncidentLog {
     seq: AtomicU64,
     epoch: Instant,
     cap: usize,
+    /// Incidents evicted from the ring (recorded minus retained): silent
+    /// incident loss made observable.
+    dropped: AtomicU64,
     entries: Mutex<VecDeque<Incident>>,
 }
 
@@ -91,17 +120,32 @@ impl IncidentLog {
             seq: AtomicU64::new(0),
             epoch: Instant::now(),
             cap: cap.max(1),
+            dropped: AtomicU64::new(0),
             entries: Mutex::new(VecDeque::new()),
         }
     }
 
     /// Records an incident, returning its sequence number.
     pub fn record(&self, kind: IncidentKind, rung: Option<Rung>, detail: impl Into<String>) -> u64 {
+        self.record_for(kind, rung, None, detail)
+    }
+
+    /// Records an incident attributed to a model (a store's shared log
+    /// carries every model's incidents in one monotonic sequence; the
+    /// tag keeps them attributable).
+    pub fn record_for(
+        &self,
+        kind: IncidentKind,
+        rung: Option<Rung>,
+        model: Option<&str>,
+        detail: impl Into<String>,
+    ) -> u64 {
         let seq = self.seq.fetch_add(1, Ordering::SeqCst);
         let incident = Incident {
             seq,
             at: self.epoch.elapsed(),
             rung,
+            model: model.map(str::to_string),
             kind,
             detail: detail.into(),
         };
@@ -110,6 +154,7 @@ impl IncidentLog {
         entries.push_back(incident);
         while entries.len() > self.cap {
             entries.pop_front();
+            self.dropped.fetch_add(1, Ordering::Relaxed);
         }
         seq
     }
@@ -117,6 +162,13 @@ impl IncidentLog {
     /// Total incidents ever recorded (not just retained).
     pub fn total(&self) -> u64 {
         self.seq.load(Ordering::SeqCst)
+    }
+
+    /// Incidents lost to ring eviction. `total() - dropped()` entries
+    /// are retained; a growing value says the ring is undersized for
+    /// the incident rate.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
     }
 
     /// Snapshot of the retained incidents, oldest first.
@@ -142,9 +194,21 @@ mod tests {
             assert_eq!(seq, i);
         }
         assert_eq!(log.total(), 10);
+        assert_eq!(log.dropped(), 6);
         let snap = log.snapshot();
         assert_eq!(snap.len(), 4);
         let seqs: Vec<u64> = snap.iter().map(|i| i.seq).collect();
         assert_eq!(seqs, vec![6, 7, 8, 9]);
+    }
+
+    #[test]
+    fn record_for_tags_the_model() {
+        let log = IncidentLog::new(8);
+        log.record(IncidentKind::Drained, None, "bye");
+        log.record_for(IncidentKind::Promoted, None, Some("fraud@v2"), "clean");
+        let snap = log.snapshot();
+        assert_eq!(snap[0].model, None);
+        assert_eq!(snap[1].model.as_deref(), Some("fraud@v2"));
+        assert_eq!(log.dropped(), 0);
     }
 }

@@ -63,6 +63,7 @@ pub mod batcher;
 pub mod breaker;
 pub mod histogram;
 pub mod incident;
+pub mod store;
 pub mod supervisor;
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -82,7 +83,8 @@ pub use batcher::{Backpressure, BrownoutControl, BrownoutTransition, CoalesceCon
 pub use breaker::{Admission, BreakerConfig, BreakerState, CircuitBreaker, OpenReason};
 pub use histogram::{HistogramSnapshot, LatencyHistogram, LatencyReport};
 pub use incident::{Incident, IncidentKind, IncidentLog};
-pub use supervisor::{Supervisor, SupervisorHealth};
+pub use store::{BudgetLedger, FairShare, ModelCard, ModelStore, StoreConfig};
+pub use supervisor::{ModelHealth, Supervisor, SupervisorHealth};
 
 /// One level of the degradation ladder, best-first.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -232,6 +234,18 @@ pub enum ServeError {
     /// boundary); the worker survived and the panic was logged as an
     /// incident.
     Internal(String),
+    /// The request named a model the [`ModelStore`] does not host.
+    UnknownModel(String),
+    /// Registering or deploying a model would exceed its memory budget;
+    /// the store refused and released everything already charged.
+    BudgetExceeded {
+        /// The model that was refused.
+        model: String,
+        /// Bytes the model would have occupied (constants + plan arena).
+        requested: usize,
+        /// The budget it would have blown.
+        budget: usize,
+    },
 }
 
 impl std::fmt::Display for ServeError {
@@ -268,6 +282,17 @@ impl std::fmt::Display for ServeError {
             }
             ServeError::ShuttingDown => write!(f, "supervisor is shutting down"),
             ServeError::Internal(msg) => write!(f, "internal serving failure: {msg}"),
+            ServeError::UnknownModel(name) => write!(f, "unknown model: {name:?}"),
+            ServeError::BudgetExceeded {
+                model,
+                requested,
+                budget,
+            } => {
+                write!(
+                    f,
+                    "memory budget exceeded for {model:?}: needs {requested} bytes, budget {budget}"
+                )
+            }
         }
     }
 }
@@ -318,6 +343,27 @@ impl ServingStats {
     /// Total successful answers.
     pub fn total_served(&self) -> u64 {
         self.served.iter().sum()
+    }
+
+    /// Adds `other`'s counters into `self` — store-wide aggregation
+    /// across hosted models (the queue-depth gauge sums too, as total
+    /// queued records).
+    pub fn absorb(&mut self, other: &ServingStats) {
+        for (mine, theirs) in self.served.iter_mut().zip(other.served) {
+            *mine += theirs;
+        }
+        self.rejected_overload += other.rejected_overload;
+        self.deadline_misses += other.deadline_misses;
+        self.bad_requests += other.bad_requests;
+        self.all_rungs_failed += other.all_rungs_failed;
+        self.retries += other.retries;
+        self.degraded += other.degraded;
+        self.cancelled += other.cancelled;
+        self.breaker_skips += other.breaker_skips;
+        self.coalesced_batches += other.coalesced_batches;
+        self.shed_expired += other.shed_expired;
+        self.brownout_entered += other.brownout_entered;
+        self.queue_depth += other.queue_depth;
     }
 }
 
@@ -482,6 +528,13 @@ pub struct ServingModel {
     /// rung's breaker when these accumulate too fast.
     deadline_blows: [AtomicU64; 4],
     incidents: Arc<IncidentLog>,
+    /// `name@vN` attribution tag when hosted by a [`ModelStore`]; every
+    /// incident this model records into the store's shared log carries
+    /// it. `None` in standalone operation.
+    tag: Option<Arc<str>>,
+    /// Successful serves, driving per-model canary sampling when hosted
+    /// by a store (standalone supervisors count successes themselves).
+    canary_ticks: AtomicU64,
 }
 
 impl ServingModel {
@@ -581,6 +634,8 @@ impl ServingModel {
             cells: StatCells::default(),
             deadline_blows: Default::default(),
             incidents: Arc::new(IncidentLog::new(1024)),
+            tag: None,
+            canary_ticks: AtomicU64::new(0),
             config,
         })
     }
@@ -629,6 +684,74 @@ impl ServingModel {
     /// sequence).
     pub(crate) fn incident_log(&self) -> Arc<IncidentLog> {
         Arc::clone(&self.incidents)
+    }
+
+    /// The `name@vN` attribution tag, when hosted by a [`ModelStore`].
+    pub fn tag(&self) -> Option<&str> {
+        self.tag.as_deref()
+    }
+
+    /// Rebinds this model's incident stream to a shared log, attributing
+    /// every future incident to `tag`. A store calls this once, before
+    /// the model is published, so all hosted models interleave into one
+    /// monotonic sequence without losing attribution.
+    pub(crate) fn adopt_log(&mut self, log: Arc<IncidentLog>, tag: &str) {
+        self.incidents = log;
+        self.tag = Some(Arc::from(tag));
+    }
+
+    /// Records an incident with this model's attribution tag.
+    pub(crate) fn note(&self, kind: IncidentKind, rung: Option<Rung>, detail: impl Into<String>) {
+        self.incidents
+            .record_for(kind, rung, self.tag.as_deref(), detail);
+    }
+
+    /// Bumps the per-model success counter; `true` when this serve is
+    /// due a canary replay (every [`ServeConfig::canary_period`]-th
+    /// success, per model — a store's busy neighbor cannot consume a
+    /// quiet model's canary slots).
+    pub(crate) fn canary_due(&self) -> bool {
+        let period = self.config.canary_period as u64;
+        if period == 0 {
+            return false;
+        }
+        let n = self.canary_ticks.fetch_add(1, Ordering::Relaxed) + 1;
+        n.is_multiple_of(period)
+    }
+
+    /// Interns every sufficiently large constant across all compiled
+    /// rungs into `pool`, returning aggregate dedup statistics.
+    /// Store-hosted models share one pool, so a pipeline's N-th variant
+    /// (same forest, different calibration head) costs only its fresh
+    /// bytes — the paper's sub-linear multi-model memory claim.
+    pub fn intern_constants(&mut self, pool: &hb_backend::ConstPool) -> hb_backend::DedupStats {
+        let mut stats = hb_backend::DedupStats::default();
+        for (_, model) in &mut self.rungs {
+            stats.absorb(model.intern_constants(pool));
+        }
+        stats
+    }
+
+    /// Measured resident bytes attributable to this model: unique
+    /// constant storage across every rung (storage shared between rungs
+    /// or models already counted in `seen` is skipped) plus live
+    /// plan-cache arenas.
+    pub fn memory_footprint(&self, seen: &mut std::collections::HashSet<usize>) -> usize {
+        self.rungs
+            .iter()
+            .map(|(_, m)| m.memory_footprint(seen))
+            .sum()
+    }
+
+    /// Upper-bound plan-arena bytes for a `batch`-row request, taken
+    /// over every compiled rung — the plan-cache charge a store budgets
+    /// up front, before any request has populated the caches.
+    pub fn arena_estimate(&self, batch: usize) -> usize {
+        self.rungs
+            .iter()
+            .filter_map(|(_, m)| m.executable().plan_for_batch(batch).ok())
+            .map(|p| p.arena_bytes)
+            .sum()
     }
 
     /// The breaker guarding `rung`, if the rung compiled (the reference
@@ -872,7 +995,7 @@ impl ServingModel {
                         self.deadline_blows[rung.index()].fetch_add(1, Ordering::Relaxed);
                         self.cells.cancelled.fetch_add(1, Ordering::Relaxed);
                         self.cells.deadline_misses.fetch_add(1, Ordering::Relaxed);
-                        self.incidents.record(
+                        self.note(
                             IncidentKind::DeadlineCancelled,
                             Some(rung),
                             format!("stopped mid-graph after {:?}", start.elapsed()),
@@ -918,7 +1041,7 @@ impl ServingModel {
     fn rung_succeeded(&self, rung: Rung, was_probe: bool) {
         if let Some(b) = self.breaker_for(rung) {
             if b.on_success(was_probe) {
-                self.incidents.record(
+                self.note(
                     IncidentKind::BreakerClosed,
                     Some(rung),
                     "half-open probe passed",
@@ -931,7 +1054,7 @@ impl ServingModel {
     fn rung_failed(&self, rung: Rung, was_probe: bool, why: &str) {
         if let Some(b) = self.breaker_for(rung) {
             if let Some(reason) = b.on_failure(was_probe, Instant::now()) {
-                self.incidents.record(
+                self.note(
                     IncidentKind::BreakerOpened,
                     Some(rung),
                     format!("{}: {}", reason.label(), why),

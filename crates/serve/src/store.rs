@@ -1,0 +1,1173 @@
+//! Multi-model `ModelStore`: many named, versioned pipelines behind one
+//! admission front door, with per-model fault isolation.
+//!
+//! A production scorer rarely hosts one model (paper §2: prediction
+//! serving means *fleets* of pipelines — per-tenant variants, A/B arms,
+//! per-region retrains). The store gives each registered model its own
+//! fault domain while sharing what is safe to share:
+//!
+//! * **Per-model fault domains** — every model keeps its own rung
+//!   ladder, circuit breakers, canary state, and latency histogram. A
+//!   NaN-poisoned or panicking model is quarantined by its own breakers;
+//!   its neighbors' health state is untouched, and every incident in the
+//!   shared log carries a `name@vN` attribution tag.
+//! * **Memory budgets** — registration charges each model for the
+//!   constant bytes it *actually owns* (pool-shared parameters are free
+//!   past the first holder) plus an up-front plan-arena estimate, and
+//!   refuses with [`ServeError::BudgetExceeded`] — releasing everything
+//!   already interned — when a per-model or store-wide budget would be
+//!   blown. [`BudgetLedger`] keeps the charges audit-consistent.
+//! * **Fair-share admission** — one store-wide in-flight budget,
+//!   arbitrated by [`FairShare`]: every model is guaranteed
+//!   `capacity / n_models` slots (at least one), and idle slack is
+//!   first-come. A flooded neighbor can exhaust the slack, never a
+//!   victim's guarantee — no FIFO starvation.
+//! * **Atomic versioned hot-swap** — [`ModelStore::deploy`] installs a
+//!   candidate version that shadows a configured fraction of live
+//!   traffic. Each canary run is compared against the active version's
+//!   answer: enough clean checks auto-promote the candidate (an `Arc`
+//!   swap — in-flight requests on the old version drain safely), one
+//!   divergence too many auto-rolls-back with a
+//!   [`IncidentKind::RolledBack`] incident. The active version serves
+//!   every request throughout; a broken candidate can never corrupt an
+//!   answer.
+//! * **Sub-plan deduplication** — all models intern their large graph
+//!   constants into one [`ConstPool`], so pipelines sharing featurizers
+//!   or parameter blocks (the PRETZEL observation) pay for them once.
+//!   The `tables -- store` bench gates on the resulting sub-linear
+//!   memory growth.
+//!
+//! The store serves directly ([`ModelStore::predict`]) or hosts a
+//! worker pool via [`crate::Supervisor::spawn_store`], which adds panic
+//! isolation, the background canary checker, watchdog, and recovery
+//! probes — multiplexed across every registered model.
+
+use std::collections::{HashMap, HashSet};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+use std::time::{Duration, Instant};
+
+use hb_backend::ConstPool;
+use hb_pipeline::Pipeline;
+use hb_tensor::Tensor;
+
+use crate::histogram::{HistogramSnapshot, LatencyHistogram};
+use crate::incident::{Incident, IncidentKind, IncidentLog};
+use crate::{
+    divergence, panic_text, HealthSnapshot, Rung, ServeConfig, ServeError, Served, ServingModel,
+};
+
+/// Store-wide configuration.
+#[derive(Debug, Clone)]
+pub struct StoreConfig {
+    /// Maximum models the store will register.
+    pub capacity: usize,
+    /// Store-wide in-flight request budget, arbitrated fairly across
+    /// models by [`FairShare`].
+    pub in_flight: usize,
+    /// Store-wide memory budget (constant bytes owned + plan arenas)
+    /// across every model; `None` disables the check.
+    pub total_budget: Option<usize>,
+    /// Per-model memory budget; `None` disables the check.
+    pub model_budget: Option<usize>,
+    /// Canary sampling for deployments: one request in `canary_fraction`
+    /// is shadowed on the candidate version. `0` promotes immediately
+    /// (no canary phase).
+    pub canary_fraction: usize,
+    /// Clean canary comparisons required to auto-promote a candidate.
+    pub promote_after: u64,
+    /// Divergent/failed canary runs tolerated before auto-rollback.
+    pub max_canary_failures: u64,
+    /// Maximum relative error between candidate and active outputs for
+    /// a canary run to count as clean.
+    pub canary_tolerance: f32,
+    /// Batch size used for the up-front plan-arena estimate charged
+    /// against the memory budget at registration.
+    pub budget_batch: usize,
+    /// Shared incident-log ring capacity (all models interleave).
+    pub incident_capacity: usize,
+    /// Watchdog cadence for [`crate::Supervisor::spawn_store`]'s health
+    /// thread.
+    pub watchdog_interval: Duration,
+}
+
+impl Default for StoreConfig {
+    fn default() -> Self {
+        StoreConfig {
+            capacity: 256,
+            in_flight: 64,
+            total_budget: None,
+            model_budget: None,
+            canary_fraction: 4,
+            promote_after: 16,
+            max_canary_failures: 1,
+            canary_tolerance: 1e-4,
+            budget_batch: 16,
+            incident_capacity: 4096,
+            watchdog_interval: Duration::from_millis(20),
+        }
+    }
+}
+
+/// Fair-share arbitration of the store-wide in-flight budget.
+///
+/// Every registered model is guaranteed `capacity / n_models` slots
+/// (floored, at least one); the remainder is first-come slack. The
+/// no-starvation property — a model below its guarantee is *never*
+/// refused, whatever its neighbors are doing — is what the fairness
+/// proptests pin down. The flip side: total admissions may overshoot
+/// `capacity` by up to one guarantee per model, which is the price of
+/// guarantees that do not depend on neighbors releasing slots first.
+#[derive(Debug)]
+pub struct FairShare {
+    capacity: usize,
+    in_flight: HashMap<String, usize>,
+    total: usize,
+    n_models: usize,
+}
+
+impl FairShare {
+    /// An arbiter over `capacity` in-flight slots (floored to one).
+    pub fn new(capacity: usize) -> FairShare {
+        FairShare {
+            capacity: capacity.max(1),
+            in_flight: HashMap::new(),
+            total: 0,
+            n_models: 0,
+        }
+    }
+
+    /// Updates the registered-model count the guarantee divides over.
+    pub fn set_models(&mut self, n: usize) {
+        self.n_models = n;
+    }
+
+    /// The per-model guaranteed slot count.
+    pub fn guarantee(&self) -> usize {
+        (self.capacity / self.n_models.max(1)).max(1)
+    }
+
+    /// Tries to admit one request for `name`; true on success (the
+    /// caller must [`FairShare::release`] later, on every path).
+    pub fn try_admit(&mut self, name: &str) -> bool {
+        let mine = self.in_flight.get(name).copied().unwrap_or(0);
+        if mine >= self.guarantee() && self.total >= self.capacity {
+            return false;
+        }
+        *self.in_flight.entry(name.to_string()).or_insert(0) += 1;
+        self.total += 1;
+        true
+    }
+
+    /// Releases one previously admitted slot for `name`.
+    pub fn release(&mut self, name: &str) {
+        if let Some(c) = self.in_flight.get_mut(name) {
+            *c -= 1;
+            if *c == 0 {
+                self.in_flight.remove(name);
+            }
+            self.total = self.total.saturating_sub(1);
+        }
+    }
+
+    /// Requests currently admitted for `name`.
+    pub fn admitted(&self, name: &str) -> usize {
+        self.in_flight.get(name).copied().unwrap_or(0)
+    }
+
+    /// Requests currently admitted store-wide.
+    pub fn total(&self) -> usize {
+        self.total
+    }
+
+    /// The configured store-wide capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
+/// RAII fair-share slot: releases on drop, on every path including
+/// panics, so a dying request can never leak an admission.
+pub(crate) struct ShareGuard {
+    share: Arc<Mutex<FairShare>>,
+    name: String,
+}
+
+impl Drop for ShareGuard {
+    fn drop(&mut self) {
+        self.share
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .release(&self.name);
+    }
+}
+
+/// Byte-accurate accounting of per-model memory charges. The invariant
+/// the budget proptests pin down: the sum of per-model charges always
+/// equals the running total, across any interleaving of charge/credit.
+#[derive(Debug, Default)]
+pub struct BudgetLedger {
+    charges: HashMap<String, usize>,
+    total: usize,
+}
+
+impl BudgetLedger {
+    /// An empty ledger.
+    pub fn new() -> BudgetLedger {
+        BudgetLedger::default()
+    }
+
+    /// Adds `bytes` to `name`'s charge.
+    pub fn charge(&mut self, name: &str, bytes: usize) {
+        *self.charges.entry(name.to_string()).or_insert(0) += bytes;
+        self.total += bytes;
+    }
+
+    /// Returns `bytes` of `name`'s charge (saturating: crediting more
+    /// than was charged zeroes the entry rather than underflowing).
+    pub fn credit(&mut self, name: &str, bytes: usize) {
+        let Some(c) = self.charges.get_mut(name) else {
+            return;
+        };
+        let freed = bytes.min(*c);
+        *c -= freed;
+        if *c == 0 {
+            self.charges.remove(name);
+        }
+        self.total -= freed;
+    }
+
+    /// `name`'s current charge.
+    pub fn charge_of(&self, name: &str) -> usize {
+        self.charges.get(name).copied().unwrap_or(0)
+    }
+
+    /// Sum of all charges.
+    pub fn total(&self) -> usize {
+        self.total
+    }
+
+    /// Audit: true when the per-model charges sum to the running total.
+    pub fn consistent(&self) -> bool {
+        self.charges.values().sum::<usize>() == self.total
+    }
+}
+
+/// Receipt for a registration or deployment.
+#[derive(Debug, Clone)]
+pub struct ModelCard {
+    /// Model name.
+    pub name: String,
+    /// Version this card describes.
+    pub version: u32,
+    /// Bytes charged against the budget (owned constants + small
+    /// constants + plan-arena estimate).
+    pub charge_bytes: usize,
+    /// Constant bytes shared with earlier pool residents (free).
+    pub shared_bytes: usize,
+    /// Constant bytes this model brought into the pool first.
+    pub fresh_bytes: usize,
+    /// Rungs that compiled, best-first (reference floor implicit).
+    pub rungs: Vec<Rung>,
+    /// True when the version is still in its canary phase.
+    pub canary: bool,
+}
+
+/// A candidate version shadowing live traffic.
+struct Deployment {
+    model: Arc<ServingModel>,
+    version: u32,
+    charge: usize,
+    hashes: Vec<u64>,
+    clean: u64,
+    failures: u64,
+}
+
+/// Mutable half of one model's slot.
+struct EntryState {
+    active: Arc<ServingModel>,
+    version: u32,
+    /// Highest version ever deployed (rollbacks never reuse a number).
+    latest: u32,
+    charge: usize,
+    hashes: Vec<u64>,
+    card: ModelCard,
+    candidate: Option<Deployment>,
+}
+
+/// One registered model: its versions, canary state, and telemetry.
+struct Entry {
+    name: String,
+    state: Mutex<EntryState>,
+    /// Request counter driving the canary-fraction schedule.
+    ticks: AtomicU64,
+    latency: LatencyHistogram,
+}
+
+impl Entry {
+    fn state(&self) -> std::sync::MutexGuard<'_, EntryState> {
+        // Entry state is valid on all paths; survive a poisoned lock.
+        self.state.lock().unwrap_or_else(|p| p.into_inner())
+    }
+}
+
+/// Everything `build` produced for a not-yet-committed version.
+struct Built {
+    model: Arc<ServingModel>,
+    charge: usize,
+    hashes: Vec<u64>,
+    shared_bytes: usize,
+    fresh_bytes: usize,
+    rungs: Vec<Rung>,
+}
+
+/// A named, versioned collection of [`ServingModel`]s behind one
+/// admission front door. See the module docs for the guarantees.
+pub struct ModelStore {
+    config: StoreConfig,
+    pool: ConstPool,
+    incidents: Arc<IncidentLog>,
+    entries: RwLock<HashMap<String, Arc<Entry>>>,
+    share: Arc<Mutex<FairShare>>,
+    ledger: Mutex<BudgetLedger>,
+}
+
+impl ModelStore {
+    /// An empty store.
+    pub fn new(config: StoreConfig) -> ModelStore {
+        let share = Arc::new(Mutex::new(FairShare::new(config.in_flight)));
+        ModelStore {
+            incidents: Arc::new(IncidentLog::new(config.incident_capacity.max(1))),
+            pool: ConstPool::new(),
+            entries: RwLock::new(HashMap::new()),
+            share,
+            ledger: Mutex::new(BudgetLedger::new()),
+            config,
+        }
+    }
+
+    /// The store configuration.
+    pub fn config(&self) -> &StoreConfig {
+        &self.config
+    }
+
+    /// Registers `name` at version 1. Fails if the name is empty or
+    /// taken (use [`ModelStore::deploy`] to ship a new version), the store is at
+    /// capacity, the pipeline is unservable, or a memory budget would be
+    /// exceeded — in which case everything interned is released again.
+    pub fn register(
+        &self,
+        name: &str,
+        pipeline: &Pipeline,
+        cfg: ServeConfig,
+    ) -> Result<ModelCard, ServeError> {
+        if name.is_empty() {
+            return Err(ServeError::BadRequest(
+                "model name must be non-empty".to_string(),
+            ));
+        }
+        {
+            let entries = self.read_entries();
+            if entries.contains_key(name) {
+                return Err(ServeError::BadRequest(format!(
+                    "model {name:?} already registered; use deploy to ship a new version"
+                )));
+            }
+            if entries.len() >= self.config.capacity {
+                return Err(ServeError::BadRequest(format!(
+                    "store at capacity ({} models)",
+                    self.config.capacity
+                )));
+            }
+        }
+        let built = self.build(name, 1, pipeline, cfg)?;
+        let mut entries = self.write_entries();
+        if entries.contains_key(name) {
+            // Lost a registration race: undo our interning.
+            self.pool.release(&built.hashes);
+            return Err(ServeError::BadRequest(format!(
+                "model {name:?} already registered; use deploy to ship a new version"
+            )));
+        }
+        self.commit_budget(name, built.charge, &built.hashes)?;
+        let card = ModelCard {
+            name: name.to_string(),
+            version: 1,
+            charge_bytes: built.charge,
+            shared_bytes: built.shared_bytes,
+            fresh_bytes: built.fresh_bytes,
+            rungs: built.rungs,
+            canary: false,
+        };
+        entries.insert(
+            name.to_string(),
+            Arc::new(Entry {
+                name: name.to_string(),
+                state: Mutex::new(EntryState {
+                    active: built.model,
+                    version: 1,
+                    latest: 1,
+                    charge: built.charge,
+                    hashes: built.hashes,
+                    card: card.clone(),
+                    candidate: None,
+                }),
+                ticks: AtomicU64::new(0),
+                latency: LatencyHistogram::new(),
+            }),
+        );
+        let n = entries.len();
+        drop(entries);
+        self.lock_share().set_models(n);
+        self.incidents.record_for(
+            IncidentKind::Registered,
+            None,
+            Some(&format!("{name}@v1")),
+            format!(
+                "charged {} bytes ({} fresh, {} shared via pool)",
+                card.charge_bytes, card.fresh_bytes, card.shared_bytes
+            ),
+        );
+        Ok(card)
+    }
+
+    /// Deploys a new version of `name` behind a canary: a fraction of
+    /// live traffic is shadowed on the candidate and divergence-checked
+    /// against the active answer. Clean checks auto-promote; failures
+    /// auto-roll-back. With `canary_fraction == 0` the swap is
+    /// immediate. The candidate is budget-charged alongside the active
+    /// version for the duration of the canary (both are resident).
+    pub fn deploy(
+        &self,
+        name: &str,
+        pipeline: &Pipeline,
+        cfg: ServeConfig,
+    ) -> Result<ModelCard, ServeError> {
+        let entry = self.entry(name)?;
+        let version = {
+            let st = entry.state();
+            if st.candidate.is_some() {
+                return Err(ServeError::BadRequest(format!(
+                    "model {name:?} already has a deployment in flight"
+                )));
+            }
+            st.latest + 1
+        };
+        let built = self.build(name, version, pipeline, cfg)?;
+        self.commit_budget(name, built.charge, &built.hashes)?;
+        let tag = format!("{name}@v{version}");
+        let card = ModelCard {
+            name: name.to_string(),
+            version,
+            charge_bytes: built.charge,
+            shared_bytes: built.shared_bytes,
+            fresh_bytes: built.fresh_bytes,
+            rungs: built.rungs,
+            canary: self.config.canary_fraction > 0,
+        };
+        let mut st = entry.state();
+        if st.candidate.is_some() {
+            // Lost a deployment race: undo.
+            drop(st);
+            self.pool.release(&built.hashes);
+            self.lock_ledger().credit(name, built.charge);
+            return Err(ServeError::BadRequest(format!(
+                "model {name:?} already has a deployment in flight"
+            )));
+        }
+        st.latest = version;
+        if self.config.canary_fraction == 0 {
+            self.swap_active(
+                &mut st,
+                name,
+                built.model,
+                version,
+                built.charge,
+                built.hashes,
+                card.clone(),
+            );
+            drop(st);
+            self.incidents.record_for(
+                IncidentKind::Promoted,
+                None,
+                Some(&tag),
+                "promoted immediately (canary disabled)",
+            );
+        } else {
+            st.candidate = Some(Deployment {
+                model: built.model,
+                version,
+                charge: built.charge,
+                hashes: built.hashes,
+                clean: 0,
+                failures: 0,
+            });
+            drop(st);
+            self.incidents.record_for(
+                IncidentKind::Deployed,
+                None,
+                Some(&tag),
+                format!(
+                    "canary: 1 in {} requests shadowed, promote after {} clean",
+                    self.config.canary_fraction, self.config.promote_after
+                ),
+            );
+        }
+        Ok(card)
+    }
+
+    /// Evicts `name`: releases its budget charges and pool references.
+    /// In-flight requests hold their own `Arc`s and drain safely.
+    pub fn evict(&self, name: &str) -> Result<(), ServeError> {
+        let entry = {
+            let mut entries = self.write_entries();
+            entries
+                .remove(name)
+                .ok_or_else(|| ServeError::UnknownModel(name.to_string()))?
+        };
+        let n = self.read_entries().len();
+        self.lock_share().set_models(n);
+        let mut st = entry.state();
+        let version = st.version;
+        self.pool.release(&st.hashes);
+        let mut freed = st.charge;
+        st.hashes.clear();
+        if let Some(cand) = st.candidate.take() {
+            self.pool.release(&cand.hashes);
+            freed += cand.charge;
+        }
+        st.charge = 0;
+        drop(st);
+        self.lock_ledger().credit(name, freed);
+        self.incidents.record_for(
+            IncidentKind::Evicted,
+            None,
+            Some(&format!("{name}@v{version}")),
+            format!("released {freed} bytes"),
+        );
+        Ok(())
+    }
+
+    /// Scores `x` on `name`, applying fair-share admission and the
+    /// model's own protection stack. Equivalent to
+    /// [`ModelStore::predict_detailed`] without the metadata.
+    pub fn predict(&self, name: &str, x: &Tensor<f32>) -> Result<Tensor<f32>, ServeError> {
+        self.predict_detailed(name, x).map(|s| s.output)
+    }
+
+    /// Scores `x` on `name` with serving metadata.
+    pub fn predict_detailed(&self, name: &str, x: &Tensor<f32>) -> Result<Served, ServeError> {
+        let _guard = self.admit(name)?;
+        self.execute(name, x)
+    }
+
+    /// Fair-share admission for one request on `name`. The returned
+    /// guard releases the slot on drop.
+    pub(crate) fn admit(&self, name: &str) -> Result<ShareGuard, ServeError> {
+        let entry = self.entry(name)?;
+        let (admitted, total) = {
+            let mut share = self.lock_share();
+            (share.try_admit(name), share.total())
+        };
+        if !admitted {
+            entry.state().active.record_overload();
+            return Err(ServeError::Overloaded {
+                in_flight: total,
+                capacity: self.config.in_flight,
+            });
+        }
+        Ok(ShareGuard {
+            share: Arc::clone(&self.share),
+            name: name.to_string(),
+        })
+    }
+
+    /// Executes one already-admitted request on `name`, running the
+    /// canary shadow when one is due. The active version answers unless
+    /// a due canary run *matched it* within tolerance — then the
+    /// candidate's (equivalent) answer is returned, so promoted-to-be
+    /// versions see real traffic before the swap.
+    pub(crate) fn execute(&self, name: &str, x: &Tensor<f32>) -> Result<Served, ServeError> {
+        let entry = self.entry(name)?;
+        let start = Instant::now();
+        let (active, candidate) = {
+            let st = entry.state();
+            (
+                Arc::clone(&st.active),
+                st.candidate
+                    .as_ref()
+                    .map(|d| (Arc::clone(&d.model), d.version)),
+            )
+        };
+        let tick = entry.ticks.fetch_add(1, Ordering::Relaxed);
+        let fraction = self.config.canary_fraction as u64;
+        let canary_due = candidate.is_some() && fraction > 0 && tick.wrapping_rem(fraction) == 0;
+        let deadline = active.config().deadline.map(|d| Instant::now() + d);
+        let result = active.predict_detailed_until(x, deadline);
+        let result = match (result, canary_due, candidate) {
+            (Ok(served), true, Some((cand, cver))) => {
+                Ok(self.run_candidate(&entry, name, &cand, cver, x, served))
+            }
+            (r, _, _) => r,
+        };
+        if result.is_ok() {
+            entry.latency.record(start.elapsed());
+        }
+        result
+    }
+
+    /// Runs the candidate shadow for one canary-due request and applies
+    /// the promote/rollback state machine. Always returns a correct
+    /// answer: the candidate's when it validated, the active version's
+    /// otherwise.
+    fn run_candidate(
+        &self,
+        entry: &Entry,
+        name: &str,
+        cand: &Arc<ServingModel>,
+        cver: u32,
+        x: &Tensor<f32>,
+        active_served: Served,
+    ) -> Served {
+        let deadline = cand.config().deadline.map(|d| Instant::now() + d);
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            cand.predict_detailed_until(x, deadline)
+        }));
+        let verdict: Result<Served, String> = match outcome {
+            Ok(Ok(served)) => {
+                let err = divergence(&served.output, &active_served.output);
+                if err.is_nan() || err > self.config.canary_tolerance {
+                    Err(format!(
+                        "candidate diverged: relative error {err:e} exceeds tolerance {:e}",
+                        self.config.canary_tolerance
+                    ))
+                } else {
+                    Ok(served)
+                }
+            }
+            Ok(Err(e)) => Err(format!("candidate failed: {e}")),
+            Err(p) => Err(format!("candidate panicked: {}", panic_text(p))),
+        };
+        let tag = format!("{name}@v{cver}");
+        match verdict {
+            Ok(served) => {
+                let promote = {
+                    let mut st = entry.state();
+                    match &mut st.candidate {
+                        // Guard against a concurrent promote/rollback
+                        // having already retired this candidate.
+                        Some(d) if d.version == cver => {
+                            d.clean += 1;
+                            d.clean >= self.config.promote_after
+                        }
+                        _ => false,
+                    }
+                };
+                if promote {
+                    self.promote(entry, name);
+                }
+                served
+            }
+            Err(why) => {
+                self.incidents
+                    .record_for(IncidentKind::CanaryDivergence, None, Some(&tag), &why);
+                let rollback = {
+                    let mut st = entry.state();
+                    match &mut st.candidate {
+                        Some(d) if d.version == cver => {
+                            d.failures += 1;
+                            d.failures >= self.config.max_canary_failures
+                        }
+                        _ => false,
+                    }
+                };
+                if rollback {
+                    self.rollback(entry, name, &why);
+                }
+                active_served
+            }
+        }
+    }
+
+    /// Atomically swaps the candidate in as the active version.
+    fn promote(&self, entry: &Entry, name: &str) {
+        let mut st = entry.state();
+        let Some(d) = st.candidate.take() else {
+            return;
+        };
+        let tag = format!("{name}@v{}", d.version);
+        let clean = d.clean;
+        let card = ModelCard {
+            version: d.version,
+            canary: false,
+            ..st.card.clone()
+        };
+        self.swap_active(&mut st, name, d.model, d.version, d.charge, d.hashes, card);
+        drop(st);
+        self.incidents.record_for(
+            IncidentKind::Promoted,
+            None,
+            Some(&tag),
+            format!("{clean} clean canary checks; previous version drained"),
+        );
+    }
+
+    /// Replaces the active version in `st`, releasing the old version's
+    /// pool references and budget charge. In-flight requests hold their
+    /// own `Arc<ServingModel>` and finish on the old version safely.
+    #[allow(clippy::too_many_arguments)]
+    fn swap_active(
+        &self,
+        st: &mut EntryState,
+        name: &str,
+        model: Arc<ServingModel>,
+        version: u32,
+        charge: usize,
+        hashes: Vec<u64>,
+        card: ModelCard,
+    ) {
+        let old_hashes = std::mem::replace(&mut st.hashes, hashes);
+        let old_charge = std::mem::replace(&mut st.charge, charge);
+        st.active = model;
+        st.version = version;
+        st.card = card;
+        self.pool.release(&old_hashes);
+        self.lock_ledger().credit(name, old_charge);
+    }
+
+    /// Drops the candidate, releasing its pool references and charge.
+    fn rollback(&self, entry: &Entry, name: &str, why: &str) {
+        let mut st = entry.state();
+        let Some(d) = st.candidate.take() else {
+            return;
+        };
+        let active = st.version;
+        drop(st);
+        self.pool.release(&d.hashes);
+        self.lock_ledger().credit(name, d.charge);
+        self.incidents.record_for(
+            IncidentKind::RolledBack,
+            None,
+            Some(&format!("{name}@v{}", d.version)),
+            format!("{why}; v{active} keeps serving"),
+        );
+    }
+
+    /// Compiles and interns one version, without touching the ledger.
+    fn build(
+        &self,
+        name: &str,
+        version: u32,
+        pipeline: &Pipeline,
+        mut cfg: ServeConfig,
+    ) -> Result<Built, ServeError> {
+        // Thread the chaos-seed override through every hosted model so a
+        // store-wide chaos run reproduces under one env var.
+        cfg.faults = cfg.faults.with_env_seed();
+        let mut model = ServingModel::new(pipeline, cfg)
+            .map_err(|e| ServeError::BadRequest(format!("model {name:?}: {e}")))?;
+        let stats = model.intern_constants(&self.pool);
+        model.adopt_log(Arc::clone(&self.incidents), &format!("{name}@v{version}"));
+        let arena = model.arena_estimate(self.config.budget_batch);
+        // The model owns its fresh pool bytes and its un-interned small
+        // constants; shared bytes are charged to their first holder.
+        let charge = stats.fresh_bytes + stats.small_bytes() + arena;
+        let rungs = model.available_rungs();
+        Ok(Built {
+            model: Arc::new(model),
+            charge,
+            hashes: stats.hashes,
+            shared_bytes: stats.shared_bytes,
+            fresh_bytes: stats.fresh_bytes,
+            rungs,
+        })
+    }
+
+    /// Charges `charge` bytes to `name`, enforcing both budgets. On
+    /// refusal the caller's pool references are released and a
+    /// [`IncidentKind::BudgetRejected`] incident is recorded.
+    fn commit_budget(&self, name: &str, charge: usize, hashes: &[u64]) -> Result<(), ServeError> {
+        let mut ledger = self.lock_ledger();
+        let model_total = ledger.charge_of(name) + charge;
+        let budget = match (self.config.model_budget, self.config.total_budget) {
+            (Some(b), _) if model_total > b => Some((model_total, b)),
+            (_, Some(b)) if ledger.total() + charge > b => Some((ledger.total() + charge, b)),
+            _ => None,
+        };
+        if let Some((requested, budget)) = budget {
+            drop(ledger);
+            self.pool.release(hashes);
+            self.incidents.record_for(
+                IncidentKind::BudgetRejected,
+                None,
+                Some(name),
+                format!("needs {requested} bytes, budget {budget}"),
+            );
+            return Err(ServeError::BudgetExceeded {
+                model: name.to_string(),
+                requested,
+                budget,
+            });
+        }
+        ledger.charge(name, charge);
+        Ok(())
+    }
+
+    /// Registered model names, sorted.
+    pub fn models(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.read_entries().keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    /// Number of registered models.
+    pub fn len(&self) -> usize {
+        self.read_entries().len()
+    }
+
+    /// True when no model is registered.
+    pub fn is_empty(&self) -> bool {
+        self.read_entries().is_empty()
+    }
+
+    /// The active version of `name`.
+    pub fn version(&self, name: &str) -> Option<u32> {
+        Some(self.entry(name).ok()?.state().version)
+    }
+
+    /// The receipt for `name`'s active version.
+    pub fn card(&self, name: &str) -> Option<ModelCard> {
+        Some(self.entry(name).ok()?.state().card.clone())
+    }
+
+    /// True while `name` has a candidate version in its canary phase.
+    pub fn deploying(&self, name: &str) -> bool {
+        self.entry(name)
+            .map(|e| e.state().candidate.is_some())
+            .unwrap_or(false)
+    }
+
+    /// The active [`ServingModel`] for `name` (health, stats, canary).
+    pub(crate) fn active_model(&self, name: &str) -> Option<Arc<ServingModel>> {
+        Some(Arc::clone(&self.entry(name).ok()?.state().active))
+    }
+
+    /// Every hosted model — active versions plus in-flight candidates —
+    /// for the supervisor's watchdog and recovery probes.
+    pub(crate) fn hosted_models(&self) -> Vec<Arc<ServingModel>> {
+        let entries = self.read_entries();
+        let mut models = Vec::with_capacity(entries.len());
+        for entry in entries.values() {
+            let st = entry.state();
+            models.push(Arc::clone(&st.active));
+            if let Some(d) = &st.candidate {
+                models.push(Arc::clone(&d.model));
+            }
+        }
+        models
+    }
+
+    /// Per-model health snapshots: `(name, active version, health)`.
+    pub fn healths(&self) -> Vec<(String, u32, HealthSnapshot)> {
+        let entries = self.read_entries();
+        let mut out: Vec<(String, u32, HealthSnapshot)> = entries
+            .values()
+            .map(|e| {
+                let st = e.state();
+                (e.name.clone(), st.version, st.active.health())
+            })
+            .collect();
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        out
+    }
+
+    /// Latency histogram snapshot for `name`'s successful requests.
+    pub fn latency(&self, name: &str) -> Option<HistogramSnapshot> {
+        Some(self.entry(name).ok()?.latency.snapshot())
+    }
+
+    /// Sum of every model's budget charge (the accounted footprint).
+    pub fn resident_bytes(&self) -> usize {
+        self.lock_ledger().total()
+    }
+
+    /// `name`'s budget charge.
+    pub fn charge_of(&self, name: &str) -> usize {
+        self.lock_ledger().charge_of(name)
+    }
+
+    /// Bytes of deduplicated constant data the shared pool keeps alive.
+    pub fn pool_bytes(&self) -> usize {
+        self.pool.resident_bytes()
+    }
+
+    /// Distinct constants in the shared pool.
+    pub fn pool_entries(&self) -> usize {
+        self.pool.len()
+    }
+
+    /// The *measured* resident footprint: unique constant storage across
+    /// every hosted model (shared buffers counted once) plus live
+    /// plan-cache arenas. The `tables -- store` bench gates sub-linear
+    /// growth on this number.
+    pub fn measured_bytes(&self) -> usize {
+        let mut seen: HashSet<usize> = HashSet::new();
+        self.hosted_models()
+            .iter()
+            .map(|m| m.memory_footprint(&mut seen))
+            .sum()
+    }
+
+    /// Snapshot of the shared incident log (all models interleaved,
+    /// each tagged `name@vN`).
+    pub fn incidents(&self) -> Vec<Incident> {
+        self.incidents.snapshot()
+    }
+
+    /// Incidents lost to ring eviction (see [`IncidentLog::dropped`]).
+    pub fn incidents_dropped(&self) -> u64 {
+        self.incidents.dropped()
+    }
+
+    /// The shared incident log handle.
+    pub(crate) fn incident_log(&self) -> Arc<IncidentLog> {
+        Arc::clone(&self.incidents)
+    }
+
+    fn entry(&self, name: &str) -> Result<Arc<Entry>, ServeError> {
+        self.read_entries()
+            .get(name)
+            .cloned()
+            .ok_or_else(|| ServeError::UnknownModel(name.to_string()))
+    }
+
+    fn read_entries(&self) -> std::sync::RwLockReadGuard<'_, HashMap<String, Arc<Entry>>> {
+        self.entries.read().unwrap_or_else(|p| p.into_inner())
+    }
+
+    fn write_entries(&self) -> std::sync::RwLockWriteGuard<'_, HashMap<String, Arc<Entry>>> {
+        self.entries.write().unwrap_or_else(|p| p.into_inner())
+    }
+
+    fn lock_share(&self) -> std::sync::MutexGuard<'_, FairShare> {
+        self.share.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    fn lock_ledger(&self) -> std::sync::MutexGuard<'_, BudgetLedger> {
+        self.ledger.lock().unwrap_or_else(|p| p.into_inner())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hb_pipeline::{fit_pipeline, OpSpec, Targets};
+
+    // 24 features so the fitted parameter tensors clear the pool's
+    // MIN_INTERN_BYTES floor and dedup has something to share.
+    fn fixture(seed: usize) -> (Pipeline, Tensor<f32>) {
+        let x = Tensor::from_fn(&[40, 24], |i| {
+            ((i[0] * 7 + i[1] * (seed + 3)) % 11) as f32 * 0.3
+        });
+        let y = Targets::Classes((0..40).map(|i| (i % 2) as i64).collect());
+        let pipe = fit_pipeline(&[OpSpec::StandardScaler, OpSpec::GaussianNb], &x, &y);
+        (pipe, x)
+    }
+
+    #[test]
+    fn register_predict_and_evict_round_trip() {
+        let store = ModelStore::new(StoreConfig::default());
+        let (pipe, x) = fixture(1);
+        let card = store
+            .register("fraud", &pipe, ServeConfig::default())
+            .unwrap();
+        assert_eq!(card.version, 1);
+        assert!(card.charge_bytes > 0);
+        assert_eq!(store.version("fraud"), Some(1));
+        let served = store.predict_detailed("fraud", &x).unwrap();
+        assert_eq!(served.output.shape(), &[40, 2]);
+        assert!(store.resident_bytes() > 0);
+        store.evict("fraud").unwrap();
+        assert_eq!(store.resident_bytes(), 0);
+        assert_eq!(store.pool_entries(), 0, "eviction must drain the pool");
+        assert!(matches!(
+            store.predict("fraud", &x),
+            Err(ServeError::UnknownModel(_))
+        ));
+    }
+
+    #[test]
+    fn duplicate_registration_is_refused() {
+        let store = ModelStore::new(StoreConfig::default());
+        let (pipe, _) = fixture(1);
+        store.register("m", &pipe, ServeConfig::default()).unwrap();
+        let err = store
+            .register("m", &pipe, ServeConfig::default())
+            .unwrap_err();
+        assert!(matches!(err, ServeError::BadRequest(msg) if msg.contains("use deploy")));
+        let err = store
+            .register("", &pipe, ServeConfig::default())
+            .unwrap_err();
+        assert!(matches!(err, ServeError::BadRequest(msg) if msg.contains("non-empty")));
+    }
+
+    #[test]
+    fn identical_models_share_pool_bytes() {
+        let store = ModelStore::new(StoreConfig::default());
+        let (pipe, _) = fixture(1);
+        let a = store.register("a", &pipe, ServeConfig::default()).unwrap();
+        let b = store.register("b", &pipe, ServeConfig::default()).unwrap();
+        assert!(a.fresh_bytes > 0, "first model brings fresh constants");
+        assert!(
+            a.shared_bytes > 0,
+            "a model's lower rungs share its own best rung's constants"
+        );
+        assert_eq!(b.fresh_bytes, 0, "identical twin owns nothing new");
+        assert_eq!(b.shared_bytes, a.fresh_bytes + a.shared_bytes);
+        assert!(
+            b.charge_bytes < a.charge_bytes,
+            "the twin's charge must exclude shared constants"
+        );
+    }
+
+    #[test]
+    fn model_budget_refuses_and_releases() {
+        let store = ModelStore::new(StoreConfig {
+            model_budget: Some(1),
+            ..StoreConfig::default()
+        });
+        let (pipe, _) = fixture(1);
+        let err = store
+            .register("big", &pipe, ServeConfig::default())
+            .unwrap_err();
+        assert!(matches!(err, ServeError::BudgetExceeded { ref model, .. } if model == "big"));
+        assert_eq!(store.resident_bytes(), 0);
+        assert_eq!(
+            store.pool_entries(),
+            0,
+            "refusal must release interned constants"
+        );
+        assert!(store
+            .incidents()
+            .iter()
+            .any(|i| i.kind == IncidentKind::BudgetRejected));
+        assert!(store.is_empty());
+    }
+
+    #[test]
+    fn clean_canary_auto_promotes() {
+        let store = ModelStore::new(StoreConfig {
+            canary_fraction: 1,
+            promote_after: 3,
+            ..StoreConfig::default()
+        });
+        let (pipe, x) = fixture(1);
+        store.register("m", &pipe, ServeConfig::default()).unwrap();
+        // v2 is the same pipeline: every canary comparison is clean.
+        let card = store.deploy("m", &pipe, ServeConfig::default()).unwrap();
+        assert_eq!(card.version, 2);
+        assert!(card.canary);
+        for _ in 0..4 {
+            store.predict("m", &x).unwrap();
+        }
+        assert_eq!(
+            store.version("m"),
+            Some(2),
+            "candidate should have promoted"
+        );
+        assert!(!store.deploying("m"));
+        assert!(store
+            .incidents()
+            .iter()
+            .any(|i| i.kind == IncidentKind::Promoted && i.model.as_deref() == Some("m@v2")));
+    }
+
+    #[test]
+    fn divergent_canary_rolls_back_and_v1_keeps_serving() {
+        let store = ModelStore::new(StoreConfig {
+            canary_fraction: 1,
+            max_canary_failures: 2,
+            ..StoreConfig::default()
+        });
+        let (pipe, x) = fixture(1);
+        store.register("m", &pipe, ServeConfig::default()).unwrap();
+        let baseline = store.predict("m", &x).unwrap();
+        // A divergent v2: same schema, shuffled labels → different
+        // probabilities.
+        let y2 = Targets::Classes((0..40).map(|i| ((i / 3) % 2) as i64).collect());
+        let pipe2 = fit_pipeline(&[OpSpec::StandardScaler, OpSpec::GaussianNb], &x, &y2);
+        store.deploy("m", &pipe2, ServeConfig::default()).unwrap();
+        let before = store.resident_bytes();
+        for _ in 0..6 {
+            let out = store.predict("m", &x).unwrap();
+            // The active version answers even while the canary diverges.
+            assert_eq!(out.as_slice(), baseline.as_slice());
+        }
+        assert_eq!(
+            store.version("m"),
+            Some(1),
+            "divergent candidate must not promote"
+        );
+        assert!(!store.deploying("m"), "candidate should have rolled back");
+        assert!(
+            store.resident_bytes() < before,
+            "rollback must release the candidate"
+        );
+        assert!(store
+            .incidents()
+            .iter()
+            .any(|i| i.kind == IncidentKind::RolledBack && i.model.as_deref() == Some("m@v2")));
+    }
+
+    #[test]
+    fn unknown_model_is_a_typed_error() {
+        let store = ModelStore::new(StoreConfig::default());
+        let x = Tensor::from_fn(&[1, 3], |_| 0.5);
+        assert!(matches!(
+            store.predict("ghost", &x),
+            Err(ServeError::UnknownModel(name)) if name == "ghost"
+        ));
+        assert!(matches!(
+            store.evict("ghost"),
+            Err(ServeError::UnknownModel(_))
+        ));
+    }
+
+    #[test]
+    fn fair_share_guarantee_survives_a_greedy_neighbor() {
+        let mut share = FairShare::new(8);
+        share.set_models(2);
+        assert_eq!(share.guarantee(), 4);
+        // Greedy model takes its guarantee plus all the slack.
+        for _ in 0..8 {
+            assert!(share.try_admit("greedy"));
+        }
+        assert!(!share.try_admit("greedy"), "slack exhausted");
+        // The quiet model still gets its full guarantee.
+        for _ in 0..4 {
+            assert!(share.try_admit("quiet"), "guarantee must never be starved");
+        }
+        share.release("greedy");
+        share.release("quiet");
+        assert_eq!(share.total(), 10);
+    }
+
+    #[test]
+    fn ledger_stays_consistent() {
+        let mut ledger = BudgetLedger::new();
+        ledger.charge("a", 100);
+        ledger.charge("b", 50);
+        ledger.charge("a", 25);
+        assert_eq!(ledger.charge_of("a"), 125);
+        assert_eq!(ledger.total(), 175);
+        assert!(ledger.consistent());
+        ledger.credit("a", 125);
+        assert_eq!(ledger.charge_of("a"), 0);
+        assert_eq!(ledger.total(), 50);
+        // Over-credit saturates instead of underflowing.
+        ledger.credit("b", 500);
+        assert_eq!(ledger.total(), 0);
+        assert!(ledger.consistent());
+    }
+}

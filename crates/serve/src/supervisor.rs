@@ -31,12 +31,13 @@
 //! against [`ServeConfig::queue_capacity`]; the request deadline starts
 //! when a worker picks the job up.
 
+use std::collections::{HashMap, HashSet};
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use hb_tensor::Tensor;
 
@@ -44,16 +45,28 @@ use crate::batcher::{as_record, Backpressure, BatchMember, Batcher};
 use crate::breaker::OpenReason;
 use crate::histogram::{LatencyReport, ServingLatency};
 use crate::incident::{IncidentKind, IncidentLog};
-use crate::{divergence, Rung, ServeError, Served, ServingModel};
+use crate::store::{ModelStore, ShareGuard};
+use crate::{Rung, ServeError, Served, ServingModel, ServingStats};
 
 /// Work items flowing through the supervisor's queue.
 pub(crate) enum Work {
-    /// An ordinary scoring request.
+    /// An ordinary scoring request (single-model mode).
     Predict {
         x: Tensor<f32>,
         /// When admission accepted the request (queue-wait histogram
         /// epoch).
         enqueued: Instant,
+        reply: Sender<Result<Served, ServeError>>,
+    },
+    /// A scoring request routed to a named model in a [`ModelStore`].
+    /// Carries its fair-share slot, taken at submission; the guard
+    /// releases on every exit path, including a worker panic.
+    Store {
+        name: String,
+        x: Tensor<f32>,
+        enqueued: Instant,
+        #[allow(dead_code)] // held for its Drop
+        guard: ShareGuard,
         reply: Sender<Result<Served, ServeError>>,
     },
     /// A coalesced micro-batch from the batching front door: executed
@@ -69,8 +82,47 @@ pub(crate) enum Work {
 
 /// Messages for the health thread.
 enum HealthMsg {
-    /// A sampled request input to replay through the canary checker.
-    Canary(Tensor<f32>),
+    /// A sampled request input to replay through the canary checker,
+    /// against the model that served it.
+    Canary {
+        model: Arc<ServingModel>,
+        x: Tensor<f32>,
+    },
+}
+
+/// What a supervisor hosts: one model, or a whole store of them. All
+/// pool infrastructure (workers, health thread, incident log) is shared
+/// either way; the store multiplexes per-model fault domains over it.
+#[derive(Clone)]
+enum Host {
+    Single(Arc<ServingModel>),
+    Store(Arc<ModelStore>),
+}
+
+impl Host {
+    /// Every model the health thread watches over. For a store this is
+    /// the live actives plus in-flight canary candidates, re-resolved
+    /// each tick so deploys and evictions are picked up.
+    fn models(&self) -> Vec<Arc<ServingModel>> {
+        match self {
+            Host::Single(m) => vec![Arc::clone(m)],
+            Host::Store(s) => s.hosted_models(),
+        }
+    }
+
+    fn watchdog_interval(&self) -> Duration {
+        match self {
+            Host::Single(m) => m.config().watchdog_interval,
+            Host::Store(s) => s.config().watchdog_interval,
+        }
+    }
+
+    fn incident_log(&self) -> Arc<IncidentLog> {
+        match self {
+            Host::Single(m) => m.incident_log(),
+            Host::Store(s) => s.incident_log(),
+        }
+    }
 }
 
 /// A fixed-size worker pool serving one [`ServingModel`] with panic
@@ -78,7 +130,7 @@ enum HealthMsg {
 /// drain. Cheap to share by reference across client threads (`Send +
 /// Sync`); see `examples/resilient_serving.rs`.
 pub struct Supervisor {
-    model: Arc<ServingModel>,
+    host: Host,
     incidents: Arc<IncidentLog>,
     /// `None` once draining: submissions are refused.
     job_tx: Mutex<Option<Sender<Work>>>,
@@ -99,11 +151,28 @@ pub struct Supervisor {
     drained: AtomicBool,
 }
 
-/// Point-in-time view of a supervisor and its model.
+/// Health of one store-hosted model, named and versioned.
+#[derive(Debug, Clone)]
+pub struct ModelHealth {
+    /// The model's registered name.
+    pub name: String,
+    /// The active version.
+    pub version: u32,
+    /// The active version's full health snapshot.
+    pub health: crate::HealthSnapshot,
+}
+
+/// Point-in-time view of a supervisor and what it hosts.
 #[derive(Debug, Clone)]
 pub struct SupervisorHealth {
-    /// The underlying model's health (breakers, quarantine, stats).
+    /// The hosted model's health (breakers, quarantine, stats). For a
+    /// store this is a synthesized aggregate: summed stats, degraded
+    /// when *any* model is degraded, with no per-rung rows (those live
+    /// in [`SupervisorHealth::models`]).
     pub model: crate::HealthSnapshot,
+    /// Per-model health when hosting a [`ModelStore`], sorted by name;
+    /// empty for a single-model supervisor.
+    pub models: Vec<ModelHealth>,
     /// Worker threads the pool was spawned with.
     pub n_workers: usize,
     /// Worker threads still alive (the chaos suite asserts this never
@@ -119,46 +188,57 @@ impl Supervisor {
     /// Spawns `n_workers` worker threads (at least one) plus the health
     /// thread around `model`.
     pub fn spawn(model: ServingModel, n_workers: usize) -> Supervisor {
+        Supervisor::spawn_host(Host::Single(Arc::new(model)), n_workers)
+    }
+
+    /// Spawns a worker pool serving every model in `store` (present and
+    /// future — registrations after spawn are served immediately).
+    /// Requests are submitted per model via [`Supervisor::predict_for`];
+    /// the watchdog, canary checker, and recovery probes multiplex over
+    /// all hosted models, each in its own fault domain.
+    pub fn spawn_store(store: Arc<ModelStore>, n_workers: usize) -> Supervisor {
+        Supervisor::spawn_host(Host::Store(store), n_workers)
+    }
+
+    fn spawn_host(host: Host, n_workers: usize) -> Supervisor {
         let n_workers = n_workers.max(1);
-        let model = Arc::new(model);
-        let incidents = model.incident_log();
+        let incidents = host.incident_log();
         let (job_tx, job_rx) = channel::<Work>();
         let (health_tx, health_rx) = channel::<HealthMsg>();
         let job_rx = Arc::new(Mutex::new(job_rx));
         let pending = Arc::new(AtomicUsize::new(0));
-
-        let canary_period = model.config().canary_period;
-        let success_counter = Arc::new(AtomicU64::new(0));
         let latency = Arc::new(ServingLatency::default());
 
-        let batcher = model.config().coalesce.clone().map(|cfg| {
-            Arc::new(Batcher::new(
-                Arc::clone(&model),
-                Arc::clone(&latency),
-                cfg,
-                n_workers,
-            ))
-        });
+        // Coalescing is a single-model front door; a store's admission
+        // arbitration happens per model in FairShare instead.
+        let batcher = match &host {
+            Host::Single(model) => model.config().coalesce.clone().map(|cfg| {
+                Arc::new(Batcher::new(
+                    Arc::clone(model),
+                    Arc::clone(&latency),
+                    cfg,
+                    n_workers,
+                ))
+            }),
+            Host::Store(_) => None,
+        };
 
         let mut workers = Vec::with_capacity(n_workers);
         for _ in 0..n_workers {
-            let model = Arc::clone(&model);
+            let host = host.clone();
             let incidents = Arc::clone(&incidents);
             let rx = Arc::clone(&job_rx);
             let pending = Arc::clone(&pending);
             let health_tx = health_tx.clone();
-            let counter = Arc::clone(&success_counter);
             let batcher = batcher.clone();
             let latency = Arc::clone(&latency);
             workers.push(std::thread::spawn(move || {
                 worker_loop(
-                    &model,
+                    &host,
                     &incidents,
                     &rx,
                     &pending,
                     &health_tx,
-                    &counter,
-                    canary_period,
                     batcher.as_deref(),
                     &latency,
                 );
@@ -176,13 +256,12 @@ impl Supervisor {
         });
 
         let health_thread = {
-            let model = Arc::clone(&model);
-            let incidents = Arc::clone(&incidents);
-            std::thread::spawn(move || health_loop(&model, &incidents, &health_rx))
+            let host = host.clone();
+            std::thread::spawn(move || health_loop(&host, &health_rx))
         };
 
         Supervisor {
-            model,
+            host,
             incidents,
             job_tx: Mutex::new(Some(job_tx)),
             health_tx: Mutex::new(Some(health_tx)),
@@ -198,8 +277,27 @@ impl Supervisor {
     }
 
     /// The supervised model (for stats, health, and direct calls).
+    ///
+    /// # Panics
+    ///
+    /// Panics for a store-hosting supervisor, which has no single model
+    /// — use [`Supervisor::store`] or [`Supervisor::health`] instead.
     pub fn model(&self) -> &ServingModel {
-        &self.model
+        match &self.host {
+            Host::Single(m) => m,
+            Host::Store(_) => {
+                panic!("supervisor hosts a model store; use store()/predict_for()")
+            }
+        }
+    }
+
+    /// The hosted [`ModelStore`], when spawned via
+    /// [`Supervisor::spawn_store`].
+    pub fn store(&self) -> Option<&Arc<ModelStore>> {
+        match &self.host {
+            Host::Single(_) => None,
+            Host::Store(s) => Some(s),
+        }
     }
 
     /// Scores a batch through the worker pool, blocking until a worker
@@ -215,11 +313,54 @@ impl Supervisor {
     /// requests exceed the queue capacity, and with
     /// [`ServeError::ShuttingDown`] once [`Supervisor::drain`] has begun.
     pub fn predict_detailed(&self, x: &Tensor<f32>) -> Result<Served, ServeError> {
+        if matches!(self.host, Host::Store(_)) {
+            return Err(ServeError::BadRequest(
+                "supervisor hosts a model store; use predict_for(name, x)".into(),
+            ));
+        }
         self.submit(|reply| Work::Predict {
             x: x.clone(),
             enqueued: Instant::now(),
             reply,
         })
+    }
+
+    /// Scores a batch on the named store model through the worker pool.
+    /// Equivalent to [`Supervisor::predict_detailed_for`] without the
+    /// metadata.
+    pub fn predict_for(&self, name: &str, x: &Tensor<f32>) -> Result<Tensor<f32>, ServeError> {
+        self.predict_detailed_for(name, x).map(|s| s.output)
+    }
+
+    /// Scores a batch on the named store model with serving metadata.
+    /// Fair-share admission happens here, at submission: a model under
+    /// its guaranteed slot count is never refused, whatever load its
+    /// neighbors are generating.
+    pub fn predict_detailed_for(&self, name: &str, x: &Tensor<f32>) -> Result<Served, ServeError> {
+        let Host::Store(store) = &self.host else {
+            return Err(ServeError::BadRequest(
+                "supervisor hosts a single model; use predict(x)".into(),
+            ));
+        };
+        let tx = self.sender()?;
+        let guard = store.admit(name)?;
+        self.pending.fetch_add(1, Ordering::SeqCst);
+        let (reply_tx, reply_rx) = channel();
+        let work = Work::Store {
+            name: name.to_string(),
+            x: x.clone(),
+            enqueued: Instant::now(),
+            guard,
+            reply: reply_tx,
+        };
+        if tx.send(work).is_err() {
+            // The dropped Work releases the fair-share slot.
+            self.pending.fetch_sub(1, Ordering::SeqCst);
+            return Err(ServeError::ShuttingDown);
+        }
+        reply_rx
+            .recv()
+            .unwrap_or_else(|_| Err(ServeError::Internal("worker dropped the reply".into())))
     }
 
     /// Scores one record (`[features]` or `[1, features]`) through the
@@ -258,21 +399,44 @@ impl Supervisor {
     /// caller gets [`ServeError::Internal`]; the worker must survive.
     #[doc(hidden)]
     pub fn inject_worker_panic(&self) -> Result<Served, ServeError> {
-        self.submit(|reply| Work::PanicPill { reply })
+        match &self.host {
+            Host::Single(_) => self.submit(|reply| Work::PanicPill { reply }),
+            Host::Store(_) => {
+                // No per-model admission to arbitrate: the pill targets
+                // the pool itself.
+                let tx = self.sender()?;
+                self.pending.fetch_add(1, Ordering::SeqCst);
+                let (reply_tx, reply_rx) = channel();
+                if tx.send(Work::PanicPill { reply: reply_tx }).is_err() {
+                    self.pending.fetch_sub(1, Ordering::SeqCst);
+                    return Err(ServeError::ShuttingDown);
+                }
+                reply_rx.recv().unwrap_or_else(|_| {
+                    Err(ServeError::Internal("worker dropped the reply".into()))
+                })
+            }
+        }
     }
 
+    fn sender(&self) -> Result<Sender<Work>, ServeError> {
+        lock(&self.job_tx)
+            .as_ref()
+            .cloned()
+            .ok_or(ServeError::ShuttingDown)
+    }
+
+    /// Single-model submission path: bounded-queue CAS admission.
     fn submit(
         &self,
         make: impl FnOnce(Sender<Result<Served, ServeError>>) -> Work,
     ) -> Result<Served, ServeError> {
-        let tx = {
-            let guard = lock(&self.job_tx);
-            match guard.as_ref() {
-                Some(tx) => tx.clone(),
-                None => return Err(ServeError::ShuttingDown),
-            }
+        let Host::Single(model) = &self.host else {
+            return Err(ServeError::BadRequest(
+                "supervisor hosts a model store; use predict_for(name, x)".into(),
+            ));
         };
-        let capacity = self.model.config().queue_capacity;
+        let tx = self.sender()?;
+        let capacity = model.config().queue_capacity;
         // Compare-and-swap admission: a rejected request never touches
         // the counter, so concurrent rejected bursts cannot transiently
         // inflate the queue depth seen by `SupervisorHealth::queued`.
@@ -282,7 +446,7 @@ impl Supervisor {
                 (p < capacity).then_some(p + 1)
             });
         if let Err(full) = admitted {
-            self.model.record_overload();
+            model.record_overload();
             return Err(ServeError::Overloaded {
                 in_flight: full,
                 capacity,
@@ -298,14 +462,47 @@ impl Supervisor {
             .unwrap_or_else(|_| Err(ServeError::Internal("worker dropped the reply".into())))
     }
 
-    /// Health snapshot including pool liveness.
+    /// Health snapshot including pool liveness. For a store host the
+    /// `model` field aggregates every hosted model (summed stats,
+    /// degraded when any model is); per-model detail is in `models`.
     pub fn health(&self) -> SupervisorHealth {
         let workers_alive = lock(&self.workers)
             .iter()
             .filter(|h| !h.is_finished())
             .count();
+        let (model, models) = match &self.host {
+            Host::Single(m) => (m.health(), Vec::new()),
+            Host::Store(s) => {
+                let models: Vec<ModelHealth> = s
+                    .healths()
+                    .into_iter()
+                    .map(|(name, version, health)| ModelHealth {
+                        name,
+                        version,
+                        health,
+                    })
+                    .collect();
+                let mut stats = ServingStats::default();
+                let mut degraded = false;
+                let mut ready = true;
+                for mh in &models {
+                    stats.absorb(&mh.health.stats);
+                    degraded |= mh.health.degraded_mode;
+                    ready &= mh.health.ready;
+                }
+                let aggregate = crate::HealthSnapshot {
+                    rungs: Vec::new(),
+                    stats,
+                    incidents_total: self.incidents.total(),
+                    ready,
+                    degraded_mode: degraded,
+                };
+                (aggregate, models)
+            }
+        };
         SupervisorHealth {
-            model: self.model.health(),
+            model,
+            models,
             n_workers: self.n_workers,
             workers_alive,
             queued: self.pending.load(Ordering::SeqCst),
@@ -366,15 +563,12 @@ fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
     m.lock().unwrap_or_else(|p| p.into_inner())
 }
 
-#[allow(clippy::too_many_arguments)]
 fn worker_loop(
-    model: &ServingModel,
+    host: &Host,
     incidents: &IncidentLog,
     rx: &Mutex<Receiver<Work>>,
     pending: &AtomicUsize,
     health_tx: &Sender<HealthMsg>,
-    success_counter: &AtomicU64,
-    canary_period: usize,
     batcher: Option<&Batcher>,
     latency: &ServingLatency,
 ) {
@@ -394,6 +588,13 @@ fn worker_loop(
         };
         match work {
             Work::Predict { x, enqueued, reply } => {
+                let Host::Single(model) = host else {
+                    pending.fetch_sub(1, Ordering::SeqCst);
+                    let _ = reply.send(Err(ServeError::Internal(
+                        "single-model work reached a store supervisor".into(),
+                    )));
+                    continue;
+                };
                 latency.queue_wait.record(enqueued.elapsed());
                 let outcome = catch_unwind(AssertUnwindSafe(|| model.predict_detailed(&x)));
                 let result = match outcome {
@@ -404,14 +605,64 @@ fn worker_loop(
                         Err(ServeError::Internal(format!("request panicked: {msg}")))
                     }
                 };
-                if result.is_ok() && canary_period > 0 && canary_allowed(batcher) {
-                    let n = success_counter.fetch_add(1, Ordering::Relaxed) + 1;
-                    if n.is_multiple_of(canary_period as u64) {
-                        // Best effort: a closed health channel just means
-                        // we are draining.
-                        let _ = health_tx.send(HealthMsg::Canary(x));
+                if result.is_ok() && canary_allowed(batcher) && model.canary_due() {
+                    // Best effort: a closed health channel just means
+                    // we are draining.
+                    let _ = health_tx.send(HealthMsg::Canary {
+                        model: Arc::clone(model),
+                        x,
+                    });
+                }
+                latency.end_to_end.record(enqueued.elapsed());
+                pending.fetch_sub(1, Ordering::SeqCst);
+                let _ = reply.send(result);
+            }
+            Work::Store {
+                name,
+                x,
+                enqueued,
+                guard,
+                reply,
+            } => {
+                let Host::Store(store) = host else {
+                    pending.fetch_sub(1, Ordering::SeqCst);
+                    let _ = reply.send(Err(ServeError::Internal(
+                        "store work reached a single-model supervisor".into(),
+                    )));
+                    continue;
+                };
+                latency.queue_wait.record(enqueued.elapsed());
+                let outcome = catch_unwind(AssertUnwindSafe(|| store.execute(&name, &x)));
+                let result = match outcome {
+                    Ok(r) => r,
+                    Err(p) => {
+                        let msg = crate::panic_text(p);
+                        // Attribute the blast to the model that blew up.
+                        let tag = store
+                            .active_model(&name)
+                            .and_then(|m| m.tag().map(str::to_string));
+                        incidents.record_for(
+                            IncidentKind::WorkerPanic,
+                            None,
+                            tag.as_deref().or(Some(&name)),
+                            msg.clone(),
+                        );
+                        Err(ServeError::Internal(format!("request panicked: {msg}")))
+                    }
+                };
+                if result.is_ok() {
+                    if let Some(model) = store.active_model(&name) {
+                        if model.canary_due() {
+                            let _ = health_tx.send(HealthMsg::Canary {
+                                model,
+                                x: x.clone(),
+                            });
+                        }
                     }
                 }
+                // The fair-share slot is held until the request fully
+                // completes, then released on every path.
+                drop(guard);
                 latency.end_to_end.record(enqueued.elapsed());
                 pending.fetch_sub(1, Ordering::SeqCst);
                 let _ = reply.send(result);
@@ -430,12 +681,12 @@ fn worker_loop(
                     continue;
                 };
                 let executed = b.execute(members, incidents);
-                if let Some(x) = executed {
-                    if canary_period > 0 && canary_allowed(batcher) {
-                        let n = success_counter.fetch_add(1, Ordering::Relaxed) + 1;
-                        if n.is_multiple_of(canary_period as u64) {
-                            let _ = health_tx.send(HealthMsg::Canary(x));
-                        }
+                if let (Some(x), Host::Single(model)) = (executed, host) {
+                    if canary_allowed(batcher) && model.canary_due() {
+                        let _ = health_tx.send(HealthMsg::Canary {
+                            model: Arc::clone(model),
+                            x,
+                        });
                     }
                 }
             }
@@ -459,38 +710,57 @@ fn worker_loop(
     }
 }
 
-fn health_loop(model: &ServingModel, incidents: &IncidentLog, rx: &Receiver<HealthMsg>) {
-    let interval = model.config().watchdog_interval;
-    let tolerance = model.config().canary_tolerance;
-    let blow_threshold = model.config().deadline_blow_threshold;
-    let mut last_blows = model.deadline_blow_counts();
-    // The most recent sampled input doubles as the probe payload for
-    // quarantine recovery.
-    let mut stash: Option<Tensor<f32>> = None;
+/// The health thread: watchdog, canary divergence checks, and recovery
+/// probes, multiplexed over every hosted model. Per-model bookkeeping is
+/// keyed by the model's `Arc` address; maps are pruned to the live model
+/// set each tick, so evicted or replaced versions drop out.
+fn health_loop(host: &Host, rx: &Receiver<HealthMsg>) {
+    let interval = host.watchdog_interval();
+    let mut last_blows: HashMap<usize, [u64; 4]> = HashMap::new();
+    // Per model, the most recent sampled input doubles as the probe
+    // payload for quarantine recovery.
+    let mut stash: HashMap<usize, Tensor<f32>> = HashMap::new();
     // Watchdog ticks run on an absolute schedule so a steady stream of
     // canary samples cannot starve them.
     let mut next_tick = Instant::now() + interval;
     loop {
         let wait = next_tick.saturating_duration_since(Instant::now());
         match rx.recv_timeout(wait) {
-            Ok(HealthMsg::Canary(x)) => {
-                // Collapse any backlog to the newest sample: the canary
-                // is statistical, and replaying every queued input would
-                // let a burst of traffic (or a slow rung) wedge this
-                // thread — and with it, drain() — for minutes.
-                let mut newest = x;
-                while let Ok(HealthMsg::Canary(later)) = rx.try_recv() {
-                    newest = later;
+            Ok(HealthMsg::Canary { model, x }) => {
+                // Collapse any backlog to the newest sample per model:
+                // the canary is statistical, and replaying every queued
+                // input would let a burst of traffic (or a slow rung)
+                // wedge this thread — and with it, drain() — for
+                // minutes.
+                let mut newest: Vec<(Arc<ServingModel>, Tensor<f32>)> = vec![(model, x)];
+                while let Ok(HealthMsg::Canary { model, x }) = rx.try_recv() {
+                    match newest.iter_mut().find(|(m, _)| Arc::ptr_eq(m, &model)) {
+                        Some(slot) => slot.1 = x,
+                        None => newest.push((model, x)),
+                    }
                 }
-                run_canary(model, incidents, &newest, tolerance);
-                stash = Some(newest);
+                for (model, x) in newest {
+                    run_canary(&model, &x, model.config().canary_tolerance);
+                    stash.insert(Arc::as_ptr(&model) as usize, x);
+                }
             }
             Err(RecvTimeoutError::Timeout) => {}
             Err(RecvTimeoutError::Disconnected) => return,
         }
         if Instant::now() >= next_tick {
-            run_watchdog(model, incidents, &mut last_blows, blow_threshold);
-            run_recovery_probes(model, incidents, stash.as_ref(), tolerance);
+            let models = host.models();
+            let live: HashSet<usize> = models.iter().map(|m| Arc::as_ptr(m) as usize).collect();
+            last_blows.retain(|k, _| live.contains(k));
+            stash.retain(|k, _| live.contains(k));
+            for model in models {
+                let key = Arc::as_ptr(&model) as usize;
+                // A newly discovered model starts from a zero baseline,
+                // matching the single-model behavior at spawn (a fresh
+                // model's counters are zero anyway).
+                let blows = last_blows.entry(key).or_insert([0u64; 4]);
+                run_watchdog(&model, blows, model.config().deadline_blow_threshold);
+                run_recovery_probes(&model, stash.get(&key), model.config().canary_tolerance);
+            }
             next_tick = Instant::now() + interval;
         }
     }
@@ -498,7 +768,9 @@ fn health_loop(model: &ServingModel, incidents: &IncidentLog, rx: &Receiver<Heal
 
 /// Replays `x` on every live compiled rung and compares against a fresh
 /// reference answer; divergence beyond tolerance quarantines the rung.
-fn run_canary(model: &ServingModel, incidents: &IncidentLog, x: &Tensor<f32>, tolerance: f32) {
+/// Incidents go through the model's own log with its attribution tag,
+/// so store-hosted models never leak incidents into a neighbor's view.
+fn run_canary(model: &ServingModel, x: &Tensor<f32>, tolerance: f32) {
     let Ok(want) = model.reference_output(x) else {
         // No trustworthy baseline; skip this sample.
         return;
@@ -530,16 +802,16 @@ fn run_canary(model: &ServingModel, incidents: &IncidentLog, x: &Tensor<f32>, to
         let Ok(got) = model.raw_rung_output(rung, x) else {
             continue;
         };
-        let err = divergence(&got, &want);
+        let err = crate::divergence(&got, &want);
         // NaN divergence (non-finite replay output) must also trip.
         if err.is_nan() || err > tolerance {
-            incidents.record(
+            model.note(
                 IncidentKind::CanaryDivergence,
                 Some(rung),
                 format!("relative error {err:e} exceeds tolerance {tolerance:e}"),
             );
             if breaker.trip(OpenReason::Quarantine, Instant::now()) {
-                incidents.record(
+                model.note(
                     IncidentKind::Quarantined,
                     Some(rung),
                     "rung quarantined pending canary-validated probe",
@@ -551,12 +823,7 @@ fn run_canary(model: &ServingModel, incidents: &IncidentLog, x: &Tensor<f32>, to
 
 /// Trips rungs that blew more than `threshold` deadlines since the last
 /// watchdog window.
-fn run_watchdog(
-    model: &ServingModel,
-    incidents: &IncidentLog,
-    last_blows: &mut [u64; 4],
-    threshold: u64,
-) {
+fn run_watchdog(model: &ServingModel, last_blows: &mut [u64; 4], threshold: u64) {
     let now_blows = model.deadline_blow_counts();
     for rung in compiled_rungs(model) {
         let i = rung.index();
@@ -564,7 +831,7 @@ fn run_watchdog(
         if threshold > 0 && delta >= threshold {
             if let Some(breaker) = model.breaker_for(rung) {
                 if breaker.trip(OpenReason::Slow, Instant::now()) {
-                    incidents.record(
+                    model.note(
                         IncidentKind::WatchdogSlowTrip,
                         Some(rung),
                         format!("{delta} deadline blows in one watchdog window"),
@@ -578,12 +845,7 @@ fn run_watchdog(
 
 /// Runs at most one background probe per quarantined rung, re-validating
 /// its output against the reference before re-admitting it.
-fn run_recovery_probes(
-    model: &ServingModel,
-    incidents: &IncidentLog,
-    stash: Option<&Tensor<f32>>,
-    tolerance: f32,
-) {
+fn run_recovery_probes(model: &ServingModel, stash: Option<&Tensor<f32>>, tolerance: f32) {
     let Some(x) = stash else {
         return; // nothing sampled yet, nothing to probe with
     };
@@ -598,12 +860,12 @@ fn run_recovery_probes(
             continue;
         }
         let healthy = match (model.raw_rung_output(rung, x), model.reference_output(x)) {
-            (Ok(got), Ok(want)) => divergence(&got, &want) <= tolerance,
+            (Ok(got), Ok(want)) => crate::divergence(&got, &want) <= tolerance,
             _ => false,
         };
         if healthy {
             if breaker.on_success(true) {
-                incidents.record(
+                model.note(
                     IncidentKind::BreakerClosed,
                     Some(rung),
                     "canary-validated probe passed; quarantine lifted",

@@ -1,0 +1,175 @@
+//! Property tests for the model store's arbitration primitives.
+//!
+//! Random interleavings of admissions, releases, and fleet-size changes
+//! must never violate [`FairShare`]'s no-starvation guarantee, and
+//! random charge/credit schedules must keep the [`BudgetLedger`]'s
+//! total equal to the sum of its per-model charges.
+
+use hb_serve::{BudgetLedger, FairShare};
+use proptest::prelude::*;
+
+const MODELS: [&str; 4] = ["a", "b", "c", "d"];
+
+#[derive(Debug, Clone, Copy)]
+enum ShareEvent {
+    /// Model `m` asks for a slot.
+    Admit(usize),
+    /// Model `m` finishes a request (no-op if it holds none).
+    Release(usize),
+    /// The fleet grows or shrinks to `n` models.
+    SetModels(usize),
+}
+
+fn share_event() -> impl Strategy<Value = ShareEvent> {
+    prop_oneof![
+        (0usize..MODELS.len()).prop_map(ShareEvent::Admit),
+        (0usize..MODELS.len()).prop_map(ShareEvent::Release),
+        (1usize..=MODELS.len()).prop_map(ShareEvent::SetModels),
+    ]
+}
+
+proptest! {
+    // The no-starvation invariant: a model holding fewer slots than
+    // its guarantee is NEVER refused, no matter what its neighbors
+    // hold. And a refusal only ever happens at (or above) capacity.
+    #[test]
+    fn fair_share_never_starves_a_model_under_its_guarantee(
+        capacity in 1usize..32,
+        events in proptest::collection::vec(share_event(), 1..200),
+    ) {
+        let mut share = FairShare::new(capacity);
+        share.set_models(MODELS.len());
+        let mut held = [0usize; MODELS.len()];
+
+        for ev in events {
+            match ev {
+                ShareEvent::Admit(m) => {
+                    let mine = held[m];
+                    let pre_total = share.total();
+                    let guarantee = share.guarantee();
+                    let admitted = share.try_admit(MODELS[m]);
+                    if mine < guarantee {
+                        prop_assert!(
+                            admitted,
+                            "model {} refused at {} slots, guarantee {}",
+                            MODELS[m], mine, guarantee
+                        );
+                    }
+                    if !admitted {
+                        prop_assert!(
+                            pre_total >= share.capacity(),
+                            "refusal below capacity: total {} < cap {}",
+                            pre_total, share.capacity()
+                        );
+                    }
+                    // Overshoot is bounded per admission: anything let
+                    // in at-or-above capacity was under its guarantee.
+                    if admitted && pre_total >= share.capacity() {
+                        prop_assert!(mine < guarantee);
+                    }
+                    if admitted {
+                        held[m] += 1;
+                    }
+                }
+                ShareEvent::Release(m) => {
+                    if held[m] > 0 {
+                        share.release(MODELS[m]);
+                        held[m] -= 1;
+                    }
+                }
+                ShareEvent::SetModels(n) => share.set_models(n),
+            }
+            // Book-keeping never drifts: the arbiter agrees with the
+            // model-side view of who holds what.
+            for (m, &h) in held.iter().enumerate() {
+                prop_assert_eq!(share.admitted(MODELS[m]), h);
+            }
+            prop_assert_eq!(share.total(), held.iter().sum::<usize>());
+        }
+    }
+
+    // After everything drains, the arbiter is empty again — no leaked
+    // slots whatever the interleaving was.
+    #[test]
+    fn fair_share_drains_clean(
+        capacity in 1usize..16,
+        events in proptest::collection::vec(share_event(), 1..100),
+    ) {
+        let mut share = FairShare::new(capacity);
+        share.set_models(MODELS.len());
+        let mut held = [0usize; MODELS.len()];
+        for ev in events {
+            match ev {
+                ShareEvent::Admit(m) => {
+                    if share.try_admit(MODELS[m]) {
+                        held[m] += 1;
+                    }
+                }
+                ShareEvent::Release(m) => {
+                    if held[m] > 0 {
+                        share.release(MODELS[m]);
+                        held[m] -= 1;
+                    }
+                }
+                ShareEvent::SetModels(n) => share.set_models(n),
+            }
+        }
+        for (m, held) in held.iter_mut().enumerate() {
+            while *held > 0 {
+                share.release(MODELS[m]);
+                *held -= 1;
+            }
+        }
+        prop_assert_eq!(share.total(), 0);
+        for name in MODELS {
+            prop_assert_eq!(share.admitted(name), 0);
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+enum LedgerEvent {
+    /// Register/deploy charges `bytes` to model `m`.
+    Charge(usize, usize),
+    /// Evict/swap credits `bytes` back from model `m` (clamped to its
+    /// balance, as the store's credit path does).
+    Credit(usize, usize),
+}
+
+fn ledger_event() -> impl Strategy<Value = LedgerEvent> {
+    prop_oneof![
+        ((0usize..MODELS.len()), (0usize..4096)).prop_map(|(m, b)| LedgerEvent::Charge(m, b)),
+        ((0usize..MODELS.len()), (0usize..4096)).prop_map(|(m, b)| LedgerEvent::Credit(m, b)),
+    ]
+}
+
+proptest! {
+    // Budget accounting: across any charge/credit interleaving
+    // (register, deploy, evict), the ledger total equals the sum of
+    // per-model charges, per-model charges match an independent
+    // shadow, and credits saturate instead of underflowing.
+    #[test]
+    fn ledger_total_is_always_the_sum_of_charges(
+        events in proptest::collection::vec(ledger_event(), 1..200),
+    ) {
+        let mut ledger = BudgetLedger::new();
+        let mut shadow = [0usize; MODELS.len()];
+        for ev in events {
+            match ev {
+                LedgerEvent::Charge(m, bytes) => {
+                    ledger.charge(MODELS[m], bytes);
+                    shadow[m] += bytes;
+                }
+                LedgerEvent::Credit(m, bytes) => {
+                    ledger.credit(MODELS[m], bytes);
+                    shadow[m] = shadow[m].saturating_sub(bytes);
+                }
+            }
+            for (m, &want) in shadow.iter().enumerate() {
+                prop_assert_eq!(ledger.charge_of(MODELS[m]), want);
+            }
+            prop_assert_eq!(ledger.total(), shadow.iter().sum::<usize>());
+            prop_assert!(ledger.consistent());
+        }
+    }
+}

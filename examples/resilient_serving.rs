@@ -1,6 +1,8 @@
 //! Fault-tolerant serving: the degradation ladder, deadlines, admission
-//! control, chaos testing with injected faults — and the concurrent
-//! serving supervisor (worker pool, panic isolation, canary quarantine).
+//! control, chaos testing with injected faults — the concurrent serving
+//! supervisor (worker pool, panic isolation, canary quarantine) — and
+//! the multi-model store (per-model fault domains, shared constants,
+//! atomic hot-swap with canary rollback).
 //!
 //! Run with: `cargo run --release --example resilient_serving`
 
@@ -262,5 +264,72 @@ fn main() {
         lat.queue_wait.format_p50_p95_p99(),
         lat.end_to_end.quantile(0.99)
     );
+    sup.drain();
+
+    // 9. The multi-model store: three models behind one front door, one
+    //    of them NaN-poisoned. Each model keeps its own fault domain —
+    //    the poisoned model degrades to its reference rung while its
+    //    neighbors keep serving from the compiled rung, every incident
+    //    tagged with the model that caused it. Identical constants
+    //    across models are interned once in the store's content-hashed
+    //    pool.
+    let store = Arc::new(ModelStore::new(StoreConfig::default()));
+    store
+        .register("fraud", &pipe, ServeConfig::default())
+        .unwrap();
+    store
+        .register("fraud-eu", &pipe, ServeConfig::default())
+        .unwrap();
+    store
+        .register(
+            "ranker",
+            &pipe,
+            ServeConfig {
+                faults: FaultPlan {
+                    nan_poison: true,
+                    ..FaultPlan::none()
+                },
+                ..ServeConfig::default()
+            },
+        )
+        .unwrap();
+    println!(
+        "store:        3 models, pool {} entries, measured {} KiB (twin shares its constants)",
+        store.pool_entries(),
+        store.measured_bytes() / 1024
+    );
+    let sup = Supervisor::spawn_store(Arc::clone(&store), 4);
+    for name in ["fraud", "fraud-eu", "ranker"] {
+        let served = sup.predict_detailed_for(name, &ds.x_test).unwrap();
+        println!(
+            "  {name:<10} rung={:<9} finite={}",
+            served.rung.label(),
+            served.output.iter().all(|v| v.is_finite())
+        );
+    }
+
+    // Atomic hot-swap: an identical retrain deploys behind a canary
+    // (every canary_fraction-th request is divergence-checked against
+    // the active version) and auto-promotes once it proves clean.
+    store
+        .deploy("fraud", &pipe, ServeConfig::default())
+        .unwrap();
+    while store.deploying("fraud") {
+        let _ = sup.predict_for("fraud", &ds.x_test);
+    }
+    println!(
+        "hot-swap:     fraud now at v{} (canary auto-promoted)",
+        store.version("fraud").unwrap_or(0)
+    );
+    println!("store incidents (tagged name@vN):");
+    for inc in store.incidents().iter().take(8) {
+        println!(
+            "  #{:<3} {:<14} model={:<10} {}",
+            inc.seq,
+            inc.kind.label(),
+            inc.model.as_deref().unwrap_or("-"),
+            inc.detail
+        );
+    }
     sup.drain();
 }

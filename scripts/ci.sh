@@ -99,4 +99,17 @@ echo "==> serving soak gate (bounded, incl. 2x-capacity overload gate)"
 RUST_BACKTRACE=1 cargo run -q --offline --release -p hb-bench --bin tables -- \
     soak --soak-secs 1.0 --clients 6
 
+# Multi-model store gate: (a) the store chaos suite — 50 models plus
+# one poisoned neighbor behind one supervised store, asserting fault
+# isolation (healthy models keep >=95% ok-throughput, zero cross-model
+# incident leakage, zero worker deaths), hot-swap promote/rollback,
+# fair-share no-starvation under a greedy flood, and typed budget
+# rejections; (b) the store bench — 48 replicas must grow measured
+# memory sub-linearly (<= 0.5x naive via constant dedup) and a seeded
+# divergent v2 must auto-roll-back. Both exit non-zero on violation.
+echo "==> cargo test -q --test store_chaos (multi-model fault isolation)"
+RUST_BACKTRACE=1 cargo test -q --offline --test store_chaos
+echo "==> store bench gate (sub-linear memory + hot-swap rollback)"
+RUST_BACKTRACE=1 cargo run -q --offline --release -p hb-bench --bin tables -- store
+
 echo "CI green."

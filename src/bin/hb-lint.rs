@@ -17,7 +17,16 @@
 //!
 //! Inputs may be bare `Graph` exports or full artifacts (graph +
 //! recorded signature + value facts); for artifacts the recorded
-//! signature is cross-checked against a fresh verifier run.
+//! signature is cross-checked against a fresh verifier run, and the
+//! recorded dedup identity (graph content hash + per-constant hashes)
+//! is cross-checked against a fresh derivation.
+//!
+//! When more than one file is given, a cross-artifact dedup audit runs
+//! at the end: artifacts whose graphs are bit-identical (equal content
+//! hash) and parameter blocks recorded in several artifacts are
+//! warned about — that is exactly the sharing a model store's constant
+//! pool captures at registration, so duplication across separately
+//! shipped artifacts is deployment weight that failed to deduplicate.
 //!
 //! Flags:
 //!
@@ -103,6 +112,9 @@ fn main() -> ExitCode {
             errors += 1;
         }
     }
+    if paths.len() > 1 {
+        dedup_report(&paths);
+    }
     println!(
         "hb-lint: {} file(s) checked, {} with errors",
         paths.len(),
@@ -113,6 +125,70 @@ fn main() -> ExitCode {
     } else {
         ExitCode::SUCCESS
     }
+}
+
+/// Cross-artifact dedup audit: warns when several artifacts carry the
+/// same graph content hash (bit-identical compiled graphs) or record
+/// the same constant hash (duplicated parameter blocks). A model
+/// store's constant pool shares both at registration, so duplicates
+/// across separately shipped artifacts are weight that failed to
+/// deduplicate. Warning-level only: duplication is a size finding,
+/// not a correctness one.
+fn dedup_report(paths: &[String]) {
+    use std::collections::{HashMap, HashSet};
+    let mut by_content: HashMap<String, Vec<&str>> = HashMap::new();
+    let mut by_const: HashMap<String, Vec<&str>> = HashMap::new();
+    let mut audited = 0usize;
+    for path in paths {
+        let Ok(json) = std::fs::read_to_string(path) else {
+            continue;
+        };
+        let Ok(a) = Artifact::from_json_str(&json) else {
+            continue;
+        };
+        if a.content_hash.is_empty() {
+            // Exported before dedup identities existed; nothing to
+            // cross-reference.
+            continue;
+        }
+        audited += 1;
+        by_content.entry(a.content_hash).or_default().push(path);
+        let mut seen = HashSet::new();
+        for h in a.const_hashes {
+            // Count each hash once per artifact: intra-artifact repeats
+            // are the executor's (already shared) storage, not shipping
+            // weight.
+            if seen.insert(h.clone()) {
+                by_const.entry(h).or_default().push(path);
+            }
+        }
+    }
+    let mut dup_graphs: Vec<_> = by_content.iter().filter(|(_, p)| p.len() > 1).collect();
+    dup_graphs.sort_by_key(|(h, _)| (*h).clone());
+    for (hash, files) in &dup_graphs {
+        println!(
+            "hb-lint: warning: {} artifacts are bit-identical compiled graphs \
+             (content hash {hash}): {} — a model store would share one copy; ship one artifact",
+            files.len(),
+            files.join(", ")
+        );
+    }
+    let mut dup_consts: Vec<_> = by_const.iter().filter(|(_, p)| p.len() > 1).collect();
+    dup_consts.sort_by_key(|(h, _)| (*h).clone());
+    for (hash, files) in &dup_consts {
+        println!(
+            "hb-lint: warning: parameter block {hash} is recorded in {} artifacts ({}) \
+             without deduplication — a shared constant pool would intern it once",
+            files.len(),
+            files.join(", ")
+        );
+    }
+    println!(
+        "hb-lint: dedup audit: {audited} artifact(s), {} duplicated graph(s), \
+         {} duplicated parameter block(s)",
+        dup_graphs.len(),
+        dup_consts.len()
+    );
 }
 
 /// Parses `--buckets 1,2,4` into sorted, deduplicated, nonzero sizes.
@@ -174,6 +250,31 @@ fn lint_file(path: &str, flags: &Flags) -> bool {
                         "{path}: warning: recorded signature `{}` disagrees with the verifier (`{sig}`)",
                         a.signature
                     );
+                }
+                // Same for the dedup identity: a content hash that no
+                // longer matches its own graph would alias (or miss)
+                // the wrong pool entries in a model store.
+                if !a.content_hash.is_empty() {
+                    let fresh = format!(
+                        "{:016x}",
+                        hummingbird::backend::dedup::graph_content_hash(&graph)
+                    );
+                    if a.content_hash != fresh {
+                        println!(
+                            "{path}: warning: recorded content hash {} disagrees with a fresh \
+                             derivation ({fresh}) — stale dedup identity",
+                            a.content_hash
+                        );
+                    }
+                    let fresh_consts = Artifact::const_hashes_of(&graph);
+                    if a.const_hashes != fresh_consts {
+                        println!(
+                            "{path}: warning: recorded constant hashes ({}) disagree with a fresh \
+                             derivation ({}) — stale dedup identity",
+                            a.const_hashes.len(),
+                            fresh_consts.len()
+                        );
+                    }
                 }
             }
             for w in coalesce_warnings(&sig, &flags.buckets) {

@@ -58,8 +58,8 @@ pub mod prelude {
     pub use hb_pipeline::Pipeline;
     pub use hb_serve::{
         Backpressure, BreakerConfig, BreakerState, CoalesceConfig, HealthSnapshot, Incident,
-        IncidentKind, LatencyReport, OpenReason, Rung, ServeConfig, ServeError, Served,
-        ServingModel, Supervisor, SupervisorHealth,
+        IncidentKind, LatencyReport, ModelStore, OpenReason, Rung, ServeConfig, ServeError, Served,
+        ServingModel, StoreConfig, Supervisor, SupervisorHealth,
     };
     pub use hb_tensor::{DynTensor, Tensor};
 }

@@ -34,6 +34,15 @@ fn fixture() -> (Pipeline, Tensor<f32>) {
     (pipe, x)
 }
 
+/// Applies the `HB_CHAOS_SEED` override to a fault plan and prints the
+/// effective seed once, so any chaos failure can be re-run bit-exact.
+fn seeded(plan: FaultPlan) -> FaultPlan {
+    static PRINTED: std::sync::Once = std::sync::Once::new();
+    let plan = plan.with_env_seed();
+    PRINTED.call_once(|| eprintln!("chaos: fault seed = {:#x}", plan.seed));
+    plan
+}
+
 fn all_faults() -> Vec<(&'static str, FaultPlan)> {
     vec![
         (
@@ -72,6 +81,9 @@ fn all_faults() -> Vec<(&'static str, FaultPlan)> {
             },
         ),
     ]
+    .into_iter()
+    .map(|(name, plan)| (name, seeded(plan)))
+    .collect()
 }
 
 /// The core chaos matrix: each fault on each backend, straight through
@@ -382,7 +394,7 @@ fn concurrent_soak_under_mixed_faults_kills_no_workers() {
             },
         ),
     ];
-    for (name, faults) in plans {
+    for (name, faults) in plans.into_iter().map(|(n, p)| (n, seeded(p))) {
         let config = ServeConfig {
             faults,
             max_retries: 1,

@@ -1,0 +1,481 @@
+//! Multi-model chaos suite: a supervised [`ModelStore`] hosting dozens
+//! of models must confine every fault to the model that caused it.
+//!
+//! The headline test registers 50+ models, poisons exactly one, and
+//! proves the blast radius: the poisoned model degrades (or is
+//! quarantined) while every healthy neighbor keeps its rungs, its
+//! throughput, and a clean incident record. The rest of the suite
+//! drives hot-swap promotion/rollback, fair-share admission under a
+//! greedy flood, budget rejections, and eviction — all through
+//! `Supervisor::spawn_store`, so the worker pool, health thread, and
+//! per-model canaries are live.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use hummingbird::backend::{FaultPlan, FaultScope};
+use hummingbird::ml::forest::ForestConfig;
+use hummingbird::ml::metrics::allclose;
+use hummingbird::pipeline::{fit_pipeline, OpSpec, Pipeline, Targets};
+use hummingbird::serve::{
+    IncidentKind, ModelStore, ServeConfig, ServeError, StoreConfig, Supervisor,
+};
+use hummingbird::tensor::Tensor;
+
+/// A tiny, cheap-to-compile pipeline; `seed` perturbs the fitted
+/// parameters so different models produce different outputs.
+fn tiny_fixture(seed: usize) -> (Pipeline, Tensor<f32>) {
+    let x = Tensor::from_fn(&[24, 6], |i| {
+        ((i[0] * 7 + i[1] * (seed + 3)) % 13) as f32 * 0.25
+    });
+    let y = Targets::Classes((0..24).map(|i| ((i + seed) % 2) as i64).collect());
+    let pipe = fit_pipeline(&[OpSpec::StandardScaler, OpSpec::GaussianNb], &x, &y);
+    (pipe, x)
+}
+
+/// A forest fixture for the hot-swap tests (distinct architecture, so a
+/// shuffled-label retrain genuinely diverges).
+fn forest_fixture(label_shift: usize) -> (Pipeline, Tensor<f32>) {
+    let x = Tensor::from_fn(&[40, 5], |i| ((i[0] * 7 + i[1] * 3) % 13) as f32 * 0.3);
+    let y = Targets::Classes(
+        (0..40)
+            .map(|i| ((i / (label_shift + 1)) % 2) as i64)
+            .collect(),
+    );
+    let pipe = fit_pipeline(
+        &[
+            OpSpec::StandardScaler,
+            OpSpec::RandomForestClassifier(ForestConfig {
+                n_trees: 3,
+                max_depth: 3,
+                ..Default::default()
+            }),
+        ],
+        &x,
+        &y,
+    );
+    (pipe, x)
+}
+
+/// Incident kinds that implicate a model's own execution health. A
+/// healthy model must never be tagged with one of these just because a
+/// neighbor is on fire.
+fn is_fault_kind(kind: IncidentKind) -> bool {
+    matches!(
+        kind,
+        IncidentKind::WorkerPanic
+            | IncidentKind::BreakerOpened
+            | IncidentKind::CanaryDivergence
+            | IncidentKind::Quarantined
+            | IncidentKind::WatchdogSlowTrip
+            | IncidentKind::RolledBack
+    )
+}
+
+/// Acceptance: 50 healthy models plus one nan-poisoned neighbor, all
+/// behind one supervised store. The poisoned model is served from its
+/// reference rung (never leaking a NaN); every healthy model sustains
+/// >= 95% ok-throughput, keeps its compiled rung, and accrues zero
+/// fault-kind incidents. No worker dies.
+#[test]
+fn one_poisoned_model_among_fifty_cannot_hurt_its_neighbors() {
+    // Chaos runs are reproducible: HB_CHAOS_SEED overrides this seed
+    // (threaded through FaultPlan::with_env_seed below).
+    let faults = FaultPlan {
+        nan_poison: true,
+        seed: 0xC0FFEE,
+        ..FaultPlan::none()
+    }
+    .with_env_seed();
+    eprintln!("store_chaos: fault seed = {:#x}", faults.seed);
+
+    let store = Arc::new(ModelStore::new(StoreConfig {
+        in_flight: 256,
+        canary_fraction: 2,
+        ..StoreConfig::default()
+    }));
+    const N_HEALTHY: usize = 50;
+    let mut inputs = Vec::new();
+    for m in 0..N_HEALTHY {
+        let (pipe, x) = tiny_fixture(m);
+        let name = format!("model-{m:02}");
+        store
+            .register(
+                &name,
+                &pipe,
+                ServeConfig {
+                    canary_period: 3,
+                    ..ServeConfig::default()
+                },
+            )
+            .unwrap_or_else(|e| panic!("{name}: registration failed: {e}"));
+        inputs.push((name, pipe.predict_proba(&x), x));
+    }
+    let (bad_pipe, bad_x) = tiny_fixture(99);
+    store
+        .register(
+            "poisoned",
+            &bad_pipe,
+            ServeConfig {
+                faults,
+                canary_period: 1,
+                ..ServeConfig::default()
+            },
+        )
+        .unwrap();
+    assert_eq!(store.len(), N_HEALTHY + 1);
+
+    let sup = Arc::new(Supervisor::spawn_store(Arc::clone(&store), 4));
+    let clients: Vec<_> = (0..4)
+        .map(|c| {
+            let sup = Arc::clone(&sup);
+            let inputs: Vec<_> = inputs
+                .iter()
+                .map(|(n, w, x)| (n.clone(), w.clone(), x.clone()))
+                .collect();
+            let bad_x = bad_x.clone();
+            std::thread::spawn(move || {
+                let mut ok = vec![0usize; inputs.len()];
+                let mut sent = vec![0usize; inputs.len()];
+                for round in 0..6 {
+                    for (m, (name, want, x)) in inputs.iter().enumerate() {
+                        sent[m] += 1;
+                        match sup.predict_detailed_for(name, x) {
+                            Ok(served) => {
+                                assert!(
+                                    allclose(&served.output, want, 1e-5, 1e-5),
+                                    "client {c}: {name} silently wrong via {:?}",
+                                    served.rung
+                                );
+                                ok[m] += 1;
+                            }
+                            Err(ServeError::Overloaded { .. }) => {}
+                            Err(e) => panic!("client {c}: {name} round {round}: {e}"),
+                        }
+                    }
+                    // The poisoned neighbor takes traffic too — and must
+                    // never leak a NaN to a client.
+                    if let Ok(served) = sup.predict_detailed_for("poisoned", &bad_x) {
+                        assert!(
+                            served.output.iter().all(|v| v.is_finite()),
+                            "client {c}: poison leaked via {:?}",
+                            served.rung
+                        );
+                    }
+                }
+                (ok, sent)
+            })
+        })
+        .collect();
+    let mut ok = vec![0usize; inputs.len()];
+    let mut sent = vec![0usize; inputs.len()];
+    for t in clients {
+        let (o, s) = t.join().expect("client thread panicked");
+        for m in 0..ok.len() {
+            ok[m] += o[m];
+            sent[m] += s[m];
+        }
+    }
+
+    // Healthy throughput: every healthy model individually >= 95% ok.
+    for (m, (name, _, _)) in inputs.iter().enumerate() {
+        assert!(
+            ok[m] * 100 >= sent[m] * 95,
+            "{name}: only {}/{} ok — a neighbor's fault starved it",
+            ok[m],
+            sent[m]
+        );
+    }
+
+    // Fault isolation: the poisoned model degrades alone.
+    let health = sup.health();
+    assert_eq!(health.workers_alive, 4, "a worker died");
+    for mh in &health.models {
+        if mh.name == "poisoned" {
+            continue;
+        }
+        assert!(mh.health.ready, "{}: not ready", mh.name);
+        assert!(
+            !mh.health.degraded_mode,
+            "{}: degraded by a neighbor's poison",
+            mh.name
+        );
+    }
+
+    // Incident attribution: every fault-kind incident names the
+    // poisoned model; healthy tags stay clean.
+    let incidents = store.incidents();
+    for i in incidents.iter().filter(|i| is_fault_kind(i.kind)) {
+        let tag = i.model.as_deref().unwrap_or("<untagged>");
+        assert!(
+            tag.starts_with("poisoned@"),
+            "cross-model incident leakage: {:?} tagged {tag}: {}",
+            i.kind,
+            i.detail
+        );
+    }
+    let seqs: Vec<u64> = incidents.iter().map(|i| i.seq).collect();
+    assert!(
+        seqs.windows(2).all(|w| w[0] < w[1]),
+        "incident sequence not monotonic"
+    );
+    sup.drain();
+}
+
+/// A clean v2 deployed behind a canary fraction auto-promotes after
+/// `promote_after` clean comparisons; a divergent v3 auto-rolls-back
+/// while the promoted v2 keeps serving correct answers throughout.
+#[test]
+fn hot_swap_promotes_clean_and_rolls_back_divergent_versions() {
+    let store = Arc::new(ModelStore::new(StoreConfig {
+        canary_fraction: 2,
+        promote_after: 4,
+        max_canary_failures: 2,
+        ..StoreConfig::default()
+    }));
+    let (v1, x) = forest_fixture(0);
+    let want = v1.predict_proba(&x);
+    store
+        .register("ranker", &v1, ServeConfig::default())
+        .unwrap();
+    let sup = Supervisor::spawn_store(Arc::clone(&store), 2);
+
+    // Phase 1: deploy an identical retrain. Canary comparisons are
+    // clean, so it must promote within the traffic below.
+    let card = store.deploy("ranker", &v1, ServeConfig::default()).unwrap();
+    assert_eq!(card.version, 2);
+    assert!(store.deploying("ranker"));
+    let start = Instant::now();
+    while store.version("ranker") != Some(2) {
+        assert!(
+            start.elapsed() < Duration::from_secs(10),
+            "v2 never promoted; incidents: {:?}",
+            store
+                .incidents()
+                .iter()
+                .map(|i| (i.kind, i.detail.clone()))
+                .collect::<Vec<_>>()
+        );
+        let served = sup.predict_detailed_for("ranker", &x).unwrap();
+        assert!(allclose(&served.output, &want, 1e-5, 1e-5));
+    }
+    assert!(!store.deploying("ranker"));
+    assert!(store
+        .incidents()
+        .iter()
+        .any(|i| i.kind == IncidentKind::Promoted && i.model.as_deref() == Some("ranker@v2")));
+
+    // Phase 2: deploy a shuffled-label retrain that genuinely diverges.
+    // The canary must catch it and roll back; v2 keeps serving.
+    let (v3, _) = forest_fixture(2);
+    let card = store.deploy("ranker", &v3, ServeConfig::default()).unwrap();
+    assert_eq!(card.version, 3);
+    let start = Instant::now();
+    while store.deploying("ranker") {
+        assert!(
+            start.elapsed() < Duration::from_secs(10),
+            "divergent v3 was never rolled back"
+        );
+        let served = sup.predict_detailed_for("ranker", &x).unwrap();
+        assert!(
+            allclose(&served.output, &want, 1e-5, 1e-5),
+            "divergent canary answer reached a client via {:?}",
+            served.rung
+        );
+    }
+    assert_eq!(store.version("ranker"), Some(2), "rollback must keep v2");
+    assert!(store
+        .incidents()
+        .iter()
+        .any(|i| i.kind == IncidentKind::RolledBack && i.model.as_deref() == Some("ranker@v3")));
+    // And the store still serves the v2 answer afterwards.
+    let served = sup.predict_detailed_for("ranker", &x).unwrap();
+    assert!(allclose(&served.output, &want, 1e-5, 1e-5));
+    sup.drain();
+}
+
+/// Fair-share admission under a greedy flood: a slow model's clients
+/// saturating the store-wide in-flight budget must not starve a quiet
+/// neighbor — the neighbor's guaranteed slots always admit it.
+#[test]
+fn greedy_slow_model_cannot_starve_a_quiet_neighbor() {
+    let store = Arc::new(ModelStore::new(StoreConfig {
+        in_flight: 8,
+        canary_fraction: 0,
+        ..StoreConfig::default()
+    }));
+    let (slow_pipe, slow_x) = tiny_fixture(0);
+    let (quiet_pipe, quiet_x) = tiny_fixture(1);
+    store
+        .register(
+            "greedy",
+            &slow_pipe,
+            ServeConfig {
+                faults: FaultPlan {
+                    slow_kernel: Some(Duration::from_millis(4)),
+                    ..FaultPlan::none()
+                },
+                canary_period: 0,
+                ..ServeConfig::default()
+            },
+        )
+        .unwrap();
+    store
+        .register(
+            "quiet",
+            &quiet_pipe,
+            ServeConfig {
+                canary_period: 0,
+                ..ServeConfig::default()
+            },
+        )
+        .unwrap();
+    let sup = Arc::new(Supervisor::spawn_store(Arc::clone(&store), 4));
+
+    let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let flood: Vec<_> = (0..8)
+        .map(|_| {
+            let sup = Arc::clone(&sup);
+            let x = slow_x.clone();
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                    // Overloaded is expected for the greedy model itself.
+                    let _ = sup.predict_for("greedy", &x);
+                }
+            })
+        })
+        .collect();
+
+    // The quiet model keeps its guaranteed slots: sequential requests
+    // (never exceeding its guarantee) must all be admitted.
+    let mut quiet_ok = 0;
+    for i in 0..40 {
+        match sup.predict_for("quiet", &quiet_x) {
+            Ok(_) => quiet_ok += 1,
+            Err(e) => panic!("quiet request {i} refused under flood: {e}"),
+        }
+    }
+    stop.store(true, std::sync::atomic::Ordering::Relaxed);
+    for t in flood {
+        t.join().expect("flood thread panicked");
+    }
+    assert_eq!(quiet_ok, 40);
+    assert_eq!(sup.health().workers_alive, 4);
+    sup.drain();
+}
+
+/// Budget enforcement is typed and leak-free: a refused registration
+/// releases every pool reference it interned and charges nothing.
+#[test]
+fn budget_rejection_is_typed_and_releases_the_pool() {
+    let store = ModelStore::new(StoreConfig {
+        model_budget: Some(64),
+        ..StoreConfig::default()
+    });
+    let (pipe, _) = tiny_fixture(0);
+    let err = store
+        .register("huge", &pipe, ServeConfig::default())
+        .unwrap_err();
+    match err {
+        ServeError::BudgetExceeded {
+            model,
+            requested,
+            budget,
+        } => {
+            assert_eq!(model, "huge");
+            assert!(requested > budget);
+            assert_eq!(budget, 64);
+        }
+        other => panic!("expected BudgetExceeded, got {other:?}"),
+    }
+    assert_eq!(store.len(), 0);
+    assert_eq!(
+        store.resident_bytes(),
+        0,
+        "refused charge must be credited back"
+    );
+    assert_eq!(store.pool_entries(), 0, "refused intern must be released");
+    assert!(store
+        .incidents()
+        .iter()
+        .any(|i| i.kind == IncidentKind::BudgetRejected));
+}
+
+/// Store-mode request routing stays typed end to end: unknown models,
+/// post-eviction requests, and single-model entry points all fail with
+/// the right error instead of panicking.
+#[test]
+fn store_routing_errors_are_typed() {
+    let store = Arc::new(ModelStore::new(StoreConfig::default()));
+    let (pipe, x) = tiny_fixture(0);
+    store.register("m", &pipe, ServeConfig::default()).unwrap();
+    let sup = Supervisor::spawn_store(Arc::clone(&store), 2);
+    assert!(matches!(
+        sup.predict_for("nope", &x),
+        Err(ServeError::UnknownModel(name)) if name == "nope"
+    ));
+    assert!(matches!(
+        sup.predict(&x),
+        Err(ServeError::BadRequest(msg)) if msg.contains("predict_for")
+    ));
+    assert!(sup.predict_for("m", &x).is_ok());
+    store.evict("m").unwrap();
+    assert!(matches!(
+        sup.predict_for("m", &x),
+        Err(ServeError::UnknownModel(_))
+    ));
+    assert_eq!(store.resident_bytes(), 0);
+    sup.drain();
+    assert!(matches!(
+        sup.predict_for("m", &x),
+        Err(ServeError::ShuttingDown)
+    ));
+}
+
+/// A transient seeded fault plan is reproducible: the same seed yields
+/// the same fault schedule, and `HB_CHAOS_SEED` (when set) overrides it
+/// for ad-hoc reruns. The seeded model still serves correct answers —
+/// retries and the ladder absorb the scheduled faults.
+#[test]
+fn seeded_faults_are_reproducible_and_absorbed() {
+    let faults = FaultPlan {
+        kernel_error: true,
+        scope: FaultScope::Seeded { period: 3 },
+        seed: 7,
+        ..FaultPlan::none()
+    }
+    .with_env_seed();
+    eprintln!("store_chaos: seeded-fault seed = {:#x}", faults.seed);
+    let schedule: Vec<bool> = (0..16).map(|i| faults.active_for_run(i)).collect();
+    assert_eq!(
+        schedule,
+        (0..16)
+            .map(|i| faults.active_for_run(i))
+            .collect::<Vec<bool>>(),
+        "seeded schedule must be deterministic"
+    );
+
+    let store = ModelStore::new(StoreConfig::default());
+    let (pipe, x) = tiny_fixture(3);
+    let want = pipe.predict_proba(&x);
+    store
+        .register(
+            "seeded",
+            &pipe,
+            ServeConfig {
+                faults,
+                max_retries: 2,
+                ..ServeConfig::default()
+            },
+        )
+        .unwrap();
+    for _ in 0..12 {
+        let served = store.predict_detailed("seeded", &x).unwrap();
+        assert!(
+            allclose(&served.output, &want, 1e-5, 1e-5),
+            "seeded fault corrupted an answer via {:?}",
+            served.rung
+        );
+    }
+}
