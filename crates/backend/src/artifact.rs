@@ -12,6 +12,7 @@
 //! artifact.
 
 use crate::absint::ValueFact;
+use crate::cost::{CostCert, COST_BUCKETS};
 use crate::graph::{Graph, GraphError};
 use crate::op::Op;
 use crate::verify::GraphSignature;
@@ -136,6 +137,14 @@ pub struct Artifact {
     /// share. `hb-lint` cross-references these across artifacts to flag
     /// duplicated parameters that failed to deduplicate.
     pub const_hashes: Vec<String>,
+    /// Static cost certificates, one per batch bucket
+    /// ([`crate::cost::COST_BUCKETS`]): exact flop / traversal / byte
+    /// counters plus the audited arena footprint. Machine-independent —
+    /// the calibrated wall-clock envelope is *never* recorded (see the
+    /// honesty rule in [`crate::cost`]). Empty in artifacts exported
+    /// before cost certification existed, or when the graph's input
+    /// shapes are not statically known.
+    pub cost_certs: Vec<CostCert>,
 }
 
 // Hand-written (rather than `json_struct!`) so `lir_certs` stays
@@ -152,6 +161,7 @@ impl hb_json::ToJson for Artifact {
             ("lir_certs".to_string(), self.lir_certs.to_json()),
             ("content_hash".to_string(), self.content_hash.to_json()),
             ("const_hashes".to_string(), self.const_hashes.to_json()),
+            ("cost_certs".to_string(), self.cost_certs.to_json()),
         ])
     }
 }
@@ -184,6 +194,13 @@ impl hb_json::FromJson for Artifact {
                 })?,
                 None => Vec::new(),
             },
+            // Cost certificates postdate the formats above; pre-cost
+            // artifacts parse with none and lint notes the absence.
+            cost_certs: match v.get("cost_certs") {
+                Some(c) => hb_json::FromJson::from_json(c)
+                    .map_err(|e| hb_json::JsonError::Schema(format!("Artifact.cost_certs: {e}")))?,
+                None => Vec::new(),
+            },
         })
     }
 }
@@ -208,7 +225,17 @@ impl Artifact {
             lir_certs: Artifact::lir_certs_of(graph),
             content_hash: format!("{:016x}", crate::dedup::graph_content_hash(graph)),
             const_hashes: Artifact::const_hashes_of(graph),
+            cost_certs: Artifact::cost_certs_of(graph),
         })
+    }
+
+    /// Derives the per-bucket cost certificates of `graph` — used at
+    /// export time and by auditors diffing a recording against a fresh
+    /// derivation. Best-effort: a graph whose work is not statically
+    /// derivable (undeclared input shapes) certifies nothing, which
+    /// consumers treat as "missing cert", never as an error.
+    pub fn cost_certs_of(graph: &Graph) -> Vec<CostCert> {
+        crate::cost::cost_certs(graph, &COST_BUCKETS).unwrap_or_default()
     }
 
     /// Derives the content hashes of every interning-eligible constant
@@ -381,6 +408,65 @@ mod tests {
         let legacy =
             Artifact::from_json_str(&stripped).unwrap_or_else(|e| panic!("legacy parse: {e}"));
         assert!(legacy.content_hash.is_empty() && legacy.const_hashes.is_empty());
+    }
+
+    #[test]
+    fn artifact_records_and_round_trips_cost_certs() {
+        let mut b = GraphBuilder::new();
+        let x = b.input_with_shape(DType::F32, crate::ShapeFact::batched(&[4]));
+        let w = b.constant(hb_tensor::Tensor::<f32>::from_fn(&[4, 2], |i| i[1] as f32));
+        let m = b.matmul(x, w);
+        let y = b.push(crate::op::Op::Sigmoid, vec![m]);
+        b.output(y);
+        let g = b.build();
+        let a = Artifact::from_graph(&g, "proba").unwrap_or_else(|e| panic!("artifact: {e}"));
+        assert_eq!(a.cost_certs.len(), crate::cost::COST_BUCKETS.len());
+        for (cert, &bucket) in a.cost_certs.iter().zip(crate::cost::COST_BUCKETS.iter()) {
+            assert_eq!(cert.batch, bucket);
+            assert!(cert.flops > 0.0 && cert.arena_bytes > 0);
+        }
+        let back =
+            Artifact::from_json_str(&a.to_json_string()).unwrap_or_else(|e| panic!("reparse: {e}"));
+        assert_eq!(back.cost_certs, a.cost_certs);
+        // A fresh derivation from the reparsed graph agrees.
+        assert_eq!(Artifact::cost_certs_of(&back.graph), a.cost_certs);
+    }
+
+    #[test]
+    fn artifact_with_unknown_shapes_certifies_no_cost() {
+        // Undeclared input shape: the verifier passes but work is not
+        // statically derivable, so the artifact carries no cost certs
+        // (consumers treat that as "missing cert", not an error).
+        let mut b = GraphBuilder::new();
+        let x = b.input(DType::F32);
+        let s = b.push(crate::op::Op::Sigmoid, vec![x]);
+        b.output(s);
+        let g = b.build();
+        let a = Artifact::from_graph(&g, "proba").unwrap_or_else(|e| panic!("artifact: {e}"));
+        assert!(a.cost_certs.is_empty());
+    }
+
+    #[test]
+    fn artifact_without_cost_certs_parses_with_empty_set() {
+        // Satellite: artifacts exported before cost certification still
+        // parse cleanly with no certificates.
+        let mut b = GraphBuilder::new();
+        let x = b.input_with_shape(DType::F32, crate::ShapeFact::batched(&[2]));
+        let s = b.push(crate::op::Op::Sigmoid, vec![x]);
+        b.output(s);
+        let g = b.build();
+        let a = Artifact::from_graph(&g, "proba").unwrap_or_else(|e| panic!("artifact: {e}"));
+        assert!(!a.cost_certs.is_empty());
+        let json = a.to_json_string();
+        let start = json
+            .find(",\"cost_certs\":")
+            .unwrap_or_else(|| panic!("cost_certs field missing from JSON"));
+        // The field is last in the object: strip through the closing brace.
+        let stripped = format!("{}}}", &json[..start]);
+        let legacy =
+            Artifact::from_json_str(&stripped).unwrap_or_else(|e| panic!("legacy parse: {e}"));
+        assert!(legacy.cost_certs.is_empty());
+        assert_eq!(legacy.signature, a.signature);
     }
 
     #[test]

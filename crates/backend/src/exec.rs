@@ -139,6 +139,9 @@ pub struct RunStats {
     pub flops: f64,
     /// Total modeled bytes of memory traffic.
     pub bytes: f64,
+    /// Total output elements traversed by launched kernels (the
+    /// `hb-backend::cost` element-traversal counter, measured side).
+    pub traversals: f64,
     /// Measured peak host tensor bytes during the run.
     pub peak_tensor_bytes: usize,
     /// Modeled peak device-memory residency (parameters + live
@@ -692,6 +695,7 @@ impl Executable {
                         stats.kernel_launches += 1;
                         stats.flops += cost.flops;
                         stats.bytes += cost.bytes;
+                        stats.traversals += cost.traversals;
                         if let Some(s) = spec {
                             sim_time += s.kernel_time(cost.flops, cost.bytes);
                         }
@@ -1186,6 +1190,7 @@ impl Executable {
                     stats.kernel_launches += 1;
                     stats.flops += cost.flops;
                     stats.bytes += cost.bytes;
+                    stats.traversals += cost.traversals;
                     if let Some(s) = spec {
                         sim_time += s.kernel_time(cost.flops, cost.bytes);
                     }

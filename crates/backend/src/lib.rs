@@ -26,6 +26,7 @@ pub mod absint;
 pub mod artifact;
 pub mod audit;
 pub mod cancel;
+pub mod cost;
 pub mod dedup;
 pub mod device;
 pub mod exec;
@@ -42,6 +43,10 @@ pub use absint::ValueFact;
 pub use artifact::{Artifact, LirCert};
 pub use audit::{audit_plan, PlanAuditError};
 pub use cancel::CancelToken;
+pub use cost::{
+    cost_cert, cost_certs, cost_summary, envelope_for, CostCert, CostError, CostPoly, CostSummary,
+    TimeEnvelope, COST_BUCKETS,
+};
 pub use dedup::{ConstPool, DedupStats};
 pub use device::{Device, DeviceSpec};
 pub use exec::{ExecError, Executable, RunStats};

@@ -203,6 +203,9 @@ pub struct OpCost {
     pub flops: f64,
     /// Bytes moved through memory (reads + writes).
     pub bytes: f64,
+    /// Output elements the kernel traverses (writes) — the uniform
+    /// "element traversal" counter certified by `hb-backend::cost`.
+    pub traversals: f64,
     /// True for zero-cost metadata ops that launch no kernel.
     pub metadata_only: bool,
 }
@@ -833,7 +836,7 @@ impl Op {
         let in_bytes: f64 = inputs.iter().map(|t| t.nbytes() as f64).sum();
         let out_bytes = output.nbytes() as f64;
         let out_n = output.numel() as f64;
-        match self {
+        let mut c = match self {
             Op::Input(_) | Op::Const(_) => OpCost {
                 metadata_only: true,
                 ..OpCost::default()
@@ -856,7 +859,7 @@ impl Op {
                 OpCost {
                     flops: 2.0 * m * k * n * batch.max(1.0),
                     bytes: in_bytes + out_bytes,
-                    metadata_only: false,
+                    ..OpCost::default()
                 }
             }
             Op::Sqdist => {
@@ -866,38 +869,45 @@ impl Op {
                 OpCost {
                     flops: 2.0 * n * m * d + 3.0 * n * m,
                     bytes: in_bytes + out_bytes,
-                    metadata_only: false,
+                    ..OpCost::default()
                 }
             }
             // Transcendentals cost several FLOPs per element.
             Op::Exp | Op::Ln | Op::Sqrt | Op::Tanh | Op::Sigmoid | Op::PowScalar(_) => OpCost {
                 flops: 10.0 * out_n,
                 bytes: in_bytes + out_bytes,
-                metadata_only: false,
+                ..OpCost::default()
             },
             Op::Softmax { .. } | Op::LogSumExp { .. } => OpCost {
                 flops: 12.0 * inputs[0].numel() as f64,
                 bytes: 2.0 * in_bytes + out_bytes,
-                metadata_only: false,
+                ..OpCost::default()
             },
             // Random-access gathers are bandwidth-hostile: charge the
             // output twice to model uncoalesced reads.
             Op::Gather { .. } | Op::GatherRows | Op::IndexSelect { .. } => OpCost {
                 flops: out_n,
                 bytes: 2.0 * out_bytes + inputs.last().map(|t| t.nbytes() as f64).unwrap_or(0.0),
-                metadata_only: false,
+                ..OpCost::default()
             },
             Op::Fused(k) => OpCost {
                 flops: k.program_len() as f64 * out_n,
                 bytes: in_bytes + out_bytes,
-                metadata_only: false,
+                ..OpCost::default()
             },
             _ => OpCost {
                 flops: out_n,
                 bytes: in_bytes + out_bytes,
-                metadata_only: false,
+                ..OpCost::default()
             },
+        };
+        // Every launched kernel traverses each output element exactly
+        // once; metadata ops traverse nothing. `hb-backend::cost`
+        // mirrors this definition symbolically, so the two must agree.
+        if !c.metadata_only {
+            c.traversals = out_n;
         }
+        c
     }
 
     /// Stable key used for common-subexpression elimination; `None` for

@@ -5,7 +5,8 @@
 //! ```
 //!
 //! Experiments: `table7` `table8` `table9` `table10` `table11` `table12`
-//! `fig4` `fig6` `fig7` `fig8` `fig9` `fig10` `fig12` `validate` `all`.
+//! `fig4` `fig6` `fig7` `fig8` `fig9` `fig10` `fig12` `memplan` `lir`
+//! `cost` `ablation` `sparse` `soak` `store` `validate` `all`.
 //!
 //! Sizes are scaled to laptop budgets (synthetic datasets, fewer/shallower
 //! trees than the paper's 500×8) — `--scale` multiplies dataset rows, and
@@ -903,6 +904,122 @@ fn lir_table(zoo: &mut Zoo) {
         eprintln!("  [lir] {} done", strategy.label());
     }
     t.print_and_save();
+}
+
+/// Cost-certification audit: per tree strategy and per certification
+/// bucket, re-run the compiled pipeline and hold the static `CostCert`
+/// to the honesty rule — the measured roofline counters (flops,
+/// element traversals, bytes, kernel launches) must equal the certified
+/// polynomials *exactly* (both are the same integer sums, below 2^53),
+/// the planner's arena must equal the certified footprint, and the
+/// measured wall-clock must land inside the calibrated envelope widened
+/// by eps = 0.5: `lo*(1-eps) <= wall <= hi*(1+eps)`. Any violation
+/// aborts the bench; the table mirrors into `bench_results/cost.json`.
+fn cost_table(zoo: &mut Zoo) {
+    const EPS: f64 = 0.5;
+    let spec = &TREE_BENCH_SPECS[0]; // fraud-like: 28 features, binary
+    let e = zoo.model(spec, Algo::LightGbm);
+    let ds = zoo.dataset(spec).clone();
+    let mut t = Table::new(
+        "cost",
+        "Static cost certification vs measured execution (eps = 0.5 envelope gate)",
+        &[
+            "Strategy",
+            "Batch",
+            "CertFlops",
+            "CertBytes",
+            "CertArena",
+            "Launches",
+            "EnvLo",
+            "EnvHi",
+            "Wall",
+            "Counters",
+            "Envelope",
+        ],
+    );
+    let mut sound = true;
+    for strategy in [
+        TreeStrategy::Gemm,
+        TreeStrategy::TreeTraversal,
+        TreeStrategy::PerfectTreeTraversal,
+    ] {
+        let pipe = Pipeline::from_op(e.clone());
+        let opts = CompileOptions {
+            backend: Backend::Compiled,
+            tree_strategy: strategy,
+            expected_batch: *hb_backend::COST_BUCKETS.last().unwrap_or(&1),
+            optimize_pipeline: false,
+            ..Default::default()
+        };
+        let model = compile(&pipe, &opts).expect("tree ensembles always compile");
+        let exec = model.executable();
+        let certs = hb_backend::cost_certs(exec.graph(), &hb_backend::COST_BUCKETS)
+            .expect("tree pipelines have fully batched shapes");
+        for cert in &certs {
+            let b = cert.batch.min(ds.n_test());
+            assert_eq!(b, cert.batch, "test split smaller than a cost bucket");
+            let xb = hb_tensor::DynTensor::F32(ds.x_test.slice(0, 0, b).to_contiguous());
+            let env = hb_backend::envelope_for(cert);
+            // Warm once (plans, tuner) then take the median of five runs
+            // so a single scheduler hiccup cannot fail the floor check.
+            let (_, stats) = exec
+                .run_with_stats(std::slice::from_ref(&xb))
+                .expect("certified pipeline executes");
+            let mut walls = Vec::new();
+            let mut last = stats;
+            for _ in 0..5 {
+                let (_, s) = exec
+                    .run_with_stats(std::slice::from_ref(&xb))
+                    .expect("certified pipeline executes");
+                walls.push(s.wall);
+                last = s;
+            }
+            walls.sort();
+            let wall = walls[walls.len() / 2];
+            let counters_exact = last.flops == cert.flops
+                && last.traversals == cert.traversals
+                && last.bytes == cert.bytes
+                && last.kernel_launches == cert.kernel_launches;
+            let arena = exec.plan_for_batch(cert.batch).ok().map(|p| p.arena_bytes);
+            let arena_exact = arena == Some(cert.arena_bytes);
+            let lo = env.lo.mul_f64(1.0 - EPS);
+            let hi = env.hi.mul_f64(1.0 + EPS);
+            let within = wall >= lo && wall <= hi;
+            sound &= counters_exact && arena_exact && within;
+            t.row(vec![
+                strategy.label().to_string(),
+                cert.batch.to_string(),
+                format!("{:.0}", cert.flops),
+                format!("{:.0}", cert.bytes),
+                cert.arena_bytes.to_string(),
+                cert.kernel_launches.to_string(),
+                fmt_secs(env.lo.as_secs_f64()),
+                fmt_secs(env.hi.as_secs_f64()),
+                fmt_secs(wall.as_secs_f64()),
+                if counters_exact && arena_exact {
+                    "exact".into()
+                } else if counters_exact {
+                    "FAIL (arena)".into()
+                } else {
+                    format!(
+                        "FAIL ({:.0}/{:.0}/{:.0}/{} measured)",
+                        last.flops, last.traversals, last.bytes, last.kernel_launches
+                    )
+                },
+                if within {
+                    "within".into()
+                } else {
+                    "FAIL".into()
+                },
+            ]);
+        }
+        eprintln!("  [cost] {} done", strategy.label());
+    }
+    t.print_and_save();
+    assert!(
+        sound,
+        "cost: a certificate failed its soundness gate (see FAIL rows above)"
+    );
 }
 
 /// Figure 7: amortized dollar cost per 100K predictions.
@@ -1833,21 +1950,39 @@ fn store_bench(cfg: &Config) {
             "naive KiB (n x 1)",
             "ratio",
             "pool entries",
+            "store op/s",
+            "solo op/s",
             "outcome",
         ],
     );
+
+    // Steady-state ops/s of a warm predict loop: warm once, then count
+    // completed calls inside a fixed wall budget.
+    let ops_per_sec = |step: &mut dyn FnMut()| {
+        step();
+        let t0 = Instant::now();
+        let budget = Duration::from_millis(150);
+        let mut ops = 0u64;
+        while t0.elapsed() < budget {
+            step();
+            ops += 1;
+        }
+        ops as f64 / t0.elapsed().as_secs_f64()
+    };
 
     // Part 1: replica fleets. Identical artifacts (the per-region /
     // per-tenant replica case) must share their constants through the
     // store's content-hashed pool.
     let mut single = 0usize;
     let mut growth_ok = true;
+    let mut throughput_ok = true;
     for &n in &[1usize, 4, 16, 48] {
         let store = ModelStore::new(StoreConfig::default());
-        for m in 0..n {
+        let names: Vec<String> = (0..n).map(|m| format!("replica-{m:02}")).collect();
+        for name in &names {
             store
-                .register(&format!("replica-{m:02}"), &pipe, ServeConfig::default())
-                .unwrap_or_else(|e| panic!("replica-{m:02}: {e}"));
+                .register(name, &pipe, ServeConfig::default())
+                .unwrap_or_else(|e| panic!("{name}: {e}"));
         }
         let measured = store.measured_bytes();
         if n == 1 {
@@ -1859,6 +1994,33 @@ fn store_bench(cfg: &Config) {
         // most half of 48 isolated copies.
         let ok = n == 1 || measured * 2 <= naive;
         growth_ok &= ok;
+        // Steady-state throughput gate: round-robin predicts through the
+        // shared store must keep at least half the rate of n isolated
+        // ServingModels (dedup and the shared front door are bookkeeping,
+        // not serving-path work).
+        let solo: Vec<hb_serve::ServingModel> = (0..n)
+            .map(|_| {
+                hb_serve::ServingModel::new(&pipe, ServeConfig::default())
+                    .expect("solo replica builds")
+            })
+            .collect();
+        let mut i = 0usize;
+        let store_tp = ops_per_sec(&mut || {
+            let name = &names[i % n];
+            i += 1;
+            store
+                .predict(name, &x)
+                .unwrap_or_else(|e| panic!("store {name}: {e}"));
+        });
+        let mut j = 0usize;
+        let solo_tp = ops_per_sec(&mut || {
+            let m = &solo[j % n];
+            j += 1;
+            m.predict(&x)
+                .unwrap_or_else(|e| panic!("solo replica: {e}"));
+        });
+        let tp_ok = store_tp >= 0.5 * solo_tp;
+        throughput_ok &= tp_ok;
         t.row(vec![
             "replicas".into(),
             n.to_string(),
@@ -1866,7 +2028,11 @@ fn store_bench(cfg: &Config) {
             format!("{:.0}", naive as f64 / 1024.0),
             format!("{ratio:.2}"),
             store.pool_entries().to_string(),
-            if n == 1 {
+            format!("{store_tp:.0}"),
+            format!("{solo_tp:.0}"),
+            if !tp_ok {
+                "FAIL (throughput)".into()
+            } else if n == 1 {
                 "baseline".into()
             } else if ok {
                 "sub-linear".into()
@@ -1912,6 +2078,8 @@ fn store_bench(cfg: &Config) {
         "-".into(),
         "-".into(),
         "-".into(),
+        "-".into(),
+        "-".into(),
         if promoted {
             "auto-promoted".into()
         } else {
@@ -1935,6 +2103,8 @@ fn store_bench(cfg: &Config) {
         "-".into(),
         "-".into(),
         "-".into(),
+        "-".into(),
+        "-".into(),
         if rolled_back && incident_logged {
             "auto-rolled-back, v2 serving".into()
         } else {
@@ -1946,6 +2116,10 @@ fn store_bench(cfg: &Config) {
     assert!(
         growth_ok,
         "store: replica memory growth is not sub-linear — dedup regressed"
+    );
+    assert!(
+        throughput_ok,
+        "store: steady-state throughput regressed below half of isolated replicas"
     );
     assert!(promoted, "store: clean v2 never auto-promoted");
     assert!(
@@ -2008,6 +2182,7 @@ fn main() {
         "fig6" => fig6(zoo),
         "memplan" => memplan(zoo),
         "lir" => lir_table(zoo),
+        "cost" => cost_table(zoo),
         "fig7" => fig7(zoo),
         "fig8" => fig8(cfg),
         "fig9" => fig9(cfg),
@@ -2020,14 +2195,14 @@ fn main() {
         "validate" => validate(zoo),
         other => {
             eprintln!("unknown experiment '{other}'");
-            eprintln!("available: table7 table8 table9 table10 table11 table12 fig4 fig6 fig7 fig8 fig9 fig10 fig12 memplan lir ablation sparse soak store validate all");
+            eprintln!("available: table7 table8 table9 table10 table11 table12 fig4 fig6 fig7 fig8 fig9 fig10 fig12 memplan lir cost ablation sparse soak store validate all");
             std::process::exit(2);
         }
     };
     if exp == "all" {
         for name in [
             "table7", "table8", "table9", "table10", "validate", "table11", "table12", "fig4",
-            "fig6", "fig7", "fig8", "fig9", "fig10", "fig12", "memplan", "lir", "ablation",
+            "fig6", "fig7", "fig8", "fig9", "fig10", "fig12", "memplan", "lir", "cost", "ablation",
             "sparse", "store",
         ] {
             eprintln!("\n>>> running {name}");

@@ -252,7 +252,14 @@ pub(crate) struct Batcher {
     buckets: Vec<usize>,
     config: CoalesceConfig,
     /// Smoothed batch execution time in µs (shedding + slack oracle).
+    /// Cold-started from the cost certificate's envelope midpoint when
+    /// the model certifies one, so the shed oracle is never blind before
+    /// the first sample.
     ewma_micros: AtomicU64,
+    /// Certified wall-clock floor for a single-record execution. A
+    /// deadline below it is refused with [`ServeError::Infeasible`]
+    /// before queueing. `None` when the model carries no cost cert.
+    certified_floor: Option<Duration>,
     /// Set by the coalescer on brownout transitions; read by workers to
     /// suppress canary sampling and by the flush logic to widen the
     /// window.
@@ -270,6 +277,19 @@ impl Batcher {
         n_workers: usize,
     ) -> Batcher {
         let buckets = config.normalized_buckets();
+        // Seed the shed oracle from the cost certificate: the envelope
+        // midpoint at the largest execution bucket stands in for the
+        // first measurement (`update_ewma` then blends normally instead
+        // of treating the first sample as gospel). Zero = unseeded.
+        let largest = buckets[buckets.len() - 1];
+        let seed_micros = model
+            .cost_cert_for(largest)
+            .map(|c| {
+                let mid = hb_backend::envelope_for(c).midpoint();
+                u64::try_from(mid.as_micros()).unwrap_or(u64::MAX)
+            })
+            .unwrap_or(0);
+        let certified_floor = model.certified_floor(1);
         Batcher {
             shared: Mutex::new(Shared {
                 queue: VecDeque::new(),
@@ -278,7 +298,8 @@ impl Batcher {
             wake: Condvar::new(),
             buckets,
             config,
-            ewma_micros: AtomicU64::new(0),
+            ewma_micros: AtomicU64::new(seed_micros),
+            certified_floor,
             brownout: AtomicBool::new(false),
             model,
             latency,
@@ -349,6 +370,16 @@ impl Batcher {
         self.model.validate_request(&row)?;
         let now = Instant::now();
         let budget = self.model.config().deadline;
+        // Static feasibility first: a deadline below the certified
+        // execution floor is unmeetable on an *idle* server — no amount
+        // of queueing luck helps, so refuse with the typed proof before
+        // the load-dependent shed heuristics even look.
+        if let (Some(d), Some(floor)) = (budget, self.certified_floor) {
+            if d < floor {
+                self.model.record_infeasible();
+                return Err(ServeError::Infeasible { deadline: d, floor });
+            }
+        }
         // Early shed: if the smoothed execution time alone exceeds the
         // whole budget, the deadline is unmeetable before we even queue.
         if let Some(d) = budget {

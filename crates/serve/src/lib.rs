@@ -223,6 +223,18 @@ pub enum ServeError {
         /// The configured budget that could not be met.
         deadline: Duration,
     },
+    /// Static cost certification proved the deadline unmeetable: the
+    /// certified execution-time floor for the smallest batch bucket
+    /// already exceeds the whole budget, so the request is refused
+    /// before queueing. Distinct from [`ServeError::Expired`], which
+    /// sheds on *observed* load — this rejection holds even on an idle
+    /// server, for every request with this budget.
+    Infeasible {
+        /// The configured deadline that cannot be met.
+        deadline: Duration,
+        /// The certified execution-time lower bound it falls below.
+        floor: Duration,
+    },
     /// The request itself is malformed (wrong rank / feature width).
     BadRequest(String),
     /// Every rung — including the imperative reference — failed.
@@ -270,6 +282,13 @@ impl std::fmt::Display for ServeError {
                 write!(
                     f,
                     "shed: deadline {deadline:?} unmeetable after waiting {waited:?}"
+                )
+            }
+            ServeError::Infeasible { deadline, floor } => {
+                write!(
+                    f,
+                    "statically infeasible: deadline {deadline:?} is below the certified \
+                     execution floor {floor:?}"
                 )
             }
             ServeError::BadRequest(msg) => write!(f, "bad request: {msg}"),
@@ -326,6 +345,9 @@ pub struct ServingStats {
     /// Requests shed with [`ServeError::Expired`] because their deadline
     /// was already unmeetable.
     pub shed_expired: u64,
+    /// Requests refused with [`ServeError::Infeasible`] because static
+    /// cost certification proved their deadline unmeetable.
+    pub rejected_infeasible: u64,
     /// Times the coalescer entered brownout mode under sustained queue
     /// pressure.
     pub brownout_entered: u64,
@@ -362,6 +384,7 @@ impl ServingStats {
         self.breaker_skips += other.breaker_skips;
         self.coalesced_batches += other.coalesced_batches;
         self.shed_expired += other.shed_expired;
+        self.rejected_infeasible += other.rejected_infeasible;
         self.brownout_entered += other.brownout_entered;
         self.queue_depth += other.queue_depth;
     }
@@ -383,6 +406,7 @@ struct StatCells {
     breaker_skips: AtomicU64,
     coalesced_batches: AtomicU64,
     shed_expired: AtomicU64,
+    rejected_infeasible: AtomicU64,
     brownout_entered: AtomicU64,
     queue_depth: AtomicU64,
 }
@@ -406,6 +430,7 @@ impl StatCells {
             breaker_skips: self.breaker_skips.load(Ordering::Relaxed),
             coalesced_batches: self.coalesced_batches.load(Ordering::Relaxed),
             shed_expired: self.shed_expired.load(Ordering::Relaxed),
+            rejected_infeasible: self.rejected_infeasible.load(Ordering::Relaxed),
             brownout_entered: self.brownout_entered.load(Ordering::Relaxed),
             queue_depth: self.queue_depth.load(Ordering::Relaxed),
         }
@@ -535,6 +560,11 @@ pub struct ServingModel {
     /// Successful serves, driving per-model canary sampling when hosted
     /// by a store (standalone supervisors count successes themselves).
     canary_ticks: AtomicU64,
+    /// Static cost certificates of the best compiled rung, one per
+    /// [`hb_backend::COST_BUCKETS`] bucket. Empty when no rung compiled
+    /// or the rung's work is not statically derivable — deadline
+    /// feasibility and EWMA seeding then fall back to runtime behavior.
+    cost_certs: Vec<hb_backend::CostCert>,
 }
 
 impl ServingModel {
@@ -624,6 +654,16 @@ impl ServingModel {
         if any_can_nan && config.canary_period == 0 {
             config.canary_period = FORCED_CANARY_PERIOD;
         }
+        // Static cost certification of the best compiled rung — the one
+        // the batcher executes when healthy. Best-effort: a rung whose
+        // work is not statically derivable simply certifies nothing.
+        let cost_certs = rungs
+            .first()
+            .map(|(_, m)| {
+                hb_backend::cost::cost_certs(m.executable().graph(), &hb_backend::COST_BUCKETS)
+                    .unwrap_or_default()
+            })
+            .unwrap_or_default();
         Ok(ServingModel {
             pipeline: pipeline.clone(),
             rungs,
@@ -636,8 +676,48 @@ impl ServingModel {
             incidents: Arc::new(IncidentLog::new(1024)),
             tag: None,
             canary_ticks: AtomicU64::new(0),
+            cost_certs,
             config,
         })
+    }
+
+    /// Static cost certificates of the best compiled rung, one per
+    /// [`hb_backend::COST_BUCKETS`] bucket (empty when not derivable).
+    pub fn cost_certs(&self) -> &[hb_backend::CostCert] {
+        &self.cost_certs
+    }
+
+    /// The certificate governing a `batch`-row execution: the smallest
+    /// certified bucket that fits it, else the largest one.
+    pub fn cost_cert_for(&self, batch: usize) -> Option<&hb_backend::CostCert> {
+        self.cost_certs
+            .iter()
+            .find(|c| c.batch >= batch)
+            .or_else(|| self.cost_certs.last())
+    }
+
+    /// Certified wall-clock floor for a `batch`-row execution: the
+    /// calibrated envelope's lower bound. A deadline below this is
+    /// statically infeasible ([`ServeError::Infeasible`]). The envelope
+    /// is machine-calibrated, not sound — see `hb_backend::cost`.
+    pub fn certified_floor(&self, batch: usize) -> Option<Duration> {
+        self.cost_cert_for(batch)
+            .map(|c| hb_backend::envelope_for(c).lo)
+    }
+
+    /// Certified plan-arena bytes at `batch`, summed over every compiled
+    /// rung — the audited static bound a [`ModelStore`] charges against
+    /// its budget ledger at registration, before any request executes.
+    /// `None` when any rung's work is not statically derivable (the
+    /// store then falls back to [`ServingModel::arena_estimate`]).
+    pub fn certified_arena(&self, batch: usize) -> Option<usize> {
+        let mut total = 0usize;
+        for (_, m) in &self.rungs {
+            total += hb_backend::cost::cost_cert(m.executable().graph(), batch)
+                .ok()?
+                .arena_bytes;
+        }
+        Some(total)
     }
 
     /// The rungs that compiled successfully, best-first (the reference
@@ -782,6 +862,13 @@ impl ServingModel {
     /// Records one request shed with [`ServeError::Expired`].
     pub(crate) fn record_shed(&self) {
         self.cells.shed_expired.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one request refused with [`ServeError::Infeasible`].
+    pub(crate) fn record_infeasible(&self) {
+        self.cells
+            .rejected_infeasible
+            .fetch_add(1, Ordering::Relaxed);
     }
 
     /// Records one micro-batch formed by the coalescer.

@@ -769,7 +769,14 @@ impl ModelStore {
             .map_err(|e| ServeError::BadRequest(format!("model {name:?}: {e}")))?;
         let stats = model.intern_constants(&self.pool);
         model.adopt_log(Arc::clone(&self.incidents), &format!("{name}@v{version}"));
-        let arena = model.arena_estimate(self.config.budget_batch);
+        // Budget the plan arena from the *certified* footprint when the
+        // model carries one — the statically audited bound, checked here
+        // at registration instead of discovered at first execution. A
+        // model whose work is not derivable falls back to the measured
+        // plan estimate.
+        let arena = model
+            .certified_arena(self.config.budget_batch)
+            .unwrap_or_else(|| model.arena_estimate(self.config.budget_batch));
         // The model owns its fresh pool bytes and its un-interned small
         // constants; shared bytes are charged to their first holder.
         let charge = stats.fresh_bytes + stats.small_bytes() + arena;
@@ -1053,6 +1060,47 @@ mod tests {
             .iter()
             .any(|i| i.kind == IncidentKind::BudgetRejected));
         assert!(store.is_empty());
+    }
+
+    #[test]
+    fn certified_footprint_gates_registration_before_execution() {
+        let (pipe, _) = fixture(1);
+        let probe = ServingModel::new(&pipe, ServeConfig::default()).expect("fixture must serve");
+        let batch = StoreConfig::default().budget_batch;
+        let certified = probe
+            .certified_arena(batch)
+            .expect("fixture pipelines must certify their arena");
+        // The certified bound and the plan-cache estimate derive the
+        // same arenas through independent paths; they must agree.
+        assert_eq!(certified, probe.arena_estimate(batch));
+        // A budget below the certified arena alone cannot fit even a
+        // model with zero constant bytes: registration must refuse from
+        // the static bound, before any request ever executes.
+        let store = ModelStore::new(StoreConfig {
+            model_budget: Some(certified - 1),
+            ..StoreConfig::default()
+        });
+        let err = store
+            .register("m", &pipe, ServeConfig::default())
+            .unwrap_err();
+        match err {
+            ServeError::BudgetExceeded {
+                requested, budget, ..
+            } => {
+                assert!(
+                    requested >= certified,
+                    "charge {requested} must include the certified arena {certified}"
+                );
+                assert_eq!(budget, certified - 1);
+            }
+            other => panic!("expected BudgetExceeded, got {other:?}"),
+        }
+        assert!(store.is_empty(), "refused model must not be registered");
+        assert_eq!(
+            store.resident_bytes(),
+            0,
+            "the overrun was caught statically, nothing was ever charged"
+        );
     }
 
     #[test]

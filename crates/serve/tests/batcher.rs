@@ -379,6 +379,110 @@ fn coalescing_stats_and_backpressure_are_wired() {
 }
 
 #[test]
+fn statically_infeasible_deadline_is_refused_before_queueing() {
+    // A 1ns budget is below the certified execution floor of any real
+    // pipeline (each kernel launch alone is certified above that), so
+    // admission must refuse with the typed Infeasible proof *before*
+    // the request ever queues or executes — not shed it on load, not
+    // let it run and blow the deadline.
+    let sup = supervisor(
+        ServeConfig {
+            deadline: Some(Duration::from_nanos(1)),
+            coalesce: Some(CoalesceConfig::default()),
+            ..ServeConfig::default()
+        },
+        1,
+    );
+    assert!(
+        !sup.model().cost_certs().is_empty(),
+        "fixture pipeline must carry cost certificates"
+    );
+    let floor = sup
+        .model()
+        .certified_floor(1)
+        .expect("certified model must have a floor");
+    match sup.predict_one(&record(0)) {
+        Err(ServeError::Infeasible { deadline, floor: f }) => {
+            assert_eq!(deadline, Duration::from_nanos(1));
+            assert_eq!(f, floor);
+            assert!(f > deadline, "the floor must exceed the refused deadline");
+        }
+        other => panic!("expected Infeasible, got {other:?}"),
+    }
+    let stats = sup.model().stats();
+    assert_eq!(stats.rejected_infeasible, 1);
+    assert_eq!(stats.queue_depth, 0, "refusal must happen before queueing");
+    assert_eq!(
+        stats.coalesced_batches, 0,
+        "an infeasible request must never reach execution"
+    );
+    assert_eq!(
+        stats.shed_expired, 0,
+        "static infeasibility is not load shedding"
+    );
+    sup.drain();
+}
+
+#[test]
+fn cold_start_ewma_sheds_the_very_first_burst() {
+    // Regression for the shed-oracle cold start: before this, the EWMA
+    // started at zero and the first burst was admitted blind, paying
+    // for answers that could never meet their deadlines. Seeded from
+    // the cost certificate's envelope midpoint, the oracle sheds a
+    // deadline between the certified floor and the expected execution
+    // time on the *first* request — no sample ever observed.
+    let (pipe, _) = fixture();
+    let probe = ServingModel::new(&pipe, ServeConfig::default()).expect("fixture must serve");
+    let floor = probe.certified_floor(1).expect("fixture must certify");
+    let largest = CoalesceConfig::default()
+        .normalized_buckets()
+        .pop()
+        .expect("nonempty");
+    let seed =
+        hb_backend::envelope_for(probe.cost_cert_for(largest).expect("fixture must certify"))
+            .midpoint();
+    assert!(
+        seed > floor * 4,
+        "calibrated midpoint {seed:?} must clear the floor {floor:?} for this test to bite"
+    );
+    // Feasible (above the floor) but hopeless (below the expected
+    // execution time): only the seed can know that up front.
+    let deadline = (floor * 2).max(seed / 8);
+    assert!(deadline > floor && deadline < seed);
+    let model = ServingModel::new(
+        &pipe,
+        ServeConfig {
+            deadline: Some(deadline),
+            coalesce: Some(CoalesceConfig::default()),
+            ..ServeConfig::default()
+        },
+    )
+    .expect("fixture must serve");
+    let sup = Supervisor::spawn(model, 1);
+    match sup.predict_one(&record(0)) {
+        Err(ServeError::Expired {
+            waited,
+            deadline: d,
+        }) => {
+            assert_eq!(d, deadline);
+            assert_eq!(
+                waited,
+                Duration::ZERO,
+                "shed at admission, not after queueing"
+            );
+        }
+        other => panic!("expected first-burst Expired shed, got {other:?}"),
+    }
+    let stats = sup.model().stats();
+    assert_eq!(stats.shed_expired, 1);
+    assert_eq!(
+        stats.coalesced_batches, 0,
+        "the oracle must shed before any execution sample exists"
+    );
+    sup.drain();
+}
+
+#[test]
 fn without_coalescing_predict_one_still_serves_vectors() {
     let sup = supervisor(ServeConfig::default(), 1);
     assert!(sup.backpressure().is_none());

@@ -69,11 +69,25 @@ cargo test -q --offline --test codegen
 # front door's coalescing bucket set (a warning, not a gate — such a
 # graph still serves, just uncoalesced). hb-lint exits non-zero on any
 # error-level diagnostic.
-echo "==> hb-lint over exported graphs (--audit-plans --deny-analysis --buckets)"
+echo "==> hb-lint over exported graphs (--audit-plans --deny-analysis --deny-cost --buckets)"
 rm -rf target/ci-graphs
 ./target/release/hb-export target/ci-graphs
-./target/release/hb-lint --audit-plans --deny-analysis --buckets 1,2,4,8,16,32 \
+./target/release/hb-lint --audit-plans --deny-analysis --deny-cost --buckets 1,2,4,8,16,32 \
     target/ci-graphs/*.json
+
+# Cost-certification gate, explicitly: the static certifier's counters
+# must match a real execution bit-for-bit across the model zoo at every
+# batch bucket (they are the same integer sums evaluated two ways), the
+# certified arena must equal the audited plan, and the measured wall
+# must land inside the calibrated envelope widened by eps = 0.5. The
+# cost bench repeats the same gate per tree strategy and emits
+# bench_results/cost.json; --deny-cost above already promotes any
+# stale-cert drift or cost regression in the exported artifacts to an
+# error.
+echo "==> cargo test -q --test cost_soundness (certified-vs-measured cost gate)"
+cargo test -q --offline --test cost_soundness
+echo "==> cost bench gate (certified envelope vs measured, per strategy x bucket)"
+RUST_BACKTRACE=1 cargo run -q --offline --release -p hb-bench --bin tables -- cost
 
 # Chaos suite, explicitly and with backtraces: every fault injected
 # into the supervised worker pool must surface typed or degraded —

@@ -35,10 +35,23 @@
 //!   (`hb-backend::audit`); a rejected plan is an **error**.
 //! * `--deny-analysis` — escalate abstract-interpretation findings to
 //!   error level (the CI gate: seeded artifacts must stay clean).
+//! * `--deny-cost` — escalate cost-certificate findings (stale-cert
+//!   drift, cost regressions) to error level (the CI cost gate).
 //! * `--buckets 1,2,4,8,16,32` — the micro-batch coalescing bucket set
 //!   the serving front door would use (`hb-serve`'s default when
 //!   omitted). Warns when a graph's verified signature cannot scatter
 //!   per-record results, i.e. cannot be served through *any* bucket.
+//!
+//! The cost section re-derives each artifact's static cost certificates
+//! (`hb-backend::cost`) and prints the symbolic work polynomials, the
+//! per-kernel counters next to the LIR class/tile stats, and per-bucket
+//! certified counters with this machine's calibrated wall-clock envelope
+//! (note-level — the envelope is machine-local and never part of a
+//! certificate). Recorded certificates are diffed against the fresh
+//! derivation: any disagreement is stale-cert drift, and a fresh
+//! derivation that costs *more* than the recording is additionally a
+//! cost regression. An artifact with no recorded certificates gets one
+//! "missing cost certificates" note, never an error.
 //!
 //! Exit status is non-zero iff any file produced an **error-level**
 //! diagnostic (unreadable, unparsable, failing verification, a rejected
@@ -61,6 +74,7 @@ use hummingbird::tensor::DynTensor;
 struct Flags {
     audit_plans: bool,
     deny_analysis: bool,
+    deny_cost: bool,
     /// Coalescing bucket sizes the serving front door is configured
     /// with; mirrors `hb-serve`'s `CoalesceConfig::default()`.
     buckets: Vec<usize>,
@@ -71,6 +85,7 @@ impl Default for Flags {
         Flags {
             audit_plans: false,
             deny_analysis: false,
+            deny_cost: false,
             buckets: vec![1, 2, 4, 8, 16, 32],
         }
     }
@@ -84,6 +99,7 @@ fn main() -> ExitCode {
         match arg.as_str() {
             "--audit-plans" => flags.audit_plans = true,
             "--deny-analysis" => flags.deny_analysis = true,
+            "--deny-cost" => flags.deny_cost = true,
             "--buckets" => {
                 let Some(list) = args.next() else {
                     eprintln!("hb-lint: --buckets requires a comma-separated size list");
@@ -102,7 +118,8 @@ fn main() -> ExitCode {
     }
     if paths.is_empty() {
         eprintln!(
-            "usage: hb-lint [--audit-plans] [--deny-analysis] [--buckets N,N,...] <graph.json>..."
+            "usage: hb-lint [--audit-plans] [--deny-analysis] [--deny-cost] [--buckets N,N,...] \
+             <graph.json>..."
         );
         return ExitCode::FAILURE;
     }
@@ -316,6 +333,17 @@ fn lint_file(path: &str, flags: &Flags) -> bool {
     if !lir_errors.is_empty() {
         ok = false;
     }
+    let (cost_notes, cost_warnings) = cost_report(&graph, recorded.as_ref());
+    for n in &cost_notes {
+        println!("{path}: note: {n}");
+    }
+    let cost_level = if flags.deny_cost { "error" } else { "warning" };
+    for w in &cost_warnings {
+        println!("{path}: {cost_level}: {w}");
+    }
+    if flags.deny_cost && !cost_warnings.is_empty() {
+        ok = false;
+    }
     if ok {
         match memory_plan_line(&graph) {
             Ok(line) => println!("{path}: note: {line}"),
@@ -462,6 +490,99 @@ fn lir_report(
         ));
     }
     (notes, warnings, errors)
+}
+
+/// Static cost certification report: symbolic work polynomials,
+/// per-kernel counters (next to the LIR class/tile stats), per-bucket
+/// certified counters with this machine's calibrated envelope, and a
+/// diff of any recorded certificates against a fresh derivation.
+///
+/// Warnings (errors under `--deny-cost`): stale-cert drift (recorded ≠
+/// fresh — counters and arena are machine-independent, so any
+/// disagreement means the artifact is stale or tampered) and cost
+/// regression (the fresh derivation does strictly more work than the
+/// recording claims). A recorded artifact with *no* certificates gets a
+/// single "missing cost certificates" note — pre-cost artifacts must
+/// keep linting cleanly.
+fn cost_report(graph: &Graph, recorded: Option<&Artifact>) -> (Vec<String>, Vec<String>) {
+    use hummingbird::backend::cost;
+    let mut notes = Vec::new();
+    let mut warnings = Vec::new();
+    let per_node = match cost::cost_nodes(graph) {
+        Ok(n) => n,
+        Err(e) => {
+            // Underivable work (e.g. undeclared input shapes) is a
+            // limitation note, not a defect: such graphs simply serve
+            // without feasibility proofs.
+            notes.push(format!("cost: not statically derivable: {e}"));
+            if recorded.is_some_and(|a| !a.cost_certs.is_empty()) {
+                warnings.push(
+                    "recorded cost certificates exist but the graph's work is no longer \
+                     derivable — stale or tampered artifact"
+                        .to_string(),
+                );
+            }
+            return (notes, warnings);
+        }
+    };
+    // Per-kernel counters beside the per-kernel LIR class/tile notes.
+    for n in &per_node {
+        let Some(class) = &n.class else { continue };
+        notes.push(format!(
+            "node {}: cost: class `{class}`, flops = {}, traversals = {}, bytes = {}",
+            n.node, n.flops, n.traversals, n.bytes
+        ));
+    }
+    if let Ok(summary) = cost::cost_summary(graph) {
+        notes.push(format!(
+            "cost summary: flops = {}, traversals = {}, bytes = {}, {} kernel launch(es)",
+            summary.flops, summary.traversals, summary.bytes, summary.kernel_launches
+        ));
+    }
+    let fresh = Artifact::cost_certs_of(graph);
+    for cert in &fresh {
+        let env = cost::envelope_for(cert);
+        notes.push(format!(
+            "cost cert @batch={}: {} flops, {} traversals, {} bytes, {} arena bytes, \
+             calibrated envelope [{:?}, {:?}] (machine-local, not certified)",
+            cert.batch, cert.flops, cert.traversals, cert.bytes, cert.arena_bytes, env.lo, env.hi
+        ));
+    }
+    let Some(a) = recorded else {
+        return (notes, warnings);
+    };
+    if a.cost_certs.is_empty() {
+        notes.push(
+            "missing cost certificates (artifact predates cost certification); derived fresh \
+             above"
+                .to_string(),
+        );
+        return (notes, warnings);
+    }
+    if a.cost_certs != fresh {
+        warnings.push(format!(
+            "recorded cost certificates ({}) disagree with a fresh derivation ({}) — stale-cert \
+             drift",
+            a.cost_certs.len(),
+            fresh.len()
+        ));
+    }
+    // A regression is stricter than drift: the artifact now does more
+    // work than its recording claims, so consumers budgeting from the
+    // recorded certs (stores, admission) are under-provisioned.
+    for f in &fresh {
+        let Some(r) = a.cost_certs.iter().find(|c| c.batch == f.batch) else {
+            continue;
+        };
+        if f.flops > r.flops || f.bytes > r.bytes || f.arena_bytes > r.arena_bytes {
+            warnings.push(format!(
+                "cost regression @batch={}: fresh derivation needs {} flops / {} bytes / {} \
+                 arena, recorded cert claims {} / {} / {}",
+                f.batch, f.flops, f.bytes, f.arena_bytes, r.flops, r.bytes, r.arena_bytes
+            ));
+        }
+    }
+    (notes, warnings)
 }
 
 /// Coalescing serveability against the configured bucket set.
